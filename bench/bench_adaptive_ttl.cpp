@@ -1,0 +1,110 @@
+// Ablation — TTL self-adaptation (paper Sec. 6.1: "we are integrating in
+// our service the feature of information degradation and self adaptation
+// of information updates").
+//
+// Two synthetic sources: one near-static (changes ~0.1% per refresh), one
+// volatile (~20%). Each runs under a fixed 200ms TTL and under adaptive
+// TTL, queried every 50ms for 60s. The table reports executions and the
+// mean relative error of returned values vs ground truth at read time.
+// Expected shape: adaptation cuts executions sharply for static data at
+// no accuracy cost, and improves accuracy for volatile data by shrinking
+// the TTL.
+#include <cmath>
+
+#include "bench_util.hpp"
+
+#include "common/id.hpp"
+#include "common/strings.hpp"
+
+using namespace ig;  // NOLINT
+
+namespace {
+
+struct SourceModel {
+  const char* label;
+  double amplitude;  ///< relative oscillation amplitude of the ground truth
+};
+
+struct Outcome {
+  std::uint64_t executions = 0;
+  double mean_rel_error = 0.0;
+  Duration final_ttl{0};
+};
+
+Outcome run(const SourceModel& model, bool adaptive) {
+  bench::Stack stack(fnv1a(model.label) + (adaptive ? 1 : 0));
+  // Ground truth oscillates with a 4s period so its *relative* change per
+  // refresh interval is stationary; the provider samples it when its
+  // command runs.
+  VirtualClock* clock = &stack.clock;
+  auto truth = [clock, model] {
+    double t = static_cast<double>(clock->now().count()) / 1e6;
+    return 100.0 * (1.0 + model.amplitude * std::sin(2.0 * M_PI * t / 4.0));
+  };
+  stack.registry->register_command(
+      "/bin/probe",
+      [truth](const std::vector<std::string>&) {
+        return exec::CommandResult{0, strings::format("value: %.6f\n", truth())};
+      },
+      ms(5));
+
+  info::ProviderOptions options;
+  options.ttl = ms(200);
+  options.adaptive_ttl = adaptive;
+  options.min_ttl = ms(20);
+  options.max_ttl = seconds(10);
+  auto monitor = std::make_shared<info::SystemMonitor>(stack.clock, "adapt.sim");
+  if (!monitor
+           ->add_source(std::make_shared<info::CommandSource>("Probe", "/bin/probe",
+                                                              stack.registry),
+                        options)
+           .ok()) {
+    std::abort();
+  }
+  auto provider = monitor->provider("Probe");
+
+  Outcome out;
+  double error_sum = 0.0;
+  std::uint64_t queries = 0;
+  const Duration horizon = seconds(60);
+  for (TimePoint start = stack.clock.now(); stack.clock.now() - start < horizon;) {
+    auto record = provider->get(rsl::ResponseMode::kCached);
+    if (!record.ok()) std::abort();
+    double have = *strings::parse_double(record->attributes[0].value);
+    double want = truth();
+    error_sum += std::abs(have - want) / std::abs(want);
+    ++queries;
+    stack.clock.advance(ms(50));
+  }
+  out.executions = provider->refresh_count();
+  out.mean_rel_error = error_sum / static_cast<double>(queries);
+  out.final_ttl = provider->ttl();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Ablation / adaptive TTL vs fixed 200ms TTL (60s horizon, query/50ms)");
+  std::printf("%-10s %-10s %-12s %-14s %-12s\n", "source", "ttl mode", "executions",
+              "mean rel err", "final TTL(ms)");
+  bench::rule(62);
+  const SourceModel models[] = {
+      {"static", 0.0001},
+      {"volatile", 0.5},
+  };
+  for (const SourceModel& model : models) {
+    for (bool adaptive : {false, true}) {
+      Outcome out = run(model, adaptive);
+      std::printf("%-10s %-10s %-12llu %-14.5f %-12lld\n", model.label,
+                  adaptive ? "adaptive" : "fixed",
+                  static_cast<unsigned long long>(out.executions), out.mean_rel_error,
+                  static_cast<long long>(out.final_ttl.count() / 1000));
+    }
+  }
+  std::printf(
+      "\nExpected shape: adaptation grows the TTL for the static source (far\n"
+      "fewer executions, same accuracy) and shrinks it for the volatile source\n"
+      "(lower error at the cost of more executions).\n");
+  return 0;
+}

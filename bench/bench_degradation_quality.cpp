@@ -1,0 +1,93 @@
+// E4 — Sec. 5.2/6.4: information degradation and the xRSL quality tag.
+//
+// "The quality threshold tag provides the possibility to specify a
+// percentage number that gives additional guidance if a cached value
+// should be returned or if the information needs to be refreshed."
+//
+// Sweeps the quality threshold against a provider with linear degradation
+// (quality hits 0 at 2x TTL) queried every 40ms for 20s. Reports the
+// refresh rate and the mean age/quality of returned information, plus a
+// comparison of degradation models at fixed threshold. Expected shape:
+// higher thresholds force more refreshes and return fresher data.
+#include "bench_util.hpp"
+
+#include "common/id.hpp"
+#include "info/degradation.hpp"
+
+using namespace ig;  // NOLINT
+
+namespace {
+
+struct Outcome {
+  std::uint64_t queries = 0;
+  std::uint64_t executions = 0;
+  double mean_quality = 0.0;
+  double mean_age_ms = 0.0;
+};
+
+Outcome run(bench::Stack& stack, std::shared_ptr<info::DegradationFunction> degradation,
+            double threshold) {
+  auto monitor = std::make_shared<info::SystemMonitor>(stack.clock, "deg.sim");
+  info::ProviderOptions options;
+  options.ttl = ms(200);
+  options.degradation = std::move(degradation);
+  if (!monitor
+           ->add_source(std::make_shared<info::CommandSource>(
+                            "CPULoad", "/usr/local/bin/cpuload.exe", stack.registry),
+                        options)
+           .ok()) {
+    std::abort();
+  }
+  auto provider = monitor->provider("CPULoad");
+  Outcome out;
+  double quality_sum = 0.0;
+  double age_sum_ms = 0.0;
+  const Duration horizon = seconds(20);
+  for (TimePoint start = stack.clock.now(); stack.clock.now() - start < horizon;) {
+    auto record = provider->get_with_quality(threshold);
+    if (!record.ok()) std::abort();
+    ++out.queries;
+    quality_sum += record->min_quality();
+    age_sum_ms +=
+        static_cast<double>((stack.clock.now() - record->generated_at).count()) / 1000.0;
+    stack.clock.advance(ms(40));
+  }
+  out.executions = provider->refresh_count();
+  out.mean_quality = quality_sum / static_cast<double>(out.queries);
+  out.mean_age_ms = age_sum_ms / static_cast<double>(out.queries);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("E4 / quality threshold sweep (linear degradation, ttl=200ms)");
+  std::printf("%-10s %-9s %-12s %-14s %-12s\n", "threshold", "queries", "executions",
+              "mean quality", "mean age(ms)");
+  bench::rule(60);
+  for (double threshold : {0.0, 25.0, 50.0, 75.0, 90.0, 99.0}) {
+    bench::Stack stack(static_cast<std::uint64_t>(threshold) + 5);
+    auto out = run(stack, std::make_shared<info::LinearDegradation>(2.0), threshold);
+    std::printf("%-10.0f %-9llu %-12llu %-14.1f %-12.1f\n", threshold,
+                static_cast<unsigned long long>(out.queries),
+                static_cast<unsigned long long>(out.executions), out.mean_quality,
+                out.mean_age_ms);
+  }
+
+  bench::header("Degradation models at threshold=60 (same workload)");
+  std::printf("%-22s %-12s %-14s %-12s\n", "model", "executions", "mean quality",
+              "mean age(ms)");
+  bench::rule(62);
+  for (auto name : {"binary", "linear", "exponential", "observed"}) {
+    bench::Stack stack(fnv1a(name));
+    auto out = run(stack, info::make_degradation(name), 60.0);
+    std::printf("%-22s %-12llu %-14.1f %-12.1f\n", name,
+                static_cast<unsigned long long>(out.executions), out.mean_quality,
+                out.mean_age_ms);
+  }
+  std::printf(
+      "\nExpected shape: refreshes and mean quality rise monotonically with the\n"
+      "threshold; binary degradation refreshes only at TTL expiry, exponential\n"
+      "(never reaching 0 abruptly) refreshes at a rate set by its time constant.\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// E7 — the xRSL `format` tag: LDIF and XML returns. Serialization and
+// parse throughput as the record payload grows, via google-benchmark.
+// Expected shape: both scale linearly in attribute count; LDIF is the
+// denser and faster encoding, XML costs more bytes and escape handling.
+#include <benchmark/benchmark.h>
+
+#include "format/ldif.hpp"
+#include "format/record.hpp"
+#include "format/xml.hpp"
+
+namespace {
+
+using ig::format::InfoRecord;
+
+std::vector<InfoRecord> make_records(int records, int attrs_per_record) {
+  std::vector<InfoRecord> out;
+  for (int r = 0; r < records; ++r) {
+    InfoRecord record;
+    record.keyword = "Kw" + std::to_string(r);
+    record.generated_at = ig::seconds(100 + r);
+    record.ttl = ig::ms(80);
+    for (int a = 0; a < attrs_per_record; ++a) {
+      record.add("attr" + std::to_string(a),
+                 "value-" + std::to_string(a * 1315423911u % 100000), 97.5);
+    }
+    out.push_back(std::move(record));
+  }
+  return out;
+}
+
+void BM_LdifSerialize(benchmark::State& state) {
+  auto records = make_records(static_cast<int>(state.range(0)), 16);
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    auto text = ig::format::to_ldif(records);
+    bytes = text.size();
+    benchmark::DoNotOptimize(text);
+  }
+  state.counters["bytes"] = static_cast<double>(bytes);
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LdifSerialize)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_XmlSerialize(benchmark::State& state) {
+  auto records = make_records(static_cast<int>(state.range(0)), 16);
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    auto text = ig::format::to_xml(records);
+    bytes = text.size();
+    benchmark::DoNotOptimize(text);
+  }
+  state.counters["bytes"] = static_cast<double>(bytes);
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_XmlSerialize)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_LdifParse(benchmark::State& state) {
+  auto text = ig::format::to_ldif(make_records(static_cast<int>(state.range(0)), 16));
+  for (auto _ : state) {
+    auto records = ig::format::parse_ldif(text);
+    benchmark::DoNotOptimize(records);
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_LdifParse)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_XmlParse(benchmark::State& state) {
+  auto text = ig::format::to_xml(make_records(static_cast<int>(state.range(0)), 16));
+  for (auto _ : state) {
+    auto records = ig::format::parse_xml(text);
+    benchmark::DoNotOptimize(records);
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_XmlParse)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_LdifBase64HeavyValues(benchmark::State& state) {
+  // Worst case: every value needs base64 (binary-ish content).
+  std::vector<InfoRecord> records(1);
+  records[0].keyword = "Binary";
+  records[0].ttl = ig::ms(10);
+  for (int a = 0; a < 32; ++a) {
+    records[0].add("blob" + std::to_string(a), std::string(64, static_cast<char>(1 + a)));
+  }
+  for (auto _ : state) {
+    auto text = ig::format::to_ldif(records);
+    benchmark::DoNotOptimize(text);
+  }
+}
+BENCHMARK(BM_LdifBase64HeavyValues);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,143 @@
+// E8 — J-GRAM job execution: submission-to-completion overhead per backend
+// family (fork, batch, matchmaking, sandbox shared/isolated), measured as
+// wall time of the framework itself (command costs run on a virtual clock,
+// so the numbers isolate scheduling/bookkeeping overhead — the quantity
+// that differs between scheduler families).
+#include <benchmark/benchmark.h>
+
+#include "exec/batch_backend.hpp"
+#include "exec/fork_backend.hpp"
+#include "exec/matchmaking_backend.hpp"
+#include "exec/sandbox.hpp"
+
+namespace {
+
+using namespace ig;  // NOLINT
+
+struct Env {
+  VirtualClock clock{seconds(1000)};
+  std::shared_ptr<exec::SimSystem> system =
+      std::make_shared<exec::SimSystem>(clock, 5, "bench.sim");
+  std::shared_ptr<exec::CommandRegistry> registry =
+      exec::CommandRegistry::standard(clock, system, 6);
+};
+
+exec::JobRequest echo_request() {
+  exec::JobRequest request;
+  request.spec.executable = "/bin/echo";
+  request.spec.arguments = {"bench"};
+  request.local_user = "bench";
+  return request;
+}
+
+void run_lifecycle(benchmark::State& state, exec::LocalJobExecution& backend,
+                   const exec::JobRequest& request) {
+  for (auto _ : state) {
+    auto id = backend.submit(request);
+    if (!id.ok()) {
+      state.SkipWithError("submit failed");
+      return;
+    }
+    auto status = backend.wait(*id, seconds(30));
+    if (!status.ok() || status->state != exec::JobState::kDone) {
+      state.SkipWithError("job did not complete");
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_ForkBackend(benchmark::State& state) {
+  Env env;
+  exec::ForkBackend backend(env.registry, env.clock);
+  run_lifecycle(state, backend, echo_request());
+}
+BENCHMARK(BM_ForkBackend)->Unit(benchmark::kMicrosecond);
+
+void BM_BatchBackend(benchmark::State& state) {
+  Env env;
+  exec::BatchConfig config;
+  config.nodes = static_cast<int>(state.range(0));
+  config.load_per_job = 0.0;
+  exec::BatchBackend backend(env.registry, env.clock, config, env.system);
+  run_lifecycle(state, backend, echo_request());
+}
+BENCHMARK(BM_BatchBackend)->Arg(1)->Arg(4)->Unit(benchmark::kMicrosecond);
+
+void BM_MatchmakingBackend(benchmark::State& state) {
+  Env env;
+  std::vector<exec::NodeSpec> nodes;
+  for (int i = 0; i < state.range(0); ++i) {
+    nodes.push_back({"n" + std::to_string(i),
+                     {{"mem_kb", std::to_string(131072 * (i + 1))}, {"arch", "sim"}}});
+  }
+  exec::MatchmakingBackend backend(env.registry, env.clock, nodes, env.system, 0.0);
+  auto request = echo_request();
+  request.spec.environment["requirements"] = "arch==sim && mem_kb>=131072";
+  run_lifecycle(state, backend, request);
+}
+BENCHMARK(BM_MatchmakingBackend)->Arg(1)->Arg(4)->Unit(benchmark::kMicrosecond);
+
+void BM_SandboxShared(benchmark::State& state) {
+  Env env;
+  exec::SandboxConfig config;
+  exec::SandboxBackend backend(env.clock, config, env.system);
+  backend.register_task("t.jar", [](exec::SandboxContext& ctx, const auto&) {
+    (void)ctx.charge(100);
+    return Result<std::string>(std::string("ok"));
+  });
+  exec::JobRequest request;
+  request.spec.executable = "t.jar";
+  request.spec.job_type = "jar";
+  run_lifecycle(state, backend, request);
+}
+BENCHMARK(BM_SandboxShared)->Unit(benchmark::kMicrosecond);
+
+void BM_SandboxIsolated(benchmark::State& state) {
+  // Models "start up a number of external JVM": a per-job startup charge.
+  Env env;
+  exec::SandboxConfig config;
+  config.mode = exec::SandboxMode::kIsolated;
+  exec::SandboxBackend backend(env.clock, config, env.system);
+  backend.register_task("t.jar", [](exec::SandboxContext& ctx, const auto&) {
+    (void)ctx.charge(100);
+    return Result<std::string>(std::string("ok"));
+  });
+  exec::JobRequest request;
+  request.spec.executable = "t.jar";
+  request.spec.job_type = "jar";
+  run_lifecycle(state, backend, request);
+}
+BENCHMARK(BM_SandboxIsolated)->Unit(benchmark::kMicrosecond);
+
+void BM_ForkBackendBurst(benchmark::State& state) {
+  // Submission throughput: N jobs in flight before the first wait.
+  Env env;
+  exec::ForkBackend backend(env.registry, env.clock);
+  auto request = echo_request();
+  const int burst = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    std::vector<exec::JobId> ids;
+    ids.reserve(static_cast<std::size_t>(burst));
+    for (int i = 0; i < burst; ++i) {
+      auto id = backend.submit(request);
+      if (!id.ok()) {
+        state.SkipWithError("submit failed");
+        return;
+      }
+      ids.push_back(*id);
+    }
+    for (auto id : ids) {
+      if (!backend.wait(id, seconds(30)).ok()) {
+        state.SkipWithError("wait failed");
+        return;
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * burst);
+}
+BENCHMARK(BM_ForkBackendBurst)->Arg(16)->Arg(64)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

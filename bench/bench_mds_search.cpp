@@ -1,0 +1,122 @@
+// E9 — MDS baseline scaling (paper Sec. 3): GRIS search cost, GIIS
+// aggregation over growing VOs, and the effect of the MDS 2.0-style
+// aggregate cache. Expected shape: GIIS search cost grows with resource
+// count on a cache miss but is flat on hits; the caching function is what
+// makes VO-scale queries viable.
+#include <benchmark/benchmark.h>
+
+#include "info/system_monitor.hpp"
+#include "mds/giis.hpp"
+#include "mds/gris.hpp"
+
+namespace {
+
+using namespace ig;  // NOLINT
+
+struct Env {
+  VirtualClock clock{seconds(1000)};
+  std::shared_ptr<exec::SimSystem> system =
+      std::make_shared<exec::SimSystem>(clock, 5, "mds.sim");
+  std::shared_ptr<exec::CommandRegistry> registry =
+      exec::CommandRegistry::standard(clock, system, 6);
+
+  std::shared_ptr<info::SystemMonitor> make_monitor(const std::string& host) {
+    auto monitor = std::make_shared<info::SystemMonitor>(clock, host);
+    info::ProviderOptions options;
+    options.ttl = seconds(3600);  // effectively static for the benchmark
+    for (auto [kw, cmd] :
+         {std::pair{"Memory", "/sbin/sysinfo.exe -mem"},
+          std::pair{"CPU", "/sbin/sysinfo.exe -cpu"},
+          std::pair{"CPULoad", "/usr/local/bin/cpuload.exe"}}) {
+      (void)monitor->add_source(
+          std::make_shared<info::CommandSource>(kw, cmd, registry), options);
+    }
+    return monitor;
+  }
+};
+
+void BM_GrisSearch(benchmark::State& state) {
+  Env env;
+  mds::Gris gris(env.make_monitor("host.sim"), "host.sim", env.clock);
+  auto filter = mds::Filter::parse("(kw=Memory)").value();
+  for (auto _ : state) {
+    auto entries = gris.search("o=Grid", mds::Scope::kSubtree, filter);
+    if (!entries.ok() || entries->size() != 1) {
+      state.SkipWithError("search failed");
+      return;
+    }
+  }
+}
+BENCHMARK(BM_GrisSearch)->Unit(benchmark::kMicrosecond);
+
+void BM_GiisSearchCached(benchmark::State& state) {
+  Env env;
+  mds::Giis giis("vo", env.clock, seconds(3600));
+  for (int i = 0; i < state.range(0); ++i) {
+    std::string host = "n" + std::to_string(i) + ".sim";
+    giis.register_child(std::make_shared<mds::Gris>(env.make_monitor(host), host, env.clock));
+  }
+  auto filter = mds::Filter::parse("(kw=CPULoad)").value();
+  // Warm the cache outside the timed loop.
+  (void)giis.search("o=Grid", mds::Scope::kSubtree, filter);
+  for (auto _ : state) {
+    auto entries = giis.search("o=Grid", mds::Scope::kSubtree, filter);
+    if (!entries.ok()) {
+      state.SkipWithError("search failed");
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GiisSearchCached)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Unit(benchmark::kMicrosecond);
+
+void BM_GiisSearchColdCache(benchmark::State& state) {
+  // Every search misses the cache (TTL 0): the full child sweep each time.
+  Env env;
+  mds::Giis giis("vo", env.clock, us(0));
+  for (int i = 0; i < state.range(0); ++i) {
+    std::string host = "n" + std::to_string(i) + ".sim";
+    giis.register_child(std::make_shared<mds::Gris>(env.make_monitor(host), host, env.clock));
+  }
+  auto filter = mds::Filter::parse("(kw=CPULoad)").value();
+  (void)giis.search("o=Grid", mds::Scope::kSubtree, filter);  // charge command costs once
+  for (auto _ : state) {
+    env.clock.advance(ms(1));  // invalidate
+    auto entries = giis.search("o=Grid", mds::Scope::kSubtree, filter);
+    if (!entries.ok()) {
+      state.SkipWithError("search failed");
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GiisSearchColdCache)->Arg(1)->Arg(4)->Arg(16)->Unit(benchmark::kMicrosecond);
+
+void BM_FilterComplexity(benchmark::State& state) {
+  // Cost of evaluating progressively wider disjunctions over a directory.
+  Env env;
+  mds::Directory directory;
+  for (int i = 0; i < 256; ++i) {
+    mds::DirectoryEntry entry;
+    entry.dn = "kw=K" + std::to_string(i) + ", o=Grid";
+    entry.add("objectclass", "X");
+    entry.add("kw", "K" + std::to_string(i));
+    entry.add("index", std::to_string(i));
+    directory.put(std::move(entry));
+  }
+  std::string text = "(|";
+  for (int i = 0; i < state.range(0); ++i) {
+    text += "(kw=K" + std::to_string(i * 7 % 256) + ")";
+  }
+  text += ")";
+  auto filter = mds::Filter::parse(text).value();
+  for (auto _ : state) {
+    auto hits = mds::search(directory, "o=Grid", mds::Scope::kSubtree, filter);
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_FilterComplexity)->Arg(1)->Arg(8)->Arg(32)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+// E5 — the xRSL `performance` tag: "returns the number of seconds and the
+// standard deviation about how long it takes to obtain a particular
+// information value. The performance of a command and its attributed
+// values is measured and catalogued during runtime."
+//
+// Registers providers whose commands have known costs (plus jitter),
+// refreshes each many times, then fetches the performance record and
+// compares measured mean/stddev against the configured ground truth.
+#include "bench_util.hpp"
+
+using namespace ig;  // NOLINT
+
+int main() {
+  bench::Stack stack(314);
+  bench::header("E5 / performance tag: measured vs configured provider cost");
+
+  struct Probe {
+    const char* keyword;
+    Duration base_cost;
+    Duration jitter;  // uniform +/- jitter via an extra virtual sleep
+  };
+  const Probe probes[] = {
+      {"Fast", ms(2), ms(1)},
+      {"Medium", ms(20), ms(5)},
+      {"Slow", ms(120), ms(30)},
+  };
+
+  auto monitor = std::make_shared<info::SystemMonitor>(stack.clock, "perf.sim");
+  auto jitter_rng = std::make_shared<Rng>(2718);
+  for (const Probe& probe : probes) {
+    // Command with randomized cost around the base.
+    std::string path = std::string("/bin/probe_") + probe.keyword;
+    Duration jitter = probe.jitter;
+    VirtualClock* clock = &stack.clock;
+    stack.registry->register_command(
+        path,
+        [clock, jitter, jitter_rng](const std::vector<std::string>&) {
+          clock->advance(us(jitter_rng->uniform_int(0, 2 * jitter.count())));
+          return exec::CommandResult{0, "value: 1\n"};
+        },
+        probe.base_cost);
+    info::ProviderOptions options;
+    options.ttl = ms(0);
+    if (!monitor
+             ->add_source(std::make_shared<info::CommandSource>(probe.keyword, path,
+                                                                stack.registry),
+                          options)
+             .ok()) {
+      return 1;
+    }
+  }
+
+  constexpr int kSamples = 200;
+  for (const Probe& probe : probes) {
+    auto provider = monitor->provider(probe.keyword);
+    for (int i = 0; i < kSamples; ++i) {
+      if (!provider->update_state(true).ok()) return 1;
+      stack.clock.advance(ms(1));
+    }
+  }
+
+  auto record = monitor->performance_record({"all"});
+  if (!record.ok()) return 1;
+
+  std::printf("%-8s | %-12s %-12s | %-12s %-12s %-8s\n", "keyword", "true mean",
+              "true stddev", "meas mean", "meas stddev", "count");
+  bench::rule(76);
+  for (const Probe& probe : probes) {
+    double true_mean_s =
+        static_cast<double>(probe.base_cost.count() + probe.jitter.count()) / 1e6;
+    // Uniform on [0, 2j]: stddev = 2j/sqrt(12).
+    double true_stddev_s =
+        2.0 * static_cast<double>(probe.jitter.count()) / 1e6 / std::sqrt(12.0);
+    auto get = [&](const char* suffix) {
+      const auto* attr = record->find(std::string(probe.keyword) + ":" + suffix);
+      return attr != nullptr ? attr->value : std::string("?");
+    };
+    std::printf("%-8s | %-12.6f %-12.6f | %-12s %-12s %-8s\n", probe.keyword, true_mean_s,
+                true_stddev_s, get("mean_s").c_str(), get("stddev_s").c_str(),
+                get("count").c_str());
+  }
+  std::printf(
+      "\nExpected shape: measured mean within ~1ms of the configured cost (the\n"
+      "cost loop rounds to 1ms slices), stddev reflecting the injected jitter.\n");
+  return 0;
+}

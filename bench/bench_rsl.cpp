@@ -1,0 +1,90 @@
+// E10 — xRSL handling cost: parse / unparse / substitute / typed-request
+// throughput. The paper's protocol replaces LDAP queries with RSL parsing
+// on every request, so the parser is on the service's critical path.
+#include <benchmark/benchmark.h>
+
+#include "rsl/parser.hpp"
+#include "rsl/xrsl.hpp"
+
+namespace {
+
+const char* kSimpleJob = "&(executable=/bin/date)";
+const char* kTypicalRequest =
+    "&(executable=/bin/app)(arguments=a b c)(directory=/home/alice)"
+    "(environment=(HOME /home/alice)(PATH /bin))(count=4)(stdout=out.txt)"
+    "(info=Memory)(info=CPU)(response=cached)(quality=75)(format=xml)";
+const char* kVariableHeavy =
+    "&(rsl_substitution=(BASE /usr/local)(DATA $(BASE)/data))"
+    "(executable=$(BASE)/bin/app)(directory=$(DATA)/run1)"
+    "(arguments=$(DATA)/in $(DATA)/out)";
+
+void BM_ParseSimple(benchmark::State& state) {
+  for (auto _ : state) {
+    auto node = ig::rsl::parse(kSimpleJob);
+    benchmark::DoNotOptimize(node);
+  }
+}
+BENCHMARK(BM_ParseSimple);
+
+void BM_ParseTypical(benchmark::State& state) {
+  for (auto _ : state) {
+    auto node = ig::rsl::parse(kTypicalRequest);
+    benchmark::DoNotOptimize(node);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(std::string(kTypicalRequest).size()));
+}
+BENCHMARK(BM_ParseTypical);
+
+void BM_ParseManyRelations(benchmark::State& state) {
+  std::string text = "&";
+  for (int i = 0; i < state.range(0); ++i) {
+    text += "(attr" + std::to_string(i) + "=value" + std::to_string(i) + ")";
+  }
+  for (auto _ : state) {
+    auto node = ig::rsl::parse(text);
+    benchmark::DoNotOptimize(node);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ParseManyRelations)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_Unparse(benchmark::State& state) {
+  auto node = ig::rsl::parse(kTypicalRequest).value();
+  for (auto _ : state) {
+    auto text = ig::rsl::unparse(node);
+    benchmark::DoNotOptimize(text);
+  }
+}
+BENCHMARK(BM_Unparse);
+
+void BM_Substitute(benchmark::State& state) {
+  auto node = ig::rsl::parse(kVariableHeavy).value();
+  for (auto _ : state) {
+    auto resolved = ig::rsl::substitute(node);
+    benchmark::DoNotOptimize(resolved);
+  }
+}
+BENCHMARK(BM_Substitute);
+
+void BM_TypedRequestFromText(benchmark::State& state) {
+  // The full service-side path: parse + substitute + validate.
+  for (auto _ : state) {
+    auto request = ig::rsl::XrslRequest::parse(kTypicalRequest);
+    benchmark::DoNotOptimize(request);
+  }
+}
+BENCHMARK(BM_TypedRequestFromText);
+
+void BM_RequestToRslRoundtrip(benchmark::State& state) {
+  auto request = ig::rsl::XrslRequest::parse(kTypicalRequest).value();
+  for (auto _ : state) {
+    auto text = request.to_rsl();
+    benchmark::DoNotOptimize(text);
+  }
+}
+BENCHMARK(BM_RequestToRslRoundtrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// Ablation — the commodity-protocol trade-off (paper Sec. 5.4: "Future
+// activities will include the integration of commodity protocols (such as
+// SOAP) to provide interoperability to Web services and greater
+// acceptance outside of the Grid community").
+//
+// The same operations through the native xRSL protocol and through the
+// SOAP gateway, comparing bytes on the wire and modeled network time per
+// operation. Expected shape: SOAP costs a constant envelope overhead per
+// message — significant for small queries, amortized for large payloads.
+#include "bench_util.hpp"
+
+#include "exec/fork_backend.hpp"
+#include "soap/gateway.hpp"
+
+using namespace ig;  // NOLINT
+
+int main() {
+  bench::Stack stack(808);
+  auto monitor = stack.table1_monitor("soap.sim");
+  auto backend = std::make_shared<exec::ForkBackend>(stack.registry, stack.clock);
+  core::InfoGramConfig config;
+  config.host = "soap.sim";
+  core::InfoGramService service(monitor, backend, stack.host_cred, &stack.trust,
+                                &stack.gridmap, &stack.policy, &stack.clock, stack.logger,
+                                config);
+  if (!service.start(stack.network).ok()) return 1;
+  soap::SoapGateway gateway(service, stack.host_cred, &stack.trust, &stack.gridmap,
+                            &stack.clock);
+  if (!gateway.start(stack.network).ok()) return 1;
+
+  bench::header("Ablation / SOAP gateway vs native xRSL protocol (50 ops each)");
+  std::printf("%-24s | %-10s %-12s | %-10s %-12s | %s\n", "operation", "native B/op",
+              "net us/op", "soap B/op", "net us/op", "byte ratio");
+  bench::rule(92);
+
+  constexpr int kOps = 50;
+  struct Workload {
+    const char* label;
+    std::function<bool(core::InfoGramClient&)> native;
+    std::function<bool(soap::SoapClient&)> soap;
+  };
+  const Workload workloads[] = {
+      {"query one keyword",
+       [](core::InfoGramClient& c) { return c.query_info({"CPULoad"}).ok(); },
+       [](soap::SoapClient& c) { return c.query_info({"CPULoad"}).ok(); }},
+      {"query all keywords",
+       [](core::InfoGramClient& c) { return c.query_info({"all"}).ok(); },
+       [](soap::SoapClient& c) {
+         return c.query_info({"Date", "Memory", "CPU", "CPULoad", "list"}).ok();
+       }},
+      {"submit + wait job",
+       [](core::InfoGramClient& c) {
+         auto contact = c.request("&(executable=/bin/echo)(arguments=x)");
+         return contact.ok() && contact->job_contact &&
+                c.wait(*contact->job_contact, seconds(30)).ok();
+       },
+       [](soap::SoapClient& c) {
+         auto contact = c.submit_job("&(executable=/bin/echo)(arguments=x)");
+         return contact.ok() && c.wait(*contact, seconds(30)).ok();
+       }},
+  };
+
+  for (const Workload& workload : workloads) {
+    core::InfoGramClient native(stack.network, service.address(), stack.user, stack.trust,
+                                stack.clock);
+    soap::SoapClient soap_client(stack.network, gateway.address(), stack.user, stack.trust,
+                                 stack.clock);
+    for (int i = 0; i < kOps; ++i) {
+      if (!workload.native(native) || !workload.soap(soap_client)) return 1;
+      stack.clock.advance(ms(10));
+    }
+    auto n = native.stats();
+    auto s = soap_client.stats();
+    double n_bytes = static_cast<double>(n.bytes_sent + n.bytes_received) / kOps;
+    double s_bytes = static_cast<double>(s.bytes_sent + s.bytes_received) / kOps;
+    std::printf("%-24s | %-10.0f %-12.1f | %-10.0f %-12.1f | %.2fx\n", workload.label,
+                n_bytes, static_cast<double>(n.virtual_time.count()) / kOps, s_bytes,
+                static_cast<double>(s.virtual_time.count()) / kOps, s_bytes / n_bytes);
+  }
+  std::printf(
+      "\nExpected shape: SOAP adds a few hundred bytes of envelope per message;\n"
+      "the relative penalty is largest for the smallest operations.\n");
+  return 0;
+}

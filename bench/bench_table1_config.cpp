@@ -1,0 +1,50 @@
+// E1 — Table 1 of the paper: "The InfoGram configuration file provides a
+// mapping between keywords and information providers."
+//
+// Regenerates the table and verifies every row is live: the keyword
+// resolves to an installed command, executes, and yields attributes. Also
+// demonstrates the TTL semantics per row (0 = execute every time).
+#include "bench_util.hpp"
+
+using namespace ig;  // NOLINT
+
+int main() {
+  bench::Stack stack;
+  auto config = core::Configuration::table1();
+  auto monitor = stack.table1_monitor();
+
+  bench::header("E1 / Table 1: keyword -> information provider mapping");
+  std::printf("%-8s %-9s %-30s %-6s %-10s\n", "TTL(ms)", "Keyword", "Command", "attrs",
+              "exec(ms)");
+  bench::rule();
+
+  for (const auto& kw : config.keywords()) {
+    auto provider = monitor->provider(kw.keyword);
+    auto before = stack.clock.now();
+    auto record = provider->update_state(true);
+    double exec_ms = static_cast<double>((stack.clock.now() - before).count()) / 1000.0;
+    std::printf("%-8lld %-9s %-30s %-6zu %-10.1f\n",
+                static_cast<long long>(kw.ttl.count() / 1000), kw.keyword.c_str(),
+                kw.command_line.c_str(), record.ok() ? record->attributes.size() : 0,
+                exec_ms);
+    if (!record.ok()) {
+      std::fprintf(stderr, "FAILED: %s\n", record.error().to_string().c_str());
+      return 1;
+    }
+  }
+
+  bench::header("TTL semantics per row: executions for 5 back-to-back cached queries");
+  std::printf("%-9s %-8s %-12s\n", "Keyword", "TTL(ms)", "executions");
+  bench::rule(40);
+  for (const auto& kw : config.keywords()) {
+    auto provider = monitor->provider(kw.keyword);
+    auto before = provider->refresh_count();
+    for (int i = 0; i < 5; ++i) (void)provider->get(rsl::ResponseMode::kCached);
+    std::printf("%-9s %-8lld %llu\n", kw.keyword.c_str(),
+                static_cast<long long>(kw.ttl.count() / 1000),
+                static_cast<unsigned long long>(provider->refresh_count() - before));
+  }
+  std::printf("\nExpected shape: TTL=0 rows execute on every query; TTL>0 rows at most "
+              "once while fresh.\n");
+  return 0;
+}

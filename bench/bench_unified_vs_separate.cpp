@@ -1,0 +1,117 @@
+// E2 — Fig. 2 vs Fig. 4: "The new InfoGram service reduces the number of
+// protocols and components in a Grid."
+//
+// Runs the same mixed workload (per round: one information query, one job
+// submission, one wait) against the classic GRAM+GRIS deployment and the
+// unified InfoGram deployment, sweeping the number of rounds, and reports
+// connections, security handshakes, round trips, bytes and virtual network
+// time. Expected shape: InfoGram needs half the connections/handshakes and
+// fewer round trips (the combined request folds query+submit into one).
+#include "bench_util.hpp"
+#include "exec/batch_backend.hpp"
+#include "gram/service.hpp"
+#include "mds/filter.hpp"
+#include "mds/service.hpp"
+
+using namespace ig;  // NOLINT
+
+namespace {
+
+struct Row {
+  int rounds;
+  net::TrafficStats separate;
+  net::TrafficStats unified;
+};
+
+}  // namespace
+
+int main() {
+  bench::header("E2 / Fig.2 vs Fig.4: two services vs one unified endpoint");
+  std::vector<Row> rows;
+
+  for (int rounds : {1, 5, 20, 50}) {
+    bench::Stack stack(1000 + static_cast<std::uint64_t>(rounds));
+    auto backend = std::make_shared<exec::ForkBackend>(stack.registry, stack.clock);
+
+    // Classic deployment: GRAM on :2119, GRIS behind MDS on :2136.
+    auto gram_monitor = stack.table1_monitor("classic.sim");
+    gram::GramConfig gram_config;
+    gram_config.host = "classic.sim";
+    gram::GramService gram_service(backend, stack.host_cred, &stack.trust, &stack.gridmap,
+                                   &stack.policy, &stack.clock, stack.logger, gram_config);
+    if (!gram_service.start(stack.network).ok()) return 1;
+    auto gris = std::make_shared<mds::Gris>(gram_monitor, "classic.sim", stack.clock);
+    mds::MdsService mds_service(gris, stack.host_cred, &stack.trust, &stack.clock,
+                                stack.logger);
+    if (!mds_service.start(stack.network, {"classic.sim", 2136}).ok()) return 1;
+
+    // Unified deployment.
+    auto unified_monitor = stack.table1_monitor("unified.sim");
+    core::InfoGramConfig ig_config;
+    ig_config.host = "unified.sim";
+    core::InfoGramService infogram(unified_monitor, backend, stack.host_cred, &stack.trust,
+                                   &stack.gridmap, &stack.policy, &stack.clock,
+                                   stack.logger, ig_config);
+    if (!infogram.start(stack.network).ok()) return 1;
+
+    Row row;
+    row.rounds = rounds;
+
+    {  // Fig. 2 run
+      gram::GramClient gram_client(stack.network, gram_service.address(), stack.user,
+                                   stack.trust, stack.clock);
+      mds::MdsClient mds_client(stack.network, {"classic.sim", 2136}, stack.user,
+                                stack.trust, stack.clock);
+      auto filter = mds::Filter::parse("(kw=CPULoad)").value();
+      for (int i = 0; i < rounds; ++i) {
+        if (!mds_client.search("o=Grid", mds::Scope::kSubtree, filter).ok()) return 1;
+        auto contact = gram_client.submit("&(executable=/bin/echo)(arguments=x)");
+        if (!contact.ok()) return 1;
+        if (!gram_client.wait(*contact, seconds(30)).ok()) return 1;
+        stack.clock.advance(ms(100));
+      }
+      row.separate = gram_client.stats();
+      row.separate.merge(mds_client.stats());
+    }
+    {  // Fig. 4 run
+      core::InfoGramClient client(stack.network, infogram.address(), stack.user,
+                                  stack.trust, stack.clock);
+      for (int i = 0; i < rounds; ++i) {
+        auto resp =
+            client.request("&(executable=/bin/echo)(arguments=x)(info=CPULoad)");
+        if (!resp.ok() || !resp->job_contact) return 1;
+        if (!client.wait(*resp->job_contact, seconds(30)).ok()) return 1;
+        stack.clock.advance(ms(100));
+      }
+      row.unified = client.stats();
+    }
+    rows.push_back(row);
+  }
+
+  std::printf("%-7s | %-34s | %-34s\n", "", "Fig.2: GRAM + MDS (2 protocols)",
+              "Fig.4: InfoGram (1 protocol)");
+  std::printf("%-7s | %5s %5s %8s %9s | %5s %5s %8s %9s | %s\n", "rounds", "conn",
+              "rtrip", "bytes", "net(ms)", "conn", "rtrip", "bytes", "net(ms)",
+              "rtrip ratio");
+  bench::rule(110);
+  for (const auto& row : rows) {
+    double ratio = static_cast<double>(row.separate.requests) /
+                   static_cast<double>(row.unified.requests);
+    std::printf(
+        "%-7d | %5llu %5llu %8llu %9.2f | %5llu %5llu %8llu %9.2f | %.2fx\n", row.rounds,
+        static_cast<unsigned long long>(row.separate.connects),
+        static_cast<unsigned long long>(row.separate.requests),
+        static_cast<unsigned long long>(row.separate.bytes_sent +
+                                        row.separate.bytes_received),
+        static_cast<double>(row.separate.virtual_time.count()) / 1000.0,
+        static_cast<unsigned long long>(row.unified.connects),
+        static_cast<unsigned long long>(row.unified.requests),
+        static_cast<unsigned long long>(row.unified.bytes_sent +
+                                        row.unified.bytes_received),
+        static_cast<double>(row.unified.virtual_time.count()) / 1000.0, ratio);
+  }
+  std::printf(
+      "\nExpected shape: InfoGram uses half the connections and handshakes, and\n"
+      "~1.5x fewer round trips (query+submit fold into one request per round).\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Shared setup for the experiment harnesses: a full simulated stack
+// (clock, network, PKI, host, registry) plus table-printing helpers.
+// Each bench binary regenerates one experiment from DESIGN.md / EXPERIMENTS.md.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/config.hpp"
+#include "core/infogram_client.hpp"
+#include "core/infogram_service.hpp"
+#include "exec/fork_backend.hpp"
+#include "logging/log.hpp"
+
+namespace ig::bench {
+
+/// One simulated grid host with security fabric, ready to run services.
+struct Stack {
+  VirtualClock clock{seconds(1000)};
+  net::Network network;
+  std::unique_ptr<security::CertificateAuthority> ca;
+  security::TrustStore trust;
+  security::GridMap gridmap;
+  security::AuthorizationPolicy policy{security::Decision::kAllow};
+  security::Credential user;
+  security::Credential host_cred;
+  std::shared_ptr<logging::Logger> logger;
+  std::shared_ptr<logging::MemorySink> log_sink;
+  std::shared_ptr<exec::SimSystem> system;
+  std::shared_ptr<exec::CommandRegistry> registry;
+
+  explicit Stack(std::uint64_t seed = 97, const std::string& host = "bench.sim") {
+    ca = std::make_unique<security::CertificateAuthority>(
+        "/O=Grid/CN=Bench CA", seconds(365LL * 86400), clock, seed);
+    trust.add_root(ca->root_certificate());
+    user = ca->issue("/O=Grid/CN=bench", security::CertType::kUser, seconds(864000));
+    host_cred = ca->issue("/O=Grid/CN=host/" + host, security::CertType::kHost,
+                          seconds(365LL * 86400));
+    gridmap.add("/O=Grid/CN=bench", "bench");
+    logger = std::make_shared<logging::Logger>(clock);
+    log_sink = std::make_shared<logging::MemorySink>();
+    logger->add_sink(log_sink);
+    system = std::make_shared<exec::SimSystem>(clock, seed ^ 0xabc, host);
+    registry = exec::CommandRegistry::standard(clock, system, seed ^ 0xdef);
+  }
+
+  /// Monitor loaded with the paper's Table 1 configuration.
+  std::shared_ptr<info::SystemMonitor> table1_monitor(const std::string& host = "bench.sim") {
+    auto monitor = std::make_shared<info::SystemMonitor>(clock, host);
+    auto status = core::Configuration::table1().apply(*monitor, registry);
+    if (!status.ok()) {
+      std::fprintf(stderr, "table1 apply failed: %s\n", status.to_string().c_str());
+      std::abort();
+    }
+    return monitor;
+  }
+};
+
+inline void header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void rule(int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace ig::bench

@@ -1,0 +1,202 @@
+// igsh — the command-line face of InfoGram (paper Sec. 2: "Simple tools
+// are available to access the basic functionality also from the command
+// line", i.e. the globusrun / grid-info-search pair — here unified).
+//
+// The tool provisions a small in-process demo grid (two InfoGram nodes)
+// and executes the commands given on argv against it:
+//
+//   igsh query  '(info=Memory)(info=CPULoad)'   # grid-info-search role
+//   igsh submit '&(executable=/bin/echo)(arguments=hi)'   # globusrun role
+//   igsh schema                                  # service reflection
+//   igsh loads                                   # broker view of the VO
+//   igsh accounting                              # per-user usage from the log
+//
+// With no arguments it runs a demonstration transcript of all of them.
+#include <cstdio>
+#include <vector>
+
+#include "grid/broker.hpp"
+#include "grid/virtual_organization.hpp"
+#include "mds/search_engine.hpp"
+
+using namespace ig;  // NOLINT
+
+namespace {
+
+struct Shell {
+  VirtualClock clock{seconds(1000)};
+  net::Network network;
+  grid::VirtualOrganization vo{"igsh-demo", network, clock, 4242};
+  security::Credential user;
+  grid::LoadAwareBroker broker;
+  std::unique_ptr<core::InfoGramClient> client;  // node0
+
+  Shell() {
+    user = vo.enroll_user("cli-user", "cli");
+    for (int i = 0; i < 2; ++i) {
+      grid::ResourceOptions options;
+      options.host = "node" + std::to_string(i) + ".demo";
+      options.seed = 42 + static_cast<std::uint64_t>(i) * 19;
+      if (!vo.add_resource(options).ok()) std::abort();
+    }
+    for (const auto& resource : vo.resources()) {
+      broker.add_resource(resource->host(),
+                          std::make_shared<core::InfoGramClient>(
+                              network, resource->infogram_address(), user, vo.trust(),
+                              clock));
+    }
+    client = std::make_unique<core::InfoGramClient>(
+        network, vo.resources().front()->infogram_address(), user, vo.trust(), clock);
+  }
+
+  int query(const std::string& xrsl) {
+    auto resp = client->request(xrsl);
+    if (!resp.ok()) {
+      std::fprintf(stderr, "igsh: query failed: %s\n", resp.error().to_string().c_str());
+      return 1;
+    }
+    std::printf("%s", resp->payload.c_str());
+    return 0;
+  }
+
+  int submit(const std::string& xrsl) {
+    auto resp = client->request(xrsl);
+    if (!resp.ok() || resp->job_contacts.empty()) {
+      std::fprintf(stderr, "igsh: submit failed: %s\n",
+                   resp.ok() ? "no job in request" : resp.error().to_string().c_str());
+      return 1;
+    }
+    int rc = 0;
+    for (const auto& contact : resp->job_contacts) {
+      std::printf("contact: %s\n", contact.c_str());
+      auto status = client->wait(contact, seconds(60));
+      if (!status.ok()) {
+        std::fprintf(stderr, "igsh: wait failed: %s\n", status.error().to_string().c_str());
+        rc = 1;
+        continue;
+      }
+      std::printf("state: %s (exit %d, restarts %d)\n",
+                  std::string(to_string(status->state)).c_str(), status->exit_code,
+                  status->restarts);
+      auto output = client->job_output(contact);
+      if (output.ok() && !output->empty()) std::printf("%s", output->c_str());
+      if (status->state != exec::JobState::kDone) rc = 1;
+    }
+    return rc;
+  }
+
+  int schema() {
+    auto schema = client->fetch_schema();
+    if (!schema.ok()) {
+      std::fprintf(stderr, "igsh: schema failed: %s\n", schema.error().to_string().c_str());
+      return 1;
+    }
+    std::printf("%s", schema->to_xml().c_str());
+    return 0;
+  }
+
+  int find(const std::string& query) {
+    // Google-like search (paper Sec. 3) over the VO-wide GIIS.
+    auto hits = mds::keyword_search(*vo.giis(), query);
+    if (!hits.ok()) {
+      std::fprintf(stderr, "igsh: find failed: %s\n", hits.error().to_string().c_str());
+      return 1;
+    }
+    for (const auto& hit : hits.value()) {
+      std::printf("%6.1f  %s\n", hit.score, hit.entry.dn.c_str());
+    }
+    if (hits->empty()) std::printf("no matches\n");
+    return 0;
+  }
+
+  int loads() {
+    auto loads = broker.loads();
+    if (!loads.ok()) {
+      std::fprintf(stderr, "igsh: loads failed: %s\n", loads.error().to_string().c_str());
+      return 1;
+    }
+    for (const auto& [host, load] : loads.value()) {
+      std::printf("%-16s load=%.3f\n", host.c_str(), load);
+    }
+    return 0;
+  }
+
+  int accounting(const logging::MemorySink& sink) {
+    auto summary = logging::accounting_summary(sink.events());
+    std::printf("%-40s %8s %8s %8s %8s\n", "user", "subm", "done", "failed", "queries");
+    for (const auto& [user_dn, entry] : summary) {
+      if (user_dn.empty()) continue;
+      std::printf("%-40s %8llu %8llu %8llu %8llu\n", user_dn.c_str(),
+                  static_cast<unsigned long long>(entry.jobs_submitted),
+                  static_cast<unsigned long long>(entry.jobs_completed),
+                  static_cast<unsigned long long>(entry.jobs_failed),
+                  static_cast<unsigned long long>(entry.info_queries));
+    }
+    return 0;
+  }
+};
+
+void usage() {
+  std::printf(
+      "usage: igsh <command> [arg]\n"
+      "  query <xrsl>    information query, e.g. '(info=Memory)(format=xml)'\n"
+      "  submit <xrsl>   job submission, e.g. '&(executable=/bin/echo)(arguments=hi)'\n"
+      "  schema          service reflection (info=schema)\n"
+      "  find <words>    google-like keyword search over the VO directory\n"
+      "  loads           CPU load of every VO resource\n"
+      "  accounting      per-user usage summary from the service log\n"
+      "with no arguments: run a demo transcript of all commands\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Shell shell;
+  auto sink = std::make_shared<logging::MemorySink>();
+  shell.vo.logger()->add_sink(sink);
+
+  if (argc >= 2) {
+    std::string command = argv[1];
+    std::string arg = argc >= 3 ? argv[2] : "";
+    if (command == "query" && !arg.empty()) return shell.query(arg);
+    if (command == "submit" && !arg.empty()) return shell.submit(arg);
+    if (command == "find" && !arg.empty()) return shell.find(arg);
+    if (command == "schema") return shell.schema();
+    if (command == "loads") return shell.loads();
+    if (command == "accounting") return shell.accounting(*sink);
+    usage();
+    return 2;
+  }
+
+  // Demo transcript.
+  std::printf("$ igsh loads\n");
+  (void)shell.loads();
+  std::printf("\n$ igsh query '(info=Memory)(info=CPULoad)'\n");
+  (void)shell.query("(info=Memory)(info=CPULoad)");
+  std::printf("\n$ igsh submit '&(executable=/bin/echo)(arguments=hello from igsh)'\n");
+  (void)shell.submit("&(executable=/bin/echo)(arguments=hello from igsh)");
+  std::printf(
+      "\n$ igsh submit '+(&(executable=/bin/echo)(arguments=a))"
+      "(&(executable=/bin/echo)(arguments=b))'\n");
+  (void)shell.submit(
+      "+(&(executable=/bin/echo)(arguments=a))(&(executable=/bin/echo)(arguments=b))");
+  std::printf("\n$ igsh schema   (first 10 lines)\n");
+  {
+    auto schema = shell.client->fetch_schema();
+    if (schema.ok()) {
+      std::string xml = schema->to_xml();
+      std::size_t pos = 0;
+      for (int line = 0; line < 10 && pos < xml.size(); ++line) {
+        std::size_t eol = xml.find('\n', pos);
+        std::printf("%s\n", xml.substr(pos, eol - pos).c_str());
+        pos = eol + 1;
+      }
+      std::printf("...\n");
+    }
+  }
+  std::printf("\n$ igsh find 'memory node1'\n");
+  (void)shell.find("memory node1");
+  std::printf("\n$ igsh accounting\n");
+  (void)shell.accounting(*sink);
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Sporadic grid (paper Sec. 8): a Grid "created just for a short period of
+// time during sophisticated experiments at synchrotrons or photon sources".
+//
+// A scanning experiment sweeps a focused electron probe over a 2-D field
+// of view; at each point a diffraction pattern must be analyzed. This
+// example provisions a short-lived VO of InfoGram nodes, registers the
+// analysis code as a sandboxed task (the paper's untrusted-jar mechanism),
+// places the per-point jobs with the load-aware broker, and tears the
+// grid down — measuring how quickly the whole thing comes and goes.
+//
+//   ./build/examples/sporadic_grid
+#include <cstdio>
+#include <map>
+
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "grid/broker.hpp"
+#include "grid/virtual_organization.hpp"
+
+using namespace ig;  // NOLINT: example brevity
+
+namespace {
+
+/// The "untrusted analysis code": given scan coordinates, synthesize a
+/// diffraction pattern and report its peak intensity. Charged against the
+/// sandbox budget per pixel.
+Result<std::string> analyze_diffraction(exec::SandboxContext& ctx,
+                                        const std::vector<std::string>& args) {
+  if (args.size() != 2) return Error(ErrorCode::kInvalidArgument, "need x y");
+  auto x = strings::parse_int(args[0]);
+  auto y = strings::parse_int(args[1]);
+  if (!x || !y) return Error(ErrorCode::kInvalidArgument, "bad coordinates");
+  Rng rng(static_cast<std::uint64_t>(*x * 131 + *y));
+  double peak = 0.0;
+  constexpr int kPatternSize = 32;
+  for (int i = 0; i < kPatternSize * kPatternSize; ++i) {
+    if (auto s = ctx.charge(1); !s.ok()) return s.error();
+    double intensity = rng.exponential(1.0) *
+                       (1.0 + 0.5 * std::sin(0.2 * *x) * std::cos(0.2 * *y));
+    peak = std::max(peak, intensity);
+  }
+  return strings::format("peak: %.4f", peak);
+}
+
+}  // namespace
+
+int main() {
+  VirtualClock clock(seconds(1000));
+  net::Network network;
+
+  // --- Provision the sporadic grid: 4 nodes, one call.
+  grid::SporadicGrid::Options options;
+  options.vo_name = "photon-source";
+  options.resources = 4;
+  options.batch_nodes_per_resource = 2;
+  grid::SporadicGrid sporadic(network, clock, options);
+  std::printf("Provisioned %zu InfoGram nodes for VO '%s'\n",
+              sporadic.infogram_addresses().size(), sporadic.vo().name().c_str());
+
+  auto user = sporadic.vo().enroll_user("experimenter", "exp");
+
+  // --- Deploy the analysis "jar" on every node's sandbox.
+  for (const auto& resource : sporadic.vo().resources()) {
+    resource->sandbox()->register_task("diffraction.jar", analyze_diffraction);
+  }
+
+  // --- Broker with quality-gated load information.
+  grid::LoadAwareBroker::Options broker_options;
+  broker_options.load_keyword = "CPULoad";
+  grid::LoadAwareBroker broker(broker_options);
+  for (const auto& resource : sporadic.vo().resources()) {
+    broker.add_resource(resource->host(),
+                        std::make_shared<core::InfoGramClient>(
+                            network, resource->infogram_address(), user,
+                            sporadic.vo().trust(), clock));
+  }
+
+  // --- The scan: an 6x6 field of view, one sandboxed job per point.
+  constexpr int kScan = 6;
+  std::map<std::string, int> placements;
+  std::vector<std::pair<std::string, std::string>> jobs;  // host, contact
+  for (int x = 0; x < kScan; ++x) {
+    for (int y = 0; y < kScan; ++y) {
+      rsl::XrslBuilder builder;
+      builder.executable("diffraction.jar")
+          .job_type("jar")
+          .argument(std::to_string(x))
+          .argument(std::to_string(y));
+      auto placement = broker.submit(builder.request());
+      if (!placement.ok()) {
+        std::fprintf(stderr, "placement failed: %s\n",
+                     placement.error().to_string().c_str());
+        return 1;
+      }
+      ++placements[placement->host];
+      jobs.emplace_back(placement->host, placement->contact);
+      clock.advance(ms(200));  // scan points arrive over time
+    }
+  }
+
+  // --- Collect results.
+  int completed = 0;
+  double max_peak = 0.0;
+  for (const auto& [host, contact] : jobs) {
+    auto* client = broker.client(host);
+    auto status = client->wait(contact, seconds(60));
+    if (status.ok() && status->state == exec::JobState::kDone) {
+      ++completed;
+      auto output = client->job_output(contact);
+      if (output.ok()) {
+        auto value = strings::parse_double(
+            strings::trim(strings::replace_all(*output, "peak:", "")));
+        if (value) max_peak = std::max(max_peak, *value);
+      }
+    }
+  }
+
+  std::printf("Scan complete: %d/%d points analyzed, max peak intensity %.4f\n",
+              completed, kScan * kScan, max_peak);
+  std::printf("Placement distribution (load-aware):\n");
+  for (const auto& [host, count] : placements) {
+    std::printf("  %-24s %d jobs\n", host.c_str(), count);
+  }
+
+  // --- Accounting from the VO log (the paper's "simple Grid accounting").
+  // (The logger only has memory sinks if attached; attach on demand for a
+  // real deployment. Here we report from the broker instead.)
+  std::printf("\nTearing the sporadic grid down...\n");
+  return completed == kScan * kScan ? 0 : 1;
+}

@@ -1,0 +1,34 @@
+#include "common/clock.hpp"
+
+#include <stdexcept>
+#include <thread>
+
+namespace ig {
+
+TimePoint WallClock::now() const {
+  return std::chrono::duration_cast<Duration>(std::chrono::steady_clock::now() - epoch_);
+}
+
+void WallClock::sleep_for(Duration d) {
+  if (d.count() > 0) std::this_thread::sleep_for(d);
+}
+
+WallClock& WallClock::instance() {
+  static WallClock clock;
+  return clock;
+}
+
+void VirtualClock::advance(Duration d) {
+  if (d.count() < 0) throw std::invalid_argument("VirtualClock::advance: negative duration");
+  now_.fetch_add(d.count(), std::memory_order_acq_rel);
+}
+
+void VirtualClock::set(TimePoint t) {
+  auto cur = now_.load(std::memory_order_acquire);
+  while (t.count() >= cur &&
+         !now_.compare_exchange_weak(cur, t.count(), std::memory_order_acq_rel)) {
+  }
+  if (t.count() < cur) throw std::invalid_argument("VirtualClock::set: time went backwards");
+}
+
+}  // namespace ig

@@ -1,0 +1,82 @@
+// Clock abstraction.
+//
+// TTL caching, information degradation and authorization contracts all
+// depend on "now". Services take a Clock& so production code runs on the
+// wall clock while tests and benchmarks drive a VirtualClock by hand,
+// making every time-dependent behaviour deterministic.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace ig {
+
+/// Time since an arbitrary epoch, in microseconds. All InfoGram timestamps
+/// (cache entries, certificates, logs) use this unit.
+using Duration = std::chrono::microseconds;
+using TimePoint = Duration;  // offset from the clock's epoch
+
+constexpr Duration us(std::int64_t v) { return Duration(v); }
+constexpr Duration ms(std::int64_t v) { return Duration(v * 1000); }
+constexpr Duration seconds(std::int64_t v) { return Duration(v * 1000000); }
+
+/// Source of time. Implementations must be thread-safe.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current time as an offset from the clock's epoch.
+  virtual TimePoint now() const = 0;
+
+  /// Block (or virtually advance) for `d`.
+  virtual void sleep_for(Duration d) = 0;
+};
+
+/// Real time. `now()` is monotonic, measured from process-local epoch.
+class WallClock final : public Clock {
+ public:
+  TimePoint now() const override;
+  void sleep_for(Duration d) override;
+
+  /// Process-wide instance, shared by services that are not handed a clock.
+  static WallClock& instance();
+
+ private:
+  std::chrono::steady_clock::time_point epoch_ = std::chrono::steady_clock::now();
+};
+
+/// Manually-advanced time for tests and simulation. sleep_for() advances
+/// the clock rather than blocking, so simulated waits are free.
+class VirtualClock final : public Clock {
+ public:
+  explicit VirtualClock(TimePoint start = TimePoint(0)) : now_(start.count()) {}
+
+  TimePoint now() const override { return TimePoint(now_.load(std::memory_order_acquire)); }
+
+  void sleep_for(Duration d) override { advance(d); }
+
+  /// Move time forward; wakes any wait_until() sleepers that became due.
+  void advance(Duration d);
+
+  /// Set the absolute time (must not go backwards).
+  void set(TimePoint t);
+
+ private:
+  std::atomic<std::int64_t> now_;
+};
+
+/// RAII timer measuring elapsed time on a given clock.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(const Clock& clock) : clock_(clock), start_(clock.now()) {}
+  Duration elapsed() const { return clock_.now() - start_; }
+
+ private:
+  const Clock& clock_;
+  TimePoint start_;
+};
+
+}  // namespace ig

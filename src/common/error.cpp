@@ -1,0 +1,42 @@
+#include "common/error.hpp"
+
+namespace ig {
+
+std::string_view to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kParseError:
+      return "parse_error";
+    case ErrorCode::kNotFound:
+      return "not_found";
+    case ErrorCode::kStale:
+      return "stale";
+    case ErrorCode::kDenied:
+      return "denied";
+    case ErrorCode::kTimeout:
+      return "timeout";
+    case ErrorCode::kUnavailable:
+      return "unavailable";
+    case ErrorCode::kInvalidArgument:
+      return "invalid_argument";
+    case ErrorCode::kAlreadyExists:
+      return "already_exists";
+    case ErrorCode::kCancelled:
+      return "cancelled";
+    case ErrorCode::kIoError:
+      return "io_error";
+    case ErrorCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Error::to_string() const {
+  std::string out(ig::to_string(code));
+  if (!message.empty()) {
+    out += ": ";
+    out += message;
+  }
+  return out;
+}
+
+}  // namespace ig

@@ -1,0 +1,116 @@
+// Error and Result types used throughout the InfoGram libraries.
+//
+// Services in this codebase communicate failure as values, not exceptions:
+// a remote peer's failure is data to the caller, exactly as a wire protocol
+// would deliver it. Result<T> is a small expected-like wrapper.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace ig {
+
+/// Failure categories shared by every InfoGram subsystem.
+enum class ErrorCode {
+  kParseError,       ///< malformed RSL, filter, config or protocol message
+  kNotFound,         ///< unknown keyword, job handle, DN, endpoint, ...
+  kStale,            ///< cached information expired (queryState past TTL)
+  kDenied,           ///< authentication/authorization failure
+  kTimeout,          ///< operation exceeded its deadline
+  kUnavailable,      ///< endpoint not listening / service shut down
+  kInvalidArgument,  ///< caller error detectable before any side effect
+  kAlreadyExists,    ///< duplicate registration
+  kCancelled,        ///< job or request cancelled
+  kIoError,          ///< file or (simulated) network transfer failure
+  kInternal,         ///< invariant violation inside a service
+};
+
+/// Human-readable name of an error code ("denied", "stale", ...).
+std::string_view to_string(ErrorCode code);
+
+/// An error value: a category plus a message suitable for logs and clients.
+struct Error {
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+
+  Error() = default;
+  Error(ErrorCode c, std::string msg) : code(c), message(std::move(msg)) {}
+
+  /// "denied: no gridmap entry for /O=Grid/CN=alice"
+  std::string to_string() const;
+
+  friend bool operator==(const Error& a, const Error& b) {
+    return a.code == b.code && a.message == b.message;
+  }
+};
+
+/// Either a value of type T or an Error. Modeled on std::expected (C++23),
+/// reduced to what the codebase needs.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Error error) : data_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+  Result(ErrorCode code, std::string msg) : data_(Error(code, std::move(msg))) {}
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(data_);
+  }
+  ErrorCode code() const { return error().code; }
+
+  /// Value if present, otherwise `fallback`.
+  T value_or(T fallback) const& { return ok() ? value() : std::move(fallback); }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+/// Result<void> analogue: success or an Error.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // success
+  Status(Error error) : error_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+  Status(ErrorCode code, std::string msg) : error_(Error(code, std::move(msg))) {}
+
+  static Status success() { return Status(); }
+
+  bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const Error& error() const {
+    assert(!ok());
+    return *error_;
+  }
+  ErrorCode code() const { return error().code; }
+  std::string to_string() const { return ok() ? "ok" : error().to_string(); }
+
+ private:
+  std::optional<Error> error_;
+};
+
+}  // namespace ig

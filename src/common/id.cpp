@@ -1,0 +1,36 @@
+#include "common/id.hpp"
+
+#include "common/strings.hpp"
+
+namespace ig {
+
+std::uint64_t IdGenerator::next() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+std::string IdGenerator::job_contact(const std::string& host, int port, std::uint64_t job_id) {
+  return strings::format("https://%s:%d/jobmanager/%llu", host.c_str(), port,
+                         static_cast<unsigned long long>(job_id));
+}
+
+std::uint64_t fnv1a(const std::string& data, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string to_hex(std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+}  // namespace ig

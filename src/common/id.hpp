@@ -1,0 +1,29 @@
+// Identifier generation: job handles ("GlobusID" contact strings in the
+// paper), endpoint addresses, and session ids.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace ig {
+
+/// Process-wide monotonically increasing id source.
+class IdGenerator {
+ public:
+  /// Next unique integer id (1-based).
+  static std::uint64_t next();
+
+  /// A GRAM-style job contact string, e.g.
+  /// "https://hot.mcs.anl.gov:8443/jobmanager/17".
+  static std::string job_contact(const std::string& host, int port, std::uint64_t job_id);
+};
+
+/// Non-cryptographic 64-bit FNV-1a hash. Used by the simulated PKI as the
+/// stand-in for a signature digest (see DESIGN.md substitutions).
+std::uint64_t fnv1a(const std::string& data, std::uint64_t seed = 0xcbf29ce484222325ULL);
+
+/// Hex rendering of a 64-bit value, zero-padded to 16 chars.
+std::string to_hex(std::uint64_t v);
+
+}  // namespace ig

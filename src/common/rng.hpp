@@ -1,0 +1,37 @@
+// Seedable RNG for the simulated substrate (command outputs, network
+// latency jitter, workloads). Deterministic by construction: the same seed
+// reproduces the same experiment, which the benchmarks rely on.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+
+namespace ig {
+
+/// xoshiro256** by Blackman & Vigna, seeded via splitmix64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  std::uint64_t next();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  /// Standard normal via Box-Muller.
+  double normal(double mean = 0.0, double stddev = 1.0);
+  /// Exponential with rate lambda (>0).
+  double exponential(double lambda);
+  /// Bernoulli trial.
+  bool chance(double p);
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace ig

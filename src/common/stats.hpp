@@ -1,0 +1,67 @@
+// Running statistics (Welford) used for the paper's `performance` tag:
+// InfoGram measures and catalogues, at runtime, the mean and standard
+// deviation of the time each information provider needs to produce a value.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+
+namespace ig {
+
+/// Numerically stable single-pass mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++count_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  std::int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 with fewer than two samples.
+  double variance() const { return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+
+  void reset() { *this = RunningStats(); }
+
+  /// Merge another accumulator into this one (parallel Welford).
+  void merge(const RunningStats& other);
+
+ private:
+  std::int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Thread-safe wrapper around RunningStats.
+class SharedStats {
+ public:
+  void add(double x) {
+    std::lock_guard lock(mu_);
+    stats_.add(x);
+  }
+  RunningStats snapshot() const {
+    std::lock_guard lock(mu_);
+    return stats_;
+  }
+  void reset() {
+    std::lock_guard lock(mu_);
+    stats_.reset();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  RunningStats stats_;
+};
+
+}  // namespace ig

@@ -1,0 +1,43 @@
+// Small string utilities shared by the parsers, formatters and protocols.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ig::strings {
+
+/// Split `s` on every occurrence of `sep`. "a,,b" -> {"a","","b"}.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Split on `sep`, dropping empty fields and trimming whitespace.
+std::vector<std::string> split_fields(std::string_view s, char sep);
+
+std::string_view trim(std::string_view s);
+std::string to_lower(std::string_view s);
+std::string to_upper(std::string_view s);
+
+bool iequals(std::string_view a, std::string_view b);
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+bool contains(std::string_view s, std::string_view needle);
+
+/// Join elements with `sep`: {"a","b"} + "," -> "a,b".
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Strict integer parse of the whole string; nullopt on any junk.
+std::optional<std::int64_t> parse_int(std::string_view s);
+std::optional<double> parse_double(std::string_view s);
+
+/// Glob match supporting '*' (any run) and '?' (any one char).
+bool glob_match(std::string_view pattern, std::string_view text);
+
+/// Replace every occurrence of `from` (non-empty) with `to`.
+std::string replace_all(std::string_view s, std::string_view from, std::string_view to);
+
+/// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace ig::strings

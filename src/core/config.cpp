@@ -1,0 +1,147 @@
+#include "core/config.hpp"
+
+#include "common/strings.hpp"
+#include "info/degradation.hpp"
+
+namespace ig::core {
+
+Result<Configuration> Configuration::parse(const std::string& text) {
+  Configuration config;
+  int line_no = 0;
+  for (const auto& raw : strings::split(text, '\n')) {
+    ++line_no;
+    auto line = strings::trim(raw);
+    if (line.empty() || line.front() == '#') continue;
+    auto fields = strings::split_fields(line, ' ');
+    if (fields.size() < 3) {
+      return Error(ErrorCode::kParseError,
+                   strings::format("config line %d: expected TTL, keyword, command", line_no));
+    }
+    KeywordConfig kw;
+    auto ttl = strings::parse_int(fields[0]);
+    if (!ttl || *ttl < 0) {
+      return Error(ErrorCode::kParseError,
+                   strings::format("config line %d: bad TTL '%s'", line_no, fields[0].c_str()));
+    }
+    kw.ttl = ms(*ttl);
+    kw.keyword = fields[1];
+    // Remaining fields are the command line, except trailing key=value
+    // options which configure the provider.
+    std::vector<std::string> command_parts;
+    for (std::size_t i = 2; i < fields.size(); ++i) {
+      std::size_t eq = fields[i].find('=');
+      bool is_option = eq != std::string::npos &&
+                       (strings::starts_with(fields[i], "degradation=") ||
+                        strings::starts_with(fields[i], "delay=") ||
+                        strings::starts_with(fields[i], "adaptive_ttl="));
+      if (!is_option) {
+        command_parts.push_back(fields[i]);
+        continue;
+      }
+      std::string key = fields[i].substr(0, eq);
+      std::string value = fields[i].substr(eq + 1);
+      if (key == "degradation") {
+        if (info::make_degradation(value) == nullptr) {
+          return Error(ErrorCode::kParseError,
+                       strings::format("config line %d: unknown degradation '%s'", line_no,
+                                       value.c_str()));
+        }
+        kw.degradation = value;
+      } else if (key == "delay") {
+        auto d = strings::parse_int(value);
+        if (!d || *d < 0) {
+          return Error(ErrorCode::kParseError,
+                       strings::format("config line %d: bad delay", line_no));
+        }
+        kw.delay = ms(*d);
+      } else {  // adaptive_ttl
+        kw.adaptive_ttl = value == "1" || value == "true";
+      }
+    }
+    if (command_parts.empty()) {
+      return Error(ErrorCode::kParseError,
+                   strings::format("config line %d: missing command", line_no));
+    }
+    kw.command_line = strings::join(command_parts, " ");
+    if (config.find(kw.keyword) != nullptr) {
+      return Error(ErrorCode::kParseError,
+                   strings::format("config line %d: duplicate keyword '%s'", line_no,
+                                   kw.keyword.c_str()));
+    }
+    config.keywords_.push_back(std::move(kw));
+  }
+  return config;
+}
+
+Configuration Configuration::table1() {
+  // The exact mapping of the paper's Table 1.
+  auto parsed = parse(
+      "60   Date    date -u\n"
+      "80   Memory  /sbin/sysinfo.exe -mem\n"
+      "100  CPU     /sbin/sysinfo.exe -cpu\n"
+      "0    CPULoad /usr/local/bin/cpuload.exe\n"
+      "1000 list    /bin/ls /home/gregor\n");
+  return parsed.value();
+}
+
+Configuration Configuration::extended() {
+  auto parsed = parse(
+      "60    Date     date -u\n"
+      "80    Memory   /sbin/sysinfo.exe -mem degradation=linear\n"
+      "100   CPU      /sbin/sysinfo.exe -cpu\n"
+      "0     CPULoad  /usr/local/bin/cpuload.exe degradation=observed delay=5\n"
+      "1000  list     /bin/ls /home/gregor\n"
+      "5000  Disk     /bin/df degradation=linear adaptive_ttl=1\n"
+      "500   Network  /sbin/netstat.exe degradation=exponential\n"
+      "200   Uptime   /usr/bin/uptime\n"
+      "60000 Hostname /bin/hostname\n");
+  return parsed.value();
+}
+
+const KeywordConfig* Configuration::find(const std::string& keyword) const {
+  for (const auto& kw : keywords_) {
+    if (kw.keyword == keyword) return &kw;
+  }
+  return nullptr;
+}
+
+void Configuration::add(KeywordConfig config) { keywords_.push_back(std::move(config)); }
+
+std::string Configuration::serialize() const {
+  std::string out = "# TTL(ms) Keyword Command\n";
+  for (const auto& kw : keywords_) {
+    out += strings::format("%lld %s %s", static_cast<long long>(kw.ttl.count() / 1000),
+                           kw.keyword.c_str(), kw.command_line.c_str());
+    if (kw.degradation != "binary") out += " degradation=" + kw.degradation;
+    if (kw.delay.count() > 0) {
+      out += strings::format(" delay=%lld", static_cast<long long>(kw.delay.count() / 1000));
+    }
+    if (kw.adaptive_ttl) out += " adaptive_ttl=1";
+    out += '\n';
+  }
+  return out;
+}
+
+Status Configuration::apply(info::SystemMonitor& monitor,
+                            std::shared_ptr<exec::CommandRegistry> registry) const {
+  for (const auto& kw : keywords_) {
+    auto [path, args] = exec::split_command_line(kw.command_line);
+    if (!registry->contains(path)) {
+      return Error(ErrorCode::kNotFound,
+                   "configured command not installed: " + path + " (keyword " + kw.keyword +
+                       ")");
+    }
+    info::ProviderOptions options;
+    options.ttl = kw.ttl;
+    options.delay = kw.delay;
+    options.degradation = info::make_degradation(kw.degradation);
+    options.adaptive_ttl = kw.adaptive_ttl;
+    auto status = monitor.add_source(
+        std::make_shared<info::CommandSource>(kw.keyword, kw.command_line, registry),
+        std::move(options));
+    if (!status.ok()) return status;
+  }
+  return Status::success();
+}
+
+}  // namespace ig::core

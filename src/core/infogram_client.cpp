@@ -1,0 +1,166 @@
+#include "core/infogram_client.hpp"
+
+#include "common/strings.hpp"
+
+namespace ig::core {
+
+InfoGramClient::InfoGramClient(net::Network& network, net::Address address,
+                               security::Credential credential,
+                               const security::TrustStore& trust, const Clock& clock)
+    : network_(network),
+      address_(std::move(address)),
+      credential_(std::move(credential)),
+      trust_(trust),
+      clock_(clock) {}
+
+Status InfoGramClient::ensure_connected() {
+  if (connection_ != nullptr) return Status::success();
+  auto conn = network_.connect(address_);
+  if (!conn.ok()) return conn.error();
+  connection_ = std::move(conn.value());
+  auto auth = security::authenticate(*connection_, credential_, trust_, clock_);
+  if (!auth.ok()) {
+    closed_stats_.merge(connection_->stats());
+    connection_.reset();
+    return auth.error();
+  }
+  return Status::success();
+}
+
+Result<net::Message> InfoGramClient::roundtrip(const net::Message& request) {
+  if (auto status = ensure_connected(); !status.ok()) return status.error();
+  auto resp = connection_->request(request);
+  if (!resp.ok()) return resp;
+  if (resp->is_error()) return net::Message::to_error(*resp);
+  return resp;
+}
+
+Result<InfoGramResponse> InfoGramClient::request(const std::string& xrsl,
+                                                 const std::string& callback_address) {
+  net::Message req("XRSL", xrsl);
+  if (!callback_address.empty()) req.with("callback", callback_address);
+  auto resp = roundtrip(req);
+  if (!resp.ok()) return resp.error();
+
+  InfoGramResponse out;
+  if (auto contact = resp->header("contact")) out.job_contact = *contact;
+  if (auto contacts = resp->header("contacts")) {
+    out.job_contacts = strings::split_fields(*contacts, ',');
+  } else if (out.job_contact) {
+    out.job_contacts.push_back(*out.job_contact);
+  }
+  out.payload = resp->body;
+  std::string type = resp->header_or("type", "");
+  if (type == "schema") {
+    auto schema = format::ServiceSchema::parse_xml(resp->body);
+    if (!schema.ok()) return schema.error();
+    out.schema = std::move(schema.value());
+  } else if (type == "records") {
+    std::string fmt = resp->header_or("format", "ldif");
+    auto records = fmt == "xml"    ? format::parse_xml(resp->body)
+                   : fmt == "dsml" ? format::parse_dsml(resp->body)
+                                   : format::parse_ldif(resp->body);
+    if (!records.ok()) return records.error();
+    out.records = std::move(records.value());
+  }
+  return out;
+}
+
+Result<InfoGramResponse> InfoGramClient::request(const rsl::XrslRequest& req,
+                                                 const std::string& callback_address) {
+  return request(req.to_rsl(), callback_address);
+}
+
+Result<std::string> InfoGramClient::submit_job(const rsl::XrslRequest& req,
+                                               const std::string& callback_address) {
+  auto resp = request(req, callback_address);
+  if (!resp.ok()) return resp.error();
+  if (!resp->job_contact) {
+    return Error(ErrorCode::kInternal, "submit response carried no job contact");
+  }
+  return *resp->job_contact;
+}
+
+Result<std::vector<format::InfoRecord>> InfoGramClient::query_info(
+    const std::vector<std::string>& keywords, rsl::ResponseMode mode,
+    rsl::OutputFormat format) {
+  rsl::XrslBuilder builder;
+  for (const auto& kw : keywords) builder.info(kw);
+  builder.response(mode).format(format);
+  auto resp = request(builder.request());
+  if (!resp.ok()) return resp.error();
+  return std::move(resp->records);
+}
+
+Result<format::ServiceSchema> InfoGramClient::fetch_schema() {
+  rsl::XrslBuilder builder;
+  builder.schema();
+  auto resp = request(builder.request());
+  if (!resp.ok()) return resp.error();
+  if (!resp->schema) return Error(ErrorCode::kInternal, "schema response missing schema");
+  return std::move(*resp->schema);
+}
+
+namespace {
+Result<gram::GramClient::RemoteStatus> parse_status(const net::Message& resp) {
+  gram::GramClient::RemoteStatus status;
+  auto state = gram::job_state_from_string(resp.header_or("state", ""));
+  if (!state.ok()) return state.error();
+  status.state = state.value();
+  status.exit_code =
+      static_cast<int>(strings::parse_int(resp.header_or("exit_code", "-1")).value_or(-1));
+  status.restarts =
+      static_cast<int>(strings::parse_int(resp.header_or("restarts", "0")).value_or(0));
+  status.timeout_fired = resp.header_or("timeout_fired", "0") == "1";
+  return status;
+}
+}  // namespace
+
+Result<gram::GramClient::RemoteStatus> InfoGramClient::job_status(const std::string& contact) {
+  net::Message req("GRAM_STATUS");
+  req.with("contact", contact);
+  auto resp = roundtrip(req);
+  if (!resp.ok()) return resp.error();
+  return parse_status(*resp);
+}
+
+Result<std::string> InfoGramClient::job_output(const std::string& contact) {
+  net::Message req("GRAM_OUTPUT");
+  req.with("contact", contact);
+  auto resp = roundtrip(req);
+  if (!resp.ok()) return resp.error();
+  return resp->body;
+}
+
+Status InfoGramClient::cancel(const std::string& contact) {
+  net::Message req("GRAM_CANCEL");
+  req.with("contact", contact);
+  auto resp = roundtrip(req);
+  if (!resp.ok()) return resp.error();
+  return Status::success();
+}
+
+Result<gram::GramClient::RemoteStatus> InfoGramClient::wait(const std::string& contact,
+                                                            Duration timeout) {
+  net::Message req("GRAM_WAIT");
+  req.with("contact", contact);
+  req.with("timeout_ms", std::to_string(timeout.count() / 1000));
+  auto resp = roundtrip(req);
+  if (!resp.ok()) return resp.error();
+  return parse_status(*resp);
+}
+
+net::TrafficStats InfoGramClient::stats() const {
+  net::TrafficStats total = closed_stats_;
+  if (connection_ != nullptr) total.merge(connection_->stats());
+  return total;
+}
+
+void InfoGramClient::disconnect() {
+  if (connection_ != nullptr) {
+    closed_stats_.merge(connection_->stats());
+    connection_.reset();
+  }
+}
+
+}  // namespace ig::core

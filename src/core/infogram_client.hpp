@@ -1,0 +1,64 @@
+// Client for an InfoGram service: ONE connection, ONE handshake, ONE
+// protocol for job submission, information queries and combined requests
+// (contrast GramClient + MdsClient, which need one of each).
+#pragma once
+
+#include "core/infogram_service.hpp"
+#include "gram/service.hpp"
+
+namespace ig::core {
+
+/// Parsed response to one xRSL request.
+struct InfoGramResponse {
+  std::optional<std::string> job_contact;  ///< first contact, if any
+  std::vector<std::string> job_contacts;   ///< all contacts (multi-requests)
+  std::string payload;                      ///< raw LDIF/XML text
+  std::vector<format::InfoRecord> records;  ///< parsed from the payload
+  std::optional<format::ServiceSchema> schema;
+};
+
+class InfoGramClient {
+ public:
+  InfoGramClient(net::Network& network, net::Address address,
+                 security::Credential credential, const security::TrustStore& trust,
+                 const Clock& clock);
+
+  /// Send an xRSL request (string or typed). One round trip; the response
+  /// may carry a job contact, information records, a schema, or several.
+  Result<InfoGramResponse> request(const std::string& xrsl,
+                                   const std::string& callback_address = "");
+  Result<InfoGramResponse> request(const rsl::XrslRequest& req,
+                                   const std::string& callback_address = "");
+
+  /// Convenience wrappers over request().
+  Result<std::string> submit_job(const rsl::XrslRequest& req,
+                                 const std::string& callback_address = "");
+  Result<std::vector<format::InfoRecord>> query_info(
+      const std::vector<std::string>& keywords,
+      rsl::ResponseMode mode = rsl::ResponseMode::kCached,
+      rsl::OutputFormat format = rsl::OutputFormat::kLdif);
+  Result<format::ServiceSchema> fetch_schema();
+
+  /// Job management over the same connection and protocol.
+  Result<gram::GramClient::RemoteStatus> job_status(const std::string& contact);
+  Result<std::string> job_output(const std::string& contact);
+  Status cancel(const std::string& contact);
+  Result<gram::GramClient::RemoteStatus> wait(const std::string& contact, Duration timeout);
+
+  net::TrafficStats stats() const;
+  void disconnect();
+
+ private:
+  Status ensure_connected();
+  Result<net::Message> roundtrip(const net::Message& request);
+
+  net::Network& network_;
+  net::Address address_;
+  security::Credential credential_;
+  const security::TrustStore& trust_;
+  const Clock& clock_;
+  std::unique_ptr<net::Connection> connection_;
+  net::TrafficStats closed_stats_;
+};
+
+}  // namespace ig::core

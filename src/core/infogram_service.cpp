@@ -1,0 +1,190 @@
+#include "core/infogram_service.hpp"
+
+#include "common/strings.hpp"
+
+namespace ig::core {
+
+std::string InfoGramResult::payload() const {
+  if (schema) return schema->to_xml();
+  if (records.empty()) return "";
+  switch (format) {
+    case rsl::OutputFormat::kXml:
+      return format::to_xml(records);
+    case rsl::OutputFormat::kDsml:
+      return format::to_dsml(records);
+    case rsl::OutputFormat::kLdif:
+      break;
+  }
+  return format::to_ldif(records);
+}
+
+InfoGramService::InfoGramService(std::shared_ptr<info::SystemMonitor> monitor,
+                                 std::shared_ptr<exec::LocalJobExecution> backend,
+                                 security::Credential credential,
+                                 const security::TrustStore* trust,
+                                 const security::GridMap* gridmap,
+                                 const security::AuthorizationPolicy* policy,
+                                 const Clock* clock,
+                                 std::shared_ptr<logging::Logger> logger,
+                                 InfoGramConfig config)
+    : monitor_(std::move(monitor)),
+      backend_(backend),
+      authenticator_(credential, trust, gridmap, clock),
+      policy_(policy),
+      clock_(clock),
+      logger_(logger),
+      config_(std::move(config)),
+      gram_(std::move(backend), std::move(credential), trust, gridmap, policy, clock,
+            std::move(logger),
+            gram::GramConfig{config_.host, config_.port, config_.max_restarts,
+                             config_.jar_backend}) {}
+
+Status InfoGramService::start(net::Network& network) {
+  network_ = &network;
+  gram_.attach_network(network);  // for callback notifications
+  if (logger_ != nullptr) logger_->log(logging::EventType::kServiceStart, "", "", 0, "infogram");
+  // Note: gram_.start() is never called — the GRAM machinery serves
+  // through *this* endpoint. One port, one protocol.
+  return network.listen(address(),
+                        authenticator_.wrap([this](const net::Message& req,
+                                                   net::Session& session) {
+                          return handle(req, session);
+                        }));
+}
+
+void InfoGramService::stop() {
+  if (logger_ != nullptr) logger_->log(logging::EventType::kServiceStop, "", "", 0, "infogram");
+  if (network_ != nullptr) network_->close(address());
+}
+
+Result<InfoGramResult> InfoGramService::execute(const rsl::XrslRequest& request,
+                                                const std::string& subject,
+                                                const std::string& local_user,
+                                                const std::string& callback_address) {
+  InfoGramResult result;
+  result.format = request.format;
+
+  if (request.is_job()) {
+    // Authorization happens inside the GRAM submit path ("submit" action).
+    // The GRAM machinery needs to see the network for callbacks; it shares
+    // ours.
+    auto contact = gram_.submit_local(request, subject, local_user, callback_address);
+    if (!contact.ok()) return contact.error();
+    result.job_contact = std::move(contact.value());
+  }
+
+  if (request.is_info()) {
+    if (policy_ != nullptr) {
+      auto auth = policy_->authorize(subject, config_.host, "query", clock_->now());
+      if (!auth.ok()) return auth.error();
+    }
+    if (request.wants_schema) {
+      result.schema = monitor_->schema();
+      // Reflection covers the execution half too (paper Sec. 6.5).
+      format::ExecutionSchema exec;
+      exec.backend = backend_ != nullptr ? backend_->name() : "none";
+      exec.jar_supported = config_.jar_backend != nullptr;
+      exec.max_restarts = config_.max_restarts;
+      if (backend_ != nullptr) exec.queues = backend_->queues();
+      result.schema->execution = std::move(exec);
+    }
+    if (!request.info_keys.empty()) {
+      auto records = monitor_->query(request.info_keys, request.response,
+                                     request.quality_threshold, request.filters);
+      if (!records.ok()) return records.error();
+      result.records = std::move(records.value());
+    }
+    if (!request.performance_keys.empty()) {
+      auto perf = monitor_->performance_record(request.performance_keys);
+      if (!perf.ok()) return perf.error();
+      result.records.push_back(std::move(perf.value()));
+    }
+    if (logger_ != nullptr) {
+      logger_->log(logging::EventType::kInfoQuery, subject, local_user, 0,
+                   strings::join(request.info_keys, ","));
+    }
+  }
+  return result;
+}
+
+net::Message InfoGramService::handle(const net::Message& request, net::Session& session) {
+  if (request.verb == "XRSL") return handle_xrsl(request, session);
+  // Protocol backwards compatibility: a legacy GRAM client speaking GRAMP
+  // works against an InfoGram endpoint unchanged (paper: "providing
+  // backwards compatibility by adhering to standard Grid protocols").
+  if (strings::starts_with(request.verb, "GRAM_")) {
+    return gram_.handle(request, session);
+  }
+  return net::Message::error(
+      Error(ErrorCode::kInvalidArgument, "unknown InfoGram verb: " + request.verb));
+}
+
+net::Message InfoGramService::handle_xrsl(const net::Message& request, net::Session& session) {
+  // Multi-requests ('+') dispatch each sub-specification in order; a
+  // plain specification is the single-element case of the same path.
+  auto parsed = rsl::XrslRequest::parse_all(request.body);
+  if (!parsed.ok()) return net::Message::error(parsed.error());
+
+  InfoGramResult combined;
+  std::vector<std::string> contacts;
+  for (const rsl::XrslRequest& req : parsed.value()) {
+    auto result = execute(req, session.authenticated_subject().value_or(""),
+                          session.local_user().value_or(""),
+                          request.header_or("callback", ""));
+    if (!result.ok()) return net::Message::error(result.error());
+    if (result->job_contact) contacts.push_back(*result->job_contact);
+    for (auto& record : result->records) combined.records.push_back(std::move(record));
+    if (result->schema && !combined.schema) combined.schema = std::move(result->schema);
+    combined.format = result->format;
+  }
+
+  net::Message resp = net::Message::ok(combined.payload());
+  if (!contacts.empty()) {
+    combined.job_contact = contacts.front();
+    resp.with("contact", contacts.front());
+    resp.with("contacts", strings::join(contacts, ","));
+  }
+  if (combined.schema) {
+    resp.with("type", "schema");
+  } else if (!combined.records.empty()) {
+    resp.with("type", "records");
+    resp.with("format", std::string(to_string(combined.format)));
+    resp.with("count", std::to_string(combined.records.size()));
+  }
+  return resp;
+}
+
+Result<gram::ManagedJobInfo> InfoGramService::job_info(const std::string& contact) const {
+  return gram_.job_info(contact);
+}
+
+Status InfoGramService::cancel(const std::string& contact) { return gram_.cancel(contact); }
+
+Result<gram::ManagedJobInfo> InfoGramService::wait(const std::string& contact,
+                                                   Duration timeout) const {
+  return gram_.wait(contact, timeout);
+}
+
+Result<std::size_t> InfoGramService::recover_from_log(
+    const std::vector<logging::LogEvent>& events) {
+  auto plan = logging::build_recovery_plan(events);
+  std::size_t recovered = 0;
+  for (const auto& job : plan) {
+    auto request = rsl::XrslRequest::parse(job.rsl);
+    if (!request.ok()) return request.error();
+    if (logger_ != nullptr) {
+      logger_->log(logging::EventType::kJobRestarted, job.subject, job.local_user,
+                   job.job_id, job.rsl);
+    }
+    auto contact = gram_.submit_local(request.value(), job.subject, job.local_user);
+    if (!contact.ok()) return contact.error();
+    ++recovered;
+  }
+  return recovered;
+}
+
+std::shared_ptr<mds::Gris> InfoGramService::make_gris() const {
+  return std::make_shared<mds::Gris>(monitor_, config_.host, *clock_);
+}
+
+}  // namespace ig::core

@@ -1,0 +1,108 @@
+// The InfoGram service (paper Sec. 6): one endpoint, one protocol, for
+// both job execution and information queries.
+//
+// "If we think abstractly about job execution and an information service,
+// we must recognize that they are based on the same principle: a query
+// formulated and submitted to a server followed by a stream of information
+// that returns the result based on the query."
+//
+// The wire protocol has a single request verb, XRSL, whose body is an
+// xRSL specification. Dispatch:
+//   * job attributes present      -> gatekeeper path: authorize ("submit"),
+//     start a JobManager, return the contact;
+//   * info/performance/schema tags -> information path: authorize
+//     ("query"), resolve through the SystemMonitor honouring response /
+//     quality / filter / format tags;
+//   * both at once                 -> both, in one round trip — the
+//     unification the paper is about.
+// Job-management verbs (GRAM_STATUS/OUTPUT/CANCEL/WAIT, GRAM_SUBMIT for
+// protocol backwards compatibility with pure GRAM clients) are served on
+// the same port over the same framed protocol and the same authenticated
+// connection.
+//
+// Restart: the service logs every submission's RSL (checkpoint); after a
+// crash, recover_from_log() resubmits the jobs the log shows incomplete
+// (paper Sec. 6: "the log can be used to restart our InfoGRAM service in
+// case it needs to be restarted").
+#pragma once
+
+#include "core/config.hpp"
+#include "format/dsml.hpp"
+#include "format/ldif.hpp"
+#include "format/xml.hpp"
+#include "gram/service.hpp"
+#include "info/system_monitor.hpp"
+#include "mds/gris.hpp"
+
+namespace ig::core {
+
+struct InfoGramConfig {
+  std::string host = "infogram.sim";
+  int port = 2135;  ///< ONE port for everything (contrast GRAM 2119 + MDS 2135)
+  int max_restarts = 1;
+  std::shared_ptr<exec::LocalJobExecution> jar_backend;
+};
+
+/// What one xRSL request produced.
+struct InfoGramResult {
+  std::optional<std::string> job_contact;
+  std::vector<format::InfoRecord> records;  ///< info + performance records
+  std::optional<format::ServiceSchema> schema;
+  rsl::OutputFormat format = rsl::OutputFormat::kLdif;
+
+  /// Render the information part in the requested format (schema always
+  /// renders as XML — it is hierarchical).
+  std::string payload() const;
+};
+
+class InfoGramService {
+ public:
+  InfoGramService(std::shared_ptr<info::SystemMonitor> monitor,
+                  std::shared_ptr<exec::LocalJobExecution> backend,
+                  security::Credential credential, const security::TrustStore* trust,
+                  const security::GridMap* gridmap,
+                  const security::AuthorizationPolicy* policy, const Clock* clock,
+                  std::shared_ptr<logging::Logger> logger, InfoGramConfig config = {});
+
+  Status start(net::Network& network);
+  void stop();
+  net::Address address() const { return {config_.host, config_.port}; }
+
+  /// Execute an xRSL request in-process (also the recovery path).
+  Result<InfoGramResult> execute(const rsl::XrslRequest& request, const std::string& subject,
+                                 const std::string& local_user,
+                                 const std::string& callback_address = "");
+
+  /// Job-management passthrough (same contacts as the wire protocol).
+  Result<gram::ManagedJobInfo> job_info(const std::string& contact) const;
+  Status cancel(const std::string& contact);
+  Result<gram::ManagedJobInfo> wait(const std::string& contact, Duration timeout) const;
+
+  /// Resubmit every job the log shows as submitted-but-not-terminal.
+  /// Returns the number of jobs recovered.
+  Result<std::size_t> recover_from_log(const std::vector<logging::LogEvent>& events);
+
+  /// Backwards compatibility (paper Sec. 6.6, "Advantages"): expose this
+  /// service's providers as a GRIS so it plugs into the existing MDS.
+  std::shared_ptr<mds::Gris> make_gris() const;
+
+  std::shared_ptr<info::SystemMonitor> monitor() const { return monitor_; }
+
+ private:
+  net::Message handle(const net::Message& request, net::Session& session);
+  net::Message handle_xrsl(const net::Message& request, net::Session& session);
+
+  std::shared_ptr<info::SystemMonitor> monitor_;
+  std::shared_ptr<exec::LocalJobExecution> backend_;  ///< for reflection
+  security::Authenticator authenticator_;
+  const security::AuthorizationPolicy* policy_;
+  const Clock* clock_;
+  std::shared_ptr<logging::Logger> logger_;
+  InfoGramConfig config_;
+  /// The job half reuses the GRAM machinery verbatim — the simplification
+  /// is in the protocol and deployment, not in reinventing execution.
+  gram::GramService gram_;
+  net::Network* network_ = nullptr;
+};
+
+}  // namespace ig::core

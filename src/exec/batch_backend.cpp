@@ -1,0 +1,96 @@
+#include "exec/batch_backend.hpp"
+
+#include <algorithm>
+
+namespace ig::exec {
+
+BatchBackend::BatchBackend(std::shared_ptr<CommandRegistry> registry, const Clock& clock,
+                           BatchConfig config, std::shared_ptr<SimSystem> system)
+    : registry_(std::move(registry)),
+      config_(std::move(config)),
+      system_(std::move(system)),
+      table_(clock) {
+  if (config_.queues.empty()) config_.queues["batch"] = 0;
+  workers_.reserve(static_cast<std::size_t>(config_.nodes));
+  for (int i = 0; i < config_.nodes; ++i) {
+    workers_.emplace_back([this](std::stop_token stop) { worker_loop(stop); });
+  }
+}
+
+BatchBackend::~BatchBackend() {
+  {
+    std::lock_guard lock(queue_mu_);
+    shutting_down_ = true;
+  }
+  for (auto& w : workers_) w.request_stop();
+  queue_cv_.notify_all();
+}
+
+Result<JobId> BatchBackend::submit(const JobRequest& request) {
+  if (request.spec.executable.empty()) {
+    return Error(ErrorCode::kInvalidArgument, "job has no executable");
+  }
+  std::string queue = request.spec.queue.empty() ? config_.queues.begin()->first
+                                                 : request.spec.queue;
+  auto it = config_.queues.find(queue);
+  if (it == config_.queues.end()) {
+    return Error(ErrorCode::kNotFound, "no such queue: " + queue);
+  }
+  JobId id = table_.create(request);
+  {
+    std::lock_guard lock(queue_mu_);
+    queue_.push_back(QueuedJob{id, request, it->second});
+  }
+  queue_cv_.notify_one();
+  return id;
+}
+
+Result<JobStatus> BatchBackend::status(JobId id) const { return table_.status(id); }
+
+Status BatchBackend::cancel(JobId id) {
+  auto status = table_.request_cancel(id);
+  if (status.ok()) {
+    // Drop it from the queue if it had not started.
+    std::lock_guard lock(queue_mu_);
+    std::erase_if(queue_, [id](const QueuedJob& j) { return j.id == id; });
+  }
+  return status;
+}
+
+Result<JobStatus> BatchBackend::wait(JobId id, Duration timeout) {
+  return table_.wait(id, timeout);
+}
+
+std::size_t BatchBackend::queued_jobs() const {
+  std::lock_guard lock(queue_mu_);
+  return queue_.size();
+}
+
+void BatchBackend::worker_loop(const std::stop_token& stop) {
+  while (true) {
+    QueuedJob job;
+    {
+      std::unique_lock lock(queue_mu_);
+      queue_cv_.wait(lock, [&] {
+        return shutting_down_ || stop.stop_requested() || !queue_.empty();
+      });
+      if ((shutting_down_ || stop.stop_requested()) && queue_.empty()) return;
+      if (queue_.empty()) continue;
+      // Highest priority first; FIFO within a priority level.
+      auto best = std::max_element(
+          queue_.begin(), queue_.end(),
+          [](const QueuedJob& a, const QueuedJob& b) { return a.priority < b.priority; });
+      job = std::move(*best);
+      queue_.erase(best);
+    }
+    if (system_ != nullptr && config_.load_per_job > 0.0) {
+      system_->add_load(config_.load_per_job);
+    }
+    run_and_record(*registry_, table_, job.id, job.request);
+    if (system_ != nullptr && config_.load_per_job > 0.0) {
+      system_->add_load(-config_.load_per_job);
+    }
+  }
+}
+
+}  // namespace ig::exec

@@ -1,0 +1,74 @@
+#include "exec/checkpoint.hpp"
+
+#include <fstream>
+
+#include "common/strings.hpp"
+#include "format/ldif.hpp"
+
+namespace ig::exec {
+
+void CheckpointStore::save(const std::string& key, std::string data) {
+  std::lock_guard lock(mu_);
+  entries_[key] = std::move(data);
+}
+
+Result<std::string> CheckpointStore::load(const std::string& key) const {
+  std::lock_guard lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return Error(ErrorCode::kNotFound, "no checkpoint for key: " + key);
+  }
+  return it->second;
+}
+
+void CheckpointStore::erase(const std::string& key) {
+  std::lock_guard lock(mu_);
+  entries_.erase(key);
+}
+
+bool CheckpointStore::contains(const std::string& key) const {
+  std::lock_guard lock(mu_);
+  return entries_.count(key) > 0;
+}
+
+std::size_t CheckpointStore::size() const {
+  std::lock_guard lock(mu_);
+  return entries_.size();
+}
+
+Status CheckpointStore::save_to_file(const std::string& path) const {
+  std::lock_guard lock(mu_);
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Error(ErrorCode::kIoError, "cannot write checkpoint file: " + path);
+  for (const auto& [key, data] : entries_) {
+    out << format::base64_encode(key) << ' ' << format::base64_encode(data) << '\n';
+  }
+  return Status::success();
+}
+
+Result<CheckpointStore> CheckpointStore::load_from_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Error(ErrorCode::kIoError, "cannot open checkpoint file: " + path);
+  CheckpointStore store;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (strings::trim(line).empty()) continue;
+    auto fields = strings::split_fields(line, ' ');
+    if (fields.size() != 2) {
+      return Error(ErrorCode::kParseError,
+                   strings::format("checkpoint file line %d malformed", line_no));
+    }
+    auto key = format::base64_decode(fields[0]);
+    auto data = format::base64_decode(fields[1]);
+    if (!key.ok() || !data.ok()) {
+      return Error(ErrorCode::kParseError,
+                   strings::format("checkpoint file line %d: bad base64", line_no));
+    }
+    store.save(key.value(), std::move(data.value()));
+  }
+  return store;
+}
+
+}  // namespace ig::exec

@@ -1,0 +1,60 @@
+// Application checkpointing (paper Sec. 6: "In the same way it would be
+// possible to use the logging service for check pointing of
+// applications", and Sec. 10: "Improved fault tolerance will allow for
+// automatic restart capabilities enabled through checkpointing").
+//
+// A CheckpointStore keeps the latest progress blob per checkpoint key.
+// Sandboxed tasks save through their SandboxContext (capability-gated);
+// when the job manager restarts a failed job, the re-executed task
+// restores the blob and resumes instead of redoing completed work. The
+// store serializes to a file so checkpoints survive a service restart,
+// mirroring the log-based recovery path.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace ig::exec {
+
+class CheckpointStore {
+ public:
+  CheckpointStore() = default;
+  // Movable despite the internal mutex (locks the source; as with any
+  // move, no other thread may still be using `other`).
+  CheckpointStore(CheckpointStore&& other) noexcept {
+    std::lock_guard lock(other.mu_);
+    entries_ = std::move(other.entries_);
+  }
+  CheckpointStore& operator=(CheckpointStore&& other) noexcept {
+    if (this != &other) {
+      std::scoped_lock lock(mu_, other.mu_);
+      entries_ = std::move(other.entries_);
+    }
+    return *this;
+  }
+
+  /// Save (replace) the checkpoint for `key`.
+  void save(const std::string& key, std::string data);
+
+  /// Latest checkpoint for `key`; kNotFound if none.
+  Result<std::string> load(const std::string& key) const;
+
+  /// Drop a checkpoint (called when the job completes).
+  void erase(const std::string& key);
+
+  bool contains(const std::string& key) const;
+  std::size_t size() const;
+
+  /// Persistence across service restarts (line-oriented, base64 values).
+  Status save_to_file(const std::string& path) const;
+  static Result<CheckpointStore> load_from_file(const std::string& path);
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::string> entries_;
+};
+
+}  // namespace ig::exec

@@ -1,0 +1,232 @@
+#include "exec/command.hpp"
+
+#include "common/strings.hpp"
+
+namespace ig::exec {
+
+CommandRegistry::CommandRegistry(Clock& clock, std::uint64_t seed)
+    : clock_(clock), rng_(seed) {}
+
+void CommandRegistry::register_command(const std::string& path, CommandFn fn, Duration cost) {
+  std::lock_guard lock(mu_);
+  commands_[path] = Entry{std::move(fn), cost, 0.0};
+}
+
+bool CommandRegistry::contains(const std::string& path) const {
+  std::lock_guard lock(mu_);
+  return commands_.count(path) > 0;
+}
+
+Result<Duration> CommandRegistry::cost(const std::string& path) const {
+  std::lock_guard lock(mu_);
+  auto it = commands_.find(path);
+  if (it == commands_.end()) return Error(ErrorCode::kNotFound, "no such command: " + path);
+  return it->second.cost;
+}
+
+std::vector<std::string> CommandRegistry::paths() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(commands_.size());
+  for (const auto& [path, entry] : commands_) out.push_back(path);
+  return out;
+}
+
+std::pair<std::string, std::vector<std::string>> split_command_line(const std::string& line) {
+  auto fields = strings::split_fields(line, ' ');
+  if (fields.empty()) return {"", {}};
+  std::string path = fields.front();
+  fields.erase(fields.begin());
+  return {path, fields};
+}
+
+Result<CommandResult> CommandRegistry::run(const std::string& command_line,
+                                           const CancelToken* cancel) {
+  auto [path, args] = split_command_line(command_line);
+  return run(path, args, cancel);
+}
+
+Result<CommandResult> CommandRegistry::run(const std::string& path,
+                                           const std::vector<std::string>& args,
+                                           const CancelToken* cancel) {
+  Entry entry;
+  {
+    std::lock_guard lock(mu_);
+    auto it = commands_.find(path);
+    if (it == commands_.end()) {
+      return Error(ErrorCode::kNotFound, "no such command: " + path);
+    }
+    entry = it->second;
+  }
+  // Charge the execution cost in slices so cancellation stays responsive.
+  Duration remaining = entry.cost;
+  const Duration slice = ms(1);
+  while (remaining.count() > 0) {
+    if (cancel != nullptr && cancel->cancelled()) {
+      return Error(ErrorCode::kCancelled, "command cancelled: " + path);
+    }
+    Duration step = std::min(remaining, slice);
+    clock_.sleep_for(step);
+    remaining -= step;
+  }
+  if (cancel != nullptr && cancel->cancelled()) {
+    return Error(ErrorCode::kCancelled, "command cancelled: " + path);
+  }
+  executions_.fetch_add(1, std::memory_order_relaxed);
+  bool inject_failure = false;
+  if (entry.failure_rate > 0.0) {
+    std::lock_guard lock(mu_);  // rng_ is not thread-safe
+    inject_failure = rng_.chance(entry.failure_rate);
+  }
+  if (inject_failure) {
+    return CommandResult{1, "injected failure: " + path + "\n"};
+  }
+  return entry.fn(args);
+}
+
+void CommandRegistry::set_failure_rate(const std::string& path, double probability) {
+  std::lock_guard lock(mu_);
+  auto it = commands_.find(path);
+  if (it != commands_.end()) it->second.failure_rate = probability;
+}
+
+std::shared_ptr<CommandRegistry> CommandRegistry::standard(Clock& clock,
+                                                           std::shared_ptr<SimSystem> system,
+                                                           std::uint64_t seed) {
+  auto registry = std::make_shared<CommandRegistry>(clock, seed);
+  auto sys = system;  // captured by every command
+
+  registry->register_command(
+      "date",
+      [&clock](const std::vector<std::string>& args) {
+        // Render the virtual clock as seconds since the service epoch;
+        // "-u" (Table 1) is accepted and ignored.
+        (void)args;
+        auto now = clock.now();
+        return CommandResult{
+            0, strings::format("date: T+%lld.%06llds\n",
+                               static_cast<long long>(now.count() / 1000000),
+                               static_cast<long long>(now.count() % 1000000))};
+      },
+      ms(2));
+
+  registry->register_command(
+      "/bin/hostname",
+      [sys](const std::vector<std::string>&) {
+        return CommandResult{0, "hostname: " + sys->hostname() + "\n"};
+      },
+      ms(1));
+
+  registry->register_command(
+      "/usr/bin/uptime",
+      [sys](const std::vector<std::string>&) {
+        auto snap = sys->snapshot();
+        return CommandResult{
+            0, strings::format("uptime: %lld\nload1: %.2f\nload5: %.2f\nload15: %.2f\n",
+                               static_cast<long long>(snap.uptime.count() / 1000000),
+                               snap.load1, snap.load5, snap.load15)};
+      },
+      ms(3));
+
+  registry->register_command(
+      "/sbin/sysinfo.exe",
+      [sys](const std::vector<std::string>& args) {
+        auto snap = sys->snapshot();
+        if (!args.empty() && args[0] == "-mem") {
+          return CommandResult{
+              0, strings::format("total: %lld\nfree: %lld\nswap_total: %lld\nswap_free: %lld\n",
+                                 static_cast<long long>(snap.mem_total_kb),
+                                 static_cast<long long>(snap.mem_free_kb),
+                                 static_cast<long long>(snap.swap_total_kb),
+                                 static_cast<long long>(snap.swap_free_kb))};
+        }
+        if (!args.empty() && args[0] == "-cpu") {
+          return CommandResult{0, strings::format("model: %s\nmhz: %d\ncount: %d\n",
+                                                  snap.cpu_model.c_str(), snap.cpu_mhz,
+                                                  snap.cpu_count)};
+        }
+        return CommandResult{2, "usage: sysinfo.exe -mem|-cpu\n"};
+      },
+      ms(8));
+
+  registry->register_command(
+      "/usr/local/bin/cpuload.exe",
+      [sys](const std::vector<std::string>&) {
+        return CommandResult{0, strings::format("load: %.3f\n", sys->cpu_load())};
+      },
+      ms(10));
+
+  registry->register_command(
+      "/bin/ls",
+      [sys](const std::vector<std::string>& args) {
+        std::string dir = args.empty() ? "/" : args[0];
+        auto entries = sys->list_dir(dir);
+        std::string out;
+        for (std::size_t i = 0; i < entries.size(); ++i) {
+          out += strings::format("entry%zu: %s\n", i, entries[i].c_str());
+        }
+        out += strings::format("count: %zu\n", entries.size());
+        return CommandResult{0, std::move(out)};
+      },
+      ms(4));
+
+  registry->register_command(
+      "/bin/echo",
+      [](const std::vector<std::string>& args) {
+        return CommandResult{0, strings::join(args, " ") + "\n"};
+      },
+      ms(1));
+
+  registry->register_command(
+      "/bin/cat",
+      [sys](const std::vector<std::string>& args) {
+        if (args.empty()) return CommandResult{1, "cat: missing operand\n"};
+        auto content = sys->read_proc(args[0]);
+        if (!content.ok()) return CommandResult{1, "cat: " + content.error().to_string() + "\n"};
+        return CommandResult{0, content.value()};
+      },
+      ms(2));
+
+  registry->register_command(
+      "/bin/sleep",
+      [&clock](const std::vector<std::string>& args) {
+        // The cost model charges a fixed cost; sleep additionally charges
+        // its argument (milliseconds), giving tests a tunable-length job.
+        if (!args.empty()) {
+          if (auto v = strings::parse_int(args[0]); v && *v > 0) clock.sleep_for(ms(*v));
+        }
+        return CommandResult{0, ""};
+      },
+      ms(1));
+
+  registry->register_command(
+      "/bin/df",
+      [sys](const std::vector<std::string>&) {
+        auto snap = sys->snapshot();
+        return CommandResult{
+            0, strings::format("total: %lld\nfree: %lld\nused_pct: %.1f\n",
+                               static_cast<long long>(snap.disk_total_kb),
+                               static_cast<long long>(snap.disk_free_kb),
+                               100.0 * (1.0 - static_cast<double>(snap.disk_free_kb) /
+                                                  static_cast<double>(snap.disk_total_kb)))};
+      },
+      ms(4));
+
+  registry->register_command(
+      "/sbin/netstat.exe",
+      [sys](const std::vector<std::string>&) {
+        auto snap = sys->snapshot();
+        return CommandResult{0, strings::format("rx_bytes: %lld\ntx_bytes: %lld\n",
+                                                static_cast<long long>(snap.net_rx_bytes),
+                                                static_cast<long long>(snap.net_tx_bytes))};
+      },
+      ms(6));
+
+  registry->register_command(
+      "/bin/false",
+      [](const std::vector<std::string>&) { return CommandResult{1, ""}; }, ms(1));
+
+  return registry;
+}
+
+}  // namespace ig::exec

@@ -1,0 +1,101 @@
+// Simulated command execution.
+//
+// GRAM's job manager and InfoGram's information providers both ultimately
+// run "a real program" (paper Table 1: date, /sbin/sysinfo.exe, ...). The
+// CommandRegistry is the substitution for the operating system's exec():
+// commands are C++ callables over the SimSystem, each with a configured
+// execution cost that is charged against the service clock — so caching a
+// command's output has a measurable benefit, exactly what experiment E3
+// needs. Failure injection supports the fault-tolerance experiment E6.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "exec/sim_system.hpp"
+
+namespace ig::exec {
+
+struct CommandResult {
+  int exit_code = 0;
+  std::string output;  ///< stdout; providers parse "name: value" lines
+};
+
+/// Cooperative cancellation: long command "runs" poll this between cost
+/// slices, so a cancel takes effect mid-execution.
+class CancelToken {
+ public:
+  void cancel() { cancelled_.store(true, std::memory_order_release); }
+  bool cancelled() const { return cancelled_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+using CommandFn =
+    std::function<CommandResult(const std::vector<std::string>& args)>;
+
+class CommandRegistry {
+ public:
+  explicit CommandRegistry(Clock& clock, std::uint64_t seed = 42);
+
+  /// Register `fn` under an executable path. `cost` is the simulated
+  /// execution time charged on every run.
+  void register_command(const std::string& path, CommandFn fn, Duration cost = ms(5));
+
+  bool contains(const std::string& path) const;
+  Result<Duration> cost(const std::string& path) const;
+  std::vector<std::string> paths() const;
+
+  /// Run "path arg1 arg2 ...". Charges the cost (sleeping the clock in
+  /// slices so cancellation is responsive), then invokes the callable.
+  /// kNotFound for unknown executables, kCancelled if the token fired.
+  Result<CommandResult> run(const std::string& command_line,
+                            const CancelToken* cancel = nullptr);
+  Result<CommandResult> run(const std::string& path, const std::vector<std::string>& args,
+                            const CancelToken* cancel = nullptr);
+
+  /// Failure injection: make `path` fail (non-zero exit) with probability
+  /// `probability` per run. Used by the fault-tolerance experiments.
+  void set_failure_rate(const std::string& path, double probability);
+
+  /// Total number of command executions (cache-effectiveness metric).
+  std::uint64_t executions() const { return executions_.load(std::memory_order_relaxed); }
+
+  Clock& clock() { return clock_; }
+
+  /// Registry preloaded with the standard simulated commands over `system`:
+  /// date, /bin/hostname, /usr/bin/uptime, /sbin/sysinfo.exe (-mem/-cpu),
+  /// /usr/local/bin/cpuload.exe, /bin/ls, /bin/echo, /bin/cat (proc files),
+  /// /bin/sleep and /bin/false. Matches and extends the paper's Table 1.
+  static std::shared_ptr<CommandRegistry> standard(Clock& clock,
+                                                   std::shared_ptr<SimSystem> system,
+                                                   std::uint64_t seed = 42);
+
+ private:
+  struct Entry {
+    CommandFn fn;
+    Duration cost{0};
+    double failure_rate = 0.0;
+  };
+
+  Clock& clock_;
+  mutable std::mutex mu_;
+  Rng rng_;
+  std::map<std::string, Entry> commands_;
+  std::atomic<std::uint64_t> executions_{0};
+};
+
+/// Split a command line into path + args (whitespace separated; no quoting,
+/// matching the paper's configuration file format).
+std::pair<std::string, std::vector<std::string>> split_command_line(const std::string& line);
+
+}  // namespace ig::exec

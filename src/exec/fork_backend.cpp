@@ -1,0 +1,37 @@
+#include "exec/fork_backend.hpp"
+
+namespace ig::exec {
+
+ForkBackend::ForkBackend(std::shared_ptr<CommandRegistry> registry, const Clock& clock)
+    : registry_(std::move(registry)), table_(clock) {}
+
+ForkBackend::~ForkBackend() = default;  // jthreads join
+
+Result<JobId> ForkBackend::submit(const JobRequest& request) {
+  if (request.spec.executable.empty()) {
+    return Error(ErrorCode::kInvalidArgument, "job has no executable");
+  }
+  JobId id = table_.create(request);
+  {
+    std::lock_guard lock(threads_mu_);
+    // Reap finished workers occasionally so long-lived backends do not
+    // accumulate joined-but-stored threads without bound.
+    if (threads_.size() > 64) {
+      std::erase_if(threads_, [](std::jthread& t) { return !t.joinable(); });
+    }
+    threads_.emplace_back([this, id, request] {
+      run_and_record(*registry_, table_, id, request);
+    });
+  }
+  return id;
+}
+
+Result<JobStatus> ForkBackend::status(JobId id) const { return table_.status(id); }
+
+Status ForkBackend::cancel(JobId id) { return table_.request_cancel(id); }
+
+Result<JobStatus> ForkBackend::wait(JobId id, Duration timeout) {
+  return table_.wait(id, timeout);
+}
+
+}  // namespace ig::exec

@@ -1,0 +1,35 @@
+// Fork backend: the GRAM "unix process fork" scheduler interface. Every
+// submitted job starts executing immediately on its own worker thread —
+// no queueing, no admission control.
+#pragma once
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "exec/job.hpp"
+#include "exec/job_table.hpp"
+#include "exec/runner.hpp"
+
+namespace ig::exec {
+
+class ForkBackend final : public LocalJobExecution {
+ public:
+  /// `registry` and the clock behind it must outlive the backend.
+  ForkBackend(std::shared_ptr<CommandRegistry> registry, const Clock& clock);
+  ~ForkBackend() override;
+
+  std::string name() const override { return "fork"; }
+  Result<JobId> submit(const JobRequest& request) override;
+  Result<JobStatus> status(JobId id) const override;
+  Status cancel(JobId id) override;
+  Result<JobStatus> wait(JobId id, Duration timeout) override;
+
+ private:
+  std::shared_ptr<CommandRegistry> registry_;
+  JobTable table_;
+  std::mutex threads_mu_;
+  std::vector<std::jthread> threads_;
+};
+
+}  // namespace ig::exec

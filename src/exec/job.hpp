@@ -1,0 +1,74 @@
+// The backend tier of GRAM (paper Sec. 2): a uniform job-execution
+// interface that "is easily portable to various scheduling systems".
+// This header defines the job model and the LocalJobExecution interface;
+// the concrete backends (fork, batch/PBS-shaped, matchmaking/Condor-
+// shaped, sandbox) live in sibling headers.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/error.hpp"
+#include "rsl/xrsl.hpp"
+
+namespace ig::exec {
+
+using JobId = std::uint64_t;
+
+/// GRAM job states (the classic GRAM 1.x state machine).
+enum class JobState { kPending, kActive, kDone, kFailed, kCancelled };
+
+std::string_view to_string(JobState state);
+bool is_terminal(JobState state);
+
+/// What a backend knows about one job.
+struct JobStatus {
+  JobId id = 0;
+  JobState state = JobState::kPending;
+  int exit_code = -1;
+  std::string output;       ///< captured stdout (redirectable to the client)
+  std::string error;        ///< failure description, if any
+  TimePoint submitted{0};
+  TimePoint started{0};
+  TimePoint finished{0};
+};
+
+/// A job as handed to a backend: the RSL job specification plus the local
+/// account it runs under (the gridmap's output).
+struct JobRequest {
+  rsl::JobSpec spec;
+  std::string local_user;
+};
+
+/// Backend interface. Implementations must be thread-safe: the job manager
+/// polls status concurrently with submissions.
+class LocalJobExecution {
+ public:
+  virtual ~LocalJobExecution() = default;
+
+  /// Scheduler family name ("fork", "batch", "matchmaking", "sandbox").
+  virtual std::string name() const = 0;
+
+  /// Named queues this backend exposes (batch schedulers); empty for
+  /// queueless backends. Surfaced through service reflection.
+  virtual std::vector<std::string> queues() const { return {}; }
+
+  /// Accept a job; returns its id immediately. Validation failures
+  /// (malformed request) fail here; execution failures surface in status.
+  virtual Result<JobId> submit(const JobRequest& request) = 0;
+
+  virtual Result<JobStatus> status(JobId id) const = 0;
+
+  /// Request cancellation. Succeeds if the job exists and is not already
+  /// terminal; the job transitions to kCancelled (possibly asynchronously).
+  virtual Status cancel(JobId id) = 0;
+
+  /// Block until the job is terminal or `timeout` elapses (wall time).
+  virtual Result<JobStatus> wait(JobId id, Duration timeout) = 0;
+};
+
+}  // namespace ig::exec

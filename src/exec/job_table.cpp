@@ -1,0 +1,142 @@
+#include "exec/job_table.hpp"
+
+#include "common/id.hpp"
+
+namespace ig::exec {
+
+std::string_view to_string(JobState state) {
+  switch (state) {
+    case JobState::kPending:
+      return "PENDING";
+    case JobState::kActive:
+      return "ACTIVE";
+    case JobState::kDone:
+      return "DONE";
+    case JobState::kFailed:
+      return "FAILED";
+    case JobState::kCancelled:
+      return "CANCELLED";
+  }
+  return "UNKNOWN";
+}
+
+bool is_terminal(JobState state) {
+  return state == JobState::kDone || state == JobState::kFailed ||
+         state == JobState::kCancelled;
+}
+
+JobId JobTable::create(JobRequest request) {
+  std::lock_guard lock(mu_);
+  JobId id = IdGenerator::next();
+  Entry entry;
+  entry.status.id = id;
+  entry.status.state = JobState::kPending;
+  entry.status.submitted = clock_.now();
+  entry.request = std::move(request);
+  jobs_.emplace(id, std::move(entry));
+  return id;
+}
+
+Result<JobStatus> JobTable::status(JobId id) const {
+  std::lock_guard lock(mu_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return Error(ErrorCode::kNotFound, "no such job: " + std::to_string(id));
+  return it->second.status;
+}
+
+Result<JobRequest> JobTable::request(JobId id) const {
+  std::lock_guard lock(mu_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return Error(ErrorCode::kNotFound, "no such job: " + std::to_string(id));
+  return it->second.request;
+}
+
+void JobTable::set_active(JobId id) {
+  std::lock_guard lock(mu_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end() || is_terminal(it->second.status.state)) return;
+  it->second.status.state = JobState::kActive;
+  it->second.status.started = clock_.now();
+  cv_.notify_all();
+}
+
+void JobTable::finish(JobId id, int exit_code, std::string output, std::string error) {
+  std::lock_guard lock(mu_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end() || is_terminal(it->second.status.state)) return;
+  JobStatus& status = it->second.status;
+  status.exit_code = exit_code;
+  status.output = std::move(output);
+  status.error = std::move(error);
+  status.finished = clock_.now();
+  status.state = exit_code == 0 ? JobState::kDone : JobState::kFailed;
+  cv_.notify_all();
+}
+
+void JobTable::set_cancelled(JobId id, std::string reason) {
+  std::lock_guard lock(mu_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end() || is_terminal(it->second.status.state)) return;
+  it->second.status.state = JobState::kCancelled;
+  it->second.status.error = std::move(reason);
+  it->second.status.finished = clock_.now();
+  cv_.notify_all();
+}
+
+Status JobTable::request_cancel(JobId id) {
+  std::lock_guard lock(mu_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return Error(ErrorCode::kNotFound, "no such job: " + std::to_string(id));
+  Entry& entry = it->second;
+  if (is_terminal(entry.status.state)) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "job already terminal: " + std::string(to_string(entry.status.state)));
+  }
+  entry.cancel->cancel();
+  if (entry.status.state == JobState::kPending) {
+    entry.status.state = JobState::kCancelled;
+    entry.status.error = "cancelled before execution";
+    entry.status.finished = clock_.now();
+    cv_.notify_all();
+  }
+  return Status::success();
+}
+
+std::shared_ptr<CancelToken> JobTable::token(JobId id) const {
+  std::lock_guard lock(mu_);
+  auto it = jobs_.find(id);
+  return it == jobs_.end() ? nullptr : it->second.cancel;
+}
+
+Result<JobStatus> JobTable::wait(JobId id, Duration timeout) const {
+  std::unique_lock lock(mu_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return Error(ErrorCode::kNotFound, "no such job: " + std::to_string(id));
+  bool done = cv_.wait_for(lock, std::chrono::microseconds(timeout.count()), [&] {
+    auto jt = jobs_.find(id);
+    return jt != jobs_.end() && is_terminal(jt->second.status.state);
+  });
+  it = jobs_.find(id);
+  if (it == jobs_.end()) return Error(ErrorCode::kNotFound, "job vanished while waiting");
+  if (!done) {
+    return Error(ErrorCode::kTimeout,
+                 "job not terminal after wait: " + std::string(to_string(it->second.status.state)));
+  }
+  return it->second.status;
+}
+
+std::vector<JobId> JobTable::pending() const {
+  std::lock_guard lock(mu_);
+  std::vector<JobId> out;
+  for (const auto& [id, entry] : jobs_) {
+    if (entry.status.state == JobState::kPending) out.push_back(id);
+  }
+  return out;
+}
+
+std::size_t JobTable::size() const {
+  std::lock_guard lock(mu_);
+  return jobs_.size();
+}
+
+}  // namespace ig::exec

@@ -1,0 +1,59 @@
+// Shared job bookkeeping for the execution backends: state table,
+// per-job cancel tokens, and condition-variable based waiting.
+#pragma once
+
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "exec/command.hpp"
+#include "exec/job.hpp"
+
+namespace ig::exec {
+
+class JobTable {
+ public:
+  explicit JobTable(const Clock& clock) : clock_(clock) {}
+
+  /// Create a job in kPending and return its id.
+  JobId create(JobRequest request);
+
+  Result<JobStatus> status(JobId id) const;
+  Result<JobRequest> request(JobId id) const;
+
+  /// Transition helpers. All notify waiters.
+  void set_active(JobId id);
+  void finish(JobId id, int exit_code, std::string output, std::string error);
+  void set_cancelled(JobId id, std::string reason);
+
+  /// Fire the job's cancel token and, if the job is still pending, move it
+  /// straight to kCancelled. Active jobs transition when their runner
+  /// observes the token.
+  Status request_cancel(JobId id);
+
+  /// The cancel token runners must poll. Valid for the table's lifetime.
+  std::shared_ptr<CancelToken> token(JobId id) const;
+
+  /// Block (wall time) until terminal or timeout.
+  Result<JobStatus> wait(JobId id, Duration timeout) const;
+
+  /// Ids of all jobs currently in kPending, oldest first.
+  std::vector<JobId> pending() const;
+
+  std::size_t size() const;
+
+ private:
+  struct Entry {
+    JobStatus status;
+    JobRequest request;
+    std::shared_ptr<CancelToken> cancel = std::make_shared<CancelToken>();
+  };
+
+  const Clock& clock_;
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  std::map<JobId, Entry> jobs_;
+};
+
+}  // namespace ig::exec

@@ -1,0 +1,180 @@
+#include "exec/matchmaking_backend.hpp"
+
+#include "common/strings.hpp"
+
+namespace ig::exec {
+
+Result<std::vector<Requirement>> parse_requirements(const std::string& text) {
+  std::vector<Requirement> out;
+  std::string cleaned = strings::replace_all(text, "&&", " ");
+  for (const auto& term : strings::split_fields(cleaned, ' ')) {
+    // Longest operators first so ">=" is not read as ">" + "=".
+    static const std::pair<std::string_view, Requirement::Cmp> kOps[] = {
+        {"==", Requirement::Cmp::kEq}, {"!=", Requirement::Cmp::kNeq},
+        {">=", Requirement::Cmp::kGe}, {"<=", Requirement::Cmp::kLe},
+        {">", Requirement::Cmp::kGt},  {"<", Requirement::Cmp::kLt},
+    };
+    Requirement req;
+    bool found = false;
+    for (const auto& [sym, op] : kOps) {
+      std::size_t pos = term.find(sym);
+      if (pos == std::string::npos) continue;
+      req.attribute = std::string(strings::trim(term.substr(0, pos)));
+      req.op = op;
+      req.value = std::string(strings::trim(term.substr(pos + sym.size())));
+      found = true;
+      break;
+    }
+    if (!found || req.attribute.empty() || req.value.empty()) {
+      return Error(ErrorCode::kParseError, "malformed requirement term: " + term);
+    }
+    out.push_back(std::move(req));
+  }
+  return out;
+}
+
+bool satisfies(const NodeSpec& node, const std::vector<Requirement>& requirements) {
+  for (const Requirement& req : requirements) {
+    auto it = node.attributes.find(req.attribute);
+    if (it == node.attributes.end()) return false;
+    const std::string& have = it->second;
+    int cmp;
+    auto lhs = strings::parse_double(have);
+    auto rhs = strings::parse_double(req.value);
+    if (lhs && rhs) {
+      cmp = *lhs < *rhs ? -1 : (*lhs > *rhs ? 1 : 0);
+    } else {
+      cmp = have.compare(req.value);
+      cmp = cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
+    }
+    bool ok = false;
+    switch (req.op) {
+      case Requirement::Cmp::kEq:
+        ok = cmp == 0;
+        break;
+      case Requirement::Cmp::kNeq:
+        ok = cmp != 0;
+        break;
+      case Requirement::Cmp::kLt:
+        ok = cmp < 0;
+        break;
+      case Requirement::Cmp::kGt:
+        ok = cmp > 0;
+        break;
+      case Requirement::Cmp::kLe:
+        ok = cmp <= 0;
+        break;
+      case Requirement::Cmp::kGe:
+        ok = cmp >= 0;
+        break;
+    }
+    if (!ok) return false;
+  }
+  return true;
+}
+
+MatchmakingBackend::MatchmakingBackend(std::shared_ptr<CommandRegistry> registry,
+                                       const Clock& clock, std::vector<NodeSpec> nodes,
+                                       std::shared_ptr<SimSystem> system, double load_per_job)
+    : registry_(std::move(registry)),
+      nodes_(std::move(nodes)),
+      system_(std::move(system)),
+      load_per_job_(load_per_job),
+      table_(clock) {
+  workers_.reserve(nodes_.size());
+  for (const NodeSpec& node : nodes_) {
+    workers_.emplace_back(
+        [this, node](std::stop_token stop) { node_loop(node, stop); });
+  }
+}
+
+MatchmakingBackend::~MatchmakingBackend() {
+  {
+    std::lock_guard lock(queue_mu_);
+    shutting_down_ = true;
+  }
+  for (auto& w : workers_) w.request_stop();
+  queue_cv_.notify_all();
+}
+
+Result<JobId> MatchmakingBackend::submit(const JobRequest& request) {
+  if (request.spec.executable.empty()) {
+    return Error(ErrorCode::kInvalidArgument, "job has no executable");
+  }
+  std::vector<Requirement> requirements;
+  auto it = request.spec.environment.find("requirements");
+  if (it != request.spec.environment.end()) {
+    auto parsed = parse_requirements(it->second);
+    if (!parsed.ok()) return parsed.error();
+    requirements = std::move(parsed.value());
+  }
+  bool matchable = false;
+  for (const NodeSpec& node : nodes_) {
+    if (satisfies(node, requirements)) {
+      matchable = true;
+      break;
+    }
+  }
+  if (!matchable) {
+    return Error(ErrorCode::kNotFound, "no node satisfies the job requirements");
+  }
+  JobId id = table_.create(request);
+  {
+    std::lock_guard lock(queue_mu_);
+    queue_.push_back(PendingJob{id, request, std::move(requirements)});
+  }
+  queue_cv_.notify_all();
+  return id;
+}
+
+Result<JobStatus> MatchmakingBackend::status(JobId id) const { return table_.status(id); }
+
+Status MatchmakingBackend::cancel(JobId id) {
+  auto status = table_.request_cancel(id);
+  if (status.ok()) {
+    std::lock_guard lock(queue_mu_);
+    std::erase_if(queue_, [id](const PendingJob& j) { return j.id == id; });
+  }
+  return status;
+}
+
+Result<JobStatus> MatchmakingBackend::wait(JobId id, Duration timeout) {
+  return table_.wait(id, timeout);
+}
+
+std::size_t MatchmakingBackend::queued_jobs() const {
+  std::lock_guard lock(queue_mu_);
+  return queue_.size();
+}
+
+void MatchmakingBackend::node_loop(const NodeSpec& node, const std::stop_token& stop) {
+  while (true) {
+    PendingJob job;
+    bool have_job = false;
+    {
+      std::unique_lock lock(queue_mu_);
+      queue_cv_.wait(lock, [&] {
+        if (shutting_down_ || stop.stop_requested()) return true;
+        for (const PendingJob& pending : queue_) {
+          if (satisfies(node, pending.requirements)) return true;
+        }
+        return false;
+      });
+      if (shutting_down_ || stop.stop_requested()) return;
+      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (satisfies(node, it->requirements)) {
+          job = std::move(*it);
+          queue_.erase(it);
+          have_job = true;
+          break;
+        }
+      }
+    }
+    if (!have_job) continue;
+    if (system_ != nullptr && load_per_job_ > 0.0) system_->add_load(load_per_job_);
+    run_and_record(*registry_, table_, job.id, job.request);
+    if (system_ != nullptr && load_per_job_ > 0.0) system_->add_load(-load_per_job_);
+  }
+}
+
+}  // namespace ig::exec

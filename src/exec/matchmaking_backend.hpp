@@ -1,0 +1,90 @@
+// Matchmaking backend: a Condor-shaped scheduler simulation. Nodes
+// advertise attributes (ClassAd style); jobs carry a requirements
+// expression — a conjunction of comparisons over node attributes, read
+// from the job's environment entry "requirements", e.g.
+//
+//   (environment=(requirements "mem_kb>=262144 && arch==sim"))
+//
+// Each node runs jobs it satisfies, FIFO among matching pending jobs.
+// Jobs no configured node could ever satisfy are rejected at submit time
+// (a deliberate divergence from Condor's idle-forever, so tests and
+// clients see the mismatch immediately; see DESIGN.md).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "exec/job.hpp"
+#include "exec/job_table.hpp"
+#include "exec/runner.hpp"
+
+namespace ig::exec {
+
+/// One comparison in a requirements expression.
+struct Requirement {
+  enum class Cmp { kEq, kNeq, kLt, kGt, kLe, kGe };
+  std::string attribute;
+  Cmp op = Cmp::kEq;
+  std::string value;
+
+  friend bool operator==(const Requirement&, const Requirement&) = default;
+};
+
+/// Parse "a>=1 && b==x" (the "&&" separators are optional whitespace-wise).
+Result<std::vector<Requirement>> parse_requirements(const std::string& text);
+
+/// Node advertisement.
+struct NodeSpec {
+  std::string name;
+  std::map<std::string, std::string> attributes;
+};
+
+/// True if every requirement holds for the node. Numeric comparison when
+/// both sides parse as doubles, lexicographic otherwise; a missing
+/// attribute fails the requirement.
+bool satisfies(const NodeSpec& node, const std::vector<Requirement>& requirements);
+
+class MatchmakingBackend final : public LocalJobExecution {
+ public:
+  MatchmakingBackend(std::shared_ptr<CommandRegistry> registry, const Clock& clock,
+                     std::vector<NodeSpec> nodes,
+                     std::shared_ptr<SimSystem> system = nullptr,
+                     double load_per_job = 0.5);
+  ~MatchmakingBackend() override;
+
+  std::string name() const override { return "matchmaking"; }
+  Result<JobId> submit(const JobRequest& request) override;
+  Result<JobStatus> status(JobId id) const override;
+  Status cancel(JobId id) override;
+  Result<JobStatus> wait(JobId id, Duration timeout) override;
+
+  std::size_t queued_jobs() const;
+
+ private:
+  struct PendingJob {
+    JobId id;
+    JobRequest request;
+    std::vector<Requirement> requirements;
+  };
+
+  void node_loop(const NodeSpec& node, const std::stop_token& stop);
+
+  std::shared_ptr<CommandRegistry> registry_;
+  std::vector<NodeSpec> nodes_;
+  std::shared_ptr<SimSystem> system_;
+  double load_per_job_;
+  JobTable table_;
+
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<PendingJob> queue_;
+  bool shutting_down_ = false;
+
+  std::vector<std::jthread> workers_;
+};
+
+}  // namespace ig::exec

@@ -1,0 +1,37 @@
+#include "exec/runner.hpp"
+
+namespace ig::exec {
+
+void run_and_record(CommandRegistry& registry, JobTable& table, JobId id,
+                    const JobRequest& request) {
+  auto token = table.token(id);
+  if (token == nullptr || token->cancelled()) {
+    table.set_cancelled(id, "cancelled before execution");
+    return;
+  }
+  table.set_active(id);
+
+  const rsl::JobSpec& spec = request.spec;
+  std::string output;
+  int exit_code = 0;
+  // GRAM's (count=N) runs N instances; we run them sequentially on the
+  // simulated host and concatenate their output.
+  for (int i = 0; i < spec.count; ++i) {
+    auto result = registry.run(spec.executable, spec.arguments, token.get());
+    if (!result.ok()) {
+      if (result.code() == ErrorCode::kCancelled) {
+        table.set_cancelled(id, "cancelled during execution");
+        return;
+      }
+      // Unknown executable and similar: shell convention, exit 127.
+      table.finish(id, 127, std::move(output), result.error().to_string());
+      return;
+    }
+    output += result->output;
+    if (result->exit_code != 0 && exit_code == 0) exit_code = result->exit_code;
+  }
+  table.finish(id, exit_code, std::move(output),
+               exit_code == 0 ? "" : "command exited nonzero");
+}
+
+}  // namespace ig::exec

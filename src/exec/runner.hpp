@@ -1,0 +1,16 @@
+// Shared request-running logic for the command-based backends: executes a
+// job's command `count` times against the registry, concatenating output.
+#pragma once
+
+#include "exec/command.hpp"
+#include "exec/job_table.hpp"
+
+namespace ig::exec {
+
+/// Execute `request` to completion (or cancellation) and record the result
+/// in `table`. Runs in the calling thread; backends call this from their
+/// worker threads.
+void run_and_record(CommandRegistry& registry, JobTable& table, JobId id,
+                    const JobRequest& request);
+
+}  // namespace ig::exec

@@ -1,0 +1,168 @@
+#include "exec/sandbox.hpp"
+
+namespace ig::exec {
+
+std::string_view to_string(Capability c) {
+  switch (c) {
+    case Capability::kReadFile:
+      return "read_file";
+    case Capability::kWriteFile:
+      return "write_file";
+    case Capability::kNetwork:
+      return "network";
+    case Capability::kExec:
+      return "exec";
+  }
+  return "unknown";
+}
+
+SandboxContext::SandboxContext(CapabilitySet capabilities, std::uint64_t op_budget,
+                               std::uint64_t memory_budget_bytes,
+                               std::shared_ptr<SimSystem> system, const CancelToken* cancel,
+                               std::shared_ptr<CheckpointStore> checkpoints,
+                               std::string checkpoint_key)
+    : capabilities_(capabilities),
+      op_budget_(op_budget),
+      memory_budget_(memory_budget_bytes),
+      system_(std::move(system)),
+      cancel_(cancel),
+      checkpoints_(std::move(checkpoints)),
+      checkpoint_key_(std::move(checkpoint_key)) {}
+
+Status SandboxContext::charge(std::uint64_t ops) {
+  if (cancel_ != nullptr && cancel_->cancelled()) {
+    return Error(ErrorCode::kCancelled, "sandbox task cancelled");
+  }
+  if (ops_used_ + ops > op_budget_) {
+    return Error(ErrorCode::kDenied, "sandbox operation budget exhausted");
+  }
+  ops_used_ += ops;
+  return Status::success();
+}
+
+Status SandboxContext::allocate(std::uint64_t bytes) {
+  if (memory_used_ + bytes > memory_budget_) {
+    return Error(ErrorCode::kDenied, "sandbox memory budget exhausted");
+  }
+  memory_used_ += bytes;
+  return Status::success();
+}
+
+void SandboxContext::release(std::uint64_t bytes) {
+  memory_used_ = bytes > memory_used_ ? 0 : memory_used_ - bytes;
+}
+
+Status SandboxContext::require(Capability c) const {
+  if (!capabilities_.has(c)) {
+    return Error(ErrorCode::kDenied,
+                 "sandbox capability not granted: " + std::string(to_string(c)));
+  }
+  return Status::success();
+}
+
+Result<std::string> SandboxContext::read_proc(const std::string& path) {
+  if (auto s = require(Capability::kReadFile); !s.ok()) return s.error();
+  if (system_ == nullptr) return Error(ErrorCode::kUnavailable, "no host system attached");
+  return system_->read_proc(path);
+}
+
+Status SandboxContext::checkpoint(std::string data) {
+  if (auto s = require(Capability::kWriteFile); !s.ok()) return s;
+  if (checkpoints_ == nullptr) {
+    return Error(ErrorCode::kUnavailable, "no checkpoint store attached");
+  }
+  checkpoints_->save(checkpoint_key_, std::move(data));
+  return Status::success();
+}
+
+Result<std::string> SandboxContext::restore() {
+  if (auto s = require(Capability::kReadFile); !s.ok()) return s.error();
+  if (checkpoints_ == nullptr) {
+    return Error(ErrorCode::kUnavailable, "no checkpoint store attached");
+  }
+  return checkpoints_->load(checkpoint_key_);
+}
+
+SandboxBackend::SandboxBackend(Clock& clock, SandboxConfig config,
+                               std::shared_ptr<SimSystem> system)
+    : clock_(clock), config_(config), system_(std::move(system)), table_(clock) {}
+
+SandboxBackend::~SandboxBackend() = default;
+
+void SandboxBackend::register_task(const std::string& name, SandboxTask task) {
+  std::lock_guard lock(tasks_mu_);
+  tasks_[name] = std::move(task);
+}
+
+bool SandboxBackend::has_task(const std::string& name) const {
+  std::lock_guard lock(tasks_mu_);
+  return tasks_.count(name) > 0;
+}
+
+Result<JobId> SandboxBackend::submit(const JobRequest& request) {
+  SandboxTask task;
+  {
+    std::lock_guard lock(tasks_mu_);
+    auto it = tasks_.find(request.spec.executable);
+    if (it == tasks_.end()) {
+      return Error(ErrorCode::kNotFound,
+                   "no registered sandbox task: " + request.spec.executable);
+    }
+    task = it->second;
+  }
+  // The checkpoint key identifies the *logical* job across restarts:
+  // explicit via the environment, or derived from what it runs and who
+  // runs it.
+  std::string checkpoint_key;
+  if (auto it = request.spec.environment.find("checkpoint_key");
+      it != request.spec.environment.end()) {
+    checkpoint_key = it->second;
+  } else {
+    checkpoint_key = request.spec.executable + "|" + request.local_user;
+    for (const auto& arg : request.spec.arguments) checkpoint_key += "|" + arg;
+  }
+  JobId id = table_.create(request);
+  {
+    std::lock_guard lock(threads_mu_);
+    if (threads_.size() > 64) {
+      std::erase_if(threads_, [](std::jthread& t) { return !t.joinable(); });
+    }
+    threads_.emplace_back([this, id, task = std::move(task), args = request.spec.arguments,
+                           checkpoint_key] {
+      auto token = table_.token(id);
+      if (token == nullptr || token->cancelled()) {
+        table_.set_cancelled(id, "cancelled before execution");
+        return;
+      }
+      table_.set_active(id);
+      if (config_.mode == SandboxMode::kIsolated) {
+        // A fresh isolated environment pays a startup cost (new "JVM").
+        clock_.sleep_for(config_.isolated_startup_cost);
+      }
+      SandboxContext ctx(config_.capabilities, config_.op_budget,
+                         config_.memory_budget_bytes, system_, token.get(),
+                         config_.checkpoints, checkpoint_key);
+      auto result = task(ctx, args);
+      if (result.ok()) {
+        // A completed job's checkpoint is obsolete.
+        if (config_.checkpoints != nullptr) config_.checkpoints->erase(checkpoint_key);
+        table_.finish(id, 0, std::move(result.value()), "");
+      } else if (result.code() == ErrorCode::kCancelled) {
+        table_.set_cancelled(id, result.error().message);
+      } else {
+        table_.finish(id, 1, "", result.error().to_string());
+      }
+    });
+  }
+  return id;
+}
+
+Result<JobStatus> SandboxBackend::status(JobId id) const { return table_.status(id); }
+
+Status SandboxBackend::cancel(JobId id) { return table_.request_cancel(id); }
+
+Result<JobStatus> SandboxBackend::wait(JobId id, Duration timeout) {
+  return table_.wait(id, timeout);
+}
+
+}  // namespace ig::exec

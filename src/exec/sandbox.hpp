@@ -1,0 +1,149 @@
+// Sandboxed execution of untrusted code (paper Sec. 5.5 and 7).
+//
+// J-GRAM's headline extension over C-GRAM is running pure Java code
+// (submitted as jar files) inside the JVM sandbox: "executing untrusted
+// applications in trusted environments". The C++ substitution keeps the
+// *policy* property: a task submitted as (executable=foo.jar)(jobtype=jar)
+// resolves to a registered SandboxTask object, which runs under a
+// SandboxContext enforcing a capability mask and operation/memory budgets.
+// A task that requests a capability it was not granted, or exceeds a
+// budget, fails with kDenied — it cannot escape into the host system.
+//
+// The paper's two deployment modes map to SandboxMode: kShared (run in
+// the service's "JVM", cheap) vs kIsolated (fresh budget accounting per
+// job, modelling a separate JVM; an extra startup cost is charged).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <thread>
+
+#include "exec/checkpoint.hpp"
+#include "exec/job.hpp"
+#include "exec/job_table.hpp"
+#include "exec/sim_system.hpp"
+
+namespace ig::exec {
+
+/// Things an untrusted task may be allowed to do.
+enum class Capability : std::uint32_t {
+  kReadFile = 1u << 0,
+  kWriteFile = 1u << 1,
+  kNetwork = 1u << 2,
+  kExec = 1u << 3,  ///< spawn simulated commands
+};
+
+class CapabilitySet {
+ public:
+  CapabilitySet() = default;
+  CapabilitySet& grant(Capability c) {
+    mask_ |= static_cast<std::uint32_t>(c);
+    return *this;
+  }
+  bool has(Capability c) const { return (mask_ & static_cast<std::uint32_t>(c)) != 0; }
+  static CapabilitySet all() {
+    return CapabilitySet()
+        .grant(Capability::kReadFile)
+        .grant(Capability::kWriteFile)
+        .grant(Capability::kNetwork)
+        .grant(Capability::kExec);
+  }
+
+ private:
+  std::uint32_t mask_ = 0;
+};
+
+std::string_view to_string(Capability c);
+
+/// Budgeted, capability-checked environment handed to a task.
+class SandboxContext {
+ public:
+  SandboxContext(CapabilitySet capabilities, std::uint64_t op_budget,
+                 std::uint64_t memory_budget_bytes, std::shared_ptr<SimSystem> system,
+                 const CancelToken* cancel,
+                 std::shared_ptr<CheckpointStore> checkpoints = nullptr,
+                 std::string checkpoint_key = "");
+
+  /// Charge `ops` units of work; kDenied once the budget is exhausted,
+  /// kCancelled if the job was cancelled.
+  Status charge(std::uint64_t ops);
+  /// Account an allocation against the memory budget.
+  Status allocate(std::uint64_t bytes);
+  void release(std::uint64_t bytes);
+  /// kDenied unless the capability was granted.
+  Status require(Capability c) const;
+
+  /// Capability-gated host access (read-only view of the simulated host).
+  Result<std::string> read_proc(const std::string& path);
+
+  /// Checkpointing (paper Sec. 6/10): persist progress so a restarted
+  /// task resumes instead of redoing work. Writing requires kWriteFile,
+  /// restoring kReadFile; kUnavailable when no store is attached.
+  Status checkpoint(std::string data);
+  Result<std::string> restore();
+
+  std::uint64_t ops_used() const { return ops_used_; }
+  std::uint64_t memory_used() const { return memory_used_; }
+
+ private:
+  CapabilitySet capabilities_;
+  std::uint64_t op_budget_;
+  std::uint64_t memory_budget_;
+  std::uint64_t ops_used_ = 0;
+  std::uint64_t memory_used_ = 0;
+  std::shared_ptr<SimSystem> system_;
+  const CancelToken* cancel_;
+  std::shared_ptr<CheckpointStore> checkpoints_;
+  std::string checkpoint_key_;
+};
+
+/// A unit of untrusted code — the stand-in for a submitted jar.
+/// Return value becomes the job's output; an error fails the job.
+using SandboxTask = std::function<Result<std::string>(
+    SandboxContext& ctx, const std::vector<std::string>& args)>;
+
+enum class SandboxMode { kShared, kIsolated };
+
+struct SandboxConfig {
+  CapabilitySet capabilities;  ///< default: nothing granted
+  std::uint64_t op_budget = 1'000'000;
+  std::uint64_t memory_budget_bytes = 64 * 1024 * 1024;
+  SandboxMode mode = SandboxMode::kShared;
+  Duration isolated_startup_cost = ms(50);  ///< "new JVM" charge
+  /// Optional checkpoint store shared by all tasks of this backend. A
+  /// job's checkpoint key is its environment entry "checkpoint_key", or
+  /// executable|user|args when absent. Cleared when the job succeeds.
+  std::shared_ptr<CheckpointStore> checkpoints;
+};
+
+/// Backend executing registered tasks for (jobtype=jar) submissions.
+class SandboxBackend final : public LocalJobExecution {
+ public:
+  SandboxBackend(Clock& clock, SandboxConfig config,
+                 std::shared_ptr<SimSystem> system = nullptr);
+  ~SandboxBackend() override;
+
+  /// Register a task under its jar name ("analysis.jar").
+  void register_task(const std::string& name, SandboxTask task);
+  bool has_task(const std::string& name) const;
+
+  std::string name() const override { return "sandbox"; }
+  Result<JobId> submit(const JobRequest& request) override;
+  Result<JobStatus> status(JobId id) const override;
+  Status cancel(JobId id) override;
+  Result<JobStatus> wait(JobId id, Duration timeout) override;
+
+ private:
+  Clock& clock_;
+  SandboxConfig config_;
+  std::shared_ptr<SimSystem> system_;
+  JobTable table_;
+  mutable std::mutex tasks_mu_;
+  std::map<std::string, SandboxTask> tasks_;
+  std::mutex threads_mu_;
+  std::vector<std::jthread> threads_;
+};
+
+}  // namespace ig::exec

@@ -1,0 +1,132 @@
+#include "exec/sim_system.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+
+namespace ig::exec {
+
+namespace {
+// One model step per simulated second keeps the processes resolution-
+// independent: querying twice as often must not change the dynamics.
+constexpr Duration kStep = seconds(1);
+}  // namespace
+
+SimSystem::SimSystem(const Clock& clock, std::uint64_t seed, std::string hostname)
+    : clock_(clock), hostname_(std::move(hostname)), rng_(seed) {
+  base_.mem_total_kb = 256 * 1024 + static_cast<std::int64_t>(rng_.uniform_int(0, 3)) * 256 * 1024;
+  base_.swap_total_kb = base_.mem_total_kb;
+  base_.cpu_count = static_cast<int>(rng_.uniform_int(1, 4));
+  base_.cpu_mhz = 800 + static_cast<int>(rng_.uniform_int(0, 6)) * 200;
+  base_.cpu_model = strings::format("SimCPU %dMHz", base_.cpu_mhz);
+  mem_free_kb_ = static_cast<double>(base_.mem_total_kb) * rng_.uniform(0.4, 0.8);
+  base_.disk_total_kb = (8 + rng_.uniform_int(0, 3) * 8) * 1024 * 1024;  // 8-32 GB
+  disk_free_kb_ = static_cast<double>(base_.disk_total_kb) * rng_.uniform(0.3, 0.9);
+  load_ = rng_.uniform(0.1, 0.8);
+  load5_ = load15_ = load_;
+  last_step_ = clock_.now();
+  add_file("/home/gregor", "paper.tex");
+  add_file("/home/gregor", "results.dat");
+  add_file("/home/gregor", "infogram.jar");
+}
+
+void SimSystem::step_locked() {
+  TimePoint now = clock_.now();
+  while (last_step_ + kStep <= now) {
+    last_step_ += kStep;
+    // Load: AR(1) with mean 0.5 plus external job pressure.
+    double target = 0.5 + external_load_;
+    load_ = std::max(0.0, 0.9 * load_ + 0.1 * target + rng_.normal(0.0, 0.05));
+    load5_ = 0.98 * load5_ + 0.02 * load_;
+    load15_ = 0.995 * load15_ + 0.005 * load_;
+    // Memory: bounded random walk between 10% and 95% free.
+    mem_free_kb_ += rng_.normal(0.0, static_cast<double>(base_.mem_total_kb) * 0.01);
+    mem_free_kb_ = std::clamp(mem_free_kb_, static_cast<double>(base_.mem_total_kb) * 0.10,
+                              static_cast<double>(base_.mem_total_kb) * 0.95);
+    // Disk: slow random walk between 5% and 95% free.
+    disk_free_kb_ += rng_.normal(0.0, static_cast<double>(base_.disk_total_kb) * 0.001);
+    disk_free_kb_ = std::clamp(disk_free_kb_,
+                               static_cast<double>(base_.disk_total_kb) * 0.05,
+                               static_cast<double>(base_.disk_total_kb) * 0.95);
+    // Network counters: monotone, traffic proportional to load.
+    double traffic_scale = 1.0 + load_;
+    net_rx_bytes_ += traffic_scale * rng_.uniform(20e3, 200e3);
+    net_tx_bytes_ += traffic_scale * rng_.uniform(10e3, 100e3);
+  }
+}
+
+HostSnapshot SimSystem::snapshot() {
+  std::lock_guard lock(mu_);
+  step_locked();
+  HostSnapshot snap = base_;
+  snap.mem_free_kb = static_cast<std::int64_t>(mem_free_kb_);
+  snap.swap_free_kb = snap.swap_total_kb;  // swap untouched in the model
+  snap.load1 = load_;
+  snap.load5 = load5_;
+  snap.load15 = load15_;
+  snap.uptime = clock_.now();
+  snap.disk_free_kb = static_cast<std::int64_t>(disk_free_kb_);
+  snap.net_rx_bytes = static_cast<std::int64_t>(net_rx_bytes_);
+  snap.net_tx_bytes = static_cast<std::int64_t>(net_tx_bytes_);
+  return snap;
+}
+
+double SimSystem::cpu_load() {
+  std::lock_guard lock(mu_);
+  step_locked();
+  return load_;
+}
+
+void SimSystem::add_load(double delta) {
+  std::lock_guard lock(mu_);
+  step_locked();
+  external_load_ = std::max(0.0, external_load_ + delta);
+}
+
+void SimSystem::add_file(const std::string& dir, const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto& entries = dirs_[dir];
+  if (std::find(entries.begin(), entries.end(), name) == entries.end()) {
+    entries.push_back(name);
+  }
+}
+
+std::vector<std::string> SimSystem::list_dir(const std::string& dir) const {
+  std::lock_guard lock(mu_);
+  auto it = dirs_.find(dir);
+  return it == dirs_.end() ? std::vector<std::string>{} : it->second;
+}
+
+Result<std::string> SimSystem::read_proc(const std::string& path) {
+  HostSnapshot snap = snapshot();
+  if (path == "/proc/meminfo") {
+    return strings::format(
+        "MemTotal: %lld kB\nMemFree: %lld kB\nSwapTotal: %lld kB\nSwapFree: %lld kB\n",
+        static_cast<long long>(snap.mem_total_kb), static_cast<long long>(snap.mem_free_kb),
+        static_cast<long long>(snap.swap_total_kb), static_cast<long long>(snap.swap_free_kb));
+  }
+  if (path == "/proc/loadavg") {
+    return strings::format("%.2f %.2f %.2f 1/1 1\n", snap.load1, snap.load5, snap.load15);
+  }
+  if (path == "/proc/diskstats") {
+    return strings::format("DiskTotal: %lld kB\nDiskFree: %lld kB\n",
+                           static_cast<long long>(snap.disk_total_kb),
+                           static_cast<long long>(snap.disk_free_kb));
+  }
+  if (path == "/proc/net/dev") {
+    return strings::format("rx_bytes: %lld\ntx_bytes: %lld\n",
+                           static_cast<long long>(snap.net_rx_bytes),
+                           static_cast<long long>(snap.net_tx_bytes));
+  }
+  if (path == "/proc/cpuinfo") {
+    std::string out;
+    for (int i = 0; i < snap.cpu_count; ++i) {
+      out += strings::format("processor: %d\nmodel name: %s\ncpu MHz: %d\n", i,
+                             snap.cpu_model.c_str(), snap.cpu_mhz);
+    }
+    return out;
+  }
+  return Error(ErrorCode::kNotFound, "no such proc file: " + path);
+}
+
+}  // namespace ig::exec

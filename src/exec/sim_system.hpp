@@ -1,0 +1,90 @@
+// Simulated host system state.
+//
+// The paper's information providers shell out to commands like `date`,
+// `/sbin/sysinfo.exe -mem` and `/usr/local/bin/cpuload.exe` (Table 1) or
+// read the Linux /proc filesystem. Neither exists portably here, so this
+// class is the substitution: one seeded, time-driven model of a host whose
+// memory follows a bounded random walk and whose load follows an AR(1)
+// process. Both the simulated commands and the simulated /proc files read
+// from it, so every information-provider code path in the paper has a
+// live, changing data source with deterministic replay.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace ig::exec {
+
+/// Snapshot of the simulated host at one instant.
+struct HostSnapshot {
+  std::int64_t mem_total_kb = 0;
+  std::int64_t mem_free_kb = 0;
+  std::int64_t swap_total_kb = 0;
+  std::int64_t swap_free_kb = 0;
+  double load1 = 0.0;
+  double load5 = 0.0;
+  double load15 = 0.0;
+  int cpu_count = 0;
+  int cpu_mhz = 0;
+  std::string cpu_model;
+  Duration uptime{0};
+  std::int64_t disk_total_kb = 0;
+  std::int64_t disk_free_kb = 0;
+  std::int64_t net_rx_bytes = 0;  ///< cumulative since boot
+  std::int64_t net_tx_bytes = 0;
+};
+
+class SimSystem {
+ public:
+  /// `clock` must outlive the system. Different seeds give different hosts.
+  SimSystem(const Clock& clock, std::uint64_t seed, std::string hostname = "sim.host");
+
+  const std::string& hostname() const { return hostname_; }
+
+  /// Advance the internal processes up to the clock's now and snapshot.
+  HostSnapshot snapshot();
+
+  /// The 1-minute load average alone (the paper's CPULoad example).
+  double cpu_load();
+
+  /// External demand: running jobs push the load model up. The batch and
+  /// matchmaking backends call this so info queries see job pressure.
+  void add_load(double delta);
+
+  /// Simulated directory tree for the `/bin/ls` command of Table 1.
+  void add_file(const std::string& dir, const std::string& name);
+  std::vector<std::string> list_dir(const std::string& dir) const;
+
+  /// /proc-style file contents ("/proc/meminfo", "/proc/loadavg",
+  /// "/proc/cpuinfo", "/proc/diskstats", "/proc/net/dev"); kNotFound for
+  /// anything else.
+  Result<std::string> read_proc(const std::string& path);
+
+ private:
+  void step_locked();
+
+  const Clock& clock_;
+  std::string hostname_;
+  mutable std::mutex mu_;
+  Rng rng_;
+  TimePoint last_step_{0};
+  double mem_free_kb_;
+  double load_;           ///< AR(1) state (1-minute load)
+  double load5_ = 0.0;    ///< exponentially smoothed
+  double load15_ = 0.0;
+  double external_load_ = 0.0;
+  double disk_free_kb_ = 0.0;
+  double net_rx_bytes_ = 0.0;
+  double net_tx_bytes_ = 0.0;
+  HostSnapshot base_;
+  std::map<std::string, std::vector<std::string>> dirs_;
+};
+
+}  // namespace ig::exec

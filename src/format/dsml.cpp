@@ -1,0 +1,92 @@
+#include "format/dsml.hpp"
+
+#include "common/strings.hpp"
+#include "format/xml.hpp"
+
+namespace ig::format {
+
+namespace {
+
+void emit_attr(std::string& out, const std::string& name, const std::string& value) {
+  out += "      <dsml:attr name=\"" + xml_escape(name) + "\"><dsml:value>" +
+         xml_escape(value) + "</dsml:value></dsml:attr>\n";
+}
+
+void emit_entry(std::string& out, const InfoRecord& record, const DsmlOptions& options) {
+  std::string dn = "kw=" + record.keyword;
+  if (!options.suffix.empty()) dn += ", " + options.suffix;
+  out += "    <dsml:entry dn=\"" + xml_escape(dn) + "\">\n";
+  emit_attr(out, "objectclass", "InfoGramRecord");
+  emit_attr(out, "kw", record.keyword);
+  emit_attr(out, "generated", std::to_string(record.generated_at.count()));
+  emit_attr(out, "ttl", std::to_string(record.ttl.count()));
+  for (const Attribute& attr : record.attributes) {
+    emit_attr(out, attr.name, attr.value);
+    if (options.include_quality) {
+      emit_attr(out, attr.name + ";quality", strings::format("%.2f", attr.quality));
+    }
+  }
+  out += "    </dsml:entry>\n";
+}
+
+}  // namespace
+
+std::string to_dsml(const std::vector<InfoRecord>& records, const DsmlOptions& options) {
+  std::string out =
+      "<dsml:dsml xmlns:dsml=\"http://www.dsml.org/DSML\">\n"
+      "  <dsml:directory-entries>\n";
+  for (const InfoRecord& record : records) emit_entry(out, record, options);
+  out += "  </dsml:directory-entries>\n</dsml:dsml>\n";
+  return out;
+}
+
+std::string to_dsml(const InfoRecord& record, const DsmlOptions& options) {
+  return to_dsml(std::vector<InfoRecord>{record}, options);
+}
+
+Result<std::vector<InfoRecord>> parse_dsml(const std::string& text) {
+  auto root = parse_xml_element(text);
+  if (!root.ok()) return root.error();
+  if (root->name != "dsml:dsml") {
+    return Error(ErrorCode::kParseError, "expected <dsml:dsml> root, got <" + root->name + ">");
+  }
+  const XmlElement* entries = root->child("dsml:directory-entries");
+  if (entries == nullptr) {
+    return Error(ErrorCode::kParseError, "DSML document has no directory-entries");
+  }
+  std::vector<InfoRecord> records;
+  for (const XmlElement* entry : entries->children_named("dsml:entry")) {
+    InfoRecord record;
+    for (const XmlElement* attr : entry->children_named("dsml:attr")) {
+      std::string name = attr->attribute_or("name", "");
+      const XmlElement* value_el = attr->child("dsml:value");
+      std::string value = value_el != nullptr ? value_el->text : "";
+      if (name == "objectclass") continue;
+      if (name == "kw") {
+        record.keyword = value;
+      } else if (name == "generated") {
+        if (auto v = strings::parse_int(value)) record.generated_at = TimePoint(*v);
+      } else if (name == "ttl") {
+        if (auto v = strings::parse_int(value)) record.ttl = Duration(*v);
+      } else if (strings::ends_with(name, ";quality")) {
+        std::string base = name.substr(0, name.size() - std::string(";quality").size());
+        for (auto it = record.attributes.rbegin(); it != record.attributes.rend(); ++it) {
+          if (it->name == base) {
+            if (auto q = strings::parse_double(value)) it->quality = *q;
+            break;
+          }
+        }
+      } else {
+        Attribute a;
+        a.name = name;
+        a.value = value;
+        a.timestamp = record.generated_at;
+        record.attributes.push_back(std::move(a));
+      }
+    }
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+}  // namespace ig::format

@@ -1,0 +1,36 @@
+// DSML (Directory Services Markup Language) v1-style rendering (paper
+// Sec. 6.6: "it is straightforward to support other formats such as
+// DSML"). DSML expresses LDAP directory content in XML:
+//
+//   <dsml:dsml>
+//     <dsml:directory-entries>
+//       <dsml:entry dn="kw=Memory, o=Grid">
+//         <dsml:attr name="Memory:total"><dsml:value>512</dsml:value></dsml:attr>
+//       </dsml:entry>
+//     </dsml:directory-entries>
+//   </dsml:dsml>
+//
+// InfoGram records render as their GRIS directory-entry view, so DSML
+// output is byte-compatible with what an MDS exporter would produce.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "format/record.hpp"
+
+namespace ig::format {
+
+struct DsmlOptions {
+  bool include_quality = true;
+  std::string suffix = "o=Grid";
+};
+
+std::string to_dsml(const std::vector<InfoRecord>& records, const DsmlOptions& options = {});
+std::string to_dsml(const InfoRecord& record, const DsmlOptions& options = {});
+
+/// Parse to_dsml() output back into records.
+Result<std::vector<InfoRecord>> parse_dsml(const std::string& text);
+
+}  // namespace ig::format

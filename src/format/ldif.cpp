@@ -1,0 +1,222 @@
+#include "format/ldif.hpp"
+
+#include "common/strings.hpp"
+
+namespace ig::format {
+
+namespace {
+constexpr std::string_view kB64 =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Append "name: value" (or "name:: base64") folded at `fold` columns.
+void emit_line(std::string& out, std::string_view name, std::string_view value,
+               std::size_t fold) {
+  std::string line(name);
+  if (ldif_safe(value)) {
+    line += ": ";
+    line += value;
+  } else {
+    line += ":: ";
+    line += base64_encode(value);
+  }
+  if (line.size() <= fold) {
+    out += line;
+    out += '\n';
+    return;
+  }
+  // Fold: first line `fold` chars, continuations start with one space.
+  out.append(line, 0, fold);
+  out += '\n';
+  std::size_t pos = fold;
+  while (pos < line.size()) {
+    std::size_t take = std::min(fold - 1, line.size() - pos);
+    out += ' ';
+    out.append(line, pos, take);
+    out += '\n';
+    pos += take;
+  }
+}
+}  // namespace
+
+bool ldif_safe(std::string_view value) {
+  if (value.empty()) return true;
+  unsigned char first = static_cast<unsigned char>(value.front());
+  if (first == ' ' || first == ':' || first == '<') return false;
+  if (value.back() == ' ') return false;  // trailing space is lost on parse
+  for (char c : value) {
+    auto u = static_cast<unsigned char>(c);
+    if (u == 0 || u == '\r' || u == '\n' || u >= 128) return false;
+  }
+  return true;
+}
+
+std::string base64_encode(std::string_view data) {
+  std::string out;
+  out.reserve((data.size() + 2) / 3 * 4);
+  std::size_t i = 0;
+  while (i + 3 <= data.size()) {
+    std::uint32_t n = (static_cast<unsigned char>(data[i]) << 16) |
+                      (static_cast<unsigned char>(data[i + 1]) << 8) |
+                      static_cast<unsigned char>(data[i + 2]);
+    out += kB64[(n >> 18) & 63];
+    out += kB64[(n >> 12) & 63];
+    out += kB64[(n >> 6) & 63];
+    out += kB64[n & 63];
+    i += 3;
+  }
+  std::size_t rem = data.size() - i;
+  if (rem == 1) {
+    std::uint32_t n = static_cast<unsigned char>(data[i]) << 16;
+    out += kB64[(n >> 18) & 63];
+    out += kB64[(n >> 12) & 63];
+    out += "==";
+  } else if (rem == 2) {
+    std::uint32_t n = (static_cast<unsigned char>(data[i]) << 16) |
+                      (static_cast<unsigned char>(data[i + 1]) << 8);
+    out += kB64[(n >> 18) & 63];
+    out += kB64[(n >> 12) & 63];
+    out += kB64[(n >> 6) & 63];
+    out += '=';
+  }
+  return out;
+}
+
+Result<std::string> base64_decode(std::string_view text) {
+  auto value_of = [](char c) -> int {
+    if (c >= 'A' && c <= 'Z') return c - 'A';
+    if (c >= 'a' && c <= 'z') return c - 'a' + 26;
+    if (c >= '0' && c <= '9') return c - '0' + 52;
+    if (c == '+') return 62;
+    if (c == '/') return 63;
+    return -1;
+  };
+  std::string out;
+  std::uint32_t buffer = 0;
+  int bits = 0;
+  for (char c : text) {
+    if (c == '=') break;
+    int v = value_of(c);
+    if (v < 0) return Error(ErrorCode::kParseError, "invalid base64 character");
+    buffer = (buffer << 6) | static_cast<std::uint32_t>(v);
+    bits += 6;
+    if (bits >= 8) {
+      bits -= 8;
+      out += static_cast<char>((buffer >> bits) & 0xff);
+    }
+  }
+  return out;
+}
+
+std::string to_ldif(const InfoRecord& record, const LdifOptions& options) {
+  std::string out;
+  std::string dn = "kw=" + record.keyword;
+  if (!options.host.empty()) dn += ", host=" + options.host;
+  if (!options.suffix.empty()) dn += ", " + options.suffix;
+  emit_line(out, "dn", dn, options.fold_column);
+  emit_line(out, "objectclass", "InfoGramRecord", options.fold_column);
+  emit_line(out, "kw", record.keyword, options.fold_column);
+  emit_line(out, "generated", std::to_string(record.generated_at.count()),
+            options.fold_column);
+  emit_line(out, "ttl", std::to_string(record.ttl.count()), options.fold_column);
+  for (const Attribute& attr : record.attributes) {
+    emit_line(out, attr.name, attr.value, options.fold_column);
+    if (options.include_quality) {
+      emit_line(out, attr.name + ";quality", strings::format("%.2f", attr.quality),
+                options.fold_column);
+    }
+  }
+  return out;
+}
+
+std::string to_ldif(const std::vector<InfoRecord>& records, const LdifOptions& options) {
+  std::string out;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (i != 0) out += '\n';
+    out += to_ldif(records[i], options);
+  }
+  return out;
+}
+
+Result<std::vector<InfoRecord>> parse_ldif(const std::string& text) {
+  // Unfold: a line starting with a single space continues the previous one.
+  std::vector<std::string> lines;
+  for (const auto& raw : strings::split(text, '\n')) {
+    if (!raw.empty() && raw.front() == ' ' && !lines.empty()) {
+      lines.back() += raw.substr(1);
+    } else {
+      lines.push_back(raw);
+    }
+  }
+
+  std::vector<InfoRecord> records;
+  InfoRecord current;
+  bool in_entry = false;
+  auto finish = [&]() {
+    if (in_entry) records.push_back(std::move(current));
+    current = InfoRecord{};
+    in_entry = false;
+  };
+
+  for (const auto& line : lines) {
+    if (line.empty()) {
+      finish();
+      continue;
+    }
+    // Attribute names may themselves contain ':' (namespaced names like
+    // "Memory:total"), so the separator is the first ":: " (base64) or
+    // ": " (plain), whichever comes first.
+    std::size_t b64 = line.find(":: ");
+    std::size_t plain = line.find(": ");
+    std::string name;
+    std::string value;
+    if (b64 != std::string::npos && (plain == std::string::npos || b64 < plain)) {
+      name = line.substr(0, b64);
+      auto decoded = base64_decode(strings::trim(line.substr(b64 + 3)));
+      if (!decoded.ok()) return decoded.error();
+      value = std::move(decoded.value());
+    } else if (plain != std::string::npos) {
+      name = line.substr(0, plain);
+      value = line.substr(plain + 2);
+    } else if (!line.empty() && line.back() == ':') {
+      name = line.substr(0, line.size() - 1);  // "attr:" with empty value
+    } else {
+      return Error(ErrorCode::kParseError, "LDIF line missing separator: " + line);
+    }
+    if (name == "dn") {
+      finish();
+      in_entry = true;
+    } else if (name == "objectclass") {
+      // structural marker, nothing to store
+    } else if (name == "kw") {
+      current.keyword = value;
+    } else if (name == "generated") {
+      auto v = strings::parse_int(value);
+      if (!v) return Error(ErrorCode::kParseError, "bad generated timestamp: " + value);
+      current.generated_at = TimePoint(*v);
+    } else if (name == "ttl") {
+      auto v = strings::parse_int(value);
+      if (!v) return Error(ErrorCode::kParseError, "bad ttl: " + value);
+      current.ttl = Duration(*v);
+    } else if (strings::ends_with(name, ";quality")) {
+      auto q = strings::parse_double(value);
+      if (!q) return Error(ErrorCode::kParseError, "bad quality value: " + value);
+      std::string attr_name = name.substr(0, name.size() - std::string(";quality").size());
+      for (auto it = current.attributes.rbegin(); it != current.attributes.rend(); ++it) {
+        if (it->name == attr_name) {
+          it->quality = *q;
+          break;
+        }
+      }
+    } else {
+      Attribute attr;
+      attr.name = name;
+      attr.value = value;
+      attr.timestamp = current.generated_at;
+      current.attributes.push_back(std::move(attr));
+    }
+  }
+  finish();
+  return records;
+}
+
+}  // namespace ig::format

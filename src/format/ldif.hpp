@@ -1,0 +1,47 @@
+// LDIF (RFC 2849) rendering of information records — the MDS-compatible
+// return format the paper supports alongside XML.
+//
+// Each record becomes one LDIF entry rooted under the service suffix:
+//
+//   dn: kw=Memory, host=hot.mcs.anl.gov, o=Grid
+//   objectclass: InfoGramRecord
+//   kw: Memory
+//   ttl: 80000
+//   Memory:total: 512MB
+//
+// Values that are not LDIF-safe (leading space/colon/'<', or any control /
+// non-ASCII byte) are base64-encoded with the "::" separator; long lines
+// are folded at 76 characters with one-space continuations, per the RFC.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "format/record.hpp"
+
+namespace ig::format {
+
+struct LdifOptions {
+  std::string suffix = "o=Grid";  ///< DN suffix appended to every entry
+  std::string host;               ///< optional host RDN component
+  bool include_quality = true;    ///< emit per-attribute quality lines
+  std::size_t fold_column = 76;
+};
+
+/// Render records as LDIF entries separated by blank lines.
+std::string to_ldif(const std::vector<InfoRecord>& records, const LdifOptions& options = {});
+std::string to_ldif(const InfoRecord& record, const LdifOptions& options = {});
+
+/// Parse LDIF text produced by to_ldif back into records (unfolding and
+/// base64 decoding). Quality metadata lines are re-absorbed when present.
+Result<std::vector<InfoRecord>> parse_ldif(const std::string& text);
+
+/// RFC 4648 base64 (exposed for tests).
+std::string base64_encode(std::string_view data);
+Result<std::string> base64_decode(std::string_view text);
+
+/// True if `value` may appear verbatim after "attr: " per RFC 2849.
+bool ldif_safe(std::string_view value);
+
+}  // namespace ig::format

@@ -1,0 +1,57 @@
+#include "format/record.hpp"
+
+#include "common/strings.hpp"
+
+namespace ig::format {
+
+void InfoRecord::add(std::string name, std::string value, double quality) {
+  Attribute attr;
+  if (name.find(':') == std::string::npos && !keyword.empty()) {
+    attr.name = keyword + ":" + name;
+  } else {
+    attr.name = std::move(name);
+  }
+  attr.value = std::move(value);
+  attr.quality = quality;
+  attr.timestamp = generated_at;
+  attributes.push_back(std::move(attr));
+}
+
+const Attribute* InfoRecord::find(std::string_view name) const {
+  for (const Attribute& attr : attributes) {
+    if (attr.name == name) return &attr;
+  }
+  // Allow lookup by bare name as well.
+  if (name.find(':') == std::string_view::npos) {
+    std::string qualified = keyword + ":" + std::string(name);
+    for (const Attribute& attr : attributes) {
+      if (attr.name == qualified) return &attr;
+    }
+  }
+  return nullptr;
+}
+
+InfoRecord InfoRecord::filtered(const std::vector<std::string>& globs) const {
+  if (globs.empty()) return *this;
+  InfoRecord out;
+  out.keyword = keyword;
+  out.generated_at = generated_at;
+  out.ttl = ttl;
+  for (const Attribute& attr : attributes) {
+    for (const auto& glob : globs) {
+      if (strings::glob_match(glob, attr.name)) {
+        out.attributes.push_back(attr);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+double InfoRecord::min_quality() const {
+  double q = 100.0;
+  for (const Attribute& attr : attributes) q = std::min(q, attr.quality);
+  return q;
+}
+
+}  // namespace ig::format

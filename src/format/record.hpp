@@ -1,0 +1,49 @@
+// Information record model.
+//
+// A *key information provider* (paper Sec. 6.3) produces, per keyword, a
+// set of attributes namespaced by the keyword — the attribute `total` of
+// the `Memory` provider is `Memory:total`. Each attribute carries a
+// quality-of-information value (paper Sec. 5.2/6.4) and a timestamp, so
+// degradation can be assessed per attribute.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+
+namespace ig::format {
+
+struct Attribute {
+  std::string name;   ///< namespaced, e.g. "Memory:total"
+  std::string value;
+  double quality = 100.0;  ///< percent; 100 = fresh/accurate
+  TimePoint timestamp{0};
+
+  friend bool operator==(const Attribute&, const Attribute&) = default;
+};
+
+/// Everything one keyword's command produced, plus cache metadata.
+struct InfoRecord {
+  std::string keyword;
+  TimePoint generated_at{0};
+  Duration ttl{0};
+  std::vector<Attribute> attributes;
+
+  /// Append an attribute, namespacing bare names with the keyword.
+  void add(std::string name, std::string value, double quality = 100.0);
+
+  const Attribute* find(std::string_view name) const;
+
+  /// Keep only attributes whose name matches at least one glob;
+  /// an empty filter list keeps everything.
+  InfoRecord filtered(const std::vector<std::string>& globs) const;
+
+  /// Lowest attribute quality in the record (100 if empty).
+  double min_quality() const;
+
+  friend bool operator==(const InfoRecord&, const InfoRecord&) = default;
+};
+
+}  // namespace ig::format

@@ -1,0 +1,82 @@
+#include "format/schema.hpp"
+
+#include "common/strings.hpp"
+#include "format/xml.hpp"
+
+namespace ig::format {
+
+const KeywordSchema* ServiceSchema::find(std::string_view keyword) const {
+  for (const KeywordSchema& k : keywords) {
+    if (k.keyword == keyword) return &k;
+  }
+  return nullptr;
+}
+
+std::string ServiceSchema::to_xml() const {
+  std::string out = "<schema service=\"" + xml_escape(service) + "\">\n";
+  if (execution) {
+    out += "  <execution backend=\"" + xml_escape(execution->backend) +
+           "\" jar=\"" + (execution->jar_supported ? "1" : "0") + "\" max_restarts=\"" +
+           std::to_string(execution->max_restarts) + "\">\n";
+    for (const auto& queue : execution->queues) {
+      out += "    <queue name=\"" + xml_escape(queue) + "\"/>\n";
+    }
+    out += "  </execution>\n";
+  }
+  for (const KeywordSchema& kw : keywords) {
+    out += "  <keyword name=\"" + xml_escape(kw.keyword) + "\" command=\"" +
+           xml_escape(kw.command) + "\" ttl=\"" + std::to_string(kw.ttl.count()) + "\">\n";
+    for (const AttributeSchema& attr : kw.attributes) {
+      out += "    <attribute name=\"" + xml_escape(attr.name) + "\" type=\"" +
+             xml_escape(attr.type) + "\"";
+      if (!attr.description.empty()) {
+        out += " description=\"" + xml_escape(attr.description) + "\"";
+      }
+      out += "/>\n";
+    }
+    out += "  </keyword>\n";
+  }
+  out += "</schema>\n";
+  return out;
+}
+
+Result<ServiceSchema> ServiceSchema::parse_xml(const std::string& text) {
+  auto root = parse_xml_element(text);
+  if (!root.ok()) return root.error();
+  if (root->name != "schema") {
+    return Error(ErrorCode::kParseError, "expected <schema> root, got <" + root->name + ">");
+  }
+  ServiceSchema schema;
+  schema.service = root->attribute_or("service", "");
+  if (const XmlElement* execution = root->child("execution"); execution != nullptr) {
+    ExecutionSchema exec;
+    exec.backend = execution->attribute_or("backend", "");
+    exec.jar_supported = execution->attribute_or("jar", "0") == "1";
+    if (auto v = strings::parse_int(execution->attribute_or("max_restarts", "0"))) {
+      exec.max_restarts = static_cast<int>(*v);
+    }
+    for (const XmlElement* queue : execution->children_named("queue")) {
+      exec.queues.push_back(queue->attribute_or("name", ""));
+    }
+    schema.execution = std::move(exec);
+  }
+  for (const XmlElement* kw : root->children_named("keyword")) {
+    KeywordSchema keyword;
+    keyword.keyword = kw->attribute_or("name", "");
+    keyword.command = kw->attribute_or("command", "");
+    if (auto t = strings::parse_int(kw->attribute_or("ttl", "0"))) {
+      keyword.ttl = Duration(*t);
+    }
+    for (const XmlElement* attr : kw->children_named("attribute")) {
+      AttributeSchema a;
+      a.name = attr->attribute_or("name", "");
+      a.type = attr->attribute_or("type", "string");
+      a.description = attr->attribute_or("description", "");
+      keyword.attributes.push_back(std::move(a));
+    }
+    schema.keywords.push_back(std::move(keyword));
+  }
+  return schema;
+}
+
+}  // namespace ig::format

@@ -1,0 +1,63 @@
+// Service reflection (paper Sec. 6.5).
+//
+// "Each information service can be queried and a client may inspect the
+// schema that is returned" — an (info=schema) query returns a hierarchical
+// document listing every configured keyword, the command behind it, its
+// TTL, and the properties of the attributes it produces. Clients use this
+// to adapt to whatever information model a site configured.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/error.hpp"
+
+namespace ig::format {
+
+struct AttributeSchema {
+  std::string name;         ///< namespaced attribute name
+  std::string type;         ///< "string", "integer", "float", ...
+  std::string description;  ///< free text
+
+  friend bool operator==(const AttributeSchema&, const AttributeSchema&) = default;
+};
+
+struct KeywordSchema {
+  std::string keyword;
+  std::string command;  ///< executable path + args behind the keyword
+  Duration ttl{0};
+  std::vector<AttributeSchema> attributes;
+
+  friend bool operator==(const KeywordSchema&, const KeywordSchema&) = default;
+};
+
+/// Capabilities of the execution half of the service (paper Sec. 6.5:
+/// clients introspect "the capabilities of an execution and information
+/// service").
+struct ExecutionSchema {
+  std::string backend;  ///< scheduler family ("fork", "batch", ...)
+  bool jar_supported = false;
+  int max_restarts = 0;
+  std::vector<std::string> queues;  ///< batch queues, if any
+
+  friend bool operator==(const ExecutionSchema&, const ExecutionSchema&) = default;
+};
+
+struct ServiceSchema {
+  std::string service;  ///< endpoint the schema describes
+  std::optional<ExecutionSchema> execution;
+  std::vector<KeywordSchema> keywords;
+
+  const KeywordSchema* find(std::string_view keyword) const;
+
+  /// XML rendering (the schema document is hierarchical; LDIF's flat
+  /// entries fit it poorly, so reflection always returns XML).
+  std::string to_xml() const;
+  static Result<ServiceSchema> parse_xml(const std::string& text);
+
+  friend bool operator==(const ServiceSchema&, const ServiceSchema&) = default;
+};
+
+}  // namespace ig::format

@@ -1,0 +1,264 @@
+#include "format/xml.hpp"
+
+#include <cctype>
+
+#include "common/strings.hpp"
+
+namespace ig::format {
+
+std::string xml_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      case '\'':
+        out += "&apos;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string to_xml(const InfoRecord& record, const XmlOptions& options) {
+  std::string out;
+  out += options.indent + "<record keyword=\"" + xml_escape(record.keyword) +
+         "\" generated=\"" + std::to_string(record.generated_at.count()) + "\" ttl=\"" +
+         std::to_string(record.ttl.count()) + "\">\n";
+  for (const Attribute& attr : record.attributes) {
+    out += options.indent + options.indent + "<attribute name=\"" + xml_escape(attr.name) +
+           "\"";
+    if (options.include_quality) {
+      out += " quality=\"" + strings::format("%.2f", attr.quality) + "\"";
+    }
+    out += ">" + xml_escape(attr.value) + "</attribute>\n";
+  }
+  out += options.indent + "</record>\n";
+  return out;
+}
+
+std::string to_xml(const std::vector<InfoRecord>& records, const XmlOptions& options) {
+  std::string out = "<infogram>\n";
+  for (const InfoRecord& record : records) out += to_xml(record, options);
+  out += "</infogram>\n";
+  return out;
+}
+
+namespace {
+
+class XmlParser {
+ public:
+  explicit XmlParser(std::string_view text) : text_(text) {}
+
+  Result<XmlElement> parse_document() {
+    skip_ws();
+    if (lookahead("<?")) {  // XML declaration
+      std::size_t end = text_.find("?>", pos_);
+      if (end == std::string_view::npos) return fail("unterminated XML declaration");
+      pos_ = end + 2;
+      skip_ws();
+    }
+    auto root = parse_element();
+    if (!root.ok()) return root;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing content after root element");
+    return root;
+  }
+
+ private:
+  Result<XmlElement> parse_element() {
+    if (!lookahead("<")) return fail("expected '<'");
+    ++pos_;
+    XmlElement element;
+    element.name = read_name();
+    if (element.name.empty()) return fail("expected element name");
+    // Attributes.
+    while (true) {
+      skip_ws();
+      if (lookahead("/>")) {
+        pos_ += 2;
+        return element;
+      }
+      if (lookahead(">")) {
+        ++pos_;
+        break;
+      }
+      std::string attr = read_name();
+      if (attr.empty()) return fail("expected attribute name");
+      skip_ws();
+      if (!lookahead("=")) return fail("expected '=' after attribute name");
+      ++pos_;
+      skip_ws();
+      if (pos_ >= text_.size() || (text_[pos_] != '"' && text_[pos_] != '\'')) {
+        return fail("expected quoted attribute value");
+      }
+      char quote = text_[pos_++];
+      std::size_t end = text_.find(quote, pos_);
+      if (end == std::string_view::npos) return fail("unterminated attribute value");
+      auto value = unescape(text_.substr(pos_, end - pos_));
+      if (!value.ok()) return value.error();
+      element.attributes[attr] = std::move(value.value());
+      pos_ = end + 1;
+    }
+    // Content.
+    while (true) {
+      if (pos_ >= text_.size()) return fail("unterminated element: " + element.name);
+      if (lookahead("</")) {
+        pos_ += 2;
+        std::string closing = read_name();
+        skip_ws();
+        if (!lookahead(">")) return fail("malformed closing tag");
+        ++pos_;
+        if (closing != element.name) {
+          return fail("mismatched closing tag: expected " + element.name + ", got " + closing);
+        }
+        return element;
+      }
+      if (lookahead("<")) {
+        auto child = parse_element();
+        if (!child.ok()) return child;
+        element.children.push_back(std::move(child.value()));
+      } else {
+        std::size_t next = text_.find('<', pos_);
+        if (next == std::string_view::npos) return fail("unterminated character data");
+        auto chunk = unescape(text_.substr(pos_, next - pos_));
+        if (!chunk.ok()) return chunk.error();
+        element.text += chunk.value();
+        pos_ = next;
+      }
+    }
+  }
+
+  std::string read_name() {
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' || c == ':' ||
+          c == '.') {
+        out += c;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    return out;
+  }
+
+  Result<std::string> unescape(std::string_view s) {
+    std::string out;
+    out.reserve(s.size());
+    std::size_t i = 0;
+    while (i < s.size()) {
+      if (s[i] != '&') {
+        out += s[i++];
+        continue;
+      }
+      std::size_t semi = s.find(';', i);
+      if (semi == std::string_view::npos) {
+        return Result<std::string>(Error(ErrorCode::kParseError, "unterminated XML entity"));
+      }
+      std::string_view entity = s.substr(i + 1, semi - i - 1);
+      if (entity == "amp") {
+        out += '&';
+      } else if (entity == "lt") {
+        out += '<';
+      } else if (entity == "gt") {
+        out += '>';
+      } else if (entity == "quot") {
+        out += '"';
+      } else if (entity == "apos") {
+        out += '\'';
+      } else {
+        return Result<std::string>(
+            Error(ErrorCode::kParseError, "unknown XML entity: " + std::string(entity)));
+      }
+      i = semi + 1;
+    }
+    return out;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+  }
+  bool lookahead(std::string_view s) const {
+    return text_.substr(pos_, s.size()) == s;
+  }
+  Error fail(std::string what) const {
+    return Error(ErrorCode::kParseError, what + " at offset " + std::to_string(pos_));
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const XmlElement* XmlElement::child(std::string_view name) const {
+  for (const XmlElement& c : children) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+std::vector<const XmlElement*> XmlElement::children_named(std::string_view name) const {
+  std::vector<const XmlElement*> out;
+  for (const XmlElement& c : children) {
+    if (c.name == name) out.push_back(&c);
+  }
+  return out;
+}
+
+std::string XmlElement::attribute_or(const std::string& key, std::string fallback) const {
+  auto it = attributes.find(key);
+  return it == attributes.end() ? std::move(fallback) : it->second;
+}
+
+Result<XmlElement> parse_xml_element(std::string_view text) {
+  return XmlParser(text).parse_document();
+}
+
+Result<std::vector<InfoRecord>> parse_xml(const std::string& text) {
+  auto root = parse_xml_element(text);
+  if (!root.ok()) return root.error();
+  if (root->name != "infogram") {
+    return Error(ErrorCode::kParseError, "expected <infogram> root, got <" + root->name + ">");
+  }
+  std::vector<InfoRecord> records;
+  for (const XmlElement* rec : root->children_named("record")) {
+    InfoRecord record;
+    record.keyword = rec->attribute_or("keyword", "");
+    if (auto g = strings::parse_int(rec->attribute_or("generated", "0"))) {
+      record.generated_at = TimePoint(*g);
+    }
+    if (auto t = strings::parse_int(rec->attribute_or("ttl", "0"))) {
+      record.ttl = Duration(*t);
+    }
+    for (const XmlElement* attr : rec->children_named("attribute")) {
+      Attribute a;
+      a.name = attr->attribute_or("name", "");
+      a.value = attr->text;
+      a.timestamp = record.generated_at;
+      if (auto q = strings::parse_double(attr->attribute_or("quality", "100"))) {
+        a.quality = *q;
+      }
+      record.attributes.push_back(std::move(a));
+    }
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+}  // namespace ig::format

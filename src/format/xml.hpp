@@ -1,0 +1,55 @@
+// XML rendering of information records, plus a minimal pull parser.
+//
+// The paper argues XML schemas are "a viable alternative to the currently
+// used LDAP schemas" and supports (format=xml) in xRSL. The writer emits:
+//
+//   <infogram>
+//     <record keyword="Memory" generated="..." ttl="...">
+//       <attribute name="Memory:total" quality="100.00">512MB</attribute>
+//     </record>
+//   </infogram>
+//
+// The pull parser handles the subset of XML this codebase produces (tags,
+// attributes, character data, the five predefined entities) and exists so
+// clients and tests can round-trip responses without a third-party library.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "format/record.hpp"
+
+namespace ig::format {
+
+struct XmlOptions {
+  bool include_quality = true;
+  std::string indent = "  ";
+};
+
+std::string to_xml(const std::vector<InfoRecord>& records, const XmlOptions& options = {});
+std::string to_xml(const InfoRecord& record, const XmlOptions& options = {});
+
+/// Parse to_xml() output back into records.
+Result<std::vector<InfoRecord>> parse_xml(const std::string& text);
+
+/// Escape &, <, >, ", ' for element/attribute content.
+std::string xml_escape(std::string_view text);
+
+/// A parsed XML element (subset: no namespaces, comments, PIs or CDATA).
+struct XmlElement {
+  std::string name;
+  std::map<std::string, std::string> attributes;
+  std::string text;  ///< concatenated character data directly inside
+  std::vector<XmlElement> children;
+
+  const XmlElement* child(std::string_view name) const;
+  std::vector<const XmlElement*> children_named(std::string_view name) const;
+  std::string attribute_or(const std::string& key, std::string fallback) const;
+};
+
+/// Parse a single-rooted document.
+Result<XmlElement> parse_xml_element(std::string_view text);
+
+}  // namespace ig::format

@@ -1,0 +1,165 @@
+#include "gram/job_manager.hpp"
+
+namespace ig::gram {
+
+namespace {
+// "Indefinite" backend waits are bounded to keep a wedged backend from
+// leaking monitor threads forever; generous enough for any simulated job.
+constexpr Duration kLongWait = seconds(300);
+}  // namespace
+
+JobManager::JobManager(std::string contact, std::uint64_t log_job_id,
+                       exec::JobRequest request,
+                       std::shared_ptr<exec::LocalJobExecution> backend,
+                       std::shared_ptr<logging::Logger> logger, ManagerOptions options)
+    : contact_(std::move(contact)),
+      log_job_id_(log_job_id),
+      request_(std::move(request)),
+      backend_(std::move(backend)),
+      logger_(std::move(logger)),
+      options_(std::move(options)) {}
+
+JobManager::~JobManager() = default;  // monitor_ joins
+
+Status JobManager::start() {
+  auto id = backend_->submit(request_);
+  if (!id.ok()) return id.error();
+  {
+    std::lock_guard lock(mu_);
+    current_backend_id_ = id.value();
+  }
+  monitor_ = std::jthread([this] { monitor_loop(); });
+  return Status::success();
+}
+
+void JobManager::record(const exec::JobStatus& status) {
+  std::function<void(const exec::JobStatus&)> callback;
+  {
+    std::lock_guard lock(mu_);
+    bool changed = info_.status.state != status.state;
+    info_.status = status;
+    if (changed) callback = options_.on_transition;
+  }
+  cv_.notify_all();
+  if (callback) callback(status);
+}
+
+void JobManager::monitor_loop() {
+  int attempt = 0;
+  while (true) {
+    exec::JobId backend_id;
+    {
+      std::lock_guard lock(mu_);
+      backend_id = current_backend_id_;
+    }
+    // Surface the current (possibly ACTIVE) state to callbacks before
+    // blocking on the terminal state.
+    if (auto status = backend_->status(backend_id); status.ok()) record(status.value());
+
+    Result<exec::JobStatus> final_status(Error(ErrorCode::kInternal, "unset"));
+    if (options_.timeout) {
+      final_status = backend_->wait(backend_id, *options_.timeout);
+      if (!final_status.ok() && final_status.code() == ErrorCode::kTimeout) {
+        if (options_.timeout_action == rsl::TimeoutAction::kCancel) {
+          // (timeout=...)(action=cancel): cancel the running command.
+          (void)backend_->cancel(backend_id);
+          final_status = backend_->wait(backend_id, kLongWait);
+        } else {
+          // (action=exception): report the timeout but let the command
+          // continue to completion.
+          {
+            std::lock_guard lock(mu_);
+            info_.timeout_fired = true;
+          }
+          cv_.notify_all();
+          final_status = backend_->wait(backend_id, kLongWait);
+        }
+      }
+    } else {
+      final_status = backend_->wait(backend_id, kLongWait);
+    }
+
+    if (!final_status.ok()) {
+      // Backend wedged or job vanished: report as failed.
+      exec::JobStatus failed;
+      failed.id = backend_id;
+      failed.state = exec::JobState::kFailed;
+      failed.error = final_status.error().to_string();
+      record(failed);
+    } else {
+      record(final_status.value());
+    }
+
+    exec::JobState state;
+    {
+      std::lock_guard lock(mu_);
+      state = info_.status.state;
+    }
+    if (logger_ != nullptr) {
+      auto type = state == exec::JobState::kDone        ? logging::EventType::kJobFinished
+                  : state == exec::JobState::kCancelled ? logging::EventType::kJobCancelled
+                                                        : logging::EventType::kJobFailed;
+      // Intermediate failures that will be restarted are not logged as
+      // final failures; the restart event below covers them.
+      if (state != exec::JobState::kFailed || attempt >= options_.max_restarts) {
+        logger_->log(type, options_.subject, options_.local_user, log_job_id_,
+                     contact_);
+      }
+    }
+
+    if (state == exec::JobState::kFailed && attempt < options_.max_restarts) {
+      ++attempt;
+      {
+        std::lock_guard lock(mu_);
+        info_.restarts = attempt;
+      }
+      if (logger_ != nullptr) {
+        logger_->log(logging::EventType::kJobRestarted, options_.subject,
+                     options_.local_user, log_job_id_, request_.spec.executable);
+      }
+      auto id = backend_->submit(request_);
+      if (!id.ok()) {
+        exec::JobStatus failed;
+        failed.state = exec::JobState::kFailed;
+        failed.error = "restart submission failed: " + id.error().to_string();
+        record(failed);
+        break;
+      }
+      {
+        std::lock_guard lock(mu_);
+        current_backend_id_ = id.value();
+      }
+      continue;
+    }
+    break;
+  }
+  {
+    std::lock_guard lock(mu_);
+    finalized_ = true;
+  }
+  cv_.notify_all();
+}
+
+ManagedJobInfo JobManager::info() const {
+  std::lock_guard lock(mu_);
+  return info_;
+}
+
+Status JobManager::cancel() {
+  exec::JobId backend_id;
+  {
+    std::lock_guard lock(mu_);
+    backend_id = current_backend_id_;
+  }
+  return backend_->cancel(backend_id);
+}
+
+Result<ManagedJobInfo> JobManager::wait(Duration timeout) const {
+  std::unique_lock lock(mu_);
+  bool done = cv_.wait_for(lock, std::chrono::microseconds(timeout.count()),
+                           [this] { return finalized_; });
+  if (!done) return Error(ErrorCode::kTimeout, "job manager not finalized: " + contact_);
+  return info_;
+}
+
+}  // namespace ig::gram

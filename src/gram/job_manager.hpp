@@ -1,0 +1,83 @@
+// JobManager (paper Sec. 2, middle tier): "each job submitted by a client
+// to the same GRAM will start its own job manager" which then "handles the
+// communication between the client and the backend system". This one adds
+// the InfoGram enhancements of Sec. 6.1: fault tolerance ("a logging and
+// fault tolerance mechanism that allows to restart a job upon failure")
+// and the planned timeout/action extension of Sec. 6.6.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "exec/job.hpp"
+#include "logging/log.hpp"
+#include "rsl/xrsl.hpp"
+
+namespace ig::gram {
+
+struct ManagerOptions {
+  int max_restarts = 0;  ///< additional attempts after a failure
+  std::optional<Duration> timeout;
+  rsl::TimeoutAction timeout_action = rsl::TimeoutAction::kCancel;
+  std::string subject;     ///< authenticated DN, for the log
+  std::string local_user;  ///< gridmap-mapped account
+  /// Called on every state transition (callback notifications).
+  std::function<void(const exec::JobStatus&)> on_transition;
+};
+
+/// Client-visible job manager state.
+struct ManagedJobInfo {
+  exec::JobStatus status;
+  int restarts = 0;
+  bool timeout_fired = false;  ///< action=exception: deadline passed but job ran on
+};
+
+class JobManager {
+ public:
+  /// `contact` is the GRAM job handle (GlobusID). The manager logs its
+  /// lifecycle through `logger` (nullable) and drives `backend`.
+  JobManager(std::string contact, std::uint64_t log_job_id, exec::JobRequest request,
+             std::shared_ptr<exec::LocalJobExecution> backend,
+             std::shared_ptr<logging::Logger> logger, ManagerOptions options);
+  ~JobManager();
+
+  JobManager(const JobManager&) = delete;
+  JobManager& operator=(const JobManager&) = delete;
+
+  /// Begin managing: submits to the backend and starts the monitor thread.
+  Status start();
+
+  const std::string& contact() const { return contact_; }
+  ManagedJobInfo info() const;
+
+  /// Forward a cancellation to the backend.
+  Status cancel();
+
+  /// Block until the manager reached a final state (after all restarts).
+  Result<ManagedJobInfo> wait(Duration timeout) const;
+
+ private:
+  void monitor_loop();
+  void record(const exec::JobStatus& status);
+
+  std::string contact_;
+  std::uint64_t log_job_id_;
+  exec::JobRequest request_;
+  std::shared_ptr<exec::LocalJobExecution> backend_;
+  std::shared_ptr<logging::Logger> logger_;
+  ManagerOptions options_;
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  ManagedJobInfo info_;
+  exec::JobId current_backend_id_ = 0;
+  bool finalized_ = false;
+
+  std::jthread monitor_;
+};
+
+}  // namespace ig::gram

@@ -1,0 +1,338 @@
+#include "gram/service.hpp"
+
+#include "common/id.hpp"
+#include "common/strings.hpp"
+
+namespace ig::gram {
+
+Result<exec::JobState> job_state_from_string(std::string_view name) {
+  for (auto state : {exec::JobState::kPending, exec::JobState::kActive, exec::JobState::kDone,
+                     exec::JobState::kFailed, exec::JobState::kCancelled}) {
+    if (to_string(state) == name) return state;
+  }
+  return Error(ErrorCode::kParseError, "unknown job state: " + std::string(name));
+}
+
+GramService::GramService(std::shared_ptr<exec::LocalJobExecution> backend,
+                         security::Credential credential, const security::TrustStore* trust,
+                         const security::GridMap* gridmap,
+                         const security::AuthorizationPolicy* policy, const Clock* clock,
+                         std::shared_ptr<logging::Logger> logger, GramConfig config)
+    : backend_(std::move(backend)),
+      authenticator_(std::move(credential), trust, gridmap, clock),
+      policy_(policy),
+      clock_(clock),
+      logger_(std::move(logger)),
+      config_(std::move(config)) {}
+
+Status GramService::start(net::Network& network) {
+  network_ = &network;
+  return network.listen(address(),
+                        authenticator_.wrap([this](const net::Message& req,
+                                                   net::Session& session) {
+                          return handle(req, session);
+                        }));
+}
+
+void GramService::stop() {
+  if (network_ != nullptr) network_->close(address());
+}
+
+Result<std::string> GramService::submit_local(const rsl::XrslRequest& request,
+                                              const std::string& subject,
+                                              const std::string& local_user,
+                                              const std::string& callback_address) {
+  if (!request.is_job()) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "GRAM accepts job submissions only; use MDS for information queries");
+  }
+  if (policy_ != nullptr) {
+    auto auth = policy_->authorize(subject, config_.host, "submit", clock_->now());
+    if (!auth.ok()) return auth.error();
+  }
+  std::shared_ptr<exec::LocalJobExecution> backend = backend_;
+  if (request.job->job_type == "jar") {
+    if (config_.jar_backend == nullptr) {
+      return Error(ErrorCode::kInvalidArgument, "this GRAM does not accept jar jobs");
+    }
+    backend = config_.jar_backend;
+  }
+
+  std::uint64_t id = IdGenerator::next();
+  std::string contact = IdGenerator::job_contact(config_.host, config_.port, id);
+
+  exec::JobRequest job_request;
+  job_request.spec = *request.job;
+  job_request.local_user = local_user;
+
+  ManagerOptions options;
+  options.max_restarts = config_.max_restarts;
+  options.timeout = request.timeout;
+  options.timeout_action = request.action;
+  options.subject = subject;
+  options.local_user = local_user;
+  if (!callback_address.empty()) {
+    options.on_transition = [this, callback_address, contact](const exec::JobStatus& status) {
+      notify_callback(callback_address, contact, status);
+    };
+  }
+
+  // The kJobSubmitted event carries the full RSL: it is the checkpoint
+  // recovery replays after a crash.
+  if (logger_ != nullptr) {
+    logger_->log(logging::EventType::kJobSubmitted, subject, local_user, id,
+                 request.to_rsl());
+    logger_->log(logging::EventType::kJobStarted, subject, local_user, id, contact);
+  }
+
+  auto manager = std::make_shared<JobManager>(contact, id, std::move(job_request), backend,
+                                              logger_, std::move(options));
+  if (auto status = manager->start(); !status.ok()) {
+    if (logger_ != nullptr) {
+      logger_->log(logging::EventType::kJobFailed, subject, local_user, id,
+                   status.error().to_string());
+    }
+    return status.error();
+  }
+  {
+    std::lock_guard lock(mu_);
+    jobs_[contact] = std::move(manager);
+  }
+  return contact;
+}
+
+std::shared_ptr<JobManager> GramService::manager(const std::string& contact) const {
+  std::lock_guard lock(mu_);
+  auto it = jobs_.find(contact);
+  return it == jobs_.end() ? nullptr : it->second;
+}
+
+Result<ManagedJobInfo> GramService::job_info(const std::string& contact) const {
+  auto m = manager(contact);
+  if (m == nullptr) return Error(ErrorCode::kNotFound, "unknown job contact: " + contact);
+  return m->info();
+}
+
+Status GramService::cancel(const std::string& contact) {
+  auto m = manager(contact);
+  if (m == nullptr) return Error(ErrorCode::kNotFound, "unknown job contact: " + contact);
+  return m->cancel();
+}
+
+Result<ManagedJobInfo> GramService::wait(const std::string& contact, Duration timeout) const {
+  auto m = manager(contact);
+  if (m == nullptr) return Error(ErrorCode::kNotFound, "unknown job contact: " + contact);
+  return m->wait(timeout);
+}
+
+std::size_t GramService::job_count() const {
+  std::lock_guard lock(mu_);
+  return jobs_.size();
+}
+
+void GramService::notify_callback(const std::string& callback_address,
+                                  const std::string& contact,
+                                  const exec::JobStatus& status) {
+  auto parts = strings::split(callback_address, ':');
+  if (parts.size() != 2 || network_ == nullptr) return;
+  auto port = strings::parse_int(parts[1]);
+  if (!port) return;
+  auto conn = network_->connect({parts[0], static_cast<int>(*port)});
+  if (!conn.ok()) return;  // best-effort, like GRAM's UDP-ish callbacks
+  net::Message msg("GRAM_CALLBACK");
+  msg.with("contact", contact);
+  msg.with("state", std::string(to_string(status.state)));
+  (void)(*conn)->request(msg);
+}
+
+net::Message GramService::handle(const net::Message& request, net::Session& session) {
+  const std::string subject = session.authenticated_subject().value_or("");
+  const std::string local_user = session.local_user().value_or("");
+
+  if (request.verb == "GRAM_SUBMIT") return handle_submit(request, session);
+
+  auto contact = request.header("contact");
+  if (!contact) {
+    return net::Message::error(
+        Error(ErrorCode::kInvalidArgument, request.verb + " requires a contact header"));
+  }
+  if (request.verb == "GRAM_STATUS" || request.verb == "GRAM_WAIT") {
+    Result<ManagedJobInfo> info(Error(ErrorCode::kInternal, "unset"));
+    if (request.verb == "GRAM_WAIT") {
+      auto timeout_ms = strings::parse_int(request.header_or("timeout_ms", "60000"));
+      info = wait(*contact, ms(timeout_ms.value_or(60000)));
+    } else {
+      info = job_info(*contact);
+    }
+    if (!info.ok()) return net::Message::error(info.error());
+    net::Message resp = net::Message::ok();
+    resp.with("state", std::string(to_string(info->status.state)));
+    resp.with("exit_code", std::to_string(info->status.exit_code));
+    resp.with("restarts", std::to_string(info->restarts));
+    resp.with("timeout_fired", info->timeout_fired ? "1" : "0");
+    return resp;
+  }
+  if (request.verb == "GRAM_OUTPUT") {
+    auto info = job_info(*contact);
+    if (!info.ok()) return net::Message::error(info.error());
+    return net::Message::ok(info->status.output);
+  }
+  if (request.verb == "GRAM_CANCEL") {
+    auto status = cancel(*contact);
+    if (!status.ok()) return net::Message::error(status.error());
+    return net::Message::ok();
+  }
+  return net::Message::error(
+      Error(ErrorCode::kInvalidArgument, "unknown GRAMP verb: " + request.verb));
+}
+
+net::Message GramService::handle_submit(const net::Message& request, net::Session& session) {
+  auto parsed = rsl::XrslRequest::parse(request.body);
+  if (!parsed.ok()) return net::Message::error(parsed.error());
+  auto contact = submit_local(parsed.value(), session.authenticated_subject().value_or(""),
+                              session.local_user().value_or(""),
+                              request.header_or("callback", ""));
+  if (!contact.ok()) return net::Message::error(contact.error());
+  net::Message resp = net::Message::ok();
+  resp.with("contact", contact.value());
+  return resp;
+}
+
+GramClient::GramClient(net::Network& network, net::Address address,
+                       security::Credential credential, const security::TrustStore& trust,
+                       const Clock& clock)
+    : network_(network),
+      address_(std::move(address)),
+      credential_(std::move(credential)),
+      trust_(trust),
+      clock_(clock) {}
+
+Status GramClient::ensure_connected() {
+  if (connection_ != nullptr) return Status::success();
+  auto conn = network_.connect(address_);
+  if (!conn.ok()) return conn.error();
+  connection_ = std::move(conn.value());
+  auto auth = security::authenticate(*connection_, credential_, trust_, clock_);
+  if (!auth.ok()) {
+    closed_stats_.merge(connection_->stats());
+    connection_.reset();
+    return auth.error();
+  }
+  return Status::success();
+}
+
+Result<net::Message> GramClient::roundtrip(const net::Message& request) {
+  if (auto status = ensure_connected(); !status.ok()) return status.error();
+  auto resp = connection_->request(request);
+  if (!resp.ok()) return resp;
+  if (resp->is_error()) return net::Message::to_error(*resp);
+  return resp;
+}
+
+Result<std::string> GramClient::submit(const std::string& rsl,
+                                       const std::string& callback_address) {
+  net::Message req("GRAM_SUBMIT", rsl);
+  if (!callback_address.empty()) req.with("callback", callback_address);
+  auto resp = roundtrip(req);
+  if (!resp.ok()) return resp.error();
+  auto contact = resp->header("contact");
+  if (!contact) return Error(ErrorCode::kInternal, "submit response missing contact");
+  return *contact;
+}
+
+namespace {
+Result<GramClient::RemoteStatus> parse_status(const net::Message& resp) {
+  GramClient::RemoteStatus status;
+  auto state = job_state_from_string(resp.header_or("state", ""));
+  if (!state.ok()) return state.error();
+  status.state = state.value();
+  status.exit_code =
+      static_cast<int>(strings::parse_int(resp.header_or("exit_code", "-1")).value_or(-1));
+  status.restarts =
+      static_cast<int>(strings::parse_int(resp.header_or("restarts", "0")).value_or(0));
+  status.timeout_fired = resp.header_or("timeout_fired", "0") == "1";
+  return status;
+}
+}  // namespace
+
+Result<GramClient::RemoteStatus> GramClient::status(const std::string& contact) {
+  net::Message req("GRAM_STATUS");
+  req.with("contact", contact);
+  auto resp = roundtrip(req);
+  if (!resp.ok()) return resp.error();
+  return parse_status(*resp);
+}
+
+Result<std::string> GramClient::output(const std::string& contact) {
+  net::Message req("GRAM_OUTPUT");
+  req.with("contact", contact);
+  auto resp = roundtrip(req);
+  if (!resp.ok()) return resp.error();
+  return resp->body;
+}
+
+Status GramClient::cancel(const std::string& contact) {
+  net::Message req("GRAM_CANCEL");
+  req.with("contact", contact);
+  auto resp = roundtrip(req);
+  if (!resp.ok()) return resp.error();
+  return Status::success();
+}
+
+Result<GramClient::RemoteStatus> GramClient::wait(const std::string& contact,
+                                                  Duration timeout) {
+  net::Message req("GRAM_WAIT");
+  req.with("contact", contact);
+  req.with("timeout_ms", std::to_string(timeout.count() / 1000));
+  auto resp = roundtrip(req);
+  if (!resp.ok()) return resp.error();
+  return parse_status(*resp);
+}
+
+net::TrafficStats GramClient::stats() const {
+  net::TrafficStats total = closed_stats_;
+  if (connection_ != nullptr) total.merge(connection_->stats());
+  return total;
+}
+
+void GramClient::disconnect() {
+  if (connection_ != nullptr) {
+    closed_stats_.merge(connection_->stats());
+    connection_.reset();
+  }
+}
+
+CallbackListener::CallbackListener(net::Network& network, net::Address address)
+    : network_(network), address_(std::move(address)) {
+  (void)network_.listen(address_, [this](const net::Message& req, net::Session&) {
+    if (req.verb != "GRAM_CALLBACK") {
+      return net::Message::error(Error(ErrorCode::kInvalidArgument, "expected GRAM_CALLBACK"));
+    }
+    Notification note;
+    note.contact = req.header_or("contact", "");
+    if (auto state = job_state_from_string(req.header_or("state", "")); state.ok()) {
+      note.state = state.value();
+    }
+    {
+      std::lock_guard lock(mu_);
+      notifications_.push_back(std::move(note));
+    }
+    cv_.notify_all();
+    return net::Message::ok();
+  });
+}
+
+CallbackListener::~CallbackListener() { network_.close(address_); }
+
+std::vector<CallbackListener::Notification> CallbackListener::notifications() const {
+  std::lock_guard lock(mu_);
+  return notifications_;
+}
+
+bool CallbackListener::wait_for(std::size_t n, Duration timeout) const {
+  std::unique_lock lock(mu_);
+  return cv_.wait_for(lock, std::chrono::microseconds(timeout.count()),
+                      [&] { return notifications_.size() >= n; });
+}
+
+}  // namespace ig::gram

@@ -1,0 +1,161 @@
+// GRAM service and client over the GRAMP protocol (paper Sec. 2).
+//
+// Three-tier structure: the client submits RSL; the gatekeeper
+// authenticates (GSI handshake), maps the subject to a local account
+// (gridmap) and checks the authorization policy; each accepted job gets
+// its own JobManager driving a pluggable backend. Job handles are GRAM
+// contact strings ("https://host:port/jobmanager/<id>") usable "from
+// other remote clients with appropriate authorization".
+//
+// GRAMP verbs: GRAM_SUBMIT (body = RSL) -> contact header;
+// GRAM_STATUS / GRAM_OUTPUT / GRAM_CANCEL / GRAM_WAIT take the contact.
+// Clients may pass a `callback` address at submit: the service connects
+// back and delivers GRAM_CALLBACK messages on every state transition
+// (the GRAM event-notification mechanism).
+//
+// This is the *job-only* half of the paper's Fig. 2 baseline: information
+// queries are rejected here, which is exactly the two-protocol friction
+// InfoGram removes.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "exec/job.hpp"
+#include "gram/job_manager.hpp"
+#include "logging/log.hpp"
+#include "net/network.hpp"
+#include "security/authorization.hpp"
+#include "security/handshake.hpp"
+
+namespace ig::gram {
+
+struct GramConfig {
+  std::string host = "gram.sim";
+  int port = 2119;  ///< the classic gatekeeper port
+  int max_restarts = 0;
+  /// Backend for (jobtype=jar) submissions; nullptr rejects them.
+  std::shared_ptr<exec::LocalJobExecution> jar_backend;
+};
+
+class GramService {
+ public:
+  GramService(std::shared_ptr<exec::LocalJobExecution> backend,
+              security::Credential credential, const security::TrustStore* trust,
+              const security::GridMap* gridmap, const security::AuthorizationPolicy* policy,
+              const Clock* clock, std::shared_ptr<logging::Logger> logger,
+              GramConfig config = {});
+
+  Status start(net::Network& network);
+  void stop();
+
+  net::Address address() const { return {config_.host, config_.port}; }
+
+  /// Submit directly (in-process path used by recovery and tests).
+  Result<std::string> submit_local(const rsl::XrslRequest& request,
+                                   const std::string& subject,
+                                   const std::string& local_user,
+                                   const std::string& callback_address = "");
+
+  Result<ManagedJobInfo> job_info(const std::string& contact) const;
+  Status cancel(const std::string& contact);
+  Result<ManagedJobInfo> wait(const std::string& contact, Duration timeout) const;
+
+  std::size_t job_count() const;
+
+  /// Attach a network without binding an endpoint: composing services
+  /// (InfoGram) serve GRAMP through their own port but still need the
+  /// network for callback notifications.
+  void attach_network(net::Network& network) { network_ = &network; }
+
+  /// Dispatch one GRAMP request (used by both this service's endpoint and
+  /// the InfoGram unified endpoint for protocol backwards compatibility).
+  net::Message handle(const net::Message& request, net::Session& session);
+
+ private:
+  net::Message handle_submit(const net::Message& request, net::Session& session);
+  std::shared_ptr<JobManager> manager(const std::string& contact) const;
+  void notify_callback(const std::string& callback_address, const std::string& contact,
+                       const exec::JobStatus& status);
+
+  std::shared_ptr<exec::LocalJobExecution> backend_;
+  security::Authenticator authenticator_;
+  const security::AuthorizationPolicy* policy_;
+  const Clock* clock_;
+  std::shared_ptr<logging::Logger> logger_;
+  GramConfig config_;
+
+  net::Network* network_ = nullptr;
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<JobManager>> jobs_;  // by contact
+};
+
+/// Client for a GramService (or for the job half of an InfoGram service).
+class GramClient {
+ public:
+  GramClient(net::Network& network, net::Address address, security::Credential credential,
+             const security::TrustStore& trust, const Clock& clock);
+
+  /// Submit an RSL string; returns the job contact.
+  Result<std::string> submit(const std::string& rsl,
+                             const std::string& callback_address = "");
+
+  struct RemoteStatus {
+    exec::JobState state = exec::JobState::kPending;
+    int exit_code = -1;
+    int restarts = 0;
+    bool timeout_fired = false;
+  };
+
+  Result<RemoteStatus> status(const std::string& contact);
+  Result<std::string> output(const std::string& contact);
+  Status cancel(const std::string& contact);
+  /// Server-side wait until terminal (or remote timeout).
+  Result<RemoteStatus> wait(const std::string& contact, Duration timeout);
+
+  net::TrafficStats stats() const;
+  void disconnect();
+
+ private:
+  Status ensure_connected();
+  Result<net::Message> roundtrip(const net::Message& request);
+
+  net::Network& network_;
+  net::Address address_;
+  security::Credential credential_;
+  const security::TrustStore& trust_;
+  const Clock& clock_;
+  std::unique_ptr<net::Connection> connection_;
+  net::TrafficStats closed_stats_;
+};
+
+/// Listens at an address for GRAM_CALLBACK notifications and records them;
+/// the client-side half of GRAM event notification.
+class CallbackListener {
+ public:
+  CallbackListener(net::Network& network, net::Address address);
+  ~CallbackListener();
+
+  struct Notification {
+    std::string contact;
+    exec::JobState state = exec::JobState::kPending;
+  };
+
+  std::vector<Notification> notifications() const;
+  /// Wait (wall time) until at least `n` notifications arrived.
+  bool wait_for(std::size_t n, Duration timeout) const;
+
+  const net::Address& address() const { return address_; }
+
+ private:
+  net::Network& network_;
+  net::Address address_;
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  std::vector<Notification> notifications_;
+};
+
+Result<exec::JobState> job_state_from_string(std::string_view name);
+
+}  // namespace ig::gram

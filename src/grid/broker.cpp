@@ -1,0 +1,63 @@
+#include "grid/broker.hpp"
+
+#include "common/strings.hpp"
+
+namespace ig::grid {
+
+void LoadAwareBroker::add_resource(std::string host,
+                                   std::shared_ptr<core::InfoGramClient> client) {
+  resources_.push_back(Entry{std::move(host), std::move(client)});
+}
+
+core::InfoGramClient* LoadAwareBroker::client(const std::string& host) const {
+  for (const auto& entry : resources_) {
+    if (entry.host == host) return entry.client.get();
+  }
+  return nullptr;
+}
+
+Result<double> LoadAwareBroker::load_of(core::InfoGramClient& client) {
+  rsl::XrslBuilder builder;
+  builder.info(options_.load_keyword).response(options_.response);
+  if (options_.quality_threshold) builder.quality(*options_.quality_threshold);
+  auto resp = client.request(builder.request());
+  if (!resp.ok()) return resp.error();
+  for (const auto& record : resp->records) {
+    for (const auto& attr : record.attributes) {
+      if (auto v = strings::parse_double(attr.value)) return *v;
+    }
+  }
+  return Error(ErrorCode::kNotFound,
+               "no numeric attribute in " + options_.load_keyword + " record");
+}
+
+Result<std::vector<std::pair<std::string, double>>> LoadAwareBroker::loads() {
+  std::vector<std::pair<std::string, double>> out;
+  for (const auto& entry : resources_) {
+    auto load = load_of(*entry.client);
+    if (!load.ok()) return load.error();
+    out.emplace_back(entry.host, load.value());
+  }
+  return out;
+}
+
+Result<LoadAwareBroker::Placement> LoadAwareBroker::submit(const rsl::XrslRequest& job) {
+  if (resources_.empty()) {
+    return Error(ErrorCode::kUnavailable, "broker has no resources attached");
+  }
+  auto all_loads = loads();
+  if (!all_loads.ok()) return all_loads.error();
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < all_loads->size(); ++i) {
+    if ((*all_loads)[i].second < (*all_loads)[best].second) best = i;
+  }
+  auto contact = resources_[best].client->submit_job(job);
+  if (!contact.ok()) return contact.error();
+  Placement placement;
+  placement.host = (*all_loads)[best].first;
+  placement.load = (*all_loads)[best].second;
+  placement.contact = std::move(contact.value());
+  return placement;
+}
+
+}  // namespace ig::grid

@@ -1,0 +1,59 @@
+// Load-aware broker: the "more sophisticated resource management
+// strategies" the paper motivates (Sec. 5.2) — it uses the information
+// half of InfoGram (CPULoad queries, optionally quality-gated) to decide
+// where the job half should run. One client object per resource; both the
+// query and the subsequent submission ride the same connection.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/infogram_client.hpp"
+
+namespace ig::grid {
+
+class LoadAwareBroker {
+ public:
+  struct Placement {
+    std::string host;
+    std::string contact;
+    double load = 0.0;
+  };
+
+  struct Options {
+    /// Keyword whose first numeric attribute is the load metric.
+    std::string load_keyword = "CPULoad";
+    rsl::ResponseMode response = rsl::ResponseMode::kCached;
+    /// Minimum information quality to accept a cached load value.
+    std::optional<double> quality_threshold;
+  };
+
+  LoadAwareBroker() = default;
+  explicit LoadAwareBroker(Options options) : options_(std::move(options)) {}
+
+  /// Attach a resource. The client must already point at its InfoGram
+  /// endpoint; the broker keeps it alive.
+  void add_resource(std::string host, std::shared_ptr<core::InfoGramClient> client);
+  std::size_t resource_count() const { return resources_.size(); }
+
+  /// Current load of every resource, by one info query each.
+  Result<std::vector<std::pair<std::string, double>>> loads();
+
+  /// Submit to the least-loaded resource.
+  Result<Placement> submit(const rsl::XrslRequest& job);
+
+  core::InfoGramClient* client(const std::string& host) const;
+
+ private:
+  Result<double> load_of(core::InfoGramClient& client);
+
+  struct Entry {
+    std::string host;
+    std::shared_ptr<core::InfoGramClient> client;
+  };
+
+  Options options_;
+  std::vector<Entry> resources_;
+};
+
+}  // namespace ig::grid

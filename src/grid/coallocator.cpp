@@ -1,0 +1,113 @@
+#include "grid/coallocator.hpp"
+
+#include <algorithm>
+
+#include "common/id.hpp"
+
+namespace ig::grid {
+
+Result<CoAllocation> CoAllocator::submit(const rsl::XrslRequest& request) {
+  if (!request.is_job() || request.job->count < 1) {
+    return Error(ErrorCode::kInvalidArgument, "co-allocation needs a job with count >= 1");
+  }
+  auto loads = broker_.loads();
+  if (!loads.ok()) return loads.error();
+  // Least-loaded resources first.
+  std::sort(loads->begin(), loads->end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+
+  int remaining = request.job->count;
+  std::vector<std::pair<std::string, int>> plan;  // host -> processes
+  for (const auto& [host, load] : loads.value()) {
+    if (remaining <= 0) break;
+    int take = std::min(remaining, max_per_resource_);
+    plan.emplace_back(host, take);
+    remaining -= take;
+  }
+  if (remaining > 0) {
+    return Error(ErrorCode::kUnavailable,
+                 "not enough resources to place count=" +
+                     std::to_string(request.job->count));
+  }
+
+  CoAllocation allocation;
+  allocation.id = "coalloc-" + std::to_string(IdGenerator::next());
+  for (const auto& [host, count] : plan) {
+    rsl::XrslRequest subjob = request;
+    subjob.job->count = count;
+    subjob.job->environment["coallocation_id"] = allocation.id;
+    auto* client = broker_.client(host);
+    if (client == nullptr) {
+      (void)cancel(allocation);
+      return Error(ErrorCode::kInternal, "broker lost client for " + host);
+    }
+    auto contact = client->submit_job(subjob);
+    if (!contact.ok()) {
+      // All-or-nothing placement: roll back what was already submitted.
+      (void)cancel(allocation);
+      return contact.error();
+    }
+    allocation.subjobs.push_back({host, std::move(contact.value()), count});
+  }
+  return allocation;
+}
+
+Result<CoAllocationStatus> CoAllocator::wait(const CoAllocation& allocation,
+                                             Duration timeout) {
+  CoAllocationStatus status;
+  bool any_bad = false;
+  for (const auto& subjob : allocation.subjobs) {
+    auto* client = broker_.client(subjob.host);
+    if (client == nullptr) {
+      return Error(ErrorCode::kInternal, "broker lost client for " + subjob.host);
+    }
+    auto remote = client->wait(subjob.contact, timeout);
+    if (!remote.ok()) return remote.error();
+    switch (remote->state) {
+      case exec::JobState::kDone:
+        ++status.done;
+        break;
+      case exec::JobState::kFailed:
+        ++status.failed;
+        any_bad = true;
+        break;
+      case exec::JobState::kCancelled:
+        ++status.cancelled;
+        any_bad = true;
+        break;
+      default:
+        break;
+    }
+    auto output = client->job_output(subjob.contact);
+    if (output.ok() && !output->empty()) {
+      status.output += "[" + subjob.host + "] " + output.value();
+    }
+  }
+  if (any_bad) {
+    // Barrier semantics: one bad subjob takes the allocation down.
+    (void)cancel(allocation);
+    status.state = status.failed > 0 ? exec::JobState::kFailed : exec::JobState::kCancelled;
+  } else if (status.done == static_cast<int>(allocation.subjobs.size())) {
+    status.state = exec::JobState::kDone;
+  } else {
+    status.state = exec::JobState::kActive;
+  }
+  return status;
+}
+
+Status CoAllocator::cancel(const CoAllocation& allocation) {
+  Status first_error = Status::success();
+  for (const auto& subjob : allocation.subjobs) {
+    auto* client = broker_.client(subjob.host);
+    if (client == nullptr) continue;
+    auto status = client->cancel(subjob.contact);
+    // Already-terminal subjobs are fine; remember real failures only.
+    if (!status.ok() && status.code() != ErrorCode::kInvalidArgument &&
+        status.code() != ErrorCode::kNotFound && first_error.ok()) {
+      first_error = status;
+    }
+  }
+  return first_error;
+}
+
+}  // namespace ig::grid

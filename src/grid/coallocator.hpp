@@ -1,0 +1,62 @@
+// Co-allocation across resources — the DUROC role (paper Sec. 7: J-GRAM
+// does not implement DUROC itself but keeps multi-resource jobs such as
+// MPICH-G2 startable; this is the substitute co-allocator built on the
+// unified service).
+//
+// A (jobtype=multiple)(count=N) request is split into per-resource
+// subjobs, spread over the least-loaded resources by the broker's load
+// information, and managed as one logical job with barrier semantics:
+// the co-allocated job is Done only when every subjob is Done, and a
+// failure or cancellation of any subjob cancels the rest (the all-or-
+// nothing property MPI startup needs).
+#pragma once
+
+#include "grid/broker.hpp"
+
+namespace ig::grid {
+
+/// One logical multi-resource job.
+struct CoAllocation {
+  std::string id;
+  struct SubJob {
+    std::string host;
+    std::string contact;
+    int count = 0;  ///< processes placed on this resource
+  };
+  std::vector<SubJob> subjobs;
+};
+
+struct CoAllocationStatus {
+  exec::JobState state = exec::JobState::kPending;  ///< aggregated
+  int done = 0;
+  int failed = 0;
+  int cancelled = 0;
+  std::string output;  ///< concatenated subjob outputs (host-prefixed)
+};
+
+class CoAllocator {
+ public:
+  /// Uses the broker's resources and clients. `max_per_resource` caps how
+  /// many of the job's `count` processes one resource receives.
+  explicit CoAllocator(LoadAwareBroker& broker, int max_per_resource = 4)
+      : broker_(broker), max_per_resource_(max_per_resource) {}
+
+  /// Split and submit. The request must have (count >= 1); its count is
+  /// distributed over resources in ascending-load order. Fails without
+  /// side effects if the split cannot be placed; cancels already-placed
+  /// subjobs if a later submission fails.
+  Result<CoAllocation> submit(const rsl::XrslRequest& request);
+
+  /// Aggregate status: Done iff all subjobs Done; Failed/Cancelled if any
+  /// subjob is, with the remaining subjobs cancelled (barrier semantics).
+  Result<CoAllocationStatus> wait(const CoAllocation& allocation, Duration timeout);
+
+  /// Cancel every subjob.
+  Status cancel(const CoAllocation& allocation);
+
+ private:
+  LoadAwareBroker& broker_;
+  int max_per_resource_;
+};
+
+}  // namespace ig::grid

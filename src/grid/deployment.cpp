@@ -1,0 +1,108 @@
+#include "grid/deployment.hpp"
+
+namespace ig::grid {
+
+Status DeploymentRepository::publish(ServicePackage package) {
+  std::lock_guard lock(mu_);
+  auto it = packages_.find(package.name);
+  if (it != packages_.end() && package.version <= it->second.version) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "published version must exceed v" + std::to_string(it->second.version));
+  }
+  packages_[package.name] = std::move(package);
+  return Status::success();
+}
+
+Result<ServicePackage> DeploymentRepository::latest(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  auto it = packages_.find(name);
+  if (it == packages_.end()) return Error(ErrorCode::kNotFound, "no such package: " + name);
+  return it->second;
+}
+
+Result<int> DeploymentRepository::latest_version(const std::string& name) const {
+  auto package = latest(name);
+  if (!package.ok()) return package.error();
+  return package->version;
+}
+
+std::vector<std::string> DeploymentRepository::package_names() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(packages_.size());
+  for (const auto& [name, pkg] : packages_) out.push_back(name);
+  return out;
+}
+
+Deployer::Deployer(const DeploymentRepository& repository, Clock& clock,
+                   double bytes_per_us)
+    : repository_(repository), clock_(clock), bytes_per_us_(bytes_per_us) {}
+
+Result<int> Deployer::deploy(const std::string& package, GridResource& resource) {
+  auto pkg = repository_.latest(package);
+  if (!pkg.ok()) return pkg.error();
+  {
+    std::lock_guard lock(mu_);
+    auto it = installed_.find({resource.host(), package});
+    if (it != installed_.end() && it->second >= pkg->version) {
+      return it->second;  // already current: zero-cost no-op
+    }
+  }
+  if (resource.sandbox() == nullptr) {
+    return Error(ErrorCode::kUnavailable,
+                 "resource has no sandbox to install into: " + resource.host());
+  }
+  // The download: charge size/bandwidth against the clock.
+  Duration transfer = us(static_cast<std::int64_t>(
+      static_cast<double>(pkg->size_bytes) / bytes_per_us_));
+  ScopedTimer timer(clock_);
+  clock_.sleep_for(transfer);
+  // "Install": register every task; add any new information providers.
+  for (const auto& [name, task] : pkg->tasks) {
+    resource.sandbox()->register_task(name, task);
+  }
+  for (const auto& kw : pkg->providers.keywords()) {
+    if (resource.monitor()->provider(kw.keyword) != nullptr) continue;  // keep existing
+    core::Configuration single;
+    single.add(kw);
+    if (auto status = single.apply(*resource.monitor(), resource.registry());
+        !status.ok()) {
+      return status.error();
+    }
+  }
+  time_spent_us_.fetch_add(timer.elapsed().count());
+  std::lock_guard lock(mu_);
+  installed_[{resource.host(), package}] = pkg->version;
+  return pkg->version;
+}
+
+Result<int> Deployer::installed_version(const std::string& package,
+                                        const std::string& host) const {
+  std::lock_guard lock(mu_);
+  auto it = installed_.find({host, package});
+  if (it == installed_.end()) {
+    return Error(ErrorCode::kNotFound, "not installed on " + host + ": " + package);
+  }
+  return it->second;
+}
+
+Result<int> Deployer::upgrade_all(const std::string& package, VirtualOrganization& vo) {
+  auto latest = repository_.latest_version(package);
+  if (!latest.ok()) return latest.error();
+  int upgraded = 0;
+  for (const auto& resource : vo.resources()) {
+    bool current = false;
+    {
+      std::lock_guard lock(mu_);
+      auto it = installed_.find({resource->host(), package});
+      current = it != installed_.end() && it->second >= latest.value();
+    }
+    if (current) continue;
+    auto version = deploy(package, *resource);
+    if (!version.ok()) return version.error();
+    ++upgraded;
+  }
+  return upgraded;
+}
+
+}  // namespace ig::grid

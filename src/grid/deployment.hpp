@@ -1,0 +1,84 @@
+// Deployment service (paper Sec. 7, "Deployment"): "We have demonstrated
+// this service at SC2001 and featured the ease of installation of such a
+// service while using the Java framework deployment methods known as Web
+// Start... we are also able to maintain the upgradeability with more ease
+// and to provide future solutions for automatically upgrading such
+// services in production Grids."
+//
+// The repository is the Web Start server: versioned packages of sandbox
+// tasks (the "jars") plus optional information-provider configuration.
+// The Deployer installs or upgrades packages on grid resources, charging
+// a transfer cost proportional to package size — so the "low overhead on
+// installation time" claim is measurable (examples/sporadic_grid and the
+// provisioning numbers in EXPERIMENTS.md).
+#pragma once
+
+#include <map>
+#include <mutex>
+
+#include "core/config.hpp"
+#include "grid/virtual_organization.hpp"
+
+namespace ig::grid {
+
+/// One deployable unit: sandbox tasks and provider configuration under a
+/// versioned name.
+struct ServicePackage {
+  std::string name;
+  int version = 1;
+  std::size_t size_bytes = 1 << 20;  ///< modeled download size
+  std::map<std::string, exec::SandboxTask> tasks;
+  /// Extra information keywords the package brings (commands must exist
+  /// in the target resource's registry).
+  core::Configuration providers;
+};
+
+/// The "Web Start server": versioned package registry.
+class DeploymentRepository {
+ public:
+  /// Publish a package; its version must exceed any published one of the
+  /// same name (kInvalidArgument otherwise).
+  Status publish(ServicePackage package);
+
+  /// Latest published version of `name`.
+  Result<ServicePackage> latest(const std::string& name) const;
+  Result<int> latest_version(const std::string& name) const;
+  std::vector<std::string> package_names() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, ServicePackage> packages_;  // latest per name
+};
+
+/// Installs/upgrades packages onto grid resources.
+class Deployer {
+ public:
+  /// `bytes_per_us` models the download bandwidth the transfer charges
+  /// against the clock.
+  Deployer(const DeploymentRepository& repository, Clock& clock,
+           double bytes_per_us = 50.0);
+
+  /// Install (or upgrade to) the latest version of `package` on the
+  /// resource. No-op if already current. Returns the installed version.
+  Result<int> deploy(const std::string& package, GridResource& resource);
+
+  /// Installed version on a host; kNotFound if never deployed.
+  Result<int> installed_version(const std::string& package, const std::string& host) const;
+
+  /// Deploy the latest version of `package` to every resource of the VO;
+  /// returns how many resources were (re)installed (0 = all current).
+  Result<int> upgrade_all(const std::string& package, VirtualOrganization& vo);
+
+  /// Total virtual time spent transferring + installing.
+  Duration time_spent() const { return Duration(time_spent_us_.load()); }
+
+ private:
+  const DeploymentRepository& repository_;
+  Clock& clock_;
+  double bytes_per_us_;
+  mutable std::mutex mu_;
+  std::map<std::pair<std::string, std::string>, int> installed_;  // (host, pkg) -> ver
+  std::atomic<std::int64_t> time_spent_us_{0};
+};
+
+}  // namespace ig::grid

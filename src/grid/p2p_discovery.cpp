@@ -1,0 +1,178 @@
+#include "grid/p2p_discovery.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+
+namespace ig::grid {
+
+std::string serialize_adverts(const std::vector<Advertisement>& adverts) {
+  std::string out;
+  for (const Advertisement& ad : adverts) {
+    out += strings::format("%s\t%s\t%d\t%.6f\t%lld\n", ad.host.c_str(),
+                           ad.infogram_address.host.c_str(), ad.infogram_address.port,
+                           ad.load, static_cast<long long>(ad.stamped.count()));
+  }
+  return out;
+}
+
+Result<std::vector<Advertisement>> parse_adverts(const std::string& text) {
+  std::vector<Advertisement> out;
+  for (const auto& line : strings::split(text, '\n')) {
+    if (strings::trim(line).empty()) continue;
+    auto fields = strings::split(line, '\t');
+    if (fields.size() != 5) {
+      return Error(ErrorCode::kParseError, "malformed advert line: " + line);
+    }
+    Advertisement ad;
+    ad.host = fields[0];
+    ad.infogram_address.host = fields[1];
+    auto port = strings::parse_int(fields[2]);
+    auto load = strings::parse_double(fields[3]);
+    auto stamped = strings::parse_int(fields[4]);
+    if (!port || !load || !stamped) {
+      return Error(ErrorCode::kParseError, "malformed advert fields: " + line);
+    }
+    ad.infogram_address.port = static_cast<int>(*port);
+    ad.load = *load;
+    ad.stamped = TimePoint(*stamped);
+    out.push_back(std::move(ad));
+  }
+  return out;
+}
+
+DiscoveryPeer::DiscoveryPeer(net::Network& network, Clock& clock, std::string host,
+                             net::Address infogram_address, std::function<double()> load_fn,
+                             GossipConfig config, std::uint64_t seed)
+    : network_(network),
+      clock_(clock),
+      host_(std::move(host)),
+      infogram_address_(std::move(infogram_address)),
+      load_fn_(std::move(load_fn)),
+      config_(config),
+      rng_(seed) {
+  {
+    std::lock_guard lock(mu_);
+    refresh_self_locked();
+  }
+  (void)network_.listen(gossip_address(),
+                        [this](const net::Message& req, net::Session& session) {
+                          return handle(req, session);
+                        });
+}
+
+DiscoveryPeer::~DiscoveryPeer() { network_.close(gossip_address()); }
+
+void DiscoveryPeer::add_neighbor(const net::Address& gossip_address_in) {
+  std::lock_guard lock(mu_);
+  for (const auto& existing : neighbors_) {
+    if (existing == gossip_address_in) return;
+  }
+  neighbors_.push_back(gossip_address_in);
+}
+
+void DiscoveryPeer::refresh_self_locked() {
+  Advertisement self;
+  self.host = host_;
+  self.infogram_address = infogram_address_;
+  self.load = load_fn_ ? load_fn_() : 0.0;
+  self.stamped = clock_.now();
+  adverts_[host_] = std::move(self);
+}
+
+void DiscoveryPeer::expire_locked(TimePoint now) {
+  for (auto it = adverts_.begin(); it != adverts_.end();) {
+    if (it->first != host_ && now - it->second.stamped > config_.advert_ttl) {
+      it = adverts_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::string DiscoveryPeer::serialize_view() const {
+  std::vector<Advertisement> snapshot;
+  snapshot.reserve(adverts_.size());
+  for (const auto& [host, ad] : adverts_) snapshot.push_back(ad);
+  return serialize_adverts(snapshot);
+}
+
+void DiscoveryPeer::merge_adverts(const std::string& body) {
+  auto incoming = parse_adverts(body);
+  if (!incoming.ok()) return;  // drop malformed gossip, epidemic style
+  std::lock_guard lock(mu_);
+  for (auto& ad : incoming.value()) {
+    auto it = adverts_.find(ad.host);
+    if (it == adverts_.end() || ad.stamped > it->second.stamped) {
+      adverts_[ad.host] = std::move(ad);
+    }
+  }
+}
+
+net::Message DiscoveryPeer::handle(const net::Message& request, net::Session&) {
+  if (request.verb != "GOSSIP") {
+    return net::Message::error(
+        Error(ErrorCode::kInvalidArgument, "discovery peer speaks GOSSIP only"));
+  }
+  merge_adverts(request.body);
+  std::lock_guard lock(mu_);
+  refresh_self_locked();
+  expire_locked(clock_.now());
+  // Pull half of push-pull: answer with our merged view.
+  return net::Message::ok(serialize_view());
+}
+
+void DiscoveryPeer::tick() {
+  std::vector<net::Address> targets;
+  std::string view_body;
+  {
+    std::lock_guard lock(mu_);
+    refresh_self_locked();
+    expire_locked(clock_.now());
+    // Gossip targets: configured neighbours plus any peer we learned of.
+    std::vector<net::Address> candidates = neighbors_;
+    for (const auto& [host, ad] : adverts_) {
+      if (host == host_) continue;
+      candidates.push_back({ad.host, config_.gossip_port});
+    }
+    // Dedup.
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()), candidates.end());
+    for (int i = 0; i < config_.fanout && !candidates.empty(); ++i) {
+      auto index = static_cast<std::size_t>(
+          rng_.uniform_int(0, static_cast<std::int64_t>(candidates.size()) - 1));
+      targets.push_back(candidates[index]);
+      candidates.erase(candidates.begin() + static_cast<std::ptrdiff_t>(index));
+    }
+    view_body = serialize_view();
+  }
+  for (const auto& target : targets) {
+    auto conn = network_.connect(target);
+    if (!conn.ok()) continue;  // unreachable peers just miss this round
+    messages_sent_.fetch_add(1, std::memory_order_relaxed);
+    auto resp = (*conn)->request(net::Message("GOSSIP", view_body));
+    if (resp.ok() && !resp->is_error()) merge_adverts(resp->body);
+  }
+}
+
+std::vector<Advertisement> DiscoveryPeer::view() const {
+  std::lock_guard lock(mu_);
+  std::vector<Advertisement> out;
+  TimePoint now = clock_.now();
+  for (const auto& [host, ad] : adverts_) {
+    if (host == host_ || now - ad.stamped <= config_.advert_ttl) out.push_back(ad);
+  }
+  return out;
+}
+
+Result<Advertisement> DiscoveryPeer::lookup(const std::string& host) const {
+  std::lock_guard lock(mu_);
+  auto it = adverts_.find(host);
+  if (it == adverts_.end()) return Error(ErrorCode::kNotFound, "unknown peer: " + host);
+  if (host != host_ && clock_.now() - it->second.stamped > config_.advert_ttl) {
+    return Error(ErrorCode::kStale, "advert expired: " + host);
+  }
+  return it->second;
+}
+
+}  // namespace ig::grid

@@ -1,0 +1,103 @@
+// Peer-to-peer resource discovery — the JXTA experiment (paper Sec. 10:
+// "We are also experimenting with integration of our framework in Web
+// services and JXTA").
+//
+// Instead of registering with a central GIIS, every resource runs a
+// discovery peer that gossips resource advertisements (host, InfoGram
+// address, load, timestamp) with a few random neighbours per round.
+// Advertisements spread epidemically — O(log n) rounds to reach every
+// peer — and expire after a TTL, so departed resources age out without
+// any central bookkeeping. The trade against the GIIS is the classic one:
+// no single point of failure or registration step, but eventually-
+// consistent (stale by up to TTL) information and per-round gossip
+// traffic; bench_p2p_discovery measures both sides.
+//
+// Rounds are driven explicitly (tick()) so simulations are deterministic.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "net/network.hpp"
+
+namespace ig::grid {
+
+/// What a peer advertises about its resource.
+struct Advertisement {
+  std::string host;
+  net::Address infogram_address;
+  double load = 0.0;
+  TimePoint stamped{0};  ///< origin timestamp; newer always wins
+
+  friend bool operator==(const Advertisement&, const Advertisement&) = default;
+};
+
+struct GossipConfig {
+  int fanout = 2;              ///< neighbours contacted per round
+  Duration advert_ttl = seconds(30);
+  int gossip_port = 7400;      ///< the JXTA-ish rendezvous port
+};
+
+class DiscoveryPeer {
+ public:
+  /// Binds host:gossip_port on the network. `self` is this peer's own
+  /// advertisement source (load is refreshed through `load_fn` each
+  /// round, so adverts carry current data).
+  DiscoveryPeer(net::Network& network, Clock& clock, std::string host,
+                net::Address infogram_address, std::function<double()> load_fn,
+                GossipConfig config, std::uint64_t seed);
+  ~DiscoveryPeer();
+
+  /// Introduce a bootstrap contact (a peer joins the overlay by knowing
+  /// at least one other member — JXTA's rendezvous role).
+  void add_neighbor(const net::Address& gossip_address);
+
+  /// One gossip round: refresh the self-advert, pick `fanout` random
+  /// neighbours, exchange advert sets (push-pull), expire stale entries.
+  void tick();
+
+  /// Current view of the overlay (fresh adverts only), self included.
+  std::vector<Advertisement> view() const;
+  /// Advert for a specific host, if known and fresh.
+  Result<Advertisement> lookup(const std::string& host) const;
+
+  net::Address gossip_address() const { return {host_, config_.gossip_port}; }
+  const std::string& host() const { return host_; }
+
+  /// Gossip messages sent by this peer (traffic metric).
+  std::uint64_t messages_sent() const {
+    return messages_sent_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  net::Message handle(const net::Message& request, net::Session& session);
+  std::string serialize_view() const;
+  void merge_adverts(const std::string& body);
+  void expire_locked(TimePoint now);
+  void refresh_self_locked();
+
+  net::Network& network_;
+  Clock& clock_;
+  std::string host_;
+  net::Address infogram_address_;
+  std::function<double()> load_fn_;
+  GossipConfig config_;
+  Rng rng_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, Advertisement> adverts_;  // by host
+  std::vector<net::Address> neighbors_;
+  std::atomic<std::uint64_t> messages_sent_{0};
+};
+
+/// Serialize/parse advert sets for the gossip wire format (exposed for
+/// tests).
+std::string serialize_adverts(const std::vector<Advertisement>& adverts);
+Result<std::vector<Advertisement>> parse_adverts(const std::string& text);
+
+}  // namespace ig::grid

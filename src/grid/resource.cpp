@@ -1,0 +1,71 @@
+#include "grid/resource.hpp"
+
+namespace ig::grid {
+
+GridResource::GridResource(GridContext context, security::Credential host_credential,
+                           ResourceOptions options)
+    : context_(context), credential_(std::move(host_credential)), options_(std::move(options)) {
+  system_ = std::make_shared<exec::SimSystem>(*context_.clock, options_.seed, options_.host);
+  registry_ = exec::CommandRegistry::standard(*context_.clock, system_, options_.seed ^ 0x5eed);
+  monitor_ = std::make_shared<info::SystemMonitor>(*context_.clock, options_.host);
+  exec::BatchConfig batch_config;
+  batch_config.nodes = options_.batch_nodes;
+  batch_ = std::make_shared<exec::BatchBackend>(registry_, *context_.clock, batch_config,
+                                                system_);
+  if (options_.with_sandbox) {
+    exec::SandboxConfig sandbox_config;
+    sandbox_config.capabilities = exec::CapabilitySet().grant(exec::Capability::kReadFile);
+    sandbox_ = std::make_shared<exec::SandboxBackend>(*context_.clock, sandbox_config, system_);
+  }
+}
+
+GridResource::~GridResource() { stop(); }
+
+Status GridResource::start() {
+  if (started_) return Status::success();
+  if (auto status = options_.info_config.apply(*monitor_, registry_); !status.ok()) {
+    return status;
+  }
+  if (options_.run_infogram) {
+    core::InfoGramConfig config;
+    config.host = options_.host;
+    config.port = 2135;
+    config.max_restarts = options_.max_restarts;
+    config.jar_backend = sandbox_;
+    infogram_ = std::make_unique<core::InfoGramService>(
+        monitor_, batch_, credential_, context_.trust, context_.gridmap, context_.policy,
+        context_.clock, context_.logger, config);
+    if (auto status = infogram_->start(*context_.network); !status.ok()) return status;
+  }
+  if (options_.run_gram) {
+    gram::GramConfig config;
+    config.host = options_.host;
+    config.port = 2119;
+    config.max_restarts = options_.max_restarts;
+    config.jar_backend = sandbox_;
+    gram_ = std::make_unique<gram::GramService>(batch_, credential_, context_.trust,
+                                                context_.gridmap, context_.policy,
+                                                context_.clock, context_.logger, config);
+    if (auto status = gram_->start(*context_.network); !status.ok()) return status;
+  }
+  if (options_.run_mds) {
+    gris_ = std::make_shared<mds::Gris>(monitor_, options_.host, *context_.clock);
+    mds_ = std::make_unique<mds::MdsService>(gris_, credential_, context_.trust,
+                                             context_.clock, context_.logger);
+    if (auto status = mds_->start(*context_.network, mds_address()); !status.ok()) {
+      return status;
+    }
+  }
+  started_ = true;
+  return Status::success();
+}
+
+void GridResource::stop() {
+  if (!started_) return;
+  if (infogram_ != nullptr) infogram_->stop();
+  if (gram_ != nullptr) gram_->stop();
+  if (mds_ != nullptr) mds_->stop();
+  started_ = false;
+}
+
+}  // namespace ig::grid

@@ -1,0 +1,80 @@
+// One Grid compute resource (paper Fig. 2/4): a simulated host with its
+// command set, information providers, execution backend, and the services
+// in front of them. Depending on options it runs the unified InfoGram
+// service (Fig. 4), the classic GRAM + GRIS pair (Fig. 2), or both — the
+// two deployments the protocol-count experiment compares.
+#pragma once
+
+#include <memory>
+
+#include "core/infogram_service.hpp"
+#include "exec/batch_backend.hpp"
+#include "exec/sandbox.hpp"
+#include "mds/service.hpp"
+
+namespace ig::grid {
+
+struct ResourceOptions {
+  std::string host = "node0.sim";
+  std::uint64_t seed = 1;
+  int batch_nodes = 2;
+  int max_restarts = 1;
+  core::Configuration info_config = core::Configuration::table1();
+  bool run_infogram = true;   ///< unified service on port 2135
+  bool run_gram = false;      ///< baseline GRAM gatekeeper on port 2119
+  bool run_mds = false;       ///< baseline GRIS on port 2136
+  bool with_sandbox = true;   ///< accept (jobtype=jar) submissions
+};
+
+/// Shared security/VO context every resource plugs into. Owned by the
+/// VirtualOrganization; must outlive the resources.
+struct GridContext {
+  net::Network* network = nullptr;
+  Clock* clock = nullptr;
+  const security::TrustStore* trust = nullptr;
+  const security::GridMap* gridmap = nullptr;
+  const security::AuthorizationPolicy* policy = nullptr;
+  std::shared_ptr<logging::Logger> logger;
+};
+
+class GridResource {
+ public:
+  GridResource(GridContext context, security::Credential host_credential,
+               ResourceOptions options);
+  ~GridResource();
+
+  Status start();
+  void stop();
+
+  const std::string& host() const { return options_.host; }
+  net::Address infogram_address() const { return {options_.host, 2135}; }
+  net::Address gram_address() const { return {options_.host, 2119}; }
+  net::Address mds_address() const { return {options_.host, 2136}; }
+
+  std::shared_ptr<exec::SimSystem> system() const { return system_; }
+  std::shared_ptr<exec::CommandRegistry> registry() const { return registry_; }
+  std::shared_ptr<info::SystemMonitor> monitor() const { return monitor_; }
+  std::shared_ptr<exec::BatchBackend> batch() const { return batch_; }
+  std::shared_ptr<exec::SandboxBackend> sandbox() const { return sandbox_; }
+  core::InfoGramService* infogram() const { return infogram_.get(); }
+  gram::GramService* gram() const { return gram_.get(); }
+  std::shared_ptr<mds::Gris> gris() const { return gris_; }
+
+ private:
+  GridContext context_;
+  security::Credential credential_;
+  ResourceOptions options_;
+
+  std::shared_ptr<exec::SimSystem> system_;
+  std::shared_ptr<exec::CommandRegistry> registry_;
+  std::shared_ptr<info::SystemMonitor> monitor_;
+  std::shared_ptr<exec::BatchBackend> batch_;
+  std::shared_ptr<exec::SandboxBackend> sandbox_;
+  std::unique_ptr<core::InfoGramService> infogram_;
+  std::unique_ptr<gram::GramService> gram_;
+  std::shared_ptr<mds::Gris> gris_;
+  std::unique_ptr<mds::MdsService> mds_;
+  bool started_ = false;
+};
+
+}  // namespace ig::grid

@@ -1,0 +1,90 @@
+// Virtual organization (paper Sec. 4, Fig. 2): "our Grid consists of one
+// virtual organization that maintains a number of compute resources" —
+// plus the shared security fabric: one CA, one trust store, a gridmap and
+// an authorization policy, and the VO-level GIIS aggregating the
+// resources' information services.
+//
+// SporadicGrid (paper Sec. 8) is the short-lived variant: "a Grid created
+// just for a short period of time during sophisticated experiments at
+// synchrotrons or photon sources". It provisions a VO with N InfoGram
+// resources in one call and tears everything down on destruction; the
+// ease-of-deployment measurement in the examples uses it.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "grid/resource.hpp"
+#include "mds/giis.hpp"
+
+namespace ig::grid {
+
+class VirtualOrganization {
+ public:
+  VirtualOrganization(std::string name, net::Network& network, Clock& clock,
+                      std::uint64_t seed = 7);
+
+  const std::string& name() const { return name_; }
+
+  /// Issue a user credential and map it to a local account on every
+  /// resource of the VO.
+  security::Credential enroll_user(const std::string& common_name,
+                                   const std::string& local_account,
+                                   Duration lifetime = seconds(86400));
+
+  /// Provision (and start) a resource. The host certificate is issued by
+  /// the VO's CA.
+  Result<GridResource*> add_resource(ResourceOptions options);
+
+  const std::vector<std::unique_ptr<GridResource>>& resources() const { return resources_; }
+  GridResource* resource(const std::string& host) const;
+
+  /// VO-level GIIS over the resources' monitors (registers each resource's
+  /// GRIS on creation; resources added later register automatically).
+  std::shared_ptr<mds::Giis> giis();
+
+  security::TrustStore& trust() { return trust_; }
+  security::GridMap& gridmap() { return gridmap_; }
+  security::AuthorizationPolicy& policy() { return policy_; }
+  std::shared_ptr<logging::Logger> logger() { return logger_; }
+  security::CertificateAuthority& ca() { return ca_; }
+  net::Network& network() { return network_; }
+  Clock& clock() { return clock_; }
+
+  GridContext context();
+
+ private:
+  std::string name_;
+  net::Network& network_;
+  Clock& clock_;
+  security::CertificateAuthority ca_;
+  security::TrustStore trust_;
+  security::GridMap gridmap_;
+  security::AuthorizationPolicy policy_;
+  std::shared_ptr<logging::Logger> logger_;
+  std::shared_ptr<mds::Giis> giis_;
+  std::vector<std::unique_ptr<GridResource>> resources_;
+};
+
+/// RAII sporadic grid: N identical InfoGram resources, ready to use.
+class SporadicGrid {
+ public:
+  struct Options {
+    std::string vo_name = "sporadic";
+    int resources = 3;
+    int batch_nodes_per_resource = 2;
+    std::uint64_t seed = 11;
+  };
+
+  SporadicGrid(net::Network& network, Clock& clock, Options options);
+
+  VirtualOrganization& vo() { return vo_; }
+  std::vector<net::Address> infogram_addresses() const;
+  Duration provision_time() const { return provision_time_; }
+
+ private:
+  VirtualOrganization vo_;
+  Duration provision_time_{0};
+};
+
+}  // namespace ig::grid

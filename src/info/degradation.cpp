@@ -1,0 +1,74 @@
+#include "info/degradation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ig::info {
+
+namespace {
+double ratio(Duration age, Duration ttl) {
+  if (ttl.count() <= 0) return age.count() > 0 ? std::numeric_limits<double>::infinity() : 0.0;
+  return static_cast<double>(age.count()) / static_cast<double>(ttl.count());
+}
+}  // namespace
+
+double BinaryDegradation::quality(Duration age, Duration ttl) const {
+  if (ttl.count() <= 0) return age.count() > 0 ? 0.0 : 100.0;
+  return age <= ttl ? 100.0 : 0.0;
+}
+
+double LinearDegradation::quality(Duration age, Duration ttl) const {
+  double r = ratio(age, ttl) / horizon_ttls_;
+  return std::clamp(100.0 * (1.0 - r), 0.0, 100.0);
+}
+
+double ExponentialDegradation::quality(Duration age, Duration ttl) const {
+  double r = ratio(age, ttl);
+  if (std::isinf(r)) return 0.0;
+  return 100.0 * std::exp(-r / tau_ttls_);
+}
+
+ObservationCorrectedDegradation::ObservationCorrectedDegradation(
+    std::shared_ptr<DegradationFunction> base, double nominal_change_per_ttl)
+    : base_(std::move(base)), nominal_change_per_ttl_(nominal_change_per_ttl) {}
+
+std::string ObservationCorrectedDegradation::name() const {
+  return "observed(" + base_->name() + ")";
+}
+
+void ObservationCorrectedDegradation::observe(double relative_change, Duration elapsed,
+                                              Duration ttl) {
+  if (elapsed.count() <= 0 || ttl.count() <= 0) return;
+  double ttls = static_cast<double>(elapsed.count()) / static_cast<double>(ttl.count());
+  std::lock_guard lock(mu_);
+  observed_change_per_ttl_.add(relative_change / ttls);
+}
+
+double ObservationCorrectedDegradation::rate_factor() const {
+  std::lock_guard lock(mu_);
+  if (observed_change_per_ttl_.count() < 2) return 1.0;
+  double observed = observed_change_per_ttl_.mean();
+  // Volatile values (large observed change per TTL) degrade faster than
+  // the nominal model; static ones slower. Clamp to a sane band.
+  return std::clamp(observed / nominal_change_per_ttl_, 0.25, 10.0);
+}
+
+double ObservationCorrectedDegradation::quality(Duration age, Duration ttl) const {
+  double factor = rate_factor();
+  auto scaled_age = Duration(static_cast<std::int64_t>(
+      static_cast<double>(age.count()) * factor));
+  return base_->quality(scaled_age, ttl);
+}
+
+std::shared_ptr<DegradationFunction> make_degradation(const std::string& name) {
+  if (name == "binary") return std::make_shared<BinaryDegradation>();
+  if (name == "linear") return std::make_shared<LinearDegradation>();
+  if (name == "exponential") return std::make_shared<ExponentialDegradation>();
+  if (name == "observed") {
+    return std::make_shared<ObservationCorrectedDegradation>(
+        std::make_shared<ExponentialDegradation>());
+  }
+  return nullptr;
+}
+
+}  // namespace ig::info

@@ -1,0 +1,100 @@
+// Information degradation (paper Sec. 5.2 and 6.4).
+//
+// "It is not unreasonable to attach a degradation function with the actual
+// value of information that reflects the degree of degradation. This
+// function may be influenced by time, system state, or prediction
+// functions." Quality is a percentage in [0,100]; the service attaches it
+// to every attribute and the xRSL `quality` tag triggers a refresh when it
+// falls below the client's threshold.
+//
+// Four models, matching the paper's taxonomy:
+//  * Binary — "case one": information is accurate or inaccurate (a step at
+//    the TTL).
+//  * Linear — discrete-ish decay to zero over a horizon.
+//  * Exponential — smooth decay with a time constant.
+//  * ObservationCorrected — "self correction based on observation data"
+//    (the data-assimilation analogy): wraps a base model and rescales its
+//    clock by the observed change rate of the underlying value, so a
+//    volatile source degrades faster and a static one slower.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/clock.hpp"
+#include "common/stats.hpp"
+
+namespace ig::info {
+
+class DegradationFunction {
+ public:
+  virtual ~DegradationFunction() = default;
+
+  /// Quality percentage for information of age `age`, given the provider's
+  /// TTL. Must be non-increasing in `age` and within [0,100].
+  virtual double quality(Duration age, Duration ttl) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// 100 while age <= ttl, 0 after.
+class BinaryDegradation final : public DegradationFunction {
+ public:
+  double quality(Duration age, Duration ttl) const override;
+  std::string name() const override { return "binary"; }
+};
+
+/// Linear decay hitting 0 at `horizon_ttls` multiples of the TTL.
+class LinearDegradation final : public DegradationFunction {
+ public:
+  explicit LinearDegradation(double horizon_ttls = 2.0) : horizon_ttls_(horizon_ttls) {}
+  double quality(Duration age, Duration ttl) const override;
+  std::string name() const override { return "linear"; }
+
+ private:
+  double horizon_ttls_;
+};
+
+/// 100 * exp(-age / (tau_ttls * ttl)).
+class ExponentialDegradation final : public DegradationFunction {
+ public:
+  explicit ExponentialDegradation(double tau_ttls = 1.0) : tau_ttls_(tau_ttls) {}
+  double quality(Duration age, Duration ttl) const override;
+  std::string name() const override { return "exponential"; }
+
+ private:
+  double tau_ttls_;
+};
+
+/// Self-correcting wrapper. Callers report, at each refresh, the relative
+/// change of the value since the previous refresh together with the time
+/// between refreshes; the model estimates a change rate and speeds up or
+/// slows down the base function's clock accordingly.
+class ObservationCorrectedDegradation final : public DegradationFunction {
+ public:
+  explicit ObservationCorrectedDegradation(std::shared_ptr<DegradationFunction> base,
+                                           double nominal_change_per_ttl = 0.1);
+
+  double quality(Duration age, Duration ttl) const override;
+  std::string name() const override;
+
+  /// Report an observation: the value changed by `relative_change`
+  /// (|new-old| / max(|old|, eps)) over `elapsed` since the last refresh.
+  void observe(double relative_change, Duration elapsed, Duration ttl);
+
+  /// Current clock-scaling factor (1 = nominal, >1 = degrade faster).
+  double rate_factor() const;
+
+ private:
+  std::shared_ptr<DegradationFunction> base_;
+  double nominal_change_per_ttl_;
+  mutable std::mutex mu_;
+  RunningStats observed_change_per_ttl_;
+};
+
+/// Construct by name ("binary", "linear", "exponential", "observed");
+/// nullptr for unknown names.
+std::shared_ptr<DegradationFunction> make_degradation(const std::string& name);
+
+}  // namespace ig::info

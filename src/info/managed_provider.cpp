@@ -1,0 +1,193 @@
+#include "info/managed_provider.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.hpp"
+
+namespace ig::info {
+
+ManagedProvider::ManagedProvider(std::shared_ptr<InfoSource> source, const Clock& clock,
+                                 ProviderOptions options)
+    : source_(std::move(source)),
+      keyword_(source_->keyword()),
+      clock_(clock),
+      options_(std::move(options)),
+      current_ttl_(options_.ttl) {
+  delay_us_.store(options_.delay.count(), std::memory_order_relaxed);
+}
+
+format::InfoRecord ManagedProvider::degraded_copy_locked(TimePoint now) const {
+  format::InfoRecord copy = *cache_;
+  Duration age = now - last_refresh_;
+  double q = options_.degradation->quality(age, current_ttl_);
+  for (auto& attr : copy.attributes) attr.quality = q;
+  return copy;
+}
+
+Result<format::InfoRecord> ManagedProvider::query_state() const {
+  TimePoint now = clock_.now();
+  std::shared_lock lock(cache_mu_);
+  if (!cache_) {
+    return Error(ErrorCode::kStale, "keyword never queried: " + keyword_);
+  }
+  if (current_ttl_.count() <= 0 || now - last_refresh_ > current_ttl_) {
+    return Error(ErrorCode::kStale,
+                 strings::format("cached %s expired (age %lldus, ttl %lldus)", keyword_.c_str(),
+                                 static_cast<long long>((now - last_refresh_).count()),
+                                 static_cast<long long>(current_ttl_.count())));
+  }
+  return degraded_copy_locked(now);
+}
+
+Result<format::InfoRecord> ManagedProvider::last_state() const {
+  std::shared_lock lock(cache_mu_);
+  if (!cache_) return Error(ErrorCode::kNotFound, "keyword never produced: " + keyword_);
+  return degraded_copy_locked(clock_.now());
+}
+
+Result<format::InfoRecord> ManagedProvider::update_state(bool force) {
+  std::lock_guard update_lock(update_mu_);
+  TimePoint now = clock_.now();
+  {
+    std::shared_lock lock(cache_mu_);
+    if (cache_) {
+      Duration age = now - last_refresh_;
+      bool fresh = current_ttl_.count() > 0 && age <= current_ttl_;
+      // Another thread refreshed while we waited on the monitor.
+      if (!force && fresh) return degraded_copy_locked(now);
+      // The delay throttle applies even to forced updates: the host cannot
+      // produce the information faster than this.
+      Duration delay{delay_us_.load(std::memory_order_relaxed)};
+      if (delay.count() > 0 && now - last_attempt_ < delay) {
+        return degraded_copy_locked(now);
+      }
+    }
+  }
+  last_attempt_ = now;
+  ScopedTimer timer(clock_);
+  auto produced = source_->produce();
+  Duration elapsed = timer.elapsed();
+  if (!produced.ok()) return produced.error();
+  perf_.add(static_cast<double>(elapsed.count()) / 1e6);
+  refreshes_.fetch_add(1, std::memory_order_relaxed);
+
+  format::InfoRecord record = std::move(produced.value());
+  record.keyword = keyword_;
+  TimePoint done = clock_.now();
+  record.generated_at = done;
+  record.ttl = current_ttl_;
+  for (auto& attr : record.attributes) {
+    attr.timestamp = done;
+    attr.quality = 100.0;
+  }
+
+  std::unique_lock lock(cache_mu_);
+  if (cache_) {
+    note_change(*cache_, record, done - last_refresh_);
+    record.ttl = current_ttl_;  // note_change may have adapted the TTL
+  }
+  cache_ = std::move(record);
+  last_refresh_ = done;
+  return degraded_copy_locked(done);
+}
+
+void ManagedProvider::note_change(const format::InfoRecord& old_record,
+                                  const format::InfoRecord& new_record, Duration elapsed) {
+  // Mean relative change over attributes present in both records.
+  double total = 0.0;
+  int counted = 0;
+  for (const auto& attr : new_record.attributes) {
+    const format::Attribute* old_attr = old_record.find(attr.name);
+    if (old_attr == nullptr) continue;
+    auto new_v = strings::parse_double(attr.value);
+    auto old_v = strings::parse_double(old_attr->value);
+    if (new_v && old_v) {
+      double denom = std::max(std::abs(*old_v), 1e-9);
+      total += std::abs(*new_v - *old_v) / denom;
+    } else {
+      total += attr.value == old_attr->value ? 0.0 : 1.0;
+    }
+    ++counted;
+  }
+  if (counted == 0) return;
+  double change = total / counted;
+
+  if (auto* observed =
+          dynamic_cast<ObservationCorrectedDegradation*>(options_.degradation.get())) {
+    observed->observe(change, elapsed, current_ttl_);
+  }
+  if (options_.adaptive_ttl && current_ttl_.count() > 0) {
+    if (change > options_.shrink_above) {
+      current_ttl_ = Duration(static_cast<std::int64_t>(
+          static_cast<double>(current_ttl_.count()) * 0.7));
+    } else if (change < options_.grow_below) {
+      current_ttl_ = Duration(static_cast<std::int64_t>(
+          static_cast<double>(current_ttl_.count()) * 1.3));
+    }
+    current_ttl_ = std::clamp(current_ttl_, options_.min_ttl, options_.max_ttl);
+  }
+}
+
+Result<format::InfoRecord> ManagedProvider::get(rsl::ResponseMode mode) {
+  switch (mode) {
+    case rsl::ResponseMode::kImmediate:
+      return update_state(/*force=*/true);
+    case rsl::ResponseMode::kLast:
+      return last_state();
+    case rsl::ResponseMode::kCached: {
+      auto cached = query_state();
+      if (cached.ok()) return cached;
+      if (cached.code() != ErrorCode::kStale) return cached;
+      return update_state(/*force=*/false);
+    }
+  }
+  return Error(ErrorCode::kInternal, "unknown response mode");
+}
+
+Result<format::InfoRecord> ManagedProvider::get_with_quality(double threshold_percent) {
+  {
+    std::shared_lock lock(cache_mu_);
+    if (cache_) {
+      auto copy = degraded_copy_locked(clock_.now());
+      if (copy.min_quality() >= threshold_percent) return copy;
+    }
+  }
+  return update_state(/*force=*/true);
+}
+
+Duration ManagedProvider::ttl() const {
+  std::shared_lock lock(cache_mu_);
+  return current_ttl_;
+}
+
+void ManagedProvider::set_ttl(Duration ttl) {
+  std::unique_lock lock(cache_mu_);
+  current_ttl_ = ttl;
+}
+
+Duration ManagedProvider::delay() const {
+  return Duration(delay_us_.load(std::memory_order_relaxed));
+}
+
+void ManagedProvider::set_delay(Duration delay) {
+  delay_us_.store(delay.count(), std::memory_order_relaxed);
+}
+
+Duration ManagedProvider::average_update_time() const {
+  auto stats = perf_.snapshot();
+  return Duration(static_cast<std::int64_t>(stats.mean() * 1e6));
+}
+
+int ManagedProvider::validity() const {
+  std::shared_lock lock(cache_mu_);
+  if (!cache_) return 0;
+  Duration age = clock_.now() - last_refresh_;
+  return static_cast<int>(std::lround(options_.degradation->quality(age, current_ttl_)));
+}
+
+std::uint64_t ManagedProvider::refresh_count() const {
+  return refreshes_.load(std::memory_order_relaxed);
+}
+
+}  // namespace ig::info

@@ -1,0 +1,121 @@
+// ManagedProvider: the paper's SystemInformation interface semantics.
+//
+// Mirrors the Java interface of Sec. 6.2 around any InfoSource:
+//
+//   * query_state()  — non-blocking; valid information only if previously
+//     queried and the TTL has not expired, otherwise an error (the paper
+//     throws an exception; here it is a kStale Result).
+//   * update_state() — blocking; "if multiple updateState methods are
+//     invoked, monitors are used to perform only one such update at a
+//     time" (a mutex serializes real refreshes, and a thread that waited
+//     while another refreshed reuses the fresh result).
+//   * delay          — minimum time between consecutive *actual* runs of
+//     the underlying command, protecting the host from clients asking
+//     faster than the information can be produced.
+//   * ttl            — lifetime of the cached record; 0 means "execute the
+//     keyword every time it is requested" (Table 1).
+//   * performance    — mean/stddev of the time each update took, returned
+//     through the xRSL `performance` tag.
+//   * validity       — current quality of the cache after degradation.
+//
+// Optionally the TTL self-adapts to the observed volatility of the data
+// ("self adaptation of information updates", Sec. 6.1): values that barely
+// change between refreshes earn a longer TTL, volatile ones a shorter.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+
+#include "common/clock.hpp"
+#include "common/stats.hpp"
+#include "info/degradation.hpp"
+#include "info/provider.hpp"
+#include "rsl/xrsl.hpp"
+
+namespace ig::info {
+
+struct ProviderOptions {
+  Duration ttl = ms(60000);
+  Duration delay{0};
+  std::shared_ptr<DegradationFunction> degradation = std::make_shared<BinaryDegradation>();
+
+  /// Enable TTL self-adaptation within [min_ttl, max_ttl].
+  bool adaptive_ttl = false;
+  Duration min_ttl = ms(100);
+  Duration max_ttl = seconds(600);
+  /// Relative-change thresholds steering the adaptation.
+  double shrink_above = 0.05;
+  double grow_below = 0.005;
+};
+
+class ManagedProvider {
+ public:
+  ManagedProvider(std::shared_ptr<InfoSource> source, const Clock& clock,
+                  ProviderOptions options = {});
+
+  const std::string& keyword() const { return keyword_; }
+  std::string command() const { return source_->command(); }
+
+  /// Non-blocking cache read; kStale if never updated or past TTL.
+  /// Degraded quality values are applied to the returned attributes.
+  Result<format::InfoRecord> query_state() const;
+
+  /// Blocking refresh. With force=false, a cache made fresh while waiting
+  /// for the update monitor (or within the delay window) is returned
+  /// without re-running the command.
+  Result<format::InfoRecord> update_state(bool force = false);
+
+  /// Whatever is cached, regardless of age (response=last); kNotFound if
+  /// the keyword has never been produced.
+  Result<format::InfoRecord> last_state() const;
+
+  /// xRSL response-mode dispatch.
+  Result<format::InfoRecord> get(rsl::ResponseMode mode);
+
+  /// Quality-threshold read (xRSL `quality` tag): refresh if any returned
+  /// attribute degraded below `threshold_percent`.
+  Result<format::InfoRecord> get_with_quality(double threshold_percent);
+
+  Duration ttl() const;
+  void set_ttl(Duration ttl);
+  Duration delay() const;
+  void set_delay(Duration delay);
+
+  /// Provider timing statistics in seconds (the `performance` tag).
+  RunningStats performance() const { return perf_.snapshot(); }
+  Duration average_update_time() const;
+
+  /// Current cache quality, 0..100 (0 when nothing is cached).
+  int validity() const;
+
+  /// Number of real command executions this provider has made.
+  std::uint64_t refresh_count() const;
+
+  const DegradationFunction& degradation() const { return *options_.degradation; }
+
+ private:
+  format::InfoRecord degraded_copy_locked(TimePoint now) const;
+  void note_change(const format::InfoRecord& old_record,
+                   const format::InfoRecord& new_record, Duration elapsed);
+
+  std::shared_ptr<InfoSource> source_;
+  std::string keyword_;
+  const Clock& clock_;
+  ProviderOptions options_;
+
+  mutable std::shared_mutex cache_mu_;
+  std::optional<format::InfoRecord> cache_;
+  TimePoint last_refresh_{0};       ///< when cache_ was produced
+  Duration current_ttl_{0};
+
+  std::mutex update_mu_;            ///< the paper's "monitor"
+  TimePoint last_attempt_{0};       ///< for the delay throttle
+  std::atomic<std::int64_t> delay_us_{0};
+
+  SharedStats perf_;
+  std::atomic<std::uint64_t> refreshes_{0};
+};
+
+}  // namespace ig::info

@@ -1,0 +1,60 @@
+#include "info/provider.hpp"
+
+#include "common/strings.hpp"
+
+namespace ig::info {
+
+format::InfoRecord parse_key_value_output(const std::string& keyword,
+                                          const std::string& output) {
+  format::InfoRecord record;
+  record.keyword = keyword;
+  for (const auto& line : strings::split(output, '\n')) {
+    auto trimmed = strings::trim(line);
+    if (trimmed.empty()) continue;
+    std::size_t colon = trimmed.find(':');
+    if (colon == std::string_view::npos) {
+      // Whole line as an anonymous attribute (e.g. raw echo output).
+      record.add("line" + std::to_string(record.attributes.size()), std::string(trimmed));
+      continue;
+    }
+    auto name = strings::trim(trimmed.substr(0, colon));
+    auto value = strings::trim(trimmed.substr(colon + 1));
+    record.add(std::string(name), std::string(value));
+  }
+  return record;
+}
+
+CommandSource::CommandSource(std::string keyword, std::string command_line,
+                             std::shared_ptr<exec::CommandRegistry> registry)
+    : keyword_(std::move(keyword)),
+      command_line_(std::move(command_line)),
+      registry_(std::move(registry)) {}
+
+Result<format::InfoRecord> CommandSource::produce() {
+  auto result = registry_->run(command_line_);
+  if (!result.ok()) return result.error();
+  if (result->exit_code != 0) {
+    return Error(ErrorCode::kIoError,
+                 strings::format("information command '%s' exited %d", command_line_.c_str(),
+                                 result->exit_code));
+  }
+  return parse_key_value_output(keyword_, result->output);
+}
+
+FunctionSource::FunctionSource(std::string keyword, Producer producer,
+                               std::string description)
+    : keyword_(std::move(keyword)),
+      producer_(std::move(producer)),
+      description_(description.empty() ? "function:" + keyword_ : std::move(description)) {}
+
+ProcFileSource::ProcFileSource(std::string keyword, std::string path,
+                               std::shared_ptr<exec::SimSystem> system)
+    : keyword_(std::move(keyword)), path_(std::move(path)), system_(std::move(system)) {}
+
+Result<format::InfoRecord> ProcFileSource::produce() {
+  auto content = system_->read_proc(path_);
+  if (!content.ok()) return content.error();
+  return parse_key_value_output(keyword_, content.value());
+}
+
+}  // namespace ig::info

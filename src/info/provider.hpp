@@ -1,0 +1,94 @@
+// Information providers — the paper's SystemInformation interface.
+//
+// Paper Sec. 6.2 lists three ways the system information service obtains
+// data: (a) a system command run via the runtime, (b) a function exposing
+// runtime information, (c) a read from a file such as the Linux /proc
+// filesystem. InfoSource is that producer-side interface; the TTL/cache/
+// delay/performance machinery of the paper's interface lives in
+// ManagedProvider (src/info/managed_provider.hpp), which wraps any source.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/error.hpp"
+#include "exec/command.hpp"
+#include "format/record.hpp"
+#include "format/schema.hpp"
+
+namespace ig::info {
+
+/// Producer of raw information for one keyword.
+class InfoSource {
+ public:
+  virtual ~InfoSource() = default;
+
+  virtual std::string keyword() const = 0;
+
+  /// Produce a fresh record. Blocking; may be expensive. The caller
+  /// (ManagedProvider) stamps generated_at/ttl and serializes calls.
+  virtual Result<format::InfoRecord> produce() = 0;
+
+  /// Describe the command or mechanism behind the keyword, for schema
+  /// reflection ("date -u", "function:jvm.load", "file:/proc/meminfo").
+  virtual std::string command() const = 0;
+};
+
+/// (a) Command-backed source: runs a command line through the registry and
+/// parses "name: value" output lines into attributes.
+class CommandSource final : public InfoSource {
+ public:
+  CommandSource(std::string keyword, std::string command_line,
+                std::shared_ptr<exec::CommandRegistry> registry);
+
+  std::string keyword() const override { return keyword_; }
+  Result<format::InfoRecord> produce() override;
+  std::string command() const override { return command_line_; }
+
+ private:
+  std::string keyword_;
+  std::string command_line_;
+  std::shared_ptr<exec::CommandRegistry> registry_;
+};
+
+/// (b) Function-backed source: runtime information exposed directly.
+class FunctionSource final : public InfoSource {
+ public:
+  using Producer = std::function<Result<format::InfoRecord>()>;
+
+  FunctionSource(std::string keyword, Producer producer, std::string description = "");
+
+  std::string keyword() const override { return keyword_; }
+  Result<format::InfoRecord> produce() override { return producer_(); }
+  std::string command() const override { return description_; }
+
+ private:
+  std::string keyword_;
+  Producer producer_;
+  std::string description_;
+};
+
+/// (c) File-backed source: reads a simulated /proc file and parses
+/// "name: value" lines.
+class ProcFileSource final : public InfoSource {
+ public:
+  ProcFileSource(std::string keyword, std::string path,
+                 std::shared_ptr<exec::SimSystem> system);
+
+  std::string keyword() const override { return keyword_; }
+  Result<format::InfoRecord> produce() override;
+  std::string command() const override { return "file:" + path_; }
+
+ private:
+  std::string keyword_;
+  std::string path_;
+  std::shared_ptr<exec::SimSystem> system_;
+};
+
+/// Parse "name: value" lines (the convention of all simulated commands
+/// and proc files) into a record for `keyword`.
+format::InfoRecord parse_key_value_output(const std::string& keyword,
+                                          const std::string& output);
+
+}  // namespace ig::info

@@ -1,0 +1,161 @@
+#include "info/system_monitor.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+
+namespace ig::info {
+
+SystemMonitor::SystemMonitor(const Clock& clock, std::string service_name)
+    : clock_(clock), service_name_(std::move(service_name)) {}
+
+Status SystemMonitor::add_provider(std::shared_ptr<ManagedProvider> provider) {
+  std::lock_guard lock(mu_);
+  auto [it, inserted] = providers_.try_emplace(provider->keyword(), provider);
+  (void)it;
+  if (!inserted) {
+    return Error(ErrorCode::kAlreadyExists,
+                 "provider already registered: " + provider->keyword());
+  }
+  return Status::success();
+}
+
+Status SystemMonitor::add_source(std::shared_ptr<InfoSource> source, ProviderOptions options) {
+  return add_provider(
+      std::make_shared<ManagedProvider>(std::move(source), clock_, std::move(options)));
+}
+
+std::shared_ptr<ManagedProvider> SystemMonitor::provider(const std::string& keyword) const {
+  std::lock_guard lock(mu_);
+  auto it = providers_.find(keyword);
+  return it == providers_.end() ? nullptr : it->second;
+}
+
+std::vector<std::string> SystemMonitor::keywords() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(providers_.size());
+  for (const auto& [kw, p] : providers_) out.push_back(kw);
+  return out;
+}
+
+std::size_t SystemMonitor::provider_count() const {
+  std::lock_guard lock(mu_);
+  return providers_.size();
+}
+
+Result<format::InfoRecord> SystemMonitor::get(const std::string& keyword,
+                                              rsl::ResponseMode mode,
+                                              std::optional<double> quality_threshold) {
+  auto p = provider(keyword);
+  if (p == nullptr) return Error(ErrorCode::kNotFound, "unknown keyword: " + keyword);
+  if (quality_threshold && mode == rsl::ResponseMode::kCached) {
+    return p->get_with_quality(*quality_threshold);
+  }
+  return p->get(mode);
+}
+
+std::vector<std::string> SystemMonitor::expand_locked(
+    const std::vector<std::string>& keywords) const {
+  std::vector<std::string> out;
+  for (const auto& kw : keywords) {
+    if (strings::iequals(kw, "all")) {
+      for (const auto& [name, p] : providers_) out.push_back(name);
+    } else {
+      out.push_back(kw);
+    }
+  }
+  // Dedup while preserving order.
+  std::vector<std::string> unique;
+  for (auto& kw : out) {
+    if (std::find(unique.begin(), unique.end(), kw) == unique.end()) {
+      unique.push_back(std::move(kw));
+    }
+  }
+  return unique;
+}
+
+Result<std::vector<format::InfoRecord>> SystemMonitor::query(
+    const std::vector<std::string>& keywords, rsl::ResponseMode mode,
+    std::optional<double> quality_threshold, const std::vector<std::string>& filters) {
+  std::vector<std::string> expanded;
+  {
+    std::lock_guard lock(mu_);
+    expanded = expand_locked(keywords);
+  }
+  std::vector<format::InfoRecord> out;
+  out.reserve(expanded.size());
+  for (const auto& kw : expanded) {
+    auto record = get(kw, mode, quality_threshold);
+    if (!record.ok()) return record.error();
+    out.push_back(record->filtered(filters));
+  }
+  return out;
+}
+
+Result<format::InfoRecord> SystemMonitor::performance_record(
+    const std::vector<std::string>& keywords) {
+  std::vector<std::string> expanded;
+  {
+    std::lock_guard lock(mu_);
+    expanded = expand_locked(keywords);
+  }
+  format::InfoRecord record;
+  record.keyword = "Performance";
+  record.generated_at = clock_.now();
+  for (const auto& kw : expanded) {
+    auto p = provider(kw);
+    if (p == nullptr) return Error(ErrorCode::kNotFound, "unknown keyword: " + kw);
+    auto stats = p->performance();
+    record.add(kw + ":mean_s", strings::format("%.6f", stats.mean()));
+    record.add(kw + ":stddev_s", strings::format("%.6f", stats.stddev()));
+    record.add(kw + ":count", std::to_string(stats.count()));
+  }
+  return record;
+}
+
+format::ServiceSchema SystemMonitor::schema() const {
+  std::vector<std::shared_ptr<ManagedProvider>> providers;
+  {
+    std::lock_guard lock(mu_);
+    providers.reserve(providers_.size());
+    for (const auto& [kw, p] : providers_) providers.push_back(p);
+  }
+  format::ServiceSchema schema;
+  schema.service = service_name_;
+  for (const auto& p : providers) {
+    format::KeywordSchema kw;
+    kw.keyword = p->keyword();
+    kw.command = p->command();
+    kw.ttl = p->ttl();
+    if (auto last = p->last_state(); last.ok()) {
+      for (const auto& attr : last->attributes) {
+        format::AttributeSchema a;
+        a.name = attr.name;
+        if (strings::parse_int(attr.value)) {
+          a.type = "integer";
+        } else if (strings::parse_double(attr.value)) {
+          a.type = "float";
+        } else {
+          a.type = "string";
+        }
+        kw.attributes.push_back(std::move(a));
+      }
+    }
+    schema.keywords.push_back(std::move(kw));
+  }
+  return schema;
+}
+
+std::uint64_t SystemMonitor::total_refreshes() const {
+  std::vector<std::shared_ptr<ManagedProvider>> providers;
+  {
+    std::lock_guard lock(mu_);
+    for (const auto& [kw, p] : providers_) providers.push_back(p);
+  }
+  std::uint64_t total = 0;
+  for (const auto& p : providers) total += p->refresh_count();
+  return total;
+}
+
+}  // namespace ig::info

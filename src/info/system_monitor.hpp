@@ -1,0 +1,68 @@
+// SystemMonitor (paper Sec. 6.2): "the monitor service controls
+// initializing and caching the results requested by the clients". It owns
+// the ManagedProviders, expands (info=all), applies response modes and
+// quality thresholds per keyword, builds the reflection schema
+// (info=schema) and the performance records (performance=<key>).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "format/schema.hpp"
+#include "info/managed_provider.hpp"
+
+namespace ig::info {
+
+class SystemMonitor {
+ public:
+  explicit SystemMonitor(const Clock& clock, std::string service_name = "infogram");
+
+  /// Register a provider; kAlreadyExists on duplicate keyword.
+  Status add_provider(std::shared_ptr<ManagedProvider> provider);
+  /// Convenience: wrap a source in a ManagedProvider and register it.
+  Status add_source(std::shared_ptr<InfoSource> source, ProviderOptions options = {});
+
+  std::shared_ptr<ManagedProvider> provider(const std::string& keyword) const;
+  std::vector<std::string> keywords() const;
+  std::size_t provider_count() const;
+
+  /// Resolve one keyword under a response mode / quality threshold.
+  /// A quality threshold takes precedence over the cached-mode TTL check.
+  Result<format::InfoRecord> get(const std::string& keyword, rsl::ResponseMode mode,
+                                 std::optional<double> quality_threshold = std::nullopt);
+
+  /// Resolve a list of keywords ("all" expands to every registered one),
+  /// applying attribute filters to each record. Unknown keywords fail the
+  /// whole query (all-or-nothing, matching the paper's simple model).
+  Result<std::vector<format::InfoRecord>> query(
+      const std::vector<std::string>& keywords, rsl::ResponseMode mode,
+      std::optional<double> quality_threshold = std::nullopt,
+      const std::vector<std::string>& filters = {});
+
+  /// Provider timing statistics as an information record: for each
+  /// requested keyword, <kw>:mean_s / <kw>:stddev_s / <kw>:count.
+  Result<format::InfoRecord> performance_record(const std::vector<std::string>& keywords);
+
+  /// Reflection document for (info=schema). Attribute schemas are inferred
+  /// from the most recent cached record of each provider (empty until the
+  /// keyword ran at least once).
+  format::ServiceSchema schema() const;
+
+  /// Total real command executions across providers (cache metric).
+  std::uint64_t total_refreshes() const;
+
+  const std::string& service_name() const { return service_name_; }
+
+ private:
+  std::vector<std::string> expand_locked(const std::vector<std::string>& keywords) const;
+
+  const Clock& clock_;
+  std::string service_name_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<ManagedProvider>> providers_;
+};
+
+}  // namespace ig::info

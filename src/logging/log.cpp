@@ -1,0 +1,249 @@
+#include "logging/log.hpp"
+
+#include <fstream>
+
+#include "common/strings.hpp"
+
+namespace ig::logging {
+
+namespace {
+
+constexpr std::pair<std::string_view, EventType> kEventNames[] = {
+    {"service_start", EventType::kServiceStart},
+    {"service_stop", EventType::kServiceStop},
+    {"auth", EventType::kAuth},
+    {"job_submitted", EventType::kJobSubmitted},
+    {"job_started", EventType::kJobStarted},
+    {"job_finished", EventType::kJobFinished},
+    {"job_failed", EventType::kJobFailed},
+    {"job_cancelled", EventType::kJobCancelled},
+    {"job_restarted", EventType::kJobRestarted},
+    {"info_query", EventType::kInfoQuery},
+};
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string unescape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\' || i + 1 >= s.size()) {
+      out += s[i];
+      continue;
+    }
+    ++i;
+    switch (s[i]) {
+      case 't':
+        out += '\t';
+        break;
+      case 'n':
+        out += '\n';
+        break;
+      default:
+        out += s[i];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string_view to_string(EventType type) {
+  for (const auto& [name, t] : kEventNames) {
+    if (t == type) return name;
+  }
+  return "unknown";
+}
+
+Result<EventType> event_type_from_string(std::string_view name) {
+  for (const auto& [n, t] : kEventNames) {
+    if (n == name) return t;
+  }
+  return Error(ErrorCode::kParseError, "unknown event type: " + std::string(name));
+}
+
+std::string LogEvent::serialize() const {
+  return std::to_string(sequence) + "\t" + std::to_string(time.count()) + "\t" +
+         std::string(to_string(type)) + "\t" + escape(subject) + "\t" + escape(local_user) +
+         "\t" + std::to_string(job_id) + "\t" + escape(detail);
+}
+
+Result<LogEvent> LogEvent::parse(const std::string& line) {
+  auto fields = strings::split(line, '\t');
+  if (fields.size() != 7) {
+    return Error(ErrorCode::kParseError,
+                 strings::format("log line has %zu fields, expected 7", fields.size()));
+  }
+  LogEvent event;
+  auto seq = strings::parse_int(fields[0]);
+  auto time = strings::parse_int(fields[1]);
+  auto job = strings::parse_int(fields[5]);
+  if (!seq || !time || !job) {
+    return Error(ErrorCode::kParseError, "malformed numeric field in log line");
+  }
+  event.sequence = static_cast<std::uint64_t>(*seq);
+  event.time = TimePoint(*time);
+  auto type = event_type_from_string(fields[2]);
+  if (!type.ok()) return type.error();
+  event.type = type.value();
+  event.subject = unescape(fields[3]);
+  event.local_user = unescape(fields[4]);
+  event.job_id = static_cast<std::uint64_t>(*job);
+  event.detail = unescape(fields[6]);
+  return event;
+}
+
+void MemorySink::append(const LogEvent& event) {
+  std::lock_guard lock(mu_);
+  events_.push_back(event);
+}
+
+std::vector<LogEvent> MemorySink::events() const {
+  std::lock_guard lock(mu_);
+  return events_;
+}
+
+std::size_t MemorySink::size() const {
+  std::lock_guard lock(mu_);
+  return events_.size();
+}
+
+FileSink::FileSink(std::string path) : path_(std::move(path)) {}
+
+void FileSink::append(const LogEvent& event) {
+  std::lock_guard lock(mu_);
+  std::ofstream out(path_, std::ios::app);
+  out << event.serialize() << '\n';
+}
+
+Result<std::vector<LogEvent>> FileSink::read(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Error(ErrorCode::kIoError, "cannot open log file: " + path);
+  std::vector<LogEvent> events;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (strings::trim(line).empty()) continue;
+    auto event = LogEvent::parse(line);
+    if (!event.ok()) return event.error();
+    events.push_back(std::move(event.value()));
+  }
+  return events;
+}
+
+Logger::Logger(const Clock& clock) : clock_(clock) {}
+
+void Logger::add_sink(std::shared_ptr<LogSink> sink) {
+  std::lock_guard lock(mu_);
+  sinks_.push_back(std::move(sink));
+}
+
+void Logger::log(EventType type, std::string subject, std::string local_user,
+                 std::uint64_t job_id, std::string detail) {
+  LogEvent event;
+  event.type = type;
+  event.subject = std::move(subject);
+  event.local_user = std::move(local_user);
+  event.job_id = job_id;
+  event.detail = std::move(detail);
+  event.time = clock_.now();
+  std::vector<std::shared_ptr<LogSink>> sinks;
+  {
+    std::lock_guard lock(mu_);
+    event.sequence = next_sequence_++;
+    sinks = sinks_;
+  }
+  for (const auto& sink : sinks) sink->append(event);
+}
+
+std::uint64_t Logger::events_logged() const {
+  std::lock_guard lock(mu_);
+  return next_sequence_ - 1;
+}
+
+std::vector<IncompleteJob> build_recovery_plan(const std::vector<LogEvent>& events) {
+  std::map<std::uint64_t, IncompleteJob> open;
+  for (const LogEvent& event : events) {
+    switch (event.type) {
+      case EventType::kJobSubmitted:
+      case EventType::kJobRestarted: {
+        IncompleteJob job;
+        job.job_id = event.job_id;
+        job.subject = event.subject;
+        job.local_user = event.local_user;
+        job.rsl = event.detail;
+        open[event.job_id] = std::move(job);
+        break;
+      }
+      case EventType::kJobFinished:
+      case EventType::kJobFailed:
+      case EventType::kJobCancelled:
+        open.erase(event.job_id);
+        break;
+      default:
+        break;
+    }
+  }
+  std::vector<IncompleteJob> plan;
+  plan.reserve(open.size());
+  for (auto& [id, job] : open) plan.push_back(std::move(job));
+  return plan;
+}
+
+std::map<std::string, AccountingEntry> accounting_summary(
+    const std::vector<LogEvent>& events) {
+  std::map<std::string, AccountingEntry> summary;
+  std::map<std::uint64_t, std::pair<std::string, TimePoint>> started;  // job -> (user, start)
+  for (const LogEvent& event : events) {
+    const std::string& user = event.subject.empty() ? event.local_user : event.subject;
+    switch (event.type) {
+      case EventType::kJobSubmitted:
+      case EventType::kJobRestarted:
+        ++summary[user].jobs_submitted;
+        break;
+      case EventType::kJobStarted:
+        started[event.job_id] = {user, event.time};
+        break;
+      case EventType::kJobFinished:
+      case EventType::kJobFailed:
+      case EventType::kJobCancelled: {
+        AccountingEntry& entry = summary[user];
+        if (event.type == EventType::kJobFinished) ++entry.jobs_completed;
+        if (event.type == EventType::kJobFailed) ++entry.jobs_failed;
+        if (event.type == EventType::kJobCancelled) ++entry.jobs_cancelled;
+        auto it = started.find(event.job_id);
+        if (it != started.end()) {
+          entry.job_wall_time += event.time - it->second.second;
+          started.erase(it);
+        }
+        break;
+      }
+      case EventType::kInfoQuery:
+        ++summary[user].info_queries;
+        break;
+      default:
+        break;
+    }
+  }
+  return summary;
+}
+
+}  // namespace ig::logging

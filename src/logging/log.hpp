@@ -1,0 +1,140 @@
+// Logging and checkpointing service (paper Sec. 6 and 7, "Logging").
+//
+// InfoGram routes events from all components into a logging service whose
+// log "can be used to restart our InfoGram service in case it needs to be
+// restarted", doubles as minimal checkpointing (command + arguments of
+// each job) and feeds "simple Grid accounting". The log is an append-only
+// sequence of structured events; sinks persist it (memory for tests,
+// file for durability). Recovery scans the log for jobs that were
+// submitted but never reached a terminal state; accounting aggregates
+// per-user usage.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/error.hpp"
+
+namespace ig::logging {
+
+enum class EventType {
+  kServiceStart,
+  kServiceStop,
+  kAuth,
+  kJobSubmitted,  ///< detail = the job's RSL (the checkpoint payload)
+  kJobStarted,
+  kJobFinished,
+  kJobFailed,
+  kJobCancelled,
+  kJobRestarted,
+  kInfoQuery,  ///< detail = queried keywords
+};
+
+std::string_view to_string(EventType type);
+Result<EventType> event_type_from_string(std::string_view name);
+
+struct LogEvent {
+  std::uint64_t sequence = 0;
+  TimePoint time{0};
+  EventType type = EventType::kServiceStart;
+  std::string subject;     ///< authenticated DN ("" for service events)
+  std::string local_user;
+  std::uint64_t job_id = 0;
+  std::string detail;
+
+  /// One tab-separated line; tabs/newlines/backslashes in fields escaped.
+  std::string serialize() const;
+  static Result<LogEvent> parse(const std::string& line);
+
+  friend bool operator==(const LogEvent&, const LogEvent&) = default;
+};
+
+/// Receives every event appended to a Logger.
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  virtual void append(const LogEvent& event) = 0;
+};
+
+/// In-memory sink; also what recovery and accounting read back.
+class MemorySink final : public LogSink {
+ public:
+  void append(const LogEvent& event) override;
+  std::vector<LogEvent> events() const;
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<LogEvent> events_;
+};
+
+/// Line-per-event file sink (the "backend tier" log of Fig. 3).
+class FileSink final : public LogSink {
+ public:
+  explicit FileSink(std::string path);
+  void append(const LogEvent& event) override;
+  const std::string& path() const { return path_; }
+
+  /// Read a log file back (for restart).
+  static Result<std::vector<LogEvent>> read(const std::string& path);
+
+ private:
+  std::mutex mu_;
+  std::string path_;
+};
+
+class Logger {
+ public:
+  explicit Logger(const Clock& clock);
+
+  void add_sink(std::shared_ptr<LogSink> sink);
+
+  /// Append an event; sequence and time are stamped here.
+  void log(EventType type, std::string subject = "", std::string local_user = "",
+           std::uint64_t job_id = 0, std::string detail = "");
+
+  std::uint64_t events_logged() const;
+
+ private:
+  const Clock& clock_;
+  mutable std::mutex mu_;
+  std::uint64_t next_sequence_ = 1;
+  std::vector<std::shared_ptr<LogSink>> sinks_;
+};
+
+/// A job that must be resubmitted after a crash: it was submitted (and
+/// possibly started) but never finished, failed or was cancelled.
+struct IncompleteJob {
+  std::uint64_t job_id = 0;
+  std::string subject;
+  std::string local_user;
+  std::string rsl;  ///< from the kJobSubmitted checkpoint
+
+  friend bool operator==(const IncompleteJob&, const IncompleteJob&) = default;
+};
+
+/// Scan a log (oldest first) for incomplete jobs.
+std::vector<IncompleteJob> build_recovery_plan(const std::vector<LogEvent>& events);
+
+/// Per-user usage derived from the log (the paper's "simple Grid
+/// accounting").
+struct AccountingEntry {
+  std::uint64_t jobs_submitted = 0;
+  std::uint64_t jobs_completed = 0;
+  std::uint64_t jobs_failed = 0;
+  std::uint64_t jobs_cancelled = 0;
+  std::uint64_t info_queries = 0;
+  Duration job_wall_time{0};  ///< sum of start->finish spans
+
+  friend bool operator==(const AccountingEntry&, const AccountingEntry&) = default;
+};
+
+std::map<std::string, AccountingEntry> accounting_summary(
+    const std::vector<LogEvent>& events);
+
+}  // namespace ig::logging

@@ -1,0 +1,180 @@
+#include "mds/directory.hpp"
+
+#include "common/strings.hpp"
+#include "format/ldif.hpp"
+
+namespace ig::mds {
+
+void DirectoryEntry::add(const std::string& name, std::string value) {
+  attributes[name].push_back(std::move(value));
+}
+
+std::string DirectoryEntry::first(const std::string& name) const {
+  auto it = attributes.find(name);
+  if (it == attributes.end() || it->second.empty()) return "";
+  return it->second.front();
+}
+
+std::string DirectoryEntry::serialize() const {
+  std::string out;
+  auto emit = [&out](const std::string& name, const std::string& value) {
+    if (format::ldif_safe(value) && !value.empty()) {
+      out += name + ": " + value + "\n";
+    } else if (value.empty()) {
+      out += name + ":\n";
+    } else {
+      out += name + ":: " + format::base64_encode(value) + "\n";
+    }
+  };
+  emit("dn", dn);
+  for (const auto& [name, values] : attributes) {
+    for (const auto& value : values) emit(name, value);
+  }
+  out += "\n";
+  return out;
+}
+
+Result<std::vector<DirectoryEntry>> DirectoryEntry::parse_all(const std::string& text) {
+  std::vector<DirectoryEntry> entries;
+  DirectoryEntry current;
+  bool in_entry = false;
+  auto finish = [&]() {
+    if (in_entry) entries.push_back(std::move(current));
+    current = DirectoryEntry{};
+    in_entry = false;
+  };
+  for (const auto& line : strings::split(text, '\n')) {
+    if (strings::trim(line).empty()) {
+      finish();
+      continue;
+    }
+    // Separator logic matches format::parse_ldif: names may contain ':'.
+    std::size_t b64 = line.find(":: ");
+    std::size_t plain = line.find(": ");
+    std::string name;
+    std::string value;
+    if (b64 != std::string::npos && (plain == std::string::npos || b64 < plain)) {
+      name = line.substr(0, b64);
+      auto decoded = format::base64_decode(strings::trim(line.substr(b64 + 3)));
+      if (!decoded.ok()) return decoded.error();
+      value = std::move(decoded.value());
+    } else if (plain != std::string::npos) {
+      name = line.substr(0, plain);
+      value = line.substr(plain + 2);
+    } else if (!line.empty() && line.back() == ':') {
+      name = line.substr(0, line.size() - 1);
+    } else {
+      return Error(ErrorCode::kParseError, "entry line missing separator: " + line);
+    }
+    if (name == "dn") {
+      finish();
+      in_entry = true;
+      current.dn = value;
+    } else if (in_entry) {
+      current.add(name, std::move(value));
+    } else {
+      return Error(ErrorCode::kParseError, "attribute before dn: " + line);
+    }
+  }
+  finish();
+  return entries;
+}
+
+std::string_view to_string(Scope scope) {
+  switch (scope) {
+    case Scope::kBase:
+      return "base";
+    case Scope::kOneLevel:
+      return "one";
+    case Scope::kSubtree:
+      return "sub";
+  }
+  return "?";
+}
+
+Result<Scope> scope_from_string(std::string_view name) {
+  if (name == "base") return Scope::kBase;
+  if (name == "one") return Scope::kOneLevel;
+  if (name == "sub") return Scope::kSubtree;
+  return Error(ErrorCode::kParseError, "unknown scope: " + std::string(name));
+}
+
+std::vector<std::string> dn_components(const std::string& dn) {
+  std::vector<std::string> out;
+  for (const auto& raw : strings::split(dn, ',')) {
+    auto comp = strings::trim(raw);
+    if (comp.empty()) continue;
+    std::size_t eq = comp.find('=');
+    if (eq == std::string_view::npos) {
+      out.emplace_back(comp);
+      continue;
+    }
+    out.push_back(strings::to_lower(strings::trim(comp.substr(0, eq))) + "=" +
+                  std::string(strings::trim(comp.substr(eq + 1))));
+  }
+  return out;
+}
+
+std::string normalize_dn(const std::string& dn) {
+  std::vector<std::string> comps = dn_components(dn);
+  return strings::join(comps, ", ");
+}
+
+bool dn_under(const std::string& dn, const std::string& base) {
+  return dn_depth_below(dn, base) >= 0;
+}
+
+int dn_depth_below(const std::string& dn, const std::string& base) {
+  auto d = dn_components(dn);
+  auto b = dn_components(base);
+  if (b.size() > d.size()) return -1;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    if (d[d.size() - 1 - i] != b[b.size() - 1 - i]) return -1;
+  }
+  return static_cast<int>(d.size() - b.size());
+}
+
+void Directory::put(DirectoryEntry entry) {
+  entry.dn = normalize_dn(entry.dn);
+  std::lock_guard lock(mu_);
+  entries_[entry.dn] = std::move(entry);
+}
+
+void Directory::erase(const std::string& dn) {
+  std::lock_guard lock(mu_);
+  entries_.erase(normalize_dn(dn));
+}
+
+void Directory::clear() {
+  std::lock_guard lock(mu_);
+  entries_.clear();
+}
+
+Result<DirectoryEntry> Directory::get(const std::string& dn) const {
+  std::lock_guard lock(mu_);
+  auto it = entries_.find(normalize_dn(dn));
+  if (it == entries_.end()) return Error(ErrorCode::kNotFound, "no entry: " + dn);
+  return it->second;
+}
+
+std::size_t Directory::size() const {
+  std::lock_guard lock(mu_);
+  return entries_.size();
+}
+
+std::vector<DirectoryEntry> Directory::in_scope(const std::string& base, Scope scope) const {
+  std::string norm_base = normalize_dn(base);
+  std::lock_guard lock(mu_);
+  std::vector<DirectoryEntry> out;
+  for (const auto& [dn, entry] : entries_) {
+    int depth = dn_depth_below(dn, norm_base);
+    if (depth < 0) continue;
+    bool match = (scope == Scope::kBase && depth == 0) ||
+                 (scope == Scope::kOneLevel && depth == 1) ||
+                 (scope == Scope::kSubtree);
+    if (match) out.push_back(entry);
+  }
+  return out;
+}
+
+}  // namespace ig::mds

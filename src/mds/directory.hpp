@@ -1,0 +1,69 @@
+// Directory information tree for the MDS baseline (paper Sec. 3).
+//
+// MDS 2.x is an LDAP directory; this is the in-memory equivalent: entries
+// keyed by distinguished name, multi-valued attributes, and searches with
+// base/one-level/subtree scope. DNs are comma-separated RDN sequences,
+// most-specific first ("kw=Memory, host=hot, o=Grid"); hierarchy is DN
+// suffix containment.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ig::mds {
+
+struct DirectoryEntry {
+  std::string dn;
+  std::map<std::string, std::vector<std::string>> attributes;
+
+  void add(const std::string& name, std::string value);
+  /// First value of the attribute, or "".
+  std::string first(const std::string& name) const;
+  bool has(const std::string& name) const { return attributes.count(name) > 0; }
+
+  /// "dn: ...\nattr: value\n..." (base64 when unsafe), one blank line
+  /// terminated. Used by the MDS wire protocol.
+  std::string serialize() const;
+  static Result<std::vector<DirectoryEntry>> parse_all(const std::string& text);
+
+  friend bool operator==(const DirectoryEntry&, const DirectoryEntry&) = default;
+};
+
+enum class Scope { kBase, kOneLevel, kSubtree };
+
+std::string_view to_string(Scope scope);
+Result<Scope> scope_from_string(std::string_view name);
+
+/// Split a DN into normalized RDN components (trimmed, attribute name
+/// lowercased): "KW=Memory, o=Grid" -> {"kw=Memory", "o=Grid"}.
+std::vector<std::string> dn_components(const std::string& dn);
+/// Normalized textual form (components rejoined with ", ").
+std::string normalize_dn(const std::string& dn);
+/// True if `dn` is inside the subtree rooted at `base` (inclusive).
+bool dn_under(const std::string& dn, const std::string& base);
+/// Levels of `dn` below `base`; negative if not under it.
+int dn_depth_below(const std::string& dn, const std::string& base);
+
+/// Thread-safe entry store with scoped search.
+class Directory {
+ public:
+  void put(DirectoryEntry entry);
+  void erase(const std::string& dn);
+  void clear();
+  Result<DirectoryEntry> get(const std::string& dn) const;
+  std::size_t size() const;
+
+  /// All entries within `scope` of `base` (unfiltered; the filter layer
+  /// sits on top — see mds/filter.hpp).
+  std::vector<DirectoryEntry> in_scope(const std::string& base, Scope scope) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, DirectoryEntry> entries_;  // keyed by normalized DN
+};
+
+}  // namespace ig::mds

@@ -1,0 +1,178 @@
+#include "mds/filter.hpp"
+
+#include <cctype>
+
+#include "common/strings.hpp"
+
+namespace ig::mds {
+
+namespace {
+
+class FilterParser {
+ public:
+  explicit FilterParser(std::string_view text) : text_(text) {}
+
+  Result<Filter> parse() {
+    skip_ws();
+    auto f = parse_filter();
+    if (!f.ok()) return f;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing input after filter");
+    return f;
+  }
+
+ private:
+  Result<Filter> parse_filter() {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != '(') return fail("expected '('");
+    ++pos_;
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unterminated filter");
+    Filter filter;
+    char c = text_[pos_];
+    if (c == '&' || c == '|') {
+      ++pos_;
+      filter.kind = c == '&' ? Filter::Kind::kAnd : Filter::Kind::kOr;
+      while (true) {
+        skip_ws();
+        if (pos_ < text_.size() && text_[pos_] == ')') {
+          ++pos_;
+          return filter;
+        }
+        auto child = parse_filter();
+        if (!child.ok()) return child;
+        filter.children.push_back(std::move(child.value()));
+      }
+    }
+    if (c == '!') {
+      ++pos_;
+      filter.kind = Filter::Kind::kNot;
+      auto child = parse_filter();
+      if (!child.ok()) return child;
+      filter.children.push_back(std::move(child.value()));
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ')') return fail("expected ')' after !");
+      ++pos_;
+      return filter;
+    }
+    // Comparison: attr ( '=' | '>=' | '<=' ) value
+    std::string attr;
+    while (pos_ < text_.size() && text_[pos_] != '=' && text_[pos_] != '>' &&
+           text_[pos_] != '<' && text_[pos_] != ')') {
+      attr += text_[pos_++];
+    }
+    attr = std::string(strings::trim(attr));
+    if (attr.empty()) return fail("expected attribute name");
+    if (pos_ >= text_.size()) return fail("unterminated comparison");
+    if (text_[pos_] == '=') {
+      filter.kind = Filter::Kind::kEquality;
+      ++pos_;
+    } else {
+      char op = text_[pos_++];
+      if (pos_ >= text_.size() || text_[pos_] != '=') return fail("expected '='");
+      ++pos_;
+      filter.kind = op == '>' ? Filter::Kind::kGreaterEq : Filter::Kind::kLessEq;
+    }
+    filter.attribute = attr;
+    std::string value;
+    while (pos_ < text_.size() && text_[pos_] != ')') value += text_[pos_++];
+    if (pos_ >= text_.size()) return fail("unterminated comparison value");
+    ++pos_;
+    filter.value = std::string(strings::trim(value));
+    return filter;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+  }
+  Error fail(std::string what) const {
+    return Error(ErrorCode::kParseError,
+                 std::move(what) + " at offset " + std::to_string(pos_));
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+bool compare(const std::string& have, const std::string& want, bool greater) {
+  auto lhs = strings::parse_double(have);
+  auto rhs = strings::parse_double(want);
+  if (lhs && rhs) return greater ? *lhs >= *rhs : *lhs <= *rhs;
+  int cmp = have.compare(want);
+  return greater ? cmp >= 0 : cmp <= 0;
+}
+
+}  // namespace
+
+bool Filter::matches(const DirectoryEntry& entry) const {
+  switch (kind) {
+    case Kind::kAnd:
+      for (const Filter& child : children) {
+        if (!child.matches(entry)) return false;
+      }
+      return true;
+    case Kind::kOr:
+      for (const Filter& child : children) {
+        if (child.matches(entry)) return true;
+      }
+      return false;
+    case Kind::kNot:
+      return children.empty() || !children.front().matches(entry);
+    case Kind::kEquality:
+    case Kind::kGreaterEq:
+    case Kind::kLessEq: {
+      auto it = entry.attributes.find(attribute);
+      if (it == entry.attributes.end()) return false;
+      for (const std::string& have : it->second) {
+        if (kind == Kind::kEquality) {
+          if (strings::glob_match(value, have)) return true;
+        } else if (compare(have, value, kind == Kind::kGreaterEq)) {
+          return true;
+        }
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+Result<Filter> Filter::parse(std::string_view text) { return FilterParser(text).parse(); }
+
+std::string Filter::to_string() const {
+  switch (kind) {
+    case Kind::kAnd:
+    case Kind::kOr: {
+      std::string out = kind == Kind::kAnd ? "(&" : "(|";
+      for (const Filter& child : children) out += child.to_string();
+      return out + ")";
+    }
+    case Kind::kNot:
+      return "(!" + (children.empty() ? std::string() : children.front().to_string()) + ")";
+    case Kind::kEquality:
+      return "(" + attribute + "=" + value + ")";
+    case Kind::kGreaterEq:
+      return "(" + attribute + ">=" + value + ")";
+    case Kind::kLessEq:
+      return "(" + attribute + "<=" + value + ")";
+  }
+  return "()";
+}
+
+Filter Filter::match_all() {
+  Filter f;
+  f.kind = Kind::kEquality;
+  f.attribute = "objectclass";
+  f.value = "*";
+  return f;
+}
+
+std::vector<DirectoryEntry> search(const Directory& directory, const std::string& base,
+                                   Scope scope, const Filter& filter) {
+  std::vector<DirectoryEntry> out;
+  for (auto& entry : directory.in_scope(base, scope)) {
+    if (filter.matches(entry)) out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+}  // namespace ig::mds

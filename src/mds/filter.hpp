@@ -1,0 +1,48 @@
+// LDAP-style search filters (RFC 2254 subset) for the MDS baseline:
+//
+//   (&(objectclass=InfoGramRecord)(|(kw=Memory)(kw=CPU))(!(host=down*)))
+//
+// Supported: conjunction &, disjunction |, negation !, equality with '*'
+// wildcards (which covers presence "(attr=*)"), and the ordering
+// comparators >= and <= (numeric when both sides parse as numbers,
+// lexicographic otherwise). Matching is against any value of a
+// multi-valued attribute, LDAP semantics.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "mds/directory.hpp"
+
+namespace ig::mds {
+
+class Filter {
+ public:
+  enum class Kind { kAnd, kOr, kNot, kEquality, kGreaterEq, kLessEq };
+
+  Kind kind = Kind::kEquality;
+  std::string attribute;         ///< for comparison nodes
+  std::string value;             ///< pattern (equality) or bound
+  std::vector<Filter> children;  ///< for boolean nodes
+
+  bool matches(const DirectoryEntry& entry) const;
+
+  /// Parse "(...)" filter text.
+  static Result<Filter> parse(std::string_view text);
+
+  /// Canonical text form (parse round-trips).
+  std::string to_string() const;
+
+  /// A filter matching everything: "(objectclass=*)" analogue.
+  static Filter match_all();
+
+  friend bool operator==(const Filter&, const Filter&) = default;
+};
+
+/// in_scope + filter in one call.
+std::vector<DirectoryEntry> search(const Directory& directory, const std::string& base,
+                                   Scope scope, const Filter& filter);
+
+}  // namespace ig::mds

@@ -1,0 +1,54 @@
+#include "mds/giis.hpp"
+
+namespace ig::mds {
+
+Giis::Giis(std::string vo_name, const Clock& clock, Duration cache_ttl)
+    : vo_name_(std::move(vo_name)), clock_(clock), cache_ttl_(cache_ttl) {}
+
+void Giis::register_child(std::shared_ptr<SearchBackend> child) {
+  std::lock_guard lock(mu_);
+  children_.push_back(std::move(child));
+  last_refresh_ = TimePoint(-1);  // force refresh on next search
+}
+
+std::size_t Giis::child_count() const {
+  std::lock_guard lock(mu_);
+  return children_.size();
+}
+
+Status Giis::refresh_if_stale() {
+  std::lock_guard lock(mu_);
+  TimePoint now = clock_.now();
+  if (last_refresh_.count() >= 0 && now - last_refresh_ <= cache_ttl_) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return Status::success();
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  Directory fresh;
+  DirectoryEntry root;
+  root.dn = "vo=" + vo_name_ + ", o=Grid";
+  root.add("objectclass", "VirtualOrganization");
+  root.add("vo", vo_name_);
+  fresh.put(std::move(root));
+  for (const auto& child : children_) {
+    // Pull the child's entire subtree into the aggregate cache.
+    auto entries = child->search(child->suffix(), Scope::kSubtree, Filter::match_all());
+    if (!entries.ok()) return entries.error();
+    for (auto& entry : entries.value()) fresh.put(std::move(entry));
+  }
+  cache_.clear();
+  // An empty base DN is the root of every entry, so this moves the whole
+  // freshly-built tree over.
+  for (auto& entry : fresh.in_scope("", Scope::kSubtree)) cache_.put(std::move(entry));
+  last_refresh_ = now;
+  return Status::success();
+}
+
+Result<std::vector<DirectoryEntry>> Giis::search(const std::string& base, Scope scope,
+                                                 const Filter& filter) {
+  if (auto status = refresh_if_stale(); !status.ok()) return status.error();
+  std::lock_guard lock(mu_);
+  return ig::mds::search(cache_, base, scope, filter);
+}
+
+}  // namespace ig::mds

@@ -1,0 +1,55 @@
+// GIIS — the aggregate index service of the MDS baseline (paper Sec. 3):
+// "the aggregate service is used to integrate a set of information
+// providers that may be part of a virtual organization", with an
+// "information caching function that allows viewing and querying the
+// information about a resource from a cache" (MDS 2.0 behaviour).
+//
+// A Giis aggregates SearchBackends (Gris instances, remote proxies, or
+// other Giis — hierarchies compose). Searches are served from a cached
+// copy of all children's entries, refreshed when older than the cache TTL.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "mds/gris.hpp"
+
+namespace ig::mds {
+
+class Giis final : public SearchBackend {
+ public:
+  /// `vo_name` roots the aggregate at "vo=<name>, o=Grid".
+  Giis(std::string vo_name, const Clock& clock, Duration cache_ttl = seconds(30));
+
+  /// Register a child backend (GRIS registration in MDS terms).
+  void register_child(std::shared_ptr<SearchBackend> child);
+  std::size_t child_count() const;
+
+  Result<std::vector<DirectoryEntry>> search(const std::string& base, Scope scope,
+                                             const Filter& filter) override;
+  std::string suffix() const override { return "o=Grid"; }
+
+  /// Cache effectiveness counters for the benchmarks.
+  std::uint64_t cache_hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t cache_misses() const { return misses_.load(std::memory_order_relaxed); }
+
+  const std::string& vo_name() const { return vo_name_; }
+
+ private:
+  Status refresh_if_stale();
+
+  std::string vo_name_;
+  const Clock& clock_;
+  Duration cache_ttl_;
+
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<SearchBackend>> children_;
+  TimePoint last_refresh_{-1};
+  Directory cache_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace ig::mds

@@ -1,0 +1,44 @@
+#include "mds/gris.hpp"
+
+#include "common/strings.hpp"
+
+namespace ig::mds {
+
+DirectoryEntry record_to_entry(const format::InfoRecord& record, const std::string& host) {
+  DirectoryEntry entry;
+  entry.dn = "kw=" + record.keyword + ", host=" + host + ", o=Grid";
+  entry.add("objectclass", "InfoGramRecord");
+  entry.add("kw", record.keyword);
+  entry.add("generated", std::to_string(record.generated_at.count()));
+  for (const auto& attr : record.attributes) {
+    entry.add(attr.name, attr.value);
+    entry.add(attr.name + ";quality", strings::format("%.2f", attr.quality));
+  }
+  return entry;
+}
+
+Gris::Gris(std::shared_ptr<info::SystemMonitor> monitor, std::string host, const Clock& clock)
+    : monitor_(std::move(monitor)), host_(std::move(host)), clock_(clock) {
+  DirectoryEntry resource;
+  resource.dn = suffix();
+  resource.add("objectclass", "GridResource");
+  resource.add("hostname", host_);
+  directory_.put(std::move(resource));
+}
+
+Status Gris::refresh() {
+  auto records = monitor_->query({"all"}, rsl::ResponseMode::kCached);
+  if (!records.ok()) return records.error();
+  for (const auto& record : records.value()) {
+    directory_.put(record_to_entry(record, host_));
+  }
+  return Status::success();
+}
+
+Result<std::vector<DirectoryEntry>> Gris::search(const std::string& base, Scope scope,
+                                                 const Filter& filter) {
+  if (auto status = refresh(); !status.ok()) return status.error();
+  return ig::mds::search(directory_, base, scope, filter);
+}
+
+}  // namespace ig::mds

@@ -1,0 +1,54 @@
+// GRIS — the Grid Resource Information Service of the MDS baseline
+// (paper Sec. 3/4): the per-resource information server. It publishes the
+// local SystemMonitor's providers as directory entries under
+// "host=<h>, o=Grid" and answers scoped, filtered searches.
+//
+// This is also the backwards-compatibility vehicle the paper stresses:
+// the same providers InfoGram serves over xRSL "can still be integrated
+// into the existing MDS concept" by fronting them with a Gris.
+#pragma once
+
+#include <memory>
+
+#include "common/clock.hpp"
+#include "info/system_monitor.hpp"
+#include "mds/filter.hpp"
+
+namespace ig::mds {
+
+/// Anything a GIIS can aggregate: a GRIS, another GIIS, or a remote proxy.
+class SearchBackend {
+ public:
+  virtual ~SearchBackend() = default;
+  virtual Result<std::vector<DirectoryEntry>> search(const std::string& base, Scope scope,
+                                                     const Filter& filter) = 0;
+  /// The DN suffix this backend's entries live under.
+  virtual std::string suffix() const = 0;
+};
+
+class Gris final : public SearchBackend {
+ public:
+  /// Publishes `monitor`'s keywords for resource `host`.
+  Gris(std::shared_ptr<info::SystemMonitor> monitor, std::string host, const Clock& clock);
+
+  Result<std::vector<DirectoryEntry>> search(const std::string& base, Scope scope,
+                                             const Filter& filter) override;
+  std::string suffix() const override { return "host=" + host_ + ", o=Grid"; }
+
+  const std::string& host() const { return host_; }
+
+ private:
+  /// Pull current provider data (cached response mode — the providers'
+  /// TTLs decide whether commands actually run) into the directory.
+  Status refresh();
+
+  std::shared_ptr<info::SystemMonitor> monitor_;
+  std::string host_;
+  const Clock& clock_;
+  Directory directory_;
+};
+
+/// Convert one information record into its GRIS directory entry.
+DirectoryEntry record_to_entry(const format::InfoRecord& record, const std::string& host);
+
+}  // namespace ig::mds

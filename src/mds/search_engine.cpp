@@ -1,0 +1,60 @@
+#include "mds/search_engine.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+
+namespace ig::mds {
+
+std::vector<std::string> tokenize_query(const std::string& query) {
+  std::vector<std::string> tokens;
+  for (const auto& raw : strings::split_fields(query, ' ')) {
+    tokens.push_back(strings::to_lower(raw));
+  }
+  return tokens;
+}
+
+namespace {
+bool contains_ci(const std::string& haystack, const std::string& lower_needle) {
+  return strings::contains(strings::to_lower(haystack), lower_needle);
+}
+}  // namespace
+
+double score_entry(const DirectoryEntry& entry, const std::vector<std::string>& tokens,
+                   const SearchOptions& options) {
+  double score = 0.0;
+  for (const std::string& token : tokens) {
+    if (contains_ci(entry.dn, token)) score += options.dn_weight;
+    for (const auto& [name, values] : entry.attributes) {
+      if (contains_ci(name, token)) score += options.name_weight;
+      for (const std::string& value : values) {
+        if (contains_ci(value, token)) score += options.value_weight;
+      }
+    }
+  }
+  return score;
+}
+
+Result<std::vector<SearchHit>> keyword_search(SearchBackend& backend,
+                                              const std::string& query,
+                                              const SearchOptions& options) {
+  auto tokens = tokenize_query(query);
+  if (tokens.empty()) {
+    return Error(ErrorCode::kInvalidArgument, "empty search query");
+  }
+  auto entries = backend.search(options.base, Scope::kSubtree, Filter::match_all());
+  if (!entries.ok()) return entries.error();
+  std::vector<SearchHit> hits;
+  for (auto& entry : entries.value()) {
+    double score = score_entry(entry, tokens, options);
+    if (score > 0.0) hits.push_back(SearchHit{std::move(entry), score});
+  }
+  std::sort(hits.begin(), hits.end(), [](const SearchHit& a, const SearchHit& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.entry.dn < b.entry.dn;
+  });
+  if (hits.size() > options.max_hits) hits.resize(options.max_hits);
+  return hits;
+}
+
+}  // namespace ig::mds

@@ -1,0 +1,42 @@
+// Google-like keyword search over the directory (paper Sec. 3: "we argue
+// that it is worthwhile to provide google-like services, as have been
+// used in many previous Grid like projects").
+//
+// LDAP filters require knowing the schema; keyword search does not. A
+// free-text query ("memory 512 anl") is tokenized and scored against
+// every entry in a SearchBackend's subtree: a token matching an attribute
+// *name* scores higher than one matching a *value*, DN matches highest.
+// Results are ranked by total score, ties broken by DN.
+#pragma once
+
+#include "mds/gris.hpp"
+
+namespace ig::mds {
+
+struct SearchHit {
+  DirectoryEntry entry;
+  double score = 0.0;
+};
+
+struct SearchOptions {
+  std::string base = "o=Grid";
+  std::size_t max_hits = 10;
+  double dn_weight = 3.0;
+  double name_weight = 2.0;
+  double value_weight = 1.0;
+};
+
+/// Tokenize a free-text query: lower-cased, split on whitespace, empty
+/// tokens dropped.
+std::vector<std::string> tokenize_query(const std::string& query);
+
+/// Score one entry against tokens (exposed for tests).
+double score_entry(const DirectoryEntry& entry, const std::vector<std::string>& tokens,
+                   const SearchOptions& options);
+
+/// Ranked keyword search over the backend's subtree.
+Result<std::vector<SearchHit>> keyword_search(SearchBackend& backend,
+                                              const std::string& query,
+                                              const SearchOptions& options = {});
+
+}  // namespace ig::mds

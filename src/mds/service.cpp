@@ -1,0 +1,197 @@
+#include "mds/service.hpp"
+
+#include "common/strings.hpp"
+
+namespace ig::mds {
+
+MdsService::MdsService(std::shared_ptr<SearchBackend> backend,
+                       security::Credential credential, const security::TrustStore* trust,
+                       const Clock* clock, std::shared_ptr<logging::Logger> logger,
+                       std::shared_ptr<Giis> registrar)
+    : backend_(std::move(backend)),
+      credential_(credential),
+      trust_(trust),
+      clock_(clock),
+      // MDS authenticates but needs no local account: no gridmap.
+      authenticator_(std::move(credential), trust, nullptr, clock),
+      logger_(std::move(logger)),
+      registrar_(std::move(registrar)) {}
+
+Status MdsService::start(net::Network& network, const net::Address& address) {
+  network_ = &network;
+  address_ = address;
+  return network.listen(address, authenticator_.wrap([this](const net::Message& req,
+                                                            net::Session& session) {
+    return handle(req, session);
+  }));
+}
+
+void MdsService::stop() {
+  if (network_ != nullptr) network_->close(address_);
+}
+
+net::Message MdsService::handle(const net::Message& request, net::Session& session) {
+  if (request.verb == "MDS_REGISTER") {
+    if (registrar_ == nullptr) {
+      return net::Message::error(
+          Error(ErrorCode::kInvalidArgument, "this MDS endpoint is not an aggregate"));
+    }
+    auto suffix = request.header("suffix");
+    auto host = request.header("host");
+    auto port = ig::strings::parse_int(request.header_or("port", ""));
+    if (!suffix || !host || !port) {
+      return net::Message::error(Error(ErrorCode::kInvalidArgument,
+                                       "MDS_REGISTER needs suffix, host and port headers"));
+    }
+    // The aggregate pulls from the child with its own (host) credential.
+    auto client = std::make_shared<MdsClient>(
+        *network_, net::Address{*host, static_cast<int>(*port)}, credential_, *trust_,
+        *clock_);
+    registrar_->register_child(std::make_shared<RemoteBackend>(std::move(client), *suffix));
+    if (logger_ != nullptr) {
+      logger_->log(logging::EventType::kAuth, session.authenticated_subject().value_or(""),
+                   "", 0, "mds_register " + *suffix);
+    }
+    return net::Message::ok();
+  }
+  if (request.verb == "MDS_KEYWORD") {
+    SearchOptions options;
+    options.base = request.header_or("base", backend_->suffix());
+    if (auto n = ig::strings::parse_int(request.header_or("max_hits", "10")); n && *n > 0) {
+      options.max_hits = static_cast<std::size_t>(*n);
+    }
+    auto hits = ig::mds::keyword_search(*backend_, request.body, options);
+    if (!hits.ok()) return net::Message::error(hits.error());
+    if (logger_ != nullptr) {
+      logger_->log(logging::EventType::kInfoQuery,
+                   session.authenticated_subject().value_or(""), "", 0,
+                   "mds_keyword " + request.body);
+    }
+    // Carry the rank score as an extra attribute on each entry.
+    std::string body;
+    for (const auto& hit : hits.value()) {
+      DirectoryEntry scored = hit.entry;
+      scored.add("ig-score", ig::strings::format("%.2f", hit.score));
+      body += scored.serialize();
+    }
+    net::Message resp = net::Message::ok(std::move(body));
+    resp.with("count", std::to_string(hits->size()));
+    return resp;
+  }
+  if (request.verb != "MDS_SEARCH") {
+    return net::Message::error(
+        Error(ErrorCode::kInvalidArgument, "unknown MDS verb: " + request.verb));
+  }
+  std::string base = request.header_or("base", backend_->suffix());
+  auto scope = scope_from_string(request.header_or("scope", "sub"));
+  if (!scope.ok()) return net::Message::error(scope.error());
+  auto filter = Filter::parse(request.header_or("filter", Filter::match_all().to_string()));
+  if (!filter.ok()) return net::Message::error(filter.error());
+
+  auto entries = backend_->search(base, scope.value(), filter.value());
+  if (!entries.ok()) return net::Message::error(entries.error());
+
+  if (logger_ != nullptr) {
+    logger_->log(logging::EventType::kInfoQuery,
+                 session.authenticated_subject().value_or(""), "", 0,
+                 "mds_search " + filter->to_string());
+  }
+  std::string body;
+  for (const auto& entry : entries.value()) body += entry.serialize();
+  net::Message resp = net::Message::ok(std::move(body));
+  resp.with("count", std::to_string(entries->size()));
+  return resp;
+}
+
+MdsClient::MdsClient(net::Network& network, net::Address address,
+                     security::Credential credential, const security::TrustStore& trust,
+                     const Clock& clock)
+    : network_(network),
+      address_(std::move(address)),
+      credential_(std::move(credential)),
+      trust_(trust),
+      clock_(clock) {}
+
+Status MdsClient::ensure_connected() {
+  if (connection_ != nullptr) return Status::success();
+  auto conn = network_.connect(address_);
+  if (!conn.ok()) return conn.error();
+  connection_ = std::move(conn.value());
+  auto auth = security::authenticate(*connection_, credential_, trust_, clock_);
+  if (!auth.ok()) {
+    closed_stats_.merge(connection_->stats());
+    connection_.reset();
+    return auth.error();
+  }
+  return Status::success();
+}
+
+Result<std::vector<DirectoryEntry>> MdsClient::search(const std::string& base, Scope scope,
+                                                      const Filter& filter) {
+  if (auto status = ensure_connected(); !status.ok()) return status.error();
+  net::Message req("MDS_SEARCH");
+  req.with("base", base);
+  req.with("scope", std::string(to_string(scope)));
+  req.with("filter", filter.to_string());
+  auto resp = connection_->request(req);
+  if (!resp.ok()) return resp.error();
+  if (resp->is_error()) return net::Message::to_error(*resp);
+  return DirectoryEntry::parse_all(resp->body);
+}
+
+net::TrafficStats MdsClient::stats() const {
+  net::TrafficStats total = closed_stats_;
+  if (connection_ != nullptr) total.merge(connection_->stats());
+  return total;
+}
+
+void MdsClient::disconnect() {
+  if (connection_ != nullptr) {
+    closed_stats_.merge(connection_->stats());
+    connection_.reset();
+  }
+}
+
+Status MdsClient::register_backend(const std::string& suffix,
+                                   const net::Address& address) {
+  if (auto status = ensure_connected(); !status.ok()) return status;
+  net::Message req("MDS_REGISTER");
+  req.with("suffix", suffix);
+  req.with("host", address.host);
+  req.with("port", std::to_string(address.port));
+  auto resp = connection_->request(req);
+  if (!resp.ok()) return resp.error();
+  if (resp->is_error()) return net::Message::to_error(*resp);
+  return Status::success();
+}
+
+Result<std::vector<SearchHit>> MdsClient::keyword_search(const std::string& query,
+                                                          std::size_t max_hits) {
+  if (auto status = ensure_connected(); !status.ok()) return status.error();
+  net::Message req("MDS_KEYWORD", query);
+  req.with("max_hits", std::to_string(max_hits));
+  auto resp = connection_->request(req);
+  if (!resp.ok()) return resp.error();
+  if (resp->is_error()) return net::Message::to_error(*resp);
+  auto entries = DirectoryEntry::parse_all(resp->body);
+  if (!entries.ok()) return entries.error();
+  std::vector<SearchHit> hits;
+  for (auto& entry : entries.value()) {
+    SearchHit hit;
+    hit.score = strings::parse_double(entry.first("ig-score")).value_or(0.0);
+    entry.attributes.erase("ig-score");
+    hit.entry = std::move(entry);
+    hits.push_back(std::move(hit));
+  }
+  return hits;
+}
+
+RemoteBackend::RemoteBackend(std::shared_ptr<MdsClient> client, std::string suffix)
+    : client_(std::move(client)), suffix_(std::move(suffix)) {}
+
+Result<std::vector<DirectoryEntry>> RemoteBackend::search(const std::string& base,
+                                                          Scope scope, const Filter& filter) {
+  return client_->search(base, scope, filter);
+}
+
+}  // namespace ig::mds

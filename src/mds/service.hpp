@@ -1,0 +1,106 @@
+// MDS wire protocol: the *separate* information-service protocol whose
+// existence alongside GRAMP motivates the paper ("not only do the services
+// operate through different ports, but they also use different protocols").
+//
+// Verb MDS_SEARCH, headers base/scope/filter, LDIF-style entry body in the
+// response. Connections authenticate with the GSI handshake first (MDS 2.x
+// integrated GSI). MdsClient is the client-side counterpart, establishing
+// and caching an authenticated connection.
+#pragma once
+
+#include <memory>
+
+#include "logging/log.hpp"
+#include "mds/giis.hpp"
+#include "mds/search_engine.hpp"
+#include "net/network.hpp"
+#include "security/handshake.hpp"
+
+namespace ig::mds {
+
+/// Serves a SearchBackend at a network address. When the backend is a
+/// Giis (pass it via `registrar` too), the service additionally accepts
+/// MDS_REGISTER requests: a remote GRIS announces its address and DN
+/// suffix, and the GIIS aggregates it from then on — the MDS registration
+/// protocol that builds VO-wide information hierarchies.
+class MdsService {
+ public:
+  MdsService(std::shared_ptr<SearchBackend> backend, security::Credential credential,
+             const security::TrustStore* trust, const Clock* clock,
+             std::shared_ptr<logging::Logger> logger = nullptr,
+             std::shared_ptr<Giis> registrar = nullptr);
+
+  /// Bind to `address` on `network`.
+  Status start(net::Network& network, const net::Address& address);
+  void stop();
+
+  const net::Address& address() const { return address_; }
+
+ private:
+  net::Message handle(const net::Message& request, net::Session& session);
+
+  std::shared_ptr<SearchBackend> backend_;
+  security::Credential credential_;  ///< also used for outbound child links
+  const security::TrustStore* trust_;
+  const Clock* clock_;
+  security::Authenticator authenticator_;
+  std::shared_ptr<logging::Logger> logger_;
+  std::shared_ptr<Giis> registrar_;
+  net::Network* network_ = nullptr;
+  net::Address address_;
+};
+
+/// Client for an MdsService endpoint.
+class MdsClient {
+ public:
+  MdsClient(net::Network& network, net::Address address, security::Credential credential,
+            const security::TrustStore& trust, const Clock& clock);
+
+  /// Search the remote directory. Connects + authenticates on first use;
+  /// subsequent searches reuse the authenticated connection.
+  Result<std::vector<DirectoryEntry>> search(const std::string& base, Scope scope,
+                                             const Filter& filter);
+
+  /// Register a GRIS with the remote GIIS: the aggregate will pull
+  /// `suffix` from the MDS endpoint at `address` from now on.
+  Status register_backend(const std::string& suffix, const net::Address& address);
+
+  /// Google-like keyword search (paper Sec. 3) over the remote directory;
+  /// hits arrive ranked, score carried in the "ig-score" attribute.
+  Result<std::vector<SearchHit>> keyword_search(const std::string& query,
+                                                std::size_t max_hits = 10);
+
+  /// Traffic accounting for the experiments (zero before first use).
+  net::TrafficStats stats() const;
+
+  /// Drop the connection (next call reconnects and re-authenticates).
+  void disconnect();
+
+ private:
+  Status ensure_connected();
+
+  net::Network& network_;
+  net::Address address_;
+  security::Credential credential_;
+  const security::TrustStore& trust_;
+  const Clock& clock_;
+  std::unique_ptr<net::Connection> connection_;
+  net::TrafficStats closed_stats_;  ///< accumulated from dropped connections
+};
+
+/// A SearchBackend proxy over MdsClient, so a local GIIS can aggregate a
+/// *remote* GRIS exactly as MDS registration does.
+class RemoteBackend final : public SearchBackend {
+ public:
+  RemoteBackend(std::shared_ptr<MdsClient> client, std::string suffix);
+
+  Result<std::vector<DirectoryEntry>> search(const std::string& base, Scope scope,
+                                             const Filter& filter) override;
+  std::string suffix() const override { return suffix_; }
+
+ private:
+  std::shared_ptr<MdsClient> client_;
+  std::string suffix_;
+};
+
+}  // namespace ig::mds

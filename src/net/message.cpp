@@ -1,0 +1,112 @@
+#include "net/message.hpp"
+
+#include "common/strings.hpp"
+
+namespace ig::net {
+
+namespace {
+constexpr std::string_view kMagic = "IGP/1.0 ";
+}
+
+std::optional<std::string> Message::header(const std::string& key) const {
+  auto it = headers.find(key);
+  if (it == headers.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Message::header_or(const std::string& key, std::string fallback) const {
+  auto v = header(key);
+  return v ? *v : std::move(fallback);
+}
+
+std::string Message::serialize() const {
+  std::string out;
+  out.reserve(kMagic.size() + verb.size() + body.size() + 64 * headers.size());
+  out += kMagic;
+  out += verb;
+  out += '\n';
+  for (const auto& [k, v] : headers) {
+    out += k;
+    out += ": ";
+    out += v;
+    out += '\n';
+  }
+  out += '\n';
+  out += body;
+  return out;
+}
+
+std::size_t Message::wire_size() const {
+  std::size_t n = kMagic.size() + verb.size() + 2;  // verb line + blank line
+  for (const auto& [k, v] : headers) n += k.size() + v.size() + 3;
+  return n + body.size();
+}
+
+Result<Message> Message::parse(std::string_view wire) {
+  if (!strings::starts_with(wire, kMagic)) {
+    return Error(ErrorCode::kParseError, "message missing IGP/1.0 magic");
+  }
+  wire.remove_prefix(kMagic.size());
+  std::size_t eol = wire.find('\n');
+  if (eol == std::string_view::npos) {
+    return Error(ErrorCode::kParseError, "message missing verb line terminator");
+  }
+  Message msg;
+  msg.verb = std::string(wire.substr(0, eol));
+  if (msg.verb.empty()) return Error(ErrorCode::kParseError, "empty verb");
+  wire.remove_prefix(eol + 1);
+  while (true) {
+    eol = wire.find('\n');
+    if (eol == std::string_view::npos) {
+      return Error(ErrorCode::kParseError, "unterminated header section");
+    }
+    std::string_view line = wire.substr(0, eol);
+    wire.remove_prefix(eol + 1);
+    if (line.empty()) break;  // end of headers
+    std::size_t colon = line.find(": ");
+    if (colon == std::string_view::npos) {
+      return Error(ErrorCode::kParseError,
+                   "malformed header line: " + std::string(line));
+    }
+    msg.headers.emplace(std::string(line.substr(0, colon)),
+                        std::string(line.substr(colon + 2)));
+  }
+  msg.body = std::string(wire);
+  return msg;
+}
+
+Message Message::ok(std::string body) { return Message("OK", std::move(body)); }
+
+Message Message::error(const Error& err) {
+  Message msg("ERROR", err.message);
+  msg.with("code", std::string(to_string(err.code)));
+  return msg;
+}
+
+Error Message::to_error(const Message& response) {
+  ErrorCode code = ErrorCode::kInternal;
+  auto name = response.header_or("code", "internal");
+  // Reverse of to_string(ErrorCode); unknown names map to kInternal.
+  static const std::pair<std::string_view, ErrorCode> kCodes[] = {
+      {"parse_error", ErrorCode::kParseError},
+      {"not_found", ErrorCode::kNotFound},
+      {"stale", ErrorCode::kStale},
+      {"denied", ErrorCode::kDenied},
+      {"timeout", ErrorCode::kTimeout},
+      {"unavailable", ErrorCode::kUnavailable},
+      {"invalid_argument", ErrorCode::kInvalidArgument},
+      {"already_exists", ErrorCode::kAlreadyExists},
+      {"cancelled", ErrorCode::kCancelled},
+      {"io_error", ErrorCode::kIoError},
+      {"internal", ErrorCode::kInternal},
+  };
+  for (const auto& [n, c] : kCodes) {
+    if (n == name) {
+      code = c;
+      break;
+    }
+  }
+  return Error(code, response.body);
+}
+
+}  // namespace ig::net

@@ -1,0 +1,54 @@
+// Wire message model for the simulated network.
+//
+// All three protocols in this codebase (GRAMP, the MDS query protocol and
+// the unified InfoGram protocol) frame their traffic as IGP/1.0 messages:
+// a verb line, header lines, a blank line, then an opaque body. Messages
+// serialize to a concrete byte form so the cost model can charge for real
+// message sizes.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/error.hpp"
+
+namespace ig::net {
+
+struct Message {
+  std::string verb;  ///< request verb or response status ("OK", "ERROR", ...)
+  std::map<std::string, std::string> headers;
+  std::string body;
+
+  Message() = default;
+  Message(std::string v, std::string b = "") : verb(std::move(v)), body(std::move(b)) {}
+
+  Message& with(std::string key, std::string value) {
+    headers[std::move(key)] = std::move(value);
+    return *this;
+  }
+
+  /// Header value or nullopt.
+  std::optional<std::string> header(const std::string& key) const;
+  /// Header value or `fallback`.
+  std::string header_or(const std::string& key, std::string fallback) const;
+
+  /// Framed byte form: "IGP/1.0 <verb>\n<k>: <v>\n...\n\n<body>".
+  std::string serialize() const;
+  /// Size in bytes of the framed form (used by the bandwidth cost model).
+  std::size_t wire_size() const;
+
+  static Result<Message> parse(std::string_view wire);
+
+  /// Convenience constructors for the common response shapes.
+  static Message ok(std::string body = "");
+  static Message error(const Error& err);
+  /// Map an ERROR response back to an ig::Error.
+  static Error to_error(const Message& response);
+
+  bool is_error() const { return verb == "ERROR"; }
+};
+
+}  // namespace ig::net

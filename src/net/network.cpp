@@ -1,0 +1,108 @@
+#include "net/network.hpp"
+
+namespace ig::net {
+
+Result<Message> Connection::request(const Message& req) {
+  std::string wire = req.serialize();
+  const CostModel& model = net_->cost_model();
+
+  TrafficStats delta;
+  delta.requests = 1;
+  delta.bytes_sent = wire.size();
+  delta.virtual_time = model.round_trip_latency + model.transfer_cost(wire.size());
+
+  // The endpoint handler parses the framed bytes exactly as a real server
+  // would, so serialization errors cannot hide.
+  auto parsed = Message::parse(wire);
+  if (!parsed.ok()) {
+    stats_.merge(delta);
+    net_->account(delta);
+    return parsed.error();
+  }
+
+  auto response = net_->dispatch(peer_, parsed.value(), *session_);
+  if (response.ok()) {
+    std::size_t resp_size = response->wire_size();
+    delta.bytes_received = resp_size;
+    delta.virtual_time += model.transfer_cost(resp_size);
+  }
+  stats_.merge(delta);
+  net_->account(delta);
+  return response;
+}
+
+Status Network::listen(const Address& addr, Handler handler) {
+  std::lock_guard lock(mu_);
+  auto [it, inserted] = endpoints_.try_emplace(addr, EndpointEntry{std::move(handler), false});
+  (void)it;
+  if (!inserted) {
+    return Error(ErrorCode::kAlreadyExists, "address already bound: " + addr.to_string());
+  }
+  return Status::success();
+}
+
+void Network::close(const Address& addr) {
+  std::lock_guard lock(mu_);
+  endpoints_.erase(addr);
+}
+
+Result<std::unique_ptr<Connection>> Network::connect(const Address& addr) {
+  {
+    std::lock_guard lock(mu_);
+    auto it = endpoints_.find(addr);
+    if (it == endpoints_.end()) {
+      return Error(ErrorCode::kUnavailable, "no endpoint listening at " + addr.to_string());
+    }
+    if (it->second.partitioned) {
+      return Error(ErrorCode::kUnavailable, "network partition: " + addr.to_string());
+    }
+  }
+  auto conn = std::unique_ptr<Connection>(
+      new Connection(this, addr, std::make_shared<Session>()));
+  TrafficStats delta;
+  delta.connects = 1;
+  delta.virtual_time = model_.connect_latency;
+  conn->stats_.merge(delta);
+  account(delta);
+  return conn;
+}
+
+void Network::partition(const Address& addr) {
+  std::lock_guard lock(mu_);
+  auto it = endpoints_.find(addr);
+  if (it != endpoints_.end()) it->second.partitioned = true;
+}
+
+void Network::heal(const Address& addr) {
+  std::lock_guard lock(mu_);
+  auto it = endpoints_.find(addr);
+  if (it != endpoints_.end()) it->second.partitioned = false;
+}
+
+TrafficStats Network::total_stats() const {
+  std::lock_guard lock(mu_);
+  return totals_;
+}
+
+Result<Message> Network::dispatch(const Address& addr, const Message& req, Session& session) {
+  Handler handler;
+  {
+    std::lock_guard lock(mu_);
+    auto it = endpoints_.find(addr);
+    if (it == endpoints_.end()) {
+      return Error(ErrorCode::kUnavailable, "endpoint closed: " + addr.to_string());
+    }
+    if (it->second.partitioned) {
+      return Error(ErrorCode::kUnavailable, "network partition: " + addr.to_string());
+    }
+    handler = it->second.handler;  // copy so the handler runs unlocked
+  }
+  return handler(req, session);
+}
+
+void Network::account(const TrafficStats& delta) {
+  std::lock_guard lock(mu_);
+  totals_.merge(delta);
+}
+
+}  // namespace ig::net

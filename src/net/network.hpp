@@ -1,0 +1,169 @@
+// Simulated network substrate.
+//
+// The paper's architectural claim (Fig. 2 vs Fig. 4) is that unifying GRAM
+// and MDS removes one protocol, one port and one security handshake from
+// every client interaction. To measure that, the substrate models exactly
+// the quantities the claim is about:
+//
+//   * connection establishment (counted, charged connect latency),
+//   * request/response round trips (counted, charged RTT),
+//   * bytes on the wire (charged against bandwidth),
+//   * per-connection session state (where the auth handshake lives).
+//
+// Transport is in-process: Network::connect() returns a Connection whose
+// request() invokes the listening endpoint's handler synchronously in the
+// caller's thread. Concurrency comes from concurrent callers, so handlers
+// must be thread-safe (all services in this repo are). Virtual time is
+// accumulated in TrafficStats rather than slept, keeping benchmarks fast
+// and deterministic while preserving relative protocol costs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/clock.hpp"
+#include "common/error.hpp"
+#include "net/message.hpp"
+
+namespace ig::net {
+
+/// "host:port" endpoint address.
+struct Address {
+  std::string host;
+  int port = 0;
+
+  std::string to_string() const { return host + ":" + std::to_string(port); }
+  friend bool operator==(const Address&, const Address&) = default;
+  friend auto operator<=>(const Address&, const Address&) = default;
+};
+
+/// Cost model for the simulated wire. Defaults approximate a 2002-era LAN:
+/// ~0.5 ms TCP connect, ~0.2 ms RTT, ~100 MB/s.
+struct CostModel {
+  Duration connect_latency = us(500);
+  Duration round_trip_latency = us(200);
+  double bytes_per_us = 100.0;  ///< bandwidth
+
+  Duration transfer_cost(std::size_t bytes) const {
+    return us(static_cast<std::int64_t>(static_cast<double>(bytes) / bytes_per_us));
+  }
+};
+
+/// Accounting of everything a connection (or a whole client) put on the
+/// wire. This is the measured side of experiment E2.
+struct TrafficStats {
+  std::uint64_t connects = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  Duration virtual_time{0};  ///< modeled network time (not slept)
+
+  void merge(const TrafficStats& other) {
+    connects += other.connects;
+    requests += other.requests;
+    bytes_sent += other.bytes_sent;
+    bytes_received += other.bytes_received;
+    virtual_time += other.virtual_time;
+  }
+};
+
+/// Per-connection state shared between client and server sides. A security
+/// handshake stores the authenticated peer identity here; services read it
+/// on subsequent requests over the same connection.
+class Session {
+ public:
+  void set(const std::string& key, std::string value) {
+    std::lock_guard lock(mu_);
+    attrs_[key] = std::move(value);
+  }
+  std::optional<std::string> get(const std::string& key) const {
+    std::lock_guard lock(mu_);
+    auto it = attrs_.find(key);
+    if (it == attrs_.end()) return std::nullopt;
+    return it->second;
+  }
+  /// Authenticated global identity (certificate subject DN), if any.
+  std::optional<std::string> authenticated_subject() const { return get("auth.subject"); }
+  /// Local account the subject was mapped to by the gridmap, if any.
+  std::optional<std::string> local_user() const { return get("auth.local_user"); }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::string> attrs_;
+};
+
+/// Server-side request handler: full request in, full response out.
+using Handler = std::function<Message(const Message& request, Session& session)>;
+
+class Network;
+
+/// Client side of an established connection.
+class Connection {
+ public:
+  /// Synchronous RPC. Serializes the request, charges the cost model,
+  /// and runs the endpoint handler. Fails if the endpoint closed or the
+  /// network injected a fault.
+  Result<Message> request(const Message& req);
+
+  const TrafficStats& stats() const { return stats_; }
+  const Address& peer() const { return peer_; }
+  Session& session() { return *session_; }
+
+ private:
+  friend class Network;
+  Connection(Network* net, Address peer, std::shared_ptr<Session> session)
+      : net_(net), peer_(std::move(peer)), session_(std::move(session)) {}
+
+  Network* net_;
+  Address peer_;
+  std::shared_ptr<Session> session_;
+  TrafficStats stats_;
+};
+
+/// The in-process network: a registry of listening endpoints plus the cost
+/// model and fault injection. Thread-safe.
+class Network {
+ public:
+  explicit Network(CostModel model = {}) : model_(model) {}
+
+  /// Register a handler at `addr`. Fails with kAlreadyExists if bound.
+  Status listen(const Address& addr, Handler handler);
+
+  /// Stop listening; in-flight connections start failing with kUnavailable.
+  void close(const Address& addr);
+
+  /// Establish a connection (charges connect latency + one connect count).
+  Result<std::unique_ptr<Connection>> connect(const Address& addr);
+
+  /// Make an address unreachable (connection attempts and requests fail)
+  /// until healed. Used by the fault-tolerance experiments.
+  void partition(const Address& addr);
+  void heal(const Address& addr);
+
+  const CostModel& cost_model() const { return model_; }
+
+  /// Aggregate traffic across all connections ever made on this network.
+  TrafficStats total_stats() const;
+
+ private:
+  friend class Connection;
+
+  struct EndpointEntry {
+    Handler handler;
+    bool partitioned = false;
+  };
+
+  Result<Message> dispatch(const Address& addr, const Message& req, Session& session);
+  void account(const TrafficStats& delta);
+
+  CostModel model_;
+  mutable std::mutex mu_;
+  std::map<Address, EndpointEntry> endpoints_;
+  TrafficStats totals_;
+};
+
+}  // namespace ig::net

@@ -1,0 +1,76 @@
+// Abstract syntax for the Globus Resource Specification Language (RSL).
+//
+// RSL is the job-description language of GRAM; the paper extends it into
+// xRSL by giving meaning to additional attributes (src/rsl/xrsl.hpp). The
+// grammar implemented here follows RSL 1.0:
+//
+//   specification   := boolean | relation-sequence
+//   boolean         := ('&' | '|' | '+') paren-item+
+//   paren-item      := '(' specification-or-relation ')'
+//   relation        := attribute op value*            (inside parentheses)
+//   op              := '=' | '!=' | '<' | '>' | '<=' | '>='
+//   value           := word | "quoted ''string''" | '(' value* ')' | $(VAR)
+//
+// Adjacent value fragments without whitespace concatenate ($(HOME)/bin).
+// A bare relation sequence is an implicit conjunction. Attribute names are
+// case-insensitive and canonicalized to lower case.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ig::rsl {
+
+enum class Op { kEq, kNeq, kLt, kGt, kLe, kGe };
+
+std::string_view to_string(Op op);
+
+/// A value in a relation's value sequence.
+struct Value {
+  enum class Kind {
+    kLiteral,   ///< plain text (word or quoted string)
+    kVariable,  ///< $(NAME) reference
+    kList,      ///< parenthesized value sequence, e.g. (HOME /home/x)
+    kConcat,    ///< adjacent fragments, e.g. $(HOME)/bin
+  };
+
+  Kind kind = Kind::kLiteral;
+  std::string text;          ///< literal text or variable name
+  std::vector<Value> items;  ///< list elements or concat fragments
+
+  static Value literal(std::string s) { return {Kind::kLiteral, std::move(s), {}}; }
+  static Value variable(std::string name) { return {Kind::kVariable, std::move(name), {}}; }
+  static Value list(std::vector<Value> items) { return {Kind::kList, {}, std::move(items)}; }
+  static Value concat(std::vector<Value> items) { return {Kind::kConcat, {}, std::move(items)}; }
+
+  friend bool operator==(const Value&, const Value&) = default;
+};
+
+/// attribute op value-sequence, e.g. (count=4) or (arguments=a b c).
+struct Relation {
+  std::string attribute;  ///< lower-cased
+  Op op = Op::kEq;
+  std::vector<Value> values;
+
+  friend bool operator==(const Relation&, const Relation&) = default;
+};
+
+/// A specification node. Conjunction nodes hold relations directly plus any
+/// nested boolean children; Multi ('+') nodes hold one child per request.
+struct Node {
+  enum class Kind { kConjunction, kDisjunction, kMulti };
+
+  Kind kind = Kind::kConjunction;
+  std::vector<Relation> relations;
+  std::vector<Node> children;
+
+  /// First relation with this (lower-case) attribute in *this* node, or
+  /// nullptr. Does not descend into children.
+  const Relation* find(std::string_view attribute) const;
+  /// All relations with the attribute, in order.
+  std::vector<const Relation*> find_all(std::string_view attribute) const;
+
+  friend bool operator==(const Node&, const Node&) = default;
+};
+
+}  // namespace ig::rsl

@@ -1,0 +1,457 @@
+#include "rsl/parser.hpp"
+
+#include <cctype>
+
+#include "common/strings.hpp"
+
+namespace ig::rsl {
+
+std::string_view to_string(Op op) {
+  switch (op) {
+    case Op::kEq:
+      return "=";
+    case Op::kNeq:
+      return "!=";
+    case Op::kLt:
+      return "<";
+    case Op::kGt:
+      return ">";
+    case Op::kLe:
+      return "<=";
+    case Op::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+const Relation* Node::find(std::string_view attribute) const {
+  for (const Relation& r : relations) {
+    if (r.attribute == attribute) return &r;
+  }
+  return nullptr;
+}
+
+std::vector<const Relation*> Node::find_all(std::string_view attribute) const {
+  std::vector<const Relation*> out;
+  for (const Relation& r : relations) {
+    if (r.attribute == attribute) out.push_back(&r);
+  }
+  return out;
+}
+
+namespace {
+
+/// Character class helpers for unquoted words. RSL reserves the
+/// parentheses, operators, quotes and '$'.
+bool is_word_char(char c) {
+  return !std::isspace(static_cast<unsigned char>(c)) && c != '(' && c != ')' && c != '"' &&
+         c != '$' && c != '=' && c != '<' && c != '>' && c != '!' && c != '&' && c != '|' &&
+         c != '+';
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Node> parse_specification() {
+    skip_ws();
+    auto node = parse_node();
+    if (!node.ok()) return node;
+    skip_ws();
+    if (!at_end()) return fail("trailing input after specification");
+    return node;
+  }
+
+ private:
+  Result<Node> parse_node() {
+    skip_ws();
+    if (at_end()) return fail("empty specification");
+    char c = peek();
+    if (c == '&' || c == '|' || c == '+') {
+      ++pos_;
+      Node node;
+      node.kind = c == '&'   ? Node::Kind::kConjunction
+                  : c == '|' ? Node::Kind::kDisjunction
+                             : Node::Kind::kMulti;
+      return parse_paren_items(std::move(node), /*require_one=*/true);
+    }
+    if (c == '(') {
+      // Bare relation sequence: implicit conjunction.
+      Node node;
+      node.kind = Node::Kind::kConjunction;
+      return parse_paren_items(std::move(node), /*require_one=*/true);
+    }
+    return fail("expected '(', '&', '|' or '+'");
+  }
+
+  /// Parses "( item )" repeatedly, attaching relations/children to `node`.
+  Result<Node> parse_paren_items(Node node, bool require_one) {
+    bool any = false;
+    while (true) {
+      skip_ws();
+      if (at_end() || peek() != '(') break;
+      ++pos_;  // '('
+      skip_ws();
+      if (!at_end() && (peek() == '&' || peek() == '|' || peek() == '+')) {
+        auto child = parse_node();
+        if (!child.ok()) return child;
+        skip_ws();
+        if (at_end() || peek() != ')') return fail("expected ')' after nested specification");
+        ++pos_;
+        node.children.push_back(std::move(child.value()));
+      } else {
+        auto rel = parse_relation_body();
+        if (!rel.ok()) return rel.error();
+        node.relations.push_back(std::move(rel.value()));
+      }
+      any = true;
+    }
+    if (require_one && !any) return fail("expected at least one '(...)' item");
+    return node;
+  }
+
+  /// Parses "attr op value*" up to and including the closing ')'.
+  Result<Relation> parse_relation_body() {
+    skip_ws();
+    std::string attr;
+    while (!at_end() && is_word_char(peek())) attr += text_[pos_++];
+    if (attr.empty()) return Result<Relation>(Error(ErrorCode::kParseError, location("expected attribute name")));
+    Relation rel;
+    rel.attribute = strings::to_lower(attr);
+    skip_ws();
+    auto op = parse_op();
+    if (!op.ok()) return op.error();
+    rel.op = op.value();
+    // Value sequence until ')'.
+    while (true) {
+      skip_ws();
+      if (at_end()) return Result<Relation>(Error(ErrorCode::kParseError, location("unterminated relation")));
+      if (peek() == ')') {
+        ++pos_;
+        return rel;
+      }
+      auto value = parse_value();
+      if (!value.ok()) return value.error();
+      rel.values.push_back(std::move(value.value()));
+    }
+  }
+
+  Result<Op> parse_op() {
+    if (at_end()) return Result<Op>(Error(ErrorCode::kParseError, location("expected operator")));
+    char c = text_[pos_];
+    if (c == '=') {
+      ++pos_;
+      return Op::kEq;
+    }
+    if (c == '!') {
+      ++pos_;
+      if (at_end() || text_[pos_] != '=') return Result<Op>(Error(ErrorCode::kParseError, location("expected '=' after '!'")));
+      ++pos_;
+      return Op::kNeq;
+    }
+    if (c == '<') {
+      ++pos_;
+      if (!at_end() && text_[pos_] == '=') {
+        ++pos_;
+        return Op::kLe;
+      }
+      return Op::kLt;
+    }
+    if (c == '>') {
+      ++pos_;
+      if (!at_end() && text_[pos_] == '=') {
+        ++pos_;
+        return Op::kGe;
+      }
+      return Op::kGt;
+    }
+    return Result<Op>(Error(ErrorCode::kParseError, location("expected operator")));
+  }
+
+  /// One value: possibly a concatenation of adjacent fragments.
+  Result<Value> parse_value() {
+    std::vector<Value> fragments;
+    while (!at_end()) {
+      char c = peek();
+      if (c == '"') {
+        auto lit = parse_quoted();
+        if (!lit.ok()) return Result<Value>(lit.error());
+        fragments.push_back(Value::literal(std::move(lit.value())));
+      } else if (c == '$') {
+        auto var = parse_variable();
+        if (!var.ok()) return var;
+        fragments.push_back(std::move(var.value()));
+      } else if (c == '(') {
+        auto list = parse_list();
+        if (!list.ok()) return list;
+        fragments.push_back(std::move(list.value()));
+      } else if (is_word_char(c)) {
+        std::string word;
+        while (!at_end() && is_word_char(peek())) word += text_[pos_++];
+        fragments.push_back(Value::literal(std::move(word)));
+      } else {
+        break;  // whitespace, ')' or operator char ends the value
+      }
+      // Adjacent fragment (no whitespace) continues the concatenation,
+      // except that '(' after a fragment would be a *new* list value.
+      if (at_end() || std::isspace(static_cast<unsigned char>(peek())) || peek() == ')' ||
+          peek() == '(') {
+        break;
+      }
+    }
+    if (fragments.empty()) return Result<Value>(Error(ErrorCode::kParseError, location("expected value")));
+    if (fragments.size() == 1) return std::move(fragments.front());
+    return Value::concat(std::move(fragments));
+  }
+
+  /// "..." with "" as the escape for a literal quote (RSL convention).
+  Result<std::string> parse_quoted() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (true) {
+      if (at_end()) return Result<std::string>(Error(ErrorCode::kParseError, location("unterminated quoted string")));
+      char c = text_[pos_++];
+      if (c == '"') {
+        if (!at_end() && peek() == '"') {
+          out += '"';
+          ++pos_;
+          continue;
+        }
+        return out;
+      }
+      out += c;
+    }
+  }
+
+  Result<Value> parse_variable() {
+    ++pos_;  // '$'
+    if (at_end() || peek() != '(') return Result<Value>(Error(ErrorCode::kParseError, location("expected '(' after '$'")));
+    ++pos_;
+    skip_ws();
+    std::string name;
+    while (!at_end() && is_word_char(peek())) name += text_[pos_++];
+    skip_ws();
+    if (name.empty()) return Result<Value>(Error(ErrorCode::kParseError, location("empty variable name")));
+    if (at_end() || peek() != ')') return Result<Value>(Error(ErrorCode::kParseError, location("expected ')' after variable name")));
+    ++pos_;
+    return Value::variable(std::move(name));
+  }
+
+  Result<Value> parse_list() {
+    ++pos_;  // '('
+    std::vector<Value> items;
+    while (true) {
+      skip_ws();
+      if (at_end()) return Result<Value>(Error(ErrorCode::kParseError, location("unterminated value list")));
+      if (peek() == ')') {
+        ++pos_;
+        return Value::list(std::move(items));
+      }
+      auto value = parse_value();
+      if (!value.ok()) return value;
+      items.push_back(std::move(value.value()));
+    }
+  }
+
+  void skip_ws() {
+    while (!at_end() && std::isspace(static_cast<unsigned char>(peek()))) ++pos_;
+  }
+  bool at_end() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+
+  Error fail(std::string_view what) { return Error(ErrorCode::kParseError, location(what)); }
+  std::string location(std::string_view what) const {
+    return std::string(what) + " at offset " + std::to_string(pos_);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+bool needs_quoting(const std::string& s) {
+  if (s.empty()) return true;
+  for (char c : s) {
+    if (!is_word_char(c)) return true;
+  }
+  return false;
+}
+
+void unparse_value(const Value& value, std::string& out) {
+  switch (value.kind) {
+    case Value::Kind::kLiteral:
+      if (needs_quoting(value.text)) {
+        out += '"';
+        out += strings::replace_all(value.text, "\"", "\"\"");
+        out += '"';
+      } else {
+        out += value.text;
+      }
+      break;
+    case Value::Kind::kVariable:
+      out += "$(";
+      out += value.text;
+      out += ')';
+      break;
+    case Value::Kind::kList:
+      out += '(';
+      for (std::size_t i = 0; i < value.items.size(); ++i) {
+        if (i != 0) out += ' ';
+        unparse_value(value.items[i], out);
+      }
+      out += ')';
+      break;
+    case Value::Kind::kConcat:
+      for (const Value& item : value.items) unparse_value(item, out);
+      break;
+  }
+}
+
+void unparse_node(const Node& node, std::string& out) {
+  switch (node.kind) {
+    case Node::Kind::kConjunction:
+      out += '&';
+      break;
+    case Node::Kind::kDisjunction:
+      out += '|';
+      break;
+    case Node::Kind::kMulti:
+      out += '+';
+      break;
+  }
+  for (const Relation& rel : node.relations) out += unparse(rel);
+  for (const Node& child : node.children) {
+    out += '(';
+    unparse_node(child, out);
+    out += ')';
+  }
+}
+
+Result<Value> substitute_value(const Value& value, const Bindings& bindings) {
+  switch (value.kind) {
+    case Value::Kind::kLiteral:
+      return value;
+    case Value::Kind::kVariable: {
+      auto it = bindings.find(value.text);
+      if (it == bindings.end()) {
+        return Result<Value>(Error(ErrorCode::kParseError, "undefined RSL variable: " + value.text));
+      }
+      return Value::literal(it->second);
+    }
+    case Value::Kind::kList:
+    case Value::Kind::kConcat: {
+      std::vector<Value> items;
+      items.reserve(value.items.size());
+      for (const Value& item : value.items) {
+        auto sub = substitute_value(item, bindings);
+        if (!sub.ok()) return sub;
+        items.push_back(std::move(sub.value()));
+      }
+      if (value.kind == Value::Kind::kList) return Value::list(std::move(items));
+      // Collapse an all-literal concat into one literal.
+      std::string joined;
+      for (const Value& item : items) {
+        if (item.kind != Value::Kind::kLiteral) return Value::concat(std::move(items));
+        joined += item.text;
+      }
+      return Value::literal(std::move(joined));
+    }
+  }
+  return Result<Value>(Error(ErrorCode::kInternal, "unreachable value kind"));
+}
+
+}  // namespace
+
+Result<Node> parse(std::string_view text) { return Parser(text).parse_specification(); }
+
+std::string unparse(const Value& value) {
+  std::string out;
+  unparse_value(value, out);
+  return out;
+}
+
+std::string unparse(const Relation& relation) {
+  std::string out = "(" + relation.attribute + std::string(to_string(relation.op));
+  for (std::size_t i = 0; i < relation.values.size(); ++i) {
+    if (i != 0) out += ' ';
+    unparse_value(relation.values[i], out);
+  }
+  out += ')';
+  return out;
+}
+
+std::string unparse(const Node& node) {
+  std::string out;
+  unparse_node(node, out);
+  return out;
+}
+
+Result<Node> substitute(const Node& node, const Bindings& outer) {
+  Bindings bindings = outer;
+  // Collect (rsl_substitution=(VAR value)...) definitions from this node.
+  for (const Relation& rel : node.relations) {
+    if (rel.attribute != "rsl_substitution") continue;
+    for (const Value& pair : rel.values) {
+      if (pair.kind != Value::Kind::kList || pair.items.size() != 2 ||
+          pair.items[0].kind != Value::Kind::kLiteral) {
+        return Error(ErrorCode::kParseError,
+                     "rsl_substitution entries must be (NAME value) pairs");
+      }
+      auto resolved = substitute_value(pair.items[1], bindings);
+      if (!resolved.ok()) return resolved.error();
+      if (resolved->kind != Value::Kind::kLiteral) {
+        return Error(ErrorCode::kParseError,
+                     "rsl_substitution value must resolve to a literal");
+      }
+      bindings[pair.items[0].text] = resolved->text;
+    }
+  }
+  Node out;
+  out.kind = node.kind;
+  for (const Relation& rel : node.relations) {
+    if (rel.attribute == "rsl_substitution") continue;  // consumed
+    Relation resolved;
+    resolved.attribute = rel.attribute;
+    resolved.op = rel.op;
+    for (const Value& v : rel.values) {
+      auto sub = substitute_value(v, bindings);
+      if (!sub.ok()) return sub.error();
+      resolved.values.push_back(std::move(sub.value()));
+    }
+    out.relations.push_back(std::move(resolved));
+  }
+  for (const Node& child : node.children) {
+    auto sub = substitute(child, bindings);
+    if (!sub.ok()) return sub;
+    out.children.push_back(std::move(sub.value()));
+  }
+  return out;
+}
+
+std::string to_display_string(const std::vector<Value>& values) {
+  std::string out;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) out += ' ';
+    const Value& v = values[i];
+    if (v.kind == Value::Kind::kLiteral) {
+      out += v.text;
+    } else {
+      unparse_value(v, out);
+    }
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> flatten(const std::vector<Value>& values) {
+  std::vector<std::string> out;
+  out.reserve(values.size());
+  for (const Value& v : values) {
+    if (v.kind != Value::Kind::kLiteral) {
+      return Error(ErrorCode::kInvalidArgument,
+                   "value sequence contains unresolved variable or list: " + unparse(v));
+    }
+    out.push_back(v.text);
+  }
+  return out;
+}
+
+}  // namespace ig::rsl

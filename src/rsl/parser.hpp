@@ -1,0 +1,37 @@
+// RSL parser, unparser, and variable substitution.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/error.hpp"
+#include "rsl/ast.hpp"
+
+namespace ig::rsl {
+
+/// Parse an RSL specification. Errors carry a position-annotated message.
+Result<Node> parse(std::string_view text);
+
+/// Canonical text form; parse(unparse(n)) == n for every valid node.
+std::string unparse(const Node& node);
+std::string unparse(const Relation& relation);
+std::string unparse(const Value& value);
+
+/// Variable bindings for $(VAR) substitution.
+using Bindings = std::map<std::string, std::string>;
+
+/// Resolve all variable references. Bindings come from `outer` plus any
+/// (rsl_substitution=(VAR value)...) relations in the node itself, inner
+/// definitions shadowing outer ones. Fails on undefined variables.
+/// rsl_substitution relations are consumed (removed from the result).
+Result<Node> substitute(const Node& node, const Bindings& outer = {});
+
+/// Render a value sequence as a single display string: literals joined by
+/// spaces, lists parenthesized. Variables render as $(NAME).
+std::string to_display_string(const std::vector<Value>& values);
+
+/// Flatten a fully-substituted value sequence into plain strings.
+/// Fails if a variable or nested list remains.
+Result<std::vector<std::string>> flatten(const std::vector<Value>& values);
+
+}  // namespace ig::rsl

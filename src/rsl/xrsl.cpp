@@ -1,0 +1,381 @@
+#include "rsl/xrsl.hpp"
+
+#include "common/strings.hpp"
+#include "rsl/parser.hpp"
+
+namespace ig::rsl {
+
+std::string_view to_string(ResponseMode mode) {
+  switch (mode) {
+    case ResponseMode::kCached:
+      return "cached";
+    case ResponseMode::kImmediate:
+      return "immediate";
+    case ResponseMode::kLast:
+      return "last";
+  }
+  return "?";
+}
+
+std::string_view to_string(OutputFormat format) {
+  switch (format) {
+    case OutputFormat::kLdif:
+      return "ldif";
+    case OutputFormat::kXml:
+      return "xml";
+    case OutputFormat::kDsml:
+      return "dsml";
+  }
+  return "?";
+}
+
+std::string_view to_string(TimeoutAction action) {
+  switch (action) {
+    case TimeoutAction::kCancel:
+      return "cancel";
+    case TimeoutAction::kException:
+      return "exception";
+  }
+  return "?";
+}
+
+namespace {
+
+Result<std::string> single_string(const Relation& rel) {
+  auto flat = flatten(rel.values);
+  if (!flat.ok()) return flat.error();
+  if (flat->size() != 1) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "(" + rel.attribute + "=...) expects exactly one value");
+  }
+  return flat->front();
+}
+
+Result<std::int64_t> single_int(const Relation& rel) {
+  auto s = single_string(rel);
+  if (!s.ok()) return s.error();
+  auto v = strings::parse_int(*s);
+  if (!v) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "(" + rel.attribute + "=...) expects an integer, got " + *s);
+  }
+  return *v;
+}
+
+}  // namespace
+
+Result<XrslRequest> XrslRequest::from_node(const Node& node) {
+  if (node.kind != Node::Kind::kConjunction || !node.children.empty()) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "xRSL request must be a flat conjunction of relations");
+  }
+  XrslRequest req;
+  JobSpec job;
+  bool has_job_attr = false;
+
+  for (const Relation& rel : node.relations) {
+    if (rel.op != Op::kEq) {
+      return Error(ErrorCode::kInvalidArgument,
+                   "xRSL attribute " + rel.attribute + " requires '='");
+    }
+    const std::string& attr = rel.attribute;
+    if (attr == "executable") {
+      auto v = single_string(rel);
+      if (!v.ok()) return v.error();
+      job.executable = *v;
+      has_job_attr = true;
+    } else if (attr == "arguments") {
+      auto flat = flatten(rel.values);
+      if (!flat.ok()) return flat.error();
+      job.arguments = std::move(flat.value());
+      has_job_attr = true;
+    } else if (attr == "environment") {
+      for (const Value& pair : rel.values) {
+        if (pair.kind != Value::Kind::kList || pair.items.size() != 2 ||
+            pair.items[0].kind != Value::Kind::kLiteral ||
+            pair.items[1].kind != Value::Kind::kLiteral) {
+          return Error(ErrorCode::kInvalidArgument,
+                       "(environment=...) entries must be (NAME value) pairs");
+        }
+        job.environment[pair.items[0].text] = pair.items[1].text;
+      }
+      has_job_attr = true;
+    } else if (attr == "directory" || attr == "stdin" || attr == "stdout" ||
+               attr == "stderr" || attr == "queue" || attr == "jobtype") {
+      auto v = single_string(rel);
+      if (!v.ok()) return v.error();
+      if (attr == "directory") {
+        job.directory = *v;
+      } else if (attr == "stdin") {
+        job.std_in = *v;
+      } else if (attr == "stdout") {
+        job.std_out = *v;
+      } else if (attr == "stderr") {
+        job.std_err = *v;
+      } else if (attr == "queue") {
+        job.queue = *v;
+      } else {
+        job.job_type = *v;
+      }
+      has_job_attr = true;
+    } else if (attr == "count") {
+      auto v = single_int(rel);
+      if (!v.ok()) return v.error();
+      if (*v < 1) return Error(ErrorCode::kInvalidArgument, "(count=...) must be >= 1");
+      job.count = static_cast<int>(*v);
+      has_job_attr = true;
+    } else if (attr == "maxtime") {
+      auto v = single_int(rel);  // minutes, GRAM convention
+      if (!v.ok()) return v.error();
+      if (*v < 0) return Error(ErrorCode::kInvalidArgument, "(maxtime=...) must be >= 0");
+      job.max_time = seconds(*v * 60);
+      has_job_attr = true;
+    } else if (attr == "info") {
+      auto v = single_string(rel);
+      if (!v.ok()) return v.error();
+      if (strings::iequals(*v, "schema")) {
+        req.wants_schema = true;
+      } else {
+        req.info_keys.push_back(*v);
+      }
+    } else if (attr == "response") {
+      auto v = single_string(rel);
+      if (!v.ok()) return v.error();
+      if (strings::iequals(*v, "cached")) {
+        req.response = ResponseMode::kCached;
+      } else if (strings::iequals(*v, "immediate")) {
+        req.response = ResponseMode::kImmediate;
+      } else if (strings::iequals(*v, "last")) {
+        req.response = ResponseMode::kLast;
+      } else {
+        return Error(ErrorCode::kInvalidArgument, "unknown response mode: " + *v);
+      }
+    } else if (attr == "quality") {
+      auto v = single_string(rel);
+      if (!v.ok()) return v.error();
+      auto q = strings::parse_double(*v);
+      if (!q || *q < 0.0 || *q > 100.0) {
+        return Error(ErrorCode::kInvalidArgument,
+                     "(quality=...) must be a percentage in [0,100]");
+      }
+      req.quality_threshold = *q;
+    } else if (attr == "performance") {
+      auto v = single_string(rel);
+      if (!v.ok()) return v.error();
+      req.performance_keys.push_back(*v);
+    } else if (attr == "format") {
+      auto v = single_string(rel);
+      if (!v.ok()) return v.error();
+      if (strings::iequals(*v, "ldif")) {
+        req.format = OutputFormat::kLdif;
+      } else if (strings::iequals(*v, "xml")) {
+        req.format = OutputFormat::kXml;
+      } else if (strings::iequals(*v, "dsml")) {
+        req.format = OutputFormat::kDsml;
+      } else {
+        return Error(ErrorCode::kInvalidArgument, "unknown format: " + *v);
+      }
+    } else if (attr == "filter") {
+      auto v = single_string(rel);
+      if (!v.ok()) return v.error();
+      req.filters.push_back(*v);
+    } else if (attr == "timeout") {
+      auto v = single_int(rel);  // milliseconds, per the paper's example
+      if (!v.ok()) return v.error();
+      if (*v < 0) return Error(ErrorCode::kInvalidArgument, "(timeout=...) must be >= 0");
+      req.timeout = ms(*v);
+    } else if (attr == "action") {
+      auto v = single_string(rel);
+      if (!v.ok()) return v.error();
+      if (strings::iequals(*v, "cancel")) {
+        req.action = TimeoutAction::kCancel;
+      } else if (strings::iequals(*v, "exception")) {
+        req.action = TimeoutAction::kException;
+      } else {
+        return Error(ErrorCode::kInvalidArgument, "unknown timeout action: " + *v);
+      }
+    } else {
+      return Error(ErrorCode::kInvalidArgument, "unknown xRSL attribute: " + attr);
+    }
+  }
+
+  if (has_job_attr) {
+    if (job.executable.empty()) {
+      return Error(ErrorCode::kInvalidArgument,
+                   "job attributes present but (executable=...) missing");
+    }
+    req.job = std::move(job);
+  }
+  if (!req.is_job() && !req.is_info()) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "request is neither a job submission nor an information query");
+  }
+  return req;
+}
+
+Result<XrslRequest> XrslRequest::parse(std::string_view text, const Bindings& bindings) {
+  auto node = rsl::parse(text);
+  if (!node.ok()) return node.error();
+  auto resolved = substitute(node.value(), bindings);
+  if (!resolved.ok()) return resolved.error();
+  return from_node(resolved.value());
+}
+
+Result<std::vector<XrslRequest>> XrslRequest::parse_all(std::string_view text,
+                                                        const Bindings& bindings) {
+  auto node = rsl::parse(text);
+  if (!node.ok()) return node.error();
+  auto resolved = substitute(node.value(), bindings);
+  if (!resolved.ok()) return resolved.error();
+  std::vector<XrslRequest> out;
+  if (resolved->kind == Node::Kind::kMulti) {
+    if (!resolved->relations.empty()) {
+      return Error(ErrorCode::kInvalidArgument,
+                   "multi-request may not contain bare relations");
+    }
+    if (resolved->children.empty()) {
+      return Error(ErrorCode::kInvalidArgument, "empty multi-request");
+    }
+    out.reserve(resolved->children.size());
+    for (const Node& child : resolved->children) {
+      auto request = from_node(child);
+      if (!request.ok()) return request.error();
+      out.push_back(std::move(request.value()));
+    }
+    return out;
+  }
+  auto request = from_node(resolved.value());
+  if (!request.ok()) return request.error();
+  out.push_back(std::move(request.value()));
+  return out;
+}
+
+std::string XrslRequest::to_rsl() const {
+  std::string out = "&";
+  auto rel = [&out](const std::string& attr, const std::string& value) {
+    Relation r;
+    r.attribute = attr;
+    r.values.push_back(Value::literal(value));
+    out += unparse(r);
+  };
+  if (job) {
+    rel("executable", job->executable);
+    if (!job->arguments.empty()) {
+      Relation r;
+      r.attribute = "arguments";
+      for (const auto& a : job->arguments) r.values.push_back(Value::literal(a));
+      out += unparse(r);
+    }
+    if (!job->environment.empty()) {
+      Relation r;
+      r.attribute = "environment";
+      for (const auto& [k, v] : job->environment) {
+        r.values.push_back(Value::list({Value::literal(k), Value::literal(v)}));
+      }
+      out += unparse(r);
+    }
+    if (!job->directory.empty()) rel("directory", job->directory);
+    if (!job->std_in.empty()) rel("stdin", job->std_in);
+    if (!job->std_out.empty()) rel("stdout", job->std_out);
+    if (!job->std_err.empty()) rel("stderr", job->std_err);
+    if (!job->queue.empty()) rel("queue", job->queue);
+    if (!job->job_type.empty()) rel("jobtype", job->job_type);
+    if (job->count != 1) rel("count", std::to_string(job->count));
+    if (job->max_time) {
+      rel("maxtime", std::to_string(job->max_time->count() / seconds(60).count()));
+    }
+  }
+  for (const auto& key : info_keys) rel("info", key);
+  if (wants_schema) rel("info", "schema");
+  if (response != ResponseMode::kCached) rel("response", std::string(to_string(response)));
+  if (quality_threshold) rel("quality", strings::format("%.10g", *quality_threshold));
+  for (const auto& key : performance_keys) rel("performance", key);
+  if (format != OutputFormat::kLdif) rel("format", std::string(to_string(format)));
+  for (const auto& f : filters) rel("filter", f);
+  if (timeout) rel("timeout", std::to_string(timeout->count() / 1000));
+  if (timeout && action != TimeoutAction::kCancel) {
+    rel("action", std::string(to_string(action)));
+  }
+  return out;
+}
+
+XrslBuilder& XrslBuilder::executable(std::string path) {
+  if (!request_.job) request_.job.emplace();
+  request_.job->executable = std::move(path);
+  return *this;
+}
+XrslBuilder& XrslBuilder::argument(std::string arg) {
+  if (!request_.job) request_.job.emplace();
+  request_.job->arguments.push_back(std::move(arg));
+  return *this;
+}
+XrslBuilder& XrslBuilder::environment(std::string key, std::string value) {
+  if (!request_.job) request_.job.emplace();
+  request_.job->environment[std::move(key)] = std::move(value);
+  return *this;
+}
+XrslBuilder& XrslBuilder::directory(std::string dir) {
+  if (!request_.job) request_.job.emplace();
+  request_.job->directory = std::move(dir);
+  return *this;
+}
+XrslBuilder& XrslBuilder::stdout_file(std::string path) {
+  if (!request_.job) request_.job.emplace();
+  request_.job->std_out = std::move(path);
+  return *this;
+}
+XrslBuilder& XrslBuilder::count(int n) {
+  if (!request_.job) request_.job.emplace();
+  request_.job->count = n;
+  return *this;
+}
+XrslBuilder& XrslBuilder::queue(std::string name) {
+  if (!request_.job) request_.job.emplace();
+  request_.job->queue = std::move(name);
+  return *this;
+}
+XrslBuilder& XrslBuilder::job_type(std::string type) {
+  if (!request_.job) request_.job.emplace();
+  request_.job->job_type = std::move(type);
+  return *this;
+}
+XrslBuilder& XrslBuilder::max_time(Duration d) {
+  if (!request_.job) request_.job.emplace();
+  request_.job->max_time = d;
+  return *this;
+}
+XrslBuilder& XrslBuilder::info(std::string key) {
+  request_.info_keys.push_back(std::move(key));
+  return *this;
+}
+XrslBuilder& XrslBuilder::schema() {
+  request_.wants_schema = true;
+  return *this;
+}
+XrslBuilder& XrslBuilder::response(ResponseMode mode) {
+  request_.response = mode;
+  return *this;
+}
+XrslBuilder& XrslBuilder::quality(double threshold_percent) {
+  request_.quality_threshold = threshold_percent;
+  return *this;
+}
+XrslBuilder& XrslBuilder::performance(std::string key) {
+  request_.performance_keys.push_back(std::move(key));
+  return *this;
+}
+XrslBuilder& XrslBuilder::format(OutputFormat fmt) {
+  request_.format = fmt;
+  return *this;
+}
+XrslBuilder& XrslBuilder::filter(std::string attribute_glob) {
+  request_.filters.push_back(std::move(attribute_glob));
+  return *this;
+}
+XrslBuilder& XrslBuilder::timeout(Duration d, TimeoutAction act) {
+  request_.timeout = d;
+  request_.action = act;
+  return *this;
+}
+
+}  // namespace ig::rsl

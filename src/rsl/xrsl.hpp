@@ -1,0 +1,136 @@
+// xRSL: the paper's extension of RSL with information-service tags.
+//
+// InfoGram treats an information query exactly like a job submission; the
+// client formulates both in RSL. The paper adds the tags `schema`, `info`,
+// `filter`, `response`, `performance`, `quality` and `format`, plus the
+// planned `timeout`/`action` extension. This header gives the parsed AST a
+// typed face: XrslRequest::from_node() validates the extension attributes
+// and the classic GRAM job attributes, producing a request the InfoGram
+// service dispatches on.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/error.hpp"
+#include "rsl/ast.hpp"
+#include "rsl/parser.hpp"
+
+namespace ig::rsl {
+
+/// Cache interaction for info queries (paper Sec. 6.6, "Response").
+enum class ResponseMode {
+  kCached,     ///< return cache if fresh, refresh otherwise (default)
+  kImmediate,  ///< force execution regardless of TTL; updates the cache
+  kLast,       ///< return whatever is cached, however stale, never refresh
+};
+
+/// Return format for information (paper Sec. 6.6, "Format"): LDIF and
+/// XML per the paper, plus DSML ("it is straightforward to support other
+/// formats such as DSML").
+enum class OutputFormat { kLdif, kXml, kDsml };
+
+/// Behaviour when a job exceeds its timeout (paper Sec. 6.6, "Extensions").
+enum class TimeoutAction {
+  kCancel,     ///< cancel the running command
+  kException,  ///< report the timeout but let the command continue
+};
+
+std::string_view to_string(ResponseMode mode);
+std::string_view to_string(OutputFormat format);
+std::string_view to_string(TimeoutAction action);
+
+/// Classic GRAM job attributes.
+struct JobSpec {
+  std::string executable;
+  std::vector<std::string> arguments;
+  std::map<std::string, std::string> environment;
+  std::string directory;
+  std::string std_in;
+  std::string std_out;
+  std::string std_err;
+  std::string queue;
+  std::string job_type;  ///< "single" (default), "multiple", "jar"
+  int count = 1;
+  std::optional<Duration> max_time;
+
+  friend bool operator==(const JobSpec&, const JobSpec&) = default;
+};
+
+/// A validated xRSL request: a job submission, an information query, or
+/// both at once (the unification the paper is about).
+struct XrslRequest {
+  std::optional<JobSpec> job;
+
+  /// Keys from (info=...) relations. "all" expands to every configured
+  /// keyword; "schema" sets wants_schema instead of appearing here.
+  std::vector<std::string> info_keys;
+  bool wants_schema = false;
+
+  ResponseMode response = ResponseMode::kCached;
+  /// Quality threshold in percent: attributes whose degradation value fell
+  /// below this are regenerated before return (paper Sec. 6.6, "Quality").
+  std::optional<double> quality_threshold;
+  /// Keys whose provider timing statistics to return; "all" allowed.
+  std::vector<std::string> performance_keys;
+  OutputFormat format = OutputFormat::kLdif;
+  /// Attribute glob filters, e.g. "Memory:*"; empty = no filtering.
+  std::vector<std::string> filters;
+  std::optional<Duration> timeout;
+  TimeoutAction action = TimeoutAction::kCancel;
+
+  bool is_job() const { return job.has_value(); }
+  bool is_info() const {
+    return !info_keys.empty() || wants_schema || !performance_keys.empty();
+  }
+
+  /// Validate a fully-substituted conjunction node into a request.
+  static Result<XrslRequest> from_node(const Node& node);
+  /// parse + substitute + from_node in one step.
+  static Result<XrslRequest> parse(std::string_view text, const Bindings& bindings = {});
+
+  /// Like parse(), but accepts RSL multi-requests: "+(&(...))(&(...))"
+  /// yields one request per sub-specification (a plain specification
+  /// yields a single-element vector). This is GRAM's multi-request
+  /// operator applied to the unified service.
+  static Result<std::vector<XrslRequest>> parse_all(std::string_view text,
+                                                    const Bindings& bindings = {});
+
+  /// Render back to RSL text (round-trips through parse()).
+  std::string to_rsl() const;
+
+  friend bool operator==(const XrslRequest&, const XrslRequest&) = default;
+};
+
+/// Fluent construction of xRSL requests for client code.
+class XrslBuilder {
+ public:
+  XrslBuilder& executable(std::string path);
+  XrslBuilder& argument(std::string arg);
+  XrslBuilder& environment(std::string key, std::string value);
+  XrslBuilder& directory(std::string dir);
+  XrslBuilder& stdout_file(std::string path);
+  XrslBuilder& count(int n);
+  XrslBuilder& queue(std::string name);
+  XrslBuilder& job_type(std::string type);
+  XrslBuilder& max_time(Duration d);
+  XrslBuilder& info(std::string key);
+  XrslBuilder& schema();
+  XrslBuilder& response(ResponseMode mode);
+  XrslBuilder& quality(double threshold_percent);
+  XrslBuilder& performance(std::string key);
+  XrslBuilder& format(OutputFormat fmt);
+  XrslBuilder& filter(std::string attribute_glob);
+  XrslBuilder& timeout(Duration d, TimeoutAction action = TimeoutAction::kCancel);
+
+  const XrslRequest& request() const { return request_; }
+  std::string to_rsl() const { return request_.to_rsl(); }
+
+ private:
+  XrslRequest request_;
+};
+
+}  // namespace ig::rsl

@@ -1,0 +1,73 @@
+#include "security/authorization.hpp"
+
+#include "common/strings.hpp"
+
+namespace ig::security {
+
+Decision AuthorizationPolicy::evaluate(const std::string& subject, const std::string& resource,
+                                       const std::string& action, TimePoint now) const {
+  Duration time_of_day{now.count() % day_length_.count()};
+  for (const Rule& rule : rules_) {
+    if (!strings::glob_match(rule.subject_pattern, subject)) continue;
+    if (!strings::glob_match(rule.resource_pattern, resource)) continue;
+    if (!strings::glob_match(rule.action_pattern, action)) continue;
+    if (rule.window && !rule.window->contains(time_of_day)) continue;
+    return rule.decision;
+  }
+  return default_decision_;
+}
+
+Status AuthorizationPolicy::authorize(const std::string& subject, const std::string& resource,
+                                      const std::string& action, TimePoint now) const {
+  if (evaluate(subject, resource, action, now) == Decision::kAllow) {
+    return Status::success();
+  }
+  return Error(ErrorCode::kDenied,
+               "policy denies " + action + " on " + resource + " to " + subject);
+}
+
+Result<AuthorizationPolicy> AuthorizationPolicy::parse(const std::string& text,
+                                                       Decision default_decision) {
+  AuthorizationPolicy policy(default_decision);
+  int line_no = 0;
+  for (const auto& raw : strings::split(text, '\n')) {
+    ++line_no;
+    auto line = strings::trim(raw);
+    if (line.empty() || line.front() == '#') continue;
+    auto fields = strings::split_fields(line, ' ');
+    if (fields.size() != 4 && fields.size() != 5) {
+      return Error(ErrorCode::kParseError,
+                   strings::format("policy line %d: expected 4 or 5 fields", line_no));
+    }
+    Rule rule;
+    if (fields[0] == "allow") {
+      rule.decision = Decision::kAllow;
+    } else if (fields[0] == "deny") {
+      rule.decision = Decision::kDeny;
+    } else {
+      return Error(ErrorCode::kParseError,
+                   strings::format("policy line %d: verb must be allow or deny", line_no));
+    }
+    rule.subject_pattern = fields[1];
+    rule.resource_pattern = fields[2];
+    rule.action_pattern = fields[3];
+    if (fields.size() == 5) {
+      auto range = strings::split(fields[4], '-');
+      if (range.size() != 2) {
+        return Error(ErrorCode::kParseError,
+                     strings::format("policy line %d: window must be start-end", line_no));
+      }
+      auto lo = strings::parse_int(range[0]);
+      auto hi = strings::parse_int(range[1]);
+      if (!lo || !hi || *lo < 0 || *hi < *lo) {
+        return Error(ErrorCode::kParseError,
+                     strings::format("policy line %d: malformed window", line_no));
+      }
+      rule.window = TimeWindow{seconds(*lo), seconds(*hi)};
+    }
+    policy.add_rule(std::move(rule));
+  }
+  return policy;
+}
+
+}  // namespace ig::security

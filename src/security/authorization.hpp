@@ -1,0 +1,69 @@
+// Authorization contracts (paper Sec. 5.3).
+//
+// Beyond authentication, InfoGram's framework "strives to include
+// authorization that allows us to specify contracts such as 'allow access
+// to this resource from 3 to 4 pm to user X'". This engine evaluates an
+// ordered list of rules: the first rule whose subject/resource/action
+// patterns and time window all match decides; no match falls through to a
+// configurable default.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/error.hpp"
+
+namespace ig::security {
+
+enum class Decision { kAllow, kDeny };
+
+/// Recurring daily window [start, end) expressed as offsets from midnight.
+/// The engine folds absolute time into a day via the configured day length,
+/// so tests on a VirtualClock can use small "days".
+struct TimeWindow {
+  Duration start{0};
+  Duration end{0};
+
+  bool contains(Duration time_of_day) const { return time_of_day >= start && time_of_day < end; }
+};
+
+struct Rule {
+  std::string subject_pattern = "*";   ///< glob over the DN
+  std::string resource_pattern = "*";  ///< glob over the resource name
+  std::string action_pattern = "*";    ///< glob over the action ("submit", "query", ...)
+  std::optional<TimeWindow> window;    ///< absent = always
+  Decision decision = Decision::kAllow;
+};
+
+class AuthorizationPolicy {
+ public:
+  explicit AuthorizationPolicy(Decision default_decision = Decision::kDeny,
+                               Duration day_length = seconds(86400))
+      : default_decision_(default_decision), day_length_(day_length) {}
+
+  void add_rule(Rule rule) { rules_.push_back(std::move(rule)); }
+  std::size_t rule_count() const { return rules_.size(); }
+
+  /// First-match evaluation.
+  Decision evaluate(const std::string& subject, const std::string& resource,
+                    const std::string& action, TimePoint now) const;
+
+  /// evaluate() folded into a Status for service call sites.
+  Status authorize(const std::string& subject, const std::string& resource,
+                   const std::string& action, TimePoint now) const;
+
+  /// Parse a policy text, one rule per line:
+  ///   allow|deny <subject-glob> <resource-glob> <action-glob> [<startSec>-<endSec>]
+  /// e.g.  allow /O=Grid/CN=alice hot.mcs.anl.gov submit 54000-57600
+  static Result<AuthorizationPolicy> parse(const std::string& text,
+                                           Decision default_decision = Decision::kDeny);
+
+ private:
+  Decision default_decision_;
+  Duration day_length_;
+  std::vector<Rule> rules_;
+};
+
+}  // namespace ig::security

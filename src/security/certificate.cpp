@@ -1,0 +1,251 @@
+#include "security/certificate.hpp"
+
+#include "common/id.hpp"
+#include "common/strings.hpp"
+
+namespace ig::security {
+
+std::string_view to_string(CertType type) {
+  switch (type) {
+    case CertType::kCa:
+      return "ca";
+    case CertType::kUser:
+      return "user";
+    case CertType::kHost:
+      return "host";
+    case CertType::kProxy:
+      return "proxy";
+  }
+  return "unknown";
+}
+
+namespace {
+Result<CertType> parse_cert_type(const std::string& s) {
+  if (s == "ca") return CertType::kCa;
+  if (s == "user") return CertType::kUser;
+  if (s == "host") return CertType::kHost;
+  if (s == "proxy") return CertType::kProxy;
+  return Error(ErrorCode::kParseError, "unknown certificate type: " + s);
+}
+}  // namespace
+
+std::uint64_t Certificate::digest() const {
+  std::string canonical = subject + "|" + issuer + "|" + std::string(to_string(type)) + "|" +
+                          public_key.to_string() + "|" + std::to_string(not_before.count()) +
+                          "|" + std::to_string(not_after.count()) + "|" +
+                          std::to_string(serial);
+  return fnv1a(canonical);
+}
+
+std::string Certificate::serialize() const {
+  std::string out;
+  out += "subject=" + subject + "\n";
+  out += "issuer=" + issuer + "\n";
+  out += "type=" + std::string(to_string(type)) + "\n";
+  out += "key=" + public_key.to_string() + "\n";
+  out += "not_before=" + std::to_string(not_before.count()) + "\n";
+  out += "not_after=" + std::to_string(not_after.count()) + "\n";
+  out += "serial=" + std::to_string(serial) + "\n";
+  out += "signature=" + std::to_string(signature) + "\n";
+  return out;
+}
+
+Result<Certificate> Certificate::parse(const std::string& text) {
+  Certificate cert;
+  bool have_subject = false, have_key = false, have_sig = false;
+  for (const auto& line : strings::split(text, '\n')) {
+    if (strings::trim(line).empty()) continue;
+    std::size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      return Error(ErrorCode::kParseError, "malformed certificate line: " + line);
+    }
+    std::string key = line.substr(0, eq);
+    std::string value = line.substr(eq + 1);
+    if (key == "subject") {
+      cert.subject = value;
+      have_subject = true;
+    } else if (key == "issuer") {
+      cert.issuer = value;
+    } else if (key == "type") {
+      auto t = parse_cert_type(value);
+      if (!t.ok()) return t.error();
+      cert.type = t.value();
+    } else if (key == "key") {
+      if (!PublicKey::from_string(value, cert.public_key)) {
+        return Error(ErrorCode::kParseError, "malformed public key: " + value);
+      }
+      have_key = true;
+    } else if (key == "not_before" || key == "not_after" || key == "serial" ||
+               key == "signature") {
+      auto v = strings::parse_int(value);
+      if (!v) return Error(ErrorCode::kParseError, "malformed integer field: " + line);
+      if (key == "not_before") {
+        cert.not_before = TimePoint(*v);
+      } else if (key == "not_after") {
+        cert.not_after = TimePoint(*v);
+      } else if (key == "serial") {
+        cert.serial = static_cast<std::uint64_t>(*v);
+      } else {
+        cert.signature = static_cast<std::uint64_t>(*v);
+        have_sig = true;
+      }
+    } else {
+      return Error(ErrorCode::kParseError, "unknown certificate field: " + key);
+    }
+  }
+  if (!have_subject || !have_key || !have_sig) {
+    return Error(ErrorCode::kParseError, "certificate missing required fields");
+  }
+  return cert;
+}
+
+Credential::Credential(Certificate cert, KeyPair keys, std::vector<Certificate> intermediates)
+    : keys_(keys) {
+  chain_.push_back(std::move(cert));
+  for (auto& c : intermediates) chain_.push_back(std::move(c));
+}
+
+const std::string& Credential::base_subject() const {
+  for (const auto& cert : chain_) {
+    if (cert.type != CertType::kProxy) return cert.subject;
+  }
+  return chain_.back().subject;
+}
+
+std::uint64_t Credential::sign(const std::string& payload) const {
+  return keys_.sign(fnv1a(payload));
+}
+
+Result<Credential> Credential::delegate_proxy(Duration lifetime, const Clock& clock,
+                                              Rng& rng) const {
+  if (empty()) return Error(ErrorCode::kInvalidArgument, "cannot delegate from empty credential");
+  const Certificate& signer = certificate();
+  TimePoint now = clock.now();
+  if (!signer.valid_at(now)) {
+    return Error(ErrorCode::kDenied, "delegating certificate expired: " + signer.subject);
+  }
+  KeyPair proxy_keys = KeyPair::generate(rng);
+  Certificate proxy;
+  proxy.subject = signer.subject + "/CN=proxy";
+  proxy.issuer = signer.subject;
+  proxy.type = CertType::kProxy;
+  proxy.public_key = proxy_keys.pub;
+  proxy.not_before = now;
+  proxy.not_after = std::min(now + lifetime, signer.not_after);
+  proxy.serial = IdGenerator::next();
+  proxy.signature = keys_.sign(proxy.digest());
+  std::vector<Certificate> intermediates = chain_;
+  return Credential(std::move(proxy), proxy_keys, std::move(intermediates));
+}
+
+CertificateAuthority::CertificateAuthority(std::string subject, Duration lifetime,
+                                           const Clock& clock, std::uint64_t seed)
+    : clock_(clock), rng_(seed) {
+  KeyPair keys = KeyPair::generate(rng_);
+  Certificate root;
+  root.subject = std::move(subject);
+  root.issuer = root.subject;  // self-signed
+  root.type = CertType::kCa;
+  root.public_key = keys.pub;
+  root.not_before = clock_.now();
+  root.not_after = clock_.now() + lifetime;
+  root.serial = IdGenerator::next();
+  root.signature = keys.sign(root.digest());
+  root_ = Credential(std::move(root), keys);
+}
+
+Credential CertificateAuthority::issue(const std::string& subject, CertType type,
+                                       Duration lifetime) {
+  KeyPair keys = KeyPair::generate(rng_);
+  Certificate cert;
+  cert.subject = subject;
+  cert.issuer = root_.certificate().subject;
+  cert.type = type;
+  cert.public_key = keys.pub;
+  cert.not_before = clock_.now();
+  cert.not_after = clock_.now() + lifetime;
+  cert.serial = IdGenerator::next();
+  cert.signature = root_.keys().sign(cert.digest());
+  return Credential(std::move(cert), keys);
+}
+
+void TrustStore::add_root(const Certificate& root) { roots_.push_back(root); }
+
+Result<std::string> TrustStore::verify_chain(const std::vector<Certificate>& chain,
+                                             TimePoint now) const {
+  if (chain.empty()) return Error(ErrorCode::kDenied, "empty certificate chain");
+  constexpr std::size_t kMaxChain = 8;
+  if (chain.size() > kMaxChain) {
+    return Error(ErrorCode::kDenied, "certificate chain too long");
+  }
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    const Certificate& cert = chain[i];
+    if (!cert.valid_at(now)) {
+      return Error(ErrorCode::kDenied, "certificate expired or not yet valid: " + cert.subject);
+    }
+    if (cert.type == CertType::kProxy) {
+      // A proxy must be followed by its delegator, whose subject it extends.
+      if (i + 1 >= chain.size()) {
+        return Error(ErrorCode::kDenied, "proxy certificate without delegator: " + cert.subject);
+      }
+      const Certificate& delegator = chain[i + 1];
+      if (cert.issuer != delegator.subject ||
+          !strings::starts_with(cert.subject, delegator.subject + "/CN=")) {
+        return Error(ErrorCode::kDenied,
+                     "proxy subject does not extend delegator: " + cert.subject);
+      }
+      if (!verify(delegator.public_key, cert.digest(), cert.signature)) {
+        return Error(ErrorCode::kDenied, "bad proxy signature: " + cert.subject);
+      }
+      continue;
+    }
+    // Non-proxy: must be signed by a trusted root.
+    bool verified = false;
+    for (const Certificate& root : roots_) {
+      if (root.subject == cert.issuer && root.valid_at(now) &&
+          verify(root.public_key, cert.digest(), cert.signature)) {
+        verified = true;
+        break;
+      }
+    }
+    if (!verified) {
+      return Error(ErrorCode::kDenied, "untrusted issuer for " + cert.subject);
+    }
+    // Everything above this certificate in the chain was proxy material;
+    // this certificate is the base identity.
+    return cert.subject;
+  }
+  return Error(ErrorCode::kDenied, "chain contains only proxy certificates");
+}
+
+std::string TrustStore::serialize_chain(const std::vector<Certificate>& chain) {
+  std::string out;
+  for (const auto& cert : chain) {
+    out += "-----BEGIN CERT-----\n";
+    out += cert.serialize();
+    out += "-----END CERT-----\n";
+  }
+  return out;
+}
+
+Result<std::vector<Certificate>> TrustStore::parse_chain(const std::string& text) {
+  std::vector<Certificate> chain;
+  std::size_t pos = 0;
+  while (true) {
+    std::size_t begin = text.find("-----BEGIN CERT-----\n", pos);
+    if (begin == std::string::npos) break;
+    begin += std::string("-----BEGIN CERT-----\n").size();
+    std::size_t end = text.find("-----END CERT-----", begin);
+    if (end == std::string::npos) {
+      return Error(ErrorCode::kParseError, "unterminated certificate block");
+    }
+    auto cert = Certificate::parse(text.substr(begin, end - begin));
+    if (!cert.ok()) return cert.error();
+    chain.push_back(std::move(cert.value()));
+    pos = end;
+  }
+  if (chain.empty()) return Error(ErrorCode::kParseError, "no certificates in chain text");
+  return chain;
+}
+
+}  // namespace ig::security

@@ -1,0 +1,112 @@
+// Certificates, credentials and the certificate authority of the simulated
+// Grid Security Infrastructure.
+//
+// Identities are X.509-style distinguished names ("/O=Grid/OU=ANL/CN=alice").
+// A CertificateAuthority issues user and host certificates; users delegate
+// short-lived *proxy* certificates (GSI's single-sign-on mechanism), whose
+// subject extends the delegator's subject with "/CN=proxy". A TrustStore
+// verifies full chains: signatures, validity windows and proxy rules.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/error.hpp"
+#include "security/keys.hpp"
+
+namespace ig::security {
+
+enum class CertType { kCa, kUser, kHost, kProxy };
+
+std::string_view to_string(CertType type);
+
+struct Certificate {
+  std::string subject;  ///< DN, e.g. "/O=Grid/CN=alice"
+  std::string issuer;   ///< DN of the signer
+  CertType type = CertType::kUser;
+  PublicKey public_key;
+  TimePoint not_before{0};
+  TimePoint not_after{0};
+  std::uint64_t serial = 0;
+  std::uint64_t signature = 0;  ///< issuer's signature over digest()
+
+  /// Digest of all signed fields.
+  std::uint64_t digest() const;
+
+  bool valid_at(TimePoint now) const { return now >= not_before && now <= not_after; }
+
+  /// Line-oriented text form used on the wire.
+  std::string serialize() const;
+  static Result<Certificate> parse(const std::string& text);
+
+  friend bool operator==(const Certificate&, const Certificate&) = default;
+};
+
+/// A certificate plus its private key and the chain up to (but excluding)
+/// a trusted root: chain_[0] is this certificate, followed by intermediate
+/// certificates (e.g. the user certificate below a proxy).
+class Credential {
+ public:
+  Credential() = default;
+  Credential(Certificate cert, KeyPair keys, std::vector<Certificate> intermediates = {});
+
+  const Certificate& certificate() const { return chain_.front(); }
+  const std::vector<Certificate>& chain() const { return chain_; }
+  const KeyPair& keys() const { return keys_; }
+
+  /// The base (non-proxy) identity this credential speaks for.
+  const std::string& base_subject() const;
+
+  /// Sign an arbitrary payload with this credential's private key.
+  std::uint64_t sign(const std::string& payload) const;
+
+  /// Issue a proxy certificate for this credential (GSI delegation).
+  /// The proxy's lifetime is clipped to the delegating cert's lifetime.
+  Result<Credential> delegate_proxy(Duration lifetime, const Clock& clock, Rng& rng) const;
+
+  bool empty() const { return chain_.empty(); }
+
+ private:
+  std::vector<Certificate> chain_;
+  KeyPair keys_;
+};
+
+/// Issues certificates, GSI CA style.
+class CertificateAuthority {
+ public:
+  /// Create a self-signed root with the given DN.
+  CertificateAuthority(std::string subject, Duration lifetime, const Clock& clock,
+                       std::uint64_t seed);
+
+  const Certificate& root_certificate() const { return root_.certificate(); }
+
+  /// Issue a user or host certificate for `subject`.
+  Credential issue(const std::string& subject, CertType type, Duration lifetime);
+
+ private:
+  const Clock& clock_;
+  Rng rng_;
+  Credential root_;
+};
+
+/// Trusted roots + chain verification.
+class TrustStore {
+ public:
+  void add_root(const Certificate& root);
+
+  /// Verify a chain (leaf first). On success returns the *base subject* —
+  /// the identity of the first non-proxy certificate, which is what the
+  /// gridmap maps to a local account.
+  Result<std::string> verify_chain(const std::vector<Certificate>& chain, TimePoint now) const;
+
+  /// Serialize/parse a whole chain for the wire.
+  static std::string serialize_chain(const std::vector<Certificate>& chain);
+  static Result<std::vector<Certificate>> parse_chain(const std::string& text);
+
+ private:
+  std::vector<Certificate> roots_;
+};
+
+}  // namespace ig::security

@@ -1,0 +1,72 @@
+#include "security/gridmap.hpp"
+
+#include "common/strings.hpp"
+
+namespace ig::security {
+
+void GridMap::add(const std::string& subject_dn, const std::string& local_user) {
+  std::lock_guard lock(mu_);
+  entries_[subject_dn] = local_user;
+}
+
+void GridMap::remove(const std::string& subject_dn) {
+  std::lock_guard lock(mu_);
+  entries_.erase(subject_dn);
+}
+
+Result<std::string> GridMap::map(const std::string& subject_dn) const {
+  std::lock_guard lock(mu_);
+  auto it = entries_.find(subject_dn);
+  if (it == entries_.end()) {
+    return Error(ErrorCode::kDenied, "no gridmap entry for " + subject_dn);
+  }
+  return it->second;
+}
+
+bool GridMap::contains(const std::string& subject_dn) const {
+  std::lock_guard lock(mu_);
+  return entries_.count(subject_dn) > 0;
+}
+
+std::size_t GridMap::size() const {
+  std::lock_guard lock(mu_);
+  return entries_.size();
+}
+
+Result<GridMap> GridMap::parse(const std::string& text) {
+  GridMap map;
+  int line_no = 0;
+  for (const auto& raw : strings::split(text, '\n')) {
+    ++line_no;
+    auto line = strings::trim(raw);
+    if (line.empty() || line.front() == '#') continue;
+    if (line.front() != '"') {
+      return Error(ErrorCode::kParseError,
+                   strings::format("gridmap line %d: DN must be quoted", line_no));
+    }
+    std::size_t close = line.find('"', 1);
+    if (close == std::string_view::npos) {
+      return Error(ErrorCode::kParseError,
+                   strings::format("gridmap line %d: unterminated DN quote", line_no));
+    }
+    std::string dn(line.substr(1, close - 1));
+    auto account = strings::trim(line.substr(close + 1));
+    if (dn.empty() || account.empty()) {
+      return Error(ErrorCode::kParseError,
+                   strings::format("gridmap line %d: missing DN or account", line_no));
+    }
+    map.add(dn, std::string(account));
+  }
+  return map;
+}
+
+std::string GridMap::serialize() const {
+  std::lock_guard lock(mu_);
+  std::string out;
+  for (const auto& [dn, account] : entries_) {
+    out += "\"" + dn + "\" " + account + "\n";
+  }
+  return out;
+}
+
+}  // namespace ig::security

@@ -1,0 +1,55 @@
+// Gridmap: the GSI mechanism mapping global Grid identities (certificate
+// distinguished names) to local account names. GRAM's gatekeeper consults
+// it after authentication; a missing entry means the authenticated user
+// has no account on the resource and the request is denied.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace ig::security {
+
+class GridMap {
+ public:
+  GridMap() = default;
+  // Movable despite the internal mutex (locks the source; moves are only
+  // safe when no other thread still uses `other`, as with any move).
+  GridMap(GridMap&& other) noexcept {
+    std::lock_guard lock(other.mu_);
+    entries_ = std::move(other.entries_);
+  }
+  GridMap& operator=(GridMap&& other) noexcept {
+    if (this != &other) {
+      std::scoped_lock lock(mu_, other.mu_);
+      entries_ = std::move(other.entries_);
+    }
+    return *this;
+  }
+
+  /// Register or replace a mapping.
+  void add(const std::string& subject_dn, const std::string& local_user);
+  void remove(const std::string& subject_dn);
+
+  /// Local account for a DN, or kDenied.
+  Result<std::string> map(const std::string& subject_dn) const;
+
+  bool contains(const std::string& subject_dn) const;
+  std::size_t size() const;
+
+  /// Parse the classic gridmap file format, one mapping per line:
+  ///   "/O=Grid/CN=alice" alice
+  /// Quotes around the DN are required (DNs contain spaces); lines starting
+  /// with '#' and blank lines are ignored.
+  static Result<GridMap> parse(const std::string& text);
+  std::string serialize() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::string> entries_;
+};
+
+}  // namespace ig::security

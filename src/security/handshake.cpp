@@ -1,0 +1,116 @@
+#include "security/handshake.hpp"
+
+#include "common/id.hpp"
+#include "common/strings.hpp"
+
+namespace ig::security {
+
+namespace {
+/// Fresh unpredictable-enough nonce for the simulation.
+std::string make_nonce() { return to_hex(fnv1a(std::to_string(IdGenerator::next()), 0x1234)); }
+}  // namespace
+
+Authenticator::Authenticator(Credential credential, const TrustStore* trust,
+                             const GridMap* gridmap, const Clock* clock)
+    : credential_(std::move(credential)), trust_(trust), gridmap_(gridmap), clock_(clock) {}
+
+net::Handler Authenticator::wrap(net::Handler inner) const {
+  // The returned handler copies `this` members by pointer; the
+  // Authenticator must outlive the endpoint registration.
+  return [this, inner = std::move(inner)](const net::Message& req,
+                                          net::Session& session) -> net::Message {
+    if (req.verb == "AUTH_HELLO") return handle_hello(req, session);
+    if (req.verb == "AUTH_PROVE") return handle_prove(req, session);
+    if (!session.authenticated_subject()) {
+      return net::Message::error(
+          Error(ErrorCode::kDenied, "request on unauthenticated connection"));
+    }
+    return inner(req, session);
+  };
+}
+
+net::Message Authenticator::handle_hello(const net::Message& req,
+                                         net::Session& session) const {
+  auto client_nonce = req.header("nonce");
+  if (!client_nonce) {
+    return net::Message::error(Error(ErrorCode::kParseError, "AUTH_HELLO missing nonce"));
+  }
+  std::string server_nonce = make_nonce();
+  session.set("auth.server_nonce", server_nonce);
+  net::Message resp = net::Message::ok(TrustStore::serialize_chain(credential_.chain()));
+  resp.with("nonce", server_nonce);
+  resp.with("proof", std::to_string(credential_.sign(*client_nonce)));
+  return resp;
+}
+
+net::Message Authenticator::handle_prove(const net::Message& req,
+                                         net::Session& session) const {
+  auto server_nonce = session.get("auth.server_nonce");
+  if (!server_nonce) {
+    return net::Message::error(
+        Error(ErrorCode::kDenied, "AUTH_PROVE before AUTH_HELLO on this connection"));
+  }
+  auto proof = req.header("proof");
+  if (!proof) {
+    return net::Message::error(Error(ErrorCode::kParseError, "AUTH_PROVE missing proof"));
+  }
+  auto chain = TrustStore::parse_chain(req.body);
+  if (!chain.ok()) return net::Message::error(chain.error());
+  auto subject = trust_->verify_chain(chain.value(), clock_->now());
+  if (!subject.ok()) return net::Message::error(subject.error());
+  // The proof must verify against the *leaf* key (the proxy, if delegated).
+  std::uint64_t sig = 0;
+  if (auto v = ig::strings::parse_int(*proof); v && *v >= 0) {
+    sig = static_cast<std::uint64_t>(*v);
+  }
+  if (!verify(chain.value().front().public_key, fnv1a(*server_nonce), sig)) {
+    return net::Message::error(Error(ErrorCode::kDenied, "bad handshake proof"));
+  }
+  session.set("auth.subject", subject.value());
+  if (gridmap_ != nullptr) {
+    auto local = gridmap_->map(subject.value());
+    if (!local.ok()) return net::Message::error(local.error());
+    session.set("auth.local_user", local.value());
+  }
+  net::Message resp = net::Message::ok();
+  resp.with("subject", subject.value());
+  return resp;
+}
+
+Result<std::string> authenticate(net::Connection& conn, const Credential& credential,
+                                 const TrustStore& trust, const Clock& clock) {
+  if (credential.empty()) {
+    return Error(ErrorCode::kInvalidArgument, "authenticate: empty credential");
+  }
+  std::string client_nonce = make_nonce();
+  net::Message hello("AUTH_HELLO");
+  hello.with("nonce", client_nonce);
+  auto hello_resp = conn.request(hello);
+  if (!hello_resp.ok()) return hello_resp.error();
+  if (hello_resp->is_error()) return net::Message::to_error(*hello_resp);
+
+  // Mutual authentication: verify the server's chain and its proof over
+  // our nonce before revealing anything about ourselves.
+  auto server_chain = TrustStore::parse_chain(hello_resp->body);
+  if (!server_chain.ok()) return server_chain.error();
+  auto server_subject = trust.verify_chain(server_chain.value(), clock.now());
+  if (!server_subject.ok()) return server_subject.error();
+  std::uint64_t server_sig = 0;
+  if (auto v = ig::strings::parse_int(hello_resp->header_or("proof", "")); v && *v >= 0) {
+    server_sig = static_cast<std::uint64_t>(*v);
+  }
+  if (!verify(server_chain.value().front().public_key, fnv1a(client_nonce), server_sig)) {
+    return Error(ErrorCode::kDenied, "server failed mutual authentication");
+  }
+  auto server_nonce = hello_resp->header("nonce");
+  if (!server_nonce) return Error(ErrorCode::kParseError, "AUTH_HELLO response missing nonce");
+
+  net::Message prove("AUTH_PROVE", TrustStore::serialize_chain(credential.chain()));
+  prove.with("proof", std::to_string(credential.sign(*server_nonce)));
+  auto prove_resp = conn.request(prove);
+  if (!prove_resp.ok()) return prove_resp.error();
+  if (prove_resp->is_error()) return net::Message::to_error(*prove_resp);
+  return server_subject.value();
+}
+
+}  // namespace ig::security

@@ -1,0 +1,56 @@
+// GSI-style mutual authentication over the simulated network.
+//
+// Every Globus service connection begins with a security handshake; the
+// paper's Fig. 2 vs Fig. 4 comparison counts these per protocol. The
+// handshake here is a two-round-trip challenge/response:
+//
+//   1. AUTH_HELLO  client sends a nonce; server answers with its own
+//                  certificate chain, a signature over the client nonce
+//                  (proving its identity) and a server nonce.
+//   2. AUTH_PROVE  client sends its chain plus a signature over the server
+//                  nonce; server verifies the chain against its trust
+//                  store, optionally maps the subject through the gridmap,
+//                  and records the identity in the connection session.
+//
+// Services wrap their request handler in Authenticator::wrap(), which
+// rejects any non-handshake request on an unauthenticated session.
+#pragma once
+
+#include <memory>
+
+#include "common/clock.hpp"
+#include "net/network.hpp"
+#include "security/certificate.hpp"
+#include "security/gridmap.hpp"
+
+namespace ig::security {
+
+/// Server-side handshake state machine + handler guard.
+class Authenticator {
+ public:
+  /// `gridmap` may be null: info-only services authenticate but do not
+  /// need a local account. All pointers must outlive the Authenticator.
+  Authenticator(Credential credential, const TrustStore* trust, const GridMap* gridmap,
+                const Clock* clock);
+
+  /// Wrap `inner` so that AUTH_* verbs perform the handshake and all other
+  /// verbs require an authenticated session.
+  net::Handler wrap(net::Handler inner) const;
+
+ private:
+  net::Message handle_hello(const net::Message& req, net::Session& session) const;
+  net::Message handle_prove(const net::Message& req, net::Session& session) const;
+
+  Credential credential_;
+  const TrustStore* trust_;
+  const GridMap* gridmap_;
+  const Clock* clock_;
+};
+
+/// Client-side handshake. On success the connection's session is
+/// authenticated on the server side and the verified server subject is
+/// returned (mutual authentication).
+Result<std::string> authenticate(net::Connection& conn, const Credential& credential,
+                                 const TrustStore& trust, const Clock& clock);
+
+}  // namespace ig::security

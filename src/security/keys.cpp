@@ -1,0 +1,123 @@
+#include "security/keys.hpp"
+
+#include "common/strings.hpp"
+
+namespace ig::security {
+
+namespace {
+
+std::uint64_t mulmod(std::uint64_t a, std::uint64_t b, std::uint64_t m) {
+  return static_cast<std::uint64_t>(static_cast<unsigned __int128>(a) * b % m);
+}
+
+std::uint64_t powmod(std::uint64_t base, std::uint64_t exp, std::uint64_t m) {
+  std::uint64_t result = 1 % m;
+  base %= m;
+  while (exp > 0) {
+    if (exp & 1) result = mulmod(result, base, m);
+    base = mulmod(base, base, m);
+    exp >>= 1;
+  }
+  return result;
+}
+
+// Extended Euclid: inverse of a mod m, or 0 if gcd != 1.
+std::uint64_t invmod(std::uint64_t a, std::uint64_t m) {
+  std::int64_t t = 0, newt = 1;
+  std::int64_t r = static_cast<std::int64_t>(m), newr = static_cast<std::int64_t>(a);
+  while (newr != 0) {
+    std::int64_t q = r / newr;
+    t -= q * newt;
+    std::swap(t, newt);
+    r -= q * newr;
+    std::swap(r, newr);
+  }
+  if (r != 1) return 0;
+  if (t < 0) t += static_cast<std::int64_t>(m);
+  return static_cast<std::uint64_t>(t);
+}
+
+std::uint64_t random_prime(Rng& rng, std::uint64_t lo, std::uint64_t hi) {
+  while (true) {
+    std::uint64_t candidate =
+        static_cast<std::uint64_t>(rng.uniform_int(static_cast<std::int64_t>(lo),
+                                                   static_cast<std::int64_t>(hi))) |
+        1ULL;
+    if (is_prime(candidate)) return candidate;
+  }
+}
+
+}  // namespace
+
+bool is_prime(std::uint64_t n) {
+  if (n < 2) return false;
+  for (std::uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL, 23ULL}) {
+    if (n % p == 0) return n == p;
+  }
+  std::uint64_t d = n - 1;
+  int r = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++r;
+  }
+  // Deterministic witness set for n < 3,317,044,064,679,887,385,961,981.
+  for (std::uint64_t a : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL, 23ULL,
+                          29ULL, 31ULL, 37ULL}) {
+    if (a % n == 0) continue;
+    std::uint64_t x = powmod(a, d, n);
+    if (x == 1 || x == n - 1) continue;
+    bool composite = true;
+    for (int i = 0; i < r - 1; ++i) {
+      x = mulmod(x, x, n);
+      if (x == n - 1) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) return false;
+  }
+  return true;
+}
+
+std::string PublicKey::to_string() const {
+  return std::to_string(n) + "/" + std::to_string(e);
+}
+
+bool PublicKey::from_string(const std::string& s, PublicKey& out) {
+  auto parts = strings::split(s, '/');
+  if (parts.size() != 2) return false;
+  auto n = strings::parse_int(parts[0]);
+  auto e = strings::parse_int(parts[1]);
+  if (!n || !e || *n <= 0 || *e <= 0) return false;
+  out.n = static_cast<std::uint64_t>(*n);
+  out.e = static_cast<std::uint64_t>(*e);
+  return true;
+}
+
+KeyPair KeyPair::generate(Rng& rng) {
+  constexpr std::uint64_t kE = 65537;
+  while (true) {
+    std::uint64_t p = random_prime(rng, 1ULL << 30, (1ULL << 31) - 1);
+    std::uint64_t q = random_prime(rng, 1ULL << 30, (1ULL << 31) - 1);
+    if (p == q) continue;
+    std::uint64_t phi = (p - 1) * (q - 1);
+    std::uint64_t d = invmod(kE, phi);
+    if (d == 0) continue;  // e not coprime with phi; retry
+    KeyPair pair;
+    pair.pub.n = p * q;
+    pair.pub.e = kE;
+    pair.d = d;
+    return pair;
+  }
+}
+
+std::uint64_t KeyPair::sign(std::uint64_t digest) const {
+  return powmod(digest % pub.n, d, pub.n);
+}
+
+bool verify(const PublicKey& key, std::uint64_t digest, std::uint64_t signature) {
+  if (key.n == 0) return false;
+  return powmod(signature, key.e, key.n) == digest % key.n;
+}
+
+}  // namespace ig::security

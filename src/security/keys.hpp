@@ -1,0 +1,47 @@
+// Toy RSA key pairs for the simulated Grid Security Infrastructure.
+//
+// The paper's services authenticate with GSI (X.509 + SSL). This repo
+// substitutes a miniature RSA over 62-bit moduli: small enough to factor in
+// seconds, so NOT cryptography — but it is a real trapdoor scheme, which
+// means certificate chains are *publicly verifiable* exactly like GSI's:
+// a verifier holding only the issuer's public key checks a signature the
+// issuer made with its private key. That property is what the GRAM/MDS/
+// InfoGram handshake logic exercises.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hpp"
+
+namespace ig::security {
+
+/// RSA public key: modulus n and exponent e.
+struct PublicKey {
+  std::uint64_t n = 0;
+  std::uint64_t e = 0;
+
+  std::string to_string() const;
+  static bool from_string(const std::string& s, PublicKey& out);
+  friend bool operator==(const PublicKey&, const PublicKey&) = default;
+};
+
+/// Full key pair (public + private exponent).
+struct KeyPair {
+  PublicKey pub;
+  std::uint64_t d = 0;  ///< private exponent
+
+  /// Generate a fresh pair from two random ~31-bit primes.
+  static KeyPair generate(Rng& rng);
+
+  /// Sign a 64-bit digest: sig = (digest mod n)^d mod n.
+  std::uint64_t sign(std::uint64_t digest) const;
+};
+
+/// Verify: sig^e mod n == digest mod n.
+bool verify(const PublicKey& key, std::uint64_t digest, std::uint64_t signature);
+
+/// Deterministic Miller-Rabin for 64-bit inputs (exposed for tests).
+bool is_prime(std::uint64_t n);
+
+}  // namespace ig::security

@@ -1,0 +1,120 @@
+#include "soap/envelope.hpp"
+
+#include "common/strings.hpp"
+#include "format/xml.hpp"
+
+namespace ig::soap {
+
+namespace {
+constexpr const char* kEnvelopeOpen =
+    "<soap:Envelope xmlns:soap=\"http://schemas.xmlsoap.org/soap/envelope/\" "
+    "xmlns:ig=\"http://www.globus.org/namespaces/2002/07/infogram\">\n";
+constexpr const char* kEnvelopeClose = "</soap:Envelope>\n";
+}  // namespace
+
+std::string Operation::parameter_or(const std::string& key, std::string fallback) const {
+  auto it = parameters.find(key);
+  return it == parameters.end() ? std::move(fallback) : it->second;
+}
+
+std::string to_envelope(const Operation& op) {
+  std::string out = kEnvelopeOpen;
+  out += "  <soap:Body>\n";
+  out += "    <ig:" + op.name + ">\n";
+  for (const auto& [key, value] : op.parameters) {
+    out += "      <ig:" + key + ">" + format::xml_escape(value) + "</ig:" + key + ">\n";
+  }
+  out += "    </ig:" + op.name + ">\n";
+  out += "  </soap:Body>\n";
+  out += kEnvelopeClose;
+  return out;
+}
+
+std::string to_fault(const Error& error) {
+  std::string out = kEnvelopeOpen;
+  out += "  <soap:Body>\n";
+  out += "    <soap:Fault>\n";
+  out += "      <faultcode>soap:Server." + std::string(to_string(error.code)) +
+         "</faultcode>\n";
+  out += "      <faultstring>" + format::xml_escape(error.message) + "</faultstring>\n";
+  out += "    </soap:Fault>\n";
+  out += "  </soap:Body>\n";
+  out += kEnvelopeClose;
+  return out;
+}
+
+namespace {
+
+/// Strip a "prefix:" from an element name.
+std::string local_name(const std::string& name) {
+  std::size_t colon = name.find(':');
+  return colon == std::string::npos ? name : name.substr(colon + 1);
+}
+
+Result<const format::XmlElement*> find_body(const format::XmlElement& root) {
+  if (local_name(root.name) != "Envelope") {
+    return Error(ErrorCode::kParseError, "not a SOAP envelope: <" + root.name + ">");
+  }
+  for (const auto& child : root.children) {
+    if (local_name(child.name) == "Body") return &child;
+  }
+  return Error(ErrorCode::kParseError, "SOAP envelope has no Body");
+}
+
+}  // namespace
+
+bool is_fault(const std::string& xml) {
+  return strings::contains(xml, "<soap:Fault>") || strings::contains(xml, ":Fault>");
+}
+
+Result<Operation> parse_envelope(const std::string& xml) {
+  auto root = format::parse_xml_element(xml);
+  if (!root.ok()) return root.error();
+  auto body = find_body(root.value());
+  if (!body.ok()) return body.error();
+  if (body.value()->children.size() != 1) {
+    return Error(ErrorCode::kParseError, "SOAP Body must contain exactly one operation");
+  }
+  const format::XmlElement& op_element = body.value()->children.front();
+  if (local_name(op_element.name) == "Fault") {
+    return Error(ErrorCode::kParseError, "envelope is a Fault; use parse_fault()");
+  }
+  Operation op;
+  op.name = local_name(op_element.name);
+  for (const auto& param : op_element.children) {
+    op.parameters[local_name(param.name)] = param.text;
+  }
+  return op;
+}
+
+Result<Fault> parse_fault(const std::string& xml) {
+  auto root = format::parse_xml_element(xml);
+  if (!root.ok()) return root.error();
+  auto body = find_body(root.value());
+  if (!body.ok()) return body.error();
+  for (const auto& child : body.value()->children) {
+    if (local_name(child.name) != "Fault") continue;
+    Fault fault;
+    Error& error = fault.error;
+    error = Error(ErrorCode::kInternal, "");
+    for (const auto& field : child.children) {
+      if (local_name(field.name) == "faultstring") error.message = field.text;
+      if (local_name(field.name) == "faultcode") {
+        // "soap:Server.<code-name>"
+        std::size_t dot = field.text.rfind('.');
+        std::string name = dot == std::string::npos ? field.text : field.text.substr(dot + 1);
+        for (auto code :
+             {ErrorCode::kParseError, ErrorCode::kNotFound, ErrorCode::kStale,
+              ErrorCode::kDenied, ErrorCode::kTimeout, ErrorCode::kUnavailable,
+              ErrorCode::kInvalidArgument, ErrorCode::kAlreadyExists,
+              ErrorCode::kCancelled, ErrorCode::kIoError, ErrorCode::kInternal}) {
+          if (to_string(code) == name) error.code = code;
+        }
+      }
+    }
+    return fault;
+  }
+  return Error(ErrorCode::kParseError, "envelope contains no Fault");
+}
+
+}  // namespace ig::soap

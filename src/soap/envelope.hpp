@@ -1,0 +1,52 @@
+// SOAP 1.1-style envelopes (paper objectives: "Improve the reliability of
+// the job execution and in a second phase while replacing the protocol
+// used to perform the Job submission with SOAP" and "Develop this service
+// while providing forwards compatibility to Web services").
+//
+// The subset implemented is what the InfoGram web-service gateway needs:
+// an Envelope/Body pair, one operation element with string parameters,
+// and SOAP Faults for errors. Namespaces are fixed prefixes rather than a
+// full namespace implementation — enough to be recognizably SOAP and to
+// measure the commodity-protocol overhead the paper trades against.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace ig::soap {
+
+/// One SOAP call or response: an operation name plus named string
+/// parameters, e.g. operation "submitJob" with parameter rsl="...".
+struct Operation {
+  std::string name;
+  std::map<std::string, std::string> parameters;
+
+  std::string parameter_or(const std::string& key, std::string fallback) const;
+
+  friend bool operator==(const Operation&, const Operation&) = default;
+};
+
+/// Serialize an operation into a SOAP envelope.
+std::string to_envelope(const Operation& op);
+
+/// Serialize an error into a SOAP Fault envelope.
+std::string to_fault(const Error& error);
+
+/// Parse an envelope. A Fault parses into an Error result.
+Result<Operation> parse_envelope(const std::string& xml);
+
+/// True if the XML is a Fault envelope; used by clients before parsing.
+bool is_fault(const std::string& xml);
+
+/// A parsed Fault: wraps the remote error (distinct from the Result's
+/// own error channel, which reports *parse* failures).
+struct Fault {
+  Error error;
+};
+
+/// Map a fault back to the Error it carried.
+Result<Fault> parse_fault(const std::string& xml);
+
+}  // namespace ig::soap

@@ -1,0 +1,300 @@
+#include "soap/gateway.hpp"
+
+#include "common/strings.hpp"
+
+namespace ig::soap {
+
+SoapGateway::SoapGateway(core::InfoGramService& service, security::Credential credential,
+                         const security::TrustStore* trust,
+                         const security::GridMap* gridmap, const Clock* clock, int port)
+    : service_(service),
+      authenticator_(std::move(credential), trust, gridmap, clock),
+      port_(port) {}
+
+net::Address SoapGateway::address() const {
+  return {service_.address().host, port_};
+}
+
+Status SoapGateway::start(net::Network& network) {
+  network_ = &network;
+  return network.listen(address(),
+                        authenticator_.wrap([this](const net::Message& req,
+                                                   net::Session& session) {
+                          return handle(req, session);
+                        }));
+}
+
+void SoapGateway::stop() {
+  if (network_ != nullptr) network_->close(address());
+}
+
+net::Message SoapGateway::handle(const net::Message& request, net::Session& session) {
+  if (request.verb == "GET_WSDL") return net::Message::ok(describe());
+  if (request.verb != "SOAP") {
+    return net::Message::error(
+        Error(ErrorCode::kInvalidArgument, "gateway accepts SOAP posts only"));
+  }
+  auto op = parse_envelope(request.body);
+  if (!op.ok()) return net::Message::ok(to_fault(op.error()));
+  auto response = dispatch(op.value(), session);
+  if (!response.ok()) return net::Message::ok(to_fault(response.error()));
+  return net::Message::ok(to_envelope(response.value()));
+}
+
+Result<Operation> SoapGateway::dispatch(const Operation& op, net::Session& session) {
+  const std::string subject = session.authenticated_subject().value_or("");
+  const std::string local_user = session.local_user().value_or("");
+  Operation response;
+  response.name = op.name + "Response";
+
+  if (op.name == "submitJob") {
+    auto request = rsl::XrslRequest::parse(op.parameter_or("rsl", ""));
+    if (!request.ok()) return request.error();
+    auto result = service_.execute(request.value(), subject, local_user,
+                                   op.parameter_or("callback", ""));
+    if (!result.ok()) return result.error();
+    if (!result->job_contact) {
+      return Error(ErrorCode::kInvalidArgument, "submitJob requires job attributes");
+    }
+    response.parameters["contact"] = *result->job_contact;
+    return response;
+  }
+  if (op.name == "queryInfo") {
+    rsl::XrslBuilder builder;
+    for (const auto& key : strings::split_fields(op.parameter_or("keys", ""), ',')) {
+      builder.info(key);
+    }
+    auto mode = op.parameter_or("response", "cached");
+    if (mode == "immediate") {
+      builder.response(rsl::ResponseMode::kImmediate);
+    } else if (mode == "last") {
+      builder.response(rsl::ResponseMode::kLast);
+    }
+    std::string fmt = op.parameter_or("format", "xml");
+    if (fmt == "ldif") {
+      builder.format(rsl::OutputFormat::kLdif);
+    } else if (fmt == "dsml") {
+      builder.format(rsl::OutputFormat::kDsml);
+    } else {
+      builder.format(rsl::OutputFormat::kXml);
+    }
+    if (auto q = strings::parse_double(op.parameter_or("quality", ""))) {
+      builder.quality(*q);
+    }
+    for (const auto& f : strings::split_fields(op.parameter_or("filter", ""), ',')) {
+      builder.filter(f);
+    }
+    auto result = service_.execute(builder.request(), subject, local_user);
+    if (!result.ok()) return result.error();
+    response.parameters["format"] = std::string(to_string(result->format));
+    response.parameters["payload"] = result->payload();
+    response.parameters["count"] = std::to_string(result->records.size());
+    return response;
+  }
+  if (op.name == "getSchema") {
+    rsl::XrslBuilder builder;
+    builder.schema();
+    auto result = service_.execute(builder.request(), subject, local_user);
+    if (!result.ok()) return result.error();
+    response.parameters["schema"] = result->payload();
+    return response;
+  }
+  if (op.name == "jobStatus" || op.name == "waitJob") {
+    std::string contact = op.parameter_or("contact", "");
+    Result<gram::ManagedJobInfo> info(Error(ErrorCode::kInternal, "unset"));
+    if (op.name == "waitJob") {
+      auto timeout = strings::parse_int(op.parameter_or("timeoutMs", "60000"));
+      info = service_.wait(contact, ms(timeout.value_or(60000)));
+    } else {
+      info = service_.job_info(contact);
+    }
+    if (!info.ok()) return info.error();
+    response.parameters["state"] = std::string(to_string(info->status.state));
+    response.parameters["exitCode"] = std::to_string(info->status.exit_code);
+    response.parameters["restarts"] = std::to_string(info->restarts);
+    return response;
+  }
+  if (op.name == "jobOutput") {
+    auto info = service_.job_info(op.parameter_or("contact", ""));
+    if (!info.ok()) return info.error();
+    response.parameters["output"] = info->status.output;
+    return response;
+  }
+  if (op.name == "cancelJob") {
+    auto status = service_.cancel(op.parameter_or("contact", ""));
+    if (!status.ok()) return status.error();
+    response.parameters["ok"] = "true";
+    return response;
+  }
+  return Error(ErrorCode::kNotFound, "unknown SOAP operation: " + op.name);
+}
+
+std::string SoapGateway::describe() const {
+  // Minimal WSDL 1.1: messages, portType, binding and service location.
+  struct Op {
+    const char* name;
+    const char* in;
+    const char* out;
+  };
+  static const Op kOps[] = {
+      {"submitJob", "rsl callback", "contact"},
+      {"queryInfo", "keys response format quality filter", "format payload count"},
+      {"getSchema", "", "schema"},
+      {"jobStatus", "contact", "state exitCode restarts"},
+      {"jobOutput", "contact", "output"},
+      {"cancelJob", "contact", "ok"},
+      {"waitJob", "contact timeoutMs", "state exitCode restarts"},
+  };
+  std::string out =
+      "<definitions name=\"InfoGram\" "
+      "xmlns=\"http://schemas.xmlsoap.org/wsdl/\" "
+      "targetNamespace=\"http://www.globus.org/namespaces/2002/07/infogram\">\n";
+  for (const Op& op : kOps) {
+    out += "  <message name=\"" + std::string(op.name) + "Request\">\n";
+    for (const auto& part : strings::split_fields(op.in, ' ')) {
+      out += "    <part name=\"" + part + "\" type=\"xsd:string\"/>\n";
+    }
+    out += "  </message>\n";
+    out += "  <message name=\"" + std::string(op.name) + "Response\">\n";
+    for (const auto& part : strings::split_fields(op.out, ' ')) {
+      out += "    <part name=\"" + part + "\" type=\"xsd:string\"/>\n";
+    }
+    out += "  </message>\n";
+  }
+  out += "  <portType name=\"InfoGramPortType\">\n";
+  for (const Op& op : kOps) {
+    out += "    <operation name=\"" + std::string(op.name) + "\">\n";
+    out += "      <input message=\"" + std::string(op.name) + "Request\"/>\n";
+    out += "      <output message=\"" + std::string(op.name) + "Response\"/>\n";
+    out += "    </operation>\n";
+  }
+  out += "  </portType>\n";
+  out += "  <service name=\"InfoGramService\">\n";
+  out += "    <port name=\"InfoGramPort\" binding=\"InfoGramBinding\">\n";
+  out += "      <address location=\"soap://" + address().to_string() + "\"/>\n";
+  out += "    </port>\n";
+  out += "  </service>\n";
+  out += "</definitions>\n";
+  return out;
+}
+
+SoapClient::SoapClient(net::Network& network, net::Address address,
+                       security::Credential credential, const security::TrustStore& trust,
+                       const Clock& clock)
+    : network_(network),
+      address_(std::move(address)),
+      credential_(std::move(credential)),
+      trust_(trust),
+      clock_(clock) {}
+
+Status SoapClient::ensure_connected() {
+  if (connection_ != nullptr) return Status::success();
+  auto conn = network_.connect(address_);
+  if (!conn.ok()) return conn.error();
+  connection_ = std::move(conn.value());
+  auto auth = security::authenticate(*connection_, credential_, trust_, clock_);
+  if (!auth.ok()) {
+    closed_stats_.merge(connection_->stats());
+    connection_.reset();
+    return auth.error();
+  }
+  return Status::success();
+}
+
+Result<Operation> SoapClient::call(const Operation& op) {
+  if (auto status = ensure_connected(); !status.ok()) return status.error();
+  auto resp = connection_->request(net::Message("SOAP", to_envelope(op)));
+  if (!resp.ok()) return resp.error();
+  if (resp->is_error()) return net::Message::to_error(*resp);
+  if (is_fault(resp->body)) {
+    auto fault = parse_fault(resp->body);
+    if (!fault.ok()) return fault.error();
+    return fault->error;  // the remote error, surfaced to the caller
+  }
+  return parse_envelope(resp->body);
+}
+
+Result<std::string> SoapClient::submit_job(const std::string& rsl) {
+  Operation op;
+  op.name = "submitJob";
+  op.parameters["rsl"] = rsl;
+  auto resp = call(op);
+  if (!resp.ok()) return resp.error();
+  return resp->parameter_or("contact", "");
+}
+
+Result<std::vector<format::InfoRecord>> SoapClient::query_info(
+    const std::vector<std::string>& keys, rsl::ResponseMode response,
+    rsl::OutputFormat format) {
+  Operation op;
+  op.name = "queryInfo";
+  op.parameters["keys"] = strings::join(keys, ",");
+  op.parameters["response"] = std::string(to_string(response));
+  op.parameters["format"] = std::string(to_string(format));
+  auto resp = call(op);
+  if (!resp.ok()) return resp.error();
+  const std::string payload = resp->parameter_or("payload", "");
+  return resp->parameter_or("format", "xml") == "ldif" ? format::parse_ldif(payload)
+                                                       : format::parse_xml(payload);
+}
+
+Result<format::ServiceSchema> SoapClient::fetch_schema() {
+  Operation op;
+  op.name = "getSchema";
+  auto resp = call(op);
+  if (!resp.ok()) return resp.error();
+  return format::ServiceSchema::parse_xml(resp->parameter_or("schema", ""));
+}
+
+Result<exec::JobState> SoapClient::job_status(const std::string& contact) {
+  Operation op;
+  op.name = "jobStatus";
+  op.parameters["contact"] = contact;
+  auto resp = call(op);
+  if (!resp.ok()) return resp.error();
+  return gram::job_state_from_string(resp->parameter_or("state", ""));
+}
+
+Result<std::string> SoapClient::job_output(const std::string& contact) {
+  Operation op;
+  op.name = "jobOutput";
+  op.parameters["contact"] = contact;
+  auto resp = call(op);
+  if (!resp.ok()) return resp.error();
+  return resp->parameter_or("output", "");
+}
+
+Status SoapClient::cancel(const std::string& contact) {
+  Operation op;
+  op.name = "cancelJob";
+  op.parameters["contact"] = contact;
+  auto resp = call(op);
+  if (!resp.ok()) return resp.error();
+  return Status::success();
+}
+
+Result<exec::JobState> SoapClient::wait(const std::string& contact, Duration timeout) {
+  Operation op;
+  op.name = "waitJob";
+  op.parameters["contact"] = contact;
+  op.parameters["timeoutMs"] = std::to_string(timeout.count() / 1000);
+  auto resp = call(op);
+  if (!resp.ok()) return resp.error();
+  return gram::job_state_from_string(resp->parameter_or("state", ""));
+}
+
+Result<std::string> SoapClient::fetch_wsdl() {
+  if (auto status = ensure_connected(); !status.ok()) return status.error();
+  auto resp = connection_->request(net::Message("GET_WSDL"));
+  if (!resp.ok()) return resp.error();
+  if (resp->is_error()) return net::Message::to_error(*resp);
+  return resp->body;
+}
+
+net::TrafficStats SoapClient::stats() const {
+  net::TrafficStats total = closed_stats_;
+  if (connection_ != nullptr) total.merge(connection_->stats());
+  return total;
+}
+
+}  // namespace ig::soap

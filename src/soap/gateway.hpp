@@ -1,0 +1,89 @@
+// The InfoGram web-service gateway (paper Sec. 10/11: "We are also
+// experimenting with integration of our framework in Web services"; "It
+// is straight forward to cast the InfoGram in WSDL").
+//
+// The gateway exposes the InfoGram service as SOAP operations on its own
+// port, translating envelopes to the native execute/job-management calls:
+//
+//   submitJob(rsl[, callback])       -> contact
+//   queryInfo(keys[, response, format, quality, filter]) -> payload
+//   getSchema()                      -> schema XML
+//   jobStatus(contact)               -> state, exitCode, restarts
+//   jobOutput(contact)               -> output
+//   cancelJob(contact)               -> ok
+//   waitJob(contact, timeoutMs)      -> state, exitCode
+//
+// describe() generates the WSDL document for these operations. Transport
+// security reuses the GSI handshake (standing in for WS-Security /
+// HTTPS, which the OGSA successor introduced).
+#pragma once
+
+#include "core/infogram_service.hpp"
+#include "soap/envelope.hpp"
+
+namespace ig::soap {
+
+class SoapGateway {
+ public:
+  /// `service` must outlive the gateway. The gateway authenticates with
+  /// the same credential/trust/gridmap fabric as the native endpoint.
+  SoapGateway(core::InfoGramService& service, security::Credential credential,
+              const security::TrustStore* trust, const security::GridMap* gridmap,
+              const Clock* clock, int port = 8080);
+
+  Status start(net::Network& network);
+  void stop();
+  net::Address address() const;
+
+  /// The WSDL document describing this gateway.
+  std::string describe() const;
+
+ private:
+  net::Message handle(const net::Message& request, net::Session& session);
+  Result<Operation> dispatch(const Operation& op, net::Session& session);
+
+  core::InfoGramService& service_;
+  security::Authenticator authenticator_;
+  int port_;
+  net::Network* network_ = nullptr;
+};
+
+/// Client for a SoapGateway endpoint.
+class SoapClient {
+ public:
+  SoapClient(net::Network& network, net::Address address, security::Credential credential,
+             const security::TrustStore& trust, const Clock& clock);
+
+  /// Raw operation call; Faults come back as Errors.
+  Result<Operation> call(const Operation& op);
+
+  /// Typed helpers.
+  Result<std::string> submit_job(const std::string& rsl);
+  Result<std::vector<format::InfoRecord>> query_info(
+      const std::vector<std::string>& keys,
+      rsl::ResponseMode response = rsl::ResponseMode::kCached,
+      rsl::OutputFormat format = rsl::OutputFormat::kXml);
+  Result<format::ServiceSchema> fetch_schema();
+  Result<exec::JobState> job_status(const std::string& contact);
+  Result<std::string> job_output(const std::string& contact);
+  Status cancel(const std::string& contact);
+  Result<exec::JobState> wait(const std::string& contact, Duration timeout);
+
+  /// Fetch the service's WSDL.
+  Result<std::string> fetch_wsdl();
+
+  net::TrafficStats stats() const;
+
+ private:
+  Status ensure_connected();
+
+  net::Network& network_;
+  net::Address address_;
+  security::Credential credential_;
+  const security::TrustStore& trust_;
+  const Clock& clock_;
+  std::unique_ptr<net::Connection> connection_;
+  net::TrafficStats closed_stats_;
+};
+
+}  // namespace ig::soap

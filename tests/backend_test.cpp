@@ -1,0 +1,497 @@
+#include <gtest/gtest.h>
+
+#include <future>
+
+#include "exec/batch_backend.hpp"
+#include "exec/fork_backend.hpp"
+#include "exec/matchmaking_backend.hpp"
+#include "exec/sandbox.hpp"
+
+namespace ig::exec {
+namespace {
+
+constexpr Duration kWait = seconds(30);  // generous wall-time bound
+
+JobRequest make_request(const std::string& command_line, int count = 1) {
+  JobRequest request;
+  auto [path, args] = split_command_line(command_line);
+  request.spec.executable = path;
+  request.spec.arguments = args;
+  request.spec.count = count;
+  request.local_user = "alice";
+  return request;
+}
+
+class BackendFixture : public ::testing::Test {
+ protected:
+  BackendFixture()
+      : system(std::make_shared<SimSystem>(clock, 31, "backend.host")),
+        registry(CommandRegistry::standard(clock, system, 33)) {}
+  VirtualClock clock;
+  std::shared_ptr<SimSystem> system;
+  std::shared_ptr<CommandRegistry> registry;
+};
+
+// ---------- ForkBackend ----------
+
+class ForkBackendTest : public BackendFixture {};
+
+TEST_F(ForkBackendTest, RunsJobToCompletion) {
+  ForkBackend backend(registry, clock);
+  auto id = backend.submit(make_request("/bin/echo hello world"));
+  ASSERT_TRUE(id.ok());
+  auto status = backend.wait(*id, kWait);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->state, JobState::kDone);
+  EXPECT_EQ(status->exit_code, 0);
+  EXPECT_EQ(status->output, "hello world\n");
+  EXPECT_GE(status->finished, status->started);
+}
+
+TEST_F(ForkBackendTest, FailingCommandMarksJobFailed) {
+  ForkBackend backend(registry, clock);
+  auto id = backend.submit(make_request("/bin/false"));
+  ASSERT_TRUE(id.ok());
+  auto status = backend.wait(*id, kWait);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->state, JobState::kFailed);
+  EXPECT_EQ(status->exit_code, 1);
+}
+
+TEST_F(ForkBackendTest, UnknownExecutableFailsAtRuntime) {
+  ForkBackend backend(registry, clock);
+  auto id = backend.submit(make_request("/bin/nope"));
+  ASSERT_TRUE(id.ok());
+  auto status = backend.wait(*id, kWait);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->state, JobState::kFailed);
+  EXPECT_EQ(status->exit_code, 127);
+}
+
+TEST_F(ForkBackendTest, EmptyExecutableRejectedAtSubmit) {
+  ForkBackend backend(registry, clock);
+  EXPECT_FALSE(backend.submit(JobRequest{}).ok());
+}
+
+TEST_F(ForkBackendTest, CountRunsCommandMultipleTimes) {
+  ForkBackend backend(registry, clock);
+  auto before = registry->executions();
+  auto id = backend.submit(make_request("/bin/echo x", 3));
+  ASSERT_TRUE(id.ok());
+  auto status = backend.wait(*id, kWait);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->state, JobState::kDone);
+  EXPECT_EQ(status->output, "x\nx\nx\n");
+  EXPECT_EQ(registry->executions(), before + 3);
+}
+
+TEST_F(ForkBackendTest, CancelJob) {
+  ForkBackend backend(registry, clock);
+  auto id = backend.submit(make_request("/bin/echo z"));
+  ASSERT_TRUE(id.ok());
+  // Cancel may race with completion; both terminal states are legal, but
+  // the backend must terminate either way.
+  (void)backend.cancel(*id);
+  auto status = backend.wait(*id, kWait);
+  ASSERT_TRUE(status.ok());
+  EXPECT_TRUE(is_terminal(status->state));
+}
+
+TEST_F(ForkBackendTest, StatusOfUnknownJob) {
+  ForkBackend backend(registry, clock);
+  EXPECT_FALSE(backend.status(999999).ok());
+  EXPECT_FALSE(backend.cancel(999999).ok());
+  EXPECT_FALSE(backend.wait(999999, ms(1)).ok());
+}
+
+TEST_F(ForkBackendTest, ManyConcurrentJobs) {
+  ForkBackend backend(registry, clock);
+  std::vector<JobId> ids;
+  for (int i = 0; i < 100; ++i) {
+    auto id = backend.submit(make_request("/bin/echo j" + std::to_string(i)));
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  for (JobId id : ids) {
+    auto status = backend.wait(id, kWait);
+    ASSERT_TRUE(status.ok());
+    EXPECT_EQ(status->state, JobState::kDone);
+  }
+}
+
+// ---------- BatchBackend ----------
+
+class BatchBackendTest : public BackendFixture {};
+
+TEST_F(BatchBackendTest, DrainsQueueAcrossNodes) {
+  BatchConfig config;
+  config.nodes = 3;
+  BatchBackend backend(registry, clock, config, system);
+  std::vector<JobId> ids;
+  for (int i = 0; i < 20; ++i) {
+    auto id = backend.submit(make_request("/bin/echo batch"));
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  for (JobId id : ids) {
+    auto status = backend.wait(id, kWait);
+    ASSERT_TRUE(status.ok());
+    EXPECT_EQ(status->state, JobState::kDone);
+  }
+  EXPECT_EQ(backend.queued_jobs(), 0u);
+}
+
+TEST_F(BatchBackendTest, UnknownQueueRejected) {
+  BatchConfig config;
+  config.queues = {{"fast", 10}, {"slow", 0}};
+  BatchBackend backend(registry, clock, config, system);
+  auto request = make_request("/bin/echo x");
+  request.spec.queue = "imaginary";
+  EXPECT_FALSE(backend.submit(request).ok());
+  request.spec.queue = "fast";
+  auto id = backend.submit(request);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(backend.wait(*id, kWait)->state, JobState::kDone);
+}
+
+TEST_F(BatchBackendTest, PriorityQueueDrainsFirst) {
+  // One node, so ordering is observable: fill the node with a job blocked
+  // on a real future, queue slow- and fast-queue jobs, then release and
+  // check start order.
+  std::promise<void> release;
+  auto released = release.get_future().share();
+  registry->register_command(
+      "/bin/block",
+      [released](const std::vector<std::string>&) {
+        released.wait();
+        return CommandResult{0, ""};
+      },
+      us(0));
+  BatchConfig config;
+  config.nodes = 1;
+  config.queues = {{"fast", 10}, {"slow", 0}};
+  config.load_per_job = 0.0;
+  BatchBackend backend(registry, clock, config, system);
+
+  auto blocker = make_request("/bin/block");
+  blocker.spec.queue = "slow";
+  auto blocker_id = backend.submit(blocker);
+  ASSERT_TRUE(blocker_id.ok());
+
+  auto slow = make_request("/bin/echo slow");
+  slow.spec.queue = "slow";
+  auto fast = make_request("/bin/echo fast");
+  fast.spec.queue = "fast";
+  auto slow_id = backend.submit(slow);
+  auto fast_id = backend.submit(fast);
+  ASSERT_TRUE(slow_id.ok());
+  ASSERT_TRUE(fast_id.ok());
+  release.set_value();
+
+  auto fast_status = backend.wait(*fast_id, kWait);
+  auto slow_status = backend.wait(*slow_id, kWait);
+  ASSERT_TRUE(fast_status.ok());
+  ASSERT_TRUE(slow_status.ok());
+  // The fast-queue job must have started no later than the slow one.
+  EXPECT_LE(fast_status->started.count(), slow_status->started.count());
+}
+
+TEST_F(BatchBackendTest, CancelPendingJobRemovesFromQueue) {
+  // A command blocking on a real future occupies the single node
+  // deterministically (a virtual-clock sleep would return instantly).
+  std::promise<void> release;
+  auto released = release.get_future().share();
+  registry->register_command(
+      "/bin/block",
+      [released](const std::vector<std::string>&) {
+        released.wait();
+        return CommandResult{0, ""};
+      },
+      us(0));
+  BatchConfig config;
+  config.nodes = 1;
+  BatchBackend backend(registry, clock, config, system);
+  auto blocker_id = backend.submit(make_request("/bin/block"));
+  ASSERT_TRUE(blocker_id.ok());
+  auto pending_id = backend.submit(make_request("/bin/echo pending"));
+  ASSERT_TRUE(pending_id.ok());
+  ASSERT_TRUE(backend.cancel(*pending_id).ok());
+  release.set_value();
+  auto status = backend.wait(*pending_id, kWait);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->state, JobState::kCancelled);
+  EXPECT_EQ(backend.wait(*blocker_id, kWait)->state, JobState::kDone);
+}
+
+TEST_F(BatchBackendTest, RunningJobsRaiseSystemLoad) {
+  std::promise<void> release;
+  auto released = release.get_future().share();
+  registry->register_command(
+      "/bin/block",
+      [released](const std::vector<std::string>&) {
+        released.wait();
+        return CommandResult{0, ""};
+      },
+      us(0));
+  BatchConfig config;
+  config.nodes = 4;
+  config.load_per_job = 2.0;
+  BatchBackend backend(registry, clock, config, system);
+  clock.advance(seconds(300));
+  double before = system->cpu_load();
+  std::vector<JobId> ids;
+  for (int i = 0; i < 4; ++i) {
+    auto id = backend.submit(make_request("/bin/block"));
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  // Wait (wall time) for all four workers to mark their job ACTIVE, then
+  // advance the model with the load pressure applied.
+  for (JobId id : ids) {
+    for (int spin = 0; spin < 1000; ++spin) {
+      auto status = backend.status(id);
+      ASSERT_TRUE(status.ok());
+      if (status->state == JobState::kActive) break;
+      WallClock::instance().sleep_for(ms(1));
+    }
+  }
+  clock.advance(seconds(300));
+  double during = system->cpu_load();
+  EXPECT_GT(during, before + 2.0);
+  release.set_value();
+  for (JobId id : ids) {
+    ASSERT_TRUE(backend.wait(id, kWait).ok());
+  }
+}
+
+// ---------- Matchmaking ----------
+
+TEST(RequirementsTest, ParseValid) {
+  auto reqs = parse_requirements("mem_kb>=262144 && arch==sim load<1.5");
+  ASSERT_TRUE(reqs.ok());
+  ASSERT_EQ(reqs->size(), 3u);
+  EXPECT_EQ((*reqs)[0].attribute, "mem_kb");
+  EXPECT_EQ((*reqs)[0].op, Requirement::Cmp::kGe);
+  EXPECT_EQ((*reqs)[1].value, "sim");
+  EXPECT_EQ((*reqs)[2].op, Requirement::Cmp::kLt);
+}
+
+TEST(RequirementsTest, ParseErrors) {
+  EXPECT_FALSE(parse_requirements("noop").ok());
+  EXPECT_FALSE(parse_requirements("a==").ok());
+  EXPECT_FALSE(parse_requirements("==b").ok());
+}
+
+struct SatisfyCase {
+  const char* requirements;
+  bool expected;
+};
+
+class SatisfiesTest : public ::testing::TestWithParam<SatisfyCase> {
+ protected:
+  NodeSpec node{"n1", {{"mem_kb", "524288"}, {"arch", "sim"}, {"load", "0.5"}}};
+};
+
+TEST_P(SatisfiesTest, Evaluates) {
+  auto reqs = parse_requirements(GetParam().requirements);
+  ASSERT_TRUE(reqs.ok());
+  EXPECT_EQ(satisfies(node, reqs.value()), GetParam().expected) << GetParam().requirements;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, SatisfiesTest,
+    ::testing::Values(SatisfyCase{"mem_kb>=262144", true},
+                      SatisfyCase{"mem_kb>=1048576", false},
+                      SatisfyCase{"arch==sim", true}, SatisfyCase{"arch!=sim", false},
+                      SatisfyCase{"load<1.0", true}, SatisfyCase{"load>1.0", false},
+                      SatisfyCase{"load<=0.5", true}, SatisfyCase{"load>=0.5", true},
+                      SatisfyCase{"mem_kb>=262144 && arch==sim", true},
+                      SatisfyCase{"mem_kb>=262144 && arch==x86", false},
+                      SatisfyCase{"missing==1", false}));
+
+class MatchmakingTest : public BackendFixture {
+ protected:
+  std::vector<NodeSpec> nodes() {
+    return {
+        {"big", {{"mem_kb", "1048576"}, {"arch", "sim"}}},
+        {"small", {{"mem_kb", "131072"}, {"arch", "sim"}}},
+    };
+  }
+};
+
+TEST_F(MatchmakingTest, JobRunsOnMatchingNode) {
+  MatchmakingBackend backend(registry, clock, nodes(), system, 0.0);
+  auto request = make_request("/bin/echo matched");
+  request.spec.environment["requirements"] = "mem_kb>=524288";
+  auto id = backend.submit(request);
+  ASSERT_TRUE(id.ok());
+  auto status = backend.wait(*id, kWait);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->state, JobState::kDone);
+}
+
+TEST_F(MatchmakingTest, UnmatchableJobRejectedAtSubmit) {
+  MatchmakingBackend backend(registry, clock, nodes(), system, 0.0);
+  auto request = make_request("/bin/echo x");
+  request.spec.environment["requirements"] = "mem_kb>=99999999";
+  auto id = backend.submit(request);
+  ASSERT_FALSE(id.ok());
+  EXPECT_EQ(id.code(), ErrorCode::kNotFound);
+}
+
+TEST_F(MatchmakingTest, MalformedRequirementsRejected) {
+  MatchmakingBackend backend(registry, clock, nodes(), system, 0.0);
+  auto request = make_request("/bin/echo x");
+  request.spec.environment["requirements"] = "gibberish";
+  EXPECT_FALSE(backend.submit(request).ok());
+}
+
+TEST_F(MatchmakingTest, UnconstrainedJobsRunAnywhere) {
+  MatchmakingBackend backend(registry, clock, nodes(), system, 0.0);
+  std::vector<JobId> ids;
+  for (int i = 0; i < 10; ++i) {
+    auto id = backend.submit(make_request("/bin/echo free"));
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  for (JobId id : ids) {
+    EXPECT_EQ(backend.wait(id, kWait)->state, JobState::kDone);
+  }
+}
+
+// ---------- Sandbox ----------
+
+class SandboxTest : public BackendFixture {
+ protected:
+  SandboxConfig restricted() {
+    SandboxConfig config;
+    config.capabilities = CapabilitySet().grant(Capability::kReadFile);
+    config.op_budget = 1000;
+    config.memory_budget_bytes = 4096;
+    return config;
+  }
+
+  JobRequest jar_request(const std::string& name) {
+    JobRequest request;
+    request.spec.executable = name;
+    request.spec.job_type = "jar";
+    request.local_user = "alice";
+    return request;
+  }
+};
+
+TEST_F(SandboxTest, RegisteredTaskRuns) {
+  SandboxBackend backend(clock, restricted(), system);
+  backend.register_task("hello.jar", [](SandboxContext& ctx, const auto&) {
+    if (auto s = ctx.charge(10); !s.ok()) return Result<std::string>(s.error());
+    return Result<std::string>(std::string("hello from sandbox"));
+  });
+  EXPECT_TRUE(backend.has_task("hello.jar"));
+  auto id = backend.submit(jar_request("hello.jar"));
+  ASSERT_TRUE(id.ok());
+  auto status = backend.wait(*id, kWait);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->state, JobState::kDone);
+  EXPECT_EQ(status->output, "hello from sandbox");
+}
+
+TEST_F(SandboxTest, UnregisteredTaskRejected) {
+  SandboxBackend backend(clock, restricted(), system);
+  EXPECT_FALSE(backend.submit(jar_request("nope.jar")).ok());
+}
+
+TEST_F(SandboxTest, CapabilityDenied) {
+  SandboxBackend backend(clock, restricted(), system);
+  backend.register_task("evil.jar", [](SandboxContext& ctx, const auto&) {
+    if (auto s = ctx.require(Capability::kNetwork); !s.ok()) {
+      return Result<std::string>(s.error());
+    }
+    return Result<std::string>(std::string("should not get here"));
+  });
+  auto id = backend.submit(jar_request("evil.jar"));
+  ASSERT_TRUE(id.ok());
+  auto status = backend.wait(*id, kWait);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->state, JobState::kFailed);
+  EXPECT_NE(status->error.find("denied"), std::string::npos);
+}
+
+TEST_F(SandboxTest, GrantedCapabilityAllowsProcRead) {
+  SandboxBackend backend(clock, restricted(), system);
+  backend.register_task("probe.jar", [](SandboxContext& ctx, const auto&) {
+    auto content = ctx.read_proc("/proc/loadavg");
+    if (!content.ok()) return content;
+    return Result<std::string>(std::move(content.value()));
+  });
+  auto id = backend.submit(jar_request("probe.jar"));
+  auto status = backend.wait(*id, kWait);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->state, JobState::kDone);
+  EXPECT_FALSE(status->output.empty());
+}
+
+TEST_F(SandboxTest, OpBudgetEnforced) {
+  SandboxBackend backend(clock, restricted(), system);
+  backend.register_task("loop.jar", [](SandboxContext& ctx, const auto&) {
+    for (int i = 0; i < 10000; ++i) {
+      if (auto s = ctx.charge(1); !s.ok()) return Result<std::string>(s.error());
+    }
+    return Result<std::string>(std::string("done"));
+  });
+  auto status = backend.wait(*backend.submit(jar_request("loop.jar")), kWait);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->state, JobState::kFailed);
+  EXPECT_NE(status->error.find("budget"), std::string::npos);
+}
+
+TEST_F(SandboxTest, MemoryBudgetEnforced) {
+  SandboxBackend backend(clock, restricted(), system);
+  backend.register_task("hog.jar", [](SandboxContext& ctx, const auto&) {
+    if (auto s = ctx.allocate(1 << 20); !s.ok()) return Result<std::string>(s.error());
+    return Result<std::string>(std::string("allocated"));
+  });
+  auto status = backend.wait(*backend.submit(jar_request("hog.jar")), kWait);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->state, JobState::kFailed);
+}
+
+TEST_F(SandboxTest, AllocateReleaseCycle) {
+  CapabilitySet caps;
+  SandboxContext ctx(caps, 100, 1000, system, nullptr);
+  EXPECT_TRUE(ctx.allocate(800).ok());
+  EXPECT_FALSE(ctx.allocate(300).ok());
+  ctx.release(500);
+  EXPECT_TRUE(ctx.allocate(300).ok());
+  EXPECT_EQ(ctx.memory_used(), 600u);
+}
+
+TEST_F(SandboxTest, TaskArgumentsArePassed) {
+  SandboxConfig config;
+  SandboxBackend backend(clock, config, system);
+  backend.register_task("args.jar", [](SandboxContext&, const std::vector<std::string>& args) {
+    return Result<std::string>("argc=" + std::to_string(args.size()));
+  });
+  auto request = jar_request("args.jar");
+  request.spec.arguments = {"a", "b", "c"};
+  auto status = backend.wait(*backend.submit(request), kWait);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->output, "argc=3");
+}
+
+TEST_F(SandboxTest, IsolatedModeChargesStartupCost) {
+  SandboxConfig config = restricted();
+  config.mode = SandboxMode::kIsolated;
+  config.isolated_startup_cost = ms(50);
+  SandboxBackend backend(clock, config, system);
+  backend.register_task("t.jar", [](SandboxContext&, const auto&) {
+    return Result<std::string>(std::string("ok"));
+  });
+  auto before = clock.now();
+  auto status = backend.wait(*backend.submit(jar_request("t.jar")), kWait);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->state, JobState::kDone);
+  EXPECT_GE(clock.now() - before, ms(50));
+}
+
+}  // namespace
+}  // namespace ig::exec

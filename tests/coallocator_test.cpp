@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "grid/coallocator.hpp"
+#include "grid/virtual_organization.hpp"
+
+namespace ig::grid {
+namespace {
+
+constexpr Duration kWait = seconds(60);
+
+class CoAllocatorTest : public ::testing::Test {
+ protected:
+  CoAllocatorTest() : clock(seconds(1000)), vo("mpi", network, clock, 321) {
+    user = vo.enroll_user("mpi-user", "mpi");
+    for (int i = 0; i < 3; ++i) {
+      ResourceOptions options;
+      options.host = "node" + std::to_string(i) + ".mpi";
+      options.seed = 700 + static_cast<std::uint64_t>(i) * 11;
+      options.batch_nodes = 4;
+      EXPECT_TRUE(vo.add_resource(options).ok());
+    }
+    for (const auto& resource : vo.resources()) {
+      broker.add_resource(resource->host(),
+                          std::make_shared<core::InfoGramClient>(
+                              network, resource->infogram_address(), user, vo.trust(),
+                              clock));
+    }
+  }
+
+  rsl::XrslRequest mpi_job(int count) {
+    rsl::XrslBuilder builder;
+    builder.executable("/bin/echo").argument("rank").count(count).job_type("multiple");
+    return builder.request();
+  }
+
+  VirtualClock clock;
+  net::Network network;
+  VirtualOrganization vo;
+  security::Credential user;
+  LoadAwareBroker broker;
+};
+
+TEST_F(CoAllocatorTest, SplitsCountAcrossResources) {
+  CoAllocator coallocator(broker, /*max_per_resource=*/4);
+  auto allocation = coallocator.submit(mpi_job(10));
+  ASSERT_TRUE(allocation.ok());
+  // 10 processes, max 4 per resource: 4 + 4 + 2 over three hosts.
+  ASSERT_EQ(allocation->subjobs.size(), 3u);
+  int total = 0;
+  for (const auto& subjob : allocation->subjobs) {
+    EXPECT_LE(subjob.count, 4);
+    total += subjob.count;
+  }
+  EXPECT_EQ(total, 10);
+
+  auto status = coallocator.wait(allocation.value(), kWait);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->state, exec::JobState::kDone);
+  EXPECT_EQ(status->done, 3);
+  // Every host contributed output.
+  for (const auto& subjob : allocation->subjobs) {
+    EXPECT_NE(status->output.find("[" + subjob.host + "]"), std::string::npos);
+  }
+}
+
+TEST_F(CoAllocatorTest, SmallJobUsesOneResource) {
+  CoAllocator coallocator(broker);
+  auto allocation = coallocator.submit(mpi_job(3));
+  ASSERT_TRUE(allocation.ok());
+  EXPECT_EQ(allocation->subjobs.size(), 1u);
+  EXPECT_EQ(coallocator.wait(allocation.value(), kWait)->state, exec::JobState::kDone);
+}
+
+TEST_F(CoAllocatorTest, OversizedJobRejectedWithoutSideEffects) {
+  CoAllocator coallocator(broker, /*max_per_resource=*/2);
+  auto allocation = coallocator.submit(mpi_job(100));  // 3 resources x 2 max
+  ASSERT_FALSE(allocation.ok());
+  EXPECT_EQ(allocation.code(), ErrorCode::kUnavailable);
+}
+
+TEST_F(CoAllocatorTest, NonJobRequestRejected) {
+  CoAllocator coallocator(broker);
+  rsl::XrslBuilder info_only;
+  info_only.info("Memory");
+  EXPECT_FALSE(coallocator.submit(info_only.request()).ok());
+}
+
+TEST_F(CoAllocatorTest, FailingSubjobCancelsTheRest) {
+  // Break /bin/echo on one resource only: its subjob fails, and barrier
+  // semantics must take the whole allocation down.
+  vo.resources()[1]->registry()->set_failure_rate("/bin/echo", 1.0);
+  CoAllocator coallocator(broker, /*max_per_resource=*/4);
+  auto allocation = coallocator.submit(mpi_job(12));  // touches all 3 resources
+  ASSERT_TRUE(allocation.ok());
+  auto status = coallocator.wait(allocation.value(), kWait);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->state, exec::JobState::kFailed);
+  EXPECT_GE(status->failed, 1);
+}
+
+TEST_F(CoAllocatorTest, CancelAllSubjobs) {
+  CoAllocator coallocator(broker, 4);
+  rsl::XrslBuilder builder;
+  builder.executable("/bin/sleep").argument("100000").count(12).job_type("multiple");
+  auto allocation = coallocator.submit(builder.request());
+  ASSERT_TRUE(allocation.ok());
+  EXPECT_TRUE(coallocator.cancel(allocation.value()).ok());
+  auto status = coallocator.wait(allocation.value(), kWait);
+  ASSERT_TRUE(status.ok());
+  EXPECT_TRUE(exec::is_terminal(status->state));
+}
+
+TEST_F(CoAllocatorTest, SubjobsCarryAllocationId) {
+  CoAllocator coallocator(broker, 4);
+  auto allocation = coallocator.submit(mpi_job(8));
+  ASSERT_TRUE(allocation.ok());
+  EXPECT_NE(allocation->id.find("coalloc-"), std::string::npos);
+  ASSERT_TRUE(coallocator.wait(allocation.value(), kWait).ok());
+}
+
+}  // namespace
+}  // namespace ig::grid

@@ -1,0 +1,325 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/error.hpp"
+#include "common/id.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/strings.hpp"
+
+namespace ig {
+namespace {
+
+// ---------- Result / Status ----------
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(ErrorCode::kNotFound, "missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), ErrorCode::kNotFound);
+  EXPECT_EQ(r.error().message, "missing");
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(StatusTest, SuccessAndError) {
+  Status ok;
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.to_string(), "ok");
+  Status err(ErrorCode::kDenied, "nope");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.code(), ErrorCode::kDenied);
+  EXPECT_EQ(err.to_string(), "denied: nope");
+}
+
+TEST(ErrorTest, EveryCodeHasName) {
+  for (auto code : {ErrorCode::kParseError, ErrorCode::kNotFound, ErrorCode::kStale,
+                    ErrorCode::kDenied, ErrorCode::kTimeout, ErrorCode::kUnavailable,
+                    ErrorCode::kInvalidArgument, ErrorCode::kAlreadyExists,
+                    ErrorCode::kCancelled, ErrorCode::kIoError, ErrorCode::kInternal}) {
+    EXPECT_NE(to_string(code), "unknown");
+  }
+}
+
+// ---------- Clock ----------
+
+TEST(VirtualClockTest, AdvanceAndSet) {
+  VirtualClock clock;
+  EXPECT_EQ(clock.now().count(), 0);
+  clock.advance(ms(5));
+  EXPECT_EQ(clock.now(), ms(5));
+  clock.sleep_for(seconds(1));  // sleep advances, never blocks
+  EXPECT_EQ(clock.now(), ms(5) + seconds(1));
+  clock.set(seconds(10));
+  EXPECT_EQ(clock.now(), seconds(10));
+}
+
+TEST(VirtualClockTest, RejectsBackwardsTravel) {
+  VirtualClock clock(seconds(5));
+  EXPECT_THROW(clock.set(seconds(1)), std::invalid_argument);
+  EXPECT_THROW(clock.advance(us(-1)), std::invalid_argument);
+}
+
+TEST(VirtualClockTest, ConcurrentAdvanceAccumulates) {
+  VirtualClock clock;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back([&clock] {
+      for (int j = 0; j < 1000; ++j) clock.advance(us(1));
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(clock.now(), us(8000));
+}
+
+TEST(WallClockTest, MonotonicAndSleeps) {
+  WallClock clock;
+  auto a = clock.now();
+  clock.sleep_for(ms(1));
+  auto b = clock.now();
+  EXPECT_GE((b - a).count(), 900);  // at least ~1ms
+}
+
+TEST(ScopedTimerTest, MeasuresVirtualTime) {
+  VirtualClock clock;
+  ScopedTimer timer(clock);
+  clock.advance(ms(42));
+  EXPECT_EQ(timer.elapsed(), ms(42));
+}
+
+// ---------- Strings ----------
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(strings::split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(strings::split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringsTest, SplitFieldsDropsEmpties) {
+  EXPECT_EQ(strings::split_fields("  a   b  ", ' '), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(strings::trim("  x \t\n"), "x");
+  EXPECT_EQ(strings::trim("   "), "");
+  EXPECT_EQ(strings::trim(""), "");
+}
+
+TEST(StringsTest, CaseHelpers) {
+  EXPECT_EQ(strings::to_lower("AbC"), "abc");
+  EXPECT_EQ(strings::to_upper("AbC"), "ABC");
+  EXPECT_TRUE(strings::iequals("MeMoRy", "memory"));
+  EXPECT_FALSE(strings::iequals("mem", "memory"));
+}
+
+TEST(StringsTest, AffixHelpers) {
+  EXPECT_TRUE(strings::starts_with("https://x", "https://"));
+  EXPECT_FALSE(strings::starts_with("http", "https://"));
+  EXPECT_TRUE(strings::ends_with("file.jar", ".jar"));
+  EXPECT_TRUE(strings::contains("abcdef", "cde"));
+}
+
+TEST(StringsTest, JoinAndReplace) {
+  EXPECT_EQ(strings::join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(strings::join({}, ","), "");
+  EXPECT_EQ(strings::replace_all("a&&b&&c", "&&", " "), "a b c");
+  EXPECT_EQ(strings::replace_all("aaa", "a", "aa"), "aaaaaa");
+}
+
+TEST(StringsTest, ParseIntStrict) {
+  EXPECT_EQ(strings::parse_int("42"), 42);
+  EXPECT_EQ(strings::parse_int(" -7 "), -7);
+  EXPECT_FALSE(strings::parse_int("42x"));
+  EXPECT_FALSE(strings::parse_int(""));
+  EXPECT_FALSE(strings::parse_int("4 2"));
+}
+
+TEST(StringsTest, ParseDoubleStrict) {
+  EXPECT_DOUBLE_EQ(*strings::parse_double("3.25"), 3.25);
+  EXPECT_FALSE(strings::parse_double("1.2.3"));
+  EXPECT_FALSE(strings::parse_double("abc"));
+}
+
+TEST(StringsTest, Format) {
+  EXPECT_EQ(strings::format("%s=%d", "x", 7), "x=7");
+  EXPECT_EQ(strings::format("%.2f", 1.5), "1.50");
+}
+
+struct GlobCase {
+  const char* pattern;
+  const char* text;
+  bool matches;
+};
+
+class GlobMatchTest : public ::testing::TestWithParam<GlobCase> {};
+
+TEST_P(GlobMatchTest, Matches) {
+  const auto& c = GetParam();
+  EXPECT_EQ(strings::glob_match(c.pattern, c.text), c.matches)
+      << c.pattern << " vs " << c.text;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, GlobMatchTest,
+    ::testing::Values(GlobCase{"*", "", true}, GlobCase{"*", "anything", true},
+                      GlobCase{"", "", true}, GlobCase{"", "x", false},
+                      GlobCase{"abc", "abc", true}, GlobCase{"abc", "abd", false},
+                      GlobCase{"a?c", "abc", true}, GlobCase{"a?c", "ac", false},
+                      GlobCase{"Memory:*", "Memory:total", true},
+                      GlobCase{"Memory:*", "CPU:total", false},
+                      GlobCase{"*total*", "Memory:total_kb", true},
+                      GlobCase{"a*b*c", "aXXbYYc", true}, GlobCase{"a*b*c", "aXXcYYb", false},
+                      GlobCase{"/O=Grid/CN=*", "/O=Grid/CN=alice", true},
+                      GlobCase{"**", "x", true}, GlobCase{"a*", "a", true}));
+
+// ---------- Stats ----------
+
+TEST(RunningStatsTest, MeanAndStddev) {
+  RunningStats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(x);
+  EXPECT_EQ(stats.count(), 8);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.stddev(), 2.138, 0.001);  // sample stddev
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.stddev(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleSampleHasZeroVariance) {
+  RunningStats stats;
+  stats.add(3.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential) {
+  RunningStats all, a, b;
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.normal(10.0, 3.0);
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.merge(b);  // no-op
+  EXPECT_EQ(a.count(), 1);
+  b.merge(a);  // copies
+  EXPECT_EQ(b.count(), 1);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(SharedStatsTest, ThreadSafeAccumulation) {
+  SharedStats stats;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&stats] {
+      for (int j = 0; j < 1000; ++j) stats.add(1.0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(stats.snapshot().count(), 4000);
+  EXPECT_DOUBLE_EQ(stats.snapshot().mean(), 1.0);
+}
+
+// ---------- Rng ----------
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+  bool diverged = false;
+  Rng a2(123);
+  for (int i = 0; i < 100; ++i) {
+    if (a2.next() != c.next()) diverged = true;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    auto v = rng.uniform_int(3, 9);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(9);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(rng.normal(5.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 5.0, 0.1);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.1);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(11);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(rng.exponential(0.5));
+  EXPECT_NEAR(stats.mean(), 2.0, 0.1);
+}
+
+TEST(RngTest, ChanceFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+// ---------- Ids ----------
+
+TEST(IdTest, MonotoneUnique) {
+  auto a = IdGenerator::next();
+  auto b = IdGenerator::next();
+  EXPECT_LT(a, b);
+}
+
+TEST(IdTest, JobContactFormat) {
+  EXPECT_EQ(IdGenerator::job_contact("hot.mcs.anl.gov", 8443, 17),
+            "https://hot.mcs.anl.gov:8443/jobmanager/17");
+}
+
+TEST(IdTest, FnvAndHex) {
+  EXPECT_EQ(fnv1a("abc"), fnv1a("abc"));
+  EXPECT_NE(fnv1a("abc"), fnv1a("abd"));
+  EXPECT_NE(fnv1a("abc", 1), fnv1a("abc", 2));
+  EXPECT_EQ(to_hex(0), "0000000000000000");
+  EXPECT_EQ(to_hex(0xdeadbeefULL), "00000000deadbeef");
+}
+
+}  // namespace
+}  // namespace ig

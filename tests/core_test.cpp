@@ -1,0 +1,411 @@
+#include <gtest/gtest.h>
+
+#include "core/config.hpp"
+#include "core/infogram_client.hpp"
+#include "core/infogram_service.hpp"
+#include "exec/fork_backend.hpp"
+#include "exec/sandbox.hpp"
+#include "mds/filter.hpp"
+#include "test_util.hpp"
+
+namespace ig::core {
+namespace {
+
+constexpr Duration kWait = seconds(30);
+
+// ---------- Configuration (Table 1) ----------
+
+TEST(ConfigTest, ParseTable1Format) {
+  auto config = Configuration::parse(
+      "# TTL Keyword Command\n"
+      "60 Date date -u\n"
+      "80 Memory /sbin/sysinfo.exe -mem\n"
+      "0 CPULoad /usr/local/bin/cpuload.exe\n");
+  ASSERT_TRUE(config.ok());
+  ASSERT_EQ(config->keywords().size(), 3u);
+  const auto* date = config->find("Date");
+  ASSERT_NE(date, nullptr);
+  EXPECT_EQ(date->ttl, ms(60));
+  EXPECT_EQ(date->command_line, "date -u");
+  EXPECT_EQ(config->find("CPULoad")->ttl, ms(0));
+  EXPECT_EQ(config->find("Bogus"), nullptr);
+}
+
+TEST(ConfigTest, Table1MatchesPaper) {
+  auto config = Configuration::table1();
+  ASSERT_EQ(config.keywords().size(), 5u);
+  EXPECT_EQ(config.find("Date")->ttl, ms(60));
+  EXPECT_EQ(config.find("Memory")->ttl, ms(80));
+  EXPECT_EQ(config.find("CPU")->ttl, ms(100));
+  EXPECT_EQ(config.find("CPULoad")->ttl, ms(0));
+  EXPECT_EQ(config.find("list")->ttl, ms(1000));
+  EXPECT_EQ(config.find("list")->command_line, "/bin/ls /home/gregor");
+}
+
+TEST(ConfigTest, ExtendedOptions) {
+  auto config = Configuration::parse(
+      "100 Load /usr/local/bin/cpuload.exe degradation=exponential delay=20 "
+      "adaptive_ttl=1\n");
+  ASSERT_TRUE(config.ok());
+  const auto* load = config->find("Load");
+  ASSERT_NE(load, nullptr);
+  EXPECT_EQ(load->degradation, "exponential");
+  EXPECT_EQ(load->delay, ms(20));
+  EXPECT_TRUE(load->adaptive_ttl);
+}
+
+TEST(ConfigTest, ParseErrors) {
+  EXPECT_FALSE(Configuration::parse("notanumber Date date").ok());
+  EXPECT_FALSE(Configuration::parse("60 Date").ok());  // missing command
+  EXPECT_FALSE(Configuration::parse("60 Date date\n70 Date date").ok());  // duplicate
+  EXPECT_FALSE(Configuration::parse("60 Load cmd degradation=bogus").ok());
+  EXPECT_FALSE(Configuration::parse("60 Load cmd delay=-5").ok());
+  EXPECT_FALSE(Configuration::parse("-1 Date date").ok());
+}
+
+TEST(ConfigTest, SerializeParseRoundtrip) {
+  auto config = Configuration::parse(
+      "60 Date date -u\n"
+      "100 Load /usr/local/bin/cpuload.exe degradation=linear delay=20 adaptive_ttl=1\n");
+  ASSERT_TRUE(config.ok());
+  auto again = Configuration::parse(config->serialize());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->keywords(), config->keywords());
+}
+
+// ---------- Service fixture ----------
+
+class InfoGramTest : public ig::test::GridFixture {
+ protected:
+  InfoGramTest() : backend(std::make_shared<exec::ForkBackend>(registry, *clock)) {}
+
+  void start_service(InfoGramConfig config = {}) {
+    config.host = "test.sim";
+    monitor = std::make_shared<info::SystemMonitor>(*clock, config.host);
+    ASSERT_TRUE(Configuration::table1().apply(*monitor, registry).ok());
+    service = std::make_unique<InfoGramService>(monitor, backend, host_cred, &trust,
+                                                &gridmap, &policy, clock.get(), logger,
+                                                config);
+    ASSERT_TRUE(service->start(*network).ok());
+  }
+
+  InfoGramClient make_client() {
+    return InfoGramClient(*network, service->address(), alice, trust, *clock);
+  }
+
+  std::shared_ptr<exec::ForkBackend> backend;
+  std::shared_ptr<info::SystemMonitor> monitor;
+  std::unique_ptr<InfoGramService> service;
+};
+
+TEST_F(InfoGramTest, ConfigApplyRejectsUnknownCommand) {
+  monitor = std::make_shared<info::SystemMonitor>(*clock);
+  auto config = Configuration::parse("60 X /bin/missing\n");
+  ASSERT_TRUE(config.ok());
+  auto status = config->apply(*monitor, registry);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), ErrorCode::kNotFound);
+}
+
+// ---------- Information path ----------
+
+TEST_F(InfoGramTest, InfoQueryReturnsRecords) {
+  start_service();
+  auto client = make_client();
+  auto records = client.query_info({"Memory", "CPU"});
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[0].keyword, "Memory");
+  EXPECT_NE((*records)[0].find("Memory:total"), nullptr);
+}
+
+TEST_F(InfoGramTest, InfoAllReturnsEveryKeyword) {
+  start_service();
+  auto client = make_client();
+  auto records = client.query_info({"all"});
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records->size(), 5u);  // the Table 1 keywords
+}
+
+TEST_F(InfoGramTest, UnknownKeywordFails) {
+  start_service();
+  auto client = make_client();
+  auto records = client.query_info({"Bogus"});
+  ASSERT_FALSE(records.ok());
+  EXPECT_EQ(records.code(), ErrorCode::kNotFound);
+}
+
+TEST_F(InfoGramTest, XmlFormatRoundtrips) {
+  start_service();
+  auto client = make_client();
+  auto records = client.query_info({"Memory"}, rsl::ResponseMode::kCached,
+                                   rsl::OutputFormat::kXml);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_NE(records->front().find("Memory:total"), nullptr);
+}
+
+TEST_F(InfoGramTest, RawPayloadIsLdifByDefault) {
+  start_service();
+  auto client = make_client();
+  rsl::XrslBuilder builder;
+  builder.info("Memory");
+  auto resp = client.request(builder.request());
+  ASSERT_TRUE(resp.ok());
+  EXPECT_NE(resp->payload.find("dn: kw=Memory"), std::string::npos);
+}
+
+TEST_F(InfoGramTest, ResponseModesControlExecutions) {
+  start_service();
+  auto client = make_client();
+  ASSERT_TRUE(client.query_info({"Memory"}).ok());
+  ASSERT_TRUE(client.query_info({"Memory"}).ok());
+  EXPECT_EQ(monitor->provider("Memory")->refresh_count(), 1u);  // cached
+
+  ASSERT_TRUE(client.query_info({"Memory"}, rsl::ResponseMode::kImmediate).ok());
+  EXPECT_EQ(monitor->provider("Memory")->refresh_count(), 2u);  // forced
+
+  clock->advance(seconds(100));  // far past TTL
+  auto last = client.query_info({"Memory"}, rsl::ResponseMode::kLast);
+  ASSERT_TRUE(last.ok());
+  EXPECT_EQ(monitor->provider("Memory")->refresh_count(), 2u);  // not refreshed
+  EXPECT_DOUBLE_EQ(last->front().min_quality(), 0.0);           // stale, binary
+}
+
+TEST_F(InfoGramTest, QualityThresholdDrivesRefresh) {
+  start_service();
+  auto client = make_client();
+  ASSERT_TRUE(client.query_info({"Memory"}).ok());
+  clock->advance(ms(81));  // past the 80ms TTL
+  rsl::XrslBuilder builder;
+  builder.info("Memory").quality(50.0);
+  ASSERT_TRUE(client.request(builder.request()).ok());
+  EXPECT_EQ(monitor->provider("Memory")->refresh_count(), 2u);
+}
+
+TEST_F(InfoGramTest, FiltersLimitAttributes) {
+  start_service();
+  auto client = make_client();
+  rsl::XrslBuilder builder;
+  builder.info("Memory").filter("Memory:free");
+  auto resp = client.request(builder.request());
+  ASSERT_TRUE(resp.ok());
+  ASSERT_EQ(resp->records.size(), 1u);
+  ASSERT_EQ(resp->records[0].attributes.size(), 1u);
+  EXPECT_EQ(resp->records[0].attributes[0].name, "Memory:free");
+}
+
+TEST_F(InfoGramTest, PerformanceTagReturnsTimingStats) {
+  start_service();
+  auto client = make_client();
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(client.query_info({"CPULoad"}, rsl::ResponseMode::kImmediate).ok());
+  }
+  rsl::XrslBuilder builder;
+  builder.performance("CPULoad");
+  auto resp = client.request(builder.request());
+  ASSERT_TRUE(resp.ok());
+  ASSERT_EQ(resp->records.size(), 1u);
+  const auto& perf = resp->records[0];
+  EXPECT_EQ(perf.keyword, "Performance");
+  const auto* mean = perf.find("CPULoad:mean_s");
+  ASSERT_NE(mean, nullptr);
+  EXPECT_GT(std::stod(mean->value), 0.0);
+  EXPECT_NE(perf.find("CPULoad:stddev_s"), nullptr);
+  EXPECT_EQ(perf.find("CPULoad:count")->value, "3");
+}
+
+TEST_F(InfoGramTest, SchemaReflection) {
+  start_service();
+  auto client = make_client();
+  ASSERT_TRUE(client.query_info({"all"}).ok());  // populate attribute schemas
+  auto schema = client.fetch_schema();
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->keywords.size(), 5u);
+  const auto* memory = schema->find("Memory");
+  ASSERT_NE(memory, nullptr);
+  EXPECT_EQ(memory->command, "/sbin/sysinfo.exe -mem");
+  EXPECT_FALSE(memory->attributes.empty());
+}
+
+// ---------- Job path ----------
+
+TEST_F(InfoGramTest, JobSubmissionThroughSameEndpoint) {
+  start_service();
+  auto client = make_client();
+  rsl::XrslBuilder builder;
+  builder.executable("/bin/echo").argument("unified");
+  auto contact = client.submit_job(builder.request());
+  ASSERT_TRUE(contact.ok());
+  auto status = client.wait(*contact, kWait);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->state, exec::JobState::kDone);
+  EXPECT_EQ(client.job_output(*contact).value(), "unified\n");
+}
+
+TEST_F(InfoGramTest, CombinedJobAndInfoInOneRoundTrip) {
+  // The paper's headline: job submission and information query are the
+  // same kind of request; here one request does both.
+  start_service();
+  auto client = make_client();
+  auto resp = client.request("&(executable=/bin/echo)(arguments=combo)(info=CPULoad)");
+  ASSERT_TRUE(resp.ok());
+  ASSERT_TRUE(resp->job_contact.has_value());
+  ASSERT_EQ(resp->records.size(), 1u);
+  EXPECT_EQ(resp->records[0].keyword, "CPULoad");
+  auto status = client.wait(*resp->job_contact, kWait);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->state, exec::JobState::kDone);
+}
+
+TEST_F(InfoGramTest, JarJobViaUnifiedEndpoint) {
+  auto sandbox =
+      std::make_shared<exec::SandboxBackend>(*clock, exec::SandboxConfig{}, system);
+  sandbox->register_task("diffraction.jar", [](exec::SandboxContext&, const auto&) {
+    return Result<std::string>(std::string("pattern analyzed"));
+  });
+  InfoGramConfig config;
+  config.jar_backend = sandbox;
+  start_service(config);
+  auto client = make_client();
+  auto resp = client.request("&(executable=diffraction.jar)(jobtype=jar)");
+  ASSERT_TRUE(resp.ok());
+  ASSERT_TRUE(resp->job_contact.has_value());
+  auto status = client.wait(*resp->job_contact, kWait);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->state, exec::JobState::kDone);
+}
+
+TEST_F(InfoGramTest, CancelThroughUnifiedEndpoint) {
+  start_service();
+  auto client = make_client();
+  auto contact = client.request("&(executable=/bin/sleep)(arguments=100000)(count=1000)");
+  ASSERT_TRUE(contact.ok());
+  (void)client.cancel(*contact->job_contact);
+  auto status = client.wait(*contact->job_contact, kWait);
+  ASSERT_TRUE(status.ok());
+  EXPECT_TRUE(exec::is_terminal(status->state));
+}
+
+TEST_F(InfoGramTest, LegacyGrampVerbsServed) {
+  // Backwards compatibility: a GRAM client pointed at the InfoGram port
+  // works without modification.
+  start_service();
+  gram::GramClient legacy(*network, service->address(), alice, trust, *clock);
+  auto contact = legacy.submit("&(executable=/bin/echo)(arguments=legacy)");
+  ASSERT_TRUE(contact.ok());
+  auto status = legacy.wait(*contact, kWait);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->state, exec::JobState::kDone);
+  EXPECT_EQ(legacy.output(*contact).value(), "legacy\n");
+}
+
+TEST_F(InfoGramTest, UnknownVerbRejected) {
+  start_service();
+  auto conn = network->connect(service->address());
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(security::authenticate(**conn, alice, trust, *clock).ok());
+  auto resp = (*conn)->request(net::Message("LDAP_BIND"));
+  ASSERT_TRUE(resp.ok());
+  EXPECT_TRUE(resp->is_error());
+}
+
+// ---------- Security ----------
+
+TEST_F(InfoGramTest, QueryActionAuthorizedSeparately) {
+  policy = security::AuthorizationPolicy(security::Decision::kDeny);
+  security::Rule allow_query;
+  allow_query.action_pattern = "query";
+  policy.add_rule(allow_query);
+  start_service();
+  auto client = make_client();
+  EXPECT_TRUE(client.query_info({"Memory"}).ok());
+  rsl::XrslBuilder builder;
+  builder.executable("/bin/echo");
+  auto denied = client.submit_job(builder.request());
+  ASSERT_FALSE(denied.ok());
+  EXPECT_EQ(denied.code(), ErrorCode::kDenied);
+}
+
+TEST_F(InfoGramTest, UnauthenticatedXrslRejected) {
+  start_service();
+  auto conn = network->connect(service->address());
+  ASSERT_TRUE(conn.ok());
+  auto resp = (*conn)->request(net::Message("XRSL", "(info=Memory)"));
+  ASSERT_TRUE(resp.ok());
+  EXPECT_TRUE(resp->is_error());
+  EXPECT_EQ(net::Message::to_error(*resp).code, ErrorCode::kDenied);
+}
+
+// ---------- Restart from log (the checkpointing story) ----------
+
+TEST_F(InfoGramTest, RecoverFromLogResubmitsIncompleteJobs) {
+  start_service();
+  auto client = make_client();
+  // One job completes; simulate a crash with one job mid-flight by
+  // crafting the log: drop the terminal event of the second submission.
+  auto done = client.submit_job([] {
+    rsl::XrslBuilder b;
+    b.executable("/bin/echo").argument("done");
+    return b.request();
+  }());
+  ASSERT_TRUE(done.ok());
+  ASSERT_TRUE(client.wait(*done, kWait).ok());
+
+  std::vector<logging::LogEvent> events = log_sink->events();
+  logging::LogEvent interrupted;
+  interrupted.sequence = 999;
+  interrupted.time = clock->now();
+  interrupted.type = logging::EventType::kJobSubmitted;
+  interrupted.subject = "/O=Grid/CN=alice";
+  interrupted.local_user = "alice";
+  interrupted.job_id = 999999;
+  interrupted.detail = "&(executable=/bin/echo)(arguments=recovered)";
+  events.push_back(interrupted);
+
+  // "Restart" the service: a fresh instance replays the log.
+  service->stop();
+  auto restarted_monitor = std::make_shared<info::SystemMonitor>(*clock, "test.sim");
+  ASSERT_TRUE(Configuration::table1().apply(*restarted_monitor, registry).ok());
+  InfoGramConfig config;
+  config.host = "test.sim";
+  InfoGramService restarted(restarted_monitor, backend, host_cred, &trust, &gridmap,
+                            &policy, clock.get(), logger, config);
+  ASSERT_TRUE(restarted.start(*network).ok());
+  auto recovered = restarted.recover_from_log(events);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered.value(), 1u);  // only the interrupted job
+}
+
+TEST_F(InfoGramTest, ServiceLifecycleLogged) {
+  start_service();
+  service->stop();
+  bool started = false, stopped = false;
+  for (const auto& event : log_sink->events()) {
+    if (event.type == logging::EventType::kServiceStart) started = true;
+    if (event.type == logging::EventType::kServiceStop) stopped = true;
+  }
+  EXPECT_TRUE(started);
+  EXPECT_TRUE(stopped);
+}
+
+// ---------- MDS backwards compatibility ----------
+
+TEST_F(InfoGramTest, GrisExportServesSameProviders) {
+  start_service();
+  auto gris = service->make_gris();
+  auto entries = gris->search("o=Grid", mds::Scope::kSubtree, mds::Filter::match_all());
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 6u);  // resource entry + 5 Table-1 keywords
+  bool found_memory = false;
+  for (const auto& entry : entries.value()) {
+    if (entry.first("kw") == "Memory") {
+      found_memory = true;
+      EXPECT_FALSE(entry.first("Memory:total").empty());
+    }
+  }
+  EXPECT_TRUE(found_memory);
+}
+
+}  // namespace
+}  // namespace ig::core

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "core/infogram_client.hpp"
+#include "grid/deployment.hpp"
+
+namespace ig::grid {
+namespace {
+
+constexpr Duration kWait = seconds(30);
+
+ServicePackage analysis_package(int version) {
+  ServicePackage pkg;
+  pkg.name = "analysis";
+  pkg.version = version;
+  pkg.size_bytes = 2 << 20;  // 2 MiB "jar"
+  pkg.tasks["analysis.jar"] = [version](exec::SandboxContext&,
+                                        const std::vector<std::string>&) {
+    return Result<std::string>("result from v" + std::to_string(version));
+  };
+  return pkg;
+}
+
+class DeploymentTest : public ::testing::Test {
+ protected:
+  DeploymentTest() : clock(seconds(1000)), vo("deploy", network, clock, 88) {
+    user = vo.enroll_user("operator", "op");
+    for (int i = 0; i < 3; ++i) {
+      ResourceOptions options;
+      options.host = "node" + std::to_string(i) + ".deploy";
+      options.seed = 200 + static_cast<std::uint64_t>(i);
+      EXPECT_TRUE(vo.add_resource(options).ok());
+    }
+  }
+
+  VirtualClock clock;
+  net::Network network;
+  VirtualOrganization vo;
+  security::Credential user;
+  DeploymentRepository repository;
+};
+
+TEST_F(DeploymentTest, PublishEnforcesVersionMonotonicity) {
+  ASSERT_TRUE(repository.publish(analysis_package(1)).ok());
+  EXPECT_FALSE(repository.publish(analysis_package(1)).ok());
+  ASSERT_TRUE(repository.publish(analysis_package(2)).ok());
+  EXPECT_EQ(repository.latest_version("analysis").value(), 2);
+  EXPECT_FALSE(repository.latest("missing").ok());
+  EXPECT_EQ(repository.package_names(), (std::vector<std::string>{"analysis"}));
+}
+
+TEST_F(DeploymentTest, DeployInstallsTasksAndChargesTransfer) {
+  ASSERT_TRUE(repository.publish(analysis_package(1)).ok());
+  Deployer deployer(repository, clock, /*bytes_per_us=*/50.0);
+  auto* node = vo.resources().front().get();
+  EXPECT_FALSE(node->sandbox()->has_task("analysis.jar"));
+  auto version = deployer.deploy("analysis", *node);
+  ASSERT_TRUE(version.ok());
+  EXPECT_EQ(version.value(), 1);
+  EXPECT_TRUE(node->sandbox()->has_task("analysis.jar"));
+  // 2 MiB at 50 B/us ~ 42ms of transfer time.
+  EXPECT_GE(deployer.time_spent(), ms(40));
+  EXPECT_EQ(deployer.installed_version("analysis", node->host()).value(), 1);
+  EXPECT_FALSE(deployer.installed_version("analysis", "other.host").ok());
+}
+
+TEST_F(DeploymentTest, RedeployOfCurrentVersionIsFree) {
+  ASSERT_TRUE(repository.publish(analysis_package(1)).ok());
+  Deployer deployer(repository, clock);
+  auto* node = vo.resources().front().get();
+  ASSERT_TRUE(deployer.deploy("analysis", *node).ok());
+  Duration after_first = deployer.time_spent();
+  ASSERT_TRUE(deployer.deploy("analysis", *node).ok());
+  EXPECT_EQ(deployer.time_spent(), after_first);
+}
+
+TEST_F(DeploymentTest, UpgradeAllRollsOutNewVersion) {
+  ASSERT_TRUE(repository.publish(analysis_package(1)).ok());
+  Deployer deployer(repository, clock);
+  auto upgraded = deployer.upgrade_all("analysis", vo);
+  ASSERT_TRUE(upgraded.ok());
+  EXPECT_EQ(upgraded.value(), 3);
+
+  // Jobs run v1 everywhere.
+  core::InfoGramClient client(network, vo.resources()[1]->infogram_address(), user,
+                              vo.trust(), clock);
+  auto resp = client.request("&(executable=analysis.jar)(jobtype=jar)");
+  ASSERT_TRUE(resp.ok());
+  ASSERT_TRUE(client.wait(*resp->job_contact, kWait).ok());
+  EXPECT_EQ(client.job_output(*resp->job_contact).value(), "result from v1");
+
+  // Publish v2 and upgrade: every node reinstalls, jobs now run v2.
+  ASSERT_TRUE(repository.publish(analysis_package(2)).ok());
+  upgraded = deployer.upgrade_all("analysis", vo);
+  ASSERT_TRUE(upgraded.ok());
+  EXPECT_EQ(upgraded.value(), 3);
+  auto again = deployer.upgrade_all("analysis", vo);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value(), 0);  // all current now
+
+  auto resp2 = client.request("&(executable=analysis.jar)(jobtype=jar)");
+  ASSERT_TRUE(resp2.ok());
+  ASSERT_TRUE(client.wait(*resp2->job_contact, kWait).ok());
+  EXPECT_EQ(client.job_output(*resp2->job_contact).value(), "result from v2");
+}
+
+TEST_F(DeploymentTest, PackagesCanShipInformationProviders) {
+  ServicePackage pkg = analysis_package(1);
+  // The package brings a new keyword backed by a standard command.
+  auto config = core::Configuration::parse("500 Uptime /usr/bin/uptime\n");
+  ASSERT_TRUE(config.ok());
+  pkg.providers = config.value();
+  ASSERT_TRUE(repository.publish(std::move(pkg)).ok());
+
+  Deployer deployer(repository, clock);
+  auto* node = vo.resources().front().get();
+  EXPECT_EQ(node->monitor()->provider("Uptime"), nullptr);
+  ASSERT_TRUE(deployer.deploy("analysis", *node).ok());
+  EXPECT_NE(node->monitor()->provider("Uptime"), nullptr);
+
+  core::InfoGramClient client(network, node->infogram_address(), user, vo.trust(), clock);
+  auto records = client.query_info({"Uptime"});
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records->size(), 1u);
+}
+
+}  // namespace
+}  // namespace ig::grid

@@ -1,0 +1,96 @@
+// Integration: a broker assembled from P2P discovery instead of static
+// configuration — a client joins the overlay, discovers every InfoGram
+// endpoint, and runs load-aware placement against what it found. This is
+// the decentralized variant of the sporadic-grid flow.
+#include <gtest/gtest.h>
+
+#include "grid/broker.hpp"
+#include "grid/p2p_discovery.hpp"
+#include "grid/virtual_organization.hpp"
+
+namespace ig::grid {
+namespace {
+
+constexpr Duration kWait = seconds(60);
+
+TEST(DiscoveryBrokerTest, BrokerBuiltFromGossipView) {
+  VirtualClock clock(seconds(1000));
+  net::Network network;
+  VirtualOrganization vo("p2p-vo", network, clock, 555);
+  auto user = vo.enroll_user("roamer", "roam");
+
+  // Three resources, each with a discovery peer advertising its InfoGram
+  // endpoint and live load.
+  std::vector<std::unique_ptr<DiscoveryPeer>> peers;
+  for (int i = 0; i < 3; ++i) {
+    ResourceOptions options;
+    options.host = "node" + std::to_string(i) + ".p2p-vo";
+    options.seed = 900 + static_cast<std::uint64_t>(i) * 3;
+    auto resource = vo.add_resource(options);
+    ASSERT_TRUE(resource.ok());
+    auto system = (*resource)->system();
+    peers.push_back(std::make_unique<DiscoveryPeer>(
+        network, clock, (*resource)->host(), (*resource)->infogram_address(),
+        [system] { return system->cpu_load(); }, GossipConfig{},
+        1234 + static_cast<std::uint64_t>(i)));
+  }
+  for (int i = 1; i < 3; ++i) peers[i]->add_neighbor(peers[i - 1]->gossip_address());
+
+  // A late-joining client peer bootstraps off one rendezvous contact.
+  DiscoveryPeer client_peer(network, clock, "laptop.p2p-vo", {"laptop.p2p-vo", 0},
+                            nullptr, GossipConfig{}, 777);
+  client_peer.add_neighbor(peers[0]->gossip_address());
+  for (int round = 0; round < 8; ++round) {
+    client_peer.tick();
+    for (auto& peer : peers) peer->tick();
+    clock.advance(ms(100));
+  }
+  auto view = client_peer.view();
+  // The client sees itself plus every resource.
+  ASSERT_EQ(view.size(), 4u);
+
+  // Assemble the broker purely from discovered endpoints.
+  LoadAwareBroker broker;
+  for (const auto& advert : view) {
+    if (advert.host == "laptop.p2p-vo") continue;
+    broker.add_resource(advert.host,
+                        std::make_shared<core::InfoGramClient>(
+                            network, advert.infogram_address, user, vo.trust(), clock));
+  }
+  ASSERT_EQ(broker.resource_count(), 3u);
+
+  rsl::XrslBuilder builder;
+  builder.executable("/bin/echo").argument("discovered");
+  auto placement = broker.submit(builder.request());
+  ASSERT_TRUE(placement.ok());
+  auto* client = broker.client(placement->host);
+  ASSERT_NE(client, nullptr);
+  auto status = client->wait(placement->contact, kWait);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->state, exec::JobState::kDone);
+  EXPECT_EQ(client->job_output(placement->contact).value(), "discovered\n");
+}
+
+TEST(DiscoveryBrokerTest, AdvertsCarryUsableLoadSignal) {
+  VirtualClock clock(seconds(1000));
+  net::Network network;
+  // Two peers with fixed, distinct loads.
+  DiscoveryPeer light(network, clock, "light.sim", {"light.sim", 2135},
+                      [] { return 0.1; }, GossipConfig{}, 1);
+  DiscoveryPeer heavy(network, clock, "heavy.sim", {"heavy.sim", 2135},
+                      [] { return 5.0; }, GossipConfig{}, 2);
+  light.add_neighbor(heavy.gossip_address());
+  light.tick();
+  auto view = light.view();
+  ASSERT_EQ(view.size(), 2u);
+  double light_load = 0.0;
+  double heavy_load = 0.0;
+  for (const auto& advert : view) {
+    if (advert.host == "light.sim") light_load = advert.load;
+    if (advert.host == "heavy.sim") heavy_load = advert.load;
+  }
+  EXPECT_LT(light_load, heavy_load);
+}
+
+}  // namespace
+}  // namespace ig::grid

@@ -1,0 +1,131 @@
+// Tests for DSML output (paper: "straightforward to support other formats
+// such as DSML") and execution-service reflection (Sec. 6.5).
+#include <gtest/gtest.h>
+
+#include "core/config.hpp"
+#include "core/infogram_client.hpp"
+#include "exec/batch_backend.hpp"
+#include "exec/sandbox.hpp"
+#include "format/dsml.hpp"
+#include "test_util.hpp"
+
+namespace ig {
+namespace {
+
+format::InfoRecord sample_record() {
+  format::InfoRecord record;
+  record.keyword = "Memory";
+  record.generated_at = seconds(100);
+  record.ttl = ms(80);
+  record.add("total", "524288", 100.0);
+  record.add("free", "231115", 92.5);
+  return record;
+}
+
+TEST(DsmlTest, RendersDirectoryEntries) {
+  std::string dsml = format::to_dsml(sample_record());
+  EXPECT_NE(dsml.find("<dsml:dsml"), std::string::npos);
+  EXPECT_NE(dsml.find("<dsml:entry dn=\"kw=Memory, o=Grid\">"), std::string::npos);
+  EXPECT_NE(dsml.find("name=\"Memory:total\""), std::string::npos);
+  EXPECT_NE(dsml.find("<dsml:value>524288</dsml:value>"), std::string::npos);
+}
+
+TEST(DsmlTest, Roundtrip) {
+  std::vector<format::InfoRecord> records{sample_record()};
+  auto parsed = format::parse_dsml(format::to_dsml(records));
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 1u);
+  const auto& back = parsed->front();
+  EXPECT_EQ(back.keyword, "Memory");
+  EXPECT_EQ(back.ttl, ms(80));
+  ASSERT_EQ(back.attributes.size(), 2u);
+  EXPECT_EQ(back.attributes[0].value, "524288");
+  EXPECT_DOUBLE_EQ(back.attributes[1].quality, 92.5);
+}
+
+TEST(DsmlTest, EscapedValuesSurvive) {
+  format::InfoRecord record;
+  record.keyword = "Esc";
+  record.ttl = ms(1);
+  record.add("tricky", R"(<a & "b">)");
+  auto parsed = format::parse_dsml(format::to_dsml(record));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->front().attributes[0].value, R"(<a & "b">)");
+}
+
+TEST(DsmlTest, ParseRejectsWrongRoot) {
+  EXPECT_FALSE(format::parse_dsml("<notdsml/>").ok());
+  EXPECT_FALSE(format::parse_dsml("<dsml:dsml></dsml:dsml>").ok());
+}
+
+TEST(XrslFormatTest, DsmlAccepted) {
+  auto req = rsl::XrslRequest::parse("(info=Memory)(format=dsml)");
+  ASSERT_TRUE(req.ok());
+  EXPECT_EQ(req->format, rsl::OutputFormat::kDsml);
+  // Round-trips through to_rsl.
+  auto again = rsl::XrslRequest::parse(req->to_rsl());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->format, rsl::OutputFormat::kDsml);
+}
+
+class DsmlServiceTest : public ig::test::GridFixture {
+ protected:
+  DsmlServiceTest() {
+    monitor = std::make_shared<info::SystemMonitor>(*clock, "dsml.sim");
+    EXPECT_TRUE(core::Configuration::table1().apply(*monitor, registry).ok());
+    exec::BatchConfig batch_config;
+    batch_config.queues = {{"fast", 10}, {"slow", 0}};
+    backend = std::make_shared<exec::BatchBackend>(registry, *clock, batch_config, system);
+    sandbox = std::make_shared<exec::SandboxBackend>(*clock, exec::SandboxConfig{}, system);
+    core::InfoGramConfig config;
+    config.host = "dsml.sim";
+    config.max_restarts = 2;
+    config.jar_backend = sandbox;
+    service = std::make_unique<core::InfoGramService>(monitor, backend, host_cred, &trust,
+                                                      &gridmap, &policy, clock.get(),
+                                                      logger, config);
+    EXPECT_TRUE(service->start(*network).ok());
+  }
+  std::shared_ptr<info::SystemMonitor> monitor;
+  std::shared_ptr<exec::BatchBackend> backend;
+  std::shared_ptr<exec::SandboxBackend> sandbox;
+  std::unique_ptr<core::InfoGramService> service;
+};
+
+TEST_F(DsmlServiceTest, DsmlOverTheWire) {
+  core::InfoGramClient client(*network, service->address(), alice, trust, *clock);
+  auto resp = client.request("(info=Memory)(format=dsml)");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_NE(resp->payload.find("<dsml:dsml"), std::string::npos);
+  ASSERT_EQ(resp->records.size(), 1u);  // client parsed the DSML payload
+  EXPECT_NE(resp->records[0].find("Memory:total"), nullptr);
+}
+
+TEST_F(DsmlServiceTest, ExecutionReflection) {
+  core::InfoGramClient client(*network, service->address(), alice, trust, *clock);
+  auto schema = client.fetch_schema();
+  ASSERT_TRUE(schema.ok());
+  ASSERT_TRUE(schema->execution.has_value());
+  EXPECT_EQ(schema->execution->backend, "batch");
+  EXPECT_TRUE(schema->execution->jar_supported);
+  EXPECT_EQ(schema->execution->max_restarts, 2);
+  EXPECT_EQ(schema->execution->queues, (std::vector<std::string>{"fast", "slow"}));
+}
+
+TEST(ExecutionSchemaTest, XmlRoundtripWithExecution) {
+  format::ServiceSchema schema;
+  schema.service = "x";
+  format::ExecutionSchema exec;
+  exec.backend = "batch";
+  exec.jar_supported = true;
+  exec.max_restarts = 3;
+  exec.queues = {"a", "b"};
+  schema.execution = exec;
+  schema.keywords.push_back({"K", "cmd", ms(10), {}});
+  auto parsed = format::ServiceSchema::parse_xml(schema.to_xml());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), schema);
+}
+
+}  // namespace
+}  // namespace ig

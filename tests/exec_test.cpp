@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include "common/clock.hpp"
+#include "exec/command.hpp"
+#include "exec/sim_system.hpp"
+
+namespace ig::exec {
+namespace {
+
+// ---------- SimSystem ----------
+
+TEST(SimSystemTest, DeterministicForSeed) {
+  VirtualClock clock_a, clock_b;
+  SimSystem a(clock_a, 7, "h"), b(clock_b, 7, "h");
+  clock_a.advance(seconds(100));
+  clock_b.advance(seconds(100));
+  auto snap_a = a.snapshot();
+  auto snap_b = b.snapshot();
+  EXPECT_EQ(snap_a.mem_free_kb, snap_b.mem_free_kb);
+  EXPECT_DOUBLE_EQ(snap_a.load1, snap_b.load1);
+  EXPECT_EQ(snap_a.cpu_count, snap_b.cpu_count);
+}
+
+TEST(SimSystemTest, LoadStaysNonNegativeAndMemoryBounded) {
+  VirtualClock clock;
+  SimSystem sys(clock, 3);
+  for (int i = 0; i < 200; ++i) {
+    clock.advance(seconds(10));
+    auto snap = sys.snapshot();
+    EXPECT_GE(snap.load1, 0.0);
+    EXPECT_GE(snap.mem_free_kb, snap.mem_total_kb / 10);
+    EXPECT_LE(snap.mem_free_kb, snap.mem_total_kb * 95 / 100);
+  }
+}
+
+TEST(SimSystemTest, ValuesEvolveOverTime) {
+  VirtualClock clock;
+  SimSystem sys(clock, 5);
+  double first = sys.cpu_load();
+  clock.advance(seconds(120));
+  double later = sys.cpu_load();
+  EXPECT_NE(first, later);
+}
+
+TEST(SimSystemTest, ResolutionIndependentDynamics) {
+  // Sampling more often must not change the trajectory.
+  VirtualClock clock_a, clock_b;
+  SimSystem fine(clock_a, 21), coarse(clock_b, 21);
+  for (int i = 0; i < 60; ++i) {
+    clock_a.advance(seconds(1));
+    fine.cpu_load();
+  }
+  clock_b.advance(seconds(60));
+  EXPECT_DOUBLE_EQ(fine.cpu_load(), coarse.cpu_load());
+}
+
+TEST(SimSystemTest, ExternalLoadPushesLoadUp) {
+  VirtualClock clock;
+  SimSystem sys(clock, 9);
+  clock.advance(seconds(300));
+  double baseline = sys.cpu_load();
+  sys.add_load(4.0);
+  clock.advance(seconds(300));
+  double loaded = sys.cpu_load();
+  EXPECT_GT(loaded, baseline + 1.0);
+  sys.add_load(-4.0);
+  clock.advance(seconds(600));
+  EXPECT_LT(sys.cpu_load(), loaded);
+}
+
+TEST(SimSystemTest, DirectoryListing) {
+  VirtualClock clock;
+  SimSystem sys(clock, 1);
+  EXPECT_EQ(sys.list_dir("/home/gregor").size(), 3u);  // seeded files
+  sys.add_file("/data", "scan1.dat");
+  sys.add_file("/data", "scan1.dat");  // dedup
+  EXPECT_EQ(sys.list_dir("/data").size(), 1u);
+  EXPECT_TRUE(sys.list_dir("/nonexistent").empty());
+}
+
+TEST(SimSystemTest, ProcFiles) {
+  VirtualClock clock;
+  SimSystem sys(clock, 1);
+  auto meminfo = sys.read_proc("/proc/meminfo");
+  ASSERT_TRUE(meminfo.ok());
+  EXPECT_NE(meminfo->find("MemTotal:"), std::string::npos);
+  auto loadavg = sys.read_proc("/proc/loadavg");
+  ASSERT_TRUE(loadavg.ok());
+  auto cpuinfo = sys.read_proc("/proc/cpuinfo");
+  ASSERT_TRUE(cpuinfo.ok());
+  EXPECT_NE(cpuinfo->find("model name:"), std::string::npos);
+  EXPECT_FALSE(sys.read_proc("/proc/bogus").ok());
+}
+
+// ---------- CommandRegistry ----------
+
+class CommandTest : public ::testing::Test {
+ protected:
+  CommandTest()
+      : system(std::make_shared<SimSystem>(clock, 13, "cmd.host")),
+        registry(CommandRegistry::standard(clock, system, 17)) {}
+  VirtualClock clock;
+  std::shared_ptr<SimSystem> system;
+  std::shared_ptr<CommandRegistry> registry;
+};
+
+TEST_F(CommandTest, SplitCommandLine) {
+  auto [path, args] = split_command_line("/sbin/sysinfo.exe -mem -x");
+  EXPECT_EQ(path, "/sbin/sysinfo.exe");
+  EXPECT_EQ(args, (std::vector<std::string>{"-mem", "-x"}));
+  auto [empty, no_args] = split_command_line("  ");
+  EXPECT_EQ(empty, "");
+  EXPECT_TRUE(no_args.empty());
+}
+
+TEST_F(CommandTest, StandardCommandsProduceKeyValueOutput) {
+  for (const char* line : {"date -u", "/bin/hostname", "/usr/bin/uptime",
+                           "/sbin/sysinfo.exe -mem", "/sbin/sysinfo.exe -cpu",
+                           "/usr/local/bin/cpuload.exe", "/bin/ls /home/gregor"}) {
+    auto result = registry->run(line);
+    ASSERT_TRUE(result.ok()) << line;
+    EXPECT_EQ(result->exit_code, 0) << line;
+    EXPECT_NE(result->output.find(':'), std::string::npos) << line;
+  }
+}
+
+TEST_F(CommandTest, UnknownCommandIsNotFound) {
+  auto result = registry->run("/bin/doesnotexist");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.code(), ErrorCode::kNotFound);
+}
+
+TEST_F(CommandTest, ExecutionChargesCostOnClock) {
+  auto before = clock.now();
+  ASSERT_TRUE(registry->run("/usr/local/bin/cpuload.exe").ok());
+  EXPECT_GE(clock.now() - before, ms(10));  // cpuload costs 10ms
+}
+
+TEST_F(CommandTest, CancellationStopsExecution) {
+  CancelToken token;
+  token.cancel();
+  auto result = registry->run("/usr/local/bin/cpuload.exe", {}, &token);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.code(), ErrorCode::kCancelled);
+}
+
+TEST_F(CommandTest, ExecutionCounterIncrements) {
+  auto before = registry->executions();
+  ASSERT_TRUE(registry->run("date").ok());
+  ASSERT_TRUE(registry->run("date").ok());
+  EXPECT_EQ(registry->executions(), before + 2);
+}
+
+TEST_F(CommandTest, FailureInjection) {
+  registry->set_failure_rate("date", 1.0);
+  auto result = registry->run("date");
+  ASSERT_TRUE(result.ok());
+  EXPECT_NE(result->exit_code, 0);
+  registry->set_failure_rate("date", 0.0);
+  EXPECT_EQ(registry->run("date")->exit_code, 0);
+}
+
+TEST_F(CommandTest, SysinfoUsageError) {
+  auto result = registry->run("/sbin/sysinfo.exe -bogus");
+  ASSERT_TRUE(result.ok());
+  EXPECT_NE(result->exit_code, 0);
+}
+
+TEST_F(CommandTest, CatReadsProcFiles) {
+  auto result = registry->run("/bin/cat /proc/loadavg");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->exit_code, 0);
+  auto missing = registry->run("/bin/cat /proc/bogus");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_NE(missing->exit_code, 0);
+}
+
+TEST_F(CommandTest, SleepChargesItsArgument) {
+  auto before = clock.now();
+  ASSERT_TRUE(registry->run("/bin/sleep 25").ok());
+  EXPECT_GE(clock.now() - before, ms(25));
+}
+
+TEST_F(CommandTest, RegisterCustomCommand) {
+  registry->register_command(
+      "/opt/custom",
+      [](const std::vector<std::string>& args) {
+        return CommandResult{0, "args: " + std::to_string(args.size()) + "\n"};
+      },
+      ms(1));
+  ASSERT_TRUE(registry->contains("/opt/custom"));
+  auto result = registry->run("/opt/custom a b");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->output, "args: 2\n");
+  EXPECT_EQ(registry->cost("/opt/custom").value(), ms(1));
+}
+
+TEST_F(CommandTest, PathsListsRegisteredCommands) {
+  auto paths = registry->paths();
+  EXPECT_GE(paths.size(), 9u);
+}
+
+}  // namespace
+}  // namespace ig::exec

@@ -1,0 +1,103 @@
+// Tests for the wider host/information model: disk and network state,
+// their commands and proc files, and the extended site configuration.
+#include <gtest/gtest.h>
+
+#include "core/config.hpp"
+#include "core/infogram_client.hpp"
+#include "exec/fork_backend.hpp"
+#include "test_util.hpp"
+
+namespace ig {
+namespace {
+
+TEST(ExtendedHostTest, DiskBoundedAndNetworkMonotone) {
+  VirtualClock clock;
+  exec::SimSystem sys(clock, 17);
+  std::int64_t last_rx = 0;
+  std::int64_t last_tx = 0;
+  for (int i = 0; i < 100; ++i) {
+    clock.advance(seconds(10));
+    auto snap = sys.snapshot();
+    EXPECT_GE(snap.disk_free_kb, snap.disk_total_kb / 20);
+    EXPECT_LE(snap.disk_free_kb, snap.disk_total_kb * 95 / 100);
+    EXPECT_GE(snap.net_rx_bytes, last_rx);  // counters never go backwards
+    EXPECT_GE(snap.net_tx_bytes, last_tx);
+    last_rx = snap.net_rx_bytes;
+    last_tx = snap.net_tx_bytes;
+  }
+  EXPECT_GT(last_rx, 0);
+  EXPECT_GT(last_tx, 0);
+}
+
+TEST(ExtendedHostTest, NewProcFiles) {
+  VirtualClock clock;
+  exec::SimSystem sys(clock, 18);
+  auto disk = sys.read_proc("/proc/diskstats");
+  ASSERT_TRUE(disk.ok());
+  EXPECT_NE(disk->find("DiskFree:"), std::string::npos);
+  auto net = sys.read_proc("/proc/net/dev");
+  ASSERT_TRUE(net.ok());
+  EXPECT_NE(net->find("rx_bytes:"), std::string::npos);
+}
+
+TEST(ExtendedHostTest, DfAndNetstatCommands) {
+  VirtualClock clock;
+  auto sys = std::make_shared<exec::SimSystem>(clock, 19);
+  auto registry = exec::CommandRegistry::standard(clock, sys, 20);
+  auto df = registry->run("/bin/df");
+  ASSERT_TRUE(df.ok());
+  EXPECT_EQ(df->exit_code, 0);
+  EXPECT_NE(df->output.find("used_pct:"), std::string::npos);
+  auto netstat = registry->run("/sbin/netstat.exe");
+  ASSERT_TRUE(netstat.ok());
+  EXPECT_NE(netstat->output.find("tx_bytes:"), std::string::npos);
+}
+
+class ExtendedConfigTest : public ig::test::GridFixture {};
+
+TEST_F(ExtendedConfigTest, ExtendedConfigurationServesNineKeywords) {
+  auto config = core::Configuration::extended();
+  EXPECT_EQ(config.keywords().size(), 9u);
+  // Table 1 is a strict subset. (Hoist the temporary: in C++20 a
+  // range-for over table1().keywords() would dangle.)
+  auto table1 = core::Configuration::table1();
+  for (const auto& kw : table1.keywords()) {
+    ASSERT_NE(config.find(kw.keyword), nullptr) << kw.keyword;
+    EXPECT_EQ(config.find(kw.keyword)->ttl, kw.ttl);
+  }
+
+  auto monitor = std::make_shared<info::SystemMonitor>(*clock, "ext.sim");
+  ASSERT_TRUE(config.apply(*monitor, registry).ok());
+  auto backend = std::make_shared<exec::ForkBackend>(registry, *clock);
+  core::InfoGramConfig service_config;
+  service_config.host = "ext.sim";
+  core::InfoGramService service(monitor, backend, host_cred, &trust, &gridmap, &policy,
+                                clock.get(), logger, service_config);
+  ASSERT_TRUE(service.start(*network).ok());
+  core::InfoGramClient client(*network, service.address(), alice, trust, *clock);
+  auto records = client.query_info({"all"});
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records->size(), 9u);
+  // The new keywords yield live data.
+  auto disk = client.query_info({"Disk"});
+  ASSERT_TRUE(disk.ok());
+  EXPECT_NE(disk->front().find("Disk:free"), nullptr);
+  auto net = client.query_info({"Network"});
+  ASSERT_TRUE(net.ok());
+  EXPECT_NE(net->front().find("Network:rx_bytes"), nullptr);
+}
+
+TEST_F(ExtendedConfigTest, ProcBackedProvidersWorkForNewFiles) {
+  auto monitor = std::make_shared<info::SystemMonitor>(*clock, "proc.sim");
+  ASSERT_TRUE(monitor
+                  ->add_source(std::make_shared<info::ProcFileSource>(
+                                   "DiskStats", "/proc/diskstats", system),
+                               info::ProviderOptions{})
+                  .ok());
+  auto record = monitor->get("DiskStats", rsl::ResponseMode::kImmediate);
+  ASSERT_TRUE(record.ok());
+  EXPECT_NE(record->find("DiskStats:DiskTotal"), nullptr);
+}
+
+}  // namespace
+}  // namespace ig

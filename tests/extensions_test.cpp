@@ -1,0 +1,260 @@
+// Tests for the paper's extension/future-work features: application
+// checkpointing, xRSL multi-requests through the unified endpoint, and
+// the MDS registration protocol that builds remote GIIS hierarchies.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+
+#include "common/strings.hpp"
+#include "core/config.hpp"
+#include "core/infogram_client.hpp"
+#include "exec/checkpoint.hpp"
+#include "exec/fork_backend.hpp"
+#include "exec/sandbox.hpp"
+#include "mds/service.hpp"
+#include "test_util.hpp"
+
+namespace ig {
+namespace {
+
+constexpr Duration kWait = seconds(30);
+
+// ---------- CheckpointStore ----------
+
+TEST(CheckpointStoreTest, SaveLoadErase) {
+  exec::CheckpointStore store;
+  EXPECT_FALSE(store.load("k").ok());
+  store.save("k", "step=5");
+  EXPECT_TRUE(store.contains("k"));
+  EXPECT_EQ(store.load("k").value(), "step=5");
+  store.save("k", "step=7");  // replace
+  EXPECT_EQ(store.load("k").value(), "step=7");
+  store.erase("k");
+  EXPECT_FALSE(store.contains("k"));
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(CheckpointStoreTest, FilePersistenceRoundtrip) {
+  std::string path = ::testing::TempDir() + "/ig_checkpoints_test.dat";
+  std::remove(path.c_str());
+  exec::CheckpointStore store;
+  store.save("job a|alice", "progress with spaces\nand newlines");
+  store.save("other", "123");
+  ASSERT_TRUE(store.save_to_file(path).ok());
+  auto loaded = exec::CheckpointStore::load_from_file(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 2u);
+  EXPECT_EQ(loaded->load("job a|alice").value(), "progress with spaces\nand newlines");
+  std::remove(path.c_str());
+  EXPECT_FALSE(exec::CheckpointStore::load_from_file(path).ok());
+}
+
+// ---------- Checkpointed restart through the job manager ----------
+
+class CheckpointRestartTest : public ig::test::GridFixture {};
+
+TEST_F(CheckpointRestartTest, RestartedTaskResumesFromCheckpoint) {
+  auto checkpoints = std::make_shared<exec::CheckpointStore>();
+  exec::SandboxConfig config;
+  config.capabilities = exec::CapabilitySet()
+                            .grant(exec::Capability::kReadFile)
+                            .grant(exec::Capability::kWriteFile);
+  config.checkpoints = checkpoints;
+  auto sandbox = std::make_shared<exec::SandboxBackend>(*clock, config, system);
+
+  // A 10-step task that checkpoints after every step and crashes at step 5
+  // on its first run. On restart it must resume at 5, not redo 0-4.
+  auto steps_executed = std::make_shared<std::atomic<int>>(0);
+  auto already_failed = std::make_shared<std::atomic<bool>>(false);
+  sandbox->register_task(
+      "resumable.jar",
+      [steps_executed, already_failed](exec::SandboxContext& ctx,
+                                       const std::vector<std::string>&) -> Result<std::string> {
+        int start = 0;
+        if (auto saved = ctx.restore(); saved.ok()) {
+          start = static_cast<int>(*strings::parse_int(saved.value()));
+        }
+        for (int step = start; step < 10; ++step) {
+          if (step == 5 && !already_failed->exchange(true)) {
+            return Error(ErrorCode::kInternal, "simulated crash at step 5");
+          }
+          steps_executed->fetch_add(1);
+          if (auto s = ctx.checkpoint(std::to_string(step + 1)); !s.ok()) return s.error();
+        }
+        return std::string("completed");
+      });
+
+  core::InfoGramConfig service_config;
+  service_config.host = "ckpt.sim";
+  service_config.max_restarts = 2;
+  service_config.jar_backend = sandbox;
+  auto monitor = std::make_shared<info::SystemMonitor>(*clock, "ckpt.sim");
+  auto backend = std::make_shared<exec::ForkBackend>(registry, *clock);
+  core::InfoGramService service(monitor, backend, host_cred, &trust, &gridmap, &policy,
+                                clock.get(), logger, service_config);
+  ASSERT_TRUE(service.start(*network).ok());
+  core::InfoGramClient client(*network, service.address(), alice, trust, *clock);
+
+  auto resp = client.request("&(executable=resumable.jar)(jobtype=jar)");
+  ASSERT_TRUE(resp.ok());
+  auto status = client.wait(*resp->job_contact, kWait);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->state, exec::JobState::kDone);
+  EXPECT_EQ(status->restarts, 1);
+  // 5 steps before the crash + 5 after resuming — not 15.
+  EXPECT_EQ(steps_executed->load(), 10);
+  // The completed job's checkpoint was cleared.
+  EXPECT_EQ(checkpoints->size(), 0u);
+}
+
+TEST_F(CheckpointRestartTest, CheckpointRequiresCapabilities) {
+  auto checkpoints = std::make_shared<exec::CheckpointStore>();
+  exec::SandboxConfig config;  // no capabilities granted
+  config.checkpoints = checkpoints;
+  auto sandbox = std::make_shared<exec::SandboxBackend>(*clock, config, system);
+  sandbox->register_task("locked.jar",
+                         [](exec::SandboxContext& ctx, const auto&) -> Result<std::string> {
+                           if (auto s = ctx.checkpoint("x"); !s.ok()) return s.error();
+                           return std::string("should not reach");
+                         });
+  exec::JobRequest request;
+  request.spec.executable = "locked.jar";
+  request.local_user = "alice";
+  auto status = sandbox->wait(*sandbox->submit(request), kWait);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->state, exec::JobState::kFailed);
+  EXPECT_NE(status->error.find("denied"), std::string::npos);
+}
+
+TEST_F(CheckpointRestartTest, NoStoreAttachedIsUnavailable) {
+  exec::SandboxConfig config;
+  config.capabilities = exec::CapabilitySet::all();
+  exec::SandboxContext ctx(config.capabilities, 100, 100, system, nullptr);
+  EXPECT_EQ(ctx.checkpoint("x").code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(ctx.restore().code(), ErrorCode::kUnavailable);
+}
+
+// ---------- Multi-requests ----------
+
+TEST(XrslMultiTest, ParseAllSplitsMultiRequests) {
+  auto requests = rsl::XrslRequest::parse_all(
+      "+(&(executable=/bin/a))(&(executable=/bin/b)(count=2))(&(info=Memory))");
+  ASSERT_TRUE(requests.ok());
+  ASSERT_EQ(requests->size(), 3u);
+  EXPECT_EQ((*requests)[0].job->executable, "/bin/a");
+  EXPECT_EQ((*requests)[1].job->count, 2);
+  EXPECT_TRUE((*requests)[2].is_info());
+}
+
+TEST(XrslMultiTest, SingleSpecificationIsOneRequest) {
+  auto requests = rsl::XrslRequest::parse_all("&(executable=/bin/a)");
+  ASSERT_TRUE(requests.ok());
+  EXPECT_EQ(requests->size(), 1u);
+}
+
+TEST(XrslMultiTest, MalformedMultiRejected) {
+  EXPECT_FALSE(rsl::XrslRequest::parse_all("+(executable=/bin/a)").ok());  // bare relation
+  EXPECT_FALSE(rsl::XrslRequest::parse_all("+(&(count=2))").ok());  // invalid child
+}
+
+class MultiRequestServiceTest : public ig::test::GridFixture {
+ protected:
+  MultiRequestServiceTest() : backend(std::make_shared<exec::ForkBackend>(registry, *clock)) {
+    monitor = std::make_shared<info::SystemMonitor>(*clock, "multi.sim");
+    EXPECT_TRUE(core::Configuration::table1().apply(*monitor, registry).ok());
+    core::InfoGramConfig config;
+    config.host = "multi.sim";
+    service = std::make_unique<core::InfoGramService>(monitor, backend, host_cred, &trust,
+                                                      &gridmap, &policy, clock.get(),
+                                                      logger, config);
+    EXPECT_TRUE(service->start(*network).ok());
+  }
+  std::shared_ptr<exec::ForkBackend> backend;
+  std::shared_ptr<info::SystemMonitor> monitor;
+  std::unique_ptr<core::InfoGramService> service;
+};
+
+TEST_F(MultiRequestServiceTest, MultiRequestSubmitsAllJobs) {
+  core::InfoGramClient client(*network, service->address(), alice, trust, *clock);
+  auto resp = client.request(
+      "+(&(executable=/bin/echo)(arguments=one))"
+      "(&(executable=/bin/echo)(arguments=two))"
+      "(&(executable=/bin/echo)(arguments=three))");
+  ASSERT_TRUE(resp.ok());
+  ASSERT_EQ(resp->job_contacts.size(), 3u);
+  EXPECT_EQ(resp->job_contact, resp->job_contacts.front());
+  std::vector<std::string> outputs;
+  for (const auto& contact : resp->job_contacts) {
+    ASSERT_TRUE(client.wait(contact, kWait).ok());
+    outputs.push_back(client.job_output(contact).value());
+  }
+  EXPECT_EQ(outputs, (std::vector<std::string>{"one\n", "two\n", "three\n"}));
+}
+
+TEST_F(MultiRequestServiceTest, MixedJobAndInfoMulti) {
+  core::InfoGramClient client(*network, service->address(), alice, trust, *clock);
+  auto resp = client.request(
+      "+(&(executable=/bin/echo)(arguments=mixed))(&(info=Memory)(info=CPU))");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->job_contacts.size(), 1u);
+  EXPECT_EQ(resp->records.size(), 2u);
+}
+
+TEST_F(MultiRequestServiceTest, FailingChildFailsWholeMulti) {
+  core::InfoGramClient client(*network, service->address(), alice, trust, *clock);
+  auto resp = client.request("+(&(executable=/bin/echo))(&(info=BogusKeyword))");
+  ASSERT_FALSE(resp.ok());
+  EXPECT_EQ(resp.code(), ErrorCode::kNotFound);
+}
+
+// ---------- Remote GIIS registration ----------
+
+class RegistrationTest : public ig::test::GridFixture {};
+
+TEST_F(RegistrationTest, RemoteGrisRegistersWithGiis) {
+  // Two resource GRIS endpoints...
+  auto make_monitor = [this](const std::string& host) {
+    auto monitor = std::make_shared<info::SystemMonitor>(*clock, host);
+    info::ProviderOptions options;
+    options.ttl = seconds(10);
+    EXPECT_TRUE(monitor
+                    ->add_source(std::make_shared<info::CommandSource>(
+                                     "Memory", "/sbin/sysinfo.exe -mem", registry),
+                                 options)
+                    .ok());
+    return monitor;
+  };
+  auto gris_a = std::make_shared<mds::Gris>(make_monitor("a.sim"), "a.sim", *clock);
+  auto gris_b = std::make_shared<mds::Gris>(make_monitor("b.sim"), "b.sim", *clock);
+  mds::MdsService service_a(gris_a, host_cred, &trust, clock.get(), logger);
+  mds::MdsService service_b(gris_b, host_cred, &trust, clock.get(), logger);
+  ASSERT_TRUE(service_a.start(*network, {"a.sim", 2136}).ok());
+  ASSERT_TRUE(service_b.start(*network, {"b.sim", 2136}).ok());
+
+  // ...and a VO-level GIIS served over the wire with registration enabled.
+  auto giis = std::make_shared<mds::Giis>("vo", *clock, ms(100));
+  mds::MdsService vo_service(giis, host_cred, &trust, clock.get(), logger, giis);
+  ASSERT_TRUE(vo_service.start(*network, {"vo.sim", 2136}).ok());
+
+  // Each resource registers itself remotely (as MDS GRIS registration does).
+  mds::MdsClient reg_a(*network, {"vo.sim", 2136}, alice, trust, *clock);
+  ASSERT_TRUE(reg_a.register_backend("host=a.sim, o=Grid", {"a.sim", 2136}).ok());
+  ASSERT_TRUE(reg_a.register_backend("host=b.sim, o=Grid", {"b.sim", 2136}).ok());
+
+  // A client of the VO service now sees both resources' subtrees.
+  mds::MdsClient client(*network, {"vo.sim", 2136}, alice, trust, *clock);
+  auto entries =
+      client.search("o=Grid", mds::Scope::kSubtree, *mds::Filter::parse("(kw=Memory)"));
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 2u);
+
+  // Registration against a non-aggregate endpoint is rejected.
+  mds::MdsClient bad(*network, {"a.sim", 2136}, alice, trust, *clock);
+  auto status = bad.register_backend("host=b.sim, o=Grid", {"b.sim", 2136});
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), ErrorCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace ig

@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include "common/strings.hpp"
+#include "format/ldif.hpp"
+#include "format/record.hpp"
+#include "format/schema.hpp"
+#include "format/xml.hpp"
+
+namespace ig::format {
+namespace {
+
+InfoRecord sample_record() {
+  InfoRecord record;
+  record.keyword = "Memory";
+  record.generated_at = seconds(100);
+  record.ttl = ms(80);
+  record.add("total", "524288", 100.0);
+  record.add("free", "231115", 92.5);
+  return record;
+}
+
+// ---------- Record model ----------
+
+TEST(RecordTest, AddNamespacesBareNames) {
+  InfoRecord record = sample_record();
+  EXPECT_EQ(record.attributes[0].name, "Memory:total");
+  // Already-namespaced names are kept as-is.
+  record.add("Other:attr", "x");
+  EXPECT_EQ(record.attributes[2].name, "Other:attr");
+}
+
+TEST(RecordTest, FindByFullAndBareName) {
+  InfoRecord record = sample_record();
+  EXPECT_NE(record.find("Memory:total"), nullptr);
+  EXPECT_NE(record.find("total"), nullptr);
+  EXPECT_EQ(record.find("bogus"), nullptr);
+}
+
+TEST(RecordTest, FilteredByGlobs) {
+  InfoRecord record = sample_record();
+  auto only_total = record.filtered({"*total*"});
+  ASSERT_EQ(only_total.attributes.size(), 1u);
+  EXPECT_EQ(only_total.attributes[0].name, "Memory:total");
+  EXPECT_EQ(record.filtered({}).attributes.size(), 2u);        // no filter = all
+  EXPECT_EQ(record.filtered({"CPU:*"}).attributes.size(), 0u);
+}
+
+TEST(RecordTest, MinQuality) {
+  InfoRecord record = sample_record();
+  EXPECT_DOUBLE_EQ(record.min_quality(), 92.5);
+  InfoRecord empty;
+  EXPECT_DOUBLE_EQ(empty.min_quality(), 100.0);
+}
+
+// ---------- Base64 ----------
+
+struct B64Case {
+  const char* plain;
+  const char* encoded;
+};
+
+class Base64Test : public ::testing::TestWithParam<B64Case> {};
+
+TEST_P(Base64Test, EncodeDecodeKnownVectors) {
+  EXPECT_EQ(base64_encode(GetParam().plain), GetParam().encoded);
+  auto decoded = base64_decode(GetParam().encoded);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), GetParam().plain);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rfc4648, Base64Test,
+                         ::testing::Values(B64Case{"", ""}, B64Case{"f", "Zg=="},
+                                           B64Case{"fo", "Zm8="}, B64Case{"foo", "Zm9v"},
+                                           B64Case{"foob", "Zm9vYg=="},
+                                           B64Case{"fooba", "Zm9vYmE="},
+                                           B64Case{"foobar", "Zm9vYmFy"}));
+
+TEST(Base64Test, RejectsInvalidCharacters) {
+  EXPECT_FALSE(base64_decode("!!!!").ok());
+}
+
+// ---------- LDIF ----------
+
+TEST(LdifTest, SafeStringClassification) {
+  EXPECT_TRUE(ldif_safe("plain value"));
+  EXPECT_TRUE(ldif_safe(""));
+  EXPECT_FALSE(ldif_safe(" leading space"));
+  EXPECT_FALSE(ldif_safe(":starts with colon"));
+  EXPECT_FALSE(ldif_safe("<angle"));
+  EXPECT_FALSE(ldif_safe("line\nbreak"));
+  EXPECT_FALSE(ldif_safe("non-ascii \xc3\xa9"));
+}
+
+TEST(LdifTest, RendersEntry) {
+  LdifOptions options;
+  options.host = "hot.mcs.anl.gov";
+  std::string ldif = to_ldif(sample_record(), options);
+  EXPECT_NE(ldif.find("dn: kw=Memory, host=hot.mcs.anl.gov, o=Grid"), std::string::npos);
+  EXPECT_NE(ldif.find("Memory:total: 524288"), std::string::npos);
+  EXPECT_NE(ldif.find("Memory:free;quality: 92.50"), std::string::npos);
+}
+
+TEST(LdifTest, RoundtripPlain) {
+  auto records = std::vector<InfoRecord>{sample_record()};
+  auto parsed = parse_ldif(to_ldif(records));
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 1u);
+  const InfoRecord& back = parsed->front();
+  EXPECT_EQ(back.keyword, "Memory");
+  EXPECT_EQ(back.generated_at, seconds(100));
+  EXPECT_EQ(back.ttl, ms(80));
+  ASSERT_EQ(back.attributes.size(), 2u);
+  EXPECT_EQ(back.attributes[0].value, "524288");
+  EXPECT_DOUBLE_EQ(back.attributes[1].quality, 92.5);
+}
+
+TEST(LdifTest, RoundtripUnsafeValuesViaBase64) {
+  InfoRecord record;
+  record.keyword = "Weird";
+  record.generated_at = seconds(1);
+  record.ttl = ms(10);
+  record.add("v1", " leading space");
+  record.add("v2", "multi\nline");
+  record.add("v3", ":colon first");
+  auto parsed = parse_ldif(to_ldif(record));
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 1u);
+  EXPECT_EQ(parsed->front().attributes[0].value, " leading space");
+  EXPECT_EQ(parsed->front().attributes[1].value, "multi\nline");
+  EXPECT_EQ(parsed->front().attributes[2].value, ":colon first");
+}
+
+TEST(LdifTest, LongLinesFoldAndUnfold) {
+  InfoRecord record;
+  record.keyword = "Long";
+  record.generated_at = seconds(1);
+  record.ttl = ms(10);
+  std::string long_value(300, 'x');
+  record.add("big", long_value);
+  std::string ldif = to_ldif(record);
+  // Every physical line respects the fold column.
+  for (const auto& line : ig::strings::split(ldif, '\n')) {
+    EXPECT_LE(line.size(), 76u);
+  }
+  auto parsed = parse_ldif(ldif);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->front().attributes[0].value, long_value);
+}
+
+TEST(LdifTest, MultipleRecordsSeparatedByBlankLines) {
+  InfoRecord a = sample_record();
+  InfoRecord b;
+  b.keyword = "CPU";
+  b.generated_at = seconds(101);
+  b.ttl = ms(100);
+  b.add("count", "4");
+  auto parsed = parse_ldif(to_ldif(std::vector<InfoRecord>{a, b}));
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ(parsed->at(1).keyword, "CPU");
+}
+
+TEST(LdifTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(parse_ldif("dn: kw=x\nno colon here at all maybe?\x01").ok());
+  EXPECT_FALSE(parse_ldif("dn: kw=x\nttl: notanumber\n").ok());
+}
+
+// ---------- XML ----------
+
+TEST(XmlTest, EscapeRoundtripThroughParser) {
+  InfoRecord record;
+  record.keyword = "Esc";
+  record.generated_at = seconds(1);
+  record.ttl = ms(10);
+  record.add("tricky", R"(<a & "b" 'c'>)");
+  auto parsed = parse_xml(to_xml(std::vector<InfoRecord>{record}));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->front().attributes[0].value, R"(<a & "b" 'c'>)");
+}
+
+TEST(XmlTest, RoundtripRecords) {
+  auto parsed = parse_xml(to_xml(std::vector<InfoRecord>{sample_record()}));
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 1u);
+  EXPECT_EQ(parsed->front().keyword, "Memory");
+  EXPECT_EQ(parsed->front().ttl, ms(80));
+  ASSERT_EQ(parsed->front().attributes.size(), 2u);
+  EXPECT_DOUBLE_EQ(parsed->front().attributes[1].quality, 92.5);
+}
+
+TEST(XmlTest, ParserHandlesSelfClosingAndNesting) {
+  auto root = parse_xml_element("<a x=\"1\"><b/><c>text</c><b y=\"2\"/></a>");
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(root->name, "a");
+  EXPECT_EQ(root->attribute_or("x", ""), "1");
+  EXPECT_EQ(root->children.size(), 3u);
+  EXPECT_EQ(root->children_named("b").size(), 2u);
+  ASSERT_NE(root->child("c"), nullptr);
+  EXPECT_EQ(root->child("c")->text, "text");
+}
+
+TEST(XmlTest, ParserAcceptsDeclaration) {
+  auto root = parse_xml_element("<?xml version=\"1.0\"?>\n<doc/>");
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(root->name, "doc");
+}
+
+class XmlParseErrorTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(XmlParseErrorTest, Rejects) {
+  EXPECT_FALSE(parse_xml_element(GetParam()).ok()) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, XmlParseErrorTest,
+                         ::testing::Values("", "<a>", "<a></b>", "<a attr></a>",
+                                           "<a x=1></a>", "<a>&bogus;</a>",
+                                           "<a></a><b></b>", "text only"));
+
+// ---------- Schema ----------
+
+TEST(SchemaTest, XmlRoundtrip) {
+  ServiceSchema schema;
+  schema.service = "infogram@test";
+  KeywordSchema kw;
+  kw.keyword = "Memory";
+  kw.command = "/sbin/sysinfo.exe -mem";
+  kw.ttl = ms(80);
+  kw.attributes.push_back({"Memory:total", "integer", "total kB"});
+  kw.attributes.push_back({"Memory:free", "integer", ""});
+  schema.keywords.push_back(kw);
+  auto parsed = ServiceSchema::parse_xml(schema.to_xml());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), schema);
+}
+
+TEST(SchemaTest, FindKeyword) {
+  ServiceSchema schema;
+  schema.keywords.push_back({"CPU", "cmd", ms(1), {}});
+  EXPECT_NE(schema.find("CPU"), nullptr);
+  EXPECT_EQ(schema.find("Memory"), nullptr);
+}
+
+TEST(SchemaTest, ParseRejectsWrongRoot) {
+  EXPECT_FALSE(ServiceSchema::parse_xml("<notschema/>").ok());
+}
+
+}  // namespace
+}  // namespace ig::format

@@ -1,0 +1,302 @@
+#include <gtest/gtest.h>
+
+#include <future>
+
+#include "exec/fork_backend.hpp"
+#include "exec/sandbox.hpp"
+#include "gram/service.hpp"
+#include "test_util.hpp"
+
+namespace ig::gram {
+namespace {
+
+constexpr Duration kWait = seconds(30);
+
+class GramTest : public ig::test::GridFixture {
+ protected:
+  GramTest() : backend(std::make_shared<exec::ForkBackend>(registry, *clock)) {}
+
+  void start_service(GramConfig config = {}) {
+    config.host = "test.sim";
+    service = std::make_unique<GramService>(backend, host_cred, &trust, &gridmap, &policy,
+                                            clock.get(), logger, config);
+    ASSERT_TRUE(service->start(*network).ok());
+  }
+
+  GramClient make_client() {
+    return GramClient(*network, service->address(), alice, trust, *clock);
+  }
+
+  std::shared_ptr<exec::ForkBackend> backend;
+  std::unique_ptr<GramService> service;
+};
+
+TEST_F(GramTest, SubmitStatusOutputLifecycle) {
+  start_service();
+  auto client = make_client();
+  auto contact = client.submit("&(executable=/bin/echo)(arguments=grid hello)");
+  ASSERT_TRUE(contact.ok());
+  EXPECT_NE(contact->find("https://test.sim:2119/jobmanager/"), std::string::npos);
+
+  auto status = client.wait(*contact, kWait);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->state, exec::JobState::kDone);
+  EXPECT_EQ(status->exit_code, 0);
+
+  auto output = client.output(*contact);
+  ASSERT_TRUE(output.ok());
+  EXPECT_EQ(output.value(), "grid hello\n");
+}
+
+TEST_F(GramTest, StatusOfUnknownContact) {
+  start_service();
+  auto client = make_client();
+  auto status = client.status("https://test.sim:2119/jobmanager/424242");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), ErrorCode::kNotFound);
+}
+
+TEST_F(GramTest, MalformedRslRejected) {
+  start_service();
+  auto client = make_client();
+  EXPECT_FALSE(client.submit("((broken").ok());
+  EXPECT_FALSE(client.submit("(info=Memory)").ok());  // GRAM is job-only
+}
+
+TEST_F(GramTest, GridmapDenialForUnknownUser) {
+  start_service();
+  auto bob = ca->issue("/O=Grid/CN=bob", security::CertType::kUser, seconds(86400));
+  GramClient client(*network, service->address(), bob, trust, *clock);
+  auto contact = client.submit("&(executable=/bin/echo)");
+  ASSERT_FALSE(contact.ok());
+  EXPECT_EQ(contact.code(), ErrorCode::kDenied);
+}
+
+TEST_F(GramTest, AuthorizationPolicyEnforced) {
+  policy = security::AuthorizationPolicy(security::Decision::kDeny);
+  security::Rule rule;
+  rule.subject_pattern = "/O=Grid/CN=alice";
+  rule.window = security::TimeWindow{seconds(2000), seconds(3000)};
+  policy.add_rule(rule);
+  start_service();
+  auto client = make_client();
+  // Fixture clock starts at t=1000s: outside the window.
+  auto denied = client.submit("&(executable=/bin/echo)");
+  ASSERT_FALSE(denied.ok());
+  EXPECT_EQ(denied.code(), ErrorCode::kDenied);
+  clock->advance(seconds(1500));  // now t=2500: inside
+  EXPECT_TRUE(client.submit("&(executable=/bin/echo)").ok());
+}
+
+TEST_F(GramTest, CancelRunningJob) {
+  start_service();
+  auto client = make_client();
+  // A job long enough (in cost slices) to be cancellable.
+  auto contact = client.submit("&(executable=/bin/sleep)(arguments=100000)(count=1000)");
+  ASSERT_TRUE(contact.ok());
+  ASSERT_TRUE(client.cancel(*contact).ok() || true);  // may race completion
+  auto status = client.wait(*contact, kWait);
+  ASSERT_TRUE(status.ok());
+  EXPECT_TRUE(exec::is_terminal(status->state));
+}
+
+TEST_F(GramTest, RestartOnFailure) {
+  GramConfig config;
+  config.max_restarts = 3;
+  start_service(config);
+  // Fails the first runs, then recovers: with 100% failure rate it fails
+  // through all restarts; with 0% it succeeds at once. Use the counter to
+  // flip failure off after two executions.
+  int runs = 0;
+  registry->register_command(
+      "/bin/flaky",
+      [&runs](const std::vector<std::string>&) {
+        ++runs;
+        return exec::CommandResult{runs <= 2 ? 1 : 0, "attempt\n"};
+      },
+      ms(1));
+  auto client = make_client();
+  auto contact = client.submit("&(executable=/bin/flaky)");
+  ASSERT_TRUE(contact.ok());
+  auto status = client.wait(*contact, kWait);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->state, exec::JobState::kDone);
+  EXPECT_EQ(status->restarts, 2);
+  EXPECT_EQ(runs, 3);
+}
+
+TEST_F(GramTest, RestartsExhaustedMarksFailed) {
+  GramConfig config;
+  config.max_restarts = 2;
+  start_service(config);
+  auto client = make_client();
+  auto contact = client.submit("&(executable=/bin/false)");
+  ASSERT_TRUE(contact.ok());
+  auto status = client.wait(*contact, kWait);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->state, exec::JobState::kFailed);
+  EXPECT_EQ(status->restarts, 2);
+}
+
+TEST_F(GramTest, JobLifecycleIsLogged) {
+  start_service();
+  auto client = make_client();
+  auto contact = client.submit("&(executable=/bin/echo)(arguments=logged)");
+  ASSERT_TRUE(contact.ok());
+  ASSERT_TRUE(client.wait(*contact, kWait).ok());
+  bool submitted = false, finished = false;
+  for (const auto& event : log_sink->events()) {
+    if (event.type == logging::EventType::kJobSubmitted &&
+        event.subject == "/O=Grid/CN=alice") {
+      EXPECT_NE(event.detail.find("(executable=/bin/echo)"), std::string::npos);
+      submitted = true;
+    }
+    if (event.type == logging::EventType::kJobFinished) finished = true;
+  }
+  EXPECT_TRUE(submitted);
+  EXPECT_TRUE(finished);
+}
+
+TEST_F(GramTest, JarJobsRequireSandboxBackend) {
+  start_service();  // no jar backend configured
+  auto client = make_client();
+  EXPECT_FALSE(client.submit("&(executable=t.jar)(jobtype=jar)").ok());
+}
+
+TEST_F(GramTest, JarJobRunsInSandbox) {
+  auto sandbox = std::make_shared<exec::SandboxBackend>(*clock, exec::SandboxConfig{},
+                                                        system);
+  sandbox->register_task("t.jar", [](exec::SandboxContext&, const auto&) {
+    return Result<std::string>(std::string("jar output"));
+  });
+  GramConfig config;
+  config.jar_backend = sandbox;
+  start_service(config);
+  auto client = make_client();
+  auto contact = client.submit("&(executable=t.jar)(jobtype=jar)");
+  ASSERT_TRUE(contact.ok());
+  auto status = client.wait(*contact, kWait);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->state, exec::JobState::kDone);
+  EXPECT_EQ(client.output(*contact).value(), "jar output");
+}
+
+TEST_F(GramTest, CallbackNotificationsDelivered) {
+  start_service();
+  CallbackListener listener(*network, {"client.sim", 9000});
+  auto client = make_client();
+  auto contact =
+      client.submit("&(executable=/bin/echo)(arguments=cb)", "client.sim:9000");
+  ASSERT_TRUE(contact.ok());
+  ASSERT_TRUE(client.wait(*contact, kWait).ok());
+  ASSERT_TRUE(listener.wait_for(1, kWait));
+  bool saw_terminal = false;
+  for (const auto& note : listener.notifications()) {
+    EXPECT_EQ(note.contact, *contact);
+    if (exec::is_terminal(note.state)) saw_terminal = true;
+  }
+  EXPECT_TRUE(saw_terminal);
+}
+
+// Timeout semantics need real elapsed time: on a VirtualClock a command's
+// cost is charged instantly in wall time, so a wall-time timeout could
+// never fire mid-command. These tests build the stack on the wall clock
+// with short command costs.
+class GramTimeoutTest : public ::testing::Test {
+ protected:
+  GramTimeoutTest()
+      : ca("/O=Grid/CN=Wall CA", seconds(3600), wall, 7),
+        host_cred(ca.issue("/O=Grid/CN=host/w", security::CertType::kHost, seconds(3600))),
+        alice(ca.issue("/O=Grid/CN=alice", security::CertType::kUser, seconds(3600))),
+        policy(security::Decision::kAllow),
+        system(std::make_shared<exec::SimSystem>(wall, 1, "w.sim")),
+        registry(exec::CommandRegistry::standard(wall, system, 2)),
+        backend(std::make_shared<exec::ForkBackend>(registry, wall)) {
+    trust.add_root(ca.root_certificate());
+    gridmap.add("/O=Grid/CN=alice", "alice");
+    // A command whose cost is real wall time, interruptible per-ms slice.
+    registry->register_command(
+        "/bin/slow",
+        [](const std::vector<std::string>&) {
+          return exec::CommandResult{0, "finished anyway\n"};
+        },
+        ms(400));
+    GramConfig config;
+    config.host = "w.sim";
+    service = std::make_unique<GramService>(backend, host_cred, &trust, &gridmap, &policy,
+                                            &wall, nullptr, config);
+    EXPECT_TRUE(service->start(network).ok());
+  }
+
+  WallClock wall;
+  net::Network network;
+  security::CertificateAuthority ca;
+  security::TrustStore trust;
+  security::GridMap gridmap;
+  security::Credential host_cred;
+  security::Credential alice;
+  security::AuthorizationPolicy policy;
+  std::shared_ptr<exec::SimSystem> system;
+  std::shared_ptr<exec::CommandRegistry> registry;
+  std::shared_ptr<exec::ForkBackend> backend;
+  std::unique_ptr<GramService> service;
+};
+
+TEST_F(GramTimeoutTest, TimeoutActionCancel) {
+  GramClient client(network, service->address(), alice, trust, wall);
+  auto contact = client.submit("&(executable=/bin/slow)(timeout=50)(action=cancel)");
+  ASSERT_TRUE(contact.ok());
+  auto status = client.wait(*contact, kWait);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->state, exec::JobState::kCancelled);
+}
+
+TEST_F(GramTimeoutTest, TimeoutActionExceptionLetsJobFinish) {
+  GramClient client(network, service->address(), alice, trust, wall);
+  auto contact = client.submit("&(executable=/bin/slow)(timeout=50)(action=exception)");
+  ASSERT_TRUE(contact.ok());
+  auto status = client.wait(*contact, kWait);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->state, exec::JobState::kDone);
+  EXPECT_TRUE(status->timeout_fired);
+  EXPECT_EQ(client.output(*contact).value(), "finished anyway\n");
+}
+
+TEST_F(GramTimeoutTest, NoTimeoutRunsToCompletion) {
+  GramClient client(network, service->address(), alice, trust, wall);
+  auto contact = client.submit("&(executable=/bin/slow)");
+  ASSERT_TRUE(contact.ok());
+  auto status = client.wait(*contact, kWait);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->state, exec::JobState::kDone);
+  EXPECT_FALSE(status->timeout_fired);
+}
+
+TEST_F(GramTest, MultipleClientsShareService) {
+  start_service();
+  auto client_a = make_client();
+  auto client_b = make_client();
+  auto contact = client_a.submit("&(executable=/bin/echo)(arguments=shared)");
+  ASSERT_TRUE(contact.ok());
+  // A second authorized client can query the same job handle (the paper:
+  // contacts are usable "from other remote clients").
+  auto status = client_b.wait(*contact, kWait);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->state, exec::JobState::kDone);
+}
+
+TEST_F(GramTest, TrafficStatsAccumulate) {
+  start_service();
+  auto client = make_client();
+  ASSERT_TRUE(client.submit("&(executable=/bin/echo)").ok());
+  auto before = client.stats();
+  EXPECT_EQ(before.connects, 1u);
+  client.disconnect();
+  ASSERT_TRUE(client.submit("&(executable=/bin/echo)").ok());
+  auto after = client.stats();
+  EXPECT_EQ(after.connects, 2u);  // closed-connection stats retained
+  EXPECT_GT(after.requests, before.requests);
+}
+
+}  // namespace
+}  // namespace ig::gram

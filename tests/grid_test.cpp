@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include "grid/broker.hpp"
+#include "grid/virtual_organization.hpp"
+#include "mds/filter.hpp"
+
+namespace ig::grid {
+namespace {
+
+constexpr Duration kWait = seconds(30);
+
+class VoTest : public ::testing::Test {
+ protected:
+  VoTest() : clock(seconds(1000)), vo("anl", network, clock, 77) {}
+
+  VirtualClock clock;
+  net::Network network;
+  VirtualOrganization vo;
+};
+
+TEST_F(VoTest, EnrollUserIssuesTrustedCredential) {
+  auto alice = vo.enroll_user("alice", "alice");
+  EXPECT_EQ(alice.base_subject(), "/O=Grid/O=anl/CN=alice");
+  auto subject = vo.trust().verify_chain(alice.chain(), clock.now());
+  ASSERT_TRUE(subject.ok());
+  EXPECT_EQ(vo.gridmap().map(subject.value()).value(), "alice");
+}
+
+TEST_F(VoTest, AddResourceStartsInfoGram) {
+  auto alice = vo.enroll_user("alice", "alice");
+  ResourceOptions options;
+  options.host = "node0.anl";
+  auto resource = vo.add_resource(options);
+  ASSERT_TRUE(resource.ok());
+  EXPECT_EQ(vo.resources().size(), 1u);
+  EXPECT_EQ(vo.resource("node0.anl"), resource.value());
+  EXPECT_EQ(vo.resource("nonexistent"), nullptr);
+
+  core::InfoGramClient client(network, (*resource)->infogram_address(), alice, vo.trust(),
+                              clock);
+  auto records = client.query_info({"CPULoad"});
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+}
+
+TEST_F(VoTest, DuplicateHostRejected) {
+  ResourceOptions options;
+  options.host = "dup.anl";
+  ASSERT_TRUE(vo.add_resource(options).ok());
+  auto second = vo.add_resource(options);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.code(), ErrorCode::kAlreadyExists);
+}
+
+TEST_F(VoTest, BaselineServicesOptional) {
+  auto alice = vo.enroll_user("alice", "alice");
+  ResourceOptions options;
+  options.host = "classic.anl";
+  options.run_infogram = false;
+  options.run_gram = true;
+  options.run_mds = true;
+  auto resource = vo.add_resource(options);
+  ASSERT_TRUE(resource.ok());
+  // InfoGram port is closed; GRAM and MDS are open.
+  EXPECT_FALSE(network.connect((*resource)->infogram_address()).ok());
+  gram::GramClient gram_client(network, (*resource)->gram_address(), alice, vo.trust(),
+                               clock);
+  auto contact = gram_client.submit("&(executable=/bin/echo)(arguments=classic)");
+  ASSERT_TRUE(contact.ok());
+  EXPECT_EQ(gram_client.wait(*contact, kWait)->state, exec::JobState::kDone);
+  mds::MdsClient mds_client(network, (*resource)->mds_address(), alice, vo.trust(), clock);
+  auto entries = mds_client.search("o=Grid", mds::Scope::kSubtree, mds::Filter::match_all());
+  ASSERT_TRUE(entries.ok());
+  EXPECT_GT(entries->size(), 1u);
+}
+
+TEST_F(VoTest, GiisAggregatesAllResources) {
+  for (int i = 0; i < 3; ++i) {
+    ResourceOptions options;
+    options.host = "node" + std::to_string(i) + ".anl";
+    options.seed = 100 + static_cast<std::uint64_t>(i);
+    ASSERT_TRUE(vo.add_resource(options).ok());
+  }
+  auto giis = vo.giis();
+  auto entries = giis->search("o=Grid", mds::Scope::kSubtree, mds::Filter::match_all());
+  ASSERT_TRUE(entries.ok());
+  // VO root + 3 x (resource entry + 5 Table-1 keywords).
+  EXPECT_EQ(entries->size(), 1u + 3u * 6u);
+  // Scoped search hits one resource's subtree only.
+  auto one = giis->search("host=node1.anl, o=Grid", mds::Scope::kSubtree,
+                          mds::Filter::match_all());
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(one->size(), 6u);
+}
+
+TEST_F(VoTest, ResourceAddedAfterGiisRegisters) {
+  auto giis = vo.giis();
+  ResourceOptions options;
+  options.host = "late.anl";
+  ASSERT_TRUE(vo.add_resource(options).ok());
+  auto entries = giis->search("host=late.anl, o=Grid", mds::Scope::kSubtree,
+                              mds::Filter::match_all());
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 6u);
+}
+
+// ---------- Sporadic grid ----------
+
+TEST(SporadicGridTest, ProvisionsAndServes) {
+  VirtualClock clock(seconds(1000));
+  net::Network network;
+  SporadicGrid::Options options;
+  options.resources = 4;
+  SporadicGrid sporadic(network, clock, options);
+  EXPECT_EQ(sporadic.infogram_addresses().size(), 4u);
+  EXPECT_GE(sporadic.provision_time().count(), 0);
+
+  auto user = sporadic.vo().enroll_user("experimenter", "exp");
+  for (const auto& address : sporadic.infogram_addresses()) {
+    core::InfoGramClient client(network, address, user, sporadic.vo().trust(), clock);
+    auto records = client.query_info({"Memory"});
+    ASSERT_TRUE(records.ok()) << address.to_string();
+    EXPECT_EQ(records->size(), 1u);
+  }
+}
+
+TEST(SporadicGridTest, TeardownClosesEndpoints) {
+  VirtualClock clock(seconds(1000));
+  net::Network network;
+  std::vector<net::Address> addresses;
+  {
+    SporadicGrid::Options options;
+    options.resources = 2;
+    SporadicGrid sporadic(network, clock, options);
+    addresses = sporadic.infogram_addresses();
+    for (const auto& address : addresses) {
+      EXPECT_TRUE(network.connect(address).ok());
+    }
+  }
+  for (const auto& address : addresses) {
+    EXPECT_FALSE(network.connect(address).ok());
+  }
+}
+
+// ---------- Load-aware broker ----------
+
+class BrokerTest : public VoTest {
+ protected:
+  void SetUp() override {
+    user = vo.enroll_user("broker-user", "broker");
+    for (int i = 0; i < 3; ++i) {
+      ResourceOptions options;
+      options.host = "node" + std::to_string(i) + ".anl";
+      options.seed = 500 + static_cast<std::uint64_t>(i) * 13;
+      ASSERT_TRUE(vo.add_resource(options).ok());
+    }
+    for (const auto& resource : vo.resources()) {
+      broker.add_resource(resource->host(),
+                          std::make_shared<core::InfoGramClient>(
+                              network, resource->infogram_address(), user, vo.trust(),
+                              clock));
+    }
+  }
+
+  security::Credential user;
+  LoadAwareBroker broker;
+};
+
+TEST_F(BrokerTest, LoadsQueriesEveryResource) {
+  auto loads = broker.loads();
+  ASSERT_TRUE(loads.ok());
+  ASSERT_EQ(loads->size(), 3u);
+  for (const auto& [host, load] : loads.value()) {
+    EXPECT_GE(load, 0.0);
+  }
+}
+
+TEST_F(BrokerTest, SubmitsToLeastLoadedResource) {
+  clock.advance(seconds(600));  // let host loads diverge
+  auto loads = broker.loads();
+  ASSERT_TRUE(loads.ok());
+  std::string expected_host = loads->front().first;
+  double min_load = loads->front().second;
+  for (const auto& [host, load] : loads.value()) {
+    if (load < min_load) {
+      min_load = load;
+      expected_host = host;
+    }
+  }
+  rsl::XrslBuilder builder;
+  builder.executable("/bin/echo").argument("placed");
+  auto placement = broker.submit(builder.request());
+  ASSERT_TRUE(placement.ok());
+  EXPECT_EQ(placement->host, expected_host);
+  auto* client = broker.client(placement->host);
+  ASSERT_NE(client, nullptr);
+  auto status = client->wait(placement->contact, kWait);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->state, exec::JobState::kDone);
+}
+
+TEST_F(BrokerTest, EmptyBrokerFails) {
+  LoadAwareBroker empty;
+  rsl::XrslBuilder builder;
+  builder.executable("/bin/echo");
+  EXPECT_FALSE(empty.submit(builder.request()).ok());
+}
+
+}  // namespace
+}  // namespace ig::grid

@@ -1,0 +1,190 @@
+// Deeper scenarios: hierarchical GIIS trees, end-to-end accounting from
+// the service log, restart edge cases, and degradation quality surfaced
+// through the full wire stack.
+#include <gtest/gtest.h>
+
+#include "core/config.hpp"
+#include "core/infogram_client.hpp"
+#include "exec/fork_backend.hpp"
+#include "mds/service.hpp"
+#include "test_util.hpp"
+
+namespace ig {
+namespace {
+
+constexpr Duration kWait = seconds(30);
+
+// ---------- Hierarchical GIIS (GIIS of GIIS) ----------
+
+class HierarchyTest : public ig::test::GridFixture {
+ protected:
+  std::shared_ptr<info::SystemMonitor> make_monitor(const std::string& host) {
+    auto monitor = std::make_shared<info::SystemMonitor>(*clock, host);
+    info::ProviderOptions options;
+    options.ttl = seconds(100);
+    EXPECT_TRUE(monitor
+                    ->add_source(std::make_shared<info::CommandSource>(
+                                     "Memory", "/sbin/sysinfo.exe -mem", registry),
+                                 options)
+                    .ok());
+    return monitor;
+  }
+};
+
+TEST_F(HierarchyTest, GiisAggregatesGiis) {
+  // Two site-level aggregates, each over two resources, under one
+  // top-level VO aggregate — the paper's "create information aggregates
+  // through reuse of information providers to improve scalability".
+  auto top = std::make_shared<mds::Giis>("top", *clock, seconds(5));
+  for (int site = 0; site < 2; ++site) {
+    auto site_giis =
+        std::make_shared<mds::Giis>("site" + std::to_string(site), *clock, seconds(5));
+    for (int node = 0; node < 2; ++node) {
+      std::string host = "n" + std::to_string(node) + ".site" + std::to_string(site);
+      site_giis->register_child(
+          std::make_shared<mds::Gris>(make_monitor(host), host, *clock));
+    }
+    top->register_child(site_giis);
+  }
+  auto all = top->search("o=Grid", mds::Scope::kSubtree, mds::Filter::match_all());
+  ASSERT_TRUE(all.ok());
+  // top VO root + 2 site VO roots + 4 x (resource + Memory).
+  EXPECT_EQ(all->size(), 1u + 2u + 8u);
+  auto memories =
+      top->search("o=Grid", mds::Scope::kSubtree, *mds::Filter::parse("(kw=Memory)"));
+  ASSERT_TRUE(memories.ok());
+  EXPECT_EQ(memories->size(), 4u);
+  // Scoped to one site's node.
+  auto one = top->search("host=n1.site0, o=Grid", mds::Scope::kSubtree,
+                         mds::Filter::match_all());
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(one->size(), 2u);
+}
+
+// ---------- Accounting through the full service ----------
+
+class AccountingE2ETest : public ig::test::GridFixture {};
+
+TEST_F(AccountingE2ETest, LogYieldsPerUserSummary) {
+  auto backend = std::make_shared<exec::ForkBackend>(registry, *clock);
+  auto monitor = std::make_shared<info::SystemMonitor>(*clock, "acct.sim");
+  ASSERT_TRUE(core::Configuration::table1().apply(*monitor, registry).ok());
+  core::InfoGramConfig config;
+  config.host = "acct.sim";
+  config.max_restarts = 0;  // restarts count as submissions in accounting
+  core::InfoGramService service(monitor, backend, host_cred, &trust, &gridmap, &policy,
+                                clock.get(), logger, config);
+  ASSERT_TRUE(service.start(*network).ok());
+
+  auto bob = ca->issue("/O=Grid/CN=bob", security::CertType::kUser, seconds(86400));
+  gridmap.add("/O=Grid/CN=bob", "bob");
+
+  core::InfoGramClient alice_client(*network, service.address(), alice, trust, *clock);
+  core::InfoGramClient bob_client(*network, service.address(), bob, trust, *clock);
+
+  for (int i = 0; i < 3; ++i) {
+    auto resp = alice_client.request("&(executable=/bin/echo)(arguments=a)");
+    ASSERT_TRUE(resp.ok());
+    ASSERT_TRUE(alice_client.wait(*resp->job_contact, kWait).ok());
+  }
+  ASSERT_TRUE(alice_client.query_info({"Memory"}).ok());
+  auto failed = bob_client.request("&(executable=/bin/false)");
+  ASSERT_TRUE(failed.ok());
+  ASSERT_TRUE(bob_client.wait(*failed->job_contact, kWait).ok());
+  ASSERT_TRUE(bob_client.query_info({"CPU"}).ok());
+  ASSERT_TRUE(bob_client.query_info({"CPU"}).ok());
+
+  auto summary = logging::accounting_summary(log_sink->events());
+  const auto& alice_entry = summary.at("/O=Grid/CN=alice");
+  EXPECT_EQ(alice_entry.jobs_submitted, 3u);
+  EXPECT_EQ(alice_entry.jobs_completed, 3u);
+  EXPECT_EQ(alice_entry.info_queries, 1u);
+  const auto& bob_entry = summary.at("/O=Grid/CN=bob");
+  EXPECT_EQ(bob_entry.jobs_submitted, 1u);
+  EXPECT_EQ(bob_entry.jobs_failed, 1u);
+  EXPECT_EQ(bob_entry.info_queries, 2u);
+}
+
+// ---------- Degradation quality over the wire ----------
+
+class WireQualityTest : public ig::test::GridFixture {};
+
+TEST_F(WireQualityTest, DegradedQualityVisibleToRemoteClient) {
+  auto backend = std::make_shared<exec::ForkBackend>(registry, *clock);
+  auto monitor = std::make_shared<info::SystemMonitor>(*clock, "q.sim");
+  auto config = core::Configuration::parse(
+      "1000 Load /usr/local/bin/cpuload.exe degradation=linear\n");
+  ASSERT_TRUE(config.ok());
+  ASSERT_TRUE(config->apply(*monitor, registry).ok());
+  core::InfoGramConfig service_config;
+  service_config.host = "q.sim";
+  core::InfoGramService service(monitor, backend, host_cred, &trust, &gridmap, &policy,
+                                clock.get(), logger, service_config);
+  ASSERT_TRUE(service.start(*network).ok());
+  core::InfoGramClient client(*network, service.address(), alice, trust, *clock);
+
+  ASSERT_TRUE(client.query_info({"Load"}).ok());
+  clock->advance(ms(1000));  // half way to the 2x-ttl zero point
+  auto stale = client.query_info({"Load"}, rsl::ResponseMode::kLast);
+  ASSERT_TRUE(stale.ok());
+  ASSERT_EQ(stale->size(), 1u);
+  // Linear degradation over the wire: quality ~50 after one TTL.
+  EXPECT_NEAR(stale->front().min_quality(), 50.0, 1.0);
+  // The same staleness in XML.
+  auto xml = client.query_info({"Load"}, rsl::ResponseMode::kLast,
+                               rsl::OutputFormat::kXml);
+  ASSERT_TRUE(xml.ok());
+  EXPECT_NEAR(xml->front().min_quality(), 50.0, 1.0);
+}
+
+// ---------- Restart edge cases ----------
+
+class RestartEdgeTest : public ig::test::GridFixture {};
+
+TEST_F(RestartEdgeTest, CancelledJobIsNotRestarted) {
+  // Restarts apply to *failures*; a user cancellation must stick even
+  // with a generous restart budget.
+  std::atomic<int> runs{0};
+  registry->register_command(
+      "/bin/counted",
+      [&runs](const std::vector<std::string>&) {
+        ++runs;
+        return exec::CommandResult{0, ""};
+      },
+      ms(200));  // long enough (in slices) to cancel
+  auto backend = std::make_shared<exec::ForkBackend>(registry, *clock);
+  auto monitor = std::make_shared<info::SystemMonitor>(*clock, "r.sim");
+  core::InfoGramConfig config;
+  config.host = "r.sim";
+  config.max_restarts = 5;
+  core::InfoGramService service(monitor, backend, host_cred, &trust, &gridmap, &policy,
+                                clock.get(), logger, config);
+  ASSERT_TRUE(service.start(*network).ok());
+  core::InfoGramClient client(*network, service.address(), alice, trust, *clock);
+  auto resp = client.request("&(executable=/bin/counted)(count=1000)");
+  ASSERT_TRUE(resp.ok());
+  (void)client.cancel(*resp->job_contact);
+  auto status = client.wait(*resp->job_contact, kWait);
+  ASSERT_TRUE(status.ok());
+  // Cancelled (or, if the cancel raced completion, done) — never >1 run
+  // of the whole count-1000 batch, i.e. no restart loop.
+  EXPECT_LE(status->restarts, 0);
+}
+
+TEST_F(RestartEdgeTest, InfoGramRejectsBooleanOnlySpecs) {
+  auto backend = std::make_shared<exec::ForkBackend>(registry, *clock);
+  auto monitor = std::make_shared<info::SystemMonitor>(*clock, "b.sim");
+  core::InfoGramConfig config;
+  config.host = "b.sim";
+  core::InfoGramService service(monitor, backend, host_cred, &trust, &gridmap, &policy,
+                                clock.get(), logger, config);
+  ASSERT_TRUE(service.start(*network).ok());
+  core::InfoGramClient client(*network, service.address(), alice, trust, *clock);
+  // Disjunctions are valid RSL but not a valid service request.
+  auto resp = client.request("|(executable=/bin/a)(executable=/bin/b)");
+  ASSERT_FALSE(resp.ok());
+  EXPECT_EQ(resp.code(), ErrorCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace ig

@@ -1,0 +1,459 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "exec/command.hpp"
+#include "info/degradation.hpp"
+#include "info/managed_provider.hpp"
+#include "info/provider.hpp"
+#include "info/system_monitor.hpp"
+
+namespace ig::info {
+namespace {
+
+// ---------- Degradation functions ----------
+
+TEST(DegradationTest, BinaryStepsAtTtl) {
+  BinaryDegradation f;
+  EXPECT_DOUBLE_EQ(f.quality(ms(0), ms(100)), 100.0);
+  EXPECT_DOUBLE_EQ(f.quality(ms(100), ms(100)), 100.0);
+  EXPECT_DOUBLE_EQ(f.quality(ms(101), ms(100)), 0.0);
+}
+
+TEST(DegradationTest, LinearDecaysToZeroAtHorizon) {
+  LinearDegradation f(2.0);  // zero at 2x ttl
+  EXPECT_DOUBLE_EQ(f.quality(ms(0), ms(100)), 100.0);
+  EXPECT_DOUBLE_EQ(f.quality(ms(100), ms(100)), 50.0);
+  EXPECT_DOUBLE_EQ(f.quality(ms(200), ms(100)), 0.0);
+  EXPECT_DOUBLE_EQ(f.quality(ms(500), ms(100)), 0.0);  // clamped
+}
+
+TEST(DegradationTest, ExponentialHalfLifeBehaviour) {
+  ExponentialDegradation f(1.0);
+  EXPECT_DOUBLE_EQ(f.quality(ms(0), ms(100)), 100.0);
+  EXPECT_NEAR(f.quality(ms(100), ms(100)), 100.0 / M_E, 1e-9);
+  EXPECT_GT(f.quality(ms(1000), ms(100)), 0.0);  // never exactly zero
+}
+
+TEST(DegradationTest, ZeroTtlMeansInstantExpiry) {
+  for (auto f : std::vector<std::shared_ptr<DegradationFunction>>{
+           std::make_shared<BinaryDegradation>(), std::make_shared<LinearDegradation>(),
+           std::make_shared<ExponentialDegradation>()}) {
+    EXPECT_DOUBLE_EQ(f->quality(ms(1), ms(0)), 0.0) << f->name();
+  }
+}
+
+class DegradationMonotonicityTest
+    : public ::testing::TestWithParam<std::shared_ptr<DegradationFunction>> {};
+
+TEST_P(DegradationMonotonicityTest, NonIncreasingAndBounded) {
+  const auto& f = GetParam();
+  double previous = 100.0 + 1e-9;
+  for (int age_ms = 0; age_ms <= 1000; age_ms += 10) {
+    double q = f->quality(ms(age_ms), ms(100));
+    EXPECT_LE(q, previous + 1e-9) << f->name() << " at age " << age_ms;
+    EXPECT_GE(q, 0.0);
+    EXPECT_LE(q, 100.0);
+    previous = q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, DegradationMonotonicityTest,
+    ::testing::Values(std::make_shared<BinaryDegradation>(),
+                      std::make_shared<LinearDegradation>(1.5),
+                      std::make_shared<ExponentialDegradation>(0.7),
+                      std::make_shared<ObservationCorrectedDegradation>(
+                          std::make_shared<ExponentialDegradation>())));
+
+TEST(DegradationTest, ObservationCorrectionSpeedsUpForVolatileData) {
+  auto observed = std::make_shared<ObservationCorrectedDegradation>(
+      std::make_shared<ExponentialDegradation>(), /*nominal_change_per_ttl=*/0.1);
+  EXPECT_DOUBLE_EQ(observed->rate_factor(), 1.0);  // no observations yet
+  double before = observed->quality(ms(100), ms(100));
+  // Report large changes: one full TTL elapses and the value doubles.
+  for (int i = 0; i < 5; ++i) observed->observe(1.0, ms(100), ms(100));
+  EXPECT_GT(observed->rate_factor(), 1.0);
+  EXPECT_LT(observed->quality(ms(100), ms(100)), before);
+}
+
+TEST(DegradationTest, ObservationCorrectionSlowsDownForStaticData) {
+  auto observed = std::make_shared<ObservationCorrectedDegradation>(
+      std::make_shared<ExponentialDegradation>(), 0.1);
+  for (int i = 0; i < 5; ++i) observed->observe(0.001, ms(100), ms(100));
+  EXPECT_LT(observed->rate_factor(), 1.0);
+}
+
+TEST(DegradationTest, FactoryByName) {
+  EXPECT_NE(make_degradation("binary"), nullptr);
+  EXPECT_NE(make_degradation("linear"), nullptr);
+  EXPECT_NE(make_degradation("exponential"), nullptr);
+  EXPECT_NE(make_degradation("observed"), nullptr);
+  EXPECT_EQ(make_degradation("bogus"), nullptr);
+}
+
+// ---------- Sources ----------
+
+class ProviderFixture : public ::testing::Test {
+ protected:
+  ProviderFixture()
+      : system(std::make_shared<exec::SimSystem>(clock, 51, "info.host")),
+        registry(exec::CommandRegistry::standard(clock, system, 53)) {}
+  VirtualClock clock;
+  std::shared_ptr<exec::SimSystem> system;
+  std::shared_ptr<exec::CommandRegistry> registry;
+};
+
+TEST_F(ProviderFixture, ParseKeyValueOutput) {
+  auto record = parse_key_value_output("Memory", "total: 100\nfree: 60\n\nraw line\n");
+  EXPECT_EQ(record.keyword, "Memory");
+  ASSERT_EQ(record.attributes.size(), 3u);
+  EXPECT_EQ(record.attributes[0].name, "Memory:total");
+  EXPECT_EQ(record.attributes[0].value, "100");
+  EXPECT_EQ(record.attributes[2].value, "raw line");  // colon-less fallback
+}
+
+TEST_F(ProviderFixture, CommandSourceProduces) {
+  CommandSource source("Memory", "/sbin/sysinfo.exe -mem", registry);
+  EXPECT_EQ(source.keyword(), "Memory");
+  EXPECT_EQ(source.command(), "/sbin/sysinfo.exe -mem");
+  auto record = source.produce();
+  ASSERT_TRUE(record.ok());
+  EXPECT_NE(record->find("Memory:total"), nullptr);
+}
+
+TEST_F(ProviderFixture, CommandSourceFailuresSurface) {
+  CommandSource bad_exit("X", "/bin/false", registry);
+  EXPECT_FALSE(bad_exit.produce().ok());
+  CommandSource unknown("Y", "/bin/bogus", registry);
+  EXPECT_FALSE(unknown.produce().ok());
+}
+
+TEST_F(ProviderFixture, FunctionSourceProduces) {
+  FunctionSource source("Uptime", [this]() -> Result<format::InfoRecord> {
+    format::InfoRecord record;
+    record.keyword = "Uptime";
+    record.add("seconds", std::to_string(clock.now().count() / 1000000));
+    return record;
+  });
+  auto record = source.produce();
+  ASSERT_TRUE(record.ok());
+  EXPECT_EQ(record->attributes[0].name, "Uptime:seconds");
+}
+
+TEST_F(ProviderFixture, ProcFileSourceProduces) {
+  ProcFileSource source("MemInfo", "/proc/meminfo", system);
+  auto record = source.produce();
+  ASSERT_TRUE(record.ok());
+  EXPECT_NE(record->find("MemInfo:MemTotal"), nullptr);
+  ProcFileSource missing("Nope", "/proc/nope", system);
+  EXPECT_FALSE(missing.produce().ok());
+}
+
+// ---------- ManagedProvider: the paper's SystemInformation semantics ----
+
+class ManagedProviderTest : public ProviderFixture {
+ protected:
+  std::shared_ptr<ManagedProvider> make_provider(Duration ttl,
+                                                 ProviderOptions extra = {}) {
+    extra.ttl = ttl;
+    return std::make_shared<ManagedProvider>(
+        std::make_shared<CommandSource>("Load", "/usr/local/bin/cpuload.exe", registry),
+        clock, extra);
+  }
+};
+
+TEST_F(ManagedProviderTest, QueryStateBeforeFirstUpdateIsStale) {
+  auto provider = make_provider(ms(100));
+  auto result = provider->query_state();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.code(), ErrorCode::kStale);
+  EXPECT_EQ(provider->validity(), 0);
+}
+
+TEST_F(ManagedProviderTest, UpdateThenQueryWithinTtl) {
+  auto provider = make_provider(ms(100));
+  ASSERT_TRUE(provider->update_state().ok());
+  EXPECT_EQ(provider->refresh_count(), 1u);
+  auto cached = provider->query_state();
+  ASSERT_TRUE(cached.ok());
+  EXPECT_EQ(cached->keyword, "Load");
+  EXPECT_EQ(provider->validity(), 100);
+}
+
+TEST_F(ManagedProviderTest, QueryAfterTtlExpiryIsStale) {
+  auto provider = make_provider(ms(100));
+  ASSERT_TRUE(provider->update_state().ok());
+  clock.advance(ms(101));
+  EXPECT_FALSE(provider->query_state().ok());
+}
+
+TEST_F(ManagedProviderTest, CachedModeRefreshesOnlyWhenStale) {
+  auto provider = make_provider(ms(100));
+  ASSERT_TRUE(provider->get(rsl::ResponseMode::kCached).ok());
+  ASSERT_TRUE(provider->get(rsl::ResponseMode::kCached).ok());
+  EXPECT_EQ(provider->refresh_count(), 1u);  // second hit served from cache
+  clock.advance(ms(150));
+  ASSERT_TRUE(provider->get(rsl::ResponseMode::kCached).ok());
+  EXPECT_EQ(provider->refresh_count(), 2u);
+}
+
+TEST_F(ManagedProviderTest, ImmediateModeAlwaysRefreshes) {
+  auto provider = make_provider(ms(100000));
+  ASSERT_TRUE(provider->get(rsl::ResponseMode::kImmediate).ok());
+  ASSERT_TRUE(provider->get(rsl::ResponseMode::kImmediate).ok());
+  EXPECT_EQ(provider->refresh_count(), 2u);
+}
+
+TEST_F(ManagedProviderTest, LastModeNeverRefreshes) {
+  auto provider = make_provider(ms(100));
+  EXPECT_EQ(provider->get(rsl::ResponseMode::kLast).code(), ErrorCode::kNotFound);
+  ASSERT_TRUE(provider->update_state().ok());
+  clock.advance(seconds(10));  // far past TTL
+  auto last = provider->get(rsl::ResponseMode::kLast);
+  ASSERT_TRUE(last.ok());
+  EXPECT_EQ(provider->refresh_count(), 1u);
+  // Binary degradation: stale cache has quality 0.
+  EXPECT_DOUBLE_EQ(last->min_quality(), 0.0);
+}
+
+TEST_F(ManagedProviderTest, ZeroTtlExecutesEveryTime) {
+  // Table 1: "0 specifies execution of the keyword every time it is
+  // requested."
+  auto provider = make_provider(ms(0));
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(provider->get(rsl::ResponseMode::kCached).ok());
+  }
+  EXPECT_EQ(provider->refresh_count(), 3u);
+}
+
+TEST_F(ManagedProviderTest, DelayThrottlesConsecutiveUpdates) {
+  ProviderOptions options;
+  options.delay = ms(50);
+  auto provider = make_provider(ms(0), options);  // ttl 0: always wants to run
+  ASSERT_TRUE(provider->update_state(true).ok());
+  auto count_after_first = provider->refresh_count();
+  // Within the delay window: served from cache even when forced.
+  ASSERT_TRUE(provider->update_state(true).ok());
+  EXPECT_EQ(provider->refresh_count(), count_after_first);
+  clock.advance(ms(51));
+  ASSERT_TRUE(provider->update_state(true).ok());
+  EXPECT_EQ(provider->refresh_count(), count_after_first + 1);
+  EXPECT_EQ(provider->delay(), ms(50));
+  provider->set_delay(ms(10));
+  EXPECT_EQ(provider->delay(), ms(10));
+}
+
+TEST_F(ManagedProviderTest, ConcurrentUpdatesRunCommandOnce) {
+  // The paper: "monitors are used to perform only one such update at a
+  // time". Threads racing a cold cache must trigger exactly one execution.
+  auto provider = make_provider(ms(100000));
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back([&provider] {
+      auto result = provider->update_state(false);
+      ASSERT_TRUE(result.ok());
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(provider->refresh_count(), 1u);
+}
+
+TEST_F(ManagedProviderTest, QualityThresholdTriggersRefresh) {
+  ProviderOptions options;
+  options.degradation = std::make_shared<LinearDegradation>(1.0);  // 0 at ttl
+  auto provider = make_provider(ms(100), options);
+  ASSERT_TRUE(provider->update_state().ok());
+  clock.advance(ms(50));  // quality now ~50
+  auto ok_at_40 = provider->get_with_quality(40.0);
+  ASSERT_TRUE(ok_at_40.ok());
+  EXPECT_EQ(provider->refresh_count(), 1u);  // 50 >= 40: cache good enough
+  auto refresh_at_90 = provider->get_with_quality(90.0);
+  ASSERT_TRUE(refresh_at_90.ok());
+  EXPECT_EQ(provider->refresh_count(), 2u);  // 50 < 90: regenerated
+  EXPECT_DOUBLE_EQ(refresh_at_90->min_quality(), 100.0);
+}
+
+TEST_F(ManagedProviderTest, PerformanceStatsTrackUpdateTime) {
+  auto provider = make_provider(ms(0));
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(provider->update_state(true).ok());
+    clock.advance(ms(1));
+  }
+  auto stats = provider->performance();
+  EXPECT_EQ(stats.count(), 5);
+  // cpuload.exe costs 10ms; timing is in seconds.
+  EXPECT_NEAR(stats.mean(), 0.010, 0.001);
+  EXPECT_GE(provider->average_update_time(), ms(9));
+}
+
+TEST_F(ManagedProviderTest, SourceErrorPropagates) {
+  auto provider = std::make_shared<ManagedProvider>(
+      std::make_shared<CommandSource>("Bad", "/bin/false", registry), clock,
+      ProviderOptions{});
+  EXPECT_FALSE(provider->update_state().ok());
+  EXPECT_EQ(provider->refresh_count(), 0u);
+}
+
+TEST_F(ManagedProviderTest, AdaptiveTtlGrowsForStaticData) {
+  ProviderOptions options;
+  options.adaptive_ttl = true;
+  options.min_ttl = ms(10);
+  options.max_ttl = seconds(100);
+  options.ttl = ms(100);
+  auto provider = std::make_shared<ManagedProvider>(
+      std::make_shared<FunctionSource>("Const",
+                                       []() -> Result<format::InfoRecord> {
+                                         format::InfoRecord r;
+                                         r.keyword = "Const";
+                                         r.add("v", "42");
+                                         return r;
+                                       }),
+      clock, options);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(provider->update_state(true).ok());
+    clock.advance(ms(200));
+  }
+  EXPECT_GT(provider->ttl(), ms(100));
+}
+
+TEST_F(ManagedProviderTest, AdaptiveTtlShrinksForVolatileData) {
+  ProviderOptions options;
+  options.adaptive_ttl = true;
+  options.min_ttl = ms(10);
+  options.max_ttl = seconds(100);
+  options.ttl = ms(100);
+  int counter = 0;
+  auto provider = std::make_shared<ManagedProvider>(
+      std::make_shared<FunctionSource>("Volatile",
+                                       [&counter]() -> Result<format::InfoRecord> {
+                                         format::InfoRecord r;
+                                         r.keyword = "Volatile";
+                                         r.add("v", std::to_string(1 << (counter++)));
+                                         return r;
+                                       }),
+      clock, options);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(provider->update_state(true).ok());
+    clock.advance(ms(200));
+  }
+  EXPECT_LT(provider->ttl(), ms(100));
+  EXPECT_GE(provider->ttl(), ms(10));
+}
+
+// ---------- SystemMonitor ----------
+
+class SystemMonitorTest : public ProviderFixture {
+ protected:
+  SystemMonitorTest() : monitor(clock, "monitor.test") {
+    auto add = [this](const std::string& kw, const std::string& cmd, Duration ttl) {
+      ProviderOptions options;
+      options.ttl = ttl;
+      ASSERT_TRUE(
+          monitor.add_source(std::make_shared<CommandSource>(kw, cmd, registry), options)
+              .ok());
+    };
+    add("Memory", "/sbin/sysinfo.exe -mem", ms(80));
+    add("CPU", "/sbin/sysinfo.exe -cpu", ms(100));
+    add("CPULoad", "/usr/local/bin/cpuload.exe", ms(0));
+  }
+  SystemMonitor monitor;
+};
+
+TEST_F(SystemMonitorTest, DuplicateKeywordRejected) {
+  auto status = monitor.add_source(
+      std::make_shared<CommandSource>("Memory", "date", registry), ProviderOptions{});
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), ErrorCode::kAlreadyExists);
+}
+
+TEST_F(SystemMonitorTest, KeywordLookup) {
+  EXPECT_EQ(monitor.provider_count(), 3u);
+  EXPECT_NE(monitor.provider("Memory"), nullptr);
+  EXPECT_EQ(monitor.provider("Nope"), nullptr);
+  EXPECT_EQ(monitor.keywords().size(), 3u);
+}
+
+TEST_F(SystemMonitorTest, QuerySelectedKeywords) {
+  auto records = monitor.query({"Memory", "CPU"}, rsl::ResponseMode::kCached);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[0].keyword, "Memory");
+  EXPECT_EQ((*records)[1].keyword, "CPU");
+}
+
+TEST_F(SystemMonitorTest, QueryAllExpandsAndDedups) {
+  auto records = monitor.query({"all", "Memory"}, rsl::ResponseMode::kCached);
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records->size(), 3u);  // Memory deduped
+}
+
+TEST_F(SystemMonitorTest, UnknownKeywordFailsWholeQuery) {
+  auto records = monitor.query({"Memory", "Bogus"}, rsl::ResponseMode::kCached);
+  ASSERT_FALSE(records.ok());
+  EXPECT_EQ(records.code(), ErrorCode::kNotFound);
+}
+
+TEST_F(SystemMonitorTest, FiltersApplyToRecords) {
+  auto records =
+      monitor.query({"Memory"}, rsl::ResponseMode::kCached, std::nullopt, {"Memory:total"});
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->front().attributes.size(), 1u);
+  EXPECT_EQ(records->front().attributes[0].name, "Memory:total");
+}
+
+TEST_F(SystemMonitorTest, PerformanceRecord) {
+  ASSERT_TRUE(monitor.query({"all"}, rsl::ResponseMode::kImmediate).ok());
+  auto perf = monitor.performance_record({"Memory", "CPULoad"});
+  ASSERT_TRUE(perf.ok());
+  EXPECT_EQ(perf->keyword, "Performance");
+  EXPECT_NE(perf->find("Memory:mean_s"), nullptr);
+  EXPECT_NE(perf->find("Memory:stddev_s"), nullptr);
+  EXPECT_NE(perf->find("CPULoad:count"), nullptr);
+  EXPECT_FALSE(monitor.performance_record({"Bogus"}).ok());
+}
+
+TEST_F(SystemMonitorTest, SchemaReflectsProvidersAndTypes) {
+  // Before any execution the schema lists keywords without attributes.
+  auto empty_schema = monitor.schema();
+  EXPECT_EQ(empty_schema.keywords.size(), 3u);
+  EXPECT_TRUE(empty_schema.find("Memory")->attributes.empty());
+
+  ASSERT_TRUE(monitor.query({"all"}, rsl::ResponseMode::kImmediate).ok());
+  auto schema = monitor.schema();
+  const auto* memory = schema.find("Memory");
+  ASSERT_NE(memory, nullptr);
+  EXPECT_EQ(memory->command, "/sbin/sysinfo.exe -mem");
+  EXPECT_EQ(memory->ttl, ms(80));
+  ASSERT_FALSE(memory->attributes.empty());
+  EXPECT_EQ(memory->attributes[0].type, "integer");
+  const auto* load = schema.find("CPULoad");
+  ASSERT_NE(load, nullptr);
+  ASSERT_FALSE(load->attributes.empty());
+  EXPECT_EQ(load->attributes[0].type, "float");
+}
+
+TEST_F(SystemMonitorTest, TotalRefreshesAccumulate) {
+  auto before = monitor.total_refreshes();
+  ASSERT_TRUE(monitor.query({"all"}, rsl::ResponseMode::kImmediate).ok());
+  EXPECT_EQ(monitor.total_refreshes(), before + 3);
+}
+
+TEST_F(SystemMonitorTest, CachedQueriesShareExecutions) {
+  ASSERT_TRUE(monitor.query({"Memory"}, rsl::ResponseMode::kCached).ok());
+  ASSERT_TRUE(monitor.query({"Memory"}, rsl::ResponseMode::kCached).ok());
+  ASSERT_TRUE(monitor.query({"Memory"}, rsl::ResponseMode::kCached).ok());
+  EXPECT_EQ(monitor.provider("Memory")->refresh_count(), 1u);
+}
+
+TEST_F(SystemMonitorTest, QualityThresholdPassedThrough) {
+  ASSERT_TRUE(monitor.query({"Memory"}, rsl::ResponseMode::kCached).ok());
+  clock.advance(ms(81));  // past TTL: binary quality is 0
+  auto records = monitor.query({"Memory"}, rsl::ResponseMode::kCached, 50.0);
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(monitor.provider("Memory")->refresh_count(), 2u);
+}
+
+}  // namespace
+}  // namespace ig::info

@@ -1,0 +1,219 @@
+// Cross-module integration tests: the Fig. 2 vs Fig. 4 protocol comparison,
+// crash recovery through a real log file, and concurrent multi-client load
+// against one InfoGram endpoint.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <thread>
+
+#include "core/infogram_client.hpp"
+#include "grid/broker.hpp"
+#include "grid/virtual_organization.hpp"
+#include "mds/filter.hpp"
+#include "mds/service.hpp"
+
+namespace ig {
+namespace {
+
+constexpr Duration kWait = seconds(30);
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  IntegrationTest() : clock(seconds(1000)), vo("integration", network, clock, 1234) {
+    user = vo.enroll_user("alice", "alice");
+  }
+
+  VirtualClock clock;
+  net::Network network;
+  grid::VirtualOrganization vo;
+  security::Credential user;
+};
+
+// The architectural claim of Fig. 2 vs Fig. 4: the same workload (one job
+// + one info query) needs two connections and two handshakes against the
+// GRAM+MDS deployment but one of each against InfoGram.
+TEST_F(IntegrationTest, UnifiedEndpointHalvesConnectionsAndHandshakes) {
+  grid::ResourceOptions both;
+  both.host = "dual.sim";
+  both.run_infogram = true;
+  both.run_gram = true;
+  both.run_mds = true;
+  auto resource = vo.add_resource(both);
+  ASSERT_TRUE(resource.ok());
+
+  // --- Fig. 2: separate services, separate protocols ---
+  gram::GramClient gram_client(network, (*resource)->gram_address(), user, vo.trust(),
+                               clock);
+  mds::MdsClient mds_client(network, (*resource)->mds_address(), user, vo.trust(), clock);
+  auto entries = mds_client.search("o=Grid", mds::Scope::kSubtree,
+                                   *mds::Filter::parse("(kw=CPULoad)"));
+  ASSERT_TRUE(entries.ok());
+  auto contact = gram_client.submit("&(executable=/bin/echo)(arguments=fig2)");
+  ASSERT_TRUE(contact.ok());
+  ASSERT_TRUE(gram_client.wait(*contact, kWait).ok());
+  net::TrafficStats separate = gram_client.stats();
+  separate.merge(mds_client.stats());
+
+  // --- Fig. 4: one InfoGram service ---
+  core::InfoGramClient unified_client(network, (*resource)->infogram_address(), user,
+                                      vo.trust(), clock);
+  auto resp =
+      unified_client.request("&(executable=/bin/echo)(arguments=fig4)(info=CPULoad)");
+  ASSERT_TRUE(resp.ok());
+  ASSERT_TRUE(resp->job_contact.has_value());
+  ASSERT_TRUE(unified_client.wait(*resp->job_contact, kWait).ok());
+  net::TrafficStats unified = unified_client.stats();
+
+  EXPECT_EQ(separate.connects, 2u);
+  EXPECT_EQ(unified.connects, 1u);
+  // Two handshakes (2 round trips each) vs one; and the combined request
+  // folds submit+query into one round trip.
+  EXPECT_GT(separate.requests, unified.requests);
+  EXPECT_GT(separate.virtual_time, unified.virtual_time);
+}
+
+// Crash recovery through a real on-disk log: submit jobs, "crash" before
+// they are marked terminal, restart a fresh service from the same log
+// file, and observe the incomplete ones resubmitted and completed.
+TEST_F(IntegrationTest, CrashRecoveryThroughLogFile) {
+  std::string log_path = ::testing::TempDir() + "/infogram_recovery_test.log";
+  std::remove(log_path.c_str());
+  vo.logger()->add_sink(std::make_shared<logging::FileSink>(log_path));
+
+  grid::ResourceOptions options;
+  options.host = "crashy.sim";
+  auto resource = vo.add_resource(options);
+  ASSERT_TRUE(resource.ok());
+
+  core::InfoGramClient client(network, (*resource)->infogram_address(), user, vo.trust(),
+                              clock);
+  auto done = client.request("&(executable=/bin/echo)(arguments=survives)");
+  ASSERT_TRUE(done.ok());
+  ASSERT_TRUE(client.wait(*done->job_contact, kWait).ok());
+
+  // Simulate the crash: append a submission event whose job never reached
+  // a terminal state (as if the process died mid-execution).
+  {
+    logging::FileSink sink(log_path);
+    logging::LogEvent event;
+    event.sequence = 100000;
+    event.time = clock.now();
+    event.type = logging::EventType::kJobSubmitted;
+    event.subject = user.base_subject();
+    event.local_user = "alice";
+    event.job_id = 888888;
+    event.detail = "&(executable=/bin/echo)(arguments=recovered)";
+    sink.append(event);
+  }
+
+  auto events = logging::FileSink::read(log_path);
+  ASSERT_TRUE(events.ok());
+  auto plan = logging::build_recovery_plan(events.value());
+  ASSERT_EQ(plan.size(), 1u);
+
+  auto recovered = (*resource)->infogram()->recover_from_log(events.value());
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered.value(), 1u);
+
+  // The recovered job must actually run to completion; find it in the log.
+  bool finished_after_recovery = false;
+  for (int spin = 0; spin < 1000 && !finished_after_recovery; ++spin) {
+    auto latest = logging::FileSink::read(log_path);
+    ASSERT_TRUE(latest.ok());
+    bool restarted = false;
+    for (const auto& event : latest.value()) {
+      if (event.type == logging::EventType::kJobRestarted) restarted = true;
+      if (restarted && event.type == logging::EventType::kJobFinished) {
+        finished_after_recovery = true;
+      }
+    }
+    WallClock::instance().sleep_for(ms(2));
+  }
+  EXPECT_TRUE(finished_after_recovery);
+  std::remove(log_path.c_str());
+}
+
+// Many clients hammer one InfoGram endpoint with mixed job + info traffic.
+TEST_F(IntegrationTest, ConcurrentMixedWorkload) {
+  grid::ResourceOptions options;
+  options.host = "busy.sim";
+  options.batch_nodes = 4;
+  auto resource = vo.add_resource(options);
+  ASSERT_TRUE(resource.ok());
+
+  constexpr int kClients = 6;
+  constexpr int kOpsPerClient = 15;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      core::InfoGramClient client(network, (*resource)->infogram_address(), user,
+                                  vo.trust(), clock);
+      for (int i = 0; i < kOpsPerClient; ++i) {
+        if ((c + i) % 3 == 0) {
+          rsl::XrslBuilder builder;
+          builder.executable("/bin/echo").argument("c" + std::to_string(c));
+          auto contact = client.submit_job(builder.request());
+          if (!contact.ok() || !client.wait(*contact, kWait).ok()) {
+            failures.fetch_add(1);
+          }
+        } else {
+          auto records = client.query_info({"Memory", "CPULoad"});
+          if (!records.ok() || records->size() != 2) failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  // Caching held: Memory (80ms TTL) executed far fewer times than it was
+  // queried, while CPULoad (TTL 0) executed every time.
+  auto memory_runs = (*resource)->monitor()->provider("Memory")->refresh_count();
+  auto load_runs = (*resource)->monitor()->provider("CPULoad")->refresh_count();
+  EXPECT_LT(memory_runs, load_runs);
+}
+
+// A delegated proxy credential drives the full stack end to end.
+TEST_F(IntegrationTest, ProxyDelegationEndToEnd) {
+  grid::ResourceOptions options;
+  options.host = "proxy.sim";
+  auto resource = vo.add_resource(options);
+  ASSERT_TRUE(resource.ok());
+  Rng rng(404);
+  auto proxy = user.delegate_proxy(seconds(600), clock, rng);
+  ASSERT_TRUE(proxy.ok());
+  core::InfoGramClient client(network, (*resource)->infogram_address(), *proxy,
+                              vo.trust(), clock);
+  auto resp = client.request("&(executable=/bin/echo)(arguments=via-proxy)(info=Date)");
+  ASSERT_TRUE(resp.ok());
+  ASSERT_TRUE(resp->job_contact.has_value());
+  EXPECT_EQ(client.wait(*resp->job_contact, kWait)->state, exec::JobState::kDone);
+
+  // After the proxy expires, a fresh connection is refused.
+  clock.advance(seconds(601));
+  core::InfoGramClient expired(network, (*resource)->infogram_address(), *proxy,
+                               vo.trust(), clock);
+  auto denied = expired.query_info({"Date"});
+  ASSERT_FALSE(denied.ok());
+  EXPECT_EQ(denied.code(), ErrorCode::kDenied);
+}
+
+// Network partition mid-session: requests fail cleanly, then recover.
+TEST_F(IntegrationTest, PartitionAndRecovery) {
+  grid::ResourceOptions options;
+  options.host = "flaky.sim";
+  auto resource = vo.add_resource(options);
+  ASSERT_TRUE(resource.ok());
+  core::InfoGramClient client(network, (*resource)->infogram_address(), user, vo.trust(),
+                              clock);
+  ASSERT_TRUE(client.query_info({"Date"}).ok());
+  network.partition((*resource)->infogram_address());
+  auto failed = client.query_info({"Date"});
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.code(), ErrorCode::kUnavailable);
+  network.heal((*resource)->infogram_address());
+  EXPECT_TRUE(client.query_info({"Date"}).ok());
+}
+
+}  // namespace
+}  // namespace ig

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/clock.hpp"
+#include "logging/log.hpp"
+
+namespace ig::logging {
+namespace {
+
+LogEvent make_event(EventType type, std::uint64_t job_id, const std::string& detail,
+                    TimePoint time = seconds(1)) {
+  LogEvent event;
+  event.sequence = 1;
+  event.time = time;
+  event.type = type;
+  event.subject = "/O=Grid/CN=alice";
+  event.local_user = "alice";
+  event.job_id = job_id;
+  event.detail = detail;
+  return event;
+}
+
+TEST(LogEventTest, SerializeParseRoundtrip) {
+  LogEvent event = make_event(EventType::kJobSubmitted, 42, "&(executable=/bin/date)");
+  auto parsed = LogEvent::parse(event.serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), event);
+}
+
+TEST(LogEventTest, EscapesTabsAndNewlines) {
+  LogEvent event = make_event(EventType::kInfoQuery, 0, "a\tb\nc\\d");
+  auto parsed = LogEvent::parse(event.serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->detail, "a\tb\nc\\d");
+}
+
+TEST(LogEventTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(LogEvent::parse("").ok());
+  EXPECT_FALSE(LogEvent::parse("1\t2\t3").ok());
+  EXPECT_FALSE(LogEvent::parse("x\t2\tjob_submitted\ta\tb\t1\td").ok());  // bad seq
+  EXPECT_FALSE(LogEvent::parse("1\t2\tnot_a_type\ta\tb\t1\td").ok());
+}
+
+TEST(EventTypeTest, NamesRoundtrip) {
+  for (auto type : {EventType::kServiceStart, EventType::kServiceStop, EventType::kAuth,
+                    EventType::kJobSubmitted, EventType::kJobStarted,
+                    EventType::kJobFinished, EventType::kJobFailed,
+                    EventType::kJobCancelled, EventType::kJobRestarted,
+                    EventType::kInfoQuery}) {
+    auto back = event_type_from_string(to_string(type));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), type);
+  }
+  EXPECT_FALSE(event_type_from_string("bogus").ok());
+}
+
+TEST(LoggerTest, StampsSequenceAndTime) {
+  VirtualClock clock(seconds(5));
+  Logger logger(clock);
+  auto sink = std::make_shared<MemorySink>();
+  logger.add_sink(sink);
+  logger.log(EventType::kServiceStart);
+  clock.advance(seconds(2));
+  logger.log(EventType::kJobSubmitted, "/O=Grid/CN=a", "a", 7, "rsl");
+  auto events = sink->events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].sequence, 1u);
+  EXPECT_EQ(events[1].sequence, 2u);
+  EXPECT_EQ(events[0].time, seconds(5));
+  EXPECT_EQ(events[1].time, seconds(7));
+  EXPECT_EQ(logger.events_logged(), 2u);
+}
+
+TEST(LoggerTest, MultipleSinksReceiveEvents) {
+  VirtualClock clock;
+  Logger logger(clock);
+  auto a = std::make_shared<MemorySink>();
+  auto b = std::make_shared<MemorySink>();
+  logger.add_sink(a);
+  logger.add_sink(b);
+  logger.log(EventType::kAuth);
+  EXPECT_EQ(a->size(), 1u);
+  EXPECT_EQ(b->size(), 1u);
+}
+
+TEST(FileSinkTest, WriteAndReadBack) {
+  std::string path = ::testing::TempDir() + "/infogram_log_test.log";
+  std::remove(path.c_str());
+  VirtualClock clock;
+  Logger logger(clock);
+  logger.add_sink(std::make_shared<FileSink>(path));
+  logger.log(EventType::kJobSubmitted, "/O=Grid/CN=alice", "alice", 3,
+             "&(executable=/bin/date)");
+  logger.log(EventType::kJobFinished, "/O=Grid/CN=alice", "alice", 3, "contact");
+  auto events = FileSink::read(path);
+  ASSERT_TRUE(events.ok());
+  ASSERT_EQ(events->size(), 2u);
+  EXPECT_EQ((*events)[0].type, EventType::kJobSubmitted);
+  EXPECT_EQ((*events)[1].job_id, 3u);
+  std::remove(path.c_str());
+}
+
+TEST(FileSinkTest, ReadMissingFileFails) {
+  auto events = FileSink::read("/nonexistent/dir/file.log");
+  ASSERT_FALSE(events.ok());
+  EXPECT_EQ(events.code(), ErrorCode::kIoError);
+}
+
+// ---------- Recovery ----------
+
+TEST(RecoveryTest, IncompleteJobsIdentified) {
+  std::vector<LogEvent> events = {
+      make_event(EventType::kJobSubmitted, 1, "rsl-1"),
+      make_event(EventType::kJobStarted, 1, ""),
+      make_event(EventType::kJobFinished, 1, ""),
+      make_event(EventType::kJobSubmitted, 2, "rsl-2"),
+      make_event(EventType::kJobStarted, 2, ""),     // crashed mid-flight
+      make_event(EventType::kJobSubmitted, 3, "rsl-3"),  // never started
+      make_event(EventType::kJobSubmitted, 4, "rsl-4"),
+      make_event(EventType::kJobCancelled, 4, ""),
+      make_event(EventType::kJobSubmitted, 5, "rsl-5"),
+      make_event(EventType::kJobFailed, 5, ""),
+  };
+  auto plan = build_recovery_plan(events);
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_EQ(plan[0].job_id, 2u);
+  EXPECT_EQ(plan[0].rsl, "rsl-2");
+  EXPECT_EQ(plan[0].subject, "/O=Grid/CN=alice");
+  EXPECT_EQ(plan[1].job_id, 3u);
+}
+
+TEST(RecoveryTest, RestartedJobTracked) {
+  std::vector<LogEvent> events = {
+      make_event(EventType::kJobSubmitted, 1, "rsl-old"),
+      make_event(EventType::kJobRestarted, 1, "rsl-new"),
+  };
+  auto plan = build_recovery_plan(events);
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0].rsl, "rsl-new");  // latest checkpoint wins
+}
+
+TEST(RecoveryTest, EmptyLogYieldsEmptyPlan) {
+  EXPECT_TRUE(build_recovery_plan({}).empty());
+}
+
+// ---------- Accounting ----------
+
+TEST(AccountingTest, PerUserSummary) {
+  auto alice = [](EventType t, std::uint64_t job, TimePoint time) {
+    return make_event(t, job, "", time);
+  };
+  LogEvent bob_query = make_event(EventType::kInfoQuery, 0, "Memory");
+  bob_query.subject = "/O=Grid/CN=bob";
+
+  std::vector<LogEvent> events = {
+      alice(EventType::kJobSubmitted, 1, seconds(0)),
+      alice(EventType::kJobStarted, 1, seconds(1)),
+      alice(EventType::kJobFinished, 1, seconds(11)),
+      alice(EventType::kJobSubmitted, 2, seconds(2)),
+      alice(EventType::kJobStarted, 2, seconds(3)),
+      alice(EventType::kJobFailed, 2, seconds(8)),
+      alice(EventType::kInfoQuery, 0, seconds(4)),
+      bob_query,
+  };
+  auto summary = accounting_summary(events);
+  ASSERT_EQ(summary.size(), 2u);
+  const auto& alice_entry = summary.at("/O=Grid/CN=alice");
+  EXPECT_EQ(alice_entry.jobs_submitted, 2u);
+  EXPECT_EQ(alice_entry.jobs_completed, 1u);
+  EXPECT_EQ(alice_entry.jobs_failed, 1u);
+  EXPECT_EQ(alice_entry.info_queries, 1u);
+  EXPECT_EQ(alice_entry.job_wall_time, seconds(15));  // 10 + 5
+  EXPECT_EQ(summary.at("/O=Grid/CN=bob").info_queries, 1u);
+}
+
+TEST(AccountingTest, CancelledJobsCounted) {
+  std::vector<LogEvent> events = {
+      make_event(EventType::kJobSubmitted, 1, ""),
+      make_event(EventType::kJobCancelled, 1, ""),
+  };
+  auto summary = accounting_summary(events);
+  EXPECT_EQ(summary.at("/O=Grid/CN=alice").jobs_cancelled, 1u);
+}
+
+}  // namespace
+}  // namespace ig::logging

@@ -1,0 +1,361 @@
+#include <gtest/gtest.h>
+
+#include "info/system_monitor.hpp"
+#include "mds/directory.hpp"
+#include "mds/filter.hpp"
+#include "mds/giis.hpp"
+#include "mds/gris.hpp"
+#include "mds/service.hpp"
+#include "test_util.hpp"
+
+namespace ig::mds {
+namespace {
+
+// ---------- DN handling ----------
+
+TEST(DnTest, ComponentsNormalized) {
+  auto comps = dn_components("KW=Memory ,  Host=hot.mcs.anl.gov,o=Grid");
+  ASSERT_EQ(comps.size(), 3u);
+  EXPECT_EQ(comps[0], "kw=Memory");
+  EXPECT_EQ(comps[1], "host=hot.mcs.anl.gov");
+  EXPECT_EQ(comps[2], "o=Grid");
+  EXPECT_EQ(normalize_dn("KW=x,O=Grid"), "kw=x, o=Grid");
+}
+
+TEST(DnTest, SuffixContainment) {
+  EXPECT_TRUE(dn_under("kw=Memory, host=a, o=Grid", "o=Grid"));
+  EXPECT_TRUE(dn_under("kw=Memory, host=a, o=Grid", "host=a, o=Grid"));
+  EXPECT_TRUE(dn_under("o=Grid", "o=Grid"));
+  EXPECT_FALSE(dn_under("kw=Memory, host=a, o=Grid", "host=b, o=Grid"));
+  EXPECT_FALSE(dn_under("o=Grid", "host=a, o=Grid"));
+  EXPECT_EQ(dn_depth_below("kw=x, host=a, o=Grid", "o=Grid"), 2);
+  EXPECT_EQ(dn_depth_below("o=Grid", "o=Grid"), 0);
+  EXPECT_EQ(dn_depth_below("o=Other", "o=Grid"), -1);
+}
+
+// ---------- Directory ----------
+
+DirectoryEntry make_entry(const std::string& dn,
+                          std::map<std::string, std::string> attrs = {}) {
+  DirectoryEntry entry;
+  entry.dn = dn;
+  entry.add("objectclass", "Test");
+  for (auto& [k, v] : attrs) entry.add(k, v);
+  return entry;
+}
+
+class DirectoryTest : public ::testing::Test {
+ protected:
+  DirectoryTest() {
+    directory.put(make_entry("o=Grid"));
+    directory.put(make_entry("host=a, o=Grid", {{"hostname", "a"}}));
+    directory.put(make_entry("host=b, o=Grid", {{"hostname", "b"}}));
+    directory.put(make_entry("kw=Memory, host=a, o=Grid", {{"kw", "Memory"}}));
+    directory.put(make_entry("kw=CPU, host=a, o=Grid", {{"kw", "CPU"}}));
+  }
+  Directory directory;
+};
+
+TEST_F(DirectoryTest, GetPutErase) {
+  EXPECT_EQ(directory.size(), 5u);
+  auto entry = directory.get("host=a,o=Grid");  // normalization on lookup
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(entry->first("hostname"), "a");
+  directory.erase("host=a, o=Grid");
+  EXPECT_FALSE(directory.get("host=a, o=Grid").ok());
+}
+
+TEST_F(DirectoryTest, ScopeBase) {
+  auto hits = directory.in_scope("host=a, o=Grid", Scope::kBase);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].dn, "host=a, o=Grid");
+}
+
+TEST_F(DirectoryTest, ScopeOneLevel) {
+  auto hits = directory.in_scope("host=a, o=Grid", Scope::kOneLevel);
+  EXPECT_EQ(hits.size(), 2u);  // Memory + CPU, not the host entry itself
+  auto top = directory.in_scope("o=Grid", Scope::kOneLevel);
+  EXPECT_EQ(top.size(), 2u);  // host=a, host=b
+}
+
+TEST_F(DirectoryTest, ScopeSubtree) {
+  EXPECT_EQ(directory.in_scope("o=Grid", Scope::kSubtree).size(), 5u);
+  EXPECT_EQ(directory.in_scope("host=a, o=Grid", Scope::kSubtree).size(), 3u);
+  EXPECT_TRUE(directory.in_scope("o=Nowhere", Scope::kSubtree).empty());
+}
+
+TEST(DirectoryEntryTest, SerializeParseRoundtrip) {
+  DirectoryEntry entry = make_entry("kw=X, o=Grid", {{"plain", "value"}});
+  entry.add("multi", "v1");
+  entry.add("multi", "v2");
+  entry.add("unsafe", " leading space");
+  entry.add("namespaced:attr", "val");
+  auto parsed = DirectoryEntry::parse_all(entry.serialize());
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 1u);
+  EXPECT_EQ(parsed->front(), entry);
+}
+
+TEST(DirectoryEntryTest, ParseMultipleEntries) {
+  std::string text = make_entry("kw=A, o=Grid").serialize() +
+                     make_entry("kw=B, o=Grid").serialize();
+  auto parsed = DirectoryEntry::parse_all(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->size(), 2u);
+}
+
+TEST(DirectoryEntryTest, ParseRejectsAttributeBeforeDn) {
+  EXPECT_FALSE(DirectoryEntry::parse_all("attr: value\n").ok());
+}
+
+// ---------- Filters ----------
+
+struct FilterCase {
+  const char* filter;
+  bool matches;
+};
+
+class FilterEvalTest : public ::testing::TestWithParam<FilterCase> {
+ protected:
+  DirectoryEntry entry = [] {
+    DirectoryEntry e;
+    e.dn = "kw=Memory, host=a, o=Grid";
+    e.add("objectclass", "InfoGramRecord");
+    e.add("kw", "Memory");
+    e.add("Memory:total", "524288");
+    e.add("Memory:free", "231115");
+    e.add("tag", "red");
+    e.add("tag", "blue");  // multi-valued
+    return e;
+  }();
+};
+
+TEST_P(FilterEvalTest, Evaluates) {
+  auto filter = Filter::parse(GetParam().filter);
+  ASSERT_TRUE(filter.ok()) << GetParam().filter;
+  EXPECT_EQ(filter->matches(entry), GetParam().matches) << GetParam().filter;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, FilterEvalTest,
+    ::testing::Values(
+        FilterCase{"(kw=Memory)", true}, FilterCase{"(kw=CPU)", false},
+        FilterCase{"(kw=Mem*)", true}, FilterCase{"(kw=*ory)", true},
+        FilterCase{"(objectclass=*)", true}, FilterCase{"(missing=*)", false},
+        FilterCase{"(Memory:total>=500000)", true},
+        FilterCase{"(Memory:total>=600000)", false},
+        FilterCase{"(Memory:free<=300000)", true},
+        FilterCase{"(&(kw=Memory)(Memory:total>=1))", true},
+        FilterCase{"(&(kw=Memory)(kw=CPU))", false},
+        FilterCase{"(|(kw=CPU)(kw=Memory))", true},
+        FilterCase{"(|(kw=CPU)(kw=Disk))", false},
+        FilterCase{"(!(kw=CPU))", true}, FilterCase{"(!(kw=Memory))", false},
+        FilterCase{"(tag=blue)", true}, FilterCase{"(tag=green)", false},
+        FilterCase{"(&(|(tag=blue)(tag=green))(!(kw=CPU)))", true},
+        FilterCase{"(kw>=Memory)", true},  // lexicographic on non-numeric
+        FilterCase{"(kw<=Aardvark)", false}));
+
+class FilterParseErrorTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FilterParseErrorTest, Rejects) {
+  EXPECT_FALSE(Filter::parse(GetParam()).ok()) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, FilterParseErrorTest,
+                         ::testing::Values("", "kw=x", "(kw=x", "()", "(=x)",
+                                           "(&(a=b)", "(!(a=b)", "(a>b)",
+                                           "(a=b)(c=d)", "(a=b)x"));
+
+TEST(FilterTest, ToStringRoundtrip) {
+  for (const char* text :
+       {"(kw=Memory)", "(&(a=1)(b=2))", "(|(a=1)(!(b=2)))", "(x>=10)", "(y<=z)"}) {
+    auto filter = Filter::parse(text);
+    ASSERT_TRUE(filter.ok()) << text;
+    auto again = Filter::parse(filter->to_string());
+    ASSERT_TRUE(again.ok()) << filter->to_string();
+    EXPECT_EQ(filter.value(), again.value());
+  }
+}
+
+// ---------- GRIS / GIIS ----------
+
+class GrisTest : public ig::test::GridFixture {
+ protected:
+  GrisTest() : monitor(std::make_shared<info::SystemMonitor>(*clock, "test.sim")) {
+    info::ProviderOptions options;
+    options.ttl = ms(100);
+    EXPECT_TRUE(monitor
+                    ->add_source(std::make_shared<info::CommandSource>(
+                                     "Memory", "/sbin/sysinfo.exe -mem", registry),
+                                 options)
+                    .ok());
+    EXPECT_TRUE(monitor
+                    ->add_source(std::make_shared<info::CommandSource>(
+                                     "CPULoad", "/usr/local/bin/cpuload.exe", registry),
+                                 options)
+                    .ok());
+  }
+  std::shared_ptr<info::SystemMonitor> monitor;
+};
+
+TEST_F(GrisTest, PublishesProviderRecords) {
+  Gris gris(monitor, "test.sim", *clock);
+  auto entries = gris.search("o=Grid", Scope::kSubtree, Filter::match_all());
+  ASSERT_TRUE(entries.ok());
+  // 1 resource entry + 2 keyword entries.
+  EXPECT_EQ(entries->size(), 3u);
+  auto memory = gris.search("kw=Memory, host=test.sim, o=Grid", Scope::kBase,
+                            Filter::match_all());
+  ASSERT_TRUE(memory.ok());
+  ASSERT_EQ(memory->size(), 1u);
+  EXPECT_FALSE(memory->front().first("Memory:total").empty());
+  EXPECT_FALSE(memory->front().first("Memory:total;quality").empty());
+}
+
+TEST_F(GrisTest, FilteredSearch) {
+  Gris gris(monitor, "test.sim", *clock);
+  auto filter = Filter::parse("(kw=CPULoad)");
+  ASSERT_TRUE(filter.ok());
+  auto entries = gris.search("o=Grid", Scope::kSubtree, filter.value());
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 1u);
+  EXPECT_EQ(entries->front().first("kw"), "CPULoad");
+}
+
+TEST_F(GrisTest, SearchUsesProviderCache) {
+  Gris gris(monitor, "test.sim", *clock);
+  ASSERT_TRUE(gris.search("o=Grid", Scope::kSubtree, Filter::match_all()).ok());
+  ASSERT_TRUE(gris.search("o=Grid", Scope::kSubtree, Filter::match_all()).ok());
+  // Within the TTL the providers execute once each.
+  EXPECT_EQ(monitor->total_refreshes(), 2u);
+  clock->advance(ms(200));
+  ASSERT_TRUE(gris.search("o=Grid", Scope::kSubtree, Filter::match_all()).ok());
+  EXPECT_EQ(monitor->total_refreshes(), 4u);
+}
+
+TEST_F(GrisTest, GiisAggregatesMultipleGris) {
+  auto monitor_b = std::make_shared<info::SystemMonitor>(*clock, "b.sim");
+  info::ProviderOptions options;
+  options.ttl = ms(100);
+  ASSERT_TRUE(monitor_b
+                  ->add_source(std::make_shared<info::CommandSource>(
+                                   "Memory", "/sbin/sysinfo.exe -mem", registry),
+                               options)
+                  .ok());
+  Giis giis("test-vo", *clock, ms(500));
+  giis.register_child(std::make_shared<Gris>(monitor, "a.sim", *clock));
+  giis.register_child(std::make_shared<Gris>(monitor_b, "b.sim", *clock));
+  EXPECT_EQ(giis.child_count(), 2u);
+
+  auto all = giis.search("o=Grid", Scope::kSubtree, Filter::match_all());
+  ASSERT_TRUE(all.ok());
+  // VO root + (resource + 2 kw) on a + (resource + 1 kw) on b.
+  EXPECT_EQ(all->size(), 6u);
+
+  auto only_b = giis.search("host=b.sim, o=Grid", Scope::kSubtree, Filter::match_all());
+  ASSERT_TRUE(only_b.ok());
+  EXPECT_EQ(only_b->size(), 2u);
+}
+
+TEST_F(GrisTest, GiisCachesChildResults) {
+  Giis giis("test-vo", *clock, seconds(10));
+  giis.register_child(std::make_shared<Gris>(monitor, "a.sim", *clock));
+  ASSERT_TRUE(giis.search("o=Grid", Scope::kSubtree, Filter::match_all()).ok());
+  auto refreshes_after_first = monitor->total_refreshes();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(giis.search("o=Grid", Scope::kSubtree, Filter::match_all()).ok());
+  }
+  EXPECT_EQ(monitor->total_refreshes(), refreshes_after_first);  // served from cache
+  EXPECT_EQ(giis.cache_misses(), 1u);
+  EXPECT_EQ(giis.cache_hits(), 5u);
+  clock->advance(seconds(11));
+  ASSERT_TRUE(giis.search("o=Grid", Scope::kSubtree, Filter::match_all()).ok());
+  EXPECT_EQ(giis.cache_misses(), 2u);
+}
+
+// ---------- Wire service ----------
+
+class MdsServiceTest : public GrisTest {
+ protected:
+  MdsServiceTest()
+      : gris(std::make_shared<Gris>(monitor, "test.sim", *clock)),
+        service(gris, host_cred, &trust, clock.get(), logger) {
+    EXPECT_TRUE(service.start(*network, {"test.sim", 2136}).ok());
+  }
+  std::shared_ptr<Gris> gris;
+  MdsService service;
+};
+
+TEST_F(MdsServiceTest, ClientSearchOverWire) {
+  MdsClient client(*network, {"test.sim", 2136}, alice, trust, *clock);
+  auto entries = client.search("o=Grid", Scope::kSubtree, Filter::match_all());
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 3u);
+  // connect(1) + handshake(2 round trips) + search(1).
+  EXPECT_EQ(client.stats().connects, 1u);
+  EXPECT_EQ(client.stats().requests, 3u);
+  // Second search reuses the connection: only one more request.
+  ASSERT_TRUE(client.search("o=Grid", Scope::kSubtree, Filter::match_all()).ok());
+  EXPECT_EQ(client.stats().connects, 1u);
+  EXPECT_EQ(client.stats().requests, 4u);
+}
+
+TEST_F(MdsServiceTest, UntrustedClientRejected) {
+  security::CertificateAuthority rogue("/O=Evil/CN=CA", seconds(1000000), *clock, 3);
+  auto mallory = rogue.issue("/O=Evil/CN=mallory", security::CertType::kUser,
+                             seconds(100000));
+  MdsClient client(*network, {"test.sim", 2136}, mallory, trust, *clock);
+  auto entries = client.search("o=Grid", Scope::kSubtree, Filter::match_all());
+  ASSERT_FALSE(entries.ok());
+  EXPECT_EQ(entries.code(), ErrorCode::kDenied);
+}
+
+TEST_F(MdsServiceTest, MalformedFilterRejectedRemotely) {
+  MdsClient client(*network, {"test.sim", 2136}, alice, trust, *clock);
+  ASSERT_TRUE(client.search("o=Grid", Scope::kSubtree, Filter::match_all()).ok());
+  // Craft a raw request with a bad filter through a fresh connection.
+  auto conn = network->connect({"test.sim", 2136});
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(security::authenticate(**conn, alice, trust, *clock).ok());
+  net::Message req("MDS_SEARCH");
+  req.with("filter", "(((");
+  auto resp = (*conn)->request(req);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_TRUE(resp->is_error());
+}
+
+TEST_F(MdsServiceTest, InfoQueriesAreLogged) {
+  MdsClient client(*network, {"test.sim", 2136}, alice, trust, *clock);
+  ASSERT_TRUE(client.search("o=Grid", Scope::kSubtree, Filter::match_all()).ok());
+  bool saw_query = false;
+  for (const auto& event : log_sink->events()) {
+    if (event.type == logging::EventType::kInfoQuery &&
+        event.subject == "/O=Grid/CN=alice") {
+      saw_query = true;
+    }
+  }
+  EXPECT_TRUE(saw_query);
+}
+
+TEST_F(MdsServiceTest, RemoteBackendFeedsGiis) {
+  auto client = std::make_shared<MdsClient>(*network, net::Address{"test.sim", 2136},
+                                            alice, trust, *clock);
+  Giis giis("wide-vo", *clock, ms(100));
+  giis.register_child(
+      std::make_shared<RemoteBackend>(client, "host=test.sim, o=Grid"));
+  auto entries = giis.search("o=Grid", Scope::kSubtree, Filter::match_all());
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 4u);  // VO root + remote subtree of 3
+}
+
+TEST_F(MdsServiceTest, ServiceStopMakesClientFail) {
+  MdsClient client(*network, {"test.sim", 2136}, alice, trust, *clock);
+  ASSERT_TRUE(client.search("o=Grid", Scope::kSubtree, Filter::match_all()).ok());
+  service.stop();
+  auto entries = client.search("o=Grid", Scope::kSubtree, Filter::match_all());
+  ASSERT_FALSE(entries.ok());
+  EXPECT_EQ(entries.code(), ErrorCode::kUnavailable);
+}
+
+}  // namespace
+}  // namespace ig::mds

@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "net/message.hpp"
+#include "net/network.hpp"
+
+namespace ig::net {
+namespace {
+
+// ---------- Message framing ----------
+
+TEST(MessageTest, SerializeParseRoundtrip) {
+  Message msg("SUBMIT", "body text\nwith lines");
+  msg.with("contact", "https://h:1/j/2").with("zkey", "value with spaces");
+  auto parsed = Message::parse(msg.serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->verb, "SUBMIT");
+  EXPECT_EQ(parsed->body, "body text\nwith lines");
+  EXPECT_EQ(parsed->header("contact"), "https://h:1/j/2");
+  EXPECT_EQ(parsed->header("zkey"), "value with spaces");
+  EXPECT_FALSE(parsed->header("missing"));
+  EXPECT_EQ(parsed->header_or("missing", "d"), "d");
+}
+
+TEST(MessageTest, EmptyBodyRoundtrip) {
+  Message msg("PING");
+  auto parsed = Message::parse(msg.serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->verb, "PING");
+  EXPECT_TRUE(parsed->body.empty());
+  EXPECT_TRUE(parsed->headers.empty());
+}
+
+TEST(MessageTest, WireSizeMatchesSerializedLength) {
+  Message msg("VERB", "0123456789");
+  msg.with("a", "b").with("header", "value");
+  EXPECT_EQ(msg.wire_size(), msg.serialize().size());
+}
+
+class MessageParseErrorTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(MessageParseErrorTest, Rejects) {
+  auto parsed = Message::parse(GetParam());
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.code(), ErrorCode::kParseError);
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, MessageParseErrorTest,
+                         ::testing::Values("", "GET /", "IGP/1.0 ",
+                                           "IGP/1.0 VERB\nno-colon-header\n\n",
+                                           "IGP/1.0 VERB\nheader: x"));
+
+TEST(MessageTest, ErrorHelpers) {
+  Message err = Message::error(Error(ErrorCode::kDenied, "no gridmap entry"));
+  EXPECT_TRUE(err.is_error());
+  Error back = Message::to_error(err);
+  EXPECT_EQ(back.code, ErrorCode::kDenied);
+  EXPECT_EQ(back.message, "no gridmap entry");
+}
+
+TEST(MessageTest, ToErrorUnknownCodeFallsBackToInternal) {
+  Message weird("ERROR", "boom");
+  weird.with("code", "not-a-real-code");
+  EXPECT_EQ(Message::to_error(weird).code, ErrorCode::kInternal);
+}
+
+// ---------- Network ----------
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  Network network;
+  Address addr{"host.sim", 2135};
+};
+
+TEST_F(NetworkTest, ConnectToUnknownAddressFails) {
+  auto conn = network.connect(addr);
+  ASSERT_FALSE(conn.ok());
+  EXPECT_EQ(conn.code(), ErrorCode::kUnavailable);
+}
+
+TEST_F(NetworkTest, ListenConnectRequest) {
+  ASSERT_TRUE(network.listen(addr, [](const Message& req, Session&) {
+    return Message::ok("echo:" + req.body);
+  }));
+  auto conn = network.connect(addr);
+  ASSERT_TRUE(conn.ok());
+  auto resp = (*conn)->request(Message("ECHO", "hello"));
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->body, "echo:hello");
+}
+
+TEST_F(NetworkTest, DoubleListenFails) {
+  ASSERT_TRUE(network.listen(addr, [](const Message&, Session&) { return Message::ok(); }));
+  auto second = network.listen(addr, [](const Message&, Session&) { return Message::ok(); });
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.code(), ErrorCode::kAlreadyExists);
+}
+
+TEST_F(NetworkTest, CloseMakesRequestsFail) {
+  ASSERT_TRUE(network.listen(addr, [](const Message&, Session&) { return Message::ok(); }));
+  auto conn = network.connect(addr);
+  ASSERT_TRUE(conn.ok());
+  network.close(addr);
+  auto resp = (*conn)->request(Message("PING"));
+  ASSERT_FALSE(resp.ok());
+  EXPECT_EQ(resp.code(), ErrorCode::kUnavailable);
+}
+
+TEST_F(NetworkTest, PartitionAndHeal) {
+  ASSERT_TRUE(network.listen(addr, [](const Message&, Session&) { return Message::ok(); }));
+  network.partition(addr);
+  EXPECT_FALSE(network.connect(addr).ok());
+  network.heal(addr);
+  auto conn = network.connect(addr);
+  ASSERT_TRUE(conn.ok());
+  // Partition mid-connection also fails requests.
+  network.partition(addr);
+  EXPECT_FALSE((*conn)->request(Message("PING")).ok());
+  network.heal(addr);
+  EXPECT_TRUE((*conn)->request(Message("PING")).ok());
+}
+
+TEST_F(NetworkTest, SessionStatePersistsAcrossRequests) {
+  ASSERT_TRUE(network.listen(addr, [](const Message& req, Session& session) {
+    if (req.verb == "SET") {
+      session.set("k", req.body);
+      return Message::ok();
+    }
+    return Message::ok(session.get("k").value_or("unset"));
+  }));
+  auto conn1 = network.connect(addr);
+  auto conn2 = network.connect(addr);
+  ASSERT_TRUE(conn1.ok());
+  ASSERT_TRUE(conn2.ok());
+  ASSERT_TRUE((*conn1)->request(Message("SET", "v1")).ok());
+  EXPECT_EQ((*conn1)->request(Message("GET"))->body, "v1");
+  // Sessions are per-connection: conn2 sees its own state.
+  EXPECT_EQ((*conn2)->request(Message("GET"))->body, "unset");
+}
+
+TEST_F(NetworkTest, TrafficAccounting) {
+  ASSERT_TRUE(network.listen(addr, [](const Message&, Session&) {
+    return Message::ok("0123456789");
+  }));
+  auto conn = network.connect(addr);
+  ASSERT_TRUE(conn.ok());
+  EXPECT_EQ((*conn)->stats().connects, 1u);
+  EXPECT_EQ((*conn)->stats().requests, 0u);
+  Duration connect_time = (*conn)->stats().virtual_time;
+  EXPECT_EQ(connect_time, network.cost_model().connect_latency);
+
+  Message req("PING", "xx");
+  std::size_t req_size = req.wire_size();
+  ASSERT_TRUE((*conn)->request(req).ok());
+  const auto& stats = (*conn)->stats();
+  EXPECT_EQ(stats.requests, 1u);
+  EXPECT_EQ(stats.bytes_sent, req_size);
+  EXPECT_GT(stats.bytes_received, 0u);
+  // Tiny messages may round to zero transfer time; the RTT is always paid.
+  EXPECT_GE(stats.virtual_time, connect_time + network.cost_model().round_trip_latency);
+}
+
+TEST_F(NetworkTest, TotalStatsAggregateAcrossConnections) {
+  ASSERT_TRUE(network.listen(addr, [](const Message&, Session&) { return Message::ok(); }));
+  for (int i = 0; i < 3; ++i) {
+    auto conn = network.connect(addr);
+    ASSERT_TRUE(conn.ok());
+    ASSERT_TRUE((*conn)->request(Message("PING")).ok());
+  }
+  auto totals = network.total_stats();
+  EXPECT_EQ(totals.connects, 3u);
+  EXPECT_EQ(totals.requests, 3u);
+}
+
+TEST_F(NetworkTest, ConcurrentRequestsAreHandled) {
+  std::atomic<int> handled{0};
+  ASSERT_TRUE(network.listen(addr, [&handled](const Message&, Session&) {
+    handled.fetch_add(1);
+    return Message::ok();
+  }));
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back([this] {
+      auto conn = network.connect(addr);
+      ASSERT_TRUE(conn.ok());
+      for (int j = 0; j < 50; ++j) {
+        ASSERT_TRUE((*conn)->request(Message("PING")).ok());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(handled.load(), 400);
+}
+
+TEST(CostModelTest, TransferCostScalesWithBytes) {
+  CostModel model;
+  model.bytes_per_us = 10.0;
+  EXPECT_EQ(model.transfer_cost(100), us(10));
+  EXPECT_EQ(model.transfer_cost(0), us(0));
+}
+
+}  // namespace
+}  // namespace ig::net

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "grid/p2p_discovery.hpp"
+
+namespace ig::grid {
+namespace {
+
+class P2pTest : public ::testing::Test {
+ protected:
+  P2pTest() : clock(seconds(1000)) {}
+
+  std::unique_ptr<DiscoveryPeer> make_peer(int index, GossipConfig config = {}) {
+    std::string host = "peer" + std::to_string(index) + ".p2p";
+    return std::make_unique<DiscoveryPeer>(
+        network, clock, host, net::Address{host, 2135},
+        [index] { return 0.1 * index; }, config,
+        1000 + static_cast<std::uint64_t>(index));
+  }
+
+  VirtualClock clock;
+  net::Network network;
+};
+
+TEST(AdvertTest, SerializeParseRoundtrip) {
+  std::vector<Advertisement> adverts = {
+      {"a.p2p", {"a.p2p", 2135}, 0.5, seconds(10)},
+      {"b.p2p", {"b.p2p", 2135}, 1.25, seconds(20)},
+  };
+  auto parsed = parse_adverts(serialize_adverts(adverts));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), adverts);
+  EXPECT_FALSE(parse_adverts("not\ttab\tseparated").ok());
+  EXPECT_FALSE(parse_adverts("a\tb\tx\ty\tz\n").ok());
+}
+
+TEST_F(P2pTest, PeerKnowsItself) {
+  auto peer = make_peer(0);
+  auto view = peer->view();
+  ASSERT_EQ(view.size(), 1u);
+  EXPECT_EQ(view[0].host, "peer0.p2p");
+  EXPECT_TRUE(peer->lookup("peer0.p2p").ok());
+  EXPECT_FALSE(peer->lookup("stranger").ok());
+}
+
+TEST_F(P2pTest, TwoPeersExchangeAdverts) {
+  auto a = make_peer(0);
+  auto b = make_peer(1);
+  a->add_neighbor(b->gossip_address());
+  a->tick();  // push-pull: both sides learn of each other
+  EXPECT_EQ(a->view().size(), 2u);
+  EXPECT_EQ(b->view().size(), 2u);
+  auto found = a->lookup("peer1.p2p");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found->infogram_address.port, 2135);
+}
+
+TEST_F(P2pTest, EpidemicConvergenceOnALine) {
+  // Worst-case bootstrap topology: a line. Even so, push-pull gossip with
+  // learned peers converges in a handful of rounds for 16 peers.
+  constexpr int kPeers = 16;
+  std::vector<std::unique_ptr<DiscoveryPeer>> peers;
+  for (int i = 0; i < kPeers; ++i) peers.push_back(make_peer(i));
+  for (int i = 1; i < kPeers; ++i) {
+    peers[i]->add_neighbor(peers[i - 1]->gossip_address());
+  }
+  int rounds = 0;
+  auto converged = [&] {
+    for (const auto& peer : peers) {
+      if (peer->view().size() != kPeers) return false;
+    }
+    return true;
+  };
+  while (!converged() && rounds < 40) {
+    for (auto& peer : peers) peer->tick();
+    clock.advance(ms(100));
+    ++rounds;
+  }
+  EXPECT_TRUE(converged()) << "not converged after " << rounds << " rounds";
+  EXPECT_LE(rounds, 20);
+}
+
+TEST_F(P2pTest, DepartedPeerExpires) {
+  GossipConfig config;
+  config.advert_ttl = seconds(5);
+  auto a = make_peer(0, config);
+  {
+    auto b = make_peer(1, config);
+    a->add_neighbor(b->gossip_address());
+    a->tick();
+    EXPECT_EQ(a->view().size(), 2u);
+  }  // b leaves the overlay
+  clock.advance(seconds(6));
+  // Before a maintenance round the advert is still present but stale...
+  EXPECT_EQ(a->lookup("peer1.p2p").code(), ErrorCode::kStale);
+  a->tick();
+  // ...after it, it is gone entirely.
+  EXPECT_EQ(a->view().size(), 1u);
+  EXPECT_EQ(a->lookup("peer1.p2p").code(), ErrorCode::kNotFound);
+}
+
+TEST_F(P2pTest, NewerAdvertWins) {
+  auto a = make_peer(0);
+  auto b = make_peer(1);
+  a->add_neighbor(b->gossip_address());
+  a->tick();
+  auto first = a->lookup("peer1.p2p");
+  ASSERT_TRUE(first.ok());
+  clock.advance(seconds(2));
+  a->tick();  // b re-advertises with a newer stamp
+  auto second = a->lookup("peer1.p2p");
+  ASSERT_TRUE(second.ok());
+  EXPECT_GT(second->stamped.count(), first->stamped.count());
+}
+
+TEST_F(P2pTest, UnreachablePeersAreSkipped) {
+  auto a = make_peer(0);
+  a->add_neighbor({"ghost.p2p", 7400});  // never listening
+  a->tick();  // must not fail
+  EXPECT_EQ(a->view().size(), 1u);
+}
+
+TEST_F(P2pTest, GossipTrafficIsBoundedByFanout) {
+  GossipConfig config;
+  config.fanout = 2;
+  auto a = make_peer(0, config);
+  auto b = make_peer(1, config);
+  auto c = make_peer(2, config);
+  auto d = make_peer(3, config);
+  a->add_neighbor(b->gossip_address());
+  a->add_neighbor(c->gossip_address());
+  a->add_neighbor(d->gossip_address());
+  for (int round = 0; round < 5; ++round) a->tick();
+  EXPECT_LE(a->messages_sent(), 5u * 2u);
+}
+
+}  // namespace
+}  // namespace ig::grid

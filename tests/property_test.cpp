@@ -1,0 +1,250 @@
+// Randomized property tests: seeded generators drive the parsers and
+// serializers through hundreds of structurally diverse cases, checking
+// the round-trip invariants the protocols depend on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "format/ldif.hpp"
+#include "format/xml.hpp"
+#include "mds/directory.hpp"
+#include "mds/filter.hpp"
+#include "rsl/xrsl.hpp"
+#include "soap/envelope.hpp"
+
+namespace ig {
+namespace {
+
+// ---------- generators ----------
+
+std::string random_word(Rng& rng, int max_len = 12) {
+  static const char* kChars = "abcdefghijklmnopqrstuvwxyzABCDEFXYZ0123456789_-./";
+  int len = static_cast<int>(rng.uniform_int(1, max_len));
+  std::string out;
+  for (int i = 0; i < len; ++i) {
+    out += kChars[rng.uniform_int(0, 49)];
+  }
+  return out;
+}
+
+std::string random_text(Rng& rng, int max_len = 24) {
+  // Arbitrary printable-ish text including RSL/XML/LDIF special chars.
+  static const char* kChars =
+      "abc XYZ 012 ()<>&\"'=$+|!:;,\t\n\\*?";
+  int len = static_cast<int>(rng.uniform_int(0, max_len));
+  std::string out;
+  for (int i = 0; i < len; ++i) {
+    out += kChars[rng.uniform_int(0, 31)];
+  }
+  return out;
+}
+
+rsl::XrslRequest random_request(Rng& rng) {
+  rsl::XrslBuilder builder;
+  bool has_job = rng.chance(0.7);
+  if (has_job) {
+    builder.executable("/" + random_word(rng));
+    int args = static_cast<int>(rng.uniform_int(0, 4));
+    for (int i = 0; i < args; ++i) builder.argument(random_text(rng));
+    int envs = static_cast<int>(rng.uniform_int(0, 3));
+    for (int i = 0; i < envs; ++i) builder.environment(random_word(rng), random_text(rng));
+    if (rng.chance(0.3)) builder.directory("/" + random_word(rng));
+    if (rng.chance(0.3)) builder.stdout_file(random_word(rng) + ".out");
+    if (rng.chance(0.3)) builder.count(static_cast<int>(rng.uniform_int(1, 16)));
+    if (rng.chance(0.3)) builder.queue(random_word(rng));
+    if (rng.chance(0.2)) builder.job_type(rng.chance(0.5) ? "jar" : "single");
+    if (rng.chance(0.3)) builder.max_time(seconds(60 * rng.uniform_int(1, 30)));
+    if (rng.chance(0.3)) {
+      builder.timeout(ms(rng.uniform_int(1, 10000)),
+                      rng.chance(0.5) ? rsl::TimeoutAction::kCancel
+                                      : rsl::TimeoutAction::kException);
+    }
+  }
+  if (!has_job || rng.chance(0.5)) {
+    int infos = static_cast<int>(rng.uniform_int(1, 3));
+    for (int i = 0; i < infos; ++i) builder.info(random_word(rng));
+    if (rng.chance(0.3)) builder.schema();
+    if (rng.chance(0.4)) {
+      builder.response(rng.chance(0.5) ? rsl::ResponseMode::kImmediate
+                                       : rsl::ResponseMode::kLast);
+    }
+    if (rng.chance(0.3)) builder.quality(std::round(rng.uniform(0.0, 100.0) * 1e4) / 1e4);
+    if (rng.chance(0.3)) builder.performance(random_word(rng));
+    if (rng.chance(0.3)) builder.format(rsl::OutputFormat::kXml);
+    if (rng.chance(0.3)) builder.filter(random_word(rng) + ":*");
+  }
+  return builder.request();
+}
+
+format::InfoRecord random_record(Rng& rng) {
+  format::InfoRecord record;
+  record.keyword = random_word(rng);
+  record.generated_at = TimePoint(rng.uniform_int(0, 1'000'000'000));
+  record.ttl = Duration(rng.uniform_int(0, 10'000'000));
+  int attrs = static_cast<int>(rng.uniform_int(0, 8));
+  for (int i = 0; i < attrs; ++i) {
+    // Unique names so quality lines attach deterministically.
+    record.add(random_word(rng) + std::to_string(i), random_text(rng),
+               std::round(rng.uniform(0.0, 100.0) * 100.0) / 100.0);
+  }
+  return record;
+}
+
+// ---------- xRSL round-trips ----------
+
+class XrslPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(XrslPropertyTest, BuilderToRslRoundtrips) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    rsl::XrslRequest request = random_request(rng);
+    std::string text = request.to_rsl();
+    auto parsed = rsl::XrslRequest::parse(text);
+    ASSERT_TRUE(parsed.ok()) << text << " -> " << parsed.error().to_string();
+    EXPECT_EQ(parsed.value(), request) << text;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XrslPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+TEST(RslPropertyTest, UnparseParseIsIdentityOnRandomNodes) {
+  Rng rng(99);
+  for (int i = 0; i < 200; ++i) {
+    // Random nodes via the text surface: generate, parse, unparse, parse.
+    rsl::XrslRequest request = random_request(rng);
+    auto node = rsl::parse(request.to_rsl());
+    ASSERT_TRUE(node.ok());
+    auto again = rsl::parse(rsl::unparse(node.value()));
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(node.value(), again.value());
+  }
+}
+
+// ---------- format round-trips ----------
+
+class FormatPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FormatPropertyTest, LdifRoundtripsRandomRecords) {
+  Rng rng(GetParam() * 31 + 7);
+  for (int i = 0; i < 30; ++i) {
+    std::vector<format::InfoRecord> records;
+    int n = static_cast<int>(rng.uniform_int(1, 4));
+    for (int r = 0; r < n; ++r) records.push_back(random_record(rng));
+    auto parsed = format::parse_ldif(format::to_ldif(records));
+    ASSERT_TRUE(parsed.ok());
+    ASSERT_EQ(parsed->size(), records.size());
+    for (std::size_t r = 0; r < records.size(); ++r) {
+      const auto& want = records[r];
+      const auto& have = (*parsed)[r];
+      EXPECT_EQ(have.keyword, want.keyword);
+      EXPECT_EQ(have.generated_at, want.generated_at);
+      EXPECT_EQ(have.ttl, want.ttl);
+      ASSERT_EQ(have.attributes.size(), want.attributes.size());
+      for (std::size_t a = 0; a < want.attributes.size(); ++a) {
+        EXPECT_EQ(have.attributes[a].name, want.attributes[a].name);
+        EXPECT_EQ(have.attributes[a].value, want.attributes[a].value);
+        EXPECT_NEAR(have.attributes[a].quality, want.attributes[a].quality, 0.005);
+      }
+    }
+  }
+}
+
+TEST_P(FormatPropertyTest, XmlRoundtripsRandomRecords) {
+  Rng rng(GetParam() * 17 + 3);
+  for (int i = 0; i < 30; ++i) {
+    std::vector<format::InfoRecord> records;
+    int n = static_cast<int>(rng.uniform_int(1, 4));
+    for (int r = 0; r < n; ++r) records.push_back(random_record(rng));
+    auto parsed = format::parse_xml(format::to_xml(records));
+    ASSERT_TRUE(parsed.ok());
+    ASSERT_EQ(parsed->size(), records.size());
+    for (std::size_t r = 0; r < records.size(); ++r) {
+      ASSERT_EQ((*parsed)[r].attributes.size(), records[r].attributes.size());
+      for (std::size_t a = 0; a < records[r].attributes.size(); ++a) {
+        EXPECT_EQ((*parsed)[r].attributes[a].value, records[r].attributes[a].value);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FormatPropertyTest, ::testing::Values(1u, 2u, 3u, 4u));
+
+// ---------- directory entry + filter round-trips ----------
+
+TEST(MdsPropertyTest, EntrySerializationRoundtripsRandomEntries) {
+  Rng rng(404);
+  for (int i = 0; i < 100; ++i) {
+    mds::DirectoryEntry entry;
+    entry.dn = "kw=" + random_word(rng) + ", o=Grid";
+    int attrs = static_cast<int>(rng.uniform_int(1, 6));
+    for (int a = 0; a < attrs; ++a) {
+      int values = static_cast<int>(rng.uniform_int(1, 3));
+      std::string name = random_word(rng) + std::to_string(a);
+      for (int v = 0; v < values; ++v) entry.add(name, random_text(rng));
+    }
+    auto parsed = mds::DirectoryEntry::parse_all(entry.serialize());
+    ASSERT_TRUE(parsed.ok());
+    ASSERT_EQ(parsed->size(), 1u);
+    EXPECT_EQ(parsed->front(), entry);
+  }
+}
+
+TEST(MdsPropertyTest, FilterToStringRoundtripsRandomFilters) {
+  Rng rng(505);
+  // Random filter trees of bounded depth.
+  std::function<mds::Filter(int)> gen = [&](int depth) {
+    mds::Filter f;
+    if (depth <= 0 || rng.chance(0.5)) {
+      double kind = rng.uniform();
+      f.kind = kind < 0.6   ? mds::Filter::Kind::kEquality
+               : kind < 0.8 ? mds::Filter::Kind::kGreaterEq
+                            : mds::Filter::Kind::kLessEq;
+      f.attribute = random_word(rng);
+      f.value = random_word(rng);
+      if (f.kind == mds::Filter::Kind::kEquality && rng.chance(0.3)) f.value += "*";
+      return f;
+    }
+    double kind = rng.uniform();
+    if (kind < 0.4) {
+      f.kind = mds::Filter::Kind::kAnd;
+    } else if (kind < 0.8) {
+      f.kind = mds::Filter::Kind::kOr;
+    } else {
+      f.kind = mds::Filter::Kind::kNot;
+    }
+    int children = f.kind == mds::Filter::Kind::kNot
+                       ? 1
+                       : static_cast<int>(rng.uniform_int(1, 3));
+    for (int c = 0; c < children; ++c) f.children.push_back(gen(depth - 1));
+    return f;
+  };
+  for (int i = 0; i < 100; ++i) {
+    mds::Filter filter = gen(3);
+    auto parsed = mds::Filter::parse(filter.to_string());
+    ASSERT_TRUE(parsed.ok()) << filter.to_string();
+    EXPECT_EQ(parsed.value(), filter) << filter.to_string();
+  }
+}
+
+// ---------- SOAP envelope round-trips ----------
+
+TEST(SoapPropertyTest, EnvelopeRoundtripsRandomOperations) {
+  Rng rng(606);
+  for (int i = 0; i < 100; ++i) {
+    soap::Operation op;
+    // Operation names become XML element names: letters/digits only.
+    op.name = "op" + std::to_string(rng.uniform_int(0, 999999));
+    int params = static_cast<int>(rng.uniform_int(0, 5));
+    for (int p = 0; p < params; ++p) {
+      op.parameters["p" + std::to_string(p)] = random_text(rng, 40);
+    }
+    auto parsed = soap::parse_envelope(soap::to_envelope(op));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), op);
+  }
+}
+
+}  // namespace
+}  // namespace ig

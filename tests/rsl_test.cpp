@@ -1,0 +1,259 @@
+#include <gtest/gtest.h>
+
+#include "rsl/parser.hpp"
+
+namespace ig::rsl {
+namespace {
+
+// ---------- Basic parsing ----------
+
+TEST(RslParseTest, SingleRelation) {
+  auto node = parse("(executable=/bin/date)");
+  ASSERT_TRUE(node.ok());
+  EXPECT_EQ(node->kind, Node::Kind::kConjunction);
+  ASSERT_EQ(node->relations.size(), 1u);
+  EXPECT_EQ(node->relations[0].attribute, "executable");
+  EXPECT_EQ(node->relations[0].op, Op::kEq);
+  ASSERT_EQ(node->relations[0].values.size(), 1u);
+  EXPECT_EQ(node->relations[0].values[0], Value::literal("/bin/date"));
+}
+
+TEST(RslParseTest, BareSequenceIsImplicitConjunction) {
+  auto node = parse("(a=1)(b=2)(c=3)");
+  ASSERT_TRUE(node.ok());
+  EXPECT_EQ(node->kind, Node::Kind::kConjunction);
+  EXPECT_EQ(node->relations.size(), 3u);
+}
+
+TEST(RslParseTest, ExplicitConjunction) {
+  auto node = parse("& (executable=a.out) (count=4)");
+  ASSERT_TRUE(node.ok());
+  EXPECT_EQ(node->kind, Node::Kind::kConjunction);
+  ASSERT_EQ(node->relations.size(), 2u);
+  EXPECT_EQ(node->relations[1].attribute, "count");
+}
+
+TEST(RslParseTest, AttributeNamesAreCaseInsensitive) {
+  auto node = parse("(ExEcUtAbLe=a)");
+  ASSERT_TRUE(node.ok());
+  EXPECT_EQ(node->relations[0].attribute, "executable");
+}
+
+TEST(RslParseTest, AllOperators) {
+  auto node = parse("(a=1)(b!=2)(c<3)(d>4)(e<=5)(f>=6)");
+  ASSERT_TRUE(node.ok());
+  ASSERT_EQ(node->relations.size(), 6u);
+  EXPECT_EQ(node->relations[0].op, Op::kEq);
+  EXPECT_EQ(node->relations[1].op, Op::kNeq);
+  EXPECT_EQ(node->relations[2].op, Op::kLt);
+  EXPECT_EQ(node->relations[3].op, Op::kGt);
+  EXPECT_EQ(node->relations[4].op, Op::kLe);
+  EXPECT_EQ(node->relations[5].op, Op::kGe);
+}
+
+TEST(RslParseTest, ValueSequence) {
+  auto node = parse("(arguments=a b c)");
+  ASSERT_TRUE(node.ok());
+  ASSERT_EQ(node->relations[0].values.size(), 3u);
+  EXPECT_EQ(node->relations[0].values[2], Value::literal("c"));
+}
+
+TEST(RslParseTest, QuotedStrings) {
+  auto node = parse(R"((stdout="file with spaces.txt"))");
+  ASSERT_TRUE(node.ok());
+  EXPECT_EQ(node->relations[0].values[0], Value::literal("file with spaces.txt"));
+}
+
+TEST(RslParseTest, DoubledQuoteEscape) {
+  auto node = parse(R"((x="say ""hi"" now"))");
+  ASSERT_TRUE(node.ok());
+  EXPECT_EQ(node->relations[0].values[0], Value::literal("say \"hi\" now"));
+}
+
+TEST(RslParseTest, NestedValueLists) {
+  auto node = parse("(environment=(HOME /home/alice)(PATH /bin))");
+  ASSERT_TRUE(node.ok());
+  const auto& values = node->relations[0].values;
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_EQ(values[0],
+            Value::list({Value::literal("HOME"), Value::literal("/home/alice")}));
+  EXPECT_EQ(values[1], Value::list({Value::literal("PATH"), Value::literal("/bin")}));
+}
+
+TEST(RslParseTest, VariableReference) {
+  auto node = parse("(directory=$(HOME))");
+  ASSERT_TRUE(node.ok());
+  EXPECT_EQ(node->relations[0].values[0], Value::variable("HOME"));
+}
+
+TEST(RslParseTest, ConcatenationOfVariableAndLiteral) {
+  auto node = parse("(directory=$(HOME)/data)");
+  ASSERT_TRUE(node.ok());
+  EXPECT_EQ(node->relations[0].values[0],
+            Value::concat({Value::variable("HOME"), Value::literal("/data")}));
+}
+
+TEST(RslParseTest, MultiRequest) {
+  auto node = parse("+(&(executable=a)(count=1))(&(executable=b)(count=2))");
+  ASSERT_TRUE(node.ok());
+  EXPECT_EQ(node->kind, Node::Kind::kMulti);
+  ASSERT_EQ(node->children.size(), 2u);
+  EXPECT_EQ(node->children[0].relations[0].values[0], Value::literal("a"));
+  EXPECT_EQ(node->children[1].relations[1].values[0], Value::literal("2"));
+}
+
+TEST(RslParseTest, Disjunction) {
+  auto node = parse("|(queue=fast)(queue=slow)");
+  ASSERT_TRUE(node.ok());
+  EXPECT_EQ(node->kind, Node::Kind::kDisjunction);
+  EXPECT_EQ(node->relations.size(), 2u);
+}
+
+TEST(RslParseTest, NestedBoolean) {
+  auto node = parse("&(executable=a)(|(queue=fast)(queue=slow))");
+  ASSERT_TRUE(node.ok());
+  EXPECT_EQ(node->relations.size(), 1u);
+  ASSERT_EQ(node->children.size(), 1u);
+  EXPECT_EQ(node->children[0].kind, Node::Kind::kDisjunction);
+}
+
+TEST(RslParseTest, FindHelpers) {
+  auto node = parse("(info=Memory)(info=CPU)(format=xml)");
+  ASSERT_TRUE(node.ok());
+  ASSERT_NE(node->find("format"), nullptr);
+  EXPECT_EQ(node->find("nonexistent"), nullptr);
+  EXPECT_EQ(node->find_all("info").size(), 2u);
+}
+
+TEST(RslParseTest, WhitespaceTolerance) {
+  auto node = parse("  &\n  ( executable = /bin/date )\n  ( count = 2 )\n");
+  ASSERT_TRUE(node.ok());
+  EXPECT_EQ(node->relations.size(), 2u);
+}
+
+// ---------- Errors ----------
+
+class RslParseErrorTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RslParseErrorTest, Rejects) {
+  auto node = parse(GetParam());
+  ASSERT_FALSE(node.ok()) << GetParam();
+  EXPECT_EQ(node.code(), ErrorCode::kParseError);
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, RslParseErrorTest,
+                         ::testing::Values("", "   ", "(a=1", "(=1)", "(a 1)", "a=1",
+                                           "(a=\"unterminated)", "(a=$(unclosed)",
+                                           "(a=$())", "(a!1)", "&", "(a=1)trailing",
+                                           "(a=(1 2)", "(a=1))"));
+
+// ---------- Unparse / roundtrip ----------
+
+class RslRoundtripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RslRoundtripTest, ParseUnparseParseIsStable) {
+  auto first = parse(GetParam());
+  ASSERT_TRUE(first.ok()) << GetParam();
+  std::string text = unparse(first.value());
+  auto second = parse(text);
+  ASSERT_TRUE(second.ok()) << text;
+  EXPECT_EQ(first.value(), second.value()) << text;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, RslRoundtripTest,
+    ::testing::Values("(executable=/bin/date)", "(a=1)(b=2)",
+                      "&(executable=a.out)(count=4)(arguments=x y z)",
+                      R"((stdout="a file"))", R"((x="""quoted"""))",
+                      "(environment=(HOME /h)(PATH /p))", "(directory=$(HOME))",
+                      "(directory=$(HOME)/data/run1)",
+                      "+(&(executable=a))(&(executable=b))",
+                      "|(queue=fast)(queue=slow)",
+                      "&(executable=a)(|(queue=f)(queue=s))",
+                      "(maxtime>=10)(count<=4)(x!=y)",
+                      "(info=Memory)(info=CPU)(response=immediate)(format=xml)"));
+
+// ---------- Substitution ----------
+
+TEST(RslSubstituteTest, OuterBindings) {
+  auto node = parse("(directory=$(HOME)/data)");
+  ASSERT_TRUE(node.ok());
+  auto resolved = substitute(node.value(), {{"HOME", "/home/alice"}});
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(resolved->relations[0].values[0], Value::literal("/home/alice/data"));
+}
+
+TEST(RslSubstituteTest, RslSubstitutionRelationConsumed) {
+  auto node = parse("(rsl_substitution=(BASE /usr/local))(executable=$(BASE)/bin/app)");
+  ASSERT_TRUE(node.ok());
+  auto resolved = substitute(node.value());
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(resolved->find("rsl_substitution"), nullptr);
+  EXPECT_EQ(resolved->relations[0].values[0], Value::literal("/usr/local/bin/app"));
+}
+
+TEST(RslSubstituteTest, InnerDefinitionShadowsOuter) {
+  auto node = parse("(rsl_substitution=(V inner))(x=$(V))");
+  ASSERT_TRUE(node.ok());
+  auto resolved = substitute(node.value(), {{"V", "outer"}});
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(resolved->relations[0].values[0], Value::literal("inner"));
+}
+
+TEST(RslSubstituteTest, ChainedDefinitions) {
+  auto node = parse("(rsl_substitution=(A /a)(B $(A)/b))(x=$(B)/c)");
+  ASSERT_TRUE(node.ok());
+  auto resolved = substitute(node.value());
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(resolved->relations[0].values[0], Value::literal("/a/b/c"));
+}
+
+TEST(RslSubstituteTest, UndefinedVariableFails) {
+  auto node = parse("(x=$(NOPE))");
+  ASSERT_TRUE(node.ok());
+  auto resolved = substitute(node.value());
+  ASSERT_FALSE(resolved.ok());
+  EXPECT_EQ(resolved.code(), ErrorCode::kParseError);
+}
+
+TEST(RslSubstituteTest, SubstitutesInsideChildren) {
+  auto node = parse("&(rsl_substitution=(Q fast))(|(queue=$(Q))(queue=slow))");
+  ASSERT_TRUE(node.ok());
+  auto resolved = substitute(node.value());
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(resolved->children[0].relations[0].values[0], Value::literal("fast"));
+}
+
+TEST(RslSubstituteTest, MalformedSubstitutionPair) {
+  auto node = parse("(rsl_substitution=(ONLY))");
+  ASSERT_TRUE(node.ok());
+  EXPECT_FALSE(substitute(node.value()).ok());
+}
+
+// ---------- Flatten / display ----------
+
+TEST(RslValueTest, FlattenLiterals) {
+  auto node = parse("(arguments=a b c)");
+  ASSERT_TRUE(node.ok());
+  auto flat = flatten(node->relations[0].values);
+  ASSERT_TRUE(flat.ok());
+  EXPECT_EQ(flat.value(), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(RslValueTest, FlattenRejectsUnresolved) {
+  auto node = parse("(arguments=$(X))");
+  ASSERT_TRUE(node.ok());
+  EXPECT_FALSE(flatten(node->relations[0].values).ok());
+  auto list = parse("(environment=(A 1))");
+  ASSERT_TRUE(list.ok());
+  EXPECT_FALSE(flatten(list->relations[0].values).ok());
+}
+
+TEST(RslValueTest, DisplayString) {
+  auto node = parse("(arguments=a \"b c\" (d e))");
+  ASSERT_TRUE(node.ok());
+  EXPECT_EQ(to_display_string(node->relations[0].values), "a b c (d e)");
+}
+
+}  // namespace
+}  // namespace ig::rsl

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "info/system_monitor.hpp"
+#include "mds/giis.hpp"
+#include "mds/search_engine.hpp"
+#include "mds/service.hpp"
+#include "test_util.hpp"
+
+namespace ig::mds {
+namespace {
+
+TEST(TokenizeTest, LowercasesAndSplits) {
+  EXPECT_EQ(tokenize_query("  Memory 512  ANL "),
+            (std::vector<std::string>{"memory", "512", "anl"}));
+  EXPECT_TRUE(tokenize_query("   ").empty());
+}
+
+TEST(ScoreTest, WeightsDnNameValue) {
+  DirectoryEntry entry;
+  entry.dn = "kw=Memory, host=hot, o=Grid";
+  entry.add("Memory:total", "524288");
+  SearchOptions options;
+  // "memory" matches the DN (3) and the attribute name (2).
+  EXPECT_DOUBLE_EQ(score_entry(entry, {"memory"}, options), 5.0);
+  // "524288" matches a value only.
+  EXPECT_DOUBLE_EQ(score_entry(entry, {"524288"}, options), 1.0);
+  // Unmatched token contributes nothing.
+  EXPECT_DOUBLE_EQ(score_entry(entry, {"zzz"}, options), 0.0);
+  // Multiple tokens sum.
+  EXPECT_DOUBLE_EQ(score_entry(entry, {"memory", "524288"}, options), 6.0);
+}
+
+class SearchEngineTest : public ig::test::GridFixture {
+ protected:
+  SearchEngineTest() : giis("vo", *clock, seconds(60)) {
+    for (const char* host : {"hot.anl.gov", "cold.anl.gov"}) {
+      auto monitor = std::make_shared<info::SystemMonitor>(*clock, host);
+      info::ProviderOptions options;
+      options.ttl = seconds(60);
+      EXPECT_TRUE(monitor
+                      ->add_source(std::make_shared<info::CommandSource>(
+                                       "Memory", "/sbin/sysinfo.exe -mem", registry),
+                                   options)
+                      .ok());
+      EXPECT_TRUE(monitor
+                      ->add_source(std::make_shared<info::CommandSource>(
+                                       "CPULoad", "/usr/local/bin/cpuload.exe", registry),
+                                   options)
+                      .ok());
+      giis.register_child(std::make_shared<Gris>(monitor, host, *clock));
+    }
+  }
+  Giis giis;
+};
+
+TEST_F(SearchEngineTest, FindsKeywordAcrossTheVo) {
+  auto hits = keyword_search(giis, "memory");
+  ASSERT_TRUE(hits.ok());
+  // Memory entries from both hosts rank first (kw=Memory in the DN plus
+  // namespaced attribute names).
+  ASSERT_GE(hits->size(), 2u);
+  EXPECT_NE((*hits)[0].entry.dn.find("kw=Memory"), std::string::npos);
+  EXPECT_NE((*hits)[1].entry.dn.find("kw=Memory"), std::string::npos);
+  EXPECT_GE((*hits)[0].score, (*hits)[1].score);
+}
+
+TEST_F(SearchEngineTest, HostTokenNarrowsResults) {
+  auto hits = keyword_search(giis, "memory hot.anl.gov");
+  ASSERT_TRUE(hits.ok());
+  ASSERT_FALSE(hits->empty());
+  EXPECT_NE(hits->front().entry.dn.find("host=hot.anl.gov"), std::string::npos);
+  EXPECT_NE(hits->front().entry.dn.find("kw=Memory"), std::string::npos);
+}
+
+TEST_F(SearchEngineTest, MaxHitsCaps) {
+  SearchOptions options;
+  options.max_hits = 2;
+  auto hits = keyword_search(giis, "grid", options);  // matches every DN
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 2u);
+}
+
+TEST_F(SearchEngineTest, NoMatchesYieldsEmpty) {
+  auto hits = keyword_search(giis, "quantumfoam");
+  ASSERT_TRUE(hits.ok());
+  EXPECT_TRUE(hits->empty());
+}
+
+TEST_F(SearchEngineTest, EmptyQueryRejected) {
+  auto hits = keyword_search(giis, "   ");
+  ASSERT_FALSE(hits.ok());
+  EXPECT_EQ(hits.code(), ErrorCode::kInvalidArgument);
+}
+
+TEST_F(SearchEngineTest, KeywordSearchOverTheWire) {
+  auto shared_giis = std::make_shared<Giis>("wire-vo", *clock, seconds(60));
+  auto monitor = std::make_shared<info::SystemMonitor>(*clock, "wire.sim");
+  info::ProviderOptions options;
+  options.ttl = seconds(60);
+  ASSERT_TRUE(monitor
+                  ->add_source(std::make_shared<info::CommandSource>(
+                                   "Memory", "/sbin/sysinfo.exe -mem", registry),
+                               options)
+                  .ok());
+  shared_giis->register_child(std::make_shared<Gris>(monitor, "wire.sim", *clock));
+  MdsService service(shared_giis, host_cred, &trust, clock.get(), logger);
+  ASSERT_TRUE(service.start(*network, {"vo.wire", 2136}).ok());
+  MdsClient client(*network, {"vo.wire", 2136}, alice, trust, *clock);
+  auto hits = client.keyword_search("memory", 5);
+  ASSERT_TRUE(hits.ok());
+  ASSERT_FALSE(hits->empty());
+  EXPECT_GT(hits->front().score, 0.0);
+  EXPECT_NE(hits->front().entry.dn.find("kw=Memory"), std::string::npos);
+  EXPECT_FALSE(hits->front().entry.has("ig-score"));  // stripped client-side
+  auto empty = client.keyword_search("  ");
+  ASSERT_FALSE(empty.ok());
+  EXPECT_EQ(empty.code(), ErrorCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace ig::mds

@@ -1,0 +1,423 @@
+#include <gtest/gtest.h>
+
+#include "common/clock.hpp"
+#include "common/id.hpp"
+#include "common/rng.hpp"
+#include "net/network.hpp"
+#include "security/authorization.hpp"
+#include "security/certificate.hpp"
+#include "security/gridmap.hpp"
+#include "security/handshake.hpp"
+#include "security/keys.hpp"
+
+namespace ig::security {
+namespace {
+
+// ---------- Toy RSA ----------
+
+TEST(KeysTest, PrimalityKnownValues) {
+  EXPECT_FALSE(is_prime(0));
+  EXPECT_FALSE(is_prime(1));
+  EXPECT_TRUE(is_prime(2));
+  EXPECT_TRUE(is_prime(3));
+  EXPECT_FALSE(is_prime(4));
+  EXPECT_TRUE(is_prime(104729));           // 10000th prime
+  EXPECT_FALSE(is_prime(104729ULL * 3));
+  EXPECT_TRUE(is_prime(2147483647ULL));    // 2^31 - 1
+  EXPECT_FALSE(is_prime(2147483647ULL * 2147483647ULL));
+}
+
+TEST(KeysTest, SignVerifyRoundtrip) {
+  Rng rng(77);
+  KeyPair pair = KeyPair::generate(rng);
+  std::uint64_t digest = fnv1a("hello grid");
+  std::uint64_t sig = pair.sign(digest);
+  EXPECT_TRUE(verify(pair.pub, digest, sig));
+}
+
+TEST(KeysTest, TamperedDigestFailsVerification) {
+  Rng rng(78);
+  KeyPair pair = KeyPair::generate(rng);
+  std::uint64_t sig = pair.sign(fnv1a("original"));
+  EXPECT_FALSE(verify(pair.pub, fnv1a("tampered"), sig));
+}
+
+TEST(KeysTest, WrongKeyFailsVerification) {
+  Rng rng(79);
+  KeyPair a = KeyPair::generate(rng);
+  KeyPair b = KeyPair::generate(rng);
+  std::uint64_t digest = fnv1a("msg");
+  EXPECT_FALSE(verify(b.pub, digest, a.sign(digest)));
+}
+
+TEST(KeysTest, PublicKeyStringRoundtrip) {
+  Rng rng(80);
+  KeyPair pair = KeyPair::generate(rng);
+  PublicKey back;
+  ASSERT_TRUE(PublicKey::from_string(pair.pub.to_string(), back));
+  EXPECT_EQ(back, pair.pub);
+  EXPECT_FALSE(PublicKey::from_string("garbage", back));
+  EXPECT_FALSE(PublicKey::from_string("1/2/3", back));
+}
+
+// ---------- Certificates ----------
+
+class CertTest : public ::testing::Test {
+ protected:
+  CertTest()
+      : clock(seconds(1000)),
+        ca("/O=Grid/CN=Test CA", seconds(1000000), clock, 42),
+        rng(99) {
+    trust.add_root(ca.root_certificate());
+  }
+  VirtualClock clock;
+  CertificateAuthority ca;
+  TrustStore trust;
+  Rng rng;
+};
+
+TEST_F(CertTest, SerializeParseRoundtrip) {
+  auto cred = ca.issue("/O=Grid/CN=alice", CertType::kUser, seconds(3600));
+  auto parsed = Certificate::parse(cred.certificate().serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), cred.certificate());
+}
+
+TEST_F(CertTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(Certificate::parse("subject=/O=x").ok());  // missing fields
+  EXPECT_FALSE(Certificate::parse("nonsense").ok());
+  EXPECT_FALSE(Certificate::parse("subject=a\nkey=bad\nsignature=1").ok());
+}
+
+TEST_F(CertTest, IssuedCertVerifies) {
+  auto cred = ca.issue("/O=Grid/CN=alice", CertType::kUser, seconds(3600));
+  auto subject = trust.verify_chain(cred.chain(), clock.now());
+  ASSERT_TRUE(subject.ok());
+  EXPECT_EQ(subject.value(), "/O=Grid/CN=alice");
+}
+
+TEST_F(CertTest, ExpiredCertRejected) {
+  auto cred = ca.issue("/O=Grid/CN=alice", CertType::kUser, seconds(10));
+  clock.advance(seconds(11));
+  auto subject = trust.verify_chain(cred.chain(), clock.now());
+  ASSERT_FALSE(subject.ok());
+  EXPECT_EQ(subject.code(), ErrorCode::kDenied);
+}
+
+TEST_F(CertTest, UntrustedIssuerRejected) {
+  CertificateAuthority rogue("/O=Evil/CN=Rogue CA", seconds(1000000), clock, 666);
+  auto cred = rogue.issue("/O=Grid/CN=alice", CertType::kUser, seconds(3600));
+  EXPECT_FALSE(trust.verify_chain(cred.chain(), clock.now()).ok());
+}
+
+TEST_F(CertTest, TamperedCertificateRejected) {
+  auto cred = ca.issue("/O=Grid/CN=alice", CertType::kUser, seconds(3600));
+  auto chain = cred.chain();
+  chain.front().subject = "/O=Grid/CN=mallory";  // forge the subject
+  EXPECT_FALSE(trust.verify_chain(chain, clock.now()).ok());
+}
+
+TEST_F(CertTest, EmptyChainRejected) {
+  EXPECT_FALSE(trust.verify_chain({}, clock.now()).ok());
+}
+
+TEST_F(CertTest, ProxyDelegationVerifiesToBaseSubject) {
+  auto user = ca.issue("/O=Grid/CN=alice", CertType::kUser, seconds(3600));
+  auto proxy = user.delegate_proxy(seconds(600), clock, rng);
+  ASSERT_TRUE(proxy.ok());
+  EXPECT_EQ(proxy->certificate().type, CertType::kProxy);
+  EXPECT_EQ(proxy->base_subject(), "/O=Grid/CN=alice");
+  auto subject = trust.verify_chain(proxy->chain(), clock.now());
+  ASSERT_TRUE(subject.ok());
+  // The gridmap identity is the *base* subject, not the proxy DN.
+  EXPECT_EQ(subject.value(), "/O=Grid/CN=alice");
+}
+
+TEST_F(CertTest, ProxyOfProxyVerifies) {
+  auto user = ca.issue("/O=Grid/CN=alice", CertType::kUser, seconds(3600));
+  auto proxy1 = user.delegate_proxy(seconds(600), clock, rng);
+  ASSERT_TRUE(proxy1.ok());
+  auto proxy2 = proxy1->delegate_proxy(seconds(60), clock, rng);
+  ASSERT_TRUE(proxy2.ok());
+  auto subject = trust.verify_chain(proxy2->chain(), clock.now());
+  ASSERT_TRUE(subject.ok());
+  EXPECT_EQ(subject.value(), "/O=Grid/CN=alice");
+}
+
+TEST_F(CertTest, ProxyLifetimeClippedToDelegator) {
+  auto user = ca.issue("/O=Grid/CN=alice", CertType::kUser, seconds(100));
+  auto proxy = user.delegate_proxy(seconds(100000), clock, rng);
+  ASSERT_TRUE(proxy.ok());
+  EXPECT_EQ(proxy->certificate().not_after, user.certificate().not_after);
+}
+
+TEST_F(CertTest, ExpiredProxyRejectedWhileUserStillValid) {
+  auto user = ca.issue("/O=Grid/CN=alice", CertType::kUser, seconds(3600));
+  auto proxy = user.delegate_proxy(seconds(10), clock, rng);
+  ASSERT_TRUE(proxy.ok());
+  clock.advance(seconds(11));
+  EXPECT_FALSE(trust.verify_chain(proxy->chain(), clock.now()).ok());
+  EXPECT_TRUE(trust.verify_chain(user.chain(), clock.now()).ok());
+}
+
+TEST_F(CertTest, DelegationFromExpiredCertFails) {
+  auto user = ca.issue("/O=Grid/CN=alice", CertType::kUser, seconds(10));
+  clock.advance(seconds(11));
+  EXPECT_FALSE(user.delegate_proxy(seconds(10), clock, rng).ok());
+}
+
+TEST_F(CertTest, ForgedProxyChainRejected) {
+  auto alice = ca.issue("/O=Grid/CN=alice", CertType::kUser, seconds(3600));
+  auto bob = ca.issue("/O=Grid/CN=bob", CertType::kUser, seconds(3600));
+  auto proxy = alice.delegate_proxy(seconds(600), clock, rng);
+  ASSERT_TRUE(proxy.ok());
+  // Splice bob in as the delegator: subject prefix no longer matches.
+  std::vector<Certificate> forged = {proxy->chain().front(), bob.certificate()};
+  EXPECT_FALSE(trust.verify_chain(forged, clock.now()).ok());
+}
+
+TEST_F(CertTest, ChainSerializationRoundtrip) {
+  auto user = ca.issue("/O=Grid/CN=alice", CertType::kUser, seconds(3600));
+  auto proxy = user.delegate_proxy(seconds(600), clock, rng);
+  ASSERT_TRUE(proxy.ok());
+  auto text = TrustStore::serialize_chain(proxy->chain());
+  auto parsed = TrustStore::parse_chain(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), proxy->chain());
+}
+
+// ---------- GridMap ----------
+
+TEST(GridMapTest, MapAndDeny) {
+  GridMap map;
+  map.add("/O=Grid/CN=alice", "alice");
+  auto hit = map.map("/O=Grid/CN=alice");
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(hit.value(), "alice");
+  auto miss = map.map("/O=Grid/CN=bob");
+  ASSERT_FALSE(miss.ok());
+  EXPECT_EQ(miss.code(), ErrorCode::kDenied);
+  map.remove("/O=Grid/CN=alice");
+  EXPECT_FALSE(map.contains("/O=Grid/CN=alice"));
+}
+
+TEST(GridMapTest, ParseClassicFormat) {
+  auto map = GridMap::parse(
+      "# comment line\n"
+      "\"/O=Grid/CN=alice\" alice\n"
+      "\n"
+      "\"/O=Grid/OU=ANL/CN=gregor von laszewski\" gregor\n");
+  ASSERT_TRUE(map.ok());
+  EXPECT_EQ(map->size(), 2u);
+  EXPECT_EQ(map->map("/O=Grid/OU=ANL/CN=gregor von laszewski").value(), "gregor");
+}
+
+TEST(GridMapTest, ParseErrors) {
+  EXPECT_FALSE(GridMap::parse("/O=Grid/CN=x account").ok());   // unquoted DN
+  EXPECT_FALSE(GridMap::parse("\"/O=Grid/CN=x\"").ok());       // missing account
+  EXPECT_FALSE(GridMap::parse("\"/O=Grid/CN=x account").ok()); // unterminated quote
+}
+
+TEST(GridMapTest, SerializeRoundtrip) {
+  GridMap map;
+  map.add("/O=Grid/CN=alice", "alice");
+  map.add("/O=Grid/CN=bob", "bob");
+  auto back = GridMap::parse(map.serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->size(), 2u);
+  EXPECT_EQ(back->map("/O=Grid/CN=bob").value(), "bob");
+}
+
+// ---------- Authorization ----------
+
+TEST(AuthorizationTest, DefaultDecisionApplies) {
+  AuthorizationPolicy deny_by_default(Decision::kDeny);
+  EXPECT_EQ(deny_by_default.evaluate("/O=Grid/CN=x", "r", "submit", seconds(0)),
+            Decision::kDeny);
+  AuthorizationPolicy allow_by_default(Decision::kAllow);
+  EXPECT_EQ(allow_by_default.evaluate("/O=Grid/CN=x", "r", "submit", seconds(0)),
+            Decision::kAllow);
+}
+
+TEST(AuthorizationTest, FirstMatchWins) {
+  AuthorizationPolicy policy(Decision::kDeny);
+  policy.add_rule({"/O=Grid/CN=alice", "*", "*", std::nullopt, Decision::kDeny});
+  policy.add_rule({"/O=Grid/CN=*", "*", "*", std::nullopt, Decision::kAllow});
+  EXPECT_EQ(policy.evaluate("/O=Grid/CN=alice", "r", "submit", seconds(0)), Decision::kDeny);
+  EXPECT_EQ(policy.evaluate("/O=Grid/CN=bob", "r", "submit", seconds(0)), Decision::kAllow);
+}
+
+TEST(AuthorizationTest, PaperContractThreeToFourPm) {
+  // "allow access to this resource from 3 to 4 pm to user X"
+  AuthorizationPolicy policy(Decision::kDeny);
+  Rule rule;
+  rule.subject_pattern = "/O=Grid/CN=x";
+  rule.resource_pattern = "hot.mcs.anl.gov";
+  rule.window = TimeWindow{seconds(15 * 3600), seconds(16 * 3600)};
+  policy.add_rule(rule);
+  auto at = [](int hour, int minute) { return seconds(hour * 3600 + minute * 60); };
+  EXPECT_EQ(policy.evaluate("/O=Grid/CN=x", "hot.mcs.anl.gov", "submit", at(15, 30)),
+            Decision::kAllow);
+  EXPECT_EQ(policy.evaluate("/O=Grid/CN=x", "hot.mcs.anl.gov", "submit", at(14, 59)),
+            Decision::kDeny);
+  EXPECT_EQ(policy.evaluate("/O=Grid/CN=x", "hot.mcs.anl.gov", "submit", at(16, 0)),
+            Decision::kDeny);
+  EXPECT_EQ(policy.evaluate("/O=Grid/CN=y", "hot.mcs.anl.gov", "submit", at(15, 30)),
+            Decision::kDeny);
+  // Window recurs the next day.
+  EXPECT_EQ(policy.evaluate("/O=Grid/CN=x", "hot.mcs.anl.gov", "submit",
+                            seconds(86400) + at(15, 30)),
+            Decision::kAllow);
+}
+
+TEST(AuthorizationTest, ParsePolicyText) {
+  auto policy = AuthorizationPolicy::parse(
+      "# rules\n"
+      "allow /O=Grid/CN=alice * submit 54000-57600\n"
+      "deny * * * \n");
+  ASSERT_TRUE(policy.ok());
+  EXPECT_EQ(policy->rule_count(), 2u);
+  EXPECT_EQ(policy->evaluate("/O=Grid/CN=alice", "r", "submit", seconds(55000)),
+            Decision::kAllow);
+  EXPECT_EQ(policy->evaluate("/O=Grid/CN=alice", "r", "submit", seconds(1000)),
+            Decision::kDeny);
+}
+
+TEST(AuthorizationTest, ParseErrors) {
+  EXPECT_FALSE(AuthorizationPolicy::parse("maybe * * *").ok());
+  EXPECT_FALSE(AuthorizationPolicy::parse("allow * *").ok());
+  EXPECT_FALSE(AuthorizationPolicy::parse("allow * * * 100").ok());
+  EXPECT_FALSE(AuthorizationPolicy::parse("allow * * * 200-100").ok());
+}
+
+TEST(AuthorizationTest, AuthorizeStatus) {
+  AuthorizationPolicy policy(Decision::kDeny);
+  auto status = policy.authorize("/O=Grid/CN=x", "res", "query", seconds(0));
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), ErrorCode::kDenied);
+}
+
+// ---------- Handshake over the simulated network ----------
+
+class HandshakeTest : public ::testing::Test {
+ protected:
+  HandshakeTest()
+      : clock(seconds(1000)),
+        ca("/O=Grid/CN=HS CA", seconds(1000000), clock, 21),
+        server_cred(ca.issue("/O=Grid/CN=host/srv", CertType::kHost, seconds(100000))),
+        alice(ca.issue("/O=Grid/CN=alice", CertType::kUser, seconds(100000))) {
+    trust.add_root(ca.root_certificate());
+    gridmap.add("/O=Grid/CN=alice", "alice");
+  }
+
+  void start_server(const GridMap* map) {
+    authenticator = std::make_unique<Authenticator>(server_cred, &trust, map, &clock);
+    ASSERT_TRUE(network.listen(addr, authenticator->wrap([](const net::Message&,
+                                                            net::Session& session) {
+      return net::Message::ok("user=" + session.local_user().value_or("?"));
+    })));
+  }
+
+  VirtualClock clock;
+  net::Network network;
+  net::Address addr{"srv", 1};
+  CertificateAuthority ca;
+  TrustStore trust;
+  GridMap gridmap;
+  Credential server_cred;
+  Credential alice;
+  std::unique_ptr<Authenticator> authenticator;
+};
+
+TEST_F(HandshakeTest, MutualAuthenticationSucceeds) {
+  start_server(&gridmap);
+  auto conn = network.connect(addr);
+  ASSERT_TRUE(conn.ok());
+  auto server_subject = authenticate(**conn, alice, trust, clock);
+  ASSERT_TRUE(server_subject.ok());
+  EXPECT_EQ(server_subject.value(), "/O=Grid/CN=host/srv");
+  auto resp = (*conn)->request(net::Message("WHOAMI"));
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->body, "user=alice");
+  // Handshake is exactly two round trips.
+  EXPECT_EQ((*conn)->stats().requests, 3u);
+}
+
+TEST_F(HandshakeTest, UnauthenticatedRequestRejected) {
+  start_server(&gridmap);
+  auto conn = network.connect(addr);
+  ASSERT_TRUE(conn.ok());
+  auto resp = (*conn)->request(net::Message("WHOAMI"));
+  ASSERT_TRUE(resp.ok());
+  EXPECT_TRUE(resp->is_error());
+  EXPECT_EQ(net::Message::to_error(*resp).code, ErrorCode::kDenied);
+}
+
+TEST_F(HandshakeTest, UnknownUserDeniedByGridmap) {
+  start_server(&gridmap);
+  auto mallory = ca.issue("/O=Grid/CN=mallory", CertType::kUser, seconds(100000));
+  auto conn = network.connect(addr);
+  ASSERT_TRUE(conn.ok());
+  auto result = authenticate(**conn, mallory, trust, clock);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.code(), ErrorCode::kDenied);
+}
+
+TEST_F(HandshakeTest, NoGridmapServiceAcceptsAnyTrustedUser) {
+  start_server(nullptr);  // info-style service: authn without local account
+  auto bob = ca.issue("/O=Grid/CN=bob", CertType::kUser, seconds(100000));
+  auto conn = network.connect(addr);
+  ASSERT_TRUE(conn.ok());
+  EXPECT_TRUE(authenticate(**conn, bob, trust, clock).ok());
+}
+
+TEST_F(HandshakeTest, ProxyCredentialAuthenticatesAsBaseSubject) {
+  start_server(&gridmap);
+  Rng rng(5);
+  auto proxy = alice.delegate_proxy(seconds(600), clock, rng);
+  ASSERT_TRUE(proxy.ok());
+  auto conn = network.connect(addr);
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(authenticate(**conn, *proxy, trust, clock).ok());
+  auto resp = (*conn)->request(net::Message("WHOAMI"));
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->body, "user=alice");
+}
+
+TEST_F(HandshakeTest, ExpiredCredentialRejected) {
+  start_server(&gridmap);
+  auto shortlived = ca.issue("/O=Grid/CN=alice", CertType::kUser, seconds(5));
+  clock.advance(seconds(6));
+  auto conn = network.connect(addr);
+  ASSERT_TRUE(conn.ok());
+  EXPECT_FALSE(authenticate(**conn, shortlived, trust, clock).ok());
+}
+
+TEST_F(HandshakeTest, ClientRejectsUntrustedServer) {
+  // Server presents a certificate from a CA the client does not trust.
+  CertificateAuthority rogue("/O=Evil/CN=CA", seconds(1000000), clock, 91);
+  auto rogue_server = rogue.issue("/O=Evil/CN=host/srv", CertType::kHost, seconds(100000));
+  Authenticator rogue_auth(rogue_server, &trust, &gridmap, &clock);
+  ASSERT_TRUE(network.listen(addr, rogue_auth.wrap([](const net::Message&, net::Session&) {
+    return net::Message::ok();
+  })));
+  auto conn = network.connect(addr);
+  ASSERT_TRUE(conn.ok());
+  auto result = authenticate(**conn, alice, trust, clock);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.code(), ErrorCode::kDenied);
+}
+
+TEST_F(HandshakeTest, ProveWithoutHelloRejected) {
+  start_server(&gridmap);
+  auto conn = network.connect(addr);
+  ASSERT_TRUE(conn.ok());
+  net::Message prove("AUTH_PROVE", TrustStore::serialize_chain(alice.chain()));
+  prove.with("proof", "12345");
+  auto resp = (*conn)->request(prove);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_TRUE(resp->is_error());
+}
+
+}  // namespace
+}  // namespace ig::security

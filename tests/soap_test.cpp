@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "core/config.hpp"
+#include "exec/fork_backend.hpp"
+#include "core/infogram_client.hpp"
+#include "soap/gateway.hpp"
+#include "test_util.hpp"
+
+namespace ig::soap {
+namespace {
+
+constexpr Duration kWait = seconds(30);
+
+// ---------- Envelope encoding ----------
+
+TEST(EnvelopeTest, OperationRoundtrip) {
+  Operation op;
+  op.name = "submitJob";
+  op.parameters["rsl"] = "&(executable=/bin/echo)(arguments=a b)";
+  op.parameters["callback"] = "client:9000";
+  auto parsed = parse_envelope(to_envelope(op));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), op);
+}
+
+TEST(EnvelopeTest, EscapedContentSurvives) {
+  Operation op;
+  op.name = "queryInfo";
+  op.parameters["keys"] = R"(<Memory> & "CPU")";
+  auto parsed = parse_envelope(to_envelope(op));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->parameters.at("keys"), R"(<Memory> & "CPU")");
+}
+
+TEST(EnvelopeTest, FaultRoundtrip) {
+  Error original(ErrorCode::kDenied, "no gridmap entry");
+  std::string xml = to_fault(original);
+  EXPECT_TRUE(is_fault(xml));
+  auto fault = parse_fault(xml);
+  ASSERT_TRUE(fault.ok());
+  EXPECT_EQ(fault->error.code, ErrorCode::kDenied);
+  EXPECT_EQ(fault->error.message, "no gridmap entry");
+}
+
+TEST(EnvelopeTest, ParseRejectsNonSoap) {
+  EXPECT_FALSE(parse_envelope("<html></html>").ok());
+  EXPECT_FALSE(parse_envelope("not xml at all").ok());
+  EXPECT_FALSE(parse_fault(to_envelope(Operation{"op", {}})).ok());
+}
+
+// ---------- Gateway over the wire ----------
+
+class SoapGatewayTest : public ig::test::GridFixture {
+ protected:
+  SoapGatewayTest() : backend(std::make_shared<exec::ForkBackend>(registry, *clock)) {
+    monitor = std::make_shared<info::SystemMonitor>(*clock, "test.sim");
+    EXPECT_TRUE(core::Configuration::table1().apply(*monitor, registry).ok());
+    core::InfoGramConfig config;
+    config.host = "test.sim";
+    service = std::make_unique<core::InfoGramService>(monitor, backend, host_cred, &trust,
+                                                      &gridmap, &policy, clock.get(),
+                                                      logger, config);
+    EXPECT_TRUE(service->start(*network).ok());
+    gateway = std::make_unique<SoapGateway>(*service, host_cred, &trust, &gridmap,
+                                            clock.get());
+    EXPECT_TRUE(gateway->start(*network).ok());
+  }
+
+  SoapClient make_client() {
+    return SoapClient(*network, gateway->address(), alice, trust, *clock);
+  }
+
+  std::shared_ptr<exec::ForkBackend> backend;
+  std::shared_ptr<info::SystemMonitor> monitor;
+  std::unique_ptr<core::InfoGramService> service;
+  std::unique_ptr<SoapGateway> gateway;
+};
+
+TEST_F(SoapGatewayTest, GatewayListensOnItsOwnPort) {
+  EXPECT_EQ(gateway->address().port, 8080);
+  EXPECT_EQ(gateway->address().host, "test.sim");
+}
+
+TEST_F(SoapGatewayTest, SubmitAndWaitJob) {
+  auto client = make_client();
+  auto contact = client.submit_job("&(executable=/bin/echo)(arguments=via soap)");
+  ASSERT_TRUE(contact.ok());
+  auto state = client.wait(*contact, kWait);
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(state.value(), exec::JobState::kDone);
+  EXPECT_EQ(client.job_output(*contact).value(), "via soap\n");
+}
+
+TEST_F(SoapGatewayTest, QueryInfoReturnsParsedRecords) {
+  auto client = make_client();
+  auto records = client.query_info({"Memory", "CPU"});
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_NE((*records)[0].find("Memory:total"), nullptr);
+  // LDIF payload variant.
+  auto ldif = client.query_info({"Memory"}, rsl::ResponseMode::kCached,
+                                rsl::OutputFormat::kLdif);
+  ASSERT_TRUE(ldif.ok());
+  EXPECT_EQ(ldif->size(), 1u);
+}
+
+TEST_F(SoapGatewayTest, SchemaThroughSoap) {
+  auto client = make_client();
+  ASSERT_TRUE(client.query_info({"all"}).ok());
+  auto schema = client.fetch_schema();
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->keywords.size(), 5u);
+}
+
+TEST_F(SoapGatewayTest, ErrorsArriveAsFaults) {
+  auto client = make_client();
+  auto bad_rsl = client.submit_job("((nonsense");
+  ASSERT_FALSE(bad_rsl.ok());
+  EXPECT_EQ(bad_rsl.code(), ErrorCode::kParseError);
+  auto unknown = client.job_status("https://test.sim:2135/jobmanager/424242");
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.code(), ErrorCode::kNotFound);
+  Operation bogus;
+  bogus.name = "frobnicate";
+  auto resp = client.call(bogus);
+  ASSERT_FALSE(resp.ok());
+  EXPECT_EQ(resp.code(), ErrorCode::kNotFound);
+}
+
+TEST_F(SoapGatewayTest, CancelThroughSoap) {
+  auto client = make_client();
+  auto contact = client.submit_job(
+      "&(executable=/bin/sleep)(arguments=100000)(count=1000)");
+  ASSERT_TRUE(contact.ok());
+  (void)client.cancel(*contact);
+  auto state = client.wait(*contact, kWait);
+  ASSERT_TRUE(state.ok());
+  EXPECT_TRUE(exec::is_terminal(state.value()));
+}
+
+TEST_F(SoapGatewayTest, GridSecurityStillApplies) {
+  auto mallory_ca =
+      security::CertificateAuthority("/O=Evil/CN=CA", seconds(1000000), *clock, 66);
+  auto mallory =
+      mallory_ca.issue("/O=Evil/CN=mallory", security::CertType::kUser, seconds(100000));
+  SoapClient client(*network, gateway->address(), mallory, trust, *clock);
+  auto denied = client.query_info({"Memory"});
+  ASSERT_FALSE(denied.ok());
+  EXPECT_EQ(denied.code(), ErrorCode::kDenied);
+}
+
+TEST_F(SoapGatewayTest, WsdlDescribesAllOperations) {
+  auto client = make_client();
+  auto wsdl = client.fetch_wsdl();
+  ASSERT_TRUE(wsdl.ok());
+  for (const char* op : {"submitJob", "queryInfo", "getSchema", "jobStatus", "jobOutput",
+                         "cancelJob", "waitJob"}) {
+    EXPECT_NE(wsdl->find(std::string("<operation name=\"") + op + "\">"),
+              std::string::npos)
+        << op;
+  }
+  EXPECT_NE(wsdl->find("soap://test.sim:8080"), std::string::npos);
+  // The WSDL is well-formed XML by our own parser.
+  EXPECT_TRUE(format::parse_xml_element(*wsdl).ok());
+}
+
+TEST_F(SoapGatewayTest, SoapCostsMoreBytesThanNativeProtocol) {
+  // The commodity-protocol tradeoff: same query, measure wire bytes.
+  auto soap_client = make_client();
+  ASSERT_TRUE(soap_client.query_info({"Memory"}).ok());
+  auto soap_bytes = soap_client.stats().bytes_sent + soap_client.stats().bytes_received;
+
+  core::InfoGramClient native(*network, service->address(), alice, trust, *clock);
+  ASSERT_TRUE(native.query_info({"Memory"}).ok());
+  auto native_bytes = native.stats().bytes_sent + native.stats().bytes_received;
+  EXPECT_GT(soap_bytes, native_bytes);
+}
+
+}  // namespace
+}  // namespace ig::soap

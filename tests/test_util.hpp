@@ -1,0 +1,56 @@
+// Shared fixtures: a simulated grid-in-a-box (clock, network, PKI, host
+// system, command registry) most service-level tests build on.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/clock.hpp"
+#include "exec/command.hpp"
+#include "logging/log.hpp"
+#include "net/network.hpp"
+#include "security/authorization.hpp"
+#include "security/certificate.hpp"
+#include "security/gridmap.hpp"
+
+namespace ig::test {
+
+/// One CA, one trusted root, one enrolled user ("alice" -> "alice"), one
+/// host credential, a virtual clock and an in-process network.
+class GridFixture : public ::testing::Test {
+ protected:
+  GridFixture()
+      : clock(std::make_unique<VirtualClock>(seconds(1000))),
+        network(std::make_unique<net::Network>()),
+        ca(std::make_unique<security::CertificateAuthority>("/O=Grid/CN=Test CA",
+                                                            seconds(365LL * 86400), *clock,
+                                                            12345)),
+        policy(security::Decision::kAllow) {
+    trust.add_root(ca->root_certificate());
+    alice = ca->issue("/O=Grid/CN=alice", security::CertType::kUser, seconds(86400));
+    host_cred = ca->issue("/O=Grid/CN=host/test.sim", security::CertType::kHost,
+                          seconds(365LL * 86400));
+    gridmap.add("/O=Grid/CN=alice", "alice");
+    logger = std::make_shared<logging::Logger>(*clock);
+    log_sink = std::make_shared<logging::MemorySink>();
+    logger->add_sink(log_sink);
+    system = std::make_shared<exec::SimSystem>(*clock, 99, "test.sim");
+    registry = exec::CommandRegistry::standard(*clock, system, 4242);
+  }
+
+  std::unique_ptr<VirtualClock> clock;
+  std::unique_ptr<net::Network> network;
+  std::unique_ptr<security::CertificateAuthority> ca;
+  security::TrustStore trust;
+  security::GridMap gridmap;
+  security::AuthorizationPolicy policy;
+  security::Credential alice;
+  security::Credential host_cred;
+  std::shared_ptr<logging::Logger> logger;
+  std::shared_ptr<logging::MemorySink> log_sink;
+  std::shared_ptr<exec::SimSystem> system;
+  std::shared_ptr<exec::CommandRegistry> registry;
+};
+
+}  // namespace ig::test

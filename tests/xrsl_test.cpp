@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include "rsl/xrsl.hpp"
+
+namespace ig::rsl {
+namespace {
+
+// ---------- Job attributes ----------
+
+TEST(XrslTest, ClassicJobRequest) {
+  auto req = XrslRequest::parse(
+      "&(executable=/bin/app)(arguments=a b)(directory=/home/alice)"
+      "(environment=(K1 v1)(K2 v2))(count=3)(queue=fast)(stdout=out.txt)(maxtime=5)");
+  ASSERT_TRUE(req.ok());
+  EXPECT_TRUE(req->is_job());
+  EXPECT_FALSE(req->is_info());
+  const JobSpec& job = *req->job;
+  EXPECT_EQ(job.executable, "/bin/app");
+  EXPECT_EQ(job.arguments, (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(job.directory, "/home/alice");
+  EXPECT_EQ(job.environment.at("K1"), "v1");
+  EXPECT_EQ(job.environment.at("K2"), "v2");
+  EXPECT_EQ(job.count, 3);
+  EXPECT_EQ(job.queue, "fast");
+  EXPECT_EQ(job.std_out, "out.txt");
+  EXPECT_EQ(job.max_time, seconds(300));
+}
+
+TEST(XrslTest, JarJobType) {
+  auto req = XrslRequest::parse("(executable=analysis.jar)(jobtype=jar)");
+  ASSERT_TRUE(req.ok());
+  EXPECT_EQ(req->job->job_type, "jar");
+}
+
+TEST(XrslTest, JobAttributesWithoutExecutableRejected) {
+  auto req = XrslRequest::parse("(count=2)");
+  ASSERT_FALSE(req.ok());
+  EXPECT_EQ(req.code(), ErrorCode::kInvalidArgument);
+}
+
+// ---------- Info tags (the paper's extensions) ----------
+
+TEST(XrslTest, InfoQueryConcatenation) {
+  // Paper: "(info=memory)(info=cpu)"
+  auto req = XrslRequest::parse("(info=Memory)(info=CPU)");
+  ASSERT_TRUE(req.ok());
+  EXPECT_FALSE(req->is_job());
+  EXPECT_TRUE(req->is_info());
+  EXPECT_EQ(req->info_keys, (std::vector<std::string>{"Memory", "CPU"}));
+}
+
+TEST(XrslTest, InfoAllAndSchema) {
+  auto all = XrslRequest::parse("(info=all)");
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->info_keys, (std::vector<std::string>{"all"}));
+
+  auto schema = XrslRequest::parse("(info=schema)");
+  ASSERT_TRUE(schema.ok());
+  EXPECT_TRUE(schema->wants_schema);
+  EXPECT_TRUE(schema->info_keys.empty());
+  EXPECT_TRUE(schema->is_info());
+}
+
+TEST(XrslTest, ResponseModes) {
+  for (auto [text, mode] :
+       std::vector<std::pair<const char*, ResponseMode>>{
+           {"(info=x)(response=immediate)", ResponseMode::kImmediate},
+           {"(info=x)(response=cached)", ResponseMode::kCached},
+           {"(info=x)(response=last)", ResponseMode::kLast},
+           {"(info=x)", ResponseMode::kCached}}) {
+    auto req = XrslRequest::parse(text);
+    ASSERT_TRUE(req.ok()) << text;
+    EXPECT_EQ(req->response, mode) << text;
+  }
+  EXPECT_FALSE(XrslRequest::parse("(info=x)(response=sometimes)").ok());
+}
+
+TEST(XrslTest, QualityThreshold) {
+  auto req = XrslRequest::parse("(info=CPULoad)(quality=75.5)");
+  ASSERT_TRUE(req.ok());
+  EXPECT_DOUBLE_EQ(*req->quality_threshold, 75.5);
+  EXPECT_FALSE(XrslRequest::parse("(info=x)(quality=120)").ok());
+  EXPECT_FALSE(XrslRequest::parse("(info=x)(quality=-1)").ok());
+  EXPECT_FALSE(XrslRequest::parse("(info=x)(quality=abc)").ok());
+}
+
+TEST(XrslTest, PerformanceTag) {
+  auto req = XrslRequest::parse("(performance=Memory)(performance=CPU)");
+  ASSERT_TRUE(req.ok());
+  EXPECT_TRUE(req->is_info());
+  EXPECT_EQ(req->performance_keys, (std::vector<std::string>{"Memory", "CPU"}));
+}
+
+TEST(XrslTest, FormatTag) {
+  auto ldif = XrslRequest::parse("(info=x)(format=LDIF)");
+  ASSERT_TRUE(ldif.ok());
+  EXPECT_EQ(ldif->format, OutputFormat::kLdif);
+  auto xml = XrslRequest::parse("(info=x)(format=xml)");
+  ASSERT_TRUE(xml.ok());
+  EXPECT_EQ(xml->format, OutputFormat::kXml);
+  EXPECT_FALSE(XrslRequest::parse("(info=x)(format=yaml)").ok());
+}
+
+TEST(XrslTest, FilterTag) {
+  auto req = XrslRequest::parse("(info=Memory)(filter=Memory:total)(filter=Memory:free)");
+  ASSERT_TRUE(req.ok());
+  EXPECT_EQ(req->filters, (std::vector<std::string>{"Memory:total", "Memory:free"}));
+}
+
+TEST(XrslTest, TimeoutAndAction) {
+  // Paper: "(executable=command)(timeout=1000)(action=cancel)"
+  auto cancel = XrslRequest::parse("(executable=command)(timeout=1000)(action=cancel)");
+  ASSERT_TRUE(cancel.ok());
+  EXPECT_EQ(cancel->timeout, ms(1000));
+  EXPECT_EQ(cancel->action, TimeoutAction::kCancel);
+  auto exception = XrslRequest::parse("(executable=c)(timeout=50)(action=exception)");
+  ASSERT_TRUE(exception.ok());
+  EXPECT_EQ(exception->action, TimeoutAction::kException);
+  EXPECT_FALSE(XrslRequest::parse("(executable=c)(timeout=9)(action=explode)").ok());
+}
+
+TEST(XrslTest, CombinedJobAndInfoRequest) {
+  // The paper's unification: one request doing both.
+  auto req = XrslRequest::parse("(executable=/bin/app)(info=CPULoad)(response=cached)");
+  ASSERT_TRUE(req.ok());
+  EXPECT_TRUE(req->is_job());
+  EXPECT_TRUE(req->is_info());
+}
+
+TEST(XrslTest, EmptyRequestRejected) {
+  auto req = XrslRequest::parse("(format=xml)");
+  ASSERT_FALSE(req.ok());  // neither a job nor an info query
+}
+
+TEST(XrslTest, UnknownAttributeRejected) {
+  EXPECT_FALSE(XrslRequest::parse("(frobnicate=yes)").ok());
+}
+
+TEST(XrslTest, NonEqualityOperatorRejected) {
+  EXPECT_FALSE(XrslRequest::parse("(count>=2)(executable=x)").ok());
+}
+
+TEST(XrslTest, MultiRequestNodeRejected) {
+  auto node = parse("+(&(executable=a))(&(executable=b))");
+  ASSERT_TRUE(node.ok());
+  EXPECT_FALSE(XrslRequest::from_node(node.value()).ok());
+}
+
+TEST(XrslTest, VariablesResolvedThroughParse) {
+  auto req = XrslRequest::parse(
+      "(rsl_substitution=(BIN /usr/bin))(executable=$(BIN)/app)");
+  ASSERT_TRUE(req.ok());
+  EXPECT_EQ(req->job->executable, "/usr/bin/app");
+}
+
+// ---------- Builder and to_rsl roundtrip ----------
+
+TEST(XrslBuilderTest, BuildsJobRequest) {
+  XrslBuilder builder;
+  builder.executable("/bin/app")
+      .argument("x")
+      .argument("y")
+      .environment("HOME", "/home/a")
+      .directory("/tmp")
+      .count(2)
+      .queue("fast")
+      .max_time(seconds(120));
+  const XrslRequest& req = builder.request();
+  EXPECT_EQ(req.job->executable, "/bin/app");
+  EXPECT_EQ(req.job->arguments.size(), 2u);
+  EXPECT_EQ(req.job->count, 2);
+}
+
+TEST(XrslBuilderTest, RoundtripThroughRsl) {
+  XrslBuilder builder;
+  builder.executable("/bin/app")
+      .argument("alpha beta")  // needs quoting
+      .environment("K", "v with spaces")
+      .stdout_file("out.txt")
+      .job_type("jar")
+      .count(4)
+      .info("Memory")
+      .info("CPU")
+      .response(ResponseMode::kImmediate)
+      .quality(80)
+      .performance("Memory")
+      .format(OutputFormat::kXml)
+      .filter("Memory:*")
+      .timeout(ms(500), TimeoutAction::kException);
+  auto parsed = XrslRequest::parse(builder.to_rsl());
+  ASSERT_TRUE(parsed.ok()) << builder.to_rsl();
+  EXPECT_EQ(parsed.value(), builder.request()) << builder.to_rsl();
+}
+
+TEST(XrslBuilderTest, InfoOnlyRoundtrip) {
+  XrslBuilder builder;
+  builder.schema();
+  auto parsed = XrslRequest::parse(builder.to_rsl());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->wants_schema);
+}
+
+TEST(XrslTest, ToStringHelpers) {
+  EXPECT_EQ(to_string(ResponseMode::kImmediate), "immediate");
+  EXPECT_EQ(to_string(OutputFormat::kXml), "xml");
+  EXPECT_EQ(to_string(TimeoutAction::kException), "exception");
+}
+
+}  // namespace
+}  // namespace ig::rsl
