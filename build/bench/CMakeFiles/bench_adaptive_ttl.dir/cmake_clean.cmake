@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_adaptive_ttl.dir/bench_adaptive_ttl.cpp.o"
+  "CMakeFiles/bench_adaptive_ttl.dir/bench_adaptive_ttl.cpp.o.d"
+  "bench_adaptive_ttl"
+  "bench_adaptive_ttl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_adaptive_ttl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cache_ttl.dir/bench_cache_ttl.cpp.o"
+  "CMakeFiles/bench_cache_ttl.dir/bench_cache_ttl.cpp.o.d"
+  "bench_cache_ttl"
+  "bench_cache_ttl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cache_ttl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_degradation_quality.dir/bench_degradation_quality.cpp.o"
+  "CMakeFiles/bench_degradation_quality.dir/bench_degradation_quality.cpp.o.d"
+  "bench_degradation_quality"
+  "bench_degradation_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_degradation_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

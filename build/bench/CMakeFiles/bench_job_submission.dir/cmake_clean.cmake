@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_job_submission.dir/bench_job_submission.cpp.o"
+  "CMakeFiles/bench_job_submission.dir/bench_job_submission.cpp.o.d"
+  "bench_job_submission"
+  "bench_job_submission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_job_submission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

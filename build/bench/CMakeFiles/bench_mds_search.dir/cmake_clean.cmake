@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mds_search.dir/bench_mds_search.cpp.o"
+  "CMakeFiles/bench_mds_search.dir/bench_mds_search.cpp.o.d"
+  "bench_mds_search"
+  "bench_mds_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mds_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

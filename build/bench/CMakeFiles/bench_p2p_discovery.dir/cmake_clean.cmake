@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_p2p_discovery.dir/bench_p2p_discovery.cpp.o"
+  "CMakeFiles/bench_p2p_discovery.dir/bench_p2p_discovery.cpp.o.d"
+  "bench_p2p_discovery"
+  "bench_p2p_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_p2p_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_performance_tag.dir/bench_performance_tag.cpp.o"
+  "CMakeFiles/bench_performance_tag.dir/bench_performance_tag.cpp.o.d"
+  "bench_performance_tag"
+  "bench_performance_tag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_performance_tag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

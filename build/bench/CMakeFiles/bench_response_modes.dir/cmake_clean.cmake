@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_response_modes.dir/bench_response_modes.cpp.o"
+  "CMakeFiles/bench_response_modes.dir/bench_response_modes.cpp.o.d"
+  "bench_response_modes"
+  "bench_response_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_response_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rsl.dir/bench_rsl.cpp.o"
+  "CMakeFiles/bench_rsl.dir/bench_rsl.cpp.o.d"
+  "bench_rsl"
+  "bench_rsl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rsl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

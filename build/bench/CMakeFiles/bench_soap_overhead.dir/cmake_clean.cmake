@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_soap_overhead.dir/bench_soap_overhead.cpp.o"
+  "CMakeFiles/bench_soap_overhead.dir/bench_soap_overhead.cpp.o.d"
+  "bench_soap_overhead"
+  "bench_soap_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_soap_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

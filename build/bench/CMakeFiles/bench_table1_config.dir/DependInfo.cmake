@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table1_config.cpp" "bench/CMakeFiles/bench_table1_config.dir/bench_table1_config.cpp.o" "gcc" "bench/CMakeFiles/bench_table1_config.dir/bench_table1_config.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/grid/CMakeFiles/ig_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ig_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/soap/CMakeFiles/ig_soap.dir/DependInfo.cmake"
+  "/root/repo/build/src/mds/CMakeFiles/ig_mds.dir/DependInfo.cmake"
+  "/root/repo/build/src/gram/CMakeFiles/ig_gram.dir/DependInfo.cmake"
+  "/root/repo/build/src/security/CMakeFiles/ig_security.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ig_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/info/CMakeFiles/ig_info.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/ig_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/rsl/CMakeFiles/ig_rsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/logging/CMakeFiles/ig_logging.dir/DependInfo.cmake"
+  "/root/repo/build/src/format/CMakeFiles/ig_format.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ig_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

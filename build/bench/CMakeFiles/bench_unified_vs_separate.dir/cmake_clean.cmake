@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_unified_vs_separate.dir/bench_unified_vs_separate.cpp.o"
+  "CMakeFiles/bench_unified_vs_separate.dir/bench_unified_vs_separate.cpp.o.d"
+  "bench_unified_vs_separate"
+  "bench_unified_vs_separate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_unified_vs_separate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

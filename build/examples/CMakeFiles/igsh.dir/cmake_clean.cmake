@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/igsh.dir/igsh.cpp.o"
+  "CMakeFiles/igsh.dir/igsh.cpp.o.d"
+  "igsh"
+  "igsh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/igsh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

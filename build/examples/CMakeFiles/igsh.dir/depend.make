@@ -1,0 +1,2 @@
+# Empty dependencies file for igsh.
+# This may be replaced when dependencies are built.

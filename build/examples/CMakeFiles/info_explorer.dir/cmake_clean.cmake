@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/info_explorer.dir/info_explorer.cpp.o"
+  "CMakeFiles/info_explorer.dir/info_explorer.cpp.o.d"
+  "info_explorer"
+  "info_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/info_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/production_grid.dir/production_grid.cpp.o"
+  "CMakeFiles/production_grid.dir/production_grid.cpp.o.d"
+  "production_grid"
+  "production_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/production_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

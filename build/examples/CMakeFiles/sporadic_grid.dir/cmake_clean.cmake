@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sporadic_grid.dir/sporadic_grid.cpp.o"
+  "CMakeFiles/sporadic_grid.dir/sporadic_grid.cpp.o.d"
+  "sporadic_grid"
+  "sporadic_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sporadic_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("net")
+subdirs("security")
+subdirs("rsl")
+subdirs("format")
+subdirs("info")
+subdirs("logging")
+subdirs("exec")
+subdirs("mds")
+subdirs("gram")
+subdirs("core")
+subdirs("soap")
+subdirs("grid")

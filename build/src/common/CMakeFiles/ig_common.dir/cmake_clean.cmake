@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ig_common.dir/clock.cpp.o"
+  "CMakeFiles/ig_common.dir/clock.cpp.o.d"
+  "CMakeFiles/ig_common.dir/error.cpp.o"
+  "CMakeFiles/ig_common.dir/error.cpp.o.d"
+  "CMakeFiles/ig_common.dir/id.cpp.o"
+  "CMakeFiles/ig_common.dir/id.cpp.o.d"
+  "CMakeFiles/ig_common.dir/rng.cpp.o"
+  "CMakeFiles/ig_common.dir/rng.cpp.o.d"
+  "CMakeFiles/ig_common.dir/stats.cpp.o"
+  "CMakeFiles/ig_common.dir/stats.cpp.o.d"
+  "CMakeFiles/ig_common.dir/strings.cpp.o"
+  "CMakeFiles/ig_common.dir/strings.cpp.o.d"
+  "libig_common.a"
+  "libig_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ig_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ig_core.dir/config.cpp.o"
+  "CMakeFiles/ig_core.dir/config.cpp.o.d"
+  "CMakeFiles/ig_core.dir/infogram_client.cpp.o"
+  "CMakeFiles/ig_core.dir/infogram_client.cpp.o.d"
+  "CMakeFiles/ig_core.dir/infogram_service.cpp.o"
+  "CMakeFiles/ig_core.dir/infogram_service.cpp.o.d"
+  "libig_core.a"
+  "libig_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ig_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

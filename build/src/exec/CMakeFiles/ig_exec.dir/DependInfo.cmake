@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/batch_backend.cpp" "src/exec/CMakeFiles/ig_exec.dir/batch_backend.cpp.o" "gcc" "src/exec/CMakeFiles/ig_exec.dir/batch_backend.cpp.o.d"
+  "/root/repo/src/exec/checkpoint.cpp" "src/exec/CMakeFiles/ig_exec.dir/checkpoint.cpp.o" "gcc" "src/exec/CMakeFiles/ig_exec.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/exec/command.cpp" "src/exec/CMakeFiles/ig_exec.dir/command.cpp.o" "gcc" "src/exec/CMakeFiles/ig_exec.dir/command.cpp.o.d"
+  "/root/repo/src/exec/fork_backend.cpp" "src/exec/CMakeFiles/ig_exec.dir/fork_backend.cpp.o" "gcc" "src/exec/CMakeFiles/ig_exec.dir/fork_backend.cpp.o.d"
+  "/root/repo/src/exec/job_table.cpp" "src/exec/CMakeFiles/ig_exec.dir/job_table.cpp.o" "gcc" "src/exec/CMakeFiles/ig_exec.dir/job_table.cpp.o.d"
+  "/root/repo/src/exec/matchmaking_backend.cpp" "src/exec/CMakeFiles/ig_exec.dir/matchmaking_backend.cpp.o" "gcc" "src/exec/CMakeFiles/ig_exec.dir/matchmaking_backend.cpp.o.d"
+  "/root/repo/src/exec/runner.cpp" "src/exec/CMakeFiles/ig_exec.dir/runner.cpp.o" "gcc" "src/exec/CMakeFiles/ig_exec.dir/runner.cpp.o.d"
+  "/root/repo/src/exec/sandbox.cpp" "src/exec/CMakeFiles/ig_exec.dir/sandbox.cpp.o" "gcc" "src/exec/CMakeFiles/ig_exec.dir/sandbox.cpp.o.d"
+  "/root/repo/src/exec/sim_system.cpp" "src/exec/CMakeFiles/ig_exec.dir/sim_system.cpp.o" "gcc" "src/exec/CMakeFiles/ig_exec.dir/sim_system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ig_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rsl/CMakeFiles/ig_rsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/format/CMakeFiles/ig_format.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ig_exec.dir/batch_backend.cpp.o"
+  "CMakeFiles/ig_exec.dir/batch_backend.cpp.o.d"
+  "CMakeFiles/ig_exec.dir/checkpoint.cpp.o"
+  "CMakeFiles/ig_exec.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/ig_exec.dir/command.cpp.o"
+  "CMakeFiles/ig_exec.dir/command.cpp.o.d"
+  "CMakeFiles/ig_exec.dir/fork_backend.cpp.o"
+  "CMakeFiles/ig_exec.dir/fork_backend.cpp.o.d"
+  "CMakeFiles/ig_exec.dir/job_table.cpp.o"
+  "CMakeFiles/ig_exec.dir/job_table.cpp.o.d"
+  "CMakeFiles/ig_exec.dir/matchmaking_backend.cpp.o"
+  "CMakeFiles/ig_exec.dir/matchmaking_backend.cpp.o.d"
+  "CMakeFiles/ig_exec.dir/runner.cpp.o"
+  "CMakeFiles/ig_exec.dir/runner.cpp.o.d"
+  "CMakeFiles/ig_exec.dir/sandbox.cpp.o"
+  "CMakeFiles/ig_exec.dir/sandbox.cpp.o.d"
+  "CMakeFiles/ig_exec.dir/sim_system.cpp.o"
+  "CMakeFiles/ig_exec.dir/sim_system.cpp.o.d"
+  "libig_exec.a"
+  "libig_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ig_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

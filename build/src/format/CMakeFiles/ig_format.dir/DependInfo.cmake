@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/format/dsml.cpp" "src/format/CMakeFiles/ig_format.dir/dsml.cpp.o" "gcc" "src/format/CMakeFiles/ig_format.dir/dsml.cpp.o.d"
+  "/root/repo/src/format/ldif.cpp" "src/format/CMakeFiles/ig_format.dir/ldif.cpp.o" "gcc" "src/format/CMakeFiles/ig_format.dir/ldif.cpp.o.d"
+  "/root/repo/src/format/record.cpp" "src/format/CMakeFiles/ig_format.dir/record.cpp.o" "gcc" "src/format/CMakeFiles/ig_format.dir/record.cpp.o.d"
+  "/root/repo/src/format/schema.cpp" "src/format/CMakeFiles/ig_format.dir/schema.cpp.o" "gcc" "src/format/CMakeFiles/ig_format.dir/schema.cpp.o.d"
+  "/root/repo/src/format/xml.cpp" "src/format/CMakeFiles/ig_format.dir/xml.cpp.o" "gcc" "src/format/CMakeFiles/ig_format.dir/xml.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ig_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ig_format.dir/dsml.cpp.o"
+  "CMakeFiles/ig_format.dir/dsml.cpp.o.d"
+  "CMakeFiles/ig_format.dir/ldif.cpp.o"
+  "CMakeFiles/ig_format.dir/ldif.cpp.o.d"
+  "CMakeFiles/ig_format.dir/record.cpp.o"
+  "CMakeFiles/ig_format.dir/record.cpp.o.d"
+  "CMakeFiles/ig_format.dir/schema.cpp.o"
+  "CMakeFiles/ig_format.dir/schema.cpp.o.d"
+  "CMakeFiles/ig_format.dir/xml.cpp.o"
+  "CMakeFiles/ig_format.dir/xml.cpp.o.d"
+  "libig_format.a"
+  "libig_format.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ig_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gram/job_manager.cpp" "src/gram/CMakeFiles/ig_gram.dir/job_manager.cpp.o" "gcc" "src/gram/CMakeFiles/ig_gram.dir/job_manager.cpp.o.d"
+  "/root/repo/src/gram/service.cpp" "src/gram/CMakeFiles/ig_gram.dir/service.cpp.o" "gcc" "src/gram/CMakeFiles/ig_gram.dir/service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ig_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ig_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/security/CMakeFiles/ig_security.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/ig_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/rsl/CMakeFiles/ig_rsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/logging/CMakeFiles/ig_logging.dir/DependInfo.cmake"
+  "/root/repo/build/src/format/CMakeFiles/ig_format.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

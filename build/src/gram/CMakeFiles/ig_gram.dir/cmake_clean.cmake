@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ig_gram.dir/job_manager.cpp.o"
+  "CMakeFiles/ig_gram.dir/job_manager.cpp.o.d"
+  "CMakeFiles/ig_gram.dir/service.cpp.o"
+  "CMakeFiles/ig_gram.dir/service.cpp.o.d"
+  "libig_gram.a"
+  "libig_gram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ig_gram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/grid/broker.cpp" "src/grid/CMakeFiles/ig_grid.dir/broker.cpp.o" "gcc" "src/grid/CMakeFiles/ig_grid.dir/broker.cpp.o.d"
+  "/root/repo/src/grid/coallocator.cpp" "src/grid/CMakeFiles/ig_grid.dir/coallocator.cpp.o" "gcc" "src/grid/CMakeFiles/ig_grid.dir/coallocator.cpp.o.d"
+  "/root/repo/src/grid/deployment.cpp" "src/grid/CMakeFiles/ig_grid.dir/deployment.cpp.o" "gcc" "src/grid/CMakeFiles/ig_grid.dir/deployment.cpp.o.d"
+  "/root/repo/src/grid/p2p_discovery.cpp" "src/grid/CMakeFiles/ig_grid.dir/p2p_discovery.cpp.o" "gcc" "src/grid/CMakeFiles/ig_grid.dir/p2p_discovery.cpp.o.d"
+  "/root/repo/src/grid/resource.cpp" "src/grid/CMakeFiles/ig_grid.dir/resource.cpp.o" "gcc" "src/grid/CMakeFiles/ig_grid.dir/resource.cpp.o.d"
+  "/root/repo/src/grid/virtual_organization.cpp" "src/grid/CMakeFiles/ig_grid.dir/virtual_organization.cpp.o" "gcc" "src/grid/CMakeFiles/ig_grid.dir/virtual_organization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ig_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mds/CMakeFiles/ig_mds.dir/DependInfo.cmake"
+  "/root/repo/build/src/gram/CMakeFiles/ig_gram.dir/DependInfo.cmake"
+  "/root/repo/build/src/security/CMakeFiles/ig_security.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ig_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/info/CMakeFiles/ig_info.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/ig_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/rsl/CMakeFiles/ig_rsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/format/CMakeFiles/ig_format.dir/DependInfo.cmake"
+  "/root/repo/build/src/logging/CMakeFiles/ig_logging.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ig_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ig_grid.dir/broker.cpp.o"
+  "CMakeFiles/ig_grid.dir/broker.cpp.o.d"
+  "CMakeFiles/ig_grid.dir/coallocator.cpp.o"
+  "CMakeFiles/ig_grid.dir/coallocator.cpp.o.d"
+  "CMakeFiles/ig_grid.dir/deployment.cpp.o"
+  "CMakeFiles/ig_grid.dir/deployment.cpp.o.d"
+  "CMakeFiles/ig_grid.dir/p2p_discovery.cpp.o"
+  "CMakeFiles/ig_grid.dir/p2p_discovery.cpp.o.d"
+  "CMakeFiles/ig_grid.dir/resource.cpp.o"
+  "CMakeFiles/ig_grid.dir/resource.cpp.o.d"
+  "CMakeFiles/ig_grid.dir/virtual_organization.cpp.o"
+  "CMakeFiles/ig_grid.dir/virtual_organization.cpp.o.d"
+  "libig_grid.a"
+  "libig_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ig_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/info/degradation.cpp" "src/info/CMakeFiles/ig_info.dir/degradation.cpp.o" "gcc" "src/info/CMakeFiles/ig_info.dir/degradation.cpp.o.d"
+  "/root/repo/src/info/managed_provider.cpp" "src/info/CMakeFiles/ig_info.dir/managed_provider.cpp.o" "gcc" "src/info/CMakeFiles/ig_info.dir/managed_provider.cpp.o.d"
+  "/root/repo/src/info/provider.cpp" "src/info/CMakeFiles/ig_info.dir/provider.cpp.o" "gcc" "src/info/CMakeFiles/ig_info.dir/provider.cpp.o.d"
+  "/root/repo/src/info/system_monitor.cpp" "src/info/CMakeFiles/ig_info.dir/system_monitor.cpp.o" "gcc" "src/info/CMakeFiles/ig_info.dir/system_monitor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ig_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/ig_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/format/CMakeFiles/ig_format.dir/DependInfo.cmake"
+  "/root/repo/build/src/rsl/CMakeFiles/ig_rsl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

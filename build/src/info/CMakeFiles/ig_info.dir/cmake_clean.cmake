@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ig_info.dir/degradation.cpp.o"
+  "CMakeFiles/ig_info.dir/degradation.cpp.o.d"
+  "CMakeFiles/ig_info.dir/managed_provider.cpp.o"
+  "CMakeFiles/ig_info.dir/managed_provider.cpp.o.d"
+  "CMakeFiles/ig_info.dir/provider.cpp.o"
+  "CMakeFiles/ig_info.dir/provider.cpp.o.d"
+  "CMakeFiles/ig_info.dir/system_monitor.cpp.o"
+  "CMakeFiles/ig_info.dir/system_monitor.cpp.o.d"
+  "libig_info.a"
+  "libig_info.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ig_info.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

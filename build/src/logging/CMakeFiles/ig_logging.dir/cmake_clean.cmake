@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ig_logging.dir/log.cpp.o"
+  "CMakeFiles/ig_logging.dir/log.cpp.o.d"
+  "libig_logging.a"
+  "libig_logging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ig_logging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mds/directory.cpp" "src/mds/CMakeFiles/ig_mds.dir/directory.cpp.o" "gcc" "src/mds/CMakeFiles/ig_mds.dir/directory.cpp.o.d"
+  "/root/repo/src/mds/filter.cpp" "src/mds/CMakeFiles/ig_mds.dir/filter.cpp.o" "gcc" "src/mds/CMakeFiles/ig_mds.dir/filter.cpp.o.d"
+  "/root/repo/src/mds/giis.cpp" "src/mds/CMakeFiles/ig_mds.dir/giis.cpp.o" "gcc" "src/mds/CMakeFiles/ig_mds.dir/giis.cpp.o.d"
+  "/root/repo/src/mds/gris.cpp" "src/mds/CMakeFiles/ig_mds.dir/gris.cpp.o" "gcc" "src/mds/CMakeFiles/ig_mds.dir/gris.cpp.o.d"
+  "/root/repo/src/mds/search_engine.cpp" "src/mds/CMakeFiles/ig_mds.dir/search_engine.cpp.o" "gcc" "src/mds/CMakeFiles/ig_mds.dir/search_engine.cpp.o.d"
+  "/root/repo/src/mds/service.cpp" "src/mds/CMakeFiles/ig_mds.dir/service.cpp.o" "gcc" "src/mds/CMakeFiles/ig_mds.dir/service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ig_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ig_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/security/CMakeFiles/ig_security.dir/DependInfo.cmake"
+  "/root/repo/build/src/info/CMakeFiles/ig_info.dir/DependInfo.cmake"
+  "/root/repo/build/src/format/CMakeFiles/ig_format.dir/DependInfo.cmake"
+  "/root/repo/build/src/logging/CMakeFiles/ig_logging.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/ig_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/rsl/CMakeFiles/ig_rsl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

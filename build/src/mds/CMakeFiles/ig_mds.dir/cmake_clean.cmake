@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ig_mds.dir/directory.cpp.o"
+  "CMakeFiles/ig_mds.dir/directory.cpp.o.d"
+  "CMakeFiles/ig_mds.dir/filter.cpp.o"
+  "CMakeFiles/ig_mds.dir/filter.cpp.o.d"
+  "CMakeFiles/ig_mds.dir/giis.cpp.o"
+  "CMakeFiles/ig_mds.dir/giis.cpp.o.d"
+  "CMakeFiles/ig_mds.dir/gris.cpp.o"
+  "CMakeFiles/ig_mds.dir/gris.cpp.o.d"
+  "CMakeFiles/ig_mds.dir/search_engine.cpp.o"
+  "CMakeFiles/ig_mds.dir/search_engine.cpp.o.d"
+  "CMakeFiles/ig_mds.dir/service.cpp.o"
+  "CMakeFiles/ig_mds.dir/service.cpp.o.d"
+  "libig_mds.a"
+  "libig_mds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ig_mds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ig_net.dir/message.cpp.o"
+  "CMakeFiles/ig_net.dir/message.cpp.o.d"
+  "CMakeFiles/ig_net.dir/network.cpp.o"
+  "CMakeFiles/ig_net.dir/network.cpp.o.d"
+  "libig_net.a"
+  "libig_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ig_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rsl/parser.cpp" "src/rsl/CMakeFiles/ig_rsl.dir/parser.cpp.o" "gcc" "src/rsl/CMakeFiles/ig_rsl.dir/parser.cpp.o.d"
+  "/root/repo/src/rsl/xrsl.cpp" "src/rsl/CMakeFiles/ig_rsl.dir/xrsl.cpp.o" "gcc" "src/rsl/CMakeFiles/ig_rsl.dir/xrsl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ig_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ig_rsl.dir/parser.cpp.o"
+  "CMakeFiles/ig_rsl.dir/parser.cpp.o.d"
+  "CMakeFiles/ig_rsl.dir/xrsl.cpp.o"
+  "CMakeFiles/ig_rsl.dir/xrsl.cpp.o.d"
+  "libig_rsl.a"
+  "libig_rsl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ig_rsl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

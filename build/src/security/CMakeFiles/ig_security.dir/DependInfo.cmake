@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/security/authorization.cpp" "src/security/CMakeFiles/ig_security.dir/authorization.cpp.o" "gcc" "src/security/CMakeFiles/ig_security.dir/authorization.cpp.o.d"
+  "/root/repo/src/security/certificate.cpp" "src/security/CMakeFiles/ig_security.dir/certificate.cpp.o" "gcc" "src/security/CMakeFiles/ig_security.dir/certificate.cpp.o.d"
+  "/root/repo/src/security/gridmap.cpp" "src/security/CMakeFiles/ig_security.dir/gridmap.cpp.o" "gcc" "src/security/CMakeFiles/ig_security.dir/gridmap.cpp.o.d"
+  "/root/repo/src/security/handshake.cpp" "src/security/CMakeFiles/ig_security.dir/handshake.cpp.o" "gcc" "src/security/CMakeFiles/ig_security.dir/handshake.cpp.o.d"
+  "/root/repo/src/security/keys.cpp" "src/security/CMakeFiles/ig_security.dir/keys.cpp.o" "gcc" "src/security/CMakeFiles/ig_security.dir/keys.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ig_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ig_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ig_security.dir/authorization.cpp.o"
+  "CMakeFiles/ig_security.dir/authorization.cpp.o.d"
+  "CMakeFiles/ig_security.dir/certificate.cpp.o"
+  "CMakeFiles/ig_security.dir/certificate.cpp.o.d"
+  "CMakeFiles/ig_security.dir/gridmap.cpp.o"
+  "CMakeFiles/ig_security.dir/gridmap.cpp.o.d"
+  "CMakeFiles/ig_security.dir/handshake.cpp.o"
+  "CMakeFiles/ig_security.dir/handshake.cpp.o.d"
+  "CMakeFiles/ig_security.dir/keys.cpp.o"
+  "CMakeFiles/ig_security.dir/keys.cpp.o.d"
+  "libig_security.a"
+  "libig_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ig_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ig_soap.dir/envelope.cpp.o"
+  "CMakeFiles/ig_soap.dir/envelope.cpp.o.d"
+  "CMakeFiles/ig_soap.dir/gateway.cpp.o"
+  "CMakeFiles/ig_soap.dir/gateway.cpp.o.d"
+  "libig_soap.a"
+  "libig_soap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ig_soap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/backend_test.cpp" "tests/CMakeFiles/ig_tests.dir/backend_test.cpp.o" "gcc" "tests/CMakeFiles/ig_tests.dir/backend_test.cpp.o.d"
+  "/root/repo/tests/coallocator_test.cpp" "tests/CMakeFiles/ig_tests.dir/coallocator_test.cpp.o" "gcc" "tests/CMakeFiles/ig_tests.dir/coallocator_test.cpp.o.d"
+  "/root/repo/tests/common_test.cpp" "tests/CMakeFiles/ig_tests.dir/common_test.cpp.o" "gcc" "tests/CMakeFiles/ig_tests.dir/common_test.cpp.o.d"
+  "/root/repo/tests/core_test.cpp" "tests/CMakeFiles/ig_tests.dir/core_test.cpp.o" "gcc" "tests/CMakeFiles/ig_tests.dir/core_test.cpp.o.d"
+  "/root/repo/tests/deployment_test.cpp" "tests/CMakeFiles/ig_tests.dir/deployment_test.cpp.o" "gcc" "tests/CMakeFiles/ig_tests.dir/deployment_test.cpp.o.d"
+  "/root/repo/tests/discovery_broker_test.cpp" "tests/CMakeFiles/ig_tests.dir/discovery_broker_test.cpp.o" "gcc" "tests/CMakeFiles/ig_tests.dir/discovery_broker_test.cpp.o.d"
+  "/root/repo/tests/dsml_reflection_test.cpp" "tests/CMakeFiles/ig_tests.dir/dsml_reflection_test.cpp.o" "gcc" "tests/CMakeFiles/ig_tests.dir/dsml_reflection_test.cpp.o.d"
+  "/root/repo/tests/exec_test.cpp" "tests/CMakeFiles/ig_tests.dir/exec_test.cpp.o" "gcc" "tests/CMakeFiles/ig_tests.dir/exec_test.cpp.o.d"
+  "/root/repo/tests/extended_model_test.cpp" "tests/CMakeFiles/ig_tests.dir/extended_model_test.cpp.o" "gcc" "tests/CMakeFiles/ig_tests.dir/extended_model_test.cpp.o.d"
+  "/root/repo/tests/extensions_test.cpp" "tests/CMakeFiles/ig_tests.dir/extensions_test.cpp.o" "gcc" "tests/CMakeFiles/ig_tests.dir/extensions_test.cpp.o.d"
+  "/root/repo/tests/format_test.cpp" "tests/CMakeFiles/ig_tests.dir/format_test.cpp.o" "gcc" "tests/CMakeFiles/ig_tests.dir/format_test.cpp.o.d"
+  "/root/repo/tests/gram_test.cpp" "tests/CMakeFiles/ig_tests.dir/gram_test.cpp.o" "gcc" "tests/CMakeFiles/ig_tests.dir/gram_test.cpp.o.d"
+  "/root/repo/tests/grid_test.cpp" "tests/CMakeFiles/ig_tests.dir/grid_test.cpp.o" "gcc" "tests/CMakeFiles/ig_tests.dir/grid_test.cpp.o.d"
+  "/root/repo/tests/hierarchy_test.cpp" "tests/CMakeFiles/ig_tests.dir/hierarchy_test.cpp.o" "gcc" "tests/CMakeFiles/ig_tests.dir/hierarchy_test.cpp.o.d"
+  "/root/repo/tests/info_test.cpp" "tests/CMakeFiles/ig_tests.dir/info_test.cpp.o" "gcc" "tests/CMakeFiles/ig_tests.dir/info_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/ig_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/ig_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/logging_test.cpp" "tests/CMakeFiles/ig_tests.dir/logging_test.cpp.o" "gcc" "tests/CMakeFiles/ig_tests.dir/logging_test.cpp.o.d"
+  "/root/repo/tests/mds_test.cpp" "tests/CMakeFiles/ig_tests.dir/mds_test.cpp.o" "gcc" "tests/CMakeFiles/ig_tests.dir/mds_test.cpp.o.d"
+  "/root/repo/tests/net_test.cpp" "tests/CMakeFiles/ig_tests.dir/net_test.cpp.o" "gcc" "tests/CMakeFiles/ig_tests.dir/net_test.cpp.o.d"
+  "/root/repo/tests/p2p_discovery_test.cpp" "tests/CMakeFiles/ig_tests.dir/p2p_discovery_test.cpp.o" "gcc" "tests/CMakeFiles/ig_tests.dir/p2p_discovery_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/ig_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/ig_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/rsl_test.cpp" "tests/CMakeFiles/ig_tests.dir/rsl_test.cpp.o" "gcc" "tests/CMakeFiles/ig_tests.dir/rsl_test.cpp.o.d"
+  "/root/repo/tests/search_engine_test.cpp" "tests/CMakeFiles/ig_tests.dir/search_engine_test.cpp.o" "gcc" "tests/CMakeFiles/ig_tests.dir/search_engine_test.cpp.o.d"
+  "/root/repo/tests/security_test.cpp" "tests/CMakeFiles/ig_tests.dir/security_test.cpp.o" "gcc" "tests/CMakeFiles/ig_tests.dir/security_test.cpp.o.d"
+  "/root/repo/tests/soap_test.cpp" "tests/CMakeFiles/ig_tests.dir/soap_test.cpp.o" "gcc" "tests/CMakeFiles/ig_tests.dir/soap_test.cpp.o.d"
+  "/root/repo/tests/xrsl_test.cpp" "tests/CMakeFiles/ig_tests.dir/xrsl_test.cpp.o" "gcc" "tests/CMakeFiles/ig_tests.dir/xrsl_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/soap/CMakeFiles/ig_soap.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/ig_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ig_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gram/CMakeFiles/ig_gram.dir/DependInfo.cmake"
+  "/root/repo/build/src/mds/CMakeFiles/ig_mds.dir/DependInfo.cmake"
+  "/root/repo/build/src/info/CMakeFiles/ig_info.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/ig_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/logging/CMakeFiles/ig_logging.dir/DependInfo.cmake"
+  "/root/repo/build/src/format/CMakeFiles/ig_format.dir/DependInfo.cmake"
+  "/root/repo/build/src/rsl/CMakeFiles/ig_rsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/security/CMakeFiles/ig_security.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ig_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ig_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
