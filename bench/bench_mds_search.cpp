@@ -5,6 +5,9 @@
 // makes VO-scale queries viable.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "info/system_monitor.hpp"
 #include "mds/giis.hpp"
 #include "mds/gris.hpp"
@@ -119,4 +122,28 @@ BENCHMARK(BM_FilterComplexity)->Arg(1)->Arg(8)->Arg(32)->Unit(benchmark::kMicros
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN plus the repo-wide `--json` convention: the flag expands
+// to google-benchmark's own JSON file output as BENCH_mds_search.json.
+int main(int argc, char** argv) {
+  std::string out_flag = "--benchmark_out=BENCH_mds_search.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  std::vector<char*> args;
+  bool json = false;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      json = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  if (json) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -25,7 +25,8 @@ struct Row {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport report("unified_vs_separate", argc, argv);
   bench::header("E2 / Fig.2 vs Fig.4: two services vs one unified endpoint");
   std::vector<Row> rows;
 
@@ -64,10 +65,16 @@ int main() {
                                 stack.trust, stack.clock);
       auto filter = mds::Filter::parse("(kw=CPULoad)").value();
       for (int i = 0; i < rounds; ++i) {
+        net::TrafficStats before = gram_client.stats();
+        before.merge(mds_client.stats());
         if (!mds_client.search("o=Grid", mds::Scope::kSubtree, filter).ok()) return 1;
         auto contact = gram_client.submit("&(executable=/bin/echo)(arguments=x)");
         if (!contact.ok()) return 1;
         if (!gram_client.wait(*contact, seconds(30)).ok()) return 1;
+        net::TrafficStats after = gram_client.stats();
+        after.merge(mds_client.stats());
+        report.add("separate_round",
+                   static_cast<double>((after.virtual_time - before.virtual_time).count()));
         stack.clock.advance(ms(100));
       }
       row.separate = gram_client.stats();
@@ -77,10 +84,14 @@ int main() {
       core::InfoGramClient client(stack.network, infogram.address(), stack.user,
                                   stack.trust, stack.clock);
       for (int i = 0; i < rounds; ++i) {
+        net::TrafficStats before = client.stats();
         auto resp =
             client.request("&(executable=/bin/echo)(arguments=x)(info=CPULoad)");
         if (!resp.ok() || !resp->job_contact) return 1;
         if (!client.wait(*resp->job_contact, seconds(30)).ok()) return 1;
+        net::TrafficStats after = client.stats();
+        report.add("unified_round",
+                   static_cast<double>((after.virtual_time - before.virtual_time).count()));
         stack.clock.advance(ms(100));
       }
       row.unified = client.stats();

@@ -3,9 +3,12 @@
 // Each bench binary regenerates one experiment from DESIGN.md / EXPERIMENTS.md.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
+#include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/config.hpp"
 #include "core/infogram_client.hpp"
@@ -65,5 +68,71 @@ inline void rule(int width = 78) {
   for (int i = 0; i < width; ++i) std::putchar('-');
   std::putchar('\n');
 }
+
+/// Machine-readable results, opted in with `--json` on the bench command
+/// line: every sample series becomes ops/sec, mean and p50/p95 in
+/// BENCH_<name>.json next to the binary. Without the flag this is a
+/// complete no-op, so the human tables stay the default.
+class JsonReport {
+ public:
+  JsonReport(std::string name, int argc, char** argv) : name_(std::move(name)) {
+    for (int i = 1; i < argc; ++i) {
+      if (std::string(argv[i]) == "--json") enabled_ = true;
+    }
+  }
+
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+
+  bool enabled() const { return enabled_; }
+  std::string path() const { return "BENCH_" + name_ + ".json"; }
+
+  /// Record one latency sample (microseconds) under `series`.
+  void add(const std::string& series, double micros) {
+    if (enabled_) samples_[series].push_back(micros);
+  }
+
+  ~JsonReport() {
+    if (!enabled_) return;
+    std::FILE* out = std::fopen(path().c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path().c_str());
+      return;
+    }
+    std::fprintf(out, "{\n  \"benchmark\": \"%s\",\n  \"series\": {", name_.c_str());
+    bool first = true;
+    for (auto& [series, values] : samples_) {
+      std::sort(values.begin(), values.end());
+      double mean = 0.0;
+      for (double v : values) mean += v;
+      if (!values.empty()) mean /= static_cast<double>(values.size());
+      std::fprintf(out,
+                   "%s\n    \"%s\": {\"count\": %zu, \"ops_per_sec\": %.3f, "
+                   "\"mean_us\": %.3f, \"p50_us\": %.3f, \"p95_us\": %.3f}",
+                   first ? "" : ",", series.c_str(), values.size(),
+                   mean > 0.0 ? 1e6 / mean : 0.0, mean, percentile(values, 0.50),
+                   percentile(values, 0.95));
+      first = false;
+    }
+    std::fprintf(out, "\n  }\n}\n");
+    std::fclose(out);
+    std::printf("wrote %s\n", path().c_str());
+  }
+
+ private:
+  /// Linear-interpolation percentile over an already-sorted series.
+  static double percentile(const std::vector<double>& sorted, double q) {
+    if (sorted.empty()) return 0.0;
+    double rank = q * static_cast<double>(sorted.size() - 1);
+    auto lo = static_cast<std::size_t>(rank);
+    std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+  }
+
+  std::string name_;
+  bool enabled_ = false;
+  std::map<std::string, std::vector<double>> samples_;
+};
 
 }  // namespace ig::bench

@@ -18,6 +18,7 @@
 #include "grid/broker.hpp"
 #include "grid/virtual_organization.hpp"
 #include "mds/search_engine.hpp"
+#include "obs/telemetry.hpp"
 
 using namespace ig;  // NOLINT
 
@@ -37,6 +38,8 @@ struct Shell {
       grid::ResourceOptions options;
       options.host = "node" + std::to_string(i) + ".demo";
       options.seed = 42 + static_cast<std::uint64_t>(i) * 19;
+      // Each node observes itself: igsh query '(info=metrics)' works.
+      options.telemetry = std::make_shared<obs::Telemetry>(clock);
       if (!vo.add_resource(options).ok()) std::abort();
     }
     for (const auto& resource : vo.resources()) {

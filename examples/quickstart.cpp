@@ -10,6 +10,7 @@
 #include "core/infogram_client.hpp"
 #include "core/infogram_service.hpp"
 #include "exec/fork_backend.hpp"
+#include "obs/telemetry.hpp"
 
 using namespace ig;  // NOLINT: example brevity
 
@@ -44,6 +45,9 @@ int main() {
   auto backend = std::make_shared<exec::ForkBackend>(registry, clock);
   core::InfoGramConfig service_config;
   service_config.host = "quick.example.org";
+  // Opt in to telemetry: the service instruments itself and exposes the
+  // result as ordinary info keywords (metrics / metrics.jobs / traces).
+  service_config.telemetry = std::make_shared<obs::Telemetry>(clock);
   core::InfoGramService service(monitor, backend, ca.issue("/O=Grid/CN=host/quick",
                                                            security::CertType::kHost,
                                                            seconds(365LL * 86400)),
@@ -90,6 +94,14 @@ int main() {
                 status->exit_code);
     auto output = client.job_output(*job->job_contact);
     if (output.ok()) std::printf("Job output: %s", output->c_str());
+  }
+
+  // 4. The service describes its own behaviour: everything above was
+  // counted and traced, queryable through the very same protocol.
+  auto metrics = client.request("(info=metrics)(info=traces)");
+  if (metrics.ok()) {
+    std::printf("\nSelf-describing telemetry (info=metrics)(info=traces):\n%s\n",
+                metrics->payload.c_str());
   }
 
   auto stats = client.stats();

@@ -1,6 +1,7 @@
 #include "core/infogram_service.hpp"
 
 #include "common/strings.hpp"
+#include "info/obs_provider.hpp"
 
 namespace ig::core {
 
@@ -37,11 +38,29 @@ InfoGramService::InfoGramService(std::shared_ptr<info::SystemMonitor> monitor,
       gram_(std::move(backend), std::move(credential), trust, gridmap, policy, clock,
             std::move(logger),
             gram::GramConfig{config_.host, config_.port, config_.max_restarts,
-                             config_.jar_backend}) {}
+                             config_.jar_backend, config_.telemetry}) {
+  if (config_.telemetry != nullptr) {
+    authenticator_.set_telemetry(config_.telemetry);
+    monitor_->set_telemetry(config_.telemetry);
+    // Dogfooding: the telemetry is itself a provider family, so
+    // (info=metrics) / (info=traces) travel the same path as any keyword.
+    (void)info::register_obs_providers(*monitor_, config_.telemetry);
+    if (logger_ != nullptr) {
+      std::shared_ptr<logging::Logger> logger_copy = logger_;
+      config_.telemetry->set_trace_listener([logger_copy](const obs::TraceRecord& rec) {
+        logger_copy->log(logging::EventType::kTrace, "", "", 0,
+                         rec.root + " id=" + rec.id + " status=" + rec.status +
+                             " spans=" + std::to_string(rec.spans.size()) +
+                             " duration_us=" + std::to_string(rec.duration.count()));
+      });
+    }
+  }
+}
 
 Status InfoGramService::start(net::Network& network) {
   network_ = &network;
   gram_.attach_network(network);  // for callback notifications
+  if (config_.telemetry != nullptr) network.set_telemetry(config_.telemetry);
   if (logger_ != nullptr) logger_->log(logging::EventType::kServiceStart, "", "", 0, "infogram");
   // Note: gram_.start() is never called — the GRAM machinery serves
   // through *this* endpoint. One port, one protocol.
@@ -60,7 +79,8 @@ void InfoGramService::stop() {
 Result<InfoGramResult> InfoGramService::execute(const rsl::XrslRequest& request,
                                                 const std::string& subject,
                                                 const std::string& local_user,
-                                                const std::string& callback_address) {
+                                                const std::string& callback_address,
+                                                obs::TraceContext* trace) {
   InfoGramResult result;
   result.format = request.format;
 
@@ -68,7 +88,7 @@ Result<InfoGramResult> InfoGramService::execute(const rsl::XrslRequest& request,
     // Authorization happens inside the GRAM submit path ("submit" action).
     // The GRAM machinery needs to see the network for callbacks; it shares
     // ours.
-    auto contact = gram_.submit_local(request, subject, local_user, callback_address);
+    auto contact = gram_.submit_local(request, subject, local_user, callback_address, trace);
     if (!contact.ok()) return contact.error();
     result.job_contact = std::move(contact.value());
   }
@@ -90,7 +110,7 @@ Result<InfoGramResult> InfoGramService::execute(const rsl::XrslRequest& request,
     }
     if (!request.info_keys.empty()) {
       auto records = monitor_->query(request.info_keys, request.response,
-                                     request.quality_threshold, request.filters);
+                                     request.quality_threshold, request.filters, trace);
       if (!records.ok()) return records.error();
       result.records = std::move(records.value());
     }
@@ -108,7 +128,33 @@ Result<InfoGramResult> InfoGramService::execute(const rsl::XrslRequest& request,
 }
 
 net::Message InfoGramService::handle(const net::Message& request, net::Session& session) {
-  if (request.verb == "XRSL") return handle_xrsl(request, session);
+  const std::shared_ptr<obs::Telemetry>& telemetry = config_.telemetry;
+  if (telemetry == nullptr) return dispatch(request, session, nullptr);
+
+  obs::MetricsRegistry& metrics = telemetry->metrics();
+  metrics.counter(obs::metric::kRequestsTotal).add();
+  if (request.verb == "XRSL") {
+    metrics.counter(obs::metric::kRequestsXrsl).add();
+  } else if (strings::starts_with(request.verb, "GRAM_")) {
+    metrics.counter(obs::metric::kRequestsGram).add();
+  }
+
+  obs::TraceContext trace = telemetry->start_trace(request.verb);
+  ScopedTimer timer(*clock_);
+  net::Message resp = dispatch(request, session, &trace);
+  if (resp.is_error()) {
+    metrics.counter(obs::metric::kRequestsErrors).add();
+    trace.fail(resp.body.empty() ? "error" : resp.body);
+  }
+  metrics.histogram(obs::metric::kRequestSeconds)
+      .observe(static_cast<double>(timer.elapsed().count()) / 1e6);
+  telemetry->complete(trace);
+  return resp;
+}
+
+net::Message InfoGramService::dispatch(const net::Message& request, net::Session& session,
+                                       obs::TraceContext* trace) {
+  if (request.verb == "XRSL") return handle_xrsl(request, session, trace);
   // Protocol backwards compatibility: a legacy GRAM client speaking GRAMP
   // works against an InfoGram endpoint unchanged (paper: "providing
   // backwards compatibility by adhering to standard Grid protocols").
@@ -119,18 +165,25 @@ net::Message InfoGramService::handle(const net::Message& request, net::Session& 
       Error(ErrorCode::kInvalidArgument, "unknown InfoGram verb: " + request.verb));
 }
 
-net::Message InfoGramService::handle_xrsl(const net::Message& request, net::Session& session) {
+net::Message InfoGramService::handle_xrsl(const net::Message& request, net::Session& session,
+                                          obs::TraceContext* trace) {
   // Multi-requests ('+') dispatch each sub-specification in order; a
   // plain specification is the single-element case of the same path.
+  std::optional<obs::TraceContext::Span> parse_span;
+  if (trace != nullptr) parse_span.emplace(trace->span("parse"));
   auto parsed = rsl::XrslRequest::parse_all(request.body);
-  if (!parsed.ok()) return net::Message::error(parsed.error());
+  if (!parsed.ok()) {
+    if (parse_span) parse_span->end(parsed.error().to_string());
+    return net::Message::error(parsed.error());
+  }
+  parse_span.reset();
 
   InfoGramResult combined;
   std::vector<std::string> contacts;
   for (const rsl::XrslRequest& req : parsed.value()) {
     auto result = execute(req, session.authenticated_subject().value_or(""),
                           session.local_user().value_or(""),
-                          request.header_or("callback", ""));
+                          request.header_or("callback", ""), trace);
     if (!result.ok()) return net::Message::error(result.error());
     if (result->job_contact) contacts.push_back(*result->job_contact);
     for (auto& record : result->records) combined.records.push_back(std::move(record));
@@ -138,7 +191,15 @@ net::Message InfoGramService::handle_xrsl(const net::Message& request, net::Sess
     combined.format = result->format;
   }
 
+  std::optional<obs::TraceContext::Span> format_span;
+  if (trace != nullptr) {
+    format_span.emplace(trace->span("format:" + std::string(to_string(combined.format))));
+  }
   net::Message resp = net::Message::ok(combined.payload());
+  format_span.reset();
+  if (config_.telemetry != nullptr && (!combined.records.empty() || combined.schema)) {
+    config_.telemetry->metrics().counter(obs::metric::kFormatRenders).add();
+  }
   if (!contacts.empty()) {
     combined.job_contact = contacts.front();
     resp.with("contact", contacts.front());

@@ -33,6 +33,7 @@
 #include "gram/service.hpp"
 #include "info/system_monitor.hpp"
 #include "mds/gris.hpp"
+#include "obs/telemetry.hpp"
 
 namespace ig::core {
 
@@ -41,6 +42,12 @@ struct InfoGramConfig {
   int port = 2135;  ///< ONE port for everything (contrast GRAM 2119 + MDS 2135)
   int max_restarts = 1;
   std::shared_ptr<exec::LocalJobExecution> jar_backend;
+  /// Observability bundle. When set, the service traces every request,
+  /// counts requests/errors/latency, shares the bundle with the monitor,
+  /// GRAM and the authenticator, and registers the `metrics` /
+  /// `metrics.jobs` / `traces` keywords so the telemetry is queryable
+  /// through InfoGram itself. Null = zero-overhead opt-out.
+  std::shared_ptr<obs::Telemetry> telemetry;
 };
 
 /// What one xRSL request produced.
@@ -68,10 +75,12 @@ class InfoGramService {
   void stop();
   net::Address address() const { return {config_.host, config_.port}; }
 
-  /// Execute an xRSL request in-process (also the recovery path).
+  /// Execute an xRSL request in-process (also the recovery path). With
+  /// `trace` set, submission and per-keyword resolution become spans.
   Result<InfoGramResult> execute(const rsl::XrslRequest& request, const std::string& subject,
                                  const std::string& local_user,
-                                 const std::string& callback_address = "");
+                                 const std::string& callback_address = "",
+                                 obs::TraceContext* trace = nullptr);
 
   /// Job-management passthrough (same contacts as the wire protocol).
   Result<gram::ManagedJobInfo> job_info(const std::string& contact) const;
@@ -90,7 +99,10 @@ class InfoGramService {
 
  private:
   net::Message handle(const net::Message& request, net::Session& session);
-  net::Message handle_xrsl(const net::Message& request, net::Session& session);
+  net::Message dispatch(const net::Message& request, net::Session& session,
+                        obs::TraceContext* trace);
+  net::Message handle_xrsl(const net::Message& request, net::Session& session,
+                           obs::TraceContext* trace);
 
   std::shared_ptr<info::SystemMonitor> monitor_;
   std::shared_ptr<exec::LocalJobExecution> backend_;  ///< for reflection

@@ -26,6 +26,19 @@ BatchBackend::~BatchBackend() {
   queue_cv_.notify_all();
 }
 
+void BatchBackend::set_telemetry(std::shared_ptr<obs::Telemetry> telemetry) {
+  std::lock_guard lock(queue_mu_);
+  telemetry_ = std::move(telemetry);
+  if (telemetry_ == nullptr) {
+    queue_depth_ = nullptr;
+    jobs_queued_ = nullptr;
+    return;
+  }
+  queue_depth_ = &telemetry_->metrics().gauge(obs::metric::kExecQueueDepth);
+  jobs_queued_ = &telemetry_->metrics().counter(obs::metric::kExecJobsQueued);
+  queue_depth_->set(static_cast<std::int64_t>(queue_.size()));
+}
+
 Result<JobId> BatchBackend::submit(const JobRequest& request) {
   if (request.spec.executable.empty()) {
     return Error(ErrorCode::kInvalidArgument, "job has no executable");
@@ -40,6 +53,8 @@ Result<JobId> BatchBackend::submit(const JobRequest& request) {
   {
     std::lock_guard lock(queue_mu_);
     queue_.push_back(QueuedJob{id, request, it->second});
+    if (jobs_queued_ != nullptr) jobs_queued_->add();
+    if (queue_depth_ != nullptr) queue_depth_->set(static_cast<std::int64_t>(queue_.size()));
   }
   queue_cv_.notify_one();
   return id;
@@ -53,6 +68,7 @@ Status BatchBackend::cancel(JobId id) {
     // Drop it from the queue if it had not started.
     std::lock_guard lock(queue_mu_);
     std::erase_if(queue_, [id](const QueuedJob& j) { return j.id == id; });
+    if (queue_depth_ != nullptr) queue_depth_->set(static_cast<std::int64_t>(queue_.size()));
   }
   return status;
 }
@@ -82,6 +98,7 @@ void BatchBackend::worker_loop(const std::stop_token& stop) {
           [](const QueuedJob& a, const QueuedJob& b) { return a.priority < b.priority; });
       job = std::move(*best);
       queue_.erase(best);
+      if (queue_depth_ != nullptr) queue_depth_->set(static_cast<std::int64_t>(queue_.size()));
     }
     if (system_ != nullptr && config_.load_per_job > 0.0) {
       system_->add_load(config_.load_per_job);

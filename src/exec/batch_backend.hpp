@@ -15,6 +15,7 @@
 #include "exec/job.hpp"
 #include "exec/job_table.hpp"
 #include "exec/runner.hpp"
+#include "obs/telemetry.hpp"
 
 namespace ig::exec {
 
@@ -49,6 +50,10 @@ class BatchBackend final : public LocalJobExecution {
   std::size_t queued_jobs() const;
   int nodes() const { return config_.nodes; }
 
+  /// Track queue depth (exec.queue.depth gauge) and accepted submissions
+  /// (exec.jobs.queued counter). Nullable.
+  void set_telemetry(std::shared_ptr<obs::Telemetry> telemetry);
+
  private:
   struct QueuedJob {
     JobId id;
@@ -67,6 +72,10 @@ class BatchBackend final : public LocalJobExecution {
   std::condition_variable queue_cv_;
   std::deque<QueuedJob> queue_;
   bool shutting_down_ = false;
+
+  std::shared_ptr<obs::Telemetry> telemetry_;
+  obs::Gauge* queue_depth_ = nullptr;
+  obs::Counter* jobs_queued_ = nullptr;
 
   std::vector<std::jthread> workers_;
 };

@@ -28,19 +28,29 @@ Status JobManager::start() {
     std::lock_guard lock(mu_);
     current_backend_id_ = id.value();
   }
+  if (options_.telemetry != nullptr) {
+    options_.telemetry->metrics().gauge(obs::metric::kJobsActive).add(1);
+  }
   monitor_ = std::jthread([this] { monitor_loop(); });
   return Status::success();
 }
 
 void JobManager::record(const exec::JobStatus& status) {
   std::function<void(const exec::JobStatus&)> callback;
+  bool changed = false;
   {
     std::lock_guard lock(mu_);
-    bool changed = info_.status.state != status.state;
+    changed = info_.status.state != status.state;
     info_.status = status;
     if (changed) callback = options_.on_transition;
   }
   cv_.notify_all();
+  if (changed && options_.telemetry != nullptr) {
+    options_.telemetry->metrics()
+        .counter(std::string(obs::metric::kJobTransitionPrefix) +
+                 std::string(exec::to_string(status.state)))
+        .add();
+  }
   if (callback) callback(status);
 }
 
@@ -117,6 +127,9 @@ void JobManager::monitor_loop() {
         logger_->log(logging::EventType::kJobRestarted, options_.subject,
                      options_.local_user, log_job_id_, request_.spec.executable);
       }
+      if (options_.telemetry != nullptr) {
+        options_.telemetry->metrics().counter(obs::metric::kJobsRestarted).add();
+      }
       auto id = backend_->submit(request_);
       if (!id.ok()) {
         exec::JobStatus failed;
@@ -133,11 +146,22 @@ void JobManager::monitor_loop() {
     }
     break;
   }
+  exec::JobStatus final_state;
   {
     std::lock_guard lock(mu_);
     finalized_ = true;
+    final_state = info_.status;
   }
   cv_.notify_all();
+  if (options_.telemetry != nullptr) {
+    options_.telemetry->metrics().gauge(obs::metric::kJobsActive).sub(1);
+    if (final_state.finished > final_state.started && final_state.started.count() > 0) {
+      options_.telemetry->metrics()
+          .histogram(obs::metric::kJobSeconds)
+          .observe(static_cast<double>((final_state.finished - final_state.started).count()) /
+                   1e6);
+    }
+  }
 }
 
 ManagedJobInfo JobManager::info() const {

@@ -15,6 +15,7 @@
 
 #include "exec/job.hpp"
 #include "logging/log.hpp"
+#include "obs/telemetry.hpp"
 #include "rsl/xrsl.hpp"
 
 namespace ig::gram {
@@ -27,6 +28,9 @@ struct ManagerOptions {
   std::string local_user;  ///< gridmap-mapped account
   /// Called on every state transition (callback notifications).
   std::function<void(const exec::JobStatus&)> on_transition;
+  /// Counts state transitions, restarts, active jobs and job runtime
+  /// (gram.* metrics). Nullable.
+  std::shared_ptr<obs::Telemetry> telemetry;
 };
 
 /// Client-visible job manager state.

@@ -23,7 +23,9 @@ GramService::GramService(std::shared_ptr<exec::LocalJobExecution> backend,
       policy_(policy),
       clock_(clock),
       logger_(std::move(logger)),
-      config_(std::move(config)) {}
+      config_(std::move(config)) {
+  if (config_.telemetry != nullptr) authenticator_.set_telemetry(config_.telemetry);
+}
 
 Status GramService::start(net::Network& network) {
   network_ = &network;
@@ -41,18 +43,26 @@ void GramService::stop() {
 Result<std::string> GramService::submit_local(const rsl::XrslRequest& request,
                                               const std::string& subject,
                                               const std::string& local_user,
-                                              const std::string& callback_address) {
+                                              const std::string& callback_address,
+                                              obs::TraceContext* trace) {
+  std::optional<obs::TraceContext::Span> span;
+  if (trace != nullptr) span.emplace(trace->span("gram.submit"));
   if (!request.is_job()) {
+    if (span) span->end("error: not a job");
     return Error(ErrorCode::kInvalidArgument,
                  "GRAM accepts job submissions only; use MDS for information queries");
   }
   if (policy_ != nullptr) {
     auto auth = policy_->authorize(subject, config_.host, "submit", clock_->now());
-    if (!auth.ok()) return auth.error();
+    if (!auth.ok()) {
+      if (span) span->end(auth.error().to_string());
+      return auth.error();
+    }
   }
   std::shared_ptr<exec::LocalJobExecution> backend = backend_;
   if (request.job->job_type == "jar") {
     if (config_.jar_backend == nullptr) {
+      if (span) span->end("error: no jar backend");
       return Error(ErrorCode::kInvalidArgument, "this GRAM does not accept jar jobs");
     }
     backend = config_.jar_backend;
@@ -71,6 +81,7 @@ Result<std::string> GramService::submit_local(const rsl::XrslRequest& request,
   options.timeout_action = request.action;
   options.subject = subject;
   options.local_user = local_user;
+  options.telemetry = config_.telemetry;
   if (!callback_address.empty()) {
     options.on_transition = [this, callback_address, contact](const exec::JobStatus& status) {
       notify_callback(callback_address, contact, status);
@@ -92,7 +103,11 @@ Result<std::string> GramService::submit_local(const rsl::XrslRequest& request,
       logger_->log(logging::EventType::kJobFailed, subject, local_user, id,
                    status.error().to_string());
     }
+    if (span) span->end(status.error().to_string());
     return status.error();
+  }
+  if (config_.telemetry != nullptr) {
+    config_.telemetry->metrics().counter(obs::metric::kJobsSubmitted).add();
   }
   {
     std::lock_guard lock(mu_);

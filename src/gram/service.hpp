@@ -26,6 +26,7 @@
 #include "gram/job_manager.hpp"
 #include "logging/log.hpp"
 #include "net/network.hpp"
+#include "obs/telemetry.hpp"
 #include "security/authorization.hpp"
 #include "security/handshake.hpp"
 
@@ -37,6 +38,9 @@ struct GramConfig {
   int max_restarts = 0;
   /// Backend for (jobtype=jar) submissions; nullptr rejects them.
   std::shared_ptr<exec::LocalJobExecution> jar_backend;
+  /// Shared with every JobManager this service creates (gram.* metrics,
+  /// submit spans). Nullable.
+  std::shared_ptr<obs::Telemetry> telemetry;
 };
 
 class GramService {
@@ -52,11 +56,13 @@ class GramService {
 
   net::Address address() const { return {config_.host, config_.port}; }
 
-  /// Submit directly (in-process path used by recovery and tests).
+  /// Submit directly (in-process path used by recovery and tests). With
+  /// `trace` set, the submission is recorded as a "gram.submit" span.
   Result<std::string> submit_local(const rsl::XrslRequest& request,
                                    const std::string& subject,
                                    const std::string& local_user,
-                                   const std::string& callback_address = "");
+                                   const std::string& callback_address = "",
+                                   obs::TraceContext* trace = nullptr);
 
   Result<ManagedJobInfo> job_info(const std::string& contact) const;
   Status cancel(const std::string& contact);

@@ -12,6 +12,7 @@ GridResource::GridResource(GridContext context, security::Credential host_creden
   batch_config.nodes = options_.batch_nodes;
   batch_ = std::make_shared<exec::BatchBackend>(registry_, *context_.clock, batch_config,
                                                 system_);
+  if (options_.telemetry != nullptr) batch_->set_telemetry(options_.telemetry);
   if (options_.with_sandbox) {
     exec::SandboxConfig sandbox_config;
     sandbox_config.capabilities = exec::CapabilitySet().grant(exec::Capability::kReadFile);
@@ -32,6 +33,7 @@ Status GridResource::start() {
     config.port = 2135;
     config.max_restarts = options_.max_restarts;
     config.jar_backend = sandbox_;
+    config.telemetry = options_.telemetry;
     infogram_ = std::make_unique<core::InfoGramService>(
         monitor_, batch_, credential_, context_.trust, context_.gridmap, context_.policy,
         context_.clock, context_.logger, config);

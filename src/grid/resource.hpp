@@ -11,6 +11,7 @@
 #include "exec/batch_backend.hpp"
 #include "exec/sandbox.hpp"
 #include "mds/service.hpp"
+#include "obs/telemetry.hpp"
 
 namespace ig::grid {
 
@@ -24,6 +25,9 @@ struct ResourceOptions {
   bool run_gram = false;      ///< baseline GRAM gatekeeper on port 2119
   bool run_mds = false;       ///< baseline GRIS on port 2136
   bool with_sandbox = true;   ///< accept (jobtype=jar) submissions
+  /// Optional telemetry for the resource's InfoGram service and batch
+  /// backend; queryable through the service as info=metrics / info=traces.
+  std::shared_ptr<obs::Telemetry> telemetry;
 };
 
 /// Shared security/VO context every resource plugs into. Owned by the

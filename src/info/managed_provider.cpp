@@ -17,6 +17,23 @@ ManagedProvider::ManagedProvider(std::shared_ptr<InfoSource> source, const Clock
   delay_us_.store(options_.delay.count(), std::memory_order_relaxed);
 }
 
+void ManagedProvider::set_telemetry(std::shared_ptr<obs::Telemetry> telemetry) {
+  telemetry_ = std::move(telemetry);
+  if (telemetry_ == nullptr) {
+    cache_hits_ = cache_misses_ = nullptr;
+    refresh_seconds_ = nullptr;
+    return;
+  }
+  obs::MetricsRegistry& metrics = telemetry_->metrics();
+  cache_hits_ = &metrics.counter(obs::metric::kInfoCacheHits);
+  cache_misses_ = &metrics.counter(obs::metric::kInfoCacheMisses);
+  refresh_seconds_ = &metrics.histogram(obs::metric::kInfoRefreshSeconds);
+}
+
+void ManagedProvider::count_hit() const {
+  if (cache_hits_ != nullptr) cache_hits_->add();
+}
+
 format::InfoRecord ManagedProvider::degraded_copy_locked(TimePoint now) const {
   format::InfoRecord copy = *cache_;
   Duration age = now - last_refresh_;
@@ -37,12 +54,14 @@ Result<format::InfoRecord> ManagedProvider::query_state() const {
                                  static_cast<long long>((now - last_refresh_).count()),
                                  static_cast<long long>(current_ttl_.count())));
   }
+  count_hit();
   return degraded_copy_locked(now);
 }
 
 Result<format::InfoRecord> ManagedProvider::last_state() const {
   std::shared_lock lock(cache_mu_);
   if (!cache_) return Error(ErrorCode::kNotFound, "keyword never produced: " + keyword_);
+  count_hit();
   return degraded_copy_locked(clock_.now());
 }
 
@@ -55,11 +74,15 @@ Result<format::InfoRecord> ManagedProvider::update_state(bool force) {
       Duration age = now - last_refresh_;
       bool fresh = current_ttl_.count() > 0 && age <= current_ttl_;
       // Another thread refreshed while we waited on the monitor.
-      if (!force && fresh) return degraded_copy_locked(now);
+      if (!force && fresh) {
+        count_hit();
+        return degraded_copy_locked(now);
+      }
       // The delay throttle applies even to forced updates: the host cannot
       // produce the information faster than this.
       Duration delay{delay_us_.load(std::memory_order_relaxed)};
       if (delay.count() > 0 && now - last_attempt_ < delay) {
+        count_hit();
         return degraded_copy_locked(now);
       }
     }
@@ -69,8 +92,11 @@ Result<format::InfoRecord> ManagedProvider::update_state(bool force) {
   auto produced = source_->produce();
   Duration elapsed = timer.elapsed();
   if (!produced.ok()) return produced.error();
-  perf_.add(static_cast<double>(elapsed.count()) / 1e6);
+  double elapsed_s = static_cast<double>(elapsed.count()) / 1e6;
+  perf_.add(elapsed_s);
   refreshes_.fetch_add(1, std::memory_order_relaxed);
+  if (cache_misses_ != nullptr) cache_misses_->add();
+  if (refresh_seconds_ != nullptr) refresh_seconds_->observe(elapsed_s);
 
   format::InfoRecord record = std::move(produced.value());
   record.keyword = keyword_;
@@ -150,7 +176,10 @@ Result<format::InfoRecord> ManagedProvider::get_with_quality(double threshold_pe
     std::shared_lock lock(cache_mu_);
     if (cache_) {
       auto copy = degraded_copy_locked(clock_.now());
-      if (copy.min_quality() >= threshold_percent) return copy;
+      if (copy.min_quality() >= threshold_percent) {
+        count_hit();
+        return copy;
+      }
     }
   }
   return update_state(/*force=*/true);

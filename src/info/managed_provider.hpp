@@ -32,6 +32,7 @@
 #include "common/stats.hpp"
 #include "info/degradation.hpp"
 #include "info/provider.hpp"
+#include "obs/telemetry.hpp"
 #include "rsl/xrsl.hpp"
 
 namespace ig::info {
@@ -95,7 +96,15 @@ class ManagedProvider {
 
   const DegradationFunction& degradation() const { return *options_.degradation; }
 
+  /// Count cache hits/misses and refresh latency into `telemetry`
+  /// (info.cache.hits / info.cache.misses / info.refresh.seconds).
+  /// A hit is a request served from cache; a miss actually ran the
+  /// source. Nullable; usually set by SystemMonitor::set_telemetry.
+  void set_telemetry(std::shared_ptr<obs::Telemetry> telemetry);
+
  private:
+  void count_hit() const;
+
   format::InfoRecord degraded_copy_locked(TimePoint now) const;
   void note_change(const format::InfoRecord& old_record,
                    const format::InfoRecord& new_record, Duration elapsed);
@@ -116,6 +125,11 @@ class ManagedProvider {
 
   SharedStats perf_;
   std::atomic<std::uint64_t> refreshes_{0};
+
+  std::shared_ptr<obs::Telemetry> telemetry_;  ///< written before use, then const
+  obs::Counter* cache_hits_ = nullptr;
+  obs::Counter* cache_misses_ = nullptr;
+  obs::Histogram* refresh_seconds_ = nullptr;
 };
 
 }  // namespace ig::info

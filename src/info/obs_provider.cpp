@@ -1,0 +1,44 @@
+#include "info/obs_provider.hpp"
+
+namespace ig::info {
+
+Status register_obs_providers(SystemMonitor& monitor,
+                              std::shared_ptr<obs::Telemetry> telemetry) {
+  if (telemetry == nullptr) return Status::success();
+
+  ProviderOptions live;
+  live.ttl = Duration(0);  // Table 1: ttl 0 = run on every request
+
+  auto add = [&](const std::string& keyword, FunctionSource::Producer producer,
+                 const std::string& description) {
+    return monitor.add_source(
+        std::make_shared<FunctionSource>(keyword, std::move(producer), description), live);
+  };
+
+  if (auto status = add(
+          "metrics",
+          [telemetry]() -> Result<format::InfoRecord> {
+            return telemetry->metrics_record("metrics");
+          },
+          "function:obs.metrics");
+      !status.ok()) {
+    return status;
+  }
+  if (auto status = add(
+          "metrics.jobs",
+          [telemetry]() -> Result<format::InfoRecord> {
+            return telemetry->metrics_record("metrics.jobs", {"gram.", "exec."});
+          },
+          "function:obs.metrics.jobs");
+      !status.ok()) {
+    return status;
+  }
+  return add(
+      "traces",
+      [telemetry]() -> Result<format::InfoRecord> {
+        return telemetry->traces_record("traces");
+      },
+      "function:obs.traces");
+}
+
+}  // namespace ig::info

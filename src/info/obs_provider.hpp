@@ -1,0 +1,27 @@
+// The `obs` provider family: the service's own telemetry exposed through
+// the same keyword machinery as every other information source — the
+// paper's reflection idea (info=schema) extended to the runtime itself.
+//
+//   (info=metrics)       all counters/gauges/histograms
+//   (info=metrics.jobs)  the gram.* / exec.* job subset
+//   (info=traces)        the retained request traces
+//
+// Registered with ttl=0 ("execute the keyword every time it is
+// requested", Table 1), so queries always see live values, and the
+// keywords show up in schema reflection like any provider.
+#pragma once
+
+#include <memory>
+
+#include "info/system_monitor.hpp"
+#include "obs/telemetry.hpp"
+
+namespace ig::info {
+
+/// Register the `metrics`, `metrics.jobs` and `traces` keywords on
+/// `monitor`, backed by `telemetry`. kAlreadyExists if any keyword is
+/// taken; no-op success when `telemetry` is null.
+Status register_obs_providers(SystemMonitor& monitor,
+                              std::shared_ptr<obs::Telemetry> telemetry);
+
+}  // namespace ig::info

@@ -11,6 +11,7 @@ SystemMonitor::SystemMonitor(const Clock& clock, std::string service_name)
 
 Status SystemMonitor::add_provider(std::shared_ptr<ManagedProvider> provider) {
   std::lock_guard lock(mu_);
+  if (telemetry_ != nullptr) provider->set_telemetry(telemetry_);
   auto [it, inserted] = providers_.try_emplace(provider->keyword(), provider);
   (void)it;
   if (!inserted) {
@@ -18,6 +19,17 @@ Status SystemMonitor::add_provider(std::shared_ptr<ManagedProvider> provider) {
                  "provider already registered: " + provider->keyword());
   }
   return Status::success();
+}
+
+void SystemMonitor::set_telemetry(std::shared_ptr<obs::Telemetry> telemetry) {
+  std::lock_guard lock(mu_);
+  telemetry_ = std::move(telemetry);
+  for (const auto& [kw, p] : providers_) p->set_telemetry(telemetry_);
+}
+
+std::shared_ptr<obs::Telemetry> SystemMonitor::telemetry() const {
+  std::lock_guard lock(mu_);
+  return telemetry_;
 }
 
 Status SystemMonitor::add_source(std::shared_ptr<InfoSource> source, ProviderOptions options) {
@@ -77,18 +89,32 @@ std::vector<std::string> SystemMonitor::expand_locked(
 
 Result<std::vector<format::InfoRecord>> SystemMonitor::query(
     const std::vector<std::string>& keywords, rsl::ResponseMode mode,
-    std::optional<double> quality_threshold, const std::vector<std::string>& filters) {
+    std::optional<double> quality_threshold, const std::vector<std::string>& filters,
+    obs::TraceContext* trace) {
   std::vector<std::string> expanded;
+  std::shared_ptr<obs::Telemetry> telemetry;
   {
     std::lock_guard lock(mu_);
     expanded = expand_locked(keywords);
+    telemetry = telemetry_;
   }
+  ScopedTimer timer(clock_);
   std::vector<format::InfoRecord> out;
   out.reserve(expanded.size());
   for (const auto& kw : expanded) {
+    std::optional<obs::TraceContext::Span> span;
+    if (trace != nullptr) span.emplace(trace->span("info:" + kw));
     auto record = get(kw, mode, quality_threshold);
-    if (!record.ok()) return record.error();
+    if (!record.ok()) {
+      if (span) span->end(record.error().to_string());
+      return record.error();
+    }
     out.push_back(record->filtered(filters));
+  }
+  if (telemetry != nullptr) {
+    telemetry->metrics()
+        .histogram(obs::metric::kInfoQuerySeconds)
+        .observe(static_cast<double>(timer.elapsed().count()) / 1e6);
   }
   return out;
 }

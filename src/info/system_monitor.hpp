@@ -13,6 +13,7 @@
 
 #include "format/schema.hpp"
 #include "info/managed_provider.hpp"
+#include "obs/trace.hpp"
 
 namespace ig::info {
 
@@ -37,10 +38,12 @@ class SystemMonitor {
   /// Resolve a list of keywords ("all" expands to every registered one),
   /// applying attribute filters to each record. Unknown keywords fail the
   /// whole query (all-or-nothing, matching the paper's simple model).
+  /// With `trace` set, each keyword resolution is recorded as a span
+  /// ("info:<keyword>") and the whole query as info.query.seconds.
   Result<std::vector<format::InfoRecord>> query(
       const std::vector<std::string>& keywords, rsl::ResponseMode mode,
       std::optional<double> quality_threshold = std::nullopt,
-      const std::vector<std::string>& filters = {});
+      const std::vector<std::string>& filters = {}, obs::TraceContext* trace = nullptr);
 
   /// Provider timing statistics as an information record: for each
   /// requested keyword, <kw>:mean_s / <kw>:stddev_s / <kw>:count.
@@ -56,6 +59,11 @@ class SystemMonitor {
 
   const std::string& service_name() const { return service_name_; }
 
+  /// Attach telemetry to this monitor and to every current and future
+  /// provider (cache hit/miss counters, refresh latency). Nullable.
+  void set_telemetry(std::shared_ptr<obs::Telemetry> telemetry);
+  std::shared_ptr<obs::Telemetry> telemetry() const;
+
  private:
   std::vector<std::string> expand_locked(const std::vector<std::string>& keywords) const;
 
@@ -63,6 +71,7 @@ class SystemMonitor {
   std::string service_name_;
   mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<ManagedProvider>> providers_;
+  std::shared_ptr<obs::Telemetry> telemetry_;
 };
 
 }  // namespace ig::info

@@ -19,6 +19,7 @@ constexpr std::pair<std::string_view, EventType> kEventNames[] = {
     {"job_cancelled", EventType::kJobCancelled},
     {"job_restarted", EventType::kJobRestarted},
     {"info_query", EventType::kInfoQuery},
+    {"trace", EventType::kTrace},
 };
 
 std::string escape(std::string_view s) {
@@ -127,12 +128,20 @@ std::size_t MemorySink::size() const {
   return events_.size();
 }
 
-FileSink::FileSink(std::string path) : path_(std::move(path)) {}
+FileSink::FileSink(std::string path)
+    : path_(std::move(path)), out_(path_, std::ios::app) {}
 
 void FileSink::append(const LogEvent& event) {
   std::lock_guard lock(mu_);
-  std::ofstream out(path_, std::ios::app);
-  out << event.serialize() << '\n';
+  if (!out_.good()) {
+    // The stream went bad (disk full, file rotated away): retry once with
+    // a fresh handle rather than silently dropping every later event.
+    out_.close();
+    out_.clear();
+    out_.open(path_, std::ios::app);
+  }
+  out_ << event.serialize() << '\n';
+  out_.flush();
 }
 
 Result<std::vector<LogEvent>> FileSink::read(const std::string& path) {
@@ -143,7 +152,13 @@ Result<std::vector<LogEvent>> FileSink::read(const std::string& path) {
   while (std::getline(in, line)) {
     if (strings::trim(line).empty()) continue;
     auto event = LogEvent::parse(line);
-    if (!event.ok()) return event.error();
+    if (!event.ok()) {
+      // A malformed *last* line is the signature of a crash mid-write;
+      // recover everything before it. Corruption earlier in the log is a
+      // real error.
+      if (in.peek() == std::ifstream::traits_type::eof()) break;
+      return event.error();
+    }
     events.push_back(std::move(event.value()));
   }
   return events;

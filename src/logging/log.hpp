@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -33,6 +34,7 @@ enum class EventType {
   kJobCancelled,
   kJobRestarted,
   kInfoQuery,  ///< detail = queried keywords
+  kTrace,      ///< detail = completed request trace summary (obs bridge)
 };
 
 std::string_view to_string(EventType type);
@@ -74,18 +76,26 @@ class MemorySink final : public LogSink {
 };
 
 /// Line-per-event file sink (the "backend tier" log of Fig. 3).
+///
+/// The stream is opened once (append mode) and flushed after every event,
+/// so each record reaches the OS before append() returns — a process crash
+/// loses nothing already logged. No fsync is attempted (std::ofstream has
+/// none), so an OS/power failure may drop the tail; recovery tolerates a
+/// truncated last line.
 class FileSink final : public LogSink {
  public:
   explicit FileSink(std::string path);
   void append(const LogEvent& event) override;
   const std::string& path() const { return path_; }
 
-  /// Read a log file back (for restart).
+  /// Read a log file back (for restart). A partial (crash-truncated) last
+  /// line is skipped rather than failing the whole recovery.
   static Result<std::vector<LogEvent>> read(const std::string& path);
 
  private:
   std::mutex mu_;
   std::string path_;
+  std::ofstream out_;
 };
 
 class Logger {

@@ -19,11 +19,20 @@ std::size_t Giis::child_count() const {
 Status Giis::refresh_if_stale() {
   std::lock_guard lock(mu_);
   TimePoint now = clock_.now();
+  if (telemetry_ != nullptr) {
+    telemetry_->metrics().counter(obs::metric::kMdsGiisSearches).add();
+  }
   if (last_refresh_.count() >= 0 && now - last_refresh_ <= cache_ttl_) {
     hits_.fetch_add(1, std::memory_order_relaxed);
+    if (telemetry_ != nullptr) {
+      telemetry_->metrics().counter(obs::metric::kMdsGiisCacheHits).add();
+    }
     return Status::success();
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
+  if (telemetry_ != nullptr) {
+    telemetry_->metrics().counter(obs::metric::kMdsGiisCacheMisses).add();
+  }
   Directory fresh;
   DirectoryEntry root;
   root.dn = "vo=" + vo_name_ + ", o=Grid";

@@ -15,6 +15,7 @@
 
 #include "common/clock.hpp"
 #include "mds/gris.hpp"
+#include "obs/telemetry.hpp"
 
 namespace ig::mds {
 
@@ -37,6 +38,13 @@ class Giis final : public SearchBackend {
 
   const std::string& vo_name() const { return vo_name_; }
 
+  /// Mirror searches and cache hit/miss into shared metrics
+  /// (mds.giis.searches / mds.giis.cache.*). Nullable.
+  void set_telemetry(std::shared_ptr<obs::Telemetry> telemetry) {
+    std::lock_guard lock(mu_);
+    telemetry_ = std::move(telemetry);
+  }
+
  private:
   Status refresh_if_stale();
 
@@ -50,6 +58,7 @@ class Giis final : public SearchBackend {
   Directory cache_;
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
+  std::shared_ptr<obs::Telemetry> telemetry_;
 };
 
 }  // namespace ig::mds

@@ -37,6 +37,9 @@ Status Gris::refresh() {
 
 Result<std::vector<DirectoryEntry>> Gris::search(const std::string& base, Scope scope,
                                                  const Filter& filter) {
+  if (telemetry_ != nullptr) {
+    telemetry_->metrics().counter(obs::metric::kMdsGrisSearches).add();
+  }
   if (auto status = refresh(); !status.ok()) return status.error();
   return ig::mds::search(directory_, base, scope, filter);
 }

@@ -13,6 +13,7 @@
 #include "common/clock.hpp"
 #include "info/system_monitor.hpp"
 #include "mds/filter.hpp"
+#include "obs/telemetry.hpp"
 
 namespace ig::mds {
 
@@ -37,6 +38,11 @@ class Gris final : public SearchBackend {
 
   const std::string& host() const { return host_; }
 
+  /// Count directory searches (mds.gris.searches). Nullable.
+  void set_telemetry(std::shared_ptr<obs::Telemetry> telemetry) {
+    telemetry_ = std::move(telemetry);
+  }
+
  private:
   /// Pull current provider data (cached response mode — the providers'
   /// TTLs decide whether commands actually run) into the directory.
@@ -46,6 +52,7 @@ class Gris final : public SearchBackend {
   std::string host_;
   const Clock& clock_;
   Directory directory_;
+  std::shared_ptr<obs::Telemetry> telemetry_;
 };
 
 /// Convert one information record into its GRIS directory entry.

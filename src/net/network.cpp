@@ -100,9 +100,26 @@ Result<Message> Network::dispatch(const Address& addr, const Message& req, Sessi
   return handler(req, session);
 }
 
-void Network::account(const TrafficStats& delta) {
+void Network::set_telemetry(std::shared_ptr<obs::Telemetry> telemetry) {
   std::lock_guard lock(mu_);
-  totals_.merge(delta);
+  telemetry_ = std::move(telemetry);
+}
+
+void Network::account(const TrafficStats& delta) {
+  std::shared_ptr<obs::Telemetry> telemetry;
+  {
+    std::lock_guard lock(mu_);
+    totals_.merge(delta);
+    telemetry = telemetry_;
+  }
+  if (telemetry == nullptr) return;
+  obs::MetricsRegistry& metrics = telemetry->metrics();
+  if (delta.connects > 0) metrics.counter(obs::metric::kNetConnects).add(delta.connects);
+  if (delta.requests > 0) metrics.counter(obs::metric::kNetRequests).add(delta.requests);
+  if (delta.bytes_sent > 0) metrics.counter(obs::metric::kNetBytesSent).add(delta.bytes_sent);
+  if (delta.bytes_received > 0) {
+    metrics.counter(obs::metric::kNetBytesReceived).add(delta.bytes_received);
+  }
 }
 
 }  // namespace ig::net

@@ -28,6 +28,7 @@
 #include "common/clock.hpp"
 #include "common/error.hpp"
 #include "net/message.hpp"
+#include "obs/telemetry.hpp"
 
 namespace ig::net {
 
@@ -149,6 +150,10 @@ class Network {
   /// Aggregate traffic across all connections ever made on this network.
   TrafficStats total_stats() const;
 
+  /// Mirror per-connection accounting into `telemetry`'s metrics
+  /// (net.connects / net.requests / net.bytes.*). Nullable to detach.
+  void set_telemetry(std::shared_ptr<obs::Telemetry> telemetry);
+
  private:
   friend class Connection;
 
@@ -164,6 +169,7 @@ class Network {
   mutable std::mutex mu_;
   std::map<Address, EndpointEntry> endpoints_;
   TrafficStats totals_;
+  std::shared_ptr<obs::Telemetry> telemetry_;
 };
 
 }  // namespace ig::net

@@ -1,0 +1,118 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+namespace ig::obs {
+
+std::vector<double> Histogram::latency_seconds_buckets() {
+  return {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 30.0};
+}
+
+Histogram::Histogram(std::vector<double> boundaries)
+    : boundaries_(boundaries.empty() ? latency_seconds_buckets() : std::move(boundaries)),
+      counts_(boundaries_.size() + 1) {}
+
+void Histogram::observe(double x) {
+  auto it = std::lower_bound(boundaries_.begin(), boundaries_.end(), x);
+  auto index = static_cast<std::size_t>(it - boundaries_.begin());
+  counts_[index].fetch_add(1, std::memory_order_relaxed);
+  stats_.add(x);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot snap;
+  snap.stats = stats_.snapshot();
+  snap.boundaries = boundaries_;
+  snap.counts.reserve(counts_.size());
+  for (const auto& c : counts_) snap.counts.push_back(c.load(std::memory_order_relaxed));
+  return snap;
+}
+
+double Histogram::Snapshot::quantile(double q) const {
+  std::uint64_t total = 0;
+  for (auto c : counts) total += c;
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  double rank = q * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    auto next = cumulative + counts[i];
+    if (static_cast<double>(next) >= rank) {
+      // Interpolate within [lower, upper) by the fraction of the rank that
+      // falls inside this bucket. The overflow bucket has no upper edge;
+      // report the observed maximum instead.
+      if (i >= boundaries.size()) return stats.max();
+      double lower = i == 0 ? std::min(0.0, stats.min()) : boundaries[i - 1];
+      double upper = boundaries[i];
+      double fraction =
+          (rank - static_cast<double>(cumulative)) / static_cast<double>(counts[i]);
+      return lower + (upper - lower) * fraction;
+    }
+    cumulative = next;
+  }
+  return stats.max();
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lock(mu_);
+  Entry& entry = entries_[name];
+  if (entry.gauge != nullptr || entry.histogram != nullptr) return mismatch_counter_;
+  if (entry.counter == nullptr) entry.counter = std::make_unique<Counter>();
+  return *entry.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard lock(mu_);
+  Entry& entry = entries_[name];
+  if (entry.counter != nullptr || entry.histogram != nullptr) return mismatch_gauge_;
+  if (entry.gauge == nullptr) entry.gauge = std::make_unique<Gauge>();
+  return *entry.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> boundaries) {
+  std::lock_guard lock(mu_);
+  Entry& entry = entries_[name];
+  if (entry.counter != nullptr || entry.gauge != nullptr) {
+    if (mismatch_histogram_ == nullptr) {
+      mismatch_histogram_ = std::make_unique<Histogram>(std::vector<double>{});
+    }
+    return *mismatch_histogram_;
+  }
+  if (entry.histogram == nullptr) {
+    entry.histogram = std::make_unique<Histogram>(std::move(boundaries));
+  }
+  return *entry.histogram;
+}
+
+std::vector<MetricSnapshot> MetricsRegistry::snapshot() const {
+  std::lock_guard lock(mu_);
+  std::vector<MetricSnapshot> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    MetricSnapshot snap;
+    snap.name = name;
+    if (entry.counter != nullptr) {
+      snap.kind = MetricSnapshot::Kind::kCounter;
+      snap.value = static_cast<std::int64_t>(entry.counter->value());
+    } else if (entry.gauge != nullptr) {
+      snap.kind = MetricSnapshot::Kind::kGauge;
+      snap.value = entry.gauge->value();
+    } else if (entry.histogram != nullptr) {
+      snap.kind = MetricSnapshot::Kind::kHistogram;
+      snap.histogram = entry.histogram->snapshot();
+    } else {
+      continue;  // name touched but never materialized
+    }
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace ig::obs

@@ -1,0 +1,126 @@
+// Metrics registry — the service-side half of the observability layer.
+//
+// The paper already makes InfoGram measure itself (the `performance` tag
+// catalogues per-provider update-time mean/stddev at runtime); this module
+// generalizes that idea into named counters, gauges and fixed-boundary
+// histograms covering the whole request path, so the service's own
+// throughput and latency behaviour is observable the same way Zhang &
+// Schopf's MDS performance studies observe MDS. Snapshots feed the `obs`
+// provider family (info=metrics), which renders them as ordinary
+// InfoRecords.
+//
+// All metric types are thread-safe and lock-free on the hot path; the
+// registry hands out stable references that remain valid for its lifetime,
+// so instrumented components can resolve a metric once and update it
+// without further registry lookups.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace ig::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Point-in-time level (queue depth, active jobs); can move both ways.
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void sub(std::int64_t n = 1) { value_.fetch_sub(n, std::memory_order_relaxed); }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed-boundary bucket histogram built on RunningStats for the moment
+/// statistics (the same Welford accumulator the `performance` tag uses).
+/// Boundaries are upper bucket edges; an implicit +inf bucket catches the
+/// overflow. Quantiles are estimated by linear interpolation inside the
+/// bucket containing the target rank.
+class Histogram {
+ public:
+  /// `boundaries` must be strictly increasing; empty falls back to the
+  /// default latency buckets.
+  explicit Histogram(std::vector<double> boundaries);
+
+  void observe(double x);
+
+  /// Upper bucket edges for sub-second .. tens-of-seconds latencies.
+  static std::vector<double> latency_seconds_buckets();
+
+  struct Snapshot {
+    RunningStats stats;
+    std::vector<double> boundaries;      ///< upper edges, one per bucket
+    std::vector<std::uint64_t> counts;   ///< boundaries.size() + 1 (+inf)
+
+    /// Estimated value at quantile q in [0,1]; 0 with no samples.
+    double quantile(double q) const;
+  };
+  Snapshot snapshot() const;
+
+ private:
+  std::vector<double> boundaries_;
+  std::vector<std::atomic<std::uint64_t>> counts_;
+  SharedStats stats_;
+};
+
+/// One registry entry flattened for rendering.
+struct MetricSnapshot {
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  std::string name;
+  Kind kind = Kind::kCounter;
+  std::int64_t value = 0;  ///< counter/gauge value (0 for histograms)
+  std::optional<Histogram::Snapshot> histogram;
+};
+
+/// Named metrics, get-or-create. References returned by counter()/gauge()/
+/// histogram() stay valid as long as the registry lives; a name is bound to
+/// its first-registered kind (re-registering under a different kind returns
+/// a detached dummy metric rather than aliasing).
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `boundaries` is only consulted when the histogram is first created.
+  Histogram& histogram(const std::string& name, std::vector<double> boundaries = {});
+
+  /// All metrics, sorted by name.
+  std::vector<MetricSnapshot> snapshot() const;
+
+  std::size_t size() const;
+
+ private:
+  struct Entry {
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+  /// Fallbacks handed out on kind mismatch so callers never get nullptr.
+  Counter mismatch_counter_;
+  Gauge mismatch_gauge_;
+  std::unique_ptr<Histogram> mismatch_histogram_;
+};
+
+}  // namespace ig::obs

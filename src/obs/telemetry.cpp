@@ -1,0 +1,95 @@
+#include "obs/telemetry.hpp"
+
+#include "common/strings.hpp"
+
+namespace ig::obs {
+
+Telemetry::Telemetry(const Clock& clock, std::size_t trace_capacity)
+    : clock_(clock), traces_(trace_capacity) {}
+
+TraceContext Telemetry::start_trace(std::string root_name) const {
+  return TraceContext(clock_, std::move(root_name));
+}
+
+void Telemetry::complete(TraceContext& trace) {
+  TraceRecord record = trace.finish();
+  std::function<void(const TraceRecord&)> listener;
+  {
+    std::lock_guard lock(listener_mu_);
+    listener = listener_;
+  }
+  traces_.add(record);
+  if (listener) listener(record);
+}
+
+void Telemetry::set_trace_listener(std::function<void(const TraceRecord&)> listener) {
+  std::lock_guard lock(listener_mu_);
+  listener_ = std::move(listener);
+}
+
+namespace {
+
+bool matches_prefix(const std::string& name, const std::vector<std::string>& prefixes) {
+  if (prefixes.empty()) return true;
+  for (const auto& prefix : prefixes) {
+    if (strings::starts_with(name, prefix)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+format::InfoRecord Telemetry::metrics_record(const std::string& keyword,
+                                             const std::vector<std::string>& prefixes) const {
+  format::InfoRecord record;
+  record.keyword = keyword;
+  record.generated_at = clock_.now();
+  for (const MetricSnapshot& m : metrics_.snapshot()) {
+    if (!matches_prefix(m.name, prefixes)) continue;
+    switch (m.kind) {
+      case MetricSnapshot::Kind::kCounter:
+      case MetricSnapshot::Kind::kGauge:
+        record.add(m.name, std::to_string(m.value));
+        break;
+      case MetricSnapshot::Kind::kHistogram: {
+        const Histogram::Snapshot& h = *m.histogram;
+        record.add(m.name + ":count", std::to_string(h.stats.count()));
+        record.add(m.name + ":mean", strings::format("%.6f", h.stats.mean()));
+        record.add(m.name + ":stddev", strings::format("%.6f", h.stats.stddev()));
+        record.add(m.name + ":p50", strings::format("%.6f", h.quantile(0.5)));
+        record.add(m.name + ":p95", strings::format("%.6f", h.quantile(0.95)));
+        record.add(m.name + ":max", strings::format("%.6f", h.stats.max()));
+        break;
+      }
+    }
+  }
+  return record;
+}
+
+format::InfoRecord Telemetry::traces_record(const std::string& keyword) const {
+  format::InfoRecord record;
+  record.keyword = keyword;
+  record.generated_at = clock_.now();
+  record.add("count", std::to_string(traces_.size()));
+  record.add("completed", std::to_string(traces_.completed()));
+  record.add("capacity", std::to_string(traces_.capacity()));
+  for (const TraceRecord& trace : traces_.snapshot()) {
+    record.add(trace.id + ":root", trace.root);
+    record.add(trace.id + ":status", trace.status);
+    record.add(trace.id + ":start_us", std::to_string(trace.start.count()));
+    record.add(trace.id + ":duration_us", std::to_string(trace.duration.count()));
+    record.add(trace.id + ":spans", std::to_string(trace.spans.size()));
+    // Child spans (skip the root, already summarized above).
+    for (std::size_t i = 1; i < trace.spans.size(); ++i) {
+      const SpanRecord& span = trace.spans[i];
+      record.add(trace.id + ":span." + std::to_string(i),
+                 strings::format("%s status=%s start_us=%lld duration_us=%lld",
+                                 span.name.c_str(), span.status.c_str(),
+                                 static_cast<long long>(span.start.count()),
+                                 static_cast<long long>(span.duration.count())));
+    }
+  }
+  return record;
+}
+
+}  // namespace ig::obs

@@ -1,0 +1,106 @@
+// Telemetry — the bundle every instrumented layer shares.
+//
+// One Telemetry instance per service deployment carries the metrics
+// registry, the trace ring buffer and the clock. Components receive it as
+// a nullable shared_ptr and no-op without it, so observability is strictly
+// opt-in and costs nothing when absent.
+//
+// The InfoRecord builders here are what make the telemetry *self-
+// describing* in the paper's sense: the `obs` provider family
+// (src/info/obs_provider.hpp) exposes them as ordinary keywords, so
+// `info=metrics` / `info=traces` queries flow through the exact xRSL +
+// SystemMonitor + LDIF/XML path every other keyword uses, and show up in
+// `info=schema` reflection like any provider.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "format/record.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace ig::obs {
+
+/// Well-known metric names, so instrumentation sites and tests agree.
+namespace metric {
+// src/net
+inline constexpr const char* kNetConnects = "net.connects";
+inline constexpr const char* kNetRequests = "net.requests";
+inline constexpr const char* kNetBytesSent = "net.bytes.sent";
+inline constexpr const char* kNetBytesReceived = "net.bytes.received";
+// src/security
+inline constexpr const char* kAuthHandshakes = "auth.handshakes";
+inline constexpr const char* kAuthFailures = "auth.failures";
+inline constexpr const char* kAuthRejected = "auth.rejected";
+// src/info
+inline constexpr const char* kInfoCacheHits = "info.cache.hits";
+inline constexpr const char* kInfoCacheMisses = "info.cache.misses";
+inline constexpr const char* kInfoRefreshSeconds = "info.refresh.seconds";
+inline constexpr const char* kInfoQuerySeconds = "info.query.seconds";
+// src/exec
+inline constexpr const char* kExecQueueDepth = "exec.queue.depth";
+inline constexpr const char* kExecJobsQueued = "exec.jobs.queued";
+// src/gram
+inline constexpr const char* kJobsSubmitted = "gram.jobs.submitted";
+inline constexpr const char* kJobsRestarted = "gram.jobs.restarted";
+inline constexpr const char* kJobsActive = "gram.jobs.active";
+inline constexpr const char* kJobSeconds = "gram.job.seconds";
+inline constexpr const char* kJobTransitionPrefix = "gram.transitions.";  // + state name
+// src/mds
+inline constexpr const char* kMdsGrisSearches = "mds.gris.searches";
+inline constexpr const char* kMdsGiisSearches = "mds.giis.searches";
+inline constexpr const char* kMdsGiisCacheHits = "mds.giis.cache.hits";
+inline constexpr const char* kMdsGiisCacheMisses = "mds.giis.cache.misses";
+// src/core
+inline constexpr const char* kRequestsTotal = "requests.total";
+inline constexpr const char* kRequestsXrsl = "requests.xrsl";
+inline constexpr const char* kRequestsGram = "requests.gram";
+inline constexpr const char* kRequestsErrors = "requests.errors";
+inline constexpr const char* kRequestSeconds = "request.seconds";
+inline constexpr const char* kFormatRenders = "format.renders";
+}  // namespace metric
+
+class Telemetry {
+ public:
+  explicit Telemetry(const Clock& clock, std::size_t trace_capacity = 64);
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  TraceStore& traces() { return traces_; }
+  const TraceStore& traces() const { return traces_; }
+  const Clock& clock() const { return clock_; }
+
+  /// Open a trace rooted at `root_name` on this telemetry's clock.
+  TraceContext start_trace(std::string root_name) const;
+
+  /// Finish `trace`, retain it in the store and invoke the trace listener
+  /// (the Logger bridge, when one is wired).
+  void complete(TraceContext& trace);
+
+  /// Called with every completed trace; set once at service wiring time.
+  void set_trace_listener(std::function<void(const TraceRecord&)> listener);
+
+  /// All metrics as one InfoRecord (keyword `metrics`). Counters/gauges
+  /// become one attribute each; histograms expand to count/mean/stddev/
+  /// p50/p95/max. `prefixes` non-empty keeps only matching names
+  /// (keyword `metrics.jobs` uses {"gram.", "exec."}).
+  format::InfoRecord metrics_record(const std::string& keyword,
+                                    const std::vector<std::string>& prefixes = {}) const;
+
+  /// The retained traces as one InfoRecord (keyword `traces`): per trace
+  /// `<id>:root/status/duration_us/spans`, plus one attribute per span.
+  format::InfoRecord traces_record(const std::string& keyword) const;
+
+ private:
+  const Clock& clock_;
+  MetricsRegistry metrics_;
+  TraceStore traces_;
+  mutable std::mutex listener_mu_;
+  std::function<void(const TraceRecord&)> listener_;
+};
+
+}  // namespace ig::obs

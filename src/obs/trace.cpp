@@ -1,0 +1,112 @@
+#include "obs/trace.hpp"
+
+#include "common/id.hpp"
+
+namespace ig::obs {
+
+TraceContext::TraceContext(const Clock& clock, std::string root_name) : clock_(clock) {
+  TimePoint now = clock_.now();
+  // Deterministic under a VirtualClock: the id mixes the monotonic process
+  // counter with the injected clock's time, never the wall clock.
+  std::uint64_t seq = IdGenerator::next();
+  id_ = to_hex(fnv1a(root_name + ":" + std::to_string(seq),
+                     0x9e3779b97f4a7c15ULL ^ static_cast<std::uint64_t>(now.count())));
+  record_.id = id_;
+  record_.root = root_name;
+  record_.start = now;
+
+  SpanRecord root;
+  root.id = seq;
+  root.parent_id = 0;
+  root.name = std::move(root_name);
+  root.start = now;
+  record_.spans.push_back(std::move(root));
+}
+
+TraceContext::Span::Span(Span&& other) noexcept
+    : ctx_(other.ctx_), index_(other.index_), id_(other.id_) {
+  other.ctx_ = nullptr;
+}
+
+TraceContext::Span::~Span() {
+  if (ctx_ != nullptr) ctx_->end_span(index_, "ok");
+}
+
+void TraceContext::Span::end(std::string status) {
+  if (ctx_ == nullptr) return;
+  ctx_->end_span(index_, std::move(status));
+  ctx_ = nullptr;
+}
+
+TraceContext::Span TraceContext::span(std::string name, std::uint64_t parent_id) {
+  SpanRecord span;
+  span.id = IdGenerator::next();
+  span.name = std::move(name);
+  span.start = clock_.now();
+  std::lock_guard lock(mu_);
+  span.parent_id = parent_id != 0 ? parent_id : record_.spans.front().id;
+  if (finished_) {
+    // Spent context: hand back a detached handle (end() is a no-op).
+    return Span(nullptr, 0, span.id);
+  }
+  record_.spans.push_back(std::move(span));
+  return Span(this, record_.spans.size() - 1, record_.spans.back().id);
+}
+
+void TraceContext::end_span(std::size_t index, std::string status) {
+  TimePoint now = clock_.now();
+  std::lock_guard lock(mu_);
+  if (index >= record_.spans.size()) return;
+  SpanRecord& span = record_.spans[index];
+  span.duration = now - span.start;
+  span.status = std::move(status);
+}
+
+void TraceContext::fail(std::string status) {
+  std::lock_guard lock(mu_);
+  record_.status = std::move(status);
+}
+
+TraceRecord TraceContext::finish() {
+  TimePoint now = clock_.now();
+  std::lock_guard lock(mu_);
+  if (!finished_) {
+    finished_ = true;
+    record_.duration = now - record_.start;
+    SpanRecord& root = record_.spans.front();
+    root.duration = record_.duration;
+    root.status = record_.status;
+  }
+  return record_;
+}
+
+bool TraceContext::finished() const {
+  std::lock_guard lock(mu_);
+  return finished_;
+}
+
+TraceStore::TraceStore(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void TraceStore::add(TraceRecord record) {
+  std::lock_guard lock(mu_);
+  ++completed_;
+  traces_.push_back(std::move(record));
+  while (traces_.size() > capacity_) traces_.pop_front();
+}
+
+std::vector<TraceRecord> TraceStore::snapshot() const {
+  std::lock_guard lock(mu_);
+  return {traces_.begin(), traces_.end()};
+}
+
+std::size_t TraceStore::size() const {
+  std::lock_guard lock(mu_);
+  return traces_.size();
+}
+
+std::uint64_t TraceStore::completed() const {
+  std::lock_guard lock(mu_);
+  return completed_;
+}
+
+}  // namespace ig::obs

@@ -1,0 +1,128 @@
+// Request tracing.
+//
+// Every request entering the unified endpoint gets a TraceContext: a
+// trace id plus a root span, carried by pointer down the dispatch path
+// (core -> SystemMonitor/provider resolution -> GRAM submit -> formatter).
+// Each layer opens a child span recording name, start, duration and
+// status. Completed traces land in a fixed-capacity ring buffer
+// (TraceStore) so the last N requests can be inspected through the
+// service itself (info=traces) — the dogfooding analogue of the paper's
+// `performance` tag.
+//
+// Ids come from the process-wide IdGenerator and the *injected* Clock, so
+// a VirtualClock keeps every recorded timestamp deterministic in tests.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+
+namespace ig::obs {
+
+/// One completed (or still-open) span inside a trace.
+struct SpanRecord {
+  std::uint64_t id = 0;
+  std::uint64_t parent_id = 0;  ///< 0 = root span
+  std::string name;
+  TimePoint start{0};
+  Duration duration{0};
+  std::string status = "ok";
+
+  friend bool operator==(const SpanRecord&, const SpanRecord&) = default;
+};
+
+/// A finished trace: the root request plus its spans, oldest first.
+struct TraceRecord {
+  std::string id;  ///< 16-char hex trace id
+  std::string root;
+  TimePoint start{0};
+  Duration duration{0};
+  std::string status = "ok";
+  std::vector<SpanRecord> spans;  ///< spans[0] is the root span
+
+  friend bool operator==(const TraceRecord&, const TraceRecord&) = default;
+};
+
+/// The in-flight side of a trace. Thread-safe: concurrent layers may open
+/// spans against the same context. Move-only.
+class TraceContext {
+ public:
+  TraceContext(const Clock& clock, std::string root_name);
+
+  TraceContext(const TraceContext&) = delete;
+  TraceContext& operator=(const TraceContext&) = delete;
+
+  const std::string& id() const { return id_; }
+
+  /// RAII child-span handle: ends (status "ok") on destruction unless
+  /// end() was called explicitly.
+  class Span {
+   public:
+    Span(Span&& other) noexcept;
+    Span& operator=(Span&&) = delete;
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+    ~Span();
+
+    void end(std::string status = "ok");
+    std::uint64_t id() const { return id_; }
+
+   private:
+    friend class TraceContext;
+    Span(TraceContext* ctx, std::size_t index, std::uint64_t id)
+        : ctx_(ctx), index_(index), id_(id) {}
+
+    TraceContext* ctx_;
+    std::size_t index_;
+    std::uint64_t id_;
+  };
+
+  /// Open a child span. `parent_id` 0 parents it under the root span.
+  Span span(std::string name, std::uint64_t parent_id = 0);
+
+  /// Mark the whole trace as failed (root status).
+  void fail(std::string status);
+
+  /// Close the root span and return the finished record. The context is
+  /// spent afterwards; further spans are dropped.
+  TraceRecord finish();
+
+  bool finished() const;
+
+ private:
+  void end_span(std::size_t index, std::string status);
+
+  const Clock& clock_;
+  std::string id_;
+  mutable std::mutex mu_;
+  TraceRecord record_;
+  bool finished_ = false;
+};
+
+/// Ring buffer of the last N completed traces.
+class TraceStore {
+ public:
+  explicit TraceStore(std::size_t capacity = 64);
+
+  void add(TraceRecord record);
+
+  /// Oldest-first copy of the retained traces.
+  std::vector<TraceRecord> snapshot() const;
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  /// Total traces ever completed (including evicted ones).
+  std::uint64_t completed() const;
+
+ private:
+  std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<TraceRecord> traces_;
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace ig::obs

@@ -14,14 +14,23 @@ Authenticator::Authenticator(Credential credential, const TrustStore* trust,
                              const GridMap* gridmap, const Clock* clock)
     : credential_(std::move(credential)), trust_(trust), gridmap_(gridmap), clock_(clock) {}
 
+void Authenticator::count(const char* name) const {
+  if (telemetry_ != nullptr) telemetry_->metrics().counter(name).add();
+}
+
 net::Handler Authenticator::wrap(net::Handler inner) const {
   // The returned handler copies `this` members by pointer; the
   // Authenticator must outlive the endpoint registration.
   return [this, inner = std::move(inner)](const net::Message& req,
                                           net::Session& session) -> net::Message {
     if (req.verb == "AUTH_HELLO") return handle_hello(req, session);
-    if (req.verb == "AUTH_PROVE") return handle_prove(req, session);
+    if (req.verb == "AUTH_PROVE") {
+      net::Message resp = handle_prove(req, session);
+      count(resp.is_error() ? obs::metric::kAuthFailures : obs::metric::kAuthHandshakes);
+      return resp;
+    }
     if (!session.authenticated_subject()) {
+      count(obs::metric::kAuthRejected);
       return net::Message::error(
           Error(ErrorCode::kDenied, "request on unauthenticated connection"));
     }

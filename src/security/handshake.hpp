@@ -20,6 +20,7 @@
 
 #include "common/clock.hpp"
 #include "net/network.hpp"
+#include "obs/telemetry.hpp"
 #include "security/certificate.hpp"
 #include "security/gridmap.hpp"
 
@@ -37,7 +38,15 @@ class Authenticator {
   /// verbs require an authenticated session.
   net::Handler wrap(net::Handler inner) const;
 
+  /// Count handshake outcomes (auth.handshakes / auth.failures) and
+  /// unauthenticated-request rejections (auth.rejected). Nullable.
+  void set_telemetry(std::shared_ptr<obs::Telemetry> telemetry) {
+    telemetry_ = std::move(telemetry);
+  }
+
  private:
+  void count(const char* name) const;
+
   net::Message handle_hello(const net::Message& req, net::Session& session) const;
   net::Message handle_prove(const net::Message& req, net::Session& session) const;
 
@@ -45,6 +54,7 @@ class Authenticator {
   const TrustStore* trust_;
   const GridMap* gridmap_;
   const Clock* clock_;
+  std::shared_ptr<obs::Telemetry> telemetry_;
 };
 
 /// Client-side handshake. On success the connection's session is

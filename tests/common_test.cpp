@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <thread>
 #include <vector>
 
@@ -224,6 +225,28 @@ TEST(RunningStatsTest, MergeMatchesSequential) {
   EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
   EXPECT_DOUBLE_EQ(a.min(), all.min());
   EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, ManyWayMergeMatchesSinglePass) {
+  // Parallel-style aggregation: N shards merged in arbitrary order must
+  // equal one single-pass accumulation, including across wildly different
+  // magnitudes (the catastrophic-cancellation case naive merging gets
+  // wrong).
+  RunningStats all;
+  std::vector<RunningStats> shards(7);
+  Rng rng(42);
+  for (int i = 0; i < 5000; ++i) {
+    double x = rng.normal(0.0, 1.0) * (i % 3 == 0 ? 1e8 : 1e-6);
+    all.add(x);
+    shards[static_cast<std::size_t>(i) % shards.size()].add(x);
+  }
+  RunningStats merged;
+  for (auto it = shards.rbegin(); it != shards.rend(); ++it) merged.merge(*it);
+  EXPECT_EQ(merged.count(), all.count());
+  EXPECT_NEAR(merged.mean(), all.mean(), std::abs(all.mean()) * 1e-9 + 1e-12);
+  EXPECT_NEAR(merged.variance(), all.variance(), all.variance() * 1e-9);
+  EXPECT_DOUBLE_EQ(merged.min(), all.min());
+  EXPECT_DOUBLE_EQ(merged.max(), all.max());
 }
 
 TEST(RunningStatsTest, MergeWithEmpty) {

@@ -11,6 +11,7 @@
 #include "grid/virtual_organization.hpp"
 #include "mds/filter.hpp"
 #include "mds/service.hpp"
+#include "obs/telemetry.hpp"
 
 namespace ig {
 namespace {
@@ -196,6 +197,59 @@ TEST_F(IntegrationTest, ProxyDelegationEndToEnd) {
   auto denied = expired.query_info({"Date"});
   ASSERT_FALSE(denied.ok());
   EXPECT_EQ(denied.code(), ErrorCode::kDenied);
+}
+
+// Telemetry across the full stack: run a known workload against an
+// instrumented resource and check the metric deltas match it — queried
+// through the service itself, the way an operator would.
+TEST_F(IntegrationTest, MetricDeltasMatchWorkload) {
+  grid::ResourceOptions options;
+  options.host = "observed.sim";
+  options.telemetry = std::make_shared<obs::Telemetry>(clock);
+  auto resource = vo.add_resource(options);
+  ASSERT_TRUE(resource.ok());
+  core::InfoGramClient client(network, (*resource)->infogram_address(), user, vo.trust(),
+                              clock);
+
+  auto metric = [&](const char* name) -> std::uint64_t {
+    auto records = client.query_info({"metrics"});
+    EXPECT_TRUE(records.ok());
+    if (!records.ok() || records->empty()) return 0;
+    const auto* attr = (*records)[0].find(std::string("metrics:") + name);
+    return attr == nullptr ? 0 : std::stoull(attr->value);
+  };
+
+  std::uint64_t requests0 = metric("requests.total");
+  std::uint64_t submitted0 = metric("gram.jobs.submitted");
+  std::uint64_t queued0 = metric("exec.jobs.queued");
+  std::uint64_t misses0 = metric("info.cache.misses");
+
+  constexpr int kQueries = 4;
+  for (int i = 0; i < kQueries; ++i) {
+    ASSERT_TRUE(client.query_info({"CPULoad"}).ok());  // TTL 0: always a miss
+    clock.advance(ms(10));
+  }
+  auto resp = client.request("&(executable=/bin/echo)(arguments=counted)");
+  ASSERT_TRUE(resp.ok());
+  ASSERT_TRUE(resp->job_contact.has_value());
+  ASSERT_TRUE(client.wait(*resp->job_contact, kWait).ok());
+
+  // Each metric() probe is itself a request, so requests.total moves by
+  // more than the workload alone; the workload contributes exactly
+  // kQueries + 1 on top of the probes in between.
+  EXPECT_GE(metric("requests.total") - requests0, kQueries + 1u);
+  EXPECT_EQ(metric("gram.jobs.submitted") - submitted0, 1u);
+  EXPECT_EQ(metric("exec.jobs.queued") - queued0, 1u);
+  EXPECT_GE(metric("info.cache.misses") - misses0, static_cast<std::uint64_t>(kQueries));
+  // The completed job surfaced in the transition counters and its trace
+  // is retained, queryable as info=traces.
+  EXPECT_GE(metric("gram.transitions.DONE"), 1u);
+  auto traces = client.query_info({"traces"});
+  ASSERT_TRUE(traces.ok());
+  ASSERT_EQ(traces->size(), 1u);
+  const auto* completed = (*traces)[0].find("traces:completed");
+  ASSERT_NE(completed, nullptr);
+  EXPECT_GE(std::stoull(completed->value), static_cast<std::uint64_t>(kQueries) + 1);
 }
 
 // Network partition mid-session: requests fail cleanly, then recover.

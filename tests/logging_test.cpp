@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 
 #include "common/clock.hpp"
 #include "logging/log.hpp"
@@ -42,12 +43,43 @@ TEST(LogEventTest, ParseRejectsMalformed) {
   EXPECT_FALSE(LogEvent::parse("1\t2\tnot_a_type\ta\tb\t1\td").ok());
 }
 
+TEST(LogEventTest, AdversarialFieldsRoundtrip) {
+  // Every escape-relevant byte combination, in every string field. A field
+  // containing the *literal text* "\t" must not come back as a tab.
+  const std::string nasty[] = {
+      "",                    // empty field
+      "\t",                  // bare tab
+      "\n",                  // bare newline
+      "\\",                  // bare backslash
+      "\\t",                 // literal backslash-t text
+      "\\\\t",               // backslash then literal \t
+      "a\tb\nc\\d\\te",      // mixed
+      "trailing backslash\\",
+      "\\n\\t\\\\",          // all escapes as literal text
+      "line1\nline2\nline3",
+      std::string("embedded\0nul", 12),
+  };
+  for (const auto& subject : nasty) {
+    for (const auto& detail : nasty) {
+      LogEvent event = make_event(EventType::kJobSubmitted, 9, detail);
+      event.subject = subject;
+      event.local_user = nasty[6];
+      std::string line = event.serialize();
+      // Serialized form must stay one line, or FileSink framing breaks.
+      EXPECT_EQ(line.find('\n'), std::string::npos);
+      auto parsed = LogEvent::parse(line);
+      ASSERT_TRUE(parsed.ok()) << "subject=" << subject << " detail=" << detail;
+      EXPECT_EQ(parsed.value(), event);
+    }
+  }
+}
+
 TEST(EventTypeTest, NamesRoundtrip) {
   for (auto type : {EventType::kServiceStart, EventType::kServiceStop, EventType::kAuth,
                     EventType::kJobSubmitted, EventType::kJobStarted,
                     EventType::kJobFinished, EventType::kJobFailed,
                     EventType::kJobCancelled, EventType::kJobRestarted,
-                    EventType::kInfoQuery}) {
+                    EventType::kInfoQuery, EventType::kTrace}) {
     auto back = event_type_from_string(to_string(type));
     ASSERT_TRUE(back.ok());
     EXPECT_EQ(back.value(), type);
@@ -105,6 +137,56 @@ TEST(FileSinkTest, ReadMissingFileFails) {
   auto events = FileSink::read("/nonexistent/dir/file.log");
   ASSERT_FALSE(events.ok());
   EXPECT_EQ(events.code(), ErrorCode::kIoError);
+}
+
+TEST(FileSinkTest, EventsDurableWhileSinkStillOpen) {
+  // append() flushes per event: the file must be readable while the sink
+  // is alive (a restarting service reads the log its predecessor still
+  // held open when it crashed).
+  std::string path = ::testing::TempDir() + "/infogram_log_durable.log";
+  std::remove(path.c_str());
+  VirtualClock clock;
+  Logger logger(clock);
+  auto sink = std::make_shared<FileSink>(path);
+  logger.add_sink(sink);
+  for (int i = 0; i < 5; ++i) {
+    logger.log(EventType::kJobSubmitted, "/O=Grid/CN=a", "a",
+               static_cast<std::uint64_t>(i), "rsl");
+  }
+  auto events = FileSink::read(path);  // sink NOT destroyed yet
+  ASSERT_TRUE(events.ok());
+  EXPECT_EQ(events->size(), 5u);
+  std::remove(path.c_str());
+}
+
+TEST(FileSinkTest, TruncatedLastLineIsSkippedOnRead) {
+  std::string path = ::testing::TempDir() + "/infogram_log_torn.log";
+  std::remove(path.c_str());
+  {
+    VirtualClock clock;
+    Logger logger(clock);
+    logger.add_sink(std::make_shared<FileSink>(path));
+    logger.log(EventType::kJobSubmitted, "/O=Grid/CN=a", "a", 1, "rsl-1");
+    logger.log(EventType::kJobFinished, "/O=Grid/CN=a", "a", 1, "contact");
+  }
+  {
+    // Simulate a crash mid-write: a torn final record.
+    std::ofstream torn(path, std::ios::app);
+    torn << "3\t99\tjob_sub";
+  }
+  auto events = FileSink::read(path);
+  ASSERT_TRUE(events.ok());
+  ASSERT_EQ(events->size(), 2u);
+  EXPECT_EQ((*events)[1].type, EventType::kJobFinished);
+
+  // Corruption *before* intact records is still an error.
+  {
+    std::ofstream bad(path, std::ios::trunc);
+    bad << "garbage line\n";
+    bad << make_event(EventType::kJobSubmitted, 1, "rsl").serialize() << "\n";
+  }
+  EXPECT_FALSE(FileSink::read(path).ok());
+  std::remove(path.c_str());
 }
 
 // ---------- Recovery ----------

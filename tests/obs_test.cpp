@@ -1,0 +1,430 @@
+// Observability layer: metrics registry, request tracing, and the `obs`
+// provider family that makes both queryable through InfoGram itself.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/infogram_client.hpp"
+#include "core/infogram_service.hpp"
+#include "exec/fork_backend.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
+#include "test_util.hpp"
+
+namespace ig::obs {
+namespace {
+
+// ---------- Metrics ----------
+
+TEST(MetricsTest, CounterGetOrCreateIsStable) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("x");
+  Counter& b = registry.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.add();
+  a.add(4);
+  EXPECT_EQ(b.value(), 5u);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(MetricsTest, GaugeMovesBothWays) {
+  MetricsRegistry registry;
+  Gauge& g = registry.gauge("depth");
+  g.set(10);
+  g.add(5);
+  g.sub(7);
+  EXPECT_EQ(g.value(), 8);
+  g.sub(20);
+  EXPECT_EQ(g.value(), -12);
+}
+
+TEST(MetricsTest, KindMismatchReturnsDetachedDummy) {
+  MetricsRegistry registry;
+  registry.counter("x").add(3);
+  // Asking for the same name as a different kind must not alias or crash.
+  Gauge& dummy = registry.gauge("x");
+  dummy.set(99);
+  Histogram& hdummy = registry.histogram("x");
+  hdummy.observe(1.0);
+  EXPECT_EQ(registry.counter("x").value(), 3u);
+  auto snaps = registry.snapshot();
+  ASSERT_EQ(snaps.size(), 1u);
+  EXPECT_EQ(snaps[0].kind, MetricSnapshot::Kind::kCounter);
+  EXPECT_EQ(snaps[0].value, 3);
+}
+
+TEST(MetricsTest, ConcurrentCountersSumExactly) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kAdds = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      // Resolve through the registry each time on half the iterations, so
+      // the get-or-create path itself is raced too.
+      Counter& cached = registry.counter("hits");
+      for (int i = 0; i < kAdds; ++i) {
+        if (i % 2 == 0) {
+          cached.add();
+        } else {
+          registry.counter("hits").add();
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(registry.counter("hits").value(),
+            static_cast<std::uint64_t>(kThreads) * kAdds);
+}
+
+TEST(MetricsTest, HistogramMomentsAndQuantiles) {
+  Histogram h({1.0, 2.0, 4.0, 8.0});
+  for (int i = 1; i <= 100; ++i) h.observe(static_cast<double>(i) * 0.04);  // 0.04..4.0
+  auto snap = h.snapshot();
+  EXPECT_EQ(snap.stats.count(), 100);
+  EXPECT_NEAR(snap.stats.mean(), 2.02, 1e-9);
+  // 0.04..4.0 uniformly: the median sits around 2.0, p95 around 3.8.
+  EXPECT_NEAR(snap.quantile(0.5), 2.0, 0.25);
+  EXPECT_NEAR(snap.quantile(0.95), 3.8, 0.45);
+  EXPECT_DOUBLE_EQ(snap.quantile(0.0), 0.0);
+  // Overflow bucket: quantiles past every boundary clamp to the max seen.
+  Histogram tiny({0.001});
+  tiny.observe(5.0);
+  tiny.observe(7.0);
+  EXPECT_DOUBLE_EQ(tiny.snapshot().quantile(0.99), 7.0);
+}
+
+TEST(MetricsTest, ConcurrentHistogramObservations) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 4;
+  constexpr int kObs = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      for (int i = 0; i < kObs; ++i) {
+        registry.histogram("lat").observe(0.001 * (t + 1));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  auto snap = registry.histogram("lat").snapshot();
+  EXPECT_EQ(snap.stats.count(), kThreads * kObs);
+  std::uint64_t bucketed = 0;
+  for (auto c : snap.counts) bucketed += c;
+  EXPECT_EQ(bucketed, static_cast<std::uint64_t>(kThreads) * kObs);
+}
+
+TEST(MetricsTest, SnapshotSortedByName) {
+  MetricsRegistry registry;
+  registry.counter("zeta").add();
+  registry.gauge("alpha").set(1);
+  registry.histogram("mid").observe(0.5);
+  auto snaps = registry.snapshot();
+  ASSERT_EQ(snaps.size(), 3u);
+  EXPECT_EQ(snaps[0].name, "alpha");
+  EXPECT_EQ(snaps[1].name, "mid");
+  EXPECT_EQ(snaps[2].name, "zeta");
+  ASSERT_TRUE(snaps[1].histogram.has_value());
+}
+
+// ---------- Tracing ----------
+
+TEST(TraceTest, SpansRecordHierarchyAndStatus) {
+  VirtualClock clock(seconds(100));
+  TraceContext trace(clock, "XRSL");
+  {
+    auto parse = trace.span("parse");
+    clock.advance(ms(2));
+  }  // ends ok via RAII
+  {
+    auto query = trace.span("info:CPULoad");
+    clock.advance(ms(5));
+    query.end("error: stale");
+  }
+  clock.advance(ms(1));
+  TraceRecord record = trace.finish();
+  EXPECT_EQ(record.root, "XRSL");
+  EXPECT_EQ(record.id.size(), 16u);
+  EXPECT_EQ(record.start, seconds(100));
+  EXPECT_EQ(record.duration, ms(8));
+  ASSERT_EQ(record.spans.size(), 3u);  // root + 2 children
+  EXPECT_EQ(record.spans[0].name, "XRSL");
+  EXPECT_EQ(record.spans[0].parent_id, 0u);
+  EXPECT_EQ(record.spans[1].name, "parse");
+  EXPECT_EQ(record.spans[1].parent_id, record.spans[0].id);
+  EXPECT_EQ(record.spans[1].duration, ms(2));
+  EXPECT_EQ(record.spans[2].status, "error: stale");
+  EXPECT_EQ(record.spans[2].duration, ms(5));
+  EXPECT_EQ(record.status, "ok");
+  EXPECT_TRUE(trace.finished());
+}
+
+TEST(TraceTest, FailMarksRootStatus) {
+  VirtualClock clock;
+  TraceContext trace(clock, "XRSL");
+  trace.fail("error: denied");
+  TraceRecord record = trace.finish();
+  EXPECT_EQ(record.status, "error: denied");
+  EXPECT_EQ(record.spans[0].status, "error: denied");
+}
+
+TEST(TraceTest, DistinctTraceIds) {
+  VirtualClock clock;
+  TraceContext a(clock, "XRSL");
+  TraceContext b(clock, "XRSL");
+  EXPECT_NE(a.id(), b.id());
+}
+
+TEST(TraceTest, ConcurrentSpansAllRecorded) {
+  VirtualClock clock;
+  TraceContext trace(clock, "burst");
+  constexpr int kThreads = 8;
+  constexpr int kSpans = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&trace, t] {
+      for (int i = 0; i < kSpans; ++i) {
+        auto s = trace.span("s" + std::to_string(t));
+        s.end();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  TraceRecord record = trace.finish();
+  EXPECT_EQ(record.spans.size(), 1u + kThreads * kSpans);
+}
+
+TEST(TraceStoreTest, RingBufferEvictsOldest) {
+  VirtualClock clock;
+  TraceStore store(3);
+  for (int i = 0; i < 5; ++i) {
+    TraceContext trace(clock, "r" + std::to_string(i));
+    store.add(trace.finish());
+  }
+  EXPECT_EQ(store.size(), 3u);
+  EXPECT_EQ(store.capacity(), 3u);
+  EXPECT_EQ(store.completed(), 5u);
+  auto traces = store.snapshot();
+  ASSERT_EQ(traces.size(), 3u);
+  EXPECT_EQ(traces.front().root, "r2");  // oldest retained
+  EXPECT_EQ(traces.back().root, "r4");
+}
+
+// ---------- Telemetry records ----------
+
+TEST(TelemetryTest, MetricsRecordRendersAllKinds) {
+  VirtualClock clock;
+  Telemetry telemetry(clock);
+  telemetry.metrics().counter("requests.total").add(7);
+  telemetry.metrics().gauge("exec.queue.depth").set(2);
+  telemetry.metrics().histogram("request.seconds").observe(0.25);
+  auto record = telemetry.metrics_record("metrics");
+  EXPECT_EQ(record.keyword, "metrics");
+  // InfoRecord::add namespaces attributes with the keyword.
+  ASSERT_NE(record.find("metrics:requests.total"), nullptr);
+  EXPECT_EQ(record.find("metrics:requests.total")->value, "7");
+  EXPECT_EQ(record.find("metrics:exec.queue.depth")->value, "2");
+  // Names already containing ':' are not re-namespaced by InfoRecord::add.
+  ASSERT_NE(record.find("request.seconds:count"), nullptr);
+  EXPECT_EQ(record.find("request.seconds:count")->value, "1");
+  ASSERT_NE(record.find("request.seconds:p95"), nullptr);
+}
+
+TEST(TelemetryTest, MetricsRecordPrefixFilter) {
+  VirtualClock clock;
+  Telemetry telemetry(clock);
+  telemetry.metrics().counter("gram.jobs.submitted").add();
+  telemetry.metrics().counter("exec.jobs.queued").add();
+  telemetry.metrics().counter("net.requests").add();
+  auto record = telemetry.metrics_record("metrics.jobs", {"gram.", "exec."});
+  EXPECT_NE(record.find("metrics.jobs:gram.jobs.submitted"), nullptr);
+  EXPECT_NE(record.find("metrics.jobs:exec.jobs.queued"), nullptr);
+  EXPECT_EQ(record.find("metrics.jobs:net.requests"), nullptr);
+}
+
+TEST(TelemetryTest, CompleteStoresTraceAndNotifiesListener) {
+  VirtualClock clock;
+  Telemetry telemetry(clock, 8);
+  std::vector<TraceRecord> seen;
+  telemetry.set_trace_listener([&seen](const TraceRecord& r) { seen.push_back(r); });
+  auto trace = telemetry.start_trace("XRSL");
+  clock.advance(ms(3));
+  telemetry.complete(trace);
+  EXPECT_EQ(telemetry.traces().size(), 1u);
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].root, "XRSL");
+  EXPECT_EQ(seen[0].duration, ms(3));
+
+  auto record = telemetry.traces_record("traces");
+  ASSERT_NE(record.find("traces:count"), nullptr);
+  EXPECT_EQ(record.find("traces:count")->value, "1");
+  EXPECT_NE(record.find(seen[0].id + ":root"), nullptr);
+}
+
+// ---------- Through the service (dogfooding) ----------
+
+class ObsServiceTest : public ig::test::GridFixture {
+ protected:
+  ObsServiceTest() : backend(std::make_shared<exec::ForkBackend>(registry, *clock)) {}
+
+  void start_service() {
+    telemetry = std::make_shared<Telemetry>(*clock);
+    core::InfoGramConfig config;
+    config.host = "test.sim";
+    config.telemetry = telemetry;
+    monitor = std::make_shared<info::SystemMonitor>(*clock, config.host);
+    ASSERT_TRUE(core::Configuration::table1().apply(*monitor, registry).ok());
+    service = std::make_unique<core::InfoGramService>(monitor, backend, host_cred, &trust,
+                                                      &gridmap, &policy, clock.get(),
+                                                      logger, config);
+    ASSERT_TRUE(service->start(*network).ok());
+  }
+
+  core::InfoGramClient make_client() {
+    return core::InfoGramClient(*network, service->address(), alice, trust, *clock);
+  }
+
+  std::shared_ptr<exec::ForkBackend> backend;
+  std::shared_ptr<Telemetry> telemetry;
+  std::shared_ptr<info::SystemMonitor> monitor;
+  std::unique_ptr<core::InfoGramService> service;
+};
+
+TEST_F(ObsServiceTest, MetricsQueryableInLdif) {
+  start_service();
+  auto client = make_client();
+  ASSERT_TRUE(client.query_info({"CPULoad"}).ok());  // generate some traffic
+  auto records = client.query_info({"metrics"});
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  const auto& record = (*records)[0];
+  EXPECT_EQ(record.keyword, "metrics");
+  EXPECT_FALSE(record.attributes.empty());
+  // The layers instrumented upstream of this query already counted.
+  const auto* total = record.find("metrics:requests.total");
+  ASSERT_NE(total, nullptr);
+  EXPECT_GE(std::stoull(total->value), 1u);
+  EXPECT_NE(record.find("metrics:auth.handshakes"), nullptr);
+  EXPECT_NE(record.find("metrics:net.requests"), nullptr);
+  EXPECT_NE(record.find("metrics:info.cache.misses"), nullptr);
+  EXPECT_NE(record.find("request.seconds:p50"), nullptr);
+}
+
+TEST_F(ObsServiceTest, MetricsQueryableInXml) {
+  start_service();
+  auto client = make_client();
+  auto records =
+      client.query_info({"metrics"}, rsl::ResponseMode::kCached, rsl::OutputFormat::kXml);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0].keyword, "metrics");
+  EXPECT_FALSE((*records)[0].attributes.empty());
+}
+
+TEST_F(ObsServiceTest, TracesQueryableInBothFormats) {
+  start_service();
+  auto client = make_client();
+  ASSERT_TRUE(client.query_info({"Memory"}).ok());  // complete at least one trace
+  for (auto format : {rsl::OutputFormat::kLdif, rsl::OutputFormat::kXml}) {
+    auto records = client.query_info({"traces"}, rsl::ResponseMode::kCached, format);
+    ASSERT_TRUE(records.ok());
+    ASSERT_EQ(records->size(), 1u);
+    const auto& record = (*records)[0];
+    EXPECT_EQ(record.keyword, "traces");
+    EXPECT_FALSE(record.attributes.empty());
+    const auto* completed = record.find("traces:completed");
+    ASSERT_NE(completed, nullptr);
+    EXPECT_GE(std::stoull(completed->value), 1u);
+  }
+}
+
+TEST_F(ObsServiceTest, SchemaListsObsKeywords) {
+  start_service();
+  auto client = make_client();
+  ASSERT_TRUE(client.query_info({"metrics"}).ok());  // populate last_state
+  auto schema = client.fetch_schema();
+  ASSERT_TRUE(schema.ok());
+  bool metrics = false, metrics_jobs = false, traces = false;
+  for (const auto& kw : schema->keywords) {
+    if (kw.keyword == "metrics") {
+      metrics = true;
+      EXPECT_EQ(kw.ttl, Duration(0));  // Table 1: execute per request
+      EXPECT_FALSE(kw.attributes.empty());
+    }
+    if (kw.keyword == "metrics.jobs") metrics_jobs = true;
+    if (kw.keyword == "traces") traces = true;
+  }
+  EXPECT_TRUE(metrics);
+  EXPECT_TRUE(metrics_jobs);
+  EXPECT_TRUE(traces);
+}
+
+TEST_F(ObsServiceTest, TracePropagatesThroughCombinedRequest) {
+  start_service();
+  auto client = make_client();
+  auto resp = client.request("&(executable=/bin/echo)(arguments=hi)(info=CPULoad)");
+  ASSERT_TRUE(resp.ok());
+  ASSERT_TRUE(resp->job_contact.has_value());
+  ASSERT_TRUE(client.wait(*resp->job_contact, seconds(30)).ok());
+
+  auto traces = telemetry->traces().snapshot();
+  ASSERT_FALSE(traces.empty());
+  // The combined request's trace carries spans from every layer it crossed.
+  const TraceRecord* combined = nullptr;
+  for (const auto& t : traces) {
+    for (const auto& s : t.spans) {
+      if (s.name == "gram.submit") combined = &t;
+    }
+  }
+  ASSERT_NE(combined, nullptr);
+  EXPECT_EQ(combined->root, "XRSL");
+  bool parse = false, submit = false, info = false, format = false;
+  for (const auto& s : combined->spans) {
+    if (s.name == "parse") parse = true;
+    if (s.name == "gram.submit") submit = true;
+    if (s.name == "info:CPULoad") info = true;
+    if (s.name.rfind("format:", 0) == 0) format = true;
+    if (s.parent_id != 0) {
+      EXPECT_EQ(s.parent_id, combined->spans[0].id);  // all rooted
+    }
+  }
+  EXPECT_TRUE(parse);
+  EXPECT_TRUE(submit);
+  EXPECT_TRUE(info);
+  EXPECT_TRUE(format);
+
+  // The job flowed through GRAM: submission counted, transitions counted.
+  EXPECT_GE(telemetry->metrics().counter(metric::kJobsSubmitted).value(), 1u);
+  EXPECT_GE(telemetry->metrics().counter("gram.transitions.DONE").value(), 1u);
+
+  // The trace listener bridged completions into the Logger.
+  bool trace_logged = false;
+  for (const auto& event : log_sink->events()) {
+    if (event.type == logging::EventType::kTrace) trace_logged = true;
+  }
+  EXPECT_TRUE(trace_logged);
+}
+
+TEST_F(ObsServiceTest, ErrorsAndAuthFailuresCounted) {
+  start_service();
+  auto client = make_client();
+  EXPECT_FALSE(client.query_info({"Bogus"}).ok());
+  EXPECT_GE(telemetry->metrics().counter(metric::kRequestsErrors).value(), 1u);
+  auto traces = telemetry->traces().snapshot();
+  ASSERT_FALSE(traces.empty());
+  EXPECT_NE(traces.back().status, "ok");
+
+  // A stranger without a trusted credential fails the handshake.
+  security::CertificateAuthority rogue_ca("/O=Rogue/CN=CA", seconds(86400), *clock, 666);
+  auto mallory = rogue_ca.issue("/O=Rogue/CN=mallory", security::CertType::kUser,
+                                seconds(86400));
+  core::InfoGramClient bad(*network, service->address(), mallory, trust, *clock);
+  EXPECT_FALSE(bad.query_info({"CPULoad"}).ok());
+  EXPECT_GE(telemetry->metrics().counter(metric::kAuthFailures).value(), 1u);
+}
+
+}  // namespace
+}  // namespace ig::obs

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Full pre-merge gate: a clean Release build + ctest, then the same suite
+# under AddressSanitizer + UndefinedBehaviorSanitizer.
+#
+#   tools/check.sh            # both passes
+#   tools/check.sh --fast     # skip the sanitizer pass
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
+
+run_pass() {
+  local dir=$1; shift
+  echo "==> configure ${dir} ($*)"
+  cmake -B "${dir}" -S . "$@" >/dev/null
+  echo "==> build ${dir}"
+  cmake --build "${dir}" -j "${jobs}" >/dev/null
+  echo "==> ctest ${dir}"
+  ctest --test-dir "${dir}" --output-on-failure -j "${jobs}"
+}
+
+run_pass build-check -DCMAKE_BUILD_TYPE=Release
+
+if [[ "${1:-}" != "--fast" ]]; then
+  # halt_on_error keeps a UBSan report from scrolling past unnoticed.
+  export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+  run_pass build-asan -DCMAKE_BUILD_TYPE=Debug -DIG_SANITIZE=address,undefined
+fi
+
+echo "All checks passed."
