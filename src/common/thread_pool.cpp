@@ -1,0 +1,148 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace ig {
+
+ThreadPool::ThreadPool(Options options, const Clock* clock)
+    : options_(options), clock_(clock != nullptr ? clock : &WallClock::instance()) {
+  options_.workers = std::max<std::size_t>(options_.workers, 1);
+  worker_stats_.resize(options_.workers);
+  threads_.reserve(options_.workers);
+  for (std::size_t i = 0; i < options_.workers; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::set_hooks(Hooks hooks) {
+  std::lock_guard lock(mu_);
+  hooks_ = std::move(hooks);
+}
+
+Status ThreadPool::submit(Task task) {
+  std::function<void(std::size_t, std::size_t)> on_depth;
+  std::function<void()> on_shed;
+  bool shed = false;
+  std::size_t depth = 0;
+  std::size_t highwater = 0;
+  {
+    std::lock_guard lock(mu_);
+    if (stopping_) return Error(ErrorCode::kUnavailable, "pool stopped");
+    if (queue_.size() >= options_.queue_depth) {
+      ++shed_;
+      shed = true;
+      on_shed = hooks_.on_shed;
+    } else {
+      queue_.push_back(std::move(task));
+      ++submitted_;
+      highwater_ = std::max(highwater_, queue_.size());
+      depth = queue_.size();
+      highwater = highwater_;
+      on_depth = hooks_.on_depth;
+    }
+  }
+  if (shed) {
+    if (on_shed) on_shed();
+    return Error(ErrorCode::kUnavailable,
+                 "admission queue full (depth " + std::to_string(options_.queue_depth) + ")");
+  }
+  cv_.notify_one();
+  if (on_depth) on_depth(depth, highwater);
+  return Status::success();
+}
+
+void ThreadPool::fan_out(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1) {
+    fn(0);
+    return;
+  }
+  struct FanState {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  auto state = std::make_shared<FanState>();
+  const std::function<void(std::size_t)>* work = &fn;
+  auto runner = [state, work, n] {
+    for (;;) {
+      std::size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      (*work)(i);
+      if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+        std::lock_guard lock(state->mu);
+        state->cv.notify_all();
+      }
+    }
+  };
+  // The caller is one runner; offer at most n-1 helpers to the pool. A shed
+  // or stopped-pool submission just means the caller does more itself.
+  std::size_t helpers = std::min(options_.workers, n - 1);
+  for (std::size_t i = 0; i < helpers; ++i) (void)submit(runner);
+  runner();
+  std::unique_lock lock(state->mu);
+  state->cv.wait(lock, [&] { return state->done.load(std::memory_order_acquire) == n; });
+}
+
+void ThreadPool::shutdown() {
+  {
+    std::lock_guard lock(mu_);
+    if (stopping_ && threads_.empty()) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+}
+
+ThreadPool::Stats ThreadPool::stats() const {
+  std::lock_guard lock(mu_);
+  Stats s;
+  s.depth = queue_.size();
+  s.highwater = highwater_;
+  s.submitted = submitted_;
+  s.executed = executed_;
+  s.shed = shed_;
+  s.workers = worker_stats_;
+  return s;
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  for (;;) {
+    Task task;
+    std::function<void(std::size_t, std::size_t)> on_depth;
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      on_depth = hooks_.on_depth;
+      if (on_depth) {
+        std::size_t depth = queue_.size();
+        std::size_t hw = highwater_;
+        lock.unlock();
+        on_depth(depth, hw);
+      }
+    }
+    ScopedTimer timer(*clock_);
+    task();
+    Duration busy = timer.elapsed();
+    std::function<void(std::size_t, Duration)> on_done;
+    {
+      std::lock_guard lock(mu_);
+      ++executed_;
+      worker_stats_[index].tasks += 1;
+      worker_stats_[index].busy += busy;
+      on_done = hooks_.on_task_done;
+    }
+    if (on_done) on_done(index, busy);
+  }
+}
+
+}  // namespace ig

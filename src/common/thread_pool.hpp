@@ -1,0 +1,119 @@
+// Fixed-size worker pool with bounded admission.
+//
+// The concurrency substrate of the request pipeline: a service hands work
+// to a fixed set of worker threads through a bounded queue. When the queue
+// is full the submission is *shed* with kUnavailable ("admission queue
+// full") instead of growing without bound — under overload the service
+// answers some clients with a fast error rather than answering every
+// client arbitrarily late (the lesson of the MDS2 throughput studies:
+// saturated information services that keep queueing stop being information
+// services).
+//
+// fan_out() is the scatter/gather primitive for multi-keyword queries: the
+// *caller participates* in executing its own items, claiming any item no
+// worker has started yet. A worker that fans out while every other worker
+// is blocked on its own fan-out therefore still makes progress — the
+// nested-join deadlock of naive pool re-entry cannot happen.
+//
+// Observability is pushed, not polled: optional hooks fire on depth
+// change, shed and task completion so the owner can mirror pool state into
+// a MetricsRegistry without this header depending on src/obs.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/error.hpp"
+
+namespace ig {
+
+struct ThreadPoolOptions {
+  std::size_t workers = 4;
+  /// Maximum number of *waiting* tasks (running tasks do not count).
+  std::size_t queue_depth = 64;
+};
+
+class ThreadPool {
+ public:
+  using Options = ThreadPoolOptions;
+
+  struct WorkerStats {
+    std::uint64_t tasks = 0;
+    Duration busy{0};
+  };
+
+  struct Stats {
+    std::size_t depth = 0;      ///< tasks currently waiting
+    std::size_t highwater = 0;  ///< max depth ever observed
+    std::uint64_t submitted = 0;
+    std::uint64_t executed = 0;
+    std::uint64_t shed = 0;
+    std::vector<WorkerStats> workers;
+  };
+
+  /// Pushed notifications for metric mirroring; all may be empty. Hooks run
+  /// on submitter/worker threads and must be thread-safe.
+  struct Hooks {
+    std::function<void(std::size_t depth, std::size_t highwater)> on_depth;
+    std::function<void()> on_shed;
+    std::function<void(std::size_t worker, Duration busy)> on_task_done;
+  };
+
+  using Task = std::function<void()>;
+
+  /// `clock` times per-worker busy durations (wall clock when null).
+  explicit ThreadPool(Options options = {}, const Clock* clock = nullptr);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Install hooks before the pool is shared between threads.
+  void set_hooks(Hooks hooks);
+
+  /// Enqueue `task`. kUnavailable("admission queue full ...") when the
+  /// queue is at depth, kUnavailable("pool stopped") after shutdown().
+  Status submit(Task task);
+
+  /// Run fn(0) .. fn(n-1) across the pool and the calling thread; returns
+  /// when all have completed. Items are claimed exactly once; the caller
+  /// executes any item no worker picked up, so this never deadlocks even
+  /// when invoked from inside a pool task. Shed helper submissions are
+  /// harmless (the caller covers the remainder).
+  void fan_out(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Stop accepting work, drain already-queued tasks, join the workers.
+  /// Idempotent; also run by the destructor.
+  void shutdown();
+
+  std::size_t worker_count() const { return options_.workers; }
+  Stats stats() const;
+
+ private:
+  void worker_loop(std::size_t index);
+
+  Options options_;
+  const Clock* clock_;
+  Hooks hooks_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Task> queue_;
+  bool stopping_ = false;
+  std::size_t highwater_ = 0;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t executed_ = 0;
+  std::uint64_t shed_ = 0;
+  std::vector<WorkerStats> worker_stats_;
+
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace ig

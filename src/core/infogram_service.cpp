@@ -55,6 +55,53 @@ InfoGramService::InfoGramService(std::shared_ptr<info::SystemMonitor> monitor,
       });
     }
   }
+  if (config_.worker_threads > 0) {
+    pool_ = std::make_unique<ThreadPool>(
+        ThreadPool::Options{config_.worker_threads, config_.queue_depth}, clock_);
+    wire_pool_metrics();
+  }
+  if (config_.prefetch) (void)monitor_->start_prefetch(config_.prefetch_options);
+}
+
+InfoGramService::~InfoGramService() {
+  if (pool_ != nullptr) pool_->shutdown();
+  if (config_.prefetch) monitor_->stop_prefetch();
+}
+
+void InfoGramService::wire_pool_metrics() {
+  if (config_.telemetry == nullptr) return;
+  obs::MetricsRegistry& metrics = config_.telemetry->metrics();
+  ThreadPool::Hooks hooks;
+  // Resolved once; registry references stay valid for the telemetry's
+  // lifetime, which the captured shared_ptr extends past ours.
+  std::shared_ptr<obs::Telemetry> keep = config_.telemetry;
+  obs::Gauge* depth = &metrics.gauge(obs::metric::kPoolQueueDepth);
+  obs::Gauge* highwater = &metrics.gauge(obs::metric::kPoolQueueHighwater);
+  obs::Counter* shed = &metrics.counter(obs::metric::kPoolShed);
+  obs::Counter* tasks = &metrics.counter(obs::metric::kPoolTasks);
+  obs::Histogram* task_seconds = &metrics.histogram(obs::metric::kPoolTaskSeconds);
+  std::vector<obs::Counter*> worker_tasks;
+  std::vector<obs::Counter*> worker_busy;
+  for (std::size_t i = 0; i < pool_->worker_count(); ++i) {
+    std::string prefix = std::string(obs::metric::kPoolWorkerPrefix) + std::to_string(i);
+    worker_tasks.push_back(&metrics.counter(prefix + ".tasks"));
+    worker_busy.push_back(&metrics.counter(prefix + ".busy_us"));
+  }
+  hooks.on_depth = [keep, depth, highwater](std::size_t d, std::size_t hw) {
+    depth->set(static_cast<std::int64_t>(d));
+    highwater->set(static_cast<std::int64_t>(hw));
+  };
+  hooks.on_shed = [keep, shed] { shed->add(); };
+  hooks.on_task_done = [keep, tasks, task_seconds, worker_tasks,
+                        worker_busy](std::size_t worker, Duration busy) {
+    tasks->add();
+    task_seconds->observe(static_cast<double>(busy.count()) / 1e6);
+    if (worker < worker_tasks.size()) {
+      worker_tasks[worker]->add();
+      worker_busy[worker]->add(static_cast<std::uint64_t>(busy.count()));
+    }
+  };
+  pool_->set_hooks(std::move(hooks));
 }
 
 Status InfoGramService::start(net::Network& network) {
@@ -110,7 +157,8 @@ Result<InfoGramResult> InfoGramService::execute(const rsl::XrslRequest& request,
     }
     if (!request.info_keys.empty()) {
       auto records = monitor_->query(request.info_keys, request.response,
-                                     request.quality_threshold, request.filters, trace);
+                                     request.quality_threshold, request.filters, trace,
+                                     pool_.get());
       if (!records.ok()) return records.error();
       result.records = std::move(records.value());
     }
@@ -128,6 +176,26 @@ Result<InfoGramResult> InfoGramService::execute(const rsl::XrslRequest& request,
 }
 
 net::Message InfoGramService::handle(const net::Message& request, net::Session& session) {
+  if (pool_ == nullptr) return process(request, session);
+  // Admission-controlled wire path: the caller's (network) thread blocks on
+  // the worker's result; overload is shed here with the documented error
+  // instead of queueing without bound. Fan-out inside the request re-enters
+  // the pool through fan_out(), which cannot deadlock (caller participates).
+  std::promise<net::Message> promise;
+  std::future<net::Message> future = promise.get_future();
+  Status admitted = pool_->submit([this, &request, &session, &promise] {
+    promise.set_value(process(request, session));
+  });
+  if (!admitted.ok()) {
+    if (config_.telemetry != nullptr) {
+      config_.telemetry->metrics().counter(obs::metric::kRequestsErrors).add();
+    }
+    return net::Message::error(admitted.error());
+  }
+  return future.get();
+}
+
+net::Message InfoGramService::process(const net::Message& request, net::Session& session) {
   const std::shared_ptr<obs::Telemetry>& telemetry = config_.telemetry;
   if (telemetry == nullptr) return dispatch(request, session, nullptr);
 
@@ -150,6 +218,49 @@ net::Message InfoGramService::handle(const net::Message& request, net::Session& 
       .observe(static_cast<double>(timer.elapsed().count()) / 1e6);
   telemetry->complete(trace);
   return resp;
+}
+
+std::future<Result<InfoGramResult>> InfoGramService::submit_async(rsl::XrslRequest request,
+                                                                  std::string subject,
+                                                                  std::string local_user,
+                                                                  std::string callback_address) {
+  auto promise = std::make_shared<std::promise<Result<InfoGramResult>>>();
+  std::future<Result<InfoGramResult>> future = promise->get_future();
+  auto run = [this, promise, request = std::move(request), subject = std::move(subject),
+              local_user = std::move(local_user),
+              callback_address = std::move(callback_address)] {
+    const std::shared_ptr<obs::Telemetry>& telemetry = config_.telemetry;
+    if (telemetry == nullptr) {
+      promise->set_value(execute(request, subject, local_user, callback_address));
+      return;
+    }
+    obs::MetricsRegistry& metrics = telemetry->metrics();
+    metrics.counter(obs::metric::kRequestsTotal).add();
+    metrics.counter(obs::metric::kRequestsXrsl).add();
+    obs::TraceContext trace = telemetry->start_trace("XRSL");
+    ScopedTimer timer(*clock_);
+    auto result = execute(request, subject, local_user, callback_address, &trace);
+    if (!result.ok()) {
+      metrics.counter(obs::metric::kRequestsErrors).add();
+      trace.fail(result.error().to_string());
+    }
+    metrics.histogram(obs::metric::kRequestSeconds)
+        .observe(static_cast<double>(timer.elapsed().count()) / 1e6);
+    telemetry->complete(trace);
+    promise->set_value(std::move(result));
+  };
+  if (pool_ == nullptr) {
+    run();
+    return future;
+  }
+  Status admitted = pool_->submit(std::move(run));
+  if (!admitted.ok()) {
+    if (config_.telemetry != nullptr) {
+      config_.telemetry->metrics().counter(obs::metric::kRequestsErrors).add();
+    }
+    promise->set_value(admitted.error());
+  }
+  return future;
 }
 
 net::Message InfoGramService::dispatch(const net::Message& request, net::Session& session,

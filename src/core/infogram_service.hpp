@@ -26,6 +26,9 @@
 // case it needs to be restarted").
 #pragma once
 
+#include <future>
+
+#include "common/thread_pool.hpp"
 #include "core/config.hpp"
 #include "format/dsml.hpp"
 #include "format/ldif.hpp"
@@ -48,6 +51,18 @@ struct InfoGramConfig {
   /// `metrics.jobs` / `traces` keywords so the telemetry is queryable
   /// through InfoGram itself. Null = zero-overhead opt-out.
   std::shared_ptr<obs::Telemetry> telemetry;
+  /// Request pipeline. worker_threads > 0 creates a fixed ThreadPool: wire
+  /// requests and submit_async() run on the pool behind a bounded
+  /// admission queue (overflow is shed with kUnavailable "admission queue
+  /// full"), and multi-keyword info queries fan out across the workers.
+  /// 0 keeps the historical fully-synchronous service.
+  std::size_t worker_threads = 0;
+  std::size_t queue_depth = 64;  ///< waiting requests before shedding
+  /// Background TTL prefetch over the monitor's providers (keeps hot
+  /// keywords warm so requests hit cache instead of paying provider
+  /// latency inline). Started by the constructor, stopped on destruction.
+  bool prefetch = false;
+  info::PrefetchOptions prefetch_options;
 };
 
 /// What one xRSL request produced.
@@ -70,6 +85,10 @@ class InfoGramService {
                   const security::GridMap* gridmap,
                   const security::AuthorizationPolicy* policy, const Clock* clock,
                   std::shared_ptr<logging::Logger> logger, InfoGramConfig config = {});
+  /// Shutdown ordering: drain + join the worker pool first (in-flight
+  /// requests may still touch every member), then stop the prefetch
+  /// thread, then let members destruct.
+  ~InfoGramService();
 
   Status start(net::Network& network);
   void stop();
@@ -81,6 +100,21 @@ class InfoGramService {
                                  const std::string& local_user,
                                  const std::string& callback_address = "",
                                  obs::TraceContext* trace = nullptr);
+
+  /// Asynchronous execute(): the request is admitted to the worker pool
+  /// and the future resolves when a worker has processed it (traced and
+  /// counted like a wire request). On admission-queue overflow the future
+  /// is immediately ready with kUnavailable "admission queue full ..." —
+  /// the documented shed behaviour. Without a pool (worker_threads == 0)
+  /// the request executes inline and the future is ready on return.
+  std::future<Result<InfoGramResult>> submit_async(rsl::XrslRequest request,
+                                                   std::string subject,
+                                                   std::string local_user,
+                                                   std::string callback_address = "");
+
+  /// The request pool (null when worker_threads == 0). Exposed for tests
+  /// and benches to inspect queue/shed/utilization stats.
+  ThreadPool* pool() { return pool_.get(); }
 
   /// Job-management passthrough (same contacts as the wire protocol).
   Result<gram::ManagedJobInfo> job_info(const std::string& contact) const;
@@ -99,10 +133,12 @@ class InfoGramService {
 
  private:
   net::Message handle(const net::Message& request, net::Session& session);
+  net::Message process(const net::Message& request, net::Session& session);
   net::Message dispatch(const net::Message& request, net::Session& session,
                         obs::TraceContext* trace);
   net::Message handle_xrsl(const net::Message& request, net::Session& session,
                            obs::TraceContext* trace);
+  void wire_pool_metrics();
 
   std::shared_ptr<info::SystemMonitor> monitor_;
   std::shared_ptr<exec::LocalJobExecution> backend_;  ///< for reflection
@@ -115,6 +151,10 @@ class InfoGramService {
   /// is in the protocol and deployment, not in reinventing execution.
   gram::GramService gram_;
   net::Network* network_ = nullptr;
+  /// Declared last so in-flight tasks (which touch the members above) are
+  /// drained before anything else destructs; ~InfoGramService() shuts it
+  /// down explicitly as well.
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace ig::core

@@ -185,6 +185,23 @@ Result<format::InfoRecord> ManagedProvider::get_with_quality(double threshold_pe
   return update_state(/*force=*/true);
 }
 
+ManagedProvider::PrefetchState ManagedProvider::prefetch_state(
+    double margin_fraction, std::optional<double> quality_floor) const {
+  TimePoint now = clock_.now();
+  std::shared_lock lock(cache_mu_);
+  if (!cache_ || current_ttl_.count() <= 0) return PrefetchState::kDisabled;
+  Duration age = now - last_refresh_;
+  if (age > current_ttl_) return PrefetchState::kExpired;
+  if (quality_floor &&
+      options_.degradation->quality(age, current_ttl_) < *quality_floor) {
+    return PrefetchState::kExpiring;
+  }
+  auto margin = Duration(static_cast<std::int64_t>(
+      static_cast<double>(current_ttl_.count()) * margin_fraction));
+  if (current_ttl_ - age <= margin) return PrefetchState::kExpiring;
+  return PrefetchState::kFresh;
+}
+
 Duration ManagedProvider::ttl() const {
   std::shared_lock lock(cache_mu_);
   return current_ttl_;

@@ -79,6 +79,17 @@ class ManagedProvider {
   /// attribute degraded below `threshold_percent`.
   Result<format::InfoRecord> get_with_quality(double threshold_percent);
 
+  /// How the background prefetcher should treat this provider right now.
+  /// kDisabled — nothing cached yet (the keyword has never been hot) or
+  /// TTL<=0 (execute-every-time keywords cannot be kept warm); kFresh —
+  /// plenty of lifetime left; kExpiring — inside the margin (remaining
+  /// lifetime below `margin_fraction` of the TTL) or degraded below
+  /// `quality_floor`, refresh now to keep it warm; kExpired — already past
+  /// the TTL, a refresh is repair rather than prefetch.
+  enum class PrefetchState { kDisabled, kFresh, kExpiring, kExpired };
+  PrefetchState prefetch_state(double margin_fraction,
+                               std::optional<double> quality_floor = std::nullopt) const;
+
   Duration ttl() const;
   void set_ttl(Duration ttl);
   Duration delay() const;

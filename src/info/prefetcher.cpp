@@ -1,0 +1,84 @@
+#include "info/prefetcher.hpp"
+
+#include "info/system_monitor.hpp"
+
+namespace ig::info {
+
+Prefetcher::Prefetcher(SystemMonitor& monitor, PrefetchOptions options)
+    : monitor_(monitor), options_(options) {}
+
+Prefetcher::~Prefetcher() { stop(); }
+
+void Prefetcher::start() {
+  std::lock_guard lock(mu_);
+  if (running_) return;
+  stop_ = false;
+  running_ = true;
+  thread_ = std::thread([this] { loop(); });
+}
+
+void Prefetcher::stop() {
+  {
+    std::lock_guard lock(mu_);
+    if (!running_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  std::lock_guard lock(mu_);
+  running_ = false;
+}
+
+bool Prefetcher::running() const {
+  std::lock_guard lock(mu_);
+  return running_;
+}
+
+std::size_t Prefetcher::scan_once() {
+  std::shared_ptr<obs::Telemetry> telemetry = monitor_.telemetry();
+  obs::Counter* hit_counter = nullptr;
+  obs::Counter* miss_counter = nullptr;
+  if (telemetry != nullptr) {
+    hit_counter = &telemetry->metrics().counter(obs::metric::kPrefetchHits);
+    miss_counter = &telemetry->metrics().counter(obs::metric::kPrefetchMisses);
+  }
+  std::size_t refreshed = 0;
+  for (const auto& kw : monitor_.keywords()) {
+    auto provider = monitor_.provider(kw);
+    if (provider == nullptr) continue;  // removed between snapshot and visit
+    switch (provider->prefetch_state(options_.margin_fraction, options_.quality_floor)) {
+      case ManagedProvider::PrefetchState::kDisabled:
+      case ManagedProvider::PrefetchState::kFresh:
+        break;
+      case ManagedProvider::PrefetchState::kExpiring:
+        // Still fresh by TTL, so update_state(false) would be a no-op; the
+        // point is to renew *early*, hence force. The provider's delay
+        // throttle still applies.
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        if (hit_counter != nullptr) hit_counter->add();
+        if (provider->update_state(/*force=*/true).ok()) ++refreshed;
+        break;
+      case ManagedProvider::PrefetchState::kExpired:
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        if (miss_counter != nullptr) miss_counter->add();
+        if (provider->update_state(/*force=*/false).ok()) ++refreshed;
+        break;
+    }
+  }
+  cycles_.fetch_add(1, std::memory_order_relaxed);
+  if (telemetry != nullptr) telemetry->metrics().counter(obs::metric::kPrefetchCycles).add();
+  return refreshed;
+}
+
+void Prefetcher::loop() {
+  for (;;) {
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait_for(lock, options_.scan_interval, [&] { return stop_; });
+      if (stop_) return;
+    }
+    scan_once();
+  }
+}
+
+}  // namespace ig::info

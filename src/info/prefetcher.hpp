@@ -1,0 +1,88 @@
+// Background TTL prefetch — the paper's information-degradation loop made
+// asynchronous.
+//
+// The paper refreshes a keyword when a client request finds the cache past
+// its TTL (or below its quality threshold): the unlucky client pays the
+// provider's latency inline. The prefetcher moves that work off the
+// request path: a single background thread scans every ManagedProvider on
+// a fixed real-time cadence and proactively re-runs the ones whose cache
+// entry is about to expire (or has degraded below the quality floor), so a
+// hot keyword is refreshed *before* a client needs it and the request path
+// sees a warm cache.
+//
+// The scan cadence is real time (the thread actually sleeps) while all
+// TTL/age arithmetic uses the injected Clock, so tests drive expiry with a
+// VirtualClock and still get a live prefetch thread.
+//
+// Providers whose TTL is 0 (execute-every-time keywords, per Table 1) and
+// keywords never queried are skipped — prefetch keeps hot data warm, it
+// does not invent load.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "common/clock.hpp"
+
+namespace ig::obs {
+class Counter;
+}
+
+namespace ig::info {
+
+class SystemMonitor;
+
+struct PrefetchOptions {
+  /// Real time between scans (independent of the service clock).
+  std::chrono::milliseconds scan_interval{20};
+  /// Refresh when remaining lifetime drops below this fraction of the TTL.
+  double margin_fraction = 0.25;
+  /// Also refresh when degradation drops cache quality below this value.
+  std::optional<double> quality_floor;
+};
+
+/// One scan thread over a SystemMonitor's providers. The monitor must
+/// outlive the prefetcher (SystemMonitor owns its prefetcher, so this
+/// holds by construction).
+class Prefetcher {
+ public:
+  Prefetcher(SystemMonitor& monitor, PrefetchOptions options = {});
+  ~Prefetcher();
+
+  Prefetcher(const Prefetcher&) = delete;
+  Prefetcher& operator=(const Prefetcher&) = delete;
+
+  void start();
+  void stop();
+  bool running() const;
+
+  /// Run one synchronous scan on the caller's thread (used by the loop;
+  /// exposed for deterministic tests). Returns refreshes performed.
+  std::size_t scan_once();
+
+  std::uint64_t cycles() const { return cycles_.load(std::memory_order_relaxed); }
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+
+ private:
+  void loop();
+
+  SystemMonitor& monitor_;
+  PrefetchOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool running_ = false;
+  std::thread thread_;
+
+  std::atomic<std::uint64_t> cycles_{0};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace ig::info

@@ -3,11 +3,34 @@
 #include <algorithm>
 
 #include "common/strings.hpp"
+#include "common/thread_pool.hpp"
 
 namespace ig::info {
 
 SystemMonitor::SystemMonitor(const Clock& clock, std::string service_name)
     : clock_(clock), service_name_(std::move(service_name)) {}
+
+SystemMonitor::~SystemMonitor() { stop_prefetch(); }
+
+Status SystemMonitor::start_prefetch(PrefetchOptions options) {
+  std::lock_guard lock(prefetch_mu_);
+  if (prefetcher_ != nullptr && prefetcher_->running()) {
+    return Error(ErrorCode::kAlreadyExists, "prefetch already running");
+  }
+  prefetcher_ = std::make_unique<Prefetcher>(*this, options);
+  prefetcher_->start();
+  return Status::success();
+}
+
+void SystemMonitor::stop_prefetch() {
+  std::lock_guard lock(prefetch_mu_);
+  if (prefetcher_ != nullptr) prefetcher_->stop();
+}
+
+const Prefetcher* SystemMonitor::prefetcher() const {
+  std::lock_guard lock(prefetch_mu_);
+  return prefetcher_.get();
+}
 
 Status SystemMonitor::add_provider(std::shared_ptr<ManagedProvider> provider) {
   std::lock_guard lock(mu_);
@@ -90,7 +113,7 @@ std::vector<std::string> SystemMonitor::expand_locked(
 Result<std::vector<format::InfoRecord>> SystemMonitor::query(
     const std::vector<std::string>& keywords, rsl::ResponseMode mode,
     std::optional<double> quality_threshold, const std::vector<std::string>& filters,
-    obs::TraceContext* trace) {
+    obs::TraceContext* trace, ThreadPool* pool) {
   std::vector<std::string> expanded;
   std::shared_ptr<obs::Telemetry> telemetry;
   {
@@ -99,17 +122,39 @@ Result<std::vector<format::InfoRecord>> SystemMonitor::query(
     telemetry = telemetry_;
   }
   ScopedTimer timer(clock_);
-  std::vector<format::InfoRecord> out;
-  out.reserve(expanded.size());
-  for (const auto& kw : expanded) {
+  std::vector<Result<format::InfoRecord>> slots(expanded.size(),
+                                                Error(ErrorCode::kInternal, "unresolved"));
+  auto resolve_one = [&](std::size_t i) {
+    const std::string& kw = expanded[i];
     std::optional<obs::TraceContext::Span> span;
     if (trace != nullptr) span.emplace(trace->span("info:" + kw));
     auto record = get(kw, mode, quality_threshold);
     if (!record.ok()) {
       if (span) span->end(record.error().to_string());
-      return record.error();
+      slots[i] = record.error();
+      return;
     }
-    out.push_back(record->filtered(filters));
+    slots[i] = record->filtered(filters);
+  };
+  if (pool != nullptr && expanded.size() > 1) {
+    pool->fan_out(expanded.size(), resolve_one);
+  } else {
+    // Serial path keeps the historical short-circuit: keywords after the
+    // first failure are not resolved at all.
+    for (std::size_t i = 0; i < expanded.size(); ++i) {
+      resolve_one(i);
+      if (!slots[i].ok()) return slots[i].error();
+    }
+  }
+  // Join order-stable: records come back in request order regardless of
+  // which worker resolved them; the first failed keyword (in request
+  // order) decides the error, preserving the serial all-or-nothing
+  // semantics.
+  std::vector<format::InfoRecord> out;
+  out.reserve(expanded.size());
+  for (auto& slot : slots) {
+    if (!slot.ok()) return slot.error();
+    out.push_back(std::move(slot.value()));
   }
   if (telemetry != nullptr) {
     telemetry->metrics()

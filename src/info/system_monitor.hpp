@@ -13,13 +13,19 @@
 
 #include "format/schema.hpp"
 #include "info/managed_provider.hpp"
+#include "info/prefetcher.hpp"
 #include "obs/trace.hpp"
+
+namespace ig {
+class ThreadPool;
+}
 
 namespace ig::info {
 
 class SystemMonitor {
  public:
   explicit SystemMonitor(const Clock& clock, std::string service_name = "infogram");
+  ~SystemMonitor();
 
   /// Register a provider; kAlreadyExists on duplicate keyword.
   Status add_provider(std::shared_ptr<ManagedProvider> provider);
@@ -40,10 +46,22 @@ class SystemMonitor {
   /// whole query (all-or-nothing, matching the paper's simple model).
   /// With `trace` set, each keyword resolution is recorded as a span
   /// ("info:<keyword>") and the whole query as info.query.seconds.
+  /// With `pool` set, a multi-keyword query fans each keyword out across
+  /// the pool (caller participating, so pool re-entry cannot deadlock) and
+  /// joins the records in the original keyword order; errors still fail
+  /// the whole query, first keyword in request order winning.
   Result<std::vector<format::InfoRecord>> query(
       const std::vector<std::string>& keywords, rsl::ResponseMode mode,
       std::optional<double> quality_threshold = std::nullopt,
-      const std::vector<std::string>& filters = {}, obs::TraceContext* trace = nullptr);
+      const std::vector<std::string>& filters = {}, obs::TraceContext* trace = nullptr,
+      ThreadPool* pool = nullptr);
+
+  /// Start / stop the background TTL prefetch thread over this monitor's
+  /// providers. start_prefetch is kAlreadyExists when running.
+  Status start_prefetch(PrefetchOptions options = {});
+  void stop_prefetch();
+  /// The running prefetcher, or nullptr (for counters in tests/benches).
+  const Prefetcher* prefetcher() const;
 
   /// Provider timing statistics as an information record: for each
   /// requested keyword, <kw>:mean_s / <kw>:stddev_s / <kw>:count.
@@ -72,6 +90,10 @@ class SystemMonitor {
   mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<ManagedProvider>> providers_;
   std::shared_ptr<obs::Telemetry> telemetry_;
+  /// Guarded by prefetch_mu_, not mu_: the scan thread reads providers
+  /// through the public locked accessors, so sharing mu_ would deadlock.
+  mutable std::mutex prefetch_mu_;
+  std::unique_ptr<Prefetcher> prefetcher_;
 };
 
 }  // namespace ig::info

@@ -41,6 +41,12 @@ inline constexpr const char* kInfoCacheHits = "info.cache.hits";
 inline constexpr const char* kInfoCacheMisses = "info.cache.misses";
 inline constexpr const char* kInfoRefreshSeconds = "info.refresh.seconds";
 inline constexpr const char* kInfoQuerySeconds = "info.query.seconds";
+// src/info background TTL prefetch: a hit refreshed an expiring entry
+// before it lapsed (the cache stayed warm), a miss found the entry
+// already expired when the scan reached it.
+inline constexpr const char* kPrefetchHits = "info.prefetch.hits";
+inline constexpr const char* kPrefetchMisses = "info.prefetch.misses";
+inline constexpr const char* kPrefetchCycles = "info.prefetch.cycles";
 // src/exec
 inline constexpr const char* kExecQueueDepth = "exec.queue.depth";
 inline constexpr const char* kExecJobsQueued = "exec.jobs.queued";
@@ -55,6 +61,16 @@ inline constexpr const char* kMdsGrisSearches = "mds.gris.searches";
 inline constexpr const char* kMdsGiisSearches = "mds.giis.searches";
 inline constexpr const char* kMdsGiisCacheHits = "mds.giis.cache.hits";
 inline constexpr const char* kMdsGiisCacheMisses = "mds.giis.cache.misses";
+// src/core request pipeline (ThreadPool behind submit_async / the wire
+// handler): queue depth + high-water as gauges, shed admissions, executed
+// tasks, task latency, and per-worker counters
+// pool.worker.<i>.tasks / pool.worker.<i>.busy_us for utilization.
+inline constexpr const char* kPoolQueueDepth = "pool.queue.depth";
+inline constexpr const char* kPoolQueueHighwater = "pool.queue.highwater";
+inline constexpr const char* kPoolShed = "pool.shed";
+inline constexpr const char* kPoolTasks = "pool.tasks";
+inline constexpr const char* kPoolTaskSeconds = "pool.task.seconds";
+inline constexpr const char* kPoolWorkerPrefix = "pool.worker.";
 // src/core
 inline constexpr const char* kRequestsTotal = "requests.total";
 inline constexpr const char* kRequestsXrsl = "requests.xrsl";

@@ -1,0 +1,363 @@
+// Concurrent request pipeline: ThreadPool admission control, parallel
+// submit_async, multi-keyword fan-out, and the background TTL prefetcher.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "core/config.hpp"
+#include "core/infogram_service.hpp"
+#include "exec/fork_backend.hpp"
+#include "info/prefetcher.hpp"
+#include "info/provider.hpp"
+#include "test_util.hpp"
+
+namespace ig::core {
+namespace {
+
+// ---------- ThreadPool ----------
+
+TEST(ThreadPoolTest, ExecutesSubmittedTasks) {
+  ThreadPool pool({.workers = 4, .queue_depth = 128});
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 100; ++i) {
+    Status admitted = pool.submit([&] { ran.fetch_add(1); });
+    ASSERT_TRUE(admitted.ok()) << "submit " << i << ": " << admitted.to_string();
+  }
+  pool.shutdown();
+  EXPECT_EQ(ran.load(), 100);
+  auto stats = pool.stats();
+  EXPECT_EQ(stats.submitted, 100u);
+  EXPECT_EQ(stats.executed, 100u);
+  EXPECT_EQ(stats.shed, 0u);
+}
+
+TEST(ThreadPoolTest, ShedsWithDocumentedErrorWhenQueueFull) {
+  ThreadPool pool({.workers = 1, .queue_depth = 2});
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  bool started = false;
+  ASSERT_TRUE(pool.submit([&] {
+                    std::unique_lock lock(mu);
+                    started = true;
+                    cv.notify_all();
+                    cv.wait(lock, [&] { return release; });
+                  })
+                  .ok());
+  {
+    std::unique_lock lock(mu);
+    cv.wait(lock, [&] { return started; });
+  }
+  // Worker busy; queue takes exactly two more.
+  ASSERT_TRUE(pool.submit([] {}).ok());
+  ASSERT_TRUE(pool.submit([] {}).ok());
+  Status shed = pool.submit([] {});
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.code(), ErrorCode::kUnavailable);
+  EXPECT_NE(shed.error().message.find("admission queue full"), std::string::npos);
+  {
+    std::lock_guard lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  pool.shutdown();
+  auto stats = pool.stats();
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_EQ(stats.highwater, 2u);
+  EXPECT_EQ(stats.executed, 3u);
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownFails) {
+  ThreadPool pool({.workers = 1, .queue_depth = 4});
+  pool.shutdown();
+  Status status = pool.submit([] {});
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), ErrorCode::kUnavailable);
+}
+
+TEST(ThreadPoolTest, FanOutRunsEveryItemExactlyOnce) {
+  ThreadPool pool({.workers = 3, .queue_depth = 8});
+  std::vector<std::atomic<int>> counts(64);
+  pool.fan_out(counts.size(), [&](std::size_t i) { counts[i].fetch_add(1); });
+  for (auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPoolTest, NestedFanOutDoesNotDeadlock) {
+  // Every worker blocks in its own fan_out; caller participation must keep
+  // all of them making progress.
+  ThreadPool pool({.workers = 2, .queue_depth = 32});
+  std::atomic<int> leaf{0};
+  pool.fan_out(4, [&](std::size_t) {
+    pool.fan_out(4, [&](std::size_t) { leaf.fetch_add(1); });
+  });
+  EXPECT_EQ(leaf.load(), 16);
+}
+
+// ---------- Service pipeline ----------
+
+class ConcurrencyTest : public ig::test::GridFixture {
+ protected:
+  ConcurrencyTest() : backend(std::make_shared<exec::ForkBackend>(registry, *clock)) {}
+
+  void make_service(InfoGramConfig config) {
+    config.host = "test.sim";
+    config.telemetry = std::make_shared<obs::Telemetry>(*clock);
+    monitor = std::make_shared<info::SystemMonitor>(*clock, config.host);
+    ASSERT_TRUE(Configuration::table1().apply(*monitor, registry).ok());
+    service = std::make_unique<InfoGramService>(monitor, backend, host_cred, &trust,
+                                                &gridmap, &policy, clock.get(), logger,
+                                                config);
+  }
+
+  obs::MetricsRegistry& metrics() { return service_telemetry()->metrics(); }
+  std::shared_ptr<obs::Telemetry> service_telemetry() { return monitor->telemetry(); }
+
+  rsl::XrslRequest parse(const std::string& body) {
+    auto parsed = rsl::XrslRequest::parse(body);
+    EXPECT_TRUE(parsed.ok());
+    return parsed.value();
+  }
+
+  std::shared_ptr<exec::ForkBackend> backend;
+  std::shared_ptr<info::SystemMonitor> monitor;
+  std::unique_ptr<InfoGramService> service;
+};
+
+TEST_F(ConcurrencyTest, SubmitAsyncWithoutPoolRunsInline) {
+  make_service({});
+  auto future = service->submit_async(parse("(info=Memory)"), "/O=Grid/CN=alice", "alice");
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  auto result = future.get();
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->records.size(), 1u);
+  EXPECT_EQ(result->records[0].keyword, "Memory");
+}
+
+TEST_F(ConcurrencyTest, ParallelStormLosesNoResponses) {
+  InfoGramConfig config;
+  config.worker_threads = 4;
+  config.queue_depth = 512;
+  make_service(config);
+
+  const std::vector<std::string> keywords = {"Date", "Memory", "CPU", "CPULoad", "list"};
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 25;
+  std::vector<std::thread> clients;
+  std::mutex mu;
+  // future -> the keyword its response must carry.
+  std::vector<std::pair<std::future<Result<InfoGramResult>>, std::string>> inflight;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const std::string& kw = keywords[(t * kPerThread + i) % keywords.size()];
+        auto future = service->submit_async(parse("(info=" + kw + ")(response=immediate)"),
+                                            "/O=Grid/CN=alice", "alice");
+        std::lock_guard lock(mu);
+        inflight.emplace_back(std::move(future), kw);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  ASSERT_EQ(inflight.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  for (auto& [future, kw] : inflight) {
+    auto result = future.get();
+    ASSERT_TRUE(result.ok()) << result.error().to_string();
+    ASSERT_EQ(result->records.size(), 1u);
+    EXPECT_EQ(result->records[0].keyword, kw);  // no cross-wired responses
+  }
+  EXPECT_EQ(metrics().counter(obs::metric::kRequestsTotal).value(),
+            static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(metrics().counter(obs::metric::kRequestsErrors).value(), 0u);
+  // A worker resolves the caller's future *before* it books the task as
+  // executed, so give the accounting a moment to catch up.
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  while (service->pool()->stats().executed < static_cast<std::uint64_t>(kThreads * kPerThread) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  auto stats = service->pool()->stats();
+  EXPECT_EQ(stats.executed, static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(stats.shed, 0u);
+}
+
+TEST_F(ConcurrencyTest, FanOutJoinIsOrderStable) {
+  InfoGramConfig config;
+  config.worker_threads = 4;
+  make_service(config);
+  for (int round = 0; round < 20; ++round) {
+    auto future = service->submit_async(
+        parse("(info=Date)(info=Memory)(info=CPU)(info=CPULoad)(info=list)"
+              "(response=immediate)"),
+        "/O=Grid/CN=alice", "alice");
+    auto result = future.get();
+    ASSERT_TRUE(result.ok());
+    ASSERT_EQ(result->records.size(), 5u);
+    EXPECT_EQ(result->records[0].keyword, "Date");
+    EXPECT_EQ(result->records[1].keyword, "Memory");
+    EXPECT_EQ(result->records[2].keyword, "CPU");
+    EXPECT_EQ(result->records[3].keyword, "CPULoad");
+    EXPECT_EQ(result->records[4].keyword, "list");
+  }
+}
+
+TEST_F(ConcurrencyTest, QueueOverflowShedsWithErrorAndMetricsMatch) {
+  InfoGramConfig config;
+  config.worker_threads = 1;
+  config.queue_depth = 2;
+  make_service(config);
+
+  // A provider the test can hold open, so the single worker stays busy.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  bool started = false;
+  auto blocker = std::make_shared<info::FunctionSource>(
+      "Block",
+      [&]() -> Result<format::InfoRecord> {
+        std::unique_lock lock(mu);
+        started = true;
+        cv.notify_all();
+        cv.wait(lock, [&] { return release; });
+        format::InfoRecord record;
+        record.add("Block:value", "1");
+        return record;
+      },
+      "function:block");
+  ASSERT_TRUE(monitor->add_source(blocker, info::ProviderOptions{.ttl = ms(0)}).ok());
+
+  auto first = service->submit_async(parse("(info=Block)"), "/O=Grid/CN=alice", "alice");
+  {
+    std::unique_lock lock(mu);
+    cv.wait(lock, [&] { return started; });
+  }
+  std::vector<std::future<Result<InfoGramResult>>> queued;
+  queued.push_back(service->submit_async(parse("(info=Block)"), "/O=Grid/CN=alice", "alice"));
+  queued.push_back(service->submit_async(parse("(info=Block)"), "/O=Grid/CN=alice", "alice"));
+
+  auto shed = service->submit_async(parse("(info=Block)"), "/O=Grid/CN=alice", "alice");
+  ASSERT_EQ(shed.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  auto shed_result = shed.get();
+  ASSERT_FALSE(shed_result.ok());
+  EXPECT_EQ(shed_result.code(), ErrorCode::kUnavailable);
+  EXPECT_NE(shed_result.error().message.find("admission queue full"), std::string::npos);
+
+  {
+    std::lock_guard lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  ASSERT_TRUE(first.get().ok());
+  for (auto& f : queued) ASSERT_TRUE(f.get().ok());
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  while (service->pool()->stats().executed < 3 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  auto stats = service->pool()->stats();
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_EQ(stats.highwater, 2u);
+  EXPECT_EQ(metrics().counter(obs::metric::kPoolShed).value(), 1u);
+  EXPECT_EQ(metrics().gauge(obs::metric::kPoolQueueHighwater).value(), 2);
+  EXPECT_EQ(metrics().counter(obs::metric::kRequestsErrors).value(), 1u);
+  // Per-worker utilization counters exist and add up to the executed tasks.
+  EXPECT_EQ(metrics().counter(std::string(obs::metric::kPoolWorkerPrefix) + "0.tasks").value(),
+            stats.executed);
+}
+
+// ---------- Background TTL prefetch ----------
+
+TEST_F(ConcurrencyTest, PrefetchKeepsExpiringKeywordWarm) {
+  make_service({});
+  auto hot = std::make_shared<info::FunctionSource>(
+      "Hot",
+      []() -> Result<format::InfoRecord> {
+        format::InfoRecord record;
+        record.add("Hot:value", "42");
+        return record;
+      },
+      "function:hot");
+  ASSERT_TRUE(monitor->add_source(hot, info::ProviderOptions{.ttl = ms(1000)}).ok());
+  auto provider = monitor->provider("Hot");
+  ASSERT_NE(provider, nullptr);
+
+  ASSERT_TRUE(monitor->get("Hot", rsl::ResponseMode::kCached).ok());  // prime
+  EXPECT_EQ(provider->refresh_count(), 1u);
+
+  info::PrefetchOptions options;
+  options.scan_interval = std::chrono::milliseconds(2);
+  options.margin_fraction = 0.25;
+  ASSERT_TRUE(monitor->start_prefetch(options).ok());
+  ASSERT_FALSE(monitor->start_prefetch(options).ok());  // already running
+
+  // 800ms of the 1000ms TTL gone: inside the 25% margin, still fresh.
+  clock->advance(ms(800));
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (provider->refresh_count() < 2 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE(provider->refresh_count(), 2u) << "prefetcher never refreshed the keyword";
+
+  // The keyword stayed warm: a cached read succeeds with no inline refresh.
+  std::uint64_t refreshes = provider->refresh_count();
+  auto cached = provider->query_state();
+  ASSERT_TRUE(cached.ok()) << cached.error().to_string();
+  EXPECT_EQ(provider->refresh_count(), refreshes);
+
+  const auto* prefetcher = monitor->prefetcher();
+  ASSERT_NE(prefetcher, nullptr);
+  EXPECT_GE(prefetcher->hits(), 1u);
+  EXPECT_GE(metrics().counter(obs::metric::kPrefetchHits).value(), 1u);
+  monitor->stop_prefetch();
+}
+
+TEST_F(ConcurrencyTest, PrefetchScanCountsExpiredAsMissAndSkipsColdProviders) {
+  make_service({});
+  auto src = [](const std::string& kw) {
+    return std::make_shared<info::FunctionSource>(
+        kw,
+        [kw]() -> Result<format::InfoRecord> {
+          format::InfoRecord record;
+          record.add(kw + ":value", "1");
+          return record;
+        },
+        "function:" + kw);
+  };
+  ASSERT_TRUE(monitor->add_source(src("Expired"), info::ProviderOptions{.ttl = ms(100)}).ok());
+  ASSERT_TRUE(monitor->add_source(src("Cold"), info::ProviderOptions{.ttl = ms(100)}).ok());
+  ASSERT_TRUE(monitor->add_source(src("Always"), info::ProviderOptions{.ttl = ms(0)}).ok());
+
+  ASSERT_TRUE(monitor->get("Expired", rsl::ResponseMode::kCached).ok());
+  clock->advance(ms(500));  // well past the 100ms TTL
+
+  info::Prefetcher prefetcher(*monitor, {});
+  EXPECT_EQ(prefetcher.scan_once(), 1u);  // only "Expired" refreshed
+  EXPECT_EQ(prefetcher.hits(), 0u);
+  EXPECT_EQ(prefetcher.misses(), 1u);
+  EXPECT_EQ(monitor->provider("Cold")->refresh_count(), 0u);    // never queried: skipped
+  EXPECT_EQ(monitor->provider("Always")->refresh_count(), 0u);  // TTL 0: skipped
+  EXPECT_EQ(monitor->provider("Expired")->refresh_count(), 2u);
+  EXPECT_GE(metrics().counter(obs::metric::kPrefetchMisses).value(), 1u);
+}
+
+TEST_F(ConcurrencyTest, ServiceConfigStartsAndStopsPrefetch) {
+  InfoGramConfig config;
+  config.prefetch = true;
+  config.prefetch_options.scan_interval = std::chrono::milliseconds(5);
+  make_service(config);
+  const auto* prefetcher = monitor->prefetcher();
+  ASSERT_NE(prefetcher, nullptr);
+  EXPECT_TRUE(prefetcher->running());
+  service.reset();  // destructor must stop the thread cleanly
+  EXPECT_FALSE(monitor->prefetcher()->running());
+}
+
+}  // namespace
+}  // namespace ig::core

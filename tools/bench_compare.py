@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_<name>.json files produced by the bench harnesses.
+
+Usage:
+    tools/bench_compare.py BASELINE.json CANDIDATE.json [--threshold 0.20]
+
+Diffs every series the two files share on ops_per_sec and prints a table
+of deltas. Exits 1 when any shared series regressed by more than the
+threshold (default 20%), 0 otherwise — so CI can run it as a non-blocking
+smoke (`|| echo warn`) while local users get a hard signal. Series present
+in only one file are reported but never fail the comparison.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"bench_compare: cannot read {path}: {err}")
+    series = doc.get("series")
+    if not isinstance(series, dict):
+        sys.exit(f"bench_compare: {path}: missing 'series' object")
+    return doc.get("benchmark", "?"), series
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="fractional ops/sec regression that fails the comparison (default 0.20)",
+    )
+    args = parser.parse_args()
+
+    base_name, base = load(args.baseline)
+    cand_name, cand = load(args.candidate)
+    if base_name != cand_name:
+        print(f"note: comparing different benchmarks ({base_name} vs {cand_name})")
+
+    shared = sorted(set(base) & set(cand))
+    only_base = sorted(set(base) - set(cand))
+    only_cand = sorted(set(cand) - set(base))
+
+    regressions = []
+    print(f"{'series':<28} {'base ops/s':>12} {'cand ops/s':>12} {'delta':>8}")
+    print("-" * 64)
+    for name in shared:
+        b = float(base[name].get("ops_per_sec", 0.0))
+        c = float(cand[name].get("ops_per_sec", 0.0))
+        delta = (c - b) / b if b > 0 else 0.0
+        flag = ""
+        if b > 0 and delta < -args.threshold:
+            regressions.append((name, delta))
+            flag = "  REGRESSION"
+        print(f"{name:<28} {b:>12.1f} {c:>12.1f} {delta:>+7.1%}{flag}")
+    for name in only_base:
+        print(f"{name:<28} {'(baseline only)':>26}")
+    for name in only_cand:
+        print(f"{name:<28} {'(candidate only)':>26}")
+
+    if not shared:
+        print("no shared series; nothing to compare")
+        return 0
+    if regressions:
+        worst = min(regressions, key=lambda item: item[1])
+        print(
+            f"\nFAIL: {len(regressions)} series regressed more than "
+            f"{args.threshold:.0%} (worst: {worst[0]} {worst[1]:+.1%})"
+        )
+        return 1
+    print(f"\nOK: no series regressed more than {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,13 +1,18 @@
 #!/usr/bin/env bash
 # Full pre-merge gate: a clean Release build + ctest, then the same suite
-# under AddressSanitizer + UndefinedBehaviorSanitizer.
+# under AddressSanitizer + UndefinedBehaviorSanitizer, then under
+# ThreadSanitizer (ASan and TSan cannot share a build, so they are
+# separate passes in separate build trees).
 #
-#   tools/check.sh            # both passes
-#   tools/check.sh --fast     # skip the sanitizer pass
+#   tools/check.sh            # all three passes
+#   tools/check.sh --fast     # Release only
+#   tools/check.sh --asan     # Release + ASan/UBSan (skip TSan)
+#   tools/check.sh --tsan     # TSan pass only
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
+mode="${1:-all}"
 
 run_pass() {
   local dir=$1; shift
@@ -19,12 +24,37 @@ run_pass() {
   ctest --test-dir "${dir}" --output-on-failure -j "${jobs}"
 }
 
-run_pass build-check -DCMAKE_BUILD_TYPE=Release
-
-if [[ "${1:-}" != "--fast" ]]; then
+asan_pass() {
   # halt_on_error keeps a UBSan report from scrolling past unnoticed.
   export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
   run_pass build-asan -DCMAKE_BUILD_TYPE=Debug -DIG_SANITIZE=address,undefined
-fi
+}
+
+tsan_pass() {
+  export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
+  run_pass build-tsan -DCMAKE_BUILD_TYPE=Debug -DIG_SANITIZE=thread
+}
+
+case "${mode}" in
+  --tsan)
+    tsan_pass
+    ;;
+  --asan)
+    run_pass build-check -DCMAKE_BUILD_TYPE=Release
+    asan_pass
+    ;;
+  --fast)
+    run_pass build-check -DCMAKE_BUILD_TYPE=Release
+    ;;
+  all)
+    run_pass build-check -DCMAKE_BUILD_TYPE=Release
+    asan_pass
+    tsan_pass
+    ;;
+  *)
+    echo "usage: tools/check.sh [--fast|--asan|--tsan]" >&2
+    exit 2
+    ;;
+esac
 
 echo "All checks passed."
