@@ -1,0 +1,143 @@
+// E-FAULT-REC — resilient provider pipeline under injected failure.
+//
+// Drives immediate-mode info queries against fault-wrapped providers at
+// 0% / 5% / 20% injected failure rates with the full resilience stack on
+// (bounded retry with backoff, stale-serve degradation) and reports
+// throughput and tail latency per rate. Latencies are wall-clock: the
+// virtual clock makes the backoff sleeps free, so what is measured is
+// the pure overhead of the injection + retry + shield machinery — the
+// cost a healthy deployment pays for carrying the resilience layer, and
+// the extra work a faulty one spends re-running providers.
+//
+// Expected shape: 0% is the baseline; 5% costs a few percent of
+// throughput (occasional second attempt); 20% visibly fattens the tail
+// (retry chains) while every query still succeeds — failures are
+// absorbed by retry or served stale from cache, never surfaced.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/fault.hpp"
+#include "info/fault_source.hpp"
+#include "info/provider.hpp"
+
+using namespace ig;  // NOLINT
+
+namespace {
+
+constexpr int kKeywords = 8;
+constexpr int kOps = 4000;
+
+std::string keyword(int i) { return "kw" + std::to_string(i % kKeywords); }
+
+struct Row {
+  double rate;
+  double ops_per_sec;
+  double p99_us;
+  std::uint64_t failures;   ///< provider-level failed produces (retried away)
+  std::uint64_t degraded;   ///< queries answered from stale cache
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::JsonReport report("fault_recovery", argc, argv);
+  bench::header("E-FAULT-REC: query throughput & tail vs injected failure rate");
+  std::vector<Row> rows;
+
+  for (double rate : {0.0, 0.05, 0.20}) {
+    bench::Stack stack(31);
+    FaultPlan plan;
+    plan.seed = 4242;
+    for (int i = 0; i < kKeywords; ++i) {
+      FaultSpec spec;
+      spec.kind = FaultKind::kError;
+      spec.probability = rate;
+      plan.add("info." + keyword(i), spec);
+    }
+    auto injector = std::make_shared<FaultInjector>(plan);
+    auto telemetry = std::make_shared<obs::Telemetry>(stack.clock);
+    auto monitor = std::make_shared<info::SystemMonitor>(stack.clock, "fault.sim");
+    monitor->set_telemetry(telemetry);
+    std::vector<std::shared_ptr<info::ManagedProvider>> providers;
+    for (int i = 0; i < kKeywords; ++i) {
+      std::string kw = keyword(i);
+      auto inner = std::make_shared<info::FunctionSource>(
+          kw,
+          [kw]() -> Result<format::InfoRecord> {
+            format::InfoRecord record;
+            record.keyword = kw;
+            record.add("value", "1");
+            return record;
+          },
+          "function:" + kw);
+      info::ProviderOptions options;
+      options.ttl = Duration(0);  // every query refreshes: worst case for faults
+      options.resilience.retry.max_attempts = 3;
+      options.resilience.retry.initial_backoff = ms(1);  // virtual: free in wall time
+      auto provider = std::make_shared<info::ManagedProvider>(
+          std::make_shared<info::FaultInjectingSource>(inner, injector, stack.clock),
+          stack.clock, options);
+      providers.push_back(provider);
+      if (!monitor->add_provider(provider).ok()) return 1;
+    }
+    // Prime every cache so stale-serve always has something to shield with.
+    for (int i = 0; i < kKeywords; ++i) {
+      if (!monitor->get(keyword(i), rsl::ResponseMode::kImmediate).ok()) return 1;
+    }
+
+    std::string series = "failure_" + std::to_string(static_cast<int>(rate * 100));
+    std::vector<double> latencies;
+    latencies.reserve(kOps);
+    auto begin = std::chrono::steady_clock::now();
+    for (int i = 0; i < kOps; ++i) {
+      auto op_begin = std::chrono::steady_clock::now();
+      auto record = monitor->get(keyword(i), rsl::ResponseMode::kImmediate);
+      auto op_us = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       std::chrono::steady_clock::now() - op_begin)
+                       .count() /
+                   1000.0;
+      if (!record.ok()) {
+        std::fprintf(stderr, "query failed at rate %.2f: %s\n", rate,
+                     record.error().to_string().c_str());
+        return 1;  // the shield is supposed to make this impossible
+      }
+      latencies.push_back(op_us);
+      report.add(series, op_us);
+    }
+    auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::steady_clock::now() - begin);
+
+    std::sort(latencies.begin(), latencies.end());
+    Row row;
+    row.rate = rate;
+    row.ops_per_sec = elapsed.count() > 0 ? static_cast<double>(kOps) * 1e6 /
+                                                static_cast<double>(elapsed.count())
+                                          : 0.0;
+    row.p99_us = latencies[static_cast<std::size_t>(0.99 * (latencies.size() - 1))];
+    row.failures = 0;
+    for (const auto& provider : providers) row.failures += provider->failure_count();
+    row.degraded =
+        telemetry->metrics().counter(obs::metric::kInfoDegradedServed).value();
+    rows.push_back(row);
+  }
+
+  std::printf("%-8s %12s %12s %12s %12s\n", "rate", "ops/sec", "p99(us)", "failures",
+              "degraded");
+  bench::rule(60);
+  for (const auto& row : rows) {
+    std::printf("%6.0f%%  %12.1f %12.2f %12llu %12llu\n", row.rate * 100,
+                row.ops_per_sec, row.p99_us,
+                static_cast<unsigned long long>(row.failures),
+                static_cast<unsigned long long>(row.degraded));
+  }
+  double baseline = rows.front().ops_per_sec;
+  std::printf(
+      "\nExpected shape: throughput degrades modestly with the failure rate\n"
+      "(retries re-run providers) while no query ever fails — overhead at\n"
+      "20%% vs 0%%: %.1f%%.\n",
+      baseline > 0.0 ? (1.0 - rows.back().ops_per_sec / baseline) * 100.0 : 0.0);
+  return 0;
+}

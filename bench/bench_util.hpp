@@ -108,10 +108,11 @@ class JsonReport {
       if (!values.empty()) mean /= static_cast<double>(values.size());
       std::fprintf(out,
                    "%s\n    \"%s\": {\"count\": %zu, \"ops_per_sec\": %.3f, "
-                   "\"mean_us\": %.3f, \"p50_us\": %.3f, \"p95_us\": %.3f}",
+                   "\"mean_us\": %.3f, \"p50_us\": %.3f, \"p95_us\": %.3f, "
+                   "\"p99_us\": %.3f}",
                    first ? "" : ",", series.c_str(), values.size(),
                    mean > 0.0 ? 1e6 / mean : 0.0, mean, percentile(values, 0.50),
-                   percentile(values, 0.95));
+                   percentile(values, 0.95), percentile(values, 0.99));
       first = false;
     }
     std::fprintf(out, "\n  }\n}\n");

@@ -1,0 +1,125 @@
+#include "common/fault.hpp"
+
+#include "common/strings.hpp"
+
+namespace ig {
+
+namespace {
+// FNV-1a, mixing the point name into the plan seed so each point draws
+// from an independent deterministic stream.
+std::uint64_t hash_point(std::uint64_t seed, const std::string& point) {
+  std::uint64_t h = 0xcbf29ce484222325ULL ^ seed;
+  for (char c : point) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+}  // namespace
+
+std::string_view to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kError:
+      return "error";
+    case FaultKind::kLatency:
+      return "latency";
+    case FaultKind::kHang:
+      return "hang";
+    case FaultKind::kGarbage:
+      return "garbage";
+    case FaultKind::kDrop:
+      return "drop";
+    case FaultKind::kCrash:
+      return "crash";
+  }
+  return "?";
+}
+
+Error FaultDecision::to_error(const std::string& point) const {
+  std::string text = "injected " + std::string(to_string(kind)) + " at " + point;
+  if (!message.empty()) text += ": " + message;
+  return Error(error, std::move(text));
+}
+
+std::string FaultDecision::describe() const {
+  return strings::format("seq=%llu kind=%s latency_us=%lld",
+                         static_cast<unsigned long long>(sequence),
+                         std::string(to_string(kind)).c_str(),
+                         static_cast<long long>(latency.count()));
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
+  for (const auto& [point, specs] : plan_.points) {
+    PointState state(hash_point(plan_.seed, point));
+    for (const auto& spec : specs) state.specs.push_back(SpecState{spec, 0});
+    points_.emplace(point, std::move(state));
+  }
+}
+
+FaultDecision FaultInjector::evaluate(const std::string& point) {
+  FaultDecision decision;
+  std::function<void(const std::string&, const FaultDecision&)> hook;
+  {
+    std::lock_guard lock(mu_);
+    auto it = points_.find(point);
+    if (it == points_.end()) return decision;  // inert point
+    PointState& state = it->second;
+    decision.sequence = ++state.evaluations;
+    for (SpecState& ss : state.specs) {
+      // Draw unconditionally so the stream position depends only on the
+      // evaluation index, not on other specs' budgets.
+      bool passed = state.rng.chance(ss.spec.probability);
+      if (state.evaluations <= ss.spec.skip_first) continue;
+      if (ss.spec.max_fires > 0 && ss.fires >= ss.spec.max_fires) continue;
+      if (!passed) continue;
+      ++ss.fires;
+      ++state.fires;
+      decision.fire = true;
+      decision.kind = ss.spec.kind;
+      decision.latency = ss.spec.latency;
+      decision.error = ss.spec.error;
+      decision.message = ss.spec.message;
+      state.fired.push_back(decision.describe());
+      hook = hook_;
+      break;
+    }
+  }
+  if (hook) hook(point, decision);
+  return decision;
+}
+
+std::uint64_t FaultInjector::evaluations(const std::string& point) const {
+  std::lock_guard lock(mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.evaluations;
+}
+
+std::uint64_t FaultInjector::fires(const std::string& point) const {
+  std::lock_guard lock(mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.fires;
+}
+
+std::vector<std::string> FaultInjector::history(const std::string& point) const {
+  std::lock_guard lock(mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? std::vector<std::string>{} : it->second.fired;
+}
+
+std::string FaultInjector::history_digest() const {
+  std::lock_guard lock(mu_);
+  std::string out;
+  for (const auto& [point, state] : points_) {  // std::map: name order
+    out += point + ":\n";
+    for (const auto& line : state.fired) out += "  " + line + "\n";
+  }
+  return out;
+}
+
+void FaultInjector::set_fire_hook(
+    std::function<void(const std::string&, const FaultDecision&)> hook) {
+  std::lock_guard lock(mu_);
+  hook_ = std::move(hook);
+}
+
+}  // namespace ig

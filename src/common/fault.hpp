@@ -1,0 +1,132 @@
+// Seeded, deterministic fault injection.
+//
+// The fault-tolerance machinery in this repo (degradation-as-shield,
+// retries, circuit breakers, job restart, checkpoint resume) needs a way
+// to *create* the failures it defends against, reproducibly. A FaultPlan
+// names injection points ("info.Memory", "net.request", "exec.run") and
+// attaches fault specs — kind, probability, fire budget, latency — and a
+// FaultInjector evaluates them at runtime.
+//
+// Determinism: every point gets its own RNG stream, seeded from the plan
+// seed hashed with the point name, and decisions are a pure function of
+// the point's evaluation index. Two runs of the same plan that evaluate a
+// point the same number of times produce bit-identical decision sequences
+// at that point, regardless of how threads interleave across *different*
+// points — the property the chaos suite asserts.
+//
+// This lives in src/common (everything may depend on it; it depends on
+// nothing but Rng/Clock/Error). Observability is pushed through the fire
+// hook rather than pulled, so common never depends on obs: wire the hook
+// to a `fault.injected` counter at stack-assembly time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace ig {
+
+enum class FaultKind {
+  kError,    ///< fail the operation with `error`/`message`
+  kLatency,  ///< delay the operation by `latency`, then proceed normally
+  kHang,     ///< block (cancellably) up to `latency`, then fail
+  kGarbage,  ///< succeed with corrupted output
+  kDrop,     ///< drop a network connect/request (kUnavailable)
+  kCrash,    ///< kill a command mid-execution (non-zero exit)
+};
+
+std::string_view to_string(FaultKind kind);
+
+/// One fault schedule at one injection point.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kError;
+  double probability = 1.0;      ///< per-evaluation chance of firing
+  std::uint64_t max_fires = 0;   ///< total fire budget; 0 = unlimited
+  std::uint64_t skip_first = 0;  ///< stay dormant for the first N evaluations
+  Duration latency{0};           ///< kLatency delay / kHang bound
+  ErrorCode error = ErrorCode::kUnavailable;
+  std::string message;  ///< appended to the injected error text
+};
+
+/// Named injection points and their fault schedules.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  std::map<std::string, std::vector<FaultSpec>> points;
+
+  FaultPlan& add(const std::string& point, FaultSpec spec) {
+    points[point].push_back(std::move(spec));
+    return *this;
+  }
+};
+
+/// The outcome of evaluating one injection point once.
+struct FaultDecision {
+  bool fire = false;
+  FaultKind kind = FaultKind::kError;
+  Duration latency{0};
+  ErrorCode error = ErrorCode::kUnavailable;
+  std::string message;
+  std::uint64_t sequence = 0;  ///< 1-based evaluation index at the point
+
+  /// The injected failure as an Error (kError/kHang/kDrop kinds).
+  Error to_error(const std::string& point) const;
+  /// Canonical one-line form for history comparison.
+  std::string describe() const;
+};
+
+/// Thread-safe evaluator of a FaultPlan. Points absent from the plan are
+/// inert: evaluating them costs one map lookup and never fires.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  /// Evaluate `point` once. Specs are tried in plan order; the first
+  /// eligible spec that passes its probability draw fires.
+  FaultDecision evaluate(const std::string& point);
+
+  /// Total evaluations / fires at a point (0 for unknown points).
+  std::uint64_t evaluations(const std::string& point) const;
+  std::uint64_t fires(const std::string& point) const;
+  /// Every fired decision at `point`, in firing order (describe() form).
+  std::vector<std::string> history(const std::string& point) const;
+  /// All points' histories folded into one canonical string, points in
+  /// name order — equal digests mean identical fault sequences.
+  std::string history_digest() const;
+
+  /// Called on every fired decision (after recording). Set once at stack
+  /// wiring time, before traffic; typically counts `fault.injected`.
+  void set_fire_hook(std::function<void(const std::string& point, const FaultDecision&)> hook);
+
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  struct SpecState {
+    FaultSpec spec;
+    std::uint64_t fires = 0;
+  };
+  struct PointState {
+    Rng rng;
+    std::uint64_t evaluations = 0;
+    std::uint64_t fires = 0;
+    std::vector<SpecState> specs;
+    std::vector<std::string> fired;
+
+    explicit PointState(std::uint64_t seed) : rng(seed) {}
+  };
+
+  FaultPlan plan_;
+  mutable std::mutex mu_;
+  std::map<std::string, PointState> points_;
+  std::function<void(const std::string&, const FaultDecision&)> hook_;
+};
+
+}  // namespace ig

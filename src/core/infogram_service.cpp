@@ -45,6 +45,11 @@ InfoGramService::InfoGramService(std::shared_ptr<info::SystemMonitor> monitor,
     // Dogfooding: the telemetry is itself a provider family, so
     // (info=metrics) / (info=traces) travel the same path as any keyword.
     (void)info::register_obs_providers(*monitor_, config_.telemetry);
+  }
+  // The resilience layer made queryable (info=health): breaker states,
+  // cache validity and failure counters per keyword. Telemetry-independent.
+  (void)info::register_health_provider(*monitor_);
+  if (config_.telemetry != nullptr) {
     if (logger_ != nullptr) {
       std::shared_ptr<logging::Logger> logger_copy = logger_;
       config_.telemetry->set_trace_listener([logger_copy](const obs::TraceRecord& rec) {
@@ -156,9 +161,12 @@ Result<InfoGramResult> InfoGramService::execute(const rsl::XrslRequest& request,
       result.schema->execution = std::move(exec);
     }
     if (!request.info_keys.empty()) {
+      // The xRSL timeout/action pair applies to info queries too: cancel
+      // arms a per-keyword deadline, exception annotates late records.
+      info::GetOptions get_options{request.timeout, request.action};
       auto records = monitor_->query(request.info_keys, request.response,
                                      request.quality_threshold, request.filters, trace,
-                                     pool_.get());
+                                     pool_.get(), get_options);
       if (!records.ok()) return records.error();
       result.records = std::move(records.value());
     }

@@ -50,6 +50,7 @@ Result<CommandResult> CommandRegistry::run(const std::string& path,
                                            const std::vector<std::string>& args,
                                            const CancelToken* cancel) {
   Entry entry;
+  std::shared_ptr<FaultInjector> injector;
   {
     std::lock_guard lock(mu_);
     auto it = commands_.find(path);
@@ -57,17 +58,37 @@ Result<CommandResult> CommandRegistry::run(const std::string& path,
       return Error(ErrorCode::kNotFound, "no such command: " + path);
     }
     entry = it->second;
+    injector = fault_injector_;
+  }
+  FaultDecision fault;
+  if (injector != nullptr) fault = injector->evaluate("exec.run");
+  if (fault.fire && fault.kind == FaultKind::kError) {
+    return fault.to_error("exec.run");
   }
   // Charge the execution cost in slices so cancellation stays responsive.
-  Duration remaining = entry.cost;
+  Duration cost = entry.cost;
+  if (fault.fire && fault.kind == FaultKind::kLatency) cost += fault.latency;
+  // A crash kills the command halfway through its cost: work was charged
+  // but no usable output came back, exactly what restart recovery needs.
+  Duration crash_after =
+      fault.fire && fault.kind == FaultKind::kCrash ? cost / 2 : Duration(-1);
+  Duration remaining = cost;
   const Duration slice = ms(1);
   while (remaining.count() > 0) {
     if (cancel != nullptr && cancel->cancelled()) {
       return Error(ErrorCode::kCancelled, "command cancelled: " + path);
     }
+    if (crash_after.count() >= 0 && cost - remaining >= crash_after) {
+      executions_.fetch_add(1, std::memory_order_relaxed);
+      return CommandResult{137, "injected crash: " + path + "\n"};
+    }
     Duration step = std::min(remaining, slice);
     clock_.sleep_for(step);
     remaining -= step;
+  }
+  if (crash_after.count() >= 0) {
+    executions_.fetch_add(1, std::memory_order_relaxed);
+    return CommandResult{137, "injected crash: " + path + "\n"};
   }
   if (cancel != nullptr && cancel->cancelled()) {
     return Error(ErrorCode::kCancelled, "command cancelled: " + path);
@@ -88,6 +109,11 @@ void CommandRegistry::set_failure_rate(const std::string& path, double probabili
   std::lock_guard lock(mu_);
   auto it = commands_.find(path);
   if (it != commands_.end()) it->second.failure_rate = probability;
+}
+
+void CommandRegistry::set_fault_injector(std::shared_ptr<FaultInjector> injector) {
+  std::lock_guard lock(mu_);
+  fault_injector_ = std::move(injector);
 }
 
 std::shared_ptr<CommandRegistry> CommandRegistry::standard(Clock& clock,

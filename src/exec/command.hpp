@@ -19,6 +19,7 @@
 
 #include "common/clock.hpp"
 #include "common/error.hpp"
+#include "common/fault.hpp"
 #include "common/rng.hpp"
 #include "exec/sim_system.hpp"
 
@@ -30,14 +31,32 @@ struct CommandResult {
 };
 
 /// Cooperative cancellation: long command "runs" poll this between cost
-/// slices, so a cancel takes effect mid-execution.
+/// slices, so a cancel takes effect mid-execution. A token may also be
+/// armed with a clock deadline, after which cancelled() reports true —
+/// that is how info-query timeouts ((timeout=...)(action=cancel)) reach
+/// into a running provider command.
 class CancelToken {
  public:
   void cancel() { cancelled_.store(true, std::memory_order_release); }
-  bool cancelled() const { return cancelled_.load(std::memory_order_acquire); }
+
+  /// Arm a deadline on `clock`; cancelled() fires once now() >= deadline.
+  /// Arm before sharing the token with the running command.
+  void arm_deadline(const Clock* clock, TimePoint deadline) {
+    deadline_us_.store(deadline.count(), std::memory_order_release);
+    deadline_clock_.store(clock, std::memory_order_release);
+  }
+
+  bool cancelled() const {
+    if (cancelled_.load(std::memory_order_acquire)) return true;
+    const Clock* clock = deadline_clock_.load(std::memory_order_acquire);
+    return clock != nullptr &&
+           clock->now().count() >= deadline_us_.load(std::memory_order_acquire);
+  }
 
  private:
   std::atomic<bool> cancelled_{false};
+  std::atomic<const Clock*> deadline_clock_{nullptr};
+  std::atomic<std::int64_t> deadline_us_{0};
 };
 
 using CommandFn =
@@ -67,6 +86,12 @@ class CommandRegistry {
   /// `probability` per run. Used by the fault-tolerance experiments.
   void set_failure_rate(const std::string& path, double probability);
 
+  /// Attach a seeded fault injector. Every run evaluates point "exec.run":
+  /// kCrash kills the command halfway through its cost (non-zero exit, so
+  /// the job manager's restart/checkpoint machinery engages), kError fails
+  /// the exec outright, kLatency charges extra simulated time. Nullable.
+  void set_fault_injector(std::shared_ptr<FaultInjector> injector);
+
   /// Total number of command executions (cache-effectiveness metric).
   std::uint64_t executions() const { return executions_.load(std::memory_order_relaxed); }
 
@@ -91,6 +116,7 @@ class CommandRegistry {
   mutable std::mutex mu_;
   Rng rng_;
   std::map<std::string, Entry> commands_;
+  std::shared_ptr<FaultInjector> fault_injector_;
   std::atomic<std::uint64_t> executions_{0};
 };
 

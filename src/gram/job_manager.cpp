@@ -89,15 +89,38 @@ void JobManager::monitor_loop() {
       final_status = backend_->wait(backend_id, kLongWait);
     }
 
-    if (!final_status.ok()) {
-      // Backend wedged or job vanished: report as failed.
+    const bool backend_reported = final_status.ok();
+    if (!backend_reported) {
+      // Backend wedged or job vanished: report as failed. Not restarted
+      // below — a wait that never returned does not prove the job is
+      // terminal, and resubmitting could run it twice.
       exec::JobStatus failed;
       failed.id = backend_id;
       failed.state = exec::JobState::kFailed;
       failed.error = final_status.error().to_string();
       record(failed);
     } else {
-      record(final_status.value());
+      // The backend wait above runs in wall time, so on a virtual clock a
+      // simulated job "finishes" before the wall timeout can fire. Enforce
+      // the deadline against the job's own (virtual) start/finish stamps:
+      // cancel means the job would have been killed at the deadline;
+      // exception reports the overrun but keeps the completed result.
+      exec::JobStatus done = final_status.value();
+      if (options_.timeout && done.state == exec::JobState::kDone &&
+          done.started.count() > 0 && done.finished > done.started &&
+          done.finished - done.started > *options_.timeout) {
+        if (options_.timeout_action == rsl::TimeoutAction::kCancel) {
+          done.state = exec::JobState::kCancelled;
+          done.error = "job exceeded timeout";
+        } else {
+          {
+            std::lock_guard lock(mu_);
+            info_.timeout_fired = true;
+          }
+          cv_.notify_all();
+        }
+      }
+      record(done);
     }
 
     exec::JobState state;
@@ -117,7 +140,8 @@ void JobManager::monitor_loop() {
       }
     }
 
-    if (state == exec::JobState::kFailed && attempt < options_.max_restarts) {
+    if (state == exec::JobState::kFailed && backend_reported &&
+        attempt < options_.max_restarts) {
       ++attempt;
       {
         std::lock_guard lock(mu_);

@@ -1,0 +1,61 @@
+#include "info/fault_source.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+
+namespace ig::info {
+
+FaultInjectingSource::FaultInjectingSource(std::shared_ptr<InfoSource> inner,
+                                           std::shared_ptr<FaultInjector> injector,
+                                           Clock& clock)
+    : inner_(std::move(inner)),
+      injector_(std::move(injector)),
+      clock_(clock),
+      point_("info." + inner_->keyword()) {}
+
+Result<format::InfoRecord> FaultInjectingSource::produce(const exec::CancelToken* cancel) {
+  FaultDecision fault = injector_->evaluate(point_);
+  if (fault.fire) {
+    switch (fault.kind) {
+      case FaultKind::kError:
+      case FaultKind::kDrop:
+        return fault.to_error(point_);
+      case FaultKind::kLatency:
+        clock_.sleep_for(fault.latency);
+        break;  // slow but successful
+      case FaultKind::kHang: {
+        // Block in cancellable slices: a deadline-armed token interrupts
+        // the hang (kCancelled, mapped to kTimeout above); without one the
+        // hang is bounded by the spec latency so the pipeline cannot
+        // deadlock, and ends in the same unavailability error.
+        Duration remaining = fault.latency;
+        const Duration slice = ms(1);
+        while (remaining.count() > 0) {
+          if (cancel != nullptr && cancel->cancelled()) {
+            return Error(ErrorCode::kCancelled, "hang cancelled at " + point_);
+          }
+          Duration step = std::min(remaining, slice);
+          clock_.sleep_for(step);
+          remaining -= step;
+        }
+        return fault.to_error(point_);
+      }
+      case FaultKind::kGarbage: {
+        // A syntactically valid record carrying nonsense: downstream must
+        // pass it through (or filter it) without crashing.
+        format::InfoRecord garbage;
+        garbage.keyword = inner_->keyword();
+        garbage.add("garbage",
+                    strings::format("\x7f#corrupt-%llu",
+                                    static_cast<unsigned long long>(fault.sequence)));
+        return garbage;
+      }
+      case FaultKind::kCrash:
+        return Error(ErrorCode::kIoError, "injected crash at " + point_);
+    }
+  }
+  return inner_->produce(cancel);
+}
+
+}  // namespace ig::info

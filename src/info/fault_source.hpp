@@ -1,0 +1,39 @@
+// Fault-injecting InfoSource decorator.
+//
+// Wraps any source and consults a FaultInjector at the point
+// "info.<keyword>" on every produce(). Lets the chaos suite break
+// individual providers — errors, latency spikes, hangs, garbage output —
+// without touching the provider implementations, and exercises every
+// resilience layer above (deadline, retry, breaker, stale-serve) exactly
+// where real failures would hit.
+#pragma once
+
+#include <memory>
+
+#include "common/fault.hpp"
+#include "info/provider.hpp"
+
+namespace ig::info {
+
+class FaultInjectingSource final : public InfoSource {
+ public:
+  /// Point name is "info.<inner keyword>". The clock is used to charge
+  /// injected latency and to pace the cancellable hang loop.
+  FaultInjectingSource(std::shared_ptr<InfoSource> inner,
+                       std::shared_ptr<FaultInjector> injector, Clock& clock);
+
+  std::string keyword() const override { return inner_->keyword(); }
+  std::string command() const override { return inner_->command(); }
+  Result<format::InfoRecord> produce() override { return produce(nullptr); }
+  Result<format::InfoRecord> produce(const exec::CancelToken* cancel) override;
+
+  const std::string& point() const { return point_; }
+
+ private:
+  std::shared_ptr<InfoSource> inner_;
+  std::shared_ptr<FaultInjector> injector_;
+  Clock& clock_;
+  std::string point_;
+};
+
+}  // namespace ig::info

@@ -7,14 +7,48 @@
 
 namespace ig::info {
 
-ManagedProvider::ManagedProvider(std::shared_ptr<InfoSource> source, const Clock& clock,
+namespace {
+std::uint64_t keyword_seed(const std::string& keyword) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (char c : keyword) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::int64_t breaker_gauge_value(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return 0;
+    case BreakerState::kHalfOpen:
+      return 1;
+    case BreakerState::kOpen:
+      return 2;
+  }
+  return -1;
+}
+}  // namespace
+
+ManagedProvider::ManagedProvider(std::shared_ptr<InfoSource> source, Clock& clock,
                                  ProviderOptions options)
     : source_(std::move(source)),
       keyword_(source_->keyword()),
       clock_(clock),
       options_(std::move(options)),
-      current_ttl_(options_.ttl) {
+      current_ttl_(options_.ttl),
+      retry_rng_(keyword_seed(keyword_)) {
   delay_us_.store(options_.delay.count(), std::memory_order_relaxed);
+  if (options_.resilience.breaker_enabled) {
+    breaker_ = std::make_unique<CircuitBreaker>(options_.resilience.breaker, clock_);
+    breaker_->set_transition_hook([this](BreakerState state) {
+      if (breaker_gauge_ != nullptr) breaker_gauge_->set(breaker_gauge_value(state));
+      obs::Counter* counter = state == BreakerState::kOpen       ? breaker_opened_
+                              : state == BreakerState::kHalfOpen ? breaker_half_open_
+                                                                 : breaker_closed_;
+      if (counter != nullptr) counter->add();
+    });
+  }
 }
 
 void ManagedProvider::set_telemetry(std::shared_ptr<obs::Telemetry> telemetry) {
@@ -22,12 +56,27 @@ void ManagedProvider::set_telemetry(std::shared_ptr<obs::Telemetry> telemetry) {
   if (telemetry_ == nullptr) {
     cache_hits_ = cache_misses_ = nullptr;
     refresh_seconds_ = nullptr;
+    retry_attempts_ = retry_recovered_ = retry_exhausted_ = nullptr;
+    degraded_served_ = nullptr;
+    breaker_gauge_ = nullptr;
+    breaker_opened_ = breaker_half_open_ = breaker_closed_ = nullptr;
     return;
   }
   obs::MetricsRegistry& metrics = telemetry_->metrics();
   cache_hits_ = &metrics.counter(obs::metric::kInfoCacheHits);
   cache_misses_ = &metrics.counter(obs::metric::kInfoCacheMisses);
   refresh_seconds_ = &metrics.histogram(obs::metric::kInfoRefreshSeconds);
+  retry_attempts_ = &metrics.counter(obs::metric::kInfoRetryAttempts);
+  retry_recovered_ = &metrics.counter(obs::metric::kInfoRetryRecovered);
+  retry_exhausted_ = &metrics.counter(obs::metric::kInfoRetryExhausted);
+  degraded_served_ = &metrics.counter(obs::metric::kInfoDegradedServed);
+  if (breaker_ != nullptr) {
+    breaker_gauge_ =
+        &metrics.gauge(std::string(obs::metric::kInfoBreakerStatePrefix) + keyword_);
+    breaker_opened_ = &metrics.counter(obs::metric::kInfoBreakerOpened);
+    breaker_half_open_ = &metrics.counter(obs::metric::kInfoBreakerHalfOpen);
+    breaker_closed_ = &metrics.counter(obs::metric::kInfoBreakerClosed);
+  }
 }
 
 void ManagedProvider::count_hit() const {
@@ -66,6 +115,18 @@ Result<format::InfoRecord> ManagedProvider::last_state() const {
 }
 
 Result<format::InfoRecord> ManagedProvider::update_state(bool force) {
+  return refresh(force, GetOptions{});
+}
+
+Result<format::InfoRecord> ManagedProvider::refresh(bool force, const GetOptions& get_options) {
+  // action=cancel arms a deadline that interrupts a polling source; the
+  // exception action never interrupts, it only annotates a late record.
+  const bool armed = get_options.timeout.has_value() &&
+                     get_options.action == rsl::TimeoutAction::kCancel;
+  const TimePoint deadline =
+      get_options.timeout ? clock_.now() + *get_options.timeout : TimePoint{0};
+  ScopedTimer total(clock_);
+
   std::lock_guard update_lock(update_mu_);
   TimePoint now = clock_.now();
   {
@@ -87,35 +148,87 @@ Result<format::InfoRecord> ManagedProvider::update_state(bool force) {
       }
     }
   }
-  last_attempt_ = now;
-  ScopedTimer timer(clock_);
-  auto produced = source_->produce();
-  Duration elapsed = timer.elapsed();
-  if (!produced.ok()) return produced.error();
-  double elapsed_s = static_cast<double>(elapsed.count()) / 1e6;
-  perf_.add(elapsed_s);
-  refreshes_.fetch_add(1, std::memory_order_relaxed);
-  if (cache_misses_ != nullptr) cache_misses_->add();
-  if (refresh_seconds_ != nullptr) refresh_seconds_->observe(elapsed_s);
 
-  format::InfoRecord record = std::move(produced.value());
-  record.keyword = keyword_;
-  TimePoint done = clock_.now();
-  record.generated_at = done;
-  record.ttl = current_ttl_;
-  for (auto& attr : record.attributes) {
-    attr.timestamp = done;
-    attr.quality = 100.0;
+  if (breaker_ != nullptr && !breaker_->allow()) {
+    return shield(Error(ErrorCode::kUnavailable, "circuit open: " + keyword_));
   }
 
-  std::unique_lock lock(cache_mu_);
-  if (cache_) {
-    note_change(*cache_, record, done - last_refresh_);
-    record.ttl = current_ttl_;  // note_change may have adapted the TTL
+  const int max_attempts = std::max(1, options_.resilience.retry.max_attempts);
+  Error last_error(ErrorCode::kUnavailable, "refresh never attempted: " + keyword_);
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    now = clock_.now();
+    if (armed && now >= deadline) {
+      last_error = Error(ErrorCode::kTimeout, "info deadline exceeded: " + keyword_);
+      break;
+    }
+    exec::CancelToken token;
+    if (armed) token.arm_deadline(&clock_, deadline);
+    last_attempt_ = now;
+    ScopedTimer timer(clock_);
+    auto produced = source_->produce(armed ? &token : nullptr);
+    Duration elapsed = timer.elapsed();
+    if (produced.ok()) {
+      if (attempt > 1 && retry_recovered_ != nullptr) retry_recovered_->add();
+      if (breaker_ != nullptr) breaker_->record_success();
+      double elapsed_s = static_cast<double>(elapsed.count()) / 1e6;
+      perf_.add(elapsed_s);
+      refreshes_.fetch_add(1, std::memory_order_relaxed);
+      if (cache_misses_ != nullptr) cache_misses_->add();
+      if (refresh_seconds_ != nullptr) refresh_seconds_->observe(elapsed_s);
+
+      format::InfoRecord record = std::move(produced.value());
+      record.keyword = keyword_;
+      TimePoint done = clock_.now();
+      record.generated_at = done;
+      record.ttl = current_ttl_;
+      for (auto& attr : record.attributes) {
+        attr.timestamp = done;
+        attr.quality = 100.0;
+      }
+
+      std::unique_lock lock(cache_mu_);
+      if (cache_) {
+        note_change(*cache_, record, done - last_refresh_);
+        record.ttl = current_ttl_;  // note_change may have adapted the TTL
+      }
+      cache_ = std::move(record);
+      last_refresh_ = done;
+      format::InfoRecord copy = degraded_copy_locked(done);
+      if (get_options.timeout && get_options.action == rsl::TimeoutAction::kException &&
+          total.elapsed() > *get_options.timeout) {
+        copy.add("deadline_exceeded", "true", copy.min_quality());
+      }
+      return copy;
+    }
+
+    failures_.fetch_add(1, std::memory_order_relaxed);
+    last_error = produced.error();
+    if (last_error.code == ErrorCode::kCancelled) {
+      last_error = Error(ErrorCode::kTimeout, "info deadline exceeded: " + keyword_);
+    }
+    if (breaker_ != nullptr) breaker_->record_failure();
+    // Past the deadline there is no budget left for another attempt.
+    if (last_error.code == ErrorCode::kTimeout) break;
+    if (breaker_ != nullptr && breaker_->state() == BreakerState::kOpen) break;
+    if (attempt < max_attempts) {
+      if (retry_attempts_ != nullptr) retry_attempts_->add();
+      clock_.sleep_for(retry_backoff(options_.resilience.retry, attempt, retry_rng_));
+    }
   }
-  cache_ = std::move(record);
-  last_refresh_ = done;
-  return degraded_copy_locked(done);
+  if (max_attempts > 1 && retry_exhausted_ != nullptr) retry_exhausted_->add();
+  return shield(last_error);
+}
+
+Result<format::InfoRecord> ManagedProvider::shield(const Error& err) {
+  if (!options_.resilience.serve_stale_on_error) return err;
+  std::shared_lock lock(cache_mu_);
+  if (!cache_) return err;
+  format::InfoRecord copy = degraded_copy_locked(clock_.now());
+  double q = copy.min_quality();
+  copy.add("stale", "true", q);
+  copy.add("source", "cache", q);
+  if (degraded_served_ != nullptr) degraded_served_->add();
+  return copy;
 }
 
 void ManagedProvider::note_change(const format::InfoRecord& old_record,
@@ -155,23 +268,25 @@ void ManagedProvider::note_change(const format::InfoRecord& old_record,
   }
 }
 
-Result<format::InfoRecord> ManagedProvider::get(rsl::ResponseMode mode) {
+Result<format::InfoRecord> ManagedProvider::get(rsl::ResponseMode mode,
+                                                const GetOptions& options) {
   switch (mode) {
     case rsl::ResponseMode::kImmediate:
-      return update_state(/*force=*/true);
+      return refresh(/*force=*/true, options);
     case rsl::ResponseMode::kLast:
       return last_state();
     case rsl::ResponseMode::kCached: {
       auto cached = query_state();
       if (cached.ok()) return cached;
       if (cached.code() != ErrorCode::kStale) return cached;
-      return update_state(/*force=*/false);
+      return refresh(/*force=*/false, options);
     }
   }
   return Error(ErrorCode::kInternal, "unknown response mode");
 }
 
-Result<format::InfoRecord> ManagedProvider::get_with_quality(double threshold_percent) {
+Result<format::InfoRecord> ManagedProvider::get_with_quality(double threshold_percent,
+                                                             const GetOptions& options) {
   {
     std::shared_lock lock(cache_mu_);
     if (cache_) {
@@ -182,7 +297,7 @@ Result<format::InfoRecord> ManagedProvider::get_with_quality(double threshold_pe
       }
     }
   }
-  return update_state(/*force=*/true);
+  return refresh(/*force=*/true, options);
 }
 
 ManagedProvider::PrefetchState ManagedProvider::prefetch_state(
@@ -234,6 +349,14 @@ int ManagedProvider::validity() const {
 
 std::uint64_t ManagedProvider::refresh_count() const {
   return refreshes_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t ManagedProvider::failure_count() const {
+  return failures_.load(std::memory_order_relaxed);
+}
+
+BreakerState ManagedProvider::breaker_state() const {
+  return breaker_ != nullptr ? breaker_->state() : BreakerState::kClosed;
 }
 
 }  // namespace ig::info

@@ -29,13 +29,29 @@
 #include <shared_mutex>
 
 #include "common/clock.hpp"
+#include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "info/degradation.hpp"
 #include "info/provider.hpp"
+#include "info/resilience.hpp"
 #include "obs/telemetry.hpp"
 #include "rsl/xrsl.hpp"
 
 namespace ig::info {
+
+/// Failure handling around the underlying source. Defaults keep the
+/// historical behaviour except for stale-serve: a refresh failure with a
+/// cached record now degrades instead of erroring — the paper's quality
+/// mechanism used as the failure shield.
+struct ResilienceOptions {
+  RetryOptions retry;  ///< max_attempts 1 = no retries
+  bool breaker_enabled = false;
+  BreakerOptions breaker;
+  /// On refresh failure with a cached record, serve last_state() with its
+  /// degraded quality plus `stale=true` / `source=cache` attributes
+  /// instead of the error. Cold caches still surface the error.
+  bool serve_stale_on_error = true;
+};
 
 struct ProviderOptions {
   Duration ttl = ms(60000);
@@ -49,11 +65,23 @@ struct ProviderOptions {
   /// Relative-change thresholds steering the adaptation.
   double shrink_above = 0.05;
   double grow_below = 0.005;
+
+  ResilienceOptions resilience;
+};
+
+/// Per-request constraints: the xRSL `timeout` / `action` tags applied to
+/// an information query. action=cancel arms a deadline that interrupts a
+/// polling source mid-run (result: kTimeout, shielded by stale-serve);
+/// action=exception lets the refresh finish and annotates the record with
+/// `deadline_exceeded=true` when it came back late.
+struct GetOptions {
+  std::optional<Duration> timeout;
+  rsl::TimeoutAction action = rsl::TimeoutAction::kCancel;
 };
 
 class ManagedProvider {
  public:
-  ManagedProvider(std::shared_ptr<InfoSource> source, const Clock& clock,
+  ManagedProvider(std::shared_ptr<InfoSource> source, Clock& clock,
                   ProviderOptions options = {});
 
   const std::string& keyword() const { return keyword_; }
@@ -72,12 +100,14 @@ class ManagedProvider {
   /// the keyword has never been produced.
   Result<format::InfoRecord> last_state() const;
 
-  /// xRSL response-mode dispatch.
-  Result<format::InfoRecord> get(rsl::ResponseMode mode);
+  /// xRSL response-mode dispatch, optionally under a deadline.
+  Result<format::InfoRecord> get(rsl::ResponseMode mode) { return get(mode, GetOptions{}); }
+  Result<format::InfoRecord> get(rsl::ResponseMode mode, const GetOptions& options);
 
   /// Quality-threshold read (xRSL `quality` tag): refresh if any returned
   /// attribute degraded below `threshold_percent`.
-  Result<format::InfoRecord> get_with_quality(double threshold_percent);
+  Result<format::InfoRecord> get_with_quality(double threshold_percent,
+                                              const GetOptions& options = {});
 
   /// How the background prefetcher should treat this provider right now.
   /// kDisabled — nothing cached yet (the keyword has never been hot) or
@@ -105,6 +135,15 @@ class ManagedProvider {
   /// Number of real command executions this provider has made.
   std::uint64_t refresh_count() const;
 
+  /// Total source failures (each failed produce attempt counts one); the
+  /// prefetcher keys its failure backoff off deltas of this, since the
+  /// stale-serve shield hides failures from update_state()'s Result.
+  std::uint64_t failure_count() const;
+
+  /// Circuit-breaker state; kClosed when the breaker is disabled.
+  BreakerState breaker_state() const;
+  bool breaker_enabled() const { return breaker_ != nullptr; }
+
   const DegradationFunction& degradation() const { return *options_.degradation; }
 
   /// Count cache hits/misses and refresh latency into `telemetry`
@@ -119,10 +158,15 @@ class ManagedProvider {
   format::InfoRecord degraded_copy_locked(TimePoint now) const;
   void note_change(const format::InfoRecord& old_record,
                    const format::InfoRecord& new_record, Duration elapsed);
+  /// The real refresh: breaker gate, attempt/retry loop, deadline, cache
+  /// stamp. update_state(force) is refresh(force, {}).
+  Result<format::InfoRecord> refresh(bool force, const GetOptions& get_options);
+  /// Failure shield: degraded+annotated cached record, or `err` when cold.
+  Result<format::InfoRecord> shield(const Error& err);
 
   std::shared_ptr<InfoSource> source_;
   std::string keyword_;
-  const Clock& clock_;
+  Clock& clock_;  ///< non-const: retry backoff sleeps between attempts
   ProviderOptions options_;
 
   mutable std::shared_mutex cache_mu_;
@@ -136,11 +180,23 @@ class ManagedProvider {
 
   SharedStats perf_;
   std::atomic<std::uint64_t> refreshes_{0};
+  std::atomic<std::uint64_t> failures_{0};
+
+  std::unique_ptr<CircuitBreaker> breaker_;  ///< null when disabled
+  Rng retry_rng_;  ///< jitter stream; guarded by update_mu_
 
   std::shared_ptr<obs::Telemetry> telemetry_;  ///< written before use, then const
   obs::Counter* cache_hits_ = nullptr;
   obs::Counter* cache_misses_ = nullptr;
   obs::Histogram* refresh_seconds_ = nullptr;
+  obs::Counter* retry_attempts_ = nullptr;
+  obs::Counter* retry_recovered_ = nullptr;
+  obs::Counter* retry_exhausted_ = nullptr;
+  obs::Counter* degraded_served_ = nullptr;
+  obs::Gauge* breaker_gauge_ = nullptr;  ///< info.breaker.state.<keyword>
+  obs::Counter* breaker_opened_ = nullptr;
+  obs::Counter* breaker_half_open_ = nullptr;
+  obs::Counter* breaker_closed_ = nullptr;
 };
 
 }  // namespace ig::info

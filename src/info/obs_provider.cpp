@@ -41,4 +41,15 @@ Status register_obs_providers(SystemMonitor& monitor,
       "function:obs.traces");
 }
 
+Status register_health_provider(SystemMonitor& monitor) {
+  ProviderOptions live;
+  live.ttl = Duration(0);  // always live: breaker states must not be cached
+  return monitor.add_source(
+      std::make_shared<FunctionSource>(
+          "health",
+          [&monitor]() -> Result<format::InfoRecord> { return monitor.health_record(); },
+          "function:info.health"),
+      live);
+}
+
 }  // namespace ig::info

@@ -24,4 +24,11 @@ namespace ig::info {
 Status register_obs_providers(SystemMonitor& monitor,
                               std::shared_ptr<obs::Telemetry> telemetry);
 
+/// Register the TTL-0 `health` keyword on `monitor`: per-provider breaker
+/// state, cache validity and refresh/failure counters (the resilience
+/// layer made queryable). Works without telemetry. The producer captures
+/// `monitor` by reference — the monitor owns the provider, so the
+/// reference cannot dangle (a shared_ptr would be a cycle).
+Status register_health_provider(SystemMonitor& monitor);
+
 }  // namespace ig::info

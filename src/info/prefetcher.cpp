@@ -1,5 +1,7 @@
 #include "info/prefetcher.hpp"
 
+#include <algorithm>
+
 #include "info/system_monitor.hpp"
 
 namespace ig::info {
@@ -38,14 +40,23 @@ std::size_t Prefetcher::scan_once() {
   std::shared_ptr<obs::Telemetry> telemetry = monitor_.telemetry();
   obs::Counter* hit_counter = nullptr;
   obs::Counter* miss_counter = nullptr;
+  obs::Counter* failure_counter = nullptr;
   if (telemetry != nullptr) {
     hit_counter = &telemetry->metrics().counter(obs::metric::kPrefetchHits);
     miss_counter = &telemetry->metrics().counter(obs::metric::kPrefetchMisses);
+    failure_counter = &telemetry->metrics().counter(obs::metric::kPrefetchFailures);
   }
   std::size_t refreshed = 0;
+  TimePoint now = monitor_.clock().now();
   for (const auto& kw : monitor_.keywords()) {
     auto provider = monitor_.provider(kw);
     if (provider == nullptr) continue;  // removed between snapshot and visit
+    {
+      std::lock_guard lock(backoff_mu_);
+      auto it = backoff_.find(kw);
+      if (it != backoff_.end() && now < it->second.retry_after) continue;
+    }
+    bool attempted = false;
     switch (provider->prefetch_state(options_.margin_fraction, options_.quality_floor)) {
       case ManagedProvider::PrefetchState::kDisabled:
       case ManagedProvider::PrefetchState::kFresh:
@@ -56,14 +67,37 @@ std::size_t Prefetcher::scan_once() {
         // throttle still applies.
         hits_.fetch_add(1, std::memory_order_relaxed);
         if (hit_counter != nullptr) hit_counter->add();
+        attempted = true;
         if (provider->update_state(/*force=*/true).ok()) ++refreshed;
         break;
       case ManagedProvider::PrefetchState::kExpired:
         misses_.fetch_add(1, std::memory_order_relaxed);
         if (miss_counter != nullptr) miss_counter->add();
+        attempted = true;
         if (provider->update_state(/*force=*/false).ok()) ++refreshed;
         break;
     }
+    if (!attempted) continue;
+    // The stale-serve shield hides refresh failures in the Result, so
+    // detect them via the provider's failure counter instead.
+    std::uint64_t failures_now = provider->failure_count();
+    std::lock_guard lock(backoff_mu_);
+    BackoffState& state = backoff_[kw];
+    if (failures_now > state.last_failures) {
+      state.consecutive++;
+      Duration backoff = options_.failure_backoff;
+      for (int i = 1; i < state.consecutive && backoff < options_.failure_backoff_max; ++i) {
+        backoff *= 2;
+      }
+      backoff = std::min(backoff, options_.failure_backoff_max);
+      state.retry_after = monitor_.clock().now() + backoff;
+      failures_.fetch_add(1, std::memory_order_relaxed);
+      if (failure_counter != nullptr) failure_counter->add();
+    } else {
+      state.consecutive = 0;
+      state.retry_after = TimePoint{0};
+    }
+    state.last_failures = failures_now;
   }
   cycles_.fetch_add(1, std::memory_order_relaxed);
   if (telemetry != nullptr) telemetry->metrics().counter(obs::metric::kPrefetchCycles).add();

@@ -22,8 +22,10 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <thread>
 
 #include "common/clock.hpp"
@@ -43,6 +45,12 @@ struct PrefetchOptions {
   double margin_fraction = 0.25;
   /// Also refresh when degradation drops cache quality below this value.
   std::optional<double> quality_floor;
+  /// A keyword whose refresh failed is skipped for failure_backoff, doubling
+  /// per consecutive failure up to failure_backoff_max (service-clock time,
+  /// like the TTL arithmetic), instead of hammering a broken source every
+  /// scan. A successful refresh resets the backoff.
+  Duration failure_backoff = ms(100);
+  Duration failure_backoff_max = seconds(5);
 };
 
 /// One scan thread over a SystemMonitor's providers. The monitor must
@@ -67,12 +75,26 @@ class Prefetcher {
   std::uint64_t cycles() const { return cycles_.load(std::memory_order_relaxed); }
   std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   std::uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  /// Refresh failures seen by the scan (each starts/extends a backoff).
+  std::uint64_t failures() const { return failures_.load(std::memory_order_relaxed); }
 
  private:
   void loop();
 
+  /// Per-keyword failure-backoff bookkeeping. Failures are detected via
+  /// deltas of ManagedProvider::failure_count(), because the stale-serve
+  /// shield makes a failed refresh look successful at the Result level.
+  struct BackoffState {
+    std::uint64_t last_failures = 0;
+    int consecutive = 0;
+    TimePoint retry_after{0};
+  };
+
   SystemMonitor& monitor_;
   PrefetchOptions options_;
+
+  std::mutex backoff_mu_;
+  std::map<std::string, BackoffState> backoff_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
@@ -83,6 +105,7 @@ class Prefetcher {
   std::atomic<std::uint64_t> cycles_{0};
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> failures_{0};
 };
 
 }  // namespace ig::info

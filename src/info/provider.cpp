@@ -30,8 +30,8 @@ CommandSource::CommandSource(std::string keyword, std::string command_line,
       command_line_(std::move(command_line)),
       registry_(std::move(registry)) {}
 
-Result<format::InfoRecord> CommandSource::produce() {
-  auto result = registry_->run(command_line_);
+Result<format::InfoRecord> CommandSource::produce(const exec::CancelToken* cancel) {
+  auto result = registry_->run(command_line_, cancel);
   if (!result.ok()) return result.error();
   if (result->exit_code != 0) {
     return Error(ErrorCode::kIoError,

@@ -30,6 +30,15 @@ class InfoSource {
   /// (ManagedProvider) stamps generated_at/ttl and serializes calls.
   virtual Result<format::InfoRecord> produce() = 0;
 
+  /// Cancellable production: sources that poll (command execution, the
+  /// fault-injection hang) honour `cancel` mid-run, which is how info
+  /// deadlines ((timeout=...)(action=cancel)) interrupt a slow provider.
+  /// The default ignores the token and produces normally.
+  virtual Result<format::InfoRecord> produce(const exec::CancelToken* cancel) {
+    (void)cancel;
+    return produce();
+  }
+
   /// Describe the command or mechanism behind the keyword, for schema
   /// reflection ("date -u", "function:jvm.load", "file:/proc/meminfo").
   virtual std::string command() const = 0;
@@ -43,7 +52,8 @@ class CommandSource final : public InfoSource {
                 std::shared_ptr<exec::CommandRegistry> registry);
 
   std::string keyword() const override { return keyword_; }
-  Result<format::InfoRecord> produce() override;
+  Result<format::InfoRecord> produce() override { return produce(nullptr); }
+  Result<format::InfoRecord> produce(const exec::CancelToken* cancel) override;
   std::string command() const override { return command_line_; }
 
  private:

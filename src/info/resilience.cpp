@@ -1,0 +1,100 @@
+#include "info/resilience.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ig::info {
+
+Duration retry_backoff(const RetryOptions& options, int retry, Rng& rng) {
+  double base = static_cast<double>(options.initial_backoff.count()) *
+                std::pow(options.multiplier, retry - 1);
+  base = std::min(base, static_cast<double>(options.max_backoff.count()));
+  if (options.jitter > 0.0) {
+    base *= rng.uniform(1.0 - options.jitter, 1.0 + options.jitter);
+  }
+  auto capped = std::min(base, static_cast<double>(options.max_backoff.count()));
+  return Duration(static_cast<std::int64_t>(std::max(capped, 0.0)));
+}
+
+std::string_view to_string(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half_open";
+  }
+  return "?";
+}
+
+CircuitBreaker::CircuitBreaker(BreakerOptions options, const Clock& clock)
+    : options_(options), clock_(clock) {}
+
+void CircuitBreaker::transition_locked(BreakerState next,
+                                       std::function<void(BreakerState)>& fire) {
+  if (state_ == next) return;
+  state_ = next;
+  fire = hook_;
+}
+
+bool CircuitBreaker::allow() {
+  std::function<void(BreakerState)> fire;
+  bool allowed = false;
+  {
+    std::lock_guard lock(mu_);
+    switch (state_) {
+      case BreakerState::kClosed:
+      case BreakerState::kHalfOpen:
+        // Half-open admits probes; the provider's update monitor already
+        // serializes refreshes, so at most one probe is in flight.
+        allowed = true;
+        break;
+      case BreakerState::kOpen:
+        if (clock_.now() >= open_until_) {
+          transition_locked(BreakerState::kHalfOpen, fire);
+          allowed = true;
+        }
+        break;
+    }
+  }
+  if (fire) fire(BreakerState::kHalfOpen);
+  return allowed;
+}
+
+void CircuitBreaker::record_success() {
+  std::function<void(BreakerState)> fire;
+  {
+    std::lock_guard lock(mu_);
+    consecutive_failures_ = 0;
+    transition_locked(BreakerState::kClosed, fire);
+  }
+  if (fire) fire(BreakerState::kClosed);
+}
+
+void CircuitBreaker::record_failure() {
+  std::function<void(BreakerState)> fire;
+  {
+    std::lock_guard lock(mu_);
+    ++consecutive_failures_;
+    bool reopen = state_ == BreakerState::kHalfOpen;  // failed probe
+    if (reopen || (state_ == BreakerState::kClosed &&
+                   consecutive_failures_ >= options_.failure_threshold)) {
+      open_until_ = clock_.now() + options_.open_duration;
+      transition_locked(BreakerState::kOpen, fire);
+    }
+  }
+  if (fire) fire(BreakerState::kOpen);
+}
+
+BreakerState CircuitBreaker::state() const {
+  std::lock_guard lock(mu_);
+  return state_;
+}
+
+void CircuitBreaker::set_transition_hook(std::function<void(BreakerState)> hook) {
+  std::lock_guard lock(mu_);
+  hook_ = std::move(hook);
+}
+
+}  // namespace ig::info

@@ -1,0 +1,77 @@
+// Resilience primitives for the provider pipeline: bounded retry with
+// jittered exponential backoff and a per-keyword circuit breaker.
+//
+// The breaker follows the classic three-state machine. Closed: requests
+// flow, consecutive failures are counted. Open (after `failure_threshold`
+// consecutive failures): requests fast-fail with kUnavailable instead of
+// hammering a provider that is known to be down — the information-service
+// analogue of BDII's "stop asking a dead LDAP backend". Half-open (after
+// `open_duration` on the injected clock): one probe is let through; its
+// success closes the breaker, its failure re-opens it.
+//
+// Everything is clock-injected and Rng-seeded, so tests drive the state
+// machine deterministically with a VirtualClock.
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <string_view>
+
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+
+namespace ig::info {
+
+/// Bounded retry schedule. max_attempts == 1 disables retries (default).
+struct RetryOptions {
+  int max_attempts = 1;
+  Duration initial_backoff = ms(10);
+  double multiplier = 2.0;
+  Duration max_backoff = seconds(5);
+  /// Fraction of the backoff randomized away (0.2 = up to ±20%), so
+  /// synchronized clients do not retry in lockstep.
+  double jitter = 0.2;
+};
+
+/// Backoff before retry number `retry` (1-based: the wait after the first
+/// failed attempt is retry 1). Exponential with jitter, capped.
+Duration retry_backoff(const RetryOptions& options, int retry, Rng& rng);
+
+enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
+std::string_view to_string(BreakerState state);
+
+struct BreakerOptions {
+  int failure_threshold = 5;        ///< consecutive failures that open it
+  Duration open_duration = seconds(30);  ///< how long to fast-fail
+};
+
+class CircuitBreaker {
+ public:
+  CircuitBreaker(BreakerOptions options, const Clock& clock);
+
+  /// May a request proceed right now? Open + elapsed open_duration flips
+  /// to half-open and admits the probe.
+  bool allow();
+  void record_success();
+  void record_failure();
+
+  BreakerState state() const;
+
+  /// Invoked (outside the lock) on every state change. Set at wiring
+  /// time, before traffic.
+  void set_transition_hook(std::function<void(BreakerState)> hook);
+
+ private:
+  void transition_locked(BreakerState next, std::function<void(BreakerState)>& fire);
+
+  BreakerOptions options_;
+  const Clock& clock_;
+  mutable std::mutex mu_;
+  BreakerState state_ = BreakerState::kClosed;
+  int consecutive_failures_ = 0;
+  TimePoint open_until_{0};
+  std::function<void(BreakerState)> hook_;
+};
+
+}  // namespace ig::info

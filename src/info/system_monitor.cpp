@@ -7,7 +7,7 @@
 
 namespace ig::info {
 
-SystemMonitor::SystemMonitor(const Clock& clock, std::string service_name)
+SystemMonitor::SystemMonitor(Clock& clock, std::string service_name)
     : clock_(clock), service_name_(std::move(service_name)) {}
 
 SystemMonitor::~SystemMonitor() { stop_prefetch(); }
@@ -81,13 +81,14 @@ std::size_t SystemMonitor::provider_count() const {
 
 Result<format::InfoRecord> SystemMonitor::get(const std::string& keyword,
                                               rsl::ResponseMode mode,
-                                              std::optional<double> quality_threshold) {
+                                              std::optional<double> quality_threshold,
+                                              const GetOptions& options) {
   auto p = provider(keyword);
   if (p == nullptr) return Error(ErrorCode::kNotFound, "unknown keyword: " + keyword);
   if (quality_threshold && mode == rsl::ResponseMode::kCached) {
-    return p->get_with_quality(*quality_threshold);
+    return p->get_with_quality(*quality_threshold, options);
   }
-  return p->get(mode);
+  return p->get(mode, options);
 }
 
 std::vector<std::string> SystemMonitor::expand_locked(
@@ -113,7 +114,7 @@ std::vector<std::string> SystemMonitor::expand_locked(
 Result<std::vector<format::InfoRecord>> SystemMonitor::query(
     const std::vector<std::string>& keywords, rsl::ResponseMode mode,
     std::optional<double> quality_threshold, const std::vector<std::string>& filters,
-    obs::TraceContext* trace, ThreadPool* pool) {
+    obs::TraceContext* trace, ThreadPool* pool, const GetOptions& options) {
   std::vector<std::string> expanded;
   std::shared_ptr<obs::Telemetry> telemetry;
   {
@@ -128,7 +129,7 @@ Result<std::vector<format::InfoRecord>> SystemMonitor::query(
     const std::string& kw = expanded[i];
     std::optional<obs::TraceContext::Span> span;
     if (trace != nullptr) span.emplace(trace->span("info:" + kw));
-    auto record = get(kw, mode, quality_threshold);
+    auto record = get(kw, mode, quality_threshold, options);
     if (!record.ok()) {
       if (span) span->end(record.error().to_string());
       slots[i] = record.error();
@@ -216,6 +217,27 @@ format::ServiceSchema SystemMonitor::schema() const {
     schema.keywords.push_back(std::move(kw));
   }
   return schema;
+}
+
+format::InfoRecord SystemMonitor::health_record() const {
+  std::vector<std::shared_ptr<ManagedProvider>> providers;
+  {
+    std::lock_guard lock(mu_);
+    providers.reserve(providers_.size());
+    for (const auto& [kw, p] : providers_) providers.push_back(p);
+  }
+  format::InfoRecord record;
+  record.keyword = "health";
+  record.generated_at = clock_.now();
+  record.add("providers", std::to_string(providers.size()));
+  for (const auto& p : providers) {
+    const std::string& kw = p->keyword();
+    record.add(kw + ":breaker", std::string(to_string(p->breaker_state())));
+    record.add(kw + ":validity", std::to_string(p->validity()));
+    record.add(kw + ":refreshes", std::to_string(p->refresh_count()));
+    record.add(kw + ":failures", std::to_string(p->failure_count()));
+  }
+  return record;
 }
 
 std::uint64_t SystemMonitor::total_refreshes() const {

@@ -24,8 +24,10 @@ namespace ig::info {
 
 class SystemMonitor {
  public:
-  explicit SystemMonitor(const Clock& clock, std::string service_name = "infogram");
+  explicit SystemMonitor(Clock& clock, std::string service_name = "infogram");
   ~SystemMonitor();
+
+  Clock& clock() const { return clock_; }
 
   /// Register a provider; kAlreadyExists on duplicate keyword.
   Status add_provider(std::shared_ptr<ManagedProvider> provider);
@@ -36,10 +38,12 @@ class SystemMonitor {
   std::vector<std::string> keywords() const;
   std::size_t provider_count() const;
 
-  /// Resolve one keyword under a response mode / quality threshold.
+  /// Resolve one keyword under a response mode / quality threshold,
+  /// optionally constrained by the xRSL timeout/action pair (GetOptions).
   /// A quality threshold takes precedence over the cached-mode TTL check.
   Result<format::InfoRecord> get(const std::string& keyword, rsl::ResponseMode mode,
-                                 std::optional<double> quality_threshold = std::nullopt);
+                                 std::optional<double> quality_threshold = std::nullopt,
+                                 const GetOptions& options = {});
 
   /// Resolve a list of keywords ("all" expands to every registered one),
   /// applying attribute filters to each record. Unknown keywords fail the
@@ -54,7 +58,7 @@ class SystemMonitor {
       const std::vector<std::string>& keywords, rsl::ResponseMode mode,
       std::optional<double> quality_threshold = std::nullopt,
       const std::vector<std::string>& filters = {}, obs::TraceContext* trace = nullptr,
-      ThreadPool* pool = nullptr);
+      ThreadPool* pool = nullptr, const GetOptions& options = {});
 
   /// Start / stop the background TTL prefetch thread over this monitor's
   /// providers. start_prefetch is kAlreadyExists when running.
@@ -75,6 +79,12 @@ class SystemMonitor {
   /// Total real command executions across providers (cache metric).
   std::uint64_t total_refreshes() const;
 
+  /// Resilience snapshot for the TTL-0 `health` keyword: per provider
+  /// <kw>:breaker / <kw>:validity / <kw>:refreshes / <kw>:failures plus a
+  /// provider count. Reads only lock-free counters and cached state, so it
+  /// stays cheap and never triggers refreshes.
+  format::InfoRecord health_record() const;
+
   const std::string& service_name() const { return service_name_; }
 
   /// Attach telemetry to this monitor and to every current and future
@@ -85,7 +95,7 @@ class SystemMonitor {
  private:
   std::vector<std::string> expand_locked(const std::vector<std::string>& keywords) const;
 
-  const Clock& clock_;
+  Clock& clock_;
   std::string service_name_;
   mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<ManagedProvider>> providers_;

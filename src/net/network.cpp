@@ -11,6 +11,19 @@ Result<Message> Connection::request(const Message& req) {
   delta.bytes_sent = wire.size();
   delta.virtual_time = model.round_trip_latency + model.transfer_cost(wire.size());
 
+  FaultDecision fault = net_->evaluate_fault("net.request");
+  if (fault.fire) {
+    if (fault.kind == FaultKind::kLatency) {
+      delta.virtual_time += fault.latency;
+    } else {
+      // The request went on the wire before the fault ate it: account it.
+      stats_.merge(delta);
+      net_->account(delta);
+      return Error(ErrorCode::kUnavailable,
+                   "injected fault at net.request: " + fault.describe());
+    }
+  }
+
   // The endpoint handler parses the framed bytes exactly as a real server
   // would, so serialization errors cannot hide.
   auto parsed = Message::parse(wire);
@@ -57,11 +70,17 @@ Result<std::unique_ptr<Connection>> Network::connect(const Address& addr) {
       return Error(ErrorCode::kUnavailable, "network partition: " + addr.to_string());
     }
   }
+  FaultDecision fault = evaluate_fault("net.connect");
+  if (fault.fire && fault.kind != FaultKind::kLatency) {
+    return Error(ErrorCode::kUnavailable,
+                 "injected fault at net.connect: " + fault.describe());
+  }
   auto conn = std::unique_ptr<Connection>(
       new Connection(this, addr, std::make_shared<Session>()));
   TrafficStats delta;
   delta.connects = 1;
   delta.virtual_time = model_.connect_latency;
+  if (fault.fire) delta.virtual_time += fault.latency;
   conn->stats_.merge(delta);
   account(delta);
   return conn;
@@ -103,6 +122,21 @@ Result<Message> Network::dispatch(const Address& addr, const Message& req, Sessi
 void Network::set_telemetry(std::shared_ptr<obs::Telemetry> telemetry) {
   std::lock_guard lock(mu_);
   telemetry_ = std::move(telemetry);
+}
+
+void Network::set_fault_injector(std::shared_ptr<FaultInjector> injector) {
+  std::lock_guard lock(mu_);
+  fault_injector_ = std::move(injector);
+}
+
+FaultDecision Network::evaluate_fault(const std::string& point) {
+  std::shared_ptr<FaultInjector> injector;
+  {
+    std::lock_guard lock(mu_);
+    injector = fault_injector_;
+  }
+  if (injector == nullptr) return FaultDecision{};
+  return injector->evaluate(point);
 }
 
 void Network::account(const TrafficStats& delta) {

@@ -27,6 +27,7 @@
 
 #include "common/clock.hpp"
 #include "common/error.hpp"
+#include "common/fault.hpp"
 #include "net/message.hpp"
 #include "obs/telemetry.hpp"
 
@@ -154,6 +155,12 @@ class Network {
   /// (net.connects / net.requests / net.bytes.*). Nullable to detach.
   void set_telemetry(std::shared_ptr<obs::Telemetry> telemetry);
 
+  /// Consult `injector` at points "net.connect" and "net.request": drops
+  /// and errors fail with kUnavailable (still accounted — the bytes went
+  /// on the wire before the fault ate them); latency faults add to the
+  /// modeled virtual time. Nullable to detach.
+  void set_fault_injector(std::shared_ptr<FaultInjector> injector);
+
  private:
   friend class Connection;
 
@@ -164,12 +171,14 @@ class Network {
 
   Result<Message> dispatch(const Address& addr, const Message& req, Session& session);
   void account(const TrafficStats& delta);
+  FaultDecision evaluate_fault(const std::string& point);
 
   CostModel model_;
   mutable std::mutex mu_;
   std::map<Address, EndpointEntry> endpoints_;
   TrafficStats totals_;
   std::shared_ptr<obs::Telemetry> telemetry_;
+  std::shared_ptr<FaultInjector> fault_injector_;
 };
 
 }  // namespace ig::net

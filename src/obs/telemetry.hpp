@@ -47,6 +47,24 @@ inline constexpr const char* kInfoQuerySeconds = "info.query.seconds";
 inline constexpr const char* kPrefetchHits = "info.prefetch.hits";
 inline constexpr const char* kPrefetchMisses = "info.prefetch.misses";
 inline constexpr const char* kPrefetchCycles = "info.prefetch.cycles";
+// Refresh failures seen by the prefetch scan; each puts the keyword into
+// exponential backoff instead of retrying every cycle.
+inline constexpr const char* kPrefetchFailures = "info.prefetch.failures";
+// src/info resilience: retry attempts beyond the first try, refreshes
+// that succeeded after retrying, refreshes that failed every attempt,
+// stale records served by the degradation shield, and the per-keyword
+// breaker state gauge (0 closed / 1 half-open / 2 open) plus transition
+// counters.
+inline constexpr const char* kInfoRetryAttempts = "info.retry.attempts";
+inline constexpr const char* kInfoRetryRecovered = "info.retry.recovered";
+inline constexpr const char* kInfoRetryExhausted = "info.retry.exhausted";
+inline constexpr const char* kInfoDegradedServed = "info.degraded.served";
+inline constexpr const char* kInfoBreakerStatePrefix = "info.breaker.state.";  // + keyword
+inline constexpr const char* kInfoBreakerOpened = "info.breaker.opened";
+inline constexpr const char* kInfoBreakerHalfOpen = "info.breaker.half_open";
+inline constexpr const char* kInfoBreakerClosed = "info.breaker.closed";
+// Fired decisions of the seeded FaultInjector (wired via its fire hook).
+inline constexpr const char* kFaultInjected = "fault.injected";
 // src/exec
 inline constexpr const char* kExecQueueDepth = "exec.queue.depth";
 inline constexpr const char* kExecJobsQueued = "exec.jobs.queued";

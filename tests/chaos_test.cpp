@@ -1,0 +1,632 @@
+// Chaos suite: seeded fault injection driven through every resilience
+// layer — deterministic injector schedules, provider retry/breaker/
+// stale-serve behaviour, per-keyword deadlines, and whole-service mixed
+// workloads under fault plans (ISSUE: graceful error taxonomy, no
+// deadlocks, reproducible fault sequences).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "common/fault.hpp"
+#include "core/config.hpp"
+#include "core/infogram_client.hpp"
+#include "core/infogram_service.hpp"
+#include "exec/fork_backend.hpp"
+#include "info/fault_source.hpp"
+#include "info/obs_provider.hpp"
+#include "info/prefetcher.hpp"
+#include "test_util.hpp"
+
+namespace ig {
+namespace {
+
+using info::BreakerState;
+using info::FaultInjectingSource;
+using info::FunctionSource;
+using info::GetOptions;
+using info::ManagedProvider;
+using info::ProviderOptions;
+using info::SystemMonitor;
+
+constexpr Duration kWait = seconds(30);
+
+// ---------- FaultInjector determinism ----------
+
+FaultPlan mixed_plan(std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  FaultSpec error;
+  error.kind = FaultKind::kError;
+  error.probability = 0.4;
+  FaultSpec latency;
+  latency.kind = FaultKind::kLatency;
+  latency.probability = 0.3;
+  latency.latency = ms(7);
+  plan.add("info.Memory", error).add("info.Memory", latency);
+  plan.add("net.request", error);
+  return plan;
+}
+
+TEST(FaultInjectorChaosTest, SameSeedProducesIdenticalSequences) {
+  FaultInjector a(mixed_plan(77));
+  FaultInjector b(mixed_plan(77));
+  for (int i = 0; i < 200; ++i) {
+    (void)a.evaluate("info.Memory");
+    (void)a.evaluate("net.request");
+    (void)b.evaluate("info.Memory");
+    (void)b.evaluate("net.request");
+  }
+  EXPECT_GT(a.fires("info.Memory"), 0u);
+  EXPECT_EQ(a.history_digest(), b.history_digest());
+  EXPECT_EQ(a.history("info.Memory"), b.history("info.Memory"));
+}
+
+TEST(FaultInjectorChaosTest, DifferentSeedDiverges) {
+  FaultInjector a(mixed_plan(77));
+  FaultInjector b(mixed_plan(78));
+  for (int i = 0; i < 200; ++i) {
+    (void)a.evaluate("info.Memory");
+    (void)b.evaluate("info.Memory");
+  }
+  EXPECT_NE(a.history_digest(), b.history_digest());
+}
+
+TEST(FaultInjectorChaosTest, ScheduleHonorsSkipAndBudget) {
+  FaultPlan plan;
+  plan.seed = 5;
+  FaultSpec spec;
+  spec.kind = FaultKind::kError;
+  spec.probability = 1.0;
+  spec.skip_first = 2;
+  spec.max_fires = 3;
+  plan.add("exec.run", spec);
+  FaultInjector injector(plan);
+  std::vector<bool> fired;
+  for (int i = 0; i < 8; ++i) fired.push_back(injector.evaluate("exec.run").fire);
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, true, true, false, false, false}));
+  EXPECT_EQ(injector.fires("exec.run"), 3u);
+  EXPECT_EQ(injector.evaluations("exec.run"), 8u);
+}
+
+TEST(FaultInjectorChaosTest, UnknownPointsAreInert) {
+  FaultInjector injector(mixed_plan(1));
+  EXPECT_FALSE(injector.evaluate("no.such.point").fire);
+  EXPECT_EQ(injector.fires("no.such.point"), 0u);
+}
+
+// Per-point streams make the decision sequence a function of the
+// evaluation index only: hammering distinct points from distinct threads
+// must reproduce the serial digest exactly.
+TEST(FaultInjectorChaosTest, PerPointStreamsAreInterleavingInvariant) {
+  const std::vector<std::string> points = {"p.a", "p.b", "p.c", "p.d"};
+  FaultPlan plan;
+  plan.seed = 99;
+  for (const auto& p : points) {
+    FaultSpec spec;
+    spec.kind = FaultKind::kError;
+    spec.probability = 0.5;
+    plan.add(p, spec);
+  }
+  FaultInjector serial(plan);
+  for (int i = 0; i < 100; ++i) {
+    for (const auto& p : points) (void)serial.evaluate(p);
+  }
+  FaultInjector threaded(plan);
+  std::vector<std::thread> workers;
+  for (const auto& p : points) {
+    workers.emplace_back([&threaded, p] {
+      for (int i = 0; i < 100; ++i) (void)threaded.evaluate(p);
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(serial.history_digest(), threaded.history_digest());
+}
+
+// ---------- Provider resilience ----------
+
+class ProviderResilienceTest : public ::testing::Test {
+ protected:
+  VirtualClock clock{seconds(1000)};
+
+  /// A source failing until `fail_count` produces are burned, then
+  /// succeeding with a fresh value each time.
+  std::shared_ptr<FunctionSource> flaky_source(std::shared_ptr<std::atomic<int>> failures) {
+    auto calls = std::make_shared<std::atomic<int>>(0);
+    return std::make_shared<FunctionSource>(
+        "Load",
+        [failures, calls]() -> Result<format::InfoRecord> {
+          if (failures->fetch_sub(1) > 0) {
+            return Error(ErrorCode::kIoError, "flaky source down");
+          }
+          format::InfoRecord r;
+          r.keyword = "Load";
+          r.add("value", std::to_string(calls->fetch_add(1)));
+          return r;
+        },
+        "function:test.flaky");
+  }
+};
+
+TEST_F(ProviderResilienceTest, RetryRecoversAfterTransientFailures) {
+  auto failures = std::make_shared<std::atomic<int>>(2);
+  ProviderOptions options;
+  options.ttl = ms(100);
+  options.resilience.retry.max_attempts = 3;
+  options.resilience.retry.initial_backoff = ms(5);
+  ManagedProvider provider(flaky_source(failures), clock, options);
+  auto result = provider.update_state(true);
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+  EXPECT_EQ(provider.failure_count(), 2u);
+  EXPECT_EQ(provider.refresh_count(), 1u);
+  // The backoff sleeps advanced the virtual clock.
+  EXPECT_GT(clock.now(), TimePoint(seconds(1000)));
+}
+
+TEST_F(ProviderResilienceTest, RetryExhaustionSurfacesErrorWhenCold) {
+  auto failures = std::make_shared<std::atomic<int>>(100);
+  ProviderOptions options;
+  options.resilience.retry.max_attempts = 3;
+  ManagedProvider provider(flaky_source(failures), clock, options);
+  auto result = provider.update_state(true);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.code(), ErrorCode::kIoError);
+  EXPECT_EQ(provider.failure_count(), 3u);
+}
+
+TEST_F(ProviderResilienceTest, BreakerOpensFastFailsAndRecovers) {
+  auto failures = std::make_shared<std::atomic<int>>(2);
+  ProviderOptions options;
+  options.ttl = ms(50);
+  options.resilience.breaker_enabled = true;
+  options.resilience.breaker.failure_threshold = 2;
+  options.resilience.breaker.open_duration = seconds(5);
+  options.resilience.serve_stale_on_error = false;
+  ManagedProvider provider(flaky_source(failures), clock, options);
+  EXPECT_EQ(provider.breaker_state(), BreakerState::kClosed);
+
+  EXPECT_FALSE(provider.update_state(true).ok());
+  EXPECT_EQ(provider.breaker_state(), BreakerState::kClosed);
+  EXPECT_FALSE(provider.update_state(true).ok());
+  EXPECT_EQ(provider.breaker_state(), BreakerState::kOpen);
+
+  // Open: fast-fail without touching the source.
+  auto blocked = provider.update_state(true);
+  ASSERT_FALSE(blocked.ok());
+  EXPECT_EQ(blocked.code(), ErrorCode::kUnavailable);
+  EXPECT_NE(blocked.error().message.find("circuit open"), std::string::npos);
+  EXPECT_EQ(provider.failure_count(), 2u);  // the fast-fail did not run the source
+
+  // After open_duration the half-open probe is admitted; the source has
+  // recovered, so the probe closes the breaker.
+  clock.advance(seconds(6));
+  auto probe = provider.update_state(true);
+  ASSERT_TRUE(probe.ok()) << probe.error().to_string();
+  EXPECT_EQ(provider.breaker_state(), BreakerState::kClosed);
+}
+
+TEST_F(ProviderResilienceTest, FailedProbeReopensBreaker) {
+  auto failures = std::make_shared<std::atomic<int>>(100);
+  ProviderOptions options;
+  options.resilience.breaker_enabled = true;
+  options.resilience.breaker.failure_threshold = 1;
+  options.resilience.breaker.open_duration = seconds(5);
+  options.resilience.serve_stale_on_error = false;
+  ManagedProvider provider(flaky_source(failures), clock, options);
+  EXPECT_FALSE(provider.update_state(true).ok());
+  EXPECT_EQ(provider.breaker_state(), BreakerState::kOpen);
+  clock.advance(seconds(6));
+  EXPECT_FALSE(provider.update_state(true).ok());  // probe fails
+  EXPECT_EQ(provider.breaker_state(), BreakerState::kOpen);
+}
+
+TEST_F(ProviderResilienceTest, StaleServeShieldAnnotatesDegradedRecord) {
+  auto telemetry = std::make_shared<obs::Telemetry>(clock);
+  auto failures = std::make_shared<std::atomic<int>>(0);
+  ProviderOptions options;
+  options.ttl = ms(100);
+  ManagedProvider provider(flaky_source(failures), clock, options);
+  provider.set_telemetry(telemetry);
+  ASSERT_TRUE(provider.update_state(true).ok());
+
+  // Source dies; the cache outlives its TTL; the shield serves it anyway.
+  failures->store(1000);
+  clock.advance(ms(500));
+  auto shielded = provider.update_state(true);
+  ASSERT_TRUE(shielded.ok()) << shielded.error().to_string();
+  const auto* stale = shielded->find("Load:stale");
+  ASSERT_NE(stale, nullptr);
+  EXPECT_EQ(stale->value, "true");
+  const auto* source = shielded->find("Load:source");
+  ASSERT_NE(source, nullptr);
+  EXPECT_EQ(source->value, "cache");
+  EXPECT_LT(shielded->min_quality(), 100.0);  // degradation applied
+  EXPECT_EQ(telemetry->metrics().counter(obs::metric::kInfoDegradedServed).value(), 1u);
+}
+
+TEST_F(ProviderResilienceTest, ColdCacheStillSurfacesError) {
+  auto failures = std::make_shared<std::atomic<int>>(1000);
+  ManagedProvider provider(flaky_source(failures), clock, ProviderOptions{});
+  auto result = provider.update_state(true);
+  ASSERT_FALSE(result.ok());  // nothing cached: the shield has nothing to serve
+  EXPECT_EQ(result.code(), ErrorCode::kIoError);
+}
+
+// ---------- Per-keyword deadlines (the xRSL timeout tag on info) ----------
+
+class DeadlineTest : public ig::test::GridFixture {
+ protected:
+  DeadlineTest() {
+    // A provider command charging 500ms of virtual time in cancellable
+    // 1ms slices.
+    registry->register_command(
+        "/bin/heavy",
+        [](const std::vector<std::string>&) {
+          return exec::CommandResult{0, "weight: 42\n"};
+        },
+        ms(500));
+  }
+};
+
+TEST_F(DeadlineTest, DeadlineCancelYieldsTimeout) {
+  auto source = std::make_shared<info::CommandSource>("Heavy", "/bin/heavy", registry);
+  ProviderOptions options;
+  options.resilience.serve_stale_on_error = false;
+  ManagedProvider provider(source, *clock, options);
+  GetOptions deadline;
+  deadline.timeout = ms(50);
+  deadline.action = rsl::TimeoutAction::kCancel;
+  auto result = provider.get(rsl::ResponseMode::kImmediate, deadline);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.code(), ErrorCode::kTimeout);
+}
+
+TEST_F(DeadlineTest, DeadlineCancelServesStaleWhenCached) {
+  auto source = std::make_shared<info::CommandSource>("Heavy", "/bin/heavy", registry);
+  ProviderOptions options;
+  options.ttl = ms(100);
+  ManagedProvider provider(source, *clock, options);
+  ASSERT_TRUE(provider.update_state(true).ok());
+  clock->advance(ms(500));
+  GetOptions deadline;
+  deadline.timeout = ms(50);
+  auto result = provider.get(rsl::ResponseMode::kImmediate, deadline);
+  ASSERT_TRUE(result.ok());  // deadline hit, but the shield had a cache
+  EXPECT_NE(result->find("Heavy:stale"), nullptr);
+}
+
+TEST_F(DeadlineTest, DeadlineExceptionAnnotatesLateRecord) {
+  auto source = std::make_shared<info::CommandSource>("Heavy", "/bin/heavy", registry);
+  ManagedProvider provider(source, *clock, ProviderOptions{});
+  GetOptions deadline;
+  deadline.timeout = ms(50);
+  deadline.action = rsl::TimeoutAction::kException;
+  auto result = provider.get(rsl::ResponseMode::kImmediate, deadline);
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+  const auto* late = result->find("Heavy:deadline_exceeded");
+  ASSERT_NE(late, nullptr);
+  EXPECT_EQ(late->value, "true");
+  EXPECT_NE(result->find("Heavy:weight"), nullptr);  // the result still arrived
+}
+
+// ---------- Whole-service chaos ----------
+
+class ChaosServiceTest : public ig::test::GridFixture {
+ protected:
+  ChaosServiceTest() : backend(std::make_shared<exec::ForkBackend>(registry, *clock)) {}
+
+  void start_service(core::InfoGramConfig config = {}) {
+    config.host = "test.sim";
+    if (monitor == nullptr) {
+      monitor = std::make_shared<SystemMonitor>(*clock, config.host);
+      ASSERT_TRUE(core::Configuration::table1().apply(*monitor, registry).ok());
+    }
+    service = std::make_unique<core::InfoGramService>(monitor, backend, host_cred, &trust,
+                                                      &gridmap, &policy, clock.get(),
+                                                      logger, config);
+    ASSERT_TRUE(service->start(*network).ok());
+  }
+
+  core::InfoGramClient make_client() {
+    return core::InfoGramClient(*network, service->address(), alice, trust, *clock);
+  }
+
+  std::shared_ptr<exec::ForkBackend> backend;
+  std::shared_ptr<SystemMonitor> monitor;
+  std::unique_ptr<core::InfoGramService> service;
+};
+
+TEST_F(ChaosServiceTest, HealthKeywordReportsBreakerStates) {
+  // One fault-wrapped provider with a breaker, failing hard.
+  monitor = std::make_shared<SystemMonitor>(*clock, "test.sim");
+  FaultPlan plan;
+  plan.seed = 11;
+  FaultSpec down;
+  down.kind = FaultKind::kError;
+  down.probability = 1.0;
+  plan.add("info.Flaky", down);
+  auto injector = std::make_shared<FaultInjector>(plan);
+  auto inner = std::make_shared<FunctionSource>(
+      "Flaky",
+      []() -> Result<format::InfoRecord> {
+        format::InfoRecord r;
+        r.keyword = "Flaky";
+        r.add("up", "1");
+        return r;
+      },
+      "function:test.flaky");
+  ProviderOptions options;
+  options.ttl = ms(50);
+  options.resilience.breaker_enabled = true;
+  options.resilience.breaker.failure_threshold = 2;
+  options.resilience.serve_stale_on_error = false;
+  ASSERT_TRUE(
+      monitor
+          ->add_provider(std::make_shared<ManagedProvider>(
+              std::make_shared<FaultInjectingSource>(inner, injector, *clock), *clock,
+              options))
+          .ok());
+  core::InfoGramConfig config;
+  config.telemetry = std::make_shared<obs::Telemetry>(*clock);
+  start_service(config);
+  auto client = make_client();
+
+  auto healthy = client.query_info({"health"});
+  ASSERT_TRUE(healthy.ok());
+  ASSERT_EQ(healthy->size(), 1u);
+  const auto* closed = healthy->front().find("Flaky:breaker");
+  ASSERT_NE(closed, nullptr);
+  EXPECT_EQ(closed->value, "closed");
+
+  // Two failing refreshes trip the breaker; health shows it open and the
+  // per-keyword gauge follows.
+  EXPECT_FALSE(client.query_info({"Flaky"}, rsl::ResponseMode::kImmediate).ok());
+  EXPECT_FALSE(client.query_info({"Flaky"}, rsl::ResponseMode::kImmediate).ok());
+  auto tripped = client.query_info({"health"});
+  ASSERT_TRUE(tripped.ok());
+  EXPECT_EQ(tripped->front().find("Flaky:breaker")->value, "open");
+  EXPECT_EQ(config.telemetry->metrics()
+                .gauge(std::string(obs::metric::kInfoBreakerStatePrefix) + "Flaky")
+                .value(),
+            2);
+  EXPECT_GE(
+      config.telemetry->metrics().counter(obs::metric::kInfoBreakerOpened).value(), 1u);
+}
+
+TEST_F(ChaosServiceTest, InjectedCommandCrashTriggersRestartRecovery) {
+  FaultPlan plan;
+  plan.seed = 3;
+  FaultSpec crash;
+  crash.kind = FaultKind::kCrash;
+  crash.probability = 1.0;
+  crash.max_fires = 1;
+  plan.add("exec.run", crash);
+  auto injector = std::make_shared<FaultInjector>(plan);
+  registry->set_fault_injector(injector);
+
+  core::InfoGramConfig config;
+  config.max_restarts = 2;
+  start_service(config);
+  auto client = make_client();
+  auto contact = client.submit_job(rsl::XrslRequest::parse(
+                                       "&(executable=/bin/echo)(arguments=survived)")
+                                       .value());
+  ASSERT_TRUE(contact.ok());
+  auto status = client.wait(*contact, kWait);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->state, exec::JobState::kDone);
+  auto info = service->job_info(*contact);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->restarts, 1);
+  EXPECT_EQ(injector->fires("exec.run"), 1u);
+}
+
+TEST_F(ChaosServiceTest, NetworkDropsSurfaceAsUnavailable) {
+  FaultPlan plan;
+  plan.seed = 21;
+  FaultSpec drop;
+  drop.kind = FaultKind::kDrop;
+  drop.probability = 1.0;
+  drop.max_fires = 2;
+  plan.add("net.request", drop);
+  auto injector = std::make_shared<FaultInjector>(plan);
+  start_service();
+  network->set_fault_injector(injector);
+  auto client = make_client();
+  int failed = 0;
+  int succeeded = 0;
+  for (int i = 0; i < 6; ++i) {
+    auto records = client.query_info({"Memory"});
+    if (records.ok()) {
+      ++succeeded;
+    } else {
+      ++failed;
+      EXPECT_EQ(records.code(), ErrorCode::kUnavailable);
+    }
+  }
+  // The drop budget is 2 requests; everything after recovers. The client
+  // may spend extra requests on the auth handshake, so only bound below.
+  EXPECT_GT(succeeded, 0);
+  EXPECT_EQ(injector->fires("net.request"), 2u);
+
+  // Partition/heal round-trip against the running service: unavailable
+  // while cut off, a fresh client works after healing.
+  network->partition(service->address());
+  EXPECT_FALSE(client.query_info({"Memory"}).ok());
+  auto fresh_client = make_client();
+  EXPECT_FALSE(fresh_client.query_info({"Memory"}).ok());
+  network->heal(service->address());
+  auto healed = make_client();
+  EXPECT_TRUE(healed.query_info({"Memory"}).ok());
+}
+
+TEST_F(ChaosServiceTest, MixedWorkloadDegradesGracefully) {
+  // Fault-wrapped providers (probabilistic errors + latency), a crashing
+  // command stream, resilience on, a worker pool: the full pipeline under
+  // load. Every future must resolve and every outcome must be in the
+  // graceful taxonomy — success or kUnavailable/kTimeout — never
+  // kInternal.
+  monitor = std::make_shared<SystemMonitor>(*clock, "test.sim");
+  FaultPlan plan;
+  plan.seed = 1234;
+  FaultSpec flake;
+  flake.kind = FaultKind::kError;
+  flake.probability = 0.35;
+  FaultSpec spike;
+  spike.kind = FaultKind::kLatency;
+  spike.probability = 0.25;
+  spike.latency = ms(3);
+  FaultSpec hang;
+  hang.kind = FaultKind::kHang;
+  hang.probability = 0.1;
+  hang.latency = ms(5);  // virtual: resolves instantly in wall time
+  for (const auto* kw : {"Alpha", "Beta"}) {
+    plan.add(std::string("info.") + kw, flake);
+    plan.add(std::string("info.") + kw, spike);
+    plan.add(std::string("info.") + kw, hang);
+  }
+  FaultSpec crash;
+  crash.kind = FaultKind::kCrash;
+  crash.probability = 0.3;
+  plan.add("exec.run", crash);
+  auto injector = std::make_shared<FaultInjector>(plan);
+  registry->set_fault_injector(injector);
+
+  auto telemetry = std::make_shared<obs::Telemetry>(*clock);
+  obs::Counter* injected = &telemetry->metrics().counter(obs::metric::kFaultInjected);
+  injector->set_fire_hook(
+      [injected](const std::string&, const FaultDecision&) { injected->add(); });
+
+  for (const auto* kw : {"Alpha", "Beta"}) {
+    auto inner = std::make_shared<FunctionSource>(
+        kw,
+        [kw]() -> Result<format::InfoRecord> {
+          format::InfoRecord r;
+          r.keyword = kw;
+          r.add("v", "1");
+          return r;
+        },
+        "function:test.chaos");
+    ProviderOptions options;
+    options.ttl = ms(20);
+    options.resilience.retry.max_attempts = 2;
+    options.resilience.retry.initial_backoff = ms(1);
+    ASSERT_TRUE(monitor
+                    ->add_provider(std::make_shared<ManagedProvider>(
+                        std::make_shared<FaultInjectingSource>(inner, injector, *clock),
+                        *clock, options))
+                    .ok());
+  }
+  core::InfoGramConfig config;
+  config.telemetry = telemetry;
+  config.worker_threads = 4;
+  config.max_restarts = 2;
+  start_service(config);
+
+  std::vector<std::future<Result<core::InfoGramResult>>> futures;
+  for (int i = 0; i < 40; ++i) {
+    rsl::XrslBuilder builder;
+    if (i % 2 == 0) {
+      builder.info(i % 4 == 0 ? "Alpha" : "Beta").response(rsl::ResponseMode::kImmediate);
+    } else {
+      builder.executable("/bin/echo").argument("chaos" + std::to_string(i));
+    }
+    futures.push_back(service->submit_async(builder.request(), "/O=Grid/CN=alice", "alice"));
+  }
+  std::vector<std::string> contacts;
+  int info_failures = 0;
+  for (auto& f : futures) {
+    auto result = f.get();  // must resolve: no deadlocks under faults
+    if (!result.ok()) {
+      ++info_failures;
+      EXPECT_TRUE(result.code() == ErrorCode::kUnavailable ||
+                  result.code() == ErrorCode::kTimeout ||
+                  result.code() == ErrorCode::kIoError)
+          << result.error().to_string();
+      EXPECT_NE(result.code(), ErrorCode::kInternal) << result.error().to_string();
+      continue;
+    }
+    if (result->job_contact) contacts.push_back(*result->job_contact);
+  }
+  // Every submitted job reaches a terminal state (restarts may absorb the
+  // injected crashes; exhausted restarts are an acceptable kFailed).
+  for (const auto& contact : contacts) {
+    auto final_info = service->wait(contact, kWait);
+    ASSERT_TRUE(final_info.ok()) << contact;
+    EXPECT_TRUE(exec::is_terminal(final_info->status.state)) << contact;
+  }
+  EXPECT_GT(injected->value(), 0u);
+  EXPECT_GT(injector->fires("exec.run"), 0u);
+}
+
+// ---------- Prefetcher failure backoff (satellite) ----------
+
+TEST(PrefetcherBackoffTest, FailuresEnterExponentialBackoff) {
+  VirtualClock clock(seconds(1000));
+  SystemMonitor monitor(clock, "backoff.sim");
+  auto telemetry = std::make_shared<obs::Telemetry>(clock);
+  monitor.set_telemetry(telemetry);
+  auto down = std::make_shared<std::atomic<bool>>(false);
+  auto produces = std::make_shared<std::atomic<int>>(0);
+  ProviderOptions options;
+  options.ttl = ms(50);
+  options.resilience.serve_stale_on_error = false;
+  ASSERT_TRUE(monitor
+                  .add_source(std::make_shared<FunctionSource>(
+                                  "Spotty",
+                                  [down, produces]() -> Result<format::InfoRecord> {
+                                    produces->fetch_add(1);
+                                    if (down->load()) {
+                                      return Error(ErrorCode::kIoError, "down");
+                                    }
+                                    format::InfoRecord r;
+                                    r.keyword = "Spotty";
+                                    r.add("v", "1");
+                                    return r;
+                                  },
+                                  "function:test.spotty"),
+                              options)
+                  .ok());
+  ASSERT_TRUE(monitor.provider("Spotty")->update_state(true).ok());
+
+  info::PrefetchOptions prefetch;
+  prefetch.failure_backoff = ms(200);
+  prefetch.failure_backoff_max = ms(800);
+  info::Prefetcher prefetcher(monitor, prefetch);
+
+  // Expire the cache and kill the source: the first scan attempts and
+  // fails, entering backoff.
+  down->store(true);
+  clock.advance(ms(100));
+  prefetcher.scan_once();
+  EXPECT_EQ(prefetcher.failures(), 1u);
+  int after_first = produces->load();
+
+  // Within the backoff window further scans skip the keyword entirely.
+  clock.advance(ms(50));
+  prefetcher.scan_once();
+  prefetcher.scan_once();
+  EXPECT_EQ(produces->load(), after_first);
+  EXPECT_EQ(prefetcher.failures(), 1u);
+
+  // Past the window it retries (still down: failure count grows, backoff
+  // doubles).
+  clock.advance(ms(200));
+  prefetcher.scan_once();
+  EXPECT_EQ(produces->load(), after_first + 1);
+  EXPECT_EQ(prefetcher.failures(), 2u);
+
+  // Recovery resets: after the (doubled) window the next attempt succeeds
+  // and the keyword leaves backoff.
+  down->store(false);
+  clock.advance(ms(500));
+  prefetcher.scan_once();
+  EXPECT_EQ(prefetcher.failures(), 2u);
+  EXPECT_EQ(telemetry->metrics().counter(obs::metric::kPrefetchFailures).value(), 2u);
+  EXPECT_TRUE(monitor.provider("Spotty")->query_state().ok());
+}
+
+}  // namespace
+}  // namespace ig

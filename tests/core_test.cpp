@@ -124,7 +124,7 @@ TEST_F(InfoGramTest, InfoAllReturnsEveryKeyword) {
   auto client = make_client();
   auto records = client.query_info({"all"});
   ASSERT_TRUE(records.ok());
-  EXPECT_EQ(records->size(), 5u);  // the Table 1 keywords
+  EXPECT_EQ(records->size(), 6u);  // the Table 1 keywords + health
 }
 
 TEST_F(InfoGramTest, UnknownKeywordFails) {
@@ -221,7 +221,7 @@ TEST_F(InfoGramTest, SchemaReflection) {
   ASSERT_TRUE(client.query_info({"all"}).ok());  // populate attribute schemas
   auto schema = client.fetch_schema();
   ASSERT_TRUE(schema.ok());
-  EXPECT_EQ(schema->keywords.size(), 5u);
+  EXPECT_EQ(schema->keywords.size(), 6u);  // Table 1 + health
   const auto* memory = schema->find("Memory");
   ASSERT_NE(memory, nullptr);
   EXPECT_EQ(memory->command, "/sbin/sysinfo.exe -mem");
@@ -396,7 +396,7 @@ TEST_F(InfoGramTest, GrisExportServesSameProviders) {
   auto gris = service->make_gris();
   auto entries = gris->search("o=Grid", mds::Scope::kSubtree, mds::Filter::match_all());
   ASSERT_TRUE(entries.ok());
-  EXPECT_EQ(entries->size(), 6u);  // resource entry + 5 Table-1 keywords
+  EXPECT_EQ(entries->size(), 7u);  // resource entry + 5 Table-1 keywords + health
   bool found_memory = false;
   for (const auto& entry : entries.value()) {
     if (entry.first("kw") == "Memory") {

@@ -77,7 +77,7 @@ TEST_F(ExtendedConfigTest, ExtendedConfigurationServesNineKeywords) {
   core::InfoGramClient client(*network, service.address(), alice, trust, *clock);
   auto records = client.query_info({"all"});
   ASSERT_TRUE(records.ok());
-  EXPECT_EQ(records->size(), 9u);
+  EXPECT_EQ(records->size(), 10u);  // nine configured keywords + health
   // The new keywords yield live data.
   auto disk = client.query_info({"Disk"});
   ASSERT_TRUE(disk.ok());

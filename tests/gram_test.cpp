@@ -272,6 +272,43 @@ TEST_F(GramTimeoutTest, NoTimeoutRunsToCompletion) {
   EXPECT_FALSE(status->timeout_fired);
 }
 
+// On a VirtualClock the backend's wall-time wait returns before a wall
+// timeout can fire, so the deadline is enforced post-hoc against the
+// job's virtual started/finished interval. /bin/sleep N costs N virtual
+// ms.
+TEST_F(GramTest, VirtualTimeoutActionCancel) {
+  start_service();
+  auto client = make_client();
+  auto contact = client.submit("&(executable=/bin/sleep)(arguments=400)(timeout=100)");
+  ASSERT_TRUE(contact.ok());
+  auto status = client.wait(*contact, kWait);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->state, exec::JobState::kCancelled);
+}
+
+TEST_F(GramTest, VirtualTimeoutActionExceptionLetsJobFinish) {
+  start_service();
+  auto client = make_client();
+  auto contact = client.submit(
+      "&(executable=/bin/sleep)(arguments=400)(timeout=100)(action=exception)");
+  ASSERT_TRUE(contact.ok());
+  auto status = client.wait(*contact, kWait);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->state, exec::JobState::kDone);  // the job ran to completion
+  EXPECT_TRUE(status->timeout_fired);               // ...but the deadline was reported
+}
+
+TEST_F(GramTest, VirtualTimeoutNotFiredWhenJobIsFast) {
+  start_service();
+  auto client = make_client();
+  auto contact = client.submit("&(executable=/bin/sleep)(arguments=50)(timeout=100)");
+  ASSERT_TRUE(contact.ok());
+  auto status = client.wait(*contact, kWait);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->state, exec::JobState::kDone);
+  EXPECT_FALSE(status->timeout_fired);
+}
+
 TEST_F(GramTest, MultipleClientsShareService) {
   start_service();
   auto client_a = make_client();

@@ -84,13 +84,13 @@ TEST_F(VoTest, GiisAggregatesAllResources) {
   auto giis = vo.giis();
   auto entries = giis->search("o=Grid", mds::Scope::kSubtree, mds::Filter::match_all());
   ASSERT_TRUE(entries.ok());
-  // VO root + 3 x (resource entry + 5 Table-1 keywords).
-  EXPECT_EQ(entries->size(), 1u + 3u * 6u);
+  // VO root + 3 x (resource entry + 5 Table-1 keywords + health).
+  EXPECT_EQ(entries->size(), 1u + 3u * 7u);
   // Scoped search hits one resource's subtree only.
   auto one = giis->search("host=node1.anl, o=Grid", mds::Scope::kSubtree,
                           mds::Filter::match_all());
   ASSERT_TRUE(one.ok());
-  EXPECT_EQ(one->size(), 6u);
+  EXPECT_EQ(one->size(), 7u);
 }
 
 TEST_F(VoTest, ResourceAddedAfterGiisRegisters) {
@@ -101,7 +101,7 @@ TEST_F(VoTest, ResourceAddedAfterGiisRegisters) {
   auto entries = giis->search("host=late.anl, o=Grid", mds::Scope::kSubtree,
                               mds::Filter::match_all());
   ASSERT_TRUE(entries.ok());
-  EXPECT_EQ(entries->size(), 6u);
+  EXPECT_EQ(entries->size(), 7u);  // resource entry + Table 1 + health
 }
 
 // ---------- Sporadic grid ----------

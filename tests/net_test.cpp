@@ -194,11 +194,126 @@ TEST_F(NetworkTest, ConcurrentRequestsAreHandled) {
   EXPECT_EQ(handled.load(), 400);
 }
 
+TEST_F(NetworkTest, RepeatedPartitionHealRoundTrips) {
+  ASSERT_TRUE(network.listen(addr, [](const Message&, Session&) { return Message::ok(); }));
+  auto conn = network.connect(addr);
+  ASSERT_TRUE(conn.ok());
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    network.partition(addr);
+    EXPECT_FALSE(network.connect(addr).ok()) << cycle;
+    auto blocked = (*conn)->request(Message("PING"));
+    ASSERT_FALSE(blocked.ok()) << cycle;
+    EXPECT_EQ(blocked.code(), ErrorCode::kUnavailable);
+    network.heal(addr);
+    EXPECT_TRUE((*conn)->request(Message("PING")).ok()) << cycle;
+    auto fresh = network.connect(addr);
+    ASSERT_TRUE(fresh.ok()) << cycle;
+    EXPECT_TRUE((*fresh)->request(Message("PING")).ok()) << cycle;
+  }
+  // Healing an address that was never partitioned is a no-op, not an error.
+  network.heal(addr);
+  EXPECT_TRUE((*conn)->request(Message("PING")).ok());
+}
+
+TEST_F(NetworkTest, CloseWithInFlightRequestsFailsGracefully) {
+  ASSERT_TRUE(network.listen(addr, [](const Message&, Session&) { return Message::ok(); }));
+  std::atomic<bool> stop{false};
+  std::atomic<int> unavailable{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([this, &stop, &unavailable] {
+      auto conn = network.connect(addr);
+      if (!conn.ok()) return;
+      while (!stop.load()) {
+        auto resp = (*conn)->request(Message("PING"));
+        if (!resp.ok()) {
+          // Every in-flight failure during shutdown must be kUnavailable —
+          // never a crash, hang, or kInternal.
+          EXPECT_EQ(resp.code(), ErrorCode::kUnavailable);
+          unavailable.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  network.close(addr);
+  stop.store(true);
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(network.connect(addr).ok());
+}
+
+TEST_F(NetworkTest, InjectedRequestLatencyExtendsVirtualTime) {
+  ASSERT_TRUE(network.listen(addr, [](const Message&, Session&) { return Message::ok(); }));
+  auto baseline_conn = network.connect(addr);
+  ASSERT_TRUE(baseline_conn.ok());
+  ASSERT_TRUE((*baseline_conn)->request(Message("PING")).ok());
+  Duration baseline = (*baseline_conn)->stats().virtual_time;
+
+  FaultPlan plan;
+  plan.seed = 42;
+  FaultSpec slow;
+  slow.kind = FaultKind::kLatency;
+  slow.probability = 1.0;
+  slow.latency = ms(25);
+  plan.add("net.request", slow);
+  network.set_fault_injector(std::make_shared<FaultInjector>(plan));
+  auto conn = network.connect(addr);
+  ASSERT_TRUE(conn.ok());
+  auto resp = (*conn)->request(Message("PING"));
+  ASSERT_TRUE(resp.ok());  // latency faults delay, they do not fail
+  EXPECT_GE((*conn)->stats().virtual_time, baseline + ms(25));
+}
+
+TEST_F(NetworkTest, InjectedConnectAndDropFaults) {
+  ASSERT_TRUE(network.listen(addr, [](const Message&, Session&) { return Message::ok(); }));
+  FaultPlan plan;
+  plan.seed = 7;
+  FaultSpec refuse;
+  refuse.kind = FaultKind::kError;
+  refuse.probability = 1.0;
+  refuse.max_fires = 1;
+  plan.add("net.connect", refuse);
+  FaultSpec drop;
+  drop.kind = FaultKind::kDrop;
+  drop.probability = 1.0;
+  drop.max_fires = 1;
+  plan.add("net.request", drop);
+  auto injector = std::make_shared<FaultInjector>(plan);
+  network.set_fault_injector(injector);
+
+  auto refused = network.connect(addr);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.code(), ErrorCode::kUnavailable);
+  auto conn = network.connect(addr);  // fault budget spent: connects again
+  ASSERT_TRUE(conn.ok());
+  auto dropped = (*conn)->request(Message("PING"));
+  ASSERT_FALSE(dropped.ok());
+  EXPECT_EQ(dropped.code(), ErrorCode::kUnavailable);
+  // The dropped request still paid for its wire time.
+  EXPECT_EQ((*conn)->stats().requests, 1u);
+  EXPECT_GT((*conn)->stats().virtual_time, Duration(0));
+  EXPECT_TRUE((*conn)->request(Message("PING")).ok());
+  EXPECT_EQ(injector->fires("net.connect"), 1u);
+  EXPECT_EQ(injector->fires("net.request"), 1u);
+}
+
 TEST(CostModelTest, TransferCostScalesWithBytes) {
   CostModel model;
   model.bytes_per_us = 10.0;
   EXPECT_EQ(model.transfer_cost(100), us(10));
   EXPECT_EQ(model.transfer_cost(0), us(0));
+}
+
+TEST(CostModelTest, TransferCostEdgeCases) {
+  CostModel model;
+  model.bytes_per_us = 100.0;
+  // Sub-unit transfers truncate to zero — the RTT still bounds a request.
+  EXPECT_EQ(model.transfer_cost(99), us(0));
+  EXPECT_EQ(model.transfer_cost(100), us(1));
+  EXPECT_EQ(model.transfer_cost(250), us(2));
+  // A slow link makes bytes expensive.
+  model.bytes_per_us = 0.5;
+  EXPECT_EQ(model.transfer_cost(10), us(20));
 }
 
 }  // namespace

@@ -109,7 +109,7 @@ TEST_F(SoapGatewayTest, SchemaThroughSoap) {
   ASSERT_TRUE(client.query_info({"all"}).ok());
   auto schema = client.fetch_schema();
   ASSERT_TRUE(schema.ok());
-  EXPECT_EQ(schema->keywords.size(), 5u);
+  EXPECT_EQ(schema->keywords.size(), 6u);  // Table 1 + health
 }
 
 TEST_F(SoapGatewayTest, ErrorsArriveAsFaults) {

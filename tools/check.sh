@@ -8,7 +8,11 @@
 #   tools/check.sh --fast     # Release only
 #   tools/check.sh --asan     # Release + ASan/UBSan (skip TSan)
 #   tools/check.sh --tsan     # TSan pass only
+#   tools/check.sh --chaos    # fault-injection suite under ASan + TSan
 set -euo pipefail
+
+# Test-name filter selecting the chaos / resilience suites.
+CHAOS_FILTER='Chaos|Resilience|Deadline|PrefetcherBackoff|VirtualTimeout'
 
 cd "$(dirname "$0")/.."
 jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
@@ -24,6 +28,17 @@ run_pass() {
   ctest --test-dir "${dir}" --output-on-failure -j "${jobs}"
 }
 
+# Build a sanitizer tree and run only the chaos/resilience suites in it.
+chaos_pass() {
+  local dir=$1; shift
+  echo "==> configure ${dir} ($*)"
+  cmake -B "${dir}" -S . "$@" >/dev/null
+  echo "==> build ${dir}"
+  cmake --build "${dir}" -j "${jobs}" >/dev/null
+  echo "==> ctest ${dir} (chaos suite)"
+  ctest --test-dir "${dir}" --output-on-failure -j "${jobs}" -R "${CHAOS_FILTER}"
+}
+
 asan_pass() {
   # halt_on_error keeps a UBSan report from scrolling past unnoticed.
   export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
@@ -36,6 +51,12 @@ tsan_pass() {
 }
 
 case "${mode}" in
+  --chaos)
+    export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+    chaos_pass build-asan -DCMAKE_BUILD_TYPE=Debug -DIG_SANITIZE=address,undefined
+    export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
+    chaos_pass build-tsan -DCMAKE_BUILD_TYPE=Debug -DIG_SANITIZE=thread
+    ;;
   --tsan)
     tsan_pass
     ;;
@@ -52,7 +73,7 @@ case "${mode}" in
     tsan_pass
     ;;
   *)
-    echo "usage: tools/check.sh [--fast|--asan|--tsan]" >&2
+    echo "usage: tools/check.sh [--fast|--asan|--tsan|--chaos]" >&2
     exit 2
     ;;
 esac
