@@ -1,0 +1,245 @@
+// E-TRACE — distributed-tracing overhead on the request pipeline.
+//
+// Four identical InfoGram stacks on the wall clock, differing only in
+// observability regime:
+//   untraced     no telemetry attached (the obs layer no-ops end to end)
+//   traced       telemetry at the production default (metrics on every
+//                request, 1 in kDefaultTraceSampling roots span-traced)
+//   traced_all   every request traced (spans, exemplars, ring retention
+//                on each op) — the full-fidelity cost, reported for
+//                transparency, not gated
+//   sampled_out  sampler declines every root: the pure metrics +
+//                suppression path, the floor the default amortizes toward
+//
+// All serve the same TTL-0 info workload through submit_async; providers
+// cost nothing, so the measured delta is the observability machinery
+// itself — the worst case, since any real provider work only dilutes it.
+// The stacks run requests inline (worker_threads = 0): a worker pool adds
+// futex park/wake variance to every future.get() that swamps sub-µs
+// deltas, and the tracing machinery under test is identical either way.
+//
+// Measurement protocol: short slices of every stack interleave within
+// each round (rotating start order), so all four series see the same CPU
+// frequency/thermal state; every overhead is the MEDIAN over rounds of
+// the PAIRED per-round ratio against the baseline slice of the same
+// round. Pairing cancels drift a total or even a per-series median
+// cannot — scheduling noise is strictly additive and hits temporally
+// adjacent slices alike.
+//
+// Acceptance: <= 5% ops/sec regression for `traced` (the default regime)
+// over `sampled_out` — the marginal cost of the distributed-tracing
+// machinery on top of the metrics layer the service already pays for.
+// The table also reports every series against the bare pipeline, so the
+// metrics floor itself (a few hundred ns of counters, histogram appends
+// and clock reads per op) stays visible rather than hidden in a
+// baseline. A full trace cycle costs ~1µs, which on this µs-scale
+// pipeline is ~30% — that is WHY the default samples; the traced_all
+// row keeps that cost visible instead of hiding it.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "info/provider.hpp"
+#include "obs/telemetry.hpp"
+
+using namespace ig;  // NOLINT
+
+namespace {
+
+constexpr int kKeywords = 16;
+constexpr int kRounds = 36;        // one interleaved slice of each series per round
+constexpr int kOpsPerBatch = 250;  // sequential submit_async round-trips per slice
+
+std::string burn_keyword(int i) { return "burn" + std::to_string(i % kKeywords); }
+
+/// One inline-execution stack on the wall clock; telemetry optional.
+struct OverheadStack {
+  WallClock& clock = WallClock::instance();
+  std::unique_ptr<security::CertificateAuthority> ca;
+  security::TrustStore trust;
+  security::GridMap gridmap;
+  security::AuthorizationPolicy policy{security::Decision::kAllow};
+  security::Credential host_cred;
+  std::shared_ptr<logging::Logger> logger;
+  std::shared_ptr<exec::SimSystem> system;
+  std::shared_ptr<exec::CommandRegistry> registry;
+  std::shared_ptr<info::SystemMonitor> monitor;
+  std::shared_ptr<exec::ForkBackend> backend;
+  std::shared_ptr<obs::Telemetry> telemetry;
+  std::unique_ptr<core::InfoGramService> service;
+
+  /// `sample_every` 0 = no telemetry; otherwise the config sampling rate.
+  explicit OverheadStack(std::uint64_t sample_every) {
+    ca = std::make_unique<security::CertificateAuthority>(
+        "/O=Grid/CN=Bench CA", seconds(365LL * 86400), clock, 7);
+    trust.add_root(ca->root_certificate());
+    host_cred = ca->issue("/O=Grid/CN=host/trace.sim", security::CertType::kHost,
+                          seconds(365LL * 86400));
+    gridmap.add("/O=Grid/CN=bench", "bench");
+    logger = std::make_shared<logging::Logger>(clock);
+    system = std::make_shared<exec::SimSystem>(clock, 7, "trace.sim");
+    registry = exec::CommandRegistry::standard(clock, system, 7);
+    monitor = std::make_shared<info::SystemMonitor>(clock, "trace.sim");
+    for (int i = 0; i < kKeywords; ++i) {
+      std::string kw = burn_keyword(i);
+      auto source = std::make_shared<info::FunctionSource>(
+          kw,
+          [kw]() -> Result<format::InfoRecord> {
+            format::InfoRecord record;
+            record.keyword = kw;
+            record.add("value", "1");
+            return record;
+          },
+          "function:" + kw);
+      // TTL 0: every op pays the full resolve path, nothing amortizes.
+      if (!monitor->add_source(source, info::ProviderOptions{.ttl = Duration{0}}).ok()) {
+        std::abort();
+      }
+    }
+    backend = std::make_shared<exec::ForkBackend>(registry, clock);
+    core::InfoGramConfig config;
+    config.host = "trace.sim";
+    config.worker_threads = 0;  // inline: isolate tracing cost from pool wake jitter
+    config.queue_depth = kOpsPerBatch + 64;
+    if (sample_every > 0) {
+      telemetry = std::make_shared<obs::Telemetry>(clock, "trace.sim");
+      config.telemetry = telemetry;
+      config.trace_sample_every = sample_every;
+    }
+    service = std::make_unique<core::InfoGramService>(monitor, backend, host_cred,
+                                                      &trust, &gridmap, &policy, &clock,
+                                                      logger, config);
+  }
+};
+
+rsl::XrslRequest parse_or_die(const std::string& body) {
+  auto parsed = rsl::XrslRequest::parse(body);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "bad RSL %s: %s\n", body.c_str(),
+                 parsed.error().to_string().c_str());
+    std::abort();
+  }
+  return parsed.value();
+}
+
+/// One sequential batch; appends the batch's per-op microseconds to
+/// `batch_us` and to the JSON report.
+bool run_batch(OverheadStack& stack, const std::string& series, bench::JsonReport& report,
+               std::vector<double>& batch_us) {
+  auto begin = std::chrono::steady_clock::now();
+  for (int i = 0; i < kOpsPerBatch; ++i) {
+    auto result = stack.service
+                      ->submit_async(parse_or_die("(info=" + burn_keyword(i) + ")"),
+                                     "/O=Grid/CN=bench", "bench")
+                      .get();
+    if (!result.ok()) {
+      std::fprintf(stderr, "op failed: %s\n", result.error().to_string().c_str());
+      return false;
+    }
+  }
+  auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - begin);
+  double per_op = static_cast<double>(elapsed.count()) / kOpsPerBatch;
+  batch_us.push_back(per_op);
+  for (int i = 0; i < kOpsPerBatch; ++i) report.add(series, per_op);
+  return true;
+}
+
+/// Median: scheduling blips (interrupts, migrations) only ever ADD time,
+/// so the median slice is the robust estimate where a sum would charge
+/// one preempted slice to the whole series.
+double median(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  std::size_t n = values.size();
+  if (n == 0) return 0.0;
+  return n % 2 == 1 ? values[n / 2] : (values[n / 2 - 1] + values[n / 2]) / 2.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::JsonReport report("trace_overhead", argc, argv);
+  bench::header("E-TRACE: request pipeline across observability regimes (wall clock)");
+
+  struct Series {
+    const char* name;
+    OverheadStack stack;
+    std::vector<double> slice_us;  // per-round per-op microseconds
+  };
+  Series series[] = {
+      {"untraced", OverheadStack(0)},
+      {"traced", OverheadStack(obs::kDefaultTraceSampling)},
+      {"traced_all", OverheadStack(1)},
+      // Sampler declines every root: the suppressed path (metrics only).
+      {"sampled_out", OverheadStack(1u << 30)},
+  };
+  constexpr int kSeries = 4;
+
+  // Warm all stacks untimed (first-touch allocation, lazy schema).
+  std::vector<double> sink;
+  bench::JsonReport warm_report("trace_overhead_warm", 0, nullptr);
+  for (Series& s : series) {
+    if (!run_batch(s.stack, "warm", warm_report, sink)) return 1;
+  }
+  for (int round = 0; round < kRounds; ++round) {
+    // Rotate the start so no series always runs first after the round
+    // boundary (cache/frequency state is position-dependent).
+    for (int i = 0; i < kSeries; ++i) {
+      Series& s = series[(round + i) % kSeries];
+      if (!run_batch(s.stack, s.name, report, s.slice_us)) return 1;
+    }
+  }
+
+  const double ops = static_cast<double>(kRounds) * kOpsPerBatch;
+  auto ops_per_sec = [](const Series& s) {
+    double med = median(s.slice_us);
+    return med > 0.0 ? 1e6 / med : 0.0;
+  };
+  // Paired estimator: each round contributes one overhead sample against
+  // the baseline slice it ran next to; the median over rounds is immune
+  // to the slow drift that biases whole-series aggregates.
+  auto overhead_pct = [&series](const Series& s, int baseline) {
+    const Series& b = series[baseline];
+    std::vector<double> ratios;
+    for (std::size_t r = 0; r < s.slice_us.size() && r < b.slice_us.size(); ++r) {
+      if (b.slice_us[r] > 0.0) {
+        ratios.push_back((s.slice_us[r] / b.slice_us[r] - 1.0) * 100.0);
+      }
+    }
+    return median(std::move(ratios));
+  };
+
+  std::printf("%-12s %12s %14s %14s %12s\n", "series", "ops", "median(us/op)", "ops/sec",
+              "vs untraced");
+  bench::rule(70);
+  for (const Series& s : series) {
+    std::printf("%-12s %12.0f %14.3f %14.1f %11.2f%%\n", s.name, ops, median(s.slice_us),
+                ops_per_sec(s), overhead_pct(s, 0));
+  }
+  // The acceptance metric: what did the *tracing* machinery add on top of
+  // the metrics layer (sampled_out) the service was already paying for?
+  double tracing_pct = overhead_pct(series[1], 3);
+  std::printf(
+      "\ntracing overhead at default sampling (1 in %llu), over metrics-only: "
+      "%.2f%% (target <= 5%%)\n",
+      static_cast<unsigned long long>(obs::kDefaultTraceSampling), tracing_pct);
+  std::printf("every-request tracing over metrics-only: %.2f%%  |  metrics floor: %.2f%%\n",
+              overhead_pct(series[2], 3), overhead_pct(series[3], 0));
+  if (series[1].stack.telemetry != nullptr) {
+    std::printf("traced (default): retained %zu of %llu completed roots\n",
+                series[1].stack.telemetry->traces().size(),
+                static_cast<unsigned long long>(
+                    series[1].stack.telemetry->traces().completed()));
+  }
+  std::printf(
+      "\nExpected shape: at default sampling the trace machinery amortizes\n"
+      "to noise over the metrics layer (~1µs full cycle / %llu), while\n"
+      "traced_all shows the full-fidelity cost honestly. Providers here\n"
+      "cost nothing, so every percentage is the worst case — real provider\n"
+      "work only shrinks it.\n",
+      static_cast<unsigned long long>(obs::kDefaultTraceSampling));
+  return 0;
+}

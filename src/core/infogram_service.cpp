@@ -40,10 +40,61 @@ InfoGramService::InfoGramService(std::shared_ptr<info::SystemMonitor> monitor,
             gram::GramConfig{config_.host, config_.port, config_.max_restarts,
                              config_.jar_backend, config_.telemetry}) {
   if (config_.telemetry != nullptr) {
+    obs::MetricsRegistry& metrics = config_.telemetry->metrics();
+    requests_total_ = &metrics.counter(obs::metric::kRequestsTotal);
+    requests_xrsl_ = &metrics.counter(obs::metric::kRequestsXrsl);
+    requests_gram_ = &metrics.counter(obs::metric::kRequestsGram);
+    requests_errors_ = &metrics.counter(obs::metric::kRequestsErrors);
+    request_seconds_ = &metrics.histogram(obs::metric::kRequestSeconds);
+    format_renders_ = &metrics.counter(obs::metric::kFormatRenders);
     authenticator_.set_telemetry(config_.telemetry);
     monitor_->set_telemetry(config_.telemetry);
+    // The deployment's sampling rate (default: 1 in kDefaultTraceSampling
+    // roots). Metrics stay 100%; only span retention is sampled.
+    config_.telemetry->set_trace_sampling(config_.trace_sample_every);
+    // Spans recorded here carry this node's identity so stitched
+    // multi-hop traces say where each span ran.
+    if (config_.telemetry->node_id().empty()) {
+      config_.telemetry->set_node_id(config_.host);
+    }
+    if (!config_.trace_export_path.empty()) {
+      obs::JsonlExporter::Options export_options;
+      export_options.sample_every = config_.trace_export_sample_every;
+      config_.telemetry->set_exporter(std::make_shared<obs::JsonlExporter>(
+          config_.trace_export_path, export_options));
+    }
+    // Default objectives over the metrics this service already records;
+    // deployments that added their own keep theirs.
+    if (config_.telemetry->slo().size() == 0) {
+      obs::SloEngine& slo = config_.telemetry->slo();
+      obs::SloObjective latency;
+      latency.name = "request-latency";
+      latency.layer = "core";
+      latency.kind = obs::SloObjective::Kind::kLatency;
+      latency.metric = obs::metric::kRequestSeconds;
+      latency.threshold_seconds = 0.5;
+      latency.target = 0.99;
+      slo.add(std::move(latency));
+      obs::SloObjective availability;
+      availability.name = "request-availability";
+      availability.layer = "core";
+      availability.kind = obs::SloObjective::Kind::kErrorRate;
+      availability.metric = obs::metric::kRequestsErrors;
+      availability.total_metric = obs::metric::kRequestsTotal;
+      availability.target = 0.999;
+      slo.add(std::move(availability));
+      obs::SloObjective info_latency;
+      info_latency.name = "info-query-latency";
+      info_latency.layer = "info";
+      info_latency.kind = obs::SloObjective::Kind::kLatency;
+      info_latency.metric = obs::metric::kInfoQuerySeconds;
+      info_latency.threshold_seconds = 0.25;
+      info_latency.target = 0.99;
+      slo.add(std::move(info_latency));
+    }
     // Dogfooding: the telemetry is itself a provider family, so
-    // (info=metrics) / (info=traces) travel the same path as any keyword.
+    // (info=metrics) / (info=traces) / (info=slo) / (info=alerts) travel
+    // the same path as any keyword.
     (void)info::register_obs_providers(*monitor_, config_.telemetry);
   }
   // The resilience layer made queryable (info=health): breaker states,
@@ -53,6 +104,7 @@ InfoGramService::InfoGramService(std::shared_ptr<info::SystemMonitor> monitor,
     if (logger_ != nullptr) {
       std::shared_ptr<logging::Logger> logger_copy = logger_;
       config_.telemetry->set_trace_listener([logger_copy](const obs::TraceRecord& rec) {
+        if (!logger_copy->has_sinks()) return;  // don't format for nobody
         logger_copy->log(logging::EventType::kTrace, "", "", 0,
                          rec.root + " id=" + rec.id + " status=" + rec.status +
                              " spans=" + std::to_string(rec.spans.size()) +
@@ -195,36 +247,81 @@ net::Message InfoGramService::handle(const net::Message& request, net::Session& 
     promise.set_value(process(request, session));
   });
   if (!admitted.ok()) {
-    if (config_.telemetry != nullptr) {
-      config_.telemetry->metrics().counter(obs::metric::kRequestsErrors).add();
-    }
+    if (requests_errors_ != nullptr) requests_errors_->add();
     return net::Message::error(admitted.error());
   }
   return future.get();
 }
 
 net::Message InfoGramService::process(const net::Message& request, net::Session& session) {
+  // Serving-side extraction: a propagated wire context makes this request
+  // a remote hop of the caller's trace rather than a root of its own.
+  std::optional<obs::WireContext> wire;
+  if (auto header = request.header(obs::kTraceHeader)) {
+    wire = obs::WireContext::decode(*header);
+  }
+
   const std::shared_ptr<obs::Telemetry>& telemetry = config_.telemetry;
-  if (telemetry == nullptr) return dispatch(request, session, nullptr);
+  if (telemetry == nullptr) {
+    // Uninstrumented middle hop: forward the caller's context (or its
+    // don't-sample decision) so the trace survives passing through us.
+    if (wire.has_value() && wire->sampled) {
+      obs::PassThroughScope forward(wire->trace_id, wire->parent_span);
+      return dispatch(request, session, nullptr);
+    }
+    if (wire.has_value()) {
+      obs::SuppressScope suppress;
+      return dispatch(request, session, nullptr);
+    }
+    return dispatch(request, session, nullptr);
+  }
 
-  obs::MetricsRegistry& metrics = telemetry->metrics();
-  metrics.counter(obs::metric::kRequestsTotal).add();
+  requests_total_->add();
   if (request.verb == "XRSL") {
-    metrics.counter(obs::metric::kRequestsXrsl).add();
+    requests_xrsl_->add();
   } else if (strings::starts_with(request.verb, "GRAM_")) {
-    metrics.counter(obs::metric::kRequestsGram).add();
+    requests_gram_->add();
   }
 
-  obs::TraceContext trace = telemetry->start_trace(request.verb);
-  ScopedTimer timer(*clock_);
-  net::Message resp = dispatch(request, session, &trace);
-  if (resp.is_error()) {
-    metrics.counter(obs::metric::kRequestsErrors).add();
-    trace.fail(resp.body.empty() ? "error" : resp.body);
+  // The originator's sampling decision rides the header; only a root
+  // (no wire context) consults the local sampler.
+  bool sampled = wire.has_value() ? wire->sampled : telemetry->should_sample();
+  if (!sampled) {
+    obs::SuppressScope suppress;
+    ScopedTimer timer(*clock_);
+    net::Message resp = dispatch(request, session, nullptr);
+    if (resp.is_error()) requests_errors_->add();
+    request_seconds_->observe(static_cast<double>(timer.elapsed().count()) / 1e6);
+    return resp;
   }
-  metrics.histogram(obs::metric::kRequestSeconds)
-      .observe(static_cast<double>(timer.elapsed().count()) / 1e6);
-  telemetry->complete(trace);
+
+  std::unique_ptr<obs::TraceContext> trace =
+      wire.has_value()
+          ? telemetry->make_remote_trace(request.verb, wire->trace_id, wire->parent_span)
+          : telemetry->make_trace(request.verb);
+  ScopedTimer timer(*clock_);
+  net::Message resp;
+  {
+    // Active for the dispatch so outbound hops (hierarchy forwards,
+    // broker lookups) propagate this trace onward.
+    obs::TraceScope scope(*trace);
+    resp = dispatch(request, session, trace.get());
+  }
+  if (resp.is_error()) {
+    requests_errors_->add();
+    trace->fail(resp.body.empty() ? "error" : resp.body);
+  }
+  // The latency exemplar: this bucket's sample links straight to us.
+  request_seconds_->observe(static_cast<double>(timer.elapsed().count()) / 1e6,
+                            trace->id());
+  if (wire.has_value() && !resp.is_error()) {
+    // Backhaul our spans (ours + any we adopted from hops below us) so
+    // the caller stitches the whole subtree into its record.
+    obs::TraceRecord record = telemetry->complete_and_collect(*trace);
+    resp.with(obs::kTraceSpansHeader, obs::encode_spans(record.spans));
+  } else {
+    telemetry->complete(*trace);
+  }
   return resp;
 }
 
@@ -242,18 +339,32 @@ std::future<Result<InfoGramResult>> InfoGramService::submit_async(rsl::XrslReque
       promise->set_value(execute(request, subject, local_user, callback_address));
       return;
     }
-    obs::MetricsRegistry& metrics = telemetry->metrics();
-    metrics.counter(obs::metric::kRequestsTotal).add();
-    metrics.counter(obs::metric::kRequestsXrsl).add();
+    requests_total_->add();
+    requests_xrsl_->add();
+    // Same sampling contract as the wire path: an unsampled request pays
+    // metrics only, and suppresses so downstream hops don't root either.
+    if (!telemetry->should_sample()) {
+      obs::SuppressScope suppress;
+      ScopedTimer timer(*clock_);
+      Result<InfoGramResult> result = execute(request, subject, local_user, callback_address);
+      if (!result.ok()) requests_errors_->add();
+      request_seconds_->observe(static_cast<double>(timer.elapsed().count()) / 1e6);
+      promise->set_value(std::move(result));
+      return;
+    }
     obs::TraceContext trace = telemetry->start_trace("XRSL");
     ScopedTimer timer(*clock_);
-    auto result = execute(request, subject, local_user, callback_address, &trace);
+    Result<InfoGramResult> result = Error(ErrorCode::kUnavailable, "unset");
+    {
+      obs::TraceScope scope(trace);
+      result = execute(request, subject, local_user, callback_address, &trace);
+    }
     if (!result.ok()) {
-      metrics.counter(obs::metric::kRequestsErrors).add();
+      requests_errors_->add();
       trace.fail(result.error().to_string());
     }
-    metrics.histogram(obs::metric::kRequestSeconds)
-        .observe(static_cast<double>(timer.elapsed().count()) / 1e6);
+    request_seconds_->observe(static_cast<double>(timer.elapsed().count()) / 1e6,
+                              trace.id());
     telemetry->complete(trace);
     promise->set_value(std::move(result));
   };
@@ -263,9 +374,7 @@ std::future<Result<InfoGramResult>> InfoGramService::submit_async(rsl::XrslReque
   }
   Status admitted = pool_->submit(std::move(run));
   if (!admitted.ok()) {
-    if (config_.telemetry != nullptr) {
-      config_.telemetry->metrics().counter(obs::metric::kRequestsErrors).add();
-    }
+    if (requests_errors_ != nullptr) requests_errors_->add();
     promise->set_value(admitted.error());
   }
   return future;
@@ -316,8 +425,8 @@ net::Message InfoGramService::handle_xrsl(const net::Message& request, net::Sess
   }
   net::Message resp = net::Message::ok(combined.payload());
   format_span.reset();
-  if (config_.telemetry != nullptr && (!combined.records.empty() || combined.schema)) {
-    config_.telemetry->metrics().counter(obs::metric::kFormatRenders).add();
+  if (format_renders_ != nullptr && (!combined.records.empty() || combined.schema)) {
+    format_renders_->add();
   }
   if (!contacts.empty()) {
     combined.job_contact = contacts.front();

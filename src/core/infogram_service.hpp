@@ -45,12 +45,18 @@ struct InfoGramConfig {
   int port = 2135;  ///< ONE port for everything (contrast GRAM 2119 + MDS 2135)
   int max_restarts = 1;
   std::shared_ptr<exec::LocalJobExecution> jar_backend;
-  /// Observability bundle. When set, the service traces every request,
-  /// counts requests/errors/latency, shares the bundle with the monitor,
-  /// GRAM and the authenticator, and registers the `metrics` /
-  /// `metrics.jobs` / `traces` keywords so the telemetry is queryable
-  /// through InfoGram itself. Null = zero-overhead opt-out.
+  /// Observability bundle. When set, the service counts every request's
+  /// metrics (SLOs keep full fidelity), traces a sampled subset (see
+  /// `trace_sample_every`), shares the bundle with the monitor, GRAM and
+  /// the authenticator, and registers the `metrics` / `metrics.jobs` /
+  /// `traces` keywords so the telemetry is queryable through InfoGram
+  /// itself. Null = zero-overhead opt-out.
   std::shared_ptr<obs::Telemetry> telemetry;
+  /// Root-trace sampling applied to `telemetry` at construction: record
+  /// 1 in N root traces (1 = every request — what tests asserting on
+  /// specific traces want). Unsampled requests still observe all metrics;
+  /// the decision propagates to downstream hops on the wire header.
+  std::uint64_t trace_sample_every = obs::kDefaultTraceSampling;
   /// Request pipeline. worker_threads > 0 creates a fixed ThreadPool: wire
   /// requests and submit_async() run on the pool behind a bounded
   /// admission queue (overflow is shed with kUnavailable "admission queue
@@ -63,6 +69,11 @@ struct InfoGramConfig {
   /// latency inline). Started by the constructor, stopped on destruction.
   bool prefetch = false;
   info::PrefetchOptions prefetch_options;
+  /// Durable trace export: non-empty attaches a JsonlExporter at this
+  /// path (sampling 1-in-`trace_export_sample_every`) so completed traces
+  /// survive restart and can be diffed in CI. Requires `telemetry`.
+  std::string trace_export_path;
+  std::uint64_t trace_export_sample_every = 1;
 };
 
 /// What one xRSL request produced.
@@ -131,6 +142,10 @@ class InfoGramService {
 
   std::shared_ptr<info::SystemMonitor> monitor() const { return monitor_; }
 
+  /// The observability bundle (null when the config carried none). The
+  /// soap gateway shares it so gateway requests join the same traces.
+  const std::shared_ptr<obs::Telemetry>& telemetry() const { return config_.telemetry; }
+
  private:
   net::Message handle(const net::Message& request, net::Session& session);
   net::Message process(const net::Message& request, net::Session& session);
@@ -151,6 +166,14 @@ class InfoGramService {
   /// is in the protocol and deployment, not in reinventing execution.
   gram::GramService gram_;
   net::Network* network_ = nullptr;
+  /// Request-path metrics resolved once at construction (null without
+  /// telemetry) — the per-request path must not pay registry lookups.
+  obs::Counter* requests_total_ = nullptr;
+  obs::Counter* requests_xrsl_ = nullptr;
+  obs::Counter* requests_gram_ = nullptr;
+  obs::Counter* requests_errors_ = nullptr;
+  obs::Histogram* request_seconds_ = nullptr;
+  obs::Counter* format_renders_ = nullptr;
   /// Declared last so in-flight tasks (which touch the members above) are
   /// drained before anything else destructs; ~InfoGramService() shuts it
   /// down explicitly as well.

@@ -9,6 +9,10 @@ void LoadAwareBroker::add_resource(std::string host,
   resources_.push_back(Entry{std::move(host), std::move(client)});
 }
 
+void LoadAwareBroker::set_telemetry(std::shared_ptr<obs::Telemetry> telemetry) {
+  telemetry_ = std::move(telemetry);
+}
+
 core::InfoGramClient* LoadAwareBroker::client(const std::string& host) const {
   for (const auto& entry : resources_) {
     if (entry.host == host) return entry.client.get();
@@ -32,10 +36,16 @@ Result<double> LoadAwareBroker::load_of(core::InfoGramClient& client) {
 }
 
 Result<std::vector<std::pair<std::string, double>>> LoadAwareBroker::loads() {
+  // One discovery sweep = one trace; each resource's CPULoad query is a
+  // propagated hop, so the per-endpoint latency is attributable.
+  obs::ScopedTrace trace(telemetry_, "broker.loads");
   std::vector<std::pair<std::string, double>> out;
   for (const auto& entry : resources_) {
     auto load = load_of(*entry.client);
-    if (!load.ok()) return load.error();
+    if (!load.ok()) {
+      trace.fail(load.error().to_string());
+      return load.error();
+    }
     out.emplace_back(entry.host, load.value());
   }
   return out;
@@ -45,14 +55,23 @@ Result<LoadAwareBroker::Placement> LoadAwareBroker::submit(const rsl::XrslReques
   if (resources_.empty()) {
     return Error(ErrorCode::kUnavailable, "broker has no resources attached");
   }
+  // Covers the load sweep AND the submission: loads() joins this trace
+  // (ScopedTrace is a no-op inside an active one).
+  obs::ScopedTrace trace(telemetry_, "broker.submit");
   auto all_loads = loads();
-  if (!all_loads.ok()) return all_loads.error();
+  if (!all_loads.ok()) {
+    trace.fail(all_loads.error().to_string());
+    return all_loads.error();
+  }
   std::size_t best = 0;
   for (std::size_t i = 1; i < all_loads->size(); ++i) {
     if ((*all_loads)[i].second < (*all_loads)[best].second) best = i;
   }
   auto contact = resources_[best].client->submit_job(job);
-  if (!contact.ok()) return contact.error();
+  if (!contact.ok()) {
+    trace.fail(contact.error().to_string());
+    return contact.error();
+  }
   Placement placement;
   placement.host = (*all_loads)[best].first;
   placement.load = (*all_loads)[best].second;

@@ -44,6 +44,12 @@ class LoadAwareBroker {
 
   core::InfoGramClient* client(const std::string& host) const;
 
+  /// Observability opt-in: loads() and submit() root `broker.loads` /
+  /// `broker.submit` traces whose per-resource queries become hop spans
+  /// propagated to each InfoGram endpoint (no-op inside an enclosing
+  /// trace — the lookups become its spans instead).
+  void set_telemetry(std::shared_ptr<obs::Telemetry> telemetry);
+
  private:
   Result<double> load_of(core::InfoGramClient& client);
 
@@ -54,6 +60,7 @@ class LoadAwareBroker {
 
   Options options_;
   std::vector<Entry> resources_;
+  std::shared_ptr<obs::Telemetry> telemetry_;  ///< set at wiring time
 };
 
 }  // namespace ig::grid

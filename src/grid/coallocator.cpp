@@ -1,8 +1,10 @@
 #include "grid/coallocator.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/id.hpp"
+#include "obs/propagation.hpp"
 
 namespace ig::grid {
 
@@ -36,13 +38,27 @@ Result<CoAllocation> CoAllocator::submit(const rsl::XrslRequest& request) {
     rsl::XrslRequest subjob = request;
     subjob.job->count = count;
     subjob.job->environment["coallocation_id"] = allocation.id;
+    // Each placement is its own span of the enclosing trace (the broker's
+    // submit trace, or a propagated InfoGram request): co-allocation cost
+    // becomes attributable per target resource.
+    std::optional<obs::TraceContext::Span> span;
+    std::optional<obs::TraceScope> scope;
+    obs::TraceContext* ctx = obs::active_trace().ctx;
+    if (ctx != nullptr) {
+      span.emplace(ctx->span("coalloc:" + host, obs::active_trace().span_id));
+      scope.emplace(*ctx, span->id());
+    }
     auto* client = broker_.client(host);
     if (client == nullptr) {
+      if (span) span->end("error:lost-client");
+      scope.reset();
       (void)cancel(allocation);
       return Error(ErrorCode::kInternal, "broker lost client for " + host);
     }
     auto contact = client->submit_job(subjob);
     if (!contact.ok()) {
+      if (span) span->end("error:" + contact.error().to_string());
+      scope.reset();
       // All-or-nothing placement: roll back what was already submitted.
       (void)cancel(allocation);
       return contact.error();

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/strings.hpp"
+#include "net/traced.hpp"
 
 namespace ig::grid {
 
@@ -109,7 +110,18 @@ void DiscoveryPeer::merge_adverts(const std::string& body) {
   }
 }
 
-net::Message DiscoveryPeer::handle(const net::Message& request, net::Session&) {
+void DiscoveryPeer::set_telemetry(std::shared_ptr<obs::Telemetry> telemetry) {
+  telemetry_ = std::move(telemetry);
+}
+
+net::Message DiscoveryPeer::handle(const net::Message& request, net::Session& session) {
+  return net::serve_traced(telemetry_, request.verb, request, session,
+                           [this](const net::Message& req, net::Session& s) {
+                             return serve(req, s);
+                           });
+}
+
+net::Message DiscoveryPeer::serve(const net::Message& request, net::Session&) {
   if (request.verb != "GOSSIP") {
     return net::Message::error(
         Error(ErrorCode::kInvalidArgument, "discovery peer speaks GOSSIP only"));
@@ -123,6 +135,9 @@ net::Message DiscoveryPeer::handle(const net::Message& request, net::Session&) {
 }
 
 void DiscoveryPeer::tick() {
+  // One round = one trace: each exchange below contributes connect + rpc
+  // hop spans, and contacted peers' serving spans stitch in via backhaul.
+  obs::ScopedTrace round(telemetry_, "gossip.round");
   std::vector<net::Address> targets;
   std::string view_body;
   {

@@ -74,8 +74,14 @@ class DiscoveryPeer {
     return messages_sent_.load(std::memory_order_relaxed);
   }
 
+  /// Observability opt-in: tick() roots a `gossip.round` trace (outbound
+  /// exchanges become hop spans, propagated to the peers contacted) and
+  /// served GOSSIP requests join the caller's trace as remote children.
+  void set_telemetry(std::shared_ptr<obs::Telemetry> telemetry);
+
  private:
   net::Message handle(const net::Message& request, net::Session& session);
+  net::Message serve(const net::Message& request, net::Session& session);
   std::string serialize_view() const;
   void merge_adverts(const std::string& body);
   void expire_locked(TimePoint now);
@@ -93,6 +99,7 @@ class DiscoveryPeer {
   std::map<std::string, Advertisement> adverts_;  // by host
   std::vector<net::Address> neighbors_;
   std::atomic<std::uint64_t> messages_sent_{0};
+  std::shared_ptr<obs::Telemetry> telemetry_;  ///< set at wiring time
 };
 
 /// Serialize/parse advert sets for the gossip wire format (exposed for

@@ -34,6 +34,7 @@ Status GridResource::start() {
     config.max_restarts = options_.max_restarts;
     config.jar_backend = sandbox_;
     config.telemetry = options_.telemetry;
+    config.trace_sample_every = options_.trace_sample_every;
     infogram_ = std::make_unique<core::InfoGramService>(
         monitor_, batch_, credential_, context_.trust, context_.gridmap, context_.policy,
         context_.clock, context_.logger, config);

@@ -28,6 +28,9 @@ struct ResourceOptions {
   /// Optional telemetry for the resource's InfoGram service and batch
   /// backend; queryable through the service as info=metrics / info=traces.
   std::shared_ptr<obs::Telemetry> telemetry;
+  /// Root-trace sampling the service applies to `telemetry` (1 = trace
+  /// every request; see core::InfoGramConfig::trace_sample_every).
+  std::uint64_t trace_sample_every = obs::kDefaultTraceSampling;
 };
 
 /// Shared security/VO context every resource plugs into. Owned by the

@@ -56,6 +56,7 @@ void ManagedProvider::set_telemetry(std::shared_ptr<obs::Telemetry> telemetry) {
   if (telemetry_ == nullptr) {
     cache_hits_ = cache_misses_ = nullptr;
     refresh_seconds_ = nullptr;
+    keyword_refresh_seconds_ = nullptr;
     retry_attempts_ = retry_recovered_ = retry_exhausted_ = nullptr;
     degraded_served_ = nullptr;
     breaker_gauge_ = nullptr;
@@ -66,6 +67,10 @@ void ManagedProvider::set_telemetry(std::shared_ptr<obs::Telemetry> telemetry) {
   cache_hits_ = &metrics.counter(obs::metric::kInfoCacheHits);
   cache_misses_ = &metrics.counter(obs::metric::kInfoCacheMisses);
   refresh_seconds_ = &metrics.histogram(obs::metric::kInfoRefreshSeconds);
+  // Per-keyword latency alongside the global histogram: what lets an SLO
+  // objective target one keyword's providers instead of the aggregate.
+  keyword_refresh_seconds_ =
+      &metrics.histogram(std::string(obs::metric::kInfoRefreshSecondsPrefix) + keyword_);
   retry_attempts_ = &metrics.counter(obs::metric::kInfoRetryAttempts);
   retry_recovered_ = &metrics.counter(obs::metric::kInfoRetryRecovered);
   retry_exhausted_ = &metrics.counter(obs::metric::kInfoRetryExhausted);
@@ -175,6 +180,7 @@ Result<format::InfoRecord> ManagedProvider::refresh(bool force, const GetOptions
       refreshes_.fetch_add(1, std::memory_order_relaxed);
       if (cache_misses_ != nullptr) cache_misses_->add();
       if (refresh_seconds_ != nullptr) refresh_seconds_->observe(elapsed_s);
+      if (keyword_refresh_seconds_ != nullptr) keyword_refresh_seconds_->observe(elapsed_s);
 
       format::InfoRecord record = std::move(produced.value());
       record.keyword = keyword_;

@@ -189,6 +189,7 @@ class ManagedProvider {
   obs::Counter* cache_hits_ = nullptr;
   obs::Counter* cache_misses_ = nullptr;
   obs::Histogram* refresh_seconds_ = nullptr;
+  obs::Histogram* keyword_refresh_seconds_ = nullptr;  ///< info.refresh.seconds.<keyword>
   obs::Counter* retry_attempts_ = nullptr;
   obs::Counter* retry_recovered_ = nullptr;
   obs::Counter* retry_exhausted_ = nullptr;

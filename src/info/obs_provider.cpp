@@ -33,12 +33,32 @@ Status register_obs_providers(SystemMonitor& monitor,
       !status.ok()) {
     return status;
   }
+  if (auto status = add(
+          "traces",
+          [telemetry]() -> Result<format::InfoRecord> {
+            return telemetry->traces_record("traces");
+          },
+          "function:obs.traces");
+      !status.ok()) {
+    return status;
+  }
+  // The SLO plane: each query is also an evaluation sample (TTL 0), so
+  // burn-rate history accumulates exactly as fast as someone is looking.
+  if (auto status = add(
+          "slo",
+          [telemetry]() -> Result<format::InfoRecord> {
+            return telemetry->slo_record("slo");
+          },
+          "function:obs.slo");
+      !status.ok()) {
+    return status;
+  }
   return add(
-      "traces",
+      "alerts",
       [telemetry]() -> Result<format::InfoRecord> {
-        return telemetry->traces_record("traces");
+        return telemetry->alerts_record("alerts");
       },
-      "function:obs.traces");
+      "function:obs.alerts");
 }
 
 Status register_health_provider(SystemMonitor& monitor) {

@@ -2,9 +2,11 @@
 // the same keyword machinery as every other information source — the
 // paper's reflection idea (info=schema) extended to the runtime itself.
 //
-//   (info=metrics)       all counters/gauges/histograms
+//   (info=metrics)       all counters/gauges/histograms (with exemplars)
 //   (info=metrics.jobs)  the gram.* / exec.* job subset
-//   (info=traces)        the retained request traces
+//   (info=traces)        the retained (stitched, multi-hop) request traces
+//   (info=slo)           every objective's compliance + burn rates
+//   (info=alerts)        only the objectives currently firing
 //
 // Registered with ttl=0 ("execute the keyword every time it is
 // requested", Table 1), so queries always see live values, and the
@@ -18,9 +20,9 @@
 
 namespace ig::info {
 
-/// Register the `metrics`, `metrics.jobs` and `traces` keywords on
-/// `monitor`, backed by `telemetry`. kAlreadyExists if any keyword is
-/// taken; no-op success when `telemetry` is null.
+/// Register the `metrics`, `metrics.jobs`, `traces`, `slo` and `alerts`
+/// keywords on `monitor`, backed by `telemetry`. kAlreadyExists if any
+/// keyword is taken; no-op success when `telemetry` is null.
 Status register_obs_providers(SystemMonitor& monitor,
                               std::shared_ptr<obs::Telemetry> telemetry);
 

@@ -47,6 +47,9 @@ Status SystemMonitor::add_provider(std::shared_ptr<ManagedProvider> provider) {
 void SystemMonitor::set_telemetry(std::shared_ptr<obs::Telemetry> telemetry) {
   std::lock_guard lock(mu_);
   telemetry_ = std::move(telemetry);
+  query_seconds_ = telemetry_ != nullptr
+                       ? &telemetry_->metrics().histogram(obs::metric::kInfoQuerySeconds)
+                       : nullptr;
   for (const auto& [kw, p] : providers_) p->set_telemetry(telemetry_);
 }
 
@@ -116,11 +119,11 @@ Result<std::vector<format::InfoRecord>> SystemMonitor::query(
     std::optional<double> quality_threshold, const std::vector<std::string>& filters,
     obs::TraceContext* trace, ThreadPool* pool, const GetOptions& options) {
   std::vector<std::string> expanded;
-  std::shared_ptr<obs::Telemetry> telemetry;
+  obs::Histogram* query_seconds = nullptr;
   {
     std::lock_guard lock(mu_);
     expanded = expand_locked(keywords);
-    telemetry = telemetry_;
+    query_seconds = query_seconds_;
   }
   ScopedTimer timer(clock_);
   std::vector<Result<format::InfoRecord>> slots(expanded.size(),
@@ -128,7 +131,14 @@ Result<std::vector<format::InfoRecord>> SystemMonitor::query(
   auto resolve_one = [&](std::size_t i) {
     const std::string& kw = expanded[i];
     std::optional<obs::TraceContext::Span> span;
-    if (trace != nullptr) span.emplace(trace->span("info:" + kw));
+    std::optional<obs::TraceScope> scope;
+    if (trace != nullptr) {
+      span.emplace(trace->span("info:" + kw));
+      // fan_out workers have empty thread-locals: re-activate the trace
+      // (parented under this keyword's span) so providers that go back on
+      // the wire — hierarchy forwards, broker lookups — propagate it.
+      scope.emplace(*trace, span->id());
+    }
     auto record = get(kw, mode, quality_threshold, options);
     if (!record.ok()) {
       if (span) span->end(record.error().to_string());
@@ -157,10 +167,11 @@ Result<std::vector<format::InfoRecord>> SystemMonitor::query(
     if (!slot.ok()) return slot.error();
     out.push_back(std::move(slot.value()));
   }
-  if (telemetry != nullptr) {
-    telemetry->metrics()
-        .histogram(obs::metric::kInfoQuerySeconds)
-        .observe(static_cast<double>(timer.elapsed().count()) / 1e6);
+  if (query_seconds != nullptr) {
+    // Exemplar: a slow bucket points at the trace that fell into it.
+    query_seconds->observe(
+        static_cast<double>(timer.elapsed().count()) / 1e6,
+        trace != nullptr ? std::string_view(trace->id()) : std::string_view());
   }
   return out;
 }

@@ -100,6 +100,9 @@ class SystemMonitor {
   mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<ManagedProvider>> providers_;
   std::shared_ptr<obs::Telemetry> telemetry_;
+  /// Query-latency histogram resolved once in set_telemetry(); stable for
+  /// the telemetry's lifetime, so query() skips the registry lookup.
+  obs::Histogram* query_seconds_ = nullptr;
   /// Guarded by prefetch_mu_, not mu_: the scan thread reads providers
   /// through the public locked accessors, so sharing mu_ would deadlock.
   mutable std::mutex prefetch_mu_;

@@ -171,6 +171,11 @@ void Logger::add_sink(std::shared_ptr<LogSink> sink) {
   sinks_.push_back(std::move(sink));
 }
 
+bool Logger::has_sinks() const {
+  std::lock_guard lock(mu_);
+  return !sinks_.empty();
+}
+
 void Logger::log(EventType type, std::string subject, std::string local_user,
                  std::uint64_t job_id, std::string detail) {
   LogEvent event;

@@ -104,6 +104,11 @@ class Logger {
 
   void add_sink(std::shared_ptr<LogSink> sink);
 
+  /// True once any sink is attached. Callers that build expensive event
+  /// strings (the telemetry trace bridge) check this first so a sink-less
+  /// logger costs nothing per event.
+  bool has_sinks() const;
+
   /// Append an event; sequence and time are stamped here.
   void log(EventType type, std::string subject = "", std::string local_user = "",
            std::uint64_t job_id = 0, std::string detail = "");

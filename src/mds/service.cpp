@@ -1,6 +1,8 @@
 #include "mds/service.hpp"
 
 #include "common/strings.hpp"
+#include "net/traced.hpp"
+#include "obs/propagation.hpp"
 
 namespace ig::mds {
 
@@ -30,7 +32,21 @@ void MdsService::stop() {
   if (network_ != nullptr) network_->close(address_);
 }
 
+void MdsService::set_telemetry(std::shared_ptr<obs::Telemetry> telemetry) {
+  telemetry_ = std::move(telemetry);
+}
+
 net::Message MdsService::handle(const net::Message& request, net::Session& session) {
+  // A hierarchy node is one hop of a distributed query: join the caller's
+  // trace (or root a new one), serve, and backhaul our spans — including
+  // any we adopted from children we forwarded to.
+  return net::serve_traced(telemetry_, request.verb, request, session,
+                           [this](const net::Message& req, net::Session& s) {
+                             return serve(req, s);
+                           });
+}
+
+net::Message MdsService::serve(const net::Message& request, net::Session& session) {
   if (request.verb == "MDS_REGISTER") {
     if (registrar_ == nullptr) {
       return net::Message::error(
@@ -88,8 +104,23 @@ net::Message MdsService::handle(const net::Message& request, net::Session& sessi
   auto filter = Filter::parse(request.header_or("filter", Filter::match_all().to_string()));
   if (!filter.ok()) return net::Message::error(filter.error());
 
+  // The backend walk is this hop's own work (a Giis walking children goes
+  // back on the wire inside it, nesting rpc/connect spans under this one).
+  std::optional<obs::TraceContext::Span> search_span;
+  std::optional<obs::TraceScope> search_scope;
+  obs::TraceContext* ctx = obs::active_trace().ctx;
+  if (ctx != nullptr) {
+    search_span.emplace(ctx->span("mds:search:" + base, obs::active_trace().span_id));
+    // Nest forwarded-hop spans under the search span, not the root.
+    search_scope.emplace(*ctx, search_span->id());
+  }
   auto entries = backend_->search(base, scope.value(), filter.value());
-  if (!entries.ok()) return net::Message::error(entries.error());
+  search_scope.reset();
+  if (!entries.ok()) {
+    if (search_span) search_span->end("error:" + entries.error().to_string());
+    return net::Message::error(entries.error());
+  }
+  search_span.reset();
 
   if (logger_ != nullptr) {
     logger_->log(logging::EventType::kInfoQuery,

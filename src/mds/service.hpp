@@ -36,8 +36,14 @@ class MdsService {
 
   const net::Address& address() const { return address_; }
 
+  /// Observability opt-in: requests are served as traces (remote children
+  /// when the caller propagated a context), spans tagged with this node's
+  /// telemetry node id, and the finished spans backhauled to the caller.
+  void set_telemetry(std::shared_ptr<obs::Telemetry> telemetry);
+
  private:
   net::Message handle(const net::Message& request, net::Session& session);
+  net::Message serve(const net::Message& request, net::Session& session);
 
   std::shared_ptr<SearchBackend> backend_;
   security::Credential credential_;  ///< also used for outbound child links
@@ -46,6 +52,7 @@ class MdsService {
   security::Authenticator authenticator_;
   std::shared_ptr<logging::Logger> logger_;
   std::shared_ptr<Giis> registrar_;
+  std::shared_ptr<obs::Telemetry> telemetry_;
   net::Network* network_ = nullptr;
   net::Address address_;
 };

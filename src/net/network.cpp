@@ -1,9 +1,42 @@
 #include "net/network.hpp"
 
+#include <optional>
+
+#include "obs/propagation.hpp"
+
 namespace ig::net {
 
 Result<Message> Connection::request(const Message& req) {
-  std::string wire = req.serialize();
+  // Outbound propagation: if this thread is inside a trace and the caller
+  // did not inject a context itself, stamp the wire header. A local
+  // context also gets a hop span covering the whole RPC; pass-through and
+  // suppressed states forward the decision without recording anything.
+  const Message* to_send = &req;
+  std::optional<Message> traced_req;
+  std::optional<obs::TraceContext::Span> hop;
+  obs::ActiveTrace& active = obs::active_trace();
+  if (!active.empty() && !req.header(obs::kTraceHeader).has_value()) {
+    obs::WireContext wire_ctx;
+    if (active.ctx != nullptr) {
+      hop.emplace(active.ctx->span("rpc:" + req.verb + "@" + peer_.to_string(),
+                                   active.span_id));
+      wire_ctx.trace_id = active.ctx->id();
+      wire_ctx.parent_span = hop->id();
+      wire_ctx.sampled = true;
+    } else if (active.suppressed) {
+      wire_ctx.trace_id = "-";
+      wire_ctx.sampled = false;
+    } else {
+      wire_ctx.trace_id = active.foreign_trace_id;
+      wire_ctx.parent_span = active.foreign_parent;
+      wire_ctx.sampled = true;
+    }
+    traced_req = req;
+    traced_req->with(obs::kTraceHeader, wire_ctx.encode());
+    to_send = &*traced_req;
+  }
+
+  std::string wire = to_send->serialize();
   const CostModel& model = net_->cost_model();
 
   TrafficStats delta;
@@ -19,6 +52,7 @@ Result<Message> Connection::request(const Message& req) {
       // The request went on the wire before the fault ate it: account it.
       stats_.merge(delta);
       net_->account(delta);
+      if (hop.has_value()) hop->end("error:unavailable");
       return Error(ErrorCode::kUnavailable,
                    "injected fault at net.request: " + fault.describe());
     }
@@ -30,17 +64,36 @@ Result<Message> Connection::request(const Message& req) {
   if (!parsed.ok()) {
     stats_.merge(delta);
     net_->account(delta);
+    if (hop.has_value()) hop->end("error:parse");
     return parsed.error();
   }
 
-  auto response = net_->dispatch(peer_, parsed.value(), *session_);
+  Result<Message> response = Error(ErrorCode::kUnavailable, "unset");
+  {
+    // Simulated process boundary: the serving handler runs synchronously
+    // in this thread, but must see only the wire header, not the caller's
+    // thread-local trace state.
+    obs::DetachScope boundary;
+    response = net_->dispatch(peer_, parsed.value(), *session_);
+  }
   if (response.ok()) {
     std::size_t resp_size = response->wire_size();
     delta.bytes_received = resp_size;
     delta.virtual_time += model.transfer_cost(resp_size);
+    // Backhaul: adopt the serving hop's spans into the live trace so the
+    // caller's record stitches the whole path.
+    if (active.ctx != nullptr) {
+      if (auto spans = response->header(obs::kTraceSpansHeader)) {
+        active.ctx->adopt(obs::decode_spans(*spans));
+      }
+    }
   }
   stats_.merge(delta);
   net_->account(delta);
+  if (hop.has_value()) {
+    bool failed = !response.ok() || response->is_error();
+    hop->end(failed ? "error:rpc" : "ok");
+  }
   return response;
 }
 
@@ -60,18 +113,29 @@ void Network::close(const Address& addr) {
 }
 
 Result<std::unique_ptr<Connection>> Network::connect(const Address& addr) {
+  // The connect itself is a span of the active trace: a refused or
+  // partitioned target must still close its span with an error status, or
+  // the trace silently swallows the most interesting failure mode.
+  std::optional<obs::TraceContext::Span> span;
+  obs::ActiveTrace& active = obs::active_trace();
+  if (active.ctx != nullptr) {
+    span.emplace(active.ctx->span("connect:" + addr.to_string(), active.span_id));
+  }
   {
     std::lock_guard lock(mu_);
     auto it = endpoints_.find(addr);
     if (it == endpoints_.end()) {
+      if (span.has_value()) span->end("error:unavailable");
       return Error(ErrorCode::kUnavailable, "no endpoint listening at " + addr.to_string());
     }
     if (it->second.partitioned) {
+      if (span.has_value()) span->end("error:partitioned");
       return Error(ErrorCode::kUnavailable, "network partition: " + addr.to_string());
     }
   }
   FaultDecision fault = evaluate_fault("net.connect");
   if (fault.fire && fault.kind != FaultKind::kLatency) {
+    if (span.has_value()) span->end("error:refused");
     return Error(ErrorCode::kUnavailable,
                  "injected fault at net.connect: " + fault.describe());
   }

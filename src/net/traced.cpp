@@ -1,0 +1,56 @@
+#include "net/traced.hpp"
+
+#include <optional>
+
+#include "obs/propagation.hpp"
+
+namespace ig::net {
+
+Message serve_traced(const std::shared_ptr<obs::Telemetry>& telemetry,
+                     const std::string& root_name, const Message& request,
+                     Session& session, const Handler& inner) {
+  std::optional<obs::WireContext> wire;
+  if (auto header = request.header(obs::kTraceHeader)) {
+    wire = obs::WireContext::decode(*header);
+  }
+
+  if (telemetry == nullptr) {
+    // Uninstrumented hop: forward the caller's context (or its
+    // don't-sample decision) so the trace survives passing through.
+    if (wire.has_value() && wire->sampled) {
+      obs::PassThroughScope forward(wire->trace_id, wire->parent_span);
+      return inner(request, session);
+    }
+    if (wire.has_value()) {
+      obs::SuppressScope suppress;
+      return inner(request, session);
+    }
+    return inner(request, session);
+  }
+
+  bool sampled = wire.has_value() ? wire->sampled : telemetry->should_sample();
+  if (!sampled) {
+    obs::SuppressScope suppress;
+    return inner(request, session);
+  }
+
+  std::unique_ptr<obs::TraceContext> trace =
+      wire.has_value()
+          ? telemetry->make_remote_trace(root_name, wire->trace_id, wire->parent_span)
+          : telemetry->make_trace(root_name);
+  Message resp;
+  {
+    obs::TraceScope scope(*trace);
+    resp = inner(request, session);
+  }
+  if (resp.is_error()) trace->fail(resp.body.empty() ? "error" : resp.body);
+  if (wire.has_value() && !resp.is_error()) {
+    obs::TraceRecord record = telemetry->complete_and_collect(*trace);
+    resp.with(obs::kTraceSpansHeader, obs::encode_spans(record.spans));
+  } else {
+    telemetry->complete(*trace);
+  }
+  return resp;
+}
+
+}  // namespace ig::net

@@ -1,0 +1,29 @@
+// Serving-side trace wrapper shared by the non-core services (MDS
+// hierarchy nodes, discovery gossip peers).
+//
+// serve_traced() is the receive half of src/obs/propagation.hpp: it
+// decodes the `ig-trace` request header, opens a remote child context
+// (or honours a don't-sample decision, or passes a foreign context
+// through a node with no telemetry), makes the context the thread's
+// active trace while the inner handler runs, and backhauls the finished
+// spans on the response so the caller stitches the hop into its record.
+// The core InfoGram service implements the same protocol inline because
+// it interleaves metrics and exemplars with the trace lifecycle.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "net/network.hpp"
+#include "obs/telemetry.hpp"
+
+namespace ig::net {
+
+/// Serve `request` through `inner` with distributed-trace handling.
+/// `telemetry` may be null (pass-through mode). The trace root is named
+/// `root_name` (typically the request verb).
+Message serve_traced(const std::shared_ptr<obs::Telemetry>& telemetry,
+                     const std::string& root_name, const Message& request,
+                     Session& session, const Handler& inner);
+
+}  // namespace ig::net

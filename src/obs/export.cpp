@@ -1,0 +1,149 @@
+#include "obs/export.hpp"
+
+#include <cstdio>
+
+namespace ig::obs {
+
+namespace {
+
+std::string json_escape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size() + 2);
+  for (char c : in) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string span_json(const SpanRecord& span) {
+  std::string out = "{";
+  out += "\"id\":\"" + std::to_string(span.id) + "\"";
+  out += ",\"parent\":\"" + std::to_string(span.parent_id) + "\"";
+  out += ",\"name\":\"" + json_escape(span.name) + "\"";
+  out += ",\"node\":\"" + json_escape(span.node) + "\"";
+  out += ",\"start_us\":" + std::to_string(span.start.count());
+  out += ",\"duration_us\":" + std::to_string(span.duration.count());
+  out += ",\"status\":\"" + json_escape(span.status) + "\"";
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+JsonlExporter::JsonlExporter(std::string path) : JsonlExporter(std::move(path), Options{}) {}
+
+JsonlExporter::JsonlExporter(std::string path, Options options)
+    : path_(std::move(path)), options_(options), out_(path_, std::ios::app) {
+  if (options_.sample_every == 0) options_.sample_every = 1;
+}
+
+bool JsonlExporter::export_trace(const TraceRecord& record) {
+  std::string line;
+  {
+    std::lock_guard lock(mu_);
+    ++seen_;
+    // Deterministic 1-in-N: the first trace is always exported, so even a
+    // single-request test run leaves a durable line to assert on.
+    if ((seen_ - 1) % options_.sample_every != 0) {
+      ++skipped_;
+      return false;
+    }
+  }
+  line = "{\"type\":\"trace\",\"id\":\"" + json_escape(record.id) + "\"";
+  line += ",\"root\":\"" + json_escape(record.root) + "\"";
+  line += ",\"status\":\"" + json_escape(record.status) + "\"";
+  line += ",\"start_us\":" + std::to_string(record.start.count());
+  line += ",\"duration_us\":" + std::to_string(record.duration.count());
+  line += ",\"spans\":[";
+  for (std::size_t i = 0; i < record.spans.size(); ++i) {
+    if (i != 0) line.push_back(',');
+    line += span_json(record.spans[i]);
+  }
+  line += "]}";
+  write_line(line);
+  return true;
+}
+
+void JsonlExporter::export_metrics(const MetricsRegistry& metrics, TimePoint now) {
+  std::string line = "{\"type\":\"metrics\",\"at_us\":" + std::to_string(now.count());
+  line += ",\"metrics\":{";
+  bool first = true;
+  for (const MetricSnapshot& m : metrics.snapshot()) {
+    if (!first) line.push_back(',');
+    first = false;
+    line += "\"" + json_escape(m.name) + "\":";
+    if (m.histogram.has_value()) {
+      const Histogram::Snapshot& h = *m.histogram;
+      line += "{\"count\":" + std::to_string(h.stats.count());
+      line += ",\"mean\":" + json_double(h.stats.mean());
+      line += ",\"p95\":" + json_double(h.quantile(0.95));
+      line += ",\"max\":" + json_double(h.stats.max());
+      line += "}";
+    } else {
+      line += std::to_string(m.value);
+    }
+  }
+  line += "}}";
+  write_line(line);
+}
+
+void JsonlExporter::write_line(const std::string& line) {
+  std::lock_guard lock(mu_);
+  if (!out_.is_open()) {
+    out_.clear();
+    out_.open(path_, std::ios::app);
+  }
+  // Flush per line, FileSink-style: a crash loses at most this line, and
+  // the partial write it can leave is exactly what read_lines tolerates.
+  out_ << line << '\n';
+  out_.flush();
+  ++exported_;
+}
+
+std::uint64_t JsonlExporter::exported() const {
+  std::lock_guard lock(mu_);
+  return exported_;
+}
+
+std::uint64_t JsonlExporter::skipped() const {
+  std::lock_guard lock(mu_);
+  return skipped_;
+}
+
+std::vector<std::string> JsonlExporter::read_lines(const std::string& path) {
+  std::vector<std::string> out;
+  std::ifstream in(path);
+  if (!in.is_open()) return out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (in.eof() && !line.empty()) {
+      // No trailing newline: the torn tail of an interrupted write.
+      // Drop it — every retained line is known-complete.
+      break;
+    }
+    if (!line.empty()) out.push_back(line);
+  }
+  return out;
+}
+
+}  // namespace ig::obs

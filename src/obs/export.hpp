@@ -1,0 +1,65 @@
+// Durable trace/metric export: sampled JSON lines on the FileSink model.
+//
+// The TraceStore ring is in-memory by design — it answers "what just
+// happened" through info=traces but forgets on restart and under churn.
+// The exporter is the durable complement: completed traces (1-in-N
+// sampled) and on-demand metric snapshots append to a JSONL file, one
+// self-contained object per line, flushed per line exactly like
+// logging::FileSink — a crash loses at most the line being written, and
+// read_lines() tolerates the torn tail a crash can leave. JSONL diffs
+// line-by-line, which is what lets CI compare trace shapes across runs.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace ig::obs {
+
+class JsonlExporter {
+ public:
+  struct Options {
+    /// Export every Nth completed trace (1 = all, 0 treated as 1).
+    /// Counter-based and deterministic, matching the tracer's sampler.
+    std::uint64_t sample_every = 1;
+  };
+
+  explicit JsonlExporter(std::string path);
+  JsonlExporter(std::string path, Options options);
+
+  /// Append `record` as one JSON line if the sampler selects it.
+  /// Returns true when the record was written.
+  bool export_trace(const TraceRecord& record);
+
+  /// Append a full metrics snapshot as one JSON line (never sampled —
+  /// callers decide the cadence).
+  void export_metrics(const MetricsRegistry& metrics, TimePoint now);
+
+  std::uint64_t exported() const;
+  std::uint64_t skipped() const;  ///< traces the sampler passed over
+  const std::string& path() const { return path_; }
+
+  /// All complete lines of a JSONL file, oldest first. A torn final line
+  /// (no trailing newline — the crash case) is dropped, not an error;
+  /// a missing file reads as empty.
+  static std::vector<std::string> read_lines(const std::string& path);
+
+ private:
+  void write_line(const std::string& line);
+
+  std::string path_;
+  Options options_;
+  mutable std::mutex mu_;
+  std::ofstream out_;
+  std::uint64_t seen_ = 0;
+  std::uint64_t exported_ = 0;
+  std::uint64_t skipped_ = 0;
+};
+
+}  // namespace ig::obs

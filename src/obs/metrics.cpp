@@ -10,7 +10,8 @@ std::vector<double> Histogram::latency_seconds_buckets() {
 
 Histogram::Histogram(std::vector<double> boundaries)
     : boundaries_(boundaries.empty() ? latency_seconds_buckets() : std::move(boundaries)),
-      counts_(boundaries_.size() + 1) {}
+      counts_(boundaries_.size() + 1),
+      exemplars_(boundaries_.size() + 1) {}
 
 void Histogram::observe(double x) {
   auto it = std::lower_bound(boundaries_.begin(), boundaries_.end(), x);
@@ -19,12 +20,26 @@ void Histogram::observe(double x) {
   stats_.add(x);
 }
 
+void Histogram::observe(double x, std::string_view exemplar_trace_id) {
+  observe(x);
+  if (exemplar_trace_id.empty()) return;
+  std::lock_guard lock(exemplar_mu_);
+  auto it = std::lower_bound(boundaries_.begin(), boundaries_.end(), x);
+  auto index = static_cast<std::size_t>(it - boundaries_.begin());
+  exemplars_[index].value = x;
+  exemplars_[index].trace_id.assign(exemplar_trace_id.data(), exemplar_trace_id.size());
+}
+
 Histogram::Snapshot Histogram::snapshot() const {
   Snapshot snap;
   snap.stats = stats_.snapshot();
   snap.boundaries = boundaries_;
   snap.counts.reserve(counts_.size());
   for (const auto& c : counts_) snap.counts.push_back(c.load(std::memory_order_relaxed));
+  {
+    std::lock_guard lock(exemplar_mu_);
+    snap.exemplars = exemplars_;
+  }
   return snap;
 }
 

@@ -22,6 +22,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/stats.hpp"
@@ -57,11 +58,23 @@ class Gauge {
 /// bucket containing the target rank.
 class Histogram {
  public:
+  /// One sampled observation per bucket linking the aggregate back to a
+  /// concrete trace: "which request landed in the slow bucket?".
+  struct Exemplar {
+    double value = 0.0;
+    std::string trace_id;
+  };
+
   /// `boundaries` must be strictly increasing; empty falls back to the
   /// default latency buckets.
   explicit Histogram(std::vector<double> boundaries);
 
   void observe(double x);
+  /// observe() plus an exemplar: the bucket `x` lands in remembers
+  /// (x, trace_id), overwriting the previous sample — "latest wins" keeps
+  /// exemplars fresh without any per-bucket history. The exemplar slot is
+  /// mutex-guarded; plain observe() stays lock-free.
+  void observe(double x, std::string_view exemplar_trace_id);
 
   /// Upper bucket edges for sub-second .. tens-of-seconds latencies.
   static std::vector<double> latency_seconds_buckets();
@@ -70,6 +83,7 @@ class Histogram {
     RunningStats stats;
     std::vector<double> boundaries;      ///< upper edges, one per bucket
     std::vector<std::uint64_t> counts;   ///< boundaries.size() + 1 (+inf)
+    std::vector<Exemplar> exemplars;     ///< parallel to counts; empty id = none
 
     /// Estimated value at quantile q in [0,1]; 0 with no samples.
     double quantile(double q) const;
@@ -80,6 +94,8 @@ class Histogram {
   std::vector<double> boundaries_;
   std::vector<std::atomic<std::uint64_t>> counts_;
   SharedStats stats_;
+  mutable std::mutex exemplar_mu_;
+  std::vector<Exemplar> exemplars_;
 };
 
 /// One registry entry flattened for rendering.

@@ -1,0 +1,188 @@
+#include "obs/propagation.hpp"
+
+#include <cstdlib>
+
+#include "common/id.hpp"
+
+namespace ig::obs {
+
+namespace {
+
+constexpr char kFieldSep = ',';
+constexpr char kRecordSep = '|';
+
+/// Parse a hex span id; false on empty/garbage input.
+bool parse_hex(const std::string& s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  out = std::strtoull(s.c_str(), &end, 16);
+  return end != nullptr && *end == '\0';
+}
+
+bool parse_dec(const std::string& s, std::int64_t& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  out = std::strtoll(s.c_str(), &end, 10);
+  return end != nullptr && *end == '\0';
+}
+
+/// %-escape the wire delimiters (and '%' itself) in free-text fields.
+std::string escape(const std::string& in) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    if (c == kFieldSep || c == kRecordSep || c == '%' || c == '\n' || c == '\r') {
+      out.push_back('%');
+      out.push_back(kHex[(static_cast<unsigned char>(c) >> 4) & 0xf]);
+      out.push_back(kHex[static_cast<unsigned char>(c) & 0xf]);
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+std::string unescape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    if (in[i] == '%' && i + 2 < in.size()) {
+      int hi = hex_digit(in[i + 1]);
+      int lo = hex_digit(in[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>((hi << 4) | lo));
+        i += 2;
+        continue;
+      }
+    }
+    out.push_back(in[i]);
+  }
+  return out;
+}
+
+std::vector<std::string> split(const std::string& in, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    std::size_t pos = in.find(sep, start);
+    if (pos == std::string::npos) {
+      out.push_back(in.substr(start));
+      return out;
+    }
+    out.push_back(in.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+}  // namespace
+
+std::string WireContext::encode() const {
+  return trace_id + ";" + to_hex(parent_span) + ";" + (sampled ? "1" : "0");
+}
+
+std::optional<WireContext> WireContext::decode(const std::string& header) {
+  std::vector<std::string> fields = split(header, ';');
+  if (fields.size() != 3 || fields[0].empty()) return std::nullopt;
+  WireContext ctx;
+  ctx.trace_id = fields[0];
+  if (!parse_hex(fields[1], ctx.parent_span)) return std::nullopt;
+  if (fields[2] == "1") {
+    ctx.sampled = true;
+  } else if (fields[2] == "0") {
+    ctx.sampled = false;
+  } else {
+    return std::nullopt;
+  }
+  return ctx;
+}
+
+std::string encode_spans(const std::vector<SpanRecord>& spans, std::size_t max_spans) {
+  std::string out;
+  std::size_t kept = 0;
+  for (const SpanRecord& span : spans) {
+    if (kept == max_spans) break;
+    ++kept;
+    if (!out.empty()) out.push_back(kRecordSep);
+    out += to_hex(span.id);
+    out.push_back(kFieldSep);
+    out += to_hex(span.parent_id);
+    out.push_back(kFieldSep);
+    out += escape(span.name);
+    out.push_back(kFieldSep);
+    out += escape(span.node);
+    out.push_back(kFieldSep);
+    out += std::to_string(span.start.count());
+    out.push_back(kFieldSep);
+    out += std::to_string(span.duration.count());
+    out.push_back(kFieldSep);
+    out += escape(span.status);
+  }
+  return out;
+}
+
+std::vector<SpanRecord> decode_spans(const std::string& header) {
+  std::vector<SpanRecord> out;
+  if (header.empty()) return out;
+  for (const std::string& rec : split(header, kRecordSep)) {
+    std::vector<std::string> fields = split(rec, kFieldSep);
+    if (fields.size() != 7) continue;
+    SpanRecord span;
+    std::int64_t start_us = 0;
+    std::int64_t duration_us = 0;
+    if (!parse_hex(fields[0], span.id) || !parse_hex(fields[1], span.parent_id) ||
+        !parse_dec(fields[4], start_us) || !parse_dec(fields[5], duration_us)) {
+      continue;
+    }
+    span.name = unescape(fields[2]);
+    span.node = unescape(fields[3]);
+    span.start = TimePoint(start_us);
+    span.duration = Duration(duration_us);
+    span.status = unescape(fields[6]);
+    out.push_back(std::move(span));
+  }
+  return out;
+}
+
+namespace {
+thread_local ActiveTrace t_active;
+}  // namespace
+
+ActiveTrace& active_trace() { return t_active; }
+
+TraceScope::TraceScope(TraceContext& ctx, std::uint64_t span_id) : saved_(t_active) {
+  t_active = ActiveTrace{};
+  t_active.ctx = &ctx;
+  t_active.span_id = span_id != 0 ? span_id : ctx.root_span_id();
+}
+
+TraceScope::~TraceScope() { t_active = saved_; }
+
+SuppressScope::SuppressScope() : saved_(t_active) {
+  t_active = ActiveTrace{};
+  t_active.suppressed = true;
+}
+
+SuppressScope::~SuppressScope() { t_active = saved_; }
+
+PassThroughScope::PassThroughScope(std::string trace_id, std::uint64_t parent_span)
+    : saved_(t_active) {
+  t_active = ActiveTrace{};
+  t_active.foreign_trace_id = std::move(trace_id);
+  t_active.foreign_parent = parent_span;
+}
+
+PassThroughScope::~PassThroughScope() { t_active = saved_; }
+
+DetachScope::DetachScope() : saved_(t_active) { t_active = ActiveTrace{}; }
+
+DetachScope::~DetachScope() { t_active = saved_; }
+
+}  // namespace ig::obs

@@ -1,0 +1,131 @@
+// Trace-context propagation across simulated grid hops.
+//
+// The wire format is a single compact header on the IGP/1.0 message —
+// `ig-trace: <trace-id>;<parent-span-hex>;<sampled>` — injected by the
+// client side of net::Connection and extracted by every serving layer
+// (core, mds, soap, p2p gossip). A second header on the *response*,
+// `ig-trace-spans`, backhauls the hop's finished spans so the caller can
+// adopt them into its own context: the in-process network has no
+// out-of-band collector, so traces travel home the same way results do.
+//
+// Because the simulated network dispatches the server handler
+// synchronously in the caller's thread, "which trace is active" is a
+// thread-local, and crossing the simulated process boundary means
+// *detaching* it: Connection::request wraps dispatch in a DetachScope so
+// the serving side sees exactly what a remote process would — the wire
+// header, nothing else. The scope types here are the only way the
+// thread-local is mutated, and each restores the previous state, so
+// nested hops (client -> hierarchy -> leaf) unwind correctly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace ig::obs {
+
+/// Request header carrying the trace context; absent = untraced caller.
+inline constexpr const char* kTraceHeader = "ig-trace";
+/// Response header carrying the serving hop's finished spans.
+inline constexpr const char* kTraceSpansHeader = "ig-trace-spans";
+
+/// The propagated triple: who the trace is, which caller span to parent
+/// under, and whether the originator sampled it.
+struct WireContext {
+  std::string trace_id;
+  std::uint64_t parent_span = 0;
+  bool sampled = true;
+
+  /// `<trace-id>;<parent-span-hex>;<1|0>`
+  std::string encode() const;
+  /// nullopt on any malformed input (wrong field count, bad hex).
+  static std::optional<WireContext> decode(const std::string& header);
+};
+
+/// Serialize finished spans for the response backhaul header. Records are
+/// '|'-separated; fields (id, parent, name, node, start_us, duration_us,
+/// status) are ','-separated with %-escaping for the delimiters. At most
+/// `max_spans` spans are kept (oldest first) so one chatty hop cannot
+/// bloat every response on the path.
+std::string encode_spans(const std::vector<SpanRecord>& spans, std::size_t max_spans = 64);
+/// Tolerant inverse: malformed records are skipped, never fatal.
+std::vector<SpanRecord> decode_spans(const std::string& header);
+
+/// The thread's current trace state. Exactly one of three shapes:
+///  - ctx != nullptr: a local TraceContext is active; outbound requests
+///    open hop spans on it and inject its id.
+///  - !foreign_trace_id.empty(): pass-through — this node has no local
+///    telemetry but received a wire context; outbound requests forward it
+///    unchanged so the trace survives an uninstrumented middle hop.
+///  - suppressed: the originator decided not to sample; outbound requests
+///    inject sampled=0 and no spans are recorded anywhere on the path.
+struct ActiveTrace {
+  TraceContext* ctx = nullptr;
+  std::uint64_t span_id = 0;  ///< span new work should parent under
+  bool suppressed = false;
+  std::string foreign_trace_id;
+  std::uint64_t foreign_parent = 0;
+
+  bool empty() const {
+    return ctx == nullptr && !suppressed && foreign_trace_id.empty();
+  }
+};
+
+/// This thread's active trace state (mutate only via the scopes below).
+ActiveTrace& active_trace();
+
+/// Makes `ctx` the thread's active trace for the scope's lifetime;
+/// `span_id` (0 = ctx's root span) becomes the parent for nested work.
+class TraceScope {
+ public:
+  TraceScope(TraceContext& ctx, std::uint64_t span_id = 0);
+  ~TraceScope();
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  ActiveTrace saved_;
+};
+
+/// Marks the scope as deliberately unsampled (propagates sampled=0).
+class SuppressScope {
+ public:
+  SuppressScope();
+  ~SuppressScope();
+  SuppressScope(const SuppressScope&) = delete;
+  SuppressScope& operator=(const SuppressScope&) = delete;
+
+ private:
+  ActiveTrace saved_;
+};
+
+/// Forwards a foreign wire context through a node with no telemetry.
+class PassThroughScope {
+ public:
+  PassThroughScope(std::string trace_id, std::uint64_t parent_span);
+  ~PassThroughScope();
+  PassThroughScope(const PassThroughScope&) = delete;
+  PassThroughScope& operator=(const PassThroughScope&) = delete;
+
+ private:
+  ActiveTrace saved_;
+};
+
+/// Clears the active trace: the simulated process boundary. The serving
+/// handler dispatched inside this scope sees no caller thread-locals,
+/// only what the wire header says — exactly like a real remote process.
+class DetachScope {
+ public:
+  DetachScope();
+  ~DetachScope();
+  DetachScope(const DetachScope&) = delete;
+  DetachScope& operator=(const DetachScope&) = delete;
+
+ private:
+  ActiveTrace saved_;
+};
+
+}  // namespace ig::obs

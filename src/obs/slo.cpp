@@ -1,0 +1,136 @@
+#include "obs/slo.hpp"
+
+#include <algorithm>
+
+namespace ig::obs {
+
+SloEngine::SloEngine(const MetricsRegistry& metrics, const Clock& clock)
+    : metrics_(metrics), clock_(clock) {}
+
+std::vector<BurnRule> SloEngine::default_rules() {
+  return {
+      // Fast burn: 2% of a 30-day budget gone within the hour — page.
+      {std::chrono::duration_cast<Duration>(std::chrono::minutes(5)),
+       std::chrono::duration_cast<Duration>(std::chrono::hours(1)), 14.4, "page"},
+      // Slow burn: 5% within six hours — a ticket can wait for morning.
+      {std::chrono::duration_cast<Duration>(std::chrono::minutes(30)),
+       std::chrono::duration_cast<Duration>(std::chrono::hours(6)), 6.0, "ticket"},
+  };
+}
+
+void SloEngine::add(SloObjective objective) {
+  if (objective.rules.empty()) objective.rules = default_rules();
+  std::lock_guard lock(mu_);
+  states_.push_back(State{std::move(objective), {}});
+}
+
+std::size_t SloEngine::size() const {
+  std::lock_guard lock(mu_);
+  return states_.size();
+}
+
+SloEngine::Sample SloEngine::sample_now(const SloObjective& objective, TimePoint now) const {
+  Sample sample;
+  sample.at = now;
+  // snapshot() walks the registry under its own lock; per-objective
+  // lookups by name keep this correct even as metrics appear lazily.
+  for (const MetricSnapshot& m : metrics_.snapshot()) {
+    if (objective.kind == SloObjective::Kind::kLatency) {
+      if (m.name != objective.metric || !m.histogram.has_value()) continue;
+      const Histogram::Snapshot& h = *m.histogram;
+      for (std::size_t i = 0; i < h.counts.size(); ++i) {
+        sample.total += h.counts[i];
+        // Bucket i covers values <= boundaries[i]; the +inf overflow
+        // bucket is never "good".
+        if (i < h.boundaries.size() && h.boundaries[i] <= objective.threshold_seconds) {
+          sample.good += h.counts[i];
+        }
+      }
+    } else {
+      if (m.name == objective.total_metric && m.kind != MetricSnapshot::Kind::kHistogram) {
+        sample.total = static_cast<std::uint64_t>(std::max<std::int64_t>(0, m.value));
+      }
+      if (m.name == objective.metric && m.kind != MetricSnapshot::Kind::kHistogram) {
+        sample.good = static_cast<std::uint64_t>(std::max<std::int64_t>(0, m.value));
+      }
+    }
+  }
+  if (objective.kind == SloObjective::Kind::kErrorRate) {
+    // `sample.good` held the error count until here.
+    std::uint64_t errors = std::min(sample.good, sample.total);
+    sample.good = sample.total - errors;
+  }
+  return sample;
+}
+
+double SloEngine::burn_over(const std::deque<Sample>& history, const Sample& now,
+                            Duration window, double target) {
+  if (target >= 1.0) return 0.0;
+  // Newest sample at least `window` old; fall back to the oldest so a
+  // short history still yields a (conservative, lifetime-ish) burn.
+  const Sample* base = nullptr;
+  TimePoint cutoff = now.at - window;
+  for (const Sample& s : history) {
+    if (s.at <= cutoff) base = &s;
+  }
+  if (base == nullptr && !history.empty()) base = &history.front();
+  std::uint64_t total0 = base != nullptr ? base->total : 0;
+  std::uint64_t good0 = base != nullptr ? base->good : 0;
+  if (now.total <= total0) return 0.0;
+  auto dt = static_cast<double>(now.total - total0);
+  auto dg = static_cast<double>(now.good - std::min(good0, now.good));
+  double bad_fraction = (dt - dg) / dt;
+  return bad_fraction / (1.0 - target);
+}
+
+std::vector<SloStatus> SloEngine::evaluate() {
+  TimePoint now = clock_.now();
+  std::lock_guard lock(mu_);
+  std::vector<SloStatus> out;
+  out.reserve(states_.size());
+  for (State& state : states_) {
+    Sample current = sample_now(state.objective, now);
+
+    SloStatus status;
+    status.objective = state.objective;
+    status.good = current.good;
+    status.total = current.total;
+    status.compliance =
+        current.total == 0
+            ? 1.0
+            : static_cast<double>(current.good) / static_cast<double>(current.total);
+
+    Duration max_window{0};
+    for (const BurnRule& rule : state.objective.rules) {
+      max_window = std::max(max_window, rule.long_window);
+      BurnStatus burn;
+      burn.rule = rule;
+      burn.short_burn = burn_over(state.history, current, rule.short_window,
+                                  state.objective.target);
+      burn.long_burn = burn_over(state.history, current, rule.long_window,
+                                 state.objective.target);
+      burn.alerting = burn.short_burn >= rule.factor && burn.long_burn >= rule.factor;
+      if (burn.alerting && !status.alerting) {
+        status.alerting = true;
+        status.severity = rule.severity;
+      }
+      status.burns.push_back(std::move(burn));
+    }
+    status.budget_remaining =
+        1.0 - burn_over(state.history, current, max_window, state.objective.target);
+
+    // Append after evaluating so a window never compares a sample with
+    // itself, then prune — keeping one sample at/before the horizon so
+    // the longest window always has a baseline.
+    state.history.push_back(current);
+    TimePoint horizon = now - max_window;
+    while (state.history.size() > 1 && state.history[1].at <= horizon) {
+      state.history.pop_front();
+    }
+
+    out.push_back(std::move(status));
+  }
+  return out;
+}
+
+}  // namespace ig::obs

@@ -1,0 +1,122 @@
+// SLO engine — declarative objectives evaluated over the metrics registry.
+//
+// An SloObjective names a latency or error-rate target over metrics the
+// instrumentation already records (histogram buckets for latency, counter
+// pairs for error rate): no second measurement pipeline, the SLO plane is
+// a *view* over the registry. Each evaluate() appends a (good, total)
+// sample to a per-objective history ring and computes multi-window burn
+// rates from sample deltas — the Google-SRE alerting shape where a page
+// needs BOTH a short window (still burning now) and a long window
+// (burned enough to matter) above the factor, so a brief spike neither
+// pages nor does a slow leak hide.
+//
+// Burn rate: (bad fraction over the window) / (1 - target). Burn 1.0
+// consumes the error budget exactly at the rate that exhausts it at the
+// window's end; factor 14.4 over 1h consumes ~2% of a 30-day budget.
+//
+// Results surface as the TTL-0 `slo` and `alerts` keywords in the obs
+// provider family, so objectives and alert state flow through xRSL,
+// LDIF/XML formatting and info=schema reflection like any other keyword —
+// asking "is the service meeting its targets?" is itself just a query.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "obs/metrics.hpp"
+
+namespace ig::obs {
+
+/// One multi-window alert rule: breached only when the burn rate over
+/// BOTH windows is at least `factor`.
+struct BurnRule {
+  Duration short_window{0};
+  Duration long_window{0};
+  double factor = 1.0;
+  std::string severity;  ///< "page", "ticket", ...
+};
+
+/// A declarative objective over already-recorded metrics.
+struct SloObjective {
+  enum class Kind {
+    kLatency,    ///< good = histogram observations <= threshold_seconds
+    kErrorRate,  ///< good = total counter - error counter
+  };
+
+  std::string name;   ///< stable id, e.g. "request-latency"
+  std::string layer;  ///< owning layer ("core", "info", "mds", ...)
+  Kind kind = Kind::kLatency;
+  std::string metric;        ///< histogram (latency) or error counter (error rate)
+  std::string total_metric;  ///< total counter; error-rate objectives only
+  double threshold_seconds = 0.0;  ///< latency objectives only
+  double target = 0.99;            ///< required good fraction, in (0,1)
+  std::vector<BurnRule> rules;     ///< empty = SloEngine::default_rules()
+};
+
+/// One rule's evaluation: burn over each window, breached or not.
+struct BurnStatus {
+  BurnRule rule;
+  double short_burn = 0.0;
+  double long_burn = 0.0;
+  bool alerting = false;
+};
+
+/// One objective's full evaluation at a point in time.
+struct SloStatus {
+  SloObjective objective;
+  std::uint64_t good = 0;   ///< lifetime good events
+  std::uint64_t total = 0;  ///< lifetime total events
+  double compliance = 1.0;  ///< lifetime good/total (1.0 with no events)
+  /// Fraction of the error budget still unspent over the longest window
+  /// (1.0 = untouched, 0 = exhausted, negative = overspent).
+  double budget_remaining = 1.0;
+  std::vector<BurnStatus> burns;
+  bool alerting = false;
+  std::string severity;  ///< severity of the first breached rule, "" if none
+};
+
+/// Evaluates objectives against the registry. Thread-safe; evaluate() is
+/// expected to be called from provider refresh (TTL-0 `slo`/`alerts`
+/// queries), so each query is also a history sample.
+class SloEngine {
+ public:
+  SloEngine(const MetricsRegistry& metrics, const Clock& clock);
+
+  /// The standard page/ticket pair: 5m/1h @ 14.4x and 30m/6h @ 6x.
+  static std::vector<BurnRule> default_rules();
+
+  void add(SloObjective objective);
+  std::size_t size() const;
+
+  /// Sample every objective's counters now, append to history, and
+  /// compute windowed burn rates. Ordered as added.
+  std::vector<SloStatus> evaluate();
+
+ private:
+  struct Sample {
+    TimePoint at{0};
+    std::uint64_t good = 0;
+    std::uint64_t total = 0;
+  };
+  struct State {
+    SloObjective objective;
+    std::deque<Sample> history;
+  };
+
+  Sample sample_now(const SloObjective& objective, TimePoint now) const;
+  /// Burn rate from the delta between now and the newest sample at least
+  /// `window` old (the oldest sample when history is shorter).
+  static double burn_over(const std::deque<Sample>& history, const Sample& now,
+                          Duration window, double target);
+
+  const MetricsRegistry& metrics_;
+  const Clock& clock_;
+  mutable std::mutex mu_;
+  std::vector<State> states_;
+};
+
+}  // namespace ig::obs

@@ -1,30 +1,94 @@
 #include "obs/telemetry.hpp"
 
+#include "common/id.hpp"
 #include "common/strings.hpp"
 
 namespace ig::obs {
 
 Telemetry::Telemetry(const Clock& clock, std::size_t trace_capacity)
-    : clock_(clock), traces_(trace_capacity) {}
+    : Telemetry(clock, "", trace_capacity) {}
 
-TraceContext Telemetry::start_trace(std::string root_name) const {
-  return TraceContext(clock_, std::move(root_name));
+Telemetry::Telemetry(const Clock& clock, std::string node_id, std::size_t trace_capacity)
+    : clock_(clock),
+      node_id_(std::move(node_id)),
+      traces_(trace_capacity),
+      slo_(metrics_, clock_),
+      unfinished_(&metrics_.gauge(metric::kTraceUnfinished)),
+      dropped_(&metrics_.counter(metric::kTraceDropped)) {
+  // Ring evictions are trace loss too: surface them on the same counter
+  // as abandoned contexts.
+  traces_.set_on_evict([this](const TraceRecord&) { dropped_->add(); });
 }
 
-void Telemetry::complete(TraceContext& trace) {
-  TraceRecord record = trace.finish();
-  std::function<void(const TraceRecord&)> listener;
+void Telemetry::set_trace_sampling(std::uint64_t every_n) {
+  sample_every_.store(every_n == 0 ? 1 : every_n, std::memory_order_relaxed);
+}
+
+bool Telemetry::should_sample() {
+  std::uint64_t every = sample_every_.load(std::memory_order_relaxed);
+  std::uint64_t seq = sample_seq_.fetch_add(1, std::memory_order_relaxed);
+  return seq % every == 0;
+}
+
+TraceContext::Options Telemetry::trace_options() {
+  TraceContext::Options options;
+  options.node = node_id_;
+  unfinished_->add();
+  options.on_finish = [this] { unfinished_->sub(); };
+  options.on_abandon = [this] {
+    unfinished_->sub();
+    dropped_->add();
+  };
+  return options;
+}
+
+TraceContext Telemetry::start_trace(std::string root_name) {
+  return TraceContext(clock_, std::move(root_name), trace_options());
+}
+
+std::unique_ptr<TraceContext> Telemetry::make_trace(std::string root_name) {
+  return std::make_unique<TraceContext>(clock_, std::move(root_name), trace_options());
+}
+
+std::unique_ptr<TraceContext> Telemetry::make_remote_trace(std::string root_name,
+                                                           std::string trace_id,
+                                                           std::uint64_t parent_span) {
+  TraceContext::Options options = trace_options();
+  options.remote_trace_id = std::move(trace_id);
+  options.remote_parent_span = parent_span;
+  return std::make_unique<TraceContext>(clock_, std::move(root_name), std::move(options));
+}
+
+void Telemetry::notify(const TraceRecord& record) {
+  if (exporter_ != nullptr) exporter_->export_trace(record);
+  std::shared_ptr<const TraceListener> listener;
   {
     std::lock_guard lock(listener_mu_);
     listener = listener_;
   }
+  if (listener != nullptr && *listener) (*listener)(record);
+}
+
+void Telemetry::complete(TraceContext& trace) {
+  TraceRecord record = trace.finish();
+  notify(record);
+  traces_.add(std::move(record));
+}
+
+TraceRecord Telemetry::complete_and_collect(TraceContext& trace) {
+  TraceRecord record = trace.finish();
+  notify(record);
   traces_.add(record);
-  if (listener) listener(record);
+  return record;
 }
 
 void Telemetry::set_trace_listener(std::function<void(const TraceRecord&)> listener) {
   std::lock_guard lock(listener_mu_);
-  listener_ = std::move(listener);
+  listener_ = std::make_shared<const TraceListener>(std::move(listener));
+}
+
+void Telemetry::set_exporter(std::shared_ptr<JsonlExporter> exporter) {
+  exporter_ = std::move(exporter);
 }
 
 namespace {
@@ -59,6 +123,16 @@ format::InfoRecord Telemetry::metrics_record(const std::string& keyword,
         record.add(m.name + ":p50", strings::format("%.6f", h.quantile(0.5)));
         record.add(m.name + ":p95", strings::format("%.6f", h.quantile(0.95)));
         record.add(m.name + ":max", strings::format("%.6f", h.stats.max()));
+        // Exemplars: the bucket's upper edge keys the attribute, the value
+        // links straight back to a trace id (queryable via info=traces).
+        for (std::size_t i = 0; i < h.exemplars.size(); ++i) {
+          const Histogram::Exemplar& ex = h.exemplars[i];
+          if (ex.trace_id.empty()) continue;
+          std::string le =
+              i < h.boundaries.size() ? strings::format("%g", h.boundaries[i]) : "inf";
+          record.add(m.name + ":exemplar:" + le,
+                     strings::format("%s@%.6f", ex.trace_id.c_str(), ex.value));
+        }
         break;
       }
     }
@@ -79,17 +153,95 @@ format::InfoRecord Telemetry::traces_record(const std::string& keyword) const {
     record.add(trace.id + ":start_us", std::to_string(trace.start.count()));
     record.add(trace.id + ":duration_us", std::to_string(trace.duration.count()));
     record.add(trace.id + ":spans", std::to_string(trace.spans.size()));
-    // Child spans (skip the root, already summarized above).
+    // Child spans (skip the root, already summarized above). id/parent
+    // expose the stitched linkage, node the hop each span ran on.
     for (std::size_t i = 1; i < trace.spans.size(); ++i) {
       const SpanRecord& span = trace.spans[i];
       record.add(trace.id + ":span." + std::to_string(i),
-                 strings::format("%s status=%s start_us=%lld duration_us=%lld",
+                 strings::format("%s status=%s start_us=%lld duration_us=%lld "
+                                 "id=%s parent=%s node=%s",
                                  span.name.c_str(), span.status.c_str(),
                                  static_cast<long long>(span.start.count()),
-                                 static_cast<long long>(span.duration.count())));
+                                 static_cast<long long>(span.duration.count()),
+                                 to_hex(span.id).c_str(), to_hex(span.parent_id).c_str(),
+                                 span.node.empty() ? "-" : span.node.c_str()));
     }
   }
   return record;
+}
+
+format::InfoRecord Telemetry::slo_record(const std::string& keyword) {
+  format::InfoRecord record;
+  record.keyword = keyword;
+  record.generated_at = clock_.now();
+  std::vector<SloStatus> statuses = slo_.evaluate();
+  record.add("count", std::to_string(statuses.size()));
+  for (const SloStatus& s : statuses) {
+    const std::string& n = s.objective.name;
+    record.add(n + ":layer", s.objective.layer);
+    record.add(n + ":kind",
+               s.objective.kind == SloObjective::Kind::kLatency ? "latency" : "error_rate");
+    record.add(n + ":metric", s.objective.metric);
+    if (s.objective.kind == SloObjective::Kind::kLatency) {
+      record.add(n + ":threshold_s", strings::format("%g", s.objective.threshold_seconds));
+    }
+    record.add(n + ":target", strings::format("%g", s.objective.target));
+    record.add(n + ":good", std::to_string(s.good));
+    record.add(n + ":total", std::to_string(s.total));
+    record.add(n + ":compliance", strings::format("%.6f", s.compliance));
+    record.add(n + ":budget_remaining", strings::format("%.6f", s.budget_remaining));
+    record.add(n + ":alerting", s.alerting ? "true" : "false");
+    for (const BurnStatus& b : s.burns) {
+      record.add(n + ":burn." + b.rule.severity,
+                 strings::format("short=%.3f long=%.3f factor=%.1f alerting=%s",
+                                 b.short_burn, b.long_burn, b.rule.factor,
+                                 b.alerting ? "true" : "false"));
+    }
+  }
+  return record;
+}
+
+format::InfoRecord Telemetry::alerts_record(const std::string& keyword) {
+  format::InfoRecord record;
+  record.keyword = keyword;
+  record.generated_at = clock_.now();
+  std::vector<SloStatus> statuses = slo_.evaluate();
+  std::string firing;
+  std::size_t count = 0;
+  for (const SloStatus& s : statuses) {
+    if (!s.alerting) continue;
+    ++count;
+    if (!firing.empty()) firing += ",";
+    firing += s.objective.name;
+    record.add(s.objective.name + ":severity", s.severity);
+    record.add(s.objective.name + ":compliance", strings::format("%.6f", s.compliance));
+    record.add(s.objective.name + ":budget_remaining",
+               strings::format("%.6f", s.budget_remaining));
+  }
+  record.add("count", std::to_string(count));
+  record.add("firing", firing.empty() ? "none" : firing);
+  return record;
+}
+
+ScopedTrace::ScopedTrace(const std::shared_ptr<Telemetry>& telemetry, std::string root_name)
+    : telemetry_(telemetry) {
+  if (telemetry_ == nullptr) return;
+  if (!active_trace().empty()) return;  // join the enclosing trace instead
+  if (!telemetry_->should_sample()) {
+    suppress_.emplace();
+    return;
+  }
+  ctx_ = telemetry_->make_trace(std::move(root_name));
+  scope_.emplace(*ctx_);
+}
+
+ScopedTrace::~ScopedTrace() {
+  scope_.reset();  // restore the thread-local before completing
+  if (ctx_ != nullptr) telemetry_->complete(*ctx_);
+}
+
+void ScopedTrace::fail(std::string status) {
+  if (ctx_ != nullptr) ctx_->fail(std::move(status));
 }
 
 }  // namespace ig::obs

@@ -1,31 +1,59 @@
 // Telemetry — the bundle every instrumented layer shares.
 //
 // One Telemetry instance per service deployment carries the metrics
-// registry, the trace ring buffer and the clock. Components receive it as
-// a nullable shared_ptr and no-op without it, so observability is strictly
-// opt-in and costs nothing when absent.
+// registry, the trace ring buffer, the SLO engine and the clock.
+// Components receive it as a nullable shared_ptr and no-op without it, so
+// observability is strictly opt-in and costs nothing when absent.
 //
 // The InfoRecord builders here are what make the telemetry *self-
 // describing* in the paper's sense: the `obs` provider family
 // (src/info/obs_provider.hpp) exposes them as ordinary keywords, so
-// `info=metrics` / `info=traces` queries flow through the exact xRSL +
-// SystemMonitor + LDIF/XML path every other keyword uses, and show up in
-// `info=schema` reflection like any provider.
+// `info=metrics` / `info=traces` / `info=slo` / `info=alerts` queries
+// flow through the exact xRSL + SystemMonitor + LDIF/XML path every
+// other keyword uses, and show up in `info=schema` reflection like any
+// provider.
+//
+// Distributed additions (see src/obs/propagation.hpp): each Telemetry
+// carries a node id that tags every span it records, a deterministic
+// counter-based sampler deciding which root traces are recorded (the
+// decision propagates — an unsampled trace is unsampled on every hop),
+// and self-accounting: the `obs.trace.unfinished` gauge tracks open
+// contexts and `obs.trace.dropped` counts abandoned contexts plus ring
+// evictions, so the observability layer reports its own blind spots.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/clock.hpp"
 #include "format/record.hpp"
+#include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/propagation.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
 
 namespace ig::obs {
 
+/// Production default for root-trace sampling, applied by service wiring
+/// (InfoGramConfig::trace_sample_every): record 1 in 64 root traces.
+/// Metrics and SLOs keep full fidelity regardless — sampling only decides
+/// which requests additionally retain a span tree. A full trace cycle
+/// costs on the order of a microsecond; on InfoGram's µs-scale in-process
+/// pipeline, tracing every request would dominate the request itself,
+/// so the default amortizes it below the noise floor while exemplars and
+/// multi-hop stitching still surface steadily. A bare Telemetry still
+/// records everything (sample_every = 1) — least surprise for library
+/// use and tests.
+inline constexpr std::uint64_t kDefaultTraceSampling = 64;
+
 /// Well-known metric names, so instrumentation sites and tests agree.
+/// tools/check.sh lints this namespace: every constant must be used by an
+/// instrumentation site and documented in DESIGN.md's metric table.
 namespace metric {
 // src/net
 inline constexpr const char* kNetConnects = "net.connects";
@@ -40,6 +68,9 @@ inline constexpr const char* kAuthRejected = "auth.rejected";
 inline constexpr const char* kInfoCacheHits = "info.cache.hits";
 inline constexpr const char* kInfoCacheMisses = "info.cache.misses";
 inline constexpr const char* kInfoRefreshSeconds = "info.refresh.seconds";
+// Per-keyword refresh latency alongside the global histogram, so SLO
+// objectives can target one keyword's providers.
+inline constexpr const char* kInfoRefreshSecondsPrefix = "info.refresh.seconds.";  // + keyword
 inline constexpr const char* kInfoQuerySeconds = "info.query.seconds";
 // src/info background TTL prefetch: a hit refreshed an expiring entry
 // before it lapsed (the cache stayed warm), a miss found the entry
@@ -65,6 +96,10 @@ inline constexpr const char* kInfoBreakerHalfOpen = "info.breaker.half_open";
 inline constexpr const char* kInfoBreakerClosed = "info.breaker.closed";
 // Fired decisions of the seeded FaultInjector (wired via its fire hook).
 inline constexpr const char* kFaultInjected = "fault.injected";
+// src/obs self-accounting: traces lost to ring eviction or abandoned
+// contexts, and contexts currently open.
+inline constexpr const char* kTraceDropped = "obs.trace.dropped";
+inline constexpr const char* kTraceUnfinished = "obs.trace.unfinished";
 // src/exec
 inline constexpr const char* kExecQueueDepth = "exec.queue.depth";
 inline constexpr const char* kExecJobsQueued = "exec.jobs.queued";
@@ -101,40 +136,126 @@ inline constexpr const char* kFormatRenders = "format.renders";
 class Telemetry {
  public:
   explicit Telemetry(const Clock& clock, std::size_t trace_capacity = 64);
+  Telemetry(const Clock& clock, std::string node_id, std::size_t trace_capacity = 64);
 
   MetricsRegistry& metrics() { return metrics_; }
   const MetricsRegistry& metrics() const { return metrics_; }
   TraceStore& traces() { return traces_; }
   const TraceStore& traces() const { return traces_; }
   const Clock& clock() const { return clock_; }
+  SloEngine& slo() { return slo_; }
+
+  /// Node id stamped on every span this telemetry records ("" = untagged).
+  void set_node_id(std::string node_id) { node_id_ = std::move(node_id); }
+  const std::string& node_id() const { return node_id_; }
+
+  /// Record every Nth root trace (1 = all, the constructor default;
+  /// 0 treated as 1; service wiring applies kDefaultTraceSampling).
+  /// Deterministic and counter-based so tests stay reproducible. Remote
+  /// hops never consult the sampler — the originator's decision rides the
+  /// wire header. Sampling never touches metrics or SLO fidelity.
+  void set_trace_sampling(std::uint64_t every_n);
+  /// Advance the sampling counter and return this root's decision.
+  bool should_sample();
 
   /// Open a trace rooted at `root_name` on this telemetry's clock.
-  TraceContext start_trace(std::string root_name) const;
+  TraceContext start_trace(std::string root_name);
 
-  /// Finish `trace`, retain it in the store and invoke the trace listener
-  /// (the Logger bridge, when one is wired).
+  /// Heap-allocated variant for callers that need to keep the context in
+  /// a member/optional (TraceContext itself is pinned by design).
+  std::unique_ptr<TraceContext> make_trace(std::string root_name);
+
+  /// Join a propagated trace as a remote child: same trace id, root span
+  /// parented under the caller's hop span `parent_span`.
+  std::unique_ptr<TraceContext> make_remote_trace(std::string root_name,
+                                                  std::string trace_id,
+                                                  std::uint64_t parent_span);
+
+  /// Finish `trace`, retain it in the store (stitching with any other
+  /// hops already retained), export it when an exporter is attached, and
+  /// invoke the trace listener (the Logger bridge, when one is wired).
+  /// The record moves straight into the store — this is the hot path.
   void complete(TraceContext& trace);
+
+  /// complete() that also returns the finished record (one extra copy),
+  /// for serving layers that backhaul spans to the calling hop.
+  TraceRecord complete_and_collect(TraceContext& trace);
 
   /// Called with every completed trace; set once at service wiring time.
   void set_trace_listener(std::function<void(const TraceRecord&)> listener);
 
+  /// Durable JSONL sink for completed traces; set at wiring time.
+  void set_exporter(std::shared_ptr<JsonlExporter> exporter);
+  const std::shared_ptr<JsonlExporter>& exporter() const { return exporter_; }
+
   /// All metrics as one InfoRecord (keyword `metrics`). Counters/gauges
   /// become one attribute each; histograms expand to count/mean/stddev/
-  /// p50/p95/max. `prefixes` non-empty keeps only matching names
-  /// (keyword `metrics.jobs` uses {"gram.", "exec."}).
+  /// p50/p95/max plus `:exemplar:<le>` attributes (`<trace-id>@<value>`)
+  /// for buckets holding an exemplar. `prefixes` non-empty keeps only
+  /// matching names (keyword `metrics.jobs` uses {"gram.", "exec."}).
   format::InfoRecord metrics_record(const std::string& keyword,
                                     const std::vector<std::string>& prefixes = {}) const;
 
   /// The retained traces as one InfoRecord (keyword `traces`): per trace
-  /// `<id>:root/status/duration_us/spans`, plus one attribute per span.
+  /// `<id>:root/status/duration_us/spans`, plus one attribute per span
+  /// carrying its id, parent id and node tag.
   format::InfoRecord traces_record(const std::string& keyword) const;
 
+  /// Every objective's current evaluation (keyword `slo`).
+  format::InfoRecord slo_record(const std::string& keyword);
+
+  /// Only the firing objectives (keyword `alerts`) — empty record attrs
+  /// beyond `count`/`firing` mean all targets are met.
+  format::InfoRecord alerts_record(const std::string& keyword);
+
  private:
+  using TraceListener = std::function<void(const TraceRecord&)>;
+
+  TraceContext::Options trace_options();
+  void notify(const TraceRecord& record);
+
   const Clock& clock_;
+  std::string node_id_;
   MetricsRegistry metrics_;
   TraceStore traces_;
+  SloEngine slo_;
+  /// Self-accounting metrics resolved once — trace start/finish must not
+  /// pay a registry lookup per trace.
+  Gauge* unfinished_ = nullptr;
+  Counter* dropped_ = nullptr;
+  std::atomic<std::uint64_t> sample_every_{1};
+  std::atomic<std::uint64_t> sample_seq_{0};
+  std::shared_ptr<JsonlExporter> exporter_;
   mutable std::mutex listener_mu_;
-  std::function<void(const TraceRecord&)> listener_;
+  /// Snapshotted per complete(); shared_ptr so the copy is a refcount
+  /// bump, not a std::function clone.
+  std::shared_ptr<const TraceListener> listener_;
+};
+
+/// RAII root trace for fire-and-forget instrumentation sites (broker
+/// lookups, gossip rounds): opens a sampled trace, makes it the thread's
+/// active trace so outbound hops propagate it, and completes it on scope
+/// exit. Collapses to (almost) nothing when `telemetry` is null, an
+/// enclosing trace is already active (the site becomes spans of that
+/// trace instead), or the sampler declines (the scope suppresses, so the
+/// decision propagates).
+class ScopedTrace {
+ public:
+  ScopedTrace(const std::shared_ptr<Telemetry>& telemetry, std::string root_name);
+  ~ScopedTrace();
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+
+  /// The owned context; null when this scope did not open a trace.
+  TraceContext* context() { return ctx_.get(); }
+  /// Mark the root as failed (no-op without an owned context).
+  void fail(std::string status);
+
+ private:
+  std::shared_ptr<Telemetry> telemetry_;
+  std::unique_ptr<TraceContext> ctx_;
+  std::optional<TraceScope> scope_;
+  std::optional<SuppressScope> suppress_;
 };
 
 }  // namespace ig::obs

@@ -1,26 +1,62 @@
 #include "obs/trace.hpp"
 
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
 #include "common/id.hpp"
 
 namespace ig::obs {
 
-TraceContext::TraceContext(const Clock& clock, std::string root_name) : clock_(clock) {
+TraceContext::TraceContext(const Clock& clock, std::string root_name)
+    : TraceContext(clock, std::move(root_name), Options{}) {}
+
+TraceContext::TraceContext(const Clock& clock, std::string root_name, Options options)
+    : clock_(clock),
+      node_(std::move(options.node)),
+      on_finish_(std::move(options.on_finish)),
+      on_abandon_(std::move(options.on_abandon)) {
   TimePoint now = clock_.now();
   // Deterministic under a VirtualClock: the id mixes the monotonic process
   // counter with the injected clock's time, never the wall clock.
   std::uint64_t seq = IdGenerator::next();
-  id_ = to_hex(fnv1a(root_name + ":" + std::to_string(seq),
-                     0x9e3779b97f4a7c15ULL ^ static_cast<std::uint64_t>(now.count())));
+  if (options.remote_trace_id.empty()) {
+    id_ = to_hex(fnv1a(root_name, 0x9e3779b97f4a7c15ULL ^
+                                      static_cast<std::uint64_t>(now.count()) ^
+                                      (seq * 0x100000001b3ULL)));
+  } else {
+    // Joining a propagated trace: keep the originator's id so every hop's
+    // spans stitch into one record, and parent our root span under the
+    // caller's hop span.
+    id_ = std::move(options.remote_trace_id);
+    remote_ = true;
+  }
   record_.id = id_;
   record_.root = root_name;
   record_.start = now;
 
   SpanRecord root;
   root.id = seq;
-  root.parent_id = 0;
+  root.parent_id = remote_ ? options.remote_parent_span : 0;
   root.name = std::move(root_name);
+  root.node = node_;
   root.start = now;
   record_.spans.push_back(std::move(root));
+}
+
+TraceContext::~TraceContext() {
+  bool abandoned = false;
+  {
+    std::lock_guard lock(mu_);
+    abandoned = !finished_;
+  }
+  if (abandoned && on_abandon_) on_abandon_();
+}
+
+std::uint64_t TraceContext::root_span_id() const {
+  std::lock_guard lock(mu_);
+  // Spent contexts (finish() moved the spans out) have no root to offer.
+  return record_.spans.empty() ? 0 : record_.spans.front().id;
 }
 
 TraceContext::Span::Span(Span&& other) noexcept
@@ -42,15 +78,28 @@ TraceContext::Span TraceContext::span(std::string name, std::uint64_t parent_id)
   SpanRecord span;
   span.id = IdGenerator::next();
   span.name = std::move(name);
+  span.node = node_;
   span.start = clock_.now();
   std::lock_guard lock(mu_);
-  span.parent_id = parent_id != 0 ? parent_id : record_.spans.front().id;
   if (finished_) {
     // Spent context: hand back a detached handle (end() is a no-op).
     return Span(nullptr, 0, span.id);
   }
+  span.parent_id = parent_id != 0 ? parent_id : record_.spans.front().id;
   record_.spans.push_back(std::move(span));
   return Span(this, record_.spans.size() - 1, record_.spans.back().id);
+}
+
+void TraceContext::adopt(std::vector<SpanRecord> spans) {
+  std::lock_guard lock(mu_);
+  if (finished_) return;
+  std::unordered_set<std::uint64_t> have;
+  have.reserve(record_.spans.size() + spans.size());
+  for (const SpanRecord& s : record_.spans) have.insert(s.id);
+  for (SpanRecord& s : spans) {
+    if (!have.insert(s.id).second) continue;
+    record_.spans.push_back(std::move(s));
+  }
 }
 
 void TraceContext::end_span(std::size_t index, std::string status) {
@@ -69,15 +118,25 @@ void TraceContext::fail(std::string status) {
 
 TraceRecord TraceContext::finish() {
   TimePoint now = clock_.now();
-  std::lock_guard lock(mu_);
-  if (!finished_) {
-    finished_ = true;
-    record_.duration = now - record_.start;
-    SpanRecord& root = record_.spans.front();
-    root.duration = record_.duration;
-    root.status = record_.status;
+  bool first = false;
+  TraceRecord out;
+  {
+    std::lock_guard lock(mu_);
+    if (!finished_) {
+      finished_ = true;
+      first = true;
+      record_.duration = now - record_.start;
+      SpanRecord& root = record_.spans.front();
+      root.duration = record_.duration;
+      root.status = record_.status;
+      // The context is spent: hand the record over instead of copying it
+      // (completion is per-request hot path). A second finish() returns
+      // an empty record.
+      out = std::move(record_);
+    }
   }
-  return record_;
+  if (first && on_finish_) on_finish_();
+  return out;
 }
 
 bool TraceContext::finished() const {
@@ -87,16 +146,77 @@ bool TraceContext::finished() const {
 
 TraceStore::TraceStore(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
 
+namespace {
+
+/// Merge `incoming` into the retained `base` segment for the same trace
+/// id: dedupe spans by id, let the segment whose root span has parent 0
+/// own the trace-level fields, widen the duration to cover both, and keep
+/// the first non-"ok" status.
+void merge_segments(TraceRecord& base, TraceRecord&& incoming) {
+  std::unordered_set<std::uint64_t> have;
+  have.reserve(base.spans.size() + incoming.spans.size());
+  for (const SpanRecord& s : base.spans) have.insert(s.id);
+  for (SpanRecord& s : incoming.spans) {
+    if (!have.insert(s.id).second) continue;
+    base.spans.push_back(std::move(s));
+  }
+  // The origin segment (root span with no remote parent) names the trace.
+  bool incoming_is_origin =
+      !incoming.spans.empty() && incoming.spans.front().parent_id == 0;
+  bool base_is_origin = !base.spans.empty() && base.spans.front().parent_id == 0;
+  if (incoming_is_origin && !base_is_origin) {
+    base.root = incoming.root;
+    // Keep the origin's root span at the front (traces_record treats
+    // spans[0] as the summary line).
+    auto it = std::find_if(base.spans.begin(), base.spans.end(),
+                           [&](const SpanRecord& s) { return s.id == incoming.spans.front().id; });
+    if (it != base.spans.end()) std::rotate(base.spans.begin(), it, it + 1);
+  }
+  TimePoint start = std::min(base.start, incoming.start);
+  TimePoint end = std::max(base.start + base.duration, incoming.start + incoming.duration);
+  base.start = start;
+  base.duration = end - start;
+  if (base.status == "ok" && incoming.status != "ok") base.status = incoming.status;
+}
+
+}  // namespace
+
 void TraceStore::add(TraceRecord record) {
-  std::lock_guard lock(mu_);
-  ++completed_;
-  traces_.push_back(std::move(record));
-  while (traces_.size() > capacity_) traces_.pop_front();
+  std::vector<TraceRecord> evicted;
+  {
+    std::lock_guard lock(mu_);
+    auto it = index_.find(record.id);
+    if (it != index_.end()) {
+      // Another hop of a trace we already hold: stitch, don't re-count.
+      merge_segments(*it->second, std::move(record));
+    } else {
+      ++completed_;
+      traces_.push_back(std::move(record));
+      index_.emplace(traces_.back().id, &traces_.back());
+      while (traces_.size() > capacity_) {
+        index_.erase(traces_.front().id);
+        evicted.push_back(std::move(traces_.front()));
+        traces_.pop_front();
+      }
+    }
+  }
+  if (on_evict_) {
+    for (const TraceRecord& gone : evicted) on_evict_(gone);
+  }
 }
 
 std::vector<TraceRecord> TraceStore::snapshot() const {
   std::lock_guard lock(mu_);
   return {traces_.begin(), traces_.end()};
+}
+
+std::vector<TraceRecord> TraceStore::find(const std::string& id) const {
+  std::lock_guard lock(mu_);
+  std::vector<TraceRecord> out;
+  for (const TraceRecord& t : traces_) {
+    if (t.id == id) out.push_back(t);
+  }
+  return out;
 }
 
 std::size_t TraceStore::size() const {
@@ -107,6 +227,11 @@ std::size_t TraceStore::size() const {
 std::uint64_t TraceStore::completed() const {
   std::lock_guard lock(mu_);
   return completed_;
+}
+
+void TraceStore::set_on_evict(std::function<void(const TraceRecord&)> on_evict) {
+  // Wiring-time only (before traffic), like set_trace_listener.
+  on_evict_ = std::move(on_evict);
 }
 
 }  // namespace ig::obs

@@ -1,4 +1,4 @@
-// Request tracing.
+// Request tracing — now distributed across grid hops.
 //
 // Every request entering the unified endpoint gets a TraceContext: a
 // trace id plus a root span, carried by pointer down the dispatch path
@@ -9,14 +9,25 @@
 // service itself (info=traces) — the dogfooding analogue of the paper's
 // `performance` tag.
 //
+// Cross-hop stitching: a serving node that extracts a propagated wire
+// context (src/obs/propagation.hpp) opens a *remote child* context —
+// same trace id, root span parented under the caller's hop span — and
+// returns its finished spans to the caller, which adopts them. Spans are
+// tagged with the node id they ran on, so one TraceRecord describes a
+// query that fanned through the MDS hierarchy, discovery gossip or
+// co-allocation, hop by hop. The TraceStore additionally merges segments
+// that arrive separately under one trace id (nodes sharing a store).
+//
 // Ids come from the process-wide IdGenerator and the *injected* Clock, so
 // a VirtualClock keeps every recorded timestamp deterministic in tests.
 #pragma once
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/clock.hpp"
@@ -26,8 +37,9 @@ namespace ig::obs {
 /// One completed (or still-open) span inside a trace.
 struct SpanRecord {
   std::uint64_t id = 0;
-  std::uint64_t parent_id = 0;  ///< 0 = root span
+  std::uint64_t parent_id = 0;  ///< 0 = root span of the whole trace
   std::string name;
+  std::string node;  ///< node id the span ran on ("" = untagged)
   TimePoint start{0};
   Duration duration{0};
   std::string status = "ok";
@@ -37,26 +49,43 @@ struct SpanRecord {
 
 /// A finished trace: the root request plus its spans, oldest first.
 struct TraceRecord {
-  std::string id;  ///< 16-char hex trace id
+  std::string id;  ///< 16-char hex trace id, shared by every hop
   std::string root;
   TimePoint start{0};
   Duration duration{0};
   std::string status = "ok";
-  std::vector<SpanRecord> spans;  ///< spans[0] is the root span
+  std::vector<SpanRecord> spans;  ///< spans[0] is this segment's root span
 
   friend bool operator==(const TraceRecord&, const TraceRecord&) = default;
 };
 
 /// The in-flight side of a trace. Thread-safe: concurrent layers may open
-/// spans against the same context. Move-only.
+/// spans against the same context. Neither copyable nor movable (spans
+/// hold a back-pointer).
 class TraceContext {
  public:
+  /// Extra wiring for distributed traces; all fields optional.
+  struct Options {
+    std::string node;             ///< tag every span with this node id
+    std::string remote_trace_id;  ///< non-empty: join this propagated trace
+    std::uint64_t remote_parent_span = 0;  ///< caller's hop span id
+    std::function<void()> on_finish;       ///< first successful finish()
+    std::function<void()> on_abandon;      ///< destroyed without finish()
+  };
+
   TraceContext(const Clock& clock, std::string root_name);
+  TraceContext(const Clock& clock, std::string root_name, Options options);
+  ~TraceContext();
 
   TraceContext(const TraceContext&) = delete;
   TraceContext& operator=(const TraceContext&) = delete;
 
   const std::string& id() const { return id_; }
+  /// Id of this segment's root span (what remote children parent under).
+  std::uint64_t root_span_id() const;
+  /// True when this context joined a propagated trace rather than
+  /// starting one (its root span has a remote parent).
+  bool remote() const { return remote_; }
 
   /// RAII child-span handle: ends (status "ok") on destruction unless
   /// end() was called explicitly.
@@ -84,11 +113,17 @@ class TraceContext {
   /// Open a child span. `parent_id` 0 parents it under the root span.
   Span span(std::string name, std::uint64_t parent_id = 0);
 
+  /// Merge spans returned by a remote hop (already linked to one of our
+  /// span ids via their parent_id). Duplicate span ids are dropped, so
+  /// adopting the same backhaul twice is harmless. No-op once finished.
+  void adopt(std::vector<SpanRecord> spans);
+
   /// Mark the whole trace as failed (root status).
   void fail(std::string status);
 
-  /// Close the root span and return the finished record. The context is
-  /// spent afterwards; further spans are dropped.
+  /// Close the root span and hand over the finished record (moved out,
+  /// not copied). The context is spent afterwards; further spans are
+  /// dropped and a repeated finish() returns an empty record.
   TraceRecord finish();
 
   bool finished() const;
@@ -98,12 +133,21 @@ class TraceContext {
 
   const Clock& clock_;
   std::string id_;
+  std::string node_;
+  bool remote_ = false;
+  std::function<void()> on_finish_;
+  std::function<void()> on_abandon_;
   mutable std::mutex mu_;
   TraceRecord record_;
   bool finished_ = false;
 };
 
-/// Ring buffer of the last N completed traces.
+/// Ring buffer of the last N completed traces. add() *stitches*: a record
+/// whose trace id is already retained merges into the existing entry
+/// (spans deduplicated by id, the segment whose root span has parent 0
+/// providing the trace-level fields) instead of occupying a new slot —
+/// multiple nodes sharing one store yield one record per distributed
+/// trace.
 class TraceStore {
  public:
   explicit TraceStore(std::size_t capacity = 64);
@@ -113,16 +157,29 @@ class TraceStore {
   /// Oldest-first copy of the retained traces.
   std::vector<TraceRecord> snapshot() const;
 
+  /// Retained trace by id, if still in the ring.
+  std::vector<TraceRecord> find(const std::string& id) const;
+
   std::size_t size() const;
   std::size_t capacity() const { return capacity_; }
-  /// Total traces ever completed (including evicted ones).
+  /// Total traces ever completed (including evicted ones); merged
+  /// segments count toward the trace they joined, not separately.
   std::uint64_t completed() const;
+
+  /// Called (outside the store lock) for every record the ring evicts —
+  /// the observability layer's own blind-spot counter hangs off this.
+  void set_on_evict(std::function<void(const TraceRecord&)> on_evict);
 
  private:
   std::size_t capacity_;
   mutable std::mutex mu_;
   std::deque<TraceRecord> traces_;
+  /// id -> retained record, so add() stitches without scanning the ring.
+  /// Deque pointers are stable under push_back/pop_front; entries are
+  /// erased before their record leaves the ring.
+  std::unordered_map<std::string, TraceRecord*> index_;
   std::uint64_t completed_ = 0;
+  std::function<void(const TraceRecord&)> on_evict_;
 };
 
 }  // namespace ig::obs

@@ -1,6 +1,7 @@
 #include "soap/gateway.hpp"
 
 #include "common/strings.hpp"
+#include "net/traced.hpp"
 
 namespace ig::soap {
 
@@ -29,6 +30,16 @@ void SoapGateway::stop() {
 }
 
 net::Message SoapGateway::handle(const net::Message& request, net::Session& session) {
+  // SOAP posts are a grid hop like any other: extract the wire context so
+  // the envelope dispatch (and everything service_.execute touches) joins
+  // the caller's trace, and backhaul our spans in the response.
+  return net::serve_traced(service_.telemetry(), "soap:" + request.verb, request, session,
+                           [this](const net::Message& req, net::Session& s) {
+                             return serve(req, s);
+                           });
+}
+
+net::Message SoapGateway::serve(const net::Message& request, net::Session& session) {
   if (request.verb == "GET_WSDL") return net::Message::ok(describe());
   if (request.verb != "SOAP") {
     return net::Message::error(

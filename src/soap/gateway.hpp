@@ -40,6 +40,7 @@ class SoapGateway {
 
  private:
   net::Message handle(const net::Message& request, net::Session& session);
+  net::Message serve(const net::Message& request, net::Session& session);
   Result<Operation> dispatch(const Operation& op, net::Session& session);
 
   core::InfoGramService& service_;

@@ -206,6 +206,7 @@ TEST_F(IntegrationTest, MetricDeltasMatchWorkload) {
   grid::ResourceOptions options;
   options.host = "observed.sim";
   options.telemetry = std::make_shared<obs::Telemetry>(clock);
+  options.trace_sample_every = 1;  // assertions count every request's trace
   auto resource = vo.add_resource(options);
   ASSERT_TRUE(resource.ok());
   core::InfoGramClient client(network, (*resource)->infogram_address(), user, vo.trust(),

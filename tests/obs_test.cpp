@@ -2,6 +2,8 @@
 // provider family that makes both queryable through InfoGram itself.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <thread>
 #include <vector>
 
@@ -9,7 +11,10 @@
 #include "core/infogram_client.hpp"
 #include "core/infogram_service.hpp"
 #include "exec/fork_backend.hpp"
+#include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/propagation.hpp"
+#include "obs/slo.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "test_util.hpp"
@@ -213,6 +218,396 @@ TEST(TraceStoreTest, RingBufferEvictsOldest) {
   EXPECT_EQ(traces.back().root, "r4");
 }
 
+// ---------- Wire propagation codecs ----------
+
+TEST(PropagationTest, WireContextRoundTrips) {
+  WireContext ctx;
+  ctx.trace_id = "00ab34cd56ef7890";
+  ctx.parent_span = 0xdeadbeef;
+  ctx.sampled = true;
+  auto decoded = WireContext::decode(ctx.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->trace_id, ctx.trace_id);
+  EXPECT_EQ(decoded->parent_span, ctx.parent_span);
+  EXPECT_TRUE(decoded->sampled);
+
+  ctx.sampled = false;
+  decoded = WireContext::decode(ctx.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_FALSE(decoded->sampled);
+}
+
+TEST(PropagationTest, MalformedWireContextRejected) {
+  EXPECT_FALSE(WireContext::decode("").has_value());
+  EXPECT_FALSE(WireContext::decode("justoneid").has_value());
+  EXPECT_FALSE(WireContext::decode("id;nothex;1").has_value());
+  EXPECT_FALSE(WireContext::decode("id;ff;2").has_value());
+  EXPECT_FALSE(WireContext::decode(";ff;1").has_value());
+}
+
+TEST(PropagationTest, SpanCodecRoundTripsWithDelimiters) {
+  std::vector<SpanRecord> spans;
+  SpanRecord a;
+  a.id = 1;
+  a.parent_id = 0;
+  a.name = "rpc:MDS_SEARCH@host,with|odd%chars";
+  a.node = "leaf.sim";
+  a.start = TimePoint(1000);
+  a.duration = ms(5);
+  a.status = "error: stale, retry";
+  spans.push_back(a);
+  SpanRecord b;
+  b.id = 2;
+  b.parent_id = 1;
+  b.name = "info:CPULoad";
+  b.start = TimePoint(2000);
+  b.duration = ms(1);
+  spans.push_back(b);
+
+  auto decoded = decode_spans(encode_spans(spans));
+  ASSERT_EQ(decoded.size(), 2u);
+  EXPECT_EQ(decoded[0], a);
+  EXPECT_EQ(decoded[1], b);
+}
+
+TEST(PropagationTest, SpanCodecCapsAndSkipsMalformed) {
+  std::vector<SpanRecord> spans(10);
+  for (std::size_t i = 0; i < spans.size(); ++i) spans[i].id = i + 1;
+  auto capped = decode_spans(encode_spans(spans, 3));
+  EXPECT_EQ(capped.size(), 3u);
+  // Malformed records are skipped, never fatal.
+  auto tolerant = decode_spans("garbage|" + encode_spans({spans[0]}) + "|also,bad");
+  ASSERT_EQ(tolerant.size(), 1u);
+  EXPECT_EQ(tolerant[0].id, 1u);
+}
+
+TEST(PropagationTest, ScopesSaveAndRestoreThreadState) {
+  VirtualClock clock;
+  EXPECT_TRUE(active_trace().empty());
+  TraceContext outer(clock, "outer");
+  {
+    TraceScope scope(outer);
+    EXPECT_EQ(active_trace().ctx, &outer);
+    {
+      DetachScope boundary;  // the simulated process boundary
+      EXPECT_TRUE(active_trace().empty());
+      {
+        PassThroughScope foreign("abcd", 7);
+        EXPECT_EQ(active_trace().foreign_trace_id, "abcd");
+        EXPECT_EQ(active_trace().foreign_parent, 7u);
+      }
+      {
+        SuppressScope off;
+        EXPECT_TRUE(active_trace().suppressed);
+      }
+      EXPECT_TRUE(active_trace().empty());
+    }
+    EXPECT_EQ(active_trace().ctx, &outer);
+  }
+  EXPECT_TRUE(active_trace().empty());
+  outer.finish();
+}
+
+// ---------- Cross-hop stitching ----------
+
+TEST(TraceStitchTest, RemoteChildJoinsPropagatedTrace) {
+  VirtualClock clock;
+  TraceContext origin(clock, "client");
+  auto hop = origin.span("rpc:SEARCH@leaf");
+
+  TraceContext::Options options;
+  options.node = "leaf.sim";
+  options.remote_trace_id = origin.id();
+  options.remote_parent_span = hop.id();
+  TraceContext remote(clock, "SEARCH", options);
+  EXPECT_TRUE(remote.remote());
+  EXPECT_EQ(remote.id(), origin.id());
+  { auto work = remote.span("search"); }
+  TraceRecord remote_record = remote.finish();
+  // Remote root parents under the caller's hop span; every span is tagged.
+  EXPECT_EQ(remote_record.spans[0].parent_id, hop.id());
+  for (const auto& s : remote_record.spans) EXPECT_EQ(s.node, "leaf.sim");
+
+  hop.end();
+  origin.adopt(remote_record.spans);
+  origin.adopt(remote_record.spans);  // duplicate backhaul is harmless
+  TraceRecord stitched = origin.finish();
+  // client root + hop + remote root + remote child, deduplicated.
+  ASSERT_EQ(stitched.spans.size(), 4u);
+  bool found_remote_root = false;
+  for (const auto& s : stitched.spans) {
+    if (s.id == remote_record.spans[0].id) {
+      found_remote_root = true;
+      EXPECT_EQ(s.parent_id, hop.id());
+    }
+  }
+  EXPECT_TRUE(found_remote_root);
+}
+
+TEST(TraceStitchTest, StoreMergesSegmentsOfOneTrace) {
+  VirtualClock clock;
+  TraceStore store(4);
+
+  TraceContext origin(clock, "client");
+  auto hop = origin.span("rpc:Q@leaf");
+  TraceContext::Options options;
+  options.node = "leaf.sim";
+  options.remote_trace_id = origin.id();
+  options.remote_parent_span = hop.id();
+  TraceContext remote(clock, "Q", options);
+  clock.advance(ms(3));
+  remote.fail("error:stale");
+  TraceRecord remote_record = remote.finish();
+  hop.end();
+  clock.advance(ms(2));
+  TraceRecord origin_record = origin.finish();
+
+  // The remote segment lands first (it finished first), then the origin:
+  // one retained record, origin fields, remote status wins over "ok".
+  store.add(remote_record);
+  store.add(origin_record);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.completed(), 1u);  // merged segments are one trace
+  auto found = store.find(origin.id());
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].root, "client");
+  EXPECT_EQ(found[0].status, "error:stale");
+  EXPECT_EQ(found[0].spans[0].parent_id, 0u);  // origin root rotated to front
+  EXPECT_EQ(found[0].spans.size(), 3u);  // origin root + hop + remote root
+  EXPECT_EQ(found[0].duration, ms(5));  // widened to cover both segments
+}
+
+// ---------- Self-accounting (dropped / unfinished) ----------
+
+TEST(TelemetryTest, UnfinishedGaugeAndDroppedCounterTrackContexts) {
+  VirtualClock clock;
+  Telemetry telemetry(clock, "n1");
+  Gauge& unfinished = telemetry.metrics().gauge(metric::kTraceUnfinished);
+  Counter& dropped = telemetry.metrics().counter(metric::kTraceDropped);
+
+  {
+    auto trace = telemetry.make_trace("served");
+    EXPECT_EQ(unfinished.value(), 1);
+    telemetry.complete(*trace);
+    EXPECT_EQ(unfinished.value(), 0);
+  }
+  EXPECT_EQ(dropped.value(), 0u);
+
+  {
+    auto trace = telemetry.make_trace("abandoned");
+    EXPECT_EQ(unfinished.value(), 1);
+  }  // destroyed without finish(): a blind spot, and counted as one
+  EXPECT_EQ(unfinished.value(), 0);
+  EXPECT_EQ(dropped.value(), 1u);
+}
+
+TEST(TelemetryTest, RingEvictionCountsAsDropped) {
+  VirtualClock clock;
+  Telemetry telemetry(clock, "n1", /*trace_capacity=*/2);
+  for (int i = 0; i < 5; ++i) {
+    auto trace = telemetry.make_trace("t" + std::to_string(i));
+    telemetry.complete(*trace);
+  }
+  EXPECT_EQ(telemetry.traces().size(), 2u);
+  EXPECT_EQ(telemetry.metrics().counter(metric::kTraceDropped).value(), 3u);
+}
+
+// ---------- Exemplars ----------
+
+TEST(MetricsTest, HistogramKeepsLatestExemplarPerBucket) {
+  Histogram h({0.1, 1.0});
+  h.observe(0.05, "trace-a");
+  h.observe(0.07, "trace-b");  // same bucket: latest wins
+  h.observe(0.5, "trace-c");
+  h.observe(99.0, "trace-d");  // overflow bucket
+  h.observe(0.06);             // plain observation leaves exemplars alone
+  auto snap = h.snapshot();
+  ASSERT_EQ(snap.exemplars.size(), 3u);  // parallel to counts; empty id = none
+  EXPECT_EQ(snap.exemplars[0].trace_id, "trace-b");
+  EXPECT_DOUBLE_EQ(snap.exemplars[0].value, 0.07);
+  EXPECT_EQ(snap.exemplars[1].trace_id, "trace-c");
+  EXPECT_EQ(snap.exemplars[2].trace_id, "trace-d");
+}
+
+TEST(TelemetryTest, MetricsRecordRendersExemplars) {
+  VirtualClock clock;
+  Telemetry telemetry(clock);
+  telemetry.metrics()
+      .histogram(metric::kRequestSeconds)
+      .observe(0.002, "aabbccdd00112233");
+  auto record = telemetry.metrics_record("metrics");
+  bool saw_exemplar = false;
+  for (const auto& attr : record.attributes) {
+    if (attr.name.find(":exemplar:") != std::string::npos) {
+      saw_exemplar = true;
+      EXPECT_NE(attr.value.find("aabbccdd00112233@"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(saw_exemplar);
+}
+
+// ---------- Sampling ----------
+
+TEST(TelemetryTest, CounterBasedSamplingIsDeterministic) {
+  VirtualClock clock;
+  Telemetry telemetry(clock);
+  telemetry.set_trace_sampling(3);
+  std::vector<bool> decisions;
+  for (int i = 0; i < 6; ++i) decisions.push_back(telemetry.should_sample());
+  EXPECT_EQ(decisions, (std::vector<bool>{true, false, false, true, false, false}));
+  telemetry.set_trace_sampling(0);  // treated as 1: record everything
+  EXPECT_TRUE(telemetry.should_sample());
+  EXPECT_TRUE(telemetry.should_sample());
+}
+
+// ---------- SLO engine ----------
+
+TEST(SloTest, LatencyObjectiveBurnsAndAlertsOnBothWindows) {
+  VirtualClock clock(seconds(1000));
+  MetricsRegistry metrics;
+  SloEngine engine(metrics, clock);
+  SloObjective objective;
+  objective.name = "lat";
+  objective.layer = "core";
+  objective.kind = SloObjective::Kind::kLatency;
+  objective.metric = "req.seconds";
+  objective.threshold_seconds = 0.5;
+  objective.target = 0.99;  // a 100%-bad stream burns at 1/(1-0.99) = 100x
+  engine.add(objective);
+  EXPECT_EQ(engine.size(), 1u);
+
+  Histogram& h = metrics.histogram("req.seconds", {0.1, 0.5, 1.0});
+  for (int i = 0; i < 100; ++i) h.observe(0.01);  // all good
+  auto statuses = engine.evaluate();
+  ASSERT_EQ(statuses.size(), 1u);
+  EXPECT_EQ(statuses[0].good, 100u);
+  EXPECT_EQ(statuses[0].total, 100u);
+  EXPECT_DOUBLE_EQ(statuses[0].compliance, 1.0);
+  EXPECT_FALSE(statuses[0].alerting);
+
+  // Sustain a 100%-bad stream long enough to cover BOTH page windows
+  // (5m short, 1h long): only then does the multi-window rule fire.
+  for (int minute = 0; minute < 70; ++minute) {
+    for (int i = 0; i < 10; ++i) h.observe(2.0);  // above threshold = bad
+    clock.advance(seconds(60));
+    statuses = engine.evaluate();
+  }
+  ASSERT_EQ(statuses.size(), 1u);
+  EXPECT_TRUE(statuses[0].alerting);
+  EXPECT_EQ(statuses[0].severity, "page");
+  ASSERT_EQ(statuses[0].burns.size(), 2u);  // default page + ticket pair
+  EXPECT_TRUE(statuses[0].burns[0].alerting);
+  EXPECT_GE(statuses[0].burns[0].short_burn, 14.4);
+  EXPECT_LT(statuses[0].budget_remaining, 1.0);
+}
+
+TEST(SloTest, BriefSpikeDoesNotPage) {
+  VirtualClock clock(seconds(1000));
+  MetricsRegistry metrics;
+  SloEngine engine(metrics, clock);
+  SloObjective objective;
+  objective.name = "lat";
+  objective.kind = SloObjective::Kind::kLatency;
+  objective.metric = "req.seconds";
+  objective.threshold_seconds = 0.5;
+  objective.target = 0.99;
+  engine.add(objective);
+  Histogram& h = metrics.histogram("req.seconds", {0.1, 0.5, 1.0});
+
+  // An hour of good traffic, then one bad minute: the short window
+  // burns hot (20x) but the long window stays calm, so no page fires.
+  for (int minute = 0; minute < 60; ++minute) {
+    for (int i = 0; i < 100; ++i) h.observe(0.01);
+    clock.advance(seconds(60));
+    engine.evaluate();
+  }
+  for (int i = 0; i < 100; ++i) h.observe(2.0);
+  clock.advance(seconds(60));
+  auto statuses = engine.evaluate();
+  ASSERT_EQ(statuses.size(), 1u);
+  EXPECT_FALSE(statuses[0].alerting);
+}
+
+TEST(SloTest, ErrorRateObjectiveReadsCounterPair) {
+  VirtualClock clock(seconds(1000));
+  MetricsRegistry metrics;
+  SloEngine engine(metrics, clock);
+  SloObjective objective;
+  objective.name = "avail";
+  objective.kind = SloObjective::Kind::kErrorRate;
+  objective.metric = "req.errors";
+  objective.total_metric = "req.total";
+  objective.target = 0.99;
+  engine.add(objective);
+
+  metrics.counter("req.total").add(1000);
+  metrics.counter("req.errors").add(30);
+  auto statuses = engine.evaluate();
+  ASSERT_EQ(statuses.size(), 1u);
+  EXPECT_EQ(statuses[0].total, 1000u);
+  EXPECT_EQ(statuses[0].good, 970u);
+  EXPECT_DOUBLE_EQ(statuses[0].compliance, 0.97);
+}
+
+// ---------- JSONL exporter ----------
+
+TEST(ExporterTest, WritesSampledTracesDurably) {
+  std::string path = ::testing::TempDir() + "/infogram_traces.jsonl";
+  std::remove(path.c_str());
+  VirtualClock clock;
+  JsonlExporter::Options options;
+  options.sample_every = 2;
+  JsonlExporter exporter(path, options);
+  for (int i = 0; i < 5; ++i) {
+    TraceContext trace(clock, "r" + std::to_string(i));
+    exporter.export_trace(trace.finish());
+  }
+  // Deterministic 1-in-2: r0, r2, r4 exported (the first always is).
+  EXPECT_EQ(exporter.exported(), 3u);
+  EXPECT_EQ(exporter.skipped(), 2u);
+  // Durable while the exporter is still open: flush-per-line semantics.
+  auto lines = JsonlExporter::read_lines(path);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_NE(lines[0].find("\"root\":\"r0\""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"root\":\"r4\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ExporterTest, TornTailDroppedOnRead) {
+  std::string path = ::testing::TempDir() + "/infogram_traces_torn.jsonl";
+  std::remove(path.c_str());
+  VirtualClock clock;
+  {
+    JsonlExporter exporter(path);
+    TraceContext trace(clock, "whole");
+    exporter.export_trace(trace.finish());
+  }
+  {
+    std::ofstream torn(path, std::ios::app);
+    torn << "{\"type\":\"trace\",\"root\":\"to";  // crash mid-line
+  }
+  auto lines = JsonlExporter::read_lines(path);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("whole"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ExporterTest, MissingFileReadsEmptyAndMetricsExport) {
+  EXPECT_TRUE(JsonlExporter::read_lines("/nonexistent/dir/x.jsonl").empty());
+
+  std::string path = ::testing::TempDir() + "/infogram_metrics.jsonl";
+  std::remove(path.c_str());
+  VirtualClock clock;
+  JsonlExporter exporter(path);
+  MetricsRegistry metrics;
+  metrics.counter("requests.total").add(42);
+  exporter.export_metrics(metrics, clock.now());
+  auto lines = JsonlExporter::read_lines(path);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"requests.total\":42"), std::string::npos);
+  std::remove(path.c_str());
+}
+
 // ---------- Telemetry records ----------
 
 TEST(TelemetryTest, MetricsRecordRendersAllKinds) {
@@ -270,11 +665,14 @@ class ObsServiceTest : public ig::test::GridFixture {
  protected:
   ObsServiceTest() : backend(std::make_shared<exec::ForkBackend>(registry, *clock)) {}
 
-  void start_service() {
+  /// Default 1 (trace every request): these tests assert on specific
+  /// requests' traces. Pass a rate to exercise the sampling contract.
+  void start_service(std::uint64_t trace_sample_every = 1) {
     telemetry = std::make_shared<Telemetry>(*clock);
     core::InfoGramConfig config;
     config.host = "test.sim";
     config.telemetry = telemetry;
+    config.trace_sample_every = trace_sample_every;
     monitor = std::make_shared<info::SystemMonitor>(*clock, config.host);
     ASSERT_TRUE(core::Configuration::table1().apply(*monitor, registry).ok());
     service = std::make_unique<core::InfoGramService>(monitor, backend, host_cred, &trust,
@@ -424,6 +822,108 @@ TEST_F(ObsServiceTest, ErrorsAndAuthFailuresCounted) {
   core::InfoGramClient bad(*network, service->address(), mallory, trust, *clock);
   EXPECT_FALSE(bad.query_info({"CPULoad"}).ok());
   EXPECT_GE(telemetry->metrics().counter(metric::kAuthFailures).value(), 1u);
+}
+
+TEST_F(ObsServiceTest, WirePathSamplesOneRootInN) {
+  start_service(4);
+  auto client = make_client();
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(client.query_info({"CPULoad"}).ok());
+  }
+  // Roots 0 and 4 sampled; metrics keep full fidelity regardless.
+  EXPECT_EQ(telemetry->traces().completed(), 2u);
+  EXPECT_GE(telemetry->metrics().counter(metric::kRequestsTotal).value(), 8u);
+  EXPECT_GE(telemetry->metrics().histogram(metric::kRequestSeconds).snapshot().stats.count(),
+            8);
+}
+
+TEST_F(ObsServiceTest, SubmitAsyncHonorsSampling) {
+  start_service(4);
+  auto request = rsl::XrslRequest::parse("(info=CPULoad)");
+  ASSERT_TRUE(request.ok());
+  for (int i = 0; i < 8; ++i) {
+    auto result = service->submit_async(request.value(), "/O=Grid/CN=alice", "alice").get();
+    ASSERT_TRUE(result.ok());
+  }
+  // The async path obeys the same contract as the wire path: unsampled
+  // requests pay metrics only, no span tree.
+  EXPECT_EQ(telemetry->traces().completed(), 2u);
+  EXPECT_EQ(telemetry->metrics().counter(metric::kRequestsTotal).value(), 8u);
+  EXPECT_EQ(telemetry->metrics().histogram(metric::kRequestSeconds).snapshot().stats.count(),
+            8);
+}
+
+TEST_F(ObsServiceTest, SloObjectivesQueryableThroughService) {
+  start_service();
+  auto client = make_client();
+  ASSERT_TRUE(client.query_info({"CPULoad"}).ok());  // some traffic to measure
+  auto records = client.query_info({"slo"});
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  const auto& record = (*records)[0];
+  EXPECT_EQ(record.keyword, "slo");
+  // The service registers its default objectives at construction.
+  const auto* count = record.find("slo:count");
+  ASSERT_NE(count, nullptr);
+  EXPECT_GE(std::stoull(count->value), 3u);
+  ASSERT_NE(record.find("request-latency:compliance"), nullptr);
+  EXPECT_EQ(record.find("request-latency:layer")->value, "core");
+  EXPECT_EQ(record.find("request-availability:kind")->value, "error_rate");
+  ASSERT_NE(record.find("info-query-latency:target"), nullptr);
+  // Healthy service: nothing burning, full budget.
+  EXPECT_EQ(record.find("request-latency:alerting")->value, "false");
+  ASSERT_NE(record.find("request-latency:burn.page"), nullptr);
+}
+
+TEST_F(ObsServiceTest, AlertsKeywordQuietWhenHealthy) {
+  start_service();
+  auto client = make_client();
+  ASSERT_TRUE(client.query_info({"Memory"}).ok());
+  auto records = client.query_info({"alerts"});
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0].find("alerts:count")->value, "0");
+  EXPECT_EQ((*records)[0].find("alerts:firing")->value, "none");
+  // Reflection: the new keywords are self-describing like any provider.
+  auto schema = client.fetch_schema();
+  ASSERT_TRUE(schema.ok());
+  bool slo = false, alerts = false;
+  for (const auto& kw : schema->keywords) {
+    if (kw.keyword == "slo") slo = true;
+    if (kw.keyword == "alerts") alerts = true;
+  }
+  EXPECT_TRUE(slo);
+  EXPECT_TRUE(alerts);
+}
+
+TEST_F(ObsServiceTest, ConfiguredExporterPersistsServedTraces) {
+  std::string path = ::testing::TempDir() + "/infogram_service_traces.jsonl";
+  std::remove(path.c_str());
+  telemetry = std::make_shared<Telemetry>(*clock);
+  core::InfoGramConfig config;
+  config.host = "test.sim";
+  config.telemetry = telemetry;
+  config.trace_export_path = path;
+  monitor = std::make_shared<info::SystemMonitor>(*clock, config.host);
+  ASSERT_TRUE(core::Configuration::table1().apply(*monitor, registry).ok());
+  service = std::make_unique<core::InfoGramService>(monitor, backend, host_cred, &trust,
+                                                    &gridmap, &policy, clock.get(), logger,
+                                                    config);
+  ASSERT_TRUE(service->start(*network).ok());
+  auto client = make_client();
+  ASSERT_TRUE(client.query_info({"CPULoad"}).ok());
+
+  auto lines = JsonlExporter::read_lines(path);
+  ASSERT_FALSE(lines.empty());
+  bool saw_query_trace = false;
+  for (const auto& line : lines) {
+    if (line.find("\"type\":\"trace\"") != std::string::npos &&
+        line.find("info:CPULoad") != std::string::npos) {
+      saw_query_trace = true;
+    }
+  }
+  EXPECT_TRUE(saw_query_trace);
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -1,0 +1,408 @@
+// Distributed tracing across simulated grid hops: one trace id carried
+// through the MDS hierarchy, gossip discovery and broker placement, each
+// hop contributing node-tagged remote child spans that stitch into a
+// single TraceRecord — retrievable through InfoGram itself (info=traces).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/fault.hpp"
+#include "core/config.hpp"
+#include "core/infogram_client.hpp"
+#include "core/infogram_service.hpp"
+#include "exec/fork_backend.hpp"
+#include "grid/broker.hpp"
+#include "grid/p2p_discovery.hpp"
+#include "mds/service.hpp"
+#include "obs/propagation.hpp"
+#include "obs/telemetry.hpp"
+#include "test_util.hpp"
+
+namespace ig {
+namespace {
+
+using obs::SpanRecord;
+using obs::TraceRecord;
+
+// Find the span with `name` in `record`, or nullptr.
+const SpanRecord* find_span(const TraceRecord& record, const std::string& name) {
+  for (const auto& s : record.spans) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+// Every span's parent must be another span of the same stitched record
+// (or 0 for the root): broken linkage means a hop failed to parent its
+// remote children under the caller's hop span.
+void expect_linked(const TraceRecord& record) {
+  for (const auto& s : record.spans) {
+    if (s.parent_id == 0) continue;
+    bool found = false;
+    for (const auto& other : record.spans) {
+      if (other.id == s.parent_id) found = true;
+    }
+    EXPECT_TRUE(found) << "span '" << s.name << "' has dangling parent";
+  }
+}
+
+// ---------- MDS hierarchy: client -> GIIS node -> leaf GRIS ----------
+
+class TracePropagationTest : public ig::test::GridFixture {
+ protected:
+  std::shared_ptr<info::SystemMonitor> make_monitor(const std::string& host) {
+    auto monitor = std::make_shared<info::SystemMonitor>(*clock, host);
+    info::ProviderOptions options;
+    options.ttl = seconds(100);
+    EXPECT_TRUE(monitor
+                    ->add_source(std::make_shared<info::CommandSource>(
+                                     "Memory", "/sbin/sysinfo.exe -mem", registry),
+                                 options)
+                    .ok());
+    return monitor;
+  }
+};
+
+TEST_F(TracePropagationTest, HierarchyForwardYieldsOneStitchedTrace) {
+  // Leaf GRIS behind its own MDS endpoint (node id "leaf.sim").
+  auto leaf_telemetry = std::make_shared<obs::Telemetry>(*clock, "leaf.sim");
+  auto gris = std::make_shared<mds::Gris>(make_monitor("leaf.sim"), "leaf.sim", *clock);
+  mds::MdsService leaf(gris, host_cred, &trust, clock.get(), logger);
+  leaf.set_telemetry(leaf_telemetry);
+  ASSERT_TRUE(leaf.start(*network, {"leaf.sim", 2136}).ok());
+
+  // Middle GIIS aggregating the leaf over the wire (node id "giis.sim").
+  auto giis_telemetry = std::make_shared<obs::Telemetry>(*clock, "giis.sim");
+  auto leaf_client = std::make_shared<mds::MdsClient>(
+      *network, net::Address{"leaf.sim", 2136}, host_cred, trust, *clock);
+  auto giis = std::make_shared<mds::Giis>("vo", *clock, Duration(0));  // no cache
+  giis->register_child(std::make_shared<mds::RemoteBackend>(leaf_client, "o=Grid"));
+  mds::MdsService middle(giis, host_cred, &trust, clock.get(), logger);
+  middle.set_telemetry(giis_telemetry);
+  ASSERT_TRUE(middle.start(*network, {"giis.sim", 2136}).ok());
+
+  // The client roots its own trace (node id "client.sim") and searches
+  // through the middle node — three hops end to end.
+  auto client_telemetry = std::make_shared<obs::Telemetry>(*clock, "client.sim");
+  mds::MdsClient client(*network, {"giis.sim", 2136}, alice, trust, *clock);
+  auto trace = client_telemetry->make_trace("lookup");
+  {
+    obs::TraceScope scope(*trace);
+    auto entries = client.search("o=Grid", mds::Scope::kSubtree, mds::Filter::match_all());
+    ASSERT_TRUE(entries.ok());
+    EXPECT_EQ(entries->size(), 3u);  // VO root + leaf resource + Memory
+  }
+  std::string trace_id = trace->id();
+  client_telemetry->complete(*trace);
+
+  // One stitched record in the client's store, spans from all three nodes.
+  auto found = client_telemetry->traces().find(trace_id);
+  ASSERT_EQ(found.size(), 1u);
+  const TraceRecord& record = found[0];
+  EXPECT_EQ(record.root, "lookup");
+  expect_linked(record);
+
+  const SpanRecord* hop = find_span(record, "rpc:MDS_SEARCH@giis.sim:2136");
+  ASSERT_NE(hop, nullptr);
+  EXPECT_EQ(hop->node, "client.sim");
+
+  // The middle hop served as a remote child parented under the client's
+  // hop span, and the leaf under the middle's own outbound hop span.
+  const SpanRecord* middle_root = find_span(record, "MDS_SEARCH");
+  ASSERT_NE(middle_root, nullptr);
+  EXPECT_EQ(middle_root->node, "giis.sim");
+  EXPECT_EQ(middle_root->parent_id, hop->id);
+
+  const SpanRecord* middle_hop = find_span(record, "rpc:MDS_SEARCH@leaf.sim:2136");
+  ASSERT_NE(middle_hop, nullptr);
+  EXPECT_EQ(middle_hop->node, "giis.sim");
+
+  bool leaf_span = false;
+  for (const auto& s : record.spans) {
+    if (s.node == "leaf.sim") {
+      leaf_span = true;
+      // Every leaf span chains into the middle's segment, never dangles.
+      EXPECT_NE(s.parent_id, 0u);
+    }
+  }
+  EXPECT_TRUE(leaf_span);
+
+  // Each serving node retained its own segment under the SAME trace id:
+  // the propagated context reached every hop.
+  EXPECT_EQ(giis_telemetry->traces().find(trace_id).size(), 1u);
+  EXPECT_EQ(leaf_telemetry->traces().find(trace_id).size(), 1u);
+}
+
+// ---------- Acceptance: 3 hops, retrieved via info=traces ----------
+
+TEST_F(TracePropagationTest, ThreeHopQueryRetrievableViaInfoTraces) {
+  auto backend = std::make_shared<exec::ForkBackend>(registry, *clock);
+
+  // Leaf InfoGram service (the provider host).
+  auto leaf_telemetry = std::make_shared<obs::Telemetry>(*clock);
+  core::InfoGramConfig leaf_config;
+  leaf_config.host = "leaf.sim";
+  leaf_config.telemetry = leaf_telemetry;
+  auto leaf_monitor = std::make_shared<info::SystemMonitor>(*clock, leaf_config.host);
+  ASSERT_TRUE(core::Configuration::table1().apply(*leaf_monitor, registry).ok());
+  core::InfoGramService leaf(leaf_monitor, backend, host_cred, &trust, &gridmap, &policy,
+                             clock.get(), logger, leaf_config);
+  ASSERT_TRUE(leaf.start(*network).ok());
+
+  // Hub InfoGram service: its `RemoteLoad` keyword is itself a grid query
+  // against the leaf — the hierarchy-node hop of the acceptance path.
+  auto hub_telemetry = std::make_shared<obs::Telemetry>(*clock);
+  core::InfoGramConfig hub_config;
+  hub_config.host = "hub.sim";
+  hub_config.telemetry = hub_telemetry;
+  auto hub_monitor = std::make_shared<info::SystemMonitor>(*clock, hub_config.host);
+  auto leaf_client = std::make_shared<core::InfoGramClient>(*network, leaf.address(),
+                                                            alice, trust, *clock);
+  info::ProviderOptions forward_options;
+  forward_options.ttl = Duration(0);  // always forward, never cache
+  ASSERT_TRUE(hub_monitor
+                  ->add_source(std::make_shared<info::FunctionSource>(
+                                   "RemoteLoad",
+                                   [leaf_client]() -> Result<format::InfoRecord> {
+                                     auto records = leaf_client->query_info({"CPULoad"});
+                                     if (!records.ok()) return records.error();
+                                     if (records->empty()) {
+                                       return Error(ErrorCode::kNotFound, "no CPULoad");
+                                     }
+                                     format::InfoRecord out = records->front();
+                                     out.keyword = "RemoteLoad";
+                                     return out;
+                                   },
+                                   "forward:leaf.sim/CPULoad"),
+                               forward_options)
+                  .ok());
+  core::InfoGramService hub(hub_monitor, backend, host_cred, &trust, &gridmap, &policy,
+                            clock.get(), logger, hub_config);
+  ASSERT_TRUE(hub.start(*network).ok());
+
+  // Hop 1: client -> hub. Hop 2: hub -> leaf (inside provider refresh).
+  core::InfoGramClient client(*network, hub.address(), alice, trust, *clock);
+  auto records = client.query_info({"RemoteLoad"});
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+
+  // The hub's trace stitched the leaf's spans: find it in the hub store.
+  auto traces = hub_telemetry->traces().snapshot();
+  const TraceRecord* stitched = nullptr;
+  for (const auto& t : traces) {
+    if (find_span(t, "info:RemoteLoad") != nullptr) stitched = &t;
+  }
+  ASSERT_NE(stitched, nullptr);
+  expect_linked(*stitched);
+  // The leaf hop ran under the propagated trace id and tagged its spans.
+  bool leaf_node_span = false;
+  for (const auto& s : stitched->spans) {
+    if (s.node == "leaf.sim") leaf_node_span = true;
+  }
+  EXPECT_TRUE(leaf_node_span);
+  // The leaf's own store retained its segment under the SAME id.
+  ASSERT_EQ(leaf_telemetry->traces().find(stitched->id).size(), 1u);
+  EXPECT_TRUE(leaf_telemetry->traces().find(stitched->id)[0].spans[0].parent_id != 0);
+
+  // And the whole thing is retrievable through InfoGram itself.
+  auto trace_records = client.query_info({"traces"});
+  ASSERT_TRUE(trace_records.ok());
+  ASSERT_EQ(trace_records->size(), 1u);
+  const auto& record = (*trace_records)[0];
+  ASSERT_NE(record.find(stitched->id + ":root"), nullptr);
+  bool remote_span_listed = false;
+  for (const auto& attr : record.attributes) {
+    if (attr.name.rfind(stitched->id + ":span.", 0) == 0 &&
+        attr.value.find("node=leaf.sim") != std::string::npos) {
+      remote_span_listed = true;
+    }
+  }
+  EXPECT_TRUE(remote_span_listed);
+}
+
+// ---------- Discovery broker: one sweep, every endpoint a hop ----------
+
+TEST_F(TracePropagationTest, BrokerLoadSweepTracesEveryResource) {
+  auto backend = std::make_shared<exec::ForkBackend>(registry, *clock);
+  std::vector<std::unique_ptr<core::InfoGramService>> services;
+  std::vector<std::shared_ptr<obs::Telemetry>> telemetries;
+  auto broker_telemetry = std::make_shared<obs::Telemetry>(*clock, "broker.sim");
+  grid::LoadAwareBroker broker;
+  broker.set_telemetry(broker_telemetry);
+  for (int i = 0; i < 2; ++i) {
+    std::string host = "r" + std::to_string(i) + ".sim";
+    auto telemetry = std::make_shared<obs::Telemetry>(*clock);
+    core::InfoGramConfig config;
+    config.host = host;
+    config.telemetry = telemetry;
+    auto monitor = std::make_shared<info::SystemMonitor>(*clock, host);
+    ASSERT_TRUE(core::Configuration::table1().apply(*monitor, registry).ok());
+    services.push_back(std::make_unique<core::InfoGramService>(
+        monitor, backend, host_cred, &trust, &gridmap, &policy, clock.get(), logger,
+        config));
+    ASSERT_TRUE(services.back()->start(*network).ok());
+    telemetries.push_back(std::move(telemetry));
+    broker.add_resource(host, std::make_shared<core::InfoGramClient>(
+                                  *network, services.back()->address(), alice, trust,
+                                  *clock));
+  }
+
+  ASSERT_TRUE(broker.loads().ok());
+  auto traces = broker_telemetry->traces().snapshot();
+  ASSERT_EQ(traces.size(), 1u);
+  const TraceRecord& sweep = traces[0];
+  EXPECT_EQ(sweep.root, "broker.loads");
+  expect_linked(sweep);
+  // Both resources served the CPULoad query as remote children of the
+  // sweep — their node tags appear in the one stitched record.
+  bool r0 = false, r1 = false;
+  for (const auto& s : sweep.spans) {
+    if (s.node == "r0.sim") r0 = true;
+    if (s.node == "r1.sim") r1 = true;
+  }
+  EXPECT_TRUE(r0);
+  EXPECT_TRUE(r1);
+  // Each resource retained its segment under the same id: propagated.
+  EXPECT_EQ(telemetries[0]->traces().find(sweep.id).size(), 1u);
+  EXPECT_EQ(telemetries[1]->traces().find(sweep.id).size(), 1u);
+}
+
+// ---------- P2P gossip rounds ----------
+
+TEST_F(TracePropagationTest, GossipRoundStitchesContactedPeer) {
+  auto a_telemetry = std::make_shared<obs::Telemetry>(*clock, "a.sim");
+  auto b_telemetry = std::make_shared<obs::Telemetry>(*clock, "b.sim");
+  grid::DiscoveryPeer a(*network, *clock, "a.sim", {"a.sim", 2135}, [] { return 0.1; },
+                        grid::GossipConfig{}, 1);
+  grid::DiscoveryPeer b(*network, *clock, "b.sim", {"b.sim", 2135}, [] { return 0.2; },
+                        grid::GossipConfig{}, 2);
+  a.set_telemetry(a_telemetry);
+  b.set_telemetry(b_telemetry);
+  a.add_neighbor(b.gossip_address());
+
+  a.tick();
+  ASSERT_EQ(a.view().size(), 2u);  // the exchange worked
+
+  auto traces = a_telemetry->traces().snapshot();
+  ASSERT_EQ(traces.size(), 1u);
+  const TraceRecord& round = traces[0];
+  EXPECT_EQ(round.root, "gossip.round");
+  expect_linked(round);
+  const SpanRecord* served = find_span(round, "GOSSIP");
+  ASSERT_NE(served, nullptr);
+  EXPECT_EQ(served->node, "b.sim");
+  const SpanRecord* hop = find_span(round, "rpc:GOSSIP@b.sim:7400");
+  ASSERT_NE(hop, nullptr);
+  EXPECT_EQ(served->parent_id, hop->id);
+  // B kept its own segment of the same round.
+  EXPECT_EQ(b_telemetry->traces().find(round.id).size(), 1u);
+}
+
+// ---------- Under chaos: failures still close their spans ----------
+
+class TraceChaosTest : public TracePropagationTest {};
+
+TEST_F(TraceChaosTest, RefusedConnectClosesSpanWithErrorStatus) {
+  FaultPlan plan;
+  plan.seed = 7;
+  FaultSpec refuse;
+  refuse.kind = FaultKind::kDrop;
+  refuse.probability = 1.0;
+  refuse.max_fires = 1;
+  plan.add("net.connect", refuse);
+  network->set_fault_injector(std::make_shared<FaultInjector>(plan));
+
+  auto a_telemetry = std::make_shared<obs::Telemetry>(*clock, "a.sim");
+  grid::DiscoveryPeer a(*network, *clock, "a.sim", {"a.sim", 2135}, [] { return 0.1; },
+                        grid::GossipConfig{}, 1);
+  grid::DiscoveryPeer b(*network, *clock, "b.sim", {"b.sim", 2135}, [] { return 0.2; },
+                        grid::GossipConfig{}, 2);
+  a.set_telemetry(a_telemetry);
+  a.add_neighbor(b.gossip_address());
+
+  a.tick();  // the one refused connect eats this round's exchange
+
+  auto traces = a_telemetry->traces().snapshot();
+  ASSERT_EQ(traces.size(), 1u);
+  const SpanRecord* connect = find_span(traces[0], "connect:b.sim:7400");
+  ASSERT_NE(connect, nullptr);
+  EXPECT_EQ(connect->status, "error:refused");
+}
+
+TEST_F(TraceChaosTest, PartitionedTargetClosesSpanWithErrorStatus) {
+  auto backend = std::make_shared<exec::ForkBackend>(registry, *clock);
+  auto telemetry = std::make_shared<obs::Telemetry>(*clock, "r0.sim");
+  core::InfoGramConfig config;
+  config.host = "r0.sim";
+  config.telemetry = telemetry;
+  auto monitor = std::make_shared<info::SystemMonitor>(*clock, config.host);
+  ASSERT_TRUE(core::Configuration::table1().apply(*monitor, registry).ok());
+  core::InfoGramService service(monitor, backend, host_cred, &trust, &gridmap, &policy,
+                                clock.get(), logger, config);
+  ASSERT_TRUE(service.start(*network).ok());
+
+  auto broker_telemetry = std::make_shared<obs::Telemetry>(*clock, "broker.sim");
+  grid::LoadAwareBroker broker;
+  broker.set_telemetry(broker_telemetry);
+  broker.add_resource("r0.sim", std::make_shared<core::InfoGramClient>(
+                                    *network, service.address(), alice, trust, *clock));
+
+  network->partition(service.address());
+  EXPECT_FALSE(broker.loads().ok());
+
+  auto traces = broker_telemetry->traces().snapshot();
+  ASSERT_EQ(traces.size(), 1u);
+  EXPECT_NE(traces[0].status, "ok");  // trace.fail() recorded the sweep error
+  const SpanRecord* connect =
+      find_span(traces[0], "connect:" + service.address().to_string());
+  ASSERT_NE(connect, nullptr);
+  EXPECT_EQ(connect->status, "error:partitioned");
+}
+
+TEST_F(TraceChaosTest, DroppedRequestMidTraceEndsHopSpanUnavailable) {
+  auto backend = std::make_shared<exec::ForkBackend>(registry, *clock);
+  auto telemetry = std::make_shared<obs::Telemetry>(*clock);
+  core::InfoGramConfig config;
+  config.host = "r0.sim";
+  config.telemetry = telemetry;
+  auto monitor = std::make_shared<info::SystemMonitor>(*clock, config.host);
+  ASSERT_TRUE(core::Configuration::table1().apply(*monitor, registry).ok());
+  core::InfoGramService service(monitor, backend, host_cred, &trust, &gridmap, &policy,
+                                clock.get(), logger, config);
+  ASSERT_TRUE(service.start(*network).ok());
+
+  auto client_telemetry = std::make_shared<obs::Telemetry>(*clock, "client.sim");
+  core::InfoGramClient client(*network, service.address(), alice, trust, *clock);
+  ASSERT_TRUE(client.query_info({"CPULoad"}).ok());  // authenticate first
+
+  // Now every request drops: the in-flight hop span must close errored.
+  FaultPlan plan;
+  plan.seed = 9;
+  FaultSpec drop;
+  drop.kind = FaultKind::kDrop;
+  drop.probability = 1.0;
+  drop.max_fires = 1;
+  plan.add("net.request", drop);
+  network->set_fault_injector(std::make_shared<FaultInjector>(plan));
+
+  auto trace = client_telemetry->make_trace("doomed");
+  {
+    obs::TraceScope scope(*trace);
+    EXPECT_FALSE(client.query_info({"CPULoad"}).ok());
+  }
+  std::string id = trace->id();
+  client_telemetry->complete(*trace);
+  auto found = client_telemetry->traces().find(id);
+  ASSERT_EQ(found.size(), 1u);
+  bool errored_hop = false;
+  for (const auto& s : found[0].spans) {
+    if (s.name.rfind("rpc:", 0) == 0 && s.status == "error:unavailable") {
+      errored_hop = true;
+    }
+  }
+  EXPECT_TRUE(errored_hop);
+}
+
+}  // namespace
+}  // namespace ig

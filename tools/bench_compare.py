@@ -4,16 +4,31 @@
 Usage:
     tools/bench_compare.py BASELINE.json CANDIDATE.json [--threshold 0.20]
 
-Diffs every series the two files share on ops_per_sec and prints a table
-of deltas. Exits 1 when any shared series regressed by more than the
-threshold (default 20%), 0 otherwise — so CI can run it as a non-blocking
-smoke (`|| echo warn`) while local users get a hard signal. Series present
-in only one file are reported but never fail the comparison.
+Diffs every series the two files share, per metric: ops_per_sec (higher
+is better) and the latency percentiles mean_us/p50_us/p95_us/p99_us
+(lower is better). A metric missing from either side — e.g. a baseline
+written before p99_us existed — is skipped for that series rather than
+failing, so old artifacts stay comparable across harness upgrades.
+
+Exits 1 when any shared series regressed by more than the threshold
+(default 20%) on ops_per_sec or p99_us, 0 otherwise — so CI can run it
+as a non-blocking smoke (`|| echo warn`) while local users get a hard
+signal. Series present in only one file are reported but never fail the
+comparison.
 """
 
 import argparse
 import json
 import sys
+
+# (metric, higher_is_better, gates_failure)
+METRICS = [
+    ("ops_per_sec", True, True),
+    ("mean_us", False, False),
+    ("p50_us", False, False),
+    ("p95_us", False, False),
+    ("p99_us", False, True),
+]
 
 
 def load(path):
@@ -28,6 +43,12 @@ def load(path):
     return doc.get("benchmark", "?"), series
 
 
+def regressed(delta, higher_is_better, threshold):
+    if higher_is_better:
+        return delta < -threshold
+    return delta > threshold
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
@@ -36,7 +57,8 @@ def main():
         "--threshold",
         type=float,
         default=0.20,
-        help="fractional ops/sec regression that fails the comparison (default 0.20)",
+        help="fractional regression on a gating metric that fails the "
+        "comparison (default 0.20)",
     )
     args = parser.parse_args()
 
@@ -50,17 +72,20 @@ def main():
     only_cand = sorted(set(cand) - set(base))
 
     regressions = []
-    print(f"{'series':<28} {'base ops/s':>12} {'cand ops/s':>12} {'delta':>8}")
-    print("-" * 64)
+    print(f"{'series':<28} {'metric':<12} {'baseline':>12} {'candidate':>12} {'delta':>8}")
+    print("-" * 78)
     for name in shared:
-        b = float(base[name].get("ops_per_sec", 0.0))
-        c = float(cand[name].get("ops_per_sec", 0.0))
-        delta = (c - b) / b if b > 0 else 0.0
-        flag = ""
-        if b > 0 and delta < -args.threshold:
-            regressions.append((name, delta))
-            flag = "  REGRESSION"
-        print(f"{name:<28} {b:>12.1f} {c:>12.1f} {delta:>+7.1%}{flag}")
+        for metric, higher_is_better, gates in METRICS:
+            if metric not in base[name] or metric not in cand[name]:
+                continue  # baseline predates this metric: skip, don't fail
+            b = float(base[name][metric])
+            c = float(cand[name][metric])
+            delta = (c - b) / b if b > 0 else 0.0
+            flag = ""
+            if gates and b > 0 and regressed(delta, higher_is_better, args.threshold):
+                regressions.append((name, metric, delta))
+                flag = "  REGRESSION"
+            print(f"{name:<28} {metric:<12} {b:>12.1f} {c:>12.1f} {delta:>+7.1%}{flag}")
     for name in only_base:
         print(f"{name:<28} {'(baseline only)':>26}")
     for name in only_cand:
@@ -70,13 +95,13 @@ def main():
         print("no shared series; nothing to compare")
         return 0
     if regressions:
-        worst = min(regressions, key=lambda item: item[1])
+        worst = max(regressions, key=lambda item: abs(item[2]))
         print(
-            f"\nFAIL: {len(regressions)} series regressed more than "
-            f"{args.threshold:.0%} (worst: {worst[0]} {worst[1]:+.1%})"
+            f"\nFAIL: {len(regressions)} series/metric pairs regressed more than "
+            f"{args.threshold:.0%} (worst: {worst[0]} {worst[1]} {worst[2]:+.1%})"
         )
         return 1
-    print(f"\nOK: no series regressed more than {args.threshold:.0%}")
+    print(f"\nOK: no gating metric regressed more than {args.threshold:.0%}")
     return 0
 
 

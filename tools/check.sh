@@ -18,6 +18,30 @@ cd "$(dirname "$0")/.."
 jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
 mode="${1:-all}"
 
+# Every ig::obs::metric constant must be wired to an instrumentation site
+# (used outside the header that declares it) and documented in DESIGN.md's
+# metric table; an orphan either way fails the gate. Runs in every mode —
+# it needs no build.
+lint_metrics() {
+  echo "==> lint: ig::obs::metric constants (instrumented + documented)"
+  local header=src/obs/telemetry.hpp fail=0 name value
+  while IFS=$'\t' read -r name value; do
+    if ! grep -rq "metric::${name}\b" src tests bench \
+        --include='*.cpp' --include='*.hpp' --exclude=telemetry.hpp; then
+      echo "lint: metric::${name} (\"${value}\") has no instrumentation site" >&2
+      fail=1
+    fi
+    if ! grep -qF "\`${value}\`" DESIGN.md; then
+      echo "lint: metric \"${value}\" (${name}) missing from DESIGN.md metric table" >&2
+      fail=1
+    fi
+  done < <(sed -n 's/^inline constexpr const char\* \(k[A-Za-z0-9_]*\) = "\([^"]*\)";.*$/\1\t\2/p' "${header}")
+  if [ "${fail}" -ne 0 ]; then
+    echo "lint: orphaned metric constants (see above)" >&2
+    exit 1
+  fi
+}
+
 run_pass() {
   local dir=$1; shift
   echo "==> configure ${dir} ($*)"
@@ -49,6 +73,8 @@ tsan_pass() {
   export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
   run_pass build-tsan -DCMAKE_BUILD_TYPE=Debug -DIG_SANITIZE=thread
 }
+
+lint_metrics
 
 case "${mode}" in
   --chaos)
