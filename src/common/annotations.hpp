@@ -1,0 +1,81 @@
+// Clang thread-safety (capability) analysis attribute macros.
+//
+// These wrap the attributes behind Clang's -Wthread-safety so the locking
+// discipline of every class in this tree is checked at *compile time* —
+// every path, not just the interleavings TSan happens to see in CI. The
+// macros expand to nothing on non-Clang compilers, so GCC builds are
+// unaffected and the annotated tree stays portable.
+//
+// Conventions (DESIGN.md §11 has the full guide):
+//   - Every guarded field carries IG_GUARDED_BY(mu_).
+//   - Private `*_locked()` helpers carry IG_REQUIRES(mu_).
+//   - Public methods that take the lock themselves carry IG_EXCLUDES(mu_)
+//     when they may be called from code that could plausibly hold it.
+//   - IG_NO_THREAD_SAFETY_ANALYSIS is a last resort; each use needs a
+//     justification comment (tools/lint.py budgets them).
+#pragma once
+
+#if defined(__clang__)
+#define IG_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define IG_THREAD_ANNOTATION(x)  // no-op: GCC/MSVC have no capability analysis
+#endif
+
+/// Class attribute: instances are lockable capabilities ("mutex").
+#define IG_CAPABILITY(x) IG_THREAD_ANNOTATION(capability(x))
+
+/// Class attribute: RAII object that acquires in ctor / releases in dtor.
+#define IG_SCOPED_CAPABILITY IG_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field attribute: may only be touched while `x` is held.
+#define IG_GUARDED_BY(x) IG_THREAD_ANNOTATION(guarded_by(x))
+
+/// Field attribute: the *pointee* may only be touched while `x` is held.
+#define IG_PT_GUARDED_BY(x) IG_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function attribute: caller must hold the capability (exclusively).
+#define IG_REQUIRES(...) IG_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function attribute: caller must hold the capability (at least shared).
+#define IG_REQUIRES_SHARED(...) IG_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function attribute: acquires the capability (exclusively) before return.
+#define IG_ACQUIRE(...) IG_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function attribute: acquires the capability (shared) before return.
+#define IG_ACQUIRE_SHARED(...) IG_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function attribute: releases the capability (exclusive or, on a scoped
+/// capability with no argument, however it was acquired).
+#define IG_RELEASE(...) IG_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function attribute: releases a shared hold of the capability.
+#define IG_RELEASE_SHARED(...) IG_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Function attribute: releases a hold acquired either way.
+#define IG_RELEASE_GENERIC(...) IG_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+
+/// Function attribute: acquires (exclusively) when returning `b`.
+#define IG_TRY_ACQUIRE(b, ...) IG_THREAD_ANNOTATION(try_acquire_capability(b, __VA_ARGS__))
+
+/// Function attribute: acquires (shared) when returning `b`.
+#define IG_TRY_ACQUIRE_SHARED(b, ...) \
+  IG_THREAD_ANNOTATION(try_acquire_shared_capability(b, __VA_ARGS__))
+
+/// Function attribute: caller must NOT hold the capability (the function
+/// acquires it itself, or calls out under it — deadlock documentation).
+#define IG_EXCLUDES(...) IG_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function attribute: asserts (at runtime) that the capability is held.
+#define IG_ASSERT_CAPABILITY(x) IG_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function attribute: returns a reference to the named capability.
+#define IG_RETURN_CAPABILITY(x) IG_THREAD_ANNOTATION(lock_returned(x))
+
+/// Declares a lock-order edge without runtime cost.
+#define IG_ACQUIRED_BEFORE(...) IG_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define IG_ACQUIRED_AFTER(...) IG_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Escape hatch: function body is exempt from the analysis. Budgeted by
+/// tools/lint.py — every use needs a justification comment.
+#define IG_NO_THREAD_SAFETY_ANALYSIS IG_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -1,6 +1,7 @@
 #include "common/fault.hpp"
 
 #include "common/strings.hpp"
+#include "common/sync.hpp"
 
 namespace ig {
 
@@ -60,7 +61,7 @@ FaultDecision FaultInjector::evaluate(const std::string& point) {
   FaultDecision decision;
   std::function<void(const std::string&, const FaultDecision&)> hook;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     auto it = points_.find(point);
     if (it == points_.end()) return decision;  // inert point
     PointState& state = it->second;
@@ -89,25 +90,25 @@ FaultDecision FaultInjector::evaluate(const std::string& point) {
 }
 
 std::uint64_t FaultInjector::evaluations(const std::string& point) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = points_.find(point);
   return it == points_.end() ? 0 : it->second.evaluations;
 }
 
 std::uint64_t FaultInjector::fires(const std::string& point) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = points_.find(point);
   return it == points_.end() ? 0 : it->second.fires;
 }
 
 std::vector<std::string> FaultInjector::history(const std::string& point) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = points_.find(point);
   return it == points_.end() ? std::vector<std::string>{} : it->second.fired;
 }
 
 std::string FaultInjector::history_digest() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::string out;
   for (const auto& [point, state] : points_) {  // std::map: name order
     out += point + ":\n";
@@ -118,7 +119,7 @@ std::string FaultInjector::history_digest() const {
 
 void FaultInjector::set_fire_hook(
     std::function<void(const std::string&, const FaultDecision&)> hook) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   hook_ = std::move(hook);
 }
 

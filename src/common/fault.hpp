@@ -24,7 +24,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -32,6 +31,7 @@
 #include "common/clock.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "common/sync.hpp"
 
 namespace ig {
 
@@ -123,10 +123,10 @@ class FaultInjector {
     explicit PointState(std::uint64_t seed) : rng(seed) {}
   };
 
-  FaultPlan plan_;
-  mutable std::mutex mu_;
-  std::map<std::string, PointState> points_;
-  std::function<void(const std::string&, const FaultDecision&)> hook_;
+  const FaultPlan plan_;  ///< immutable after construction
+  mutable Mutex mu_{lock_rank::kFaultInjector, "common.FaultInjector"};
+  std::map<std::string, PointState> points_ IG_GUARDED_BY(mu_);
+  std::function<void(const std::string&, const FaultDecision&)> hook_ IG_GUARDED_BY(mu_);
 };
 
 }  // namespace ig

@@ -6,7 +6,8 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
-#include <mutex>
+
+#include "common/sync.hpp"
 
 namespace ig {
 
@@ -47,21 +48,21 @@ class RunningStats {
 class SharedStats {
  public:
   void add(double x) {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     stats_.add(x);
   }
   RunningStats snapshot() const {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     return stats_;
   }
   void reset() {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     stats_.reset();
   }
 
  private:
-  mutable std::mutex mu_;
-  RunningStats stats_;
+  mutable Mutex mu_{lock_rank::kStats, "common.SharedStats"};
+  RunningStats stats_ IG_GUARDED_BY(mu_);
 };
 
 }  // namespace ig

@@ -1,0 +1,155 @@
+#include "common/sync.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#if __has_include(<execinfo.h>)
+#include <execinfo.h>
+#define IG_SYNC_HAVE_BACKTRACE 1
+#endif
+
+namespace ig::sync_internal {
+
+namespace {
+
+constexpr int kMaxFrames = 32;
+
+/// One lock the current thread holds, with the stack that acquired it so
+/// a violation can print *both* sides of the bad edge.
+struct Held {
+  const void* mu = nullptr;
+  int rank = 0;
+  const char* name = "";
+  int frames = 0;
+  void* stack[kMaxFrames];
+};
+
+// Debug-validator bookkeeping. A plain thread_local vector: the validator
+// is inert after TLS destruction begins, which only matters for locks
+// taken inside other thread_local destructors — not a pattern this tree
+// uses.
+thread_local std::vector<Held> t_held;
+
+std::atomic<bool> g_enabled{
+#if defined(IG_DEBUG_LOCK_ORDER)
+    true
+#else
+    false
+#endif
+};
+
+std::atomic<ViolationHandler> g_handler{nullptr};
+
+int capture_stack(void** frames) {
+#if defined(IG_SYNC_HAVE_BACKTRACE)
+  return backtrace(frames, kMaxFrames);
+#else
+  (void)frames;
+  return 0;
+#endif
+}
+
+void append_stack(std::string& out, void* const* stack, int frames) {
+#if defined(IG_SYNC_HAVE_BACKTRACE)
+  char** symbols = backtrace_symbols(const_cast<void* const*>(stack), frames);
+  for (int i = 0; i < frames; ++i) {
+    out += "    ";
+    out += (symbols != nullptr) ? symbols[i] : "<unknown frame>";
+    out += '\n';
+  }
+  std::free(symbols);
+#else
+  (void)stack;
+  (void)frames;
+  out += "    <no backtrace support on this platform>\n";
+#endif
+}
+
+void describe(std::string& out, const char* role, const void* mu, int rank, const char* name) {
+  char line[160];
+  std::snprintf(line, sizeof(line), "  %s: mutex %p rank=%d name=\"%s\"\n", role, mu, rank,
+                (name != nullptr && name[0] != '\0') ? name : "<unranked>");
+  out += line;
+}
+
+void violation(const char* kind, const Held& prior, const void* mu, int rank, const char* name) {
+  std::string report;
+  report += "ig::sync lock-order validator: ";
+  report += kind;
+  report += '\n';
+  describe(report, "acquiring", mu, rank, name);
+  report += "  acquisition stack:\n";
+  {
+    void* stack[kMaxFrames];
+    int frames = capture_stack(stack);
+    append_stack(report, stack, frames);
+  }
+  describe(report, "while holding", prior.mu, prior.rank, prior.name);
+  report += "  held since:\n";
+  append_stack(report, prior.stack, prior.frames);
+
+  ViolationHandler handler = g_handler.load(std::memory_order_acquire);
+  if (handler != nullptr) {
+    handler(report.c_str());
+    return;  // test hook: record the acquisition and keep going
+  }
+  std::fputs(report.c_str(), stderr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace
+
+void set_violation_handler(ViolationHandler handler) {
+  g_handler.store(handler, std::memory_order_release);
+}
+
+void set_lock_order_validation(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_release);
+}
+
+bool lock_order_validation_enabled() {
+  return g_enabled.load(std::memory_order_acquire);
+}
+
+std::size_t held_lock_count() { return t_held.size(); }
+
+void note_acquire(const void* mu, int rank, const char* name, bool blocking) {
+  if (!g_enabled.load(std::memory_order_relaxed)) return;
+  const Held* recursive = nullptr;
+  const Held* worst = nullptr;  // highest-ranked lock already held
+  for (const Held& h : t_held) {
+    if (h.mu == mu) recursive = &h;
+    if (h.rank != lock_rank::kUnranked && (worst == nullptr || h.rank > worst->rank)) worst = &h;
+  }
+  if (recursive != nullptr) {
+    violation("recursive acquisition", *recursive, mu, rank, name);
+  } else if (blocking && rank != lock_rank::kUnranked && worst != nullptr &&
+             worst->rank >= rank) {
+    // try_lock never blocks, so it cannot complete a deadlock cycle; only
+    // blocking acquisitions must respect the rank order.
+    violation("lock-rank inversion (ranks must strictly increase)", *worst, mu, rank, name);
+  }
+  Held h;
+  h.mu = mu;
+  h.rank = rank;
+  h.name = name;
+  h.frames = capture_stack(h.stack);
+  t_held.push_back(h);
+}
+
+void note_release(const void* mu) {
+  // Runs even when validation is off so entries recorded before a
+  // set_lock_order_validation(false) cannot go stale.
+  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+    if (it->mu == mu) {
+      t_held.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+}  // namespace ig::sync_internal

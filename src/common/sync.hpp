@@ -1,0 +1,277 @@
+// Annotated synchronization primitives — the only place in src/ allowed
+// to touch <mutex>/<shared_mutex>/<condition_variable> directly
+// (tools/lint.py enforces this).
+//
+// Two proofs hang off this header:
+//
+//  1. *Compile time*: ig::Mutex / ig::SharedMutex are Clang capabilities
+//     (common/annotations.hpp), so a Clang build with -Wthread-safety
+//     (-DIG_THREAD_SAFETY=ON) verifies that every IG_GUARDED_BY field is
+//     only touched under its mutex and every IG_REQUIRES helper is only
+//     called with the lock held — on every path, not just the ones a test
+//     happens to interleave.
+//
+//  2. *Run time*: every Mutex/SharedMutex may carry a lock rank
+//     (ig::lock_rank below). The validator keeps a thread-local stack of
+//     held locks and checks, at each acquisition, that ranked locks are
+//     acquired in strictly increasing rank order and that no lock is
+//     acquired recursively. A violation reports both acquisition
+//     backtraces and aborts (or calls the installed handler — the test
+//     hook). The checks are compiled in but gated on a runtime flag whose
+//     default is on only in debug builds (IG_DEBUG_LOCK_ORDER, wired by
+//     CMake for CMAKE_BUILD_TYPE=Debug); a Release lock costs one relaxed
+//     atomic load extra.
+//
+// Wrappers mirror the std primitives they replace: MutexLock ~
+// std::unique_lock (relockable), ReaderLock/WriterLock ~
+// std::shared_lock/std::unique_lock over a shared mutex, CondVar ~
+// std::condition_variable waiting on an ig::Mutex. Predicate waits are
+// deliberately not offered: Clang's analysis cannot see that a predicate
+// lambda runs under the lock, so call sites spell the
+// `while (!pred) cv.wait(mu);` loop out — which the analysis then checks.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>  // lint-allow-raw-sync: this header IS the wrapper
+#include <cstdint>
+#include <mutex>               // lint-allow-raw-sync: this header IS the wrapper
+#include <shared_mutex>        // lint-allow-raw-sync: this header IS the wrapper
+
+#include "common/annotations.hpp"
+
+namespace ig {
+
+/// Lock ranks: a thread may only acquire a ranked lock whose rank is
+/// *strictly greater* than every ranked lock it already holds, so any
+/// cycle is a rank inversion caught at the second acquisition. Ranks grow
+/// along the call graph, outermost (service entry) to innermost (leaf
+/// utilities that never call back out). kUnranked locks are exempt from
+/// the ordering check (never held across calls into other locking code)
+/// but still checked for recursive acquisition. The table is mirrored in
+/// DESIGN.md §11 — extend it there when adding a rank.
+namespace lock_rank {
+inline constexpr int kUnranked = 0;
+// Service / coordination layer (outermost).
+inline constexpr int kGramService = 100;     ///< gram::Service job registry
+inline constexpr int kJobManager = 120;      ///< gram::JobManager lifecycle
+inline constexpr int kP2pDiscovery = 130;    ///< gossip membership state
+inline constexpr int kCoallocator = 140;     ///< grid co-allocation state
+// Information layer.
+inline constexpr int kMonitorPrefetch = 145; ///< monitor's prefetcher slot
+inline constexpr int kPrefetcher = 150;      ///< info TTL prefetcher
+inline constexpr int kSystemMonitor = 160;   ///< info::SystemMonitor registry
+// (info::ManagedProvider's update monitor is deliberately kUnranked:
+// composite providers re-enter the monitor and other providers' update
+// monitors under it — same-class nesting, like mds::Giis below.)
+// Execution layer.
+inline constexpr int kJobTable = 200;        ///< exec::JobTable
+inline constexpr int kExecBackend = 220;     ///< batch/matchmaking/sim backends
+inline constexpr int kSimSystem = 230;       ///< exec::SimSystem host state
+inline constexpr int kCheckpoint = 240;      ///< exec checkpoint store
+inline constexpr int kSandbox = 250;         ///< exec sandbox registry
+inline constexpr int kCommand = 260;         ///< exec command runner registry
+// Provider-internal state (taken under the update monitor; never calls
+// back out into exec).
+inline constexpr int kResilience = 300;      ///< circuit-breaker state
+inline constexpr int kManagedProviderCache = 320;  ///< provider cache (rw)
+inline constexpr int kDegradation = 360;     ///< degradation shield store
+// Directory / grid fabric.
+inline constexpr int kMdsDirectory = 400;    ///< mds directory tree
+// (mds::Giis is deliberately kUnranked: GIIS hierarchies nest same-class
+// locks parent-over-child, which a single rank cannot order.)
+inline constexpr int kDeployment = 440;      ///< grid deployment registry
+// Transport + security.
+inline constexpr int kNetwork = 500;         ///< in-process network fabric
+inline constexpr int kGridmap = 540;         ///< security gridmap table
+// Observability (called from everywhere; must be innermost of the
+// service-visible layers).
+inline constexpr int kTraceContext = 800;    ///< one trace's span list
+inline constexpr int kTraceStore = 820;      ///< completed-trace ring
+inline constexpr int kSlo = 830;             ///< SLO engine (snapshots metrics)
+inline constexpr int kMetrics = 840;         ///< MetricsRegistry + histograms
+inline constexpr int kTraceListener = 880;   ///< telemetry listener slot
+// Leaf utilities: never call user code while held.
+inline constexpr int kLogger = 900;          ///< logging::Logger sequence/sinks
+inline constexpr int kLogSink = 920;         ///< individual sink state
+inline constexpr int kThreadPool = 940;      ///< pool queue (tasks run unlocked)
+inline constexpr int kFaultInjector = 960;   ///< fault evaluation state
+inline constexpr int kStats = 980;           ///< SharedStats accumulators
+}  // namespace lock_rank
+
+namespace sync_internal {
+
+/// Called instead of abort() when set — the sync_test hook. The handler
+/// receives the full human-readable report (violation kind, both lock
+/// names/ranks, both acquisition backtraces). Returning resumes execution
+/// with the acquisition recorded, so a test can observe several
+/// violations in one process.
+using ViolationHandler = void (*)(const char* report);
+void set_violation_handler(ViolationHandler handler);
+
+/// Runtime switch for the lock-order/recursion validator. Defaults to on
+/// when built with IG_DEBUG_LOCK_ORDER (CMake turns that on for Debug
+/// trees), off otherwise.
+void set_lock_order_validation(bool enabled);
+bool lock_order_validation_enabled();
+
+/// Number of locks the calling thread currently holds (validator view;
+/// 0 when validation is disabled). Exposed for tests.
+std::size_t held_lock_count();
+
+// Validator entry points used by Mutex/SharedMutex below.
+void note_acquire(const void* mu, int rank, const char* name, bool blocking);
+void note_release(const void* mu);
+
+}  // namespace sync_internal
+
+/// Annotated exclusive mutex. Construct with a lock_rank (and a name for
+/// violation reports) when the lock can be held across calls into other
+/// locking code; default-constructed locks are kUnranked.
+class IG_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  explicit Mutex(int rank, const char* name = "") : rank_(rank), name_(name) {}
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() IG_ACQUIRE() {
+    sync_internal::note_acquire(this, rank_, name_, /*blocking=*/true);
+    raw_.lock();
+  }
+  void unlock() IG_RELEASE() {
+    raw_.unlock();
+    sync_internal::note_release(this);
+  }
+  bool try_lock() IG_TRY_ACQUIRE(true) {
+    if (!raw_.try_lock()) return false;
+    sync_internal::note_acquire(this, rank_, name_, /*blocking=*/false);
+    return true;
+  }
+
+  int rank() const { return rank_; }
+  const char* name() const { return name_; }
+
+ private:
+  friend class CondVar;
+  std::mutex raw_;
+  int rank_ = lock_rank::kUnranked;
+  const char* name_ = "";
+};
+
+/// Annotated reader/writer mutex (same ranking rules; a shared hold
+/// occupies a slot on the validator stack like an exclusive one).
+class IG_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  explicit SharedMutex(int rank, const char* name = "") : rank_(rank), name_(name) {}
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() IG_ACQUIRE() {
+    sync_internal::note_acquire(this, rank_, name_, /*blocking=*/true);
+    raw_.lock();
+  }
+  void unlock() IG_RELEASE() {
+    raw_.unlock();
+    sync_internal::note_release(this);
+  }
+  void lock_shared() IG_ACQUIRE_SHARED() {
+    sync_internal::note_acquire(this, rank_, name_, /*blocking=*/true);
+    raw_.lock_shared();
+  }
+  void unlock_shared() IG_RELEASE_SHARED() {
+    raw_.unlock_shared();
+    sync_internal::note_release(this);
+  }
+
+  int rank() const { return rank_; }
+  const char* name() const { return name_; }
+
+ private:
+  std::shared_mutex raw_;
+  int rank_ = lock_rank::kUnranked;
+  const char* name_ = "";
+};
+
+/// RAII exclusive lock over ig::Mutex (≈ std::unique_lock: supports
+/// unlock()/lock() so a scope can drop the lock around a callback).
+class IG_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) IG_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() IG_RELEASE() {
+    if (owned_) mu_.unlock();
+  }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void unlock() IG_RELEASE() {
+    mu_.unlock();
+    owned_ = false;
+  }
+  void lock() IG_ACQUIRE() {
+    mu_.lock();
+    owned_ = true;
+  }
+
+ private:
+  Mutex& mu_;
+  bool owned_ = true;
+};
+
+/// RAII shared (read) lock over ig::SharedMutex.
+class IG_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mu) IG_ACQUIRE_SHARED(mu) : mu_(mu) { mu_.lock_shared(); }
+  ~ReaderLock() IG_RELEASE() { mu_.unlock_shared(); }
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII exclusive (write) lock over ig::SharedMutex.
+class IG_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mu) IG_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~WriterLock() IG_RELEASE() { mu_.unlock(); }
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable waiting on an ig::Mutex. wait() releases and
+/// reacquires the underlying mutex; the validator deliberately keeps the
+/// mutex on the held stack across the wait (the thread is blocked inside
+/// wait() the whole time, and it exits with the lock held again, so the
+/// stack matches reality at every point the thread can run other code).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mu) IG_REQUIRES(mu) { cv_.wait(mu.raw_); }
+
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(Mutex& mu, const std::chrono::duration<Rep, Period>& d)
+      IG_REQUIRES(mu) {
+    return cv_.wait_for(mu.raw_, d);
+  }
+
+  template <typename Clock, typename Dur>
+  std::cv_status wait_until(Mutex& mu, const std::chrono::time_point<Clock, Dur>& deadline)
+      IG_REQUIRES(mu) {
+    return cv_.wait_until(mu.raw_, deadline);
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace ig

@@ -17,7 +17,7 @@ ThreadPool::ThreadPool(Options options, const Clock* clock)
 ThreadPool::~ThreadPool() { shutdown(); }
 
 void ThreadPool::set_hooks(Hooks hooks) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   hooks_ = std::move(hooks);
 }
 
@@ -28,7 +28,7 @@ Status ThreadPool::submit(Task task) {
   std::size_t depth = 0;
   std::size_t highwater = 0;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (stopping_) return Error(ErrorCode::kUnavailable, "pool stopped");
     if (queue_.size() >= options_.queue_depth) {
       ++shed_;
@@ -62,8 +62,8 @@ void ThreadPool::fan_out(std::size_t n, const std::function<void(std::size_t)>& 
   struct FanState {
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> done{0};
-    std::mutex mu;
-    std::condition_variable cv;
+    Mutex mu;
+    CondVar cv;
   };
   auto state = std::make_shared<FanState>();
   const std::function<void(std::size_t)>* work = &fn;
@@ -73,7 +73,7 @@ void ThreadPool::fan_out(std::size_t n, const std::function<void(std::size_t)>& 
       if (i >= n) break;
       (*work)(i);
       if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
-        std::lock_guard lock(state->mu);
+        MutexLock lock(state->mu);
         state->cv.notify_all();
       }
     }
@@ -83,13 +83,13 @@ void ThreadPool::fan_out(std::size_t n, const std::function<void(std::size_t)>& 
   std::size_t helpers = std::min(options_.workers, n - 1);
   for (std::size_t i = 0; i < helpers; ++i) (void)submit(runner);
   runner();
-  std::unique_lock lock(state->mu);
-  state->cv.wait(lock, [&] { return state->done.load(std::memory_order_acquire) == n; });
+  MutexLock lock(state->mu);
+  while (state->done.load(std::memory_order_acquire) != n) state->cv.wait(state->mu);
 }
 
 void ThreadPool::shutdown() {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (stopping_ && threads_.empty()) return;
     stopping_ = true;
   }
@@ -101,7 +101,7 @@ void ThreadPool::shutdown() {
 }
 
 ThreadPool::Stats ThreadPool::stats() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   Stats s;
   s.depth = queue_.size();
   s.highwater = highwater_;
@@ -116,26 +116,25 @@ void ThreadPool::worker_loop(std::size_t index) {
   for (;;) {
     Task task;
     std::function<void(std::size_t, std::size_t)> on_depth;
+    std::size_t depth = 0;
+    std::size_t hw = 0;
     {
-      std::unique_lock lock(mu_);
-      cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stopping_ && queue_.empty()) cv_.wait(mu_);
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
       on_depth = hooks_.on_depth;
-      if (on_depth) {
-        std::size_t depth = queue_.size();
-        std::size_t hw = highwater_;
-        lock.unlock();
-        on_depth(depth, hw);
-      }
+      depth = queue_.size();
+      hw = highwater_;
     }
+    if (on_depth) on_depth(depth, hw);
     ScopedTimer timer(*clock_);
     task();
     Duration busy = timer.elapsed();
     std::function<void(std::size_t, Duration)> on_done;
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       ++executed_;
       worker_stats_[index].tasks += 1;
       worker_stats_[index].busy += busy;

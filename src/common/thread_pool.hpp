@@ -21,16 +21,15 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/clock.hpp"
 #include "common/error.hpp"
+#include "common/sync.hpp"
 
 namespace ig {
 
@@ -99,20 +98,22 @@ class ThreadPool {
  private:
   void worker_loop(std::size_t index);
 
-  Options options_;
-  const Clock* clock_;
-  Hooks hooks_;
+  Options options_;      ///< immutable after construction
+  const Clock* clock_;   ///< immutable after construction
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Task> queue_;
-  bool stopping_ = false;
-  std::size_t highwater_ = 0;
-  std::uint64_t submitted_ = 0;
-  std::uint64_t executed_ = 0;
-  std::uint64_t shed_ = 0;
-  std::vector<WorkerStats> worker_stats_;
+  mutable Mutex mu_{lock_rank::kThreadPool, "common.ThreadPool"};
+  CondVar cv_;
+  Hooks hooks_ IG_GUARDED_BY(mu_);
+  std::deque<Task> queue_ IG_GUARDED_BY(mu_);
+  bool stopping_ IG_GUARDED_BY(mu_) = false;
+  std::size_t highwater_ IG_GUARDED_BY(mu_) = 0;
+  std::uint64_t submitted_ IG_GUARDED_BY(mu_) = 0;
+  std::uint64_t executed_ IG_GUARDED_BY(mu_) = 0;
+  std::uint64_t shed_ IG_GUARDED_BY(mu_) = 0;
+  std::vector<WorkerStats> worker_stats_ IG_GUARDED_BY(mu_);
 
+  /// Joined by shutdown(); only touched from the constructor and
+  /// shutdown() (idempotence is guarded by `stopping_`).
   std::vector<std::thread> threads_;
 };
 

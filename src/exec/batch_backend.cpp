@@ -19,7 +19,7 @@ BatchBackend::BatchBackend(std::shared_ptr<CommandRegistry> registry, const Cloc
 
 BatchBackend::~BatchBackend() {
   {
-    std::lock_guard lock(queue_mu_);
+    MutexLock lock(queue_mu_);
     shutting_down_ = true;
   }
   for (auto& w : workers_) w.request_stop();
@@ -27,7 +27,7 @@ BatchBackend::~BatchBackend() {
 }
 
 void BatchBackend::set_telemetry(std::shared_ptr<obs::Telemetry> telemetry) {
-  std::lock_guard lock(queue_mu_);
+  MutexLock lock(queue_mu_);
   telemetry_ = std::move(telemetry);
   if (telemetry_ == nullptr) {
     queue_depth_ = nullptr;
@@ -51,7 +51,7 @@ Result<JobId> BatchBackend::submit(const JobRequest& request) {
   }
   JobId id = table_.create(request);
   {
-    std::lock_guard lock(queue_mu_);
+    MutexLock lock(queue_mu_);
     queue_.push_back(QueuedJob{id, request, it->second});
     if (jobs_queued_ != nullptr) jobs_queued_->add();
     if (queue_depth_ != nullptr) queue_depth_->set(static_cast<std::int64_t>(queue_.size()));
@@ -66,7 +66,7 @@ Status BatchBackend::cancel(JobId id) {
   auto status = table_.request_cancel(id);
   if (status.ok()) {
     // Drop it from the queue if it had not started.
-    std::lock_guard lock(queue_mu_);
+    MutexLock lock(queue_mu_);
     std::erase_if(queue_, [id](const QueuedJob& j) { return j.id == id; });
     if (queue_depth_ != nullptr) queue_depth_->set(static_cast<std::int64_t>(queue_.size()));
   }
@@ -78,7 +78,7 @@ Result<JobStatus> BatchBackend::wait(JobId id, Duration timeout) {
 }
 
 std::size_t BatchBackend::queued_jobs() const {
-  std::lock_guard lock(queue_mu_);
+  MutexLock lock(queue_mu_);
   return queue_.size();
 }
 
@@ -86,10 +86,10 @@ void BatchBackend::worker_loop(const std::stop_token& stop) {
   while (true) {
     QueuedJob job;
     {
-      std::unique_lock lock(queue_mu_);
-      queue_cv_.wait(lock, [&] {
-        return shutting_down_ || stop.stop_requested() || !queue_.empty();
-      });
+      MutexLock lock(queue_mu_);
+      while (!shutting_down_ && !stop.stop_requested() && queue_.empty()) {
+        queue_cv_.wait(queue_mu_);
+      }
       if ((shutting_down_ || stop.stop_requested()) && queue_.empty()) return;
       if (queue_.empty()) continue;
       // Highest priority first; FIFO within a priority level.

@@ -5,13 +5,13 @@
 // paper's load-aware scheduling scenarios rely on.
 #pragma once
 
-#include <condition_variable>
 #include <deque>
 #include <map>
 #include <memory>
 #include <thread>
 #include <vector>
 
+#include "common/sync.hpp"
 #include "exec/job.hpp"
 #include "exec/job_table.hpp"
 #include "exec/runner.hpp"
@@ -68,15 +68,16 @@ class BatchBackend final : public LocalJobExecution {
   std::shared_ptr<SimSystem> system_;
   JobTable table_;
 
-  mutable std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::deque<QueuedJob> queue_;
-  bool shutting_down_ = false;
+  mutable Mutex queue_mu_{lock_rank::kExecBackend, "exec.BatchBackend.queue"};
+  CondVar queue_cv_;
+  std::deque<QueuedJob> queue_ IG_GUARDED_BY(queue_mu_);
+  bool shutting_down_ IG_GUARDED_BY(queue_mu_) = false;
 
-  std::shared_ptr<obs::Telemetry> telemetry_;
-  obs::Gauge* queue_depth_ = nullptr;
-  obs::Counter* jobs_queued_ = nullptr;
+  std::shared_ptr<obs::Telemetry> telemetry_ IG_GUARDED_BY(queue_mu_);
+  obs::Gauge* queue_depth_ IG_GUARDED_BY(queue_mu_) = nullptr;
+  obs::Counter* jobs_queued_ IG_GUARDED_BY(queue_mu_) = nullptr;
 
+  /// Started in the constructor, joined in shutdown; not otherwise touched.
   std::vector<std::jthread> workers_;
 };
 

@@ -8,12 +8,12 @@
 namespace ig::exec {
 
 void CheckpointStore::save(const std::string& key, std::string data) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   entries_[key] = std::move(data);
 }
 
 Result<std::string> CheckpointStore::load(const std::string& key) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     return Error(ErrorCode::kNotFound, "no checkpoint for key: " + key);
@@ -22,22 +22,22 @@ Result<std::string> CheckpointStore::load(const std::string& key) const {
 }
 
 void CheckpointStore::erase(const std::string& key) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   entries_.erase(key);
 }
 
 bool CheckpointStore::contains(const std::string& key) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return entries_.count(key) > 0;
 }
 
 std::size_t CheckpointStore::size() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return entries_.size();
 }
 
 Status CheckpointStore::save_to_file(const std::string& path) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::ofstream out(path, std::ios::trunc);
   if (!out) return Error(ErrorCode::kIoError, "cannot write checkpoint file: " + path);
   for (const auto& [key, data] : entries_) {

@@ -8,24 +8,24 @@ CommandRegistry::CommandRegistry(Clock& clock, std::uint64_t seed)
     : clock_(clock), rng_(seed) {}
 
 void CommandRegistry::register_command(const std::string& path, CommandFn fn, Duration cost) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   commands_[path] = Entry{std::move(fn), cost, 0.0};
 }
 
 bool CommandRegistry::contains(const std::string& path) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return commands_.count(path) > 0;
 }
 
 Result<Duration> CommandRegistry::cost(const std::string& path) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = commands_.find(path);
   if (it == commands_.end()) return Error(ErrorCode::kNotFound, "no such command: " + path);
   return it->second.cost;
 }
 
 std::vector<std::string> CommandRegistry::paths() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> out;
   out.reserve(commands_.size());
   for (const auto& [path, entry] : commands_) out.push_back(path);
@@ -52,7 +52,7 @@ Result<CommandResult> CommandRegistry::run(const std::string& path,
   Entry entry;
   std::shared_ptr<FaultInjector> injector;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     auto it = commands_.find(path);
     if (it == commands_.end()) {
       return Error(ErrorCode::kNotFound, "no such command: " + path);
@@ -96,7 +96,7 @@ Result<CommandResult> CommandRegistry::run(const std::string& path,
   executions_.fetch_add(1, std::memory_order_relaxed);
   bool inject_failure = false;
   if (entry.failure_rate > 0.0) {
-    std::lock_guard lock(mu_);  // rng_ is not thread-safe
+    MutexLock lock(mu_);  // rng_ is not thread-safe
     inject_failure = rng_.chance(entry.failure_rate);
   }
   if (inject_failure) {
@@ -106,13 +106,13 @@ Result<CommandResult> CommandRegistry::run(const std::string& path,
 }
 
 void CommandRegistry::set_failure_rate(const std::string& path, double probability) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = commands_.find(path);
   if (it != commands_.end()) it->second.failure_rate = probability;
 }
 
 void CommandRegistry::set_fault_injector(std::shared_ptr<FaultInjector> injector) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   fault_injector_ = std::move(injector);
 }
 

@@ -13,7 +13,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -21,6 +20,7 @@
 #include "common/error.hpp"
 #include "common/fault.hpp"
 #include "common/rng.hpp"
+#include "common/sync.hpp"
 #include "exec/sim_system.hpp"
 
 namespace ig::exec {
@@ -113,10 +113,10 @@ class CommandRegistry {
   };
 
   Clock& clock_;
-  mutable std::mutex mu_;
-  Rng rng_;
-  std::map<std::string, Entry> commands_;
-  std::shared_ptr<FaultInjector> fault_injector_;
+  mutable Mutex mu_{lock_rank::kCommand, "exec.CommandRegistry"};
+  Rng rng_ IG_GUARDED_BY(mu_);
+  std::map<std::string, Entry> commands_ IG_GUARDED_BY(mu_);
+  std::shared_ptr<FaultInjector> fault_injector_ IG_GUARDED_BY(mu_);
   std::atomic<std::uint64_t> executions_{0};
 };
 

@@ -13,7 +13,7 @@ Result<JobId> ForkBackend::submit(const JobRequest& request) {
   }
   JobId id = table_.create(request);
   {
-    std::lock_guard lock(threads_mu_);
+    MutexLock lock(threads_mu_);
     // Reap finished workers occasionally so long-lived backends do not
     // accumulate joined-but-stored threads without bound.
     if (threads_.size() > 64) {

@@ -7,6 +7,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/sync.hpp"
 #include "exec/job.hpp"
 #include "exec/job_table.hpp"
 #include "exec/runner.hpp"
@@ -28,8 +29,8 @@ class ForkBackend final : public LocalJobExecution {
  private:
   std::shared_ptr<CommandRegistry> registry_;
   JobTable table_;
-  std::mutex threads_mu_;
-  std::vector<std::jthread> threads_;
+  Mutex threads_mu_{lock_rank::kExecBackend, "exec.ForkBackend.threads"};
+  std::vector<std::jthread> threads_ IG_GUARDED_BY(threads_mu_);
 };
 
 }  // namespace ig::exec

@@ -26,7 +26,7 @@ bool is_terminal(JobState state) {
 }
 
 JobId JobTable::create(JobRequest request) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   JobId id = IdGenerator::next();
   Entry entry;
   entry.status.id = id;
@@ -38,21 +38,21 @@ JobId JobTable::create(JobRequest request) {
 }
 
 Result<JobStatus> JobTable::status(JobId id) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = jobs_.find(id);
   if (it == jobs_.end()) return Error(ErrorCode::kNotFound, "no such job: " + std::to_string(id));
   return it->second.status;
 }
 
 Result<JobRequest> JobTable::request(JobId id) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = jobs_.find(id);
   if (it == jobs_.end()) return Error(ErrorCode::kNotFound, "no such job: " + std::to_string(id));
   return it->second.request;
 }
 
 void JobTable::set_active(JobId id) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = jobs_.find(id);
   if (it == jobs_.end() || is_terminal(it->second.status.state)) return;
   it->second.status.state = JobState::kActive;
@@ -61,7 +61,7 @@ void JobTable::set_active(JobId id) {
 }
 
 void JobTable::finish(JobId id, int exit_code, std::string output, std::string error) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = jobs_.find(id);
   if (it == jobs_.end() || is_terminal(it->second.status.state)) return;
   JobStatus& status = it->second.status;
@@ -74,7 +74,7 @@ void JobTable::finish(JobId id, int exit_code, std::string output, std::string e
 }
 
 void JobTable::set_cancelled(JobId id, std::string reason) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = jobs_.find(id);
   if (it == jobs_.end() || is_terminal(it->second.status.state)) return;
   it->second.status.state = JobState::kCancelled;
@@ -84,7 +84,7 @@ void JobTable::set_cancelled(JobId id, std::string reason) {
 }
 
 Status JobTable::request_cancel(JobId id) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = jobs_.find(id);
   if (it == jobs_.end()) return Error(ErrorCode::kNotFound, "no such job: " + std::to_string(id));
   Entry& entry = it->second;
@@ -103,21 +103,25 @@ Status JobTable::request_cancel(JobId id) {
 }
 
 std::shared_ptr<CancelToken> JobTable::token(JobId id) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = jobs_.find(id);
   return it == jobs_.end() ? nullptr : it->second.cancel;
 }
 
 Result<JobStatus> JobTable::wait(JobId id, Duration timeout) const {
-  std::unique_lock lock(mu_);
+  MutexLock lock(mu_);
   auto it = jobs_.find(id);
   if (it == jobs_.end()) return Error(ErrorCode::kNotFound, "no such job: " + std::to_string(id));
-  bool done = cv_.wait_for(lock, std::chrono::microseconds(timeout.count()), [&] {
-    auto jt = jobs_.find(id);
-    return jt != jobs_.end() && is_terminal(jt->second.status.state);
-  });
-  it = jobs_.find(id);
-  if (it == jobs_.end()) return Error(ErrorCode::kNotFound, "job vanished while waiting");
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::microseconds(timeout.count());
+  bool done = is_terminal(it->second.status.state);
+  bool timed_out = false;
+  while (!done && !timed_out) {
+    timed_out = cv_.wait_until(mu_, deadline) == std::cv_status::timeout;
+    it = jobs_.find(id);
+    if (it == jobs_.end()) return Error(ErrorCode::kNotFound, "job vanished while waiting");
+    done = is_terminal(it->second.status.state);
+  }
   if (!done) {
     return Error(ErrorCode::kTimeout,
                  "job not terminal after wait: " + std::string(to_string(it->second.status.state)));
@@ -126,7 +130,7 @@ Result<JobStatus> JobTable::wait(JobId id, Duration timeout) const {
 }
 
 std::vector<JobId> JobTable::pending() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::vector<JobId> out;
   for (const auto& [id, entry] : jobs_) {
     if (entry.status.state == JobState::kPending) out.push_back(id);
@@ -135,7 +139,7 @@ std::vector<JobId> JobTable::pending() const {
 }
 
 std::size_t JobTable::size() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return jobs_.size();
 }
 

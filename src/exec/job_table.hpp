@@ -2,11 +2,10 @@
 // per-job cancel tokens, and condition-variable based waiting.
 #pragma once
 
-#include <condition_variable>
 #include <map>
 #include <memory>
-#include <mutex>
 
+#include "common/sync.hpp"
 #include "exec/command.hpp"
 #include "exec/job.hpp"
 
@@ -51,9 +50,9 @@ class JobTable {
   };
 
   const Clock& clock_;
-  mutable std::mutex mu_;
-  mutable std::condition_variable cv_;
-  std::map<JobId, Entry> jobs_;
+  mutable Mutex mu_{lock_rank::kJobTable, "exec.JobTable"};
+  mutable CondVar cv_;
+  std::map<JobId, Entry> jobs_ IG_GUARDED_BY(mu_);
 };
 
 }  // namespace ig::exec

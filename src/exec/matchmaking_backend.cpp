@@ -90,7 +90,7 @@ MatchmakingBackend::MatchmakingBackend(std::shared_ptr<CommandRegistry> registry
 
 MatchmakingBackend::~MatchmakingBackend() {
   {
-    std::lock_guard lock(queue_mu_);
+    MutexLock lock(queue_mu_);
     shutting_down_ = true;
   }
   for (auto& w : workers_) w.request_stop();
@@ -120,7 +120,7 @@ Result<JobId> MatchmakingBackend::submit(const JobRequest& request) {
   }
   JobId id = table_.create(request);
   {
-    std::lock_guard lock(queue_mu_);
+    MutexLock lock(queue_mu_);
     queue_.push_back(PendingJob{id, request, std::move(requirements)});
   }
   queue_cv_.notify_all();
@@ -132,7 +132,7 @@ Result<JobStatus> MatchmakingBackend::status(JobId id) const { return table_.sta
 Status MatchmakingBackend::cancel(JobId id) {
   auto status = table_.request_cancel(id);
   if (status.ok()) {
-    std::lock_guard lock(queue_mu_);
+    MutexLock lock(queue_mu_);
     std::erase_if(queue_, [id](const PendingJob& j) { return j.id == id; });
   }
   return status;
@@ -143,7 +143,7 @@ Result<JobStatus> MatchmakingBackend::wait(JobId id, Duration timeout) {
 }
 
 std::size_t MatchmakingBackend::queued_jobs() const {
-  std::lock_guard lock(queue_mu_);
+  MutexLock lock(queue_mu_);
   return queue_.size();
 }
 
@@ -152,15 +152,19 @@ void MatchmakingBackend::node_loop(const NodeSpec& node, const std::stop_token& 
     PendingJob job;
     bool have_job = false;
     {
-      std::unique_lock lock(queue_mu_);
-      queue_cv_.wait(lock, [&] {
-        if (shutting_down_ || stop.stop_requested()) return true;
+      MutexLock lock(queue_mu_);
+      for (;;) {
+        if (shutting_down_ || stop.stop_requested()) return;
+        bool matched = false;
         for (const PendingJob& pending : queue_) {
-          if (satisfies(node, pending.requirements)) return true;
+          if (satisfies(node, pending.requirements)) {
+            matched = true;
+            break;
+          }
         }
-        return false;
-      });
-      if (shutting_down_ || stop.stop_requested()) return;
+        if (matched) break;
+        queue_cv_.wait(queue_mu_);
+      }
       for (auto it = queue_.begin(); it != queue_.end(); ++it) {
         if (satisfies(node, it->requirements)) {
           job = std::move(*it);

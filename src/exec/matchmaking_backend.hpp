@@ -11,13 +11,13 @@
 // clients see the mismatch immediately; see DESIGN.md).
 #pragma once
 
-#include <condition_variable>
 #include <deque>
 #include <map>
 #include <memory>
 #include <thread>
 #include <vector>
 
+#include "common/sync.hpp"
 #include "exec/job.hpp"
 #include "exec/job_table.hpp"
 #include "exec/runner.hpp"
@@ -79,11 +79,12 @@ class MatchmakingBackend final : public LocalJobExecution {
   double load_per_job_;
   JobTable table_;
 
-  mutable std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::deque<PendingJob> queue_;
-  bool shutting_down_ = false;
+  mutable Mutex queue_mu_{lock_rank::kExecBackend, "exec.MatchmakingBackend.queue"};
+  CondVar queue_cv_;
+  std::deque<PendingJob> queue_ IG_GUARDED_BY(queue_mu_);
+  bool shutting_down_ IG_GUARDED_BY(queue_mu_) = false;
 
+  /// Started in the constructor, joined in shutdown; not otherwise touched.
   std::vector<std::jthread> workers_;
 };
 

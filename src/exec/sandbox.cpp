@@ -90,19 +90,19 @@ SandboxBackend::SandboxBackend(Clock& clock, SandboxConfig config,
 SandboxBackend::~SandboxBackend() = default;
 
 void SandboxBackend::register_task(const std::string& name, SandboxTask task) {
-  std::lock_guard lock(tasks_mu_);
+  MutexLock lock(tasks_mu_);
   tasks_[name] = std::move(task);
 }
 
 bool SandboxBackend::has_task(const std::string& name) const {
-  std::lock_guard lock(tasks_mu_);
+  MutexLock lock(tasks_mu_);
   return tasks_.count(name) > 0;
 }
 
 Result<JobId> SandboxBackend::submit(const JobRequest& request) {
   SandboxTask task;
   {
-    std::lock_guard lock(tasks_mu_);
+    MutexLock lock(tasks_mu_);
     auto it = tasks_.find(request.spec.executable);
     if (it == tasks_.end()) {
       return Error(ErrorCode::kNotFound,
@@ -123,7 +123,7 @@ Result<JobId> SandboxBackend::submit(const JobRequest& request) {
   }
   JobId id = table_.create(request);
   {
-    std::lock_guard lock(threads_mu_);
+    MutexLock lock(threads_mu_);
     if (threads_.size() > 64) {
       std::erase_if(threads_, [](std::jthread& t) { return !t.joinable(); });
     }

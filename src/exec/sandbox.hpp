@@ -20,6 +20,7 @@
 #include <memory>
 #include <thread>
 
+#include "common/sync.hpp"
 #include "exec/checkpoint.hpp"
 #include "exec/job.hpp"
 #include "exec/job_table.hpp"
@@ -140,10 +141,11 @@ class SandboxBackend final : public LocalJobExecution {
   SandboxConfig config_;
   std::shared_ptr<SimSystem> system_;
   JobTable table_;
-  mutable std::mutex tasks_mu_;
-  std::map<std::string, SandboxTask> tasks_;
-  std::mutex threads_mu_;
-  std::vector<std::jthread> threads_;
+  mutable Mutex tasks_mu_{lock_rank::kSandbox, "exec.SandboxBackend.tasks"};
+  std::map<std::string, SandboxTask> tasks_ IG_GUARDED_BY(tasks_mu_);
+  /// Unranked: never nested with any other lock (reaps + appends only).
+  Mutex threads_mu_{lock_rank::kUnranked, "exec.SandboxBackend.threads"};
+  std::vector<std::jthread> threads_ IG_GUARDED_BY(threads_mu_);
 };
 
 }  // namespace ig::exec

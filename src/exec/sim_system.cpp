@@ -56,7 +56,7 @@ void SimSystem::step_locked() {
 }
 
 HostSnapshot SimSystem::snapshot() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   step_locked();
   HostSnapshot snap = base_;
   snap.mem_free_kb = static_cast<std::int64_t>(mem_free_kb_);
@@ -72,19 +72,19 @@ HostSnapshot SimSystem::snapshot() {
 }
 
 double SimSystem::cpu_load() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   step_locked();
   return load_;
 }
 
 void SimSystem::add_load(double delta) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   step_locked();
   external_load_ = std::max(0.0, external_load_ + delta);
 }
 
 void SimSystem::add_file(const std::string& dir, const std::string& name) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto& entries = dirs_[dir];
   if (std::find(entries.begin(), entries.end(), name) == entries.end()) {
     entries.push_back(name);
@@ -92,7 +92,7 @@ void SimSystem::add_file(const std::string& dir, const std::string& name) {
 }
 
 std::vector<std::string> SimSystem::list_dir(const std::string& dir) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = dirs_.find(dir);
   return it == dirs_.end() ? std::vector<std::string>{} : it->second;
 }

@@ -12,13 +12,13 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/clock.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "common/sync.hpp"
 
 namespace ig::exec {
 
@@ -68,23 +68,23 @@ class SimSystem {
   Result<std::string> read_proc(const std::string& path);
 
  private:
-  void step_locked();
+  void step_locked() IG_REQUIRES(mu_);
 
   const Clock& clock_;
   std::string hostname_;
-  mutable std::mutex mu_;
-  Rng rng_;
-  TimePoint last_step_{0};
-  double mem_free_kb_;
-  double load_;           ///< AR(1) state (1-minute load)
-  double load5_ = 0.0;    ///< exponentially smoothed
-  double load15_ = 0.0;
-  double external_load_ = 0.0;
-  double disk_free_kb_ = 0.0;
-  double net_rx_bytes_ = 0.0;
-  double net_tx_bytes_ = 0.0;
-  HostSnapshot base_;
-  std::map<std::string, std::vector<std::string>> dirs_;
+  mutable Mutex mu_{lock_rank::kSimSystem, "exec.SimSystem"};
+  Rng rng_ IG_GUARDED_BY(mu_);
+  TimePoint last_step_ IG_GUARDED_BY(mu_){0};
+  double mem_free_kb_ IG_GUARDED_BY(mu_);
+  double load_ IG_GUARDED_BY(mu_);           ///< AR(1) state (1-minute load)
+  double load5_ IG_GUARDED_BY(mu_) = 0.0;    ///< exponentially smoothed
+  double load15_ IG_GUARDED_BY(mu_) = 0.0;
+  double external_load_ IG_GUARDED_BY(mu_) = 0.0;
+  double disk_free_kb_ IG_GUARDED_BY(mu_) = 0.0;
+  double net_rx_bytes_ IG_GUARDED_BY(mu_) = 0.0;
+  double net_tx_bytes_ IG_GUARDED_BY(mu_) = 0.0;
+  HostSnapshot base_ IG_GUARDED_BY(mu_);
+  std::map<std::string, std::vector<std::string>> dirs_ IG_GUARDED_BY(mu_);
 };
 
 }  // namespace ig::exec

@@ -25,7 +25,7 @@ Status JobManager::start() {
   auto id = backend_->submit(request_);
   if (!id.ok()) return id.error();
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     current_backend_id_ = id.value();
   }
   if (options_.telemetry != nullptr) {
@@ -39,7 +39,7 @@ void JobManager::record(const exec::JobStatus& status) {
   std::function<void(const exec::JobStatus&)> callback;
   bool changed = false;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     changed = info_.status.state != status.state;
     info_.status = status;
     if (changed) callback = options_.on_transition;
@@ -59,7 +59,7 @@ void JobManager::monitor_loop() {
   while (true) {
     exec::JobId backend_id;
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       backend_id = current_backend_id_;
     }
     // Surface the current (possibly ACTIVE) state to callbacks before
@@ -78,7 +78,7 @@ void JobManager::monitor_loop() {
           // (action=exception): report the timeout but let the command
           // continue to completion.
           {
-            std::lock_guard lock(mu_);
+            MutexLock lock(mu_);
             info_.timeout_fired = true;
           }
           cv_.notify_all();
@@ -114,7 +114,7 @@ void JobManager::monitor_loop() {
           done.error = "job exceeded timeout";
         } else {
           {
-            std::lock_guard lock(mu_);
+            MutexLock lock(mu_);
             info_.timeout_fired = true;
           }
           cv_.notify_all();
@@ -125,7 +125,7 @@ void JobManager::monitor_loop() {
 
     exec::JobState state;
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       state = info_.status.state;
     }
     if (logger_ != nullptr) {
@@ -144,7 +144,7 @@ void JobManager::monitor_loop() {
         attempt < options_.max_restarts) {
       ++attempt;
       {
-        std::lock_guard lock(mu_);
+        MutexLock lock(mu_);
         info_.restarts = attempt;
       }
       if (logger_ != nullptr) {
@@ -163,7 +163,7 @@ void JobManager::monitor_loop() {
         break;
       }
       {
-        std::lock_guard lock(mu_);
+        MutexLock lock(mu_);
         current_backend_id_ = id.value();
       }
       continue;
@@ -172,7 +172,7 @@ void JobManager::monitor_loop() {
   }
   exec::JobStatus final_state;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     finalized_ = true;
     final_state = info_.status;
   }
@@ -189,24 +189,28 @@ void JobManager::monitor_loop() {
 }
 
 ManagedJobInfo JobManager::info() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return info_;
 }
 
 Status JobManager::cancel() {
   exec::JobId backend_id;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     backend_id = current_backend_id_;
   }
   return backend_->cancel(backend_id);
 }
 
 Result<ManagedJobInfo> JobManager::wait(Duration timeout) const {
-  std::unique_lock lock(mu_);
-  bool done = cv_.wait_for(lock, std::chrono::microseconds(timeout.count()),
-                           [this] { return finalized_; });
-  if (!done) return Error(ErrorCode::kTimeout, "job manager not finalized: " + contact_);
+  MutexLock lock(mu_);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::microseconds(timeout.count());
+  while (!finalized_) {
+    if (cv_.wait_until(mu_, deadline) == std::cv_status::timeout && !finalized_) {
+      return Error(ErrorCode::kTimeout, "job manager not finalized: " + contact_);
+    }
+  }
   return info_;
 }
 

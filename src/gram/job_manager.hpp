@@ -6,13 +6,12 @@
 // and the planned timeout/action extension of Sec. 6.6.
 #pragma once
 
-#include <condition_variable>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 
+#include "common/sync.hpp"
 #include "exec/job.hpp"
 #include "logging/log.hpp"
 #include "obs/telemetry.hpp"
@@ -75,11 +74,11 @@ class JobManager {
   std::shared_ptr<logging::Logger> logger_;
   ManagerOptions options_;
 
-  mutable std::mutex mu_;
-  mutable std::condition_variable cv_;
-  ManagedJobInfo info_;
-  exec::JobId current_backend_id_ = 0;
-  bool finalized_ = false;
+  mutable Mutex mu_{lock_rank::kJobManager, "gram.JobManager"};
+  mutable CondVar cv_;
+  ManagedJobInfo info_ IG_GUARDED_BY(mu_);
+  exec::JobId current_backend_id_ IG_GUARDED_BY(mu_) = 0;
+  bool finalized_ IG_GUARDED_BY(mu_) = false;
 
   std::jthread monitor_;
 };

@@ -110,14 +110,14 @@ Result<std::string> GramService::submit_local(const rsl::XrslRequest& request,
     config_.telemetry->metrics().counter(obs::metric::kJobsSubmitted).add();
   }
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     jobs_[contact] = std::move(manager);
   }
   return contact;
 }
 
 std::shared_ptr<JobManager> GramService::manager(const std::string& contact) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = jobs_.find(contact);
   return it == jobs_.end() ? nullptr : it->second;
 }
@@ -141,7 +141,7 @@ Result<ManagedJobInfo> GramService::wait(const std::string& contact, Duration ti
 }
 
 std::size_t GramService::job_count() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return jobs_.size();
 }
 
@@ -329,7 +329,7 @@ CallbackListener::CallbackListener(net::Network& network, net::Address address)
       note.state = state.value();
     }
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       notifications_.push_back(std::move(note));
     }
     cv_.notify_all();
@@ -340,14 +340,20 @@ CallbackListener::CallbackListener(net::Network& network, net::Address address)
 CallbackListener::~CallbackListener() { network_.close(address_); }
 
 std::vector<CallbackListener::Notification> CallbackListener::notifications() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return notifications_;
 }
 
 bool CallbackListener::wait_for(std::size_t n, Duration timeout) const {
-  std::unique_lock lock(mu_);
-  return cv_.wait_for(lock, std::chrono::microseconds(timeout.count()),
-                      [&] { return notifications_.size() >= n; });
+  MutexLock lock(mu_);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::microseconds(timeout.count());
+  while (notifications_.size() < n) {
+    if (cv_.wait_until(mu_, deadline) == std::cv_status::timeout) {
+      return notifications_.size() >= n;
+    }
+  }
+  return true;
 }
 
 }  // namespace ig::gram

@@ -20,8 +20,8 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 
+#include "common/sync.hpp"
 #include "exec/job.hpp"
 #include "gram/job_manager.hpp"
 #include "logging/log.hpp"
@@ -93,8 +93,8 @@ class GramService {
   GramConfig config_;
 
   net::Network* network_ = nullptr;
-  mutable std::mutex mu_;
-  std::map<std::string, std::shared_ptr<JobManager>> jobs_;  // by contact
+  mutable Mutex mu_{lock_rank::kGramService, "gram.GramService"};
+  std::map<std::string, std::shared_ptr<JobManager>> jobs_ IG_GUARDED_BY(mu_);  // by contact
 };
 
 /// Client for a GramService (or for the job half of an InfoGram service).
@@ -157,9 +157,10 @@ class CallbackListener {
  private:
   net::Network& network_;
   net::Address address_;
-  mutable std::mutex mu_;
-  mutable std::condition_variable cv_;
-  std::vector<Notification> notifications_;
+  /// Unranked: leaf lock, nothing else is acquired while it is held.
+  mutable Mutex mu_{lock_rank::kUnranked, "gram.CallbackListener"};
+  mutable CondVar cv_;
+  std::vector<Notification> notifications_ IG_GUARDED_BY(mu_);
 };
 
 Result<exec::JobState> job_state_from_string(std::string_view name);

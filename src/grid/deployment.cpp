@@ -3,7 +3,7 @@
 namespace ig::grid {
 
 Status DeploymentRepository::publish(ServicePackage package) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = packages_.find(package.name);
   if (it != packages_.end() && package.version <= it->second.version) {
     return Error(ErrorCode::kInvalidArgument,
@@ -14,7 +14,7 @@ Status DeploymentRepository::publish(ServicePackage package) {
 }
 
 Result<ServicePackage> DeploymentRepository::latest(const std::string& name) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = packages_.find(name);
   if (it == packages_.end()) return Error(ErrorCode::kNotFound, "no such package: " + name);
   return it->second;
@@ -27,7 +27,7 @@ Result<int> DeploymentRepository::latest_version(const std::string& name) const 
 }
 
 std::vector<std::string> DeploymentRepository::package_names() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> out;
   out.reserve(packages_.size());
   for (const auto& [name, pkg] : packages_) out.push_back(name);
@@ -42,7 +42,7 @@ Result<int> Deployer::deploy(const std::string& package, GridResource& resource)
   auto pkg = repository_.latest(package);
   if (!pkg.ok()) return pkg.error();
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     auto it = installed_.find({resource.host(), package});
     if (it != installed_.end() && it->second >= pkg->version) {
       return it->second;  // already current: zero-cost no-op
@@ -71,14 +71,14 @@ Result<int> Deployer::deploy(const std::string& package, GridResource& resource)
     }
   }
   time_spent_us_.fetch_add(timer.elapsed().count());
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   installed_[{resource.host(), package}] = pkg->version;
   return pkg->version;
 }
 
 Result<int> Deployer::installed_version(const std::string& package,
                                         const std::string& host) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = installed_.find({host, package});
   if (it == installed_.end()) {
     return Error(ErrorCode::kNotFound, "not installed on " + host + ": " + package);
@@ -93,7 +93,7 @@ Result<int> Deployer::upgrade_all(const std::string& package, VirtualOrganizatio
   for (const auto& resource : vo.resources()) {
     bool current = false;
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       auto it = installed_.find({resource->host(), package});
       current = it != installed_.end() && it->second >= latest.value();
     }

@@ -14,8 +14,8 @@
 #pragma once
 
 #include <map>
-#include <mutex>
 
+#include "common/sync.hpp"
 #include "core/config.hpp"
 #include "grid/virtual_organization.hpp"
 
@@ -46,8 +46,8 @@ class DeploymentRepository {
   std::vector<std::string> package_names() const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, ServicePackage> packages_;  // latest per name
+  mutable Mutex mu_{lock_rank::kDeployment, "grid.DeploymentRepository"};
+  std::map<std::string, ServicePackage> packages_ IG_GUARDED_BY(mu_);  // latest per name
 };
 
 /// Installs/upgrades packages onto grid resources.
@@ -76,8 +76,9 @@ class Deployer {
   const DeploymentRepository& repository_;
   Clock& clock_;
   double bytes_per_us_;
-  mutable std::mutex mu_;
-  std::map<std::pair<std::string, std::string>, int> installed_;  // (host, pkg) -> ver
+  mutable Mutex mu_{lock_rank::kDeployment, "grid.Deployer"};
+  /// (host, pkg) -> ver
+  std::map<std::pair<std::string, std::string>, int> installed_ IG_GUARDED_BY(mu_);
   std::atomic<std::int64_t> time_spent_us_{0};
 };
 

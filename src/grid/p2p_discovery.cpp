@@ -53,7 +53,7 @@ DiscoveryPeer::DiscoveryPeer(net::Network& network, Clock& clock, std::string ho
       config_(config),
       rng_(seed) {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     refresh_self_locked();
   }
   (void)network_.listen(gossip_address(),
@@ -65,7 +65,7 @@ DiscoveryPeer::DiscoveryPeer(net::Network& network, Clock& clock, std::string ho
 DiscoveryPeer::~DiscoveryPeer() { network_.close(gossip_address()); }
 
 void DiscoveryPeer::add_neighbor(const net::Address& gossip_address_in) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& existing : neighbors_) {
     if (existing == gossip_address_in) return;
   }
@@ -101,7 +101,7 @@ std::string DiscoveryPeer::serialize_view() const {
 void DiscoveryPeer::merge_adverts(const std::string& body) {
   auto incoming = parse_adverts(body);
   if (!incoming.ok()) return;  // drop malformed gossip, epidemic style
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   for (auto& ad : incoming.value()) {
     auto it = adverts_.find(ad.host);
     if (it == adverts_.end() || ad.stamped > it->second.stamped) {
@@ -127,7 +127,7 @@ net::Message DiscoveryPeer::serve(const net::Message& request, net::Session&) {
         Error(ErrorCode::kInvalidArgument, "discovery peer speaks GOSSIP only"));
   }
   merge_adverts(request.body);
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   refresh_self_locked();
   expire_locked(clock_.now());
   // Pull half of push-pull: answer with our merged view.
@@ -141,7 +141,7 @@ void DiscoveryPeer::tick() {
   std::vector<net::Address> targets;
   std::string view_body;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     refresh_self_locked();
     expire_locked(clock_.now());
     // Gossip targets: configured neighbours plus any peer we learned of.
@@ -171,7 +171,7 @@ void DiscoveryPeer::tick() {
 }
 
 std::vector<Advertisement> DiscoveryPeer::view() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::vector<Advertisement> out;
   TimePoint now = clock_.now();
   for (const auto& [host, ad] : adverts_) {
@@ -181,7 +181,7 @@ std::vector<Advertisement> DiscoveryPeer::view() const {
 }
 
 Result<Advertisement> DiscoveryPeer::lookup(const std::string& host) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = adverts_.find(host);
   if (it == adverts_.end()) return Error(ErrorCode::kNotFound, "unknown peer: " + host);
   if (host != host_ && clock_.now() - it->second.stamped > config_.advert_ttl) {

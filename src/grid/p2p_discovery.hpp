@@ -17,12 +17,12 @@
 
 #include <atomic>
 #include <map>
-#include <mutex>
 #include <vector>
 
 #include "common/clock.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "common/sync.hpp"
 #include "net/network.hpp"
 
 namespace ig::grid {
@@ -82,10 +82,10 @@ class DiscoveryPeer {
  private:
   net::Message handle(const net::Message& request, net::Session& session);
   net::Message serve(const net::Message& request, net::Session& session);
-  std::string serialize_view() const;
+  std::string serialize_view() const IG_REQUIRES(mu_);
   void merge_adverts(const std::string& body);
-  void expire_locked(TimePoint now);
-  void refresh_self_locked();
+  void expire_locked(TimePoint now) IG_REQUIRES(mu_);
+  void refresh_self_locked() IG_REQUIRES(mu_);
 
   net::Network& network_;
   Clock& clock_;
@@ -93,11 +93,13 @@ class DiscoveryPeer {
   net::Address infogram_address_;
   std::function<double()> load_fn_;
   GossipConfig config_;
-  Rng rng_;
+  Rng rng_ IG_GUARDED_BY(mu_);
 
-  mutable std::mutex mu_;
-  std::map<std::string, Advertisement> adverts_;  // by host
-  std::vector<net::Address> neighbors_;
+  /// Ranked low: refresh_self_locked() runs load_fn_ (which may read the
+  /// SimSystem or a SystemMonitor) while the lock is held.
+  mutable Mutex mu_{lock_rank::kP2pDiscovery, "grid.DiscoveryPeer"};
+  std::map<std::string, Advertisement> adverts_ IG_GUARDED_BY(mu_);  // by host
+  std::vector<net::Address> neighbors_ IG_GUARDED_BY(mu_);
   std::atomic<std::uint64_t> messages_sent_{0};
   std::shared_ptr<obs::Telemetry> telemetry_;  ///< set at wiring time
 };

@@ -40,12 +40,12 @@ void ObservationCorrectedDegradation::observe(double relative_change, Duration e
                                               Duration ttl) {
   if (elapsed.count() <= 0 || ttl.count() <= 0) return;
   double ttls = static_cast<double>(elapsed.count()) / static_cast<double>(ttl.count());
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   observed_change_per_ttl_.add(relative_change / ttls);
 }
 
 double ObservationCorrectedDegradation::rate_factor() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (observed_change_per_ttl_.count() < 2) return 1.0;
   double observed = observed_change_per_ttl_.mean();
   // Volatile values (large observed change per TTL) degrade faster than

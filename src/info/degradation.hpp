@@ -19,11 +19,11 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "common/clock.hpp"
 #include "common/stats.hpp"
+#include "common/sync.hpp"
 
 namespace ig::info {
 
@@ -89,8 +89,8 @@ class ObservationCorrectedDegradation final : public DegradationFunction {
  private:
   std::shared_ptr<DegradationFunction> base_;
   double nominal_change_per_ttl_;
-  mutable std::mutex mu_;
-  RunningStats observed_change_per_ttl_;
+  mutable Mutex mu_{lock_rank::kDegradation, "info.ObservationCorrectedDegradation"};
+  RunningStats observed_change_per_ttl_ IG_GUARDED_BY(mu_);
 };
 
 /// Construct by name ("binary", "linear", "exponential", "observed");

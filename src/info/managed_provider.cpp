@@ -98,7 +98,7 @@ format::InfoRecord ManagedProvider::degraded_copy_locked(TimePoint now) const {
 
 Result<format::InfoRecord> ManagedProvider::query_state() const {
   TimePoint now = clock_.now();
-  std::shared_lock lock(cache_mu_);
+  ReaderLock lock(cache_mu_);
   if (!cache_) {
     return Error(ErrorCode::kStale, "keyword never queried: " + keyword_);
   }
@@ -113,7 +113,7 @@ Result<format::InfoRecord> ManagedProvider::query_state() const {
 }
 
 Result<format::InfoRecord> ManagedProvider::last_state() const {
-  std::shared_lock lock(cache_mu_);
+  ReaderLock lock(cache_mu_);
   if (!cache_) return Error(ErrorCode::kNotFound, "keyword never produced: " + keyword_);
   count_hit();
   return degraded_copy_locked(clock_.now());
@@ -132,10 +132,10 @@ Result<format::InfoRecord> ManagedProvider::refresh(bool force, const GetOptions
       get_options.timeout ? clock_.now() + *get_options.timeout : TimePoint{0};
   ScopedTimer total(clock_);
 
-  std::lock_guard update_lock(update_mu_);
+  MutexLock update_lock(update_mu_);
   TimePoint now = clock_.now();
   {
-    std::shared_lock lock(cache_mu_);
+    ReaderLock lock(cache_mu_);
     if (cache_) {
       Duration age = now - last_refresh_;
       bool fresh = current_ttl_.count() > 0 && age <= current_ttl_;
@@ -192,7 +192,7 @@ Result<format::InfoRecord> ManagedProvider::refresh(bool force, const GetOptions
         attr.quality = 100.0;
       }
 
-      std::unique_lock lock(cache_mu_);
+      WriterLock lock(cache_mu_);
       if (cache_) {
         note_change(*cache_, record, done - last_refresh_);
         record.ttl = current_ttl_;  // note_change may have adapted the TTL
@@ -227,7 +227,7 @@ Result<format::InfoRecord> ManagedProvider::refresh(bool force, const GetOptions
 
 Result<format::InfoRecord> ManagedProvider::shield(const Error& err) {
   if (!options_.resilience.serve_stale_on_error) return err;
-  std::shared_lock lock(cache_mu_);
+  ReaderLock lock(cache_mu_);
   if (!cache_) return err;
   format::InfoRecord copy = degraded_copy_locked(clock_.now());
   double q = copy.min_quality();
@@ -294,7 +294,7 @@ Result<format::InfoRecord> ManagedProvider::get(rsl::ResponseMode mode,
 Result<format::InfoRecord> ManagedProvider::get_with_quality(double threshold_percent,
                                                              const GetOptions& options) {
   {
-    std::shared_lock lock(cache_mu_);
+    ReaderLock lock(cache_mu_);
     if (cache_) {
       auto copy = degraded_copy_locked(clock_.now());
       if (copy.min_quality() >= threshold_percent) {
@@ -309,7 +309,7 @@ Result<format::InfoRecord> ManagedProvider::get_with_quality(double threshold_pe
 ManagedProvider::PrefetchState ManagedProvider::prefetch_state(
     double margin_fraction, std::optional<double> quality_floor) const {
   TimePoint now = clock_.now();
-  std::shared_lock lock(cache_mu_);
+  ReaderLock lock(cache_mu_);
   if (!cache_ || current_ttl_.count() <= 0) return PrefetchState::kDisabled;
   Duration age = now - last_refresh_;
   if (age > current_ttl_) return PrefetchState::kExpired;
@@ -324,12 +324,12 @@ ManagedProvider::PrefetchState ManagedProvider::prefetch_state(
 }
 
 Duration ManagedProvider::ttl() const {
-  std::shared_lock lock(cache_mu_);
+  ReaderLock lock(cache_mu_);
   return current_ttl_;
 }
 
 void ManagedProvider::set_ttl(Duration ttl) {
-  std::unique_lock lock(cache_mu_);
+  WriterLock lock(cache_mu_);
   current_ttl_ = ttl;
 }
 
@@ -347,7 +347,7 @@ Duration ManagedProvider::average_update_time() const {
 }
 
 int ManagedProvider::validity() const {
-  std::shared_lock lock(cache_mu_);
+  ReaderLock lock(cache_mu_);
   if (!cache_) return 0;
   Duration age = clock_.now() - last_refresh_;
   return static_cast<int>(std::lround(options_.degradation->quality(age, current_ttl_)));

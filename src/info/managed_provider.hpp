@@ -24,13 +24,12 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <optional>
-#include <shared_mutex>
 
 #include "common/clock.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
+#include "common/sync.hpp"
 #include "info/degradation.hpp"
 #include "info/provider.hpp"
 #include "info/resilience.hpp"
@@ -155,7 +154,7 @@ class ManagedProvider {
  private:
   void count_hit() const;
 
-  format::InfoRecord degraded_copy_locked(TimePoint now) const;
+  format::InfoRecord degraded_copy_locked(TimePoint now) const IG_REQUIRES_SHARED(cache_mu_);
   void note_change(const format::InfoRecord& old_record,
                    const format::InfoRecord& new_record, Duration elapsed);
   /// The real refresh: breaker gate, attempt/retry loop, deadline, cache
@@ -169,13 +168,20 @@ class ManagedProvider {
   Clock& clock_;  ///< non-const: retry backoff sleeps between attempts
   ProviderOptions options_;
 
-  mutable std::shared_mutex cache_mu_;
-  std::optional<format::InfoRecord> cache_;
-  TimePoint last_refresh_{0};       ///< when cache_ was produced
-  Duration current_ttl_{0};
+  mutable SharedMutex cache_mu_{lock_rank::kManagedProviderCache, "info.ManagedProvider.cache"};
+  std::optional<format::InfoRecord> cache_ IG_GUARDED_BY(cache_mu_);
+  TimePoint last_refresh_ IG_GUARDED_BY(cache_mu_){0};  ///< when cache_ was produced
+  Duration current_ttl_ IG_GUARDED_BY(cache_mu_){0};
 
-  std::mutex update_mu_;            ///< the paper's "monitor"
-  TimePoint last_attempt_{0};       ///< for the delay throttle
+  /// The paper's "monitor": held across the whole refresh, including the
+  /// underlying command run. Deliberately kUnranked: composite providers
+  /// (`all`, schema, health) re-enter SystemMonitor::query under their
+  /// monitor, and the nested get() then takes *other* providers' update
+  /// monitors — same-class nesting a fixed rank cannot order (the Giis
+  /// case). Keyword expansion dedups, so a true self-cycle shows up as
+  /// the recursive-acquisition check, which kUnranked locks still get.
+  Mutex update_mu_{lock_rank::kUnranked, "info.ManagedProvider.update"};
+  TimePoint last_attempt_ IG_GUARDED_BY(update_mu_){0};  ///< for the delay throttle
   std::atomic<std::int64_t> delay_us_{0};
 
   SharedStats perf_;
@@ -183,7 +189,7 @@ class ManagedProvider {
   std::atomic<std::uint64_t> failures_{0};
 
   std::unique_ptr<CircuitBreaker> breaker_;  ///< null when disabled
-  Rng retry_rng_;  ///< jitter stream; guarded by update_mu_
+  Rng retry_rng_ IG_GUARDED_BY(update_mu_);  ///< jitter stream
 
   std::shared_ptr<obs::Telemetry> telemetry_;  ///< written before use, then const
   obs::Counter* cache_hits_ = nullptr;

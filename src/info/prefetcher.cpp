@@ -12,7 +12,7 @@ Prefetcher::Prefetcher(SystemMonitor& monitor, PrefetchOptions options)
 Prefetcher::~Prefetcher() { stop(); }
 
 void Prefetcher::start() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (running_) return;
   stop_ = false;
   running_ = true;
@@ -21,18 +21,18 @@ void Prefetcher::start() {
 
 void Prefetcher::stop() {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (!running_) return;
     stop_ = true;
   }
   cv_.notify_all();
   thread_.join();
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   running_ = false;
 }
 
 bool Prefetcher::running() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return running_;
 }
 
@@ -52,7 +52,7 @@ std::size_t Prefetcher::scan_once() {
     auto provider = monitor_.provider(kw);
     if (provider == nullptr) continue;  // removed between snapshot and visit
     {
-      std::lock_guard lock(backoff_mu_);
+      MutexLock lock(backoff_mu_);
       auto it = backoff_.find(kw);
       if (it != backoff_.end() && now < it->second.retry_after) continue;
     }
@@ -81,7 +81,7 @@ std::size_t Prefetcher::scan_once() {
     // The stale-serve shield hides refresh failures in the Result, so
     // detect them via the provider's failure counter instead.
     std::uint64_t failures_now = provider->failure_count();
-    std::lock_guard lock(backoff_mu_);
+    MutexLock lock(backoff_mu_);
     BackoffState& state = backoff_[kw];
     if (failures_now > state.last_failures) {
       state.consecutive++;
@@ -107,8 +107,10 @@ std::size_t Prefetcher::scan_once() {
 void Prefetcher::loop() {
   for (;;) {
     {
-      std::unique_lock lock(mu_);
-      cv_.wait_for(lock, options_.scan_interval, [&] { return stop_; });
+      MutexLock lock(mu_);
+      const auto deadline = std::chrono::steady_clock::now() + options_.scan_interval;
+      while (!stop_ && cv_.wait_until(mu_, deadline) != std::cv_status::timeout) {
+      }
       if (stop_) return;
     }
     scan_once();

@@ -20,15 +20,14 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 
 #include "common/clock.hpp"
+#include "common/sync.hpp"
 
 namespace ig::obs {
 class Counter;
@@ -93,13 +92,15 @@ class Prefetcher {
   SystemMonitor& monitor_;
   PrefetchOptions options_;
 
-  std::mutex backoff_mu_;
-  std::map<std::string, BackoffState> backoff_;
+  /// Unranked: leaf lock, released around every monitor_ call.
+  Mutex backoff_mu_{lock_rank::kUnranked, "info.Prefetcher.backoff"};
+  std::map<std::string, BackoffState> backoff_ IG_GUARDED_BY(backoff_mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
-  bool running_ = false;
+  mutable Mutex mu_{lock_rank::kPrefetcher, "info.Prefetcher"};
+  CondVar cv_;
+  bool stop_ IG_GUARDED_BY(mu_) = false;
+  bool running_ IG_GUARDED_BY(mu_) = false;
+  /// Started under mu_ in start(); joined in stop() after running_ clears.
   std::thread thread_;
 
   std::atomic<std::uint64_t> cycles_{0};

@@ -42,7 +42,7 @@ bool CircuitBreaker::allow() {
   std::function<void(BreakerState)> fire;
   bool allowed = false;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     switch (state_) {
       case BreakerState::kClosed:
       case BreakerState::kHalfOpen:
@@ -65,7 +65,7 @@ bool CircuitBreaker::allow() {
 void CircuitBreaker::record_success() {
   std::function<void(BreakerState)> fire;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     consecutive_failures_ = 0;
     transition_locked(BreakerState::kClosed, fire);
   }
@@ -75,7 +75,7 @@ void CircuitBreaker::record_success() {
 void CircuitBreaker::record_failure() {
   std::function<void(BreakerState)> fire;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     ++consecutive_failures_;
     bool reopen = state_ == BreakerState::kHalfOpen;  // failed probe
     if (reopen || (state_ == BreakerState::kClosed &&
@@ -88,12 +88,12 @@ void CircuitBreaker::record_failure() {
 }
 
 BreakerState CircuitBreaker::state() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return state_;
 }
 
 void CircuitBreaker::set_transition_hook(std::function<void(BreakerState)> hook) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   hook_ = std::move(hook);
 }
 

@@ -14,11 +14,11 @@
 #pragma once
 
 #include <functional>
-#include <mutex>
 #include <string_view>
 
 #include "common/clock.hpp"
 #include "common/rng.hpp"
+#include "common/sync.hpp"
 
 namespace ig::info {
 
@@ -63,15 +63,16 @@ class CircuitBreaker {
   void set_transition_hook(std::function<void(BreakerState)> hook);
 
  private:
-  void transition_locked(BreakerState next, std::function<void(BreakerState)>& fire);
+  void transition_locked(BreakerState next, std::function<void(BreakerState)>& fire)
+      IG_REQUIRES(mu_);
 
   BreakerOptions options_;
   const Clock& clock_;
-  mutable std::mutex mu_;
-  BreakerState state_ = BreakerState::kClosed;
-  int consecutive_failures_ = 0;
-  TimePoint open_until_{0};
-  std::function<void(BreakerState)> hook_;
+  mutable Mutex mu_{lock_rank::kResilience, "info.CircuitBreaker"};
+  BreakerState state_ IG_GUARDED_BY(mu_) = BreakerState::kClosed;
+  int consecutive_failures_ IG_GUARDED_BY(mu_) = 0;
+  TimePoint open_until_ IG_GUARDED_BY(mu_){0};
+  std::function<void(BreakerState)> hook_ IG_GUARDED_BY(mu_);
 };
 
 }  // namespace ig::info

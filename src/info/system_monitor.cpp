@@ -13,7 +13,7 @@ SystemMonitor::SystemMonitor(Clock& clock, std::string service_name)
 SystemMonitor::~SystemMonitor() { stop_prefetch(); }
 
 Status SystemMonitor::start_prefetch(PrefetchOptions options) {
-  std::lock_guard lock(prefetch_mu_);
+  MutexLock lock(prefetch_mu_);
   if (prefetcher_ != nullptr && prefetcher_->running()) {
     return Error(ErrorCode::kAlreadyExists, "prefetch already running");
   }
@@ -23,17 +23,17 @@ Status SystemMonitor::start_prefetch(PrefetchOptions options) {
 }
 
 void SystemMonitor::stop_prefetch() {
-  std::lock_guard lock(prefetch_mu_);
+  MutexLock lock(prefetch_mu_);
   if (prefetcher_ != nullptr) prefetcher_->stop();
 }
 
 const Prefetcher* SystemMonitor::prefetcher() const {
-  std::lock_guard lock(prefetch_mu_);
+  MutexLock lock(prefetch_mu_);
   return prefetcher_.get();
 }
 
 Status SystemMonitor::add_provider(std::shared_ptr<ManagedProvider> provider) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (telemetry_ != nullptr) provider->set_telemetry(telemetry_);
   auto [it, inserted] = providers_.try_emplace(provider->keyword(), provider);
   (void)it;
@@ -45,7 +45,7 @@ Status SystemMonitor::add_provider(std::shared_ptr<ManagedProvider> provider) {
 }
 
 void SystemMonitor::set_telemetry(std::shared_ptr<obs::Telemetry> telemetry) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   telemetry_ = std::move(telemetry);
   query_seconds_ = telemetry_ != nullptr
                        ? &telemetry_->metrics().histogram(obs::metric::kInfoQuerySeconds)
@@ -54,7 +54,7 @@ void SystemMonitor::set_telemetry(std::shared_ptr<obs::Telemetry> telemetry) {
 }
 
 std::shared_ptr<obs::Telemetry> SystemMonitor::telemetry() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return telemetry_;
 }
 
@@ -64,13 +64,13 @@ Status SystemMonitor::add_source(std::shared_ptr<InfoSource> source, ProviderOpt
 }
 
 std::shared_ptr<ManagedProvider> SystemMonitor::provider(const std::string& keyword) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = providers_.find(keyword);
   return it == providers_.end() ? nullptr : it->second;
 }
 
 std::vector<std::string> SystemMonitor::keywords() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> out;
   out.reserve(providers_.size());
   for (const auto& [kw, p] : providers_) out.push_back(kw);
@@ -78,7 +78,7 @@ std::vector<std::string> SystemMonitor::keywords() const {
 }
 
 std::size_t SystemMonitor::provider_count() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return providers_.size();
 }
 
@@ -121,7 +121,7 @@ Result<std::vector<format::InfoRecord>> SystemMonitor::query(
   std::vector<std::string> expanded;
   obs::Histogram* query_seconds = nullptr;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     expanded = expand_locked(keywords);
     query_seconds = query_seconds_;
   }
@@ -180,7 +180,7 @@ Result<format::InfoRecord> SystemMonitor::performance_record(
     const std::vector<std::string>& keywords) {
   std::vector<std::string> expanded;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     expanded = expand_locked(keywords);
   }
   format::InfoRecord record;
@@ -200,7 +200,7 @@ Result<format::InfoRecord> SystemMonitor::performance_record(
 format::ServiceSchema SystemMonitor::schema() const {
   std::vector<std::shared_ptr<ManagedProvider>> providers;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     providers.reserve(providers_.size());
     for (const auto& [kw, p] : providers_) providers.push_back(p);
   }
@@ -233,7 +233,7 @@ format::ServiceSchema SystemMonitor::schema() const {
 format::InfoRecord SystemMonitor::health_record() const {
   std::vector<std::shared_ptr<ManagedProvider>> providers;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     providers.reserve(providers_.size());
     for (const auto& [kw, p] : providers_) providers.push_back(p);
   }
@@ -254,7 +254,7 @@ format::InfoRecord SystemMonitor::health_record() const {
 std::uint64_t SystemMonitor::total_refreshes() const {
   std::vector<std::shared_ptr<ManagedProvider>> providers;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     for (const auto& [kw, p] : providers_) providers.push_back(p);
   }
   std::uint64_t total = 0;

@@ -7,10 +7,10 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
+#include "common/sync.hpp"
 #include "format/schema.hpp"
 #include "info/managed_provider.hpp"
 #include "info/prefetcher.hpp"
@@ -93,20 +93,22 @@ class SystemMonitor {
   std::shared_ptr<obs::Telemetry> telemetry() const;
 
  private:
-  std::vector<std::string> expand_locked(const std::vector<std::string>& keywords) const;
+  std::vector<std::string> expand_locked(const std::vector<std::string>& keywords) const
+      IG_REQUIRES(mu_);
 
   Clock& clock_;
   std::string service_name_;
-  mutable std::mutex mu_;
-  std::map<std::string, std::shared_ptr<ManagedProvider>> providers_;
-  std::shared_ptr<obs::Telemetry> telemetry_;
+  mutable Mutex mu_{lock_rank::kSystemMonitor, "info.SystemMonitor"};
+  std::map<std::string, std::shared_ptr<ManagedProvider>> providers_ IG_GUARDED_BY(mu_);
+  std::shared_ptr<obs::Telemetry> telemetry_ IG_GUARDED_BY(mu_);
   /// Query-latency histogram resolved once in set_telemetry(); stable for
   /// the telemetry's lifetime, so query() skips the registry lookup.
-  obs::Histogram* query_seconds_ = nullptr;
+  obs::Histogram* query_seconds_ IG_GUARDED_BY(mu_) = nullptr;
   /// Guarded by prefetch_mu_, not mu_: the scan thread reads providers
   /// through the public locked accessors, so sharing mu_ would deadlock.
-  mutable std::mutex prefetch_mu_;
-  std::unique_ptr<Prefetcher> prefetcher_;
+  /// Ranked below kPrefetcher — held across prefetcher_->start()/stop().
+  mutable Mutex prefetch_mu_{lock_rank::kMonitorPrefetch, "info.SystemMonitor.prefetch"};
+  std::unique_ptr<Prefetcher> prefetcher_ IG_GUARDED_BY(prefetch_mu_);
 };
 
 }  // namespace ig::info

@@ -114,17 +114,17 @@ Result<LogEvent> LogEvent::parse(const std::string& line) {
 }
 
 void MemorySink::append(const LogEvent& event) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   events_.push_back(event);
 }
 
 std::vector<LogEvent> MemorySink::events() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return events_;
 }
 
 std::size_t MemorySink::size() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return events_.size();
 }
 
@@ -132,7 +132,7 @@ FileSink::FileSink(std::string path)
     : path_(std::move(path)), out_(path_, std::ios::app) {}
 
 void FileSink::append(const LogEvent& event) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (!out_.good()) {
     // The stream went bad (disk full, file rotated away): retry once with
     // a fresh handle rather than silently dropping every later event.
@@ -167,12 +167,12 @@ Result<std::vector<LogEvent>> FileSink::read(const std::string& path) {
 Logger::Logger(const Clock& clock) : clock_(clock) {}
 
 void Logger::add_sink(std::shared_ptr<LogSink> sink) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   sinks_.push_back(std::move(sink));
 }
 
 bool Logger::has_sinks() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return !sinks_.empty();
 }
 
@@ -187,7 +187,7 @@ void Logger::log(EventType type, std::string subject, std::string local_user,
   event.time = clock_.now();
   std::vector<std::shared_ptr<LogSink>> sinks;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     event.sequence = next_sequence_++;
     sinks = sinks_;
   }
@@ -195,7 +195,7 @@ void Logger::log(EventType type, std::string subject, std::string local_user,
 }
 
 std::uint64_t Logger::events_logged() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return next_sequence_ - 1;
 }
 

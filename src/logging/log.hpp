@@ -14,12 +14,12 @@
 #include <fstream>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/clock.hpp"
 #include "common/error.hpp"
+#include "common/sync.hpp"
 
 namespace ig::logging {
 
@@ -71,8 +71,8 @@ class MemorySink final : public LogSink {
   std::size_t size() const;
 
  private:
-  mutable std::mutex mu_;
-  std::vector<LogEvent> events_;
+  mutable Mutex mu_{lock_rank::kLogSink, "logging.MemorySink"};
+  std::vector<LogEvent> events_ IG_GUARDED_BY(mu_);
 };
 
 /// Line-per-event file sink (the "backend tier" log of Fig. 3).
@@ -93,9 +93,9 @@ class FileSink final : public LogSink {
   static Result<std::vector<LogEvent>> read(const std::string& path);
 
  private:
-  std::mutex mu_;
+  Mutex mu_{lock_rank::kLogSink, "logging.FileSink"};
   std::string path_;
-  std::ofstream out_;
+  std::ofstream out_ IG_GUARDED_BY(mu_);
 };
 
 class Logger {
@@ -117,9 +117,9 @@ class Logger {
 
  private:
   const Clock& clock_;
-  mutable std::mutex mu_;
-  std::uint64_t next_sequence_ = 1;
-  std::vector<std::shared_ptr<LogSink>> sinks_;
+  mutable Mutex mu_{lock_rank::kLogger, "logging.Logger"};
+  std::uint64_t next_sequence_ IG_GUARDED_BY(mu_) = 1;
+  std::vector<std::shared_ptr<LogSink>> sinks_ IG_GUARDED_BY(mu_);
 };
 
 /// A job that must be resubmitted after a crash: it was submitted (and

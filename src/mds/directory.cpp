@@ -136,35 +136,35 @@ int dn_depth_below(const std::string& dn, const std::string& base) {
 
 void Directory::put(DirectoryEntry entry) {
   entry.dn = normalize_dn(entry.dn);
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   entries_[entry.dn] = std::move(entry);
 }
 
 void Directory::erase(const std::string& dn) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   entries_.erase(normalize_dn(dn));
 }
 
 void Directory::clear() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   entries_.clear();
 }
 
 Result<DirectoryEntry> Directory::get(const std::string& dn) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = entries_.find(normalize_dn(dn));
   if (it == entries_.end()) return Error(ErrorCode::kNotFound, "no entry: " + dn);
   return it->second;
 }
 
 std::size_t Directory::size() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return entries_.size();
 }
 
 std::vector<DirectoryEntry> Directory::in_scope(const std::string& base, Scope scope) const {
   std::string norm_base = normalize_dn(base);
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::vector<DirectoryEntry> out;
   for (const auto& [dn, entry] : entries_) {
     int depth = dn_depth_below(dn, norm_base);

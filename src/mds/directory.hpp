@@ -8,11 +8,11 @@
 #pragma once
 
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/sync.hpp"
 
 namespace ig::mds {
 
@@ -62,8 +62,9 @@ class Directory {
   std::vector<DirectoryEntry> in_scope(const std::string& base, Scope scope) const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, DirectoryEntry> entries_;  // keyed by normalized DN
+  mutable Mutex mu_{lock_rank::kMdsDirectory, "mds.Directory"};
+  /// Keyed by normalized DN.
+  std::map<std::string, DirectoryEntry> entries_ IG_GUARDED_BY(mu_);
 };
 
 }  // namespace ig::mds

@@ -6,18 +6,18 @@ Giis::Giis(std::string vo_name, const Clock& clock, Duration cache_ttl)
     : vo_name_(std::move(vo_name)), clock_(clock), cache_ttl_(cache_ttl) {}
 
 void Giis::register_child(std::shared_ptr<SearchBackend> child) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   children_.push_back(std::move(child));
   last_refresh_ = TimePoint(-1);  // force refresh on next search
 }
 
 std::size_t Giis::child_count() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return children_.size();
 }
 
 Status Giis::refresh_if_stale() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   TimePoint now = clock_.now();
   if (telemetry_ != nullptr) {
     telemetry_->metrics().counter(obs::metric::kMdsGiisSearches).add();
@@ -56,7 +56,7 @@ Status Giis::refresh_if_stale() {
 Result<std::vector<DirectoryEntry>> Giis::search(const std::string& base, Scope scope,
                                                  const Filter& filter) {
   if (auto status = refresh_if_stale(); !status.ok()) return status.error();
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return ig::mds::search(cache_, base, scope, filter);
 }
 

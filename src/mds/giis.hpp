@@ -10,10 +10,10 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "common/clock.hpp"
+#include "common/sync.hpp"
 #include "mds/gris.hpp"
 #include "obs/telemetry.hpp"
 
@@ -41,7 +41,7 @@ class Giis final : public SearchBackend {
   /// Mirror searches and cache hit/miss into shared metrics
   /// (mds.giis.searches / mds.giis.cache.*). Nullable.
   void set_telemetry(std::shared_ptr<obs::Telemetry> telemetry) {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     telemetry_ = std::move(telemetry);
   }
 
@@ -52,13 +52,17 @@ class Giis final : public SearchBackend {
   const Clock& clock_;
   Duration cache_ttl_;
 
-  mutable std::mutex mu_;
-  std::vector<std::shared_ptr<SearchBackend>> children_;
-  TimePoint last_refresh_{-1};
-  Directory cache_;
+  /// Unranked on purpose: GIIS hierarchies refresh parent-over-child, so
+  /// two Giis locks of the same class legitimately nest (a fixed rank
+  /// cannot order that). Recursive acquisition of one instance is still
+  /// caught by the validator.
+  mutable Mutex mu_{lock_rank::kUnranked, "mds.Giis"};
+  std::vector<std::shared_ptr<SearchBackend>> children_ IG_GUARDED_BY(mu_);
+  TimePoint last_refresh_ IG_GUARDED_BY(mu_){-1};
+  Directory cache_ IG_GUARDED_BY(mu_);
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
-  std::shared_ptr<obs::Telemetry> telemetry_;
+  std::shared_ptr<obs::Telemetry> telemetry_ IG_GUARDED_BY(mu_);
 };
 
 }  // namespace ig::mds

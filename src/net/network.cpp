@@ -98,7 +98,7 @@ Result<Message> Connection::request(const Message& req) {
 }
 
 Status Network::listen(const Address& addr, Handler handler) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto [it, inserted] = endpoints_.try_emplace(addr, EndpointEntry{std::move(handler), false});
   (void)it;
   if (!inserted) {
@@ -108,7 +108,7 @@ Status Network::listen(const Address& addr, Handler handler) {
 }
 
 void Network::close(const Address& addr) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   endpoints_.erase(addr);
 }
 
@@ -122,7 +122,7 @@ Result<std::unique_ptr<Connection>> Network::connect(const Address& addr) {
     span.emplace(active.ctx->span("connect:" + addr.to_string(), active.span_id));
   }
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     auto it = endpoints_.find(addr);
     if (it == endpoints_.end()) {
       if (span.has_value()) span->end("error:unavailable");
@@ -151,26 +151,26 @@ Result<std::unique_ptr<Connection>> Network::connect(const Address& addr) {
 }
 
 void Network::partition(const Address& addr) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = endpoints_.find(addr);
   if (it != endpoints_.end()) it->second.partitioned = true;
 }
 
 void Network::heal(const Address& addr) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = endpoints_.find(addr);
   if (it != endpoints_.end()) it->second.partitioned = false;
 }
 
 TrafficStats Network::total_stats() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return totals_;
 }
 
 Result<Message> Network::dispatch(const Address& addr, const Message& req, Session& session) {
   Handler handler;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     auto it = endpoints_.find(addr);
     if (it == endpoints_.end()) {
       return Error(ErrorCode::kUnavailable, "endpoint closed: " + addr.to_string());
@@ -184,19 +184,19 @@ Result<Message> Network::dispatch(const Address& addr, const Message& req, Sessi
 }
 
 void Network::set_telemetry(std::shared_ptr<obs::Telemetry> telemetry) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   telemetry_ = std::move(telemetry);
 }
 
 void Network::set_fault_injector(std::shared_ptr<FaultInjector> injector) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   fault_injector_ = std::move(injector);
 }
 
 FaultDecision Network::evaluate_fault(const std::string& point) {
   std::shared_ptr<FaultInjector> injector;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     injector = fault_injector_;
   }
   if (injector == nullptr) return FaultDecision{};
@@ -206,7 +206,7 @@ FaultDecision Network::evaluate_fault(const std::string& point) {
 void Network::account(const TrafficStats& delta) {
   std::shared_ptr<obs::Telemetry> telemetry;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     totals_.merge(delta);
     telemetry = telemetry_;
   }

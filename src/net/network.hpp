@@ -22,12 +22,12 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "common/clock.hpp"
 #include "common/error.hpp"
 #include "common/fault.hpp"
+#include "common/sync.hpp"
 #include "net/message.hpp"
 #include "obs/telemetry.hpp"
 
@@ -79,11 +79,11 @@ struct TrafficStats {
 class Session {
  public:
   void set(const std::string& key, std::string value) {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     attrs_[key] = std::move(value);
   }
   std::optional<std::string> get(const std::string& key) const {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     auto it = attrs_.find(key);
     if (it == attrs_.end()) return std::nullopt;
     return it->second;
@@ -94,8 +94,9 @@ class Session {
   std::optional<std::string> local_user() const { return get("auth.local_user"); }
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::string> attrs_;
+  /// Unranked: leaf lock, nothing else is acquired while it is held.
+  mutable Mutex mu_{lock_rank::kUnranked, "net.Session"};
+  std::map<std::string, std::string> attrs_ IG_GUARDED_BY(mu_);
 };
 
 /// Server-side request handler: full request in, full response out.
@@ -174,11 +175,11 @@ class Network {
   FaultDecision evaluate_fault(const std::string& point);
 
   CostModel model_;
-  mutable std::mutex mu_;
-  std::map<Address, EndpointEntry> endpoints_;
-  TrafficStats totals_;
-  std::shared_ptr<obs::Telemetry> telemetry_;
-  std::shared_ptr<FaultInjector> fault_injector_;
+  mutable Mutex mu_{lock_rank::kNetwork, "net.Network"};
+  std::map<Address, EndpointEntry> endpoints_ IG_GUARDED_BY(mu_);
+  TrafficStats totals_ IG_GUARDED_BY(mu_);
+  std::shared_ptr<obs::Telemetry> telemetry_ IG_GUARDED_BY(mu_);
+  std::shared_ptr<FaultInjector> fault_injector_ IG_GUARDED_BY(mu_);
 };
 
 }  // namespace ig::net

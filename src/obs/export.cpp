@@ -60,7 +60,7 @@ JsonlExporter::JsonlExporter(std::string path, Options options)
 bool JsonlExporter::export_trace(const TraceRecord& record) {
   std::string line;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     ++seen_;
     // Deterministic 1-in-N: the first trace is always exported, so even a
     // single-request test run leaves a durable line to assert on.
@@ -108,7 +108,7 @@ void JsonlExporter::export_metrics(const MetricsRegistry& metrics, TimePoint now
 }
 
 void JsonlExporter::write_line(const std::string& line) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (!out_.is_open()) {
     out_.clear();
     out_.open(path_, std::ios::app);
@@ -121,12 +121,12 @@ void JsonlExporter::write_line(const std::string& line) {
 }
 
 std::uint64_t JsonlExporter::exported() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return exported_;
 }
 
 std::uint64_t JsonlExporter::skipped() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return skipped_;
 }
 

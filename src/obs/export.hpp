@@ -12,11 +12,11 @@
 
 #include <cstdint>
 #include <fstream>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/clock.hpp"
+#include "common/sync.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -55,11 +55,12 @@ class JsonlExporter {
 
   std::string path_;
   Options options_;
-  mutable std::mutex mu_;
-  std::ofstream out_;
-  std::uint64_t seen_ = 0;
-  std::uint64_t exported_ = 0;
-  std::uint64_t skipped_ = 0;
+  /// Unranked: leaf lock, nothing else is acquired while it is held.
+  mutable Mutex mu_{lock_rank::kUnranked, "obs.JsonlExporter"};
+  std::ofstream out_ IG_GUARDED_BY(mu_);
+  std::uint64_t seen_ IG_GUARDED_BY(mu_) = 0;
+  std::uint64_t exported_ IG_GUARDED_BY(mu_) = 0;
+  std::uint64_t skipped_ IG_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace ig::obs

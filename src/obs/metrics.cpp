@@ -23,7 +23,7 @@ void Histogram::observe(double x) {
 void Histogram::observe(double x, std::string_view exemplar_trace_id) {
   observe(x);
   if (exemplar_trace_id.empty()) return;
-  std::lock_guard lock(exemplar_mu_);
+  MutexLock lock(exemplar_mu_);
   auto it = std::lower_bound(boundaries_.begin(), boundaries_.end(), x);
   auto index = static_cast<std::size_t>(it - boundaries_.begin());
   exemplars_[index].value = x;
@@ -37,7 +37,7 @@ Histogram::Snapshot Histogram::snapshot() const {
   snap.counts.reserve(counts_.size());
   for (const auto& c : counts_) snap.counts.push_back(c.load(std::memory_order_relaxed));
   {
-    std::lock_guard lock(exemplar_mu_);
+    MutexLock lock(exemplar_mu_);
     snap.exemplars = exemplars_;
   }
   return snap;
@@ -70,7 +70,7 @@ double Histogram::Snapshot::quantile(double q) const {
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   Entry& entry = entries_[name];
   if (entry.gauge != nullptr || entry.histogram != nullptr) return mismatch_counter_;
   if (entry.counter == nullptr) entry.counter = std::make_unique<Counter>();
@@ -78,7 +78,7 @@ Counter& MetricsRegistry::counter(const std::string& name) {
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   Entry& entry = entries_[name];
   if (entry.counter != nullptr || entry.histogram != nullptr) return mismatch_gauge_;
   if (entry.gauge == nullptr) entry.gauge = std::make_unique<Gauge>();
@@ -87,7 +87,7 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
 
 Histogram& MetricsRegistry::histogram(const std::string& name,
                                       std::vector<double> boundaries) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   Entry& entry = entries_[name];
   if (entry.counter != nullptr || entry.gauge != nullptr) {
     if (mismatch_histogram_ == nullptr) {
@@ -102,7 +102,7 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
 }
 
 std::vector<MetricSnapshot> MetricsRegistry::snapshot() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::vector<MetricSnapshot> out;
   out.reserve(entries_.size());
   for (const auto& [name, entry] : entries_) {
@@ -126,7 +126,7 @@ std::vector<MetricSnapshot> MetricsRegistry::snapshot() const {
 }
 
 std::size_t MetricsRegistry::size() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return entries_.size();
 }
 

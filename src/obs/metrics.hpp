@@ -19,13 +19,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/stats.hpp"
+#include "common/sync.hpp"
 
 namespace ig::obs {
 
@@ -94,8 +94,9 @@ class Histogram {
   std::vector<double> boundaries_;
   std::vector<std::atomic<std::uint64_t>> counts_;
   SharedStats stats_;
-  mutable std::mutex exemplar_mu_;
-  std::vector<Exemplar> exemplars_;
+  /// Unranked: leaf lock, nothing else is acquired while it is held.
+  mutable Mutex exemplar_mu_{lock_rank::kUnranked, "obs.Histogram.exemplar"};
+  std::vector<Exemplar> exemplars_ IG_GUARDED_BY(exemplar_mu_);
 };
 
 /// One registry entry flattened for rendering.
@@ -131,8 +132,8 @@ class MetricsRegistry {
     std::unique_ptr<Histogram> histogram;
   };
 
-  mutable std::mutex mu_;
-  std::map<std::string, Entry> entries_;
+  mutable Mutex mu_{lock_rank::kMetrics, "obs.MetricsRegistry"};
+  std::map<std::string, Entry> entries_ IG_GUARDED_BY(mu_);
   /// Fallbacks handed out on kind mismatch so callers never get nullptr.
   Counter mismatch_counter_;
   Gauge mismatch_gauge_;

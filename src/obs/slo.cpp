@@ -20,12 +20,12 @@ std::vector<BurnRule> SloEngine::default_rules() {
 
 void SloEngine::add(SloObjective objective) {
   if (objective.rules.empty()) objective.rules = default_rules();
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   states_.push_back(State{std::move(objective), {}});
 }
 
 std::size_t SloEngine::size() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return states_.size();
 }
 
@@ -85,7 +85,7 @@ double SloEngine::burn_over(const std::deque<Sample>& history, const Sample& now
 
 std::vector<SloStatus> SloEngine::evaluate() {
   TimePoint now = clock_.now();
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::vector<SloStatus> out;
   out.reserve(states_.size());
   for (State& state : states_) {

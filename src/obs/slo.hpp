@@ -22,11 +22,11 @@
 
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/clock.hpp"
+#include "common/sync.hpp"
 #include "obs/metrics.hpp"
 
 namespace ig::obs {
@@ -115,8 +115,9 @@ class SloEngine {
 
   const MetricsRegistry& metrics_;
   const Clock& clock_;
-  mutable std::mutex mu_;
-  std::vector<State> states_;
+  /// Ranked below kMetrics: evaluate() snapshots the registry under it.
+  mutable Mutex mu_{lock_rank::kSlo, "obs.SloEngine"};
+  std::vector<State> states_ IG_GUARDED_BY(mu_);
 };
 
 }  // namespace ig::obs

@@ -63,7 +63,7 @@ void Telemetry::notify(const TraceRecord& record) {
   if (exporter_ != nullptr) exporter_->export_trace(record);
   std::shared_ptr<const TraceListener> listener;
   {
-    std::lock_guard lock(listener_mu_);
+    MutexLock lock(listener_mu_);
     listener = listener_;
   }
   if (listener != nullptr && *listener) (*listener)(record);
@@ -83,7 +83,7 @@ TraceRecord Telemetry::complete_and_collect(TraceContext& trace) {
 }
 
 void Telemetry::set_trace_listener(std::function<void(const TraceRecord&)> listener) {
-  std::lock_guard lock(listener_mu_);
+  MutexLock lock(listener_mu_);
   listener_ = std::make_shared<const TraceListener>(std::move(listener));
 }
 

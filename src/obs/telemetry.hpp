@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "common/clock.hpp"
+#include "common/sync.hpp"
 #include "format/record.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
@@ -226,10 +227,10 @@ class Telemetry {
   std::atomic<std::uint64_t> sample_every_{1};
   std::atomic<std::uint64_t> sample_seq_{0};
   std::shared_ptr<JsonlExporter> exporter_;
-  mutable std::mutex listener_mu_;
+  mutable Mutex listener_mu_{lock_rank::kTraceListener, "obs.Telemetry.listener"};
   /// Snapshotted per complete(); shared_ptr so the copy is a refcount
   /// bump, not a std::function clone.
-  std::shared_ptr<const TraceListener> listener_;
+  std::shared_ptr<const TraceListener> listener_ IG_GUARDED_BY(listener_mu_);
 };
 
 /// RAII root trace for fire-and-forget instrumentation sites (broker

@@ -47,14 +47,14 @@ TraceContext::TraceContext(const Clock& clock, std::string root_name, Options op
 TraceContext::~TraceContext() {
   bool abandoned = false;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     abandoned = !finished_;
   }
   if (abandoned && on_abandon_) on_abandon_();
 }
 
 std::uint64_t TraceContext::root_span_id() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   // Spent contexts (finish() moved the spans out) have no root to offer.
   return record_.spans.empty() ? 0 : record_.spans.front().id;
 }
@@ -80,7 +80,7 @@ TraceContext::Span TraceContext::span(std::string name, std::uint64_t parent_id)
   span.name = std::move(name);
   span.node = node_;
   span.start = clock_.now();
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (finished_) {
     // Spent context: hand back a detached handle (end() is a no-op).
     return Span(nullptr, 0, span.id);
@@ -91,7 +91,7 @@ TraceContext::Span TraceContext::span(std::string name, std::uint64_t parent_id)
 }
 
 void TraceContext::adopt(std::vector<SpanRecord> spans) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (finished_) return;
   std::unordered_set<std::uint64_t> have;
   have.reserve(record_.spans.size() + spans.size());
@@ -104,7 +104,7 @@ void TraceContext::adopt(std::vector<SpanRecord> spans) {
 
 void TraceContext::end_span(std::size_t index, std::string status) {
   TimePoint now = clock_.now();
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (index >= record_.spans.size()) return;
   SpanRecord& span = record_.spans[index];
   span.duration = now - span.start;
@@ -112,7 +112,7 @@ void TraceContext::end_span(std::size_t index, std::string status) {
 }
 
 void TraceContext::fail(std::string status) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   record_.status = std::move(status);
 }
 
@@ -121,7 +121,7 @@ TraceRecord TraceContext::finish() {
   bool first = false;
   TraceRecord out;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (!finished_) {
       finished_ = true;
       first = true;
@@ -140,7 +140,7 @@ TraceRecord TraceContext::finish() {
 }
 
 bool TraceContext::finished() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return finished_;
 }
 
@@ -184,7 +184,7 @@ void merge_segments(TraceRecord& base, TraceRecord&& incoming) {
 void TraceStore::add(TraceRecord record) {
   std::vector<TraceRecord> evicted;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     auto it = index_.find(record.id);
     if (it != index_.end()) {
       // Another hop of a trace we already hold: stitch, don't re-count.
@@ -206,12 +206,12 @@ void TraceStore::add(TraceRecord record) {
 }
 
 std::vector<TraceRecord> TraceStore::snapshot() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return {traces_.begin(), traces_.end()};
 }
 
 std::vector<TraceRecord> TraceStore::find(const std::string& id) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::vector<TraceRecord> out;
   for (const TraceRecord& t : traces_) {
     if (t.id == id) out.push_back(t);
@@ -220,12 +220,12 @@ std::vector<TraceRecord> TraceStore::find(const std::string& id) const {
 }
 
 std::size_t TraceStore::size() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return traces_.size();
 }
 
 std::uint64_t TraceStore::completed() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return completed_;
 }
 

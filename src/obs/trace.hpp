@@ -25,12 +25,12 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/clock.hpp"
+#include "common/sync.hpp"
 
 namespace ig::obs {
 
@@ -135,11 +135,11 @@ class TraceContext {
   std::string id_;
   std::string node_;
   bool remote_ = false;
-  std::function<void()> on_finish_;
-  std::function<void()> on_abandon_;
-  mutable std::mutex mu_;
-  TraceRecord record_;
-  bool finished_ = false;
+  std::function<void()> on_finish_;   ///< set at construction only
+  std::function<void()> on_abandon_;  ///< set at construction only
+  mutable Mutex mu_{lock_rank::kTraceContext, "obs.TraceContext"};
+  TraceRecord record_ IG_GUARDED_BY(mu_);
+  bool finished_ IG_GUARDED_BY(mu_) = false;
 };
 
 /// Ring buffer of the last N completed traces. add() *stitches*: a record
@@ -172,14 +172,14 @@ class TraceStore {
 
  private:
   std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::deque<TraceRecord> traces_;
+  mutable Mutex mu_{lock_rank::kTraceStore, "obs.TraceStore"};
+  std::deque<TraceRecord> traces_ IG_GUARDED_BY(mu_);
   /// id -> retained record, so add() stitches without scanning the ring.
   /// Deque pointers are stable under push_back/pop_front; entries are
   /// erased before their record leaves the ring.
-  std::unordered_map<std::string, TraceRecord*> index_;
-  std::uint64_t completed_ = 0;
-  std::function<void(const TraceRecord&)> on_evict_;
+  std::unordered_map<std::string, TraceRecord*> index_ IG_GUARDED_BY(mu_);
+  std::uint64_t completed_ IG_GUARDED_BY(mu_) = 0;
+  std::function<void(const TraceRecord&)> on_evict_ IG_GUARDED_BY(mu_);
 };
 
 }  // namespace ig::obs

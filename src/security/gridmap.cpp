@@ -5,17 +5,17 @@
 namespace ig::security {
 
 void GridMap::add(const std::string& subject_dn, const std::string& local_user) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   entries_[subject_dn] = local_user;
 }
 
 void GridMap::remove(const std::string& subject_dn) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   entries_.erase(subject_dn);
 }
 
 Result<std::string> GridMap::map(const std::string& subject_dn) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = entries_.find(subject_dn);
   if (it == entries_.end()) {
     return Error(ErrorCode::kDenied, "no gridmap entry for " + subject_dn);
@@ -24,12 +24,12 @@ Result<std::string> GridMap::map(const std::string& subject_dn) const {
 }
 
 bool GridMap::contains(const std::string& subject_dn) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return entries_.count(subject_dn) > 0;
 }
 
 std::size_t GridMap::size() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return entries_.size();
 }
 
@@ -61,7 +61,7 @@ Result<GridMap> GridMap::parse(const std::string& text) {
 }
 
 std::string GridMap::serialize() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::string out;
   for (const auto& [dn, account] : entries_) {
     out += "\"" + dn + "\" " + account + "\n";

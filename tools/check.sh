@@ -1,14 +1,27 @@
 #!/usr/bin/env bash
-# Full pre-merge gate: a clean Release build + ctest, then the same suite
-# under AddressSanitizer + UndefinedBehaviorSanitizer, then under
-# ThreadSanitizer (ASan and TSan cannot share a build, so they are
-# separate passes in separate build trees).
+# Full pre-merge gate. Legs:
 #
-#   tools/check.sh            # all three passes
-#   tools/check.sh --fast     # Release only
-#   tools/check.sh --asan     # Release + ASan/UBSan (skip TSan)
-#   tools/check.sh --tsan     # TSan pass only
-#   tools/check.sh --chaos    # fault-injection suite under ASan + TSan
+#   lint     tools/lint.py (raw-sync, tsa-budget, metrics, iostream, todo-tags)
+#   release  Release build + full ctest
+#   asan     same suite under AddressSanitizer + UBSan
+#   tsan     same suite under ThreadSanitizer (cannot share a build with ASan)
+#   tsa      clang build with -DIG_THREAD_SAFETY=ON: -Werror=thread-safety
+#            turns the lock annotations into a compile-time proof
+#   tidy     clang-tidy (.clang-tidy profile) over the compile database
+#   chaos    fault-injection suites only, under ASan and TSan
+#
+#   tools/check.sh                  # lint + release + asan + tsan + tsa + tidy
+#   tools/check.sh --fast           # lint + release only
+#   tools/check.sh --asan           # lint + release + asan
+#   tools/check.sh --tsan           # lint + tsan
+#   tools/check.sh --chaos          # lint + chaos
+#   tools/check.sh --tsa            # lint + tsa
+#   tools/check.sh --tidy           # lint + tidy
+#   tools/check.sh --tsa --tidy ... # flags combine; each adds its leg
+#
+# The tsa and tidy legs need clang/clang-tidy on PATH; when absent they
+# SKIP with a notice rather than fail, so the script stays runnable on
+# gcc-only hosts (CI provides the clang legs).
 set -euo pipefail
 
 # Test-name filter selecting the chaos / resilience suites.
@@ -16,32 +29,42 @@ CHAOS_FILTER='Chaos|Resilience|Deadline|PrefetcherBackoff|VirtualTimeout'
 
 cd "$(dirname "$0")/.."
 jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
-mode="${1:-all}"
 
-# Every ig::obs::metric constant must be wired to an instrumentation site
-# (used outside the header that declares it) and documented in DESIGN.md's
-# metric table; an orphan either way fails the gate. Runs in every mode —
-# it needs no build.
-lint_metrics() {
-  echo "==> lint: ig::obs::metric constants (instrumented + documented)"
-  local header=src/obs/telemetry.hpp fail=0 name value
-  while IFS=$'\t' read -r name value; do
-    if ! grep -rq "metric::${name}\b" src tests bench \
-        --include='*.cpp' --include='*.hpp' --exclude=telemetry.hpp; then
-      echo "lint: metric::${name} (\"${value}\") has no instrumentation site" >&2
-      fail=1
-    fi
-    if ! grep -qF "\`${value}\`" DESIGN.md; then
-      echo "lint: metric \"${value}\" (${name}) missing from DESIGN.md metric table" >&2
-      fail=1
-    fi
-  done < <(sed -n 's/^inline constexpr const char\* \(k[A-Za-z0-9_]*\) = "\([^"]*\)";.*$/\1\t\2/p' "${header}")
-  if [ "${fail}" -ne 0 ]; then
-    echo "lint: orphaned metric constants (see above)" >&2
-    exit 1
-  fi
+# ---- leg selection ---------------------------------------------------------
+run_release=0 run_asan=0 run_tsan=0 run_tsa=0 run_tidy=0 run_chaos=0
+if [ "$#" -eq 0 ]; then
+  # Default gate: every leg except chaos (whose suites the sanitizer legs
+  # already include); tsa/tidy skip themselves when clang is absent.
+  run_release=1 run_asan=1 run_tsan=1 run_tsa=1 run_tidy=1
+fi
+for arg in "$@"; do
+  case "${arg}" in
+    --fast)  run_release=1 ;;
+    --asan)  run_release=1; run_asan=1 ;;
+    --tsan)  run_tsan=1 ;;
+    --tsa)   run_tsa=1 ;;
+    --tidy)  run_tidy=1 ;;
+    --chaos) run_chaos=1 ;;
+    *)
+      echo "usage: tools/check.sh [--fast|--asan|--tsan|--tsa|--tidy|--chaos]..." >&2
+      exit 2
+      ;;
+  esac
+done
+
+# ---- summary table ---------------------------------------------------------
+# Each leg reports pass/SKIP; a failing leg aborts the script (set -e), so
+# reaching the table means everything that ran passed.
+summary=()
+note() { summary+=("$(printf '%-8s %s' "$1" "$2")"); }
+
+print_summary() {
+  echo
+  echo "==> summary"
+  for line in "${summary[@]}"; do echo "    ${line}"; done
 }
 
+# ---- legs ------------------------------------------------------------------
 run_pass() {
   local dir=$1; shift
   echo "==> configure ${dir} ($*)"
@@ -74,34 +97,72 @@ tsan_pass() {
   run_pass build-tsan -DCMAKE_BUILD_TYPE=Debug -DIG_SANITIZE=thread
 }
 
-lint_metrics
+# Clang thread-safety analysis: the whole point of the annotation layer.
+# Build-only — the annotations are compile-time; the Release/sanitizer
+# legs already run the tests.
+tsa_pass() {
+  local cxx
+  cxx=$(command -v clang++ || true)
+  if [ -z "${cxx}" ]; then
+    echo "==> tsa: SKIP (clang++ not on PATH; CI runs this leg)"
+    note tsa "SKIP (no clang++)"
+    return 0
+  fi
+  echo "==> configure build-tsa (clang, -DIG_THREAD_SAFETY=ON)"
+  cmake -B build-tsa -S . -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_COMPILER="${cxx}" -DIG_THREAD_SAFETY=ON >/dev/null
+  echo "==> build build-tsa (-Werror=thread-safety)"
+  cmake --build build-tsa -j "${jobs}" >/dev/null
+  note tsa pass
+}
 
-case "${mode}" in
-  --chaos)
-    export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
-    chaos_pass build-asan -DCMAKE_BUILD_TYPE=Debug -DIG_SANITIZE=address,undefined
-    export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
-    chaos_pass build-tsan -DCMAKE_BUILD_TYPE=Debug -DIG_SANITIZE=thread
-    ;;
-  --tsan)
-    tsan_pass
-    ;;
-  --asan)
-    run_pass build-check -DCMAKE_BUILD_TYPE=Release
-    asan_pass
-    ;;
-  --fast)
-    run_pass build-check -DCMAKE_BUILD_TYPE=Release
-    ;;
-  all)
-    run_pass build-check -DCMAKE_BUILD_TYPE=Release
-    asan_pass
-    tsan_pass
-    ;;
-  *)
-    echo "usage: tools/check.sh [--fast|--asan|--tsan|--chaos]" >&2
-    exit 2
-    ;;
-esac
+tidy_pass() {
+  local tidy
+  tidy=$(command -v clang-tidy || true)
+  if [ -z "${tidy}" ]; then
+    echo "==> tidy: SKIP (clang-tidy not on PATH; CI runs this leg)"
+    note tidy "SKIP (no clang-tidy)"
+    return 0
+  fi
+  echo "==> configure build-tidy (compile database)"
+  cmake -B build-tidy -S . -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  echo "==> clang-tidy src/ (.clang-tidy profile)"
+  # shellcheck disable=SC2046
+  "${tidy}" -p build-tidy --quiet $(find src -name '*.cpp' | sort)
+  note tidy pass
+}
 
+# ---- run -------------------------------------------------------------------
+echo "==> lint (tools/lint.py)"
+python3 tools/lint.py
+note lint pass
+
+if [ "${run_release}" -eq 1 ]; then
+  run_pass build-check -DCMAKE_BUILD_TYPE=Release
+  note release pass
+fi
+if [ "${run_asan}" -eq 1 ]; then
+  asan_pass
+  note asan pass
+fi
+if [ "${run_tsan}" -eq 1 ]; then
+  tsan_pass
+  note tsan pass
+fi
+if [ "${run_tsa}" -eq 1 ]; then
+  tsa_pass
+fi
+if [ "${run_tidy}" -eq 1 ]; then
+  tidy_pass
+fi
+if [ "${run_chaos}" -eq 1 ]; then
+  export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+  chaos_pass build-asan -DCMAKE_BUILD_TYPE=Debug -DIG_SANITIZE=address,undefined
+  export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
+  chaos_pass build-tsan -DCMAKE_BUILD_TYPE=Debug -DIG_SANITIZE=thread
+  note chaos pass
+fi
+
+print_summary
 echo "All checks passed."

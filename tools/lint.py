@@ -1,0 +1,217 @@
+#!/usr/bin/env python3
+"""Project lint pass — the no-build half of tools/check.sh.
+
+Rules (each is a function returning a list of "path:line: message" strings):
+
+  raw-sync      src/ must not use std synchronization primitives directly;
+                ig::Mutex / ig::MutexLock / ig::CondVar (common/sync.hpp)
+                are the annotated replacements. The wrapper header itself
+                is allowlisted via `lint-allow-raw-sync` markers.
+  tsa-budget    IG_NO_THREAD_SAFETY_ANALYSIS is a budgeted escape hatch:
+                at most MAX_TSA_ESCAPES uses in src/, each carrying a
+                justification comment on an adjacent line.
+  metrics       every ig::obs::metric constant must be wired to an
+                instrumentation site (used outside telemetry.hpp) and
+                documented in DESIGN.md's metric table (ported from the
+                old check.sh shell function).
+  iostream      src/ headers must not include <iostream> (it injects a
+                static constructor into every TU; src/ libraries log
+                through logging::Logger, binaries under examples//bench
+                may print).
+  todo-tags     every TODO must carry an issue tag: TODO(#123).
+
+Exit status 0 = clean, 1 = findings (printed to stderr), 2 = usage.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+# The one file allowed to touch the raw primitives (it is the wrapper).
+RAW_SYNC_ALLOWLIST = {SRC / "common" / "sync.hpp"}
+RAW_SYNC_MARKER = "lint-allow-raw-sync"
+
+# Budget for IG_NO_THREAD_SAFETY_ANALYSIS in src/ (see DESIGN.md §11).
+MAX_TSA_ESCAPES = 3
+
+RAW_SYNC_TOKENS = [
+    r"std::mutex\b",
+    r"std::timed_mutex\b",
+    r"std::recursive_mutex\b",
+    r"std::shared_mutex\b",
+    r"std::lock_guard\b",
+    r"std::unique_lock\b",
+    r"std::shared_lock\b",
+    r"std::scoped_lock\b",
+    r"std::condition_variable\b",
+    r"std::condition_variable_any\b",
+]
+RAW_SYNC_INCLUDES = [
+    r"#\s*include\s*<mutex>",
+    r"#\s*include\s*<shared_mutex>",
+    r"#\s*include\s*<condition_variable>",
+]
+RAW_SYNC_RE = re.compile("|".join(RAW_SYNC_TOKENS + RAW_SYNC_INCLUDES))
+
+TODO_RE = re.compile(r"\bTODO\b")
+TODO_TAGGED_RE = re.compile(r"\bTODO\(#\d+\)")
+
+METRIC_DECL_RE = re.compile(
+    r'^inline constexpr const char\* (k[A-Za-z0-9_]*) = "([^"]*)";'
+)
+
+
+def source_files(*suffixes: str) -> list[Path]:
+    out: list[Path] = []
+    for suffix in suffixes:
+        out.extend(SRC.rglob(f"*{suffix}"))
+    return sorted(out)
+
+
+def read_lines(path: Path) -> list[str]:
+    return path.read_text(encoding="utf-8", errors="replace").splitlines()
+
+
+def rel(path: Path) -> str:
+    return str(path.relative_to(REPO))
+
+
+def check_raw_sync() -> list[str]:
+    findings = []
+    for path in source_files(".hpp", ".cpp"):
+        if path in RAW_SYNC_ALLOWLIST:
+            continue  # the wrapper header, marked with lint-allow-raw-sync
+        for n, line in enumerate(read_lines(path), 1):
+            if not RAW_SYNC_RE.search(line):
+                continue
+            if RAW_SYNC_MARKER in line:
+                findings.append(
+                    f"{rel(path)}:{n}: {RAW_SYNC_MARKER} marker outside "
+                    "the allowlisted wrapper header"
+                )
+                continue
+            findings.append(
+                f"{rel(path)}:{n}: raw std synchronization primitive in src/ "
+                "(use ig::Mutex/MutexLock/CondVar from common/sync.hpp)"
+            )
+    return findings
+
+
+def check_tsa_budget() -> list[str]:
+    findings = []
+    uses: list[tuple[Path, int]] = []
+    for path in source_files(".hpp", ".cpp"):
+        if path == SRC / "common" / "annotations.hpp":
+            continue  # the definition site
+        lines = read_lines(path)
+        for n, line in enumerate(lines, 1):
+            if "IG_NO_THREAD_SAFETY_ANALYSIS" not in line:
+                continue
+            uses.append((path, n))
+            # A justification comment must sit on the line or just above it.
+            context = lines[max(0, n - 4) : n]
+            if not any("//" in c for c in context):
+                findings.append(
+                    f"{rel(path)}:{n}: IG_NO_THREAD_SAFETY_ANALYSIS without a "
+                    "justification comment on an adjacent line"
+                )
+    if len(uses) > MAX_TSA_ESCAPES:
+        sites = ", ".join(f"{rel(p)}:{n}" for p, n in uses)
+        findings.append(
+            f"src/: {len(uses)} IG_NO_THREAD_SAFETY_ANALYSIS uses exceed the "
+            f"budget of {MAX_TSA_ESCAPES} ({sites})"
+        )
+    return findings
+
+
+def check_metrics() -> list[str]:
+    """Every metric constant is instrumented somewhere and documented."""
+    findings = []
+    header = SRC / "obs" / "telemetry.hpp"
+    design = (REPO / "DESIGN.md").read_text(encoding="utf-8")
+    constants: list[tuple[str, str]] = []
+    for line in read_lines(header):
+        m = METRIC_DECL_RE.match(line.strip())
+        if m:
+            constants.append((m.group(1), m.group(2)))
+    # One scan over all candidate files beats one grep per constant.
+    corpus = []
+    for root in (SRC, REPO / "tests", REPO / "bench"):
+        for path in sorted(root.rglob("*.cpp")) + sorted(root.rglob("*.hpp")):
+            if path == header:
+                continue
+            corpus.append(path.read_text(encoding="utf-8", errors="replace"))
+    blob = "\n".join(corpus)
+    for name, value in constants:
+        if not re.search(rf"metric::{name}\b", blob):
+            findings.append(
+                f"{rel(header)}: metric::{name} (\"{value}\") has no "
+                "instrumentation site in src/, tests/ or bench/"
+            )
+        if f"`{value}`" not in design:
+            findings.append(
+                f"{rel(header)}: metric \"{value}\" ({name}) missing from "
+                "DESIGN.md's metric table"
+            )
+    return findings
+
+
+def check_iostream_headers() -> list[str]:
+    findings = []
+    for path in source_files(".hpp"):
+        for n, line in enumerate(read_lines(path), 1):
+            if re.search(r"#\s*include\s*<iostream>", line):
+                findings.append(
+                    f"{rel(path)}:{n}: <iostream> in a src/ header (static "
+                    "constructor in every includer; log via logging::Logger)"
+                )
+    return findings
+
+
+def check_todo_tags() -> list[str]:
+    findings = []
+    for path in source_files(".hpp", ".cpp"):
+        for n, line in enumerate(read_lines(path), 1):
+            if TODO_RE.search(line) and not TODO_TAGGED_RE.search(line):
+                findings.append(
+                    f"{rel(path)}:{n}: TODO without an issue tag "
+                    "(write TODO(#<issue>))"
+                )
+    return findings
+
+
+CHECKS = {
+    "raw-sync": check_raw_sync,
+    "tsa-budget": check_tsa_budget,
+    "metrics": check_metrics,
+    "iostream": check_iostream_headers,
+    "todo-tags": check_todo_tags,
+}
+
+
+def main(argv: list[str]) -> int:
+    selected = argv[1:] or list(CHECKS)
+    unknown = [s for s in selected if s not in CHECKS]
+    if unknown:
+        print(f"lint.py: unknown check(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(CHECKS)}", file=sys.stderr)
+        return 2
+    findings: list[str] = []
+    for name in selected:
+        findings.extend(CHECKS[name]())
+    for finding in findings:
+        print(f"lint: {finding}", file=sys.stderr)
+    if findings:
+        print(f"lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print(f"lint: clean ({', '.join(selected)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
