@@ -25,6 +25,7 @@
 
 #include "bench_util.hpp"
 #include "info/provider.hpp"
+#include "obs/profile.hpp"
 
 using namespace ig;  // NOLINT
 
@@ -50,9 +51,12 @@ struct WallStack {
   std::shared_ptr<exec::CommandRegistry> registry;
   std::shared_ptr<info::SystemMonitor> monitor;
   std::shared_ptr<exec::ForkBackend> backend;
+  std::shared_ptr<obs::Telemetry> telemetry;
   std::unique_ptr<core::InfoGramService> service;
 
-  explicit WallStack(std::size_t workers) {
+  /// `profiled` wires full-fidelity telemetry + the continuous profiler
+  /// (the untimed epilogue only — measured rows stay uninstrumented).
+  explicit WallStack(std::size_t workers, bool profiled = false) {
     ca = std::make_unique<security::CertificateAuthority>(
         "/O=Grid/CN=Bench CA", seconds(365LL * 86400), clock, 7);
     trust.add_root(ca->root_certificate());
@@ -87,6 +91,11 @@ struct WallStack {
     config.host = "load.sim";
     config.worker_threads = workers;
     config.queue_depth = kOps + 64;  // admission never sheds in this bench
+    if (profiled) {
+      telemetry = std::make_shared<obs::Telemetry>(clock, "load.sim");
+      config.telemetry = telemetry;
+      config.trace_sample_every = 1;  // every request traced: exemplars guaranteed
+    }
     service = std::make_unique<core::InfoGramService>(monitor, backend, host_cred,
                                                       &trust, &gridmap, &policy, &clock,
                                                       logger, config);
@@ -195,5 +204,36 @@ int main(int argc, char** argv) {
   std::printf(
       "\nExpected shape: >= 2x ops/sec at 4 workers over 1 (provider cost\n"
       "dominates and distinct keywords refresh concurrently).\n");
+
+  // Untimed epilogue — the profiler's acceptance path: run the same
+  // contended workload on a profiled stack, then ask the service itself
+  // which locks the contention landed on (info=profile.locks). The
+  // measured rows above stay uninstrumented.
+  bench::header("profile.locks after a profiled 8-worker run");
+  {
+    WallStack stack(8, /*profiled=*/true);
+    obs::LockContentionRegistry::instance().reset();  // this run only
+    std::vector<std::future<Result<core::InfoGramResult>>> inflight;
+    inflight.reserve(kOps);
+    for (int i = 0; i < kOps; ++i) {
+      if (i % 8 == 7) continue;  // info-only: keep the epilogue brisk
+      inflight.push_back(stack.service->submit_async(op_request(i), "/O=Grid/CN=bench",
+                                                     "bench"));
+    }
+    for (auto& future : inflight) {
+      if (!future.get().ok()) return 1;
+    }
+    auto profile = stack.service
+                       ->submit_async(parse_or_die("(info=profile.locks)"),
+                                      "/O=Grid/CN=bench", "bench")
+                       .get();
+    if (!profile.ok() || profile->records.empty()) {
+      std::fprintf(stderr, "profile.locks query failed\n");
+      return 1;
+    }
+    for (const auto& attr : profile->records.front().attributes) {
+      std::printf("  %-58s %s\n", attr.name.c_str(), attr.value.c_str());
+    }
+  }
   return 0;
 }

@@ -1,0 +1,265 @@
+// E-PROFILE — continuous-profiler overhead on the request pipeline.
+//
+// Three identical InfoGram stacks on the wall clock, differing only in
+// profiler regime:
+//   bare          no telemetry at all (the obs layer no-ops end to end)
+//   unprofiled    telemetry at the production default (PR-4 tracing
+//                 baseline: metrics on every request, 1 in
+//                 kDefaultTraceSampling roots span-traced) with
+//                 profiling OFF
+//   profiled      the same telemetry with profiling ON: per-request and
+//                 per-keyword AllocScopes, keyword allocation
+//                 aggregation, request-allocation histograms, and the
+//                 process lock-contention listener installed
+//
+// All serve the same TTL-0 info workload through submit_async, inline
+// (worker_threads = 0) for the same reason as bench_trace_overhead: a
+// worker pool adds futex park/wake variance that swamps sub-µs deltas,
+// and the attribution machinery under test is identical either way. Two
+// caveats this makes explicit rather than hiding:
+//   * the lock-contention listener is process-global, so once the
+//     profiled stack exists the other stacks' *contended* acquisitions
+//     would also reach it — but the inline sequential workload has no
+//     lock contention, so the listener can only fire for the profiled
+//     stack's own bookkeeping, and the uncontended fast path (one
+//     try_lock) is what the other series measure;
+//   * IG_PROFILE_ALLOC (default ON) replaces global operator new for the
+//     whole process, so every series pays the counting shim — the delta
+//     measured here is the *attribution* machinery (scopes, aggregation,
+//     histograms), which rides the trace-sampling decision: at the
+//     default rate 1 in kDefaultTraceSampling requests pays it, the rest
+//     run at the tracing baseline.
+//
+// Measurement protocol: identical to bench_trace_overhead — short slices
+// of every stack interleave within each round (rotating start order);
+// every overhead is the MEDIAN over rounds of the PAIRED per-round ratio
+// against the baseline slice of the same round.
+//
+// Acceptance (ISSUE 6): <= 5% ops/sec regression for `profiled` over
+// `unprofiled` — the marginal cost of continuous profiling on top of the
+// tracing stack the service already pays for. Providers cost nothing, so
+// the measured percentage is the worst case.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "info/provider.hpp"
+#include "obs/profile.hpp"
+#include "obs/telemetry.hpp"
+
+using namespace ig;  // NOLINT
+
+namespace {
+
+constexpr int kKeywords = 16;
+constexpr int kRounds = 36;        // one interleaved slice of each series per round
+constexpr int kOpsPerBatch = 250;  // sequential submit_async round-trips per slice
+
+std::string burn_keyword(int i) { return "burn" + std::to_string(i % kKeywords); }
+
+/// One inline-execution stack on the wall clock.
+struct ProfileStack {
+  WallClock& clock = WallClock::instance();
+  std::unique_ptr<security::CertificateAuthority> ca;
+  security::TrustStore trust;
+  security::GridMap gridmap;
+  security::AuthorizationPolicy policy{security::Decision::kAllow};
+  security::Credential host_cred;
+  std::shared_ptr<logging::Logger> logger;
+  std::shared_ptr<exec::SimSystem> system;
+  std::shared_ptr<exec::CommandRegistry> registry;
+  std::shared_ptr<info::SystemMonitor> monitor;
+  std::shared_ptr<exec::ForkBackend> backend;
+  std::shared_ptr<obs::Telemetry> telemetry;
+  std::unique_ptr<core::InfoGramService> service;
+
+  /// Regime: 0 = bare (no telemetry), 1 = telemetry with profiling off,
+  /// 2 = telemetry with profiling on.
+  explicit ProfileStack(int regime) {
+    ca = std::make_unique<security::CertificateAuthority>(
+        "/O=Grid/CN=Bench CA", seconds(365LL * 86400), clock, 7);
+    trust.add_root(ca->root_certificate());
+    host_cred = ca->issue("/O=Grid/CN=host/profile.sim", security::CertType::kHost,
+                          seconds(365LL * 86400));
+    gridmap.add("/O=Grid/CN=bench", "bench");
+    logger = std::make_shared<logging::Logger>(clock);
+    system = std::make_shared<exec::SimSystem>(clock, 7, "profile.sim");
+    registry = exec::CommandRegistry::standard(clock, system, 7);
+    monitor = std::make_shared<info::SystemMonitor>(clock, "profile.sim");
+    for (int i = 0; i < kKeywords; ++i) {
+      std::string kw = burn_keyword(i);
+      auto source = std::make_shared<info::FunctionSource>(
+          kw,
+          [kw]() -> Result<format::InfoRecord> {
+            format::InfoRecord record;
+            record.keyword = kw;
+            record.add("value", "1");
+            return record;
+          },
+          "function:" + kw);
+      // TTL 0: every op pays the full resolve path, nothing amortizes.
+      if (!monitor->add_source(source, info::ProviderOptions{.ttl = Duration{0}}).ok()) {
+        std::abort();
+      }
+    }
+    backend = std::make_shared<exec::ForkBackend>(registry, clock);
+    core::InfoGramConfig config;
+    config.host = "profile.sim";
+    config.worker_threads = 0;  // inline: isolate attribution cost from pool jitter
+    config.queue_depth = kOpsPerBatch + 64;
+    config.profiling = false;
+    if (regime > 0) {
+      telemetry = std::make_shared<obs::Telemetry>(clock, "profile.sim");
+      config.telemetry = telemetry;
+      config.trace_sample_every = obs::kDefaultTraceSampling;
+      config.profiling = regime == 2;
+    }
+    service = std::make_unique<core::InfoGramService>(monitor, backend, host_cred,
+                                                      &trust, &gridmap, &policy, &clock,
+                                                      logger, config);
+  }
+};
+
+rsl::XrslRequest parse_or_die(const std::string& body) {
+  auto parsed = rsl::XrslRequest::parse(body);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "bad RSL %s: %s\n", body.c_str(),
+                 parsed.error().to_string().c_str());
+    std::abort();
+  }
+  return parsed.value();
+}
+
+bool run_batch(ProfileStack& stack, const std::string& series, bench::JsonReport& report,
+               std::vector<double>& batch_us) {
+  auto begin = std::chrono::steady_clock::now();
+  for (int i = 0; i < kOpsPerBatch; ++i) {
+    auto result = stack.service
+                      ->submit_async(parse_or_die("(info=" + burn_keyword(i) + ")"),
+                                     "/O=Grid/CN=bench", "bench")
+                      .get();
+    if (!result.ok()) {
+      std::fprintf(stderr, "op failed: %s\n", result.error().to_string().c_str());
+      return false;
+    }
+  }
+  auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - begin);
+  double per_op = static_cast<double>(elapsed.count()) / kOpsPerBatch;
+  batch_us.push_back(per_op);
+  for (int i = 0; i < kOpsPerBatch; ++i) report.add(series, per_op);
+  return true;
+}
+
+double median(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  std::size_t n = values.size();
+  if (n == 0) return 0.0;
+  return n % 2 == 1 ? values[n / 2] : (values[n / 2 - 1] + values[n / 2]) / 2.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::JsonReport report("profile_overhead", argc, argv);
+  bool enforce = false;  // --enforce: nonzero exit when the gate is missed
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--enforce") enforce = true;
+  }
+  bench::header("E-PROFILE: request pipeline across profiler regimes (wall clock)");
+
+  struct Series {
+    const char* name;
+    ProfileStack stack;
+    std::vector<double> slice_us;  // per-round per-op microseconds
+  };
+  Series series[] = {
+      {"bare", ProfileStack(0)},
+      {"unprofiled", ProfileStack(1)},
+      {"profiled", ProfileStack(2)},
+  };
+  constexpr int kSeries = 3;
+
+  // Warm all stacks untimed (first-touch allocation, lazy schema).
+  std::vector<double> sink;
+  bench::JsonReport warm_report("profile_overhead_warm", 0, nullptr);
+  for (Series& s : series) {
+    if (!run_batch(s.stack, "warm", warm_report, sink)) return 1;
+  }
+  for (int round = 0; round < kRounds; ++round) {
+    for (int i = 0; i < kSeries; ++i) {
+      Series& s = series[(round + i) % kSeries];
+      if (!run_batch(s.stack, s.name, report, s.slice_us)) return 1;
+    }
+  }
+
+  const double ops = static_cast<double>(kRounds) * kOpsPerBatch;
+  auto ops_per_sec = [](const Series& s) {
+    double med = median(s.slice_us);
+    return med > 0.0 ? 1e6 / med : 0.0;
+  };
+  auto overhead_pct = [&series](const Series& s, int baseline) {
+    const Series& b = series[baseline];
+    std::vector<double> ratios;
+    for (std::size_t r = 0; r < s.slice_us.size() && r < b.slice_us.size(); ++r) {
+      if (b.slice_us[r] > 0.0) {
+        ratios.push_back((s.slice_us[r] / b.slice_us[r] - 1.0) * 100.0);
+      }
+    }
+    return median(std::move(ratios));
+  };
+
+  std::printf("%-12s %12s %14s %14s %12s\n", "series", "ops", "median(us/op)", "ops/sec",
+              "vs bare");
+  bench::rule(70);
+  for (const Series& s : series) {
+    std::printf("%-12s %12.0f %14.3f %14.1f %11.2f%%\n", s.name, ops, median(s.slice_us),
+                ops_per_sec(s), overhead_pct(s, 0));
+  }
+  // The acceptance metric: what did continuous profiling add on top of
+  // the tracing stack (the PR-4 baseline) the service already pays for?
+  double profiling_pct = overhead_pct(series[2], 1);
+  std::printf("\nprofiling overhead over tracing baseline: %.2f%% (target <= 5%%)\n",
+              profiling_pct);
+
+  // Show the attribution actually happened during the measured run: the
+  // per-keyword allocation profile and the request histograms are live.
+  std::shared_ptr<obs::Telemetry>& telemetry = series[2].stack.telemetry;
+  auto keyword_allocs = telemetry->profiler().keyword_allocs();
+  std::printf("profiled keywords: %zu", keyword_allocs.size());
+  if (!keyword_allocs.empty()) {
+    const auto& [kw, agg] = keyword_allocs.front();
+    std::printf("  (hottest: %s, %llu allocs / %llu bytes over %llu samples)", kw.c_str(),
+                static_cast<unsigned long long>(agg.allocs),
+                static_cast<unsigned long long>(agg.bytes),
+                static_cast<unsigned long long>(agg.samples));
+  }
+  std::printf("\n");
+  if (!obs::alloc_internal::counting_enabled()) {
+    std::printf("note: IG_PROFILE_ALLOC is OFF — allocation deltas all read zero\n");
+  }
+
+  // Durable profile snapshot next to the bench JSON (CI uploads both).
+  if (report.enabled()) {
+    telemetry->set_exporter(std::make_shared<obs::JsonlExporter>("PROFILE_profile_overhead.jsonl"));
+    if (telemetry->export_profile_snapshot()) {
+      std::printf("profile snapshot written to PROFILE_profile_overhead.jsonl\n");
+    }
+  }
+  std::printf(
+      "\nExpected shape: only sampled requests (1 in %d here) pay the\n"
+      "attribution — thread-local counter reads plus mutex-guarded\n"
+      "aggregates — so the delta over the tracing baseline amortizes to\n"
+      "low single digits. Providers here cost nothing, so every\n"
+      "percentage is the worst case.\n",
+      static_cast<int>(obs::kDefaultTraceSampling));
+  if (enforce && profiling_pct > 5.0) {
+    std::fprintf(stderr, "FAIL: profiling overhead %.2f%% exceeds the 5%% gate\n",
+                 profiling_pct);
+    return 1;
+  }
+  return 0;
+}

@@ -43,6 +43,8 @@ std::atomic<bool> g_enabled{
 
 std::atomic<ViolationHandler> g_handler{nullptr};
 
+std::atomic<ContentionListener> g_contention{nullptr};
+
 int capture_stack(void** frames) {
 #if defined(IG_SYNC_HAVE_BACKTRACE)
   return backtrace(frames, kMaxFrames);
@@ -107,6 +109,14 @@ void set_violation_handler(ViolationHandler handler) {
   g_handler.store(handler, std::memory_order_release);
 }
 
+void set_contention_listener(ContentionListener listener) {
+  g_contention.store(listener, std::memory_order_release);
+}
+
+ContentionListener contention_listener() {
+  return g_contention.load(std::memory_order_relaxed);
+}
+
 void set_lock_order_validation(bool enabled) {
   g_enabled.store(enabled, std::memory_order_release);
 }
@@ -153,3 +163,44 @@ void note_release(const void* mu) {
 }
 
 }  // namespace ig::sync_internal
+
+namespace ig {
+
+namespace {
+
+/// Shared timed slow path for the three contended acquisitions. The
+/// listener check comes FIRST: without a consumer the slow path is just
+/// the blocking acquisition — no clock reads. Waits are measured on
+/// steady_clock (never the injected ig::Clock): a lock wait is real
+/// scheduler time, and virtual clocks do not advance while a thread
+/// blocks.
+template <typename Acquire>
+void timed_acquire(Acquire&& acquire, int rank, const char* name) {
+  sync_internal::ContentionListener listener = sync_internal::contention_listener();
+  if (listener == nullptr) {
+    acquire();
+    return;
+  }
+  auto begin = std::chrono::steady_clock::now();
+  acquire();
+  auto wait = std::chrono::steady_clock::now() - begin;
+  listener(rank, name,
+           static_cast<std::uint64_t>(
+               std::chrono::duration_cast<std::chrono::nanoseconds>(wait).count()));
+}
+
+}  // namespace
+
+void Mutex::lock_contended() {
+  timed_acquire([this] { raw_.lock(); }, rank_, name_);
+}
+
+void SharedMutex::lock_contended() {
+  timed_acquire([this] { raw_.lock(); }, rank_, name_);
+}
+
+void SharedMutex::lock_shared_contended() {
+  timed_acquire([this] { raw_.lock_shared(); }, rank_, name_);
+}
+
+}  // namespace ig

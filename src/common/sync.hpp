@@ -89,6 +89,7 @@ inline constexpr int kTraceContext = 800;    ///< one trace's span list
 inline constexpr int kTraceStore = 820;      ///< completed-trace ring
 inline constexpr int kSlo = 830;             ///< SLO engine (snapshots metrics)
 inline constexpr int kMetrics = 840;         ///< MetricsRegistry + histograms
+inline constexpr int kProfiler = 850;        ///< obs::Profiler keyword/pool maps
 inline constexpr int kTraceListener = 880;   ///< telemetry listener slot
 // Leaf utilities: never call user code while held.
 inline constexpr int kLogger = 900;          ///< logging::Logger sequence/sinks
@@ -122,6 +123,20 @@ std::size_t held_lock_count();
 void note_acquire(const void* mu, int rank, const char* name, bool blocking);
 void note_release(const void* mu);
 
+/// Contention listener: called after a *contended* acquisition completes
+/// (the fast-path try_lock missed and the thread had to block), with the
+/// lock's rank, report name and the measured wait in nanoseconds (wall
+/// time — lock waits are a real-time phenomenon, never virtual). Invoked
+/// on the acquiring thread while it may hold locks of any rank, so the
+/// listener must not take ranked locks and must tolerate re-entry (its
+/// own locks can themselves be contended). One process-wide slot, install
+///-once at wiring time (src/obs/profile is the intended consumer);
+/// nullptr uninstalls. Uncontended acquisitions never reach it — the
+/// fast path stays one try_lock + one relaxed load.
+using ContentionListener = void (*)(int rank, const char* name, std::uint64_t wait_ns);
+void set_contention_listener(ContentionListener listener);
+ContentionListener contention_listener();
+
 }  // namespace sync_internal
 
 /// Annotated exclusive mutex. Construct with a lock_rank (and a name for
@@ -135,8 +150,13 @@ class IG_CAPABILITY("mutex") Mutex {
   Mutex& operator=(const Mutex&) = delete;
 
   void lock() IG_ACQUIRE() {
+    // Validate *before* blocking (a rank inversion must be reported at the
+    // acquisition that could deadlock, not after it did), then try the
+    // fast path; a miss is by definition contention and takes the timed
+    // slow path so the profiler can attribute the wait to this lock's
+    // report name.
     sync_internal::note_acquire(this, rank_, name_, /*blocking=*/true);
-    raw_.lock();
+    if (!raw_.try_lock()) lock_contended();
   }
   void unlock() IG_RELEASE() {
     raw_.unlock();
@@ -153,6 +173,10 @@ class IG_CAPABILITY("mutex") Mutex {
 
  private:
   friend class CondVar;
+  /// Blocking acquisition after a try_lock miss; times the wait and
+  /// reports it to the installed contention listener (sync.cpp).
+  void lock_contended();
+
   std::mutex raw_;
   int rank_ = lock_rank::kUnranked;
   const char* name_ = "";
@@ -169,7 +193,7 @@ class IG_CAPABILITY("shared_mutex") SharedMutex {
 
   void lock() IG_ACQUIRE() {
     sync_internal::note_acquire(this, rank_, name_, /*blocking=*/true);
-    raw_.lock();
+    if (!raw_.try_lock()) lock_contended();
   }
   void unlock() IG_RELEASE() {
     raw_.unlock();
@@ -177,7 +201,7 @@ class IG_CAPABILITY("shared_mutex") SharedMutex {
   }
   void lock_shared() IG_ACQUIRE_SHARED() {
     sync_internal::note_acquire(this, rank_, name_, /*blocking=*/true);
-    raw_.lock_shared();
+    if (!raw_.try_lock_shared()) lock_shared_contended();
   }
   void unlock_shared() IG_RELEASE_SHARED() {
     raw_.unlock_shared();
@@ -188,6 +212,10 @@ class IG_CAPABILITY("shared_mutex") SharedMutex {
   const char* name() const { return name_; }
 
  private:
+  // Timed slow paths after a try_lock/try_lock_shared miss (sync.cpp).
+  void lock_contended();
+  void lock_shared_contended();
+
   std::shared_mutex raw_;
   int rank_ = lock_rank::kUnranked;
   const char* name_ = "";

@@ -35,9 +35,10 @@ Status ThreadPool::submit(Task task) {
       shed = true;
       on_shed = hooks_.on_shed;
     } else {
-      queue_.push_back(std::move(task));
+      queue_.push_back(QueuedTask{std::move(task), clock_->now()});
       ++submitted_;
       highwater_ = std::max(highwater_, queue_.size());
+      window_highwater_ = std::max(window_highwater_, queue_.size());
       depth = queue_.size();
       highwater = highwater_;
       on_depth = hooks_.on_depth;
@@ -100,11 +101,11 @@ void ThreadPool::shutdown() {
   threads_.clear();
 }
 
-ThreadPool::Stats ThreadPool::stats() const {
-  MutexLock lock(mu_);
+ThreadPool::Stats ThreadPool::stats_locked() const {
   Stats s;
   s.depth = queue_.size();
   s.highwater = highwater_;
+  s.window_highwater = window_highwater_;
   s.submitted = submitted_;
   s.executed = executed_;
   s.shed = shed_;
@@ -112,9 +113,22 @@ ThreadPool::Stats ThreadPool::stats() const {
   return s;
 }
 
+ThreadPool::Stats ThreadPool::stats() const {
+  MutexLock lock(mu_);
+  return stats_locked();
+}
+
+ThreadPool::Stats ThreadPool::snapshot_and_reset_window() {
+  MutexLock lock(mu_);
+  Stats s = stats_locked();
+  window_highwater_ = queue_.size();
+  return s;
+}
+
 void ThreadPool::worker_loop(std::size_t index) {
   for (;;) {
     Task task;
+    Duration wait{0};
     std::function<void(std::size_t, std::size_t)> on_depth;
     std::size_t depth = 0;
     std::size_t hw = 0;
@@ -122,7 +136,8 @@ void ThreadPool::worker_loop(std::size_t index) {
       MutexLock lock(mu_);
       while (!stopping_ && queue_.empty()) cv_.wait(mu_);
       if (queue_.empty()) return;  // stopping_ and drained
-      task = std::move(queue_.front());
+      task = std::move(queue_.front().fn);
+      wait = clock_->now() - queue_.front().enqueued;
       queue_.pop_front();
       on_depth = hooks_.on_depth;
       depth = queue_.size();
@@ -132,7 +147,7 @@ void ThreadPool::worker_loop(std::size_t index) {
     ScopedTimer timer(*clock_);
     task();
     Duration busy = timer.elapsed();
-    std::function<void(std::size_t, Duration)> on_done;
+    std::function<void(std::size_t, Duration, Duration)> on_done;
     {
       MutexLock lock(mu_);
       ++executed_;
@@ -140,7 +155,7 @@ void ThreadPool::worker_loop(std::size_t index) {
       worker_stats_[index].busy += busy;
       on_done = hooks_.on_task_done;
     }
-    if (on_done) on_done(index, busy);
+    if (on_done) on_done(index, wait, busy);
   }
 }
 

@@ -50,7 +50,11 @@ class ThreadPool {
 
   struct Stats {
     std::size_t depth = 0;      ///< tasks currently waiting
-    std::size_t highwater = 0;  ///< max depth ever observed
+    std::size_t highwater = 0;  ///< max depth ever observed (monotone)
+    /// Max depth since the last snapshot_and_reset_window(): the gauge a
+    /// dashboard wants — `highwater` only ever rises, so one overload
+    /// spike an hour ago reads as permanent pressure forever.
+    std::size_t window_highwater = 0;
     std::uint64_t submitted = 0;
     std::uint64_t executed = 0;
     std::uint64_t shed = 0;
@@ -62,7 +66,9 @@ class ThreadPool {
   struct Hooks {
     std::function<void(std::size_t depth, std::size_t highwater)> on_depth;
     std::function<void()> on_shed;
-    std::function<void(std::size_t worker, Duration busy)> on_task_done;
+    /// `wait` is enqueue→dequeue time on the pool's clock (queue wait),
+    /// `busy` dequeue→done (run time) — the scheduler-profiling split.
+    std::function<void(std::size_t worker, Duration wait, Duration busy)> on_task_done;
   };
 
   using Task = std::function<void()>;
@@ -95,8 +101,22 @@ class ThreadPool {
   std::size_t worker_count() const { return options_.workers; }
   Stats stats() const;
 
+  /// stats() plus: close the current observation window — the returned
+  /// Stats carries the window's highwater, and the window restarts at the
+  /// *current* depth (tasks still waiting are pressure the next window
+  /// inherits). The monotone `highwater` is untouched.
+  Stats snapshot_and_reset_window();
+
  private:
+  /// A queued task remembers when it was admitted so the dequeuing worker
+  /// can report the queue wait.
+  struct QueuedTask {
+    Task fn;
+    TimePoint enqueued{0};
+  };
+
   void worker_loop(std::size_t index);
+  Stats stats_locked() const IG_REQUIRES(mu_);
 
   Options options_;      ///< immutable after construction
   const Clock* clock_;   ///< immutable after construction
@@ -104,9 +124,10 @@ class ThreadPool {
   mutable Mutex mu_{lock_rank::kThreadPool, "common.ThreadPool"};
   CondVar cv_;
   Hooks hooks_ IG_GUARDED_BY(mu_);
-  std::deque<Task> queue_ IG_GUARDED_BY(mu_);
+  std::deque<QueuedTask> queue_ IG_GUARDED_BY(mu_);
   bool stopping_ IG_GUARDED_BY(mu_) = false;
   std::size_t highwater_ IG_GUARDED_BY(mu_) = 0;
+  std::size_t window_highwater_ IG_GUARDED_BY(mu_) = 0;
   std::uint64_t submitted_ IG_GUARDED_BY(mu_) = 0;
   std::uint64_t executed_ IG_GUARDED_BY(mu_) = 0;
   std::uint64_t shed_ IG_GUARDED_BY(mu_) = 0;

@@ -96,6 +96,20 @@ InfoGramService::InfoGramService(std::shared_ptr<info::SystemMonitor> monitor,
     // (info=metrics) / (info=traces) / (info=slo) / (info=alerts) travel
     // the same path as any keyword.
     (void)info::register_obs_providers(*monitor_, config_.telemetry);
+    if (config_.profiling) {
+      // Always-on profiler: contended lock waits land in the process
+      // registry, keyword/request allocation attribution turns on, and
+      // the profile keyword family joins the catalog.
+      obs::LockContentionRegistry::install();
+      config_.telemetry->profiler().set_enabled(true);
+      obs::MetricsRegistry& m = config_.telemetry->metrics();
+      profile_request_allocs_ = &m.histogram(
+          obs::metric::kProfileRequestAllocs, {10.0, 100.0, 1000.0, 10000.0, 100000.0});
+      profile_request_alloc_bytes_ =
+          &m.histogram(obs::metric::kProfileRequestAllocBytes,
+                       {1024.0, 16384.0, 131072.0, 1048576.0, 16777216.0});
+      (void)info::register_profile_providers(*monitor_, config_.telemetry);
+    }
   }
   // The resilience layer made queryable (info=health): breaker states,
   // cache validity and failure counters per keyword. Telemetry-independent.
@@ -121,6 +135,11 @@ InfoGramService::InfoGramService(std::shared_ptr<info::SystemMonitor> monitor,
 }
 
 InfoGramService::~InfoGramService() {
+  // The telemetry (and its profiler) can outlive us: drop the pool
+  // snapshot callback before the pool it captures goes away.
+  if (config_.telemetry != nullptr) {
+    config_.telemetry->profiler().detach_pool("core.request");
+  }
   if (pool_ != nullptr) pool_->shutdown();
   if (config_.prefetch) monitor_->stop_prefetch();
 }
@@ -149,16 +168,33 @@ void InfoGramService::wire_pool_metrics() {
     highwater->set(static_cast<std::int64_t>(hw));
   };
   hooks.on_shed = [keep, shed] { shed->add(); };
-  hooks.on_task_done = [keep, tasks, task_seconds, worker_tasks,
-                        worker_busy](std::size_t worker, Duration busy) {
+  // Scheduler profiling: queue wait (enqueue→dequeue) feeds its own
+  // histogram when the profiler is on; run time keeps the PR-4 metrics.
+  obs::Histogram* pool_wait =
+      config_.profiling
+          ? &metrics.histogram(obs::metric::kProfilePoolWaitSeconds)
+          : nullptr;
+  hooks.on_task_done = [keep, tasks, task_seconds, pool_wait, worker_tasks,
+                        worker_busy](std::size_t worker, Duration wait, Duration busy) {
     tasks->add();
     task_seconds->observe(static_cast<double>(busy.count()) / 1e6);
+    if (pool_wait != nullptr) {
+      pool_wait->observe(static_cast<double>(wait.count()) / 1e6);
+    }
     if (worker < worker_tasks.size()) {
       worker_tasks[worker]->add();
       worker_busy[worker]->add(static_cast<std::uint64_t>(busy.count()));
     }
   };
   pool_->set_hooks(std::move(hooks));
+  if (config_.profiling) {
+    // `profile.pool` reads this; reset_window=true closes the windowed
+    // high-water so bursts don't shadow steady state forever.
+    config_.telemetry->profiler().attach_pool(
+        "core.request", [pool = pool_.get()](bool reset_window) {
+          return reset_window ? pool->snapshot_and_reset_window() : pool->stats();
+        });
+  }
 }
 
 Status InfoGramService::start(net::Network& network) {
@@ -287,6 +323,9 @@ net::Message InfoGramService::process(const net::Message& request, net::Session&
   // (no wire context) consults the local sampler.
   bool sampled = wire.has_value() ? wire->sampled : telemetry->should_sample();
   if (!sampled) {
+    // Allocation attribution rides the sampling decision: an unsampled
+    // request pays the tracing baseline and nothing more — that is how
+    // continuous profiling stays within its overhead budget.
     obs::SuppressScope suppress;
     ScopedTimer timer(*clock_);
     net::Message resp = dispatch(request, session, nullptr);
@@ -300,6 +339,7 @@ net::Message InfoGramService::process(const net::Message& request, net::Session&
           ? telemetry->make_remote_trace(request.verb, wire->trace_id, wire->parent_span)
           : telemetry->make_trace(request.verb);
   ScopedTimer timer(*clock_);
+  obs::AllocScope alloc_scope;
   net::Message resp;
   {
     // Active for the dispatch so outbound hops (hierarchy forwards,
@@ -314,6 +354,15 @@ net::Message InfoGramService::process(const net::Message& request, net::Session&
   // The latency exemplar: this bucket's sample links straight to us.
   request_seconds_->observe(static_cast<double>(timer.elapsed().count()) / 1e6,
                             trace->id());
+  if (profile_request_allocs_ != nullptr) {
+    // Scope closes here (dispatch ran on this thread); the root span
+    // carries the request's allocation profile before the record is
+    // completed/backhauled below.
+    profile_request_allocs_->observe(static_cast<double>(alloc_scope.allocs()), trace->id());
+    profile_request_alloc_bytes_->observe(static_cast<double>(alloc_scope.bytes()),
+                                          trace->id());
+    trace->set_span_alloc(0, alloc_scope.allocs(), alloc_scope.bytes());
+  }
   if (wire.has_value() && !resp.is_error()) {
     // Backhaul our spans (ours + any we adopted from hops below us) so
     // the caller stitches the whole subtree into its record.
@@ -344,6 +393,8 @@ std::future<Result<InfoGramResult>> InfoGramService::submit_async(rsl::XrslReque
     // Same sampling contract as the wire path: an unsampled request pays
     // metrics only, and suppresses so downstream hops don't root either.
     if (!telemetry->should_sample()) {
+      // Unsampled: tracing baseline only — allocation attribution rides
+      // the sampling decision (see process()).
       obs::SuppressScope suppress;
       ScopedTimer timer(*clock_);
       Result<InfoGramResult> result = execute(request, subject, local_user, callback_address);
@@ -354,6 +405,7 @@ std::future<Result<InfoGramResult>> InfoGramService::submit_async(rsl::XrslReque
     }
     obs::TraceContext trace = telemetry->start_trace("XRSL");
     ScopedTimer timer(*clock_);
+    obs::AllocScope alloc_scope;
     Result<InfoGramResult> result = Error(ErrorCode::kUnavailable, "unset");
     {
       obs::TraceScope scope(trace);
@@ -365,6 +417,12 @@ std::future<Result<InfoGramResult>> InfoGramService::submit_async(rsl::XrslReque
     }
     request_seconds_->observe(static_cast<double>(timer.elapsed().count()) / 1e6,
                               trace.id());
+    if (profile_request_allocs_ != nullptr) {
+      profile_request_allocs_->observe(static_cast<double>(alloc_scope.allocs()), trace.id());
+      profile_request_alloc_bytes_->observe(static_cast<double>(alloc_scope.bytes()),
+                                            trace.id());
+      trace.set_span_alloc(0, alloc_scope.allocs(), alloc_scope.bytes());
+    }
     telemetry->complete(trace);
     promise->set_value(std::move(result));
   };

@@ -74,6 +74,14 @@ struct InfoGramConfig {
   /// survive restart and can be diffed in CI. Requires `telemetry`.
   std::string trace_export_path;
   std::uint64_t trace_export_sample_every = 1;
+  /// Continuous profiler (requires `telemetry`): installs the process
+  /// lock-contention listener, enables per-keyword allocation
+  /// attribution, attaches the request pool's scheduler profile, and
+  /// registers the TTL-0 `profile` / `profile.locks` / `profile.pool`
+  /// keywords. Default on — the whole point is an always-on profiler;
+  /// false keeps a telemetry-carrying stack profiler-dark (the
+  /// bench_profile_overhead baseline).
+  bool profiling = true;
 };
 
 /// What one xRSL request produced.
@@ -174,6 +182,9 @@ class InfoGramService {
   obs::Counter* requests_errors_ = nullptr;
   obs::Histogram* request_seconds_ = nullptr;
   obs::Counter* format_renders_ = nullptr;
+  /// Per-request allocation profile (null unless telemetry + profiling).
+  obs::Histogram* profile_request_allocs_ = nullptr;
+  obs::Histogram* profile_request_alloc_bytes_ = nullptr;
   /// Declared last so in-flight tasks (which touch the members above) are
   /// drained before anything else destructs; ~InfoGramService() shuts it
   /// down explicitly as well.

@@ -8,6 +8,10 @@ Status register_obs_providers(SystemMonitor& monitor,
 
   ProviderOptions live;
   live.ttl = Duration(0);  // Table 1: ttl 0 = run on every request
+  // Live telemetry must never be served stale: a failing obs producer
+  // should surface its error, not yesterday's counters (the degradation
+  // shield is for expensive external sources, not for introspection).
+  live.resilience.serve_stale_on_error = false;
 
   auto add = [&](const std::string& keyword, FunctionSource::Producer producer,
                  const std::string& description) {
@@ -61,9 +65,50 @@ Status register_obs_providers(SystemMonitor& monitor,
       "function:obs.alerts");
 }
 
+Status register_profile_providers(SystemMonitor& monitor,
+                                  std::shared_ptr<obs::Telemetry> telemetry) {
+  if (telemetry == nullptr) return Status::success();
+
+  ProviderOptions live;
+  live.ttl = Duration(0);  // profiles are live state, like metrics
+  live.resilience.serve_stale_on_error = false;
+
+  auto add = [&](const std::string& keyword, FunctionSource::Producer producer,
+                 const std::string& description) {
+    return monitor.add_source(
+        std::make_shared<FunctionSource>(keyword, std::move(producer), description), live);
+  };
+
+  if (auto status = add(
+          "profile",
+          [telemetry]() -> Result<format::InfoRecord> {
+            return telemetry->profile_record("profile");
+          },
+          "function:obs.profile");
+      !status.ok()) {
+    return status;
+  }
+  if (auto status = add(
+          "profile.locks",
+          [telemetry]() -> Result<format::InfoRecord> {
+            return telemetry->profile_locks_record("profile.locks");
+          },
+          "function:obs.profile.locks");
+      !status.ok()) {
+    return status;
+  }
+  return add(
+      "profile.pool",
+      [telemetry]() -> Result<format::InfoRecord> {
+        return telemetry->profile_pool_record("profile.pool");
+      },
+      "function:obs.profile.pool");
+}
+
 Status register_health_provider(SystemMonitor& monitor) {
   ProviderOptions live;
   live.ttl = Duration(0);  // always live: breaker states must not be cached
+  live.resilience.serve_stale_on_error = false;
   return monitor.add_source(
       std::make_shared<FunctionSource>(
           "health",

@@ -7,6 +7,9 @@
 //   (info=traces)        the retained (stitched, multi-hop) request traces
 //   (info=slo)           every objective's compliance + burn rates
 //   (info=alerts)        only the objectives currently firing
+//   (info=profile)       continuous-profiler summary (locks/allocs/pools)
+//   (info=profile.locks) full lock-contention table with exemplars
+//   (info=profile.pool)  per-pool queue-wait / utilization profile
 //
 // Registered with ttl=0 ("execute the keyword every time it is
 // requested", Table 1), so queries always see live values, and the
@@ -25,6 +28,14 @@ namespace ig::info {
 /// keyword is taken; no-op success when `telemetry` is null.
 Status register_obs_providers(SystemMonitor& monitor,
                               std::shared_ptr<obs::Telemetry> telemetry);
+
+/// Register the TTL-0 `profile`, `profile.locks` and `profile.pool`
+/// keywords on `monitor`: the continuous profiler's summary, the full
+/// lock-contention table and the per-pool scheduler profile.
+/// kAlreadyExists if any keyword is taken; no-op success when `telemetry`
+/// is null.
+Status register_profile_providers(SystemMonitor& monitor,
+                                  std::shared_ptr<obs::Telemetry> telemetry);
 
 /// Register the TTL-0 `health` keyword on `monitor`: per-provider breaker
 /// state, cache validity and refresh/failure counters (the resilience

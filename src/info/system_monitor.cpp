@@ -120,11 +120,20 @@ Result<std::vector<format::InfoRecord>> SystemMonitor::query(
     obs::TraceContext* trace, ThreadPool* pool, const GetOptions& options) {
   std::vector<std::string> expanded;
   obs::Histogram* query_seconds = nullptr;
+  std::shared_ptr<obs::Telemetry> telemetry;
   {
     MutexLock lock(mu_);
     expanded = expand_locked(keywords);
     query_seconds = query_seconds_;
+    telemetry = telemetry_;
   }
+  // Per-keyword attribution follows the request's sampling decision
+  // (trace != nullptr): unsampled queries stay at the tracing baseline,
+  // which is what keeps continuous profiling within its overhead budget.
+  obs::Profiler* profiler =
+      trace != nullptr && telemetry != nullptr && telemetry->profiler().enabled()
+          ? &telemetry->profiler()
+          : nullptr;
   ScopedTimer timer(clock_);
   std::vector<Result<format::InfoRecord>> slots(expanded.size(),
                                                 Error(ErrorCode::kInternal, "unresolved"));
@@ -139,7 +148,16 @@ Result<std::vector<format::InfoRecord>> SystemMonitor::query(
       // the wire — hierarchy forwards, broker lookups — propagate it.
       scope.emplace(*trace, span->id());
     }
+    // Per-keyword allocation attribution, opened on the *resolving*
+    // thread — fan_out work is invisible to the request thread's scope.
+    obs::AllocScope alloc_scope;
     auto record = get(kw, mode, quality_threshold, options);
+    if (profiler != nullptr) {
+      profiler->record_alloc(kw, alloc_scope.allocs(), alloc_scope.bytes());
+      if (trace != nullptr && span) {
+        trace->set_span_alloc(span->id(), alloc_scope.allocs(), alloc_scope.bytes());
+      }
+    }
     if (!record.ok()) {
       if (span) span->end(record.error().to_string());
       slots[i] = record.error();

@@ -1,0 +1,92 @@
+// Global operator new/delete replacement feeding the per-thread
+// allocation counters AllocScope reads. Gated on IG_PROFILE_ALLOC
+// (CMake option, default ON): without it this TU still defines the
+// thread-local counters and counting_enabled(), but the standard
+// allocator stays untouched and every AllocScope delta reads zero.
+//
+// Replacement notes:
+//  - Only the plain/nothrow/sized forms are replaced. The aligned
+//    overloads are deliberately left to the built-in pair (replacing
+//    one of an allocation/deallocation pair without the other is UB),
+//    so over-aligned allocations go uncounted — acceptable undercount,
+//    this tree does not use over-aligned types on hot paths.
+//  - Works under ASan/TSan: user strong definitions win over the
+//    sanitizer interposition of operator new, while the malloc/free
+//    inside remain fully intercepted, so poisoning/quarantine behaviour
+//    is preserved.
+//  - The counters are constant-initialized thread-locals (no dynamic
+//    init, no guards), so counting is safe from the first allocation of
+//    a brand-new thread.
+#include <cstdlib>
+#include <new>
+
+#include "obs/profile.hpp"
+
+namespace ig::obs::alloc_internal {
+
+thread_local constinit ThreadAllocCounters t_counters{};
+
+bool counting_enabled() {
+#if defined(IG_PROFILE_ALLOC)
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace ig::obs::alloc_internal
+
+#if defined(IG_PROFILE_ALLOC)
+
+namespace {
+
+/// Conforming allocation loop: on exhaustion give the installed
+/// new-handler a chance to free memory before failing.
+void* counted_alloc(std::size_t size) {
+  for (;;) {
+    void* p = std::malloc(size != 0 ? size : 1);
+    if (p != nullptr) {
+      ig::obs::alloc_internal::ThreadAllocCounters& c = ig::obs::alloc_internal::t_counters;
+      ++c.allocs;
+      c.bytes += size;
+      return p;
+    }
+    std::new_handler handler = std::get_new_handler();
+    if (handler == nullptr) throw std::bad_alloc();
+    handler();
+  }
+}
+
+void counted_free(void* p) noexcept {
+  if (p != nullptr) ++ig::obs::alloc_internal::t_counters.frees;
+  std::free(p);
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return counted_alloc(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return counted_alloc(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void operator delete(void* p) noexcept { counted_free(p); }
+void operator delete[](void* p) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { counted_free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { counted_free(p); }
+
+#endif  // IG_PROFILE_ALLOC

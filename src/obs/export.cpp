@@ -44,6 +44,10 @@ std::string span_json(const SpanRecord& span) {
   out += ",\"start_us\":" + std::to_string(span.start.count());
   out += ",\"duration_us\":" + std::to_string(span.duration.count());
   out += ",\"status\":\"" + json_escape(span.status) + "\"";
+  if (span.allocs != 0 || span.alloc_bytes != 0) {
+    out += ",\"allocs\":" + std::to_string(span.allocs);
+    out += ",\"alloc_bytes\":" + std::to_string(span.alloc_bytes);
+  }
   out += "}";
   return out;
 }
@@ -102,6 +106,19 @@ void JsonlExporter::export_metrics(const MetricsRegistry& metrics, TimePoint now
     } else {
       line += std::to_string(m.value);
     }
+  }
+  line += "}}";
+  write_line(line);
+}
+
+void JsonlExporter::export_profile(const format::InfoRecord& record, TimePoint now) {
+  std::string line = "{\"type\":\"profile\",\"at_us\":" + std::to_string(now.count());
+  line += ",\"attrs\":{";
+  bool first = true;
+  for (const format::Attribute& attr : record.attributes) {
+    if (!first) line.push_back(',');
+    first = false;
+    line += "\"" + json_escape(attr.name) + "\":\"" + json_escape(attr.value) + "\"";
   }
   line += "}}";
   write_line(line);

@@ -17,6 +17,7 @@
 
 #include "common/clock.hpp"
 #include "common/sync.hpp"
+#include "format/record.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -40,6 +41,10 @@ class JsonlExporter {
   /// Append a full metrics snapshot as one JSON line (never sampled —
   /// callers decide the cadence).
   void export_metrics(const MetricsRegistry& metrics, TimePoint now);
+
+  /// Append a profile snapshot (the `profile` keyword's InfoRecord) as
+  /// one `{"type":"profile",...}` line (never sampled, like metrics).
+  void export_profile(const format::InfoRecord& record, TimePoint now);
 
   std::uint64_t exported() const;
   std::uint64_t skipped() const;  ///< traces the sampler passed over

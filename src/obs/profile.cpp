@@ -1,0 +1,179 @@
+#include "obs/profile.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "obs/propagation.hpp"
+
+namespace ig::obs {
+
+namespace {
+
+/// Re-entry guard: record() acquires the registry mutex, and that mutex
+/// can itself be contended — without the guard the listener would
+/// recurse into itself. Set BEFORE the acquisition.
+thread_local bool t_in_record = false;
+
+}  // namespace
+
+LockContentionRegistry& LockContentionRegistry::instance() {
+  // Leaked singleton: lock waits can be recorded during static
+  // destruction (other globals' destructors take locks), so the registry
+  // must never die.
+  static LockContentionRegistry* registry = new LockContentionRegistry();
+  return *registry;
+}
+
+void LockContentionRegistry::install() {
+  sync_internal::set_contention_listener([](int rank, const char* name, std::uint64_t wait_ns) {
+    LockContentionRegistry::instance().record(rank, name, wait_ns);
+  });
+}
+
+void LockContentionRegistry::uninstall() { sync_internal::set_contention_listener(nullptr); }
+
+void LockContentionRegistry::record(int rank, const char* name, std::uint64_t wait_ns) {
+  if (t_in_record) return;
+  t_in_record = true;
+  total_waits_.fetch_add(1, std::memory_order_relaxed);
+  // The exemplar read happens before taking mu_ — active_trace() is a
+  // plain thread-local, safe anywhere.
+  const ActiveTrace& active = active_trace();
+  {
+    MutexLock lock(mu_);
+    Entry& e = entries_[static_cast<const void*>(name)];
+    if (e.waits == 0) {
+      e.name = (name != nullptr) ? name : "";
+      e.rank = rank;
+    }
+    ++e.waits;
+    e.total_ns += wait_ns;
+    std::size_t bucket = 0;
+    std::uint64_t wait_us = wait_ns / 1000;
+    while (bucket < kWaitBucketEdgesUs.size() && wait_us > kWaitBucketEdgesUs[bucket]) {
+      ++bucket;
+    }
+    ++e.buckets[bucket];
+    if (wait_ns >= e.max_ns) {
+      e.max_ns = wait_ns;
+      if (active.ctx != nullptr && !active.ctx->finished()) {
+        e.exemplar_trace = active.ctx->id();
+      }
+    }
+  }
+  t_in_record = false;
+}
+
+std::vector<LockContentionRegistry::Entry> LockContentionRegistry::snapshot() const {
+  std::vector<Entry> raw;
+  {
+    // Snapshot readers must not recurse into record() either (mu_ may be
+    // contended by concurrent recorders).
+    t_in_record = true;
+    MutexLock lock(mu_);
+    raw.reserve(entries_.size());
+    for (const auto& [ptr, entry] : entries_) raw.push_back(entry);
+    t_in_record = false;
+  }
+  // Merge by (name, rank): the same report name may live at several
+  // literal addresses (one per TU) or on several lock instances.
+  std::map<std::pair<std::string, int>, Entry> merged;
+  for (Entry& e : raw) {
+    auto key = std::make_pair(e.name, e.rank);
+    auto it = merged.find(key);
+    if (it == merged.end()) {
+      merged.emplace(std::move(key), std::move(e));
+      continue;
+    }
+    Entry& base = it->second;
+    base.waits += e.waits;
+    base.total_ns += e.total_ns;
+    for (std::size_t i = 0; i < base.buckets.size(); ++i) base.buckets[i] += e.buckets[i];
+    if (e.max_ns > base.max_ns) {
+      base.max_ns = e.max_ns;
+      base.exemplar_trace = std::move(e.exemplar_trace);
+    }
+  }
+  std::vector<Entry> out;
+  out.reserve(merged.size());
+  for (auto& [key, entry] : merged) out.push_back(std::move(entry));
+  std::sort(out.begin(), out.end(),
+            [](const Entry& a, const Entry& b) { return a.total_ns > b.total_ns; });
+  return out;
+}
+
+void LockContentionRegistry::reset() {
+  t_in_record = true;
+  {
+    MutexLock lock(mu_);
+    entries_.clear();
+  }
+  t_in_record = false;
+  total_waits_.store(0, std::memory_order_relaxed);
+}
+
+void Profiler::record_alloc(const std::string& keyword, std::uint64_t allocs,
+                            std::uint64_t bytes) {
+  if (!enabled()) return;
+  MutexLock lock(mu_);
+  KeywordAlloc& k = keyword_allocs_[keyword];
+  ++k.samples;
+  k.allocs += allocs;
+  k.bytes += bytes;
+  k.max_bytes = std::max(k.max_bytes, bytes);
+}
+
+void Profiler::attach_pool(const std::string& name, PoolStatsFn fn) {
+  MutexLock lock(mu_);
+  pools_[name] = std::move(fn);
+}
+
+void Profiler::detach_pool(const std::string& name) {
+  MutexLock lock(mu_);
+  pools_.erase(name);
+}
+
+std::vector<std::pair<std::string, Profiler::KeywordAlloc>> Profiler::keyword_allocs() const {
+  std::vector<std::pair<std::string, KeywordAlloc>> out;
+  {
+    MutexLock lock(mu_);
+    out.reserve(keyword_allocs_.size());
+    for (const auto& [kw, agg] : keyword_allocs_) out.emplace_back(kw, agg);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.second.bytes > b.second.bytes; });
+  return out;
+}
+
+std::vector<std::pair<std::string, ThreadPool::Stats>> Profiler::pool_stats(
+    bool reset_window) const {
+  // Copy the callbacks out, call outside mu_: a pool callback takes the
+  // pool's own (higher-ranked) lock and may block behind running tasks.
+  std::vector<std::pair<std::string, PoolStatsFn>> fns;
+  {
+    MutexLock lock(mu_);
+    fns.reserve(pools_.size());
+    for (const auto& [name, fn] : pools_) fns.emplace_back(name, fn);
+  }
+  std::sort(fns.begin(), fns.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<std::pair<std::string, ThreadPool::Stats>> out;
+  out.reserve(fns.size());
+  for (auto& [name, fn] : fns) {
+    if (fn) out.emplace_back(name, fn(reset_window));
+  }
+  return out;
+}
+
+std::uint64_t Profiler::take_unsynced_lock_waits() {
+  std::uint64_t total = LockContentionRegistry::instance().total_waits();
+  std::uint64_t synced = synced_lock_waits_.exchange(total, std::memory_order_relaxed);
+  return total > synced ? total - synced : 0;
+}
+
+void Profiler::reset() {
+  MutexLock lock(mu_);
+  keyword_allocs_.clear();
+}
+
+}  // namespace ig::obs

@@ -1,0 +1,211 @@
+// Continuous in-process profiler — the "where does time and memory go"
+// layer the MDS2 performance studies say an information service dies
+// without. Three always-cheap attribution planes, all queryable through
+// InfoGram itself (the `profile` keyword family):
+//
+//  1. Lock contention. LockContentionRegistry is the process-global
+//     consumer of the sync_internal contention listener: every contended
+//     ig::Mutex / ig::SharedMutex acquisition records its wait against
+//     the lock's PR-5 report name and rank — wait-time histogram, max,
+//     and a trace-id exemplar captured from the thread's active trace
+//     when a new slowest wait lands. Uncontended acquisitions cost one
+//     extra try_lock and never reach this code.
+//
+//  2. Scheduler. ThreadPool now timestamps enqueue→dequeue (queue wait)
+//     and dequeue→done (run time); the Profiler holds per-pool snapshot
+//     callbacks so `profile.pool` reports windowed queue pressure and
+//     worker utilization without src/common ever depending on src/obs.
+//
+//  3. Allocation. AllocScope reads the thread-local counters maintained
+//     by the global operator new/delete replacement (alloc_hooks.cpp,
+//     gated on IG_PROFILE_ALLOC): open a scope, do work, read the delta.
+//     InfoGramService opens one per *sampled* request (spans carry
+//     allocs/bytes), SystemMonitor one per keyword resolution on the
+//     same sampled requests — attribution rides the trace-sampling
+//     decision so unsampled traffic pays the tracing baseline and
+//     nothing more (the overhead budget of continuous profiling).
+//
+// Everything here is designed for the hot path to stay flat: counters
+// are thread-local or lock-free; the registry's own mutex is unranked
+// (its handler runs under arbitrary ranked locks) and re-entry-guarded
+// (the registry mutex can itself be contended).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/sync.hpp"
+#include "common/thread_pool.hpp"
+
+namespace ig::obs {
+
+/// Well-known profiler metric names; same lint contract as the constants
+/// in telemetry.hpp (instrumentation site + DESIGN.md table row).
+namespace metric {
+/// Counter mirroring LockContentionRegistry's total contended waits
+/// (synced by delta whenever a profile record is built).
+inline constexpr const char* kProfileLockWaits = "obs.profile.lock.waits";
+/// Queue-wait histogram for the request pool (enqueue→dequeue seconds).
+inline constexpr const char* kProfilePoolWaitSeconds = "obs.profile.pool.wait.seconds";
+/// Per-request allocation profile (operator-new calls / bytes per
+/// request), observed by InfoGramService's per-request AllocScope.
+inline constexpr const char* kProfileRequestAllocs = "obs.profile.request.allocs";
+inline constexpr const char* kProfileRequestAllocBytes = "obs.profile.request.alloc.bytes";
+}  // namespace metric
+
+namespace alloc_internal {
+
+/// Thread-local allocation counters bumped by the operator new/delete
+/// replacement in alloc_hooks.cpp. Constant-initialized POD: safe to
+/// touch from the very first allocation, before any dynamic TLS init.
+struct ThreadAllocCounters {
+  std::uint64_t allocs = 0;  ///< operator-new calls on this thread
+  std::uint64_t bytes = 0;   ///< bytes requested (not capacity) on this thread
+  std::uint64_t frees = 0;   ///< operator-delete calls on this thread
+};
+
+extern thread_local constinit ThreadAllocCounters t_counters;
+
+/// True when the build replaces global operator new/delete
+/// (IG_PROFILE_ALLOC, default ON); false means AllocScope deltas always
+/// read zero. Defined in alloc_hooks.cpp either way.
+bool counting_enabled();
+
+}  // namespace alloc_internal
+
+/// Delta reader over the thread's allocation counters: construct, do
+/// work, read allocs()/bytes(). Costs two thread-local loads to open and
+/// two subtractions to read; nests freely (each scope sees its own
+/// deltas, inner work counts in both). Thread-local by nature — work a
+/// fan_out ships to other workers is invisible to the submitting
+/// thread's scope, which is why SystemMonitor opens a per-keyword scope
+/// on the resolving thread instead of relying on the request scope.
+class AllocScope {
+ public:
+  AllocScope()
+      : start_allocs_(alloc_internal::t_counters.allocs),
+        start_bytes_(alloc_internal::t_counters.bytes) {}
+
+  std::uint64_t allocs() const { return alloc_internal::t_counters.allocs - start_allocs_; }
+  std::uint64_t bytes() const { return alloc_internal::t_counters.bytes - start_bytes_; }
+
+ private:
+  std::uint64_t start_allocs_;
+  std::uint64_t start_bytes_;
+};
+
+/// Process-global lock-contention aggregate, keyed by the lock's report
+/// name (locks are process-global resources — one registry, not one per
+/// Telemetry). Hot path: one unordered_map upsert under an unranked
+/// mutex, only ever paid by acquisitions that already blocked.
+class LockContentionRegistry {
+ public:
+  /// Wait-time histogram bucket upper edges, microseconds (+inf last).
+  static constexpr std::array<std::uint64_t, 6> kWaitBucketEdgesUs = {1,    10,    100,
+                                                                      1000, 10000, 100000};
+
+  struct Entry {
+    std::string name;  ///< the lock's PR-5 report name ("" = unnamed)
+    int rank = 0;
+    std::uint64_t waits = 0;
+    std::uint64_t total_ns = 0;
+    std::uint64_t max_ns = 0;
+    /// Counts per kWaitBucketEdgesUs bucket, +inf overflow last.
+    std::array<std::uint64_t, kWaitBucketEdgesUs.size() + 1> buckets{};
+    /// Trace id active when the slowest wait so far was recorded ("" =
+    /// no trace was active at any maximum).
+    std::string exemplar_trace;
+  };
+
+  static LockContentionRegistry& instance();
+
+  /// Install this registry as the process contention listener.
+  /// Idempotent; call at service wiring time (InfoGramService does, when
+  /// profiling is enabled).
+  static void install();
+  /// Remove the listener (tests that want a quiet process).
+  static void uninstall();
+
+  /// Listener entry: aggregate one contended wait. Re-entry-safe.
+  void record(int rank, const char* name, std::uint64_t wait_ns);
+
+  /// Entries merged by (name, rank) — the same report name appears once
+  /// even when many lock instances (or many TUs' string literals) share
+  /// it — sorted by total wait, hottest first.
+  std::vector<Entry> snapshot() const;
+
+  /// Total contended waits ever recorded (lock-free read).
+  std::uint64_t total_waits() const { return total_waits_.load(std::memory_order_relaxed); }
+
+  /// Drop all aggregates (tests/benches isolating a workload).
+  void reset();
+
+ private:
+  LockContentionRegistry() = default;
+
+  /// Keyed by name *pointer* on the hot path (a string compare per
+  /// contended wait would double the cost); snapshot() merges by content.
+  mutable Mutex mu_{lock_rank::kUnranked, "obs.LockContentionRegistry"};
+  std::unordered_map<const void*, Entry> entries_ IG_GUARDED_BY(mu_);
+  std::atomic<std::uint64_t> total_waits_{0};
+};
+
+/// Per-Telemetry profiler state: the per-keyword allocation profile and
+/// the attached pools' snapshot callbacks. Owned by Telemetry; enabled
+/// explicitly by service wiring (InfoGramConfig::profiling) so a
+/// telemetry-carrying stack can still run with the profiler dark — the
+/// bench_profile_overhead baseline.
+class Profiler {
+ public:
+  struct KeywordAlloc {
+    std::uint64_t samples = 0;
+    std::uint64_t allocs = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t max_bytes = 0;  ///< worst single resolution
+  };
+
+  /// Pool snapshot callback; `reset_window` true closes the windowed
+  /// highwater (ThreadPool::snapshot_and_reset_window).
+  using PoolStatsFn = std::function<ThreadPool::Stats(bool reset_window)>;
+
+  void set_enabled(bool enabled) { enabled_.store(enabled, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Aggregate one keyword resolution's allocation delta. No-op while
+  /// disabled.
+  void record_alloc(const std::string& keyword, std::uint64_t allocs, std::uint64_t bytes);
+
+  /// Attach/detach a pool under a report name. The owner of the pool
+  /// must detach before destroying it (InfoGramService detaches in its
+  /// destructor — the Telemetry, and thus this Profiler, can outlive the
+  /// service).
+  void attach_pool(const std::string& name, PoolStatsFn fn);
+  void detach_pool(const std::string& name);
+
+  /// Keyword → aggregate, sorted by bytes, hottest first.
+  std::vector<std::pair<std::string, KeywordAlloc>> keyword_allocs() const;
+
+  /// Every attached pool's stats, by report name.
+  std::vector<std::pair<std::string, ThreadPool::Stats>> pool_stats(bool reset_window) const;
+
+  /// Contended-wait count not yet mirrored to the kProfileLockWaits
+  /// counter; advances the sync mark (telemetry.cpp's record builders).
+  std::uint64_t take_unsynced_lock_waits();
+
+  void reset();
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> synced_lock_waits_{0};
+  mutable Mutex mu_{lock_rank::kProfiler, "obs.Profiler"};
+  std::unordered_map<std::string, KeywordAlloc> keyword_allocs_ IG_GUARDED_BY(mu_);
+  std::unordered_map<std::string, PoolStatsFn> pools_ IG_GUARDED_BY(mu_);
+};
+
+}  // namespace ig::obs

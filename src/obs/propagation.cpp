@@ -124,6 +124,12 @@ std::string encode_spans(const std::vector<SpanRecord>& spans, std::size_t max_s
     out += std::to_string(span.duration.count());
     out.push_back(kFieldSep);
     out += escape(span.status);
+    // Allocation attribution rides the backhaul too (fields 8/9); PR 6
+    // decoders accept the old 7-field records from pre-profiler peers.
+    out.push_back(kFieldSep);
+    out += std::to_string(span.allocs);
+    out.push_back(kFieldSep);
+    out += std::to_string(span.alloc_bytes);
   }
   return out;
 }
@@ -133,7 +139,8 @@ std::vector<SpanRecord> decode_spans(const std::string& header) {
   if (header.empty()) return out;
   for (const std::string& rec : split(header, kRecordSep)) {
     std::vector<std::string> fields = split(rec, kFieldSep);
-    if (fields.size() != 7) continue;
+    // 7 = pre-profiler peers (no alloc fields), 9 = current encoders.
+    if (fields.size() != 7 && fields.size() != 9) continue;
     SpanRecord span;
     std::int64_t start_us = 0;
     std::int64_t duration_us = 0;
@@ -146,6 +153,16 @@ std::vector<SpanRecord> decode_spans(const std::string& header) {
     span.start = TimePoint(start_us);
     span.duration = Duration(duration_us);
     span.status = unescape(fields[6]);
+    if (fields.size() == 9) {
+      std::int64_t allocs = 0;
+      std::int64_t alloc_bytes = 0;
+      if (!parse_dec(fields[7], allocs) || !parse_dec(fields[8], alloc_bytes) || allocs < 0 ||
+          alloc_bytes < 0) {
+        continue;
+      }
+      span.allocs = static_cast<std::uint64_t>(allocs);
+      span.alloc_bytes = static_cast<std::uint64_t>(alloc_bytes);
+    }
     out.push_back(std::move(span));
   }
   return out;

@@ -157,14 +157,22 @@ format::InfoRecord Telemetry::traces_record(const std::string& keyword) const {
     // expose the stitched linkage, node the hop each span ran on.
     for (std::size_t i = 1; i < trace.spans.size(); ++i) {
       const SpanRecord& span = trace.spans[i];
-      record.add(trace.id + ":span." + std::to_string(i),
-                 strings::format("%s status=%s start_us=%lld duration_us=%lld "
-                                 "id=%s parent=%s node=%s",
-                                 span.name.c_str(), span.status.c_str(),
-                                 static_cast<long long>(span.start.count()),
-                                 static_cast<long long>(span.duration.count()),
-                                 to_hex(span.id).c_str(), to_hex(span.parent_id).c_str(),
-                                 span.node.empty() ? "-" : span.node.c_str()));
+      std::string line =
+          strings::format("%s status=%s start_us=%lld duration_us=%lld "
+                          "id=%s parent=%s node=%s",
+                          span.name.c_str(), span.status.c_str(),
+                          static_cast<long long>(span.start.count()),
+                          static_cast<long long>(span.duration.count()),
+                          to_hex(span.id).c_str(), to_hex(span.parent_id).c_str(),
+                          span.node.empty() ? "-" : span.node.c_str());
+      // Allocation attribution only when the profiler stamped the span —
+      // keeps unprofiled output byte-identical to the PR 4 shape.
+      if (span.allocs != 0 || span.alloc_bytes != 0) {
+        line += strings::format(" allocs=%llu alloc_bytes=%llu",
+                                static_cast<unsigned long long>(span.allocs),
+                                static_cast<unsigned long long>(span.alloc_bytes));
+      }
+      record.add(trace.id + ":span." + std::to_string(i), std::move(line));
     }
   }
   return record;
@@ -221,6 +229,135 @@ format::InfoRecord Telemetry::alerts_record(const std::string& keyword) {
   record.add("count", std::to_string(count));
   record.add("firing", firing.empty() ? "none" : firing);
   return record;
+}
+
+namespace {
+
+/// "<name>" for named locks, "<unnamed>" for the rest — profile rows need
+/// a stable non-empty key.
+const char* lock_label(const LockContentionRegistry::Entry& e) {
+  return e.name.empty() ? "<unnamed>" : e.name.c_str();
+}
+
+}  // namespace
+
+format::InfoRecord Telemetry::profile_record(const std::string& keyword) {
+  // Mirror the contended-wait delta into the counter before reporting, so
+  // `metrics` and `profile` agree from the same query.
+  std::uint64_t delta = profiler_.take_unsynced_lock_waits();
+  if (delta != 0) metrics_.counter(metric::kProfileLockWaits).add(delta);
+
+  format::InfoRecord record;
+  record.keyword = keyword;
+  record.generated_at = clock_.now();
+  record.add("enabled", profiler_.enabled() ? "true" : "false");
+  record.add("alloc_counting", alloc_internal::counting_enabled() ? "true" : "false");
+
+  std::vector<LockContentionRegistry::Entry> locks = LockContentionRegistry::instance().snapshot();
+  std::uint64_t total_wait_ns = 0;
+  for (const auto& e : locks) total_wait_ns += e.total_ns;
+  record.add("locks:contended", std::to_string(locks.size()));
+  record.add("locks:waits", std::to_string(LockContentionRegistry::instance().total_waits()));
+  record.add("locks:total_wait_us", std::to_string(total_wait_ns / 1000));
+  // snapshot() is sorted hottest-first; the summary keeps the top 3.
+  for (std::size_t i = 0; i < locks.size() && i < 3; ++i) {
+    const auto& e = locks[i];
+    record.add(strings::format("locks:hot.%zu", i + 1),
+               strings::format("%s waits=%llu total_us=%llu max_us=%llu", lock_label(e),
+                               static_cast<unsigned long long>(e.waits),
+                               static_cast<unsigned long long>(e.total_ns / 1000),
+                               static_cast<unsigned long long>(e.max_ns / 1000)));
+  }
+
+  std::vector<std::pair<std::string, Profiler::KeywordAlloc>> kws = profiler_.keyword_allocs();
+  record.add("alloc:keywords", std::to_string(kws.size()));
+  for (std::size_t i = 0; i < kws.size() && i < 3; ++i) {
+    const auto& [kw, agg] = kws[i];
+    record.add(strings::format("alloc:hot.%zu", i + 1),
+               strings::format("%s samples=%llu allocs=%llu bytes=%llu max_bytes=%llu",
+                               kw.c_str(), static_cast<unsigned long long>(agg.samples),
+                               static_cast<unsigned long long>(agg.allocs),
+                               static_cast<unsigned long long>(agg.bytes),
+                               static_cast<unsigned long long>(agg.max_bytes)));
+  }
+
+  // One digest line per attached pool; the summary must not close the
+  // high-water window (that is profile.pool's job).
+  for (const auto& [name, stats] : profiler_.pool_stats(/*reset_window=*/false)) {
+    record.add("pool:" + name,
+               strings::format("depth=%zu window_highwater=%zu submitted=%llu "
+                               "executed=%llu shed=%llu workers=%zu",
+                               stats.depth, stats.window_highwater,
+                               static_cast<unsigned long long>(stats.submitted),
+                               static_cast<unsigned long long>(stats.executed),
+                               static_cast<unsigned long long>(stats.shed),
+                               stats.workers.size()));
+  }
+  return record;
+}
+
+format::InfoRecord Telemetry::profile_locks_record(const std::string& keyword) {
+  std::uint64_t delta = profiler_.take_unsynced_lock_waits();
+  if (delta != 0) metrics_.counter(metric::kProfileLockWaits).add(delta);
+
+  format::InfoRecord record;
+  record.keyword = keyword;
+  record.generated_at = clock_.now();
+  std::vector<LockContentionRegistry::Entry> locks = LockContentionRegistry::instance().snapshot();
+  record.add("count", std::to_string(locks.size()));
+  for (const auto& e : locks) {
+    std::string label = lock_label(e);
+    std::uint64_t mean_us = e.waits == 0 ? 0 : e.total_ns / e.waits / 1000;
+    record.add(label,
+               strings::format("rank=%d waits=%llu total_us=%llu max_us=%llu mean_us=%llu",
+                               e.rank, static_cast<unsigned long long>(e.waits),
+                               static_cast<unsigned long long>(e.total_ns / 1000),
+                               static_cast<unsigned long long>(e.max_ns / 1000),
+                               static_cast<unsigned long long>(mean_us)));
+    for (std::size_t b = 0; b < e.buckets.size(); ++b) {
+      if (e.buckets[b] == 0) continue;
+      std::string le = b < LockContentionRegistry::kWaitBucketEdgesUs.size()
+                           ? std::to_string(LockContentionRegistry::kWaitBucketEdgesUs[b])
+                           : "inf";
+      record.add(label + ":bucket." + le, std::to_string(e.buckets[b]));
+    }
+    if (!e.exemplar_trace.empty()) record.add(label + ":exemplar", e.exemplar_trace);
+  }
+  return record;
+}
+
+format::InfoRecord Telemetry::profile_pool_record(const std::string& keyword) {
+  format::InfoRecord record;
+  record.keyword = keyword;
+  record.generated_at = clock_.now();
+  std::vector<std::pair<std::string, ThreadPool::Stats>> pools =
+      profiler_.pool_stats(/*reset_window=*/true);
+  record.add("count", std::to_string(pools.size()));
+  for (const auto& [name, stats] : pools) {
+    record.add(name + ":depth", std::to_string(stats.depth));
+    record.add(name + ":highwater", std::to_string(stats.highwater));
+    record.add(name + ":window_highwater", std::to_string(stats.window_highwater));
+    record.add(name + ":submitted", std::to_string(stats.submitted));
+    record.add(name + ":executed", std::to_string(stats.executed));
+    record.add(name + ":shed", std::to_string(stats.shed));
+    for (std::size_t i = 0; i < stats.workers.size(); ++i) {
+      record.add(strings::format("%s:worker.%zu", name.c_str(), i),
+                 strings::format("tasks=%llu busy_us=%lld",
+                                 static_cast<unsigned long long>(stats.workers[i].tasks),
+                                 static_cast<long long>(stats.workers[i].busy.count())));
+    }
+    // The windowed high-water doubles as a gauge so dashboards reading
+    // only `metrics` see current queue pressure too.
+    metrics_.gauge(metric::kPoolQueueHighwaterWindow)
+        .set(static_cast<std::int64_t>(stats.window_highwater));
+  }
+  return record;
+}
+
+bool Telemetry::export_profile_snapshot() {
+  if (exporter_ == nullptr) return false;
+  exporter_->export_profile(profile_record("profile"), clock_.now());
+  return true;
 }
 
 ScopedTrace::ScopedTrace(const std::shared_ptr<Telemetry>& telemetry, std::string root_name)

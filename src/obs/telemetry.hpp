@@ -34,6 +34,7 @@
 #include "format/record.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/propagation.hpp"
 #include "obs/slo.hpp"
 #include "obs/trace.hpp"
@@ -121,6 +122,10 @@ inline constexpr const char* kMdsGiisCacheMisses = "mds.giis.cache.misses";
 // pool.worker.<i>.tasks / pool.worker.<i>.busy_us for utilization.
 inline constexpr const char* kPoolQueueDepth = "pool.queue.depth";
 inline constexpr const char* kPoolQueueHighwater = "pool.queue.highwater";
+// Windowed high-water: deepest backlog since the last profile snapshot
+// closed the window (ThreadPool::snapshot_and_reset_window), so a burst
+// an hour ago stops shadowing the current steady state.
+inline constexpr const char* kPoolQueueHighwaterWindow = "pool.queue.highwater.window";
 inline constexpr const char* kPoolShed = "pool.shed";
 inline constexpr const char* kPoolTasks = "pool.tasks";
 inline constexpr const char* kPoolTaskSeconds = "pool.task.seconds";
@@ -145,6 +150,8 @@ class Telemetry {
   const TraceStore& traces() const { return traces_; }
   const Clock& clock() const { return clock_; }
   SloEngine& slo() { return slo_; }
+  Profiler& profiler() { return profiler_; }
+  const Profiler& profiler() const { return profiler_; }
 
   /// Node id stamped on every span this telemetry records ("" = untagged).
   void set_node_id(std::string node_id) { node_id_ = std::move(node_id); }
@@ -209,6 +216,29 @@ class Telemetry {
   /// beyond `count`/`firing` mean all targets are met.
   format::InfoRecord alerts_record(const std::string& keyword);
 
+  /// Profiler summary (keyword `profile`): lock-contention totals with
+  /// the top-3 hottest locks, hottest keywords by allocated bytes, and a
+  /// one-line digest per attached pool. Building it also mirrors the
+  /// contended-wait delta into the kProfileLockWaits counter.
+  format::InfoRecord profile_record(const std::string& keyword);
+
+  /// Full lock-contention table (keyword `profile.locks`): per merged
+  /// lock name `<name>:rank/waits/total_us/max_us/mean_us`, nonzero
+  /// wait-histogram buckets as `<name>:bucket.<le_us>`, and the trace-id
+  /// exemplar of the slowest wait as `<name>:exemplar`.
+  format::InfoRecord profile_locks_record(const std::string& keyword);
+
+  /// Per-pool scheduler profile (keyword `profile.pool`): queue depth,
+  /// monotone + windowed high-water, submitted/executed/shed, per-worker
+  /// tasks and busy time. Closes each pool's high-water window and
+  /// mirrors it to the kPoolQueueHighwaterWindow gauge.
+  format::InfoRecord profile_pool_record(const std::string& keyword);
+
+  /// Build the `profile` record and write it through the attached JSONL
+  /// exporter as a `{"type":"profile",...}` line. False when no exporter
+  /// is attached.
+  bool export_profile_snapshot();
+
  private:
   using TraceListener = std::function<void(const TraceRecord&)>;
 
@@ -220,6 +250,7 @@ class Telemetry {
   MetricsRegistry metrics_;
   TraceStore traces_;
   SloEngine slo_;
+  Profiler profiler_;
   /// Self-accounting metrics resolved once — trace start/finish must not
   /// pay a registry lookup per trace.
   Gauge* unfinished_ = nullptr;

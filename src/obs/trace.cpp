@@ -116,6 +116,20 @@ void TraceContext::fail(std::string status) {
   record_.status = std::move(status);
 }
 
+void TraceContext::set_span_alloc(std::uint64_t span_id, std::uint64_t allocs,
+                                  std::uint64_t bytes) {
+  MutexLock lock(mu_);
+  if (finished_ || record_.spans.empty()) return;
+  if (span_id == 0) span_id = record_.spans.front().id;
+  for (SpanRecord& span : record_.spans) {
+    if (span.id == span_id) {
+      span.allocs = allocs;
+      span.alloc_bytes = bytes;
+      return;
+    }
+  }
+}
+
 TraceRecord TraceContext::finish() {
   TimePoint now = clock_.now();
   bool first = false;

@@ -43,6 +43,10 @@ struct SpanRecord {
   TimePoint start{0};
   Duration duration{0};
   std::string status = "ok";
+  /// Allocation attribution (obs::AllocScope deltas measured on the
+  /// resolving thread); 0/0 = unprofiled.
+  std::uint64_t allocs = 0;
+  std::uint64_t alloc_bytes = 0;
 
   friend bool operator==(const SpanRecord&, const SpanRecord&) = default;
 };
@@ -120,6 +124,10 @@ class TraceContext {
 
   /// Mark the whole trace as failed (root status).
   void fail(std::string status);
+
+  /// Attach an allocation profile to a span (`span_id` 0 = this
+  /// segment's root span). No-op once finished or for unknown ids.
+  void set_span_alloc(std::uint64_t span_id, std::uint64_t allocs, std::uint64_t bytes);
 
   /// Close the root span and hand over the finished record (moved out,
   /// not copied). The context is spent afterwards; further spans are

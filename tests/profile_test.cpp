@@ -1,0 +1,445 @@
+// Continuous profiler (src/obs/profile): lock-contention attribution
+// with trace exemplars, allocation scopes, scheduler wait/window stats,
+// the profile keyword family, and the TTL-0 freshness guarantees the
+// whole obs keyword family relies on (never stale-served, never
+// prefetched).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "core/infogram_service.hpp"
+#include "exec/fork_backend.hpp"
+#include "info/obs_provider.hpp"
+#include "info/provider.hpp"
+#include "obs/profile.hpp"
+#include "obs/propagation.hpp"
+#include "obs/telemetry.hpp"
+#include "test_util.hpp"
+
+namespace ig {
+namespace {
+
+// ---------- lock contention ----------
+
+class ProfileLockContentionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::LockContentionRegistry::instance().reset();
+    obs::LockContentionRegistry::install();
+  }
+  void TearDown() override {
+    obs::LockContentionRegistry::uninstall();
+    obs::LockContentionRegistry::instance().reset();
+  }
+};
+
+TEST_F(ProfileLockContentionTest, ContendedWaitRecordedUnderReportNameWithExemplar) {
+  Mutex mu(lock_rank::kStats, "test.ProfileLock");
+  VirtualClock clock(seconds(1));
+  obs::TraceContext trace(clock, "contender");
+
+  std::atomic<bool> contender_running{false};
+  mu.lock();
+  std::thread contender([&] {
+    // The wait is recorded on *this* thread, so its active trace is the
+    // exemplar candidate.
+    obs::TraceScope scope(trace);
+    contender_running.store(true);
+    mu.lock();
+    mu.unlock();
+  });
+  while (!contender_running.load()) std::this_thread::yield();
+  // The contender is at (or microseconds from) the blocking lock();
+  // holding on makes the try_lock fast path miss deterministically
+  // visible in the recorded wait.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  mu.unlock();
+  contender.join();
+
+  std::vector<obs::LockContentionRegistry::Entry> snapshot =
+      obs::LockContentionRegistry::instance().snapshot();
+  const obs::LockContentionRegistry::Entry* entry = nullptr;
+  for (const auto& e : snapshot) {
+    if (e.name == "test.ProfileLock") entry = &e;
+  }
+  ASSERT_NE(entry, nullptr) << "contended lock missing from registry snapshot";
+  EXPECT_EQ(entry->rank, lock_rank::kStats);
+  EXPECT_GE(entry->waits, 1u);
+  EXPECT_GT(entry->total_ns, 0u);
+  EXPECT_GT(entry->max_ns, 0u);
+  // The slowest wait happened under the contender's active trace.
+  EXPECT_EQ(entry->exemplar_trace, trace.id());
+  std::uint64_t bucketed = 0;
+  for (std::uint64_t b : entry->buckets) bucketed += b;
+  EXPECT_EQ(bucketed, entry->waits);
+  EXPECT_GE(obs::LockContentionRegistry::instance().total_waits(), entry->waits);
+}
+
+TEST_F(ProfileLockContentionTest, SharedMutexReaderWaitsAreRecorded) {
+  SharedMutex mu(lock_rank::kStats, "test.ProfileSharedLock");
+  std::atomic<bool> contender_running{false};
+  mu.lock();  // exclusive: readers must block
+  std::thread reader([&] {
+    contender_running.store(true);
+    mu.lock_shared();
+    mu.unlock_shared();
+  });
+  while (!contender_running.load()) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  mu.unlock();
+  reader.join();
+
+  bool found = false;
+  for (const auto& e : obs::LockContentionRegistry::instance().snapshot()) {
+    if (e.name == "test.ProfileSharedLock" && e.waits >= 1) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ProfileLockContentionTest, UncontendedAcquisitionsRecordNothing) {
+  Mutex mu(lock_rank::kStats, "test.ProfileQuietLock");
+  for (int i = 0; i < 100; ++i) {
+    MutexLock lock(mu);
+  }
+  for (const auto& e : obs::LockContentionRegistry::instance().snapshot()) {
+    EXPECT_NE(e.name, "test.ProfileQuietLock");
+  }
+}
+
+// ---------- allocation scopes ----------
+
+TEST(ProfileAllocScopeTest, DeltaMatchesBuildConfiguration) {
+  obs::AllocScope scope;
+  std::vector<std::string> hoard;
+  hoard.reserve(64);
+  for (int i = 0; i < 64; ++i) {
+    hoard.emplace_back("allocation-attribution-payload-" + std::to_string(i));
+  }
+  if (obs::alloc_internal::counting_enabled()) {
+    EXPECT_GT(scope.allocs(), 0u);
+    EXPECT_GT(scope.bytes(), 0u);
+  } else {
+    EXPECT_EQ(scope.allocs(), 0u);
+    EXPECT_EQ(scope.bytes(), 0u);
+  }
+}
+
+TEST(ProfileAllocScopeTest, NestedScopesSeeIndependentDeltas) {
+  if (!obs::alloc_internal::counting_enabled()) GTEST_SKIP() << "IG_PROFILE_ALLOC off";
+  obs::AllocScope outer;
+  auto before_inner = outer.allocs();
+  {
+    obs::AllocScope inner;
+    std::string filler(4096, 'x');
+    EXPECT_GT(inner.allocs(), 0u);
+  }
+  // Inner work counts in the outer scope too.
+  EXPECT_GT(outer.allocs(), before_inner);
+}
+
+TEST(ProfileAllocScopeTest, ProfilerAggregatesPerKeyword) {
+  obs::Profiler profiler;
+  profiler.record_alloc("ignored", 1, 1);  // disabled: must not aggregate
+  EXPECT_TRUE(profiler.keyword_allocs().empty());
+  profiler.set_enabled(true);
+  profiler.record_alloc("Memory", 10, 1000);
+  profiler.record_alloc("Memory", 20, 3000);
+  profiler.record_alloc("Cpu", 1, 100);
+  auto allocs = profiler.keyword_allocs();
+  ASSERT_EQ(allocs.size(), 2u);
+  // Sorted hottest-by-bytes first.
+  EXPECT_EQ(allocs[0].first, "Memory");
+  EXPECT_EQ(allocs[0].second.samples, 2u);
+  EXPECT_EQ(allocs[0].second.allocs, 30u);
+  EXPECT_EQ(allocs[0].second.bytes, 4000u);
+  EXPECT_EQ(allocs[0].second.max_bytes, 3000u);
+  EXPECT_EQ(allocs[1].first, "Cpu");
+}
+
+// ---------- scheduler profile ----------
+
+TEST(ProfileThreadPoolTest, WindowHighwaterResetsWhileMonotoneHighwaterPersists) {
+  ThreadPool pool(ThreadPool::Options{1, 8});
+  std::atomic<int> done{0};
+  ThreadPool::Hooks hooks;
+  std::atomic<int> task_done_calls{0};
+  std::atomic<std::int64_t> min_wait_us{0}, min_busy_us{0};
+  hooks.on_task_done = [&](std::size_t, Duration wait, Duration busy) {
+    // Runs on the worker thread: record, assert back on the main thread.
+    if (wait.count() < min_wait_us.load()) min_wait_us.store(wait.count());
+    if (busy.count() < min_busy_us.load()) min_busy_us.store(busy.count());
+    task_done_calls.fetch_add(1);
+  };
+  pool.set_hooks(std::move(hooks));
+
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  ASSERT_TRUE(pool.submit([gate, &done] {
+    gate.wait();
+    done.fetch_add(1);
+  }).ok());
+  // The single worker is (about to be) busy; these two stack the queue.
+  ASSERT_TRUE(pool.submit([gate, &done] {
+    gate.wait();
+    done.fetch_add(1);
+  }).ok());
+  ASSERT_TRUE(pool.submit([gate, &done] {
+    gate.wait();
+    done.fetch_add(1);
+  }).ok());
+  // Depth reached 2 queued tasks at some point (worker may or may not
+  // have dequeued the first yet — highwater is at least 2 either way).
+  release.set_value();
+  while (done.load() < 3 || task_done_calls.load() < 3 || pool.stats().executed < 3u) {
+    std::this_thread::yield();
+  }
+
+  ThreadPool::Stats before = pool.snapshot_and_reset_window();
+  EXPECT_GE(before.highwater, 2u);
+  EXPECT_EQ(before.window_highwater, before.highwater);
+  EXPECT_EQ(before.executed, 3u);
+  EXPECT_GE(min_wait_us.load(), 0);
+  EXPECT_GE(min_busy_us.load(), 0);
+
+  ThreadPool::Stats after = pool.stats();
+  // The burst no longer shadows the window; the monotone view keeps it.
+  EXPECT_EQ(after.window_highwater, 0u);
+  EXPECT_GE(after.highwater, 2u);
+  pool.shutdown();
+}
+
+// ---------- span allocation propagation ----------
+
+TEST(ProfileSpanEncodingTest, AllocFieldsSurviveWireRoundtrip) {
+  obs::SpanRecord span;
+  span.id = 0xabc;
+  span.parent_id = 0x12;
+  span.name = "info:Memory";
+  span.node = "n1";
+  span.start = TimePoint(1000);
+  span.duration = Duration(250);
+  span.status = "ok";
+  span.allocs = 42;
+  span.alloc_bytes = 4096;
+  std::vector<obs::SpanRecord> decoded = obs::decode_spans(obs::encode_spans({span}));
+  ASSERT_EQ(decoded.size(), 1u);
+  EXPECT_EQ(decoded[0], span);
+}
+
+TEST(ProfileSpanEncodingTest, LegacySevenFieldRecordsStillDecode) {
+  // A pre-profiler peer's record: 7 comma-separated fields, no alloc
+  // columns. Must decode with allocs defaulting to zero.
+  std::string legacy = "abc,12,info%3aMemory,n1,1000,250,ok";
+  std::vector<obs::SpanRecord> decoded = obs::decode_spans(legacy);
+  ASSERT_EQ(decoded.size(), 1u);
+  EXPECT_EQ(decoded[0].id, 0xabcu);
+  EXPECT_EQ(decoded[0].name, "info:Memory");
+  EXPECT_EQ(decoded[0].allocs, 0u);
+  EXPECT_EQ(decoded[0].alloc_bytes, 0u);
+}
+
+TEST(ProfileSpanEncodingTest, SetSpanAllocTargetsRootAndNamedSpans) {
+  VirtualClock clock(seconds(1));
+  obs::TraceContext trace(clock, "request");
+  std::uint64_t child_id = 0;
+  {
+    obs::TraceContext::Span child = trace.span("info:Memory");
+    child_id = child.id();
+  }
+  trace.set_span_alloc(0, 5, 500);          // 0 = root span
+  trace.set_span_alloc(child_id, 7, 700);   // by id
+  obs::TraceRecord record = trace.finish();
+  ASSERT_EQ(record.spans.size(), 2u);
+  EXPECT_EQ(record.spans[0].allocs, 5u);
+  EXPECT_EQ(record.spans[0].alloc_bytes, 500u);
+  EXPECT_EQ(record.spans[1].allocs, 7u);
+  EXPECT_EQ(record.spans[1].alloc_bytes, 700u);
+  // Spent context: further stamps are dropped, not crashes.
+  trace.set_span_alloc(0, 9, 900);
+}
+
+// ---------- TTL-0 freshness of the obs keyword family ----------
+
+class ProfileTtl0FreshnessTest : public ig::test::GridFixture {};
+
+TEST_F(ProfileTtl0FreshnessTest, ObsKeywordsNeverCachedNorPrefetched) {
+  auto monitor = std::make_shared<info::SystemMonitor>(*clock, "test.sim");
+  auto telemetry = std::make_shared<obs::Telemetry>(*clock, "test.sim");
+  monitor->set_telemetry(telemetry);
+  ASSERT_TRUE(info::register_obs_providers(*monitor, telemetry).ok());
+  ASSERT_TRUE(info::register_profile_providers(*monitor, telemetry).ok());
+  ASSERT_TRUE(info::register_health_provider(*monitor).ok());
+
+  const std::vector<std::string> keywords = {"metrics", "metrics.jobs", "traces",
+                                             "slo",     "alerts",       "health",
+                                             "profile", "profile.locks", "profile.pool"};
+  for (const std::string& kw : keywords) {
+    auto provider = monitor->provider(kw);
+    ASSERT_NE(provider, nullptr) << kw;
+    EXPECT_EQ(provider->ttl(), Duration(0)) << kw;
+    // TTL-0 keywords cannot be kept warm: the prefetcher must always
+    // skip them, before AND after they have served a query.
+    EXPECT_EQ(provider->prefetch_state(0.2),
+              info::ManagedProvider::PrefetchState::kDisabled)
+        << kw;
+    auto first = provider->get(rsl::ResponseMode::kCached);
+    ASSERT_TRUE(first.ok()) << kw;
+    EXPECT_EQ(provider->prefetch_state(0.2),
+              info::ManagedProvider::PrefetchState::kDisabled)
+        << kw;
+    clock->advance(seconds(5));
+    auto second = provider->get(rsl::ResponseMode::kCached);
+    ASSERT_TRUE(second.ok()) << kw;
+    // Execute-every-time: the second query re-ran the producer at the
+    // advanced clock instead of serving the cached record.
+    EXPECT_GT(second->generated_at.count(), first->generated_at.count()) << kw;
+  }
+}
+
+TEST_F(ProfileTtl0FreshnessTest, FailingObsStyleProviderSurfacesErrorNotStaleRecord) {
+  auto monitor = std::make_shared<info::SystemMonitor>(*clock, "test.sim");
+  // Same registration shape as the obs family: TTL 0, degradation shield
+  // off. After a success, a failure must surface as an error — serving
+  // yesterday's telemetry as live would defeat the whole keyword.
+  std::atomic<bool> fail{false};
+  info::ProviderOptions live;
+  live.ttl = Duration(0);
+  live.resilience.serve_stale_on_error = false;
+  ASSERT_TRUE(monitor
+                  ->add_source(std::make_shared<info::FunctionSource>(
+                                   "flaky",
+                                   [&fail]() -> Result<format::InfoRecord> {
+                                     if (fail.load()) {
+                                       return Error(ErrorCode::kUnavailable, "producer down");
+                                     }
+                                     format::InfoRecord record;
+                                     record.keyword = "flaky";
+                                     record.add("value", "1");
+                                     return record;
+                                   },
+                                   "function:flaky"),
+                               live)
+                  .ok());
+  auto provider = monitor->provider("flaky");
+  ASSERT_TRUE(provider->get(rsl::ResponseMode::kCached).ok());
+  fail.store(true);
+  auto result = provider->get(rsl::ResponseMode::kCached);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.code(), ErrorCode::kUnavailable);
+}
+
+// ---------- service-level profile keywords ----------
+
+class ProfileServiceTest : public ig::test::GridFixture {
+ protected:
+  std::shared_ptr<info::SystemMonitor> make_monitor() {
+    auto monitor = std::make_shared<info::SystemMonitor>(*clock, "test.sim");
+    info::ProviderOptions options;
+    options.ttl = Duration(0);  // every query resolves, so attribution sees it
+    EXPECT_TRUE(monitor
+                    ->add_source(std::make_shared<info::FunctionSource>(
+                                     "Memory",
+                                     []() -> Result<format::InfoRecord> {
+                                       format::InfoRecord record;
+                                       record.keyword = "Memory";
+                                       record.add("total", "1024");
+                                       return record;
+                                     },
+                                     "function:Memory"),
+                                 options)
+                    .ok());
+    return monitor;
+  }
+
+  rsl::XrslRequest parse(const std::string& body) {
+    auto parsed = rsl::XrslRequest::parse(body);
+    EXPECT_TRUE(parsed.ok());
+    return parsed.value();
+  }
+};
+
+TEST_F(ProfileServiceTest, ProfileKeywordFamilyQueryableThroughService) {
+  auto monitor = make_monitor();
+  auto telemetry = std::make_shared<obs::Telemetry>(*clock, "test.sim");
+  auto backend = std::make_shared<exec::ForkBackend>(registry, *clock);
+  core::InfoGramConfig config;
+  config.host = "test.sim";
+  config.telemetry = telemetry;
+  config.trace_sample_every = 1;
+  config.worker_threads = 2;  // pool attaches to the profiler
+  core::InfoGramService service(monitor, backend, host_cred, &trust, &gridmap, &policy,
+                                clock.get(), logger, config);
+
+  // submit_async, not execute(): the request-allocation histograms are
+  // observed on the admitted-request path (process / worker run), which
+  // is also what wires the AllocScope around the whole request.
+  for (int i = 0; i < 4; ++i) {
+    auto result =
+        service.submit_async(parse("(info=Memory)"), "/O=Grid/CN=alice", "alice").get();
+    ASSERT_TRUE(result.ok());
+  }
+
+  auto profile = service.execute(parse("(info=profile)"), "/O=Grid/CN=alice", "alice");
+  ASSERT_TRUE(profile.ok());
+  ASSERT_EQ(profile->records.size(), 1u);
+  const format::InfoRecord& record = profile->records.front();
+  const format::Attribute* enabled = record.find("profile:enabled");
+  ASSERT_NE(enabled, nullptr);
+  EXPECT_EQ(enabled->value, "true");
+  if (obs::alloc_internal::counting_enabled()) {
+    // Memory resolutions were attributed per keyword. (Names carrying a
+    // ':' are not keyword-namespaced by InfoRecord::add.)
+    const format::Attribute* hottest = record.find("alloc:hot.1");
+    ASSERT_NE(hottest, nullptr);
+    EXPECT_NE(hottest->value.find("Memory"), std::string::npos);
+  }
+
+  auto pool_profile =
+      service.execute(parse("(info=profile.pool)"), "/O=Grid/CN=alice", "alice");
+  ASSERT_TRUE(pool_profile.ok());
+  ASSERT_EQ(pool_profile->records.size(), 1u);
+  const format::InfoRecord& pool_record = pool_profile->records.front();
+  EXPECT_NE(pool_record.find("core.request:executed"), nullptr);
+  EXPECT_NE(pool_record.find("core.request:window_highwater"), nullptr);
+
+  auto locks = service.execute(parse("(info=profile.locks)"), "/O=Grid/CN=alice", "alice");
+  ASSERT_TRUE(locks.ok());
+  ASSERT_EQ(locks->records.size(), 1u);
+  EXPECT_NE(locks->records.front().find("profile.locks:count"), nullptr);
+
+  // Request allocation histograms observed (full fidelity) when the
+  // build counts allocations.
+  if (obs::alloc_internal::counting_enabled()) {
+    auto metrics = telemetry->metrics_record("metrics");
+    const format::Attribute* count =
+        metrics.find(std::string(obs::metric::kProfileRequestAllocs) + ":count");
+    ASSERT_NE(count, nullptr);
+    EXPECT_NE(count->value, "0");
+  }
+}
+
+TEST_F(ProfileServiceTest, ProfilingOffKeepsKeywordFamilyUnregistered) {
+  auto monitor = make_monitor();
+  auto telemetry = std::make_shared<obs::Telemetry>(*clock, "test.sim");
+  auto backend = std::make_shared<exec::ForkBackend>(registry, *clock);
+  core::InfoGramConfig config;
+  config.host = "test.sim";
+  config.telemetry = telemetry;
+  config.profiling = false;
+  core::InfoGramService service(monitor, backend, host_cred, &trust, &gridmap, &policy,
+                                clock.get(), logger, config);
+  EXPECT_FALSE(telemetry->profiler().enabled());
+  EXPECT_EQ(monitor->provider("profile"), nullptr);
+  auto result = service.execute(parse("(info=profile)"), "/O=Grid/CN=alice", "alice");
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace ig

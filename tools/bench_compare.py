@@ -8,7 +8,10 @@ Diffs every series the two files share, per metric: ops_per_sec (higher
 is better) and the latency percentiles mean_us/p50_us/p95_us/p99_us
 (lower is better). A metric missing from either side — e.g. a baseline
 written before p99_us existed — is skipped for that series rather than
-failing, so old artifacts stay comparable across harness upgrades.
+failing, so old artifacts stay comparable across harness upgrades; a
+metric the candidate has but the baseline lacks additionally gets a
+"new metric, no baseline" notice so fresh instrumentation (like the
+profiler series) is visible instead of silently uncompared.
 
 Exits 1 when any shared series regressed by more than the threshold
 (default 20%) on ops_per_sec or p99_us, 0 otherwise — so CI can run it
@@ -72,12 +75,16 @@ def main():
     only_cand = sorted(set(cand) - set(base))
 
     regressions = []
+    new_metrics = []
     print(f"{'series':<28} {'metric':<12} {'baseline':>12} {'candidate':>12} {'delta':>8}")
     print("-" * 78)
     for name in shared:
         for metric, higher_is_better, gates in METRICS:
             if metric not in base[name] or metric not in cand[name]:
-                continue  # baseline predates this metric: skip, don't fail
+                if metric in cand[name] and metric not in base[name]:
+                    # Baseline predates this metric: note it, never fail.
+                    new_metrics.append((name, metric))
+                continue
             b = float(base[name][metric])
             c = float(cand[name][metric])
             delta = (c - b) / b if b > 0 else 0.0
@@ -89,7 +96,9 @@ def main():
     for name in only_base:
         print(f"{name:<28} {'(baseline only)':>26}")
     for name in only_cand:
-        print(f"{name:<28} {'(candidate only)':>26}")
+        print(f"note: new series, no baseline: {name} (not compared)")
+    for name, metric in new_metrics:
+        print(f"note: new metric, no baseline: {name}/{metric} (not compared)")
 
     if not shared:
         print("no shared series; nothing to compare")

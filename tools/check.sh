@@ -9,6 +9,8 @@
 #            turns the lock annotations into a compile-time proof
 #   tidy     clang-tidy (.clang-tidy profile) over the compile database
 #   chaos    fault-injection suites only, under ASan and TSan
+#   profile  profiler suites (ctest -R Profile) + bench_profile_overhead,
+#            the continuous-profiler overhead gate (<= 5% over tracing)
 #
 #   tools/check.sh                  # lint + release + asan + tsan + tsa + tidy
 #   tools/check.sh --fast           # lint + release only
@@ -17,6 +19,7 @@
 #   tools/check.sh --chaos          # lint + chaos
 #   tools/check.sh --tsa            # lint + tsa
 #   tools/check.sh --tidy           # lint + tidy
+#   tools/check.sh --profile        # lint + profile
 #   tools/check.sh --tsa --tidy ... # flags combine; each adds its leg
 #
 # The tsa and tidy legs need clang/clang-tidy on PATH; when absent they
@@ -26,12 +29,14 @@ set -euo pipefail
 
 # Test-name filter selecting the chaos / resilience suites.
 CHAOS_FILTER='Chaos|Resilience|Deadline|PrefetcherBackoff|VirtualTimeout'
+# Test-name filter selecting the continuous-profiler suites.
+PROFILE_FILTER='Profile'
 
 cd "$(dirname "$0")/.."
 jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
 
 # ---- leg selection ---------------------------------------------------------
-run_release=0 run_asan=0 run_tsan=0 run_tsa=0 run_tidy=0 run_chaos=0
+run_release=0 run_asan=0 run_tsan=0 run_tsa=0 run_tidy=0 run_chaos=0 run_profile=0
 if [ "$#" -eq 0 ]; then
   # Default gate: every leg except chaos (whose suites the sanitizer legs
   # already include); tsa/tidy skip themselves when clang is absent.
@@ -45,8 +50,9 @@ for arg in "$@"; do
     --tsa)   run_tsa=1 ;;
     --tidy)  run_tidy=1 ;;
     --chaos) run_chaos=1 ;;
+    --profile) run_profile=1 ;;
     *)
-      echo "usage: tools/check.sh [--fast|--asan|--tsan|--tsa|--tidy|--chaos]..." >&2
+      echo "usage: tools/check.sh [--fast|--asan|--tsan|--tsa|--tidy|--chaos|--profile]..." >&2
       exit 2
       ;;
   esac
@@ -162,6 +168,17 @@ if [ "${run_chaos}" -eq 1 ]; then
   export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
   chaos_pass build-tsan -DCMAKE_BUILD_TYPE=Debug -DIG_SANITIZE=thread
   note chaos pass
+fi
+if [ "${run_profile}" -eq 1 ]; then
+  echo "==> configure build-check (Release, profile leg)"
+  cmake -B build-check -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+  echo "==> build build-check"
+  cmake --build build-check -j "${jobs}" >/dev/null
+  echo "==> ctest build-check (profiler suites)"
+  ctest --test-dir build-check --output-on-failure -j "${jobs}" -R "${PROFILE_FILTER}"
+  echo "==> bench_profile_overhead (overhead gate, wall clock)"
+  (cd build-check && ./bench/bench_profile_overhead --json --enforce)
+  note profile pass
 fi
 
 print_summary

@@ -132,22 +132,25 @@ def check_tsa_budget() -> list[str]:
 def check_metrics() -> list[str]:
     """Every metric constant is instrumented somewhere and documented."""
     findings = []
-    header = SRC / "obs" / "telemetry.hpp"
+    # Every header declaring an `ig::obs::metric` namespace block; the
+    # profiler's constants (obs.profile.*) live next to the profiler.
+    headers = [SRC / "obs" / "telemetry.hpp", SRC / "obs" / "profile.hpp"]
     design = (REPO / "DESIGN.md").read_text(encoding="utf-8")
-    constants: list[tuple[str, str]] = []
-    for line in read_lines(header):
-        m = METRIC_DECL_RE.match(line.strip())
-        if m:
-            constants.append((m.group(1), m.group(2)))
+    constants: list[tuple[Path, str, str]] = []
+    for header in headers:
+        for line in read_lines(header):
+            m = METRIC_DECL_RE.match(line.strip())
+            if m:
+                constants.append((header, m.group(1), m.group(2)))
     # One scan over all candidate files beats one grep per constant.
     corpus = []
     for root in (SRC, REPO / "tests", REPO / "bench"):
         for path in sorted(root.rglob("*.cpp")) + sorted(root.rglob("*.hpp")):
-            if path == header:
+            if path in headers:
                 continue
             corpus.append(path.read_text(encoding="utf-8", errors="replace"))
     blob = "\n".join(corpus)
-    for name, value in constants:
+    for header, name, value in constants:
         if not re.search(rf"metric::{name}\b", blob):
             findings.append(
                 f"{rel(header)}: metric::{name} (\"{value}\") has no "
