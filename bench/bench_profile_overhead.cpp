@@ -259,7 +259,7 @@ int main(int argc, char** argv) {
   if (enforce && profiling_pct > 5.0) {
     std::fprintf(stderr, "FAIL: profiling overhead %.2f%% exceeds the 5%% gate\n",
                  profiling_pct);
-    return 1;
+    return 2;  // enforced-gate code (matches bench_compare.py's contract)
   }
   return 0;
 }

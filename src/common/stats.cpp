@@ -19,4 +19,19 @@ void RunningStats::merge(const RunningStats& other) {
   if (other.max_ > max_) max_ = other.max_;
 }
 
+RunningStats RunningStats::from_moments(std::int64_t count, double sum, double sum_sq,
+                                        double min, double max) {
+  RunningStats out;
+  if (count <= 0) return out;
+  out.count_ = count;
+  out.mean_ = sum / static_cast<double>(count);
+  // m2 = Σx² - (Σx)²/n; clamp the catastrophic-cancellation residue so a
+  // constant series cannot report a tiny negative variance.
+  double m2 = sum_sq - sum * out.mean_;
+  out.m2_ = m2 > 0.0 ? m2 : 0.0;
+  out.min_ = min;
+  out.max_ = max;
+  return out;
+}
+
 }  // namespace ig

@@ -3,6 +3,7 @@
 // deviation of the time each information provider needs to produce a value.
 #pragma once
 
+#include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <limits>
@@ -36,6 +37,13 @@ class RunningStats {
   /// Merge another accumulator into this one (parallel Welford).
   void merge(const RunningStats& other);
 
+  /// Rebuild from raw moments (count, Σx, Σx²) — how AtomicStats hands its
+  /// lock-free accumulation back as a RunningStats. The sum-of-squares
+  /// form loses a little precision versus streaming Welford when the mean
+  /// dwarfs the spread; acceptable for monitoring statistics.
+  static RunningStats from_moments(std::int64_t count, double sum, double sum_sq,
+                                   double min, double max);
+
  private:
   std::int64_t count_ = 0;
   double mean_ = 0.0;
@@ -63,6 +71,62 @@ class SharedStats {
  private:
   mutable Mutex mu_{lock_rank::kStats, "common.SharedStats"};
   RunningStats stats_ IG_GUARDED_BY(mu_);
+};
+
+/// Lock-free moment accumulator: the SharedStats replacement for hot paths
+/// that must take zero ig locks (obs::Histogram::observe on the request
+/// path, provider performance stats). Accumulates count/Σx/Σx²/min/max
+/// with relaxed atomics (CAS loops for the doubles — portable, and
+/// contention on a stats cell is rare); snapshot() reconstructs a
+/// RunningStats from the moments. The five atomics are read independently,
+/// so a snapshot taken concurrently with add() can be torn by one sample —
+/// fine for monitoring, do not use where cross-field exactness matters.
+class AtomicStats {
+ public:
+  void add(double x) {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    add_to(sum_, x);
+    add_to(sum_sq_, x * x);
+    double seen = min_.load(std::memory_order_relaxed);
+    while (x < seen && !min_.compare_exchange_weak(seen, x, std::memory_order_relaxed)) {
+    }
+    seen = max_.load(std::memory_order_relaxed);
+    while (x > seen && !max_.compare_exchange_weak(seen, x, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::int64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+  RunningStats snapshot() const {
+    return RunningStats::from_moments(count(), sum_.load(std::memory_order_relaxed),
+                                      sum_sq_.load(std::memory_order_relaxed),
+                                      min_.load(std::memory_order_relaxed),
+                                      max_.load(std::memory_order_relaxed));
+  }
+
+  /// Not linearizable against concurrent add() (a racing sample may land
+  /// across the boundary); callers quiesce writers first, as with any
+  /// stats reset.
+  void reset() {
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0.0, std::memory_order_relaxed);
+    sum_sq_.store(0.0, std::memory_order_relaxed);
+    min_.store(std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+    max_.store(-std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+  }
+
+ private:
+  static void add_to(std::atomic<double>& cell, double delta) {
+    double seen = cell.load(std::memory_order_relaxed);
+    while (!cell.compare_exchange_weak(seen, seen + delta, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> sum_sq_{0.0};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
 };
 
 }  // namespace ig

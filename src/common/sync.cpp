@@ -33,6 +33,11 @@ struct Held {
 // uses.
 thread_local std::vector<Held> t_held;
 
+// Lifetime acquisition counter for the zero-lock proofs; bumped in
+// note_acquire (i.e. only while validation is enabled, keeping the
+// production fast path at one relaxed load).
+thread_local std::uint64_t t_acquisitions = 0;
+
 std::atomic<bool> g_enabled{
 #if defined(IG_DEBUG_LOCK_ORDER)
     true
@@ -127,8 +132,11 @@ bool lock_order_validation_enabled() {
 
 std::size_t held_lock_count() { return t_held.size(); }
 
+std::uint64_t thread_acquisition_count() { return t_acquisitions; }
+
 void note_acquire(const void* mu, int rank, const char* name, bool blocking) {
   if (!g_enabled.load(std::memory_order_relaxed)) return;
+  ++t_acquisitions;
   const Held* recursive = nullptr;
   const Held* worst = nullptr;  // highest-ranked lock already held
   for (const Held& h : t_held) {

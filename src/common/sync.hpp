@@ -31,11 +31,14 @@
 // `while (!pred) cv.wait(mu);` loop out — which the analysis then checks.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>  // lint-allow-raw-sync: this header IS the wrapper
 #include <cstdint>
+#include <memory>
 #include <mutex>               // lint-allow-raw-sync: this header IS the wrapper
 #include <shared_mutex>        // lint-allow-raw-sync: this header IS the wrapper
+#include <utility>
 
 #include "common/annotations.hpp"
 
@@ -73,8 +76,8 @@ inline constexpr int kCommand = 260;         ///< exec command runner registry
 // Provider-internal state (taken under the update monitor; never calls
 // back out into exec).
 inline constexpr int kResilience = 300;      ///< circuit-breaker state
-inline constexpr int kManagedProviderCache = 320;  ///< provider cache (rw)
-inline constexpr int kDegradation = 360;     ///< degradation shield store
+// (the provider cache and degradation store are SnapshotCell/atomic now —
+// their former ranks 320/360 are retired; see DESIGN.md §13)
 // Directory / grid fabric.
 inline constexpr int kMdsDirectory = 400;    ///< mds directory tree
 // (mds::Giis is deliberately kUnranked: GIIS hierarchies nest same-class
@@ -82,7 +85,13 @@ inline constexpr int kMdsDirectory = 400;    ///< mds directory tree
 inline constexpr int kDeployment = 440;      ///< grid deployment registry
 // Transport + security.
 inline constexpr int kNetwork = 500;         ///< in-process network fabric
-inline constexpr int kGridmap = 540;         ///< security gridmap table
+inline constexpr int kGridmap = 540;         ///< security gridmap writer (SnapshotCell)
+// Snapshot publication (read-mostly state behind ig::SnapshotCell). The
+// rank orders only the *writer* mutex — readers never lock. 700 sits
+// above every domain layer that publishes (a writer may hold its own
+// domain lock while publishing) and below the observability layer the
+// publish path may still touch.
+inline constexpr int kSnapshotWriter = 700;  ///< SnapshotCell<T> writer mutex
 // Observability (called from everywhere; must be innermost of the
 // service-visible layers).
 inline constexpr int kTraceContext = 800;    ///< one trace's span list
@@ -118,6 +127,14 @@ bool lock_order_validation_enabled();
 /// Number of locks the calling thread currently holds (validator view;
 /// 0 when validation is disabled). Exposed for tests.
 std::size_t held_lock_count();
+
+/// Total ig::Mutex / ig::SharedMutex acquisitions (blocking or try_lock
+/// success, exclusive or shared) the calling thread has performed while
+/// validation was enabled. The zero-lock proof's measuring stick: a test
+/// enables validation, records the count, drives the path under test on
+/// the same thread and asserts the count did not move. Always 0 when
+/// validation never ran on this thread.
+std::uint64_t thread_acquisition_count();
 
 // Validator entry points used by Mutex/SharedMutex below.
 void note_acquire(const void* mu, int rank, const char* name, bool blocking);
@@ -300,6 +317,66 @@ class CondVar {
 
  private:
   std::condition_variable_any cv_;
+};
+
+/// RCU-style publication cell for read-mostly state: writers build a new
+/// immutable `T` off the read path and publish it atomically; readers do
+/// ONE acquire-load and never touch a mutex (zero ig lock acquisitions,
+/// zero heap allocations — the property bench_snapshot_read enforces).
+///
+/// Ownership rules (DESIGN.md §13):
+///  * A published `T` is immutable forever after. Mutation = build a new
+///    one and publish; readers holding the old shared_ptr keep a
+///    consistent view until they drop it.
+///  * read() may be called from any thread, any time, including while a
+///    publish is in flight — that interleaving is exactly what the cell
+///    makes safe (no torn reads; the pointer swap is the linearization
+///    point).
+///  * Writers that are already serialized by a domain lock may call
+///    publish()/exchange() directly (the cell's writer mutex stays out of
+///    play — important when the domain lock ranks above kSnapshotWriter,
+///    e.g. obs::MetricsRegistry). Unserialized writers use update(),
+///    which runs the rebuild under the cell's own writer mutex so
+///    concurrent read-modify-write publishes cannot lose updates.
+///  * The update() builder must not acquire locks ranked >=
+///    kSnapshotWriter and must not re-enter the same cell.
+template <typename T>
+class SnapshotCell {
+ public:
+  using Ptr = std::shared_ptr<const T>;
+
+  SnapshotCell() : mu_(lock_rank::kSnapshotWriter, "ig.SnapshotCell") {}
+  explicit SnapshotCell(const char* name, int rank = lock_rank::kSnapshotWriter)
+      : mu_(rank, name) {}
+  SnapshotCell(const SnapshotCell&) = delete;
+  SnapshotCell& operator=(const SnapshotCell&) = delete;
+
+  /// The current snapshot (null until the first publish). Lock-free,
+  /// allocation-free: one acquire-load plus a reference-count increment.
+  Ptr read() const { return ptr_.load(std::memory_order_acquire); }
+
+  /// Publish `next` as the current snapshot. Caller is responsible for
+  /// writer serialization (or uses update() below, which provides it).
+  void publish(Ptr next) { ptr_.store(std::move(next), std::memory_order_release); }
+
+  /// Publish `next` and return the snapshot it replaced.
+  Ptr exchange(Ptr next) {
+    return ptr_.exchange(std::move(next), std::memory_order_acq_rel);
+  }
+
+  /// Serialized read-modify-write publish: `build` receives the current
+  /// snapshot (possibly null) and returns the replacement. Runs under the
+  /// cell's writer mutex so concurrent update() calls cannot interleave;
+  /// readers are never blocked.
+  template <typename Build>
+  void update(Build&& build) {
+    MutexLock lock(mu_);
+    publish(std::forward<Build>(build)(ptr_.load(std::memory_order_acquire)));
+  }
+
+ private:
+  std::atomic<Ptr> ptr_;
+  mutable Mutex mu_;
 };
 
 }  // namespace ig

@@ -5,8 +5,14 @@
 
 namespace ig::core {
 
+const format::InfoRecord* InfoGramResult::record(std::size_t i) const {
+  if (cached != nullptr) return i == 0 ? &cached->record : nullptr;
+  return i < records.size() ? &records[i] : nullptr;
+}
+
 std::string InfoGramResult::payload() const {
   if (schema) return schema->to_xml();
+  if (cached != nullptr) return std::string(cached->payload(format));
   if (records.empty()) return "";
   switch (format) {
     case rsl::OutputFormat::kXml:
@@ -17,6 +23,10 @@ std::string InfoGramResult::payload() const {
       break;
   }
   return format::to_ldif(records);
+}
+
+std::string_view InfoGramResult::payload_view() const {
+  return cached != nullptr ? cached->payload(format) : std::string_view();
 }
 
 InfoGramService::InfoGramService(std::shared_ptr<info::SystemMonitor> monitor,
@@ -47,6 +57,7 @@ InfoGramService::InfoGramService(std::shared_ptr<info::SystemMonitor> monitor,
     requests_errors_ = &metrics.counter(obs::metric::kRequestsErrors);
     request_seconds_ = &metrics.histogram(obs::metric::kRequestSeconds);
     format_renders_ = &metrics.counter(obs::metric::kFormatRenders);
+    cache_fast_hits_ = &metrics.counter(obs::metric::kInfoCacheFastHits);
     authenticator_.set_telemetry(config_.telemetry);
     monitor_->set_telemetry(config_.telemetry);
     // The deployment's sampling rate (default: 1 in kDefaultTraceSampling
@@ -223,6 +234,37 @@ Result<InfoGramResult> InfoGramService::execute(const rsl::XrslRequest& request,
                                                 obs::TraceContext* trace) {
   InfoGramResult result;
   result.format = request.format;
+
+  // Zero-lock, zero-alloc fast path: a single-keyword cached-mode info
+  // query with no schema/performance/filters/quality-threshold work is
+  // answered straight from the provider's published snapshot — one
+  // acquire-load for the provider table, one for the cache generation,
+  // no mutex and no heap allocation anywhere on the hit path (the
+  // response bytes were pre-rendered at refresh time). Traced requests
+  // take the full path so per-keyword spans and allocation attribution
+  // keep working; so do requests whose snapshot is cold, expired, or
+  // rendered under a time-varying degradation model.
+  // Audited deployments (a logger with sinks) take the full path so the
+  // per-query kInfoQuery event keeps feeding accounting; audits() is a
+  // relaxed atomic load, not a lock.
+  if (trace == nullptr && (logger_ == nullptr || !logger_->audits()) && !request.is_job() &&
+      request.is_info() && !request.wants_schema && request.performance_keys.empty() &&
+      request.info_keys.size() == 1 && request.response == rsl::ResponseMode::kCached &&
+      !request.quality_threshold && request.filters.empty()) {
+    if (policy_ != nullptr) {
+      auto auth = policy_->authorize(subject, config_.host, "query", clock_->now());
+      if (!auth.ok()) return auth.error();
+    }
+    if (info::CacheSnapshotPtr hit =
+            monitor_->query_cached_fast(request.info_keys.front(), clock_->now())) {
+      if (cache_fast_hits_ != nullptr) cache_fast_hits_->add();
+      result.cached = std::move(hit);
+      return result;
+    }
+    // Miss: fall through to the full path (which re-authorizes — the
+    // policy is a pure function, so the double evaluation only costs a
+    // rule scan on the slow path).
+  }
 
   if (request.is_job()) {
     // Authorization happens inside the GRAM submit path ("submit" action).
@@ -472,6 +514,13 @@ net::Message InfoGramService::handle_xrsl(const net::Message& request, net::Sess
                           request.header_or("callback", ""), trace);
     if (!result.ok()) return net::Message::error(result.error());
     if (result->job_contact) contacts.push_back(*result->job_contact);
+    if (parsed.value().size() == 1 && result->cached && !combined.cached) {
+      // Single-spec cache hit: carry the snapshot through so the response
+      // body reuses the pre-rendered bytes instead of re-rendering.
+      combined.cached = std::move(result->cached);
+    } else if (result->cached) {
+      combined.records.push_back(result->cached->record);
+    }
     for (auto& record : result->records) combined.records.push_back(std::move(record));
     if (result->schema && !combined.schema) combined.schema = std::move(result->schema);
     combined.format = result->format;
@@ -483,7 +532,7 @@ net::Message InfoGramService::handle_xrsl(const net::Message& request, net::Sess
   }
   net::Message resp = net::Message::ok(combined.payload());
   format_span.reset();
-  if (format_renders_ != nullptr && (!combined.records.empty() || combined.schema)) {
+  if (format_renders_ != nullptr && combined.record_count() + (combined.schema ? 1 : 0) > 0) {
     format_renders_->add();
   }
   if (!contacts.empty()) {
@@ -493,10 +542,10 @@ net::Message InfoGramService::handle_xrsl(const net::Message& request, net::Sess
   }
   if (combined.schema) {
     resp.with("type", "schema");
-  } else if (!combined.records.empty()) {
+  } else if (combined.record_count() > 0) {
     resp.with("type", "records");
     resp.with("format", std::string(to_string(combined.format)));
-    resp.with("count", std::to_string(combined.records.size()));
+    resp.with("count", std::to_string(combined.record_count()));
   }
   return resp;
 }

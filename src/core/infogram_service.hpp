@@ -88,12 +88,29 @@ struct InfoGramConfig {
 struct InfoGramResult {
   std::optional<std::string> job_contact;
   std::vector<format::InfoRecord> records;  ///< info + performance records
+  /// Zero-copy cache hit: set *instead of* `records` when the query was
+  /// answered from a provider's published snapshot (single keyword, cached
+  /// mode, no schema/filters/quality threshold). Shares the immutable
+  /// generation — record and pre-rendered payloads — without copying;
+  /// `records` stays empty in that case. Use record_count()/record() to
+  /// read uniformly across both representations.
+  info::CacheSnapshotPtr cached;
   std::optional<format::ServiceSchema> schema;
   rsl::OutputFormat format = rsl::OutputFormat::kLdif;
+
+  /// Number of information records produced, across both representations.
+  std::size_t record_count() const { return cached != nullptr ? 1 : records.size(); }
+  /// Unified record access (index 0 is the cached record on the fast
+  /// path); nullptr past the end.
+  const format::InfoRecord* record(std::size_t i) const;
 
   /// Render the information part in the requested format (schema always
   /// renders as XML — it is hierarchical).
   std::string payload() const;
+  /// Allocation-free payload for the cached fast path: a view into the
+  /// snapshot's pre-rendered bytes, kept alive by `cached`. Empty when
+  /// this result is not a cache hit.
+  std::string_view payload_view() const;
 };
 
 class InfoGramService {
@@ -182,6 +199,9 @@ class InfoGramService {
   obs::Counter* requests_errors_ = nullptr;
   obs::Histogram* request_seconds_ = nullptr;
   obs::Counter* format_renders_ = nullptr;
+  /// Queries answered by the zero-lock snapshot fast path (a subset of
+  /// info.cache.hits, which the provider counts on every cache hit).
+  obs::Counter* cache_fast_hits_ = nullptr;
   /// Per-request allocation profile (null unless telemetry + profiling).
   obs::Histogram* profile_request_allocs_ = nullptr;
   obs::Histogram* profile_request_alloc_bytes_ = nullptr;

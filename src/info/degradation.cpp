@@ -40,14 +40,12 @@ void ObservationCorrectedDegradation::observe(double relative_change, Duration e
                                               Duration ttl) {
   if (elapsed.count() <= 0 || ttl.count() <= 0) return;
   double ttls = static_cast<double>(elapsed.count()) / static_cast<double>(ttl.count());
-  MutexLock lock(mu_);
   observed_change_per_ttl_.add(relative_change / ttls);
 }
 
 double ObservationCorrectedDegradation::rate_factor() const {
-  MutexLock lock(mu_);
   if (observed_change_per_ttl_.count() < 2) return 1.0;
-  double observed = observed_change_per_ttl_.mean();
+  double observed = observed_change_per_ttl_.snapshot().mean();
   // Volatile values (large observed change per TTL) degrade faster than
   // the nominal model; static ones slower. Clamp to a sane band.
   return std::clamp(observed / nominal_change_per_ttl_, 0.25, 10.0);

@@ -35,6 +35,15 @@ class DegradationFunction {
   /// TTL. Must be non-increasing in `age` and within [0,100].
   virtual double quality(Duration age, Duration ttl) const = 0;
 
+  /// True when quality is a constant 100 for every age within the TTL (the
+  /// binary model). Providers pre-render response payloads into their
+  /// published cache snapshot only under this guarantee — with a constant
+  /// in-TTL quality the bytes rendered at refresh time are exact for the
+  /// snapshot's whole TTL-valid life, which is what makes the cache-hit
+  /// query path allocation-free. Time-varying models still get lock-free
+  /// snapshot reads, just not the pre-rendered fast path.
+  virtual bool constant_within_ttl() const { return false; }
+
   virtual std::string name() const = 0;
 };
 
@@ -42,6 +51,7 @@ class DegradationFunction {
 class BinaryDegradation final : public DegradationFunction {
  public:
   double quality(Duration age, Duration ttl) const override;
+  bool constant_within_ttl() const override { return true; }
   std::string name() const override { return "binary"; }
 };
 
@@ -89,8 +99,9 @@ class ObservationCorrectedDegradation final : public DegradationFunction {
  private:
   std::shared_ptr<DegradationFunction> base_;
   double nominal_change_per_ttl_;
-  mutable Mutex mu_{lock_rank::kDegradation, "info.ObservationCorrectedDegradation"};
-  RunningStats observed_change_per_ttl_ IG_GUARDED_BY(mu_);
+  /// Lock-free accumulator: quality() runs on the snapshot read path
+  /// (degraded copies of cached records), which must take zero ig locks.
+  AtomicStats observed_change_per_ttl_;
 };
 
 /// Construct by name ("binary", "linear", "exponential", "observed");

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "common/strings.hpp"
+#include "format/dsml.hpp"
+#include "format/ldif.hpp"
+#include "format/xml.hpp"
 
 namespace ig::info {
 
@@ -30,14 +34,26 @@ std::int64_t breaker_gauge_value(BreakerState state) {
 }
 }  // namespace
 
+std::string_view CacheSnapshot::payload(rsl::OutputFormat format) const {
+  switch (format) {
+    case rsl::OutputFormat::kLdif:
+      return ldif;
+    case rsl::OutputFormat::kXml:
+      return xml;
+    case rsl::OutputFormat::kDsml:
+      return dsml;
+  }
+  return {};
+}
+
 ManagedProvider::ManagedProvider(std::shared_ptr<InfoSource> source, Clock& clock,
                                  ProviderOptions options)
     : source_(std::move(source)),
       keyword_(source_->keyword()),
       clock_(clock),
       options_(std::move(options)),
-      current_ttl_(options_.ttl),
       retry_rng_(keyword_seed(keyword_)) {
+  ttl_us_.store(options_.ttl.count(), std::memory_order_relaxed);
   delay_us_.store(options_.delay.count(), std::memory_order_relaxed);
   if (options_.resilience.breaker_enabled) {
     breaker_ = std::make_unique<CircuitBreaker>(options_.resilience.breaker, clock_);
@@ -88,35 +104,48 @@ void ManagedProvider::count_hit() const {
   if (cache_hits_ != nullptr) cache_hits_->add();
 }
 
-format::InfoRecord ManagedProvider::degraded_copy_locked(TimePoint now) const {
-  format::InfoRecord copy = *cache_;
-  Duration age = now - last_refresh_;
-  double q = options_.degradation->quality(age, current_ttl_);
+format::InfoRecord ManagedProvider::degraded_copy(const CacheSnapshot& snap,
+                                                  TimePoint now) const {
+  format::InfoRecord copy = snap.record;
+  Duration age = now - snap.refreshed_at;
+  double q = options_.degradation->quality(age, ttl());
   for (auto& attr : copy.attributes) attr.quality = q;
   return copy;
 }
 
 Result<format::InfoRecord> ManagedProvider::query_state() const {
   TimePoint now = clock_.now();
-  ReaderLock lock(cache_mu_);
-  if (!cache_) {
+  CacheSnapshotPtr snap = cell_.read();
+  if (snap == nullptr) {
     return Error(ErrorCode::kStale, "keyword never queried: " + keyword_);
   }
-  if (current_ttl_.count() <= 0 || now - last_refresh_ > current_ttl_) {
+  Duration ttl_now = ttl();
+  if (ttl_now.count() <= 0 || now - snap->refreshed_at > ttl_now) {
     return Error(ErrorCode::kStale,
                  strings::format("cached %s expired (age %lldus, ttl %lldus)", keyword_.c_str(),
-                                 static_cast<long long>((now - last_refresh_).count()),
-                                 static_cast<long long>(current_ttl_.count())));
+                                 static_cast<long long>((now - snap->refreshed_at).count()),
+                                 static_cast<long long>(ttl_now.count())));
   }
   count_hit();
-  return degraded_copy_locked(now);
+  return degraded_copy(*snap, now);
+}
+
+CacheSnapshotPtr ManagedProvider::snapshot_if_fresh(TimePoint now) const {
+  CacheSnapshotPtr snap = cell_.read();
+  if (snap == nullptr || !snap->fast_path_eligible) return nullptr;
+  Duration ttl_now = ttl();
+  if (ttl_now.count() <= 0 || now - snap->refreshed_at > ttl_now) return nullptr;
+  count_hit();
+  return snap;
 }
 
 Result<format::InfoRecord> ManagedProvider::last_state() const {
-  ReaderLock lock(cache_mu_);
-  if (!cache_) return Error(ErrorCode::kNotFound, "keyword never produced: " + keyword_);
+  CacheSnapshotPtr snap = cell_.read();
+  if (snap == nullptr) {
+    return Error(ErrorCode::kNotFound, "keyword never produced: " + keyword_);
+  }
   count_hit();
-  return degraded_copy_locked(clock_.now());
+  return degraded_copy(*snap, clock_.now());
 }
 
 Result<format::InfoRecord> ManagedProvider::update_state(bool force) {
@@ -134,23 +163,21 @@ Result<format::InfoRecord> ManagedProvider::refresh(bool force, const GetOptions
 
   MutexLock update_lock(update_mu_);
   TimePoint now = clock_.now();
-  {
-    ReaderLock lock(cache_mu_);
-    if (cache_) {
-      Duration age = now - last_refresh_;
-      bool fresh = current_ttl_.count() > 0 && age <= current_ttl_;
-      // Another thread refreshed while we waited on the monitor.
-      if (!force && fresh) {
-        count_hit();
-        return degraded_copy_locked(now);
-      }
-      // The delay throttle applies even to forced updates: the host cannot
-      // produce the information faster than this.
-      Duration delay{delay_us_.load(std::memory_order_relaxed)};
-      if (delay.count() > 0 && now - last_attempt_ < delay) {
-        count_hit();
-        return degraded_copy_locked(now);
-      }
+  if (CacheSnapshotPtr snap = cell_.read()) {
+    Duration age = now - snap->refreshed_at;
+    Duration ttl_now = ttl();
+    bool fresh = ttl_now.count() > 0 && age <= ttl_now;
+    // Another thread refreshed while we waited on the monitor.
+    if (!force && fresh) {
+      count_hit();
+      return degraded_copy(*snap, now);
+    }
+    // The delay throttle applies even to forced updates: the host cannot
+    // produce the information faster than this.
+    Duration delay{delay_us_.load(std::memory_order_relaxed)};
+    if (delay.count() > 0 && now - last_attempt_ < delay) {
+      count_hit();
+      return degraded_copy(*snap, now);
     }
   }
 
@@ -186,20 +213,33 @@ Result<format::InfoRecord> ManagedProvider::refresh(bool force, const GetOptions
       record.keyword = keyword_;
       TimePoint done = clock_.now();
       record.generated_at = done;
-      record.ttl = current_ttl_;
       for (auto& attr : record.attributes) {
         attr.timestamp = done;
         attr.quality = 100.0;
       }
 
-      WriterLock lock(cache_mu_);
-      if (cache_) {
-        note_change(*cache_, record, done - last_refresh_);
-        record.ttl = current_ttl_;  // note_change may have adapted the TTL
+      // Build the next generation entirely off-lock (update_mu_ already
+      // serializes writers) and publish it in one release-store.
+      CacheSnapshotPtr prev = cell_.read();
+      if (prev != nullptr) {
+        note_change(prev->record, record, done - prev->refreshed_at);
       }
-      cache_ = std::move(record);
-      last_refresh_ = done;
-      format::InfoRecord copy = degraded_copy_locked(done);
+      record.ttl = ttl();  // note_change may have adapted the TTL
+      auto next = std::make_shared<CacheSnapshot>();
+      next->record = std::move(record);
+      next->refreshed_at = done;
+      next->fast_path_eligible = next->record.ttl.count() > 0 &&
+                                 options_.degradation->constant_within_ttl();
+      if (next->fast_path_eligible) {
+        // Quality is constant 100 for the whole TTL, so the wire bytes
+        // rendered now are exact for every TTL-valid hit on this snapshot.
+        std::vector<format::InfoRecord> one{next->record};
+        next->ldif = format::to_ldif(one);
+        next->xml = format::to_xml(one);
+        next->dsml = format::to_dsml(one);
+      }
+      format::InfoRecord copy = degraded_copy(*next, done);
+      cell_.publish(std::move(next));
       if (get_options.timeout && get_options.action == rsl::TimeoutAction::kException &&
           total.elapsed() > *get_options.timeout) {
         copy.add("deadline_exceeded", "true", copy.min_quality());
@@ -227,9 +267,9 @@ Result<format::InfoRecord> ManagedProvider::refresh(bool force, const GetOptions
 
 Result<format::InfoRecord> ManagedProvider::shield(const Error& err) {
   if (!options_.resilience.serve_stale_on_error) return err;
-  ReaderLock lock(cache_mu_);
-  if (!cache_) return err;
-  format::InfoRecord copy = degraded_copy_locked(clock_.now());
+  CacheSnapshotPtr snap = cell_.read();
+  if (snap == nullptr) return err;
+  format::InfoRecord copy = degraded_copy(*snap, clock_.now());
   double q = copy.min_quality();
   copy.add("stale", "true", q);
   copy.add("source", "cache", q);
@@ -258,19 +298,20 @@ void ManagedProvider::note_change(const format::InfoRecord& old_record,
   if (counted == 0) return;
   double change = total / counted;
 
+  Duration ttl_now = ttl();
   if (auto* observed =
           dynamic_cast<ObservationCorrectedDegradation*>(options_.degradation.get())) {
-    observed->observe(change, elapsed, current_ttl_);
+    observed->observe(change, elapsed, ttl_now);
   }
-  if (options_.adaptive_ttl && current_ttl_.count() > 0) {
+  if (options_.adaptive_ttl && ttl_now.count() > 0) {
     if (change > options_.shrink_above) {
-      current_ttl_ = Duration(static_cast<std::int64_t>(
-          static_cast<double>(current_ttl_.count()) * 0.7));
+      ttl_now = Duration(static_cast<std::int64_t>(
+          static_cast<double>(ttl_now.count()) * 0.7));
     } else if (change < options_.grow_below) {
-      current_ttl_ = Duration(static_cast<std::int64_t>(
-          static_cast<double>(current_ttl_.count()) * 1.3));
+      ttl_now = Duration(static_cast<std::int64_t>(
+          static_cast<double>(ttl_now.count()) * 1.3));
     }
-    current_ttl_ = std::clamp(current_ttl_, options_.min_ttl, options_.max_ttl);
+    set_ttl(std::clamp(ttl_now, options_.min_ttl, options_.max_ttl));
   }
 }
 
@@ -293,14 +334,11 @@ Result<format::InfoRecord> ManagedProvider::get(rsl::ResponseMode mode,
 
 Result<format::InfoRecord> ManagedProvider::get_with_quality(double threshold_percent,
                                                              const GetOptions& options) {
-  {
-    ReaderLock lock(cache_mu_);
-    if (cache_) {
-      auto copy = degraded_copy_locked(clock_.now());
-      if (copy.min_quality() >= threshold_percent) {
-        count_hit();
-        return copy;
-      }
+  if (CacheSnapshotPtr snap = cell_.read()) {
+    auto copy = degraded_copy(*snap, clock_.now());
+    if (copy.min_quality() >= threshold_percent) {
+      count_hit();
+      return copy;
     }
   }
   return refresh(/*force=*/true, options);
@@ -309,28 +347,27 @@ Result<format::InfoRecord> ManagedProvider::get_with_quality(double threshold_pe
 ManagedProvider::PrefetchState ManagedProvider::prefetch_state(
     double margin_fraction, std::optional<double> quality_floor) const {
   TimePoint now = clock_.now();
-  ReaderLock lock(cache_mu_);
-  if (!cache_ || current_ttl_.count() <= 0) return PrefetchState::kDisabled;
-  Duration age = now - last_refresh_;
-  if (age > current_ttl_) return PrefetchState::kExpired;
+  CacheSnapshotPtr snap = cell_.read();
+  Duration ttl_now = ttl();
+  if (snap == nullptr || ttl_now.count() <= 0) return PrefetchState::kDisabled;
+  Duration age = now - snap->refreshed_at;
+  if (age > ttl_now) return PrefetchState::kExpired;
   if (quality_floor &&
-      options_.degradation->quality(age, current_ttl_) < *quality_floor) {
+      options_.degradation->quality(age, ttl_now) < *quality_floor) {
     return PrefetchState::kExpiring;
   }
   auto margin = Duration(static_cast<std::int64_t>(
-      static_cast<double>(current_ttl_.count()) * margin_fraction));
-  if (current_ttl_ - age <= margin) return PrefetchState::kExpiring;
+      static_cast<double>(ttl_now.count()) * margin_fraction));
+  if (ttl_now - age <= margin) return PrefetchState::kExpiring;
   return PrefetchState::kFresh;
 }
 
 Duration ManagedProvider::ttl() const {
-  ReaderLock lock(cache_mu_);
-  return current_ttl_;
+  return Duration(ttl_us_.load(std::memory_order_relaxed));
 }
 
 void ManagedProvider::set_ttl(Duration ttl) {
-  WriterLock lock(cache_mu_);
-  current_ttl_ = ttl;
+  ttl_us_.store(ttl.count(), std::memory_order_relaxed);
 }
 
 Duration ManagedProvider::delay() const {
@@ -347,10 +384,10 @@ Duration ManagedProvider::average_update_time() const {
 }
 
 int ManagedProvider::validity() const {
-  ReaderLock lock(cache_mu_);
-  if (!cache_) return 0;
-  Duration age = clock_.now() - last_refresh_;
-  return static_cast<int>(std::lround(options_.degradation->quality(age, current_ttl_)));
+  CacheSnapshotPtr snap = cell_.read();
+  if (snap == nullptr) return 0;
+  Duration age = clock_.now() - snap->refreshed_at;
+  return static_cast<int>(std::lround(options_.degradation->quality(age, ttl())));
 }
 
 std::uint64_t ManagedProvider::refresh_count() const {

@@ -25,6 +25,8 @@
 
 #include <memory>
 #include <optional>
+#include <string>
+#include <string_view>
 
 #include "common/clock.hpp"
 #include "common/rng.hpp"
@@ -78,6 +80,29 @@ struct GetOptions {
   rsl::TimeoutAction action = rsl::TimeoutAction::kCancel;
 };
 
+/// One immutable published generation of a provider's cache. Refresh builds
+/// a CacheSnapshot off-lock and publishes it through an ig::SnapshotCell;
+/// readers take one acquire-load and share the generation by shared_ptr —
+/// no mutex, no copy. When the degradation model is constant within the TTL
+/// (`fast_path_eligible`), the wire payloads are pre-rendered here at
+/// refresh time, so a TTL-valid cache hit can answer with a string_view
+/// into the snapshot: zero locks and zero allocations end to end.
+struct CacheSnapshot {
+  format::InfoRecord record;  ///< quality stamped 100 at refresh
+  TimePoint refreshed_at{0};  ///< when `record` was produced
+  /// True when the degradation function guarantees quality is constant for
+  /// every age within the TTL (binary model): only then are the bytes
+  /// rendered at refresh exact for the snapshot's whole TTL-valid life.
+  bool fast_path_eligible = false;
+  std::string ldif;  ///< pre-rendered single-record payloads (empty when
+  std::string xml;   ///<   not fast_path_eligible); byte-identical to the
+  std::string dsml;  ///<   legacy render of a fresh cache hit
+
+  /// Pre-rendered payload for `format`; empty view when not eligible.
+  std::string_view payload(rsl::OutputFormat format) const;
+};
+using CacheSnapshotPtr = std::shared_ptr<const CacheSnapshot>;
+
 class ManagedProvider {
  public:
   ManagedProvider(std::shared_ptr<InfoSource> source, Clock& clock,
@@ -88,7 +113,18 @@ class ManagedProvider {
 
   /// Non-blocking cache read; kStale if never updated or past TTL.
   /// Degraded quality values are applied to the returned attributes.
+  /// Lock-free: reads the published snapshot, never touches a mutex.
   Result<format::InfoRecord> query_state() const;
+
+  /// The current published cache generation (nullptr before the first
+  /// successful refresh), regardless of age. Lock-free.
+  CacheSnapshotPtr snapshot() const { return cell_.read(); }
+
+  /// The zero-lock zero-alloc cache-hit primitive: the published snapshot
+  /// iff it is TTL-valid *and* fast-path eligible (pre-rendered payloads
+  /// are exact), else nullptr and the caller falls back to query_state()/
+  /// refresh. Counts a cache hit on success.
+  CacheSnapshotPtr snapshot_if_fresh(TimePoint now) const;
 
   /// Blocking refresh. With force=false, a cache made fresh while waiting
   /// for the update monitor (or within the delay window) is returned
@@ -154,7 +190,9 @@ class ManagedProvider {
  private:
   void count_hit() const;
 
-  format::InfoRecord degraded_copy_locked(TimePoint now) const IG_REQUIRES_SHARED(cache_mu_);
+  /// Copy of the snapshot's record with degradation applied for age
+  /// `now - refreshed_at` against the *current* TTL.
+  format::InfoRecord degraded_copy(const CacheSnapshot& snap, TimePoint now) const;
   void note_change(const format::InfoRecord& old_record,
                    const format::InfoRecord& new_record, Duration elapsed);
   /// The real refresh: breaker gate, attempt/retry loop, deadline, cache
@@ -168,10 +206,14 @@ class ManagedProvider {
   Clock& clock_;  ///< non-const: retry backoff sleeps between attempts
   ProviderOptions options_;
 
-  mutable SharedMutex cache_mu_{lock_rank::kManagedProviderCache, "info.ManagedProvider.cache"};
-  std::optional<format::InfoRecord> cache_ IG_GUARDED_BY(cache_mu_);
-  TimePoint last_refresh_ IG_GUARDED_BY(cache_mu_){0};  ///< when cache_ was produced
-  Duration current_ttl_ IG_GUARDED_BY(cache_mu_){0};
+  /// The published cache. Every write happens under update_mu_ (refresh is
+  /// the only writer), so generations go through cell_.publish() directly;
+  /// readers never lock. The TTL is authoritative here, not in the
+  /// snapshot: set_ttl() and adaptive-TTL changes take effect immediately
+  /// for freshness/degradation of the already-published record, exactly as
+  /// the old mutex-guarded current_ttl_ did.
+  SnapshotCell<CacheSnapshot> cell_{"info.ManagedProvider.cache"};
+  std::atomic<std::int64_t> ttl_us_{0};
 
   /// The paper's "monitor": held across the whole refresh, including the
   /// underlying command run. Deliberately kUnranked: composite providers

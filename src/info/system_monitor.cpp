@@ -8,7 +8,10 @@
 namespace ig::info {
 
 SystemMonitor::SystemMonitor(Clock& clock, std::string service_name)
-    : clock_(clock), service_name_(std::move(service_name)) {}
+    : clock_(clock), service_name_(std::move(service_name)) {
+  // Publish an empty generation up front so readers never see nullptr.
+  state_.publish(std::make_shared<const MonitorState>());
+}
 
 SystemMonitor::~SystemMonitor() { stop_prefetch(); }
 
@@ -34,28 +37,32 @@ const Prefetcher* SystemMonitor::prefetcher() const {
 
 Status SystemMonitor::add_provider(std::shared_ptr<ManagedProvider> provider) {
   MutexLock lock(mu_);
-  if (telemetry_ != nullptr) provider->set_telemetry(telemetry_);
-  auto [it, inserted] = providers_.try_emplace(provider->keyword(), provider);
-  (void)it;
-  if (!inserted) {
+  MonitorStatePtr current = state_.read();
+  if (current->providers.count(provider->keyword()) != 0) {
     return Error(ErrorCode::kAlreadyExists,
                  "provider already registered: " + provider->keyword());
   }
+  if (current->telemetry != nullptr) provider->set_telemetry(current->telemetry);
+  auto next = std::make_shared<MonitorState>(*current);
+  next->providers.emplace(provider->keyword(), std::move(provider));
+  state_.publish(std::move(next));
   return Status::success();
 }
 
 void SystemMonitor::set_telemetry(std::shared_ptr<obs::Telemetry> telemetry) {
   MutexLock lock(mu_);
-  telemetry_ = std::move(telemetry);
-  query_seconds_ = telemetry_ != nullptr
-                       ? &telemetry_->metrics().histogram(obs::metric::kInfoQuerySeconds)
-                       : nullptr;
-  for (const auto& [kw, p] : providers_) p->set_telemetry(telemetry_);
+  auto next = std::make_shared<MonitorState>(*state_.read());
+  next->telemetry = std::move(telemetry);
+  next->query_seconds =
+      next->telemetry != nullptr
+          ? &next->telemetry->metrics().histogram(obs::metric::kInfoQuerySeconds)
+          : nullptr;
+  for (const auto& [kw, p] : next->providers) p->set_telemetry(next->telemetry);
+  state_.publish(std::move(next));
 }
 
 std::shared_ptr<obs::Telemetry> SystemMonitor::telemetry() const {
-  MutexLock lock(mu_);
-  return telemetry_;
+  return state_.read()->telemetry;
 }
 
 Status SystemMonitor::add_source(std::shared_ptr<InfoSource> source, ProviderOptions options) {
@@ -64,22 +71,29 @@ Status SystemMonitor::add_source(std::shared_ptr<InfoSource> source, ProviderOpt
 }
 
 std::shared_ptr<ManagedProvider> SystemMonitor::provider(const std::string& keyword) const {
-  MutexLock lock(mu_);
-  auto it = providers_.find(keyword);
-  return it == providers_.end() ? nullptr : it->second;
+  MonitorStatePtr state = state_.read();
+  auto it = state->providers.find(keyword);
+  return it == state->providers.end() ? nullptr : it->second;
+}
+
+CacheSnapshotPtr SystemMonitor::query_cached_fast(std::string_view keyword,
+                                                  TimePoint now) const {
+  MonitorStatePtr state = state_.read();
+  auto it = state->providers.find(keyword);  // heterogeneous: no temp string
+  if (it == state->providers.end()) return nullptr;
+  return it->second->snapshot_if_fresh(now);
 }
 
 std::vector<std::string> SystemMonitor::keywords() const {
-  MutexLock lock(mu_);
+  MonitorStatePtr state = state_.read();
   std::vector<std::string> out;
-  out.reserve(providers_.size());
-  for (const auto& [kw, p] : providers_) out.push_back(kw);
+  out.reserve(state->providers.size());
+  for (const auto& [kw, p] : state->providers) out.push_back(kw);
   return out;
 }
 
 std::size_t SystemMonitor::provider_count() const {
-  MutexLock lock(mu_);
-  return providers_.size();
+  return state_.read()->providers.size();
 }
 
 Result<format::InfoRecord> SystemMonitor::get(const std::string& keyword,
@@ -94,12 +108,12 @@ Result<format::InfoRecord> SystemMonitor::get(const std::string& keyword,
   return p->get(mode, options);
 }
 
-std::vector<std::string> SystemMonitor::expand_locked(
-    const std::vector<std::string>& keywords) const {
+std::vector<std::string> SystemMonitor::expand(const MonitorState& state,
+                                               const std::vector<std::string>& keywords) {
   std::vector<std::string> out;
   for (const auto& kw : keywords) {
     if (strings::iequals(kw, "all")) {
-      for (const auto& [name, p] : providers_) out.push_back(name);
+      for (const auto& [name, p] : state.providers) out.push_back(name);
     } else {
       out.push_back(kw);
     }
@@ -118,15 +132,10 @@ Result<std::vector<format::InfoRecord>> SystemMonitor::query(
     const std::vector<std::string>& keywords, rsl::ResponseMode mode,
     std::optional<double> quality_threshold, const std::vector<std::string>& filters,
     obs::TraceContext* trace, ThreadPool* pool, const GetOptions& options) {
-  std::vector<std::string> expanded;
-  obs::Histogram* query_seconds = nullptr;
-  std::shared_ptr<obs::Telemetry> telemetry;
-  {
-    MutexLock lock(mu_);
-    expanded = expand_locked(keywords);
-    query_seconds = query_seconds_;
-    telemetry = telemetry_;
-  }
+  MonitorStatePtr state = state_.read();
+  std::vector<std::string> expanded = expand(*state, keywords);
+  obs::Histogram* query_seconds = state->query_seconds;
+  const std::shared_ptr<obs::Telemetry>& telemetry = state->telemetry;
   // Per-keyword attribution follows the request's sampling decision
   // (trace != nullptr): unsampled queries stay at the tracing baseline,
   // which is what keeps continuous profiling within its overhead budget.
@@ -196,11 +205,7 @@ Result<std::vector<format::InfoRecord>> SystemMonitor::query(
 
 Result<format::InfoRecord> SystemMonitor::performance_record(
     const std::vector<std::string>& keywords) {
-  std::vector<std::string> expanded;
-  {
-    MutexLock lock(mu_);
-    expanded = expand_locked(keywords);
-  }
+  std::vector<std::string> expanded = expand(*state_.read(), keywords);
   format::InfoRecord record;
   record.keyword = "Performance";
   record.generated_at = clock_.now();
@@ -216,15 +221,10 @@ Result<format::InfoRecord> SystemMonitor::performance_record(
 }
 
 format::ServiceSchema SystemMonitor::schema() const {
-  std::vector<std::shared_ptr<ManagedProvider>> providers;
-  {
-    MutexLock lock(mu_);
-    providers.reserve(providers_.size());
-    for (const auto& [kw, p] : providers_) providers.push_back(p);
-  }
+  MonitorStatePtr state = state_.read();
   format::ServiceSchema schema;
   schema.service = service_name_;
-  for (const auto& p : providers) {
+  for (const auto& [kw_name, p] : state->providers) {
     format::KeywordSchema kw;
     kw.keyword = p->keyword();
     kw.command = p->command();
@@ -249,18 +249,12 @@ format::ServiceSchema SystemMonitor::schema() const {
 }
 
 format::InfoRecord SystemMonitor::health_record() const {
-  std::vector<std::shared_ptr<ManagedProvider>> providers;
-  {
-    MutexLock lock(mu_);
-    providers.reserve(providers_.size());
-    for (const auto& [kw, p] : providers_) providers.push_back(p);
-  }
+  MonitorStatePtr state = state_.read();
   format::InfoRecord record;
   record.keyword = "health";
   record.generated_at = clock_.now();
-  record.add("providers", std::to_string(providers.size()));
-  for (const auto& p : providers) {
-    const std::string& kw = p->keyword();
+  record.add("providers", std::to_string(state->providers.size()));
+  for (const auto& [kw, p] : state->providers) {
     record.add(kw + ":breaker", std::string(to_string(p->breaker_state())));
     record.add(kw + ":validity", std::to_string(p->validity()));
     record.add(kw + ":refreshes", std::to_string(p->refresh_count()));
@@ -270,13 +264,9 @@ format::InfoRecord SystemMonitor::health_record() const {
 }
 
 std::uint64_t SystemMonitor::total_refreshes() const {
-  std::vector<std::shared_ptr<ManagedProvider>> providers;
-  {
-    MutexLock lock(mu_);
-    for (const auto& [kw, p] : providers_) providers.push_back(p);
-  }
+  MonitorStatePtr state = state_.read();
   std::uint64_t total = 0;
-  for (const auto& p : providers) total += p->refresh_count();
+  for (const auto& [kw, p] : state->providers) total += p->refresh_count();
   return total;
 }
 

@@ -8,6 +8,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <string_view>
 #include <vector>
 
 #include "common/sync.hpp"
@@ -92,18 +93,37 @@ class SystemMonitor {
   void set_telemetry(std::shared_ptr<obs::Telemetry> telemetry);
   std::shared_ptr<obs::Telemetry> telemetry() const;
 
+  /// The zero-lock cache-hit lookup: resolve `keyword` against the
+  /// published provider table (heterogeneous find, no temporary string)
+  /// and return its TTL-valid fast-path snapshot, or nullptr when the
+  /// keyword is unknown, cold, expired, or not fast-path eligible —
+  /// callers then fall back to the full query() path. Takes zero ig locks
+  /// and performs zero heap allocations.
+  CacheSnapshotPtr query_cached_fast(std::string_view keyword, TimePoint now) const;
+
  private:
-  std::vector<std::string> expand_locked(const std::vector<std::string>& keywords) const
-      IG_REQUIRES(mu_);
+  /// One immutable published generation of the monitor's read-mostly
+  /// state: the provider table plus the resolved telemetry handles.
+  /// Writers (add_provider / set_telemetry) rebuild it under mu_ and
+  /// publish; query() and every other reader takes one acquire-load.
+  struct MonitorState {
+    std::map<std::string, std::shared_ptr<ManagedProvider>, std::less<>> providers;
+    std::shared_ptr<obs::Telemetry> telemetry;
+    /// Query-latency histogram resolved once in set_telemetry(); stable
+    /// for the telemetry's lifetime, so query() skips the registry lookup.
+    obs::Histogram* query_seconds = nullptr;
+  };
+  using MonitorStatePtr = std::shared_ptr<const MonitorState>;
+
+  static std::vector<std::string> expand(const MonitorState& state,
+                                         const std::vector<std::string>& keywords);
 
   Clock& clock_;
   std::string service_name_;
+  /// Writer serialization only (160 < kSnapshotWriter, publishes go out
+  /// through state_.publish() while holding it); readers never take it.
   mutable Mutex mu_{lock_rank::kSystemMonitor, "info.SystemMonitor"};
-  std::map<std::string, std::shared_ptr<ManagedProvider>> providers_ IG_GUARDED_BY(mu_);
-  std::shared_ptr<obs::Telemetry> telemetry_ IG_GUARDED_BY(mu_);
-  /// Query-latency histogram resolved once in set_telemetry(); stable for
-  /// the telemetry's lifetime, so query() skips the registry lookup.
-  obs::Histogram* query_seconds_ IG_GUARDED_BY(mu_) = nullptr;
+  SnapshotCell<MonitorState> state_{"info.SystemMonitor.state"};
   /// Guarded by prefetch_mu_, not mu_: the scan thread reads providers
   /// through the public locked accessors, so sharing mu_ would deadlock.
   /// Ranked below kPrefetcher — held across prefetcher_->start()/stop().

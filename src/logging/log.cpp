@@ -169,6 +169,7 @@ Logger::Logger(const Clock& clock) : clock_(clock) {}
 void Logger::add_sink(std::shared_ptr<LogSink> sink) {
   MutexLock lock(mu_);
   sinks_.push_back(std::move(sink));
+  sink_count_.store(sinks_.size(), std::memory_order_relaxed);
 }
 
 bool Logger::has_sinks() const {

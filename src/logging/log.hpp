@@ -10,6 +10,7 @@
 // per-user usage.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <fstream>
 #include <map>
@@ -109,6 +110,12 @@ class Logger {
   /// logger costs nothing per event.
   bool has_sinks() const;
 
+  /// Lock-free has_sinks(): true once any sink is attached. The query
+  /// fast path consults this on every request — audited deployments
+  /// (accounting reads the kInfoQuery event stream) must take the full,
+  /// logging path, and the probe itself must not reintroduce a mutex.
+  bool audits() const { return sink_count_.load(std::memory_order_relaxed) > 0; }
+
   /// Append an event; sequence and time are stamped here.
   void log(EventType type, std::string subject = "", std::string local_user = "",
            std::uint64_t job_id = 0, std::string detail = "");
@@ -120,6 +127,7 @@ class Logger {
   mutable Mutex mu_{lock_rank::kLogger, "logging.Logger"};
   std::uint64_t next_sequence_ IG_GUARDED_BY(mu_) = 1;
   std::vector<std::shared_ptr<LogSink>> sinks_ IG_GUARDED_BY(mu_);
+  std::atomic<std::size_t> sink_count_{0};  ///< mirrors sinks_.size()
 };
 
 /// A job that must be resubmitted after a crash: it was submitted (and

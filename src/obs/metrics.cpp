@@ -69,26 +69,64 @@ double Histogram::Snapshot::quantile(double q) const {
   return stats.max();
 }
 
+namespace {
+
+/// Lock-free probe for an already-registered entry (the steady-state
+/// path: every metric a component resolves after wiring already exists).
+template <typename Table>
+const typename Table::mapped_type* find_published(
+    const std::shared_ptr<const Table>& table, const std::string& name) {
+  if (table == nullptr) return nullptr;
+  auto it = table->find(name);
+  return it == table->end() ? nullptr : &it->second;
+}
+
+}  // namespace
+
 Counter& MetricsRegistry::counter(const std::string& name) {
+  if (const Entry* hit = find_published(table_.read(), name)) {
+    return hit->counter != nullptr ? *hit->counter : mismatch_counter_;
+  }
   MutexLock lock(mu_);
-  Entry& entry = entries_[name];
+  auto current = table_.read();  // re-check: a racing writer may have won
+  Table next = current != nullptr ? *current : Table{};
+  Entry& entry = next[name];
   if (entry.gauge != nullptr || entry.histogram != nullptr) return mismatch_counter_;
-  if (entry.counter == nullptr) entry.counter = std::make_unique<Counter>();
-  return *entry.counter;
+  if (entry.counter == nullptr) entry.counter = std::make_shared<Counter>();
+  Counter& ref = *entry.counter;
+  table_.publish(std::make_shared<const Table>(std::move(next)));
+  return ref;
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
+  if (const Entry* hit = find_published(table_.read(), name)) {
+    return hit->gauge != nullptr ? *hit->gauge : mismatch_gauge_;
+  }
   MutexLock lock(mu_);
-  Entry& entry = entries_[name];
+  auto current = table_.read();
+  Table next = current != nullptr ? *current : Table{};
+  Entry& entry = next[name];
   if (entry.counter != nullptr || entry.histogram != nullptr) return mismatch_gauge_;
-  if (entry.gauge == nullptr) entry.gauge = std::make_unique<Gauge>();
-  return *entry.gauge;
+  if (entry.gauge == nullptr) entry.gauge = std::make_shared<Gauge>();
+  Gauge& ref = *entry.gauge;
+  table_.publish(std::make_shared<const Table>(std::move(next)));
+  return ref;
 }
 
 Histogram& MetricsRegistry::histogram(const std::string& name,
                                       std::vector<double> boundaries) {
+  if (const Entry* hit = find_published(table_.read(), name)) {
+    if (hit->histogram != nullptr) return *hit->histogram;
+    MutexLock lock(mu_);
+    if (mismatch_histogram_ == nullptr) {
+      mismatch_histogram_ = std::make_unique<Histogram>(std::vector<double>{});
+    }
+    return *mismatch_histogram_;
+  }
   MutexLock lock(mu_);
-  Entry& entry = entries_[name];
+  auto current = table_.read();
+  Table next = current != nullptr ? *current : Table{};
+  Entry& entry = next[name];
   if (entry.counter != nullptr || entry.gauge != nullptr) {
     if (mismatch_histogram_ == nullptr) {
       mismatch_histogram_ = std::make_unique<Histogram>(std::vector<double>{});
@@ -96,16 +134,19 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
     return *mismatch_histogram_;
   }
   if (entry.histogram == nullptr) {
-    entry.histogram = std::make_unique<Histogram>(std::move(boundaries));
+    entry.histogram = std::make_shared<Histogram>(std::move(boundaries));
   }
-  return *entry.histogram;
+  Histogram& ref = *entry.histogram;
+  table_.publish(std::make_shared<const Table>(std::move(next)));
+  return ref;
 }
 
 std::vector<MetricSnapshot> MetricsRegistry::snapshot() const {
-  MutexLock lock(mu_);
+  auto table = table_.read();
   std::vector<MetricSnapshot> out;
-  out.reserve(entries_.size());
-  for (const auto& [name, entry] : entries_) {
+  if (table == nullptr) return out;
+  out.reserve(table->size());
+  for (const auto& [name, entry] : *table) {
     MetricSnapshot snap;
     snap.name = name;
     if (entry.counter != nullptr) {
@@ -126,8 +167,8 @@ std::vector<MetricSnapshot> MetricsRegistry::snapshot() const {
 }
 
 std::size_t MetricsRegistry::size() const {
-  MutexLock lock(mu_);
-  return entries_.size();
+  auto table = table_.read();
+  return table == nullptr ? 0 : table->size();
 }
 
 }  // namespace ig::obs

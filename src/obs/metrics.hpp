@@ -69,6 +69,9 @@ class Histogram {
   /// default latency buckets.
   explicit Histogram(std::vector<double> boundaries);
 
+  /// Lock-free and allocation-free: bucket counts are atomics and the
+  /// moment statistics accumulate in an AtomicStats — this is what keeps
+  /// the zero-lock cache-hit path's latency observation off every mutex.
   void observe(double x);
   /// observe() plus an exemplar: the bucket `x` lands in remembers
   /// (x, trace_id), overwriting the previous sample — "latest wins" keeps
@@ -93,7 +96,7 @@ class Histogram {
  private:
   std::vector<double> boundaries_;
   std::vector<std::atomic<std::uint64_t>> counts_;
-  SharedStats stats_;
+  AtomicStats stats_;
   /// Unranked: leaf lock, nothing else is acquired while it is held.
   mutable Mutex exemplar_mu_{lock_rank::kUnranked, "obs.Histogram.exemplar"};
   std::vector<Exemplar> exemplars_ IG_GUARDED_BY(exemplar_mu_);
@@ -113,6 +116,14 @@ struct MetricSnapshot {
 /// histogram() stay valid as long as the registry lives; a name is bound to
 /// its first-registered kind (re-registering under a different kind returns
 /// a detached dummy metric rather than aliasing).
+///
+/// Lookup of an existing metric is lock-free: the name→entry table is an
+/// immutable snapshot behind an ig::SnapshotCell, so resolving an
+/// already-registered handle (the common case after wiring) takes zero ig
+/// locks. Only the create path — a name's first registration — takes the
+/// writer mutex and publishes a rebuilt table. The metric objects are
+/// shared_ptr-owned and never removed, so references stay stable across
+/// republications.
 class MetricsRegistry {
  public:
   Counter& counter(const std::string& name);
@@ -127,17 +138,21 @@ class MetricsRegistry {
 
  private:
   struct Entry {
-    std::unique_ptr<Counter> counter;
-    std::unique_ptr<Gauge> gauge;
-    std::unique_ptr<Histogram> histogram;
+    std::shared_ptr<Counter> counter;
+    std::shared_ptr<Gauge> gauge;
+    std::shared_ptr<Histogram> histogram;
   };
+  using Table = std::map<std::string, Entry, std::less<>>;
 
+  /// Writer serialization for the create path. Ranks above kSnapshotWriter,
+  /// so the publish goes through table_.publish() directly (never through
+  /// the cell's own update() mutex — see DESIGN.md §13).
   mutable Mutex mu_{lock_rank::kMetrics, "obs.MetricsRegistry"};
-  std::map<std::string, Entry> entries_ IG_GUARDED_BY(mu_);
+  SnapshotCell<Table> table_{"obs.MetricsRegistry.table"};
   /// Fallbacks handed out on kind mismatch so callers never get nullptr.
   Counter mismatch_counter_;
   Gauge mismatch_gauge_;
-  std::unique_ptr<Histogram> mismatch_histogram_;
+  std::unique_ptr<Histogram> mismatch_histogram_ IG_GUARDED_BY(mu_);
 };
 
 }  // namespace ig::obs

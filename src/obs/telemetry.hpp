@@ -69,6 +69,8 @@ inline constexpr const char* kAuthRejected = "auth.rejected";
 // src/info
 inline constexpr const char* kInfoCacheHits = "info.cache.hits";
 inline constexpr const char* kInfoCacheMisses = "info.cache.misses";
+/// Hits served by the zero-lock snapshot fast path (subset of cache.hits).
+inline constexpr const char* kInfoCacheFastHits = "info.cache.fast_hits";
 inline constexpr const char* kInfoRefreshSeconds = "info.refresh.seconds";
 // Per-keyword refresh latency alongside the global histogram, so SLO
 // objectives can target one keyword's providers.

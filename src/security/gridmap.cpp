@@ -5,32 +5,40 @@
 namespace ig::security {
 
 void GridMap::add(const std::string& subject_dn, const std::string& local_user) {
-  MutexLock lock(mu_);
-  entries_[subject_dn] = local_user;
+  cell_.update([&](const std::shared_ptr<const Table>& current) {
+    auto next = current != nullptr ? std::make_shared<Table>(*current)
+                                   : std::make_shared<Table>();
+    (*next)[subject_dn] = local_user;
+    return next;
+  });
 }
 
 void GridMap::remove(const std::string& subject_dn) {
-  MutexLock lock(mu_);
-  entries_.erase(subject_dn);
+  cell_.update([&](const std::shared_ptr<const Table>& current) {
+    auto next = current != nullptr ? std::make_shared<Table>(*current)
+                                   : std::make_shared<Table>();
+    next->erase(subject_dn);
+    return next;
+  });
 }
 
 Result<std::string> GridMap::map(const std::string& subject_dn) const {
-  MutexLock lock(mu_);
-  auto it = entries_.find(subject_dn);
-  if (it == entries_.end()) {
-    return Error(ErrorCode::kDenied, "no gridmap entry for " + subject_dn);
+  auto table = cell_.read();
+  if (table != nullptr) {
+    auto it = table->find(subject_dn);
+    if (it != table->end()) return it->second;
   }
-  return it->second;
+  return Error(ErrorCode::kDenied, "no gridmap entry for " + subject_dn);
 }
 
-bool GridMap::contains(const std::string& subject_dn) const {
-  MutexLock lock(mu_);
-  return entries_.count(subject_dn) > 0;
+bool GridMap::contains(std::string_view subject_dn) const {
+  auto table = cell_.read();
+  return table != nullptr && table->find(subject_dn) != table->end();
 }
 
 std::size_t GridMap::size() const {
-  MutexLock lock(mu_);
-  return entries_.size();
+  auto table = cell_.read();
+  return table == nullptr ? 0 : table->size();
 }
 
 Result<GridMap> GridMap::parse(const std::string& text) {
@@ -61,9 +69,10 @@ Result<GridMap> GridMap::parse(const std::string& text) {
 }
 
 std::string GridMap::serialize() const {
-  MutexLock lock(mu_);
+  auto table = cell_.read();
   std::string out;
-  for (const auto& [dn, account] : entries_) {
+  if (table == nullptr) return out;
+  for (const auto& [dn, account] : *table) {
     out += "\"" + dn + "\" " + account + "\n";
   }
   return out;

@@ -2,11 +2,20 @@
 // distinguished names) to local account names. GRAM's gatekeeper consults
 // it after authentication; a missing entry means the authenticated user
 // has no account on the resource and the request is denied.
+//
+// Lookups sit on the authorization step of every query, so the table is
+// published as an immutable snapshot (ig::SnapshotCell): map()/contains()
+// take one acquire-load and never touch a mutex, which keeps the cache-hit
+// query path lock-free end to end. Mutations rebuild the table off-lock
+// and publish a new generation; the cell's internal writer mutex (rank
+// kGridmap) serializes concurrent add()/remove() calls.
 #pragma once
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "common/error.hpp"
 #include "common/sync.hpp"
@@ -16,22 +25,13 @@ namespace ig::security {
 class GridMap {
  public:
   GridMap() = default;
-  // Movable despite the internal mutex (locks the source; moves are only
-  // safe when no other thread still uses `other`, as with any move).
-  GridMap(GridMap&& other) noexcept {
-    MutexLock lock(other.mu_);
-    entries_ = std::move(other.entries_);
-  }
-  // Address-ordered two-lock acquisition; the conditional aliasing is
-  // beyond the capability analysis, hence the (budgeted) escape hatch.
-  GridMap& operator=(GridMap&& other) noexcept IG_NO_THREAD_SAFETY_ANALYSIS {
-    if (this != &other) {
-      Mutex& first = this < &other ? mu_ : other.mu_;
-      Mutex& second = this < &other ? other.mu_ : mu_;
-      MutexLock lock_first(first);
-      MutexLock lock_second(second);
-      entries_ = std::move(other.entries_);
-    }
+  // Movable: snapshot publication makes moves plain pointer swaps — the
+  // source is drained (left empty) and no lock ordering is involved, so
+  // the old address-ordered two-lock dance (and its thread-safety-analysis
+  // escape hatch) is gone. As with any move, `other` must be quiescent.
+  GridMap(GridMap&& other) noexcept { cell_.publish(other.cell_.exchange(nullptr)); }
+  GridMap& operator=(GridMap&& other) noexcept {
+    if (this != &other) cell_.publish(other.cell_.exchange(nullptr));
     return *this;
   }
 
@@ -42,7 +42,10 @@ class GridMap {
   /// Local account for a DN, or kDenied.
   Result<std::string> map(const std::string& subject_dn) const;
 
-  bool contains(const std::string& subject_dn) const;
+  /// Allocation-free authorization probe: true iff the DN has an entry.
+  /// Heterogeneous lookup against the published snapshot — no temporary
+  /// string, no lock; this is what the query fast path calls.
+  bool contains(std::string_view subject_dn) const;
   std::size_t size() const;
 
   /// Parse the classic gridmap file format, one mapping per line:
@@ -53,8 +56,9 @@ class GridMap {
   std::string serialize() const;
 
  private:
-  mutable Mutex mu_{lock_rank::kGridmap, "security.GridMap"};
-  std::map<std::string, std::string> entries_ IG_GUARDED_BY(mu_);
+  using Table = std::map<std::string, std::string, std::less<>>;
+
+  SnapshotCell<Table> cell_{"security.GridMap", lock_rank::kGridmap};
 };
 
 }  // namespace ig::security

@@ -99,7 +99,7 @@ Result<Operation> SoapGateway::dispatch(const Operation& op, net::Session& sessi
     if (!result.ok()) return result.error();
     response.parameters["format"] = std::string(to_string(result->format));
     response.parameters["payload"] = result->payload();
-    response.parameters["count"] = std::to_string(result->records.size());
+    response.parameters["count"] = std::to_string(result->record_count());
     return response;
   }
   if (op.name == "getSchema") {

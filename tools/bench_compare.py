@@ -13,15 +13,23 @@ metric the candidate has but the baseline lacks additionally gets a
 "new metric, no baseline" notice so fresh instrumentation (like the
 profiler series) is visible instead of silently uncompared.
 
-Exits 1 when any shared series regressed by more than the threshold
-(default 20%) on ops_per_sec or p99_us, 0 otherwise — so CI can run it
-as a non-blocking smoke (`|| echo warn`) while local users get a hard
-signal. Series present in only one file are reported but never fail the
-comparison.
+Exit status is a contract CI keys off (a bare `|| warn` guard would
+swallow enforced gates and broken inputs alike):
+
+    0   no gating metric regressed
+    1   advisory regression — CI surfaces a warning and keeps going
+    2   regression under --enforce — CI must fail the job
+    3   unreadable/malformed input — CI must fail the job (a silently
+        skipped comparison is worse than a loud one)
+
+When $GITHUB_STEP_SUMMARY is set, the comparison table is also appended
+there as GitHub-flavoured markdown, so the numbers land in the job
+summary instead of only the step log.
 """
 
 import argparse
 import json
+import os
 import sys
 
 # (metric, higher_is_better, gates_failure)
@@ -34,16 +42,54 @@ METRICS = [
 ]
 
 
+EXIT_OK = 0
+EXIT_ADVISORY = 1
+EXIT_ENFORCED = 2
+EXIT_BAD_INPUT = 3
+
+
+def die(message):
+    print(f"bench_compare: {message}", file=sys.stderr)
+    sys.exit(EXIT_BAD_INPUT)
+
+
 def load(path):
     try:
         with open(path, encoding="utf-8") as handle:
             doc = json.load(handle)
     except (OSError, json.JSONDecodeError) as err:
-        sys.exit(f"bench_compare: cannot read {path}: {err}")
+        die(f"cannot read {path}: {err}")
     series = doc.get("series")
     if not isinstance(series, dict):
-        sys.exit(f"bench_compare: {path}: missing 'series' object")
+        die(f"{path}: missing 'series' object")
     return doc.get("benchmark", "?"), series
+
+
+def append_step_summary(benchmark, rows, regressions, threshold):
+    """Append the comparison as a markdown table to $GITHUB_STEP_SUMMARY."""
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not summary_path:
+        return
+    lines = [f"### bench_compare: `{benchmark}`", ""]
+    lines.append("| series | metric | baseline | candidate | delta | |")
+    lines.append("|---|---|---:|---:|---:|---|")
+    for name, metric, base, cand, delta, flag in rows:
+        mark = ":small_red_triangle_down: regression" if flag else ""
+        lines.append(
+            f"| {name} | {metric} | {base:.1f} | {cand:.1f} | {delta:+.1%} | {mark} |"
+        )
+    if regressions:
+        lines.append("")
+        lines.append(
+            f"**{len(regressions)} series/metric pair(s) regressed more than "
+            f"{threshold:.0%}.**"
+        )
+    lines.append("")
+    try:
+        with open(summary_path, "a", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+    except OSError as err:
+        print(f"note: cannot append to GITHUB_STEP_SUMMARY: {err}")
 
 
 def regressed(delta, higher_is_better, threshold):
@@ -63,6 +109,11 @@ def main():
         help="fractional regression on a gating metric that fails the "
         "comparison (default 0.20)",
     )
+    parser.add_argument(
+        "--enforce",
+        action="store_true",
+        help="exit 2 (hard CI failure) instead of 1 (advisory) on regression",
+    )
     args = parser.parse_args()
 
     base_name, base = load(args.baseline)
@@ -76,6 +127,7 @@ def main():
 
     regressions = []
     new_metrics = []
+    rows = []  # (series, metric, baseline, candidate, delta, regressed)
     print(f"{'series':<28} {'metric':<12} {'baseline':>12} {'candidate':>12} {'delta':>8}")
     print("-" * 78)
     for name in shared:
@@ -89,9 +141,11 @@ def main():
             c = float(cand[name][metric])
             delta = (c - b) / b if b > 0 else 0.0
             flag = ""
-            if gates and b > 0 and regressed(delta, higher_is_better, args.threshold):
+            hit = gates and b > 0 and regressed(delta, higher_is_better, args.threshold)
+            if hit:
                 regressions.append((name, metric, delta))
                 flag = "  REGRESSION"
+            rows.append((name, metric, b, c, delta, hit))
             print(f"{name:<28} {metric:<12} {b:>12.1f} {c:>12.1f} {delta:>+7.1%}{flag}")
     for name in only_base:
         print(f"{name:<28} {'(baseline only)':>26}")
@@ -100,18 +154,20 @@ def main():
     for name, metric in new_metrics:
         print(f"note: new metric, no baseline: {name}/{metric} (not compared)")
 
+    append_step_summary(cand_name, rows, regressions, args.threshold)
+
     if not shared:
         print("no shared series; nothing to compare")
-        return 0
+        return EXIT_OK
     if regressions:
         worst = max(regressions, key=lambda item: abs(item[2]))
         print(
             f"\nFAIL: {len(regressions)} series/metric pairs regressed more than "
             f"{args.threshold:.0%} (worst: {worst[0]} {worst[1]} {worst[2]:+.1%})"
         )
-        return 1
+        return EXIT_ENFORCED if args.enforce else EXIT_ADVISORY
     print(f"\nOK: no gating metric regressed more than {args.threshold:.0%}")
-    return 0
+    return EXIT_OK
 
 
 if __name__ == "__main__":

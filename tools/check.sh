@@ -8,9 +8,11 @@
 #   tsa      clang build with -DIG_THREAD_SAFETY=ON: -Werror=thread-safety
 #            turns the lock annotations into a compile-time proof
 #   tidy     clang-tidy (.clang-tidy profile) over the compile database
-#   chaos    fault-injection suites only, under ASan and TSan
+#   chaos    fault-injection suites only (ctest -L chaos), under ASan/TSan
 #   profile  profiler suites (ctest -R Profile) + bench_profile_overhead,
 #            the continuous-profiler overhead gate (<= 5% over tracing)
+#   snapshot snapshot suites (ctest -R Snapshot) + bench_snapshot_read,
+#            the zero-lock/zero-alloc cache-hit gate (>= 2x paired speedup)
 #
 #   tools/check.sh                  # lint + release + asan + tsan + tsa + tidy
 #   tools/check.sh --fast           # lint + release only
@@ -20,6 +22,7 @@
 #   tools/check.sh --tsa            # lint + tsa
 #   tools/check.sh --tidy           # lint + tidy
 #   tools/check.sh --profile        # lint + profile
+#   tools/check.sh --snapshot       # lint + snapshot
 #   tools/check.sh --tsa --tidy ... # flags combine; each adds its leg
 #
 # The tsa and tidy legs need clang/clang-tidy on PATH; when absent they
@@ -27,16 +30,17 @@
 # gcc-only hosts (CI provides the clang legs).
 set -euo pipefail
 
-# Test-name filter selecting the chaos / resilience suites.
-CHAOS_FILTER='Chaos|Resilience|Deadline|PrefetcherBackoff|VirtualTimeout'
 # Test-name filter selecting the continuous-profiler suites.
 PROFILE_FILTER='Profile'
+# Test-name filter selecting the snapshot-publication suites.
+SNAPSHOT_FILTER='Snapshot'
 
 cd "$(dirname "$0")/.."
 jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
 
 # ---- leg selection ---------------------------------------------------------
 run_release=0 run_asan=0 run_tsan=0 run_tsa=0 run_tidy=0 run_chaos=0 run_profile=0
+run_snapshot=0
 if [ "$#" -eq 0 ]; then
   # Default gate: every leg except chaos (whose suites the sanitizer legs
   # already include); tsa/tidy skip themselves when clang is absent.
@@ -51,8 +55,9 @@ for arg in "$@"; do
     --tidy)  run_tidy=1 ;;
     --chaos) run_chaos=1 ;;
     --profile) run_profile=1 ;;
+    --snapshot) run_snapshot=1 ;;
     *)
-      echo "usage: tools/check.sh [--fast|--asan|--tsan|--tsa|--tidy|--chaos|--profile]..." >&2
+      echo "usage: tools/check.sh [--fast|--asan|--tsan|--tsa|--tidy|--chaos|--profile|--snapshot]..." >&2
       exit 2
       ;;
   esac
@@ -82,14 +87,16 @@ run_pass() {
 }
 
 # Build a sanitizer tree and run only the chaos/resilience suites in it.
+# Selection is by ctest label (tests/CMakeLists.txt tags the fault suites
+# LABELS chaos at discovery time), not by a name regex that drifts.
 chaos_pass() {
   local dir=$1; shift
   echo "==> configure ${dir} ($*)"
   cmake -B "${dir}" -S . "$@" >/dev/null
   echo "==> build ${dir}"
   cmake --build "${dir}" -j "${jobs}" >/dev/null
-  echo "==> ctest ${dir} (chaos suite)"
-  ctest --test-dir "${dir}" --output-on-failure -j "${jobs}" -R "${CHAOS_FILTER}"
+  echo "==> ctest ${dir} (chaos suite, -L chaos)"
+  ctest --test-dir "${dir}" --output-on-failure -j "${jobs}" -L chaos
 }
 
 asan_pass() {
@@ -179,6 +186,17 @@ if [ "${run_profile}" -eq 1 ]; then
   echo "==> bench_profile_overhead (overhead gate, wall clock)"
   (cd build-check && ./bench/bench_profile_overhead --json --enforce)
   note profile pass
+fi
+if [ "${run_snapshot}" -eq 1 ]; then
+  echo "==> configure build-check (Release, snapshot leg)"
+  cmake -B build-check -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+  echo "==> build build-check"
+  cmake --build build-check -j "${jobs}" >/dev/null
+  echo "==> ctest build-check (snapshot suites)"
+  ctest --test-dir build-check --output-on-failure -j "${jobs}" -R "${SNAPSHOT_FILTER}"
+  echo "==> bench_snapshot_read (zero-lock/zero-alloc cache-hit gate)"
+  (cd build-check && ./bench/bench_snapshot_read --json --enforce)
+  note snapshot pass
 fi
 
 print_summary

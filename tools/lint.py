@@ -19,6 +19,11 @@ Rules (each is a function returning a list of "path:line: message" strings):
                 through logging::Logger, binaries under examples//bench
                 may print).
   todo-tags     every TODO must carry an issue tag: TODO(#123).
+  chaos-labels  the chaos CI leg selects tests with `ctest -L chaos`;
+                tests/CMakeLists.txt must define the labelled discovery
+                (IG_CHAOS_FILTER + LABELS chaos), and every suite in a
+                chaos/fault test file must match a filter token so it
+                cannot silently fall out of the labelled bucket.
 
 Exit status 0 = clean, 1 = findings (printed to stderr), 2 = usage.
 """
@@ -176,6 +181,48 @@ def check_iostream_headers() -> list[str]:
     return findings
 
 
+CHAOS_FILE_RE = re.compile(r"chaos|fault", re.IGNORECASE)
+TEST_SUITE_RE = re.compile(r"^\s*TEST(?:_F|_P)?\(\s*([A-Za-z0-9_]+)\s*,")
+CHAOS_FILTER_RE = re.compile(r'set\(IG_CHAOS_FILTER\s+"([^"]+)"\)')
+
+
+def check_chaos_labels() -> list[str]:
+    """`ctest -L chaos` must keep covering every chaos/fault suite.
+
+    The label is applied at discovery time by a gtest TEST_FILTER
+    (IG_CHAOS_FILTER in tests/CMakeLists.txt), so a new chaos suite whose
+    name matches no filter token would land in the unlabelled bucket and
+    silently drop out of the chaos CI leg. Flag that here, at lint time.
+    """
+    findings = []
+    cml = REPO / "tests" / "CMakeLists.txt"
+    text = cml.read_text(encoding="utf-8")
+    m = CHAOS_FILTER_RE.search(text)
+    if m is None:
+        return [
+            f"{rel(cml)}: no IG_CHAOS_FILTER definition — the labelled "
+            "chaos discovery is missing"
+        ]
+    tokens = [t.strip("*") for t in m.group(1).split(":") if t.strip("*")]
+    if "LABELS chaos" not in text:
+        findings.append(
+            f"{rel(cml)}: no discovery block applies `LABELS chaos`; "
+            "`ctest -L chaos` would select nothing"
+        )
+    for path in sorted((REPO / "tests").glob("*.cpp")):
+        if not CHAOS_FILE_RE.search(path.name):
+            continue
+        for n, line in enumerate(read_lines(path), 1):
+            sm = TEST_SUITE_RE.match(line)
+            if sm and not any(token in sm.group(1) for token in tokens):
+                findings.append(
+                    f"{rel(path)}:{n}: suite {sm.group(1)} in a chaos/fault "
+                    "test file matches no IG_CHAOS_FILTER token; "
+                    "`ctest -L chaos` will miss it"
+                )
+    return findings
+
+
 def check_todo_tags() -> list[str]:
     findings = []
     for path in source_files(".hpp", ".cpp"):
@@ -194,6 +241,7 @@ CHECKS = {
     "metrics": check_metrics,
     "iostream": check_iostream_headers,
     "todo-tags": check_todo_tags,
+    "chaos-labels": check_chaos_labels,
 }
 
 

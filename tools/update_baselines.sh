@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Regenerate the checked-in bench baselines (bench/baselines/BENCH_*.json).
+#
+# CI compares every release-leg bench run against these files with
+# tools/bench_compare.py: absolute-throughput drifts warn (shared runners
+# are noisy), enforced gates and broken inputs fail. Refresh the baselines
+# deliberately — on a quiet machine, from a Release build — whenever a PR
+# intentionally moves the numbers, and commit the diff with the change
+# that caused it so the motivation is in the same review.
+#
+#   tools/update_baselines.sh [build-dir]     # default: build-check
+#
+# The build dir must already be configured Release (tools/check.sh --fast
+# creates build-check); the script builds the bench targets, runs each
+# bench with --json, and copies the reports into bench/baselines/.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-check}"
+BASELINE_DIR="bench/baselines"
+
+# The benches CI publishes and compares (keep in sync with the "Bench
+# smoke" step in .github/workflows/ci.yml).
+BENCHES=(
+  bench_concurrent_load
+  bench_fault_recovery
+  bench_trace_overhead
+  bench_profile_overhead
+  bench_snapshot_read
+)
+
+if [ ! -f "${BUILD_DIR}/CMakeCache.txt" ]; then
+  echo "update_baselines: ${BUILD_DIR} is not configured; run e.g." >&2
+  echo "  cmake -B ${BUILD_DIR} -S . -DCMAKE_BUILD_TYPE=Release" >&2
+  exit 2
+fi
+if ! grep -q 'CMAKE_BUILD_TYPE:STRING=Release' "${BUILD_DIR}/CMakeCache.txt"; then
+  echo "update_baselines: ${BUILD_DIR} is not a Release build; baselines" >&2
+  echo "must come from the configuration CI measures" >&2
+  exit 2
+fi
+
+jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
+echo "==> build bench targets (${BUILD_DIR})"
+cmake --build "${BUILD_DIR}" -j "${jobs}" --target "${BENCHES[@]}" >/dev/null
+
+mkdir -p "${BASELINE_DIR}"
+for bench in "${BENCHES[@]}"; do
+  echo "==> ${bench} --json"
+  (cd "${BUILD_DIR}" && "./bench/${bench}" --json >/dev/null)
+  name="${bench#bench_}"
+  cp "${BUILD_DIR}/BENCH_${name}.json" "${BASELINE_DIR}/BENCH_${name}.json"
+  echo "    ${BASELINE_DIR}/BENCH_${name}.json"
+done
+
+echo "==> done; review and commit the diff:"
+git -C . diff --stat -- "${BASELINE_DIR}" || true
