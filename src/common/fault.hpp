@@ -46,6 +46,19 @@ enum class FaultKind {
 
 std::string_view to_string(FaultKind kind);
 
+/// Well-known injection-point names. Points are plain strings — a plan
+/// may name any point — but the fixed infrastructure points live here so
+/// chaos plans and the sites that evaluate them cannot drift apart. Note
+/// the replication channel is distinct from the client-facing transport
+/// points: chaos tests kill or partition replica traffic without touching
+/// query traffic (and vice versa).
+namespace fault_point {
+inline constexpr const char* kNetConnect = "net.connect";       ///< Network::connect
+inline constexpr const char* kNetRequest = "net.request";       ///< Connection::request
+inline constexpr const char* kExecRun = "exec.run";             ///< CommandRegistry::run
+inline constexpr const char* kMdsReplication = "mds.replication";  ///< shard replication RPCs
+}  // namespace fault_point
+
 /// One fault schedule at one injection point.
 struct FaultSpec {
   FaultKind kind = FaultKind::kError;

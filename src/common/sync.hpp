@@ -78,7 +78,13 @@ inline constexpr int kCommand = 260;         ///< exec command runner registry
 inline constexpr int kResilience = 300;      ///< circuit-breaker state
 // (the provider cache and degradation store are SnapshotCell/atomic now —
 // their former ranks 320/360 are retired; see DESIGN.md §13)
-// Directory / grid fabric.
+// Directory / grid fabric. The replication ranks sit below kNetwork
+// because the router may hold its connection slot across a replica RPC,
+// and below kMdsDirectory because a directory refresh publishes into the
+// coordinator. Replica reads themselves are lock-free (SnapshotCell).
+inline constexpr int kMdsRouter = 370;       ///< replica router health + conn slots
+inline constexpr int kMdsReplication = 380;  ///< shard coordinator state + op logs
+inline constexpr int kMdsReplicaStore = 390; ///< replica-side apply serialization
 inline constexpr int kMdsDirectory = 400;    ///< mds directory tree
 // (mds::Giis is deliberately kUnranked: GIIS hierarchies nest same-class
 // locks parent-over-child, which a single rank cannot order.)

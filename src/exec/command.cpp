@@ -61,9 +61,9 @@ Result<CommandResult> CommandRegistry::run(const std::string& path,
     injector = fault_injector_;
   }
   FaultDecision fault;
-  if (injector != nullptr) fault = injector->evaluate("exec.run");
+  if (injector != nullptr) fault = injector->evaluate(fault_point::kExecRun);
   if (fault.fire && fault.kind == FaultKind::kError) {
-    return fault.to_error("exec.run");
+    return fault.to_error(fault_point::kExecRun);
   }
   // Charge the execution cost in slices so cancellation stays responsive.
   Duration cost = entry.cost;

@@ -2,25 +2,25 @@
 
 namespace ig::info {
 
+Status register_live_provider(SystemMonitor& monitor, const std::string& keyword,
+                              FunctionSource::Producer producer,
+                              const std::string& description) {
+  ProviderOptions live;
+  live.ttl = Duration(0);  // Table 1: ttl 0 = run on every request
+  // Live introspection must never be served stale: a failing producer
+  // should surface its error, not yesterday's values (the degradation
+  // shield is for expensive external sources, not for introspection).
+  live.resilience.serve_stale_on_error = false;
+  return monitor.add_source(
+      std::make_shared<FunctionSource>(keyword, std::move(producer), description), live);
+}
+
 Status register_obs_providers(SystemMonitor& monitor,
                               std::shared_ptr<obs::Telemetry> telemetry) {
   if (telemetry == nullptr) return Status::success();
 
-  ProviderOptions live;
-  live.ttl = Duration(0);  // Table 1: ttl 0 = run on every request
-  // Live telemetry must never be served stale: a failing obs producer
-  // should surface its error, not yesterday's counters (the degradation
-  // shield is for expensive external sources, not for introspection).
-  live.resilience.serve_stale_on_error = false;
-
-  auto add = [&](const std::string& keyword, FunctionSource::Producer producer,
-                 const std::string& description) {
-    return monitor.add_source(
-        std::make_shared<FunctionSource>(keyword, std::move(producer), description), live);
-  };
-
-  if (auto status = add(
-          "metrics",
+  if (auto status = register_live_provider(
+          monitor, "metrics",
           [telemetry]() -> Result<format::InfoRecord> {
             return telemetry->metrics_record("metrics");
           },
@@ -28,8 +28,8 @@ Status register_obs_providers(SystemMonitor& monitor,
       !status.ok()) {
     return status;
   }
-  if (auto status = add(
-          "metrics.jobs",
+  if (auto status = register_live_provider(
+          monitor, "metrics.jobs",
           [telemetry]() -> Result<format::InfoRecord> {
             return telemetry->metrics_record("metrics.jobs", {"gram.", "exec."});
           },
@@ -37,8 +37,8 @@ Status register_obs_providers(SystemMonitor& monitor,
       !status.ok()) {
     return status;
   }
-  if (auto status = add(
-          "traces",
+  if (auto status = register_live_provider(
+          monitor, "traces",
           [telemetry]() -> Result<format::InfoRecord> {
             return telemetry->traces_record("traces");
           },
@@ -48,8 +48,8 @@ Status register_obs_providers(SystemMonitor& monitor,
   }
   // The SLO plane: each query is also an evaluation sample (TTL 0), so
   // burn-rate history accumulates exactly as fast as someone is looking.
-  if (auto status = add(
-          "slo",
+  if (auto status = register_live_provider(
+          monitor, "slo",
           [telemetry]() -> Result<format::InfoRecord> {
             return telemetry->slo_record("slo");
           },
@@ -57,8 +57,8 @@ Status register_obs_providers(SystemMonitor& monitor,
       !status.ok()) {
     return status;
   }
-  return add(
-      "alerts",
+  return register_live_provider(
+      monitor, "alerts",
       [telemetry]() -> Result<format::InfoRecord> {
         return telemetry->alerts_record("alerts");
       },
@@ -69,18 +69,8 @@ Status register_profile_providers(SystemMonitor& monitor,
                                   std::shared_ptr<obs::Telemetry> telemetry) {
   if (telemetry == nullptr) return Status::success();
 
-  ProviderOptions live;
-  live.ttl = Duration(0);  // profiles are live state, like metrics
-  live.resilience.serve_stale_on_error = false;
-
-  auto add = [&](const std::string& keyword, FunctionSource::Producer producer,
-                 const std::string& description) {
-    return monitor.add_source(
-        std::make_shared<FunctionSource>(keyword, std::move(producer), description), live);
-  };
-
-  if (auto status = add(
-          "profile",
+  if (auto status = register_live_provider(
+          monitor, "profile",
           [telemetry]() -> Result<format::InfoRecord> {
             return telemetry->profile_record("profile");
           },
@@ -88,8 +78,8 @@ Status register_profile_providers(SystemMonitor& monitor,
       !status.ok()) {
     return status;
   }
-  if (auto status = add(
-          "profile.locks",
+  if (auto status = register_live_provider(
+          monitor, "profile.locks",
           [telemetry]() -> Result<format::InfoRecord> {
             return telemetry->profile_locks_record("profile.locks");
           },
@@ -97,8 +87,8 @@ Status register_profile_providers(SystemMonitor& monitor,
       !status.ok()) {
     return status;
   }
-  return add(
-      "profile.pool",
+  return register_live_provider(
+      monitor, "profile.pool",
       [telemetry]() -> Result<format::InfoRecord> {
         return telemetry->profile_pool_record("profile.pool");
       },
@@ -106,15 +96,13 @@ Status register_profile_providers(SystemMonitor& monitor,
 }
 
 Status register_health_provider(SystemMonitor& monitor) {
-  ProviderOptions live;
-  live.ttl = Duration(0);  // always live: breaker states must not be cached
-  live.resilience.serve_stale_on_error = false;
-  return monitor.add_source(
-      std::make_shared<FunctionSource>(
-          "health",
-          [&monitor]() -> Result<format::InfoRecord> { return monitor.health_record(); },
-          "function:info.health"),
-      live);
+  // The producer captures `monitor` by reference — the monitor owns the
+  // provider, so the reference cannot dangle (a shared_ptr would be a
+  // cycle).
+  return register_live_provider(
+      monitor, "health",
+      [&monitor]() -> Result<format::InfoRecord> { return monitor.health_record(); },
+      "function:info.health");
 }
 
 }  // namespace ig::info

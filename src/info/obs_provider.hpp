@@ -17,11 +17,22 @@
 #pragma once
 
 #include <memory>
+#include <string>
 
 #include "info/system_monitor.hpp"
 #include "obs/telemetry.hpp"
 
 namespace ig::info {
+
+/// Register a TTL-0 live keyword on `monitor`: the producer runs on
+/// every request ("execute the keyword every time it is requested",
+/// Table 1) and is never served stale — a failing live producer surfaces
+/// its error, not yesterday's values. This is the shared shape of every
+/// introspection keyword (metrics/traces/profile/health/replicas);
+/// kAlreadyExists if the keyword is taken.
+Status register_live_provider(SystemMonitor& monitor, const std::string& keyword,
+                              FunctionSource::Producer producer,
+                              const std::string& description);
 
 /// Register the `metrics`, `metrics.jobs`, `traces`, `slo` and `alerts`
 /// keywords on `monitor`, backed by `telemetry`. kAlreadyExists if any

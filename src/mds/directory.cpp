@@ -125,13 +125,33 @@ bool dn_under(const std::string& dn, const std::string& base) {
 }
 
 int dn_depth_below(const std::string& dn, const std::string& base) {
-  auto d = dn_components(dn);
-  auto b = dn_components(base);
-  if (b.size() > d.size()) return -1;
-  for (std::size_t i = 0; i < b.size(); ++i) {
-    if (d[d.size() - 1 - i] != b[b.size() - 1 - i]) return -1;
+  return dn_depth_below(dn_components(dn), dn_components(base));
+}
+
+int dn_depth_below(const std::vector<std::string>& dn,
+                   const std::vector<std::string>& base) {
+  if (base.size() > dn.size()) return -1;
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    if (dn[dn.size() - 1 - i] != base[base.size() - 1 - i]) return -1;
   }
-  return static_cast<int>(d.size() - b.size());
+  return static_cast<int>(dn.size() - base.size());
+}
+
+std::vector<DirectoryEntry> entries_in_scope(const EntryMap& entries,
+                                             const std::string& base, Scope scope) {
+  std::vector<DirectoryEntry> out;
+  std::vector<std::string> base_comps = dn_components(base);
+  if (scope == Scope::kBase) {
+    auto it = entries.find(strings::join(base_comps, ", "));
+    if (it != entries.end()) out.push_back(it->second);
+    return out;
+  }
+  for (const auto& [dn, entry] : entries) {
+    int depth = dn_depth_below(dn_components(dn), base_comps);
+    if (depth < 0) continue;
+    if (scope == Scope::kSubtree || depth == 1) out.push_back(entry);
+  }
+  return out;
 }
 
 void Directory::put(DirectoryEntry entry) {
@@ -163,18 +183,8 @@ std::size_t Directory::size() const {
 }
 
 std::vector<DirectoryEntry> Directory::in_scope(const std::string& base, Scope scope) const {
-  std::string norm_base = normalize_dn(base);
   MutexLock lock(mu_);
-  std::vector<DirectoryEntry> out;
-  for (const auto& [dn, entry] : entries_) {
-    int depth = dn_depth_below(dn, norm_base);
-    if (depth < 0) continue;
-    bool match = (scope == Scope::kBase && depth == 0) ||
-                 (scope == Scope::kOneLevel && depth == 1) ||
-                 (scope == Scope::kSubtree);
-    if (match) out.push_back(entry);
-  }
-  return out;
+  return entries_in_scope(entries_, base, scope);
 }
 
 }  // namespace ig::mds

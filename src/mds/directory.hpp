@@ -47,6 +47,20 @@ std::string normalize_dn(const std::string& dn);
 bool dn_under(const std::string& dn, const std::string& base);
 /// Levels of `dn` below `base`; negative if not under it.
 int dn_depth_below(const std::string& dn, const std::string& base);
+/// Same, over pre-split normalized components (the per-entry hot path:
+/// callers scanning a whole map parse the base once, not once per entry).
+int dn_depth_below(const std::vector<std::string>& dn,
+                   const std::vector<std::string>& base);
+
+/// Entries keyed by normalized DN — the shared shape of Directory's store
+/// and the immutable shard views the replication layer publishes.
+using EntryMap = std::map<std::string, DirectoryEntry>;
+
+/// All entries of `entries` within `scope` of `base`. kBase is a direct
+/// O(log n) map lookup; the other scopes are one scan with the base
+/// components hoisted out of the loop.
+std::vector<DirectoryEntry> entries_in_scope(const EntryMap& entries,
+                                             const std::string& base, Scope scope);
 
 /// Thread-safe entry store with scoped search.
 class Directory {

@@ -175,4 +175,13 @@ std::vector<DirectoryEntry> search(const Directory& directory, const std::string
   return out;
 }
 
+std::vector<DirectoryEntry> search(const EntryMap& entries, const std::string& base,
+                                   Scope scope, const Filter& filter) {
+  std::vector<DirectoryEntry> out;
+  for (auto& entry : entries_in_scope(entries, base, scope)) {
+    if (filter.matches(entry)) out.push_back(std::move(entry));
+  }
+  return out;
+}
+
 }  // namespace ig::mds

@@ -45,4 +45,9 @@ class Filter {
 std::vector<DirectoryEntry> search(const Directory& directory, const std::string& base,
                                    Scope scope, const Filter& filter);
 
+/// Same, over a bare entry map — the read path of the replicated shard
+/// views, which search immutable snapshots rather than a live Directory.
+std::vector<DirectoryEntry> search(const EntryMap& entries, const std::string& base,
+                                   Scope scope, const Filter& filter);
+
 }  // namespace ig::mds

@@ -1,13 +1,40 @@
 #include "mds/giis.hpp"
 
+#include <algorithm>
+
+#include "mds/replication.hpp"
+
 namespace ig::mds {
 
 Giis::Giis(std::string vo_name, const Clock& clock, Duration cache_ttl)
     : vo_name_(std::move(vo_name)), clock_(clock), cache_ttl_(cache_ttl) {}
 
 void Giis::register_child(std::shared_ptr<SearchBackend> child) {
+  register_child(std::move(child), Registration());
+}
+
+void Giis::register_child(std::shared_ptr<SearchBackend> child, Registration reg) {
   MutexLock lock(mu_);
-  children_.push_back(std::move(child));
+  Child entry;
+  entry.suffix = child->suffix();
+  entry.backend = std::move(child);
+  entry.lease = reg.lease;
+  entry.registered_at = clock_.now();
+  if (reg.replace) {
+    auto it = std::find_if(children_.begin(), children_.end(), [&](const Child& c) {
+      return c.suffix == entry.suffix;
+    });
+    if (it != children_.end()) {
+      // Re-registration: renew the lease, swap in the (possibly new)
+      // backend, keep the shield entries until the next successful pull.
+      entry.last_success = it->last_success;
+      entry.last_entries = std::move(it->last_entries);
+      *it = std::move(entry);
+      last_refresh_ = TimePoint(-1);
+      return;
+    }
+  }
+  children_.push_back(std::move(entry));
   last_refresh_ = TimePoint(-1);  // force refresh on next search
 }
 
@@ -16,12 +43,26 @@ std::size_t Giis::child_count() const {
   return children_.size();
 }
 
+void Giis::prune_expired_locked(TimePoint now) {
+  auto expired = [&](const Child& c) {
+    return c.lease.has_value() && now - c.registered_at > *c.lease;
+  };
+  std::size_t before = children_.size();
+  children_.erase(std::remove_if(children_.begin(), children_.end(), expired),
+                  children_.end());
+  if (children_.size() != before) {
+    expired_.fetch_add(before - children_.size(), std::memory_order_relaxed);
+    last_refresh_ = TimePoint(-1);  // the cached view includes dead subtrees
+  }
+}
+
 Status Giis::refresh_if_stale() {
   MutexLock lock(mu_);
   TimePoint now = clock_.now();
   if (telemetry_ != nullptr) {
     telemetry_->metrics().counter(obs::metric::kMdsGiisSearches).add();
   }
+  prune_expired_locked(now);
   if (last_refresh_.count() >= 0 && now - last_refresh_ <= cache_ttl_) {
     hits_.fetch_add(1, std::memory_order_relaxed);
     if (telemetry_ != nullptr) {
@@ -39,18 +80,53 @@ Status Giis::refresh_if_stale() {
   root.add("objectclass", "VirtualOrganization");
   root.add("vo", vo_name_);
   fresh.put(std::move(root));
-  for (const auto& child : children_) {
+  for (auto& child : children_) {
     // Pull the child's entire subtree into the aggregate cache.
-    auto entries = child->search(child->suffix(), Scope::kSubtree, Filter::match_all());
-    if (!entries.ok()) return entries.error();
-    for (auto& entry : entries.value()) fresh.put(std::move(entry));
+    auto entries = child.backend->search(child.suffix, Scope::kSubtree,
+                                         Filter::match_all());
+    if (entries.ok()) {
+      child.last_entries = entries.value();
+      child.last_success = now;
+      for (auto& entry : entries.value()) fresh.put(std::move(entry));
+      continue;
+    }
+    // Stale-serve shield: a child that has answered before is served from
+    // its last good pull instead of failing the whole aggregate; its
+    // staleness is bounded by the lease that will eventually drop it. A
+    // child that has never answered still fails the search — that is a
+    // wiring error, not a transient.
+    if (child.last_success.count() < 0) return entries.error();
+    stale_served_.fetch_add(1, std::memory_order_relaxed);
+    for (const auto& entry : child.last_entries) fresh.put(entry);
   }
   cache_.clear();
   // An empty base DN is the root of every entry, so this moves the whole
   // freshly-built tree over.
   for (auto& entry : fresh.in_scope("", Scope::kSubtree)) cache_.put(std::move(entry));
   last_refresh_ = now;
+  publish_replication_locked();
   return Status::success();
+}
+
+void Giis::publish_replication_locked() {
+  if (replication_ == nullptr) return;
+  std::map<std::string, std::string> current;
+  std::vector<DirectoryEntry> changed;
+  for (auto& entry : cache_.in_scope("", Scope::kSubtree)) {
+    std::string wire = entry.serialize();
+    std::string dn = entry.dn;
+    auto it = published_.find(dn);
+    if (it == published_.end() || it->second != wire) changed.push_back(std::move(entry));
+    current[std::move(dn)] = std::move(wire);
+  }
+  // Write failures cannot fail the refresh (the authoritative apply is
+  // local and infallible for well-formed entries; replication fan-out is
+  // best-effort by design).
+  for (const auto& [dn, wire] : published_) {
+    if (current.find(dn) == current.end()) (void)replication_->erase(dn);
+  }
+  if (!changed.empty()) (void)replication_->put_batch(std::move(changed));
+  published_ = std::move(current);
 }
 
 Result<std::vector<DirectoryEntry>> Giis::search(const std::string& base, Scope scope,

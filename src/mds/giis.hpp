@@ -7,9 +7,18 @@
 // A Giis aggregates SearchBackends (Gris instances, remote proxies, or
 // other Giis — hierarchies compose). Searches are served from a cached
 // copy of all children's entries, refreshed when older than the cache TTL.
+//
+// Registrations may carry a lease (MDS soft-state registration): a child
+// that stops re-registering before its lease runs out is dropped at the
+// next refresh. Re-registering through the registration path replaces the
+// previous child with the same suffix — renewal and restart-recovery are
+// the same message, and duplicates cannot accumulate.
 #pragma once
 
+#include <map>
 #include <memory>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "common/clock.hpp"
@@ -19,13 +28,28 @@
 
 namespace ig::mds {
 
+class ReplicationCoordinator;
+
 class Giis final : public SearchBackend {
  public:
+  /// How a child is registered (MDS soft-state registration semantics).
+  struct Registration {
+    /// Registration lifetime; the child is dropped once `lease` elapses
+    /// without a renewal. nullopt = permanent (direct in-process wiring).
+    std::optional<Duration> lease;
+    /// Replace an existing child with the same suffix instead of
+    /// appending — re-registration then renews the lease in place. The
+    /// wire registration path sets this; direct wiring keeps appends
+    /// (sibling Giis legitimately share the "o=Grid" suffix).
+    bool replace = false;
+  };
+
   /// `vo_name` roots the aggregate at "vo=<name>, o=Grid".
   Giis(std::string vo_name, const Clock& clock, Duration cache_ttl = seconds(30));
 
   /// Register a child backend (GRIS registration in MDS terms).
   void register_child(std::shared_ptr<SearchBackend> child);
+  void register_child(std::shared_ptr<SearchBackend> child, Registration reg);
   std::size_t child_count() const;
 
   Result<std::vector<DirectoryEntry>> search(const std::string& base, Scope scope,
@@ -36,6 +60,17 @@ class Giis final : public SearchBackend {
   std::uint64_t cache_hits() const { return hits_.load(std::memory_order_relaxed); }
   std::uint64_t cache_misses() const { return misses_.load(std::memory_order_relaxed); }
 
+  /// Children dropped because their lease ran out unrenewed.
+  std::uint64_t expired_children() const {
+    return expired_.load(std::memory_order_relaxed);
+  }
+  /// Refresh pulls that failed but were shielded by the child's last
+  /// successful entry set (the aggregate stayed available, serving the
+  /// child stale instead of failing the whole search).
+  std::uint64_t stale_child_serves() const {
+    return stale_served_.load(std::memory_order_relaxed);
+  }
+
   const std::string& vo_name() const { return vo_name_; }
 
   /// Mirror searches and cache hit/miss into shared metrics
@@ -45,8 +80,31 @@ class Giis final : public SearchBackend {
     telemetry_ = std::move(telemetry);
   }
 
+  /// Publish the aggregate view into a replicated index after every
+  /// successful refresh: changed/new entries are put, disappeared DNs
+  /// erased — the diff keeps shard generations quiet when nothing moved.
+  /// Nullable to detach.
+  void set_replication(std::shared_ptr<ReplicationCoordinator> coordinator) {
+    MutexLock lock(mu_);
+    replication_ = std::move(coordinator);
+  }
+
  private:
+  struct Child {
+    std::shared_ptr<SearchBackend> backend;
+    std::string suffix;
+    std::optional<Duration> lease;
+    TimePoint registered_at{-1};
+    /// Stale-serve shield: the entries of the last successful pull, used
+    /// when a refresh pull fails so one dead child cannot take down the
+    /// whole aggregate. Staleness is bounded by the child's lease.
+    TimePoint last_success{-1};
+    std::vector<DirectoryEntry> last_entries;
+  };
+
   Status refresh_if_stale();
+  void prune_expired_locked(TimePoint now) IG_REQUIRES(mu_);
+  void publish_replication_locked() IG_REQUIRES(mu_);
 
   std::string vo_name_;
   const Clock& clock_;
@@ -57,12 +115,17 @@ class Giis final : public SearchBackend {
   /// cannot order that). Recursive acquisition of one instance is still
   /// caught by the validator.
   mutable Mutex mu_{lock_rank::kUnranked, "mds.Giis"};
-  std::vector<std::shared_ptr<SearchBackend>> children_ IG_GUARDED_BY(mu_);
+  std::vector<Child> children_ IG_GUARDED_BY(mu_);
   TimePoint last_refresh_ IG_GUARDED_BY(mu_){-1};
   Directory cache_ IG_GUARDED_BY(mu_);
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> expired_{0};
+  std::atomic<std::uint64_t> stale_served_{0};
   std::shared_ptr<obs::Telemetry> telemetry_ IG_GUARDED_BY(mu_);
+  std::shared_ptr<ReplicationCoordinator> replication_ IG_GUARDED_BY(mu_);
+  /// DN -> serialized entry as last pushed to the replicated index.
+  std::map<std::string, std::string> published_ IG_GUARDED_BY(mu_);
 };
 
 }  // namespace ig::mds

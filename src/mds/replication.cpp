@@ -1,0 +1,539 @@
+#include "mds/replication.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/id.hpp"
+#include "common/strings.hpp"
+#include "net/traced.hpp"
+
+namespace ig::mds {
+
+namespace {
+
+// Wire attribute names for ReplicationOp framing. "ig-" prefixed like the
+// other protocol-level attributes (ig-score), so they cannot collide with
+// provider attributes.
+constexpr const char* kGenAttr = "ig-gen";
+constexpr const char* kTombstoneAttr = "ig-tombstone";
+
+void count(const std::shared_ptr<obs::Telemetry>& telemetry, const char* name,
+           std::uint64_t n = 1) {
+  if (telemetry != nullptr && n > 0) telemetry->metrics().counter(name).add(n);
+}
+
+}  // namespace
+
+// ---- ShardMap --------------------------------------------------------------
+
+ShardMap::ShardMap(std::size_t shard_count)
+    : shard_count_(std::max<std::size_t>(1, shard_count)) {}
+
+std::string ShardMap::shard_key(const std::string& dn) {
+  std::vector<std::string> comps = dn_components(dn);
+  // The component just below the root names the resource/VO subtree;
+  // root-level DNs (and the root itself) share key "".
+  if (comps.size() < 2) return "";
+  return comps[comps.size() - 2];
+}
+
+std::size_t ShardMap::shard_of(const std::string& dn) const {
+  if (shard_count_ == 1) return 0;
+  return fnv1a(shard_key(dn)) % shard_count_;
+}
+
+// ---- ReplicationOp ---------------------------------------------------------
+
+std::string ReplicationOp::serialize() const {
+  DirectoryEntry wire = entry;
+  wire.attributes[kGenAttr] = {std::to_string(generation)};
+  if (tombstone) wire.attributes[kTombstoneAttr] = {"1"};
+  return wire.serialize();
+}
+
+Result<std::vector<ReplicationOp>> ReplicationOp::parse_all(const std::string& body) {
+  auto entries = DirectoryEntry::parse_all(body);
+  if (!entries.ok()) return entries.error();
+  std::vector<ReplicationOp> ops;
+  ops.reserve(entries->size());
+  for (auto& entry : entries.value()) {
+    ReplicationOp op;
+    auto gen = strings::parse_int(entry.first(kGenAttr));
+    if (!gen || *gen <= 0) {
+      return Error(ErrorCode::kParseError, "replication op missing ig-gen: " + entry.dn);
+    }
+    op.generation = static_cast<std::uint64_t>(*gen);
+    op.tombstone = entry.has(kTombstoneAttr);
+    entry.attributes.erase(kGenAttr);
+    entry.attributes.erase(kTombstoneAttr);
+    op.entry = std::move(entry);
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+// ---- ReplicaStore ----------------------------------------------------------
+
+ReplicaStore::ReplicaStore(std::size_t shard_count) {
+  shards_.reserve(std::max<std::size_t>(1, shard_count));
+  for (std::size_t i = 0; i < std::max<std::size_t>(1, shard_count); ++i) {
+    auto slot = std::make_unique<Slot>();
+    slot->cell.publish(std::make_shared<const ShardView>());
+    shards_.push_back(std::move(slot));
+  }
+}
+
+Status ReplicaStore::apply(std::size_t shard, std::uint64_t from_generation,
+                           const std::vector<ReplicationOp>& ops) {
+  if (shard >= shards_.size()) {
+    return Error(ErrorCode::kInvalidArgument, "unknown shard " + std::to_string(shard));
+  }
+  if (ops.empty()) {
+    return Error(ErrorCode::kInvalidArgument, "empty replication batch");
+  }
+  Slot& slot = *shards_[shard];
+  MutexLock lock(slot.apply_mu);
+  ShardViewPtr current = slot.cell.read();
+  if (current->generation != from_generation) {
+    return Error(ErrorCode::kStale,
+                 "replica at generation " + std::to_string(current->generation) +
+                     ", delta starts from " + std::to_string(from_generation));
+  }
+  auto next = std::make_shared<ShardView>();
+  next->entries = current->entries;  // one copy per batch, not per op
+  std::uint64_t gen = current->generation;
+  for (const auto& op : ops) {
+    if (op.generation != gen + 1) {
+      return Error(ErrorCode::kInvalidArgument,
+                   "misordered replication batch at generation " +
+                       std::to_string(op.generation));
+    }
+    gen = op.generation;
+    std::string dn = normalize_dn(op.entry.dn);
+    if (op.tombstone) {
+      next->entries.erase(dn);
+    } else {
+      DirectoryEntry entry = op.entry;
+      entry.dn = dn;
+      next->entries[dn] = std::move(entry);
+    }
+  }
+  next->generation = gen;
+  slot.cell.publish(std::move(next));
+  return Status::success();
+}
+
+Status ReplicaStore::install(std::size_t shard, ShardView view) {
+  if (shard >= shards_.size()) {
+    return Error(ErrorCode::kInvalidArgument, "unknown shard " + std::to_string(shard));
+  }
+  Slot& slot = *shards_[shard];
+  MutexLock lock(slot.apply_mu);
+  if (slot.cell.read()->generation >= view.generation) return Status::success();
+  slot.cell.publish(std::make_shared<const ShardView>(std::move(view)));
+  return Status::success();
+}
+
+ShardViewPtr ReplicaStore::view(std::size_t shard) const {
+  return shards_.at(shard)->cell.read();
+}
+
+std::uint64_t ReplicaStore::generation(std::size_t shard) const {
+  return view(shard)->generation;
+}
+
+std::vector<std::uint64_t> ReplicaStore::generations() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(shards_.size());
+  for (const auto& slot : shards_) out.push_back(slot->cell.read()->generation);
+  return out;
+}
+
+// ---- ReplicaServer ---------------------------------------------------------
+
+ReplicaServer::ReplicaServer(std::shared_ptr<ReplicaStore> store,
+                             std::shared_ptr<obs::Telemetry> telemetry)
+    : store_(std::move(store)), telemetry_(std::move(telemetry)) {}
+
+Status ReplicaServer::start(net::Network& network, const net::Address& address) {
+  network_ = &network;
+  address_ = address;
+  return network.listen(address, [this](const net::Message& req, net::Session& session) {
+    return net::serve_traced(telemetry_, req.verb, req, session,
+                             [this](const net::Message& r, net::Session& s) {
+                               return serve(r, s);
+                             });
+  });
+}
+
+void ReplicaServer::stop() {
+  if (network_ != nullptr) network_->close(address_);
+}
+
+net::Message ReplicaServer::serve(const net::Message& request, net::Session& session) {
+  (void)session;
+  if (request.verb == "REPL_STATUS") {
+    std::vector<std::string> gens;
+    for (std::uint64_t gen : store_->generations()) gens.push_back(std::to_string(gen));
+    net::Message resp = net::Message::ok();
+    resp.with("gens", strings::join(gens, ","));
+    return resp;
+  }
+  auto shard_no = strings::parse_int(request.header_or("shard", ""));
+  if (!shard_no || *shard_no < 0 ||
+      static_cast<std::size_t>(*shard_no) >= store_->shard_count()) {
+    return net::Message::error(
+        Error(ErrorCode::kInvalidArgument, "bad or missing shard header"));
+  }
+  std::size_t shard = static_cast<std::size_t>(*shard_no);
+  if (request.verb == "REPL_APPLY") {
+    auto from = strings::parse_int(request.header_or("from", ""));
+    if (!from || *from < 0) {
+      return net::Message::error(
+          Error(ErrorCode::kInvalidArgument, "bad or missing from header"));
+    }
+    auto ops = ReplicationOp::parse_all(request.body);
+    if (!ops.ok()) return net::Message::error(ops.error());
+    Status applied = store_->apply(shard, static_cast<std::uint64_t>(*from), ops.value());
+    if (!applied.ok()) {
+      // The error response still reports the replica's generation so the
+      // coordinator can diagnose the gap without a second round trip.
+      net::Message resp = net::Message::error(applied.error());
+      resp.with("gen", std::to_string(store_->generation(shard)));
+      return resp;
+    }
+    net::Message resp = net::Message::ok();
+    resp.with("gen", std::to_string(store_->generation(shard)));
+    return resp;
+  }
+  if (request.verb == "REPL_SYNC") {
+    auto gen = strings::parse_int(request.header_or("gen", ""));
+    if (!gen || *gen < 0) {
+      return net::Message::error(
+          Error(ErrorCode::kInvalidArgument, "bad or missing gen header"));
+    }
+    auto entries = DirectoryEntry::parse_all(request.body);
+    if (!entries.ok()) return net::Message::error(entries.error());
+    ShardView view;
+    view.generation = static_cast<std::uint64_t>(*gen);
+    for (auto& entry : entries.value()) {
+      std::string dn = normalize_dn(entry.dn);
+      entry.dn = dn;
+      view.entries[dn] = std::move(entry);
+    }
+    if (Status installed = store_->install(shard, std::move(view)); !installed.ok()) {
+      return net::Message::error(installed.error());
+    }
+    net::Message resp = net::Message::ok();
+    resp.with("gen", std::to_string(store_->generation(shard)));
+    return resp;
+  }
+  if (request.verb == "REPL_QUERY") {
+    auto scope = scope_from_string(request.header_or("scope", "sub"));
+    if (!scope.ok()) return net::Message::error(scope.error());
+    auto filter = Filter::parse(request.header_or("filter", Filter::match_all().to_string()));
+    if (!filter.ok()) return net::Message::error(filter.error());
+    std::string base = request.header_or("base", "o=Grid");
+    // The whole read is one snapshot read + an immutable-map search: no
+    // locks, no interaction with concurrent applies.
+    ShardViewPtr view = store_->view(shard);
+    std::vector<DirectoryEntry> hits = search(view->entries, base, scope.value(),
+                                              filter.value());
+    std::string body;
+    for (const auto& entry : hits) body += entry.serialize();
+    net::Message resp = net::Message::ok(std::move(body));
+    resp.with("count", std::to_string(hits.size()));
+    resp.with("gen", std::to_string(view->generation));
+    return resp;
+  }
+  return net::Message::error(
+      Error(ErrorCode::kInvalidArgument, "unknown replication verb: " + request.verb));
+}
+
+// ---- ReplicationCoordinator ------------------------------------------------
+
+ReplicationCoordinator::ReplicationCoordinator(net::Network& network,
+                                               CoordinatorOptions options)
+    : network_(network),
+      options_(options),
+      shard_map_(options.shard_count),
+      shards_(shard_map_.shard_count()) {}
+
+void ReplicationCoordinator::add_replica(const net::Address& address) {
+  MutexLock lock(mu_);
+  if (std::find(replicas_.begin(), replicas_.end(), address) != replicas_.end()) return;
+  replicas_.push_back(address);
+  acked_[address].assign(shard_map_.shard_count(), 0);
+}
+
+std::vector<net::Address> ReplicationCoordinator::replicas() const {
+  MutexLock lock(mu_);
+  return replicas_;
+}
+
+std::vector<net::Address> ReplicationCoordinator::replicas_for(std::size_t shard) const {
+  MutexLock lock(mu_);
+  std::vector<net::Address> out;
+  if (replicas_.empty()) return out;
+  std::size_t take = std::min(options_.replication_factor, replicas_.size());
+  for (std::size_t j = 0; j < take; ++j) {
+    out.push_back(replicas_[(shard + j) % replicas_.size()]);
+  }
+  return out;
+}
+
+void ReplicationCoordinator::append_locked(std::size_t shard, ReplicationOp op) {
+  ShardState& state = shards_[shard];
+  state.log.push_back(std::move(op));
+  while (state.log.size() > options_.op_log_limit) state.log.pop_front();
+}
+
+Status ReplicationCoordinator::put(DirectoryEntry entry) {
+  entry.dn = normalize_dn(entry.dn);
+  std::size_t shard = shard_map_.shard_of(entry.dn);
+  std::vector<net::Address> targets;
+  {
+    MutexLock lock(mu_);
+    ShardState& state = shards_[shard];
+    state.entries[entry.dn] = entry;
+    ReplicationOp op;
+    op.generation = ++state.generation;
+    op.entry = std::move(entry);
+    append_locked(shard, std::move(op));
+  }
+  for (const auto& replica : replicas_for(shard)) push_replica(shard, replica);
+  return Status::success();
+}
+
+Status ReplicationCoordinator::put_batch(std::vector<DirectoryEntry> entries) {
+  std::vector<bool> touched(shard_map_.shard_count(), false);
+  {
+    MutexLock lock(mu_);
+    for (auto& entry : entries) {
+      entry.dn = normalize_dn(entry.dn);
+      std::size_t shard = shard_map_.shard_of(entry.dn);
+      touched[shard] = true;
+      ShardState& state = shards_[shard];
+      state.entries[entry.dn] = entry;
+      ReplicationOp op;
+      op.generation = ++state.generation;
+      op.entry = std::move(entry);
+      append_locked(shard, std::move(op));
+    }
+  }
+  for (std::size_t shard = 0; shard < touched.size(); ++shard) {
+    if (!touched[shard]) continue;
+    for (const auto& replica : replicas_for(shard)) push_replica(shard, replica);
+  }
+  return Status::success();
+}
+
+Status ReplicationCoordinator::erase(const std::string& dn) {
+  std::string norm = normalize_dn(dn);
+  std::size_t shard = shard_map_.shard_of(norm);
+  {
+    MutexLock lock(mu_);
+    ShardState& state = shards_[shard];
+    if (state.entries.erase(norm) == 0) {
+      return Error(ErrorCode::kNotFound, "no entry: " + norm);
+    }
+    ReplicationOp op;
+    op.generation = ++state.generation;
+    op.tombstone = true;
+    op.entry.dn = norm;
+    append_locked(shard, std::move(op));
+  }
+  for (const auto& replica : replicas_for(shard)) push_replica(shard, replica);
+  return Status::success();
+}
+
+std::uint64_t ReplicationCoordinator::generation(std::size_t shard) const {
+  MutexLock lock(mu_);
+  return shards_.at(shard).generation;
+}
+
+std::vector<std::uint64_t> ReplicationCoordinator::generations() const {
+  MutexLock lock(mu_);
+  std::vector<std::uint64_t> out;
+  out.reserve(shards_.size());
+  for (const auto& state : shards_) out.push_back(state.generation);
+  return out;
+}
+
+std::size_t ReplicationCoordinator::size() const {
+  MutexLock lock(mu_);
+  std::size_t total = 0;
+  for (const auto& state : shards_) total += state.entries.size();
+  return total;
+}
+
+std::uint64_t ReplicationCoordinator::acked_generation(const net::Address& replica,
+                                                       std::size_t shard) const {
+  MutexLock lock(mu_);
+  auto it = acked_.find(replica);
+  if (it == acked_.end() || shard >= it->second.size()) return 0;
+  return it->second[shard];
+}
+
+void ReplicationCoordinator::set_fault_injector(std::shared_ptr<FaultInjector> injector) {
+  MutexLock lock(mu_);
+  fault_injector_ = std::move(injector);
+}
+
+void ReplicationCoordinator::set_telemetry(std::shared_ptr<obs::Telemetry> telemetry) {
+  MutexLock lock(mu_);
+  telemetry_ = std::move(telemetry);
+}
+
+void ReplicationCoordinator::count_apply_failure() {
+  apply_failures_.fetch_add(1, std::memory_order_relaxed);
+  std::shared_ptr<obs::Telemetry> telemetry;
+  {
+    MutexLock lock(mu_);
+    telemetry = telemetry_;
+  }
+  count(telemetry, obs::metric::kMdsReplicaApplyFailures);
+}
+
+bool ReplicationCoordinator::push_replica(std::size_t shard, const net::Address& replica) {
+  // Copy everything the push needs out of the lock: the send itself must
+  // run unlocked (the replica's handler executes in this thread).
+  std::uint64_t acked = 0;
+  std::uint64_t target = 0;
+  std::vector<ReplicationOp> delta;
+  ShardView full;
+  bool use_delta = false;
+  std::shared_ptr<FaultInjector> injector;
+  {
+    MutexLock lock(mu_);
+    ShardState& state = shards_[shard];
+    target = state.generation;
+    auto it = acked_.find(replica);
+    if (it == acked_.end()) return false;  // unknown replica
+    acked = it->second[shard];
+    if (acked >= target) return true;  // already current
+    // Delta replication if the op log still covers acked+1 .. target.
+    if (!state.log.empty() && state.log.front().generation <= acked + 1) {
+      use_delta = true;
+      for (const auto& op : state.log) {
+        if (op.generation > acked) delta.push_back(op);
+      }
+    } else {
+      full.generation = state.generation;
+      full.entries = state.entries;
+    }
+    injector = fault_injector_;
+  }
+
+  if (injector != nullptr) {
+    FaultDecision fault = injector->evaluate(fault_point::kMdsReplication);
+    if (fault.fire && fault.kind != FaultKind::kLatency) {
+      count_apply_failure();
+      return false;
+    }
+  }
+
+  auto conn = network_.connect(replica);
+  if (!conn.ok()) {
+    count_apply_failure();
+    return false;
+  }
+  net::Message req;
+  if (use_delta) {
+    req = net::Message("REPL_APPLY");
+    req.with("shard", std::to_string(shard));
+    req.with("from", std::to_string(acked));
+    std::string body;
+    for (const auto& op : delta) body += op.serialize();
+    req.body = std::move(body);
+  } else {
+    req = net::Message("REPL_SYNC");
+    req.with("shard", std::to_string(shard));
+    req.with("gen", std::to_string(full.generation));
+    std::string body;
+    for (const auto& [dn, entry] : full.entries) body += entry.serialize();
+    req.body = std::move(body);
+  }
+  auto resp = conn.value()->request(req);
+  if (!resp.ok() || resp->is_error()) {
+    count_apply_failure();
+    return false;
+  }
+  auto gen = strings::parse_int(resp->header_or("gen", ""));
+  std::uint64_t confirmed = gen && *gen > 0 ? static_cast<std::uint64_t>(*gen) : target;
+  {
+    MutexLock lock(mu_);
+    auto it = acked_.find(replica);
+    if (it != acked_.end() && confirmed > it->second[shard]) {
+      it->second[shard] = confirmed;
+    }
+  }
+  return confirmed >= target;
+}
+
+ReplicationCoordinator::AntiEntropyReport ReplicationCoordinator::run_anti_entropy() {
+  AntiEntropyReport report;
+  std::vector<net::Address> replicas;
+  std::shared_ptr<FaultInjector> injector;
+  std::shared_ptr<obs::Telemetry> telemetry;
+  {
+    MutexLock lock(mu_);
+    replicas = replicas_;
+    injector = fault_injector_;
+    telemetry = telemetry_;
+  }
+  count(telemetry, obs::metric::kMdsReplicaAntiEntropyRounds);
+
+  for (const auto& replica : replicas) {
+    if (injector != nullptr) {
+      FaultDecision fault = injector->evaluate(fault_point::kMdsReplication);
+      if (fault.fire && fault.kind != FaultKind::kLatency) {
+        ++report.unreachable;
+        continue;
+      }
+    }
+    auto conn = network_.connect(replica);
+    if (!conn.ok()) {
+      ++report.unreachable;
+      continue;
+    }
+    auto resp = conn.value()->request(net::Message("REPL_STATUS"));
+    if (!resp.ok() || resp->is_error()) {
+      ++report.unreachable;
+      continue;
+    }
+    ++report.replicas_checked;
+    // The replica's generation vector is authoritative for what it holds:
+    // a restarted (wiped) replica reports 0s, which rewinds our acked
+    // view and forces full re-syncs below.
+    std::vector<std::uint64_t> gens;
+    for (const auto& token : strings::split(resp->header_or("gens", ""), ',')) {
+      auto gen = strings::parse_int(std::string(strings::trim(token)));
+      gens.push_back(gen && *gen > 0 ? static_cast<std::uint64_t>(*gen) : 0);
+    }
+    {
+      MutexLock lock(mu_);
+      auto it = acked_.find(replica);
+      if (it != acked_.end()) {
+        for (std::size_t shard = 0; shard < it->second.size() && shard < gens.size();
+             ++shard) {
+          it->second[shard] = gens[shard];
+        }
+      }
+    }
+    for (std::size_t shard = 0; shard < shard_map_.shard_count(); ++shard) {
+      std::vector<net::Address> assigned = replicas_for(shard);
+      if (std::find(assigned.begin(), assigned.end(), replica) == assigned.end()) continue;
+      std::uint64_t have = shard < gens.size() ? gens[shard] : 0;
+      if (have >= generation(shard)) continue;
+      if (push_replica(shard, replica)) {
+        ++report.repairs;
+        anti_entropy_repairs_.fetch_add(1, std::memory_order_relaxed);
+        count(telemetry, obs::metric::kMdsReplicaAntiEntropyRepairs);
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace ig::mds

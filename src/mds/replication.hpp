@@ -1,0 +1,279 @@
+// Replicated, sharded directory index — the BDII-style remedy for the
+// MDS2 scaling story ("Performance Analysis of the Globus Toolkit
+// Monitoring and Discovery Service"; "A Fault Tolerant, Dynamic and Low
+// Latency BDII Architecture for Grids", PAPERS.md): the single in-process
+// directory becomes N shards, each replicated across simulated hosts over
+// ig::Network, so the index survives replica kills and partitions while
+// queries keep flowing.
+//
+// Roles:
+//
+//   ShardMap                 pure DN -> shard assignment (keyword/VO
+//                            prefix hashing; a keyword entry colocates
+//                            with its host/VO parent so scoped lookups
+//                            touch one shard).
+//   ReplicaStore             one host's replica state: per-shard
+//                            immutable ShardView published through
+//                            ig::SnapshotCell — queries are lock-free.
+//   ReplicaServer            wire front of a ReplicaStore (REPL_* verbs,
+//                            served through net::serve_traced so
+//                            replication hops appear in traces).
+//   ReplicationCoordinator   the single writer: authoritative shard
+//                            maps, per-shard generation counters and op
+//                            logs, asynchronous best-effort fan-out to
+//                            replicas, periodic anti-entropy repair.
+//
+// Consistency model: single-writer asynchronous replication. A write is
+// applied to the authoritative map first and pushed to replicas
+// best-effort — a replication failure never fails the write; the replica
+// just lags until the next push or anti-entropy round repairs it. Each
+// shard carries a monotonic generation; a replica's lag is the
+// coordinator generation minus the replica's, which bounds staleness by
+// the anti-entropy cadence (DESIGN.md §14).
+//
+// The replication channel has its own fault-injection point
+// (ig::fault_point::kMdsReplication) distinct from the client-facing
+// net.connect/net.request points, so chaos plans can partition
+// replication traffic independently of query traffic.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/error.hpp"
+#include "common/fault.hpp"
+#include "common/sync.hpp"
+#include "mds/filter.hpp"
+#include "net/network.hpp"
+#include "obs/telemetry.hpp"
+
+// Replica metric family. Same lint contract as the constants in
+// telemetry.hpp (tools/lint.py scans this header): every name is wired
+// to an instrumentation site and documented in DESIGN.md's metric table.
+namespace ig::obs::metric {
+inline constexpr const char* kMdsReplicaQueries = "mds.replica.queries";
+inline constexpr const char* kMdsReplicaFailover = "mds.replica.failover";
+inline constexpr const char* kMdsReplicaStaleRouted = "mds.replica.stale_routed";
+inline constexpr const char* kMdsReplicaApplyFailures = "mds.replica.apply.failures";
+inline constexpr const char* kMdsReplicaAntiEntropyRounds = "mds.replica.antientropy.rounds";
+inline constexpr const char* kMdsReplicaAntiEntropyRepairs =
+    "mds.replica.antientropy.repairs";
+}  // namespace ig::obs::metric
+
+namespace ig::mds {
+
+/// Pure DN -> shard assignment. The shard key is the RDN just below the
+/// root ("host=node7" in "kw=Memory, host=node7, o=Grid"), so every
+/// entry of one resource/VO subtree — and every base-scoped query for it
+/// — lands on the same shard. Root-level DNs hash to shard 0.
+class ShardMap {
+ public:
+  explicit ShardMap(std::size_t shard_count = 16);
+
+  std::size_t shard_count() const { return shard_count_; }
+
+  /// The shard key of `dn` ("" for root-level DNs).
+  static std::string shard_key(const std::string& dn);
+  std::size_t shard_of(const std::string& dn) const;
+
+  friend bool operator==(const ShardMap&, const ShardMap&) = default;
+
+ private:
+  std::size_t shard_count_;
+};
+
+/// One shard's immutable published state. A ShardView is never mutated
+/// after publication (SnapshotCell ownership rules, DESIGN.md §13).
+struct ShardView {
+  std::uint64_t generation = 0;
+  EntryMap entries;  ///< keyed by normalized DN
+};
+using ShardViewPtr = std::shared_ptr<const ShardView>;
+
+/// One replicated mutation: a put (full entry) or a tombstone (DN only),
+/// stamped with the shard generation it produces.
+struct ReplicationOp {
+  std::uint64_t generation = 0;
+  bool tombstone = false;
+  DirectoryEntry entry;  ///< tombstones carry only the DN
+
+  /// Wire form: the entry itself with ig-gen / ig-tombstone attributes
+  /// (reuses the LDIF entry framing of the MDS protocol).
+  std::string serialize() const;
+  static Result<std::vector<ReplicationOp>> parse_all(const std::string& body);
+};
+
+/// One simulated host's replica of every shard. Writers (the apply path)
+/// are serialized per shard; readers take one SnapshotCell::read() and
+/// never touch a mutex — the property the directory-scale bench gates.
+class ReplicaStore {
+ public:
+  explicit ReplicaStore(std::size_t shard_count);
+
+  std::size_t shard_count() const { return shards_.size(); }
+
+  /// Apply a delta batch that advances the shard from exactly
+  /// `from_generation`. kStale if the replica is not at that generation
+  /// (the coordinator then falls back to a full install), kInvalidArgument
+  /// for an unknown shard or an empty/misordered batch.
+  Status apply(std::size_t shard, std::uint64_t from_generation,
+               const std::vector<ReplicationOp>& ops);
+
+  /// Install a full shard state (anti-entropy catch-up / bootstrap).
+  /// Installs strictly newer generations; older ones are a no-op success
+  /// (a late full sync must not roll the replica back).
+  Status install(std::size_t shard, ShardView view);
+
+  /// The current published view (never null; shards start empty at
+  /// generation 0). Lock-free, allocation-free.
+  ShardViewPtr view(std::size_t shard) const;
+
+  std::uint64_t generation(std::size_t shard) const;
+  std::vector<std::uint64_t> generations() const;
+
+ private:
+  struct Slot {
+    /// Serializes apply/install; the SnapshotCell publish happens while
+    /// held (legal: kMdsReplicaStore < kSnapshotWriter is not required —
+    /// publish() takes no lock; only update() would).
+    Mutex apply_mu{lock_rank::kMdsReplicaStore, "mds.ReplicaStore"};
+    SnapshotCell<ShardView> cell;
+  };
+  std::vector<std::unique_ptr<Slot>> shards_;
+};
+
+/// Serves a ReplicaStore on the network. Verbs (all responses carry a
+/// `gen` header so callers can score freshness):
+///
+///   REPL_APPLY   headers shard, from; body = ReplicationOp batch
+///   REPL_SYNC    headers shard, gen; body = full entry list
+///   REPL_QUERY   headers shard, base, scope, filter; body = entries
+///   REPL_STATUS  response header gens = comma-joined per-shard generations
+///
+/// This is an intra-service channel between the coordinator, its
+/// replicas and the router — it skips the GSI handshake the client-facing
+/// MDS endpoint performs. Requests are served through net::serve_traced,
+/// so replication hops stitch into the caller's trace.
+class ReplicaServer {
+ public:
+  ReplicaServer(std::shared_ptr<ReplicaStore> store,
+                std::shared_ptr<obs::Telemetry> telemetry = nullptr);
+
+  Status start(net::Network& network, const net::Address& address);
+  void stop();
+
+  const net::Address& address() const { return address_; }
+  const std::shared_ptr<ReplicaStore>& store() const { return store_; }
+
+ private:
+  net::Message serve(const net::Message& request, net::Session& session);
+
+  std::shared_ptr<ReplicaStore> store_;
+  std::shared_ptr<obs::Telemetry> telemetry_;
+  net::Network* network_ = nullptr;
+  net::Address address_;
+};
+
+struct CoordinatorOptions {
+  std::size_t shard_count = 16;
+  /// Replicas per shard; with more registered replica hosts than this,
+  /// shard s lives on hosts (s + j) % hosts for j in [0, factor).
+  std::size_t replication_factor = 3;
+  /// Per-shard op-log window for delta replication; a replica further
+  /// behind than the window gets a full REPL_SYNC instead.
+  std::size_t op_log_limit = 256;
+};
+
+/// The single writer of the replicated index. Thread-safe; never holds
+/// its lock across a network send (ops are copied out first).
+class ReplicationCoordinator {
+ public:
+  ReplicationCoordinator(net::Network& network, CoordinatorOptions options = {});
+
+  const ShardMap& shard_map() const { return shard_map_; }
+  std::size_t shard_count() const { return shard_map_.shard_count(); }
+
+  /// Register a replica host (its ReplicaServer must be listening or the
+  /// first pushes will count as apply failures until anti-entropy finds
+  /// it). Registration order determines shard placement.
+  void add_replica(const net::Address& address);
+  std::vector<net::Address> replicas() const;
+  /// The replicas assigned to `shard` (all of them while the host count
+  /// is <= replication_factor).
+  std::vector<net::Address> replicas_for(std::size_t shard) const;
+
+  /// Write paths: apply to the authoritative map, then fan out
+  /// best-effort. Replication failures never fail the write.
+  Status put(DirectoryEntry entry);
+  Status put_batch(std::vector<DirectoryEntry> entries);
+  Status erase(const std::string& dn);
+
+  std::uint64_t generation(std::size_t shard) const;
+  std::vector<std::uint64_t> generations() const;
+  std::size_t size() const;
+
+  /// The last generation `replica` acknowledged for `shard` (0 if never).
+  std::uint64_t acked_generation(const net::Address& replica, std::size_t shard) const;
+
+  struct AntiEntropyReport {
+    std::size_t replicas_checked = 0;
+    std::size_t repairs = 0;      ///< shard/replica pairs brought up to date
+    std::size_t unreachable = 0;  ///< replicas whose status pull failed
+  };
+  /// One reconciliation round: pull every replica's generation vector,
+  /// re-push each lagging assigned shard (delta if the op log still
+  /// covers the gap, full sync otherwise). Deterministic — no background
+  /// thread; the owner decides the cadence (tests and benches drive it
+  /// explicitly, a deployment would tick it from its main loop).
+  AntiEntropyReport run_anti_entropy();
+
+  /// Cumulative counters (mirrored to telemetry when attached).
+  std::uint64_t apply_failures() const {
+    return apply_failures_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t anti_entropy_repairs() const {
+    return anti_entropy_repairs_.load(std::memory_order_relaxed);
+  }
+
+  /// Consult `injector` at fault_point::kMdsReplication before every
+  /// replication RPC: any non-latency fault fails the push (the write
+  /// stands; the replica lags until repaired). Latency faults proceed —
+  /// wire delay modeling belongs to the net.* points, which replication
+  /// traffic also traverses. Nullable to detach.
+  void set_fault_injector(std::shared_ptr<FaultInjector> injector);
+  void set_telemetry(std::shared_ptr<obs::Telemetry> telemetry);
+
+ private:
+  struct ShardState {
+    EntryMap entries;
+    std::uint64_t generation = 0;
+    std::deque<ReplicationOp> log;
+  };
+
+  void append_locked(std::size_t shard, ReplicationOp op) IG_REQUIRES(mu_);
+  /// Push everything `replica` is missing for `shard`. Returns true if
+  /// the replica acknowledged the current generation.
+  bool push_replica(std::size_t shard, const net::Address& replica);
+  void count_apply_failure();
+
+  net::Network& network_;
+  CoordinatorOptions options_;
+  ShardMap shard_map_;
+
+  mutable Mutex mu_{lock_rank::kMdsReplication, "mds.ReplicationCoordinator"};
+  std::vector<ShardState> shards_ IG_GUARDED_BY(mu_);
+  std::vector<net::Address> replicas_ IG_GUARDED_BY(mu_);
+  /// acked_[replica][shard] = last generation the replica confirmed.
+  std::map<net::Address, std::vector<std::uint64_t>> acked_ IG_GUARDED_BY(mu_);
+  std::shared_ptr<FaultInjector> fault_injector_ IG_GUARDED_BY(mu_);
+  std::shared_ptr<obs::Telemetry> telemetry_ IG_GUARDED_BY(mu_);
+
+  std::atomic<std::uint64_t> apply_failures_{0};
+  std::atomic<std::uint64_t> anti_entropy_repairs_{0};
+};
+
+}  // namespace ig::mds

@@ -1,0 +1,250 @@
+#include "mds/router.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+#include "info/obs_provider.hpp"
+
+namespace ig::mds {
+
+ReplicaRouter::ReplicaRouter(net::Network& network,
+                             std::shared_ptr<ReplicationCoordinator> coordinator,
+                             Clock& clock, RouterOptions options)
+    : network_(network),
+      coordinator_(std::move(coordinator)),
+      clock_(clock),
+      options_(options),
+      rng_(options.seed) {}
+
+void ReplicaRouter::set_telemetry(std::shared_ptr<obs::Telemetry> telemetry) {
+  MutexLock lock(mu_);
+  telemetry_ = std::move(telemetry);
+}
+
+void ReplicaRouter::count_metric(const char* name) {
+  std::shared_ptr<obs::Telemetry> telemetry;
+  {
+    MutexLock lock(mu_);
+    telemetry = telemetry_;
+  }
+  if (telemetry != nullptr) telemetry->metrics().counter(name).add();
+}
+
+ReplicaRouter::ReplicaHealth* ReplicaRouter::health(const net::Address& replica) {
+  MutexLock lock(mu_);
+  auto& slot = health_[replica];
+  if (slot == nullptr) {
+    slot = std::make_unique<ReplicaHealth>();
+    slot->breaker = std::make_unique<info::CircuitBreaker>(options_.breaker, clock_);
+    slot->seen_gens.assign(coordinator_->shard_count(), 0);
+  }
+  return slot.get();
+}
+
+std::vector<net::Address> ReplicaRouter::ordered_candidates(std::size_t shard) {
+  struct Scored {
+    net::Address addr;
+    bool reachable = false;
+    std::uint64_t lag = 0;
+    double ewma = 0.0;
+  };
+  std::uint64_t target = coordinator_->generation(shard);
+  std::vector<Scored> scored;
+  for (const auto& addr : coordinator_->replicas_for(shard)) {
+    Scored s;
+    s.addr = addr;
+    // One map lookup, no connect charge: known-dead endpoints sort last
+    // without burning an attempt.
+    s.reachable = network_.reachable(addr);
+    ReplicaHealth* h = health(addr);
+    {
+      MutexLock lock(mu_);
+      std::uint64_t seen = std::max(h->seen_gens[shard],
+                                    coordinator_->acked_generation(addr, shard));
+      s.lag = target > seen ? target - seen : 0;
+      s.ewma = h->ewma_latency_us;
+    }
+    scored.push_back(std::move(s));
+  }
+  // Freshest live first: reachability, then lag, then latency EWMA.
+  std::stable_sort(scored.begin(), scored.end(), [](const Scored& a, const Scored& b) {
+    if (a.reachable != b.reachable) return a.reachable;
+    if (a.lag != b.lag) return a.lag < b.lag;
+    return a.ewma < b.ewma;
+  });
+  std::vector<net::Address> out;
+  out.reserve(scored.size());
+  for (auto& s : scored) out.push_back(std::move(s.addr));
+  return out;
+}
+
+Result<std::vector<DirectoryEntry>> ReplicaRouter::query_shard(
+    std::size_t shard, const std::string& base, Scope scope, const Filter& filter,
+    std::optional<TimePoint> deadline_at) {
+  Error last_error(ErrorCode::kUnavailable,
+                   "no replica for shard " + std::to_string(shard));
+  bool attempted_any = false;
+  int max_passes = std::max(1, options_.retry.max_attempts);
+  for (int pass = 1; pass <= max_passes; ++pass) {
+    for (const auto& addr : ordered_candidates(shard)) {
+      if (deadline_at.has_value() && clock_.now() >= *deadline_at) {
+        return Error(ErrorCode::kTimeout,
+                     "replica query deadline exceeded for shard " + std::to_string(shard));
+      }
+      ReplicaHealth* h = health(addr);
+      // The breaker is consulted per attempt (not during ordering) so a
+      // half-open probe admission is spent on a real request.
+      if (!h->breaker->allow()) continue;
+      if (attempted_any) {
+        // Mid-query switch to another replica: the failover the chaos
+        // suite watches.
+        failovers_.fetch_add(1, std::memory_order_relaxed);
+        count_metric(obs::metric::kMdsReplicaFailover);
+      }
+      attempted_any = true;
+
+      auto attempt = [&]() -> Result<net::Message> {
+        auto conn = network_.connect(addr);
+        if (!conn.ok()) return conn.error();
+        net::Message req("REPL_QUERY");
+        req.with("shard", std::to_string(shard));
+        req.with("base", base);
+        req.with("scope", std::string(to_string(scope)));
+        req.with("filter", filter.to_string());
+        auto resp = conn.value()->request(req);
+        if (!resp.ok()) return resp.error();
+        if (resp->is_error()) return net::Message::to_error(*resp);
+        // Virtual wire time is the deterministic latency signal: real
+        // elapsed time would make routing depend on host noise.
+        double latency_us = static_cast<double>(conn.value()->stats().virtual_time.count());
+        MutexLock lock(mu_);
+        h->ewma_latency_us = h->ewma_latency_us == 0.0
+                                 ? latency_us
+                                 : 0.8 * h->ewma_latency_us + 0.2 * latency_us;
+        return resp;
+      }();
+
+      if (!attempt.ok()) {
+        h->breaker->record_failure();
+        {
+          MutexLock lock(mu_);
+          ++h->failures;
+        }
+        last_error = attempt.error();
+        continue;
+      }
+      h->breaker->record_success();
+      std::uint64_t served_gen = 0;
+      if (auto gen = strings::parse_int(attempt->header_or("gen", "")); gen && *gen > 0) {
+        served_gen = static_cast<std::uint64_t>(*gen);
+      }
+      {
+        MutexLock lock(mu_);
+        ++h->successes;
+        if (served_gen > h->seen_gens[shard]) h->seen_gens[shard] = served_gen;
+      }
+      if (served_gen < coordinator_->generation(shard)) {
+        stale_routed_.fetch_add(1, std::memory_order_relaxed);
+        count_metric(obs::metric::kMdsReplicaStaleRouted);
+      }
+      return DirectoryEntry::parse_all(attempt->body);
+    }
+    if (pass < max_passes) {
+      Duration backoff;
+      {
+        MutexLock lock(mu_);
+        backoff = info::retry_backoff(options_.retry, pass, rng_);
+      }
+      // Clock-injected, like ManagedProvider's retry loop: virtual under
+      // test clocks, real pacing in a deployment.
+      clock_.sleep_for(backoff);
+    }
+  }
+  return last_error;
+}
+
+Result<std::vector<DirectoryEntry>> ReplicaRouter::search(const std::string& base,
+                                                          Scope scope,
+                                                          const Filter& filter) {
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  count_metric(obs::metric::kMdsReplicaQueries);
+  std::optional<TimePoint> deadline_at;
+  if (options_.deadline.has_value()) deadline_at = clock_.now() + *options_.deadline;
+
+  // A base below the shard-key level pins the whole query to one shard;
+  // at or above it (the root, or an empty base) every shard may hold
+  // matching entries, so fan out and merge.
+  if (dn_components(base).size() >= 2) {
+    return query_shard(coordinator_->shard_map().shard_of(base), base, scope, filter,
+                       deadline_at);
+  }
+  std::vector<DirectoryEntry> merged;
+  for (std::size_t shard = 0; shard < coordinator_->shard_count(); ++shard) {
+    auto part = query_shard(shard, base, scope, filter, deadline_at);
+    if (!part.ok()) return part.error();
+    for (auto& entry : part.value()) merged.push_back(std::move(entry));
+  }
+  return merged;
+}
+
+Result<format::InfoRecord> ReplicaRouter::replicas_record() const {
+  format::InfoRecord record;
+  record.keyword = "replicas";
+  std::vector<std::uint64_t> gens = coordinator_->generations();
+  std::vector<net::Address> replicas = coordinator_->replicas();
+  record.add("shards", std::to_string(gens.size()));
+  record.add("replicas", std::to_string(replicas.size()));
+  record.add("queries", std::to_string(queries()));
+  record.add("failovers", std::to_string(failovers()));
+  record.add("stale_routed", std::to_string(stale_routed()));
+  for (std::size_t shard = 0; shard < gens.size(); ++shard) {
+    record.add("shard." + std::to_string(shard) + ":gen", std::to_string(gens[shard]));
+  }
+  for (const auto& addr : replicas) {
+    std::string key = addr.to_string();
+    record.add(key + ":reachable", network_.reachable(addr) ? "yes" : "no");
+    std::uint64_t max_lag = 0;
+    for (std::size_t shard = 0; shard < gens.size(); ++shard) {
+      auto assigned = coordinator_->replicas_for(shard);
+      if (std::find(assigned.begin(), assigned.end(), addr) == assigned.end()) continue;
+      std::uint64_t acked = coordinator_->acked_generation(addr, shard);
+      if (gens[shard] > acked) max_lag = std::max(max_lag, gens[shard] - acked);
+    }
+    record.add(key + ":lag", std::to_string(max_lag));
+    // Copy the health fields out of the router lock; breaker state is
+    // read after unlocking (the breaker's lock ranks below the router's).
+    info::CircuitBreaker* breaker = nullptr;
+    double ewma = 0.0;
+    std::uint64_t successes = 0;
+    std::uint64_t failures = 0;
+    {
+      MutexLock lock(mu_);
+      auto it = health_.find(addr);
+      if (it != health_.end()) {
+        breaker = it->second->breaker.get();
+        ewma = it->second->ewma_latency_us;
+        successes = it->second->successes;
+        failures = it->second->failures;
+      }
+    }
+    if (breaker == nullptr) {
+      record.add(key + ":breaker", "closed");
+      continue;
+    }
+    record.add(key + ":breaker", std::string(to_string(breaker->state())));
+    record.add(key + ":ewma_us", strings::format("%.1f", ewma));
+    record.add(key + ":successes", std::to_string(successes));
+    record.add(key + ":failures", std::to_string(failures));
+  }
+  return record;
+}
+
+Status register_replicas_provider(info::SystemMonitor& monitor,
+                                  std::shared_ptr<ReplicaRouter> router) {
+  return info::register_live_provider(
+      monitor, "replicas",
+      [router]() -> Result<format::InfoRecord> { return router->replicas_record(); },
+      "function:mds.replicas");
+}
+
+}  // namespace ig::mds

@@ -1,0 +1,125 @@
+// Freshest-live-replica query routing over the replicated shard index.
+//
+// The router is the read side of mds/replication.hpp: it implements
+// SearchBackend, so an MdsService can front a replicated index exactly
+// as it fronts a GRIS or GIIS. Each query resolves to one shard (or a
+// fan-out over all shards for root-based searches), and the router picks
+// among that shard's replicas by health — reachability first, then
+// replication lag, then an EWMA of observed virtual latency — reusing
+// the provider pipeline's resilience machinery (info::CircuitBreaker per
+// replica, info::retry_backoff between failover passes, a per-query
+// deadline on the injected clock).
+//
+// Mid-query failover: a failed attempt records into the replica's
+// breaker and the router moves to the next candidate inside the same
+// query (counted in mds.replica.failover). Serving from a replica whose
+// generation trails the coordinator is allowed — that is the
+// availability trade — but counted (mds.replica.stale_routed) and
+// bounded by the anti-entropy cadence.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+#include "common/sync.hpp"
+#include "format/record.hpp"
+#include "info/resilience.hpp"
+#include "info/system_monitor.hpp"
+#include "mds/gris.hpp"
+#include "mds/replication.hpp"
+
+namespace ig::mds {
+
+struct RouterOptions {
+  /// Failover pacing: after every candidate of a pass failed, the router
+  /// sleeps retry_backoff(retry, pass) on its clock and re-derives the
+  /// candidate list, up to retry.max_attempts passes per query.
+  info::RetryOptions retry{.max_attempts = 2, .initial_backoff = ms(1)};
+  /// Per-replica circuit breaker (fast-fails known-dead replicas).
+  info::BreakerOptions breaker{.failure_threshold = 3, .open_duration = ms(500)};
+  /// Per-query budget on the router's clock; nullopt = no deadline.
+  std::optional<Duration> deadline;
+  std::uint64_t seed = 1;  ///< backoff jitter stream
+};
+
+class ReplicaRouter final : public SearchBackend {
+ public:
+  ReplicaRouter(net::Network& network, std::shared_ptr<ReplicationCoordinator> coordinator,
+                Clock& clock, RouterOptions options = {});
+
+  /// Route a search to the freshest live replica of the base's shard.
+  /// Bases at or above the shard-key level fan out over every shard and
+  /// merge (one failing shard fails the aggregate, matching Giis
+  /// semantics; per-shard routing still fails over within each shard).
+  Result<std::vector<DirectoryEntry>> search(const std::string& base, Scope scope,
+                                             const Filter& filter) override;
+  std::string suffix() const override { return "o=Grid"; }
+
+  /// Cumulative routing counters (also mirrored to telemetry).
+  std::uint64_t queries() const { return queries_.load(std::memory_order_relaxed); }
+  std::uint64_t failovers() const { return failovers_.load(std::memory_order_relaxed); }
+  std::uint64_t stale_routed() const {
+    return stale_routed_.load(std::memory_order_relaxed);
+  }
+
+  /// Self-description for the TTL-0 `replicas` keyword: per-shard
+  /// coordinator generation, per-replica reachability / breaker state /
+  /// max lag / latency EWMA / success+failure counts.
+  Result<format::InfoRecord> replicas_record() const;
+
+  void set_telemetry(std::shared_ptr<obs::Telemetry> telemetry);
+
+  const std::shared_ptr<ReplicationCoordinator>& coordinator() const {
+    return coordinator_;
+  }
+
+ private:
+  struct ReplicaHealth {
+    std::unique_ptr<info::CircuitBreaker> breaker;
+    double ewma_latency_us = 0.0;
+    std::uint64_t successes = 0;
+    std::uint64_t failures = 0;
+    /// Highest generation this replica served us, per shard: the
+    /// router's own freshness estimate, updated on every response.
+    std::vector<std::uint64_t> seen_gens;
+  };
+
+  /// The health slot for `replica` (created closed/healthy on first use).
+  ReplicaHealth* health(const net::Address& replica);
+  std::vector<net::Address> ordered_candidates(std::size_t shard);
+  Result<std::vector<DirectoryEntry>> query_shard(std::size_t shard,
+                                                  const std::string& base, Scope scope,
+                                                  const Filter& filter,
+                                                  std::optional<TimePoint> deadline_at);
+  void count_metric(const char* name);
+
+  net::Network& network_;
+  std::shared_ptr<ReplicationCoordinator> coordinator_;
+  Clock& clock_;  ///< non-const: the failover backoff sleeps on it
+  RouterOptions options_;
+
+  /// Guards the health table and the backoff rng. Never held across a
+  /// replica RPC or a breaker call — breakers rank below kMdsRouter.
+  mutable Mutex mu_{lock_rank::kMdsRouter, "mds.ReplicaRouter"};
+  std::map<net::Address, std::unique_ptr<ReplicaHealth>> health_ IG_GUARDED_BY(mu_);
+  Rng rng_ IG_GUARDED_BY(mu_);
+  std::shared_ptr<obs::Telemetry> telemetry_ IG_GUARDED_BY(mu_);
+
+  std::atomic<std::uint64_t> queries_{0};
+  std::atomic<std::uint64_t> failovers_{0};
+  std::atomic<std::uint64_t> stale_routed_{0};
+};
+
+/// Register the TTL-0 `replicas` keyword on `monitor`, backed by
+/// `router`: the replicated index becomes self-describing through the
+/// same keyword machinery as every other information source.
+Status register_replicas_provider(info::SystemMonitor& monitor,
+                                  std::shared_ptr<ReplicaRouter> router);
+
+}  // namespace ig::mds

@@ -59,11 +59,21 @@ net::Message MdsService::serve(const net::Message& request, net::Session& sessio
       return net::Message::error(Error(ErrorCode::kInvalidArgument,
                                        "MDS_REGISTER needs suffix, host and port headers"));
     }
+    // Soft-state registration: an optional lease makes the entry expire
+    // unless the GRIS re-registers (which replaces the child in place —
+    // renewal and restart-recovery are the same message).
+    Giis::Registration reg;
+    reg.replace = true;
+    if (auto lease = ig::strings::parse_int(request.header_or("lease_ms", ""));
+        lease && *lease > 0) {
+      reg.lease = ms(*lease);
+    }
     // The aggregate pulls from the child with its own (host) credential.
     auto client = std::make_shared<MdsClient>(
         *network_, net::Address{*host, static_cast<int>(*port)}, credential_, *trust_,
         *clock_);
-    registrar_->register_child(std::make_shared<RemoteBackend>(std::move(client), *suffix));
+    registrar_->register_child(std::make_shared<RemoteBackend>(std::move(client), *suffix),
+                               reg);
     if (logger_ != nullptr) {
       logger_->log(logging::EventType::kAuth, session.authenticated_subject().value_or(""),
                    "", 0, "mds_register " + *suffix);
@@ -183,13 +193,16 @@ void MdsClient::disconnect() {
   }
 }
 
-Status MdsClient::register_backend(const std::string& suffix,
-                                   const net::Address& address) {
+Status MdsClient::register_backend(const std::string& suffix, const net::Address& address,
+                                   std::optional<Duration> lease) {
   if (auto status = ensure_connected(); !status.ok()) return status;
   net::Message req("MDS_REGISTER");
   req.with("suffix", suffix);
   req.with("host", address.host);
   req.with("port", std::to_string(address.port));
+  if (lease.has_value()) {
+    req.with("lease_ms", std::to_string(lease->count() / 1000));
+  }
   auto resp = connection_->request(req);
   if (!resp.ok()) return resp.error();
   if (resp->is_error()) return net::Message::to_error(*resp);

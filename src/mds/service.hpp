@@ -69,8 +69,11 @@ class MdsClient {
                                              const Filter& filter);
 
   /// Register a GRIS with the remote GIIS: the aggregate will pull
-  /// `suffix` from the MDS endpoint at `address` from now on.
-  Status register_backend(const std::string& suffix, const net::Address& address);
+  /// `suffix` from the MDS endpoint at `address` from now on. With a
+  /// lease, the registration is soft state: it expires unless renewed by
+  /// re-registering (which replaces the previous entry — no duplicates).
+  Status register_backend(const std::string& suffix, const net::Address& address,
+                          std::optional<Duration> lease = std::nullopt);
 
   /// Google-like keyword search (paper Sec. 3) over the remote directory;
   /// hits arrive ranked, score carried in the "ig-score" attribute.

@@ -44,7 +44,7 @@ Result<Message> Connection::request(const Message& req) {
   delta.bytes_sent = wire.size();
   delta.virtual_time = model.round_trip_latency + model.transfer_cost(wire.size());
 
-  FaultDecision fault = net_->evaluate_fault("net.request");
+  FaultDecision fault = net_->evaluate_fault(fault_point::kNetRequest);
   if (fault.fire) {
     if (fault.kind == FaultKind::kLatency) {
       delta.virtual_time += fault.latency;
@@ -133,7 +133,7 @@ Result<std::unique_ptr<Connection>> Network::connect(const Address& addr) {
       return Error(ErrorCode::kUnavailable, "network partition: " + addr.to_string());
     }
   }
-  FaultDecision fault = evaluate_fault("net.connect");
+  FaultDecision fault = evaluate_fault(fault_point::kNetConnect);
   if (fault.fire && fault.kind != FaultKind::kLatency) {
     if (span.has_value()) span->end("error:refused");
     return Error(ErrorCode::kUnavailable,
@@ -160,6 +160,12 @@ void Network::heal(const Address& addr) {
   MutexLock lock(mu_);
   auto it = endpoints_.find(addr);
   if (it != endpoints_.end()) it->second.partitioned = false;
+}
+
+bool Network::reachable(const Address& addr) const {
+  MutexLock lock(mu_);
+  auto it = endpoints_.find(addr);
+  return it != endpoints_.end() && !it->second.partitioned;
 }
 
 TrafficStats Network::total_stats() const {

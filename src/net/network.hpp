@@ -147,6 +147,12 @@ class Network {
   void partition(const Address& addr);
   void heal(const Address& addr);
 
+  /// Cheap liveness probe: is someone listening at `addr` and not
+  /// partitioned off? Costs one map lookup, no connect charge — replica
+  /// routers use it to skip known-dead endpoints before paying for a
+  /// connection (and its failure accounting).
+  bool reachable(const Address& addr) const;
+
   const CostModel& cost_model() const { return model_; }
 
   /// Aggregate traffic across all connections ever made on this network.

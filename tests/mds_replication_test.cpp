@@ -1,0 +1,634 @@
+// Replicated, sharded directory layer: shard assignment, replica apply/
+// install semantics, coordinator fan-out and anti-entropy repair, the
+// freshest-live-replica router, and the chaos scenarios the robustness
+// story rests on — replica kills, partitions and registration churn with
+// the registry continuously queryable throughout.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/fault.hpp"
+#include "info/obs_provider.hpp"
+#include "info/provider.hpp"
+#include "info/system_monitor.hpp"
+#include "mds/giis.hpp"
+#include "mds/gris.hpp"
+#include "mds/replication.hpp"
+#include "mds/router.hpp"
+#include "mds/service.hpp"
+#include "test_util.hpp"
+
+namespace ig::mds {
+namespace {
+
+DirectoryEntry make_entry(const std::string& dn,
+                          std::map<std::string, std::string> attrs = {}) {
+  DirectoryEntry entry;
+  entry.dn = dn;
+  entry.add("objectclass", "Test");
+  for (auto& [k, v] : attrs) entry.add(k, v);
+  return entry;
+}
+
+// ---------- ShardMap ----------
+
+TEST(ShardMapTest, SubtreeEntriesColocate) {
+  ShardMap map(8);
+  EXPECT_EQ(ShardMap::shard_key("kw=Memory, host=a, o=Grid"), "host=a");
+  EXPECT_EQ(ShardMap::shard_key("host=a, o=Grid"), "host=a");
+  EXPECT_EQ(ShardMap::shard_key("o=Grid"), "");
+  // Every entry of one host subtree — and a base query for it — must land
+  // on the same shard, or scoped lookups would touch several replicas.
+  EXPECT_EQ(map.shard_of("kw=Memory, host=a, o=Grid"), map.shard_of("host=a, o=Grid"));
+  EXPECT_EQ(map.shard_of("kw=CPU, host=a, o=Grid"), map.shard_of("host=a, o=Grid"));
+}
+
+TEST(ShardMapTest, SpreadsHostsAndClampsCount) {
+  ShardMap map(8);
+  std::set<std::size_t> used;
+  for (int i = 0; i < 64; ++i) {
+    used.insert(map.shard_of("host=node" + std::to_string(i) + ", o=Grid"));
+  }
+  EXPECT_GT(used.size(), 4u);  // fnv1a should not collapse 64 hosts badly
+  ShardMap one(0);             // count is clamped to >= 1
+  EXPECT_EQ(one.shard_count(), 1u);
+  EXPECT_EQ(one.shard_of("host=a, o=Grid"), 0u);
+}
+
+// ---------- ReplicationOp ----------
+
+TEST(ReplicationOpTest, SerializeParseRoundtrip) {
+  ReplicationOp put;
+  put.generation = 7;
+  put.entry = make_entry("kw=Memory, host=a, o=Grid", {{"total", "512"}});
+  ReplicationOp tomb;
+  tomb.generation = 8;
+  tomb.tombstone = true;
+  tomb.entry.dn = "kw=CPU, host=a, o=Grid";
+  auto parsed = ReplicationOp::parse_all(put.serialize() + tomb.serialize());
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)[0].generation, 7u);
+  EXPECT_FALSE((*parsed)[0].tombstone);
+  EXPECT_EQ((*parsed)[0].entry, put.entry);  // framing attrs stripped again
+  EXPECT_EQ((*parsed)[1].generation, 8u);
+  EXPECT_TRUE((*parsed)[1].tombstone);
+}
+
+TEST(ReplicationOpTest, ParseRejectsMissingGeneration) {
+  EXPECT_FALSE(ReplicationOp::parse_all(make_entry("kw=X, o=Grid").serialize()).ok());
+}
+
+// ---------- ReplicaStore ----------
+
+std::vector<ReplicationOp> ops_from(std::uint64_t first_gen,
+                                    std::vector<DirectoryEntry> entries) {
+  std::vector<ReplicationOp> ops;
+  for (auto& entry : entries) {
+    ReplicationOp op;
+    op.generation = first_gen++;
+    op.entry = std::move(entry);
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+TEST(ReplicaStoreTest, AppliesDeltasAndRejectsGaps) {
+  ReplicaStore store(2);
+  std::size_t shard = 0;
+  ASSERT_TRUE(store.apply(shard, 0, ops_from(1, {make_entry("host=a, o=Grid")})).ok());
+  EXPECT_EQ(store.generation(shard), 1u);
+  // A delta from the wrong base generation is stale, not applied.
+  auto stale = store.apply(shard, 5, ops_from(6, {make_entry("host=b, o=Grid")}));
+  EXPECT_EQ(stale.code(), ErrorCode::kStale);
+  // A batch whose ops skip a generation is rejected outright.
+  auto gap = store.apply(shard, 1, ops_from(3, {make_entry("host=b, o=Grid")}));
+  EXPECT_EQ(gap.code(), ErrorCode::kInvalidArgument);
+  // Tombstones erase; the view reflects the surviving set.
+  std::vector<ReplicationOp> ops = ops_from(2, {make_entry("host=b, o=Grid")});
+  ReplicationOp tomb;
+  tomb.generation = 3;
+  tomb.tombstone = true;
+  tomb.entry.dn = "host=a, o=Grid";
+  ops.push_back(tomb);
+  ASSERT_TRUE(store.apply(shard, 1, ops).ok());
+  ShardViewPtr view = store.view(shard);
+  EXPECT_EQ(view->generation, 3u);
+  EXPECT_EQ(view->entries.size(), 1u);
+  EXPECT_EQ(view->entries.count("host=b, o=Grid"), 1u);
+}
+
+TEST(ReplicaStoreTest, InstallNeverRollsBack) {
+  ReplicaStore store(1);
+  ShardView fresh;
+  fresh.generation = 10;
+  fresh.entries["host=a, o=Grid"] = make_entry("host=a, o=Grid");
+  ASSERT_TRUE(store.install(0, fresh).ok());
+  EXPECT_EQ(store.generation(0), 10u);
+  // A late, older full sync must not rewind the replica.
+  ShardView old;
+  old.generation = 4;
+  ASSERT_TRUE(store.install(0, old).ok());
+  EXPECT_EQ(store.generation(0), 10u);
+  EXPECT_EQ(store.view(0)->entries.size(), 1u);
+}
+
+// ---------- Coordinator + replica servers over the network ----------
+
+class ReplicationFixture : public ig::test::GridFixture {
+ protected:
+  /// Bring up `replica_count` replica servers and a coordinator that
+  /// knows them all.
+  void start_cluster(std::size_t replica_count, CoordinatorOptions options = {}) {
+    coordinator = std::make_shared<ReplicationCoordinator>(*network, options);
+    for (std::size_t i = 0; i < replica_count; ++i) {
+      net::Address addr{"replica" + std::to_string(i) + ".sim", 2137};
+      auto store = std::make_shared<ReplicaStore>(coordinator->shard_count());
+      auto server = std::make_shared<ReplicaServer>(store);
+      ASSERT_TRUE(server->start(*network, addr).ok());
+      stores.push_back(store);
+      servers.push_back(server);
+      addrs.push_back(addr);
+      coordinator->add_replica(addr);
+    }
+  }
+
+  std::shared_ptr<ReplicationCoordinator> coordinator;
+  std::vector<std::shared_ptr<ReplicaStore>> stores;
+  std::vector<std::shared_ptr<ReplicaServer>> servers;
+  std::vector<net::Address> addrs;
+};
+
+TEST_F(ReplicationFixture, PutFansOutToAssignedReplicas) {
+  CoordinatorOptions options;
+  options.shard_count = 4;
+  options.replication_factor = 3;
+  start_cluster(3, options);
+  ASSERT_TRUE(coordinator->put(make_entry("host=a, o=Grid", {{"hostname", "a"}})).ok());
+  ASSERT_TRUE(coordinator->put(make_entry("kw=Memory, host=a, o=Grid")).ok());
+  std::size_t shard = coordinator->shard_map().shard_of("host=a, o=Grid");
+  // With 3 hosts and factor 3 every replica holds every shard.
+  for (std::size_t i = 0; i < stores.size(); ++i) {
+    EXPECT_EQ(stores[i]->generation(shard), 2u) << "replica " << i;
+    EXPECT_EQ(stores[i]->view(shard)->entries.size(), 2u) << "replica " << i;
+    EXPECT_EQ(coordinator->acked_generation(addrs[i], shard), 2u) << "replica " << i;
+  }
+  EXPECT_EQ(coordinator->apply_failures(), 0u);
+}
+
+TEST_F(ReplicationFixture, EraseReplicatesTombstones) {
+  start_cluster(2);
+  ASSERT_TRUE(coordinator->put(make_entry("host=a, o=Grid")).ok());
+  ASSERT_TRUE(coordinator->erase("host=a, o=Grid").ok());
+  EXPECT_EQ(coordinator->erase("host=a, o=Grid").code(), ErrorCode::kNotFound);
+  std::size_t shard = coordinator->shard_map().shard_of("host=a, o=Grid");
+  for (const auto& store : stores) {
+    EXPECT_EQ(store->generation(shard), 2u);
+    EXPECT_TRUE(store->view(shard)->entries.empty());
+  }
+  EXPECT_EQ(coordinator->size(), 0u);
+}
+
+TEST_F(ReplicationFixture, AntiEntropyCatchesUpPartitionedReplica) {
+  CoordinatorOptions options;
+  options.shard_count = 2;
+  options.op_log_limit = 2;  // force the gap past delta range -> full sync
+  start_cluster(2, options);
+  network->partition(addrs[1]);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(coordinator->put(make_entry("host=node" + std::to_string(i) + ", o=Grid")).ok());
+  }
+  EXPECT_GT(coordinator->apply_failures(), 0u);  // pushes to the dead replica
+  EXPECT_EQ(stores[1]->generations(), std::vector<std::uint64_t>(2, 0));
+
+  network->heal(addrs[1]);
+  auto report = coordinator->run_anti_entropy();
+  EXPECT_EQ(report.unreachable, 0u);
+  EXPECT_EQ(report.replicas_checked, 2u);
+  EXPECT_GT(report.repairs, 0u);
+  EXPECT_EQ(coordinator->anti_entropy_repairs(), report.repairs);
+  EXPECT_EQ(stores[1]->generations(), coordinator->generations());
+}
+
+TEST_F(ReplicationFixture, AntiEntropyResyncsWipedReplica) {
+  start_cluster(2);
+  ASSERT_TRUE(coordinator->put(make_entry("host=a, o=Grid")).ok());
+  ASSERT_TRUE(coordinator->put(make_entry("host=b, o=Grid")).ok());
+
+  // Simulated replica restart: same address, empty store. The coordinator
+  // still believes the old acked generations — only anti-entropy's status
+  // pull (authoritative for what the replica holds) can notice the wipe.
+  servers[1]->stop();
+  stores[1] = std::make_shared<ReplicaStore>(coordinator->shard_count());
+  servers[1] = std::make_shared<ReplicaServer>(stores[1]);
+  ASSERT_TRUE(servers[1]->start(*network, addrs[1]).ok());
+
+  auto report = coordinator->run_anti_entropy();
+  EXPECT_GT(report.repairs, 0u);
+  EXPECT_EQ(stores[1]->generations(), coordinator->generations());
+  EXPECT_EQ(stores[1]->view(coordinator->shard_map().shard_of("host=a, o=Grid"))
+                ->entries.count("host=a, o=Grid"),
+            1u);
+}
+
+// ---------- Router ----------
+
+class RouterFixture : public ReplicationFixture {
+ protected:
+  std::shared_ptr<ReplicaRouter> make_router(RouterOptions options = {}) {
+    return std::make_shared<ReplicaRouter>(*network, coordinator, *clock, options);
+  }
+};
+
+TEST_F(RouterFixture, RoutesScopedQueryToOneShardAndFansOutRoot) {
+  start_cluster(3);
+  ASSERT_TRUE(coordinator->put(make_entry("host=a, o=Grid", {{"hostname", "a"}})).ok());
+  ASSERT_TRUE(coordinator->put(make_entry("kw=Memory, host=a, o=Grid")).ok());
+  ASSERT_TRUE(coordinator->put(make_entry("host=b, o=Grid", {{"hostname", "b"}})).ok());
+  auto router = make_router();
+
+  auto scoped = router->search("host=a, o=Grid", Scope::kSubtree, Filter::match_all());
+  ASSERT_TRUE(scoped.ok());
+  EXPECT_EQ(scoped->size(), 2u);
+
+  auto all = router->search("o=Grid", Scope::kSubtree, Filter::match_all());
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 3u);
+  EXPECT_EQ(router->queries(), 2u);
+  EXPECT_EQ(router->failovers(), 0u);
+}
+
+TEST_F(RouterFixture, ReachabilityOrderingAvoidsDeadReplicasWithoutFailover) {
+  start_cluster(3);
+  ASSERT_TRUE(coordinator->put(make_entry("host=a, o=Grid")).ok());
+  auto router = make_router();
+  // Kill every replica but one: wherever the ordering starts, queries end
+  // on the survivor and still succeed — without burning an attempt on the
+  // dead ones (reachability sorts them last).
+  network->partition(addrs[0]);
+  network->partition(addrs[1]);
+  auto hits = router->search("host=a, o=Grid", Scope::kBase, Filter::match_all());
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 1u);
+  EXPECT_EQ(router->failovers(), 0u);
+}
+
+TEST_F(RouterFixture, FailsOverMidQueryWhenPreferredAttemptFails) {
+  start_cluster(2);
+  ASSERT_TRUE(coordinator->put(make_entry("host=a, o=Grid")).ok());
+  // The preferred replica looks alive to the ordering but its request
+  // fails (one injected wire fault): the router must move to the next
+  // candidate inside the same query and still answer.
+  FaultPlan plan;
+  plan.seed = 9;
+  FaultSpec once;
+  once.kind = FaultKind::kError;
+  once.probability = 1.0;
+  once.max_fires = 1;
+  plan.add(std::string(fault_point::kNetRequest), once);
+  network->set_fault_injector(std::make_shared<FaultInjector>(plan));
+
+  auto router = make_router();
+  auto hits = router->search("host=a, o=Grid", Scope::kBase, Filter::match_all());
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 1u);
+  EXPECT_EQ(router->failovers(), 1u);
+}
+
+TEST_F(RouterFixture, AllReplicasDownFailsAfterRetries) {
+  start_cluster(2);
+  ASSERT_TRUE(coordinator->put(make_entry("host=a, o=Grid")).ok());
+  for (const auto& addr : addrs) network->partition(addr);
+  auto router = make_router();
+  TimePoint before = clock->now();
+  auto hits = router->search("host=a, o=Grid", Scope::kBase, Filter::match_all());
+  ASSERT_FALSE(hits.ok());
+  EXPECT_GT(clock->now(), before);  // backoff between failover passes
+  EXPECT_GT(router->failovers(), 0u);
+}
+
+TEST_F(RouterFixture, CountsStaleServes) {
+  start_cluster(2);
+  ASSERT_TRUE(coordinator->put(make_entry("host=a, o=Grid")).ok());
+  // Block the replication channel, then write: every replica now trails
+  // the coordinator, so the next read is a (counted) stale serve.
+  FaultPlan plan;
+  plan.seed = 3;
+  FaultSpec block;
+  block.kind = FaultKind::kError;
+  block.probability = 1.0;
+  plan.add(std::string(fault_point::kMdsReplication), block);
+  coordinator->set_fault_injector(std::make_shared<FaultInjector>(plan));
+  ASSERT_TRUE(coordinator->put(make_entry("host=a, o=Grid", {{"hostname", "a2"}})).ok());
+
+  auto router = make_router();
+  auto hits = router->search("host=a, o=Grid", Scope::kBase, Filter::match_all());
+  ASSERT_TRUE(hits.ok());  // availability over freshness
+  EXPECT_EQ(router->stale_routed(), 1u);
+}
+
+TEST_F(RouterFixture, DeadlineBoundsQuery) {
+  start_cluster(1);
+  ASSERT_TRUE(coordinator->put(make_entry("host=a, o=Grid")).ok());
+  network->partition(addrs[0]);
+  RouterOptions options;
+  options.deadline = Duration(0);  // expires immediately: no attempts at all
+  auto router = make_router(options);
+  auto hits = router->search("host=a, o=Grid", Scope::kBase, Filter::match_all());
+  ASSERT_FALSE(hits.ok());
+  EXPECT_EQ(hits.code(), ErrorCode::kTimeout);
+}
+
+TEST_F(RouterFixture, ReplicasKeywordReportsHealthAndLag) {
+  start_cluster(2);
+  ASSERT_TRUE(coordinator->put(make_entry("host=a, o=Grid")).ok());
+  auto router = make_router();
+  ASSERT_TRUE(router->search("host=a, o=Grid", Scope::kBase, Filter::match_all()).ok());
+  network->partition(addrs[1]);
+
+  auto monitor = std::make_shared<info::SystemMonitor>(*clock, "test.sim");
+  ASSERT_TRUE(register_replicas_provider(*monitor, router).ok());
+  auto provider = monitor->provider("replicas");
+  ASSERT_NE(provider, nullptr);
+  EXPECT_EQ(provider->ttl(), Duration(0));  // TTL-0: always live
+
+  auto record = provider->get(rsl::ResponseMode::kCached);
+  ASSERT_TRUE(record.ok());
+  const format::Attribute* shards = record->find("replicas:shards");
+  ASSERT_NE(shards, nullptr);
+  EXPECT_EQ(shards->value, std::to_string(coordinator->shard_count()));
+  const format::Attribute* up = record->find(addrs[0].to_string() + ":reachable");
+  ASSERT_NE(up, nullptr);
+  EXPECT_EQ(up->value, "yes");
+  const format::Attribute* down = record->find(addrs[1].to_string() + ":reachable");
+  ASSERT_NE(down, nullptr);
+  EXPECT_EQ(down->value, "no");
+  EXPECT_NE(record->find(addrs[0].to_string() + ":breaker"), nullptr);
+  EXPECT_NE(record->find("replicas:queries"), nullptr);
+}
+
+// ---------- Chaos: kills, partitions, churn at registry scale ----------
+
+class ReplicationChaosTest : public RouterFixture {
+ protected:
+  static constexpr std::size_t kHosts = 10000;
+
+  void load_registry() {
+    std::vector<DirectoryEntry> entries;
+    entries.reserve(kHosts);
+    for (std::size_t i = 0; i < kHosts; ++i) {
+      entries.push_back(make_entry("host=node" + std::to_string(i) + ", o=Grid",
+                                   {{"hostname", "node" + std::to_string(i)}}));
+    }
+    ASSERT_TRUE(coordinator->put_batch(std::move(entries)).ok());
+  }
+
+  /// Sampled base-scope lookups; every one must succeed (the registry is
+  /// "continuously queryable": zero kUnavailable for healthy shards).
+  void assert_all_queryable(ReplicaRouter& router) {
+    for (std::size_t i = 0; i < kHosts; i += kHosts / 40) {
+      std::string base = "host=node" + std::to_string(i) + ", o=Grid";
+      auto hits = router.search(base, Scope::kBase, Filter::match_all());
+      ASSERT_TRUE(hits.ok()) << base << ": " << hits.error().to_string();
+      ASSERT_EQ(hits->size(), 1u) << base;
+    }
+  }
+};
+
+TEST_F(ReplicationChaosTest, RegistryStaysQueryableThroughAnySingleReplicaKill) {
+  CoordinatorOptions options;
+  options.shard_count = 8;
+  options.replication_factor = 3;
+  start_cluster(3, options);
+  load_registry();
+  auto router = make_router();
+
+  // Kill each replica in turn: with factor 3 every shard keeps two live
+  // copies, so no query may fail.
+  for (std::size_t victim = 0; victim < addrs.size(); ++victim) {
+    network->partition(addrs[victim]);
+    assert_all_queryable(*router);
+    network->heal(addrs[victim]);
+  }
+  EXPECT_GT(router->queries(), 0u);
+}
+
+TEST_F(ReplicationChaosTest, PartitionHealCycleConvergesViaAntiEntropy) {
+  CoordinatorOptions options;
+  options.shard_count = 8;
+  options.replication_factor = 3;
+  start_cluster(3, options);
+  load_registry();
+  auto router = make_router();
+
+  // Partition one replica, keep writing: it lags, queries keep flowing.
+  network->partition(addrs[2]);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(coordinator
+                    ->put(make_entry("host=churn" + std::to_string(i) + ", o=Grid"))
+                    .ok());
+  }
+  assert_all_queryable(*router);
+  EXPECT_GT(coordinator->apply_failures(), 0u);
+
+  // Heal + one anti-entropy round: the stale replica converges, which is
+  // exactly the staleness bound the design promises (one cadence).
+  network->heal(addrs[2]);
+  auto report = coordinator->run_anti_entropy();
+  EXPECT_GT(report.repairs, 0u);
+  EXPECT_EQ(stores[2]->generations(), coordinator->generations());
+  assert_all_queryable(*router);
+}
+
+TEST_F(ReplicationChaosTest, SeededReplicationFaultPlanIsDeterministic) {
+  FaultPlan plan;
+  plan.seed = 42;
+  FaultSpec flaky;
+  flaky.kind = FaultKind::kError;
+  flaky.probability = 0.5;
+  plan.add(std::string(fault_point::kMdsReplication), flaky);
+
+  auto run = [&plan]() {
+    net::Network isolated;
+    auto coordinator = std::make_shared<ReplicationCoordinator>(isolated);
+    auto injector = std::make_shared<FaultInjector>(plan);
+    coordinator->set_fault_injector(injector);
+    std::vector<std::shared_ptr<ReplicaServer>> servers;
+    for (int i = 0; i < 3; ++i) {
+      net::Address addr{"replica" + std::to_string(i) + ".sim", 2137};
+      auto server = std::make_shared<ReplicaServer>(
+          std::make_shared<ReplicaStore>(coordinator->shard_count()));
+      EXPECT_TRUE(server->start(isolated, addr).ok());
+      coordinator->add_replica(addr);
+      servers.push_back(std::move(server));
+    }
+    for (int i = 0; i < 40; ++i) {
+      EXPECT_TRUE(
+          coordinator->put(make_entry("host=node" + std::to_string(i) + ", o=Grid")).ok());
+    }
+    (void)coordinator->run_anti_entropy();
+    return std::pair{injector->history_digest(), coordinator->apply_failures()};
+  };
+
+  auto [digest_a, failures_a] = run();
+  auto [digest_b, failures_b] = run();
+  EXPECT_GT(failures_a, 0u);  // the plan actually bit
+  EXPECT_EQ(digest_a, digest_b);
+  EXPECT_EQ(failures_a, failures_b);
+}
+
+// ---------- Chaos: GIIS registration churn ----------
+
+class GiisChurnChaosTest : public ig::test::GridFixture {
+ protected:
+  std::shared_ptr<info::SystemMonitor> make_monitor(const std::string& host) {
+    auto monitor = std::make_shared<info::SystemMonitor>(*clock, host);
+    info::ProviderOptions options;
+    options.ttl = seconds(3600);
+    EXPECT_TRUE(monitor
+                    ->add_source(std::make_shared<info::CommandSource>(
+                                     "Memory", "/sbin/sysinfo.exe -mem", registry),
+                                 options)
+                    .ok());
+    return monitor;
+  }
+};
+
+TEST_F(GiisChurnChaosTest, LeaseExpiresUnlessRenewedByReRegistration) {
+  Giis giis("vo", *clock, Duration(0));  // no caching: every search refreshes
+  Giis::Registration lease;
+  lease.lease = seconds(10);
+  lease.replace = true;
+  auto gris_a = std::make_shared<Gris>(make_monitor("a.sim"), "a.sim", *clock);
+  auto gris_b = std::make_shared<Gris>(make_monitor("b.sim"), "b.sim", *clock);
+  giis.register_child(gris_a, lease);
+  giis.register_child(gris_b, lease);
+  ASSERT_EQ(giis.child_count(), 2u);
+
+  auto both = giis.search("o=Grid", Scope::kSubtree, *Filter::parse("(kw=Memory)"));
+  ASSERT_TRUE(both.ok());
+  EXPECT_EQ(both->size(), 2u);
+
+  // Only a keeps renewing; b's registration ages out.
+  clock->advance(seconds(6));
+  giis.register_child(gris_a, lease);
+  clock->advance(seconds(6));
+  auto after = giis.search("o=Grid", Scope::kSubtree, *Filter::parse("(kw=Memory)"));
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->size(), 1u);
+  EXPECT_EQ(giis.child_count(), 1u);
+  EXPECT_EQ(giis.expired_children(), 1u);
+
+  // Re-registration is also restart recovery: b comes back, no duplicate.
+  giis.register_child(gris_b, lease);
+  giis.register_child(gris_b, lease);
+  EXPECT_EQ(giis.child_count(), 2u);
+  auto back = giis.search("o=Grid", Scope::kSubtree, *Filter::parse("(kw=Memory)"));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->size(), 2u);
+}
+
+TEST_F(GiisChurnChaosTest, WireReRegistrationReplacesAfterGrisRestart) {
+  auto gris = std::make_shared<Gris>(make_monitor("a.sim"), "a.sim", *clock);
+  auto service = std::make_unique<MdsService>(gris, host_cred, &trust, clock.get(), logger);
+  ASSERT_TRUE(service->start(*network, {"a.sim", 2136}).ok());
+
+  auto giis = std::make_shared<Giis>("vo", *clock, Duration(0));
+  MdsService vo_service(giis, host_cred, &trust, clock.get(), logger, giis);
+  ASSERT_TRUE(vo_service.start(*network, {"vo.sim", 2136}).ok());
+
+  MdsClient reg(*network, {"vo.sim", 2136}, alice, trust, *clock);
+  ASSERT_TRUE(reg.register_backend("host=a.sim, o=Grid", {"a.sim", 2136}, seconds(30)).ok());
+  ASSERT_TRUE(reg.register_backend("host=a.sim, o=Grid", {"a.sim", 2136}, seconds(30)).ok());
+  EXPECT_EQ(giis->child_count(), 1u);  // renewal replaced, never appended
+
+  MdsClient client(*network, {"vo.sim", 2136}, alice, trust, *clock);
+  auto before = client.search("o=Grid", Scope::kSubtree, *Filter::parse("(kw=Memory)"));
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->size(), 1u);
+
+  // GRIS restart: the endpoint goes away and comes back with fresh state;
+  // in-flight aggregate queries keep working off the stale-child shield,
+  // and one re-registration re-attaches it.
+  service->stop();
+  clock->advance(seconds(1));
+  auto during = client.search("o=Grid", Scope::kSubtree, *Filter::parse("(kw=Memory)"));
+  ASSERT_TRUE(during.ok());  // shielded: last good pull, not an error
+  EXPECT_EQ(during->size(), 1u);
+  EXPECT_GT(giis->stale_child_serves(), 0u);
+
+  gris = std::make_shared<Gris>(make_monitor("a.sim"), "a.sim", *clock);
+  service = std::make_unique<MdsService>(gris, host_cred, &trust, clock.get(), logger);
+  ASSERT_TRUE(service->start(*network, {"a.sim", 2136}).ok());
+  ASSERT_TRUE(reg.register_backend("host=a.sim, o=Grid", {"a.sim", 2136}, seconds(30)).ok());
+  EXPECT_EQ(giis->child_count(), 1u);
+  auto after = client.search("o=Grid", Scope::kSubtree, *Filter::parse("(kw=Memory)"));
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->size(), 1u);
+}
+
+TEST_F(GiisChurnChaosTest, ChurnUnderInFlightQueries) {
+  auto giis = std::make_shared<Giis>("vo", *clock, ms(5));
+  Giis::Registration lease;
+  lease.lease = seconds(60);
+  lease.replace = true;
+  auto gris_a = std::make_shared<Gris>(make_monitor("a.sim"), "a.sim", *clock);
+  auto gris_b = std::make_shared<Gris>(make_monitor("b.sim"), "b.sim", *clock);
+  giis->register_child(gris_a, lease);
+  giis->register_child(gris_b, lease);
+
+  // Readers hammer the aggregate while the main thread churns
+  // registrations and advances time across lease renewals: every search
+  // must succeed and see at least the surviving child.
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> failures{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        auto hits = giis->search("o=Grid", Scope::kSubtree, Filter::match_all());
+        if (!hits.ok() || hits->empty()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (int round = 0; round < 50; ++round) {
+    giis->register_child(round % 2 == 0 ? gris_a : gris_b, lease);
+    clock->advance(ms(7));  // past the cache TTL: forces refresh under churn
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& reader : readers) reader.join();
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ(giis->child_count(), 2u);  // renewals replaced in place
+}
+
+TEST_F(GiisChurnChaosTest, GiisPublishesAggregateDiffToReplicatedIndex) {
+  auto coordinator = std::make_shared<ReplicationCoordinator>(*network);
+  Giis giis("vo", *clock, ms(5));
+  giis.set_replication(coordinator);
+  Giis::Registration lease;
+  lease.lease = seconds(10);
+  lease.replace = true;
+  giis.register_child(std::make_shared<Gris>(make_monitor("a.sim"), "a.sim", *clock),
+                      lease);
+
+  ASSERT_TRUE(giis.search("o=Grid", Scope::kSubtree, Filter::match_all()).ok());
+  std::size_t populated = coordinator->size();
+  EXPECT_GT(populated, 0u);  // vo root + host subtree
+  std::vector<std::uint64_t> gens = coordinator->generations();
+
+  // An unchanged refresh publishes nothing: generations stay quiet.
+  clock->advance(ms(7));
+  ASSERT_TRUE(giis.search("o=Grid", Scope::kSubtree, Filter::match_all()).ok());
+  EXPECT_EQ(coordinator->generations(), gens);
+
+  // Lease expiry erases the host subtree from the replicated index too.
+  clock->advance(seconds(11));
+  ASSERT_TRUE(giis.search("o=Grid", Scope::kSubtree, Filter::match_all()).ok());
+  EXPECT_LT(coordinator->size(), populated);
+}
+
+}  // namespace
+}  // namespace ig::mds

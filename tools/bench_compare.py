@@ -17,10 +17,16 @@ Exit status is a contract CI keys off (a bare `|| warn` guard would
 swallow enforced gates and broken inputs alike):
 
     0   no gating metric regressed
-    1   advisory regression — CI surfaces a warning and keeps going
+    1   advisory regression — CI surfaces a warning and keeps going; a
+        baseline file that does not exist yet lands here too (a brand-new
+        bench has nothing to compare against: that is missing coverage to
+        surface, not broken input to fail on — check a baseline in via
+        tools/update_baselines.sh to close it)
     2   regression under --enforce — CI must fail the job
     3   unreadable/malformed input — CI must fail the job (a silently
-        skipped comparison is worse than a loud one)
+        skipped comparison is worse than a loud one; an existing-but-
+        corrupt baseline or a missing candidate is a harness bug, unlike
+        a baseline nobody has generated yet)
 
 When $GITHUB_STEP_SUMMARY is set, the comparison table is also appended
 there as GitHub-flavoured markdown, so the numbers land in the job
@@ -115,6 +121,19 @@ def main():
         help="exit 2 (hard CI failure) instead of 1 (advisory) on regression",
     )
     args = parser.parse_args()
+
+    if not os.path.exists(args.baseline):
+        # No baseline checked in yet: advisory, never bad-input. The
+        # candidate must still exist — a bench that failed to write its
+        # report is a real failure either way.
+        if not os.path.exists(args.candidate):
+            die(f"cannot read {args.candidate}: no such file")
+        print(
+            f"advisory: baseline {args.baseline} does not exist; nothing to "
+            f"compare. Generate one with tools/update_baselines.sh and "
+            f"commit it."
+        )
+        return EXIT_ADVISORY
 
     base_name, base = load(args.baseline)
     cand_name, cand = load(args.candidate)

@@ -13,6 +13,9 @@
 #            the continuous-profiler overhead gate (<= 5% over tracing)
 #   snapshot snapshot suites (ctest -R Snapshot) + bench_snapshot_read,
 #            the zero-lock/zero-alloc cache-hit gate (>= 2x paired speedup)
+#   directory  replicated-directory suites (shard/replica/router/churn) +
+#            bench_directory_scale, the near-flat-p99-at-10x-registry gate
+#            (<= 1.5x growth, zero failed lookups under replica kill)
 #
 #   tools/check.sh                  # lint + release + asan + tsan + tsa + tidy
 #   tools/check.sh --fast           # lint + release only
@@ -23,6 +26,7 @@
 #   tools/check.sh --tidy           # lint + tidy
 #   tools/check.sh --profile        # lint + profile
 #   tools/check.sh --snapshot       # lint + snapshot
+#   tools/check.sh --directory      # lint + directory
 #   tools/check.sh --tsa --tidy ... # flags combine; each adds its leg
 #
 # The tsa and tidy legs need clang/clang-tidy on PATH; when absent they
@@ -34,13 +38,15 @@ set -euo pipefail
 PROFILE_FILTER='Profile'
 # Test-name filter selecting the snapshot-publication suites.
 SNAPSHOT_FILTER='Snapshot'
+# Test-name filter selecting the replicated-directory suites.
+DIRECTORY_FILTER='ShardMap|ReplicationOp|ReplicaStore|Replication|Router|GiisChurn'
 
 cd "$(dirname "$0")/.."
 jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
 
 # ---- leg selection ---------------------------------------------------------
 run_release=0 run_asan=0 run_tsan=0 run_tsa=0 run_tidy=0 run_chaos=0 run_profile=0
-run_snapshot=0
+run_snapshot=0 run_directory=0
 if [ "$#" -eq 0 ]; then
   # Default gate: every leg except chaos (whose suites the sanitizer legs
   # already include); tsa/tidy skip themselves when clang is absent.
@@ -56,8 +62,9 @@ for arg in "$@"; do
     --chaos) run_chaos=1 ;;
     --profile) run_profile=1 ;;
     --snapshot) run_snapshot=1 ;;
+    --directory) run_directory=1 ;;
     *)
-      echo "usage: tools/check.sh [--fast|--asan|--tsan|--tsa|--tidy|--chaos|--profile|--snapshot]..." >&2
+      echo "usage: tools/check.sh [--fast|--asan|--tsan|--tsa|--tidy|--chaos|--profile|--snapshot|--directory]..." >&2
       exit 2
       ;;
   esac
@@ -197,6 +204,17 @@ if [ "${run_snapshot}" -eq 1 ]; then
   echo "==> bench_snapshot_read (zero-lock/zero-alloc cache-hit gate)"
   (cd build-check && ./bench/bench_snapshot_read --json --enforce)
   note snapshot pass
+fi
+if [ "${run_directory}" -eq 1 ]; then
+  echo "==> configure build-check (Release, directory leg)"
+  cmake -B build-check -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+  echo "==> build build-check"
+  cmake --build build-check -j "${jobs}" >/dev/null
+  echo "==> ctest build-check (replicated-directory suites)"
+  ctest --test-dir build-check --output-on-failure -j "${jobs}" -R "${DIRECTORY_FILTER}"
+  echo "==> bench_directory_scale (near-flat p99 at 10x registry gate)"
+  (cd build-check && ./bench/bench_directory_scale --json --enforce)
+  note directory pass
 fi
 
 print_summary

@@ -138,8 +138,13 @@ def check_metrics() -> list[str]:
     """Every metric constant is instrumented somewhere and documented."""
     findings = []
     # Every header declaring an `ig::obs::metric` namespace block; the
-    # profiler's constants (obs.profile.*) live next to the profiler.
-    headers = [SRC / "obs" / "telemetry.hpp", SRC / "obs" / "profile.hpp"]
+    # profiler's constants (obs.profile.*) live next to the profiler and
+    # the replication layer's (mds.replica.*) next to the coordinator.
+    headers = [
+        SRC / "obs" / "telemetry.hpp",
+        SRC / "obs" / "profile.hpp",
+        SRC / "mds" / "replication.hpp",
+    ]
     design = (REPO / "DESIGN.md").read_text(encoding="utf-8")
     constants: list[tuple[Path, str, str]] = []
     for header in headers:

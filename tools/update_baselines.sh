@@ -27,6 +27,7 @@ BENCHES=(
   bench_trace_overhead
   bench_profile_overhead
   bench_snapshot_read
+  bench_directory_scale
 )
 
 if [ ! -f "${BUILD_DIR}/CMakeCache.txt" ]; then
