@@ -1,0 +1,262 @@
+// E-TAIL — tail-based trace retention overhead on the request pipeline.
+//
+// Three identical InfoGram stacks on the wall clock, all with telemetry
+// at the production default (1 in kDefaultTraceSampling head-sampled),
+// differing only in the tail layer:
+//   head_only    tail_sampling = false: the PR-8 head-only regime — the
+//                baseline the gate is measured against
+//   tail         tail_sampling = true (the shipped default): every
+//                head-declined request opens a provisional trace in the
+//                holding ring and is classified at finish
+//   tail_faulty  tail regime with 1 in kFaultEvery ops erroring —
+//                informational: shows the anomaly path (verdict, ring
+//                promotion, retention) while clean traffic still
+//                discards; NOT part of the gate, since the error path
+//                itself (envelope, no payload) costs differently
+//
+// All serve the same TTL-0 info workload through submit_async; providers
+// cost nothing, so the measured delta is the tail machinery itself — the
+// provisional TraceContext allocation, the holding-ring insert, and the
+// classify-at-finish verdict — the worst case, since real provider work
+// only dilutes it. Stacks run requests inline (worker_threads = 0) for
+// the same reason bench_trace_overhead does: pool wake jitter swamps
+// sub-µs deltas and the machinery under test is identical either way.
+//
+// Measurement protocol (shared with bench_trace_overhead): short slices
+// of every stack interleave within each round, rotating start order;
+// every overhead is the MEDIAN over rounds of the PAIRED per-round ratio
+// against the baseline slice of the same round.
+//
+// Acceptance (ISSUE 9): <= 5% ops/sec regression for `tail` over
+// `head_only` — the price of 100% anomaly retention on a clean workload.
+// With --enforce the bench exits 2 when the gate is missed (the
+// enforced-gate code bench_compare.py and check.sh treat as hard fail).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "info/provider.hpp"
+#include "obs/telemetry.hpp"
+
+using namespace ig;  // NOLINT
+
+namespace {
+
+constexpr int kKeywords = 16;
+constexpr int kRounds = 36;        // one interleaved slice of each series per round
+constexpr int kOpsPerBatch = 250;  // sequential submit_async round-trips per slice
+constexpr int kFaultEvery = 8;     // tail_faulty: every 8th op on a keyword errors
+
+std::string burn_keyword(int i) { return "burn" + std::to_string(i % kKeywords); }
+
+/// One inline-execution stack on the wall clock, telemetry always on.
+struct TailStack {
+  WallClock& clock = WallClock::instance();
+  std::unique_ptr<security::CertificateAuthority> ca;
+  security::TrustStore trust;
+  security::GridMap gridmap;
+  security::AuthorizationPolicy policy{security::Decision::kAllow};
+  security::Credential host_cred;
+  std::shared_ptr<logging::Logger> logger;
+  std::shared_ptr<exec::SimSystem> system;
+  std::shared_ptr<exec::CommandRegistry> registry;
+  std::shared_ptr<info::SystemMonitor> monitor;
+  std::shared_ptr<exec::ForkBackend> backend;
+  std::shared_ptr<obs::Telemetry> telemetry;
+  std::unique_ptr<core::InfoGramService> service;
+
+  TailStack(bool tail, bool faulty) {
+    ca = std::make_unique<security::CertificateAuthority>(
+        "/O=Grid/CN=Bench CA", seconds(365LL * 86400), clock, 7);
+    trust.add_root(ca->root_certificate());
+    host_cred = ca->issue("/O=Grid/CN=host/tail.sim", security::CertType::kHost,
+                          seconds(365LL * 86400));
+    gridmap.add("/O=Grid/CN=bench", "bench");
+    logger = std::make_shared<logging::Logger>(clock);
+    system = std::make_shared<exec::SimSystem>(clock, 7, "tail.sim");
+    registry = exec::CommandRegistry::standard(clock, system, 7);
+    monitor = std::make_shared<info::SystemMonitor>(clock, "tail.sim");
+    for (int i = 0; i < kKeywords; ++i) {
+      std::string kw = burn_keyword(i);
+      auto calls = std::make_shared<std::atomic<std::uint64_t>>(0);
+      auto source = std::make_shared<info::FunctionSource>(
+          kw,
+          [kw, faulty, calls]() -> Result<format::InfoRecord> {
+            if (faulty && calls->fetch_add(1) % kFaultEvery == kFaultEvery - 1) {
+              return Error(ErrorCode::kUnavailable, "injected fault");
+            }
+            format::InfoRecord record;
+            record.keyword = kw;
+            record.add("value", "1");
+            return record;
+          },
+          "function:" + kw);
+      // TTL 0: every op pays the full resolve path, nothing amortizes.
+      if (!monitor->add_source(source, info::ProviderOptions{.ttl = Duration{0}}).ok()) {
+        std::abort();
+      }
+    }
+    backend = std::make_shared<exec::ForkBackend>(registry, clock);
+    core::InfoGramConfig config;
+    config.host = "tail.sim";
+    config.worker_threads = 0;  // inline: isolate tail cost from pool wake jitter
+    config.queue_depth = kOpsPerBatch + 64;
+    telemetry = std::make_shared<obs::Telemetry>(clock, "tail.sim");
+    config.telemetry = telemetry;
+    config.tail_sampling = tail;
+    service = std::make_unique<core::InfoGramService>(monitor, backend, host_cred,
+                                                      &trust, &gridmap, &policy, &clock,
+                                                      logger, config);
+  }
+};
+
+rsl::XrslRequest parse_or_die(const std::string& body) {
+  auto parsed = rsl::XrslRequest::parse(body);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "bad RSL %s: %s\n", body.c_str(),
+                 parsed.error().to_string().c_str());
+    std::abort();
+  }
+  return parsed.value();
+}
+
+/// One sequential batch; appends the batch's per-op microseconds to
+/// `batch_us` and to the JSON report. Injected faults come back as error
+/// results by design — count them, don't abort.
+bool run_batch(TailStack& stack, const std::string& series, bench::JsonReport& report,
+               std::vector<double>& batch_us, std::uint64_t& errors) {
+  auto begin = std::chrono::steady_clock::now();
+  for (int i = 0; i < kOpsPerBatch; ++i) {
+    auto result = stack.service
+                      ->submit_async(parse_or_die("(info=" + burn_keyword(i) + ")"),
+                                     "/O=Grid/CN=bench", "bench")
+                      .get();
+    if (!result.ok()) ++errors;
+  }
+  auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - begin);
+  double per_op = static_cast<double>(elapsed.count()) / kOpsPerBatch;
+  batch_us.push_back(per_op);
+  for (int i = 0; i < kOpsPerBatch; ++i) report.add(series, per_op);
+  return true;
+}
+
+/// Median: scheduling blips only ever ADD time, so the median slice is
+/// the robust estimate where a sum would charge one preempted slice to
+/// the whole series.
+double median(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  std::size_t n = values.size();
+  if (n == 0) return 0.0;
+  return n % 2 == 1 ? values[n / 2] : (values[n / 2 - 1] + values[n / 2]) / 2.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::JsonReport report("tail_sampling", argc, argv);
+  bool enforce = false;  // --enforce: exit 2 when the gate is missed
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--enforce") enforce = true;
+  }
+  bench::header("E-TAIL: request pipeline with and without tail retention (wall clock)");
+
+  struct Series {
+    const char* name;
+    TailStack stack;
+    std::vector<double> slice_us;  // per-round per-op microseconds
+    std::uint64_t errors = 0;
+  };
+  Series series[] = {
+      {"head_only", TailStack(/*tail=*/false, /*faulty=*/false)},
+      {"tail", TailStack(/*tail=*/true, /*faulty=*/false)},
+      {"tail_faulty", TailStack(/*tail=*/true, /*faulty=*/true)},
+  };
+  constexpr int kSeries = 3;
+
+  // Warm all stacks untimed (first-touch allocation, lazy schema).
+  std::vector<double> sink;
+  std::uint64_t warm_errors = 0;
+  bench::JsonReport warm_report("tail_sampling_warm", 0, nullptr);
+  for (Series& s : series) {
+    if (!run_batch(s.stack, "warm", warm_report, sink, warm_errors)) return 1;
+  }
+  for (int round = 0; round < kRounds; ++round) {
+    // Rotate the start so no series always runs first after the round
+    // boundary (cache/frequency state is position-dependent).
+    for (int i = 0; i < kSeries; ++i) {
+      Series& s = series[(round + i) % kSeries];
+      if (!run_batch(s.stack, s.name, report, s.slice_us, s.errors)) return 1;
+    }
+  }
+
+  const double ops = static_cast<double>(kRounds) * kOpsPerBatch;
+  auto ops_per_sec = [](const Series& s) {
+    double med = median(s.slice_us);
+    return med > 0.0 ? 1e6 / med : 0.0;
+  };
+  // Paired estimator: each round contributes one overhead sample against
+  // the baseline slice it ran next to; the median over rounds is immune
+  // to the slow drift that biases whole-series aggregates.
+  auto overhead_pct = [&series](const Series& s, int baseline) {
+    const Series& b = series[baseline];
+    std::vector<double> ratios;
+    for (std::size_t r = 0; r < s.slice_us.size() && r < b.slice_us.size(); ++r) {
+      if (b.slice_us[r] > 0.0) {
+        ratios.push_back((s.slice_us[r] / b.slice_us[r] - 1.0) * 100.0);
+      }
+    }
+    return median(std::move(ratios));
+  };
+
+  std::printf("%-12s %12s %14s %14s %14s\n", "series", "ops", "median(us/op)",
+              "ops/sec", "vs head_only");
+  bench::rule(72);
+  for (const Series& s : series) {
+    std::printf("%-12s %12.0f %14.3f %14.1f %13.2f%%\n", s.name, ops,
+                median(s.slice_us), ops_per_sec(s), overhead_pct(s, 0));
+  }
+
+  // The acceptance metric: what does classifying every head-declined
+  // request cost on a clean workload?
+  double tail_pct = overhead_pct(series[1], 0);
+  std::printf("\ntail retention on clean traffic, over head-only: %.2f%% (target <= 5%%)\n",
+              tail_pct);
+
+  // Retention bookkeeping (informational): clean traffic discards, every
+  // injected fault is retained with a verdict.
+  for (int i = 1; i < kSeries; ++i) {
+    const Series& s = series[i];
+    const obs::TailSampler* tail = s.stack.telemetry->tail();
+    if (tail == nullptr) continue;
+    std::printf(
+        "%-12s errors=%llu retained=%llu discarded=%llu evicted=%llu\n", s.name,
+        static_cast<unsigned long long>(s.errors),
+        static_cast<unsigned long long>(tail->retained()),
+        static_cast<unsigned long long>(tail->discarded()),
+        static_cast<unsigned long long>(tail->evicted()));
+  }
+  const obs::TailSampler* faulty_tail = series[2].stack.telemetry->tail();
+  if (faulty_tail != nullptr && series[2].errors > 0 &&
+      faulty_tail->retained() < series[2].errors) {
+    std::printf("WARNING: tail_faulty retained %llu < %llu injected faults\n",
+                static_cast<unsigned long long>(faulty_tail->retained()),
+                static_cast<unsigned long long>(series[2].errors));
+  }
+
+  std::printf(
+      "\nExpected shape: the holding-ring insert and classify-at-finish\n"
+      "verdict are O(1) per request, so `tail` tracks `head_only` within\n"
+      "noise while the faulty series shows 100%% of its errors retained.\n"
+      "Providers cost nothing here, so the percentage is the worst case.\n");
+  if (enforce && tail_pct > 5.0) {
+    std::fprintf(stderr, "GATE MISS: tail overhead %.2f%% > 5%% over head_only\n",
+                 tail_pct);
+    return 2;  // enforced-gate code (matches bench_compare.py's contract)
+  }
+  return 0;
+}

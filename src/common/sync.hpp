@@ -101,6 +101,7 @@ inline constexpr int kSnapshotWriter = 700;  ///< SnapshotCell<T> writer mutex
 // Observability (called from everywhere; must be innermost of the
 // service-visible layers).
 inline constexpr int kTraceContext = 800;    ///< one trace's span list
+inline constexpr int kTailSampler = 810;     ///< tail-retention holding ring
 inline constexpr int kTraceStore = 820;      ///< completed-trace ring
 inline constexpr int kSlo = 830;             ///< SLO engine (snapshots metrics)
 inline constexpr int kMetrics = 840;         ///< MetricsRegistry + histograms

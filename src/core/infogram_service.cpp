@@ -63,6 +63,15 @@ InfoGramService::InfoGramService(std::shared_ptr<info::SystemMonitor> monitor,
     // The deployment's sampling rate (default: 1 in kDefaultTraceSampling
     // roots). Metrics stay 100%; only span retention is sampled.
     config_.telemetry->set_trace_sampling(config_.trace_sample_every);
+    // Tail retention rides on top: head-declined requests become
+    // provisional traces kept only when the finish-time verdict fires.
+    if (config_.tail_sampling) config_.telemetry->enable_tail();
+    if (!config_.flight_record_dir.empty()) {
+      obs::FlightRecorder::Options fr_options;
+      fr_options.dump_dir = config_.flight_record_dir;
+      config_.telemetry->set_flight_recorder(
+          std::make_shared<obs::FlightRecorder>(*clock_, config_.host, fr_options));
+    }
     // Spans recorded here carry this node's identity so stitched
     // multi-hop traces say where each span ran.
     if (config_.telemetry->node_id().empty()) {
@@ -344,7 +353,7 @@ net::Message InfoGramService::process(const net::Message& request, net::Session&
     // Uninstrumented middle hop: forward the caller's context (or its
     // don't-sample decision) so the trace survives passing through us.
     if (wire.has_value() && wire->sampled) {
-      obs::PassThroughScope forward(wire->trace_id, wire->parent_span);
+      obs::PassThroughScope forward(wire->trace_id, wire->parent_span, wire->provisional);
       return dispatch(request, session, nullptr);
     }
     if (wire.has_value()) {
@@ -365,6 +374,32 @@ net::Message InfoGramService::process(const net::Message& request, net::Session&
   // (no wire context) consults the local sampler.
   bool sampled = wire.has_value() ? wire->sampled : telemetry->should_sample();
   if (!sampled) {
+    if (!wire.has_value() && telemetry->tail() != nullptr) {
+      // Tail-watched root: the head sampler declined, but a verdict at
+      // finish may still retain this request. The PendingTrace is a stack
+      // struct — a real context (and its allocations) only materializes
+      // if an outbound hop needs a wire id, so the clean path stays at
+      // the head-sampling cost.
+      std::unique_ptr<obs::TraceContext> lazy;
+      obs::PendingTrace pending;
+      pending.materialize = [&] {
+        lazy = telemetry->make_provisional_trace(request.verb);
+        return lazy.get();
+      };
+      ScopedTimer timer(*clock_);
+      net::Message resp;
+      {
+        obs::ProvisionalScope scope(pending);
+        resp = dispatch(request, session, nullptr);
+      }
+      if (resp.is_error()) requests_errors_->add();
+      Duration latency = timer.elapsed();
+      request_seconds_->observe(static_cast<double>(latency.count()) / 1e6);
+      telemetry->finish_provisional(
+          pending, request.verb, latency,
+          resp.is_error() ? (resp.body.empty() ? "error" : resp.body) : "ok");
+      return resp;
+    }
     // Allocation attribution rides the sampling decision: an unsampled
     // request pays the tracing baseline and nothing more — that is how
     // continuous profiling stays within its overhead budget.
@@ -373,6 +408,35 @@ net::Message InfoGramService::process(const net::Message& request, net::Session&
     net::Message resp = dispatch(request, session, nullptr);
     if (resp.is_error()) requests_errors_->add();
     request_seconds_->observe(static_cast<double>(timer.elapsed().count()) / 1e6);
+    return resp;
+  }
+
+  if (wire.has_value() && wire->provisional) {
+    // Provisional wire join: record like any remote hop, but route the
+    // finish through the tail gate — retained locally only if *this* hop
+    // saw a verdict; otherwise the spans and signal bits backhaul to the
+    // origin, whose verdict decides. No latency exemplar: a discarded
+    // provisional id must not leak into histogram exemplars.
+    std::unique_ptr<obs::TraceContext> trace =
+        telemetry->make_remote_provisional(request.verb, wire->trace_id, wire->parent_span);
+    ScopedTimer timer(*clock_);
+    net::Message resp;
+    {
+      obs::TraceScope scope(*trace);
+      resp = dispatch(request, session, trace.get());
+    }
+    if (resp.is_error()) {
+      requests_errors_->add();
+      trace->fail(resp.body.empty() ? "error" : resp.body);
+    }
+    request_seconds_->observe(static_cast<double>(timer.elapsed().count()) / 1e6);
+    obs::TraceRecord record = telemetry->collect_provisional(*trace);
+    if (!resp.is_error()) {
+      resp.with(obs::kTraceSpansHeader, obs::encode_spans(record.spans));
+      if (record.signals != 0) {
+        resp.with(obs::kTraceSignalsHeader, std::to_string(record.signals));
+      }
+    }
     return resp;
   }
 
@@ -407,9 +471,14 @@ net::Message InfoGramService::process(const net::Message& request, net::Session&
   }
   if (wire.has_value() && !resp.is_error()) {
     // Backhaul our spans (ours + any we adopted from hops below us) so
-    // the caller stitches the whole subtree into its record.
+    // the caller stitches the whole subtree into its record, plus any
+    // tail-signal bits layers below raised (faults a shield absorbed
+    // still retain at the origin).
     obs::TraceRecord record = telemetry->complete_and_collect(*trace);
     resp.with(obs::kTraceSpansHeader, obs::encode_spans(record.spans));
+    if (record.signals != 0) {
+      resp.with(obs::kTraceSignalsHeader, std::to_string(record.signals));
+    }
   } else {
     telemetry->complete(*trace);
   }
@@ -435,6 +504,29 @@ std::future<Result<InfoGramResult>> InfoGramService::submit_async(rsl::XrslReque
     // Same sampling contract as the wire path: an unsampled request pays
     // metrics only, and suppresses so downstream hops don't root either.
     if (!telemetry->should_sample()) {
+      if (telemetry->tail() != nullptr) {
+        // Tail-watched root, async flavour — see process() for the
+        // lazy-materialization contract.
+        std::unique_ptr<obs::TraceContext> lazy;
+        obs::PendingTrace pending;
+        pending.materialize = [&] {
+          lazy = telemetry->make_provisional_trace("XRSL");
+          return lazy.get();
+        };
+        ScopedTimer timer(*clock_);
+        Result<InfoGramResult> result = Error(ErrorCode::kUnavailable, "unset");
+        {
+          obs::ProvisionalScope scope(pending);
+          result = execute(request, subject, local_user, callback_address);
+        }
+        if (!result.ok()) requests_errors_->add();
+        Duration latency = timer.elapsed();
+        request_seconds_->observe(static_cast<double>(latency.count()) / 1e6);
+        telemetry->finish_provisional(pending, "XRSL", latency,
+                                      result.ok() ? "ok" : result.error().to_string());
+        promise->set_value(std::move(result));
+        return;
+      }
       // Unsampled: tracing baseline only — allocation attribution rides
       // the sampling decision (see process()).
       obs::SuppressScope suppress;

@@ -74,6 +74,22 @@ struct InfoGramConfig {
   /// survive restart and can be diffed in CI. Requires `telemetry`.
   std::string trace_export_path;
   std::uint64_t trace_export_sample_every = 1;
+  /// Tail-based trace retention (requires `telemetry`; DESIGN.md §15):
+  /// requests the head sampler declines become *provisional* traces,
+  /// classified at finish — anomalies (errors, deadline hits, breaker
+  /// trips, failovers, stale serves, retry recoveries, p99-derived slow
+  /// outliers) are retained 100% while clean traffic stays at the
+  /// 1-in-`trace_sample_every` head rate. Also arms SLO-burn-adaptive
+  /// sampling: the head rate widens to base/8 while an objective burns
+  /// and decays back once healthy. Default on — the tail layer is the
+  /// observability contract; false keeps the PR-8 head-only behaviour
+  /// (the bench_tail_sampling baseline).
+  bool tail_sampling = true;
+  /// Anomaly flight recorder (requires `telemetry`): non-empty attaches a
+  /// FlightRecorder dumping FLIGHT_<node>_<seq>.jsonl files into this
+  /// directory when a verdict retains a trace or an SLO page fires, and
+  /// registers the TTL-0 `flightrecorder` keyword.
+  std::string flight_record_dir;
   /// Continuous profiler (requires `telemetry`): installs the process
   /// lock-contention listener, enables per-keyword allocation
   /// attribution, attaches the request pool's scheduler profile, and

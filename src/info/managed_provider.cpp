@@ -182,6 +182,7 @@ Result<format::InfoRecord> ManagedProvider::refresh(bool force, const GetOptions
   }
 
   if (breaker_ != nullptr && !breaker_->allow()) {
+    obs::signal_tail(obs::kSignalBreaker);
     return shield(Error(ErrorCode::kUnavailable, "circuit open: " + keyword_));
   }
 
@@ -191,6 +192,7 @@ Result<format::InfoRecord> ManagedProvider::refresh(bool force, const GetOptions
     now = clock_.now();
     if (armed && now >= deadline) {
       last_error = Error(ErrorCode::kTimeout, "info deadline exceeded: " + keyword_);
+      obs::signal_tail(obs::kSignalDeadline);
       break;
     }
     exec::CancelToken token;
@@ -200,9 +202,13 @@ Result<format::InfoRecord> ManagedProvider::refresh(bool force, const GetOptions
     auto produced = source_->produce(armed ? &token : nullptr);
     Duration elapsed = timer.elapsed();
     if (produced.ok()) {
-      if (attempt > 1 && retry_recovered_ != nullptr) retry_recovered_->add();
+      if (attempt > 1) {
+        if (retry_recovered_ != nullptr) retry_recovered_->add();
+        obs::signal_tail(obs::kSignalRetry);
+      }
       if (breaker_ != nullptr) breaker_->record_success();
       double elapsed_s = static_cast<double>(elapsed.count()) / 1e6;
+      maybe_signal_slow(elapsed_s);
       perf_.add(elapsed_s);
       refreshes_.fetch_add(1, std::memory_order_relaxed);
       if (cache_misses_ != nullptr) cache_misses_->add();
@@ -243,6 +249,7 @@ Result<format::InfoRecord> ManagedProvider::refresh(bool force, const GetOptions
       if (get_options.timeout && get_options.action == rsl::TimeoutAction::kException &&
           total.elapsed() > *get_options.timeout) {
         copy.add("deadline_exceeded", "true", copy.min_quality());
+        obs::signal_tail(obs::kSignalDeadline);
       }
       return copy;
     }
@@ -251,6 +258,7 @@ Result<format::InfoRecord> ManagedProvider::refresh(bool force, const GetOptions
     last_error = produced.error();
     if (last_error.code == ErrorCode::kCancelled) {
       last_error = Error(ErrorCode::kTimeout, "info deadline exceeded: " + keyword_);
+      obs::signal_tail(obs::kSignalDeadline);
     }
     if (breaker_ != nullptr) breaker_->record_failure();
     // Past the deadline there is no budget left for another attempt.
@@ -274,7 +282,23 @@ Result<format::InfoRecord> ManagedProvider::shield(const Error& err) {
   copy.add("stale", "true", q);
   copy.add("source", "cache", q);
   if (degraded_served_ != nullptr) degraded_served_->add();
+  // The shield hides the failure from the caller's Result — raising the
+  // degraded bit here is what keeps the *request* retainable anyway.
+  obs::signal_tail(obs::kSignalDegraded);
   return copy;
+}
+
+void ManagedProvider::maybe_signal_slow(double elapsed_s) {
+  if (telemetry_ == nullptr || telemetry_->tail() == nullptr) return;
+  std::uint64_t check = slow_checks_.fetch_add(1, std::memory_order_relaxed);
+  if (check % 64 == 0 && keyword_refresh_seconds_ != nullptr) {
+    slow_threshold_s_.store(
+        telemetry_->tail()->threshold_from(keyword_refresh_seconds_->snapshot()),
+        std::memory_order_relaxed);
+  }
+  if (elapsed_s > slow_threshold_s_.load(std::memory_order_relaxed)) {
+    obs::signal_tail(obs::kSignalSlow);
+  }
 }
 
 void ManagedProvider::note_change(const format::InfoRecord& old_record,

@@ -23,6 +23,9 @@
 // change between refreshes earn a longer TTL, volatile ones a shorter.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <string>
@@ -200,6 +203,12 @@ class ManagedProvider {
   Result<format::InfoRecord> refresh(bool force, const GetOptions& get_options);
   /// Failure shield: degraded+annotated cached record, or `err` when cold.
   Result<format::InfoRecord> shield(const Error& err);
+  /// Tail-retention slow verdict, per keyword: raise kSignalSlow when a
+  /// refresh ran past the p99-derived threshold of *this keyword's*
+  /// refresh-latency histogram (the global request threshold would let a
+  /// habitually slow keyword hide a fast one's outliers). The threshold is
+  /// cached in an atomic, refreshed every 64 checks.
+  void maybe_signal_slow(double elapsed_s);
 
   std::shared_ptr<InfoSource> source_;
   std::string keyword_;
@@ -246,6 +255,10 @@ class ManagedProvider {
   obs::Counter* breaker_opened_ = nullptr;
   obs::Counter* breaker_half_open_ = nullptr;
   obs::Counter* breaker_closed_ = nullptr;
+  /// Cached per-keyword slow threshold (seconds); +inf until the keyword
+  /// histogram has enough samples. See maybe_signal_slow().
+  std::atomic<double> slow_threshold_s_{std::numeric_limits<double>::infinity()};
+  std::atomic<std::uint64_t> slow_checks_{0};
 };
 
 }  // namespace ig::info

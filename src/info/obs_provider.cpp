@@ -57,12 +57,23 @@ Status register_obs_providers(SystemMonitor& monitor,
       !status.ok()) {
     return status;
   }
+  if (auto status = register_live_provider(
+          monitor, "alerts",
+          [telemetry]() -> Result<format::InfoRecord> {
+            return telemetry->alerts_record("alerts");
+          },
+          "function:obs.alerts");
+      !status.ok()) {
+    return status;
+  }
+  // Tail retention + anomaly flight recorder (DESIGN.md §15): verdict
+  // counters, the burn-adapted sampling rate, and the recorder's ring.
   return register_live_provider(
-      monitor, "alerts",
+      monitor, "flightrecorder",
       [telemetry]() -> Result<format::InfoRecord> {
-        return telemetry->alerts_record("alerts");
+        return telemetry->flight_record("flightrecorder");
       },
-      "function:obs.alerts");
+      "function:obs.flightrecorder");
 }
 
 Status register_profile_providers(SystemMonitor& monitor,

@@ -97,9 +97,11 @@ Result<std::vector<DirectoryEntry>> ReplicaRouter::query_shard(
       if (!h->breaker->allow()) continue;
       if (attempted_any) {
         // Mid-query switch to another replica: the failover the chaos
-        // suite watches.
+        // suite watches, and a tail-retention trigger — the request
+        // succeeded only because routing went around a dead replica.
         failovers_.fetch_add(1, std::memory_order_relaxed);
         count_metric(obs::metric::kMdsReplicaFailover);
+        obs::signal_tail(obs::kSignalFailover);
       }
       attempted_any = true;
 

@@ -1,5 +1,6 @@
 #include "net/network.hpp"
 
+#include <cstdlib>
 #include <optional>
 
 #include "obs/propagation.hpp"
@@ -15,21 +16,36 @@ Result<Message> Connection::request(const Message& req) {
   std::optional<Message> traced_req;
   std::optional<obs::TraceContext::Span> hop;
   obs::ActiveTrace& active = obs::active_trace();
+  obs::TraceContext* ctx = active.ctx;
   if (!active.empty() && !req.header(obs::kTraceHeader).has_value()) {
     obs::WireContext wire_ctx;
-    if (active.ctx != nullptr) {
-      hop.emplace(active.ctx->span("rpc:" + req.verb + "@" + peer_.to_string(),
-                                   active.span_id));
-      wire_ctx.trace_id = active.ctx->id();
+    if (ctx == nullptr && active.pending != nullptr) {
+      // First outbound hop of a tail-watched request: this is the moment
+      // the provisional trace materializes — the hop needs a wire id.
+      ctx = active.pending->acquire();
+    }
+    if (ctx != nullptr) {
+      hop.emplace(ctx->span("rpc:" + req.verb + "@" + peer_.to_string(),
+                            active.span_id));
+      wire_ctx.trace_id = ctx->id();
       wire_ctx.parent_span = hop->id();
       wire_ctx.sampled = true;
+      // Provisional contexts re-encode the tail wire flag (`2`) so every
+      // hop down the path knows retention pends the origin's verdict.
+      wire_ctx.provisional = ctx->provisional();
     } else if (active.suppressed) {
       wire_ctx.trace_id = "-";
       wire_ctx.sampled = false;
-    } else {
+    } else if (!active.foreign_trace_id.empty()) {
       wire_ctx.trace_id = active.foreign_trace_id;
       wire_ctx.parent_span = active.foreign_parent;
       wire_ctx.sampled = true;
+      wire_ctx.provisional = active.foreign_provisional;
+    } else {
+      // A pending trace with no materializer installed cannot mint a wire
+      // id; forward the head sampler's original don't-sample decision.
+      wire_ctx.trace_id = "-";
+      wire_ctx.sampled = false;
     }
     traced_req = req;
     traced_req->with(obs::kTraceHeader, wire_ctx.encode());
@@ -81,10 +97,19 @@ Result<Message> Connection::request(const Message& req) {
     delta.bytes_received = resp_size;
     delta.virtual_time += model.transfer_cost(resp_size);
     // Backhaul: adopt the serving hop's spans into the live trace so the
-    // caller's record stitches the whole path.
-    if (active.ctx != nullptr) {
+    // caller's record stitches the whole path, and fold in any tail
+    // signals the hop raised (faults absorbed downstream must still
+    // retain at the origin).
+    if (ctx != nullptr) {
       if (auto spans = response->header(obs::kTraceSpansHeader)) {
-        active.ctx->adopt(obs::decode_spans(*spans));
+        ctx->adopt(obs::decode_spans(*spans));
+      }
+      if (auto sigs = response->header(obs::kTraceSignalsHeader)) {
+        char* end = nullptr;
+        unsigned long long bits = std::strtoull(sigs->c_str(), &end, 10);
+        if (end != nullptr && *end == '\0' && bits != 0) {
+          ctx->add_signal(static_cast<std::uint32_t>(bits));
+        }
       }
     }
   }

@@ -18,7 +18,7 @@ Message serve_traced(const std::shared_ptr<obs::Telemetry>& telemetry,
     // Uninstrumented hop: forward the caller's context (or its
     // don't-sample decision) so the trace survives passing through.
     if (wire.has_value() && wire->sampled) {
-      obs::PassThroughScope forward(wire->trace_id, wire->parent_span);
+      obs::PassThroughScope forward(wire->trace_id, wire->parent_span, wire->provisional);
       return inner(request, session);
     }
     if (wire.has_value()) {
@@ -30,8 +30,50 @@ Message serve_traced(const std::shared_ptr<obs::Telemetry>& telemetry,
 
   bool sampled = wire.has_value() ? wire->sampled : telemetry->should_sample();
   if (!sampled) {
+    if (!wire.has_value() && telemetry->tail() != nullptr) {
+      // Tail-watched root (see InfoGramService::process for the full
+      // contract): a context materializes only if an outbound hop needs
+      // a wire id; the verdict at finish decides retention.
+      std::unique_ptr<obs::TraceContext> lazy;
+      obs::PendingTrace pending;
+      pending.materialize = [&] {
+        lazy = telemetry->make_provisional_trace(root_name);
+        return lazy.get();
+      };
+      ScopedTimer timer(telemetry->clock());
+      Message resp;
+      {
+        obs::ProvisionalScope scope(pending);
+        resp = inner(request, session);
+      }
+      telemetry->finish_provisional(
+          pending, root_name, timer.elapsed(),
+          resp.is_error() ? (resp.body.empty() ? "error" : resp.body) : "ok");
+      return resp;
+    }
     obs::SuppressScope suppress;
     return inner(request, session);
+  }
+
+  if (wire.has_value() && wire->provisional) {
+    // Provisional wire join: retained locally only on this hop's own
+    // verdict; spans + signal bits backhaul so the origin decides.
+    std::unique_ptr<obs::TraceContext> trace =
+        telemetry->make_remote_provisional(root_name, wire->trace_id, wire->parent_span);
+    Message resp;
+    {
+      obs::TraceScope scope(*trace);
+      resp = inner(request, session);
+    }
+    if (resp.is_error()) trace->fail(resp.body.empty() ? "error" : resp.body);
+    obs::TraceRecord record = telemetry->collect_provisional(*trace);
+    if (!resp.is_error()) {
+      resp.with(obs::kTraceSpansHeader, obs::encode_spans(record.spans));
+      if (record.signals != 0) {
+        resp.with(obs::kTraceSignalsHeader, std::to_string(record.signals));
+      }
+    }
+    return resp;
   }
 
   std::unique_ptr<obs::TraceContext> trace =
@@ -47,6 +89,9 @@ Message serve_traced(const std::shared_ptr<obs::Telemetry>& telemetry,
   if (wire.has_value() && !resp.is_error()) {
     obs::TraceRecord record = telemetry->complete_and_collect(*trace);
     resp.with(obs::kTraceSpansHeader, obs::encode_spans(record.spans));
+    if (record.signals != 0) {
+      resp.with(obs::kTraceSignalsHeader, std::to_string(record.signals));
+    }
   } else {
     telemetry->complete(*trace);
   }

@@ -54,6 +54,24 @@ std::string span_json(const SpanRecord& span) {
 
 }  // namespace
 
+std::string trace_json(const TraceRecord& record) {
+  std::string out = "{\"type\":\"trace\",\"id\":\"" + json_escape(record.id) + "\"";
+  out += ",\"root\":\"" + json_escape(record.root) + "\"";
+  out += ",\"status\":\"" + json_escape(record.status) + "\"";
+  out += ",\"start_us\":" + std::to_string(record.start.count());
+  out += ",\"duration_us\":" + std::to_string(record.duration.count());
+  if (record.signals != 0) out += ",\"signals\":" + std::to_string(record.signals);
+  if (!record.verdict.empty()) out += ",\"verdict\":\"" + json_escape(record.verdict) + "\"";
+  if (record.provisional) out += ",\"provisional\":true";
+  out += ",\"spans\":[";
+  for (std::size_t i = 0; i < record.spans.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    out += span_json(record.spans[i]);
+  }
+  out += "]}";
+  return out;
+}
+
 JsonlExporter::JsonlExporter(std::string path) : JsonlExporter(std::move(path), Options{}) {}
 
 JsonlExporter::JsonlExporter(std::string path, Options options)
@@ -62,7 +80,6 @@ JsonlExporter::JsonlExporter(std::string path, Options options)
 }
 
 bool JsonlExporter::export_trace(const TraceRecord& record) {
-  std::string line;
   {
     MutexLock lock(mu_);
     ++seen_;
@@ -73,18 +90,7 @@ bool JsonlExporter::export_trace(const TraceRecord& record) {
       return false;
     }
   }
-  line = "{\"type\":\"trace\",\"id\":\"" + json_escape(record.id) + "\"";
-  line += ",\"root\":\"" + json_escape(record.root) + "\"";
-  line += ",\"status\":\"" + json_escape(record.status) + "\"";
-  line += ",\"start_us\":" + std::to_string(record.start.count());
-  line += ",\"duration_us\":" + std::to_string(record.duration.count());
-  line += ",\"spans\":[";
-  for (std::size_t i = 0; i < record.spans.size(); ++i) {
-    if (i != 0) line.push_back(',');
-    line += span_json(record.spans[i]);
-  }
-  line += "]}";
-  write_line(line);
+  write_line(trace_json(record));
   return true;
 }
 
@@ -145,6 +151,121 @@ std::uint64_t JsonlExporter::exported() const {
 std::uint64_t JsonlExporter::skipped() const {
   MutexLock lock(mu_);
   return skipped_;
+}
+
+FlightRecorder::FlightRecorder(const Clock& clock, std::string node)
+    : FlightRecorder(clock, std::move(node), Options{}) {}
+
+FlightRecorder::FlightRecorder(const Clock& clock, std::string node, Options options)
+    : clock_(clock), node_(std::move(node)), options_(options) {
+  if (options_.capacity == 0) options_.capacity = 1;
+  // Node names carry host:port separators that make poor filenames.
+  for (char& c : node_) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+              c == '-' || c == '.';
+    if (!ok) c = '_';
+  }
+}
+
+void FlightRecorder::set_counters(Counter* events, Counter* dumps) {
+  events_counter_ = events;
+  dumps_counter_ = dumps;
+}
+
+void FlightRecorder::set_metrics(const MetricsRegistry* metrics) { metrics_ = metrics; }
+
+void FlightRecorder::append(std::string kind, std::string detail) {
+  ring_.push_back(Event{clock_.now(), std::move(kind), std::move(detail)});
+  while (ring_.size() > options_.capacity) ring_.pop_front();
+  if (events_counter_ != nullptr) events_counter_->add();
+}
+
+void FlightRecorder::note(const std::string& kind, const std::string& text) {
+  std::string detail = "\"" + json_escape(text) + "\"";
+  MutexLock lock(mu_);
+  append(kind, std::move(detail));
+}
+
+void FlightRecorder::note_trace(const TraceRecord& record) {
+  std::string detail = trace_json(record);
+  {
+    MutexLock lock(mu_);
+    append("trace", std::move(detail));
+  }
+  capture_metric_deltas();
+}
+
+void FlightRecorder::capture_metric_deltas() {
+  if (metrics_ == nullptr) return;
+  // Snapshot before taking mu_: the registry holds its own (kMetrics)
+  // lock during snapshot() and mu_ must stay a leaf.
+  std::vector<MetricSnapshot> snap = metrics_->snapshot();
+  MutexLock lock(mu_);
+  std::string detail = "{";
+  bool first = true;
+  for (const MetricSnapshot& m : snap) {
+    if (m.histogram.has_value()) continue;  // deltas are for counters/gauges
+    std::int64_t& last = last_values_[m.name];
+    std::int64_t delta = m.value - last;
+    last = m.value;
+    if (delta == 0) continue;
+    if (!first) detail.push_back(',');
+    first = false;
+    detail += "\"" + json_escape(m.name) + "\":" + std::to_string(delta);
+  }
+  detail += "}";
+  if (first) return;  // nothing moved since the previous capture
+  append("metric", std::move(detail));
+}
+
+std::string FlightRecorder::dump(const std::string& reason,
+                                 const std::vector<TraceRecord>& traces, bool force) {
+  TimePoint now = clock_.now();
+  std::vector<Event> events;
+  std::string path;
+  {
+    MutexLock lock(mu_);
+    if (!force && last_dump_at_.count() >= 0) {
+      double since_s = static_cast<double>((now - last_dump_at_).count()) / 1e6;
+      if (since_s < options_.min_dump_interval_s) return "";
+    }
+    last_dump_at_ = now;
+    path = options_.dump_dir + "/FLIGHT_" + node_ + "_" + std::to_string(seq_++) + ".jsonl";
+    events.assign(ring_.begin(), ring_.end());
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) return "";
+  out << "{\"type\":\"flight\",\"reason\":\"" << json_escape(reason) << "\",\"node\":\""
+      << json_escape(node_) << "\",\"at_us\":" << now.count()
+      << ",\"events\":" << events.size() << ",\"traces\":" << traces.size() << "}\n";
+  for (const Event& e : events) {
+    out << "{\"type\":\"event\",\"kind\":\"" << json_escape(e.kind)
+        << "\",\"at_us\":" << e.at.count() << ",\"detail\":" << e.detail << "}\n";
+  }
+  for (const TraceRecord& t : traces) out << trace_json(t) << "\n";
+  out.flush();
+  {
+    MutexLock lock(mu_);
+    ++dumps_;
+    last_path_ = path;
+  }
+  if (dumps_counter_ != nullptr) dumps_counter_->add();
+  return path;
+}
+
+std::vector<FlightRecorder::Event> FlightRecorder::events() const {
+  MutexLock lock(mu_);
+  return std::vector<Event>(ring_.begin(), ring_.end());
+}
+
+std::uint64_t FlightRecorder::dumps() const {
+  MutexLock lock(mu_);
+  return dumps_;
+}
+
+std::string FlightRecorder::last_path() const {
+  MutexLock lock(mu_);
+  return last_path_;
 }
 
 std::vector<std::string> JsonlExporter::read_lines(const std::string& path) {

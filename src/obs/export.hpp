@@ -11,8 +11,10 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <fstream>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/clock.hpp"
@@ -22,6 +24,21 @@
 #include "obs/trace.hpp"
 
 namespace ig::obs {
+
+namespace metric {
+/// Completed traces the exporter's 1-in-N sampler passed over.
+inline constexpr const char* kExportSkipped = "obs.export.skipped";
+/// Events appended to the anomaly flight recorder's ring.
+inline constexpr const char* kFrEvents = "obs.fr.events";
+/// Flight-record JSONL dumps written (verdicts and SLO pages).
+inline constexpr const char* kFrDumps = "obs.fr.dumps";
+}  // namespace metric
+
+/// One completed trace as a self-contained `{"type":"trace",...}` JSON
+/// object (no trailing newline). Shared by the exporter's per-line format
+/// and the flight recorder's dumps so the two stay diffable against each
+/// other. Tail fields (signals/verdict/provisional) appear only when set.
+std::string trace_json(const TraceRecord& record);
 
 class JsonlExporter {
  public:
@@ -66,6 +83,76 @@ class JsonlExporter {
   std::uint64_t seen_ IG_GUARDED_BY(mu_) = 0;
   std::uint64_t exported_ IG_GUARDED_BY(mu_) = 0;
   std::uint64_t skipped_ IG_GUARDED_BY(mu_) = 0;
+};
+
+/// Anomaly flight recorder: a bounded in-memory ring of recent
+/// trace/log/metric-delta events that dumps itself to a JSONL file when
+/// something goes wrong — a tail verdict retains an anomalous trace, or
+/// an SLO objective pages. The ring is always recording (events are a
+/// string append, no I/O), so by the time the anomaly is *detected* the
+/// lead-up is already captured; the dump is the black box investigators
+/// read after the fact. Dump files are `FLIGHT_<node>_<seq>.jsonl` in
+/// `dump_dir`, rate-limited so a page storm cannot fill the disk.
+class FlightRecorder {
+ public:
+  struct Options {
+    std::size_t capacity = 256;        ///< max events held in the ring
+    std::string dump_dir = ".";        ///< where FLIGHT_*.jsonl files land
+    double min_dump_interval_s = 1.0;  ///< dump rate limit (force bypasses)
+  };
+
+  struct Event {
+    TimePoint at;
+    std::string kind;    ///< "trace" | "log" | "metric"
+    std::string detail;  ///< rendered JSON fragment (object or string)
+  };
+
+  FlightRecorder(const Clock& clock, std::string node);
+  FlightRecorder(const Clock& clock, std::string node, Options options);
+
+  /// Optional wiring into a MetricsRegistry: `events`/`dumps` counters
+  /// bump per append/dump, and `metrics` enables metric-delta events
+  /// (counter movement since the previous anomaly) alongside each trace.
+  void set_counters(Counter* events, Counter* dumps);
+  void set_metrics(const MetricsRegistry* metrics);
+
+  /// Append a free-text event (e.g. a log line worth keeping).
+  void note(const std::string& kind, const std::string& text);
+
+  /// Append a verdict-carrying retained trace, plus a metric-delta event
+  /// when a registry is wired and counters moved since the last capture.
+  void note_trace(const TraceRecord& record);
+
+  /// Write the ring plus `traces` (the store's recent retained traces) to
+  /// a fresh FLIGHT_<node>_<seq>.jsonl. Returns the path, or "" when
+  /// rate-limited (`force` bypasses the limit) or the file can't open.
+  std::string dump(const std::string& reason, const std::vector<TraceRecord>& traces,
+                   bool force = false);
+
+  std::vector<Event> events() const;
+  std::uint64_t dumps() const;
+  std::string last_path() const;
+  const Options& options() const { return options_; }
+
+ private:
+  void append(std::string kind, std::string detail) IG_REQUIRES(mu_);
+  void capture_metric_deltas();
+
+  const Clock& clock_;
+  std::string node_;  ///< sanitized into the dump filename
+  Options options_;
+  Counter* events_counter_ = nullptr;
+  Counter* dumps_counter_ = nullptr;
+  const MetricsRegistry* metrics_ = nullptr;
+  /// Unranked leaf: the metrics snapshot for delta events is taken
+  /// *before* this lock so we never hold it across the registry's lock.
+  mutable Mutex mu_{lock_rank::kUnranked, "obs.FlightRecorder"};
+  std::deque<Event> ring_ IG_GUARDED_BY(mu_);
+  std::unordered_map<std::string, std::int64_t> last_values_ IG_GUARDED_BY(mu_);
+  std::uint64_t seq_ IG_GUARDED_BY(mu_) = 0;
+  std::uint64_t dumps_ IG_GUARDED_BY(mu_) = 0;
+  std::string last_path_ IG_GUARDED_BY(mu_);
+  TimePoint last_dump_at_ IG_GUARDED_BY(mu_) = TimePoint(-1);
 };
 
 }  // namespace ig::obs

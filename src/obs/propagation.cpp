@@ -85,7 +85,8 @@ std::vector<std::string> split(const std::string& in, char sep) {
 }  // namespace
 
 std::string WireContext::encode() const {
-  return trace_id + ";" + to_hex(parent_span) + ";" + (sampled ? "1" : "0");
+  const char* flag = sampled ? (provisional ? "2" : "1") : "0";
+  return trace_id + ";" + to_hex(parent_span) + ";" + flag;
 }
 
 std::optional<WireContext> WireContext::decode(const std::string& header) {
@@ -98,6 +99,12 @@ std::optional<WireContext> WireContext::decode(const std::string& header) {
     ctx.sampled = true;
   } else if (fields[2] == "0") {
     ctx.sampled = false;
+  } else if (fields[2] == "2") {
+    // Tail-provisional: record + backhaul, retention pends the origin's
+    // verdict. Pre-tail decoders reject this value — they degrade to an
+    // untraced hop, which is safe.
+    ctx.sampled = true;
+    ctx.provisional = true;
   } else {
     return std::nullopt;
   }
@@ -174,6 +181,14 @@ thread_local ActiveTrace t_active;
 
 ActiveTrace& active_trace() { return t_active; }
 
+void signal_tail(TailSignal signal) {
+  if (t_active.pending != nullptr) {
+    t_active.pending->signals |= signal;
+    return;
+  }
+  if (t_active.ctx != nullptr) t_active.ctx->add_signal(signal);
+}
+
 TraceScope::TraceScope(TraceContext& ctx, std::uint64_t span_id) : saved_(t_active) {
   t_active = ActiveTrace{};
   t_active.ctx = &ctx;
@@ -189,14 +204,23 @@ SuppressScope::SuppressScope() : saved_(t_active) {
 
 SuppressScope::~SuppressScope() { t_active = saved_; }
 
-PassThroughScope::PassThroughScope(std::string trace_id, std::uint64_t parent_span)
+PassThroughScope::PassThroughScope(std::string trace_id, std::uint64_t parent_span,
+                                   bool provisional)
     : saved_(t_active) {
   t_active = ActiveTrace{};
   t_active.foreign_trace_id = std::move(trace_id);
   t_active.foreign_parent = parent_span;
+  t_active.foreign_provisional = provisional;
 }
 
 PassThroughScope::~PassThroughScope() { t_active = saved_; }
+
+ProvisionalScope::ProvisionalScope(PendingTrace& pending) : saved_(t_active) {
+  t_active = ActiveTrace{};
+  t_active.pending = &pending;
+}
+
+ProvisionalScope::~ProvisionalScope() { t_active = saved_; }
 
 DetachScope::DetachScope() : saved_(t_active) { t_active = ActiveTrace{}; }
 

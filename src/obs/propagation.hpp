@@ -8,6 +8,17 @@
 // adopt them into its own context: the in-process network has no
 // out-of-band collector, so traces travel home the same way results do.
 //
+// Sampling contract (tail-retention aware, DESIGN.md §15): the third
+// `ig-trace` field is `1` (head-sampled: every hop records and retains),
+// `0` (suppressed: no hop records anything), or `2` (*provisional*: the
+// origin's head sampler declined but the tail layer is watching — every
+// hop records spans and backhauls them, but nothing is retained unless
+// the origin's finish-time verdict keeps the trace). A `2` decoder older
+// than this contract rejects the header, degrading to an untraced hop —
+// safe, never wrong. Provisional hops additionally backhaul their
+// anomaly-signal bits on the response header `ig-trace-signals` so the
+// origin's late verdict sees faults that downstream shields absorbed.
+//
 // Because the simulated network dispatches the server handler
 // synchronously in the caller's thread, "which trace is active" is a
 // thread-local, and crossing the simulated process boundary means
@@ -19,6 +30,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -31,15 +43,21 @@ namespace ig::obs {
 inline constexpr const char* kTraceHeader = "ig-trace";
 /// Response header carrying the serving hop's finished spans.
 inline constexpr const char* kTraceSpansHeader = "ig-trace-spans";
+/// Response header carrying the serving hop's TailSignal bits (decimal
+/// mask) so the origin's late verdict sees remotely-absorbed faults.
+inline constexpr const char* kTraceSignalsHeader = "ig-trace-signals";
 
 /// The propagated triple: who the trace is, which caller span to parent
-/// under, and whether the originator sampled it.
+/// under, and whether the originator sampled it (provisionally or not).
 struct WireContext {
   std::string trace_id;
   std::uint64_t parent_span = 0;
   bool sampled = true;
+  /// Head sampler declined, tail layer watching: record + backhaul, but
+  /// retention waits for the origin's verdict (wire value `2`).
+  bool provisional = false;
 
-  /// `<trace-id>;<parent-span-hex>;<1|0>`
+  /// `<trace-id>;<parent-span-hex>;<1|0|2>` (2 = sampled + provisional)
   std::string encode() const;
   /// nullopt on any malformed input (wrong field count, bad hex).
   static std::optional<WireContext> decode(const std::string& header);
@@ -54,9 +72,31 @@ std::string encode_spans(const std::vector<SpanRecord>& spans, std::size_t max_s
 /// Tolerant inverse: malformed records are skipped, never fatal.
 std::vector<SpanRecord> decode_spans(const std::string& header);
 
-/// The thread's current trace state. Exactly one of three shapes:
+/// A head-unsampled request the tail layer is watching: a stack struct
+/// costing a few stores on the clean path. Signal bits accumulate here;
+/// a real TraceContext is materialized lazily — only when an outbound
+/// hop needs a trace id on the wire — via the owner-installed
+/// `materialize` hook (invoked at most once, on the owning thread). The
+/// owner classifies at finish (Telemetry::finish_provisional).
+struct PendingTrace {
+  std::uint32_t signals = 0;             ///< TailSignal bits raised so far
+  TraceContext* ctx = nullptr;           ///< non-null once materialized
+  std::function<TraceContext*()> materialize;
+
+  /// The materialized context, creating it on first need (null when no
+  /// materializer was installed).
+  TraceContext* acquire() {
+    if (ctx == nullptr && materialize) ctx = materialize();
+    return ctx;
+  }
+};
+
+/// The thread's current trace state. Exactly one of four shapes:
 ///  - ctx != nullptr: a local TraceContext is active; outbound requests
 ///    open hop spans on it and inject its id.
+///  - pending != nullptr: a provisional (tail-watched) request; signals
+///    accumulate on it and outbound requests materialize a real context
+///    on demand, injecting sampled=2.
 ///  - !foreign_trace_id.empty(): pass-through — this node has no local
 ///    telemetry but received a wire context; outbound requests forward it
 ///    unchanged so the trace survives an uninstrumented middle hop.
@@ -66,16 +106,26 @@ struct ActiveTrace {
   TraceContext* ctx = nullptr;
   std::uint64_t span_id = 0;  ///< span new work should parent under
   bool suppressed = false;
+  PendingTrace* pending = nullptr;
   std::string foreign_trace_id;
   std::uint64_t foreign_parent = 0;
+  bool foreign_provisional = false;  ///< forwarded wire flag was `2`
 
   bool empty() const {
-    return ctx == nullptr && !suppressed && foreign_trace_id.empty();
+    return ctx == nullptr && pending == nullptr && !suppressed &&
+           foreign_trace_id.empty();
   }
 };
 
 /// This thread's active trace state (mutate only via the scopes below).
 ActiveTrace& active_trace();
+
+/// Raise TailSignal bits on whatever request is in flight on this
+/// thread: ORed into the pending provisional, or annotated onto the
+/// active context (head-sampled traces carry the verdict as annotation).
+/// No-op when suppressed, foreign, or untraced — call sites need no
+/// telemetry plumbing of their own.
+void signal_tail(TailSignal signal);
 
 /// Makes `ctx` the thread's active trace for the scope's lifetime;
 /// `span_id` (0 = ctx's root span) becomes the parent for nested work.
@@ -102,13 +152,29 @@ class SuppressScope {
   ActiveTrace saved_;
 };
 
-/// Forwards a foreign wire context through a node with no telemetry.
+/// Forwards a foreign wire context through a node with no telemetry
+/// (`provisional` keeps the tail-layer wire flag intact end to end).
 class PassThroughScope {
  public:
-  PassThroughScope(std::string trace_id, std::uint64_t parent_span);
+  PassThroughScope(std::string trace_id, std::uint64_t parent_span,
+                   bool provisional = false);
   ~PassThroughScope();
   PassThroughScope(const PassThroughScope&) = delete;
   PassThroughScope& operator=(const PassThroughScope&) = delete;
+
+ private:
+  ActiveTrace saved_;
+};
+
+/// Makes `pending` the thread's provisional trace for the scope's
+/// lifetime: signal_tail() accumulates on it and outbound hops
+/// materialize it on demand.
+class ProvisionalScope {
+ public:
+  explicit ProvisionalScope(PendingTrace& pending);
+  ~ProvisionalScope();
+  ProvisionalScope(const ProvisionalScope&) = delete;
+  ProvisionalScope& operator=(const ProvisionalScope&) = delete;
 
  private:
   ActiveTrace saved_;

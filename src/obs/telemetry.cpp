@@ -1,5 +1,7 @@
 #include "obs/telemetry.hpp"
 
+#include <cmath>
+
 #include "common/id.hpp"
 #include "common/strings.hpp"
 
@@ -14,14 +16,40 @@ Telemetry::Telemetry(const Clock& clock, std::string node_id, std::size_t trace_
       traces_(trace_capacity),
       slo_(metrics_, clock_),
       unfinished_(&metrics_.gauge(metric::kTraceUnfinished)),
-      dropped_(&metrics_.counter(metric::kTraceDropped)) {
+      dropped_(&metrics_.counter(metric::kTraceDropped)),
+      export_skipped_(&metrics_.counter(metric::kExportSkipped)) {
   // Ring evictions are trace loss too: surface them on the same counter
   // as abandoned contexts.
   traces_.set_on_evict([this](const TraceRecord&) { dropped_->add(); });
 }
 
 void Telemetry::set_trace_sampling(std::uint64_t every_n) {
-  sample_every_.store(every_n == 0 ? 1 : every_n, std::memory_order_relaxed);
+  std::uint64_t every = every_n == 0 ? 1 : every_n;
+  sample_every_.store(every, std::memory_order_relaxed);
+  base_sample_every_.store(every, std::memory_order_relaxed);
+  if (tail_gauge_ != nullptr) tail_gauge_->set(static_cast<std::int64_t>(every));
+}
+
+void Telemetry::enable_tail(TailSampler::Options options) {
+  if (tail_ != nullptr) return;
+  tail_ = std::make_unique<TailSampler>(metrics_, options);
+  tail_->set_request_histogram(&metrics_.histogram(metric::kRequestSeconds));
+  tail_gauge_ = &metrics_.gauge(metric::kTailSampleEvery);
+  tail_gauge_->set(static_cast<std::int64_t>(sample_every_.load(std::memory_order_relaxed)));
+}
+
+void Telemetry::set_flight_recorder(std::shared_ptr<FlightRecorder> recorder) {
+  flight_ = std::move(recorder);
+  if (flight_ != nullptr) {
+    flight_->set_counters(&metrics_.counter(metric::kFrEvents),
+                          &metrics_.counter(metric::kFrDumps));
+    flight_->set_metrics(&metrics_);
+  }
+}
+
+std::string Telemetry::export_flight_record(const std::string& reason, bool force) {
+  if (flight_ == nullptr) return "";
+  return flight_->dump(reason, traces_.snapshot(), force);
 }
 
 bool Telemetry::should_sample() {
@@ -59,8 +87,28 @@ std::unique_ptr<TraceContext> Telemetry::make_remote_trace(std::string root_name
   return std::make_unique<TraceContext>(clock_, std::move(root_name), std::move(options));
 }
 
+std::unique_ptr<TraceContext> Telemetry::make_provisional_trace(std::string root_name) {
+  TraceContext::Options options = trace_options();
+  options.provisional = true;
+  auto ctx = std::make_unique<TraceContext>(clock_, std::move(root_name), std::move(options));
+  if (tail_ != nullptr) tail_->open(ctx->id());
+  return ctx;
+}
+
+std::unique_ptr<TraceContext> Telemetry::make_remote_provisional(std::string root_name,
+                                                                 std::string trace_id,
+                                                                 std::uint64_t parent_span) {
+  TraceContext::Options options = trace_options();
+  options.provisional = true;
+  options.remote_trace_id = std::move(trace_id);
+  options.remote_parent_span = parent_span;
+  auto ctx = std::make_unique<TraceContext>(clock_, std::move(root_name), std::move(options));
+  if (tail_ != nullptr) tail_->open(ctx->id());
+  return ctx;
+}
+
 void Telemetry::notify(const TraceRecord& record) {
-  if (exporter_ != nullptr) exporter_->export_trace(record);
+  if (exporter_ != nullptr && !exporter_->export_trace(record)) export_skipped_->add();
   std::shared_ptr<const TraceListener> listener;
   {
     MutexLock lock(listener_mu_);
@@ -69,17 +117,85 @@ void Telemetry::notify(const TraceRecord& record) {
   if (listener != nullptr && *listener) (*listener)(record);
 }
 
+bool Telemetry::finish_record(TraceRecord& record) {
+  if (tail_ == nullptr) return true;
+  if (!tail_->classify(record)) return false;
+  // A verdict on a *kept* record — provisional or head-sampled — is an
+  // anomaly worth a flight-ring entry.
+  if (!record.verdict.empty() && flight_ != nullptr) flight_->note_trace(record);
+  return true;
+}
+
 void Telemetry::complete(TraceContext& trace) {
   TraceRecord record = trace.finish();
+  if (!finish_record(record)) return;  // tail discarded a clean provisional
   notify(record);
   traces_.add(std::move(record));
 }
 
 TraceRecord Telemetry::complete_and_collect(TraceContext& trace) {
   TraceRecord record = trace.finish();
-  notify(record);
-  traces_.add(record);
+  if (finish_record(record)) {
+    notify(record);
+    traces_.add(record);
+  }
   return record;
+}
+
+TraceRecord Telemetry::collect_provisional(TraceContext& trace) {
+  // Identical to complete_and_collect — the provisional flag on the
+  // record routes it through the tail gate, which retains locally only
+  // when this hop itself saw a verdict. Kept as a named entry point so
+  // serving layers state their intent.
+  return complete_and_collect(trace);
+}
+
+void Telemetry::finish_provisional(PendingTrace& pending, const std::string& root_name,
+                                   Duration latency, const std::string& status) {
+  if (pending.ctx != nullptr) {
+    // An outbound hop materialized the context: fold the accumulated
+    // bits in and run the normal classify-at-complete path.
+    if (pending.signals != 0) pending.ctx->add_signal(pending.signals);
+    if (status != "ok") pending.ctx->fail(status);
+    complete(*pending.ctx);
+    return;
+  }
+  if (tail_ == nullptr) return;
+  bool error = status != "ok";
+  double latency_s = static_cast<double>(latency.count()) / 1e6;
+  if (!tail_->quick_keep(pending.signals, error, latency_s)) {
+    // The clean fast path: nothing anomalous, no context was ever built —
+    // one counter bump and the request leaves no trace at all.
+    tail_->count_quick_discard();
+    return;
+  }
+  // Retention without a context: synthesize the single-span record a
+  // materialized provisional would have produced, backdated by the
+  // request's measured latency.
+  TimePoint now = clock_.now();
+  std::uint64_t seq = IdGenerator::next();
+  TraceRecord record;
+  record.id = to_hex(fnv1a(root_name, 0x9e3779b97f4a7c15ULL ^
+                                          static_cast<std::uint64_t>(now.count()) ^
+                                          (seq * 0x100000001b3ULL)));
+  record.root = root_name;
+  record.start = now - latency;
+  record.duration = latency;
+  record.status = status;
+  record.provisional = true;
+  record.signals = pending.signals;
+  SpanRecord span;
+  span.id = seq;
+  span.parent_id = 0;
+  span.name = root_name;
+  span.node = node_id_;
+  span.start = record.start;
+  span.duration = latency;
+  span.status = status;
+  record.spans.push_back(std::move(span));
+  if (!finish_record(record)) return;  // defensive: quick_keep said keep
+  notify(record);
+  traces_.add(std::move(record));
 }
 
 void Telemetry::set_trace_listener(std::function<void(const TraceRecord&)> listener) {
@@ -183,6 +299,7 @@ format::InfoRecord Telemetry::slo_record(const std::string& keyword) {
   record.keyword = keyword;
   record.generated_at = clock_.now();
   std::vector<SloStatus> statuses = slo_.evaluate();
+  apply_burn_feedback(statuses);
   record.add("count", std::to_string(statuses.size()));
   for (const SloStatus& s : statuses) {
     const std::string& n = s.objective.name;
@@ -214,6 +331,7 @@ format::InfoRecord Telemetry::alerts_record(const std::string& keyword) {
   record.keyword = keyword;
   record.generated_at = clock_.now();
   std::vector<SloStatus> statuses = slo_.evaluate();
+  apply_burn_feedback(statuses);
   std::string firing;
   std::size_t count = 0;
   for (const SloStatus& s : statuses) {
@@ -228,6 +346,68 @@ format::InfoRecord Telemetry::alerts_record(const std::string& keyword) {
   }
   record.add("count", std::to_string(count));
   record.add("firing", firing.empty() ? "none" : firing);
+  return record;
+}
+
+void Telemetry::apply_burn_feedback(const std::vector<SloStatus>& statuses) {
+  if (tail_ == nullptr) return;
+  bool burning = false;
+  bool paging = false;
+  for (const SloStatus& s : statuses) {
+    if (!s.alerting) continue;
+    burning = true;
+    if (s.severity == "page") paging = true;
+  }
+  std::uint64_t base = base_sample_every_.load(std::memory_order_relaxed);
+  std::uint64_t cur = sample_every_.load(std::memory_order_relaxed);
+  std::uint64_t next = cur;
+  if (burning) {
+    // Widen hard while the budget burns: 8× more head-sampled traces
+    // (floor 1 = trace everything) so the incident's lead-up is dense.
+    next = std::max<std::uint64_t>(1, base / 8);
+  } else if (cur < base) {
+    // Healthy again: halve the extra fidelity per evaluation until back
+    // at the configured base — no cliff when the alert clears.
+    next = std::min<std::uint64_t>(base, cur * 2);
+  }
+  if (next != cur) sample_every_.store(next, std::memory_order_relaxed);
+  if (tail_gauge_ != nullptr) tail_gauge_->set(static_cast<std::int64_t>(next));
+  // A page is the black-box moment: dump the flight ring (rate-limited
+  // inside the recorder, so repeated evaluations don't spam files).
+  if (paging && flight_ != nullptr) export_flight_record("slo-page");
+}
+
+format::InfoRecord Telemetry::flight_record(const std::string& keyword) {
+  format::InfoRecord record;
+  record.keyword = keyword;
+  record.generated_at = clock_.now();
+  record.add("enabled", flight_ != nullptr ? "true" : "false");
+  record.add("tail", tail_ != nullptr ? "true" : "false");
+  if (tail_ != nullptr) {
+    record.add("tail:retained", std::to_string(tail_->retained()));
+    record.add("tail:discarded", std::to_string(tail_->discarded()));
+    record.add("tail:evicted", std::to_string(tail_->evicted()));
+    record.add("tail:sample_every",
+               std::to_string(sample_every_.load(std::memory_order_relaxed)));
+    record.add("tail:base_sample_every",
+               std::to_string(base_sample_every_.load(std::memory_order_relaxed)));
+    double threshold = tail_->slow_threshold_seconds();
+    record.add("tail:slow_threshold_s",
+               std::isinf(threshold) ? "inf" : strings::format("%.6f", threshold));
+  }
+  if (flight_ != nullptr) {
+    std::vector<FlightRecorder::Event> events = flight_->events();
+    record.add("events", std::to_string(events.size()));
+    record.add("dumps", std::to_string(flight_->dumps()));
+    std::string last = flight_->last_path();
+    record.add("last_dump", last.empty() ? "none" : last);
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      const FlightRecorder::Event& e = events[i];
+      record.add("event." + std::to_string(i),
+                 strings::format("%s at_us=%lld %s", e.kind.c_str(),
+                                 static_cast<long long>(e.at.count()), e.detail.c_str()));
+    }
+  }
   return record;
 }
 

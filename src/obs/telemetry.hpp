@@ -163,10 +163,33 @@ class Telemetry {
   /// 0 treated as 1; service wiring applies kDefaultTraceSampling).
   /// Deterministic and counter-based so tests stay reproducible. Remote
   /// hops never consult the sampler — the originator's decision rides the
-  /// wire header. Sampling never touches metrics or SLO fidelity.
+  /// wire header. Sampling never touches metrics or SLO fidelity. This
+  /// also (re)sets the *base* rate SLO-burn feedback decays back to.
   void set_trace_sampling(std::uint64_t every_n);
   /// Advance the sampling counter and return this root's decision.
   bool should_sample();
+
+  /// Enable tail-based retention (DESIGN.md §15): requests the head
+  /// sampler declines become *provisional* traces, classified at finish —
+  /// anomalies retained 100%, clean traffic discarded. Slow verdicts
+  /// derive from the request.seconds histogram. Idempotent.
+  void enable_tail(TailSampler::Options options = {});
+  /// The tail layer, null unless enable_tail() ran.
+  TailSampler* tail() { return tail_.get(); }
+  const TailSampler* tail() const { return tail_.get(); }
+
+  /// Anomaly flight recorder: verdict-retained traces append to its ring
+  /// (with metric deltas), and a paging SLO burn triggers a JSONL dump.
+  void set_flight_recorder(std::shared_ptr<FlightRecorder> recorder);
+  const std::shared_ptr<FlightRecorder>& flight_recorder() const { return flight_; }
+
+  /// Dump the flight ring plus the store's retained traces to a fresh
+  /// FLIGHT_*.jsonl; "" when no recorder is attached or rate-limited.
+  std::string export_flight_record(const std::string& reason, bool force = false);
+
+  /// Flight-recorder + tail-retention state (keyword `flightrecorder`):
+  /// counters, effective sampling rate, slow threshold, ring events.
+  format::InfoRecord flight_record(const std::string& keyword);
 
   /// Open a trace rooted at `root_name` on this telemetry's clock.
   TraceContext start_trace(std::string root_name);
@@ -180,6 +203,31 @@ class Telemetry {
   std::unique_ptr<TraceContext> make_remote_trace(std::string root_name,
                                                   std::string trace_id,
                                                   std::uint64_t parent_span);
+
+  /// Provisional variants: same contexts flagged provisional and opened
+  /// in the tail sampler's holding ring, so a late verdict can stitch or
+  /// drop their segments (make_provisional_trace is what a PendingTrace's
+  /// materialize hook calls when an outbound hop first needs a wire id).
+  std::unique_ptr<TraceContext> make_provisional_trace(std::string root_name);
+  std::unique_ptr<TraceContext> make_remote_provisional(std::string root_name,
+                                                        std::string trace_id,
+                                                        std::uint64_t parent_span);
+
+  /// Verdict for a finished provisional *root* that may never have
+  /// materialized a context: with a context, signals fold in and the
+  /// normal complete() path classifies; without one, quick_keep() decides
+  /// and a kept request synthesizes the single-span record a context
+  /// would have produced (backdated by `latency`). The no-context discard
+  /// is the clean fast path — one atomic bump, no allocation.
+  void finish_provisional(PendingTrace& pending, const std::string& root_name,
+                          Duration latency, const std::string& status);
+
+  /// Finish a provisional wire join on a serving hop: the record is
+  /// always returned for the span/signal backhaul, but it is only
+  /// retained locally when this hop's own classify() keeps it (a verdict
+  /// seen here, e.g. an error at the leaf — the origin's verdict governs
+  /// everything else).
+  TraceRecord collect_provisional(TraceContext& trace);
 
   /// Finish `trace`, retain it in the store (stitching with any other
   /// hops already retained), export it when an exporter is attached, and
@@ -246,6 +294,15 @@ class Telemetry {
 
   TraceContext::Options trace_options();
   void notify(const TraceRecord& record);
+  /// Tail gate for every finished record: classify (stamping the
+  /// verdict), note anomalies on the flight ring, return keep. Always
+  /// true without a tail sampler.
+  bool finish_record(TraceRecord& record);
+  /// SLO-burn-adaptive sampling: while an objective burns, widen the head
+  /// sampler (sample_every = base/8, floor 1); once healthy, decay back
+  /// (×2 per evaluation) toward the base rate. A paging burn also dumps
+  /// the flight record. Runs on every slo/alerts evaluation.
+  void apply_burn_feedback(const std::vector<SloStatus>& statuses);
 
   const Clock& clock_;
   std::string node_id_;
@@ -257,8 +314,14 @@ class Telemetry {
   /// pay a registry lookup per trace.
   Gauge* unfinished_ = nullptr;
   Counter* dropped_ = nullptr;
+  Counter* export_skipped_ = nullptr;
+  Gauge* tail_gauge_ = nullptr;  ///< resolved by enable_tail()
   std::atomic<std::uint64_t> sample_every_{1};
+  /// The configured rate burn feedback decays back to.
+  std::atomic<std::uint64_t> base_sample_every_{1};
   std::atomic<std::uint64_t> sample_seq_{0};
+  std::unique_ptr<TailSampler> tail_;
+  std::shared_ptr<FlightRecorder> flight_;
   std::shared_ptr<JsonlExporter> exporter_;
   mutable Mutex listener_mu_{lock_rank::kTraceListener, "obs.Telemetry.listener"};
   /// Snapshotted per complete(); shared_ptr so the copy is a refcount

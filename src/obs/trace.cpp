@@ -1,6 +1,7 @@
 #include "obs/trace.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <unordered_set>
 #include <utility>
 
@@ -14,6 +15,7 @@ TraceContext::TraceContext(const Clock& clock, std::string root_name)
 TraceContext::TraceContext(const Clock& clock, std::string root_name, Options options)
     : clock_(clock),
       node_(std::move(options.node)),
+      provisional_(options.provisional),
       on_finish_(std::move(options.on_finish)),
       on_abandon_(std::move(options.on_abandon)) {
   TimePoint now = clock_.now();
@@ -34,6 +36,7 @@ TraceContext::TraceContext(const Clock& clock, std::string root_name, Options op
   record_.id = id_;
   record_.root = root_name;
   record_.start = now;
+  record_.provisional = provisional_;
 
   SpanRecord root;
   root.id = seq;
@@ -116,6 +119,17 @@ void TraceContext::fail(std::string status) {
   record_.status = std::move(status);
 }
 
+void TraceContext::add_signal(std::uint32_t bits) {
+  if (bits == 0) return;
+  MutexLock lock(mu_);
+  record_.signals |= bits;
+}
+
+std::uint32_t TraceContext::signals() const {
+  MutexLock lock(mu_);
+  return record_.signals;
+}
+
 void TraceContext::set_span_alloc(std::uint64_t span_id, std::uint64_t allocs,
                                   std::uint64_t bytes) {
   MutexLock lock(mu_);
@@ -137,7 +151,7 @@ TraceRecord TraceContext::finish() {
   {
     MutexLock lock(mu_);
     if (!finished_) {
-      finished_ = true;
+      finished_.store(true, std::memory_order_release);
       first = true;
       record_.duration = now - record_.start;
       SpanRecord& root = record_.spans.front();
@@ -151,11 +165,6 @@ TraceRecord TraceContext::finish() {
   }
   if (first && on_finish_) on_finish_();
   return out;
-}
-
-bool TraceContext::finished() const {
-  MutexLock lock(mu_);
-  return finished_;
 }
 
 TraceStore::TraceStore(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
@@ -191,6 +200,12 @@ void merge_segments(TraceRecord& base, TraceRecord&& incoming) {
   base.start = start;
   base.duration = end - start;
   if (base.status == "ok" && incoming.status != "ok") base.status = incoming.status;
+  // Tail verdict plumbing: signals accumulate across segments, the first
+  // verdict sticks, and a trace stays provisional only while every
+  // segment is.
+  base.signals |= incoming.signals;
+  if (base.verdict.empty()) base.verdict = std::move(incoming.verdict);
+  base.provisional = base.provisional && incoming.provisional;
 }
 
 }  // namespace
@@ -246,6 +261,120 @@ std::uint64_t TraceStore::completed() const {
 void TraceStore::set_on_evict(std::function<void(const TraceRecord&)> on_evict) {
   // Wiring-time only (before traffic), like set_trace_listener.
   on_evict_ = std::move(on_evict);
+}
+
+const char* verdict_name(std::uint32_t signals) {
+  // Precedence: the hard failure outranks the mechanism that contained
+  // it (an error that also tripped the breaker is an "error" trace).
+  if (signals & kSignalError) return "error";
+  if (signals & kSignalDeadline) return "deadline";
+  if (signals & kSignalBreaker) return "breaker";
+  if (signals & kSignalFailover) return "failover";
+  if (signals & kSignalDegraded) return "degraded";
+  if (signals & kSignalRetry) return "retry";
+  if (signals & kSignalSlow) return "slow";
+  return "";
+}
+
+TailSampler::TailSampler(MetricsRegistry& metrics) : TailSampler(metrics, Options{}) {}
+
+TailSampler::TailSampler(MetricsRegistry& metrics, Options options)
+    : options_(options),
+      retained_(&metrics.counter(metric::kTailRetained)),
+      discarded_(&metrics.counter(metric::kTailDiscarded)),
+      evicted_(&metrics.counter(metric::kTailEvicted)),
+      slow_threshold_s_(std::numeric_limits<double>::infinity()) {
+  if (options_.holding_capacity == 0) options_.holding_capacity = 1;
+  if (options_.refresh_every == 0) options_.refresh_every = 1;
+}
+
+void TailSampler::set_request_histogram(const Histogram* histogram) {
+  // Wiring-time only (before traffic), like set_on_evict.
+  request_histogram_ = histogram;
+}
+
+void TailSampler::open(const std::string& id) {
+  std::uint64_t evictions = 0;
+  {
+    MutexLock lock(mu_);
+    auto [it, inserted] = ring_.emplace(id, RingState::kPending);
+    (void)it;
+    if (!inserted) return;  // re-opened id keeps its existing state
+    order_.push_back(id);
+    while (order_.size() > options_.holding_capacity) {
+      ring_.erase(order_.front());
+      order_.pop_front();
+      ++evictions;
+    }
+  }
+  if (evictions != 0) evicted_->add(evictions);
+}
+
+TailSampler::RingState TailSampler::state(const std::string& id) const {
+  MutexLock lock(mu_);
+  auto it = ring_.find(id);
+  return it == ring_.end() ? RingState::kUnknown : it->second;
+}
+
+void TailSampler::mark(const std::string& id, RingState state) {
+  MutexLock lock(mu_);
+  auto it = ring_.find(id);
+  if (it != ring_.end()) it->second = state;
+}
+
+double TailSampler::threshold_from(const Histogram::Snapshot& snapshot) const {
+  if (snapshot.stats.count() < options_.min_samples) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return std::max(snapshot.quantile(0.99) * options_.slow_factor, options_.min_slow_seconds);
+}
+
+void TailSampler::maybe_refresh_threshold() {
+  if (request_histogram_ == nullptr) return;
+  std::uint64_t n = checks_.fetch_add(1, std::memory_order_relaxed);
+  if (n % options_.refresh_every != 0) return;
+  slow_threshold_s_.store(threshold_from(request_histogram_->snapshot()),
+                          std::memory_order_relaxed);
+}
+
+double TailSampler::slow_threshold_seconds() {
+  maybe_refresh_threshold();
+  return slow_threshold_s_.load(std::memory_order_relaxed);
+}
+
+bool TailSampler::quick_keep(std::uint32_t signals, bool error, double latency_seconds) {
+  maybe_refresh_threshold();
+  if (signals != 0 || error) return true;
+  return latency_seconds > slow_threshold_s_.load(std::memory_order_relaxed);
+}
+
+bool TailSampler::classify(TraceRecord& record) {
+  maybe_refresh_threshold();
+  std::uint32_t signals = record.signals;
+  if (record.status != "ok") signals |= kSignalError;
+  double latency_s = static_cast<double>(record.duration.count()) / 1e6;
+  if (latency_s > slow_threshold_s_.load(std::memory_order_relaxed)) {
+    signals |= kSignalSlow;
+  }
+  record.signals = signals;
+  const char* verdict = verdict_name(signals);
+  if (*verdict != '\0') {
+    record.verdict = verdict;
+    if (record.provisional) {
+      mark(record.id, RingState::kRetained);
+      retained_->add();
+    }
+    return true;
+  }
+  if (!record.provisional) return true;  // head-sampled: annotation only
+  // No verdict of its own: the origin segment discards; a late segment
+  // stitches only when the ring shows its origin retained — a discarded
+  // (or long-gone) trace id must not be resurrected by remote spans.
+  RingState prior = state(record.id);
+  if (prior == RingState::kRetained) return true;
+  if (prior == RingState::kPending) mark(record.id, RingState::kDiscarded);
+  discarded_->add();
+  return false;
 }
 
 }  // namespace ig::obs

@@ -22,6 +22,7 @@
 // a VirtualClock keeps every recorded timestamp deterministic in tests.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -31,8 +32,35 @@
 
 #include "common/clock.hpp"
 #include "common/sync.hpp"
+#include "obs/metrics.hpp"
 
 namespace ig::obs {
+
+/// Tail-retention metrics (owned by this header; see DESIGN.md §15).
+namespace metric {
+/// Provisional traces the verdict classifier kept / threw away.
+inline constexpr const char* kTailRetained = "obs.tail.retained";
+inline constexpr const char* kTailDiscarded = "obs.tail.discarded";
+/// Holding-ring entries evicted before their late segments could arrive.
+inline constexpr const char* kTailEvicted = "obs.tail.evicted";
+/// Effective head-sampling rate (gauge) — widened by SLO-burn feedback.
+inline constexpr const char* kTailSampleEvery = "obs.tail.sample_every";
+}  // namespace metric
+
+/// Signal bits a layer raises on the in-flight request (via
+/// obs::signal_tail) while it runs; at finish the TailSampler folds them
+/// — plus the response status and the latency threshold — into a
+/// retention verdict. One bit per anomaly class the obs stack can
+/// already detect.
+enum TailSignal : std::uint32_t {
+  kSignalError = 1u << 0,     ///< error status on the root (set by classify)
+  kSignalDeadline = 1u << 1,  ///< deadline exceeded (cancel or late record)
+  kSignalBreaker = 1u << 2,   ///< circuit-breaker open/half-open fast fail
+  kSignalDegraded = 1u << 3,  ///< stale-serve shield answered
+  kSignalFailover = 1u << 4,  ///< mid-query replica failover
+  kSignalRetry = 1u << 5,     ///< refresh recovered only after retrying
+  kSignalSlow = 1u << 6,      ///< latency over the p99-derived threshold
+};
 
 /// One completed (or still-open) span inside a trace.
 struct SpanRecord {
@@ -59,6 +87,16 @@ struct TraceRecord {
   Duration duration{0};
   std::string status = "ok";
   std::vector<SpanRecord> spans;  ///< spans[0] is this segment's root span
+  /// TailSignal bits raised while the request was in flight (ORed across
+  /// hops via the signals backhaul header).
+  std::uint32_t signals = 0;
+  /// Non-empty = the tail classifier retained this trace; names the
+  /// highest-precedence trigger ("error" > "deadline" > "breaker" >
+  /// "failover" > "degraded" > "retry" > "slow").
+  std::string verdict;
+  /// Opened by the tail layer for a head-unsampled request — retained
+  /// only when a verdict fires; never counts as a head-sampled trace.
+  bool provisional = false;
 
   friend bool operator==(const TraceRecord&, const TraceRecord&) = default;
 };
@@ -75,6 +113,7 @@ class TraceContext {
     std::uint64_t remote_parent_span = 0;  ///< caller's hop span id
     std::function<void()> on_finish;       ///< first successful finish()
     std::function<void()> on_abandon;      ///< destroyed without finish()
+    bool provisional = false;              ///< tail-layer trace (late verdict)
   };
 
   TraceContext(const Clock& clock, std::string root_name);
@@ -90,6 +129,14 @@ class TraceContext {
   /// True when this context joined a propagated trace rather than
   /// starting one (its root span has a remote parent).
   bool remote() const { return remote_; }
+  /// True when the tail layer opened this context for a head-unsampled
+  /// request (Options::provisional); retention is decided at finish.
+  bool provisional() const { return provisional_; }
+
+  /// OR TailSignal bits into the record (obs::signal_tail routes here
+  /// when a real context is active).
+  void add_signal(std::uint32_t bits);
+  std::uint32_t signals() const;
 
   /// RAII child-span handle: ends (status "ok") on destruction unless
   /// end() was called explicitly.
@@ -134,7 +181,10 @@ class TraceContext {
   /// dropped and a repeated finish() returns an empty record.
   TraceRecord finish();
 
-  bool finished() const;
+  /// Lock-free on purpose: the profiler's lock-contention listener reads
+  /// this while the caller may hold arbitrarily high-ranked locks, so an
+  /// mu_ (rank kTraceContext) acquisition here would invert the order.
+  bool finished() const { return finished_.load(std::memory_order_acquire); }
 
  private:
   void end_span(std::size_t index, std::string status);
@@ -143,11 +193,14 @@ class TraceContext {
   std::string id_;
   std::string node_;
   bool remote_ = false;
+  bool provisional_ = false;  ///< set at construction only
   std::function<void()> on_finish_;   ///< set at construction only
   std::function<void()> on_abandon_;  ///< set at construction only
   mutable Mutex mu_{lock_rank::kTraceContext, "obs.TraceContext"};
   TraceRecord record_ IG_GUARDED_BY(mu_);
-  bool finished_ IG_GUARDED_BY(mu_) = false;
+  /// Writes happen under mu_ (finish() decides first-ness there); atomic
+  /// so the unlocked finished() accessor stays rank-safe.
+  std::atomic<bool> finished_{false};
 };
 
 /// Ring buffer of the last N completed traces. add() *stitches*: a record
@@ -189,5 +242,94 @@ class TraceStore {
   std::uint64_t completed_ IG_GUARDED_BY(mu_) = 0;
   std::function<void(const TraceRecord&)> on_evict_ IG_GUARDED_BY(mu_);
 };
+
+/// Tail-based retention (DESIGN.md §15). Head-unsampled requests open
+/// *provisional* traces; at finish the verdict classifier decides keep
+/// (anomalies, at 100%) vs. discard (clean traffic, which stays at the
+/// head-sampling rate for baseline coverage). Materialized provisional
+/// ids live in a bounded holding ring so remote segments arriving after
+/// the verdict stitch into retained traces but cannot resurrect
+/// discarded ones.
+class TailSampler {
+ public:
+  struct Options {
+    /// Recently-seen provisional trace ids (sticky verdict state for late
+    /// segments). Sized like the TraceStore ring: a few hundred entries
+    /// of id + enum cover every in-flight request plus a grace window.
+    std::size_t holding_capacity = 256;
+    /// Slow verdict: latency > p99(request histogram) * slow_factor.
+    double slow_factor = 4.0;
+    /// Floor under sparse histograms so microsecond noise never pages.
+    double min_slow_seconds = 0.001;
+    /// Histogram samples required before slow verdicts fire at all.
+    std::uint64_t min_samples = 64;
+    /// Classifications between p99 refreshes (the threshold is cached in
+    /// an atomic so the clean path never snapshots the histogram).
+    std::uint64_t refresh_every = 256;
+  };
+
+  explicit TailSampler(MetricsRegistry& metrics);
+  TailSampler(MetricsRegistry& metrics, Options options);
+
+  /// Latency histogram the slow threshold derives from (request.seconds
+  /// in service wiring); null disables slow verdicts.
+  void set_request_histogram(const Histogram* histogram);
+
+  /// Verdict state of a provisional id in the holding ring.
+  enum class RingState { kUnknown, kPending, kRetained, kDiscarded };
+
+  /// Register a materialized provisional trace id as in flight (evicting
+  /// the oldest entry when full — counted on obs.tail.evicted).
+  void open(const std::string& id);
+  RingState state(const std::string& id) const;
+
+  /// Classify a finished record: fold record.signals with the error
+  /// status and the latency threshold, stamp record.verdict, mark the
+  /// ring entry, bump the retained/discarded counters. Returns keep.
+  /// Head-sampled (non-provisional) records always keep — the verdict is
+  /// annotation only. A provisional record with no verdict of its own is
+  /// a late segment: it keeps only when the ring shows its origin
+  /// retained (the no-resurrection rule).
+  bool classify(TraceRecord& record);
+
+  /// The cheap pre-check for never-materialized provisionals: true when
+  /// signals/error/latency would produce a verdict. No lock, no ring.
+  bool quick_keep(std::uint32_t signals, bool error, double latency_seconds);
+  /// Count a discarded provisional that skipped classify() (the clean
+  /// fast path — one atomic, nothing else).
+  void count_quick_discard() { discarded_->add(); }
+
+  /// Current slow-latency threshold in seconds (infinity until the
+  /// histogram has min_samples), refreshed every refresh_every checks.
+  double slow_threshold_seconds();
+  /// The same p99*factor (with min_samples/min_slow floor) derivation for
+  /// an arbitrary histogram — per-keyword thresholds reuse the policy.
+  double threshold_from(const Histogram::Snapshot& snapshot) const;
+
+  std::uint64_t retained() const { return retained_->value(); }
+  std::uint64_t discarded() const { return discarded_->value(); }
+  std::uint64_t evicted() const { return evicted_->value(); }
+  const Options& options() const { return options_; }
+
+ private:
+  void maybe_refresh_threshold();
+  void mark(const std::string& id, RingState state);
+
+  Options options_;
+  Counter* retained_;
+  Counter* discarded_;
+  Counter* evicted_;
+  const Histogram* request_histogram_ = nullptr;  ///< wiring-time only
+  /// Cached p99*factor in seconds; +inf until min_samples accumulate.
+  std::atomic<double> slow_threshold_s_;
+  std::atomic<std::uint64_t> checks_{0};
+  mutable Mutex mu_{lock_rank::kTailSampler, "obs.TailSampler"};
+  std::deque<std::string> order_ IG_GUARDED_BY(mu_);
+  std::unordered_map<std::string, RingState> ring_ IG_GUARDED_BY(mu_);
+};
+
+/// Human-readable verdict for a signal mask, highest precedence first;
+/// "" when no signal bit implies retention.
+const char* verdict_name(std::uint32_t signals);
 
 }  // namespace ig::obs

@@ -561,6 +561,72 @@ TEST_F(ChaosServiceTest, MixedWorkloadDegradesGracefully) {
   EXPECT_GT(injector->fires("exec.run"), 0u);
 }
 
+// ---------- Tail retention under chaos (acceptance) ----------
+
+class TailChaosTest : public ChaosServiceTest {};
+
+TEST_F(TailChaosTest, EveryFaultAffectedRequestRetainsAVerdictTrace) {
+  // A 20%-fault workload at the production default 1-in-64 head sampling:
+  // clean traffic is mostly discarded, but every fault-affected request
+  // must leave a retained trace with its verdict annotated — the tail
+  // layer's whole point.
+  monitor = std::make_shared<SystemMonitor>(*clock, "test.sim");
+  FaultPlan plan;
+  plan.seed = 4242;
+  FaultSpec flake;
+  flake.kind = FaultKind::kError;
+  flake.probability = 0.2;
+  plan.add("info.Alpha", flake);
+  auto injector = std::make_shared<FaultInjector>(plan);
+  auto inner = std::make_shared<FunctionSource>(
+      "Alpha",
+      []() -> Result<format::InfoRecord> {
+        format::InfoRecord r;
+        r.keyword = "Alpha";
+        r.add("v", "1");
+        return r;
+      },
+      "function:test.chaos");
+  ProviderOptions options;
+  options.ttl = Duration(0);  // refresh on every query: every fault surfaces
+  options.resilience.serve_stale_on_error = false;
+  ASSERT_TRUE(monitor
+                  ->add_provider(std::make_shared<ManagedProvider>(
+                      std::make_shared<FaultInjectingSource>(inner, injector, *clock),
+                      *clock, options))
+                  .ok());
+  auto telemetry = std::make_shared<obs::Telemetry>(*clock);
+  core::InfoGramConfig config;
+  config.telemetry = telemetry;
+  // config defaults: trace_sample_every = 64, tail_sampling = true.
+  start_service(config);
+  auto client = make_client();
+
+  int failed = 0;
+  int succeeded = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (client.query_info({"Alpha"}, rsl::ResponseMode::kImmediate).ok()) {
+      ++succeeded;
+    } else {
+      ++failed;
+    }
+  }
+  ASSERT_GT(failed, 0);
+  ASSERT_GT(succeeded, 0);
+
+  // One retained trace per failure, verdict "error" — whether the request
+  // happened to be head-sampled or went through the provisional path.
+  int error_traces = 0;
+  for (const auto& t : telemetry->traces().snapshot()) {
+    if (t.verdict == "error") ++error_traces;
+  }
+  EXPECT_EQ(error_traces, failed);
+  // Clean traffic stayed at the head rate: the tail layer discarded it.
+  ASSERT_NE(telemetry->tail(), nullptr);
+  EXPECT_GT(telemetry->tail()->discarded(), 0u);
+  EXPECT_EQ(telemetry->metrics().gauge(obs::metric::kTailSampleEvery).value(), 64);
+}
+
 // ---------- Prefetcher failure backoff (satellite) ----------
 
 TEST(PrefetcherBackoffTest, FailuresEnterExponentialBackoff) {

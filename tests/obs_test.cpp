@@ -241,8 +241,28 @@ TEST(PropagationTest, MalformedWireContextRejected) {
   EXPECT_FALSE(WireContext::decode("").has_value());
   EXPECT_FALSE(WireContext::decode("justoneid").has_value());
   EXPECT_FALSE(WireContext::decode("id;nothex;1").has_value());
-  EXPECT_FALSE(WireContext::decode("id;ff;2").has_value());
+  EXPECT_FALSE(WireContext::decode("id;ff;3").has_value());
   EXPECT_FALSE(WireContext::decode(";ff;1").has_value());
+}
+
+TEST(PropagationTest, ProvisionalWireFlagDecodes) {
+  // Flag "2" is the tail-sampling extension: sampled, but the verdict on
+  // whether the trace is kept comes at finish. Anything past "2" is still
+  // malformed (checked above) so old peers fail closed.
+  auto decoded = WireContext::decode("id;ff;2");
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->sampled);
+  EXPECT_TRUE(decoded->provisional);
+
+  WireContext ctx;
+  ctx.trace_id = "roundtrip";
+  ctx.parent_span = 0x1f;
+  ctx.sampled = true;
+  ctx.provisional = true;
+  auto again = WireContext::decode(ctx.encode());
+  ASSERT_TRUE(again.has_value());
+  EXPECT_TRUE(again->sampled);
+  EXPECT_TRUE(again->provisional);
 }
 
 TEST(PropagationTest, SpanCodecRoundTripsWithDelimiters) {

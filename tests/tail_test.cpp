@@ -1,0 +1,606 @@
+// Tail-based trace retention (DESIGN.md §15): the verdict classifier,
+// the holding ring's no-resurrection rule, provisional roots synthesized
+// without a context, the anomaly flight recorder, SLO-burn-adaptive
+// sampling, and the signal backhaul across real service hops.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "core/config.hpp"
+#include "core/infogram_client.hpp"
+#include "core/infogram_service.hpp"
+#include "exec/fork_backend.hpp"
+#include "info/system_monitor.hpp"
+#include "obs/export.hpp"
+#include "obs/propagation.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
+#include "test_util.hpp"
+
+namespace ig {
+namespace {
+
+using obs::TailSampler;
+using obs::TraceRecord;
+
+// ---------- Verdict classifier ----------
+
+TEST(TailVerdictTest, PrecedenceNamesTheHardestFailure) {
+  EXPECT_STREQ(obs::verdict_name(obs::kSignalError), "error");
+  EXPECT_STREQ(obs::verdict_name(obs::kSignalDeadline), "deadline");
+  EXPECT_STREQ(obs::verdict_name(obs::kSignalBreaker), "breaker");
+  EXPECT_STREQ(obs::verdict_name(obs::kSignalFailover), "failover");
+  EXPECT_STREQ(obs::verdict_name(obs::kSignalDegraded), "degraded");
+  EXPECT_STREQ(obs::verdict_name(obs::kSignalRetry), "retry");
+  EXPECT_STREQ(obs::verdict_name(obs::kSignalSlow), "slow");
+  EXPECT_STREQ(obs::verdict_name(0), "");
+  // An error that also tripped the breaker is an "error" trace: the hard
+  // failure outranks the mechanism that contained it.
+  EXPECT_STREQ(obs::verdict_name(obs::kSignalError | obs::kSignalBreaker), "error");
+  EXPECT_STREQ(obs::verdict_name(obs::kSignalRetry | obs::kSignalSlow), "retry");
+}
+
+class TailSamplerTest : public ::testing::Test {
+ protected:
+  obs::MetricsRegistry metrics;
+};
+
+TEST_F(TailSamplerTest, ProvisionalWithSignalRetainsAndStampsVerdict) {
+  TailSampler sampler(metrics);
+  sampler.open("t1");
+  TraceRecord record;
+  record.id = "t1";
+  record.provisional = true;
+  record.signals = obs::kSignalDegraded;
+  EXPECT_TRUE(sampler.classify(record));
+  EXPECT_EQ(record.verdict, "degraded");
+  EXPECT_EQ(sampler.state("t1"), TailSampler::RingState::kRetained);
+  EXPECT_EQ(sampler.retained(), 1u);
+  EXPECT_EQ(sampler.discarded(), 0u);
+}
+
+TEST_F(TailSamplerTest, ErrorStatusAloneIsAVerdict) {
+  TailSampler sampler(metrics);
+  sampler.open("t1");
+  TraceRecord record;
+  record.id = "t1";
+  record.provisional = true;
+  record.status = "error:unavailable";
+  EXPECT_TRUE(sampler.classify(record));
+  EXPECT_EQ(record.verdict, "error");
+  EXPECT_NE(record.signals & obs::kSignalError, 0u);
+}
+
+TEST_F(TailSamplerTest, CleanProvisionalDiscards) {
+  TailSampler sampler(metrics);
+  sampler.open("t1");
+  TraceRecord record;
+  record.id = "t1";
+  record.provisional = true;
+  EXPECT_FALSE(sampler.classify(record));
+  EXPECT_TRUE(record.verdict.empty());
+  EXPECT_EQ(sampler.state("t1"), TailSampler::RingState::kDiscarded);
+  EXPECT_EQ(sampler.discarded(), 1u);
+}
+
+TEST_F(TailSamplerTest, HeadSampledAlwaysKeepsVerdictIsAnnotation) {
+  TailSampler sampler(metrics);
+  TraceRecord clean;
+  clean.id = "h1";
+  EXPECT_TRUE(sampler.classify(clean));
+  EXPECT_TRUE(clean.verdict.empty());
+  TraceRecord bad;
+  bad.id = "h2";
+  bad.signals = obs::kSignalRetry;
+  EXPECT_TRUE(sampler.classify(bad));
+  EXPECT_EQ(bad.verdict, "retry");
+  // Neither touched the provisional counters.
+  EXPECT_EQ(sampler.retained(), 0u);
+  EXPECT_EQ(sampler.discarded(), 0u);
+}
+
+TEST_F(TailSamplerTest, LateSegmentFollowsOriginVerdict) {
+  TailSampler sampler(metrics);
+  // Origin retained: a later remote segment (no verdict of its own)
+  // stitches in.
+  sampler.open("kept");
+  TraceRecord origin;
+  origin.id = "kept";
+  origin.provisional = true;
+  origin.signals = obs::kSignalFailover;
+  ASSERT_TRUE(sampler.classify(origin));
+  TraceRecord late;
+  late.id = "kept";
+  late.provisional = true;
+  EXPECT_TRUE(sampler.classify(late));
+
+  // Origin discarded: the same shape must NOT resurrect the trace.
+  sampler.open("dropped");
+  TraceRecord clean;
+  clean.id = "dropped";
+  clean.provisional = true;
+  ASSERT_FALSE(sampler.classify(clean));
+  TraceRecord straggler;
+  straggler.id = "dropped";
+  straggler.provisional = true;
+  EXPECT_FALSE(sampler.classify(straggler));
+  // An id the ring never saw (or already evicted) discards too.
+  TraceRecord unknown;
+  unknown.id = "never-opened";
+  unknown.provisional = true;
+  EXPECT_FALSE(sampler.classify(unknown));
+}
+
+TEST_F(TailSamplerTest, HoldingRingEvictsOldestAndCounts) {
+  TailSampler::Options options;
+  options.holding_capacity = 2;
+  TailSampler sampler(metrics, options);
+  sampler.open("a");
+  sampler.open("b");
+  EXPECT_EQ(sampler.evicted(), 0u);
+  sampler.open("c");
+  EXPECT_EQ(sampler.evicted(), 1u);
+  EXPECT_EQ(sampler.state("a"), TailSampler::RingState::kUnknown);
+  EXPECT_EQ(sampler.state("b"), TailSampler::RingState::kPending);
+  EXPECT_EQ(sampler.state("c"), TailSampler::RingState::kPending);
+  EXPECT_EQ(metrics.counter(obs::metric::kTailEvicted).value(), 1u);
+}
+
+TEST_F(TailSamplerTest, ReopenedIdKeepsItsVerdictState) {
+  TailSampler sampler(metrics);
+  sampler.open("t1");
+  TraceRecord record;
+  record.id = "t1";
+  record.provisional = true;
+  record.signals = obs::kSignalBreaker;
+  ASSERT_TRUE(sampler.classify(record));
+  // A duplicate open (the id re-entering through another hop) must not
+  // downgrade the sticky verdict back to pending.
+  sampler.open("t1");
+  EXPECT_EQ(sampler.state("t1"), TailSampler::RingState::kRetained);
+}
+
+TEST_F(TailSamplerTest, SlowThresholdDerivesFromHistogramP99) {
+  TailSampler::Options options;
+  options.min_samples = 4;
+  options.refresh_every = 1;
+  options.slow_factor = 2.0;
+  TailSampler sampler(metrics, options);
+  obs::Histogram& h = metrics.histogram("request.seconds");
+  sampler.set_request_histogram(&h);
+
+  // Below min_samples the threshold is infinite: slow verdicts can't fire
+  // off microsecond noise.
+  EXPECT_TRUE(std::isinf(sampler.slow_threshold_seconds()));
+  EXPECT_FALSE(sampler.quick_keep(0, false, 100.0));
+
+  for (int i = 0; i < 8; ++i) h.observe(0.010);
+  double threshold = sampler.slow_threshold_seconds();
+  EXPECT_FALSE(std::isinf(threshold));
+  EXPECT_GE(threshold, options.min_slow_seconds);
+  EXPECT_TRUE(sampler.quick_keep(0, false, threshold + 1.0));
+  EXPECT_FALSE(sampler.quick_keep(0, false, 0.0));
+
+  // classify() folds the same threshold into a "slow" verdict.
+  sampler.open("t1");
+  TraceRecord record;
+  record.id = "t1";
+  record.provisional = true;
+  record.duration = seconds(30);
+  EXPECT_TRUE(sampler.classify(record));
+  EXPECT_EQ(record.verdict, "slow");
+
+  // threshold_from applies the identical policy to any histogram (the
+  // per-keyword reuse in ManagedProvider).
+  obs::Histogram& kw = metrics.histogram("info.refresh.seconds.Memory");
+  EXPECT_TRUE(std::isinf(sampler.threshold_from(kw.snapshot())));
+  for (int i = 0; i < 8; ++i) kw.observe(0.020);
+  EXPECT_FALSE(std::isinf(sampler.threshold_from(kw.snapshot())));
+}
+
+// ---------- Telemetry-level provisional lifecycle ----------
+
+class TailTelemetryTest : public ::testing::Test {
+ protected:
+  VirtualClock clock{seconds(1000)};
+};
+
+TEST_F(TailTelemetryTest, CleanProvisionalLeavesNoTrace) {
+  obs::Telemetry telemetry(clock, "node0.sim");
+  telemetry.enable_tail();
+  obs::PendingTrace pending;  // never materialized: the clean fast path
+  telemetry.finish_provisional(pending, "INFO", ms(1), "ok");
+  EXPECT_EQ(telemetry.traces().snapshot().size(), 0u);
+  EXPECT_EQ(telemetry.tail()->discarded(), 1u);
+  EXPECT_EQ(telemetry.tail()->retained(), 0u);
+}
+
+TEST_F(TailTelemetryTest, SignalOnPendingSynthesizesRetainedRecord) {
+  obs::Telemetry telemetry(clock, "node0.sim");
+  telemetry.enable_tail();
+  obs::PendingTrace pending;
+  pending.signals = obs::kSignalFailover;
+  telemetry.finish_provisional(pending, "MDS_SEARCH", ms(5), "ok");
+  auto traces = telemetry.traces().snapshot();
+  ASSERT_EQ(traces.size(), 1u);
+  const TraceRecord& record = traces[0];
+  EXPECT_TRUE(record.provisional);
+  EXPECT_EQ(record.verdict, "failover");
+  EXPECT_EQ(record.root, "MDS_SEARCH");
+  EXPECT_EQ(record.duration, ms(5));
+  // The synthesized record is backdated: it describes the request that
+  // just finished, not the instant of the verdict.
+  EXPECT_EQ(record.start, clock.now() - ms(5));
+  ASSERT_EQ(record.spans.size(), 1u);
+  EXPECT_EQ(record.spans[0].node, "node0.sim");
+  EXPECT_EQ(telemetry.tail()->retained(), 1u);
+}
+
+TEST_F(TailTelemetryTest, ErrorStatusRetainsWithoutContext) {
+  obs::Telemetry telemetry(clock, "node0.sim");
+  telemetry.enable_tail();
+  obs::PendingTrace pending;
+  telemetry.finish_provisional(pending, "INFO", ms(2), "error:unavailable");
+  auto traces = telemetry.traces().snapshot();
+  ASSERT_EQ(traces.size(), 1u);
+  EXPECT_EQ(traces[0].verdict, "error");
+  EXPECT_EQ(traces[0].status, "error:unavailable");
+}
+
+TEST_F(TailTelemetryTest, MaterializedProvisionalFoldsPendingSignals) {
+  obs::Telemetry telemetry(clock, "node0.sim");
+  telemetry.enable_tail();
+  auto ctx = telemetry.make_provisional_trace("lookup");
+  std::string id = ctx->id();
+  EXPECT_TRUE(ctx->provisional());
+  EXPECT_EQ(telemetry.tail()->state(id), TailSampler::RingState::kPending);
+  obs::PendingTrace pending;
+  pending.ctx = ctx.get();
+  pending.signals = obs::kSignalRetry;
+  telemetry.finish_provisional(pending, "lookup", ms(3), "ok");
+  auto found = telemetry.traces().find(id);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].verdict, "retry");
+  EXPECT_EQ(telemetry.tail()->state(id), TailSampler::RingState::kRetained);
+}
+
+TEST_F(TailTelemetryTest, SignalTailRoutesThroughProvisionalScope) {
+  obs::Telemetry telemetry(clock, "node0.sim");
+  telemetry.enable_tail();
+  obs::PendingTrace pending;
+  {
+    obs::ProvisionalScope scope(pending);
+    obs::signal_tail(obs::kSignalDeadline);  // zero-plumbing call site
+  }
+  EXPECT_EQ(pending.signals, static_cast<std::uint32_t>(obs::kSignalDeadline));
+  telemetry.finish_provisional(pending, "INFO", ms(1), "ok");
+  auto traces = telemetry.traces().snapshot();
+  ASSERT_EQ(traces.size(), 1u);
+  EXPECT_EQ(traces[0].verdict, "deadline");
+}
+
+TEST_F(TailTelemetryTest, DiscardedTraceIsNotResurrectedByLateSegment) {
+  obs::Telemetry telemetry(clock, "origin.sim");
+  telemetry.enable_tail();
+
+  // Origin finishes clean: discarded.
+  auto origin = telemetry.make_provisional_trace("lookup");
+  std::string id = origin->id();
+  telemetry.complete(*origin);
+  EXPECT_EQ(telemetry.traces().find(id).size(), 0u);
+  EXPECT_EQ(telemetry.tail()->state(id), TailSampler::RingState::kDiscarded);
+
+  // A remote hop's segment arrives after the verdict (the 3-hop
+  // late-span shape: a leaf's backhaul reaching the shared store after
+  // the origin already discarded). It must not resurrect the trace.
+  auto late = telemetry.make_remote_provisional("MDS_SEARCH", id, 42);
+  (void)telemetry.collect_provisional(*late);
+  EXPECT_EQ(telemetry.traces().find(id).size(), 0u);
+  EXPECT_EQ(telemetry.traces().snapshot().size(), 0u);
+}
+
+TEST_F(TailTelemetryTest, RetainedTraceStitchesLateSegment) {
+  obs::Telemetry telemetry(clock, "origin.sim");
+  telemetry.enable_tail();
+  auto origin = telemetry.make_provisional_trace("lookup");
+  std::string id = origin->id();
+  origin->add_signal(obs::kSignalFailover);
+  telemetry.complete(*origin);
+  ASSERT_EQ(telemetry.traces().find(id).size(), 1u);
+
+  auto late = telemetry.make_remote_provisional("MDS_SEARCH", id, 42);
+  (void)telemetry.collect_provisional(*late);
+  auto found = telemetry.traces().find(id);
+  ASSERT_EQ(found.size(), 1u);
+  bool late_span = false;
+  for (const auto& s : found[0].spans) {
+    if (s.name == "MDS_SEARCH") late_span = true;
+  }
+  EXPECT_TRUE(late_span);
+}
+
+// ---------- Flight recorder ----------
+
+TEST(FlightRecorderTest, RingIsBoundedByCapacity) {
+  VirtualClock clock(seconds(1000));
+  obs::FlightRecorder::Options options;
+  options.capacity = 3;
+  obs::FlightRecorder recorder(clock, "node.sim", options);
+  for (int i = 0; i < 10; ++i) {
+    recorder.note("log", "event " + std::to_string(i));
+  }
+  auto events = recorder.events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_NE(events.back().detail.find("event 9"), std::string::npos);
+  EXPECT_NE(events.front().detail.find("event 7"), std::string::npos);
+}
+
+TEST(FlightRecorderTest, DumpWritesHeaderEventsAndTraces) {
+  VirtualClock clock(seconds(1000));
+  obs::FlightRecorder::Options options;
+  options.dump_dir = ::testing::TempDir();
+  // Node ids carry host:port separators that make poor filenames.
+  obs::FlightRecorder recorder(clock, "hub.sim:2135", options);
+  recorder.note("log", "breaker opened");
+  std::vector<TraceRecord> traces(1);
+  traces[0].id = "abc123";
+  traces[0].verdict = "error";
+  std::string path = recorder.dump("verdict", traces);
+  ASSERT_FALSE(path.empty());
+  EXPECT_NE(path.find("FLIGHT_hub.sim_2135_0.jsonl"), std::string::npos);
+  EXPECT_EQ(recorder.last_path(), path);
+  auto lines = obs::JsonlExporter::read_lines(path);
+  ASSERT_EQ(lines.size(), 3u);  // header + 1 event + 1 trace
+  EXPECT_NE(lines[0].find("\"type\":\"flight\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"reason\":\"verdict\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"kind\":\"log\""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"type\":\"trace\""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"verdict\":\"error\""), std::string::npos);
+}
+
+TEST(FlightRecorderTest, DumpsAreRateLimitedUnlessForced) {
+  VirtualClock clock(seconds(1000));
+  obs::FlightRecorder::Options options;
+  options.dump_dir = ::testing::TempDir();
+  options.min_dump_interval_s = 10.0;
+  obs::FlightRecorder recorder(clock, "node.sim", options);
+  EXPECT_FALSE(recorder.dump("first", {}).empty());
+  // A page storm inside the interval is swallowed...
+  EXPECT_TRUE(recorder.dump("storm", {}).empty());
+  EXPECT_EQ(recorder.dumps(), 1u);
+  // ...unless forced, or once the interval passes.
+  EXPECT_FALSE(recorder.dump("forced", {}, true).empty());
+  clock.advance(seconds(11));
+  EXPECT_FALSE(recorder.dump("later", {}).empty());
+  EXPECT_EQ(recorder.dumps(), 3u);
+}
+
+TEST(FlightRecorderTest, MetricDeltasCaptureOnlyMovement) {
+  VirtualClock clock(seconds(1000));
+  obs::MetricsRegistry metrics;
+  obs::FlightRecorder recorder(clock, "node.sim");
+  recorder.set_metrics(&metrics);
+  metrics.counter("info.retry.attempts").add(5);
+
+  TraceRecord record;
+  record.id = "t1";
+  record.verdict = "retry";
+  recorder.note_trace(record);
+  auto events = recorder.events();
+  ASSERT_EQ(events.size(), 2u);  // the trace plus one metric-delta event
+  EXPECT_EQ(events[0].kind, "trace");
+  EXPECT_EQ(events[1].kind, "metric");
+  EXPECT_NE(events[1].detail.find("\"info.retry.attempts\":5"), std::string::npos);
+
+  // No movement since the last capture: no metric event this time.
+  recorder.note_trace(record);
+  ASSERT_EQ(recorder.events().size(), 3u);
+  EXPECT_EQ(recorder.events().back().kind, "trace");
+}
+
+// ---------- SLO-burn-adaptive sampling ----------
+
+TEST(TailBurnFeedbackTest, BurnWidensSamplingPageDumpsAndHealthDecays) {
+  VirtualClock clock(seconds(1000));
+  auto telemetry = std::make_shared<obs::Telemetry>(clock, "burn.sim");
+  telemetry->enable_tail();
+  telemetry->set_trace_sampling(64);
+  obs::FlightRecorder::Options fr_options;
+  fr_options.dump_dir = ::testing::TempDir();
+  auto flight = std::make_shared<obs::FlightRecorder>(clock, "burn.sim", fr_options);
+  telemetry->set_flight_recorder(flight);
+
+  obs::SloObjective objective;
+  objective.name = "request-errors";
+  objective.layer = "core";
+  objective.kind = obs::SloObjective::Kind::kErrorRate;
+  objective.metric = obs::metric::kRequestsErrors;
+  objective.total_metric = obs::metric::kRequestsTotal;
+  objective.target = 0.99;
+  telemetry->slo().add(objective);
+
+  obs::Counter& total = telemetry->metrics().counter(obs::metric::kRequestsTotal);
+  obs::Counter& errors = telemetry->metrics().counter(obs::metric::kRequestsErrors);
+  obs::Gauge& gauge = telemetry->metrics().gauge(obs::metric::kTailSampleEvery);
+
+  (void)telemetry->slo_record("slo");  // baseline history sample
+  EXPECT_EQ(gauge.value(), 64);
+
+  // Every request errors: burn 100x the budget rate over both windows —
+  // a page. Sampling widens 8x and the flight record dumps.
+  total.add(100);
+  errors.add(100);
+  clock.advance(seconds(60));
+  (void)telemetry->slo_record("slo");
+  EXPECT_EQ(gauge.value(), 8);
+  EXPECT_GE(flight->dumps(), 1u);
+  EXPECT_NE(flight->last_path().find("FLIGHT_burn.sim_"), std::string::npos);
+  int sampled = 0;
+  for (int i = 0; i < 64; ++i) sampled += telemetry->should_sample() ? 1 : 0;
+  EXPECT_EQ(sampled, 8);  // the widened rate is live, not just reported
+
+  // Healthy traffic clears the alert; the rate halves back per
+  // evaluation — no cliff — until it reaches the configured base.
+  total.add(100000);
+  clock.advance(seconds(400));
+  (void)telemetry->slo_record("slo");
+  EXPECT_EQ(gauge.value(), 16);
+  total.add(100000);
+  clock.advance(seconds(400));
+  (void)telemetry->slo_record("slo");
+  EXPECT_EQ(gauge.value(), 32);
+  total.add(100000);
+  clock.advance(seconds(400));
+  (void)telemetry->slo_record("slo");
+  EXPECT_EQ(gauge.value(), 64);
+  total.add(100000);
+  clock.advance(seconds(400));
+  (void)telemetry->slo_record("slo");
+  EXPECT_EQ(gauge.value(), 64);  // decay stops at base, never beyond
+}
+
+TEST(TailBurnFeedbackTest, FlightRecordKeywordReportsState) {
+  VirtualClock clock(seconds(1000));
+  obs::Telemetry telemetry(clock, "node.sim");
+  telemetry.enable_tail();
+  obs::FlightRecorder::Options fr_options;
+  fr_options.dump_dir = ::testing::TempDir();
+  telemetry.set_flight_recorder(
+      std::make_shared<obs::FlightRecorder>(clock, "node.sim", fr_options));
+
+  obs::PendingTrace pending;
+  pending.signals = obs::kSignalBreaker;
+  telemetry.finish_provisional(pending, "INFO", ms(1), "ok");
+
+  format::InfoRecord record = telemetry.flight_record("flightrecorder");
+  ASSERT_NE(record.find("enabled"), nullptr);
+  EXPECT_EQ(record.find("enabled")->value, "true");
+  EXPECT_EQ(record.find("tail")->value, "true");
+  EXPECT_EQ(record.find("tail:retained")->value, "1");
+  EXPECT_EQ(record.find("tail:discarded")->value, "0");
+  EXPECT_EQ(record.find("tail:slow_threshold_s")->value, "inf");
+  // The retained anomaly is sitting in the ring, visible as event lines.
+  ASSERT_NE(record.find("events"), nullptr);
+  EXPECT_NE(record.find("events")->value, "0");
+  ASSERT_NE(record.find("event.0"), nullptr);
+  EXPECT_NE(record.find("event.0")->value.find("\"verdict\":\"breaker\""),
+            std::string::npos);
+}
+
+// ---------- Across real hops: the signal backhaul ----------
+
+class TailPropagationTest : public ig::test::GridFixture {};
+
+TEST_F(TailPropagationTest, ProvisionalRootRetainsFaultAbsorbedTwoHopsAway) {
+  auto backend = std::make_shared<exec::ForkBackend>(registry, *clock);
+
+  // Leaf: a keyword that succeeds until killed; afterwards the stale
+  // shield serves the cache — a degraded answer the caller can't see in
+  // the response status.
+  auto down = std::make_shared<std::atomic<bool>>(false);
+  auto leaf_telemetry = std::make_shared<obs::Telemetry>(*clock);
+  core::InfoGramConfig leaf_config;
+  leaf_config.host = "leaf.sim";
+  leaf_config.telemetry = leaf_telemetry;
+  leaf_config.trace_sample_every = 1u << 20;  // head never samples
+  auto leaf_monitor = std::make_shared<info::SystemMonitor>(*clock, leaf_config.host);
+  info::ProviderOptions flaky_options;
+  flaky_options.ttl = ms(100);
+  ASSERT_TRUE(leaf_monitor
+                  ->add_source(std::make_shared<info::FunctionSource>(
+                                   "Flaky",
+                                   [down]() -> Result<format::InfoRecord> {
+                                     if (down->load()) {
+                                       return Error(ErrorCode::kIoError, "down");
+                                     }
+                                     format::InfoRecord r;
+                                     r.keyword = "Flaky";
+                                     r.add("v", "1");
+                                     return r;
+                                   },
+                                   "function:test.flaky"),
+                               flaky_options)
+                  .ok());
+  core::InfoGramService leaf(leaf_monitor, backend, host_cred, &trust, &gridmap, &policy,
+                             clock.get(), logger, leaf_config);
+  ASSERT_TRUE(leaf.start(*network).ok());
+
+  // Hub: every query forwards to the leaf (TTL 0), so the client's
+  // request fans through three nodes: client -> hub -> leaf.
+  auto hub_telemetry = std::make_shared<obs::Telemetry>(*clock);
+  core::InfoGramConfig hub_config;
+  hub_config.host = "hub.sim";
+  hub_config.telemetry = hub_telemetry;
+  hub_config.trace_sample_every = 1u << 20;
+  auto hub_monitor = std::make_shared<info::SystemMonitor>(*clock, hub_config.host);
+  auto leaf_client = std::make_shared<core::InfoGramClient>(*network, leaf.address(),
+                                                            alice, trust, *clock);
+  info::ProviderOptions forward_options;
+  forward_options.ttl = Duration(0);
+  ASSERT_TRUE(hub_monitor
+                  ->add_source(std::make_shared<info::FunctionSource>(
+                                   "Remote",
+                                   [leaf_client]() -> Result<format::InfoRecord> {
+                                     auto records = leaf_client->query_info({"Flaky"});
+                                     if (!records.ok()) return records.error();
+                                     format::InfoRecord out = records->front();
+                                     out.keyword = "Remote";
+                                     return out;
+                                   },
+                                   "forward:leaf.sim/Flaky"),
+                               forward_options)
+                  .ok());
+  core::InfoGramService hub(hub_monitor, backend, host_cred, &trust, &gridmap, &policy,
+                            clock.get(), logger, hub_config);
+  ASSERT_TRUE(hub.start(*network).ok());
+
+  core::InfoGramClient client(*network, hub.address(), alice, trust, *clock);
+
+  // Clean warmup: the provisional trace materializes (the hub's outbound
+  // hop needs a wire id) but the finish verdict discards it.
+  // The counter-based sampler always head-samples its first request
+  // (seq 0 hits every rate); burn that slot so each request below takes
+  // the provisional path.
+  (void)hub_telemetry->should_sample();
+  ASSERT_TRUE(client.query_info({"Remote"}).ok());
+  EXPECT_EQ(hub_telemetry->traces().snapshot().size(), 0u);
+  EXPECT_GE(hub_telemetry->tail()->discarded(), 1u);
+
+  // Kill the leaf's source and expire its cache: the next forward is
+  // served stale by the *leaf's* shield — the fault is absorbed two hops
+  // from the origin and only the ig-trace-signals backhaul carries it.
+  down->store(true);
+  clock->advance(ms(500));
+  ASSERT_TRUE(client.query_info({"Remote"}).ok());  // degraded, not failed
+
+  auto traces = hub_telemetry->traces().snapshot();
+  ASSERT_EQ(traces.size(), 1u);
+  const TraceRecord& record = traces[0];
+  EXPECT_TRUE(record.provisional);
+  EXPECT_EQ(record.verdict, "degraded");
+  EXPECT_NE(record.signals & obs::kSignalDegraded, 0u);
+  bool leaf_span = false;
+  for (const auto& s : record.spans) {
+    if (s.node == "leaf.sim") leaf_span = true;
+  }
+  EXPECT_TRUE(leaf_span);
+  EXPECT_EQ(hub_telemetry->tail()->retained(), 1u);
+  // The leaf saw its own verdict and retained its segment independently.
+  EXPECT_EQ(leaf_telemetry->traces().find(record.id).size(), 1u);
+
+  // The tail layer's state is itself a TTL-0 query, like everything else.
+  auto fr = client.query_info({"flightrecorder"});
+  ASSERT_TRUE(fr.ok());
+  ASSERT_EQ(fr->size(), 1u);
+  ASSERT_NE(fr->front().find("tail"), nullptr);
+  EXPECT_EQ(fr->front().find("tail")->value, "true");
+  EXPECT_EQ(fr->front().find("tail:retained")->value, "1");
+}
+
+}  // namespace
+}  // namespace ig

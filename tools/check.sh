@@ -16,6 +16,9 @@
 #   directory  replicated-directory suites (shard/replica/router/churn) +
 #            bench_directory_scale, the near-flat-p99-at-10x-registry gate
 #            (<= 1.5x growth, zero failed lookups under replica kill)
+#   tail     tail-retention suites (verdict/ring/flight-recorder/chaos) +
+#            bench_tail_sampling, the tail-vs-head-only overhead gate
+#            (<= 5% on clean traffic at default sampling)
 #
 #   tools/check.sh                  # lint + release + asan + tsan + tsa + tidy
 #   tools/check.sh --fast           # lint + release only
@@ -27,6 +30,7 @@
 #   tools/check.sh --profile        # lint + profile
 #   tools/check.sh --snapshot       # lint + snapshot
 #   tools/check.sh --directory      # lint + directory
+#   tools/check.sh --tail           # lint + tail
 #   tools/check.sh --tsa --tidy ... # flags combine; each adds its leg
 #
 # The tsa and tidy legs need clang/clang-tidy on PATH; when absent they
@@ -40,13 +44,15 @@ PROFILE_FILTER='Profile'
 SNAPSHOT_FILTER='Snapshot'
 # Test-name filter selecting the replicated-directory suites.
 DIRECTORY_FILTER='ShardMap|ReplicationOp|ReplicaStore|Replication|Router|GiisChurn'
+# Test-name filter selecting the tail-retention suites.
+TAIL_FILTER='TailVerdict|TailSampler|TailTelemetry|TailBurn|TailPropagation|TailChaos|FlightRecorder'
 
 cd "$(dirname "$0")/.."
 jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
 
 # ---- leg selection ---------------------------------------------------------
 run_release=0 run_asan=0 run_tsan=0 run_tsa=0 run_tidy=0 run_chaos=0 run_profile=0
-run_snapshot=0 run_directory=0
+run_snapshot=0 run_directory=0 run_tail=0
 if [ "$#" -eq 0 ]; then
   # Default gate: every leg except chaos (whose suites the sanitizer legs
   # already include); tsa/tidy skip themselves when clang is absent.
@@ -63,8 +69,9 @@ for arg in "$@"; do
     --profile) run_profile=1 ;;
     --snapshot) run_snapshot=1 ;;
     --directory) run_directory=1 ;;
+    --tail)  run_tail=1 ;;
     *)
-      echo "usage: tools/check.sh [--fast|--asan|--tsan|--tsa|--tidy|--chaos|--profile|--snapshot|--directory]..." >&2
+      echo "usage: tools/check.sh [--fast|--asan|--tsan|--tsa|--tidy|--chaos|--profile|--snapshot|--directory|--tail]..." >&2
       exit 2
       ;;
   esac
@@ -215,6 +222,17 @@ if [ "${run_directory}" -eq 1 ]; then
   echo "==> bench_directory_scale (near-flat p99 at 10x registry gate)"
   (cd build-check && ./bench/bench_directory_scale --json --enforce)
   note directory pass
+fi
+if [ "${run_tail}" -eq 1 ]; then
+  echo "==> configure build-check (Release, tail leg)"
+  cmake -B build-check -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+  echo "==> build build-check"
+  cmake --build build-check -j "${jobs}" >/dev/null
+  echo "==> ctest build-check (tail-retention suites)"
+  ctest --test-dir build-check --output-on-failure -j "${jobs}" -R "${TAIL_FILTER}"
+  echo "==> bench_tail_sampling (tail-vs-head-only overhead gate)"
+  (cd build-check && ./bench/bench_tail_sampling --json --enforce)
+  note tail pass
 fi
 
 print_summary

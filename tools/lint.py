@@ -138,11 +138,15 @@ def check_metrics() -> list[str]:
     """Every metric constant is instrumented somewhere and documented."""
     findings = []
     # Every header declaring an `ig::obs::metric` namespace block; the
-    # profiler's constants (obs.profile.*) live next to the profiler and
-    # the replication layer's (mds.replica.*) next to the coordinator.
+    # profiler's constants (obs.profile.*) live next to the profiler, the
+    # replication layer's (mds.replica.*) next to the coordinator, the
+    # tail sampler's (obs.tail.*) next to the ring, and the exporter /
+    # flight recorder's (obs.export.*, obs.fr.*) next to the sinks.
     headers = [
         SRC / "obs" / "telemetry.hpp",
         SRC / "obs" / "profile.hpp",
+        SRC / "obs" / "trace.hpp",
+        SRC / "obs" / "export.hpp",
         SRC / "mds" / "replication.hpp",
     ]
     design = (REPO / "DESIGN.md").read_text(encoding="utf-8")
