@@ -79,3 +79,13 @@
 /// Escape hatch: function body is exempt from the analysis. Budgeted by
 /// tools/lint.py — every use needs a justification comment.
 #define IG_NO_THREAD_SAFETY_ANALYSIS IG_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+/// Static fast-path marker: tools/analyze's purity pass proves that a
+/// function carrying this marker — and everything it transitively
+/// calls — acquires no lock, allocates nothing, and performs no I/O,
+/// over *all* paths. Expands to nothing; it exists for the analyzer
+/// (and the reader). The runtime complement is the acquisition/
+/// allocation counters in tests/snapshot_test.cpp, which verify the
+/// same property on the paths the tests happen to drive. Place it on
+/// the definition head (or the line above it).
+#define IG_STATIC_FAST_PATH

@@ -97,6 +97,12 @@ class AtomicStats {
 
   std::int64_t count() const { return count_.load(std::memory_order_relaxed); }
 
+  /// Lock-free point reads of the extrema (relaxed, like count()).
+  /// These feed Histogram::quantile_now, which must stay pure enough
+  /// for the static fast-path proof — no snapshot, no RunningStats.
+  double min_now() const { return min_.load(std::memory_order_relaxed); }
+  double max_now() const { return max_.load(std::memory_order_relaxed); }
+
   RunningStats snapshot() const {
     return RunningStats::from_moments(count(), sum_.load(std::memory_order_relaxed),
                                       sum_sq_.load(std::memory_order_relaxed),

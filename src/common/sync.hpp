@@ -360,6 +360,7 @@ class SnapshotCell {
 
   /// The current snapshot (null until the first publish). Lock-free,
   /// allocation-free: one acquire-load plus a reference-count increment.
+  IG_STATIC_FAST_PATH
   Ptr read() const { return ptr_.load(std::memory_order_acquire); }
 
   /// Publish `next` as the current snapshot. Caller is responsible for

@@ -236,6 +236,22 @@ void InfoGramService::stop() {
   if (network_ != nullptr) network_->close(address());
 }
 
+// The serve half of the fast path, after the gate conditions and
+// authorization: everything from here to the returned result is inside
+// the static purity proof (authorization stays outside — its deny path
+// builds an Error string, and the runtime counter proof in
+// tests/snapshot_test.cpp measures exactly this post-authorize region).
+// The timestamp is a parameter so the clock read stays with the caller.
+IG_STATIC_FAST_PATH
+bool InfoGramService::try_serve_snapshot(const rsl::XrslRequest& request, TimePoint now,
+                                         InfoGramResult& result) {
+  info::CacheSnapshotPtr hit = monitor_->query_cached_fast(request.info_keys.front(), now);
+  if (hit == nullptr) return false;
+  if (cache_fast_hits_ != nullptr) cache_fast_hits_->add();
+  result.cached = std::move(hit);
+  return true;
+}
+
 Result<InfoGramResult> InfoGramService::execute(const rsl::XrslRequest& request,
                                                 const std::string& subject,
                                                 const std::string& local_user,
@@ -264,12 +280,7 @@ Result<InfoGramResult> InfoGramService::execute(const rsl::XrslRequest& request,
       auto auth = policy_->authorize(subject, config_.host, "query", clock_->now());
       if (!auth.ok()) return auth.error();
     }
-    if (info::CacheSnapshotPtr hit =
-            monitor_->query_cached_fast(request.info_keys.front(), clock_->now())) {
-      if (cache_fast_hits_ != nullptr) cache_fast_hits_->add();
-      result.cached = std::move(hit);
-      return result;
-    }
+    if (try_serve_snapshot(request, clock_->now(), result)) return result;
     // Miss: fall through to the full path (which re-authorizes — the
     // policy is a pure function, so the double evaluation only costs a
     // rule scan on the slow path).

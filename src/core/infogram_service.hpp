@@ -195,6 +195,11 @@ class InfoGramService {
   net::Message handle_xrsl(const net::Message& request, net::Session& session,
                            obs::TraceContext* trace);
   void wire_pool_metrics();
+  /// The post-authorize serve branch of the zero-lock fast path; true
+  /// when `result` was filled from a fresh snapshot. Statically proven
+  /// lock-free/alloc-free (IG_STATIC_FAST_PATH, see tools/analyze).
+  bool try_serve_snapshot(const rsl::XrslRequest& request, TimePoint now,
+                          InfoGramResult& result);
 
   std::shared_ptr<info::SystemMonitor> monitor_;
   std::shared_ptr<exec::LocalJobExecution> backend_;  ///< for reflection

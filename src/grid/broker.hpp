@@ -8,6 +8,9 @@
 #include <memory>
 #include <vector>
 
+// analyze-allow(layering): the broker is deployment tooling — it drives
+// whole InfoGram endpoints (the paper's Fig. 4 topology) through the
+// public client, the same surface examples/ and tests/ use.
 #include "core/infogram_client.hpp"
 
 namespace ig::grid {

@@ -16,6 +16,9 @@
 #include <map>
 
 #include "common/sync.hpp"
+// analyze-allow(layering): deployment stamps out per-host service
+// Configurations; the config type is core's published deployment
+// surface, not service internals.
 #include "core/config.hpp"
 #include "grid/virtual_organization.hpp"
 

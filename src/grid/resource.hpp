@@ -7,6 +7,9 @@
 
 #include <memory>
 
+// analyze-allow(layering): a grid resource *owns* one InfoGramService
+// per node (sporadic-grid deployment, paper §8); grid is orchestration
+// above the service, not a lower layer the service should see.
 #include "core/infogram_service.hpp"
 #include "exec/batch_backend.hpp"
 #include "exec/sandbox.hpp"

@@ -130,6 +130,7 @@ Result<format::InfoRecord> ManagedProvider::query_state() const {
   return degraded_copy(*snap, now);
 }
 
+IG_STATIC_FAST_PATH
 CacheSnapshotPtr ManagedProvider::snapshot_if_fresh(TimePoint now) const {
   CacheSnapshotPtr snap = cell_.read();
   if (snap == nullptr || !snap->fast_path_eligible) return nullptr;

@@ -76,6 +76,7 @@ std::shared_ptr<ManagedProvider> SystemMonitor::provider(const std::string& keyw
   return it == state->providers.end() ? nullptr : it->second;
 }
 
+IG_STATIC_FAST_PATH
 CacheSnapshotPtr SystemMonitor::query_cached_fast(std::string_view keyword,
                                                   TimePoint now) const {
   MonitorStatePtr state = state_.read();

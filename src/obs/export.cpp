@@ -117,14 +117,16 @@ void JsonlExporter::export_metrics(const MetricsRegistry& metrics, TimePoint now
   write_line(line);
 }
 
-void JsonlExporter::export_profile(const format::InfoRecord& record, TimePoint now) {
+void JsonlExporter::export_profile(
+    const std::vector<std::pair<std::string, std::string>>& attrs,
+    TimePoint now) {
   std::string line = "{\"type\":\"profile\",\"at_us\":" + std::to_string(now.count());
   line += ",\"attrs\":{";
   bool first = true;
-  for (const format::Attribute& attr : record.attributes) {
+  for (const auto& [name, value] : attrs) {
     if (!first) line.push_back(',');
     first = false;
-    line += "\"" + json_escape(attr.name) + "\":\"" + json_escape(attr.value) + "\"";
+    line += "\"" + json_escape(name) + "\":\"" + json_escape(value) + "\"";
   }
   line += "}}";
   write_line(line);

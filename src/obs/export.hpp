@@ -15,11 +15,11 @@
 #include <fstream>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/clock.hpp"
 #include "common/sync.hpp"
-#include "format/record.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -59,9 +59,13 @@ class JsonlExporter {
   /// callers decide the cadence).
   void export_metrics(const MetricsRegistry& metrics, TimePoint now);
 
-  /// Append a profile snapshot (the `profile` keyword's InfoRecord) as
-  /// one `{"type":"profile",...}` line (never sampled, like metrics).
-  void export_profile(const format::InfoRecord& record, TimePoint now);
+  /// Append a profile snapshot as one `{"type":"profile",...}` line
+  /// (never sampled, like metrics). Attributes arrive pre-flattened as
+  /// name/value pairs: the profile keyword's record shape belongs to
+  /// the format layer, and obs sits below it (DESIGN.md §16).
+  void export_profile(
+      const std::vector<std::pair<std::string, std::string>>& attrs,
+      TimePoint now);
 
   std::uint64_t exported() const;
   std::uint64_t skipped() const;  ///< traces the sampler passed over

@@ -43,6 +43,41 @@ Histogram::Snapshot Histogram::snapshot() const {
   return snap;
 }
 
+IG_STATIC_FAST_PATH
+std::uint64_t Histogram::count_now() const {
+  std::uint64_t total = 0;
+  for (const auto& c : counts_) total += c.load(std::memory_order_relaxed);
+  return total;
+}
+
+IG_STATIC_FAST_PATH
+double Histogram::quantile_now(double q) const {
+  // Mirrors Snapshot::quantile over the live atomics. Buckets only
+  // grow, so the walk may see slightly more than `total` counted —
+  // that skews the estimate by at most the racing samples, never
+  // out of range.
+  const std::uint64_t total = count_now();
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::uint64_t c = counts_[i].load(std::memory_order_relaxed);
+    if (c == 0) continue;
+    const auto next = cumulative + c;
+    if (static_cast<double>(next) >= rank) {
+      if (i >= boundaries_.size()) return stats_.max_now();
+      const double lower = i == 0 ? std::min(0.0, stats_.min_now()) : boundaries_[i - 1];
+      const double upper = boundaries_[i];
+      const double fraction =
+          (rank - static_cast<double>(cumulative)) / static_cast<double>(c);
+      return lower + (upper - lower) * fraction;
+    }
+    cumulative = next;
+  }
+  return stats_.max_now();
+}
+
 double Histogram::Snapshot::quantile(double q) const {
   std::uint64_t total = 0;
   for (auto c : counts) total += c;

@@ -93,6 +93,16 @@ class Histogram {
   };
   Snapshot snapshot() const;
 
+  /// Lock-free, allocation-free quantile over the *live* buckets: the
+  /// same interpolation as Snapshot::quantile, but one relaxed pass
+  /// with no exemplar mutex and no vector copies. Concurrent observe()
+  /// calls may or may not be counted — the same point-in-time tolerance
+  /// a snapshot has. This is what lets the tail sampler's amortized
+  /// threshold refresh stay on the static fast path (IG_STATIC_FAST_PATH).
+  double quantile_now(double q) const;
+  /// Lock-free total sample count over the live buckets.
+  std::uint64_t count_now() const;
+
  private:
   std::vector<double> boundaries_;
   std::vector<std::atomic<std::uint64_t>> counts_;

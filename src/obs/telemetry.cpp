@@ -536,7 +536,15 @@ format::InfoRecord Telemetry::profile_pool_record(const std::string& keyword) {
 
 bool Telemetry::export_profile_snapshot() {
   if (exporter_ == nullptr) return false;
-  exporter_->export_profile(profile_record("profile"), clock_.now());
+  // Flatten here: the exporter takes name/value pairs, not an
+  // InfoRecord — obs must not depend on the format layer.
+  const format::InfoRecord record = profile_record("profile");
+  std::vector<std::pair<std::string, std::string>> attrs;
+  attrs.reserve(record.attributes.size());
+  for (const format::Attribute& attr : record.attributes) {
+    attrs.emplace_back(attr.name, attr.value);
+  }
+  exporter_->export_profile(attrs, clock_.now());
   return true;
 }
 

@@ -31,6 +31,10 @@
 
 #include "common/clock.hpp"
 #include "common/sync.hpp"
+// analyze-allow(layering): the *_record builders are Telemetry's query
+// interface — they read registry/trace/profiler internals no other layer
+// may see, and InfoRecord is the one shape info= queries return. Moving
+// them up a layer would mean exporting those internals instead.
 #include "format/record.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"

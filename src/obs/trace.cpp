@@ -329,12 +329,20 @@ double TailSampler::threshold_from(const Histogram::Snapshot& snapshot) const {
   return std::max(snapshot.quantile(0.99) * options_.slow_factor, options_.min_slow_seconds);
 }
 
+IG_STATIC_FAST_PATH
 void TailSampler::maybe_refresh_threshold() {
   if (request_histogram_ == nullptr) return;
   std::uint64_t n = checks_.fetch_add(1, std::memory_order_relaxed);
   if (n % options_.refresh_every != 0) return;
-  slow_threshold_s_.store(threshold_from(request_histogram_->snapshot()),
-                          std::memory_order_relaxed);
+  // quantile_now/count_now read the live atomic buckets — no
+  // Histogram::snapshot(), whose exemplar mutex and vector copies
+  // would put a lock and allocations on the quick_keep fast path.
+  double threshold = std::numeric_limits<double>::infinity();
+  if (request_histogram_->count_now() >= options_.min_samples) {
+    threshold = std::max(request_histogram_->quantile_now(0.99) * options_.slow_factor,
+                         options_.min_slow_seconds);
+  }
+  slow_threshold_s_.store(threshold, std::memory_order_relaxed);
 }
 
 double TailSampler::slow_threshold_seconds() {
@@ -342,6 +350,7 @@ double TailSampler::slow_threshold_seconds() {
   return slow_threshold_s_.load(std::memory_order_relaxed);
 }
 
+IG_STATIC_FAST_PATH
 bool TailSampler::quick_keep(std::uint32_t signals, bool error, double latency_seconds) {
   maybe_refresh_threshold();
   if (signals != 0 || error) return true;

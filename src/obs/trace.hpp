@@ -297,6 +297,7 @@ class TailSampler {
   bool quick_keep(std::uint32_t signals, bool error, double latency_seconds);
   /// Count a discarded provisional that skipped classify() (the clean
   /// fast path — one atomic, nothing else).
+  IG_STATIC_FAST_PATH
   void count_quick_discard() { discarded_->add(); }
 
   /// Current slow-latency threshold in seconds (infinity until the

@@ -18,6 +18,9 @@
 // HTTPS, which the OGSA successor introduced).
 #pragma once
 
+// analyze-allow(layering): the gateway fronts a live InfoGramService
+// with a WS endpoint (OGSA-style); it adapts core's public execute()
+// surface and holds a non-owning reference.
 #include "core/infogram_service.hpp"
 #include "soap/envelope.hpp"
 

@@ -1,0 +1,119 @@
+"""CLI: python3 tools/analyze [--root DIR] [--json OUT] [--passes ...]
+
+Exit codes (mirrors tools/lint.py):
+  0  clean
+  1  findings
+  2  internal error / bad input
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import callgraph          # noqa: E402
+import cpp                # noqa: E402
+import doc_drift          # noqa: E402
+import layering           # noqa: E402
+import lock_rank          # noqa: E402
+import purity             # noqa: E402
+import report as report_mod  # noqa: E402
+
+PASSES = ("lock-rank", "purity", "layering", "doc-drift")
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="tools/analyze",
+        description="whole-program static conformance analysis")
+    parser.add_argument("--root", type=Path,
+                        default=Path(__file__).resolve().parents[2],
+                        help="repository root (default: this checkout)")
+    parser.add_argument("--json", type=Path, default=None,
+                        help="write the machine-readable report here")
+    parser.add_argument("--markdown", type=Path, default=None,
+                        help="write a step-summary markdown table here")
+    parser.add_argument("--passes", default=",".join(PASSES),
+                        help="comma-separated subset of: "
+                        + ", ".join(PASSES))
+    parser.add_argument("--engine", choices=("auto", "ir", "regex"),
+                        default="auto",
+                        help="call-graph engine (auto: ir when clang + "
+                        "compile_commands.json are available)")
+    parser.add_argument("--compile-commands", type=Path, default=None,
+                        help="compile_commands.json for the ir engine "
+                        "(default: <root>/build/compile_commands.json "
+                        "when present)")
+    parser.add_argument("-q", "--quiet", action="store_true")
+    args = parser.parse_args(argv)
+
+    selected = [p.strip() for p in args.passes.split(",") if p.strip()]
+    bad = [p for p in selected if p not in PASSES]
+    if bad:
+        print(f"tools/analyze: unknown pass(es): {', '.join(bad)}",
+              file=sys.stderr)
+        return 2
+
+    root = args.root.resolve()
+    if not (root / "src").is_dir():
+        print(f"tools/analyze: no src/ under {root}", file=sys.stderr)
+        return 2
+
+    cc = args.compile_commands
+    if cc is None:
+        default_cc = root / "build" / "compile_commands.json"
+        cc = default_cc if default_cc.is_file() else None
+
+    try:
+        model = cpp.build_model(root)
+        engine_name = "none"
+        graph = None
+        if "lock-rank" in selected:
+            graph = callgraph.build_graph(model, engine=args.engine,
+                                          compile_commands=cc)
+            engine_name = graph.engine
+        elif "purity" in selected:
+            engine_name = "regex"  # purity is source-model based
+
+        results: dict[str, dict] = {}
+        if "lock-rank" in selected:
+            results["lock-rank"] = lock_rank.run(model, graph)
+        if "purity" in selected:
+            results["purity"] = purity.run(model)
+        if "layering" in selected:
+            results["layering"] = layering.run(root)
+        if "doc-drift" in selected:
+            results["doc-drift"] = doc_drift.run(root)
+    except RuntimeError as exc:
+        print(f"tools/analyze: {exc}", file=sys.stderr)
+        return 2
+
+    full = report_mod.assemble(engine_name, results)
+    if args.json:
+        report_mod.write_json(full, args.json)
+    if args.markdown:
+        args.markdown.write_text(report_mod.to_markdown(full))
+
+    total = 0
+    for name, r in results.items():
+        for f in r["findings"]:
+            total += 1
+            print(f"{f['path']}:{f['line']}: [{name}] {f['message']}")
+    if not args.quiet:
+        for name, r in results.items():
+            stats = " ".join(f"{k}={v}" for k, v in r["stats"].items())
+            print(f"tools/analyze: {name}: "
+                  f"{len(r['findings'])} finding(s), "
+                  f"{len(r.get('exemptions', ()))} exemption(s) [{stats}]",
+                  file=sys.stderr)
+        print(f"tools/analyze: engine={engine_name} "
+              f"{'CLEAN' if total == 0 else f'{total} finding(s)'}",
+              file=sys.stderr)
+    return 0 if total == 0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,407 @@
+"""Call-graph construction over the cpp.SourceModel.
+
+Two engines produce the same artifact — a per-function list of resolved
+call targets — so the passes downstream (lock_rank, purity) are engine
+agnostic:
+
+* ``RegexEngine`` resolves the CallSites the source model extracted,
+  using declared member types, base-class (virtual dispatch) fan-out and
+  name uniqueness.  Always available; conservative: an ambiguous call is
+  recorded as unresolved (a statistic, not silently dropped).
+* ``IrEngine`` compiles each TU with ``clang -S -emit-llvm`` using the
+  flags recorded in ``compile_commands.json`` and reads the ``call`` /
+  ``invoke`` edges out of the IR, demangled.  Exact (the optimizer has
+  not run, so no edge is inlined away), but needs clang; when clang or
+  the compilation database is missing the caller falls back to the
+  regex engine and records which engine ran in the report.
+
+Resolution strictness for the regex engine, in order:
+
+1. explicit qualifier (``Cls::fn(...)`` / ``ns::fn(...)``) — suffix
+   match against qualified names;
+2. member call whose receiver's declared type is known
+   (``monitor_->query(...)``) — methods of that class plus overrides in
+   every class derived from it (virtual dispatch is fanned out, never
+   guessed);
+3. unqualified call inside a class — a method of the same class or one
+   of its bases;
+4. a name with exactly one definition in the whole tree;
+5. otherwise: *unresolved* — counted, listed in stats, and treated as
+   "unknown callee" by passes that care (purity flags it, lock-rank
+   assumes it acquires nothing and says so in its stats).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import shlex
+import shutil
+import subprocess
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from cpp import CallSite, Function, SourceModel
+
+# ---------------------------------------------------------------------------
+# Shared artifact
+
+
+@dataclass
+class ResolvedCall:
+    site: CallSite
+    targets: list[Function]          # empty when unresolved/external
+    status: str                      # 'resolved' | 'external' | 'unresolved'
+
+
+@dataclass
+class CallGraph:
+    # function qname -> resolved calls from *all* bodies with that qname
+    calls: dict[str, list[ResolvedCall]] = field(default_factory=dict)
+    engine: str = "regex"
+    stats: dict[str, int] = field(default_factory=dict)
+
+    def callees(self, qname: str) -> set[str]:
+        return {t.qname for rc in self.calls.get(qname, ())
+                for t in rc.targets}
+
+
+# Names that are never in-tree functions: the std / libc surface the
+# tree legitimately touches.  Used only to split 'external' from
+# 'unresolved' in the stats; the purity pass applies its own, stricter
+# allowlist on top.
+EXTERNAL_NAMESPACES = ("std", "chrono", "this_thread", "filesystem")
+
+EXTERNAL_NAMES = frozenset({
+    # containers / algorithms / utilities
+    "size", "empty", "begin", "end", "cbegin", "cend", "rbegin", "rend",
+    "find", "count", "contains", "at", "front", "back", "data", "c_str",
+    "push_back", "pop_back", "emplace_back", "emplace", "insert", "erase",
+    "clear", "resize", "reserve", "assign", "append", "substr", "compare",
+    "length", "swap", "get", "reset", "release", "lock", "expired",
+    "value", "has_value", "value_or", "emplace_front", "pop_front",
+    "push_front", "str", "first", "second", "use_count", "tie",
+    "move", "forward", "min", "max", "clamp", "abs", "sqrt", "pow",
+    "floor", "ceil", "round", "exp", "log", "isnan", "isinf", "signbit",
+    "make_shared", "make_unique", "make_pair", "make_tuple", "to_string",
+    "stoi", "stol", "stoul", "stoull", "stod", "snprintf", "memcpy",
+    "memset", "strlen", "strcmp", "getenv", "exit", "abort", "assert",
+    "static_cast", "dynamic_cast", "reinterpret_cast", "const_cast",
+    # atomics
+    "load", "store", "exchange", "fetch_add", "fetch_sub", "fetch_or",
+    "fetch_and", "compare_exchange_weak", "compare_exchange_strong",
+    "notify_one", "notify_all", "wait", "wait_for", "wait_until",
+    # chrono
+    "now", "time_since_epoch", "duration_cast", "duration", "epoch",
+    "sleep_for", "sleep_until", "seconds", "milliseconds", "microseconds",
+    "nanoseconds", "hours", "minutes",
+    # threads
+    "join", "joinable", "detach", "hardware_concurrency",
+    # iostreams-ish (flagged separately by purity's I/O scan)
+    "printf", "fprintf", "fflush", "fopen", "fclose", "fwrite", "fread",
+    "getline", "put", "write", "read", "flush", "good", "fail", "is_open",
+    "open", "close", "rdbuf", "setw", "setprecision", "fixed", "hex", "dec",
+    "unsetf", "setf", "width", "fill", "precision", "tellp", "seekp",
+})
+
+
+def _last(name: str) -> str:
+    return name.rsplit("::", 1)[-1]
+
+
+# ---------------------------------------------------------------------------
+# Regex engine
+
+
+class RegexEngine:
+    """Resolves the model's own CallSites.  No external tools."""
+
+    name = "regex"
+
+    def __init__(self, model: SourceModel):
+        self.model = model
+        # class last-component -> [class qnames] (collisions kept)
+        self._derived: dict[str, list[str]] = {}
+        for cls in model.classes.values():
+            for base in cls.bases:
+                self._derived.setdefault(_last(base), []).append(cls.qname)
+
+    def build(self) -> CallGraph:
+        graph = CallGraph(engine=self.name)
+        stats = {"sites": 0, "resolved": 0, "external": 0, "unresolved": 0}
+        for qname, fns in self.model.functions.items():
+            out: list[ResolvedCall] = []
+            for fn in fns:
+                for site in fn.calls:
+                    rc = self.resolve(fn, site)
+                    stats["sites"] += 1
+                    stats[rc.status] += 1
+                    out.append(rc)
+            graph.calls[qname] = out
+        graph.stats = stats
+        return graph
+
+    # -- resolution -------------------------------------------------------
+
+    def resolve(self, fn: Function, site: CallSite) -> ResolvedCall:
+        if site.qualifier:
+            return self._resolve_qualified(site)
+        if site.receiver:
+            return self._resolve_member(fn, site)
+        return self._resolve_bare(fn, site)
+
+    def _resolve_qualified(self, site: CallSite) -> ResolvedCall:
+        qual = site.qualifier
+        if qual.split("::", 1)[0] in EXTERNAL_NAMESPACES:
+            return ResolvedCall(site, [], "external")
+        want = f"{qual}::{site.name}"
+        hits = [f for qname, fl in self.model.functions.items()
+                if qname == want or qname.endswith("::" + want)
+                for f in fl]
+        if hits:
+            return ResolvedCall(site, hits, "resolved")
+        # Qualified name we know nothing about (std::, ig macro ns, ...).
+        return ResolvedCall(site, [], "external")
+
+    def _receiver_class(self, fn: Function, receiver: str) -> str | None:
+        """Declared class of `receiver` if it is a direct member (or
+        `this`) of the calling function's class.  Chained receivers
+        (`it->second`) resolve one hop at a time through declared member
+        types; any unknown hop gives up."""
+        cls = self.model.classes.get(_last(fn.cls)) if fn.cls else None
+        parts = re.split(r"\.|->", receiver)
+        if parts and parts[0] == "this":
+            parts = parts[1:]
+            if not parts:
+                return fn.cls or None
+        for part in parts:
+            if cls is None:
+                return None
+            ty = cls.member_types.get(part)
+            if ty is None:
+                return None
+            cls = self.model.classes.get(_last(ty))
+            if cls is None:
+                return _last(ty) if part == parts[-1] else None
+        return cls.qname if cls else None
+
+    def _class_methods(self, cls_name: str, name: str) -> list[Function]:
+        """Methods `name` of class `cls_name`, its bases, and (virtual
+        dispatch) every derived class."""
+        hits: list[Function] = []
+        seen: set[str] = set()
+        work = [cls_name]
+        # walk up (inherited implementation) and down (overrides)
+        while work:
+            cur = work.pop()
+            if cur in seen:
+                continue
+            seen.add(cur)
+            info = self.model.classes.get(_last(cur))
+            qname_want = (info.qname if info else cur) + "::" + name
+            for qname, fl in self.model.functions.items():
+                if qname == qname_want or qname.endswith("::" + qname_want):
+                    hits.extend(fl)
+            if info:
+                work.extend(_last(b) for b in info.bases)
+            work.extend(self._derived.get(_last(cur), ()))
+        return hits
+
+    def _resolve_member(self, fn: Function, site: CallSite) -> ResolvedCall:
+        cls = self._receiver_class(fn, site.receiver)
+        if cls is not None:
+            hits = self._class_methods(cls, site.name)
+            if hits:
+                return ResolvedCall(site, hits, "resolved")
+            # Known receiver class but no such method in tree: treat as
+            # external only when the name looks like std surface.
+            if site.name in EXTERNAL_NAMES:
+                return ResolvedCall(site, [], "external")
+            return ResolvedCall(site, [], "unresolved")
+        # Unknown receiver type: fall back to name uniqueness.
+        return self._resolve_by_name(site)
+
+    def _resolve_bare(self, fn: Function, site: CallSite) -> ResolvedCall:
+        if fn.cls:
+            hits = self._class_methods(_last(fn.cls), site.name)
+            if hits:
+                return ResolvedCall(site, hits, "resolved")
+        return self._resolve_by_name(site)
+
+    def _resolve_by_name(self, site: CallSite) -> ResolvedCall:
+        # A name on the std surface (`end`, `clear`, `close`, ...) with
+        # no type evidence is overwhelmingly a container/std call; an
+        # in-tree method of the same name still resolves when the
+        # receiver's declared type is known (_resolve_member).  Chasing
+        # uniqueness here produced false lock-rank edges (ring_.end()
+        # "calling" TraceContext::Span::end).
+        if site.name in EXTERNAL_NAMES:
+            return ResolvedCall(site, [], "external")
+        fns = self.model.by_name.get(site.name, [])
+        classes = {f.cls for f in fns}
+        if fns and len(classes) == 1:
+            return ResolvedCall(site, fns, "resolved")
+        if fns:
+            # Same name in several classes and no type info: conservative
+            # fan-out would poison the graph with false edges, so record
+            # the ambiguity instead.
+            return ResolvedCall(site, [], "unresolved")
+        if site.name in EXTERNAL_NAMES:
+            return ResolvedCall(site, [], "external")
+        return ResolvedCall(site, [], "unresolved")
+
+
+# ---------------------------------------------------------------------------
+# IR engine
+
+
+_DEFINE_RE = re.compile(r"^define\b[^@]*@([-\w$.]+)\(", re.MULTILINE)
+_CALL_RE = re.compile(r"\b(?:call|invoke)\b[^@\n;]*@([-\w$.]+)\(")
+
+
+class IrEngine:
+    """clang -S -emit-llvm over compile_commands.json.
+
+    Produces the same CallGraph artifact keyed by the model's qnames;
+    mangled callees that demangle to something outside the model count
+    as external.  Construction raises RuntimeError when clang or the
+    compilation database is unavailable — callers catch and fall back.
+    """
+
+    name = "ir"
+
+    def __init__(self, model: SourceModel, compile_commands: Path,
+                 clang: str = "clang++"):
+        self.model = model
+        self.clang = shutil.which(clang) or shutil.which("clang")
+        if not self.clang:
+            raise RuntimeError("clang not found on PATH")
+        self.cxxfilt = shutil.which("c++filt") or shutil.which("llvm-cxxfilt")
+        if not self.cxxfilt:
+            raise RuntimeError("c++filt not found on PATH")
+        if not compile_commands.is_file():
+            raise RuntimeError(f"no compilation database: {compile_commands}")
+        self.entries = json.loads(compile_commands.read_text())
+
+    def build(self) -> CallGraph:
+        edges: dict[str, set[str]] = {}
+        mangled: set[str] = set()
+        tus = 0
+        for entry in self.entries:
+            src = Path(entry["file"])
+            if src.suffix != ".cpp" or "/src/" not in str(src):
+                continue
+            ir = self._emit_ir(entry)
+            if ir is None:
+                continue
+            tus += 1
+            for m in _DEFINE_RE.finditer(ir):
+                caller = m.group(1)
+                mangled.add(caller)
+                body_start = ir.find("{", m.end())
+                body_end = ir.find("\n}", body_start)
+                body = ir[body_start:body_end if body_end >= 0 else len(ir)]
+                for c in _CALL_RE.finditer(body):
+                    edges.setdefault(caller, set()).add(c.group(1))
+                    mangled.add(c.group(1))
+        if tus == 0:
+            raise RuntimeError("no TU compiled to IR")
+        names = self._demangle(sorted(mangled))
+        return self._to_graph(edges, names)
+
+    def _emit_ir(self, entry: dict) -> str | None:
+        args = entry.get("arguments") or shlex.split(entry["command"])
+        cmd = [self.clang, "-S", "-emit-llvm", "-g0",
+               "-fno-discard-value-names", "-O0"]
+        skip_next = False
+        for a in args[1:]:
+            if skip_next:
+                skip_next = False
+                continue
+            if a in ("-o", "-MF", "-MT", "-MQ"):
+                skip_next = True
+                continue
+            if a in ("-c", "-MD", "-MMD") or a.endswith(".o"):
+                continue
+            cmd.append(a)
+        with tempfile.NamedTemporaryFile(suffix=".ll", delete=False) as tmp:
+            out = tmp.name
+        cmd += ["-o", out]
+        try:
+            proc = subprocess.run(cmd, cwd=entry.get("directory", "."),
+                                  capture_output=True, text=True, timeout=300)
+            if proc.returncode != 0:
+                return None
+            return Path(out).read_text()
+        except (OSError, subprocess.SubprocessError):
+            return None
+        finally:
+            Path(out).unlink(missing_ok=True)
+
+    def _demangle(self, symbols: list[str]) -> dict[str, str]:
+        proc = subprocess.run([self.cxxfilt], input="\n".join(symbols),
+                              capture_output=True, text=True, timeout=120)
+        demangled = proc.stdout.splitlines()
+        out: dict[str, str] = {}
+        for sym, dem in zip(symbols, demangled):
+            # strip template args + parameter list: keep the qname
+            dem = dem.split("(", 1)[0].strip()
+            dem = re.sub(r"<[^<>]*>", "", dem)
+            dem = dem.split(" ")[-1]  # drop return type if present
+            out[sym] = dem
+        return out
+
+    def _to_graph(self, edges: dict[str, set[str]],
+                  names: dict[str, str]) -> CallGraph:
+        graph = CallGraph(engine=self.name)
+        stats = {"sites": 0, "resolved": 0, "external": 0, "unresolved": 0}
+        known = set(self.model.functions)
+
+        def to_qname(sym: str) -> str | None:
+            dem = names.get(sym, "")
+            if dem in known:
+                return dem
+            for qname in known:
+                if dem.endswith("::" + qname) or qname.endswith("::" + dem):
+                    return qname
+            return None
+
+        for caller_sym, callee_syms in edges.items():
+            caller = to_qname(caller_sym)
+            if caller is None:
+                continue
+            out = graph.calls.setdefault(caller, [])
+            fns = self.model.functions[caller]
+            for sym in sorted(callee_syms):
+                callee = to_qname(sym)
+                stats["sites"] += 1
+                site = CallSite(name=_last(names.get(sym, sym)),
+                                qualifier="", receiver="",
+                                offset=0, line=fns[0].line)
+                if callee is not None:
+                    stats["resolved"] += 1
+                    out.append(ResolvedCall(
+                        site, self.model.functions[callee], "resolved"))
+                else:
+                    stats["external"] += 1
+                    out.append(ResolvedCall(site, [], "external"))
+        # IR edges carry no source offsets, so passes needing scope
+        # precision (lock_rank nesting) still consult the model's sites;
+        # mark the graph so they know.
+        graph.stats = stats
+        return graph
+
+
+def build_graph(model: SourceModel, engine: str = "auto",
+                compile_commands: Path | None = None) -> CallGraph:
+    """engine: 'auto' | 'ir' | 'regex'."""
+    if engine in ("auto", "ir") and compile_commands is not None:
+        try:
+            return IrEngine(model, compile_commands).build()
+        except RuntimeError:
+            if engine == "ir":
+                raise
+    elif engine == "ir":
+        raise RuntimeError("ir engine requires --compile-commands")
+    return RegexEngine(model).build()

@@ -1,0 +1,648 @@
+"""Lightweight C++ source model for the conformance analyzer.
+
+This is *not* a parser; it is a deliberately conservative scanner that
+recovers exactly the structure the analysis passes need from the one
+codebase they run on:
+
+  * namespace / class nesting (with base classes, for virtual dispatch),
+  * function definitions with their body spans and line numbers,
+  * `ig::Mutex` / `ig::SharedMutex` / `ig::SnapshotCell` member
+    declarations with their lock rank and report name,
+  * lock-acquisition sites and call sites inside each body, each with the
+    end offset of its innermost enclosing block (RAII scope tracking).
+
+The model feeds the regex call-graph engine (callgraph.py). When clang is
+available the IR engine supersedes the call edges recovered here, but the
+mutex/rank extraction and the source positions always come from this
+model — LLVM IR has no lock ranks.
+
+Everything here works on two parallel views of a file:
+
+  * `raw`  — the bytes on disk, used for line attribution and for
+    extracting string literals (report names, marker justifications);
+  * `code` — comments and string/char literal *contents* blanked with
+    spaces (same length, same newlines), used for all structural
+    scanning so braces in comments or strings cannot desync the scanner.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+# Tokens that introduce a parenthesised head but never a function call.
+CONTROL_KEYWORDS = {
+    "if", "for", "while", "switch", "return", "catch", "sizeof", "alignof",
+    "decltype", "noexcept", "static_assert", "assert", "defined",
+    "static_cast", "dynamic_cast", "const_cast", "reinterpret_cast",
+    "throw", "new", "delete", "co_return", "co_await", "co_yield",
+    "alignas", "typeid", "requires",
+}
+
+# Things that look like a call of a bare identifier but are declarations
+# or expansions the passes must not chase.
+NON_CALL_NAMES = CONTROL_KEYWORDS | {
+    "operator", "else", "do", "case", "default", "using", "typedef",
+    "template", "typename", "public", "private", "protected",
+}
+
+
+def strip_comments_and_strings(raw: str) -> str:
+    """Blank comments and literal contents, preserving length and lines."""
+    out = list(raw)
+    i, n = 0, len(raw)
+    while i < n:
+        c = raw[i]
+        nxt = raw[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and raw[i] != "\n":
+                out[i] = " "
+                i += 1
+        elif c == "/" and nxt == "*":
+            out[i] = out[i + 1] = " "
+            i += 2
+            while i < n and not (raw[i] == "*" and i + 1 < n and raw[i + 1] == "/"):
+                if raw[i] != "\n":
+                    out[i] = " "
+                i += 1
+            if i < n:
+                out[i] = out[i + 1] = " "
+                i += 2
+        elif c == '"' or c == "'":
+            quote = c
+            # Keep the quotes themselves so regexes can still see that a
+            # (blanked) literal sat here.
+            i += 1
+            while i < n and raw[i] != quote:
+                if raw[i] == "\\" and i + 1 < n:
+                    out[i] = " "
+                    if raw[i + 1] != "\n":
+                        out[i + 1] = " "
+                    i += 2
+                    continue
+                if raw[i] != "\n":
+                    out[i] = " "
+                i += 1
+            i += 1
+        else:
+            i += 1
+    return "".join(out)
+
+
+@dataclass
+class MutexDecl:
+    """One ig::Mutex / ig::SharedMutex / ig::SnapshotCell member."""
+
+    cls: str            # owning class (qualified, '' for namespace scope)
+    member: str         # field name, e.g. 'mu_'
+    kind: str           # 'Mutex' | 'SharedMutex' | 'SnapshotCell'
+    rank_name: str      # lock_rank constant name ('' if a literal/unknown)
+    rank: int | None    # resolved numeric rank (None until resolved)
+    report_name: str    # the human-readable name passed to the ctor
+    path: Path
+    line: int
+
+
+@dataclass
+class Acquisition:
+    """A lock acquisition inside a function body."""
+
+    member: str         # mutex member name as written ('mu_', 'cell_', ...)
+    receiver: str       # receiver expression token ('' = this)
+    kind: str           # 'raii' | 'lock' | 'try_lock' | 'update'
+    offset: int         # offset inside the body text
+    scope_end: int      # end offset of the innermost enclosing block
+    line: int           # line in the file
+    in_lambda: bool = False  # inside a lambda body (deferred execution)
+
+
+@dataclass
+class CallSite:
+    name: str           # callee name as written (last component)
+    qualifier: str      # explicit qualifier ('Cls', 'ns::Cls') or ''
+    receiver: str       # receiver expression for member calls or ''
+    offset: int
+    line: int
+    in_lambda: bool = False
+
+
+@dataclass
+class Function:
+    qname: str          # qualified name, e.g. 'ig::info::ManagedProvider::refresh'
+    cls: str            # owning class qualified name or ''
+    name: str           # unqualified name
+    path: Path
+    line: int
+    body_start: int     # offset of '{' in the file's code view
+    body_end: int       # offset one past the matching '}'
+    body: str = ""
+    marked_fast_path: bool = False
+    acquisitions: list[Acquisition] = field(default_factory=list)
+    calls: list[CallSite] = field(default_factory=list)
+
+
+@dataclass
+class ClassInfo:
+    qname: str
+    bases: list[str] = field(default_factory=list)
+    # member name -> declared type (best effort, for receiver resolution)
+    member_types: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class SourceModel:
+    root: Path
+    files: list[Path] = field(default_factory=list)
+    functions: dict[str, list[Function]] = field(default_factory=dict)  # by qname
+    by_name: dict[str, list[Function]] = field(default_factory=dict)    # by bare name
+    classes: dict[str, ClassInfo] = field(default_factory=dict)         # by last component
+    mutexes: list[MutexDecl] = field(default_factory=list)
+    # (class, member) -> MutexDecl ; member -> [MutexDecl] for fallback
+    mutex_by_class_member: dict[tuple[str, str], MutexDecl] = field(default_factory=dict)
+    mutex_by_member: dict[str, list[MutexDecl]] = field(default_factory=dict)
+    rank_values: dict[str, int] = field(default_factory=dict)
+
+    def add_function(self, fn: Function) -> None:
+        self.functions.setdefault(fn.qname, []).append(fn)
+        self.by_name.setdefault(fn.name, []).append(fn)
+
+
+RANK_CONST_RE = re.compile(
+    r"^\s*inline constexpr int (k[A-Za-z0-9_]+)\s*=\s*(\d+)\s*;", re.MULTILINE
+)
+
+# `Mutex mu_{lock_rank::kFoo, "layer.Class"};` and the rank-less /
+# name-less variants; also SnapshotCell<T> cell_{"name"} (rank defaults
+# to kSnapshotWriter) and `SharedMutex mu_;` (kUnranked).
+MUTEX_DECL_RE = re.compile(
+    r"\b(Mutex|SharedMutex)\s+(\w+)\s*(?:\{([^;{}]*)\})?\s*(?:IG_GUARDED_BY\([^)]*\)\s*)?;"
+)
+SNAPSHOT_CELL_DECL_RE = re.compile(
+    r"\bSnapshotCell<[^;]*?>\s+(\w+)\s*(?:\{([^;{}]*)\})?\s*;"
+)
+RANK_ARG_RE = re.compile(r"lock_rank::(k[A-Za-z0-9_]+)")
+
+FAST_PATH_MARKER = "IG_STATIC_FAST_PATH"
+
+# Acquisition syntax inside bodies. Receivers are one chained token
+# (`foo_->bar_`, `it->second->x_`); anything fancier resolves by member
+# name alone.
+RECEIVER = r"(?:[A-Za-z_]\w*(?:(?:\.|->)[A-Za-z_]\w*)*)"
+RAII_ACQ_RE = re.compile(
+    r"\b(MutexLock|ReaderLock|WriterLock)\s+(\w+)\s*[({]\s*(" + RECEIVER + r")\s*[)}]"
+)
+METHOD_ACQ_RE = re.compile(
+    r"\b(" + RECEIVER + r")(?:\.|->)(lock|lock_shared|try_lock|try_lock_shared|update)\s*\("
+)
+
+QUALIFIED_CALL_RE = re.compile(
+    r"(?<![\w.>])((?:[A-Za-z_]\w*::)+)([A-Za-z_]\w*)\s*\("
+)
+MEMBER_CALL_RE = re.compile(
+    r"\b(" + RECEIVER + r")(?:\.|->)([A-Za-z_]\w*)\s*\("
+)
+BARE_CALL_RE = re.compile(r"(?<![\w.>:])([A-Za-z_]\w*)\s*\(")
+
+
+def _line_of(text: str, offset: int) -> int:
+    return text.count("\n", 0, offset) + 1
+
+
+def _block_ends(body: str) -> list[tuple[int, int]]:
+    """(open_offset, close_offset) for every brace pair inside `body`."""
+    stack: list[int] = []
+    pairs: list[tuple[int, int]] = []
+    for i, c in enumerate(body):
+        if c == "{":
+            stack.append(i)
+        elif c == "}":
+            if stack:
+                pairs.append((stack.pop(), i))
+    return pairs
+
+
+def _enclosing_block_end(pairs: list[tuple[int, int]], offset: int, default: int) -> int:
+    best = default
+    for open_o, close_o in pairs:
+        if open_o < offset < close_o and close_o < best:
+            best = close_o
+    return best
+
+
+# Lambda introducer: `](args) {`, `] {`, with optional mutable /
+# noexcept / trailing return between the parameter list and the body.
+# A call or acquisition inside a lambda body runs when the lambda runs —
+# possibly on another thread, never provably under the locks held at
+# the point of definition — so such sites carry in_lambda=True and the
+# lock-rank nesting check skips them (the rank set the lambda acquires
+# still propagates through the enclosing function, conservatively).
+_LAMBDA_RE = re.compile(
+    r"\]\s*(?:\([^()]*(?:\([^()]*\)[^()]*)*\)\s*)?"
+    r"(?:mutable\s*)?(?:noexcept\s*)?(?:->\s*[\w:<>,&*\s]+?)?\s*\{"
+)
+
+
+def _lambda_spans(body: str, pairs: list[tuple[int, int]]) -> list[tuple[int, int]]:
+    spans: list[tuple[int, int]] = []
+    for m in _LAMBDA_RE.finditer(body):
+        open_o = m.end() - 1
+        for po, pc in pairs:
+            if po == open_o:
+                spans.append((po, pc))
+                break
+    return spans
+
+
+class _Scope:
+    def __init__(self, kind: str, name: str = "", extra=None):
+        self.kind = kind  # 'namespace' | 'class' | 'function' | 'block' | 'init'
+        self.name = name
+        self.extra = extra
+
+
+def scan_file(path: Path, model: SourceModel) -> None:
+    raw = path.read_text(encoding="utf-8", errors="replace")
+    code = strip_comments_and_strings(raw)
+    model.files.append(path)
+
+    scopes: list[_Scope] = []
+    i, n = 0, len(code)
+    # Offset of the last structural boundary (; { } or access label) —
+    # the text since then is the "head" a '{' is classified by.
+    head_start = 0
+    pending_fn: Function | None = None
+
+    def scope_path(kinds: tuple[str, ...]) -> str:
+        return "::".join(s.name for s in scopes if s.kind in kinds and s.name)
+
+    while i < n:
+        c = code[i]
+        if c == "{":
+            head = code[head_start:i]
+            scope = _classify_head(head, scopes, path, raw, code, i, model)
+            scopes.append(scope)
+            if scope.kind == "function":
+                fn: Function = scope.extra
+                fn.body_start = i
+                pending_fn = None
+            head_start = i + 1
+        elif c == "}":
+            if scopes:
+                closing = scopes.pop()
+                if closing.kind == "function":
+                    fn = closing.extra
+                    fn.body_end = i + 1
+                    fn.body = code[fn.body_start:fn.body_end]
+                    _scan_body(fn, raw, code, model)
+                    model.add_function(fn)
+            head_start = i + 1
+        elif c == ";":
+            head_start = i + 1
+        elif c == ":" and code[i - 1 : i] != ":" and code[i + 1 : i + 2] != ":":
+            # Access labels reset the head; initializer lists after a
+            # constructor head must NOT (the head still ends in ')').
+            label = code[head_start:i].strip()
+            if label in ("public", "private", "protected"):
+                head_start = i + 1
+        i += 1
+
+    # Member declarations (mutexes, member types) per class body.
+    _scan_members(path, raw, code, model)
+
+    # Rank constants (sync.hpp — but scan everywhere, fixtures included).
+    for m in RANK_CONST_RE.finditer(code[: 1 << 20]):
+        # The names live in `code` (identifiers are not blanked).
+        model.rank_values[m.group(1)] = int(m.group(2))
+
+
+_NAMESPACE_HEAD_RE = re.compile(r"\bnamespace\s+([A-Za-z_][\w:]*)?\s*$")
+_CLASS_HEAD_RE = re.compile(
+    r"\b(?:class|struct)\s+(?:IG_\w+(?:\(\s*\w*\s*\))?\s+)?([A-Za-z_]\w*)"
+    r"(?:\s+final)?\s*(?::\s*(.*))?$",
+    re.DOTALL,
+)
+_FN_NAME_RE = re.compile(
+    r"(~?[A-Za-z_]\w*|operator\s*(?:[^\s\w(]+|\(\)|\[\]))\s*$"
+)
+
+
+def _classify_head(head: str, scopes: list[_Scope], path: Path, raw: str,
+                   code: str, brace_offset: int, model: SourceModel) -> _Scope:
+    stripped = head.strip()
+    in_function = any(s.kind in ("function", "init") for s in scopes)
+    if in_function:
+        return _Scope("block")
+
+    m = _NAMESPACE_HEAD_RE.search(stripped)
+    if m is not None:
+        return _Scope("namespace", m.group(1) or "")
+    if re.search(r"\b(enum|union)\b", stripped) and "(" not in stripped:
+        return _Scope("init")
+
+    m = _CLASS_HEAD_RE.search(stripped)
+    if m is not None:
+        name = m.group(1)
+        bases = []
+        if m.group(2):
+            for part in m.group(2).split(","):
+                part = re.sub(r"\b(public|protected|private|virtual)\b", "", part)
+                part = part.strip().split("<")[0].strip()
+                if part:
+                    bases.append(part.split("::")[-1])
+        qname = _qualify(scopes, name)
+        model.classes.setdefault(name, ClassInfo(qname)).bases.extend(bases)
+        return _Scope("class", name)
+
+    # Function definition: the head must contain a parameter list whose
+    # closing ')' is followed only by trailing qualifiers.
+    fn = _try_function_head(stripped, scopes, path, raw, code, brace_offset)
+    if fn is not None:
+        return _Scope("function", fn.name, fn)
+    return _Scope("init")
+
+
+def _qualify(scopes: list[_Scope], name: str) -> str:
+    prefix = "::".join(s.name for s in scopes if s.kind in ("namespace", "class") and s.name)
+    return f"{prefix}::{name}" if prefix else name
+
+
+_TRAILER_RE = re.compile(
+    r"^(?:\s|const|noexcept|override|final|mutable|->\s*[\w:<>,&*\s]+"
+    r"|IG_[A-Z_]+(?:\([^()]*(?:\([^()]*\))?[^()]*\))?|\btry\b)*$"
+)
+
+
+def _top_level_paren_groups(head: str) -> list[tuple[int, int]]:
+    """(open, close) index pairs of depth-0 parenthesis groups in `head`."""
+    groups = []
+    depth = 0
+    start = -1
+    for idx, ch in enumerate(head):
+        if ch == "(":
+            if depth == 0:
+                start = idx
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+            if depth == 0 and start >= 0:
+                groups.append((start, idx))
+                start = -1
+    return groups
+
+
+def _try_function_head(head: str, scopes, path: Path, raw: str, code: str,
+                       brace_offset: int) -> Function | None:
+    # The parameter list is the FIRST top-level paren group whose
+    # preceding token is a plausible function name: later groups belong
+    # to trailing annotation macros (IG_ACQUIRE(mu)) or a constructor
+    # initializer list ("Ctor(args) : a_(x), b_(y)").
+    name = ""
+    open_idx = close = -1
+    for g_open, g_close in _top_level_paren_groups(head):
+        before = head[:g_open].rstrip()
+        m = _FN_NAME_RE.search(before)
+        if m is None:
+            continue
+        cand = m.group(1).replace(" ", "")
+        bare = cand.lstrip("~")
+        if bare in NON_CALL_NAMES or bare.startswith("IG_"):
+            continue
+        name, open_idx, close = cand, g_open, g_close
+        break
+    if open_idx < 0:
+        return None
+    trailer = head[close + 1 :]
+    # A constructor initializer list starts at the first top-level ':'
+    # that is not '::'.
+    colon = re.search(r"(?<!:):(?!:)", trailer)
+    if colon is not None:
+        trailer = trailer[: colon.start()]
+    if not _TRAILER_RE.match(trailer):
+        return None
+    before = head[:open_idx].rstrip()
+    # 'Cls::name' / 'ns::Cls::name' out-of-line qualifier.
+    qual_m = re.search(r"([A-Za-z_]\w*(?:::[A-Za-z_]\w*)*)::" + re.escape(name) + r"\s*$", before)
+    cls = ""
+    if qual_m is not None:
+        cls = qual_m.group(1).split("<")[0]
+    else:
+        for s in reversed(scopes):
+            if s.kind == "class":
+                cls = s.name
+                break
+    ns = "::".join(s.name for s in scopes if s.kind == "namespace" and s.name)
+    parts = [p for p in (ns, cls, name) if p]
+    qname = "::".join(parts)
+    line = _line_of(code, brace_offset)
+    fn = Function(qname=qname, cls=cls.split("::")[-1], name=name, path=path,
+                  line=line, body_start=brace_offset, body_end=brace_offset)
+    # The marker may sit on the definition head or up to 3 raw lines above.
+    lines = raw.splitlines()
+    lo = max(0, line - 4)
+    window = "\n".join(lines[lo:line]) + head
+    if FAST_PATH_MARKER in window:
+        fn.marked_fast_path = True
+    return fn
+
+
+_MEMBER_TYPE_RE = re.compile(
+    r"^\s*(?:mutable\s+|const\s+)*"
+    r"((?:std::)?(?:shared_ptr|unique_ptr|weak_ptr)<\s*(?:const\s+)?([\w:]+)[^;]*?>"
+    r"|[A-Za-z_][\w:]*(?:<[^;<>]*>)?)\s*(?:const\s*)?([*&]*)\s*"
+    r"(\w+_)\s*(?:IG_GUARDED_BY\([^)]*\)\s*)?(?:=[^;]*|\{[^;]*\})?;",
+    re.MULTILINE,
+)
+
+
+def _scan_members(path: Path, raw: str, code: str, model: SourceModel) -> None:
+    """Mutex declarations + best-effort member type table, per class."""
+    # Re-walk scopes cheaply: reuse the same head classification to know
+    # which class each line belongs to.
+    scopes: list[_Scope] = []
+    head_start = 0
+    i, n = 0, len(code)
+    class_spans: list[tuple[str, int, int]] = []  # (class qname, start, end)
+    open_stack: list[tuple[_Scope, int]] = []
+    while i < n:
+        c = code[i]
+        if c == "{":
+            head = code[head_start:i]
+            in_fn = any(s.kind in ("function", "init") for s in scopes)
+            if in_fn:
+                scope = _Scope("block")
+            else:
+                m = _NAMESPACE_HEAD_RE.search(head.strip())
+                if m is not None:
+                    scope = _Scope("namespace", m.group(1) or "")
+                else:
+                    cm = _CLASS_HEAD_RE.search(head.strip())
+                    if cm is not None and "(" not in head.strip().split("=")[-1]:
+                        scope = _Scope("class", cm.group(1))
+                    elif _try_function_head(head.strip(), scopes, path, raw, code, i) is not None:
+                        scope = _Scope("function")
+                    else:
+                        scope = _Scope("init")
+            scopes.append(scope)
+            open_stack.append((scope, i))
+            head_start = i + 1
+        elif c == "}":
+            if scopes:
+                closing = scopes.pop()
+                opened = open_stack.pop()[1] if open_stack else 0
+                if closing.kind == "class":
+                    class_spans.append((closing.name, opened, i))
+            head_start = i + 1
+        elif c == ";":
+            head_start = i + 1
+        i += 1
+
+    def innermost_class(offset: int) -> str:
+        best = ""
+        best_len = 1 << 30
+        for name, start, end in class_spans:
+            if start < offset < end and end - start < best_len:
+                best, best_len = name, end - start
+        return best
+
+    for m in MUTEX_DECL_RE.finditer(code):
+        cls = innermost_class(m.start())
+        args_code = m.group(3) or ""
+        rank_m = RANK_ARG_RE.search(args_code)
+        rank_name = rank_m.group(1) if rank_m else ("" if args_code.strip() else "kUnranked")
+        report = ""
+        raw_args = raw[m.start(3) : m.end(3)] if m.group(3) else ""
+        rep_m = re.search(r'"([^"]*)"', raw_args)
+        if rep_m:
+            report = rep_m.group(1)
+        decl = MutexDecl(cls=cls, member=m.group(2), kind=m.group(1),
+                         rank_name=rank_name, rank=None, report_name=report,
+                         path=path, line=_line_of(code, m.start()))
+        model.mutexes.append(decl)
+        model.mutex_by_class_member[(cls, decl.member)] = decl
+        model.mutex_by_member.setdefault(decl.member, []).append(decl)
+
+    for m in SNAPSHOT_CELL_DECL_RE.finditer(code):
+        cls = innermost_class(m.start())
+        args_code = m.group(2) or ""
+        rank_m = RANK_ARG_RE.search(args_code)
+        rank_name = rank_m.group(1) if rank_m else "kSnapshotWriter"
+        raw_args = raw[m.start(2) : m.end(2)] if m.group(2) else ""
+        rep_m = re.search(r'"([^"]*)"', raw_args)
+        decl = MutexDecl(cls=cls, member=m.group(1), kind="SnapshotCell",
+                         rank_name=rank_name, rank=None,
+                         report_name=rep_m.group(1) if rep_m else "ig.SnapshotCell",
+                         path=path, line=_line_of(code, m.start()))
+        model.mutexes.append(decl)
+        model.mutex_by_class_member[(cls, decl.member)] = decl
+        model.mutex_by_member.setdefault(decl.member, []).append(decl)
+
+    # Member types, attributed to the innermost class span.
+    for name, start, end in class_spans:
+        info = model.classes.setdefault(name, ClassInfo(name))
+        for m in _MEMBER_TYPE_RE.finditer(code, start, end):
+            if innermost_class(m.start()) != name:
+                continue
+            pointee = m.group(2)
+            type_name = (pointee or m.group(1)).split("<")[0].split("::")[-1]
+            info.member_types[m.group(4)] = type_name
+
+
+def _scan_body(fn: Function, raw: str, code: str, model: SourceModel) -> None:
+    body = fn.body
+    pairs = _block_ends(body)
+    lambdas = _lambda_spans(body, pairs)
+
+    def deferred(offset: int) -> bool:
+        return any(s < offset < e for s, e in lambdas)
+
+    taken: list[tuple[int, int]] = []  # spans already claimed by acquisitions
+
+    for m in RAII_ACQ_RE.finditer(body):
+        recv = m.group(3)
+        member = recv.split(".")[-1].split("->")[-1]
+        receiver = recv[: len(recv) - len(member)].rstrip(".->")
+        fn.acquisitions.append(Acquisition(
+            member=member, receiver=receiver, kind="raii", offset=m.start(),
+            scope_end=_enclosing_block_end(pairs, m.start(), len(body)),
+            line=fn.line + body.count("\n", 0, m.start()),
+            in_lambda=deferred(m.start()),
+        ))
+        taken.append((m.start(), m.end()))
+
+    for m in METHOD_ACQ_RE.finditer(body):
+        recv, method = m.group(1), m.group(2)
+        member = recv.split(".")[-1].split("->")[-1]
+        receiver = recv[: len(recv) - len(member)].rstrip(".->")
+        # `cell_.update(...)` only acquires for SnapshotCell members;
+        # `x.lock()` on a weak_ptr is a different thing entirely — filter
+        # by the declared member kind during resolution, not here.
+        kind = {"lock": "lock", "lock_shared": "lock",
+                "try_lock": "try_lock", "try_lock_shared": "try_lock",
+                "update": "update"}[method]
+        fn.acquisitions.append(Acquisition(
+            member=member, receiver=receiver, kind=kind, offset=m.start(),
+            scope_end=_enclosing_block_end(pairs, m.start(), len(body)),
+            line=fn.line + body.count("\n", 0, m.start()),
+            in_lambda=deferred(m.start()),
+        ))
+        taken.append((m.start(), m.end()))
+
+    def claimed(offset: int) -> bool:
+        return any(s <= offset < e for s, e in taken)
+
+    seen: set[tuple[int, str]] = set()
+    for m in QUALIFIED_CALL_RE.finditer(body):
+        if claimed(m.start()):
+            continue
+        name = m.group(2)
+        if name in NON_CALL_NAMES:
+            continue
+        qual = m.group(1).rstrip(":")
+        fn.calls.append(CallSite(name=name, qualifier=qual, receiver="",
+                                 offset=m.start(),
+                                 line=fn.line + body.count("\n", 0, m.start()),
+                                 in_lambda=deferred(m.start())))
+        seen.add((m.start(1), name))
+
+    for m in MEMBER_CALL_RE.finditer(body):
+        if claimed(m.start()):
+            continue
+        name = m.group(2)
+        if name in NON_CALL_NAMES:
+            continue
+        fn.calls.append(CallSite(name=name, qualifier="", receiver=m.group(1),
+                                 offset=m.start(2),
+                                 line=fn.line + body.count("\n", 0, m.start()),
+                                 in_lambda=deferred(m.start())))
+
+    for m in BARE_CALL_RE.finditer(body):
+        if claimed(m.start()):
+            continue
+        name = m.group(1)
+        if name in NON_CALL_NAMES or (m.start(), name) in seen:
+            continue
+        # Skip declarations-that-look-like-calls: 'Type name(' is rare in
+        # this tree (brace init is the house style); accept the noise.
+        fn.calls.append(CallSite(name=name, qualifier="", receiver="",
+                                 offset=m.start(),
+                                 line=fn.line + body.count("\n", 0, m.start()),
+                                 in_lambda=deferred(m.start())))
+
+
+def build_model(root: Path, subdirs: tuple[str, ...] = ("src",)) -> SourceModel:
+    model = SourceModel(root=root)
+    for sub in subdirs:
+        base = root / sub
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*.hpp")) + sorted(base.rglob("*.cpp")):
+            scan_file(path, model)
+    # Resolve numeric ranks.
+    for decl in model.mutexes:
+        decl.rank = model.rank_values.get(decl.rank_name)
+        if decl.rank is None and decl.rank_name == "kUnranked":
+            decl.rank = 0
+        if decl.rank is None and decl.rank_name == "kSnapshotWriter":
+            decl.rank = 700
+    return model

@@ -1,0 +1,200 @@
+"""Pass 4: doc drift — DESIGN.md §11 rank table and metric table vs
+source declarations.
+
+`tools/lint.py check_metrics` already demands every metric constant
+appear *somewhere* in DESIGN.md; this pass is the structural
+cross-check in both directions:
+
+* rank table (``| Rank | Constant | Guards |``): every ``lock_rank``
+  constant in src/common/sync.hpp must have a row with the matching
+  numeric rank; every row's constant must still exist in the source
+  with the same value; duplicate numeric ranks in the source are flagged
+  (the validator cannot order two mutexes of equal rank);
+* metric table (``| Constant | Name | Kind | Meaning |``): every
+  declared metric constant must have a row whose name column matches
+  the declared string; rows whose constant or string no longer exists
+  are retired docs.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+RANK_CONST_RE = re.compile(
+    r"^\s*inline constexpr int (k[A-Za-z0-9_]+)\s*=\s*(\d+)\s*;")
+# Multiline-tolerant: the declaration may wrap after `=`.
+METRIC_DECL_RE = re.compile(
+    r'^\s*inline constexpr const char\* (k[A-Za-z0-9_]*)\s*=\s*"([^"]*)";',
+    re.MULTILINE)
+
+RANK_ROW_RE = re.compile(r"^\|\s*(\d+)\s*\|\s*`(k[A-Za-z0-9_]+)`\s*\|")
+# The name column may carry trailing prose for prefix constants:
+# | `kPoolWorkerPrefix` | `pool.worker.` + i | counter | ... |
+METRIC_ROW_RE = re.compile(r"^\|\s*`(k[A-Za-z0-9_]+)`\s*\|\s*`([^`]+)`[^|]*\|")
+
+RANK_TABLE_HEADER = "| Rank | Constant |"
+METRIC_TABLE_HEADER = "| Constant | Name |"
+
+METRIC_HEADERS = (
+    Path("src/obs/telemetry.hpp"),
+    Path("src/obs/profile.hpp"),
+    Path("src/obs/trace.hpp"),
+    Path("src/obs/export.hpp"),
+    Path("src/mds/replication.hpp"),
+)
+
+
+@dataclass
+class Finding:
+    path: str
+    line: int
+    message: str
+
+
+def _table_rows(design_lines: list[str], header: str,
+                row_re: re.Pattern) -> tuple[int, list[tuple[int, tuple]]]:
+    """(first header line number, [(line number, row groups)]) across
+    *every* table whose header row starts with `header` — metric tables
+    are split per subsystem in DESIGN.md."""
+    rows: list[tuple[int, tuple]] = []
+    header_line = 0
+    in_table = False
+    for i, line in enumerate(design_lines, start=1):
+        if not in_table:
+            if line.startswith(header):
+                in_table = True
+                if header_line == 0:
+                    header_line = i
+            continue
+        m = row_re.match(line)
+        if m:
+            rows.append((i, m.groups()))
+        elif not line.startswith("|"):
+            in_table = False
+    return header_line, rows
+
+
+def run(root: Path, design: Path | None = None,
+        sync_header: Path | None = None) -> dict:
+    design = design or root / "DESIGN.md"
+    sync_header = sync_header or root / "src" / "common" / "sync.hpp"
+    findings: list[Finding] = []
+    design_rel = str(design.relative_to(root)) if design.is_relative_to(root) else str(design)
+    design_lines = design.read_text().splitlines()
+
+    # ---- rank table -----------------------------------------------------
+    src_ranks: dict[str, tuple[int, int]] = {}  # name -> (value, line)
+    sync_rel = str(sync_header.relative_to(root)) if sync_header.is_relative_to(root) else str(sync_header)
+    for i, line in enumerate(sync_header.read_text().splitlines(), start=1):
+        m = RANK_CONST_RE.match(line)
+        if m:
+            name, value = m.group(1), int(m.group(2))
+            if name in src_ranks:
+                findings.append(Finding(
+                    sync_rel, i,
+                    f"duplicate lock_rank constant {name}"))
+                continue
+            src_ranks[name] = (value, i)
+
+    by_value: dict[int, str] = {}
+    for name, (value, line) in src_ranks.items():
+        if value == 0:
+            continue  # kUnranked: exempt from ordering, not tabled
+        if value in by_value:
+            findings.append(Finding(
+                sync_rel, line,
+                f"duplicate rank value {value}: {name} and "
+                f"{by_value[value]} cannot be ordered by the validator"))
+        else:
+            by_value[value] = name
+
+    header_line, rank_rows = _table_rows(
+        design_lines, RANK_TABLE_HEADER, RANK_ROW_RE)
+    if header_line == 0:
+        findings.append(Finding(design_rel, 0,
+                                "rank table (§11) not found"))
+        rank_rows = []
+    doc_ranks: dict[str, tuple[int, int]] = {}
+    for line_no, (value_s, name) in rank_rows:
+        if name in doc_ranks:
+            findings.append(Finding(
+                design_rel, line_no,
+                f"rank table documents {name} twice"))
+            continue
+        doc_ranks[name] = (int(value_s), line_no)
+        if name not in src_ranks:
+            findings.append(Finding(
+                design_rel, line_no,
+                f"rank table documents retired rank {name} "
+                f"(not declared in {sync_rel})"))
+        elif src_ranks[name][0] != int(value_s):
+            findings.append(Finding(
+                design_rel, line_no,
+                f"rank table says {name} = {value_s} but {sync_rel}:"
+                f"{src_ranks[name][1]} declares {src_ranks[name][0]}"))
+    for name, (value, line) in sorted(src_ranks.items()):
+        if value == 0:
+            continue
+        if name not in doc_ranks:
+            findings.append(Finding(
+                design_rel, header_line,
+                f"rank table missing row for {name} = {value} "
+                f"(declared at {sync_rel}:{line})"))
+
+    # ---- metric table ---------------------------------------------------
+    src_metrics: dict[str, tuple[str, str, int]] = {}
+    for rel in METRIC_HEADERS:
+        header = root / rel
+        if not header.is_file():
+            continue
+        text = header.read_text()
+        for m in METRIC_DECL_RE.finditer(text):
+            src_metrics[m.group(1)] = (
+                m.group(2), str(rel), text.count("\n", 0, m.start()) + 1)
+
+    m_header_line, metric_rows = _table_rows(
+        design_lines, METRIC_TABLE_HEADER, METRIC_ROW_RE)
+    if m_header_line == 0:
+        # Only an error when there are metrics to document (fixture
+        # trees have no metric headers at all).
+        if src_metrics:
+            findings.append(Finding(design_rel, 0,
+                                    "metric table not found"))
+        metric_rows = []
+    doc_metrics: dict[str, tuple[str, int]] = {}
+    for line_no, (name, value) in metric_rows:
+        doc_metrics[name] = (value, line_no)
+        if name not in src_metrics:
+            findings.append(Finding(
+                design_rel, line_no,
+                f"metric table documents retired constant {name}"))
+            continue
+        declared = src_metrics[name][0]
+        # Prefix constants are documented as `prefix.` + suffix.
+        doc_value = value.split("`")[0].strip().rstrip("+").strip()
+        if not (doc_value == declared or doc_value.startswith(declared)
+                or declared.startswith(doc_value)):
+            findings.append(Finding(
+                design_rel, line_no,
+                f"metric table says {name} = \"{value}\" but "
+                f"{src_metrics[name][1]}:{src_metrics[name][2]} "
+                f"declares \"{declared}\""))
+    for name, (value, rel, line) in sorted(src_metrics.items()):
+        if name not in doc_metrics:
+            findings.append(Finding(
+                design_rel, m_header_line,
+                f"metric table missing row for {name} (\"{value}\", "
+                f"declared at {rel}:{line})"))
+
+    return {
+        "findings": [vars(f) for f in findings],
+        "exemptions": [],
+        "stats": {
+            "source_ranks": len(src_ranks),
+            "documented_ranks": len(doc_ranks),
+            "source_metrics": len(src_metrics),
+            "documented_metrics": len(doc_metrics),
+        },
+    }

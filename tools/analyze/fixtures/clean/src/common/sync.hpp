@@ -1,0 +1,10 @@
+// Clean fixture: every pass must report zero findings over this tree.
+#pragma once
+
+#define IG_STATIC_FAST_PATH
+
+namespace ig::lock_rank {
+inline constexpr int kUnranked = 0;
+inline constexpr int kLow = 100;
+inline constexpr int kHigh = 200;
+}  // namespace ig::lock_rank

@@ -1,0 +1,31 @@
+// Well-ordered locking (100 before 200) and a genuinely pure marked
+// fast path: the negative control for the seeded fixtures.
+#pragma once
+
+#include "common/sync.hpp"
+
+#include <atomic>
+
+namespace ig::info {
+
+class Ok {
+ public:
+  void ordered() {
+    MutexLock low(low_mu_);
+    MutexLock high(high_mu_);
+    ++work_;
+  }
+
+  IG_STATIC_FAST_PATH
+  long fast_read() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Mutex low_mu_{lock_rank::kLow, "info.Ok.low"};
+  Mutex high_mu_{lock_rank::kHigh, "info.Ok.high"};
+  std::atomic<long> hits_{0};
+  int work_ = 0;
+};
+
+}  // namespace ig::info

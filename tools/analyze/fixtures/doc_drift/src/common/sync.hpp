@@ -1,0 +1,11 @@
+// Seeded doc drift: kDup duplicates kB's rank value (the validator
+// cannot order equal ranks), and DESIGN.md both documents a retired
+// constant and misses kB/kDup. The selftest pins the exact lines.
+#pragma once
+
+namespace ig::lock_rank {
+inline constexpr int kUnranked = 0;
+inline constexpr int kA = 100;
+inline constexpr int kB = 200;
+inline constexpr int kDup = 200;  // line 10: duplicate rank value
+}  // namespace ig::lock_rank

@@ -1,0 +1,9 @@
+// Fixture stub; never compiled.
+#pragma once
+
+#define IG_STATIC_FAST_PATH
+
+namespace ig::lock_rank {
+inline constexpr int kUnranked = 0;
+inline constexpr int kCache = 100;
+}  // namespace ig::lock_rank

@@ -1,0 +1,41 @@
+// Seeded fast-path impurities: a direct lock acquisition, an
+// allocating std call, and a transitive impurity through a helper.
+// good_fast() is marked too and must be proven clean. The selftest
+// pins the exact finding lines; renumber it if this file changes.
+#pragma once
+
+#include "common/sync.hpp"
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+namespace ig::info {
+
+class Cache {
+ public:
+  IG_STATIC_FAST_PATH
+  int bad_fast() {
+    MutexLock lock(mu_);   // line 19: acquisition on the fast path
+    values_.push_back(1);  // line 20: allocating call
+    helper();              // transitive: helper() allocates at line 32
+    return 0;
+  }
+
+  IG_STATIC_FAST_PATH
+  int good_fast() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void helper() {
+    label_ = std::to_string(42);  // line 32: reached from bad_fast()
+  }
+
+  Mutex mu_{lock_rank::kCache, "info.Cache.mu"};
+  std::vector<int> values_;
+  std::atomic<int> hits_{0};
+  std::string label_;
+};
+
+}  // namespace ig::info

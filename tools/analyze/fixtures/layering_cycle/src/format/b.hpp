@@ -1,0 +1,9 @@
+// Legal direction on its own (format may include obs) but together
+// with obs/a.hpp this closes the obs <-> format cycle.
+#pragma once
+
+#include "obs/a.hpp"
+
+namespace ig::format {
+inline int b() { return 2; }
+}  // namespace ig::format

@@ -1,0 +1,6 @@
+// Leaf header pulled in through the exempted include in obs/a.hpp.
+#pragma once
+
+namespace ig::info {
+inline int c() { return 3; }
+}  // namespace ig::info

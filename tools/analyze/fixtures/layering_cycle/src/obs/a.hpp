@@ -1,0 +1,15 @@
+// Seeded layering defects: an upward include (obs -> format) and,
+// together with format/b.hpp, a module cycle. The second include
+// carries the exemption marker and must be reported as an exemption,
+// not a finding. The selftest pins the exact lines.
+#pragma once
+
+#include "format/b.hpp"  // line 7: obs (layer 2) includes format (layer 3)
+
+// analyze-allow(layering): fixture-only exemption demonstrating the
+// marker; a justification travels with the record into the report.
+#include "info/c.hpp"
+
+namespace ig::obs {
+inline int a() { return ig::format::b() + ig::info::c(); }
+}  // namespace ig::obs

@@ -1,0 +1,9 @@
+// Fixture stub: just enough shape for the scanner — rank constants and
+// the Mutex/MutexLock spellings. Never compiled.
+#pragma once
+
+namespace ig::lock_rank {
+inline constexpr int kUnranked = 0;
+inline constexpr int kLow = 100;
+inline constexpr int kHigh = 200;
+}  // namespace ig::lock_rank

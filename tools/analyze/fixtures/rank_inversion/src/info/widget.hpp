@@ -1,0 +1,40 @@
+// Seeded rank inversions: one direct (nested RAII guards out of
+// order), one through a call edge (a call under the high-rank lock
+// reaching a function that acquires the low rank). The selftest pins
+// the exact finding lines; renumber it if this file changes.
+#pragma once
+
+#include "common/sync.hpp"
+
+namespace ig::info {
+
+class Widget {
+ public:
+  void low_op() {
+    MutexLock lock(low_mu_);
+    ++low_work_;
+  }
+
+  void bad_direct() {
+    MutexLock outer(high_mu_);
+    MutexLock inner(low_mu_);  // line 20: direct inversion (100 under 200)
+    ++low_work_;
+  }
+
+  void bad_via_call() {
+    MutexLock lock(high_mu_);
+    low_op();  // line 26: callee acquires 100 while 200 is held
+  }
+
+  void fine() {
+    MutexLock lock(low_mu_);
+    ++low_work_;
+  }
+
+ private:
+  Mutex low_mu_{lock_rank::kLow, "info.Widget.low"};
+  Mutex high_mu_{lock_rank::kHigh, "info.Widget.high"};
+  int low_work_ = 0;
+};
+
+}  // namespace ig::info

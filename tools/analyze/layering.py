@@ -1,0 +1,170 @@
+"""Pass 3: architecture layering over the #include graph.
+
+The declared manifest (DESIGN.md §16) orders modules bottom-up; a file
+may include headers from its own layer or below, never above.  The
+whole module digraph is additionally checked for cycles — a cycle is
+always a defect, even between exempted edges, because it makes the
+layer order unsatisfiable.
+
+Deliberate exceptions carry an inline ``analyze-allow(layering):
+<justification>`` marker on the include line or the line above; they
+are recorded in the JSON report as exemptions, not findings, and the
+justification travels with them.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+# Bottom-up manifest.  Modules listed together are one layer and may
+# include each other.  Extend by adding the new module to the right
+# tier (see DESIGN.md §16 before moving anything).
+LAYERS: list[tuple[str, ...]] = [
+    ("common",),
+    ("logging",),
+    ("obs",),
+    ("format", "rsl", "net"),
+    ("security",),
+    ("info", "exec", "soap"),
+    ("gram", "mds", "grid"),
+    ("core",),
+]
+
+LAYER_OF: dict[str, int] = {
+    mod: i for i, mods in enumerate(LAYERS) for mod in mods
+}
+
+INCLUDE_RE = re.compile(r'^[ \t]*#[ \t]*include[ \t]+"([^"]+)"', re.MULTILINE)
+ALLOW_RE = re.compile(r"analyze-allow\(layering\)(?::?\s*(.*))?")
+
+
+@dataclass
+class Finding:
+    path: str
+    line: int
+    message: str
+
+
+def _module_of(rel: str) -> str | None:
+    parts = Path(rel).parts
+    if len(parts) >= 2 and parts[0] == "src":
+        return parts[1]
+    if len(parts) >= 1 and parts[0] in LAYER_OF:
+        return parts[0]
+    return None
+
+
+def run(root: Path, subdirs: tuple[str, ...] = ("src",)) -> dict:
+    findings: list[Finding] = []
+    exemptions: list[dict] = []
+    edges: dict[str, set[str]] = {}
+    unknown_modules: set[str] = set()
+    files = 0
+
+    for sub in subdirs:
+        base = root / sub
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*.hpp")) + sorted(base.rglob("*.cpp")):
+            files += 1
+            rel = path.relative_to(root)
+            from_mod = _module_of(str(rel))
+            if from_mod is None or from_mod not in LAYER_OF:
+                if from_mod:
+                    unknown_modules.add(from_mod)
+                continue
+            raw = path.read_text()
+            lines = raw.splitlines()
+            for m in INCLUDE_RE.finditer(raw):
+                to_mod = _module_of(m.group(1))
+                if to_mod is None:
+                    continue
+                if to_mod not in LAYER_OF:
+                    unknown_modules.add(to_mod)
+                    continue
+                if to_mod != from_mod:
+                    edges.setdefault(from_mod, set()).add(to_mod)
+                if LAYER_OF[to_mod] <= LAYER_OF[from_mod]:
+                    continue
+                line_no = raw.count("\n", 0, m.start()) + 1
+                # The marker may open a multi-line justification block:
+                # accept it anywhere in the contiguous // comment run
+                # (or on the include line itself) above the include.
+                marker = None
+                am = ALLOW_RE.search(lines[line_no - 1])
+                if am:
+                    marker = (am.group(1) or "").strip()
+                ln = line_no - 2
+                while marker is None and 0 <= ln < len(lines) \
+                        and lines[ln].lstrip().startswith("//"):
+                    am = ALLOW_RE.search(lines[ln])
+                    if am:
+                        marker = (am.group(1) or "").strip()
+                    ln -= 1
+                msg = (f"layering violation: {from_mod} (layer "
+                       f"{LAYER_OF[from_mod]}) includes \"{m.group(1)}\" "
+                       f"from {to_mod} (layer {LAYER_OF[to_mod]})")
+                if marker is not None:
+                    exemptions.append({
+                        "path": str(rel), "line": line_no,
+                        "message": msg, "justification": marker,
+                    })
+                else:
+                    findings.append(Finding(str(rel), line_no, msg))
+
+    # Cycle detection over the full module digraph (exempted edges
+    # included: an exemption permits layer skew, never a cycle).
+    cycles = _cycles(edges)
+    for cyc in cycles:
+        findings.append(Finding(
+            "src", 0,
+            "layering cycle: " + " -> ".join(cyc + [cyc[0]])))
+
+    for mod in sorted(unknown_modules):
+        findings.append(Finding(
+            f"src/{mod}", 0,
+            f"module '{mod}' is not in the layer manifest "
+            f"(tools/analyze/layering.py LAYERS; see DESIGN.md §16)"))
+
+    return {
+        "findings": [vars(f) for f in findings],
+        "exemptions": exemptions,
+        "stats": {
+            "files": files,
+            "modules": len({m for mods in LAYERS for m in mods}),
+            "edges": sum(len(v) for v in edges.values()),
+            "cycles": len(cycles),
+        },
+        "edges": {k: sorted(v) for k, v in sorted(edges.items())},
+    }
+
+
+def _cycles(edges: dict[str, set[str]]) -> list[list[str]]:
+    """Elementary cycles via DFS; module graphs are tiny."""
+    cycles: list[list[str]] = []
+    seen_keys: set[tuple[str, ...]] = set()
+    state: dict[str, int] = {}
+    stack: list[str] = []
+
+    def dfs(node: str) -> None:
+        state[node] = 1
+        stack.append(node)
+        for nxt in sorted(edges.get(node, ())):
+            if state.get(nxt, 0) == 0:
+                dfs(nxt)
+            elif state.get(nxt) == 1:
+                cyc = stack[stack.index(nxt):]
+                lo = min(range(len(cyc)), key=lambda i: cyc[i])
+                key = tuple(cyc[lo:] + cyc[:lo])
+                if key not in seen_keys:
+                    seen_keys.add(key)
+                    cycles.append(list(key))
+        stack.pop()
+        state[node] = 2
+
+    for node in sorted(edges):
+        if state.get(node, 0) == 0:
+            dfs(node)
+    return cycles

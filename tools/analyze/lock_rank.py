@@ -1,0 +1,195 @@
+"""Pass 1: static lock-rank graph.
+
+The runtime validator (src/common/sync.cpp) enforces strictly
+increasing lock ranks per thread, but only on the interleavings the
+test suite happens to drive.  This pass proves the same invariant over
+*all* paths:
+
+1. every acquisition site is resolved to its MutexDecl (rank, report
+   name); `update()` counts only on SnapshotCell members, and `.lock()`
+   on something that is not a declared mutex (weak_ptr, MutexLock
+   locals) is ignored;
+2. a transitive *may-acquire* rank set is computed per function over
+   the call graph (fixpoint, so recursion converges);
+3. inside every scope that holds rank r1, each nested acquisition and
+   each call whose callee may acquire r2 with 0 < r2 <= r1 is a
+   finding.
+
+Rank 0 (kUnranked) is exempt, exactly as at runtime.  Nesting scope
+comes from the source model even under the IR engine — IR edges carry
+no offsets — so the IR engine sharpens the transitive sets while the
+under-lock call enumeration always uses the model's sites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from callgraph import CallGraph, RegexEngine
+from cpp import Acquisition, Function, MutexDecl, SourceModel
+
+ALLOW_MARKER = "analyze-allow(lock-rank)"
+
+
+@dataclass
+class Finding:
+    path: str
+    line: int
+    message: str
+
+
+def _resolve_acq(model: SourceModel, fn: Function,
+                 acq: Acquisition) -> MutexDecl | None:
+    """MutexDecl an acquisition refers to, or None when it is not a
+    declared ig mutex (weak_ptr::lock, RAII guard re-lock, ...)."""
+    cls = fn.cls.rsplit("::", 1)[-1] if fn.cls else ""
+    decl = None
+    if acq.receiver in ("", "this"):
+        decl = model.mutex_by_class_member.get((cls, acq.member))
+    if decl is None and acq.receiver and cls:
+        info = model.classes.get(cls)
+        head = acq.receiver.split(".")[0].split("->")[0]
+        if info is not None:
+            recv_ty = info.member_types.get(head)
+            if recv_ty is not None:
+                decl = model.mutex_by_class_member.get((recv_ty, acq.member))
+    if decl is None:
+        cands = model.mutex_by_member.get(acq.member, [])
+        if len(cands) == 1:
+            decl = cands[0]
+    if decl is None:
+        return None
+    if acq.kind == "update":
+        return decl if decl.kind == "SnapshotCell" else None
+    return decl if decl.kind in ("Mutex", "SharedMutex") else None
+
+
+def _direct(model: SourceModel) -> dict[str, list[tuple[Function, Acquisition, MutexDecl]]]:
+    out: dict[str, list[tuple[Function, Acquisition, MutexDecl]]] = {}
+    for qname, fns in model.functions.items():
+        rows = []
+        for fn in fns:
+            for acq in fn.acquisitions:
+                decl = _resolve_acq(model, fn, acq)
+                if decl is not None:
+                    rows.append((fn, acq, decl))
+        out[qname] = rows
+    return out
+
+
+def _transitive_ranks(model: SourceModel, graph: CallGraph,
+                      direct: dict) -> dict[str, set[int]]:
+    """Fixpoint of rank sets over the call graph."""
+    ranks: dict[str, set[int]] = {
+        q: {d.rank for _, _, d in rows if d.rank}
+        for q, rows in direct.items()
+    }
+    callees = {q: graph.callees(q) for q in model.functions}
+    changed = True
+    while changed:
+        changed = False
+        for q, cs in callees.items():
+            cur = ranks.setdefault(q, set())
+            before = len(cur)
+            for c in cs:
+                cur |= ranks.get(c, set())
+            if len(cur) != before:
+                changed = True
+    return ranks
+
+
+def _allowed(fn: Function, model_raw: dict, line: int) -> bool:
+    """analyze-allow(lock-rank) on the finding line or the line above."""
+    lines = model_raw.get(fn.path)
+    if lines is None:
+        try:
+            lines = fn.path.read_text().splitlines()
+        except OSError:
+            lines = []
+        model_raw[fn.path] = lines
+    for ln in (line - 1, line - 2):
+        if 0 <= ln < len(lines) and ALLOW_MARKER in lines[ln]:
+            return True
+    return False
+
+
+def run(model: SourceModel, graph: CallGraph) -> dict:
+    direct = _direct(model)
+    trans = _transitive_ranks(model, graph, direct)
+    resolver = RegexEngine(model)
+    findings: list[Finding] = []
+    exemptions: list[dict] = []
+    raw_cache: dict = {}
+
+    def emit(fn: Function, line: int, msg: str) -> None:
+        if _allowed(fn, raw_cache, line):
+            exemptions.append({"path": str(fn.path), "line": line,
+                               "message": msg})
+        else:
+            findings.append(Finding(str(fn.path), line, msg))
+
+    for qname, fns in model.functions.items():
+        for fn in fns:
+            held = [(acq, decl) for f, acq, decl in direct.get(qname, ())
+                    if f is fn and decl.rank]
+            for acq, decl in held:
+                r1 = decl.rank
+                span = (acq.offset, acq.scope_end)
+                if acq.in_lambda:
+                    # A lambda's acquisitions run when the lambda runs;
+                    # nothing textually inside it is provably "under"
+                    # this lock.  Its ranks still propagate through the
+                    # enclosing function's transitive set.
+                    continue
+                # (a) nested direct acquisitions in the held scope
+                for acq2, decl2 in held:
+                    if acq2 is acq or decl2.rank is None or not decl2.rank:
+                        continue
+                    if acq2.in_lambda:
+                        continue
+                    if span[0] < acq2.offset < span[1] and decl2.rank <= r1:
+                        emit(fn, acq2.line,
+                             f"lock-rank inversion: acquires "
+                             f"'{decl2.report_name or decl2.member}' "
+                             f"(rank {decl2.rank}) while holding "
+                             f"'{decl.report_name or decl.member}' "
+                             f"(rank {r1})")
+                # (b) calls made in the held scope whose callee may
+                # acquire a rank <= r1
+                for site in fn.calls:
+                    if site.in_lambda:
+                        continue
+                    if not (span[0] < site.offset < span[1]):
+                        continue
+                    rc = resolver.resolve(fn, site)
+                    for target in rc.targets:
+                        bad = sorted(r for r in trans.get(target.qname, ())
+                                     if 0 < r <= r1)
+                        if bad:
+                            emit(fn, site.line,
+                                 f"lock-rank inversion: call to "
+                                 f"{target.qname}() may acquire rank "
+                                 f"{bad[0]} while holding "
+                                 f"'{decl.report_name or decl.member}' "
+                                 f"(rank {r1})")
+                            break  # one finding per call site
+
+    mutex_rows = [{
+        "class": d.cls, "member": d.member, "kind": d.kind,
+        "rank_name": d.rank_name, "rank": d.rank,
+        "report_name": d.report_name,
+        "path": str(d.path), "line": d.line,
+    } for d in model.mutexes]
+
+    return {
+        "findings": [vars(f) for f in findings],
+        "exemptions": exemptions,
+        "stats": {
+            "mutexes": len(model.mutexes),
+            "functions": len(model.functions),
+            "functions_acquiring": sum(1 for r in trans.values() if r),
+            "call_sites": graph.stats.get("sites", 0),
+            "unresolved_calls": graph.stats.get("unresolved", 0),
+        },
+        "mutexes": mutex_rows,
+    }

@@ -1,0 +1,184 @@
+"""Pass 2: fast-path purity.
+
+Functions marked ``IG_STATIC_FAST_PATH`` (src/common/annotations.hpp)
+promise the PR-7 zero-lock/zero-alloc contract: no lock acquisition, no
+allocation, no I/O — transitively.  The runtime proof
+(tests/snapshot_test.cpp) counts acquisitions and allocations on the
+paths the test drives; this pass proves the same property over every
+path from every marked function.
+
+The pass walks the closure of marked functions using the source-model
+call resolution (the marker is a source artifact, so the source view is
+authoritative; the IR engine sharpens pass 1, not this one) and flags,
+with path:line attribution:
+
+* any lock/update acquisition site — including `.lock()` on something
+  the model cannot resolve to a declared mutex, because the fast path
+  has no business calling anything named lock();
+* allocation: `new` expressions, `throw`, and calls into the allocating
+  std surface (push_back, resize, to_string, make_shared, ...);
+* I/O: stream objects and the C file API;
+* calls the model cannot resolve and that are not on the curated
+  read-only allowlist — an unknown callee is an unproven callee.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from callgraph import RegexEngine
+from cpp import Function, SourceModel
+
+# Read-only / arithmetic std surface a pure fast path may use.
+PURE_ALLOWLIST = frozenset({
+    # atomics
+    "load", "store", "exchange", "fetch_add", "fetch_sub", "fetch_or",
+    "fetch_and", "compare_exchange_weak", "compare_exchange_strong",
+    # const container access
+    "size", "empty", "begin", "end", "cbegin", "cend", "find", "count",
+    "contains", "at", "front", "back", "data", "c_str", "length",
+    "first", "second", "get", "value", "has_value", "value_or",
+    "use_count", "expired", "compare",
+    # arithmetic / utilities
+    "min", "max", "clamp", "abs", "move", "forward", "swap",
+    "memcmp", "strlen", "strcmp", "isnan", "isinf",
+    # chrono value types (no clock reads: now() is NOT allowlisted —
+    # pass the timestamp in)
+    "time_since_epoch", "duration_cast", "seconds", "milliseconds",
+    "microseconds", "nanoseconds", "duration",
+    # constructor-style casts of the trivially-copyable time aliases
+    # (common/clock.hpp); these wrap an integer, nothing more
+    "Duration", "TimePoint",
+})
+
+ALLOC_NAMES = frozenset({
+    "push_back", "pop_back", "emplace_back", "emplace", "emplace_front",
+    "insert", "erase", "resize", "reserve", "append", "assign", "clear",
+    "substr", "to_string", "stoi", "stol", "stod", "str",
+    "make_shared", "make_unique", "push_front",
+})
+
+IO_NAMES = frozenset({
+    "printf", "fprintf", "snprintf", "fopen", "fclose", "fwrite", "fread",
+    "open", "close", "write", "read", "flush", "put", "getline", "tellp",
+    "seekp",
+})
+
+NEW_RE = re.compile(r"\bnew\b(?!\s*\()")  # `new T{...}`; placement too
+THROW_RE = re.compile(r"\bthrow\b")
+STREAM_RE = re.compile(
+    r"\bstd::(?:cout|cerr|clog|cin|ofstream|ifstream|fstream|"
+    r"ostringstream|istringstream|stringstream)\b")
+
+ALLOW_MARKER = "analyze-allow(purity)"
+
+
+@dataclass
+class Finding:
+    path: str
+    line: int
+    message: str
+
+
+def _marked_roots(model: SourceModel) -> dict[str, list[Function]]:
+    roots: dict[str, list[Function]] = {}
+    for qname, fns in model.functions.items():
+        if any(f.marked_fast_path for f in fns):
+            roots[qname] = fns
+    return roots
+
+
+def run(model: SourceModel) -> dict:
+    resolver = RegexEngine(model)
+    roots = _marked_roots(model)
+    findings: list[Finding] = []
+    exemptions: list[dict] = []
+    raw_cache: dict = {}
+
+    def allowed(fn: Function, line: int) -> bool:
+        lines = raw_cache.get(fn.path)
+        if lines is None:
+            try:
+                lines = fn.path.read_text().splitlines()
+            except OSError:
+                lines = []
+            raw_cache[fn.path] = lines
+        return any(0 <= ln < len(lines) and ALLOW_MARKER in lines[ln]
+                   for ln in (line - 1, line - 2))
+
+    def emit(fn: Function, line: int, msg: str) -> None:
+        if allowed(fn, line):
+            exemptions.append({"path": str(fn.path), "line": line,
+                               "message": msg})
+        else:
+            findings.append(Finding(str(fn.path), line, msg))
+
+    # Closure per root so every finding names the marked entry point it
+    # breaks; the visited set is shared across roots for the scan itself
+    # (a function's own violations are reported once).
+    scanned: set[str] = set()
+    reached_by: dict[str, str] = {}
+
+    def scan_function(qname: str, fns: list[Function], root: str,
+                      work: list) -> None:
+        via = f" (fast path: {root})" if root != qname else ""
+        for fn in fns:
+            if not fn.body:
+                continue  # declaration only
+            for acq in fn.acquisitions:
+                emit(fn, acq.line,
+                     f"fast-path impurity: {qname}() contains a lock/"
+                     f"update acquisition '{acq.member}.{acq.kind}'{via}")
+            for m in NEW_RE.finditer(fn.body):
+                emit(fn, fn.line + fn.body.count("\n", 0, m.start()),
+                     f"fast-path impurity: {qname}() has a `new` "
+                     f"expression{via}")
+            for m in THROW_RE.finditer(fn.body):
+                emit(fn, fn.line + fn.body.count("\n", 0, m.start()),
+                     f"fast-path impurity: {qname}() throws "
+                     f"(allocates){via}")
+            for m in STREAM_RE.finditer(fn.body):
+                emit(fn, fn.line + fn.body.count("\n", 0, m.start()),
+                     f"fast-path impurity: {qname}() touches a stream "
+                     f"object{via}")
+            for site in fn.calls:
+                rc = resolver.resolve(fn, site)
+                if rc.targets:
+                    for t in rc.targets:
+                        if t.qname not in scanned:
+                            work.append((t.qname, root))
+                    continue
+                if site.name in ALLOC_NAMES:
+                    emit(fn, site.line,
+                         f"fast-path impurity: {qname}() calls "
+                         f"allocating '{site.name}()'{via}")
+                elif site.name in IO_NAMES:
+                    emit(fn, site.line,
+                         f"fast-path impurity: {qname}() performs I/O "
+                         f"via '{site.name}()'{via}")
+                elif site.name not in PURE_ALLOWLIST:
+                    emit(fn, site.line,
+                         f"fast-path impurity: {qname}() calls "
+                         f"'{site.name}()' which cannot be proven pure"
+                         f"{via}")
+
+    for root in sorted(roots):
+        work: list[tuple[str, str]] = [(root, root)]
+        while work:
+            qname, origin = work.pop()
+            if qname in scanned:
+                continue
+            scanned.add(qname)
+            reached_by[qname] = origin
+            scan_function(qname, model.functions[qname], origin, work)
+
+    return {
+        "findings": [vars(f) for f in findings],
+        "exemptions": exemptions,
+        "stats": {
+            "marked_roots": len(roots),
+            "functions_proven": len(scanned),
+        },
+        "roots": sorted(roots),
+    }

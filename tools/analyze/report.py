@@ -1,0 +1,53 @@
+"""Report assembly: JSON artifact + markdown summary.
+
+The markdown table follows tools/bench_compare.py's summary style so
+the CI step-summary rendering is uniform across gates.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+
+def assemble(engine: str, results: dict[str, dict]) -> dict:
+    total = sum(len(r["findings"]) for r in results.values())
+    return {
+        "tool": "tools/analyze",
+        "engine": engine,
+        "passes": results,
+        "summary": {
+            "findings": total,
+            "exemptions": sum(len(r.get("exemptions", ()))
+                              for r in results.values()),
+            "clean": total == 0,
+        },
+    }
+
+
+def to_markdown(report: dict) -> str:
+    lines = ["## Static conformance analysis", ""]
+    lines.append(f"call-graph engine: `{report['engine']}`")
+    lines.append("")
+    lines.append("| pass | findings | exemptions | status |")
+    lines.append("|---|---:|---:|---|")
+    for name, r in report["passes"].items():
+        n, e = len(r["findings"]), len(r.get("exemptions", ()))
+        status = "ok" if n == 0 else "**FAIL**"
+        lines.append(f"| {name} | {n} | {e} | {status} |")
+    findings = [(name, f) for name, r in report["passes"].items()
+                for f in r["findings"]]
+    if findings:
+        lines.append("")
+        lines.append("| pass | location | finding |")
+        lines.append("|---|---|---|")
+        for name, f in findings:
+            loc = f"`{f['path']}:{f['line']}`"
+            msg = f["message"].replace("|", "\\|")
+            lines.append(f"| {name} | {loc} | {msg} |")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def write_json(report: dict, path: Path) -> None:
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")

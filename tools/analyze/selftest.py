@@ -1,0 +1,202 @@
+"""Fixture self-tests for tools/analyze.
+
+Each seeded fixture under fixtures/ plants exactly one class of defect;
+the corresponding pass must report it at the pinned path:line. The
+clean fixture must pass every pass with zero findings, and the real
+tree must be clean too (the regression half: a source change that
+introduces an inversion, an impure fast path, a layering break, or doc
+drift fails this test before it fails in CI).
+
+Run directly (``python3 tools/analyze/selftest.py``) or via
+``ctest -L analyze``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import callgraph  # noqa: E402
+import cpp        # noqa: E402
+import doc_drift  # noqa: E402
+import layering   # noqa: E402
+import lock_rank  # noqa: E402
+import purity     # noqa: E402
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+_failures: list[str] = []
+
+
+def check(ok: bool, label: str, detail: str = "") -> None:
+    mark = "ok" if ok else "FAIL"
+    print(f"[{mark}] {label}" + (f": {detail}" if detail and not ok else ""))
+    if not ok:
+        _failures.append(label)
+
+
+def finding_keys(result: dict) -> set[tuple[str, int]]:
+    """(path-suffix-after-fixture-root, line) for every finding."""
+    keys = set()
+    for f in result["findings"]:
+        p = f["path"].replace("\\", "/")
+        for marker in ("/src/", "/DESIGN.md"):
+            idx = p.find(marker)
+            if idx >= 0:
+                p = p[idx + 1:]
+                break
+        keys.add((p, f["line"]))
+    return keys
+
+
+def dump(result: dict) -> str:
+    return "; ".join(f"{f['path']}:{f['line']}: {f['message']}"
+                     for f in result["findings"]) or "<none>"
+
+
+def run_lock_rank(root: Path) -> dict:
+    model = cpp.build_model(root)
+    graph = callgraph.build_graph(model, engine="regex")
+    return lock_rank.run(model, graph)
+
+
+def run_purity(root: Path) -> dict:
+    return purity.run(cpp.build_model(root))
+
+
+# ---- seeded fixtures ------------------------------------------------------
+
+def test_rank_inversion() -> None:
+    result = run_lock_rank(FIXTURES / "rank_inversion")
+    keys = finding_keys(result)
+    expected = {
+        ("src/info/widget.hpp", 20),  # direct: 100 under 200
+        ("src/info/widget.hpp", 26),  # via call: low_op() under 200
+    }
+    check(keys == expected, "rank_inversion fixture detects both inversions",
+          dump(result))
+
+
+def test_impure_fast_path() -> None:
+    result = run_purity(FIXTURES / "impure_fast_path")
+    keys = finding_keys(result)
+    expected = {
+        ("src/info/cache.hpp", 19),  # lock acquisition
+        ("src/info/cache.hpp", 20),  # push_back
+        ("src/info/cache.hpp", 32),  # transitive to_string via helper()
+    }
+    check(keys == expected,
+          "impure_fast_path fixture detects direct and transitive impurity",
+          dump(result))
+    check(result["stats"]["marked_roots"] == 2,
+          "impure_fast_path fixture sees both marked roots "
+          "(good_fast proven clean)", str(result["stats"]))
+
+
+def test_layering_cycle() -> None:
+    result = layering.run(FIXTURES / "layering_cycle")
+    keys = finding_keys(result)
+    expected = {
+        ("src/obs/a.hpp", 7),  # upward include obs -> format
+        ("src", 0),            # obs <-> format module cycle
+    }
+    check(keys == expected,
+          "layering_cycle fixture detects the violation and the cycle",
+          dump(result))
+    check(any("cycle" in f["message"] for f in result["findings"]),
+          "layering_cycle fixture reports the cycle as such", dump(result))
+    check(len(result["exemptions"]) == 1
+          and result["exemptions"][0]["line"] == 11
+          and result["exemptions"][0]["justification"],
+          "layering_cycle fixture records the analyze-allow include as an "
+          "exemption with its justification", str(result["exemptions"]))
+
+
+def test_doc_drift() -> None:
+    result = doc_drift.run(FIXTURES / "doc_drift")
+    keys = finding_keys(result)
+    expected = {
+        ("src/common/sync.hpp", 10),  # kDup duplicates kB's value
+        ("DESIGN.md", 8),             # retired kRetired row
+        ("DESIGN.md", 5),             # missing kB + kDup rows (header line)
+    }
+    check(keys == expected, "doc_drift fixture detects drift at pinned lines",
+          dump(result))
+    missing = [f for f in result["findings"] if "missing row" in f["message"]]
+    check(len(missing) == 2 and {m for f in missing
+                                 for m in ("kB", "kDup") if m in f["message"]}
+          == {"kB", "kDup"},
+          "doc_drift fixture reports both undocumented ranks", dump(result))
+
+
+# ---- negative control -----------------------------------------------------
+
+def test_clean_fixture() -> None:
+    root = FIXTURES / "clean"
+    for name, result in (
+        ("lock-rank", run_lock_rank(root)),
+        ("purity", run_purity(root)),
+        ("layering", layering.run(root)),
+        ("doc-drift", doc_drift.run(root)),
+    ):
+        check(not result["findings"],
+              f"clean fixture passes {name}", dump(result))
+    result = run_purity(root)
+    check(result["stats"]["marked_roots"] == 1,
+          "clean fixture purity proves its marked root", str(result["stats"]))
+
+
+# ---- real-tree regression -------------------------------------------------
+
+EXPECTED_ROOTS = {
+    "ig::SnapshotCell::read",
+    "ig::core::InfoGramService::try_serve_snapshot",
+    "ig::info::ManagedProvider::snapshot_if_fresh",
+    "ig::info::SystemMonitor::query_cached_fast",
+    "ig::obs::Histogram::count_now",
+    "ig::obs::Histogram::quantile_now",
+    "ig::obs::TailSampler::count_quick_discard",
+    "ig::obs::TailSampler::maybe_refresh_threshold",
+    "ig::obs::TailSampler::quick_keep",
+}
+
+
+def test_real_tree() -> None:
+    model = cpp.build_model(REPO_ROOT)
+    graph = callgraph.build_graph(model, engine="regex")
+    for name, result in (
+        ("lock-rank", lock_rank.run(model, graph)),
+        ("purity", purity.run(model)),
+        ("layering", layering.run(REPO_ROOT)),
+        ("doc-drift", doc_drift.run(REPO_ROOT)),
+    ):
+        check(not result["findings"], f"real tree is clean under {name}",
+              dump(result))
+    roots = set(purity.run(model)["roots"])
+    check(EXPECTED_ROOTS <= roots,
+          "purity pass covers the snapshot fast path and tail-sampler roots",
+          f"missing: {sorted(EXPECTED_ROOTS - roots)}")
+    check(model.mutexes and all(
+        d.rank is not None for d in model.mutexes if d.rank_name),
+        "every named rank constant resolved to a value")
+
+
+def main() -> int:
+    test_rank_inversion()
+    test_impure_fast_path()
+    test_layering_cycle()
+    test_doc_drift()
+    test_clean_fixture()
+    test_real_tree()
+    if _failures:
+        print(f"selftest: {len(_failures)} failure(s)")
+        return 1
+    print("selftest: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

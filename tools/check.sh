@@ -19,6 +19,11 @@
 #   tail     tail-retention suites (verdict/ring/flight-recorder/chaos) +
 #            bench_tail_sampling, the tail-vs-head-only overhead gate
 #            (<= 5% on clean traffic at default sampling)
+#   analyze  static conformance (tools/analyze): lock-rank graph,
+#            fast-path purity, layering, doc drift — fixture selftest
+#            first, then the real tree; writes ANALYZE_REPORT.json.
+#            Uses the IR call-graph engine when clang is on PATH and a
+#            compile database exists, else the regex engine.
 #
 #   tools/check.sh                  # lint + release + asan + tsan + tsa + tidy
 #   tools/check.sh --fast           # lint + release only
@@ -31,6 +36,7 @@
 #   tools/check.sh --snapshot       # lint + snapshot
 #   tools/check.sh --directory      # lint + directory
 #   tools/check.sh --tail           # lint + tail
+#   tools/check.sh --analyze        # lint + analyze
 #   tools/check.sh --tsa --tidy ... # flags combine; each adds its leg
 #
 # The tsa and tidy legs need clang/clang-tidy on PATH; when absent they
@@ -52,11 +58,11 @@ jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
 
 # ---- leg selection ---------------------------------------------------------
 run_release=0 run_asan=0 run_tsan=0 run_tsa=0 run_tidy=0 run_chaos=0 run_profile=0
-run_snapshot=0 run_directory=0 run_tail=0
+run_snapshot=0 run_directory=0 run_tail=0 run_analyze=0
 if [ "$#" -eq 0 ]; then
   # Default gate: every leg except chaos (whose suites the sanitizer legs
   # already include); tsa/tidy skip themselves when clang is absent.
-  run_release=1 run_asan=1 run_tsan=1 run_tsa=1 run_tidy=1
+  run_release=1 run_asan=1 run_tsan=1 run_tsa=1 run_tidy=1 run_analyze=1
 fi
 for arg in "$@"; do
   case "${arg}" in
@@ -70,8 +76,9 @@ for arg in "$@"; do
     --snapshot) run_snapshot=1 ;;
     --directory) run_directory=1 ;;
     --tail)  run_tail=1 ;;
+    --analyze) run_analyze=1 ;;
     *)
-      echo "usage: tools/check.sh [--fast|--asan|--tsan|--tsa|--tidy|--chaos|--profile|--snapshot|--directory|--tail]..." >&2
+      echo "usage: tools/check.sh [--fast|--asan|--tsan|--tsa|--tidy|--chaos|--profile|--snapshot|--directory|--tail|--analyze]..." >&2
       exit 2
       ;;
   esac
@@ -143,6 +150,25 @@ tsa_pass() {
   note tsa pass
 }
 
+# Static conformance analyzer: the selftest proves the fixtures still
+# trip each pass, then the real tree must come back clean. The engine
+# picks itself: clang + a compile database -> IR call graph; otherwise
+# the regex engine (same passes, conservative resolution).
+analyze_pass() {
+  echo "==> analyze: fixture selftest"
+  python3 tools/analyze/selftest.py
+  local cc_args=()
+  if command -v clang++ >/dev/null 2>&1; then
+    echo "==> configure build-tidy (compile database for the IR engine)"
+    cmake -B build-tidy -S . -DCMAKE_BUILD_TYPE=Debug \
+      -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+    cc_args=(--compile-commands build-tidy/compile_commands.json)
+  fi
+  echo "==> analyze: lock-rank, purity, layering, doc-drift"
+  python3 tools/analyze --json ANALYZE_REPORT.json "${cc_args[@]}"
+  note analyze pass
+}
+
 tidy_pass() {
   local tidy
   tidy=$(command -v clang-tidy || true)
@@ -182,6 +208,9 @@ if [ "${run_tsa}" -eq 1 ]; then
 fi
 if [ "${run_tidy}" -eq 1 ]; then
   tidy_pass
+fi
+if [ "${run_analyze}" -eq 1 ]; then
+  analyze_pass
 fi
 if [ "${run_chaos}" -eq 1 ]; then
   export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"

@@ -24,6 +24,9 @@ Rules (each is a function returning a list of "path:line: message" strings):
                 (IG_CHAOS_FILTER + LABELS chaos), and every suite in a
                 chaos/fault test file must match a filter token so it
                 cannot silently fall out of the labelled bucket.
+  bench-baselines  every bench/baselines/BENCH_*.json maps to a bench
+                target in bench/CMakeLists.txt, and every bench CI runs
+                with --enforce has a baseline to compare against.
 
 Exit status 0 = clean, 1 = findings (printed to stderr), 2 = usage.
 """
@@ -232,6 +235,57 @@ def check_chaos_labels() -> list[str]:
     return findings
 
 
+BENCH_TARGET_RE = re.compile(r"^\s*(bench_[a-z0-9_]+)\s*$")
+BENCH_ENFORCE_RE = re.compile(r"\./bench/(bench_[a-z0-9_]+)\s+--json\s+--enforce")
+
+
+def check_bench_baselines() -> list[str]:
+    """Checked-in baselines and enforced benches must stay in sync.
+
+    Every bench/baselines/BENCH_<name>.json must correspond to a
+    bench_<name> target in bench/CMakeLists.txt (a renamed or deleted
+    bench must not leave a stale baseline that silently gates nothing),
+    and every bench CI runs with --enforce must have a baseline to
+    compare against (an enforced bench without one makes
+    tools/bench_compare.py a no-op that reads as a pass).
+    """
+    findings = []
+    cml = REPO / "bench" / "CMakeLists.txt"
+    targets = {
+        m.group(1)
+        for line in read_lines(cml)
+        if (m := BENCH_TARGET_RE.match(line))
+    }
+    baselines = sorted((REPO / "bench" / "baselines").glob("BENCH_*.json"))
+    baseline_names = set()
+    for path in baselines:
+        name = "bench_" + path.stem.removeprefix("BENCH_")
+        baseline_names.add(name)
+        if name not in targets:
+            findings.append(
+                f"{rel(path)}: baseline has no {name} target in "
+                f"{rel(cml)} (stale baseline for a renamed/removed bench?)"
+            )
+    ci = REPO / ".github" / "workflows" / "ci.yml"
+    for n, line in enumerate(read_lines(ci), 1):
+        m = BENCH_ENFORCE_RE.search(line)
+        if m is None:
+            continue
+        name = m.group(1)
+        if name not in targets:
+            findings.append(
+                f"{rel(ci)}:{n}: CI enforces {name} but {rel(cml)} "
+                "defines no such target"
+            )
+        if name not in baseline_names:
+            findings.append(
+                f"{rel(ci)}:{n}: {name} runs with --enforce but has no "
+                f"bench/baselines/BENCH_{name.removeprefix('bench_')}.json "
+                "baseline — the enforced gate compares against nothing"
+            )
+    return findings
+
+
 def check_todo_tags() -> list[str]:
     findings = []
     for path in source_files(".hpp", ".cpp"):
@@ -251,6 +305,7 @@ CHECKS = {
     "iostream": check_iostream_headers,
     "todo-tags": check_todo_tags,
     "chaos-labels": check_chaos_labels,
+    "bench-baselines": check_bench_baselines,
 }
 
 
